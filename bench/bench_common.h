@@ -1,0 +1,60 @@
+#ifndef BIVOC_BENCH_BENCH_COMMON_H_
+#define BIVOC_BENCH_BENCH_COMMON_H_
+
+// Shared harness for the car-rental table benches: generate the world,
+// run the calibrated ASR substrate over the recorded calls, and return
+// the decoded transcripts next to the ground truth.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asr/transcriber.h"
+#include "asr/wer.h"
+#include "synth/car_rental.h"
+#include "synth/corpora.h"
+#include "util/random.h"
+
+namespace bivoc::bench {
+
+// Operating point calibrated in bench_table1_asr_wer to land at the
+// paper's Table I error rates (~45% overall WER, ~65% on names).
+inline constexpr double kCalibratedNoise = 2.75;
+
+struct PipelineRun {
+  CarRentalWorld world;
+  std::vector<std::string> decoded;  // one transcript per call
+  WerStats wer;
+};
+
+inline PipelineRun RunCarRentalPipeline(const CarRentalConfig& config,
+                                        double noise_level,
+                                        uint64_t asr_seed = 555,
+                                        std::size_t distractor_names = 4000) {
+  PipelineRun run;
+  run.world = CarRentalWorld::Generate(config);
+
+  Transcriber::Options opts;
+  opts.channel.noise_level = noise_level;
+  Transcriber transcriber(opts);
+  transcriber.TrainLm(GeneralEnglishSentences(), run.world.DomainSentences());
+  transcriber.AddWords(run.world.GeneralVocabulary(), WordClass::kGeneral);
+  auto names = run.world.NameVocabulary();
+  auto distractors = DistractorNames(distractor_names, 1234);
+  names.insert(names.end(), distractors.begin(), distractors.end());
+  transcriber.AddWords(names, WordClass::kName);
+  transcriber.Freeze();
+
+  Rng rng(asr_seed);
+  run.decoded.reserve(run.world.calls().size());
+  for (const CallRecord& call : run.world.calls()) {
+    auto t = transcriber.Transcribe(call.ReferenceWords(), &rng);
+    run.wer.Merge(ComputeWer(call.ReferenceWords(), t.first_pass.Words()));
+    run.decoded.push_back(t.first_pass.Text());
+  }
+  return run;
+}
+
+}  // namespace bivoc::bench
+
+#endif  // BIVOC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,63 @@
+// Reproduces §V-C: measuring improvements in agent productivity. 90
+// agents; 20 are trained on the mined insights (offer discounts to weak
+// starts, use value-selling phrases generously); two periods are
+// compared and a t-test run on per-agent booking rates.
+//
+//   Paper: trained agents' pick-up ratio higher by 3%; t-test p=0.0675
+//          (close to alpha=0.05)
+#include <cstdio>
+
+#include "core/intervention.h"
+#include "synth/car_rental.h"
+#include "util/string_util.h"
+
+using namespace bivoc;
+
+int main(int argc, char** argv) {
+  int calls_per_period = 8000;
+  if (argc > 1) calls_per_period = std::atoi(argv[1]);
+
+  CarRentalConfig config;
+  config.num_agents = 90;
+  config.num_customers = 3000;
+  config.num_calls = 10;  // corpus unused; periods are generated fresh
+  config.seed = 77;
+  CarRentalWorld world = CarRentalWorld::Generate(config);
+
+  InterventionConfig iconfig;
+  iconfig.num_trained = 20;
+  iconfig.calls_per_period = calls_per_period;
+  iconfig.seed = 101;
+  InterventionResult r = RunIntervention(&world, iconfig);
+
+  std::printf("=== Sec V-C: agent training intervention ===\n");
+  std::printf("%d agents, %d trained, %d calls per two-month period\n\n",
+              config.num_agents, iconfig.num_trained,
+              iconfig.calls_per_period);
+
+  auto row = [](const char* label, const GroupStats& s) {
+    std::printf("  %-22s reservations=%-6zu unbooked=%-6zu booking "
+                "rate=%5.1f%%  res/unbooked ratio=%.3f\n",
+                label, s.reservations, s.unbooked, s.BookingRate() * 100.0,
+                s.ReservationRatio());
+  };
+  std::printf("before training:\n");
+  row("trained group (20)", r.trained_before);
+  row("control group (70)", r.control_before);
+  std::printf("after training:\n");
+  row("trained group (20)", r.trained_after);
+  row("control group (70)", r.control_after);
+
+  double pre_gap = (r.trained_before.BookingRate() -
+                    r.control_before.BookingRate()) * 100.0;
+  std::printf("\npre-period group gap: %+.1f points (should be ~0: groups "
+              "comparable before training)\n", pre_gap);
+  std::printf("post-period lift of trained vs control: %+.1f points "
+              "(paper: +3%%)\n", r.LiftPercentagePoints());
+  std::printf("difference-in-differences: %+.1f points (baseline-gap "
+              "robust)\n", r.DiffInDiffPoints());
+  std::printf("Welch t-test on per-agent booking rates: t=%.2f df=%.0f "
+              "p=%.4f (paper: p=0.0675)\n",
+              r.ttest.t, r.ttest.df, r.ttest.p_two_sided);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Reproduces §VI: churn prediction from customer emails and SMS at a
+// wireless telecom. The pipeline cleans both streams (spam, non-English
+// code-switching, SMS lingo), links messages to the customer warehouse,
+// trains a classifier on VoC of churners vs non-churners, and detects
+// churners in the evaluation window.
+//
+//   Paper corpus: 47,460 emails, 3% from churners; 289,314 SMS, 7.6%
+//   from churners; 78% prepaid base; ~18% of emails unlinkable;
+//   result: 53.6% of churners detected from emails.
+//
+// Default run is 1/10 the paper's corpus (single-core friendly); pass
+// a scale factor to go bigger: `bench_sec6_churn 10` is paper scale.
+#include <cstdio>
+
+#include "core/churn.h"
+#include "util/logging.h"
+#include "synth/telecom.h"
+#include "util/timer.h"
+
+using namespace bivoc;
+
+int main(int argc, char** argv) {
+  int scale = 1;  // 1 => 1/10 of the paper's corpus
+  if (argc > 1) scale = std::atoi(argv[1]);
+
+  TelecomConfig config;
+  config.num_customers = 8000 * scale;
+  config.num_emails = 4746 * scale;
+  config.num_sms = 28931 * scale;
+  config.seed = 2007;
+
+  Timer timer;
+  TelecomWorld world = TelecomWorld::Generate(config);
+  Database db;
+  BIVOC_CHECK_OK(world.BuildDatabase(&db));
+  std::printf("=== Sec VI: churn prediction from VoC ===\n");
+  std::printf("corpus: %d emails, %d sms, %d customers (%.1fs to "
+              "generate)\n",
+              config.num_emails, config.num_sms, config.num_customers,
+              timer.ElapsedSeconds());
+  std::printf("paper corpus: 47460 emails (3%% churner), 289314 sms "
+              "(7.6%% churner)\n\n");
+
+  LinkerConfig lc;
+  lc.min_score = 0.6;
+  auto linker = MultiTypeLinker::Build(&db, lc);
+  BIVOC_CHECK(linker.ok()) << linker.status();
+
+  ChurnPredictor predictor;
+  timer.Reset();
+  ChurnEvaluation eval = predictor.Run(world, db, &linker.value());
+  std::printf("pipeline + training + evaluation: %.1fs\n\n",
+              timer.ElapsedSeconds());
+
+  std::printf("linking:\n");
+  std::printf("  emails unlinked: %zu/%zu = %.1f%%  (paper: ~18%%, mostly "
+              "non-customers)\n",
+              eval.emails_unlinked, eval.emails_total,
+              eval.EmailUnlinkedShare() * 100.0);
+  std::printf("  sms dropped (spam + non-english): %zu/%zu = %.1f%%\n\n",
+              eval.sms_dropped, eval.sms_total,
+              eval.sms_total
+                  ? 100.0 * static_cast<double>(eval.sms_dropped) /
+                        static_cast<double>(eval.sms_total)
+                  : 0.0);
+
+  std::printf("churner detection in the evaluation window:\n");
+  std::printf("  churners with messages: %zu, detected: %zu -> recall "
+              "%.1f%%  (paper: 53.6%% from emails)\n",
+              eval.churners_with_messages, eval.churners_detected,
+              eval.ChurnerRecall() * 100.0);
+  std::printf("  false-alarm rate on non-churners: %.1f%%\n\n",
+              eval.FalseAlarmRate() * 100.0);
+
+  std::printf("top churn-driver features the model surfaced:\n");
+  for (const auto& [feature, llr] : eval.top_churn_features) {
+    std::printf("  %-40s %+5.2f\n", feature.c_str(), llr);
+  }
+
+  // Classifier-family ablation: the paper does not name its model, so
+  // we compare naive Bayes against logistic regression on the same
+  // pipeline output.
+  std::printf("\nclassifier ablation (same pipeline, same split):\n");
+  std::printf("  %-18s recall=%.1f%%  false alarms=%.1f%%\n",
+              "naive bayes", eval.ChurnerRecall() * 100.0,
+              eval.FalseAlarmRate() * 100.0);
+  ChurnPredictorConfig lr_config;
+  lr_config.model = ChurnModel::kLogistic;
+  ChurnPredictor lr_predictor(lr_config);
+  ChurnEvaluation lr_eval = lr_predictor.Run(world, db, &linker.value());
+  std::printf("  %-18s recall=%.1f%%  false alarms=%.1f%%\n",
+              "logistic reg.", lr_eval.ChurnerRecall() * 100.0,
+              lr_eval.FalseAlarmRate() * 100.0);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Table III: association between customer intentions (from
+// the first utterances of noisy call transcripts) and pick-up results
+// (from the structured call log).
+//
+//   Paper:  strong start -> 63% reservation / 37% unbooked
+//           weak start   -> 32% reservation / 68% unbooked
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/car_rental_insights.h"
+#include "mining/report.h"
+#include "util/timer.h"
+
+using namespace bivoc;
+
+int main(int argc, char** argv) {
+  int num_calls = 500;
+  if (argc > 1) num_calls = std::atoi(argv[1]);
+
+  CarRentalConfig config;
+  config.num_agents = 90;
+  config.num_customers = 2000;
+  config.num_calls = num_calls;
+  config.seed = 31;
+
+  Timer timer;
+  auto run = bench::RunCarRentalPipeline(config, bench::kCalibratedNoise);
+  std::printf("=== Table III: customer intention vs pick up result ===\n");
+  std::printf("(%d calls through channel + decoder at WER %.1f%%, %.0fs)\n\n",
+              num_calls, run.wer.Wer() * 100.0, timer.ElapsedSeconds());
+
+  AgentProductivityAnalyzer analyzer;
+  std::size_t detected_intents = 0;
+  for (std::size_t i = 0; i < run.world.calls().size(); ++i) {
+    CallAnalysis a =
+        analyzer.Analyze(run.world.calls()[i], run.decoded[i]);
+    if (a.detected_strong || a.detected_weak) ++detected_intents;
+    analyzer.Index(a);
+  }
+  std::printf("intent detected in %zu/%zu calls (noise lowers recall; the "
+              "conditional split is what matters)\n\n",
+              detected_intents, run.world.calls().size());
+
+  AssociationTable table = analyzer.IntentVsOutcome();
+  std::printf("measured:\n%s\n",
+              RenderConditionalTable(table).c_str());
+  std::printf("paper:\n");
+  std::printf("  strong start   63%% reservation   37%% unbooked\n");
+  std::printf("  weak start     32%% reservation   68%% unbooked\n");
+
+  std::printf("\nassociation strength (Eqn 4 lift, interval lower bound):\n%s",
+              RenderAssociationTable(table, "lower_lift").c_str());
+  return 0;
+}

@@ -1,0 +1,200 @@
+// Scale/throughput microbenchmarks (DESIGN.md E9), backing the paper's
+// §III-A scale discussion (150 GB of audio per day; "quick reporting
+// ... on datasets containing even millions of documents"). Uses
+// google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "annotate/concept_extractor.h"
+#include "asr/transcriber.h"
+#include "clean/sms_normalizer.h"
+#include "core/car_rental_insights.h"
+#include "linking/fagin.h"
+#include "linking/linker.h"
+#include "mining/association.h"
+#include "mining/concept_index.h"
+#include "synth/car_rental.h"
+#include "synth/corpora.h"
+#include "synth/telecom.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace bivoc {
+namespace {
+
+// --- ASR decode throughput (phonemes/sec through the beam decoder).
+void BM_AsrDecode(benchmark::State& state) {
+  CarRentalConfig config;
+  config.num_agents = 10;
+  config.num_customers = 200;
+  config.num_calls = 20;
+  config.seed = 3;
+  static const CarRentalWorld* world =
+      new CarRentalWorld(CarRentalWorld::Generate(config));
+
+  Transcriber::Options opts;
+  opts.channel.noise_level = 2.75;
+  static Transcriber* transcriber = [] {
+    auto* t = new Transcriber(Transcriber::Options{
+        ChannelConfig{.noise_level = 2.75}, DecoderConfig{}, 0.8});
+    t->TrainLm(GeneralEnglishSentences(), world->DomainSentences());
+    t->AddWords(world->GeneralVocabulary(), WordClass::kGeneral);
+    t->AddWords(world->NameVocabulary(), WordClass::kName);
+    t->Freeze();
+    return t;
+  }();
+
+  Rng rng(1);
+  std::size_t call = 0;
+  std::size_t phonemes = 0;
+  for (auto _ : state) {
+    const auto& record = world->calls()[call % world->calls().size()];
+    auto t = transcriber->Transcribe(record.ReferenceWords(), &rng);
+    benchmark::DoNotOptimize(t.first_pass.words.size());
+    phonemes += t.observation.phonemes.size();
+    ++call;
+  }
+  state.counters["phonemes/s"] = benchmark::Counter(
+      static_cast<double>(phonemes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AsrDecode)->Unit(benchmark::kMillisecond);
+
+// --- SMS cleaning throughput.
+void BM_SmsNormalize(benchmark::State& state) {
+  TelecomConfig config;
+  config.num_customers = 500;
+  config.num_emails = 10;
+  config.num_sms = 500;
+  static const TelecomWorld* world =
+      new TelecomWorld(TelecomWorld::Generate(config));
+  static SmsNormalizer* normalizer = [] {
+    auto* n = new SmsNormalizer();
+    n->SetSpellingDictionary(world->DomainVocabulary());
+    return n;
+  }();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& sms = world->sms()[i % world->sms().size()];
+    benchmark::DoNotOptimize(normalizer->Normalize(sms.raw_text));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SmsNormalize);
+
+// --- Concept extraction throughput.
+void BM_ConceptExtract(benchmark::State& state) {
+  static ConceptExtractor* extractor = [] {
+    auto* e = new ConceptExtractor();
+    ConfigureCarRentalExtractor(e);
+    return e;
+  }();
+  const std::string text =
+      "i would like to make a booking for a full size car in new york "
+      "that is a wonderful rate i can offer you a corporate program "
+      "discount just fifty dollars";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor->Extract(text));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ConceptExtract);
+
+// --- Entity linking throughput against a warehouse of `range` rows.
+void BM_LinkDocument(benchmark::State& state) {
+  CarRentalConfig config;
+  config.num_agents = 10;
+  config.num_customers = static_cast<int>(state.range(0));
+  config.num_calls = 1;
+  config.seed = 5;
+  CarRentalWorld world = CarRentalWorld::Generate(config);
+  Database db;
+  BIVOC_CHECK_OK(world.BuildDatabase(&db));
+  auto linker = EntityLinker::Build(*db.GetTable("customers"));
+
+  AnnotatorPipeline annotators;
+  annotators.Add(std::make_unique<NameAnnotator>(world.NameVocabulary()));
+  annotators.Add(std::make_unique<PhoneAnnotator>());
+  Tokenizer tokenizer;
+  const RentalCustomer& c = world.customers()[42];
+  auto annotations = annotators.Annotate(tokenizer.Tokenize(
+      "my name is " + c.first_name + " " + c.last_name +
+      " and my phone number is " + c.phone));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linker.value().Link(annotations));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LinkDocument)->Arg(1000)->Arg(10000)->Arg(50000);
+
+// --- Reporting at millions of documents: association query cost on a
+// concept index with `range` documents.
+void BM_AssociationQuery(benchmark::State& state) {
+  const std::size_t docs = static_cast<std::size_t>(state.range(0));
+  static std::map<std::size_t, std::unique_ptr<ConceptIndex>> cache;
+  auto& index = cache[docs];
+  if (!index) {
+    index = std::make_unique<ConceptIndex>();
+    Rng rng(7);
+    const char* cities[] = {"place/a", "place/b", "place/c", "place/d"};
+    const char* cars[] = {"car/suv", "car/mid", "car/full", "car/lux"};
+    const char* outcomes[] = {"outcome/yes", "outcome/no"};
+    for (std::size_t i = 0; i < docs; ++i) {
+      index->AddDocument({cities[rng.Uniform(0, 3)], cars[rng.Uniform(0, 3)],
+                          outcomes[rng.Uniform(0, 1)]});
+    }
+  }
+  std::vector<std::string> rows = {"place/a", "place/b", "place/c",
+                                   "place/d"};
+  std::vector<std::string> cols = {"car/suv", "car/mid", "car/full",
+                                   "car/lux"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TwoDimensionalAssociation(*index, rows, cols));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AssociationQuery)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Fagin TA vs full merge.
+void BM_FaginMerge(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::vector<ScoredItem>> lists(4);
+  for (auto& list : lists) {
+    for (uint64_t id = 0; id < static_cast<uint64_t>(state.range(0)); ++id) {
+      list.push_back({id, rng.NextDouble()});
+    }
+    std::sort(list.begin(), list.end(),
+              [](const ScoredItem& a, const ScoredItem& b) {
+                return a.score > b.score;
+              });
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FaginThresholdMerge(lists, 5));
+  }
+}
+BENCHMARK(BM_FaginMerge)->Arg(1000)->Arg(10000);
+
+void BM_FullMerge(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::vector<ScoredItem>> lists(4);
+  for (auto& list : lists) {
+    for (uint64_t id = 0; id < static_cast<uint64_t>(state.range(0)); ++id) {
+      list.push_back({id, rng.NextDouble()});
+    }
+    std::sort(list.begin(), list.end(),
+              [](const ScoredItem& a, const ScoredItem& b) {
+                return a.score > b.score;
+              });
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FullMerge(lists, 5));
+  }
+}
+BENCHMARK(BM_FullMerge)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace bivoc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// Word-spotting ablation (DESIGN.md E11): §II notes that commercial
+// contact-center tools (NICE, VERINT) index audio with *word spotting*
+// rather than full transcription. This bench pits our phonetic keyword
+// spotter against the full LVCSR decode + pattern pipeline on the same
+// noisy calls, for the Table IV behaviour-detection task:
+//
+//   - detection quality (precision/recall against generation truth),
+//   - runtime per call.
+//
+// Expected shape: spotting is several times faster but pays in
+// precision (no language-model context); full decoding feeds richer
+// downstream analysis (it produces text, not just hits).
+#include <cstdio>
+
+#include "asr/keyword_spotter.h"
+#include "bench_common.h"
+#include "core/car_rental_insights.h"
+#include "util/timer.h"
+
+using namespace bivoc;
+
+namespace {
+
+struct Detection {
+  std::size_t tp = 0, fp = 0, fn = 0;
+  double Precision() const {
+    return tp + fp == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fp);
+  }
+  double Recall() const {
+    return tp + fn == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fn);
+  }
+  void Add(bool truth, bool detected) {
+    if (truth && detected) ++tp;
+    if (!truth && detected) ++fp;
+    if (truth && !detected) ++fn;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int num_calls = 200;
+  if (argc > 1) num_calls = std::atoi(argv[1]);
+
+  CarRentalConfig config;
+  config.num_agents = 40;
+  config.num_customers = 800;
+  config.num_calls = num_calls;
+  config.seed = 71;
+  CarRentalWorld world = CarRentalWorld::Generate(config);
+
+  // Shared ASR substrate at the calibrated noise level.
+  Transcriber::Options opts;
+  opts.channel.noise_level = bench::kCalibratedNoise;
+  Transcriber transcriber(opts);
+  transcriber.TrainLm(GeneralEnglishSentences(), world.DomainSentences());
+  transcriber.AddWords(world.GeneralVocabulary(), WordClass::kGeneral);
+  auto names = world.NameVocabulary();
+  auto distractors = DistractorNames(4000, 5);
+  names.insert(names.end(), distractors.begin(), distractors.end());
+  transcriber.AddWords(names, WordClass::kName);
+  transcriber.Freeze();
+
+  // The spotter watches for the same §V-A phrase banks the pattern
+  // pipeline extracts.
+  KeywordSpotter spotter(&transcriber.lexicon());
+  for (const char* phrase :
+       {"wonderful rate", "good rate", "save money", "fantastic car",
+        "latest model"}) {
+    spotter.AddKeyword(phrase, "value selling");
+  }
+  for (const char* phrase :
+       {"discount", "corporate program", "motor club", "buying club"}) {
+    spotter.AddKeyword(phrase, "discount");
+  }
+
+  AgentProductivityAnalyzer analyzer;  // decode + pattern path
+
+  Detection spot_vs, spot_disc, decode_vs, decode_disc;
+  double spot_seconds = 0.0, decode_seconds = 0.0, channel_seconds = 0.0;
+  Rng rng(31);
+  for (const CallRecord& call : world.calls()) {
+    if (call.is_service_call) continue;
+    Timer channel_timer;
+    AcousticObservation obs =
+        transcriber.channel().Transmit(call.ReferenceWords(), &rng);
+    channel_seconds += channel_timer.ElapsedSeconds();
+
+    // Path A: keyword spotting directly on phonemes.
+    Timer spot_timer;
+    bool spot_value = spotter.Contains(obs.phonemes, "value selling");
+    bool spot_discount = spotter.Contains(obs.phonemes, "discount");
+    spot_seconds += spot_timer.ElapsedSeconds();
+
+    // Path B: full decode + concept patterns.
+    Timer decode_timer;
+    // Decode through the transcriber's first pass (reusing the same
+    // observation so both paths see identical noise).
+    DecodeResult decoded;
+    {
+      // SecondPass with the full name list = plain decode of obs.
+      decoded = transcriber.SecondPass(obs, names);
+    }
+    CallAnalysis analysis = analyzer.Analyze(call, decoded.Text());
+    decode_seconds += decode_timer.ElapsedSeconds();
+
+    spot_vs.Add(call.value_selling, spot_value);
+    spot_disc.Add(call.discount, spot_discount);
+    decode_vs.Add(call.value_selling, analysis.detected_value_selling);
+    decode_disc.Add(call.discount, analysis.detected_discount);
+  }
+
+  std::printf("=== Word spotting vs full decoding (E11, %d calls, "
+              "WER-calibrated channel) ===\n\n", num_calls);
+  std::printf("%-24s %-12s %-12s %-12s %-12s\n", "behaviour detection",
+              "spot P", "spot R", "decode P", "decode R");
+  std::printf("%-24s %-12.2f %-12.2f %-12.2f %-12.2f\n", "value selling",
+              spot_vs.Precision(), spot_vs.Recall(), decode_vs.Precision(),
+              decode_vs.Recall());
+  std::printf("%-24s %-12.2f %-12.2f %-12.2f %-12.2f\n", "discount",
+              spot_disc.Precision(), spot_disc.Recall(),
+              decode_disc.Precision(), decode_disc.Recall());
+  std::printf("\nruntime: channel %.1fs | spotting %.1fs | decoding %.1fs "
+              "(%.0fx spotting speedup)\n",
+              channel_seconds, spot_seconds, decode_seconds,
+              spot_seconds > 0 ? decode_seconds / spot_seconds : 0.0);
+  std::printf("(expected shape: spotting is much faster; decoding's LM "
+              "context buys precision and full text for linking)\n");
+  return 0;
+}

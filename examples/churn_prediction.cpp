@@ -1,0 +1,67 @@
+// Use case from paper §VI: churn prediction and analysis from customer
+// emails and SMS at a wireless telecom. Shows the full pipeline: noisy
+// text cleaning, spam/non-English filtering, linking to the customer
+// warehouse, classifier training on churner VoC, and the churn-driver
+// readout the business heads acted on.
+//
+// Build & run:  ./build/examples/churn_prediction
+#include <cstdio>
+
+#include "core/churn.h"
+#include "synth/telecom.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+using namespace bivoc;
+
+int main(int argc, char** argv) {
+  TelecomConfig config;
+  config.num_customers = 6000;
+  config.num_emails = 2400;
+  config.num_sms = 12000;
+  config.seed = 1331;
+  if (argc > 1) config.num_sms = std::atoi(argv[1]);
+
+  TelecomWorld world = TelecomWorld::Generate(config);
+  Database db;
+  BIVOC_CHECK_OK(world.BuildDatabase(&db));
+  std::printf("telecom world: %zu customers (%.0f%% prepaid), %zu emails, "
+              "%zu sms, %zu payments\n\n",
+              world.customers().size(), config.prepaid_share * 100.0,
+              world.emails().size(), world.sms().size(),
+              world.payments().size());
+
+  // Show a few raw documents the pipeline has to survive.
+  std::printf("sample raw SMS (lingo + misspellings):\n");
+  int shown = 0;
+  for (const auto& sms : world.sms()) {
+    if (sms.is_spam || !sms.is_english) continue;
+    std::printf("  \"%s\"\n", sms.raw_text.c_str());
+    if (++shown == 3) break;
+  }
+  std::printf("\n");
+
+  LinkerConfig lc;
+  lc.min_score = 0.6;
+  auto linker = MultiTypeLinker::Build(&db, lc);
+  BIVOC_CHECK(linker.ok()) << linker.status();
+
+  Timer timer;
+  ChurnPredictor predictor;
+  ChurnEvaluation eval = predictor.Run(world, db, &linker.value());
+  std::printf("pipeline + train + evaluate: %.1fs\n\n",
+              timer.ElapsedSeconds());
+
+  std::printf("emails that could not be linked: %.1f%% (paper: ~18%%)\n",
+              eval.EmailUnlinkedShare() * 100.0);
+  std::printf("churner recall from VoC: %.1f%% (paper: 53.6%%), false "
+              "alarms: %.1f%%\n\n",
+              eval.ChurnerRecall() * 100.0, eval.FalseAlarmRate() * 100.0);
+
+  std::printf("churn drivers surfaced by the model (what the business "
+              "heads track):\n");
+  for (const auto& [feature, llr] : eval.top_churn_features) {
+    std::printf("  %-40s %+5.2f\n", feature.c_str(), llr);
+  }
+  return 0;
+}

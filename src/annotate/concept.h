@@ -1,0 +1,29 @@
+#ifndef BIVOC_ANNOTATE_CONCEPT_H_
+#define BIVOC_ANNOTATE_CONCEPT_H_
+
+#include <string>
+
+namespace bivoc {
+
+// A concept is the canonical representation of textual content
+// (paper §IV-C): "child seat [vehicle feature]", "mention of good rate
+// [value selling]". Concepts, not surface words, are what the mining
+// layer counts and associates.
+struct Concept {
+  std::string name;      // canonical form, e.g. "credit card"
+  std::string category;  // semantic category, e.g. "payment methods"
+  std::size_t begin_token = 0;
+  std::size_t end_token = 0;  // one past last token
+
+  // Stable identity used by the concept index ("category/name").
+  std::string Key() const { return category + "/" + name; }
+
+  bool operator==(const Concept& o) const {
+    return name == o.name && category == o.category &&
+           begin_token == o.begin_token && end_token == o.end_token;
+  }
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_ANNOTATE_CONCEPT_H_

@@ -1,0 +1,40 @@
+#include "annotate/concept_extractor.h"
+
+#include <algorithm>
+#include <set>
+
+namespace bivoc {
+
+ConceptExtractor::ConceptExtractor() : matcher_(&dictionary_) {}
+
+Status ConceptExtractor::AddPattern(const std::string& spec) {
+  return matcher_.AddSpec(spec);
+}
+
+std::vector<Concept> ConceptExtractor::Extract(const std::string& text) const {
+  std::vector<Token> tokens = tokenizer_.Tokenize(text);
+  std::vector<TaggedToken> tagged = tagger_.Tag(tokens);
+
+  std::vector<Concept> out = dictionary_.Match(tokens);
+  std::vector<Concept> from_patterns = matcher_.Match(tagged);
+  out.insert(out.end(), from_patterns.begin(), from_patterns.end());
+
+  // Deduplicate identical (key, span) pairs; keep deterministic order
+  // by span then key.
+  std::sort(out.begin(), out.end(), [](const Concept& a, const Concept& b) {
+    if (a.begin_token != b.begin_token) return a.begin_token < b.begin_token;
+    if (a.end_token != b.end_token) return a.end_token < b.end_token;
+    return a.Key() < b.Key();
+  });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::string> ConceptExtractor::ExtractKeys(
+    const std::string& text) const {
+  std::set<std::string> keys;
+  for (const auto& c : Extract(text)) keys.insert(c.Key());
+  return {keys.begin(), keys.end()};
+}
+
+}  // namespace bivoc

@@ -1,0 +1,49 @@
+#ifndef BIVOC_ANNOTATE_CONCEPT_EXTRACTOR_H_
+#define BIVOC_ANNOTATE_CONCEPT_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "annotate/concept.h"
+#include "annotate/dictionary.h"
+#include "annotate/pattern.h"
+#include "text/pos_tagger.h"
+#include "text/tokenizer.h"
+
+namespace bivoc {
+
+// The annotation stage of the BIVoC pipeline: tokenize -> PoS-tag ->
+// dictionary lookup -> pattern extraction, producing the concept set a
+// document contributes to the index. The dictionary provides word-level
+// semantic categories ("master card" -> credit card [payment methods]);
+// patterns lift phrases with grammatical structure ("please <VERB>" ->
+// request) and communicative intent.
+class ConceptExtractor {
+ public:
+  ConceptExtractor();
+
+  // Registration (call before Extract).
+  DomainDictionary* mutable_dictionary() { return &dictionary_; }
+  const DomainDictionary& dictionary() const { return dictionary_; }
+  Status AddPattern(const std::string& spec);
+  void AddPattern(Pattern pattern) { matcher_.Add(std::move(pattern)); }
+
+  // All concepts in the text: dictionary concepts plus pattern
+  // concepts, deduplicated by (key, span).
+  std::vector<Concept> Extract(const std::string& text) const;
+
+  // Distinct concept keys only (the bag the mining layer indexes).
+  std::vector<std::string> ExtractKeys(const std::string& text) const;
+
+  std::size_t num_patterns() const { return matcher_.size(); }
+
+ private:
+  Tokenizer tokenizer_;
+  PosTagger tagger_;
+  DomainDictionary dictionary_;
+  PatternMatcher matcher_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_ANNOTATE_CONCEPT_EXTRACTOR_H_

@@ -1,0 +1,90 @@
+#include "annotate/dictionary.h"
+
+#include <algorithm>
+#include <set>
+
+#include "text/stemmer.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+
+void DomainDictionary::Add(DictionaryEntry entry) {
+  entry.surface = ToLowerCopy(entry.surface);
+  std::size_t tokens = SplitWhitespace(entry.surface).size();
+  max_tokens_ = std::max(max_tokens_, tokens);
+  auto it = by_surface_.find(entry.surface);
+  if (it != by_surface_.end()) {
+    entries_[it->second] = std::move(entry);  // last definition wins
+    return;
+  }
+  by_surface_.emplace(entry.surface, entries_.size());
+  entries_.push_back(std::move(entry));
+}
+
+void DomainDictionary::Add(const std::string& surface,
+                           const std::string& canonical,
+                           const std::string& category, PosTag pos) {
+  DictionaryEntry e;
+  e.surface = surface;
+  e.canonical = canonical;
+  e.category = category;
+  e.pos = pos;
+  Add(std::move(e));
+}
+
+std::vector<Concept> DomainDictionary::Match(
+    const std::vector<Token>& tokens) const {
+  std::vector<Concept> out;
+  std::size_t i = 0;
+  while (i < tokens.size()) {
+    std::size_t matched_len = 0;
+    const DictionaryEntry* matched = nullptr;
+    std::size_t longest = std::min(max_tokens_, tokens.size() - i);
+    for (std::size_t len = longest; len >= 1; --len) {
+      std::string key;
+      for (std::size_t k = 0; k < len; ++k) {
+        if (k > 0) key += ' ';
+        key += tokens[i + k].norm;
+      }
+      auto it = by_surface_.find(key);
+      if (it == by_surface_.end() && len == 1) {
+        // Stem-tolerant fallback for single words.
+        it = by_surface_.find(Stem(tokens[i].norm));
+      }
+      if (it != by_surface_.end()) {
+        matched = &entries_[it->second];
+        matched_len = len;
+        break;
+      }
+    }
+    if (matched != nullptr) {
+      Concept c;
+      c.name = matched->canonical;
+      c.category = matched->category;
+      c.begin_token = i;
+      c.end_token = i + matched_len;
+      out.push_back(std::move(c));
+      i += matched_len;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string DomainDictionary::CategoryOf(const std::string& lower_word) const {
+  auto it = by_surface_.find(lower_word);
+  if (it == by_surface_.end()) {
+    it = by_surface_.find(Stem(lower_word));
+  }
+  if (it == by_surface_.end()) return "";
+  return entries_[it->second].category;
+}
+
+std::vector<std::string> DomainDictionary::Categories() const {
+  std::set<std::string> cats;
+  for (const auto& e : entries_) cats.insert(e.category);
+  return {cats.begin(), cats.end()};
+}
+
+}  // namespace bivoc

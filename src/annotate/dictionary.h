@@ -1,0 +1,59 @@
+#ifndef BIVOC_ANNOTATE_DICTIONARY_H_
+#define BIVOC_ANNOTATE_DICTIONARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "annotate/concept.h"
+#include "text/pos_tagger.h"
+#include "text/tokenizer.h"
+
+namespace bivoc {
+
+// One domain-dictionary entry, as the paper's example:
+//   child seat [noun]  -> child seat   [vehicle feature]
+//   NY [proper noun]   -> New York     [place]
+//   master card [noun] -> credit card  [payment methods]
+struct DictionaryEntry {
+  std::string surface;    // possibly multi-word, lowercase
+  PosTag pos = PosTag::kNoun;
+  std::string canonical;
+  std::string category;
+};
+
+// Longest-match domain dictionary over token streams. Matching is
+// case-insensitive and stem-tolerant: if the exact surface misses, the
+// stemmed form is tried, so "bookings" matches an entry for "booking".
+class DomainDictionary {
+ public:
+  DomainDictionary() = default;
+
+  void Add(DictionaryEntry entry);
+  void Add(const std::string& surface, const std::string& canonical,
+           const std::string& category, PosTag pos = PosTag::kNoun);
+
+  // All dictionary concepts found in the token stream; at each start
+  // position the longest surface wins and matching resumes after it.
+  std::vector<Concept> Match(const std::vector<Token>& tokens) const;
+
+  // Category of a single token ("" if absent) — the hook the pattern
+  // engine uses for [category] elements.
+  std::string CategoryOf(const std::string& lower_word) const;
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t max_surface_tokens() const { return max_tokens_; }
+
+  // All registered categories (sorted, unique).
+  std::vector<std::string> Categories() const;
+
+ private:
+  // Key: space-joined lowercase surface tokens.
+  std::unordered_map<std::string, std::size_t> by_surface_;
+  std::vector<DictionaryEntry> entries_;
+  std::size_t max_tokens_ = 0;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_ANNOTATE_DICTIONARY_H_

@@ -1,0 +1,134 @@
+#include "annotate/pattern.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace bivoc {
+
+namespace {
+
+Result<PosTag> ParsePosName(const std::string& name) {
+  static const std::pair<const char*, PosTag> kNames[] = {
+      {"NOUN", PosTag::kNoun},         {"PROPN", PosTag::kProperNoun},
+      {"VERB", PosTag::kVerb},         {"ADJ", PosTag::kAdjective},
+      {"ADV", PosTag::kAdverb},        {"PRON", PosTag::kPronoun},
+      {"DET", PosTag::kDeterminer},    {"PREP", PosTag::kPreposition},
+      {"CONJ", PosTag::kConjunction},  {"INTJ", PosTag::kInterjection},
+      {"PART", PosTag::kParticle},
+  };
+  for (const auto& [n, tag] : kNames) {
+    if (name == n) return tag;
+  }
+  return Status::InvalidArgument("unknown POS class <" + name + ">");
+}
+
+}  // namespace
+
+Result<Pattern> ParsePattern(const std::string& spec) {
+  std::size_t arrow = spec.find("->");
+  if (arrow == std::string::npos) {
+    return Status::InvalidArgument("pattern missing '->': " + spec);
+  }
+  std::size_t at = spec.find('@', arrow);
+  if (at == std::string::npos) {
+    return Status::InvalidArgument("pattern missing '@ category': " + spec);
+  }
+  Pattern out;
+  out.concept_name =
+      TrimCopy(spec.substr(arrow + 2, at - arrow - 2));
+  out.category = TrimCopy(spec.substr(at + 1));
+  if (out.concept_name.empty() || out.category.empty()) {
+    return Status::InvalidArgument("pattern with empty concept/category: " +
+                                   spec);
+  }
+  for (const auto& raw : SplitWhitespace(spec.substr(0, arrow))) {
+    PatternElement e;
+    if (raw == "*") {
+      e.kind = PatternElement::Kind::kAny;
+    } else if (raw == "<NUM>") {
+      e.kind = PatternElement::Kind::kNumeric;
+    } else if (raw.size() >= 3 && raw.front() == '<' && raw.back() == '>') {
+      e.kind = PatternElement::Kind::kPos;
+      BIVOC_ASSIGN_OR_RETURN(e.tag,
+                             ParsePosName(raw.substr(1, raw.size() - 2)));
+    } else if (raw.size() >= 3 && raw.front() == '[' && raw.back() == ']') {
+      e.kind = PatternElement::Kind::kCategory;
+      e.category = ToLowerCopy(raw.substr(1, raw.size() - 2));
+    } else {
+      e.kind = PatternElement::Kind::kLiteral;
+      e.literal = ToLowerCopy(raw);
+    }
+    out.elements.push_back(std::move(e));
+  }
+  if (out.elements.empty()) {
+    return Status::InvalidArgument("pattern with no elements: " + spec);
+  }
+  return out;
+}
+
+void PatternMatcher::Add(Pattern pattern) {
+  patterns_.push_back(std::move(pattern));
+}
+
+Status PatternMatcher::AddSpec(const std::string& spec) {
+  BIVOC_ASSIGN_OR_RETURN(Pattern p, ParsePattern(spec));
+  Add(std::move(p));
+  return Status::OK();
+}
+
+bool PatternMatcher::ElementMatches(const PatternElement& element,
+                                    const TaggedToken& token) const {
+  switch (element.kind) {
+    case PatternElement::Kind::kAny:
+      return true;
+    case PatternElement::Kind::kLiteral:
+      return token.token.norm == element.literal;
+    case PatternElement::Kind::kPos:
+      return token.tag == element.tag;
+    case PatternElement::Kind::kNumeric:
+      return token.tag == PosTag::kNumber;
+    case PatternElement::Kind::kCategory:
+      return dictionary_ != nullptr &&
+             dictionary_->CategoryOf(token.token.norm) == element.category;
+  }
+  return false;
+}
+
+std::vector<Concept> PatternMatcher::Match(
+    const std::vector<TaggedToken>& tokens) const {
+  std::vector<Concept> out;
+  for (std::size_t start = 0; start < tokens.size(); ++start) {
+    // Track the best (longest) match per concept key at this position.
+    std::vector<Concept> here;
+    for (const auto& pattern : patterns_) {
+      if (start + pattern.elements.size() > tokens.size()) continue;
+      bool matched = true;
+      for (std::size_t k = 0; k < pattern.elements.size(); ++k) {
+        if (!ElementMatches(pattern.elements[k], tokens[start + k])) {
+          matched = false;
+          break;
+        }
+      }
+      if (!matched) continue;
+      Concept c;
+      c.name = pattern.concept_name;
+      c.category = pattern.category;
+      c.begin_token = start;
+      c.end_token = start + pattern.elements.size();
+      auto existing =
+          std::find_if(here.begin(), here.end(), [&](const Concept& o) {
+            return o.Key() == c.Key();
+          });
+      if (existing == here.end()) {
+        here.push_back(std::move(c));
+      } else if (c.end_token > existing->end_token) {
+        *existing = std::move(c);
+      }
+    }
+    out.insert(out.end(), here.begin(), here.end());
+  }
+  return out;
+}
+
+}  // namespace bivoc

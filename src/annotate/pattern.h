@@ -1,0 +1,76 @@
+#ifndef BIVOC_ANNOTATE_PATTERN_H_
+#define BIVOC_ANNOTATE_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "annotate/concept.h"
+#include "annotate/dictionary.h"
+#include "text/pos_tagger.h"
+#include "util/result.h"
+
+namespace bivoc {
+
+// One element of a user-defined extraction pattern (paper §IV-C:
+// "Users are allowed to define patterns of grammatical forms, surface
+// forms and/or domain dictionary terms").
+struct PatternElement {
+  enum class Kind {
+    kLiteral,   // exact lowercase word
+    kPos,       // part-of-speech class, e.g. VERB
+    kNumeric,   // number token or number word
+    kCategory,  // any word/phrase carrying a dictionary category
+    kAny,       // wildcard, one token
+  };
+  Kind kind = Kind::kLiteral;
+  std::string literal;
+  PosTag tag = PosTag::kNoun;
+  std::string category;
+};
+
+// A pattern plus the concept it emits when matched:
+//   please <VERB>          -> request            @ agent behaviour
+//   just <NUM> dollars     -> mention of good rate @ value selling
+//   wonderful rate         -> mention of good rate @ value selling
+struct Pattern {
+  std::vector<PatternElement> elements;
+  std::string concept_name;
+  std::string category;
+};
+
+// Parses the textual pattern DSL:
+//
+//   spec      := elements "->" concept "@" category
+//   element   := word | "<POS>" | "<NUM>" | "[category]" | "*"
+//
+// e.g. "just <NUM> dollars -> mention of good rate @ value selling".
+// POS names are those of PosTagName(): VERB, NOUN, ADJ, ADV, ...
+Result<Pattern> ParsePattern(const std::string& spec);
+
+// Matches a pattern list over a tagged token stream. At each start
+// position every pattern is tried; all matches are emitted (the mining
+// layer dedups by concept), but among patterns emitting the *same*
+// concept the longest match wins.
+class PatternMatcher {
+ public:
+  explicit PatternMatcher(const DomainDictionary* dictionary = nullptr)
+      : dictionary_(dictionary) {}
+
+  void Add(Pattern pattern);
+  Status AddSpec(const std::string& spec);  // parse + add
+
+  std::vector<Concept> Match(const std::vector<TaggedToken>& tokens) const;
+
+  std::size_t size() const { return patterns_.size(); }
+
+ private:
+  bool ElementMatches(const PatternElement& element,
+                      const TaggedToken& token) const;
+
+  const DomainDictionary* dictionary_;  // optional, for [category]
+  std::vector<Pattern> patterns_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_ANNOTATE_PATTERN_H_

@@ -1,0 +1,94 @@
+#include "asr/acoustic_channel.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace bivoc {
+
+AcousticChannel::AcousticChannel(const Lexicon* lexicon, ChannelConfig config)
+    : lexicon_(lexicon), config_(config), set_(PhonemeSet::Instance()) {
+  BIVOC_CHECK(lexicon_ != nullptr);
+  const std::size_t n = set_.size();
+  confusion_.resize(n);
+  const Phoneme sil = set_.Parse("SIL");
+  for (std::size_t i = 0; i < n; ++i) {
+    confusion_[i].assign(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (static_cast<Phoneme>(j) == sil) continue;  // SIL only via pauses
+      double d = set_.Distance(static_cast<Phoneme>(i),
+                               static_cast<Phoneme>(j));
+      confusion_[i][j] = std::exp(-d / config_.confusion_temperature);
+    }
+  }
+}
+
+std::vector<double> AcousticChannel::ConfusionWeights(Phoneme p) const {
+  BIVOC_CHECK(p >= 0 && static_cast<std::size_t>(p) < confusion_.size());
+  return confusion_[p];
+}
+
+Phoneme AcousticChannel::SampleSubstitute(Phoneme p, Rng* rng) const {
+  return static_cast<Phoneme>(rng->WeightedIndex(confusion_[p]));
+}
+
+AcousticObservation AcousticChannel::Transmit(
+    const std::vector<std::string>& words, Rng* rng) const {
+  const double level = config_.noise_level;
+  const double p_sub = config_.substitution_rate * level;
+  const double p_del = config_.deletion_rate * level;
+  const double p_ins = config_.insertion_rate * level;
+  const Phoneme sil = set_.Parse("SIL");
+
+  AcousticObservation obs;
+  std::vector<Phoneme> clean;
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    auto pron = lexicon_->Pronounce(words[w]);
+    clean.insert(clean.end(), pron.begin(), pron.end());
+    if (w + 1 < words.size() && rng->Bernoulli(config_.pause_prob * level)) {
+      clean.push_back(sil);
+    }
+  }
+  obs.clean_length = clean.size();
+
+  // Per-phoneme independent corruption.
+  for (Phoneme p : clean) {
+    if (p != sil && rng->Bernoulli(p_del)) {
+      ++obs.deletions;
+      continue;
+    }
+    if (p != sil && rng->Bernoulli(p_sub)) {
+      obs.phonemes.push_back(SampleSubstitute(p, rng));
+      ++obs.substitutions;
+    } else {
+      obs.phonemes.push_back(p);
+    }
+    if (rng->Bernoulli(p_ins)) {
+      // Insertions echo a confusable of the current phoneme (key
+      // strokes / false starts produce acoustically similar junk).
+      obs.phonemes.push_back(SampleSubstitute(p, rng));
+      ++obs.insertions;
+    }
+  }
+
+  // Burst corruption: one contiguous garbled run per affected utterance
+  // (cross-talk, hold music).
+  if (!obs.phonemes.empty() &&
+      rng->Bernoulli(config_.burst_prob * level)) {
+    std::size_t len = static_cast<std::size_t>(
+        rng->Uniform(2, std::max(2, config_.burst_max_len)));
+    std::size_t start = static_cast<std::size_t>(rng->Uniform(
+        0, static_cast<int64_t>(obs.phonemes.size()) - 1));
+    for (std::size_t i = start;
+         i < std::min(obs.phonemes.size(), start + len); ++i) {
+      Phoneme original = obs.phonemes[i];
+      if (original == sil) continue;
+      obs.phonemes[i] = SampleSubstitute(original, rng);
+      ++obs.substitutions;
+    }
+  }
+  return obs;
+}
+
+}  // namespace bivoc

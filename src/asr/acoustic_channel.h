@@ -1,0 +1,78 @@
+#ifndef BIVOC_ASR_ACOUSTIC_CHANNEL_H_
+#define BIVOC_ASR_ACOUSTIC_CHANNEL_H_
+
+#include <string>
+#include <vector>
+
+#include "asr/lexicon.h"
+#include "asr/phoneme.h"
+#include "util/random.h"
+
+namespace bivoc {
+
+// Configuration of the simulated acoustic/telephony channel. The knobs
+// mirror the noise sources the paper enumerates for call-center speech:
+// cross-talk, key strokes, breathing, long silences, hold music, channel
+// differences (landline / mobile / VOIP), and speaker agitation. All of
+// them reduce, in our model, to phoneme-level confusion, deletion and
+// insertion events plus burst corruption.
+struct ChannelConfig {
+  // Base per-phoneme event probabilities at noise_level == 1.0.
+  double substitution_rate = 0.18;
+  double deletion_rate = 0.06;
+  double insertion_rate = 0.05;
+  // Global severity multiplier; 0 = clean channel.
+  double noise_level = 1.0;
+  // Probability per utterance of a cross-talk / hold-music burst that
+  // garbles a short contiguous run of phonemes.
+  double burst_prob = 0.15;
+  int burst_max_len = 6;
+  // Probability of injecting a SIL phoneme between words (long pauses).
+  double pause_prob = 0.04;
+  // Softmax temperature for choosing a substitute: low temperature
+  // concentrates on articulatorily close phonemes.
+  double confusion_temperature = 0.12;
+};
+
+// The observation the "front end" hands to the decoder: a flat noisy
+// phoneme sequence with no word boundaries (boundaries are what the
+// decoder has to recover), plus bookkeeping for diagnostics.
+struct AcousticObservation {
+  std::vector<Phoneme> phonemes;
+  std::size_t clean_length = 0;   // phonemes before corruption
+  std::size_t substitutions = 0;
+  std::size_t deletions = 0;
+  std::size_t insertions = 0;
+};
+
+// Generative noisy channel: reference words -> pronunciations ->
+// corrupted phoneme stream. Deterministic given the Rng.
+class AcousticChannel {
+ public:
+  AcousticChannel(const Lexicon* lexicon, ChannelConfig config);
+
+  // Corrupts one utterance. `rng` is caller-owned so corpora are
+  // reproducible and parallelizable (one Rng per utterance).
+  AcousticObservation Transmit(const std::vector<std::string>& words,
+                               Rng* rng) const;
+
+  // The channel's phoneme confusion distribution: probability weights
+  // over substitutes for `p` (excluding p). Exposed so the decoder's
+  // acoustic model can share the channel physics (but not its draws).
+  std::vector<double> ConfusionWeights(Phoneme p) const;
+
+  const ChannelConfig& config() const { return config_; }
+
+ private:
+  Phoneme SampleSubstitute(Phoneme p, Rng* rng) const;
+
+  const Lexicon* lexicon_;  // not owned
+  ChannelConfig config_;
+  const PhonemeSet& set_;
+  // Precomputed per-phoneme substitute weights (size x size).
+  std::vector<std::vector<double>> confusion_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_ASR_ACOUSTIC_CHANNEL_H_

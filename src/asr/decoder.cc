@@ -1,0 +1,306 @@
+#include "asr/decoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "text/edit_distance.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+
+std::string_view WordClassName(WordClass cls) {
+  switch (cls) {
+    case WordClass::kGeneral:
+      return "general";
+    case WordClass::kName:
+      return "name";
+    case WordClass::kNumber:
+      return "number";
+  }
+  return "general";
+}
+
+namespace {
+// First-phoneme compatibility threshold for candidate retrieval. Wide
+// enough that a substituted initial phoneme still retrieves the word,
+// narrow enough to keep buckets small.
+constexpr double kFirstPhonemeRadius = 0.35;
+}  // namespace
+
+DecoderVocabulary::DecoderVocabulary(const Lexicon* lexicon)
+    : lexicon_(lexicon) {
+  BIVOC_CHECK(lexicon_ != nullptr);
+}
+
+void DecoderVocabulary::Add(const std::string& word, WordClass cls) {
+  BIVOC_CHECK(!frozen_) << "Add after Freeze";
+  std::string lower = ToLowerCopy(word);
+  if (lower.empty() || index_.count(lower) > 0) return;
+  VocabEntry entry;
+  entry.word = lower;
+  entry.cls = cls;
+  entry.pron = lexicon_->Pronounce(lower);
+  if (entry.pron.empty()) return;
+  index_.emplace(lower, entries_.size());
+  entries_.push_back(std::move(entry));
+}
+
+void DecoderVocabulary::AddAll(const std::vector<std::string>& words,
+                               WordClass cls) {
+  for (const auto& w : words) Add(w, cls);
+}
+
+void DecoderVocabulary::Freeze() {
+  const PhonemeSet& set = PhonemeSet::Instance();
+  buckets_.assign(set.size(), {});
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Phoneme first = entries_[i].pron.front();
+    for (std::size_t q = 0; q < set.size(); ++q) {
+      if (set.Distance(static_cast<Phoneme>(q), first) <=
+          kFirstPhonemeRadius) {
+        buckets_[q].push_back(i);
+      }
+    }
+  }
+  frozen_ = true;
+}
+
+DecoderVocabulary DecoderVocabulary::RestrictNames(
+    const std::vector<std::string>& allowed_names) const {
+  DecoderVocabulary out(lexicon_);
+  for (const auto& e : entries_) {
+    if (e.cls != WordClass::kName) out.Add(e.word, e.cls);
+  }
+  out.AddAll(allowed_names, WordClass::kName);
+  out.Freeze();
+  return out;
+}
+
+const std::vector<std::size_t>& DecoderVocabulary::CandidatesByFirstPhoneme(
+    Phoneme observed) const {
+  BIVOC_CHECK(frozen_) << "vocabulary not frozen";
+  BIVOC_CHECK(observed >= 0 &&
+              static_cast<std::size_t>(observed) < buckets_.size());
+  return buckets_[observed];
+}
+
+std::vector<std::string> DecodeResult::Words() const {
+  std::vector<std::string> out;
+  out.reserve(words.size());
+  for (const auto& w : words) out.push_back(w.word);
+  return out;
+}
+
+std::string DecodeResult::Text() const { return Join(Words(), " "); }
+
+Decoder::Decoder(const DecoderVocabulary* vocab, LmScore lm,
+                 DecoderConfig config)
+    : vocab_(vocab),
+      lm_(std::move(lm)),
+      config_(config),
+      set_(PhonemeSet::Instance()) {
+  BIVOC_CHECK(vocab_ != nullptr);
+  BIVOC_CHECK(vocab_->frozen()) << "decoder requires a frozen vocabulary";
+  BIVOC_CHECK(lm_ != nullptr);
+}
+
+std::vector<Decoder::Candidate> Decoder::CandidatesAt(
+    const std::vector<Phoneme>& obs, std::size_t pos) const {
+  std::vector<Candidate> out;
+  const std::size_t remaining = obs.size() - pos;
+  auto sub_cost = [this](Phoneme a, Phoneme b) {
+    return config_.sub_cost_scale * set_.Distance(a, b);
+  };
+
+  const auto& bucket = vocab_->CandidatesByFirstPhoneme(obs[pos]);
+  // Also retrieve by the next observed phoneme so an inserted junk
+  // phoneme or deleted word-initial phoneme does not hide the word.
+  const std::vector<std::size_t>* bucket2 = nullptr;
+  if (pos + 1 < obs.size()) {
+    bucket2 = &vocab_->CandidatesByFirstPhoneme(obs[pos + 1]);
+  }
+
+  auto consider = [&](std::size_t entry_idx) {
+    const VocabEntry& e = vocab_->entries()[entry_idx];
+    const std::size_t len = e.pron.size();
+    int slack = config_.span_slack;
+    std::size_t span_lo =
+        len > static_cast<std::size_t>(slack) ? len - slack : 1;
+    std::size_t span_hi =
+        std::min(remaining, len + static_cast<std::size_t>(slack));
+    if (span_lo > span_hi) return;
+    // One DP aligns the pronunciation against the longest window and
+    // yields costs for every candidate span end at once.
+    std::vector<Phoneme> window(
+        obs.begin() + static_cast<long>(pos),
+        obs.begin() + static_cast<long>(pos + span_hi));
+    std::vector<double> costs = WeightedEditDistanceAllPrefixes(
+        e.pron, window, config_.ins_del_cost, config_.ins_del_cost,
+        sub_cost, static_cast<std::size_t>(slack) + 1);
+    for (std::size_t span = span_lo; span <= span_hi; ++span) {
+      double cost = costs[span];
+      if (!std::isfinite(cost)) continue;
+      out.push_back(Candidate{entry_idx, pos + span, -cost});
+    }
+  };
+
+  // Deduplicate entries across the two buckets.
+  if (bucket2 == nullptr || bucket2 == &bucket) {
+    for (std::size_t idx : bucket) consider(idx);
+  } else {
+    std::vector<std::size_t> merged;
+    merged.reserve(bucket.size() + bucket2->size());
+    merged.insert(merged.end(), bucket.begin(), bucket.end());
+    merged.insert(merged.end(), bucket2->begin(), bucket2->end());
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    for (std::size_t idx : merged) consider(idx);
+  }
+
+  // Keep only the acoustically strongest (word, span) pairs.
+  if (out.size() > config_.candidates_per_position) {
+    std::partial_sort(out.begin(),
+                      out.begin() + static_cast<long>(
+                                        config_.candidates_per_position),
+                      out.end(), [](const Candidate& a, const Candidate& b) {
+                        return a.acoustic > b.acoustic;
+                      });
+    out.resize(config_.candidates_per_position);
+  }
+  return out;
+}
+
+DecodeResult Decoder::Decode(const AcousticObservation& observation) const {
+  const std::vector<Phoneme>& obs = observation.phonemes;
+  DecodeResult result;
+  if (obs.empty()) return result;
+  const std::size_t n = obs.size();
+  const Phoneme sil = set_.Parse("SIL");
+
+  // Hypothesis: best score of reaching position i with `last` as the
+  // previous emitted word ("<s>" initially). Backpointers reconstruct
+  // the word sequence.
+  struct Hyp {
+    double score = -std::numeric_limits<double>::infinity();
+    std::string last = "<s>";
+    // Back reference: position and hypothesis slot we came from, plus
+    // the emitted word entry (SIZE_MAX for skips).
+    std::size_t prev_pos = 0;
+    std::size_t prev_slot = 0;
+    std::size_t entry = SIZE_MAX;
+    double acoustic = 0.0;
+  };
+
+  std::vector<std::vector<Hyp>> beams(n + 1);
+  beams[0].push_back(Hyp{0.0, "<s>", 0, 0, SIZE_MAX, 0.0});
+
+  auto push_hyp = [&](std::size_t pos, Hyp hyp) {
+    auto& beam = beams[pos];
+    // Replace an existing hypothesis with the same history word if
+    // weaker; otherwise insert, keeping the beam bounded.
+    for (auto& h : beam) {
+      if (h.last == hyp.last) {
+        if (hyp.score > h.score) h = std::move(hyp);
+        return;
+      }
+    }
+    beam.push_back(std::move(hyp));
+    if (beam.size() > config_.hypotheses_per_position * 2) {
+      std::sort(beam.begin(), beam.end(), [](const Hyp& a, const Hyp& b) {
+        return a.score > b.score;
+      });
+      beam.resize(config_.hypotheses_per_position);
+    }
+  };
+
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    auto& beam = beams[pos];
+    if (beam.empty()) continue;
+    std::sort(beam.begin(), beam.end(), [](const Hyp& a, const Hyp& b) {
+      return a.score > b.score;
+    });
+    if (beam.size() > config_.hypotheses_per_position) {
+      beam.resize(config_.hypotheses_per_position);
+    }
+
+    // Skip transition (junk phoneme / silence).
+    double skip_cost =
+        obs[pos] == sil ? config_.sil_skip_cost : config_.junk_skip_cost;
+    for (std::size_t slot = 0; slot < beam.size(); ++slot) {
+      const Hyp& h = beam[slot];
+      Hyp next;
+      next.score = h.score - skip_cost;
+      next.last = h.last;
+      next.prev_pos = pos;
+      next.prev_slot = slot;
+      next.entry = SIZE_MAX;
+      push_hyp(pos + 1, std::move(next));
+    }
+
+    // Word emissions.
+    auto candidates = CandidatesAt(obs, pos);
+    for (const Candidate& cand : candidates) {
+      const VocabEntry& entry = vocab_->entries()[cand.entry];
+      for (std::size_t slot = 0; slot < beam.size(); ++slot) {
+        const Hyp& h = beam[slot];
+        double score = h.score +
+                       config_.acoustic_weight * cand.acoustic +
+                       config_.lm_weight * lm_(h.last, entry.word) -
+                       config_.word_insertion_penalty;
+        Hyp next;
+        next.score = score;
+        next.last = entry.word;
+        next.prev_pos = pos;
+        next.prev_slot = slot;
+        next.entry = cand.entry;
+        next.acoustic = cand.acoustic;
+        push_hyp(cand.end, std::move(next));
+      }
+    }
+  }
+
+  // Pick the best terminal hypothesis (with sentence-end LM bonus).
+  auto& final_beam = beams[n];
+  if (final_beam.empty()) return result;
+  std::size_t best_slot = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t slot = 0; slot < final_beam.size(); ++slot) {
+    double s = final_beam[slot].score +
+               config_.lm_weight * lm_(final_beam[slot].last, "</s>");
+    if (s > best_score) {
+      best_score = s;
+      best_slot = slot;
+    }
+  }
+
+  // Backtrace. Beams were possibly re-sorted after push; backpointers
+  // refer to (position, slot) at push time — to keep them stable we
+  // must not have reordered earlier beams after pushing from them.
+  // Earlier beams are only sorted when first expanded (before pushes
+  // out of them), and never touched again, so slots remain valid.
+  std::vector<DecodedWord> reversed;
+  std::size_t pos = n;
+  std::size_t slot = best_slot;
+  while (pos > 0) {
+    const Hyp& h = beams[pos][slot];
+    if (h.entry != SIZE_MAX) {
+      const VocabEntry& e = vocab_->entries()[h.entry];
+      DecodedWord w;
+      w.word = e.word;
+      w.cls = e.cls;
+      w.acoustic_score = h.acoustic;
+      reversed.push_back(std::move(w));
+    }
+    std::size_t ppos = h.prev_pos;
+    std::size_t pslot = h.prev_slot;
+    pos = ppos;
+    slot = pslot;
+  }
+  result.words.assign(reversed.rbegin(), reversed.rend());
+  result.total_score = best_score;
+  return result;
+}
+
+}  // namespace bivoc

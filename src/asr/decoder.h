@@ -1,0 +1,146 @@
+#ifndef BIVOC_ASR_DECODER_H_
+#define BIVOC_ASR_DECODER_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asr/acoustic_channel.h"
+#include "asr/lexicon.h"
+#include "asr/phoneme.h"
+
+namespace bivoc {
+
+// Token class of a vocabulary entry. Names and numbers are tracked
+// separately because the paper evaluates them separately (Table I) and
+// the second decoding pass swaps the name sub-vocabulary.
+enum class WordClass { kGeneral, kName, kNumber };
+
+std::string_view WordClassName(WordClass cls);
+
+struct VocabEntry {
+  std::string word;
+  WordClass cls = WordClass::kGeneral;
+  std::vector<Phoneme> pron;
+};
+
+// The decoder's active vocabulary with a first-phoneme retrieval index.
+// Building a restricted copy (general words + top-N candidate names) is
+// exactly the paper's second-pass trick.
+class DecoderVocabulary {
+ public:
+  explicit DecoderVocabulary(const Lexicon* lexicon);
+
+  // Adds a word (deduplicated); pronunciation from the lexicon.
+  void Add(const std::string& word, WordClass cls);
+
+  void AddAll(const std::vector<std::string>& words, WordClass cls);
+
+  // New vocabulary with all non-name words of *this plus exactly the
+  // given names — the entity-constrained LM vocabulary of §IV-A.
+  DecoderVocabulary RestrictNames(
+      const std::vector<std::string>& allowed_names) const;
+
+  const std::vector<VocabEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool Contains(const std::string& word) const {
+    return index_.count(word) > 0;
+  }
+  const Lexicon* lexicon() const { return lexicon_; }
+
+  // Entry indices whose first pronunciation phoneme is articulatorily
+  // compatible with `observed` (distance below an internal threshold).
+  // This is the decoder's candidate retrieval structure.
+  const std::vector<std::size_t>& CandidatesByFirstPhoneme(
+      Phoneme observed) const;
+
+  // Must be called once after the last Add and before decoding; builds
+  // the retrieval buckets. (Kept explicit so the vocabulary is immutable
+  // and thread-safe while decoding.)
+  void Freeze();
+  bool frozen() const { return frozen_; }
+
+ private:
+  const Lexicon* lexicon_;  // not owned
+  std::vector<VocabEntry> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+  // buckets_[q] = entry indices whose first phoneme is close to q.
+  std::vector<std::vector<std::size_t>> buckets_;
+  bool frozen_ = false;
+};
+
+struct DecoderConfig {
+  double acoustic_weight = 1.0;
+  double lm_weight = 1.2;
+  // Per-word penalty discourages over-segmentation into short words.
+  double word_insertion_penalty = 0.8;
+  // Edit costs for aligning a pronunciation to the observation; the
+  // substitution cost is scaled by articulatory distance.
+  double sub_cost_scale = 2.4;
+  double ins_del_cost = 1.5;
+  // Cost of skipping one observed phoneme without emitting a word
+  // (burst junk); skipping SIL is nearly free.
+  double junk_skip_cost = 3.2;
+  double sil_skip_cost = 0.15;
+  // Beam widths.
+  std::size_t hypotheses_per_position = 6;
+  std::size_t candidates_per_position = 48;
+  // Span slack: a word of pronunciation length L may align to observed
+  // spans of length L +/- span_slack (>= 1 phoneme).
+  int span_slack = 2;
+};
+
+struct DecodedWord {
+  std::string word;
+  WordClass cls = WordClass::kGeneral;
+  double acoustic_score = 0.0;  // negative edit cost
+};
+
+struct DecodeResult {
+  std::vector<DecodedWord> words;
+  double total_score = 0.0;
+
+  std::vector<std::string> Words() const;
+  std::string Text() const;  // space-joined
+};
+
+// Beam-search Viterbi decoder over a noisy phoneme stream:
+//
+//   score(word sequence) = sum_i [ acoustic(word_i, span_i)
+//                                  + lm_weight * ln P(word_i | word_{i-1})
+//                                  - word_insertion_penalty ]
+//
+// which is the standard AM+LM log-linear decode of an HMM LVCSR system,
+// with the GMM state likelihoods replaced by articulatory edit costs
+// against the channel's confusion geometry.
+class Decoder {
+ public:
+  // `lm` scores ln P(word | prev); prev is "<s>" at sentence start.
+  // Wrap an NgramModel or InterpolatedLm as needed.
+  using LmScore =
+      std::function<double(const std::string& prev, const std::string& word)>;
+
+  Decoder(const DecoderVocabulary* vocab, LmScore lm, DecoderConfig config);
+
+  DecodeResult Decode(const AcousticObservation& observation) const;
+
+ private:
+  struct Candidate {
+    std::size_t entry;     // vocab index
+    std::size_t end;       // observation position after the word
+    double acoustic;       // negative cost
+  };
+
+  std::vector<Candidate> CandidatesAt(const std::vector<Phoneme>& obs,
+                                      std::size_t pos) const;
+
+  const DecoderVocabulary* vocab_;  // not owned
+  LmScore lm_;
+  DecoderConfig config_;
+  const PhonemeSet& set_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_ASR_DECODER_H_

@@ -1,0 +1,111 @@
+#include "asr/keyword_spotter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/edit_distance.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace bivoc {
+
+KeywordSpotter::KeywordSpotter(const Lexicon* lexicon)
+    : KeywordSpotter(lexicon, Options()) {}
+
+KeywordSpotter::KeywordSpotter(const Lexicon* lexicon, Options options)
+    : lexicon_(lexicon), options_(options), set_(PhonemeSet::Instance()) {
+  BIVOC_CHECK(lexicon_ != nullptr);
+}
+
+std::size_t KeywordSpotter::AddKeyword(const std::string& phrase,
+                                       const std::string& label) {
+  Keyword kw;
+  kw.phrase = phrase;
+  kw.label = label;
+  for (const auto& word : TokenizeWords(phrase)) {
+    auto pron = lexicon_->Pronounce(word);
+    kw.pron.insert(kw.pron.end(), pron.begin(), pron.end());
+  }
+  BIVOC_CHECK(!kw.pron.empty()) << "unpronounceable keyword: " << phrase;
+  keywords_.push_back(std::move(kw));
+  return keywords_.size() - 1;
+}
+
+std::vector<KeywordSpotter::Hit> KeywordSpotter::Spot(
+    const std::vector<Phoneme>& observation) const {
+  std::vector<Hit> hits;
+  auto sub_cost = [this](Phoneme a, Phoneme b) {
+    return options_.sub_cost_scale * set_.Distance(a, b);
+  };
+
+  for (std::size_t k = 0; k < keywords_.size(); ++k) {
+    const Keyword& kw = keywords_[k];
+    const std::size_t len = kw.pron.size();
+    if (observation.size() + 2 < len) continue;
+    const std::size_t slack = std::max<std::size_t>(2, len / 3);
+    const double budget =
+        options_.max_cost_per_phoneme * static_cast<double>(len);
+
+    // Candidate hits at every start; later pruned to non-overlapping.
+    std::vector<Hit> raw;
+    for (std::size_t start = 0; start < observation.size(); ++start) {
+      std::size_t window_len =
+          std::min(observation.size() - start, len + slack);
+      if (window_len + slack < len) break;
+      std::vector<Phoneme> window(
+          observation.begin() + static_cast<long>(start),
+          observation.begin() + static_cast<long>(start + window_len));
+      auto costs = WeightedEditDistanceAllPrefixes(
+          kw.pron, window, options_.ins_del_cost, options_.ins_del_cost,
+          sub_cost, slack + 1);
+      // Best span end for this start.
+      double best = budget + 1.0;
+      std::size_t best_end = start;
+      std::size_t lo = len > slack ? len - slack : 1;
+      for (std::size_t span = lo; span <= window_len; ++span) {
+        if (std::isfinite(costs[span]) && costs[span] < best) {
+          best = costs[span];
+          best_end = start + span;
+        }
+      }
+      if (best <= budget) {
+        Hit h;
+        h.keyword = k;
+        h.label = kw.label;
+        h.phrase = kw.phrase;
+        h.begin = start;
+        h.end = best_end;
+        h.cost_per_phoneme = best / static_cast<double>(len);
+        raw.push_back(std::move(h));
+      }
+    }
+    // Greedy non-overlap selection, best cost first.
+    std::sort(raw.begin(), raw.end(), [](const Hit& a, const Hit& b) {
+      return a.cost_per_phoneme < b.cost_per_phoneme;
+    });
+    std::vector<std::pair<std::size_t, std::size_t>> taken;
+    for (auto& h : raw) {
+      bool overlaps = false;
+      for (const auto& [b, e] : taken) {
+        if (h.begin < e && b < h.end) {
+          overlaps = true;
+          break;
+        }
+      }
+      if (overlaps) continue;
+      taken.emplace_back(h.begin, h.end);
+      hits.push_back(std::move(h));
+    }
+  }
+  return hits;
+}
+
+bool KeywordSpotter::Contains(const std::vector<Phoneme>& observation,
+                              const std::string& label) const {
+  for (const auto& hit : Spot(observation)) {
+    if (hit.label == label) return true;
+  }
+  return false;
+}
+
+}  // namespace bivoc

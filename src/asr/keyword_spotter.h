@@ -1,0 +1,83 @@
+#ifndef BIVOC_ASR_KEYWORD_SPOTTER_H_
+#define BIVOC_ASR_KEYWORD_SPOTTER_H_
+
+#include <string>
+#include <vector>
+
+#include "asr/acoustic_channel.h"
+#include "asr/lexicon.h"
+#include "asr/phoneme.h"
+
+namespace bivoc {
+
+// Phonetic keyword spotting over noisy phoneme streams — the technology
+// the paper attributes to contact-center tools like NICE/VERINT ("they
+// also use word spotting technologies to index audio conversations").
+// Instead of full LVCSR decoding, each registered keyword/phrase is
+// slid across the observation and reported wherever its pronunciation
+// aligns within a normalized edit-cost threshold.
+//
+// Spotting is much cheaper than decoding but blind to context; the
+// linking-ablation bench quantifies that trade-off against the full
+// decoder on the same corpus.
+class KeywordSpotter {
+ public:
+  struct Options {
+    // Maximum per-phoneme alignment cost for a hit (lower = stricter).
+    double max_cost_per_phoneme = 0.55;
+    // Substitution cost scale over articulatory distance; insertions/
+    // deletions cost ins_del_cost each.
+    double sub_cost_scale = 2.0;
+    double ins_del_cost = 1.0;
+  };
+
+  // (Two constructors instead of a defaulted Options argument: nested
+  // aggregates with member initializers cannot be brace-defaulted
+  // inside their own enclosing class.)
+  explicit KeywordSpotter(const Lexicon* lexicon);
+  KeywordSpotter(const Lexicon* lexicon, Options options);
+
+  // Registers a keyword or multi-word phrase under a label. Returns the
+  // keyword id.
+  std::size_t AddKeyword(const std::string& phrase,
+                         const std::string& label);
+
+  struct Hit {
+    std::size_t keyword = 0;   // id from AddKeyword
+    std::string label;
+    std::string phrase;
+    std::size_t begin = 0;     // phoneme span in the observation
+    std::size_t end = 0;
+    double cost_per_phoneme = 0.0;  // normalized alignment cost
+  };
+
+  // All non-overlapping hits (per keyword) in the observation, best
+  // (lowest-cost) alignment first within each keyword.
+  std::vector<Hit> Spot(const std::vector<Phoneme>& observation) const;
+
+  std::vector<Hit> Spot(const AcousticObservation& observation) const {
+    return Spot(observation.phonemes);
+  }
+
+  // True if any registered keyword with this label hits.
+  bool Contains(const std::vector<Phoneme>& observation,
+                const std::string& label) const;
+
+  std::size_t num_keywords() const { return keywords_.size(); }
+
+ private:
+  struct Keyword {
+    std::string phrase;
+    std::string label;
+    std::vector<Phoneme> pron;
+  };
+
+  const Lexicon* lexicon_;  // not owned
+  Options options_;
+  const PhonemeSet& set_;
+  std::vector<Keyword> keywords_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_ASR_KEYWORD_SPOTTER_H_

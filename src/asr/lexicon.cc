@@ -1,0 +1,346 @@
+#include "asr/lexicon.h"
+
+#include <cctype>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+
+namespace {
+
+struct ExceptionEntry {
+  const char* word;
+  const char* pron;  // space-separated ARPAbet labels
+};
+
+// Frequent English + call-center domain words whose rule pronunciation
+// would be wrong or awkward. Everything else is rule-derived.
+constexpr ExceptionEntry kExceptions[] = {
+    {"the", "DH AX"},        {"a", "AX"},          {"an", "AE N"},
+    {"to", "T UW"},          {"of", "AH V"},       {"and", "AE N D"},
+    {"you", "Y UW"},         {"your", "Y AO R"},   {"i", "AY"},
+    {"is", "IH Z"},          {"was", "W AH Z"},    {"are", "AA R"},
+    {"we", "W IY"},          {"he", "HH IY"},      {"she", "SH IY"},
+    {"they", "DH EY"},       {"be", "B IY"},       {"me", "M IY"},
+    {"my", "M AY"},          {"do", "D UW"},       {"does", "D AH Z"},
+    {"have", "HH AE V"},     {"has", "HH AE Z"},   {"one", "W AH N"},
+    {"two", "T UW"},         {"who", "HH UW"},     {"what", "W AH T"},
+    {"would", "W UH D"},     {"could", "K UH D"},  {"should", "SH UH D"},
+    {"there", "DH EH R"},    {"their", "DH EH R"}, {"please", "P L IY Z"},
+    {"thank", "TH AE NG K"}, {"thanks", "TH AE NG K S"},
+    {"sure", "SH UH R"},     {"know", "N OW"},     {"like", "L AY K"},
+    {"rate", "R EY T"},      {"rates", "R EY T S"},
+    {"price", "P R AY S"},   {"money", "M AH N IY"},
+    {"car", "K AA R"},       {"cars", "K AA R Z"},
+    {"suv", "EH S Y UW V IY"},
+    {"size", "S AY Z"},      {"full", "F UH L"},
+    {"make", "M EY K"},      {"made", "M EY D"},
+    {"give", "G IH V"},      {"gave", "G EY V"},
+    {"have", "HH AE V"},     {"said", "S EH D"},
+    {"day", "D EY"},         {"days", "D EY Z"},
+    {"week", "W IY K"},      {"good", "G UH D"},
+    {"great", "G R EY T"},   {"here", "HH IY R"},
+    {"our", "AW R"},         {"hour", "AW R"},
+    {"ok", "OW K EY"},       {"okay", "OW K EY"},
+    {"yes", "Y EH S"},       {"no", "N OW"},
+    {"name", "N EY M"},      {"phone", "F OW N"},
+    {"number", "N AH M B ER"},
+    {"credit", "K R EH D IH T"},
+    {"card", "K AA R D"},    {"account", "AX K AW N T"},
+    {"help", "HH EH L P"},   {"today", "T AX D EY"},
+    {"discount", "D IH S K AW N T"},
+    {"reserve", "R IH Z ER V"},
+    {"reservation", "R EH Z ER V EY SH AX N"},
+    {"book", "B UH K"},      {"booking", "B UH K IH NG"},
+    {"pick", "P IH K"},      {"birth", "B ER TH"},
+    {"date", "D EY T"},      {"dollars", "D AA L ER Z"},
+    {"rupees", "R UW P IY Z"},
+    {"service", "S ER V IH S"},
+    {"bill", "B IH L"},      {"billing", "B IH L IH NG"},
+    {"new", "N UW"},         {"york", "Y AO R K"},
+    {"seattle", "S IY AE DX AX L"},
+    {"boston", "B AO S T AX N"},
+    {"chicago", "SH IH K AA G OW"},
+    {"angeles", "AE N JH AX L AX S"},
+    {"los", "L AO S"},       {"vegas", "V EY G AX S"},
+    {"las", "L AA S"},       {"luxury", "L AH G ZH ER IY"},
+    {"vehicle", "V IY IH K AX L"},
+    {"wonderful", "W AH N D ER F AX L"},
+};
+
+constexpr const char* kDigitProns[10] = {
+    "Z IY R OW",    // 0
+    "W AH N",       // 1
+    "T UW",         // 2
+    "TH R IY",      // 3
+    "F AO R",       // 4
+    "F AY V",       // 5
+    "S IH K S",     // 6
+    "S EH V AX N",  // 7
+    "EY T",         // 8
+    "N AY N",       // 9
+};
+
+bool IsVowelLetter(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+}  // namespace
+
+Lexicon::Lexicon() : set_(PhonemeSet::Instance()) {
+  auto parse = [this](const char* pron) {
+    std::vector<Phoneme> out;
+    for (const auto& label : SplitWhitespace(pron)) {
+      Phoneme p = set_.Parse(label);
+      BIVOC_CHECK(p != kInvalidPhoneme) << "bad label " << label;
+      out.push_back(p);
+    }
+    return out;
+  };
+  for (const auto& e : kExceptions) {
+    exceptions_[e.word] = parse(e.pron);
+  }
+  digit_prons_.reserve(10);
+  for (const char* d : kDigitProns) digit_prons_.push_back(parse(d));
+}
+
+std::vector<Phoneme> Lexicon::PronounceDigits(
+    const std::string& digits) const {
+  std::vector<Phoneme> out;
+  for (char c : digits) {
+    if (c >= '0' && c <= '9') {
+      const auto& pron = digit_prons_[static_cast<std::size_t>(c - '0')];
+      out.insert(out.end(), pron.begin(), pron.end());
+    }
+  }
+  return out;
+}
+
+std::vector<Phoneme> Lexicon::ApplyRules(const std::string& word) const {
+  // Letter-to-sound rules over a lowercase alphabetic string. Coverage
+  // targets intelligibility, not phonological correctness: the channel
+  // and decoder share this lexicon, so internal consistency is what
+  // matters for the experiments.
+  auto p = [this](const char* label) {
+    Phoneme ph = set_.Parse(label);
+    BIVOC_CHECK(ph != kInvalidPhoneme);
+    return ph;
+  };
+  std::vector<Phoneme> out;
+  const std::size_t n = word.size();
+  std::size_t i = 0;
+  while (i < n) {
+    char c = word[i];
+    char next = i + 1 < n ? word[i + 1] : '\0';
+    char next2 = i + 2 < n ? word[i + 2] : '\0';
+    bool at_end = i + 1 >= n;
+
+    // Collapse doubled consonants ("oo"/"ee" handled as digraphs below).
+    if (c == next && !IsVowelLetter(c)) {
+      ++i;
+      continue;
+    }
+
+    // Two-letter patterns.
+    if (next != '\0') {
+      std::size_t advance = 2;
+      bool matched = true;
+      if (c == 'c' && next == 'h') {
+        out.push_back(p("CH"));
+      } else if (c == 's' && next == 'h') {
+        out.push_back(p("SH"));
+      } else if (c == 't' && next == 'h') {
+        out.push_back(p("TH"));
+      } else if (c == 'p' && next == 'h') {
+        out.push_back(p("F"));
+      } else if (c == 'w' && next == 'h') {
+        out.push_back(p("WH"));
+      } else if (c == 'c' && next == 'k') {
+        out.push_back(p("K"));
+      } else if (c == 'n' && next == 'g' && i + 2 >= n) {
+        out.push_back(p("NG"));
+      } else if (c == 'q' && next == 'u') {
+        out.push_back(p("K"));
+        out.push_back(p("W"));
+      } else if (c == 'g' && next == 'h') {
+        // silent ("right", "though")
+      } else if (c == 'e' && next == 'e') {
+        out.push_back(p("IY"));
+      } else if (c == 'e' && next == 'a') {
+        out.push_back(p("IY"));
+      } else if (c == 'o' && next == 'o') {
+        out.push_back(p("UW"));
+      } else if (c == 'a' && (next == 'i' || next == 'y')) {
+        out.push_back(p("EY"));
+      } else if (c == 'o' && next == 'a') {
+        out.push_back(p("OW"));
+      } else if (c == 'o' && (next == 'i' || next == 'y')) {
+        out.push_back(p("OY"));
+      } else if (c == 'o' && next == 'u') {
+        out.push_back(p("AW"));
+      } else if (c == 'o' && next == 'w') {
+        out.push_back(p(at_end || i + 2 >= n ? "OW" : "AW"));
+      } else if (c == 'a' && (next == 'u' || next == 'w')) {
+        out.push_back(p("AO"));
+      } else if (c == 'a' && next == 'r') {
+        out.push_back(p("AA"));
+        out.push_back(p("R"));
+      } else if ((c == 'e' || c == 'i' || c == 'u') && next == 'r' &&
+                 (i + 2 >= n || !IsVowelLetter(next2))) {
+        out.push_back(p("ER"));
+      } else if (c == 'o' && next == 'r') {
+        out.push_back(p("AO"));
+        out.push_back(p("R"));
+      } else {
+        matched = false;
+      }
+      if (matched) {
+        i += advance;
+        continue;
+      }
+    }
+
+    // Single letters.
+    switch (c) {
+      case 'a':
+        out.push_back(p("AE"));
+        break;
+      case 'b':
+        out.push_back(p("B"));
+        break;
+      case 'c':
+        out.push_back(p(next == 'e' || next == 'i' || next == 'y' ? "S"
+                                                                  : "K"));
+        break;
+      case 'd':
+        out.push_back(p("D"));
+        break;
+      case 'e':
+        // Final e silent after a consonant in words of length > 2.
+        if (at_end && n > 2 && !IsVowelLetter(word[i - 1])) break;
+        out.push_back(p("EH"));
+        break;
+      case 'f':
+        out.push_back(p("F"));
+        break;
+      case 'g':
+        out.push_back(p(next == 'e' || next == 'i' || next == 'y' ? "JH"
+                                                                  : "G"));
+        break;
+      case 'h':
+        out.push_back(p("HH"));
+        break;
+      case 'i':
+        out.push_back(p("IH"));
+        break;
+      case 'j':
+        out.push_back(p("JH"));
+        break;
+      case 'k':
+        out.push_back(p("K"));
+        break;
+      case 'l':
+        out.push_back(p("L"));
+        break;
+      case 'm':
+        out.push_back(p("M"));
+        break;
+      case 'n':
+        out.push_back(p("N"));
+        break;
+      case 'o':
+        out.push_back(p("AA"));
+        break;
+      case 'p':
+        out.push_back(p("P"));
+        break;
+      case 'q':
+        // Bare q (not in the "qu" digraph, e.g. "iraq", noisy input).
+        out.push_back(p("K"));
+        break;
+      case 'r':
+        out.push_back(p("R"));
+        break;
+      case 's':
+        // s between vowels voices to Z ("visa", "reason").
+        if (i > 0 && IsVowelLetter(word[i - 1]) && IsVowelLetter(next)) {
+          out.push_back(p("Z"));
+        } else {
+          out.push_back(p("S"));
+        }
+        break;
+      case 't':
+        out.push_back(p("T"));
+        break;
+      case 'u':
+        out.push_back(p("AH"));
+        break;
+      case 'v':
+        out.push_back(p("V"));
+        break;
+      case 'w':
+        out.push_back(p("W"));
+        break;
+      case 'x':
+        out.push_back(p("K"));
+        out.push_back(p("S"));
+        break;
+      case 'y':
+        out.push_back(p(at_end ? "IY" : (i == 0 ? "Y" : "IH")));
+        break;
+      case 'z':
+        out.push_back(p("Z"));
+        break;
+      default:
+        break;  // non-alphabetic characters contribute nothing
+    }
+    ++i;
+  }
+  return out;
+}
+
+std::vector<Phoneme> Lexicon::Pronounce(const std::string& word) const {
+  std::string lower = ToLowerCopy(word);
+  auto it = exceptions_.find(lower);
+  if (it != exceptions_.end()) return it->second;
+
+  bool has_digit = false;
+  bool has_alpha = false;
+  for (char c : lower) {
+    if (std::isdigit(static_cast<unsigned char>(c))) has_digit = true;
+    if (std::isalpha(static_cast<unsigned char>(c))) has_alpha = true;
+  }
+  if (has_digit && !has_alpha) return PronounceDigits(lower);
+  if (has_digit && has_alpha) {
+    // "10000sms": digits then letters, segment-wise.
+    std::vector<Phoneme> out;
+    std::string run;
+    bool run_is_digit = false;
+    auto flush = [&] {
+      if (run.empty()) return;
+      auto part = run_is_digit ? PronounceDigits(run) : ApplyRules(run);
+      out.insert(out.end(), part.begin(), part.end());
+      run.clear();
+    };
+    for (char c : lower) {
+      bool d = std::isdigit(static_cast<unsigned char>(c)) != 0;
+      if (!run.empty() && d != run_is_digit) flush();
+      run_is_digit = d;
+      run += c;
+    }
+    flush();
+    return out;
+  }
+  return ApplyRules(lower);
+}
+
+std::vector<std::vector<Phoneme>> Lexicon::PronounceAll(
+    const std::vector<std::string>& words) const {
+  std::vector<std::vector<Phoneme>> out;
+  out.reserve(words.size());
+  for (const auto& w : words) out.push_back(Pronounce(w));
+  return out;
+}
+
+}  // namespace bivoc

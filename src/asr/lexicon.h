@@ -1,0 +1,49 @@
+#ifndef BIVOC_ASR_LEXICON_H_
+#define BIVOC_ASR_LEXICON_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asr/phoneme.h"
+
+namespace bivoc {
+
+// Grapheme-to-phoneme lexicon. Frequent words come from an embedded
+// exception dictionary; everything else (names, cities, domain words —
+// the synthetic vocabulary is open) goes through rule-based letter-to-
+// sound conversion, so every word the generators can produce has a
+// pronunciation. Digit strings are pronounced digit-by-digit, which is
+// how the channel corrupts phone numbers ("six" -> "fix" style errors
+// are what partial number recognition looks like downstream).
+class Lexicon {
+ public:
+  Lexicon();
+
+  // Pronunciation of one lowercase word. Never empty for input that
+  // contains at least one ASCII letter or digit.
+  std::vector<Phoneme> Pronounce(const std::string& word) const;
+
+  // Pronunciations for a tokenized sentence, one entry per word.
+  std::vector<std::vector<Phoneme>> PronounceAll(
+      const std::vector<std::string>& words) const;
+
+  // True if the word is in the exception dictionary (vs rule-derived).
+  bool IsException(const std::string& word) const {
+    return exceptions_.count(word) > 0;
+  }
+
+  std::size_t num_exceptions() const { return exceptions_.size(); }
+
+ private:
+  std::vector<Phoneme> ApplyRules(const std::string& word) const;
+  std::vector<Phoneme> PronounceDigits(const std::string& digits) const;
+
+  const PhonemeSet& set_;
+  std::unordered_map<std::string, std::vector<Phoneme>> exceptions_;
+  std::vector<std::vector<Phoneme>> digit_prons_;  // "zero".."nine"
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_ASR_LEXICON_H_

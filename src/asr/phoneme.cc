@@ -1,0 +1,214 @@
+#include "asr/phoneme.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace bivoc {
+
+namespace {
+
+// 54-entry inventory: 20 vowels (incl. reduced/schwa variants), 8 stops,
+// 3 affricates, 10 fricatives, 6 nasals, 3 liquids, 3 glides, 1 silence.
+// Silence is a first-class symbol because the channel injects it for
+// holds/long pauses and the decoder must be able to skip it.
+constexpr PhonemeInfo kInventory[] = {
+    // name, class, place, voiced, height, backness, rounded, diphthong
+    {"AA", PhonemeClass::kVowel, Place::kNone, true, 2, 2, false, false},
+    {"AE", PhonemeClass::kVowel, Place::kNone, true, 2, 0, false, false},
+    {"AH", PhonemeClass::kVowel, Place::kNone, true, 1, 1, false, false},
+    {"AO", PhonemeClass::kVowel, Place::kNone, true, 2, 2, true, false},
+    {"AW", PhonemeClass::kVowel, Place::kNone, true, 2, 1, true, true},
+    {"AY", PhonemeClass::kVowel, Place::kNone, true, 2, 1, false, true},
+    {"EH", PhonemeClass::kVowel, Place::kNone, true, 1, 0, false, false},
+    {"ER", PhonemeClass::kVowel, Place::kNone, true, 1, 1, false, false},
+    {"EY", PhonemeClass::kVowel, Place::kNone, true, 1, 0, false, true},
+    {"IH", PhonemeClass::kVowel, Place::kNone, true, 0, 0, false, false},
+    {"IY", PhonemeClass::kVowel, Place::kNone, true, 0, 0, false, false},
+    {"OW", PhonemeClass::kVowel, Place::kNone, true, 1, 2, true, true},
+    {"OY", PhonemeClass::kVowel, Place::kNone, true, 1, 2, true, true},
+    {"UH", PhonemeClass::kVowel, Place::kNone, true, 0, 2, true, false},
+    {"UW", PhonemeClass::kVowel, Place::kNone, true, 0, 2, true, false},
+    {"AX", PhonemeClass::kVowel, Place::kNone, true, 1, 1, false, false},
+    {"AXH", PhonemeClass::kVowel, Place::kNone, false, 1, 1, false, false},
+    {"AXR", PhonemeClass::kVowel, Place::kNone, true, 1, 1, false, false},
+    {"IX", PhonemeClass::kVowel, Place::kNone, true, 0, 1, false, false},
+    {"UX", PhonemeClass::kVowel, Place::kNone, true, 0, 1, true, false},
+    // Stops.
+    {"B", PhonemeClass::kStop, Place::kBilabial, true, 0, 0, false, false},
+    {"D", PhonemeClass::kStop, Place::kAlveolar, true, 0, 0, false, false},
+    {"G", PhonemeClass::kStop, Place::kVelar, true, 0, 0, false, false},
+    {"K", PhonemeClass::kStop, Place::kVelar, false, 0, 0, false, false},
+    {"P", PhonemeClass::kStop, Place::kBilabial, false, 0, 0, false, false},
+    {"T", PhonemeClass::kStop, Place::kAlveolar, false, 0, 0, false, false},
+    {"DX", PhonemeClass::kStop, Place::kAlveolar, true, 0, 0, false, false},
+    {"Q", PhonemeClass::kStop, Place::kGlottal, false, 0, 0, false, false},
+    // Affricates.
+    {"CH", PhonemeClass::kAffricate, Place::kPostalveolar, false, 0, 0, false,
+     false},
+    {"JH", PhonemeClass::kAffricate, Place::kPostalveolar, true, 0, 0, false,
+     false},
+    {"TS", PhonemeClass::kAffricate, Place::kAlveolar, false, 0, 0, false,
+     false},
+    // Fricatives.
+    {"DH", PhonemeClass::kFricative, Place::kDental, true, 0, 0, false, false},
+    {"F", PhonemeClass::kFricative, Place::kLabiodental, false, 0, 0, false,
+     false},
+    {"HH", PhonemeClass::kFricative, Place::kGlottal, false, 0, 0, false,
+     false},
+    {"HV", PhonemeClass::kFricative, Place::kGlottal, true, 0, 0, false,
+     false},
+    {"S", PhonemeClass::kFricative, Place::kAlveolar, false, 0, 0, false,
+     false},
+    {"SH", PhonemeClass::kFricative, Place::kPostalveolar, false, 0, 0, false,
+     false},
+    {"TH", PhonemeClass::kFricative, Place::kDental, false, 0, 0, false,
+     false},
+    {"V", PhonemeClass::kFricative, Place::kLabiodental, true, 0, 0, false,
+     false},
+    {"Z", PhonemeClass::kFricative, Place::kAlveolar, true, 0, 0, false,
+     false},
+    {"ZH", PhonemeClass::kFricative, Place::kPostalveolar, true, 0, 0, false,
+     false},
+    // Nasals.
+    {"M", PhonemeClass::kNasal, Place::kBilabial, true, 0, 0, false, false},
+    {"N", PhonemeClass::kNasal, Place::kAlveolar, true, 0, 0, false, false},
+    {"NG", PhonemeClass::kNasal, Place::kVelar, true, 0, 0, false, false},
+    {"NX", PhonemeClass::kNasal, Place::kAlveolar, true, 0, 0, false, false},
+    {"EM", PhonemeClass::kNasal, Place::kBilabial, true, 0, 0, false, false},
+    {"EN", PhonemeClass::kNasal, Place::kAlveolar, true, 0, 0, false, false},
+    // Liquids.
+    {"L", PhonemeClass::kLiquid, Place::kAlveolar, true, 0, 0, false, false},
+    {"R", PhonemeClass::kLiquid, Place::kAlveolar, true, 0, 0, false, false},
+    {"EL", PhonemeClass::kLiquid, Place::kAlveolar, true, 0, 0, false, false},
+    // Glides.
+    {"W", PhonemeClass::kGlide, Place::kVelar, true, 0, 2, true, false},
+    {"WH", PhonemeClass::kGlide, Place::kVelar, false, 0, 2, true, false},
+    {"Y", PhonemeClass::kGlide, Place::kPalatal, true, 0, 0, false, false},
+    // Silence / pause.
+    {"SIL", PhonemeClass::kGlide, Place::kNone, false, 0, 0, false, false},
+};
+
+constexpr std::size_t kNumPhonemes = sizeof(kInventory) / sizeof(kInventory[0]);
+static_assert(kNumPhonemes == 54, "the paper's inventory has 54 phonemes");
+
+const Phoneme kSilenceId = static_cast<Phoneme>(kNumPhonemes - 1);
+
+double ConsonantClassAffinity(PhonemeClass a, PhonemeClass b) {
+  if (a == b) return 0.0;
+  auto is_obstruent_pair = [](PhonemeClass x, PhonemeClass y) {
+    auto obstruent = [](PhonemeClass c) {
+      return c == PhonemeClass::kStop || c == PhonemeClass::kFricative ||
+             c == PhonemeClass::kAffricate;
+    };
+    return obstruent(x) && obstruent(y);
+  };
+  if (is_obstruent_pair(a, b)) return 0.45;
+  auto sonorant = [](PhonemeClass c) {
+    return c == PhonemeClass::kNasal || c == PhonemeClass::kLiquid ||
+           c == PhonemeClass::kGlide;
+  };
+  if (sonorant(a) && sonorant(b)) return 0.5;
+  return 0.9;
+}
+
+double PairDistance(const PhonemeInfo& a, const PhonemeInfo& b,
+                    bool a_is_sil, bool b_is_sil) {
+  if (a_is_sil || b_is_sil) return a_is_sil == b_is_sil ? 0.0 : 1.0;
+  bool a_vowel = a.cls == PhonemeClass::kVowel;
+  bool b_vowel = b.cls == PhonemeClass::kVowel;
+  if (a_vowel && b_vowel) {
+    double d = 0.0;
+    d += 0.30 * std::abs(static_cast<int>(a.height) -
+                         static_cast<int>(b.height)) / 2.0;
+    d += 0.30 * std::abs(static_cast<int>(a.backness) -
+                         static_cast<int>(b.backness)) / 2.0;
+    d += (a.rounded != b.rounded) ? 0.12 : 0.0;
+    d += (a.diphthong != b.diphthong) ? 0.18 : 0.0;
+    d += (a.voiced != b.voiced) ? 0.10 : 0.0;
+    return std::min(1.0, d);
+  }
+  if (a_vowel != b_vowel) {
+    // Glides are close to their corresponding high vowels (W~UW, Y~IY).
+    const PhonemeInfo& c = a_vowel ? b : a;
+    const PhonemeInfo& v = a_vowel ? a : b;
+    if (c.cls == PhonemeClass::kGlide && v.height == 0) return 0.55;
+    return 0.95;
+  }
+  // Consonant pair.
+  double d = ConsonantClassAffinity(a.cls, b.cls);
+  d += 0.35 * std::abs(static_cast<int>(a.place) -
+                       static_cast<int>(b.place)) / 7.0;
+  d += (a.voiced != b.voiced) ? 0.20 : 0.0;
+  return std::min(1.0, d);
+}
+
+}  // namespace
+
+PhonemeSet::PhonemeSet() {
+  distance_.resize(kNumPhonemes * kNumPhonemes);
+  for (std::size_t i = 0; i < kNumPhonemes; ++i) {
+    for (std::size_t j = 0; j < kNumPhonemes; ++j) {
+      distance_[i * kNumPhonemes + j] =
+          PairDistance(kInventory[i], kInventory[j],
+                       static_cast<Phoneme>(i) == kSilenceId,
+                       static_cast<Phoneme>(j) == kSilenceId);
+    }
+  }
+}
+
+const PhonemeSet& PhonemeSet::Instance() {
+  static const PhonemeSet* set = new PhonemeSet();
+  return *set;
+}
+
+std::size_t PhonemeSet::size() const { return kNumPhonemes; }
+
+const PhonemeInfo& PhonemeSet::info(Phoneme p) const {
+  BIVOC_CHECK(p >= 0 && static_cast<std::size_t>(p) < kNumPhonemes)
+      << "bad phoneme id " << p;
+  return kInventory[p];
+}
+
+std::string_view PhonemeSet::name(Phoneme p) const { return info(p).name; }
+
+Phoneme PhonemeSet::Parse(std::string_view name) const {
+  for (std::size_t i = 0; i < kNumPhonemes; ++i) {
+    if (name == kInventory[i].name) return static_cast<Phoneme>(i);
+  }
+  return kInvalidPhoneme;
+}
+
+double PhonemeSet::Distance(Phoneme a, Phoneme b) const {
+  BIVOC_CHECK(a >= 0 && static_cast<std::size_t>(a) < kNumPhonemes);
+  BIVOC_CHECK(b >= 0 && static_cast<std::size_t>(b) < kNumPhonemes);
+  return distance_[static_cast<std::size_t>(a) * kNumPhonemes +
+                   static_cast<std::size_t>(b)];
+}
+
+std::vector<Phoneme> PhonemeSet::Neighbors(Phoneme p) const {
+  std::vector<Phoneme> out;
+  out.reserve(kNumPhonemes - 1);
+  for (std::size_t i = 0; i < kNumPhonemes; ++i) {
+    if (static_cast<Phoneme>(i) != p) out.push_back(static_cast<Phoneme>(i));
+  }
+  std::sort(out.begin(), out.end(), [&](Phoneme a, Phoneme b) {
+    double da = Distance(p, a);
+    double db = Distance(p, b);
+    if (da != db) return da < db;
+    return a < b;
+  });
+  return out;
+}
+
+std::string PhonemeSet::ToString(const std::vector<Phoneme>& pron) const {
+  std::string out;
+  for (std::size_t i = 0; i < pron.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += name(pron[i]);
+  }
+  return out;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,89 @@
+#ifndef BIVOC_ASR_PHONEME_H_
+#define BIVOC_ASR_PHONEME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bivoc {
+
+// A phoneme id into the inventory below. kInvalidPhoneme means "no such
+// phoneme" (lookup failure).
+using Phoneme = int16_t;
+constexpr Phoneme kInvalidPhoneme = -1;
+
+enum class PhonemeClass : uint8_t {
+  kVowel,
+  kStop,
+  kFricative,
+  kAffricate,
+  kNasal,
+  kLiquid,
+  kGlide,
+};
+
+enum class Place : uint8_t {
+  kNone,  // vowels
+  kBilabial,
+  kLabiodental,
+  kDental,
+  kAlveolar,
+  kPostalveolar,
+  kPalatal,
+  kVelar,
+  kGlottal,
+};
+
+struct PhonemeInfo {
+  const char* name;       // ARPAbet-style label
+  PhonemeClass cls;
+  Place place;
+  bool voiced;
+  // Vowel articulation on coarse 0..2 grids (unused for consonants).
+  uint8_t height;    // 0 high, 1 mid, 2 low
+  uint8_t backness;  // 0 front, 1 central, 2 back
+  bool rounded;
+  bool diphthong;
+};
+
+// The 54-phoneme US-English-like inventory used throughout the ASR
+// substrate (the paper's system uses a US English set of size 54). Ids
+// are stable indices into this table.
+class PhonemeSet {
+ public:
+  // Global immutable instance.
+  static const PhonemeSet& Instance();
+
+  std::size_t size() const;
+
+  const PhonemeInfo& info(Phoneme p) const;
+  std::string_view name(Phoneme p) const;
+
+  // Id for an ARPAbet label, or kInvalidPhoneme.
+  Phoneme Parse(std::string_view name) const;
+
+  // Articulatory distance in [0, 1]: 0 identical, 1 maximally distinct.
+  // Drives both the channel's confusion sampling (near phonemes are
+  // substituted for each other) and the decoder's substitution costs —
+  // the decoder knows the physics of the channel but not its draws.
+  double Distance(Phoneme a, Phoneme b) const;
+
+  // Phonemes sorted by ascending distance from p (excluding p itself).
+  std::vector<Phoneme> Neighbors(Phoneme p) const;
+
+  bool IsVowel(Phoneme p) const {
+    return info(p).cls == PhonemeClass::kVowel;
+  }
+
+  // Renders a pronunciation like "K AE T".
+  std::string ToString(const std::vector<Phoneme>& pron) const;
+
+ private:
+  PhonemeSet();
+  std::vector<double> distance_;  // size() * size() matrix
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_ASR_PHONEME_H_

@@ -1,0 +1,86 @@
+#include "asr/transcriber.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+
+Transcriber::Transcriber(Options options)
+    : options_(options), vocab_(&lexicon_) {
+  channel_ = std::make_unique<AcousticChannel>(&lexicon_, options_.channel);
+}
+
+void Transcriber::TrainLm(
+    const std::vector<std::vector<std::string>>& general_corpus,
+    const std::vector<std::vector<std::string>>& domain_corpus) {
+  general_lm_.Train(general_corpus);
+  domain_lm_.Train(domain_corpus);
+  lm_ = std::make_unique<InterpolatedLm>(&general_lm_, &domain_lm_,
+                                         options_.domain_lm_weight);
+}
+
+void Transcriber::AddWords(const std::vector<std::string>& words,
+                           WordClass cls) {
+  vocab_.AddAll(words, cls);
+}
+
+Decoder::LmScore Transcriber::MakeLmScore() const {
+  BIVOC_CHECK(lm_ != nullptr) << "TrainLm before Freeze/Transcribe";
+  const InterpolatedLm* lm = lm_.get();
+  return [lm](const std::string& prev, const std::string& word) {
+    return lm->BigramLogProb(prev, word);
+  };
+}
+
+void Transcriber::Freeze() {
+  vocab_.Freeze();
+  decoder_ = std::make_unique<Decoder>(&vocab_, MakeLmScore(),
+                                       options_.decoder);
+}
+
+Transcriber::Transcript Transcriber::Transcribe(
+    const std::vector<std::string>& reference, Rng* rng) const {
+  BIVOC_CHECK(decoder_ != nullptr) << "Freeze before Transcribe";
+  Transcript t;
+  t.observation = channel_->Transmit(reference, rng);
+  t.first_pass = decoder_->Decode(t.observation);
+  return t;
+}
+
+DecodeResult Transcriber::SecondPass(
+    const AcousticObservation& observation,
+    const std::vector<std::string>& allowed_names) const {
+  DecoderVocabulary restricted = vocab_.RestrictNames(allowed_names);
+
+  // The paper's trick is an LM-side restriction: "limit the number of
+  // possibilities for a named entity to N values in the LM". Shrinking
+  // the name class from its full size to N redistributes the class's
+  // probability mass, so each surviving name gets a log-bonus of
+  // ln(full/N) (capped for tiny N).
+  std::size_t full_names = 0;
+  for (const auto& e : vocab_.entries()) {
+    if (e.cls == WordClass::kName) ++full_names;
+  }
+  std::unordered_set<std::string> allowed_set;
+  for (const auto& n : allowed_names) allowed_set.insert(ToLowerCopy(n));
+  double bonus = 0.0;
+  if (!allowed_set.empty() && full_names > allowed_set.size()) {
+    bonus = std::min(5.0, std::log(static_cast<double>(full_names) /
+                                   static_cast<double>(allowed_set.size())));
+  }
+  Decoder::LmScore base = MakeLmScore();
+  Decoder::LmScore boosted = [base, allowed = std::move(allowed_set),
+                              bonus](const std::string& prev,
+                                     const std::string& word) {
+    double s = base(prev, word);
+    if (bonus > 0.0 && allowed.count(word) > 0) s += bonus;
+    return s;
+  };
+  Decoder second(&restricted, std::move(boosted), options_.decoder);
+  return second.Decode(observation);
+}
+
+}  // namespace bivoc

@@ -1,0 +1,75 @@
+#ifndef BIVOC_ASR_TRANSCRIBER_H_
+#define BIVOC_ASR_TRANSCRIBER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asr/acoustic_channel.h"
+#include "asr/decoder.h"
+#include "asr/lexicon.h"
+#include "text/ngram_model.h"
+#include "util/random.h"
+
+namespace bivoc {
+
+// End-to-end ASR facade: reference utterance -> acoustic channel ->
+// first-pass decode, with an optional entity-constrained second pass.
+// Owns the lexicon, the channel, the interpolated LM (general +
+// in-domain, as the paper's LM is built) and the full vocabulary.
+class Transcriber {
+ public:
+  struct Options {
+    ChannelConfig channel;
+    DecoderConfig decoder;
+    double domain_lm_weight = 0.8;
+  };
+
+  explicit Transcriber(Options options);
+
+  // Trains the two LM components. Call once before transcribing.
+  void TrainLm(const std::vector<std::vector<std::string>>& general_corpus,
+               const std::vector<std::vector<std::string>>& domain_corpus);
+
+  // Vocabulary registration (deduplicated). Call before Freeze().
+  void AddWords(const std::vector<std::string>& words, WordClass cls);
+
+  // Builds retrieval structures; required before Transcribe.
+  void Freeze();
+
+  struct Transcript {
+    AcousticObservation observation;
+    DecodeResult first_pass;
+  };
+
+  // Runs channel + first-pass decode on one utterance.
+  Transcript Transcribe(const std::vector<std::string>& reference,
+                        Rng* rng) const;
+
+  // Re-decodes an existing observation against a name vocabulary
+  // restricted to `allowed_names` (paper §IV-A "Improvements": the
+  // top-N identities retrieved from the structured database).
+  DecodeResult SecondPass(const AcousticObservation& observation,
+                          const std::vector<std::string>& allowed_names) const;
+
+  const Lexicon& lexicon() const { return lexicon_; }
+  const AcousticChannel& channel() const { return *channel_; }
+  const DecoderVocabulary& vocabulary() const { return vocab_; }
+  const InterpolatedLm& lm() const { return *lm_; }
+
+ private:
+  Decoder::LmScore MakeLmScore() const;
+
+  Options options_;
+  Lexicon lexicon_;
+  std::unique_ptr<AcousticChannel> channel_;
+  NgramModel general_lm_{2};
+  NgramModel domain_lm_{2};
+  std::unique_ptr<InterpolatedLm> lm_;
+  DecoderVocabulary vocab_;
+  std::unique_ptr<Decoder> decoder_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_ASR_TRANSCRIBER_H_

@@ -1,0 +1,119 @@
+#include "asr/wer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace bivoc {
+
+std::vector<AlignedPair> AlignWords(const std::vector<std::string>& ref,
+                                    const std::vector<std::string>& hyp) {
+  const std::size_t n = ref.size();
+  const std::size_t m = hyp.size();
+  // Full DP table with backtrace (utterances are short).
+  std::vector<std::vector<std::size_t>> d(n + 1,
+                                          std::vector<std::size_t>(m + 1));
+  for (std::size_t i = 0; i <= n; ++i) d[i][0] = i;
+  for (std::size_t j = 0; j <= m; ++j) d[0][j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      std::size_t sub = d[i - 1][j - 1] + (ref[i - 1] == hyp[j - 1] ? 0 : 1);
+      d[i][j] = std::min({sub, d[i - 1][j] + 1, d[i][j - 1] + 1});
+    }
+  }
+  std::vector<AlignedPair> ops;
+  std::size_t i = n, j = m;
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0 &&
+        d[i][j] == d[i - 1][j - 1] + (ref[i - 1] == hyp[j - 1] ? 0u : 1u)) {
+      AlignedPair p;
+      p.op = ref[i - 1] == hyp[j - 1] ? EditOp::kMatch : EditOp::kSubstitute;
+      p.ref_index = i - 1;
+      p.hyp_index = j - 1;
+      ops.push_back(p);
+      --i;
+      --j;
+    } else if (i > 0 && d[i][j] == d[i - 1][j] + 1) {
+      AlignedPair p;
+      p.op = EditOp::kDelete;
+      p.ref_index = i - 1;
+      ops.push_back(p);
+      --i;
+    } else {
+      AlignedPair p;
+      p.op = EditOp::kInsert;
+      p.hyp_index = j - 1;
+      ops.push_back(p);
+      --j;
+    }
+  }
+  std::reverse(ops.begin(), ops.end());
+  return ops;
+}
+
+void WerStats::Merge(const WerStats& other) {
+  substitutions += other.substitutions;
+  deletions += other.deletions;
+  insertions += other.insertions;
+  matches += other.matches;
+  ref_words += other.ref_words;
+}
+
+WerStats ComputeWer(const std::vector<std::string>& ref,
+                    const std::vector<std::string>& hyp) {
+  WerStats stats;
+  stats.ref_words = ref.size();
+  for (const auto& op : AlignWords(ref, hyp)) {
+    switch (op.op) {
+      case EditOp::kMatch:
+        ++stats.matches;
+        break;
+      case EditOp::kSubstitute:
+        ++stats.substitutions;
+        break;
+      case EditOp::kDelete:
+        ++stats.deletions;
+        break;
+      case EditOp::kInsert:
+        ++stats.insertions;
+        break;
+    }
+  }
+  return stats;
+}
+
+std::map<std::string, WerStats> ComputeClassWer(
+    const std::vector<std::string>& ref, const std::vector<std::string>& hyp,
+    const std::vector<std::string>& ref_classes) {
+  BIVOC_CHECK(ref.size() == ref_classes.size())
+      << "one class label per reference word";
+  std::map<std::string, WerStats> per_class;
+  for (const auto& cls : ref_classes) {
+    ++per_class[cls].ref_words;
+  }
+  std::size_t last_ref = 0;  // most recent reference index seen
+  for (const auto& op : AlignWords(ref, hyp)) {
+    switch (op.op) {
+      case EditOp::kMatch:
+        ++per_class[ref_classes[op.ref_index]].matches;
+        last_ref = op.ref_index;
+        break;
+      case EditOp::kSubstitute:
+        ++per_class[ref_classes[op.ref_index]].substitutions;
+        last_ref = op.ref_index;
+        break;
+      case EditOp::kDelete:
+        ++per_class[ref_classes[op.ref_index]].deletions;
+        last_ref = op.ref_index;
+        break;
+      case EditOp::kInsert:
+        if (!ref_classes.empty()) {
+          ++per_class[ref_classes[last_ref]].insertions;
+        }
+        break;
+    }
+  }
+  return per_class;
+}
+
+}  // namespace bivoc

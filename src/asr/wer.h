@@ -1,0 +1,55 @@
+#ifndef BIVOC_ASR_WER_H_
+#define BIVOC_ASR_WER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bivoc {
+
+// Word-level alignment operations between a reference and a hypothesis.
+enum class EditOp { kMatch, kSubstitute, kDelete, kInsert };
+
+struct AlignedPair {
+  EditOp op;
+  // Index into the reference (valid unless op == kInsert) and the
+  // hypothesis (valid unless op == kDelete).
+  std::size_t ref_index = 0;
+  std::size_t hyp_index = 0;
+};
+
+// Minimum-edit alignment of hypothesis words against reference words.
+std::vector<AlignedPair> AlignWords(const std::vector<std::string>& ref,
+                                    const std::vector<std::string>& hyp);
+
+// WER bookkeeping, Eqn 1 of the paper: (S + D + I) / N.
+struct WerStats {
+  std::size_t substitutions = 0;
+  std::size_t deletions = 0;
+  std::size_t insertions = 0;
+  std::size_t matches = 0;
+  std::size_t ref_words = 0;
+
+  double Wer() const {
+    if (ref_words == 0) return 0.0;
+    return static_cast<double>(substitutions + deletions + insertions) /
+           static_cast<double>(ref_words);
+  }
+
+  void Merge(const WerStats& other);
+};
+
+WerStats ComputeWer(const std::vector<std::string>& ref,
+                    const std::vector<std::string>& hyp);
+
+// Per-class WER (Table I rows "Names" and "Numbers"): `ref_classes[i]`
+// labels reference word i; errors are charged to the class of the
+// reference word (insertions to the class of the preceding reference
+// word, sentence-initial insertions to the first word's class).
+std::map<std::string, WerStats> ComputeClassWer(
+    const std::vector<std::string>& ref, const std::vector<std::string>& hyp,
+    const std::vector<std::string>& ref_classes);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_ASR_WER_H_

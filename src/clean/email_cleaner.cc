@@ -1,0 +1,109 @@
+#include "clean/email_cleaner.h"
+
+#include "util/string_util.h"
+
+namespace bivoc {
+
+EmailCleaner::EmailCleaner() {
+  header_prefixes_ = {
+      "from:", "to:",  "cc:",      "bcc:",     "subject:", "date:",
+      "sent:", "x-",   "reply-to:", "received:", "message-id:",
+      "mime-version:", "content-type:",
+  };
+  disclaimer_markers_ = {
+      "this email and any attachments",
+      "confidentiality notice",
+      "disclaimer",
+      "the information contained in this",
+      "if you are not the intended recipient",
+      "please do not print this email",
+  };
+  promo_markers_ = {
+      "download our app",
+      "visit our website",
+      "follow us on",
+      "special offer",
+      "recharge now",
+      "limited time offer",
+      "terms and conditions apply",
+  };
+}
+
+bool EmailCleaner::IsHeaderLine(const std::string& line) const {
+  std::string lower = ToLowerCopy(TrimCopy(line));
+  for (const auto& prefix : header_prefixes_) {
+    if (StartsWith(lower, prefix)) return true;
+  }
+  return false;
+}
+
+bool EmailCleaner::IsDisclaimerStart(const std::string& line) const {
+  std::string lower = ToLowerCopy(line);
+  for (const auto& marker : disclaimer_markers_) {
+    if (lower.find(marker) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool EmailCleaner::IsPromoLine(const std::string& line) const {
+  std::string lower = ToLowerCopy(line);
+  for (const auto& marker : promo_markers_) {
+    if (lower.find(marker) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool EmailCleaner::IsQuotedAgentLine(const std::string& line) const {
+  std::string trimmed = TrimCopy(line);
+  if (StartsWith(trimmed, ">")) return true;
+  std::string lower = ToLowerCopy(trimmed);
+  if (StartsWith(lower, "on ") && lower.find("wrote:") != std::string::npos) {
+    return true;
+  }
+  if (StartsWith(lower, "-----original message-----")) return true;
+  if (StartsWith(lower, "dear customer")) return true;
+  if (StartsWith(lower, "regards,") || StartsWith(lower, "best regards")) {
+    return true;
+  }
+  return false;
+}
+
+EmailCleaner::Cleaned EmailCleaner::Clean(const std::string& raw_email) const {
+  Cleaned out;
+  bool in_disclaimer = false;
+  bool in_agent_quote = false;
+  for (const auto& line : Split(raw_email, '\n')) {
+    std::string trimmed = TrimCopy(line);
+    if (trimmed.empty()) {
+      // Blank line ends a quoted block but not a trailing disclaimer.
+      in_agent_quote = false;
+      continue;
+    }
+    if (in_disclaimer) {
+      ++out.stripped_lines;
+      continue;  // disclaimers run to end of message
+    }
+    if (IsDisclaimerStart(trimmed)) {
+      in_disclaimer = true;
+      ++out.stripped_lines;
+      continue;
+    }
+    if (IsHeaderLine(trimmed) || IsPromoLine(trimmed)) {
+      ++out.stripped_lines;
+      continue;
+    }
+    if (IsQuotedAgentLine(trimmed)) {
+      in_agent_quote = true;
+    }
+    if (in_agent_quote) {
+      if (!out.agent_text.empty()) out.agent_text += '\n';
+      out.agent_text += trimmed;
+      continue;
+    }
+    if (!out.customer_text.empty()) out.customer_text += '\n';
+    out.customer_text += trimmed;
+  }
+  return out;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,39 @@
+#ifndef BIVOC_CLEAN_EMAIL_CLEANER_H_
+#define BIVOC_CLEAN_EMAIL_CLEANER_H_
+
+#include <string>
+#include <vector>
+
+namespace bivoc {
+
+// Strips the non-customer parts of a raw email: transport headers,
+// corporate disclaimers, promotional footers and quoted agent replies,
+// leaving only the customer's own words (paper §IV-A.2: "we also remove
+// headers, disclaimers and promotional material from actual messages"
+// and "segregate the agent conversation from customer conversation").
+class EmailCleaner {
+ public:
+  struct Cleaned {
+    std::string customer_text;   // the retained body
+    std::string agent_text;      // quoted / signed agent content
+    std::size_t stripped_lines = 0;
+  };
+
+  EmailCleaner();
+
+  Cleaned Clean(const std::string& raw_email) const;
+
+ private:
+  bool IsHeaderLine(const std::string& line) const;
+  bool IsDisclaimerStart(const std::string& line) const;
+  bool IsPromoLine(const std::string& line) const;
+  bool IsQuotedAgentLine(const std::string& line) const;
+
+  std::vector<std::string> header_prefixes_;
+  std::vector<std::string> disclaimer_markers_;
+  std::vector<std::string> promo_markers_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_CLEAN_EMAIL_CLEANER_H_

@@ -1,0 +1,58 @@
+#include "clean/language_filter.h"
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+
+namespace {
+// Core English function and common words; enough to score code-switched
+// text low without a full dictionary. Domain vocabulary is added on
+// top via AddVocabulary.
+constexpr const char* kCoreEnglish[] = {
+    "the", "be", "to", "of", "and", "a", "an", "in", "that", "have", "i",
+    "it", "for", "not", "on", "with", "he", "as", "you", "do", "at",
+    "this", "but", "his", "by", "from", "they", "we", "say", "her",
+    "she", "or", "will", "my", "one", "all", "would", "there", "their",
+    "what", "so", "up", "out", "if", "about", "who", "get", "which",
+    "go", "me", "when", "make", "can", "like", "time", "no", "just",
+    "him", "know", "take", "people", "into", "year", "your", "good",
+    "some", "could", "them", "see", "other", "than", "then", "now",
+    "look", "only", "come", "its", "over", "think", "also", "back",
+    "after", "use", "two", "how", "our", "work", "first", "well",
+    "way", "even", "new", "want", "because", "any", "these", "give",
+    "day", "most", "us", "is", "was", "are", "been", "has", "had",
+    "were", "said", "did", "having", "may", "am", "very", "please",
+    "thanks", "thank", "yes", "okay", "ok", "not", "need", "call",
+    "phone", "number", "customer", "service", "message", "received",
+    "payment", "paid", "confirm", "account", "bill", "problem", "help",
+    "card", "money", "charge", "charged", "amount", "company", "plan",
+    "month", "today", "still", "again", "since", "done", "solve",
+    "issue", "request", "activate", "deactivate", "connection", "care",
+    "satisfied", "leave", "high", "low", "too", "feel", "keep",
+};
+}  // namespace
+
+LanguageFilter::LanguageFilter(double min_english_ratio)
+    : min_ratio_(min_english_ratio) {
+  for (const char* w : kCoreEnglish) vocabulary_.insert(w);
+}
+
+void LanguageFilter::AddVocabulary(const std::vector<std::string>& words) {
+  for (const auto& w : words) vocabulary_.insert(ToLowerCopy(w));
+}
+
+double LanguageFilter::EnglishRatio(const std::string& text) const {
+  std::size_t alpha_tokens = 0;
+  std::size_t hits = 0;
+  Tokenizer tokenizer;
+  for (const auto& t : tokenizer.Tokenize(text)) {
+    if (t.kind != TokenKind::kWord) continue;
+    ++alpha_tokens;
+    if (vocabulary_.count(t.norm) > 0) ++hits;
+  }
+  if (alpha_tokens == 0) return 1.0;
+  return static_cast<double>(hits) / static_cast<double>(alpha_tokens);
+}
+
+}  // namespace bivoc

@@ -1,0 +1,41 @@
+#ifndef BIVOC_CLEAN_LANGUAGE_FILTER_H_
+#define BIVOC_CLEAN_LANGUAGE_FILTER_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace bivoc {
+
+// Dictionary-based English detector: messages whose in-dictionary word
+// ratio falls below a threshold are flagged non-English and discarded
+// ("we filtered out sms messages which largely contained non-english
+// words using a dictionary"). Code-switched messages like the paper's
+// "hai.custmer ko satisfied hi nahi karte" score low and are dropped.
+class LanguageFilter {
+ public:
+  // `extra_vocabulary` extends the embedded function-word core with
+  // domain words so in-domain jargon is not mistaken for another
+  // language.
+  explicit LanguageFilter(double min_english_ratio = 0.55);
+
+  void AddVocabulary(const std::vector<std::string>& words);
+
+  // Fraction of alphabetic tokens found in the dictionary (1.0 for an
+  // empty message — nothing contradicts English).
+  double EnglishRatio(const std::string& text) const;
+
+  bool IsEnglish(const std::string& text) const {
+    return EnglishRatio(text) >= min_ratio_;
+  }
+
+  std::size_t vocabulary_size() const { return vocabulary_.size(); }
+
+ private:
+  double min_ratio_;
+  std::unordered_set<std::string> vocabulary_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_CLEAN_LANGUAGE_FILTER_H_

@@ -1,0 +1,132 @@
+#include "clean/segmenter.h"
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+
+namespace {
+struct CueSpec {
+  const char* phrase;
+  Speaker speaker;
+};
+
+constexpr CueSpec kCues[] = {
+    // Agent service formulas.
+    {"how can i help you", Speaker::kAgent},
+    {"how may i help you", Speaker::kAgent},
+    {"thank you for calling", Speaker::kAgent},
+    {"can i do anything else", Speaker::kAgent},
+    {"anything else for you", Speaker::kAgent},
+    {"may i have your name", Speaker::kAgent},
+    {"can i have your name", Speaker::kAgent},
+    {"let me check", Speaker::kAgent},
+    {"i can offer you", Speaker::kAgent},
+    {"we have a wonderful rate", Speaker::kAgent},
+    {"your reservation is confirmed", Speaker::kAgent},
+    {"please tell me", Speaker::kAgent},
+    {"yes sir", Speaker::kAgent},
+    {"yes madam", Speaker::kAgent},
+    // Customer intent formulas.
+    {"i would like to", Speaker::kCustomer},
+    {"i want to", Speaker::kCustomer},
+    {"i need to", Speaker::kCustomer},
+    {"i was charged", Speaker::kCustomer},
+    {"i was told", Speaker::kCustomer},
+    {"my bill", Speaker::kCustomer},
+    {"can i know", Speaker::kCustomer},
+    {"i am calling about", Speaker::kCustomer},
+    {"i have a problem", Speaker::kCustomer},
+};
+}  // namespace
+
+ConversationSegmenter::ConversationSegmenter() {
+  for (const auto& spec : kCues) {
+    Cue cue;
+    cue.words = SplitWhitespace(spec.phrase);
+    cue.speaker = spec.speaker;
+    cues_.push_back(std::move(cue));
+  }
+}
+
+std::vector<TranscriptSegment> ConversationSegmenter::Segment(
+    const std::string& transcript) const {
+  std::vector<std::string> words = TokenizeWords(transcript);
+  std::vector<TranscriptSegment> segments;
+  if (words.empty()) return segments;
+
+  // Find cue anchor positions with their speakers, then assign each
+  // word to the most recent anchor's speaker (kUnknown before the
+  // first anchor; convention: calls open with the agent greeting, so
+  // leading unknown text defaults to agent).
+  std::vector<Speaker> owner(words.size(), Speaker::kUnknown);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    for (const auto& cue : cues_) {
+      if (i + cue.words.size() > words.size()) continue;
+      bool match = true;
+      for (std::size_t k = 0; k < cue.words.size(); ++k) {
+        if (words[i + k] != cue.words[k]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        owner[i] = cue.speaker;
+        break;
+      }
+    }
+  }
+  Speaker current = Speaker::kAgent;
+  bool saw_anchor = false;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (owner[i] != Speaker::kUnknown) {
+      current = owner[i];
+      saw_anchor = true;
+    }
+    owner[i] = current;
+  }
+  if (!saw_anchor) {
+    // No cues at all: attribute everything to the customer (the safer
+    // default for mining customer language).
+    for (auto& o : owner) o = Speaker::kCustomer;
+  }
+
+  // Collapse into runs.
+  TranscriptSegment seg;
+  seg.speaker = owner[0];
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (owner[i] != seg.speaker) {
+      segments.push_back(seg);
+      seg = TranscriptSegment{};
+      seg.speaker = owner[i];
+    }
+    if (!seg.text.empty()) seg.text += ' ';
+    seg.text += words[i];
+  }
+  segments.push_back(seg);
+  return segments;
+}
+
+std::string ConversationSegmenter::CustomerText(
+    const std::string& transcript) const {
+  std::string out;
+  for (const auto& seg : Segment(transcript)) {
+    if (seg.speaker != Speaker::kCustomer) continue;
+    if (!out.empty()) out += ' ';
+    out += seg.text;
+  }
+  return out;
+}
+
+std::string ConversationSegmenter::AgentText(
+    const std::string& transcript) const {
+  std::string out;
+  for (const auto& seg : Segment(transcript)) {
+    if (seg.speaker != Speaker::kAgent) continue;
+    if (!out.empty()) out += ' ';
+    out += seg.text;
+  }
+  return out;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,43 @@
+#ifndef BIVOC_CLEAN_SEGMENTER_H_
+#define BIVOC_CLEAN_SEGMENTER_H_
+
+#include <string>
+#include <vector>
+
+namespace bivoc {
+
+enum class Speaker { kAgent, kCustomer, kUnknown };
+
+struct TranscriptSegment {
+  Speaker speaker = Speaker::kUnknown;
+  std::string text;
+};
+
+// Splits an unpunctuated, speaker-unlabeled call transcript (the shape
+// ASR produces — see the paper's Fig. 1 call-transcript examples) into
+// agent and customer turns using cue-phrase anchors: agent-side service
+// formulas ("how can i help you", "thank you for calling", "can i do
+// anything else") vs customer-side intent formulas ("i want to", "i was
+// charged", ...). Heuristic by design: downstream analyses only need
+// approximate agent/customer attribution of phrases.
+class ConversationSegmenter {
+ public:
+  ConversationSegmenter();
+
+  std::vector<TranscriptSegment> Segment(const std::string& transcript) const;
+
+  // Convenience views over Segment output.
+  std::string CustomerText(const std::string& transcript) const;
+  std::string AgentText(const std::string& transcript) const;
+
+ private:
+  struct Cue {
+    std::vector<std::string> words;
+    Speaker speaker;
+  };
+  std::vector<Cue> cues_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_CLEAN_SEGMENTER_H_

@@ -1,0 +1,123 @@
+#include "clean/sms_normalizer.h"
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+
+namespace {
+struct LingoEntry {
+  const char* surface;
+  const char* canonical;
+};
+
+// Common texting shorthand observed in the paper's SMS examples
+// ("Pl. confirm", "custmer", "Gudbye") and standard lingo.
+constexpr LingoEntry kLingo[] = {
+    {"u", "you"},         {"ur", "your"},        {"r", "are"},
+    {"pls", "please"},    {"plz", "please"},     {"pl", "please"},
+    {"thx", "thanks"},    {"tnx", "thanks"},     {"ty", "thanks"},
+    {"msg", "message"},   {"msgs", "messages"},  {"txt", "text"},
+    {"2day", "today"},    {"2moro", "tomorrow"}, {"2nite", "tonight"},
+    {"b4", "before"},     {"gr8", "great"},      {"l8r", "later"},
+    {"w8", "wait"},       {"m8", "mate"},        {"4u", "for you"},
+    {"abt", "about"},     {"bcoz", "because"},   {"bcz", "because"},
+    {"coz", "because"},   {"cust", "customer"},  {"custmer", "customer"},
+    {"cstmr", "customer"},{"acct", "account"},   {"acc", "account"},
+    {"no.", "number"},    {"num", "number"},     {"nos", "numbers"},
+    {"amt", "amount"},    {"bal", "balance"},    {"recd", "received"},
+    {"rcvd", "received"}, {"inf", "informed"},   {"infd", "informed"},
+    {"tht", "that"},      {"teh", "the"},        {"wat", "what"},
+    {"wht", "what"},      {"hv", "have"},        {"hav", "have"},
+    {"gud", "good"},      {"gudbye", "goodbye"}, {"gd", "good"},
+    {"nt", "not"},        {"cnt", "cannot"},     {"dnt", "do not"},
+    {"wont", "will not"}, {"cant", "cannot"},    {"didnt", "did not"},
+    {"doesnt", "does not"}, {"im", "i am"},      {"ive", "i have"},
+    {"id", "i would"},    {"ill", "i will"},     {"yr", "year"},
+    {"yrs", "years"},     {"hr", "hour"},        {"hrs", "hours"},
+    {"min", "minute"},    {"mins", "minutes"},   {"sec", "second"},
+    {"svc", "service"},   {"srvc", "service"},   {"dept", "department"},
+    {"info", "information"}, {"asap", "as soon as possible"},
+    {"fyi", "for your information"}, {"btw", "by the way"},
+    {"tc", "take care"},  {"k", "okay"},         {"kk", "okay"},
+    {"ok", "okay"},       {"okie", "okay"},      {"ya", "yes"},
+    {"yup", "yes"},       {"nope", "no"},        {"dono", "do not know"},
+    {"dunno", "do not know"}, {"chk", "check"},  {"disconn", "disconnected"},
+    {"conn", "connection"}, {"cnfrm", "confirm"}, {"confrm", "confirm"},
+    {"rs", "rupees"},     {"re", "rupees"},      {"deactv", "deactivate"},
+    {"actv", "activate"}, {"rchrg", "recharge"}, {"rechrge", "recharge"},
+};
+}  // namespace
+
+SmsNormalizer::SmsNormalizer() {
+  for (const auto& e : kLingo) lingo_.emplace(e.surface, e.canonical);
+}
+
+void SmsNormalizer::AddDomainMapping(const std::string& surface,
+                                     const std::string& canonical) {
+  domain_.emplace(ToLowerCopy(surface), ToLowerCopy(canonical));
+}
+
+void SmsNormalizer::SetSpellingDictionary(
+    const std::vector<std::string>& words) {
+  speller_ = SpellingCorrector();
+  for (const auto& w : words) speller_.AddWord(ToLowerCopy(w), 1);
+  have_speller_ = true;
+}
+
+std::string SmsNormalizer::Normalize(const std::string& raw,
+                                     NormalizeStats* stats) const {
+  Tokenizer::Options opts;
+  opts.split_alnum = false;  // keep "2day" whole for lingo lookup
+  Tokenizer tokenizer(opts);
+  auto tokens = tokenizer.Tokenize(raw);
+
+  // First pass: two-token domain phrases, then single-token lingo /
+  // domain / spelling resolution.
+  std::vector<std::string> out_words;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& w = tokens[i].norm;
+    if (i + 1 < tokens.size()) {
+      std::string bigram = w + " " + tokens[i + 1].norm;
+      auto dit = domain_.find(bigram);
+      if (dit != domain_.end()) {
+        for (const auto& part : SplitWhitespace(dit->second)) {
+          out_words.push_back(part);
+        }
+        ++stats->domain_replacements;
+        ++i;
+        continue;
+      }
+    }
+    auto lit = lingo_.find(w);
+    if (lit != lingo_.end()) {
+      for (const auto& part : SplitWhitespace(lit->second)) {
+        out_words.push_back(part);
+      }
+      ++stats->lingo_replacements;
+      continue;
+    }
+    auto dit = domain_.find(w);
+    if (dit != domain_.end()) {
+      for (const auto& part : SplitWhitespace(dit->second)) {
+        out_words.push_back(part);
+      }
+      ++stats->domain_replacements;
+      continue;
+    }
+    if (tokens[i].kind == TokenKind::kWord && have_speller_ &&
+        !speller_.Contains(w)) {
+      auto corr = speller_.Correct(w);
+      if (corr.word != w) {
+        out_words.push_back(corr.word);
+        ++stats->spelling_corrections;
+        continue;
+      }
+      ++stats->untouched_oov;
+    }
+    out_words.push_back(w);
+  }
+  return Join(out_words, " ");
+}
+
+}  // namespace bivoc

@@ -1,0 +1,59 @@
+#ifndef BIVOC_CLEAN_SMS_NORMALIZER_H_
+#define BIVOC_CLEAN_SMS_NORMALIZER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/spell.h"
+
+namespace bivoc {
+
+// Converts SMS/chat shorthand to a standard representation: an embedded
+// texting-lingo dictionary ("pls" -> "please", "u" -> "you", "2day" ->
+// "today") extended with caller-supplied domain variants (product-name
+// misspellings etc.), followed by noisy-channel spelling correction for
+// residual out-of-vocabulary words. Mirrors the paper's "domain specific
+// dictionaries ... built to capture common variations of product names
+// and services" plus "dictionaries for common lingo used in text
+// messaging".
+class SmsNormalizer {
+ public:
+  SmsNormalizer();
+
+  // Registers a domain variation, e.g. ("gprs pack", "data pack") or a
+  // single-word product alias. Multi-word keys are matched on the
+  // token stream.
+  void AddDomainMapping(const std::string& surface,
+                        const std::string& canonical);
+
+  // Supplies the vocabulary for the spelling-correction fallback.
+  void SetSpellingDictionary(const std::vector<std::string>& words);
+
+  struct NormalizeStats {
+    std::size_t lingo_replacements = 0;
+    std::size_t domain_replacements = 0;
+    std::size_t spelling_corrections = 0;
+    std::size_t untouched_oov = 0;  // noisy words we could not resolve
+  };
+
+  // Returns the normalized text (lowercased, token-joined).
+  std::string Normalize(const std::string& raw, NormalizeStats* stats) const;
+
+  std::string Normalize(const std::string& raw) const {
+    NormalizeStats stats;
+    return Normalize(raw, &stats);
+  }
+
+  std::size_t lingo_size() const { return lingo_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> lingo_;
+  std::unordered_map<std::string, std::string> domain_;
+  SpellingCorrector speller_;
+  bool have_speller_ = false;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_CLEAN_SMS_NORMALIZER_H_

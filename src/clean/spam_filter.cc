@@ -1,0 +1,47 @@
+#include "clean/spam_filter.h"
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+
+SpamFilter::SpamFilter() {
+  spam_markers_ = {
+      "you have won",     "lottery",          "claim your prize",
+      "lucky winner",     "free gift",        "click here",
+      "earn money fast",  "work from home",   "viagra",
+      "congratulations you", "100% free",     "risk free",
+      "double your",      "guaranteed income",
+  };
+}
+
+void SpamFilter::AddLabeledExample(const std::string& text, bool is_spam) {
+  model_.AddExample(TokenizeWords(text), is_spam ? "spam" : "ham");
+  trained_ = false;
+}
+
+void SpamFilter::FinishTraining() {
+  if (model_.Labels().empty()) return;
+  model_.Finish();
+  trained_ = model_.Labels().size() >= 2;
+}
+
+bool SpamFilter::HeuristicHit(const std::string& lower_text) const {
+  for (const auto& marker : spam_markers_) {
+    if (lower_text.find(marker) != std::string::npos) return true;
+  }
+  return false;
+}
+
+double SpamFilter::SpamScore(const std::string& text) const {
+  std::string lower = ToLowerCopy(text);
+  if (HeuristicHit(lower)) return 0.95;
+  if (!trained_) return 0.0;
+  return model_.Posterior(TokenizeWords(text), "spam");
+}
+
+bool SpamFilter::IsSpam(const std::string& text) const {
+  return SpamScore(text) >= 0.5;
+}
+
+}  // namespace bivoc

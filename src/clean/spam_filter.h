@@ -1,0 +1,39 @@
+#ifndef BIVOC_CLEAN_SPAM_FILTER_H_
+#define BIVOC_CLEAN_SPAM_FILTER_H_
+
+#include <string>
+#include <vector>
+
+#include "text/naive_bayes.h"
+
+namespace bivoc {
+
+// Detects spam/junk messages so they are dropped before analysis
+// (paper §IV-A.2 step 1). Combines a trainable naive Bayes model with
+// always-on keyword heuristics (lottery/prize/winner patterns), so the
+// filter works out of the box and improves when given labeled data.
+class SpamFilter {
+ public:
+  SpamFilter();
+
+  // Optional supervised signal.
+  void AddLabeledExample(const std::string& text, bool is_spam);
+  void FinishTraining();
+
+  // True if the message should be discarded.
+  bool IsSpam(const std::string& text) const;
+
+  // P(spam | text) in [0,1]; heuristic hits clamp it to >= 0.9.
+  double SpamScore(const std::string& text) const;
+
+ private:
+  bool HeuristicHit(const std::string& lower_text) const;
+
+  std::vector<std::string> spam_markers_;
+  NaiveBayesClassifier model_;
+  bool trained_ = false;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_CLEAN_SPAM_FILTER_H_

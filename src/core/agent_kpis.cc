@@ -1,0 +1,106 @@
+#include "core/agent_kpis.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+
+AgentKpiBoard::AgentKpiBoard(const CarRentalWorld* world) : world_(world) {
+  BIVOC_CHECK(world_ != nullptr);
+}
+
+void AgentKpiBoard::Record(const CallRecord& call,
+                           const CallAnalysis& analysis) {
+  AgentKpi& kpi = kpis_[call.agent_id];
+  if (kpi.agent_id < 0) {
+    kpi.agent_id = call.agent_id;
+    kpi.name =
+        world_->agents()[static_cast<std::size_t>(call.agent_id)].name;
+  }
+  ++kpi.calls;
+  if (call.is_service_call) {
+    ++kpi.service_calls;
+  } else if (call.reserved) {
+    ++kpi.reservations;
+  } else {
+    ++kpi.unbooked;
+  }
+  if (analysis.detected_value_selling) ++kpi.value_selling_calls;
+  if (analysis.detected_discount) ++kpi.discount_calls;
+  if (analysis.detected_weak) {
+    ++kpi.weak_start_calls;
+    if (analysis.detected_discount) ++kpi.weak_start_discounts;
+  }
+}
+
+std::vector<AgentKpi> AgentKpiBoard::Ranking(std::size_t min_calls) const {
+  std::vector<AgentKpi> out;
+  for (const auto& [id, kpi] : kpis_) {
+    if (kpi.calls >= min_calls) out.push_back(kpi);
+  }
+  std::sort(out.begin(), out.end(), [](const AgentKpi& a, const AgentKpi& b) {
+    if (a.BookingRate() != b.BookingRate()) {
+      return a.BookingRate() > b.BookingRate();
+    }
+    return a.agent_id < b.agent_id;
+  });
+  return out;
+}
+
+AgentKpiBoard::BehaviourGap AgentKpiBoard::CompareTopBottom(
+    std::size_t group_size, std::size_t min_calls) const {
+  BehaviourGap gap;
+  auto ranking = Ranking(min_calls);
+  if (ranking.size() < 2 * group_size || group_size == 0) return gap;
+
+  auto rates = [](const std::vector<AgentKpi>& agents, std::size_t begin,
+                  std::size_t end, double* vs, double* disc,
+                  double* weak_disc) {
+    double vs_sum = 0.0, disc_sum = 0.0, wd_sum = 0.0;
+    std::size_t wd_agents = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      vs_sum += agents[i].ValueSellingRate();
+      disc_sum += agents[i].DiscountRate();
+      if (agents[i].weak_start_calls > 0) {
+        wd_sum += agents[i].WeakStartDiscountRate();
+        ++wd_agents;
+      }
+    }
+    double n = static_cast<double>(end - begin);
+    *vs = vs_sum / n;
+    *disc = disc_sum / n;
+    *weak_disc = wd_agents > 0 ? wd_sum / static_cast<double>(wd_agents)
+                               : 0.0;
+  };
+  rates(ranking, 0, group_size, &gap.value_selling_top, &gap.discount_top,
+        &gap.weak_discount_top);
+  rates(ranking, ranking.size() - group_size, ranking.size(),
+        &gap.value_selling_bottom, &gap.discount_bottom,
+        &gap.weak_discount_bottom);
+  return gap;
+}
+
+std::string AgentKpiBoard::RenderReport(std::size_t limit,
+                                        std::size_t min_calls) const {
+  auto ranking = Ranking(min_calls);
+  std::string out;
+  out += "agent        calls  booked%  valuesell%  discount%  weakdisc%\n";
+  std::size_t shown = 0;
+  for (const auto& kpi : ranking) {
+    if (shown++ >= limit) break;
+    out += kpi.name + std::string(kpi.name.size() < 12
+                                      ? 12 - kpi.name.size()
+                                      : 1, ' ');
+    out += " " + std::to_string(kpi.calls);
+    out += "     " + FormatDouble(kpi.BookingRate() * 100.0, 0);
+    out += "       " + FormatDouble(kpi.ValueSellingRate() * 100.0, 0);
+    out += "          " + FormatDouble(kpi.DiscountRate() * 100.0, 0);
+    out += "         " + FormatDouble(kpi.WeakStartDiscountRate() * 100.0, 0);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,91 @@
+#ifndef BIVOC_CORE_AGENT_KPIS_H_
+#define BIVOC_CORE_AGENT_KPIS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/car_rental_insights.h"
+#include "synth/car_rental.h"
+
+namespace bivoc {
+
+// Per-agent performance and behaviour KPIs — the §I claim that text
+// mining "identif[ies] the differences between approaches and practices
+// used by successful agents and unsuccessful agents", plus the KPI
+// tracking §II attributes to contact-center tooling. Outcomes come from
+// the structured call log; behaviour rates come from mined transcripts.
+struct AgentKpi {
+  int agent_id = -1;
+  std::string name;
+  std::size_t calls = 0;
+  std::size_t reservations = 0;
+  std::size_t unbooked = 0;
+  std::size_t service_calls = 0;
+  std::size_t value_selling_calls = 0;  // detected in transcript
+  std::size_t discount_calls = 0;
+  std::size_t weak_start_calls = 0;     // detected weak-start openings
+  std::size_t weak_start_discounts = 0;
+
+  double BookingRate() const {
+    std::size_t outcomes = reservations + unbooked;
+    return outcomes == 0 ? 0.0
+                         : static_cast<double>(reservations) /
+                               static_cast<double>(outcomes);
+  }
+  double ValueSellingRate() const {
+    return calls == 0 ? 0.0
+                      : static_cast<double>(value_selling_calls) /
+                            static_cast<double>(calls);
+  }
+  double DiscountRate() const {
+    return calls == 0 ? 0.0
+                      : static_cast<double>(discount_calls) /
+                            static_cast<double>(calls);
+  }
+  // How often the agent discounts when the customer opened weak — the
+  // §V-B finding ("agents who were doing well ... were primarily doing
+  // this by offering more discounts to weak start customers").
+  double WeakStartDiscountRate() const {
+    return weak_start_calls == 0
+               ? 0.0
+               : static_cast<double>(weak_start_discounts) /
+                     static_cast<double>(weak_start_calls);
+  }
+};
+
+class AgentKpiBoard {
+ public:
+  explicit AgentKpiBoard(const CarRentalWorld* world);
+
+  // Accumulates one analyzed call.
+  void Record(const CallRecord& call, const CallAnalysis& analysis);
+
+  // Agents with >= min_calls, best booking rate first.
+  std::vector<AgentKpi> Ranking(std::size_t min_calls = 1) const;
+
+  // The §V-B comparison: behaviour-rate gap between the top and bottom
+  // `group_size` agents by booking rate.
+  struct BehaviourGap {
+    double value_selling_top = 0.0;
+    double value_selling_bottom = 0.0;
+    double discount_top = 0.0;
+    double discount_bottom = 0.0;
+    double weak_discount_top = 0.0;
+    double weak_discount_bottom = 0.0;
+  };
+  BehaviourGap CompareTopBottom(std::size_t group_size,
+                                std::size_t min_calls = 5) const;
+
+  // Fixed-width leaderboard for terminal reports.
+  std::string RenderReport(std::size_t limit = 10,
+                           std::size_t min_calls = 5) const;
+
+ private:
+  const CarRentalWorld* world_;  // not owned
+  std::map<int, AgentKpi> kpis_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_CORE_AGENT_KPIS_H_

@@ -1,0 +1,76 @@
+#include "core/bivoc.h"
+
+namespace bivoc {
+
+BivocEngine::BivocEngine() = default;
+
+Status BivocEngine::FinishWarehouse(LinkerConfig config) {
+  auto linker = MultiTypeLinker::Build(&db_, config);
+  if (!linker.ok()) return linker.status();
+  linker_ = std::make_unique<MultiTypeLinker>(linker.MoveValue());
+  pipeline_.SetLinker(linker_.get());
+  return Status::OK();
+}
+
+void BivocEngine::ConfigureAnnotators(
+    const std::vector<std::string>& name_gazetteer,
+    const std::vector<std::string>& location_gazetteer) {
+  annotators_ = AnnotatorPipeline();
+  annotators_.Add(std::make_unique<NameAnnotator>(name_gazetteer));
+  annotators_.Add(std::make_unique<PhoneAnnotator>());
+  annotators_.Add(std::make_unique<DateAnnotator>());
+  annotators_.Add(std::make_unique<MoneyAnnotator>());
+  if (!location_gazetteer.empty()) {
+    annotators_.Add(std::make_unique<LocationAnnotator>(location_gazetteer));
+  }
+  pipeline_.SetAnnotators(&annotators_);
+}
+
+Document BivocEngine::AddEmail(
+    const std::string& raw, int64_t day,
+    const std::vector<std::string>& structured_keys) {
+  Document doc = pipeline_.ProcessEmail(raw, day);
+  if (!doc.dropped) pipeline_.IndexDocument(doc, structured_keys);
+  return doc;
+}
+
+Document BivocEngine::AddSms(
+    const std::string& raw, int64_t day,
+    const std::vector<std::string>& structured_keys) {
+  Document doc = pipeline_.ProcessSms(raw, day);
+  if (!doc.dropped) pipeline_.IndexDocument(doc, structured_keys);
+  return doc;
+}
+
+Document BivocEngine::AddTranscript(
+    const std::string& text, int64_t day,
+    const std::vector<std::string>& structured_keys) {
+  Document doc = pipeline_.ProcessTranscript(text, day);
+  pipeline_.IndexDocument(doc, structured_keys);
+  return doc;
+}
+
+AssociationTable BivocEngine::Associate(
+    const std::vector<std::string>& row_keys,
+    const std::vector<std::string>& col_keys) const {
+  return TwoDimensionalAssociation(pipeline_.index(), row_keys, col_keys);
+}
+
+std::vector<AssociationCell> BivocEngine::TopAssociations(
+    const std::string& row_prefix, const std::string& col_prefix,
+    std::size_t limit) const {
+  return bivoc::TopAssociations(pipeline_.index(), row_prefix, col_prefix,
+                                limit);
+}
+
+std::vector<RelevancyItem> BivocEngine::Relevancy(
+    const std::string& feature_key, RelevancyOptions options) const {
+  return RelevancyAnalysis(pipeline_.index(), feature_key, options);
+}
+
+std::vector<TrendSummary> BivocEngine::Rising(const std::string& prefix,
+                                              std::size_t limit) const {
+  return RisingConcepts(pipeline_.index(), prefix, limit);
+}
+
+}  // namespace bivoc

@@ -1,0 +1,81 @@
+#ifndef BIVOC_CORE_BIVOC_H_
+#define BIVOC_CORE_BIVOC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "db/database.h"
+#include "linking/multitype.h"
+#include "mining/association.h"
+#include "mining/relative_frequency.h"
+#include "mining/trend.h"
+#include "util/result.h"
+
+namespace bivoc {
+
+// Top-level facade over the BIVoC system: one object that owns the
+// warehouse, the linking engine, the cleaning/annotation pipeline and
+// the concept index, exposing the analysis views of §IV-D. This is the
+// API the examples use:
+//
+//   BivocEngine engine;
+//   /* create tables in engine.warehouse(), then: */
+//   engine.FinishWarehouse();
+//   engine.AddEmail(raw_email, day);
+//   auto table = engine.Associate({"intent/..."}, {"outcome/..."});
+class BivocEngine {
+ public:
+  BivocEngine();
+
+  // Warehouse access. Call FinishWarehouse() after loading tables to
+  // build the linking engine (tables added later are not linked).
+  Database* warehouse() { return &db_; }
+  const Database& warehouse() const { return db_; }
+  Status FinishWarehouse(LinkerConfig config = {});
+
+  // Registers the default named-entity annotators with the given
+  // gazetteers (names/locations participate in linking).
+  void ConfigureAnnotators(const std::vector<std::string>& name_gazetteer,
+                           const std::vector<std::string>& location_gazetteer);
+
+  // Pipeline configuration hooks.
+  VocPipeline* pipeline() { return &pipeline_; }
+  ConceptExtractor* extractor() { return pipeline_.mutable_extractor(); }
+  MultiTypeLinker* linker() { return linker_.get(); }
+
+  // Ingestion: processes, links, extracts concepts and indexes the
+  // document together with `structured_keys` (dimensions pulled from
+  // the linked record by the caller). Returns the processed document.
+  Document AddEmail(const std::string& raw, int64_t day = 0,
+                    const std::vector<std::string>& structured_keys = {});
+  Document AddSms(const std::string& raw, int64_t day = 0,
+                  const std::vector<std::string>& structured_keys = {});
+  Document AddTranscript(const std::string& text, int64_t day = 0,
+                         const std::vector<std::string>& structured_keys = {});
+
+  // Analysis views.
+  AssociationTable Associate(const std::vector<std::string>& row_keys,
+                             const std::vector<std::string>& col_keys) const;
+  std::vector<AssociationCell> TopAssociations(const std::string& row_prefix,
+                                               const std::string& col_prefix,
+                                               std::size_t limit) const;
+  std::vector<RelevancyItem> Relevancy(const std::string& feature_key,
+                                       RelevancyOptions options = {}) const;
+  std::vector<TrendSummary> Rising(const std::string& prefix,
+                                   std::size_t limit) const;
+
+  const ConceptIndex& index() const { return pipeline_.index(); }
+  const VocPipeline::Stats& stats() const { return pipeline_.stats(); }
+
+ private:
+  Database db_;
+  std::unique_ptr<MultiTypeLinker> linker_;
+  AnnotatorPipeline annotators_;
+  VocPipeline pipeline_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_CORE_BIVOC_H_

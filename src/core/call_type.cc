@@ -1,0 +1,51 @@
+#include "core/call_type.h"
+
+#include "text/tokenizer.h"
+
+namespace bivoc {
+
+std::vector<std::string> CallTypeClassifier::Features(
+    const std::string& transcript) const {
+  // Unigrams + adjacent bigrams: call types differ in formulaic phrase
+  // patterns ("your reservation is confirmed", "call back later",
+  // "change my previous booking"), which bigrams capture.
+  std::vector<std::string> words = TokenizeWords(transcript);
+  std::vector<std::string> features = words;
+  for (std::size_t i = 0; i + 1 < words.size(); ++i) {
+    features.push_back(words[i] + "_" + words[i + 1]);
+  }
+  return features;
+}
+
+void CallTypeClassifier::AddExample(const std::string& transcript,
+                                    const std::string& type) {
+  model_.AddExample(Features(transcript), type);
+  trained_ = false;
+}
+
+void CallTypeClassifier::FinishTraining() {
+  model_.Finish();
+  trained_ = true;
+}
+
+std::string CallTypeClassifier::Classify(
+    const std::string& transcript) const {
+  if (!trained_) return "";
+  auto pred = model_.Predict(Features(transcript));
+  if (!pred.ok()) return "";
+  return pred->label;
+}
+
+CallTypeClassifier::Evaluation CallTypeClassifier::Evaluate(
+    const std::vector<std::pair<std::string, std::string>>& test) const {
+  Evaluation eval;
+  for (const auto& [transcript, truth] : test) {
+    std::string predicted = Classify(transcript);
+    ++eval.total;
+    if (predicted == truth) ++eval.correct;
+    ++eval.confusion[truth][predicted];
+  }
+  return eval;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,54 @@
+#ifndef BIVOC_CORE_CALL_TYPE_H_
+#define BIVOC_CORE_CALL_TYPE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "text/naive_bayes.h"
+
+namespace bivoc {
+
+// Call-type classification (paper §II cites call-type classification
+// for categorizing contact-center calls): assigns each transcript one
+// of the engagement's call types — "reservation", "unbooked",
+// "service" — from its word content. Used to route calls to the right
+// analysis (service calls are excluded from booking ratios) when the
+// structured outcome is missing or not yet linked.
+class CallTypeClassifier {
+ public:
+  CallTypeClassifier() = default;
+
+  void AddExample(const std::string& transcript, const std::string& type);
+  void FinishTraining();
+
+  // Most likely type ("" before training).
+  std::string Classify(const std::string& transcript) const;
+
+  struct Evaluation {
+    std::size_t total = 0;
+    std::size_t correct = 0;
+    // confusion[truth][predicted] = count.
+    std::map<std::string, std::map<std::string, std::size_t>> confusion;
+
+    double Accuracy() const {
+      return total == 0 ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(total);
+    }
+  };
+
+  // Scores a labeled test set.
+  Evaluation Evaluate(
+      const std::vector<std::pair<std::string, std::string>>& test) const;
+
+ private:
+  std::vector<std::string> Features(const std::string& transcript) const;
+
+  NaiveBayesClassifier model_;
+  bool trained_ = false;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_CORE_CALL_TYPE_H_

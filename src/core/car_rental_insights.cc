@@ -1,0 +1,145 @@
+#include "core/car_rental_insights.h"
+
+#include "synth/corpora.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+
+void ConfigureCarRentalExtractor(ConceptExtractor* extractor) {
+  DomainDictionary* dict = extractor->mutable_dictionary();
+
+  // Paper §IV-C example entries.
+  dict->Add("child seat", "child seat", "vehicle feature");
+  dict->Add("ny", "new york", "place", PosTag::kProperNoun);
+  dict->Add("master card", "credit card", "payment methods");
+  dict->Add("visa", "credit card", "payment methods");
+
+  // Discount-relating phrases (§V-A: "discount, corporate program,
+  // motor club, buying club ... are registered into the domain
+  // dictionary as discount-related phrases").
+  dict->Add("discount", "discount", "discount");
+  dict->Add("discounts", "discount", "discount");
+  dict->Add("corporate program", "corporate program", "discount");
+  dict->Add("motor club", "motor club", "discount");
+  dict->Add("buying club", "buying club", "discount");
+
+  // Vehicle types: class words and models indicating a class ("SUV may
+  // be indicated by 'a seven seater', full-size by 'Chevy Impala'").
+  dict->Add("suv", "suv", "vehicle type");
+  dict->Add("full size", "full-size", "vehicle type");
+  dict->Add("mid size", "mid-size", "vehicle type");
+  dict->Add("luxury car", "luxury car", "vehicle type");
+  for (const auto& m : CarModels()) {
+    dict->Add(m.model, m.car_class, "vehicle type");
+  }
+
+  // Places.
+  for (const auto& city : Cities()) {
+    dict->Add(city, city, "place", PosTag::kProperNoun);
+  }
+
+  // Value-selling patterns (§V-A examples).
+  BIVOC_CHECK_OK(extractor->AddPattern(
+      "wonderful rate -> mention of good rate @ value selling"));
+  BIVOC_CHECK_OK(extractor->AddPattern(
+      "good rate -> mention of good rate @ value selling"));
+  BIVOC_CHECK_OK(extractor->AddPattern(
+      "wonderful price -> mention of good rate @ value selling"));
+  BIVOC_CHECK_OK(extractor->AddPattern(
+      "save money -> mention of good rate @ value selling"));
+  BIVOC_CHECK_OK(extractor->AddPattern(
+      "just <NUM> dollars -> mention of good rate @ value selling"));
+  BIVOC_CHECK_OK(extractor->AddPattern(
+      "fantastic car -> mention of good vehicle @ value selling"));
+  BIVOC_CHECK_OK(extractor->AddPattern(
+      "good car -> mention of good vehicle @ value selling"));
+  BIVOC_CHECK_OK(extractor->AddPattern(
+      "latest model -> mention of good vehicle @ value selling"));
+
+  // Customer intent patterns ("strong start" / "weak start", §V-A).
+  BIVOC_CHECK_OK(
+      extractor->AddPattern("make a booking -> strong start @ intent"));
+  BIVOC_CHECK_OK(
+      extractor->AddPattern("car reservation -> strong start @ intent"));
+  BIVOC_CHECK_OK(
+      extractor->AddPattern("to pick up a car -> strong start @ intent"));
+  BIVOC_CHECK_OK(
+      extractor->AddPattern("like to book -> strong start @ intent"));
+  BIVOC_CHECK_OK(
+      extractor->AddPattern("a booking for -> strong start @ intent"));
+  BIVOC_CHECK_OK(
+      extractor->AddPattern("to pick up -> strong start @ intent"));
+  BIVOC_CHECK_OK(
+      extractor->AddPattern("to book a -> strong start @ intent"));
+  BIVOC_CHECK_OK(
+      extractor->AddPattern("know the rates -> weak start @ intent"));
+  BIVOC_CHECK_OK(
+      extractor->AddPattern("the rates -> weak start @ intent"));
+  BIVOC_CHECK_OK(
+      extractor->AddPattern("rates for -> weak start @ intent"));
+  BIVOC_CHECK_OK(
+      extractor->AddPattern("would it cost -> weak start @ intent"));
+  BIVOC_CHECK_OK(
+      extractor->AddPattern("it cost to -> weak start @ intent"));
+  BIVOC_CHECK_OK(
+      extractor->AddPattern("how much is a -> weak start @ intent"));
+  BIVOC_CHECK_OK(
+      extractor->AddPattern("how much is -> weak start @ intent"));
+
+  // Politeness / request patterns (§IV-C example "please + VERB").
+  BIVOC_CHECK_OK(extractor->AddPattern("please <VERB> -> request @ requests"));
+}
+
+AgentProductivityAnalyzer::AgentProductivityAnalyzer() {
+  ConfigureCarRentalExtractor(&extractor_);
+}
+
+CallAnalysis AgentProductivityAnalyzer::Analyze(
+    const CallRecord& call, const std::string& decoded_text) {
+  CallAnalysis out;
+  out.call_id = call.call_id;
+  out.reserved = call.reserved;
+  out.is_service_call = call.is_service_call;
+
+  for (const Concept& c : extractor_.Extract(decoded_text)) {
+    if (c.category == "intent") {
+      // Intent only counts near the start of the call.
+      if (c.begin_token >= intent_window_) continue;
+      if (c.name == "strong start") out.detected_strong = true;
+      if (c.name == "weak start") out.detected_weak = true;
+    } else if (c.category == "value selling") {
+      out.detected_value_selling = true;
+    } else if (c.category == "discount") {
+      out.detected_discount = true;
+    }
+  }
+  // A call that shows both intent cues keeps only the earlier-style
+  // reading: strong wins (booking language dominates rate-shopping
+  // language when both appear up front).
+  if (out.detected_strong && out.detected_weak) out.detected_weak = false;
+  return out;
+}
+
+void AgentProductivityAnalyzer::Index(const CallAnalysis& analysis) {
+  if (analysis.is_service_call) return;  // §V-A ratio excludes these
+  std::vector<std::string> keys;
+  if (analysis.detected_strong) keys.emplace_back(kIntentStrong);
+  if (analysis.detected_weak) keys.emplace_back(kIntentWeak);
+  if (analysis.detected_value_selling) keys.emplace_back(kAnyValueSelling);
+  if (analysis.detected_discount) keys.emplace_back(kAnyDiscount);
+  keys.emplace_back(analysis.reserved ? kOutcomeReserved : kOutcomeUnbooked);
+  index_.AddDocument(keys);
+}
+
+AssociationTable AgentProductivityAnalyzer::IntentVsOutcome() const {
+  return TwoDimensionalAssociation(index_, {kIntentStrong, kIntentWeak},
+                                   {kOutcomeReserved, kOutcomeUnbooked});
+}
+
+AssociationTable AgentProductivityAnalyzer::AgentUtteranceVsOutcome() const {
+  return TwoDimensionalAssociation(index_, {kAnyValueSelling, kAnyDiscount},
+                                   {kOutcomeReserved, kOutcomeUnbooked});
+}
+
+}  // namespace bivoc

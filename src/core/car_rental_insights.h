@@ -1,0 +1,78 @@
+#ifndef BIVOC_CORE_CAR_RENTAL_INSIGHTS_H_
+#define BIVOC_CORE_CAR_RENTAL_INSIGHTS_H_
+
+#include <string>
+#include <vector>
+
+#include "annotate/concept_extractor.h"
+#include "mining/association.h"
+#include "mining/concept_index.h"
+#include "synth/car_rental.h"
+
+namespace bivoc {
+
+// Concept keys used by the agent-productivity analysis (§V-A): the
+// semantic categories the paper's analysts prepared.
+inline constexpr const char* kIntentStrong = "intent/strong start";
+inline constexpr const char* kIntentWeak = "intent/weak start";
+inline constexpr const char* kOutcomeReserved = "outcome/reservation";
+inline constexpr const char* kOutcomeUnbooked = "outcome/unbooked";
+inline constexpr const char* kValueSellingPrefix = "value selling/";
+inline constexpr const char* kDiscountPrefix = "discount/";
+inline constexpr const char* kAnyValueSelling = "agent/value selling";
+inline constexpr const char* kAnyDiscount = "agent/discount";
+
+// Builds the car-rental domain extractor: the dictionary (discount
+// phrases, car models -> vehicle-type canonical forms, cities ->
+// places, paper §IV-C examples) and the user-defined patterns (value
+// selling, customer intents).
+void ConfigureCarRentalExtractor(ConceptExtractor* extractor);
+
+// Per-call analysis output of the §V use case.
+struct CallAnalysis {
+  int call_id = 0;
+  bool detected_strong = false;
+  bool detected_weak = false;
+  bool detected_value_selling = false;
+  bool detected_discount = false;
+  bool reserved = false;        // from the structured record
+  bool is_service_call = false;
+};
+
+// Analyzes decoded transcripts against structured outcomes and fills a
+// concept index whose keys join both worlds.
+class AgentProductivityAnalyzer {
+ public:
+  AgentProductivityAnalyzer();
+
+  // `decoded_text` is the ASR output for `call` (or the reference text
+  // in a no-noise ablation). The structured outcome comes from the call
+  // record (in production: from the linked reservation row). Intent
+  // concepts are only accepted within the first `intent_window` tokens
+  // ("from the customer's first or second utterance").
+  CallAnalysis Analyze(const CallRecord& call,
+                       const std::string& decoded_text);
+
+  // Indexes the analysis into the internal concept index.
+  void Index(const CallAnalysis& analysis);
+
+  // Table III: customer intention vs pick up result.
+  AssociationTable IntentVsOutcome() const;
+  // Table IV: agent utterance (after rate quote) vs result.
+  AssociationTable AgentUtteranceVsOutcome() const;
+
+  const ConceptIndex& index() const { return index_; }
+  const ConceptExtractor& extractor() const { return extractor_; }
+
+  std::size_t intent_window() const { return intent_window_; }
+  void set_intent_window(std::size_t w) { intent_window_ = w; }
+
+ private:
+  ConceptExtractor extractor_;
+  ConceptIndex index_;
+  std::size_t intent_window_ = 30;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_CORE_CAR_RENTAL_INSIGHTS_H_

@@ -1,0 +1,186 @@
+#include "core/churn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "synth/corpora.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+
+void ConfigureChurnExtractor(ConceptExtractor* extractor) {
+  DomainDictionary* dict = extractor->mutable_dictionary();
+  for (const auto& product : TelecomProducts()) {
+    dict->Add(product, product, "product");
+  }
+  // Driver phrases enter as multi-word dictionary surfaces mapped to
+  // their driver category, so a single concept key ("churn driver/
+  // billing issue") summarizes many surface variants.
+  for (const auto& driver : ChurnDrivers()) {
+    for (const auto& phrase : driver.phrases) {
+      dict->Add(phrase, driver.name, "churn driver");
+    }
+  }
+  // Leaving-intent patterns.
+  BIVOC_CHECK_OK(extractor->AddPattern(
+      "have to leave -> leaving intent @ churn signal"));
+  BIVOC_CHECK_OK(extractor->AddPattern(
+      "going to disconnect -> leaving intent @ churn signal"));
+  BIVOC_CHECK_OK(extractor->AddPattern(
+      "want to discontinue -> leaving intent @ churn signal"));
+  BIVOC_CHECK_OK(extractor->AddPattern(
+      "switching to -> leaving intent @ churn signal"));
+}
+
+ChurnPredictor::ChurnPredictor(ChurnPredictorConfig config)
+    : config_(config) {
+  ConfigureChurnExtractor(&driver_extractor_);
+}
+
+std::vector<std::string> ChurnPredictor::Features(const Document& doc) const {
+  std::vector<std::string> features;
+  for (const auto& w : TokenizeWords(doc.clean_text)) {
+    if (w.size() < 3) continue;  // drop stubs
+    // Identity material (amounts, dates, receipt digits) is linking
+    // evidence, not churn signal.
+    bool has_digit = false;
+    for (char c : w) {
+      if (c >= '0' && c <= '9') has_digit = true;
+    }
+    if (has_digit) continue;
+    features.push_back(w);
+  }
+  for (const auto& c : driver_extractor_.Extract(doc.clean_text)) {
+    features.push_back(c.Key());
+  }
+  return features;
+}
+
+ChurnEvaluation ChurnPredictor::Run(const TelecomWorld& world,
+                                    const Database& db,
+                                    MultiTypeLinker* linker) {
+  ChurnEvaluation eval;
+  auto customers_or = db.GetTable("telecom_customers");
+  BIVOC_CHECK(customers_or.ok()) << customers_or.status();
+  const Table* customers = *customers_or;
+
+  // Pipeline wiring.
+  VocPipeline pipeline;
+  AnnotatorPipeline annotators;
+  {
+    std::vector<std::string> gazetteer = FirstNames();
+    gazetteer.insert(gazetteer.end(), LastNames().begin(), LastNames().end());
+    annotators.Add(std::make_unique<NameAnnotator>(gazetteer));
+    annotators.Add(std::make_unique<PhoneAnnotator>());
+    annotators.Add(std::make_unique<DateAnnotator>());
+    annotators.Add(std::make_unique<MoneyAnnotator>());
+  }
+  pipeline.SetAnnotators(&annotators);
+  pipeline.SetLinker(linker);
+  auto vocab = world.DomainVocabulary();
+  pipeline.mutable_language_filter()->AddVocabulary(vocab);
+  pipeline.mutable_sms_normalizer()->SetSpellingDictionary(vocab);
+
+  struct Processed {
+    Document doc;
+    int linked_customer = -1;   // id column of the linked row
+    bool linked_churner = false;
+    int day = 0;
+  };
+  std::vector<Processed> docs;
+  docs.reserve(world.emails().size() + world.sms().size());
+
+  auto handle = [&](const VocDocument& voc) {
+    Processed p;
+    p.day = voc.day_index;
+    if (voc.channel == VocChannel::kEmail) {
+      p.doc = pipeline.ProcessEmail(voc.raw_text, voc.day_index);
+      ++eval.emails_total;
+    } else {
+      p.doc = pipeline.ProcessSms(voc.raw_text, voc.day_index);
+      ++eval.sms_total;
+      if (p.doc.dropped) ++eval.sms_dropped;
+    }
+    if (!p.doc.dropped && p.doc.link.linked &&
+        p.doc.link.table == "telecom_customers") {
+      auto id = customers->GetInt(p.doc.link.row, "id");
+      auto status = customers->GetString(p.doc.link.row, "churn_status");
+      if (id.ok() && status.ok()) {
+        p.linked_customer = static_cast<int>(*id);
+        p.linked_churner = (*status == "churned");
+      }
+    }
+    if (voc.channel == VocChannel::kEmail && p.linked_customer < 0) {
+      ++eval.emails_unlinked;
+    }
+    docs.push_back(std::move(p));
+  };
+  for (const auto& e : world.emails()) handle(e);
+  for (const auto& s : world.sms()) handle(s);
+
+  // Time-ordered split.
+  int horizon = 30 * world.config().months;
+  int train_cutoff =
+      static_cast<int>(config_.train_fraction * static_cast<double>(horizon));
+
+  // Train on linked, non-dropped documents from the training window.
+  model_ = NaiveBayesClassifier();
+  std::vector<std::vector<std::string>> lr_docs;
+  std::vector<bool> lr_labels;
+  for (const auto& p : docs) {
+    if (p.day >= train_cutoff) continue;
+    if (p.doc.dropped || p.linked_customer < 0) continue;
+    if (config_.model == ChurnModel::kLogistic) {
+      lr_docs.push_back(Features(p.doc));
+      lr_labels.push_back(p.linked_churner);
+    } else {
+      model_.AddExample(Features(p.doc),
+                        p.linked_churner ? "churn" : "active");
+    }
+  }
+  if (config_.model == ChurnModel::kLogistic) {
+    LogisticClassifier::Options lr_options;
+    // Imbalance handling: weight the rare churn class up, the logistic
+    // analogue of the NB decision bias.
+    lr_options.positive_weight = config_.lr_positive_weight;
+    lr_model_ = LogisticClassifier(lr_options);
+    lr_model_.Train(lr_docs, lr_labels);
+  } else {
+    model_.SetClassBias("churn", config_.churn_log_bias);
+    model_.Finish();
+  }
+
+  // Test window: flag customers by their linked messages.
+  std::map<int, bool> customer_flagged;    // linked id -> any churn flag
+  std::map<int, bool> customer_is_churner; // DB truth
+  for (const auto& p : docs) {
+    if (p.day < train_cutoff) continue;
+    if (p.doc.dropped || p.linked_customer < 0) continue;
+    auto features = Features(p.doc);
+    double posterior = config_.model == ChurnModel::kLogistic
+                           ? lr_model_.Probability(features)
+                           : model_.Posterior(features, "churn");
+    bool flagged = posterior >= config_.message_threshold;
+    customer_flagged[p.linked_customer] =
+        customer_flagged[p.linked_customer] || flagged;
+    customer_is_churner[p.linked_customer] = p.linked_churner;
+  }
+  for (const auto& [customer, churner] : customer_is_churner) {
+    bool flagged = customer_flagged[customer];
+    if (churner) {
+      ++eval.churners_with_messages;
+      if (flagged) ++eval.churners_detected;
+    } else {
+      ++eval.non_churners_with_messages;
+      if (flagged) ++eval.non_churners_flagged;
+    }
+  }
+  eval.top_churn_features = config_.model == ChurnModel::kLogistic
+                                ? lr_model_.TopFeatures(15)
+                                : model_.TopFeatures("churn", 15);
+  return eval;
+}
+
+}  // namespace bivoc

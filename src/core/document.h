@@ -1,0 +1,37 @@
+#ifndef BIVOC_CORE_DOCUMENT_H_
+#define BIVOC_CORE_DOCUMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "annotate/concept.h"
+#include "linking/annotator.h"
+#include "linking/multitype.h"
+#include "synth/telecom.h"
+
+namespace bivoc {
+
+// A VoC document as it moves through the BIVoC pipeline (Fig. 3):
+// raw channel payload -> cleaned text -> named-entity annotations ->
+// structured-record link -> concepts.
+struct Document {
+  std::size_t id = 0;
+  VocChannel channel = VocChannel::kEmail;
+
+  std::string raw_text;
+  std::string clean_text;
+
+  // Filtering verdicts (spam / non-English are dropped before linking).
+  bool dropped = false;
+  std::string drop_reason;
+
+  std::vector<Annotation> annotations;
+  MultiTypeLinker::TypedMatch link;
+  std::vector<Concept> concepts;
+
+  int64_t time_bucket = 0;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_CORE_DOCUMENT_H_

@@ -1,0 +1,78 @@
+#include "core/intervention.h"
+
+#include <map>
+
+namespace bivoc {
+
+namespace {
+
+struct AgentTally {
+  std::size_t reservations = 0;
+  std::size_t unbooked = 0;
+};
+
+void Tally(const std::vector<CallRecord>& calls,
+           std::map<int, AgentTally>* per_agent) {
+  for (const auto& call : calls) {
+    if (call.is_service_call) continue;
+    auto& tally = (*per_agent)[call.agent_id];
+    if (call.reserved) {
+      ++tally.reservations;
+    } else {
+      ++tally.unbooked;
+    }
+  }
+}
+
+void Aggregate(const std::map<int, AgentTally>& per_agent, int num_trained,
+               GroupStats* trained, GroupStats* control,
+               std::vector<double>* trained_rates,
+               std::vector<double>* control_rates) {
+  for (const auto& [agent_id, tally] : per_agent) {
+    GroupStats* group = agent_id < num_trained ? trained : control;
+    group->reservations += tally.reservations;
+    group->unbooked += tally.unbooked;
+    std::size_t total = tally.reservations + tally.unbooked;
+    if (total == 0) continue;
+    double rate =
+        static_cast<double>(tally.reservations) / static_cast<double>(total);
+    if (agent_id < num_trained) {
+      if (trained_rates != nullptr) trained_rates->push_back(rate);
+    } else {
+      if (control_rates != nullptr) control_rates->push_back(rate);
+    }
+  }
+}
+
+}  // namespace
+
+InterventionResult RunIntervention(CarRentalWorld* world,
+                                   const InterventionConfig& config) {
+  InterventionResult result;
+
+  // Pre-period: nobody trained.
+  world->TrainAgents(0);
+  auto before = world->GenerateCalls(config.calls_per_period, 0,
+                                     config.seed);
+  std::map<int, AgentTally> tally_before;
+  Tally(before, &tally_before);
+  Aggregate(tally_before, config.num_trained, &result.trained_before,
+            &result.control_before, nullptr, nullptr);
+
+  // Train the first num_trained agents, run the post period.
+  world->TrainAgents(config.num_trained);
+  auto after = world->GenerateCalls(config.calls_per_period,
+                                    world->config().days,
+                                    config.seed + 1);
+  std::map<int, AgentTally> tally_after;
+  Tally(after, &tally_after);
+  Aggregate(tally_after, config.num_trained, &result.trained_after,
+            &result.control_after, &result.trained_agent_rates,
+            &result.control_agent_rates);
+
+  result.ttest =
+      WelchTTest(result.trained_agent_rates, result.control_agent_rates);
+  return result;
+}
+
+}  // namespace bivoc

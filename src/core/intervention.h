@@ -1,0 +1,75 @@
+#ifndef BIVOC_CORE_INTERVENTION_H_
+#define BIVOC_CORE_INTERVENTION_H_
+
+#include <vector>
+
+#include "mining/stats.h"
+#include "synth/car_rental.h"
+
+namespace bivoc {
+
+// The §V-C field experiment: split the agents, train one group on the
+// mined insights (offer discounts to weak starts, use value-selling
+// phrases generously), run two months, compare reservation performance
+// with a t-test. Outcomes are measured on ground truth (the paper
+// measures actual bookings, not transcripts).
+struct InterventionConfig {
+  int num_trained = 20;
+  int calls_per_period = 4000;  // per two-month window
+  uint64_t seed = 99;
+};
+
+struct GroupStats {
+  std::size_t reservations = 0;
+  std::size_t unbooked = 0;
+
+  double BookingRate() const {
+    std::size_t total = reservations + unbooked;
+    return total == 0 ? 0.0
+                      : static_cast<double>(reservations) /
+                            static_cast<double>(total);
+  }
+  // The paper's metric: reservations / unbooked.
+  double ReservationRatio() const {
+    return unbooked == 0 ? 0.0
+                         : static_cast<double>(reservations) /
+                               static_cast<double>(unbooked);
+  }
+};
+
+struct InterventionResult {
+  GroupStats trained_before, trained_after;
+  GroupStats control_before, control_after;
+  // Per-agent booking rates in the post-period (t-test inputs).
+  std::vector<double> trained_agent_rates;
+  std::vector<double> control_agent_rates;
+  TTestResult ttest;
+
+  // Booking-rate lift of trained agents vs control in the post period,
+  // in percentage points (the paper's "+3%"; the paper checked the
+  // groups were comparable beforehand).
+  double LiftPercentagePoints() const {
+    return (trained_after.BookingRate() - control_after.BookingRate()) *
+           100.0;
+  }
+
+  // Difference-in-differences, in percentage points: the trained
+  // group's improvement net of the control group's drift. Robust to a
+  // chance baseline gap between the groups.
+  double DiffInDiffPoints() const {
+    double trained_delta =
+        trained_after.BookingRate() - trained_before.BookingRate();
+    double control_delta =
+        control_after.BookingRate() - control_before.BookingRate();
+    return (trained_delta - control_delta) * 100.0;
+  }
+};
+
+// Runs the experiment on a copy of the world's agents (the caller's
+// world is modified: agents get trained flags — mirroring reality).
+InterventionResult RunIntervention(CarRentalWorld* world,
+                                   const InterventionConfig& config);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_CORE_INTERVENTION_H_

@@ -1,0 +1,110 @@
+#include "core/pipeline.h"
+
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+
+VocPipeline::VocPipeline() = default;
+
+void VocPipeline::SetNameRoster(std::vector<std::string> roster) {
+  name_roster_.clear();
+  for (auto& name : roster) {
+    name_roster_.insert(ToLowerCopy(name));
+  }
+}
+
+Document VocPipeline::Finish(Document doc) {
+  doc.id = next_id_++;
+  ++stats_.processed;
+  if (doc.dropped) return doc;
+
+  if (annotators_ != nullptr) {
+    Tokenizer tokenizer;
+    doc.annotations =
+        annotators_->Annotate(tokenizer.Tokenize(doc.clean_text));
+    if (!name_roster_.empty()) {
+      doc.annotations =
+          DropRosterNames(std::move(doc.annotations), name_roster_);
+    }
+  }
+  if (linker_ != nullptr) {
+    if (!doc.annotations.empty()) {
+      doc.link = linker_->Identify(doc.annotations);
+    }
+    if (doc.link.linked) {
+      ++stats_.linked;
+    } else {
+      ++stats_.unlinked;
+    }
+  }
+  doc.concepts = extractor_.Extract(doc.clean_text);
+  return doc;
+}
+
+Document VocPipeline::ProcessEmail(const std::string& raw,
+                                   int64_t time_bucket) {
+  Document doc;
+  doc.channel = VocChannel::kEmail;
+  doc.raw_text = raw;
+  doc.time_bucket = time_bucket;
+
+  EmailCleaner::Cleaned cleaned = email_cleaner_.Clean(raw);
+  doc.clean_text = cleaned.customer_text;
+
+  if (spam_filter_.IsSpam(doc.clean_text)) {
+    doc.dropped = true;
+    doc.drop_reason = "spam";
+    ++stats_.dropped_spam;
+  } else if (!language_filter_.IsEnglish(doc.clean_text)) {
+    doc.dropped = true;
+    doc.drop_reason = "non-english";
+    ++stats_.dropped_non_english;
+  }
+  return Finish(std::move(doc));
+}
+
+Document VocPipeline::ProcessSms(const std::string& raw,
+                                 int64_t time_bucket) {
+  Document doc;
+  doc.channel = VocChannel::kSms;
+  doc.raw_text = raw;
+  doc.time_bucket = time_bucket;
+
+  if (spam_filter_.IsSpam(raw)) {
+    doc.dropped = true;
+    doc.drop_reason = "spam";
+    ++stats_.dropped_spam;
+    doc.clean_text = raw;
+    return Finish(std::move(doc));
+  }
+  if (!language_filter_.IsEnglish(raw)) {
+    doc.dropped = true;
+    doc.drop_reason = "non-english";
+    ++stats_.dropped_non_english;
+    doc.clean_text = raw;
+    return Finish(std::move(doc));
+  }
+  doc.clean_text = sms_normalizer_.Normalize(raw);
+  return Finish(std::move(doc));
+}
+
+Document VocPipeline::ProcessTranscript(const std::string& text,
+                                        int64_t time_bucket) {
+  Document doc;
+  doc.channel = VocChannel::kCall;
+  doc.raw_text = text;
+  doc.clean_text = text;
+  doc.time_bucket = time_bucket;
+  return Finish(std::move(doc));
+}
+
+DocId VocPipeline::IndexDocument(
+    const Document& doc, const std::vector<std::string>& structured_keys) {
+  std::vector<std::string> keys;
+  for (const auto& c : doc.concepts) keys.push_back(c.Key());
+  keys.insert(keys.end(), structured_keys.begin(), structured_keys.end());
+  return index_.AddDocument(keys, doc.time_bucket);
+}
+
+}  // namespace bivoc

@@ -1,0 +1,86 @@
+#ifndef BIVOC_CORE_PIPELINE_H_
+#define BIVOC_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "annotate/concept_extractor.h"
+#include "clean/email_cleaner.h"
+#include "clean/language_filter.h"
+#include "clean/segmenter.h"
+#include "clean/sms_normalizer.h"
+#include "clean/spam_filter.h"
+#include "core/document.h"
+#include "linking/annotator.h"
+#include "linking/multitype.h"
+#include "mining/concept_index.h"
+
+namespace bivoc {
+
+// The data-processing spine of Fig. 3: channel-specific cleaning, named
+// entity annotation, structured-record linking, concept extraction, and
+// concept indexing. Components are injected so use cases can share or
+// specialize them; the linker is optional (nullptr = skip linking).
+class VocPipeline {
+ public:
+  struct Stats {
+    std::size_t processed = 0;
+    std::size_t dropped_spam = 0;
+    std::size_t dropped_non_english = 0;
+    std::size_t linked = 0;
+    std::size_t unlinked = 0;
+  };
+
+  VocPipeline();
+
+  // Wiring (all optional except the extractor, which always exists).
+  void SetLinker(MultiTypeLinker* linker) { linker_ = linker; }
+  void SetAnnotators(AnnotatorPipeline* annotators) {
+    annotators_ = annotators;
+  }
+  // Known non-customer names (e.g. the agent roster); single-token
+  // name annotations matching the roster are dropped before linking.
+  void SetNameRoster(std::vector<std::string> roster);
+  ConceptExtractor* mutable_extractor() { return &extractor_; }
+  SmsNormalizer* mutable_sms_normalizer() { return &sms_normalizer_; }
+  SpamFilter* mutable_spam_filter() { return &spam_filter_; }
+  LanguageFilter* mutable_language_filter() { return &language_filter_; }
+
+  // Channel entry points. `time_bucket` feeds trend analysis.
+  Document ProcessEmail(const std::string& raw, int64_t time_bucket = 0);
+  Document ProcessSms(const std::string& raw, int64_t time_bucket = 0);
+  // Transcripts arrive already decoded (the ASR substrate runs
+  // upstream); no spam/language filtering applies.
+  Document ProcessTranscript(const std::string& text,
+                             int64_t time_bucket = 0);
+
+  // Indexes the document's concepts plus caller-supplied structured
+  // dimension keys (e.g. "outcome/reservation").
+  DocId IndexDocument(const Document& doc,
+                      const std::vector<std::string>& structured_keys);
+
+  const ConceptIndex& index() const { return index_; }
+  ConceptIndex* mutable_index() { return &index_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Document Finish(Document doc);
+
+  EmailCleaner email_cleaner_;
+  SmsNormalizer sms_normalizer_;
+  SpamFilter spam_filter_;
+  LanguageFilter language_filter_;
+  ConceptExtractor extractor_;
+  AnnotatorPipeline* annotators_ = nullptr;  // not owned
+  MultiTypeLinker* linker_ = nullptr;        // not owned
+  std::unordered_set<std::string> name_roster_;
+  ConceptIndex index_;
+  Stats stats_;
+  std::size_t next_id_ = 0;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_CORE_PIPELINE_H_

@@ -1,0 +1,36 @@
+#include "db/database.h"
+
+namespace bivoc {
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  creation_order_.push_back(name);
+  return ptr;
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+std::vector<std::string> Database::TableNames() const {
+  return creation_order_;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,45 @@
+#ifndef BIVOC_DB_DATABASE_H_
+#define BIVOC_DB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/table.h"
+#include "util/result.h"
+
+namespace bivoc {
+
+// A named collection of tables — the enterprise warehouse the linking
+// engine resolves documents against. Multi-type entity identification
+// (paper §IV-B) treats each table as one entity type.
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Creates a table; errors if the name exists.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  std::vector<std::string> TableNames() const;
+
+  std::size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<std::string> creation_order_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_DB_DATABASE_H_

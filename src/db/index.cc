@@ -1,0 +1,61 @@
+#include "db/index.h"
+
+#include <algorithm>
+
+#include "text/phonetic.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+
+Result<HashIndex> HashIndex::Build(const Table& table,
+                                   const std::string& column) {
+  BIVOC_ASSIGN_OR_RETURN(std::size_t col, table.schema().IndexOf(column));
+  HashIndex index;
+  table.ForEach([&](RowId id, const Row& row) {
+    index.buckets_[row[col].ToString()].push_back(id);
+  });
+  return index;
+}
+
+const std::vector<RowId>& HashIndex::Lookup(const std::string& key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? empty_ : it->second;
+}
+
+Result<TokenIndex> TokenIndex::Build(const Table& table,
+                                     const std::string& column) {
+  BIVOC_ASSIGN_OR_RETURN(std::size_t col, table.schema().IndexOf(column));
+  if (table.schema().column(col).type != DataType::kString) {
+    return Status::InvalidArgument("TokenIndex requires a string column");
+  }
+  TokenIndex index;
+  table.ForEach([&](RowId id, const Row& row) {
+    if (row[col].is_null()) return;
+    for (const auto& raw : SplitWhitespace(row[col].AsString())) {
+      std::string token = ToLowerCopy(raw);
+      auto& postings = index.postings_[token];
+      if (postings.empty() || postings.back() != id) postings.push_back(id);
+    }
+  });
+  for (const auto& [token, _] : index.postings_) {
+    index.phonetic_buckets_[Soundex(token)].push_back(token);
+  }
+  for (auto& [key, tokens] : index.phonetic_buckets_) {
+    std::sort(tokens.begin(), tokens.end());
+  }
+  return index;
+}
+
+const std::vector<RowId>& TokenIndex::Lookup(const std::string& token) const {
+  auto it = postings_.find(ToLowerCopy(token));
+  return it == postings_.end() ? empty_ : it->second;
+}
+
+std::vector<std::string> TokenIndex::PhoneticNeighbors(
+    const std::string& token) const {
+  auto it = phonetic_buckets_.find(Soundex(ToLowerCopy(token)));
+  return it == phonetic_buckets_.end() ? std::vector<std::string>{}
+                                       : it->second;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,57 @@
+#ifndef BIVOC_DB_INDEX_H_
+#define BIVOC_DB_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/table.h"
+#include "util/result.h"
+
+namespace bivoc {
+
+// Exact-match hash index over one column (built once, read many — the
+// tables are append-mostly warehouse snapshots).
+class HashIndex {
+ public:
+  // Builds over the current contents of `table[column]`.
+  static Result<HashIndex> Build(const Table& table,
+                                 const std::string& column);
+
+  // Row ids whose cell stringifies to `key` (empty vector if none).
+  const std::vector<RowId>& Lookup(const std::string& key) const;
+
+  std::size_t num_keys() const { return buckets_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<RowId>> buckets_;
+  std::vector<RowId> empty_;
+};
+
+// Token inverted index over a string column: each whitespace token of
+// the cell maps to the row ids containing it. This is the retrieval
+// structure behind the linker's per-token candidate lists (the ranked
+// lists that Fagin-merge combines) — e.g. token "smith" retrieves all
+// customers with surname Smith without a full scan.
+class TokenIndex {
+ public:
+  static Result<TokenIndex> Build(const Table& table,
+                                  const std::string& column);
+
+  const std::vector<RowId>& Lookup(const std::string& token) const;
+
+  // Tokens sharing a phonetic key with `token` (Soundex bucket); the
+  // recall path for misrecognized names.
+  std::vector<std::string> PhoneticNeighbors(const std::string& token) const;
+
+  std::size_t num_tokens() const { return postings_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<RowId>> postings_;
+  std::unordered_map<std::string, std::vector<std::string>> phonetic_buckets_;
+  std::vector<RowId> empty_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_DB_INDEX_H_

@@ -1,0 +1,78 @@
+#include "db/query.h"
+
+#include <cmath>
+
+namespace bivoc {
+
+std::size_t CountWhere(const Table& table,
+                       const std::function<bool(const Row&)>& predicate) {
+  std::size_t count = 0;
+  table.ForEach([&](RowId, const Row& row) {
+    if (predicate(row)) ++count;
+  });
+  return count;
+}
+
+Result<std::map<std::string, std::size_t>> GroupCount(
+    const Table& table, const std::string& column) {
+  return GroupCountWhere(table, column, [](const Row&) { return true; });
+}
+
+Result<std::map<std::string, std::size_t>> GroupCountWhere(
+    const Table& table, const std::string& column,
+    const std::function<bool(const Row&)>& predicate) {
+  BIVOC_ASSIGN_OR_RETURN(std::size_t col, table.schema().IndexOf(column));
+  std::map<std::string, std::size_t> out;
+  table.ForEach([&](RowId, const Row& row) {
+    if (predicate(row)) ++out[row[col].ToString()];
+  });
+  return out;
+}
+
+Result<NumericAggregate> Aggregate(const Table& table,
+                                   const std::string& column) {
+  return AggregateWhere(table, column, [](const Row&) { return true; });
+}
+
+Result<NumericAggregate> AggregateWhere(
+    const Table& table, const std::string& column,
+    const std::function<bool(const Row&)>& predicate) {
+  BIVOC_ASSIGN_OR_RETURN(std::size_t col, table.schema().IndexOf(column));
+  NumericAggregate agg;
+  double m2 = 0.0;  // Welford accumulator
+  table.ForEach([&](RowId, const Row& row) {
+    if (!predicate(row)) return;
+    double v = row[col].NumericOrNan();
+    if (std::isnan(v)) return;
+    ++agg.count;
+    agg.sum += v;
+    if (agg.count == 1) {
+      agg.min = agg.max = v;
+      agg.mean = v;
+    } else {
+      agg.min = std::min(agg.min, v);
+      agg.max = std::max(agg.max, v);
+      double delta = v - agg.mean;
+      agg.mean += delta / static_cast<double>(agg.count);
+      m2 += delta * (v - agg.mean);
+    }
+  });
+  if (agg.count >= 2) {
+    agg.variance = m2 / static_cast<double>(agg.count - 1);
+  }
+  return agg;
+}
+
+Result<std::map<std::pair<std::string, std::string>, std::size_t>> CrossTab(
+    const Table& table, const std::string& row_column,
+    const std::string& col_column) {
+  BIVOC_ASSIGN_OR_RETURN(std::size_t rc, table.schema().IndexOf(row_column));
+  BIVOC_ASSIGN_OR_RETURN(std::size_t cc, table.schema().IndexOf(col_column));
+  std::map<std::pair<std::string, std::string>, std::size_t> out;
+  table.ForEach([&](RowId, const Row& row) {
+    ++out[{row[rc].ToString(), row[cc].ToString()}];
+  });
+  return out;
+}
+
+}  // namespace bivoc

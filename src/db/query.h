@@ -1,0 +1,60 @@
+#ifndef BIVOC_DB_QUERY_H_
+#define BIVOC_DB_QUERY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "util/result.h"
+
+namespace bivoc {
+
+// Lightweight analytical helpers over Table — the aggregation layer the
+// reporting component (mining/) sits on. Deliberately a function
+// library, not a query language: BIVoC's reports are fixed shapes
+// (counts, ratios, group-bys).
+
+// COUNT(*) WHERE predicate.
+std::size_t CountWhere(const Table& table,
+                       const std::function<bool(const Row&)>& predicate);
+
+// SELECT key, COUNT(*) GROUP BY column (values stringified). Ordered
+// map so report rendering is deterministic.
+Result<std::map<std::string, std::size_t>> GroupCount(
+    const Table& table, const std::string& column);
+
+// GROUP BY column restricted to rows matching predicate.
+Result<std::map<std::string, std::size_t>> GroupCountWhere(
+    const Table& table, const std::string& column,
+    const std::function<bool(const Row&)>& predicate);
+
+struct NumericAggregate {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  // Unbiased sample variance (0 for count < 2).
+  double variance = 0.0;
+};
+
+// Aggregates a numeric (int/double/date) column; nulls and non-numeric
+// cells are skipped.
+Result<NumericAggregate> Aggregate(const Table& table,
+                                   const std::string& column);
+
+Result<NumericAggregate> AggregateWhere(
+    const Table& table, const std::string& column,
+    const std::function<bool(const Row&)>& predicate);
+
+// Cross-tab: counts of (row_column value, col_column value) pairs.
+// Returned as cell[(r, c)] -> count with deterministic ordering.
+Result<std::map<std::pair<std::string, std::string>, std::size_t>> CrossTab(
+    const Table& table, const std::string& row_column,
+    const std::string& col_column);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_DB_QUERY_H_

@@ -1,0 +1,49 @@
+#include "db/schema.h"
+
+namespace bivoc {
+
+std::string_view AttributeRoleName(AttributeRole role) {
+  switch (role) {
+    case AttributeRole::kNone:
+      return "none";
+    case AttributeRole::kPersonName:
+      return "person_name";
+    case AttributeRole::kPhone:
+      return "phone";
+    case AttributeRole::kDate:
+      return "date";
+    case AttributeRole::kMoney:
+      return "money";
+    case AttributeRole::kLocation:
+      return "location";
+    case AttributeRole::kCardNumber:
+      return "card_number";
+    case AttributeRole::kProduct:
+      return "product";
+  }
+  return "none";
+}
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    index_.emplace(columns_[i].name, i);
+  }
+}
+
+Result<std::size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no column named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::size_t> Schema::ColumnsWithRole(AttributeRole role) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].role == role) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace bivoc

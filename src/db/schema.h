@@ -1,0 +1,64 @@
+#ifndef BIVOC_DB_SCHEMA_H_
+#define BIVOC_DB_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/value.h"
+#include "util/result.h"
+
+namespace bivoc {
+
+// The semantic role of an attribute as seen by the data-linking engine:
+// which annotator's tokens are candidates for matching this column
+// (names match kPersonName columns, spoken numbers match kPhone /
+// kCardNumber, ...). kNone columns never participate in linking.
+enum class AttributeRole {
+  kNone,
+  kPersonName,
+  kPhone,
+  kDate,
+  kMoney,
+  kLocation,
+  kCardNumber,
+  kProduct,
+};
+
+std::string_view AttributeRoleName(AttributeRole role);
+
+struct Column {
+  std::string name;
+  DataType type = DataType::kString;
+  AttributeRole role = AttributeRole::kNone;
+};
+
+// Ordered, named column set of a table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  const std::vector<Column>& columns() const { return columns_; }
+  std::size_t num_columns() const { return columns_.size(); }
+
+  // Index of a column or error.
+  Result<std::size_t> IndexOf(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  const Column& column(std::size_t i) const { return columns_.at(i); }
+
+  // Columns whose role matches (for the linker's annotator routing).
+  std::vector<std::size_t> ColumnsWithRole(AttributeRole role) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_DB_SCHEMA_H_

@@ -1,0 +1,85 @@
+#include "db/table.h"
+
+namespace bivoc {
+
+Result<RowId> Table::Append(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_columns()) + " in table " + name_);
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].is_null() && row[i].type() != schema_.column(i).type) {
+      return Status::InvalidArgument(
+          "type mismatch in column '" + schema_.column(i).name +
+          "' of table " + name_ + ": expected " +
+          std::string(DataTypeName(schema_.column(i).type)) + ", got " +
+          std::string(DataTypeName(row[i].type())));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return rows_.size() - 1;
+}
+
+Result<Value> Table::Get(RowId id, const std::string& column) const {
+  if (id >= rows_.size()) {
+    return Status::OutOfRange("row " + std::to_string(id) + " out of range");
+  }
+  BIVOC_ASSIGN_OR_RETURN(std::size_t col, schema_.IndexOf(column));
+  return rows_[id][col];
+}
+
+Status Table::Set(RowId id, const std::string& column, Value value) {
+  if (id >= rows_.size()) {
+    return Status::OutOfRange("row " + std::to_string(id) + " out of range");
+  }
+  BIVOC_ASSIGN_OR_RETURN(std::size_t col, schema_.IndexOf(column));
+  if (!value.is_null() && value.type() != schema_.column(col).type) {
+    return Status::InvalidArgument("type mismatch setting column " + column);
+  }
+  rows_[id][col] = std::move(value);
+  return Status::OK();
+}
+
+Result<int64_t> Table::GetInt(RowId id, const std::string& column) const {
+  BIVOC_ASSIGN_OR_RETURN(Value v, Get(id, column));
+  return v.AsInt64();
+}
+
+Result<std::string> Table::GetString(RowId id,
+                                     const std::string& column) const {
+  BIVOC_ASSIGN_OR_RETURN(Value v, Get(id, column));
+  return v.AsString();
+}
+
+Result<double> Table::GetDouble(RowId id, const std::string& column) const {
+  BIVOC_ASSIGN_OR_RETURN(Value v, Get(id, column));
+  return v.AsDouble();
+}
+
+std::vector<RowId> Table::Scan(
+    const std::function<bool(const Row&)>& predicate) const {
+  std::vector<RowId> out;
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (predicate(rows_[id])) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<RowId> Table::Find(const std::string& column,
+                               const Value& value) const {
+  auto col = schema_.IndexOf(column);
+  if (!col.ok()) return {};
+  std::vector<RowId> out;
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (rows_[id][*col] == value) out.push_back(id);
+  }
+  return out;
+}
+
+void Table::ForEach(
+    const std::function<void(RowId, const Row&)>& fn) const {
+  for (RowId id = 0; id < rows_.size(); ++id) fn(id, rows_[id]);
+}
+
+}  // namespace bivoc

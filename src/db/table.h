@@ -1,0 +1,64 @@
+#ifndef BIVOC_DB_TABLE_H_
+#define BIVOC_DB_TABLE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "db/schema.h"
+#include "db/value.h"
+#include "util/result.h"
+
+namespace bivoc {
+
+using Row = std::vector<Value>;
+using RowId = std::size_t;
+
+// Row-oriented in-memory table — the structured side of BIVoC (customer
+// profiles, reservations, transactions, churn status). Append-only with
+// in-place cell updates; our workloads are warehouse-style, no deletes.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Validates arity and cell types (null always allowed) and appends.
+  // Returns the new row id.
+  Result<RowId> Append(Row row);
+
+  const Row& row(RowId id) const { return rows_.at(id); }
+
+  // Cell accessors by column name.
+  Result<Value> Get(RowId id, const std::string& column) const;
+  Status Set(RowId id, const std::string& column, Value value);
+
+  // Typed convenience accessors (abort on type mismatch, error on
+  // missing column / row).
+  Result<int64_t> GetInt(RowId id, const std::string& column) const;
+  Result<std::string> GetString(RowId id, const std::string& column) const;
+  Result<double> GetDouble(RowId id, const std::string& column) const;
+
+  // Returns ids of rows matching the predicate.
+  std::vector<RowId> Scan(
+      const std::function<bool(const Row&)>& predicate) const;
+
+  // All row ids where `column` equals `value` (full scan; use an Index
+  // from index.h for repeated point lookups).
+  std::vector<RowId> Find(const std::string& column, const Value& value) const;
+
+  // Iterates rows without copying.
+  void ForEach(const std::function<void(RowId, const Row&)>& fn) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_DB_TABLE_H_

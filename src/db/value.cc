@@ -1,0 +1,138 @@
+#include "db/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace bivoc {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kDate:
+      return "DATE";
+  }
+  return "UNKNOWN";
+}
+
+int64_t Date::ToDays() const {
+  // Howard Hinnant's days_from_civil.
+  int y = year;
+  int m = month;
+  int d = day;
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int64_t>(era) * 146097 +
+         static_cast<int64_t>(doe) - 719468;
+}
+
+Date Date::FromDays(int64_t days) {
+  // Howard Hinnant's civil_from_days.
+  days += 719468;
+  const int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  Date out;
+  out.year = static_cast<int>(y + (m <= 2));
+  out.month = static_cast<int>(m);
+  out.day = static_cast<int>(d);
+  return out;
+}
+
+std::string Date::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return buf;
+}
+
+DataType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return DataType::kNull;
+    case 1:
+      return DataType::kInt64;
+    case 2:
+      return DataType::kDouble;
+    case 3:
+      return DataType::kString;
+    case 4:
+      return DataType::kDate;
+  }
+  return DataType::kNull;
+}
+
+int64_t Value::AsInt64() const {
+  BIVOC_CHECK(std::holds_alternative<int64_t>(data_)) << "not an int64";
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  BIVOC_CHECK(std::holds_alternative<double>(data_)) << "not a double";
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  BIVOC_CHECK(std::holds_alternative<std::string>(data_)) << "not a string";
+  return std::get<std::string>(data_);
+}
+
+Date Value::AsDate() const {
+  BIVOC_CHECK(std::holds_alternative<Date>(data_)) << "not a date";
+  return std::get<Date>(data_);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "";
+    case DataType::kInt64:
+      return std::to_string(std::get<int64_t>(data_));
+    case DataType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(data_));
+      return buf;
+    }
+    case DataType::kString:
+      return std::get<std::string>(data_);
+    case DataType::kDate:
+      return std::get<Date>(data_).ToString();
+  }
+  return "";
+}
+
+double Value::NumericOrNan() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return static_cast<double>(std::get<int64_t>(data_));
+    case DataType::kDouble:
+      return std::get<double>(data_);
+    case DataType::kDate:
+      return static_cast<double>(std::get<Date>(data_).ToDays());
+    default:
+      return std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+bool Value::operator==(const Value& other) const {
+  return data_ == other.data_;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,75 @@
+#ifndef BIVOC_DB_VALUE_H_
+#define BIVOC_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace bivoc {
+
+enum class DataType {
+  kNull,
+  kInt64,
+  kDouble,
+  kString,
+  kDate,  // stored as days since 1970-01-01
+};
+
+std::string_view DataTypeName(DataType type);
+
+// Calendar date helpers; the structured warehouse stores booking dates,
+// churn dates, birth dates.
+struct Date {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+
+  // Days since 1970-01-01 (proleptic Gregorian, civil-days algorithm).
+  int64_t ToDays() const;
+  static Date FromDays(int64_t days);
+
+  // "YYYY-MM-DD".
+  std::string ToString() const;
+
+  bool operator==(const Date& o) const {
+    return year == o.year && month == o.month && day == o.day;
+  }
+};
+
+// A dynamically typed cell in the structured store.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+  explicit Value(Date d) : data_(d) {}
+
+  static Value Null() { return Value(); }
+
+  DataType type() const;
+  bool is_null() const { return type() == DataType::kNull; }
+
+  // Typed accessors; calling the wrong one aborts (programming error).
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  Date AsDate() const;
+
+  // Lossy human-readable rendering, "" for null.
+  std::string ToString() const;
+
+  // Numeric view: int/double as-is, date as days, else NaN.
+  double NumericOrNan() const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, Date> data_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_DB_VALUE_H_

@@ -1,0 +1,336 @@
+#include "linking/annotator.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace bivoc {
+
+namespace {
+
+const std::array<std::string, 10> kDigitWords = {
+    "zero", "one", "two", "three", "four",
+    "five", "six", "seven", "eight", "nine"};
+
+int DigitWordValue(const std::string& w) {
+  if (w == "oh") return 0;  // spoken zero
+  for (std::size_t i = 0; i < kDigitWords.size(); ++i) {
+    if (w == kDigitWords[i]) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const std::array<std::string, 12> kMonths = {
+    "january", "february", "march",     "april",   "may",      "june",
+    "july",    "august",   "september", "october", "november", "december"};
+
+int MonthValue(const std::string& w) {
+  for (std::size_t i = 0; i < kMonths.size(); ++i) {
+    if (w == kMonths[i] || (w.size() >= 3 && kMonths[i].substr(0, 3) == w)) {
+      return static_cast<int>(i) + 1;
+    }
+  }
+  return -1;
+}
+
+std::string StripNonDigits(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) out += c;
+  }
+  return out;
+}
+
+int NormalizeYear(int y) { return y < 100 ? 2000 + y : y; }
+
+std::string FormatDateString(int y, int m, int d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+bool PlausibleDayMonth(int d, int m) {
+  return d >= 1 && d <= 31 && m >= 1 && m <= 12;
+}
+
+}  // namespace
+
+std::string DigitWordsToDigits(const std::vector<std::string>& words) {
+  std::string out;
+  for (const auto& w : words) {
+    int v = DigitWordValue(w);
+    if (v < 0) return "";
+    out += static_cast<char>('0' + v);
+  }
+  return out;
+}
+
+NameAnnotator::NameAnnotator(const std::vector<std::string>& gazetteer) {
+  for (const auto& n : gazetteer) gazetteer_.insert(ToLowerCopy(n));
+}
+
+std::vector<Annotation> NameAnnotator::Annotate(
+    const std::vector<Token>& tokens) const {
+  std::vector<Annotation> out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kWord) continue;
+    if (gazetteer_.count(tokens[i].norm) == 0) continue;
+    Annotation a;
+    a.role = AttributeRole::kPersonName;
+    a.text = tokens[i].norm;
+    a.surface = tokens[i].text;
+    a.begin_token = i;
+    a.end_token = i + 1;
+    // Merge adjacent gazetteer hits into one full-name annotation.
+    while (a.end_token < tokens.size() &&
+           tokens[a.end_token].kind == TokenKind::kWord &&
+           gazetteer_.count(tokens[a.end_token].norm) > 0) {
+      a.text += " " + tokens[a.end_token].norm;
+      a.surface += " " + tokens[a.end_token].text;
+      ++a.end_token;
+    }
+    i = a.end_token - 1;
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+PhoneAnnotator::PhoneAnnotator(std::size_t min_digits)
+    : min_digits_(min_digits) {}
+
+std::vector<Annotation> PhoneAnnotator::Annotate(
+    const std::vector<Token>& tokens) const {
+  std::vector<Annotation> out;
+  std::size_t i = 0;
+  while (i < tokens.size()) {
+    // Collect a maximal run of numeric material: digit tokens and
+    // spelled digit words.
+    std::string digits;
+    std::size_t begin = i;
+    std::size_t j = i;
+    std::string surface;
+    while (j < tokens.size()) {
+      const Token& t = tokens[j];
+      if (t.kind == TokenKind::kNumber) {
+        digits += StripNonDigits(t.norm);
+      } else if (t.kind == TokenKind::kWord &&
+                 DigitWordValue(t.norm) >= 0) {
+        digits += static_cast<char>('0' + DigitWordValue(t.norm));
+      } else {
+        break;
+      }
+      if (!surface.empty()) surface += ' ';
+      surface += t.text;
+      ++j;
+    }
+    if (digits.size() >= min_digits_) {
+      Annotation a;
+      a.role = digits.size() >= 12 ? AttributeRole::kCardNumber
+                                   : AttributeRole::kPhone;
+      a.text = digits;
+      a.surface = surface;
+      a.begin_token = begin;
+      a.end_token = j;
+      out.push_back(std::move(a));
+    }
+    i = (j > i) ? j : i + 1;
+  }
+  return out;
+}
+
+std::vector<Annotation> DateAnnotator::Annotate(
+    const std::vector<Token>& tokens) const {
+  std::vector<Annotation> out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    // Compact numeric dates: "19.05.07" tokenizes as one number token
+    // with internal separators.
+    if (t.kind == TokenKind::kNumber &&
+        (t.norm.find('.') != std::string::npos ||
+         t.norm.find('-') != std::string::npos)) {
+      char sep = t.norm.find('.') != std::string::npos ? '.' : '-';
+      auto parts = Split(t.norm, sep);
+      if (parts.size() == 3 && IsDigits(parts[0]) && IsDigits(parts[1]) &&
+          IsDigits(parts[2])) {
+        int d = std::stoi(parts[0]);
+        int m = std::stoi(parts[1]);
+        int y = NormalizeYear(std::stoi(parts[2]));
+        if (PlausibleDayMonth(d, m)) {
+          Annotation a;
+          a.role = AttributeRole::kDate;
+          a.text = FormatDateString(y, m, d);
+          a.surface = t.text;
+          a.begin_token = i;
+          a.end_token = i + 1;
+          out.push_back(std::move(a));
+          continue;
+        }
+      }
+    }
+    // "may 19 2007" / "19 may 2007" / "may 19".
+    if (t.kind == TokenKind::kWord && MonthValue(t.norm) > 0 &&
+        i + 1 < tokens.size() && tokens[i + 1].kind == TokenKind::kNumber) {
+      int m = MonthValue(t.norm);
+      int d = std::stoi(StripNonDigits(tokens[i + 1].norm));
+      std::size_t end = i + 2;
+      int y = 0;
+      if (end < tokens.size() && tokens[end].kind == TokenKind::kNumber) {
+        std::string ys = StripNonDigits(tokens[end].norm);
+        if (ys.size() == 4 || ys.size() == 2) {
+          y = NormalizeYear(std::stoi(ys));
+          ++end;
+        }
+      }
+      if (PlausibleDayMonth(d, m)) {
+        Annotation a;
+        a.role = AttributeRole::kDate;
+        a.text = FormatDateString(y == 0 ? 2007 : y, m, d);
+        a.surface = t.text + " " + tokens[i + 1].text;
+        a.begin_token = i;
+        a.end_token = end;
+        out.push_back(std::move(a));
+        i = end - 1;
+        continue;
+      }
+    }
+    if (t.kind == TokenKind::kNumber && i + 1 < tokens.size() &&
+        tokens[i + 1].kind == TokenKind::kWord &&
+        MonthValue(tokens[i + 1].norm) > 0) {
+      int d = std::stoi(StripNonDigits(t.norm));
+      int m = MonthValue(tokens[i + 1].norm);
+      std::size_t end = i + 2;
+      int y = 2007;
+      if (end < tokens.size() && tokens[end].kind == TokenKind::kNumber) {
+        std::string ys = StripNonDigits(tokens[end].norm);
+        if (ys.size() == 4 || ys.size() == 2) {
+          y = NormalizeYear(std::stoi(ys));
+          ++end;
+        }
+      }
+      if (PlausibleDayMonth(d, m)) {
+        Annotation a;
+        a.role = AttributeRole::kDate;
+        a.text = FormatDateString(y, m, d);
+        a.surface = t.text + " " + tokens[i + 1].text;
+        a.begin_token = i;
+        a.end_token = end;
+        out.push_back(std::move(a));
+        i = end - 1;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Annotation> MoneyAnnotator::Annotate(
+    const std::vector<Token>& tokens) const {
+  auto is_currency = [](const std::string& w) {
+    return w == "rs" || w == "rupees" || w == "rupee" || w == "dollars" ||
+           w == "dollar" || w == "usd" || w == "inr" || w == "bucks";
+  };
+  std::vector<Annotation> out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    // "rs 500" / "rs.2013" (alnum token "rs.2013" splits differently;
+    // the tokenizer keeps "2013" as number after "rs").
+    if (t.kind == TokenKind::kWord && is_currency(t.norm) &&
+        i + 1 < tokens.size() && tokens[i + 1].kind == TokenKind::kNumber) {
+      Annotation a;
+      a.role = AttributeRole::kMoney;
+      a.text = StripNonDigits(tokens[i + 1].norm);
+      a.surface = t.text + " " + tokens[i + 1].text;
+      a.begin_token = i;
+      a.end_token = i + 2;
+      out.push_back(std::move(a));
+      ++i;
+      continue;
+    }
+    // "500 rupees" / "275 dollars".
+    if (t.kind == TokenKind::kNumber && i + 1 < tokens.size() &&
+        tokens[i + 1].kind == TokenKind::kWord &&
+        is_currency(tokens[i + 1].norm)) {
+      Annotation a;
+      a.role = AttributeRole::kMoney;
+      a.text = StripNonDigits(t.norm);
+      a.surface = t.text + " " + tokens[i + 1].text;
+      a.begin_token = i;
+      a.end_token = i + 2;
+      out.push_back(std::move(a));
+      ++i;
+    }
+  }
+  return out;
+}
+
+LocationAnnotator::LocationAnnotator(
+    const std::vector<std::string>& gazetteer) {
+  for (const auto& loc : gazetteer) {
+    phrases_.push_back(SplitWhitespace(ToLowerCopy(loc)));
+  }
+  // Longest phrases first so "new york" wins over a hypothetical "new".
+  std::sort(phrases_.begin(), phrases_.end(),
+            [](const auto& a, const auto& b) { return a.size() > b.size(); });
+}
+
+std::vector<Annotation> LocationAnnotator::Annotate(
+    const std::vector<Token>& tokens) const {
+  std::vector<Annotation> out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    for (const auto& phrase : phrases_) {
+      if (phrase.empty() || i + phrase.size() > tokens.size()) continue;
+      bool match = true;
+      for (std::size_t k = 0; k < phrase.size(); ++k) {
+        if (tokens[i + k].norm != phrase[k]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      Annotation a;
+      a.role = AttributeRole::kLocation;
+      a.text = Join(phrase, " ");
+      a.surface = a.text;
+      a.begin_token = i;
+      a.end_token = i + phrase.size();
+      out.push_back(std::move(a));
+      i += phrase.size() - 1;
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<Annotation> DropRosterNames(
+    std::vector<Annotation> annotations,
+    const std::unordered_set<std::string>& roster_lower) {
+  std::erase_if(annotations, [&roster_lower](const Annotation& a) {
+    return a.role == AttributeRole::kPersonName &&
+           a.end_token == a.begin_token + 1 &&
+           roster_lower.count(ToLowerCopy(a.text)) > 0;
+  });
+  return annotations;
+}
+
+void AnnotatorPipeline::Add(std::unique_ptr<Annotator> annotator) {
+  annotators_.push_back(std::move(annotator));
+}
+
+std::vector<Annotation> AnnotatorPipeline::Annotate(
+    const std::vector<Token>& tokens) const {
+  std::vector<Annotation> out;
+  for (const auto& a : annotators_) {
+    auto found = a->Annotate(tokens);
+    out.insert(out.end(), found.begin(), found.end());
+  }
+  return out;
+}
+
+std::vector<Annotation> AnnotatorPipeline::AnnotateText(
+    const std::string& text) const {
+  Tokenizer tokenizer;
+  return Annotate(tokenizer.Tokenize(text));
+}
+
+}  // namespace bivoc

@@ -1,0 +1,128 @@
+#ifndef BIVOC_LINKING_ANNOTATOR_H_
+#define BIVOC_LINKING_ANNOTATOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "db/schema.h"
+#include "text/tokenizer.h"
+
+namespace bivoc {
+
+// One extracted mention that may correspond to an entity attribute:
+// role (which attribute family it can match), the normalized form used
+// for similarity ("9845012345" for a spelled-out phone number,
+// "2007-05-19" for a date) and the token span.
+struct Annotation {
+  AttributeRole role = AttributeRole::kNone;
+  std::string text;        // normalized form
+  std::string surface;     // original surface form
+  std::size_t begin_token = 0;
+  std::size_t end_token = 0;  // one past last token
+};
+
+// Interface for the extraction annotators of §IV-B: "We use annotators
+// to extract relevant tokens from a document and then map each
+// extracted token to a small subset of the attributes".
+class Annotator {
+ public:
+  virtual ~Annotator() = default;
+  virtual std::string_view name() const = 0;
+  virtual std::vector<Annotation> Annotate(
+      const std::vector<Token>& tokens) const = 0;
+};
+
+// Gazetteer-based person-name annotator. Matches single tokens against
+// a name list (exact match). ASR substitutes names for other names in
+// the vocabulary, so exact gazetteer hits remain the right trigger; the
+// *similarity* stage (not the annotator) absorbs the noise.
+class NameAnnotator : public Annotator {
+ public:
+  explicit NameAnnotator(const std::vector<std::string>& gazetteer);
+  std::string_view name() const override { return "name"; }
+  std::vector<Annotation> Annotate(
+      const std::vector<Token>& tokens) const override;
+
+ private:
+  std::unordered_set<std::string> gazetteer_;
+};
+
+// Digit runs (>= min_digits) and runs of spelled digit words ("nine
+// eight four ...") are normalized to digit strings. Spans of >= 12
+// digits are emitted as card numbers instead of phone numbers.
+class PhoneAnnotator : public Annotator {
+ public:
+  explicit PhoneAnnotator(std::size_t min_digits = 6);
+  std::string_view name() const override { return "phone"; }
+  std::vector<Annotation> Annotate(
+      const std::vector<Token>& tokens) const override;
+
+ private:
+  std::size_t min_digits_;
+};
+
+// Dates: "19.05.07", "19-05-2007", "may 19 2007", "19 may 2007".
+// Normalized to "YYYY-MM-DD"; two-digit years resolve to 20xx.
+class DateAnnotator : public Annotator {
+ public:
+  std::string_view name() const override { return "date"; }
+  std::vector<Annotation> Annotate(
+      const std::vector<Token>& tokens) const override;
+};
+
+// Monetary amounts: "rs 500", "rs.2013", "500 rupees", "275 dollars",
+// "two hundred and seventy five" after a currency cue. Normalized to
+// the plain number string.
+class MoneyAnnotator : public Annotator {
+ public:
+  std::string_view name() const override { return "money"; }
+  std::vector<Annotation> Annotate(
+      const std::vector<Token>& tokens) const override;
+};
+
+// Gazetteer-based location annotator (multi-word aware: "new york").
+class LocationAnnotator : public Annotator {
+ public:
+  explicit LocationAnnotator(const std::vector<std::string>& gazetteer);
+  std::string_view name() const override { return "location"; }
+  std::vector<Annotation> Annotate(
+      const std::vector<Token>& tokens) const override;
+
+ private:
+  // Lowercased phrases, longest-match-first per start token.
+  std::vector<std::vector<std::string>> phrases_;
+};
+
+// Runs every registered annotator over tokenized text.
+class AnnotatorPipeline {
+ public:
+  void Add(std::unique_ptr<Annotator> annotator);
+
+  std::vector<Annotation> Annotate(const std::vector<Token>& tokens) const;
+  std::vector<Annotation> AnnotateText(const std::string& text) const;
+
+  std::size_t size() const { return annotators_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Annotator>> annotators_;
+};
+
+// Converts a run of spelled digit words to a digit string ("nine eight
+// four" -> "984"); empty if `words` are not all digit words.
+std::string DigitWordsToDigits(const std::vector<std::string>& words);
+
+// Removes single-token person-name annotations whose text is on the
+// roster (case-insensitive). In a call center the agent on the line is
+// known metadata, so the agent's name in the greeting is not customer-
+// identifying evidence — keeping it creates spurious ties against every
+// customer sharing that given name. Multi-token annotations (full
+// names) are kept.
+std::vector<Annotation> DropRosterNames(
+    std::vector<Annotation> annotations,
+    const std::unordered_set<std::string>& roster_lower);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_LINKING_ANNOTATOR_H_

@@ -1,0 +1,113 @@
+#include "linking/fagin.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace bivoc {
+
+namespace {
+
+void SortDescending(std::vector<ScoredItem>* items) {
+  std::sort(items->begin(), items->end(),
+            [](const ScoredItem& a, const ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+}
+
+}  // namespace
+
+std::vector<ScoredItem> FullMerge(
+    const std::vector<std::vector<ScoredItem>>& lists, std::size_t k) {
+  std::unordered_map<uint64_t, double> totals;
+  for (const auto& list : lists) {
+    for (const auto& item : list) totals[item.id] += item.score;
+  }
+  std::vector<ScoredItem> out;
+  out.reserve(totals.size());
+  for (const auto& [id, score] : totals) out.push_back({id, score});
+  SortDescending(&out);
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<ScoredItem> FaginThresholdMerge(
+    const std::vector<std::vector<ScoredItem>>& lists, std::size_t k,
+    FaginStats* stats) {
+  FaginStats local;
+  const std::size_t m = lists.size();
+  if (m == 0 || k == 0) {
+    if (stats != nullptr) *stats = local;
+    return {};
+  }
+  for (const auto& list : lists) {
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      BIVOC_CHECK(list[i - 1].score >= list[i].score)
+          << "TA input lists must be sorted by descending score";
+    }
+  }
+
+  // Random-access structures.
+  std::vector<std::unordered_map<uint64_t, double>> lookup(m);
+  for (std::size_t l = 0; l < m; ++l) {
+    for (const auto& item : lists[l]) lookup[l].emplace(item.id, item.score);
+  }
+
+  std::unordered_set<uint64_t> seen;
+  std::vector<ScoredItem> top;  // maintained sorted ascending by score
+  auto consider = [&](uint64_t id) {
+    if (!seen.insert(id).second) return;
+    double total = 0.0;
+    for (std::size_t l = 0; l < m; ++l) {
+      auto it = lookup[l].find(id);
+      ++local.random_accesses;
+      if (it != lookup[l].end()) total += it->second;
+    }
+    if (top.size() < k) {
+      top.push_back({id, total});
+      std::sort(top.begin(), top.end(),
+                [](const ScoredItem& a, const ScoredItem& b) {
+                  if (a.score != b.score) return a.score < b.score;
+                  return a.id > b.id;
+                });
+    } else if (total > top.front().score ||
+               (total == top.front().score && id < top.front().id)) {
+      top.front() = {id, total};
+      std::sort(top.begin(), top.end(),
+                [](const ScoredItem& a, const ScoredItem& b) {
+                  if (a.score != b.score) return a.score < b.score;
+                  return a.id > b.id;
+                });
+    }
+  };
+
+  std::size_t depth = 0;
+  while (true) {
+    bool any = false;
+    double threshold = 0.0;
+    for (std::size_t l = 0; l < m; ++l) {
+      if (depth < lists[l].size()) {
+        any = true;
+        ++local.sorted_accesses;
+        threshold += lists[l][depth].score;
+        consider(lists[l][depth].id);
+      }
+      // Exhausted lists contribute 0 to the frontier sum.
+    }
+    if (!any) break;
+    if (top.size() >= k && top.front().score >= threshold) {
+      local.early_terminated = true;
+      break;
+    }
+    ++depth;
+  }
+
+  std::vector<ScoredItem> out(top.rbegin(), top.rend());
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,41 @@
+#ifndef BIVOC_LINKING_FAGIN_H_
+#define BIVOC_LINKING_FAGIN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bivoc {
+
+struct ScoredItem {
+  uint64_t id = 0;
+  double score = 0.0;
+};
+
+struct FaginStats {
+  std::size_t sorted_accesses = 0;
+  std::size_t random_accesses = 0;
+  bool early_terminated = false;
+};
+
+// Fagin's Threshold Algorithm (TA) over per-annotation ranked lists
+// (paper §IV-B cites Fagin's PODS'98 fuzzy-queries merge): each input
+// list must be sorted by descending score; an item absent from a list
+// contributes 0 to its aggregate. Returns the top-k items by summed
+// score, descending (ties by ascending id), stopping sorted access as
+// soon as the k-th best aggregate meets the threshold (sum of current
+// list frontiers).
+//
+// `stats` (optional) reports access counts so the ablation bench can
+// show the early-termination win over a full merge.
+std::vector<ScoredItem> FaginThresholdMerge(
+    const std::vector<std::vector<ScoredItem>>& lists, std::size_t k,
+    FaginStats* stats = nullptr);
+
+// Reference implementation: full aggregation of every item (used for
+// correctness tests and as the ablation baseline).
+std::vector<ScoredItem> FullMerge(
+    const std::vector<std::vector<ScoredItem>>& lists, std::size_t k);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_LINKING_FAGIN_H_

@@ -1,0 +1,236 @@
+#include "linking/linker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linking/similarity.h"
+#include "text/phonetic.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+
+namespace {
+
+std::string DigitsOf(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c >= '0' && c <= '9') out += c;
+  }
+  return out;
+}
+
+// Logarithmic bucket for monetary blocking: values within ~25% share a
+// bucket or its neighbors.
+int64_t MoneyBucket(double v) {
+  if (v <= 0.0) return -1;
+  return static_cast<int64_t>(std::floor(std::log(v) / std::log(1.25)));
+}
+
+constexpr std::size_t kDigitGram = 4;
+
+void AddPosting(std::unordered_map<std::string, std::vector<RowId>>* postings,
+                const std::string& key, RowId id) {
+  auto& list = (*postings)[key];
+  if (list.empty() || list.back() != id) list.push_back(id);
+}
+
+}  // namespace
+
+RoleWeights UniformRoleWeights() {
+  RoleWeights w;
+  w.fill(1.0);
+  w[static_cast<std::size_t>(AttributeRole::kNone)] = 0.0;
+  return w;
+}
+
+Result<AttributeIndex> AttributeIndex::Build(const Table& table,
+                                             std::size_t column) {
+  if (column >= table.schema().num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  AttributeIndex index;
+  index.column_ = column;
+  index.role_ = table.schema().column(column).role;
+  if (index.role_ == AttributeRole::kNone) {
+    return Status::InvalidArgument("column has no linkable role");
+  }
+
+  table.ForEach([&](RowId id, const Row& row) {
+    const Value& v = row[column];
+    if (v.is_null()) return;
+    switch (index.role_) {
+      case AttributeRole::kPersonName:
+      case AttributeRole::kLocation:
+      case AttributeRole::kProduct: {
+        for (const auto& raw : SplitWhitespace(v.ToString())) {
+          std::string token = ToLowerCopy(raw);
+          AddPosting(&index.postings_, "t:" + token, id);
+          AddPosting(&index.postings_, "s:" + Soundex(token), id);
+        }
+        break;
+      }
+      case AttributeRole::kPhone:
+      case AttributeRole::kCardNumber: {
+        std::string digits = DigitsOf(v.ToString());
+        if (digits.size() >= kDigitGram) {
+          for (std::size_t i = 0; i + kDigitGram <= digits.size(); ++i) {
+            AddPosting(&index.postings_, "g:" + digits.substr(i, kDigitGram),
+                       id);
+          }
+        } else if (!digits.empty()) {
+          AddPosting(&index.postings_, "g:" + digits, id);
+        }
+        break;
+      }
+      case AttributeRole::kDate: {
+        if (v.type() != DataType::kDate) break;
+        Date d = v.AsDate();
+        AddPosting(&index.postings_, "d:" + std::to_string(d.ToDays()), id);
+        AddPosting(&index.postings_,
+                   "md:" + std::to_string(d.month) + "-" +
+                       std::to_string(d.day),
+                   id);
+        break;
+      }
+      case AttributeRole::kMoney: {
+        double amount = v.NumericOrNan();
+        if (!std::isnan(amount)) {
+          AddPosting(&index.postings_, "m:" + std::to_string(
+                                                  MoneyBucket(amount)),
+                     id);
+        }
+        break;
+      }
+      case AttributeRole::kNone:
+        break;
+    }
+  });
+  return index;
+}
+
+std::vector<RowId> AttributeIndex::Candidates(
+    const Annotation& annotation) const {
+  std::vector<RowId> out;
+  auto add_key = [&](const std::string& key) {
+    auto it = postings_.find(key);
+    if (it == postings_.end()) return;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  };
+
+  switch (role_) {
+    case AttributeRole::kPersonName:
+    case AttributeRole::kLocation:
+    case AttributeRole::kProduct: {
+      for (const auto& raw : SplitWhitespace(annotation.text)) {
+        std::string token = ToLowerCopy(raw);
+        add_key("t:" + token);
+        add_key("s:" + Soundex(token));
+      }
+      break;
+    }
+    case AttributeRole::kPhone:
+    case AttributeRole::kCardNumber: {
+      std::string digits = DigitsOf(annotation.text);
+      if (digits.size() >= kDigitGram) {
+        for (std::size_t i = 0; i + kDigitGram <= digits.size(); ++i) {
+          add_key("g:" + digits.substr(i, kDigitGram));
+        }
+      } else if (!digits.empty()) {
+        add_key("g:" + digits);
+      }
+      break;
+    }
+    case AttributeRole::kDate: {
+      auto parts = Split(annotation.text, '-');
+      if (parts.size() != 3) break;
+      Date d;
+      d.year = std::stoi(parts[0]);
+      d.month = std::stoi(parts[1]);
+      d.day = std::stoi(parts[2]);
+      int64_t days = d.ToDays();
+      for (int64_t delta = -7; delta <= 7; ++delta) {
+        add_key("d:" + std::to_string(days + delta));
+      }
+      add_key("md:" + std::to_string(d.month) + "-" + std::to_string(d.day));
+      break;
+    }
+    case AttributeRole::kMoney: {
+      if (!IsDigits(annotation.text)) break;
+      int64_t bucket = MoneyBucket(std::stod(annotation.text));
+      for (int64_t delta = -1; delta <= 1; ++delta) {
+        add_key("m:" + std::to_string(bucket + delta));
+      }
+      break;
+    }
+    case AttributeRole::kNone:
+      break;
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<EntityLinker> EntityLinker::Build(const Table* table,
+                                         LinkerConfig config) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  EntityLinker linker(table, config);
+  const Schema& schema = table->schema();
+  for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.column(c).role == AttributeRole::kNone) continue;
+    BIVOC_ASSIGN_OR_RETURN(AttributeIndex index,
+                           AttributeIndex::Build(*table, c));
+    linker.indexes_.push_back(std::move(index));
+  }
+  if (linker.indexes_.empty()) {
+    return Status::InvalidArgument("table '" + table->name() +
+                                   "' has no linkable columns");
+  }
+  return linker;
+}
+
+std::vector<ScoredItem> EntityLinker::RankCandidates(
+    const Annotation& annotation) const {
+  // score(t_i, e) = sum over role-matching columns of w_role * sim.
+  std::unordered_map<uint64_t, double> scores;
+  double weight = weights_[static_cast<std::size_t>(annotation.role)];
+  if (weight <= 0.0) return {};
+  for (const auto& index : indexes_) {
+    if (index.role() != annotation.role) continue;
+    for (RowId id : index.Candidates(annotation)) {
+      double sim = RoleSimilarity(annotation.role, annotation.text,
+                                  table_->row(id)[index.column()]);
+      if (sim <= 0.0) continue;
+      double& slot = scores[id];
+      slot = std::max(slot, weight * sim);
+    }
+  }
+  std::vector<ScoredItem> out;
+  out.reserve(scores.size());
+  for (const auto& [id, s] : scores) out.push_back({id, s});
+  std::sort(out.begin(), out.end(), [](const ScoredItem& a,
+                                       const ScoredItem& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+std::vector<LinkMatch> EntityLinker::Link(
+    const std::vector<Annotation>& annotations, FaginStats* stats) const {
+  std::vector<std::vector<ScoredItem>> lists;
+  lists.reserve(annotations.size());
+  for (const auto& a : annotations) {
+    auto ranked = RankCandidates(a);
+    if (!ranked.empty()) lists.push_back(std::move(ranked));
+  }
+  if (lists.empty()) return {};
+  auto merged = FaginThresholdMerge(lists, config_.top_k, stats);
+  std::vector<LinkMatch> out;
+  for (const auto& item : merged) {
+    if (item.score < config_.min_score) continue;
+    out.push_back({static_cast<RowId>(item.id), item.score});
+  }
+  return out;
+}
+
+}  // namespace bivoc

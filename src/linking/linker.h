@@ -1,0 +1,97 @@
+#ifndef BIVOC_LINKING_LINKER_H_
+#define BIVOC_LINKING_LINKER_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/table.h"
+#include "linking/annotator.h"
+#include "linking/fagin.h"
+#include "util/result.h"
+
+namespace bivoc {
+
+constexpr std::size_t kNumAttributeRoles = 8;
+
+// Per-role weights w_j of Eqn 2 (single-type) indexed by AttributeRole.
+using RoleWeights = std::array<double, kNumAttributeRoles>;
+
+RoleWeights UniformRoleWeights();
+
+struct LinkMatch {
+  RowId row = 0;
+  double score = 0.0;
+};
+
+struct LinkerConfig {
+  std::size_t top_k = 5;
+  // Aggregate below this is "unlinked" (the paper's 18% unlinkable
+  // emails are exactly documents whose best score falls under this).
+  double min_score = 0.35;
+};
+
+// Candidate retrieval for one linkable column: maps an annotation to
+// the small set of rows worth scoring, so linking never scans the whole
+// table per token. Role-specific blocking:
+//   names      -> token postings + Soundex buckets
+//   numbers    -> digit 4-gram postings
+//   dates      -> exact-day and (month,day) buckets with a +/-7d probe
+//   money      -> logarithmic value buckets (+/-1 bucket probe)
+//   locations  -> exact phrase + Soundex buckets
+class AttributeIndex {
+ public:
+  static Result<AttributeIndex> Build(const Table& table,
+                                      std::size_t column);
+
+  // Candidate row ids (deduplicated) for an annotation of this
+  // column's role.
+  std::vector<RowId> Candidates(const Annotation& annotation) const;
+
+  std::size_t column() const { return column_; }
+  AttributeRole role() const { return role_; }
+
+ private:
+  std::size_t column_ = 0;
+  AttributeRole role_ = AttributeRole::kNone;
+  std::unordered_map<std::string, std::vector<RowId>> postings_;
+};
+
+// Single-type entity identification (paper §IV-B, Eqn 2): scores a
+// document's annotations against one table and returns the top-k rows
+// via Fagin threshold merge of per-annotation ranked lists.
+class EntityLinker {
+ public:
+  static Result<EntityLinker> Build(const Table* table,
+                                    LinkerConfig config = {});
+
+  // Default weights are uniform; multi-type EM supplies learned ones.
+  void SetRoleWeights(const RoleWeights& weights) { weights_ = weights; }
+  const RoleWeights& role_weights() const { return weights_; }
+
+  // Ranked matches (possibly empty if nothing clears min_score).
+  std::vector<LinkMatch> Link(const std::vector<Annotation>& annotations,
+                              FaginStats* stats = nullptr) const;
+
+  // Per-annotation ranked candidate list (exposed for the multi-type
+  // scorer and for tests).
+  std::vector<ScoredItem> RankCandidates(const Annotation& annotation) const;
+
+  const Table& table() const { return *table_; }
+  const LinkerConfig& config() const { return config_; }
+
+ private:
+  EntityLinker(const Table* table, LinkerConfig config)
+      : table_(table), config_(config), weights_(UniformRoleWeights()) {}
+
+  const Table* table_;  // not owned
+  LinkerConfig config_;
+  RoleWeights weights_;
+  std::vector<AttributeIndex> indexes_;  // one per linkable column
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_LINKING_LINKER_H_

@@ -1,0 +1,141 @@
+#include "linking/multitype.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bivoc {
+
+Result<MultiTypeLinker> MultiTypeLinker::Build(const Database* db,
+                                               LinkerConfig config) {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+  MultiTypeLinker out;
+  for (const auto& name : db->TableNames()) {
+    BIVOC_ASSIGN_OR_RETURN(const Table* table, db->GetTable(name));
+    auto linker = EntityLinker::Build(table, config);
+    if (!linker.ok()) continue;  // tables without linkable columns
+    out.types_.push_back(TypeEntry{name, linker.MoveValue()});
+  }
+  if (out.types_.empty()) {
+    return Status::InvalidArgument("no linkable tables in database");
+  }
+  return out;
+}
+
+MultiTypeLinker::TypedMatch MultiTypeLinker::Identify(
+    const std::vector<Annotation>& annotations) const {
+  TypedMatch best;
+  for (const auto& entry : types_) {
+    auto matches = entry.linker.Link(annotations);
+    if (matches.empty()) continue;
+    if (!best.linked || matches.front().score > best.score) {
+      best.table = entry.name;
+      best.row = matches.front().row;
+      best.score = matches.front().score;
+      best.linked = true;
+    }
+  }
+  return best;
+}
+
+std::vector<MultiTypeLinker::TypedMatch> MultiTypeLinker::RankByType(
+    const std::vector<Annotation>& annotations) const {
+  std::vector<TypedMatch> out;
+  for (const auto& entry : types_) {
+    TypedMatch m;
+    m.table = entry.name;
+    auto matches = entry.linker.Link(annotations);
+    if (!matches.empty()) {
+      m.row = matches.front().row;
+      m.score = matches.front().score;
+      m.linked = true;
+    }
+    out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end(), [](const TypedMatch& a,
+                                       const TypedMatch& b) {
+    if (a.linked != b.linked) return a.linked;
+    if (a.score != b.score) return a.score > b.score;
+    return a.table < b.table;
+  });
+  return out;
+}
+
+MultiTypeLinker::EmResult MultiTypeLinker::LearnWeights(
+    const std::vector<std::vector<Annotation>>& documents, int max_iterations,
+    double tolerance) {
+  EmResult result;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // E-step: assign documents under current weights.
+    std::map<std::string, std::size_t> assignments;
+    std::map<std::string, std::array<double, kNumAttributeRoles>> counts;
+    for (const auto& entry : types_) {
+      counts[entry.name].fill(0.0);
+    }
+    for (const auto& doc : documents) {
+      TypedMatch match = Identify(doc);
+      if (!match.linked) continue;
+      ++assignments[match.table];
+      auto& n = counts[match.table];
+      for (const auto& a : doc) {
+        n[static_cast<std::size_t>(a.role)] += 1.0;
+      }
+    }
+
+    // M-step: w_ij = n_ij / sum_i n_ij, per type. Laplace-style floor
+    // keeps roles alive that were merely unlucky this round.
+    double max_delta = 0.0;
+    for (auto& entry : types_) {
+      const auto& n = counts[entry.name];
+      double total = 0.0;
+      for (std::size_t r = 1; r < kNumAttributeRoles; ++r) {
+        total += n[r] + 0.1;
+      }
+      if (assignments[entry.name] == 0) continue;  // keep prior weights
+      RoleWeights w = entry.linker.role_weights();
+      for (std::size_t r = 1; r < kNumAttributeRoles; ++r) {
+        // Scale so the average active weight stays ~1 (keeps scores
+        // comparable to min_score across iterations).
+        double updated = (n[r] + 0.1) / total *
+                         static_cast<double>(kNumAttributeRoles - 1);
+        max_delta = std::max(max_delta, std::abs(updated - w[r]));
+        w[r] = updated;
+      }
+      entry.linker.SetRoleWeights(w);
+    }
+
+    result.iterations = iter + 1;
+    result.final_delta = max_delta;
+    result.assignments = std::move(assignments);
+    if (max_delta < tolerance) break;
+  }
+  return result;
+}
+
+const RoleWeights& MultiTypeLinker::WeightsFor(
+    const std::string& table) const {
+  for (const auto& entry : types_) {
+    if (entry.name == table) return entry.linker.role_weights();
+  }
+  static const RoleWeights kUniform = UniformRoleWeights();
+  return kUniform;
+}
+
+Status MultiTypeLinker::SetWeightsFor(const std::string& table,
+                                      const RoleWeights& weights) {
+  for (auto& entry : types_) {
+    if (entry.name == table) {
+      entry.linker.SetRoleWeights(weights);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no type named '" + table + "'");
+}
+
+std::vector<std::string> MultiTypeLinker::Types() const {
+  std::vector<std::string> out;
+  out.reserve(types_.size());
+  for (const auto& entry : types_) out.push_back(entry.name);
+  return out;
+}
+
+}  // namespace bivoc

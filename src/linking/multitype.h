@@ -1,0 +1,73 @@
+#ifndef BIVOC_LINKING_MULTITYPE_H_
+#define BIVOC_LINKING_MULTITYPE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "linking/linker.h"
+
+namespace bivoc {
+
+// Multi-type entity identification (paper §IV-B, Eqn 3): the central
+// entity of a document may come from any table of the warehouse; each
+// (attribute-role, entity-type) pair carries its own weight w_jk, and
+// the highest-scoring <entity, type> pair wins. Weights are learned
+// unsupervised with the paper's EM-style loop:
+//
+//   E-step: assign each document to its best <entity, type> under the
+//           current weights;
+//   M-step: w_ij <- n_ij / sum_i n_ij, where n_ij counts occurrences
+//           of attribute role i in documents assigned to type j.
+class MultiTypeLinker {
+ public:
+  // Uses every table of `db` that has at least one linkable column.
+  static Result<MultiTypeLinker> Build(const Database* db,
+                                       LinkerConfig config = {});
+
+  struct TypedMatch {
+    std::string table;
+    RowId row = 0;
+    double score = 0.0;
+    bool linked = false;  // false when nothing clears min_score
+  };
+
+  // Best <entity, type> pair for the document.
+  TypedMatch Identify(const std::vector<Annotation>& annotations) const;
+
+  // Best match within each type (for diagnostics / drill-down).
+  std::vector<TypedMatch> RankByType(
+      const std::vector<Annotation>& annotations) const;
+
+  struct EmResult {
+    int iterations = 0;
+    double final_delta = 0.0;  // max |w change| in the last iteration
+    // Documents assigned per type in the final E-step.
+    std::map<std::string, std::size_t> assignments;
+  };
+
+  // Unsupervised weight learning over an unlabeled document collection.
+  EmResult LearnWeights(
+      const std::vector<std::vector<Annotation>>& documents,
+      int max_iterations = 10, double tolerance = 1e-4);
+
+  // Current weights for one type (uniform before LearnWeights).
+  const RoleWeights& WeightsFor(const std::string& table) const;
+
+  // Overrides weights for a type (used by the uniform-vs-EM ablation).
+  Status SetWeightsFor(const std::string& table, const RoleWeights& weights);
+
+  std::vector<std::string> Types() const;
+
+ private:
+  struct TypeEntry {
+    std::string name;
+    EntityLinker linker;
+  };
+  std::vector<TypeEntry> types_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_LINKING_MULTITYPE_H_

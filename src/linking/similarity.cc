@@ -1,0 +1,136 @@
+#include "linking/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "text/jaro_winkler.h"
+#include "text/phonetic.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+
+namespace {
+
+// Parses "YYYY-MM-DD"; returns false on malformed input.
+bool ParseIsoDate(const std::string& s, Date* out) {
+  auto parts = Split(s, '-');
+  if (parts.size() != 3) return false;
+  if (!IsDigits(parts[0]) || !IsDigits(parts[1]) || !IsDigits(parts[2])) {
+    return false;
+  }
+  out->year = std::stoi(parts[0]);
+  out->month = std::stoi(parts[1]);
+  out->day = std::stoi(parts[2]);
+  return out->month >= 1 && out->month <= 12 && out->day >= 1 &&
+         out->day <= 31;
+}
+
+double NumericSimilarity(double a, double b) {
+  double denom = std::max(std::abs(a), std::abs(b));
+  if (denom <= 0.0) return 1.0;
+  double rel = std::abs(a - b) / denom;
+  return std::max(0.0, 1.0 - rel);
+}
+
+}  // namespace
+
+double DigitSequenceSimilarity(const std::string& a, const std::string& b) {
+  if (a.empty() || b.empty()) return a.empty() && b.empty() ? 1.0 : 0.0;
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<std::size_t> prev(m + 1, 0);
+  std::vector<std::size_t> cur(m + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<double>(prev[m]) / static_cast<double>(std::max(n, m));
+}
+
+double PersonNameSimilarity(const std::string& a, const std::string& b) {
+  // Token-wise best alignment: each token of the shorter side matched
+  // to its best counterpart; blended lexical + phonetic per token.
+  auto ta = SplitWhitespace(ToLowerCopy(a));
+  auto tb = SplitWhitespace(ToLowerCopy(b));
+  if (ta.empty() || tb.empty()) return 0.0;
+  const auto& shorter = ta.size() <= tb.size() ? ta : tb;
+  const auto& longer = ta.size() <= tb.size() ? tb : ta;
+  double total = 0.0;
+  for (const auto& s : shorter) {
+    double best = 0.0;
+    for (const auto& l : longer) {
+      double lex = JaroWinkler(s, l);
+      double phon = PhoneticSimilarity(s, l);
+      best = std::max(best, 0.65 * lex + 0.35 * phon);
+    }
+    total += best;
+  }
+  return total / static_cast<double>(shorter.size());
+}
+
+double DateSimilarity(const Date& a, const Date& b) {
+  if (a == b) return 1.0;
+  int64_t diff = std::llabs(a.ToDays() - b.ToDays());
+  if (diff <= 1) return 0.85;
+  if (diff <= 7) return 0.6;
+  // Same day+month, wrong year (common for ASR year loss).
+  if (a.day == b.day && a.month == b.month) return 0.7;
+  if (diff <= 31) return 0.3;
+  return 0.0;
+}
+
+double RoleSimilarity(AttributeRole role, const std::string& annotation_text,
+                      const Value& attribute) {
+  if (attribute.is_null()) return 0.0;
+  switch (role) {
+    case AttributeRole::kPersonName:
+      return PersonNameSimilarity(annotation_text, attribute.ToString());
+    case AttributeRole::kPhone:
+    case AttributeRole::kCardNumber: {
+      std::string attr_digits;
+      for (char c : attribute.ToString()) {
+        if (c >= '0' && c <= '9') attr_digits += c;
+      }
+      double sim = DigitSequenceSimilarity(annotation_text, attr_digits);
+      // Discount weak partial overlaps — fewer than half the digits in
+      // common is noise, not evidence.
+      return sim >= 0.5 ? sim : 0.0;
+    }
+    case AttributeRole::kDate: {
+      Date ann_date;
+      if (!ParseIsoDate(annotation_text, &ann_date)) return 0.0;
+      if (attribute.type() == DataType::kDate) {
+        return DateSimilarity(ann_date, attribute.AsDate());
+      }
+      Date attr_date;
+      if (!ParseIsoDate(attribute.ToString(), &attr_date)) return 0.0;
+      return DateSimilarity(ann_date, attr_date);
+    }
+    case AttributeRole::kMoney: {
+      double ann_value = 0.0;
+      if (annotation_text.empty() || !IsDigits(annotation_text)) return 0.0;
+      ann_value = std::stod(annotation_text);
+      double attr_value = attribute.NumericOrNan();
+      if (std::isnan(attr_value)) return 0.0;
+      double sim = NumericSimilarity(ann_value, attr_value);
+      return sim >= 0.6 ? sim : 0.0;
+    }
+    case AttributeRole::kLocation:
+    case AttributeRole::kProduct:
+      return JaroWinkler(ToLowerCopy(annotation_text),
+                         ToLowerCopy(attribute.ToString()));
+    case AttributeRole::kNone:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,37 @@
+#ifndef BIVOC_LINKING_SIMILARITY_H_
+#define BIVOC_LINKING_SIMILARITY_H_
+
+#include <string>
+
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace bivoc {
+
+// Fuzzy similarity between an annotation's normalized text and an
+// entity attribute value, in [0, 1]. The measures are per-role, per the
+// paper: "the best similarity measure available for specific attributes
+// can be readily plugged into our architecture". These are ours:
+//
+//  - person names: token-wise Jaro-Winkler blended with phonetic-key
+//    similarity (ASR confuses similar-sounding names);
+//  - phone/card numbers: longest-common-subsequence ratio on digit
+//    strings (partial recognition keeps digit order but loses digits);
+//  - dates: graded closeness on calendar distance;
+//  - money: relative numeric difference;
+//  - locations/products: Jaro-Winkler.
+double RoleSimilarity(AttributeRole role, const std::string& annotation_text,
+                      const Value& attribute);
+
+// LCS(a,b) / max(|a|,|b|) over digit strings.
+double DigitSequenceSimilarity(const std::string& a, const std::string& b);
+
+// Name similarity used by kPersonName (exposed for tests/benches).
+double PersonNameSimilarity(const std::string& a, const std::string& b);
+
+// Calendar similarity given both sides as "YYYY-MM-DD" (or a DB Date).
+double DateSimilarity(const Date& a, const Date& b);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_LINKING_SIMILARITY_H_

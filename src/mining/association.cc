@@ -1,0 +1,72 @@
+#include "mining/association.h"
+
+#include <algorithm>
+
+#include "mining/stats.h"
+
+namespace bivoc {
+
+namespace {
+AssociationCell MakeCell(const ConceptIndex& index, const std::string& row,
+                         const std::string& col) {
+  AssociationCell cell;
+  cell.row_key = row;
+  cell.col_key = col;
+  cell.n = index.num_documents();
+  cell.n_row = index.Count(row);
+  cell.n_col = index.Count(col);
+  cell.n_cell = index.CountBoth(row, col);
+  cell.point_lift = PointLift(cell.n_cell, cell.n_row, cell.n_col, cell.n);
+  cell.lower_lift =
+      LowerBoundLift(cell.n_cell, cell.n_row, cell.n_col, cell.n);
+  cell.row_share = cell.n_row > 0 ? static_cast<double>(cell.n_cell) /
+                                        static_cast<double>(cell.n_row)
+                                  : 0.0;
+  return cell;
+}
+}  // namespace
+
+AssociationTable TwoDimensionalAssociation(
+    const ConceptIndex& index, const std::vector<std::string>& row_keys,
+    const std::vector<std::string>& col_keys) {
+  AssociationTable table;
+  table.row_keys = row_keys;
+  table.col_keys = col_keys;
+  table.cells.reserve(row_keys.size() * col_keys.size());
+  for (const auto& r : row_keys) {
+    for (const auto& c : col_keys) {
+      table.cells.push_back(MakeCell(index, r, c));
+    }
+  }
+  return table;
+}
+
+std::vector<AssociationCell> TopAssociations(const ConceptIndex& index,
+                                             const std::string& row_prefix,
+                                             const std::string& col_prefix,
+                                             std::size_t limit,
+                                             std::size_t min_cell_count) {
+  std::vector<AssociationCell> out;
+  auto rows = index.Keys(row_prefix);
+  auto cols = index.Keys(col_prefix);
+  for (const auto& r : rows) {
+    for (const auto& c : cols) {
+      if (r == c) continue;
+      AssociationCell cell = MakeCell(index, r, c);
+      if (cell.n_cell < min_cell_count) continue;
+      out.push_back(std::move(cell));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AssociationCell& a, const AssociationCell& b) {
+              if (a.lower_lift != b.lower_lift) {
+                return a.lower_lift > b.lower_lift;
+              }
+              if (a.n_cell != b.n_cell) return a.n_cell > b.n_cell;
+              return a.row_key + a.col_key < b.row_key + b.col_key;
+            });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+}  // namespace bivoc

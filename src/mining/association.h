@@ -1,0 +1,54 @@
+#ifndef BIVOC_MINING_ASSOCIATION_H_
+#define BIVOC_MINING_ASSOCIATION_H_
+
+#include <string>
+#include <vector>
+
+#include "mining/concept_index.h"
+
+namespace bivoc {
+
+// One cell of the two-dimensional association analysis (paper §IV-D.2,
+// Table II, Fig. 4): co-occurrence of a vertical and a horizontal
+// concept with the paper's association indices.
+struct AssociationCell {
+  std::string row_key;
+  std::string col_key;
+  std::size_t n_cell = 0;  // docs with both
+  std::size_t n_row = 0;   // docs with row concept
+  std::size_t n_col = 0;   // docs with col concept
+  std::size_t n = 0;       // all docs
+  double point_lift = 0.0;   // Eqn 4 point estimate
+  double lower_lift = 0.0;   // left terminal of the interval estimate
+  // Row-conditional share n_cell / n_row — the percentage format of
+  // Tables III and IV.
+  double row_share = 0.0;
+};
+
+struct AssociationTable {
+  std::vector<std::string> row_keys;
+  std::vector<std::string> col_keys;
+  // row-major: cells[r * col_keys.size() + c].
+  std::vector<AssociationCell> cells;
+
+  const AssociationCell& cell(std::size_t r, std::size_t c) const {
+    return cells[r * col_keys.size() + c];
+  }
+};
+
+// Fills the full cross table for the given concept keys.
+AssociationTable TwoDimensionalAssociation(
+    const ConceptIndex& index, const std::vector<std::string>& row_keys,
+    const std::vector<std::string>& col_keys);
+
+// Strongest associations across a whole category pair, ranked by the
+// robust lower-bound lift (what the Fig. 4 view sorts by).
+std::vector<AssociationCell> TopAssociations(const ConceptIndex& index,
+                                             const std::string& row_prefix,
+                                             const std::string& col_prefix,
+                                             std::size_t limit,
+                                             std::size_t min_cell_count = 3);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_MINING_ASSOCIATION_H_

@@ -1,0 +1,81 @@
+#include "mining/concept_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace bivoc {
+
+DocId ConceptIndex::AddDocument(const std::vector<std::string>& concept_keys,
+                                int64_t time_bucket) {
+  DocId id = doc_concepts_.size();
+  std::set<std::string> unique(concept_keys.begin(), concept_keys.end());
+  doc_concepts_.emplace_back(unique.begin(), unique.end());
+  doc_time_.push_back(time_bucket);
+  for (const auto& key : unique) {
+    postings_[key].push_back(id);  // ids arrive in increasing order
+  }
+  return id;
+}
+
+std::size_t ConceptIndex::Count(const std::string& key) const {
+  auto it = postings_.find(key);
+  return it == postings_.end() ? 0 : it->second.size();
+}
+
+const std::vector<DocId>& ConceptIndex::Postings(
+    const std::string& key) const {
+  auto it = postings_.find(key);
+  return it == postings_.end() ? empty_ : it->second;
+}
+
+std::size_t ConceptIndex::CountBoth(const std::string& a,
+                                    const std::string& b) const {
+  const auto& pa = Postings(a);
+  const auto& pb = Postings(b);
+  std::size_t i = 0, j = 0, count = 0;
+  while (i < pa.size() && j < pb.size()) {
+    if (pa[i] == pb[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (pa[i] < pb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::vector<DocId> ConceptIndex::DocsWithBoth(const std::string& a,
+                                              const std::string& b) const {
+  const auto& pa = Postings(a);
+  const auto& pb = Postings(b);
+  std::vector<DocId> out;
+  std::set_intersection(pa.begin(), pa.end(), pb.begin(), pb.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+const std::vector<std::string>& ConceptIndex::ConceptsOf(DocId doc) const {
+  if (doc >= doc_concepts_.size()) return empty_concepts_;
+  return doc_concepts_[doc];
+}
+
+int64_t ConceptIndex::TimeBucketOf(DocId doc) const {
+  if (doc >= doc_time_.size()) return kNoTimeBucket;
+  return doc_time_[doc];
+}
+
+std::vector<std::string> ConceptIndex::Keys(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [key, _] : postings_) {
+    if (prefix.empty() || StartsWith(key, prefix)) out.push_back(key);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,65 @@
+#ifndef BIVOC_MINING_CONCEPT_INDEX_H_
+#define BIVOC_MINING_CONCEPT_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bivoc {
+
+using DocId = std::size_t;
+constexpr int64_t kNoTimeBucket = INT64_MIN;
+
+// Inverted index from concept keys to documents — the paper's §IV-D
+// "the dataset is indexed based on the annotations (semantic
+// classifications); this allows quick reporting to be done on datasets
+// containing even millions of documents."
+//
+// Structured dimensions participate as concepts too: the pipeline
+// registers e.g. "outcome/reservation" or "agent/a042" alongside
+// unstructured concepts, which is precisely how BIVoC associates
+// concepts across the structured/unstructured boundary.
+class ConceptIndex {
+ public:
+  ConceptIndex() = default;
+
+  // Adds a document with its (deduplicated) concept keys; `time_bucket`
+  // is an arbitrary period id (e.g. day number) for trend analysis.
+  DocId AddDocument(const std::vector<std::string>& concept_keys,
+                    int64_t time_bucket = kNoTimeBucket);
+
+  std::size_t num_documents() const { return doc_concepts_.size(); }
+  std::size_t num_concepts() const { return postings_.size(); }
+
+  // Document count containing the key.
+  std::size_t Count(const std::string& key) const;
+
+  // Document count containing both keys (sorted-postings intersection).
+  std::size_t CountBoth(const std::string& a, const std::string& b) const;
+
+  // Sorted posting list ({} if unknown).
+  const std::vector<DocId>& Postings(const std::string& key) const;
+
+  // Documents containing both keys (the drill-down of Fig. 4).
+  std::vector<DocId> DocsWithBoth(const std::string& a,
+                                  const std::string& b) const;
+
+  const std::vector<std::string>& ConceptsOf(DocId doc) const;
+  int64_t TimeBucketOf(DocId doc) const;
+
+  // All keys, sorted; optionally only those with a given category
+  // prefix ("value selling/").
+  std::vector<std::string> Keys(const std::string& prefix = "") const;
+
+ private:
+  std::unordered_map<std::string, std::vector<DocId>> postings_;
+  std::vector<std::vector<std::string>> doc_concepts_;
+  std::vector<int64_t> doc_time_;
+  std::vector<DocId> empty_;
+  std::vector<std::string> empty_concepts_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_MINING_CONCEPT_INDEX_H_

@@ -1,0 +1,39 @@
+#include "mining/relative_frequency.h"
+
+#include <algorithm>
+
+namespace bivoc {
+
+std::vector<RelevancyItem> RelevancyAnalysis(const ConceptIndex& index,
+                                             const std::string& feature_key,
+                                             RelevancyOptions options) {
+  std::vector<RelevancyItem> out;
+  std::size_t subset_size = index.Count(feature_key);
+  std::size_t corpus_size = index.num_documents();
+  if (subset_size == 0 || corpus_size == 0) return out;
+
+  for (const auto& key : index.Keys(options.key_prefix)) {
+    if (key == feature_key) continue;
+    RelevancyItem item;
+    item.key = key;
+    item.subset_count = index.CountBoth(feature_key, key);
+    if (item.subset_count < options.min_subset_count) continue;
+    item.corpus_count = index.Count(key);
+    item.subset_freq = static_cast<double>(item.subset_count) /
+                       static_cast<double>(subset_size);
+    item.corpus_freq = static_cast<double>(item.corpus_count) /
+                       static_cast<double>(corpus_size);
+    item.relative =
+        item.corpus_freq > 0.0 ? item.subset_freq / item.corpus_freq : 0.0;
+    out.push_back(std::move(item));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RelevancyItem& a, const RelevancyItem& b) {
+              if (a.relative != b.relative) return a.relative > b.relative;
+              return a.key < b.key;
+            });
+  if (out.size() > options.limit) out.resize(options.limit);
+  return out;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,40 @@
+#ifndef BIVOC_MINING_RELATIVE_FREQUENCY_H_
+#define BIVOC_MINING_RELATIVE_FREQUENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "mining/concept_index.h"
+
+namespace bivoc {
+
+// Relevancy analysis with relative frequency (paper §IV-D.1): compares
+// the distribution of concepts inside a featured subset (documents
+// containing `feature_key`) against the whole corpus, surfacing
+// concepts over-represented in the subset.
+struct RelevancyItem {
+  std::string key;
+  std::size_t subset_count = 0;
+  std::size_t corpus_count = 0;
+  double subset_freq = 0.0;   // subset_count / |subset|
+  double corpus_freq = 0.0;   // corpus_count / |corpus|
+  double relative = 0.0;      // subset_freq / corpus_freq
+};
+
+struct RelevancyOptions {
+  // Only concepts whose key starts with this prefix (e.g. a category).
+  std::string key_prefix;
+  // Concepts must occur at least this often in the subset.
+  std::size_t min_subset_count = 3;
+  std::size_t limit = 50;
+};
+
+// Items sorted by descending relative frequency. The feature key itself
+// is excluded from the output.
+std::vector<RelevancyItem> RelevancyAnalysis(const ConceptIndex& index,
+                                             const std::string& feature_key,
+                                             RelevancyOptions options = {});
+
+}  // namespace bivoc
+
+#endif  // BIVOC_MINING_RELATIVE_FREQUENCY_H_

@@ -1,0 +1,116 @@
+#include "mining/report.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace bivoc {
+
+std::string RenderGrid(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return "";
+  std::size_t cols = 0;
+  for (const auto& row : rows) cols = std::max(cols, row.size());
+  std::vector<std::size_t> widths(cols, 0);
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto rule = [&] {
+    out += '+';
+    for (std::size_t c = 0; c < cols; ++c) {
+      out += std::string(widths[c] + 2, '-');
+      out += '+';
+    }
+    out += '\n';
+  };
+  rule();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out += '|';
+    for (std::size_t c = 0; c < cols; ++c) {
+      std::string cell = c < rows[r].size() ? rows[r][c] : "";
+      out += ' ';
+      out += cell;
+      out += std::string(widths[c] - cell.size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+    if (r == 0) rule();
+  }
+  rule();
+  return out;
+}
+
+std::string RenderAssociationTable(const AssociationTable& table,
+                                   const std::string& metric) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header = {""};
+  header.insert(header.end(), table.col_keys.begin(), table.col_keys.end());
+  rows.push_back(header);
+  for (std::size_t r = 0; r < table.row_keys.size(); ++r) {
+    std::vector<std::string> row = {table.row_keys[r]};
+    for (std::size_t c = 0; c < table.col_keys.size(); ++c) {
+      const AssociationCell& cell = table.cell(r, c);
+      if (metric == "point_lift") {
+        row.push_back(FormatDouble(cell.point_lift, 2));
+      } else if (metric == "lower_lift") {
+        row.push_back(FormatDouble(cell.lower_lift, 2));
+      } else if (metric == "row_share") {
+        row.push_back(FormatDouble(cell.row_share * 100.0, 0) + "%");
+      } else {
+        row.push_back(std::to_string(cell.n_cell));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return RenderGrid(rows);
+}
+
+std::string RenderConditionalTable(const AssociationTable& table) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header = {"", "n"};
+  header.insert(header.end(), table.col_keys.begin(), table.col_keys.end());
+  rows.push_back(header);
+  for (std::size_t r = 0; r < table.row_keys.size(); ++r) {
+    std::vector<std::string> row = {table.row_keys[r]};
+    std::size_t n_row = table.col_keys.empty() ? 0 : table.cell(r, 0).n_row;
+    row.push_back(std::to_string(n_row));
+    for (std::size_t c = 0; c < table.col_keys.size(); ++c) {
+      row.push_back(
+          FormatDouble(table.cell(r, c).row_share * 100.0, 0) + "%");
+    }
+    rows.push_back(std::move(row));
+  }
+  return RenderGrid(rows);
+}
+
+std::string RenderRelevancy(const std::vector<RelevancyItem>& items) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"concept", "subset", "corpus", "rel. freq"});
+  for (const auto& item : items) {
+    rows.push_back({item.key, std::to_string(item.subset_count),
+                    std::to_string(item.corpus_count),
+                    FormatDouble(item.relative, 2) + "x"});
+  }
+  return RenderGrid(rows);
+}
+
+std::string RenderDrillDown(const ConceptIndex& index,
+                            const std::vector<DocId>& docs,
+                            std::size_t limit) {
+  std::string out;
+  std::size_t shown = 0;
+  for (DocId d : docs) {
+    if (shown >= limit) {
+      out += "... (" + std::to_string(docs.size() - shown) + " more)\n";
+      break;
+    }
+    out += "doc " + std::to_string(d) + ": " +
+           Join(index.ConceptsOf(d), ", ") + "\n";
+    ++shown;
+  }
+  return out;
+}
+
+}  // namespace bivoc

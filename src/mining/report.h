@@ -1,0 +1,38 @@
+#ifndef BIVOC_MINING_REPORT_H_
+#define BIVOC_MINING_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "mining/association.h"
+#include "mining/relative_frequency.h"
+
+namespace bivoc {
+
+// Plain-text report rendering — the terminal analogue of the Fig. 4
+// association view, used by examples and the bench harnesses to print
+// paper-style tables.
+
+// Generic fixed-width grid; first row is the header.
+std::string RenderGrid(const std::vector<std::vector<std::string>>& rows);
+
+// Association cross-table with one of: "count", "point_lift",
+// "lower_lift", "row_share" per cell.
+std::string RenderAssociationTable(const AssociationTable& table,
+                                   const std::string& metric = "count");
+
+// Tables III/IV format: each row shows n_row and the row-conditional
+// split over the columns as percentages.
+std::string RenderConditionalTable(const AssociationTable& table);
+
+// Relevancy listing.
+std::string RenderRelevancy(const std::vector<RelevancyItem>& items);
+
+// Drill-down: one line per document id with its concepts.
+std::string RenderDrillDown(const ConceptIndex& index,
+                            const std::vector<DocId>& docs,
+                            std::size_t limit = 10);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_MINING_REPORT_H_

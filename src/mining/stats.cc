@@ -1,0 +1,111 @@
+#include "mining/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bivoc {
+
+Interval WilsonInterval(std::size_t successes, std::size_t trials, double z) {
+  if (trials == 0) return {0.0, 1.0};
+  double n = static_cast<double>(trials);
+  double p = static_cast<double>(successes) / n;
+  double z2 = z * z;
+  double denom = 1.0 + z2 / n;
+  double center = (p + z2 / (2.0 * n)) / denom;
+  double half = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  Interval out;
+  out.lower = std::max(0.0, center - half);
+  out.upper = std::min(1.0, center + half);
+  return out;
+}
+
+double PointLift(std::size_t n_cell, std::size_t n_ver, std::size_t n_hor,
+                 std::size_t n) {
+  if (n == 0 || n_ver == 0 || n_hor == 0) return 0.0;
+  return (static_cast<double>(n_cell) * static_cast<double>(n)) /
+         (static_cast<double>(n_ver) * static_cast<double>(n_hor));
+}
+
+double LowerBoundLift(std::size_t n_cell, std::size_t n_ver,
+                      std::size_t n_hor, std::size_t n, double z) {
+  if (n == 0 || n_ver == 0 || n_hor == 0 || n_cell == 0) return 0.0;
+  // Conservative composition: lowest plausible joint density over the
+  // highest plausible marginal densities.
+  double cell_lo = WilsonInterval(n_cell, n, z).lower;
+  double ver_hi = WilsonInterval(n_ver, n, z).upper;
+  double hor_hi = WilsonInterval(n_hor, n, z).upper;
+  if (ver_hi <= 0.0 || hor_hi <= 0.0) return 0.0;
+  return cell_lo / (ver_hi * hor_hi);
+}
+
+double NormalCdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double StudentTCdf(double t, double df) {
+  if (df <= 0.0) return 0.5;
+  if (df > 100.0) return NormalCdf(t);
+  // Normal approximation with a second-order df correction
+  // (Peizer-Pratt style): accurate to ~1e-3 for df >= 5, which covers
+  // the experiment sizes here.
+  double g = (df - 1.5) / ((df - 1.0) * (df - 1.0));
+  double z = std::sqrt(std::max(0.0, std::log(1.0 + t * t / df) *
+                                         (df - 1.5 - g))) *
+             (t < 0 ? -1.0 : 1.0);
+  if (!std::isfinite(z)) return t > 0 ? 1.0 : 0.0;
+  return NormalCdf(z);
+}
+
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  TTestResult out;
+  if (a.size() < 2 || b.size() < 2) return out;
+  auto mean_var = [](const std::vector<double>& v, double* mean,
+                     double* var) {
+    double m = 0.0;
+    for (double x : v) m += x;
+    m /= static_cast<double>(v.size());
+    double s2 = 0.0;
+    for (double x : v) s2 += (x - m) * (x - m);
+    s2 /= static_cast<double>(v.size() - 1);
+    *mean = m;
+    *var = s2;
+  };
+  double ma, va, mb, vb;
+  mean_var(a, &ma, &va);
+  mean_var(b, &mb, &vb);
+  double na = static_cast<double>(a.size());
+  double nb = static_cast<double>(b.size());
+  double se2 = va / na + vb / nb;
+  if (se2 <= 0.0) {
+    out.t = ma == mb ? 0.0 : (ma > mb ? 1e9 : -1e9);
+    out.df = na + nb - 2.0;
+    out.p_two_sided = ma == mb ? 1.0 : 0.0;
+    return out;
+  }
+  out.t = (ma - mb) / std::sqrt(se2);
+  double num = se2 * se2;
+  double den = (va / na) * (va / na) / (na - 1.0) +
+               (vb / nb) * (vb / nb) / (nb - 1.0);
+  out.df = den > 0.0 ? num / den : na + nb - 2.0;
+  double cdf = StudentTCdf(std::abs(out.t), out.df);
+  out.p_two_sided = std::max(0.0, std::min(1.0, 2.0 * (1.0 - cdf)));
+  return out;
+}
+
+double ChiSquare2x2(std::size_t a, std::size_t b, std::size_t c,
+                    std::size_t d) {
+  double n = static_cast<double>(a + b + c + d);
+  if (n == 0.0) return 0.0;
+  double ad = static_cast<double>(a) * static_cast<double>(d);
+  double bc = static_cast<double>(b) * static_cast<double>(c);
+  double r1 = static_cast<double>(a + b);
+  double r2 = static_cast<double>(c + d);
+  double c1 = static_cast<double>(a + c);
+  double c2 = static_cast<double>(b + d);
+  if (r1 == 0 || r2 == 0 || c1 == 0 || c2 == 0) return 0.0;
+  double diff = ad - bc;
+  return n * diff * diff / (r1 * r2 * c1 * c2);
+}
+
+}  // namespace bivoc

@@ -1,0 +1,59 @@
+#ifndef BIVOC_MINING_STATS_H_
+#define BIVOC_MINING_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace bivoc {
+
+// Statistical primitives behind the reporting layer.
+
+// Wilson score interval for a binomial proportion (successes/trials) at
+// confidence z (1.96 ~ 95%). Returns {lower, upper}; {0,1} for trials=0.
+struct Interval {
+  double lower = 0.0;
+  double upper = 1.0;
+};
+Interval WilsonInterval(std::size_t successes, std::size_t trials,
+                        double z = 1.96);
+
+// Exponentiated pointwise mutual information ("lift", paper Eqn 4):
+//   (n_cell * n) / (n_ver * n_hor)
+// 1.0 = independence, > 1 = positive association.
+double PointLift(std::size_t n_cell, std::size_t n_ver, std::size_t n_hor,
+                 std::size_t n);
+
+// The paper's robust variant: instead of the point estimate it uses
+// "the left terminal value (smallest value) of the interval estimation"
+// so sparse cells cannot fake strong association. We lower-bound the
+// three densities' ratio by combining Wilson bounds conservatively:
+// lower(cell density) / (upper(ver density) * upper(hor density)) * n
+// ... expressed on the same scale as PointLift.
+double LowerBoundLift(std::size_t n_cell, std::size_t n_ver,
+                      std::size_t n_hor, std::size_t n, double z = 1.96);
+
+// Welch's unequal-variance t-test. Returns the t statistic and the
+// two-sided p-value (via a normal approximation of the t CDF for the
+// large df this system produces; exact enough for reporting).
+struct TTestResult {
+  double t = 0.0;
+  double df = 0.0;
+  double p_two_sided = 1.0;
+};
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+// Pearson chi-square statistic for a 2x2 contingency table.
+double ChiSquare2x2(std::size_t a, std::size_t b, std::size_t c,
+                    std::size_t d);
+
+// Standard normal CDF.
+double NormalCdf(double x);
+
+// Student-t CDF approximation (normal beyond df>100, Cornish-Fisher
+// style correction below).
+double StudentTCdf(double t, double df);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_MINING_STATS_H_

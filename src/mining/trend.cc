@@ -1,0 +1,76 @@
+#include "mining/trend.h"
+
+#include <algorithm>
+
+namespace bivoc {
+
+std::vector<TrendPoint> ConceptTrend(const ConceptIndex& index,
+                                     const std::string& key) {
+  std::map<int64_t, std::size_t> totals;
+  for (DocId d = 0; d < index.num_documents(); ++d) {
+    int64_t bucket = index.TimeBucketOf(d);
+    if (bucket == kNoTimeBucket) continue;
+    ++totals[bucket];
+  }
+  std::map<int64_t, std::size_t> counts;
+  for (DocId d : index.Postings(key)) {
+    int64_t bucket = index.TimeBucketOf(d);
+    if (bucket == kNoTimeBucket) continue;
+    ++counts[bucket];
+  }
+  std::vector<TrendPoint> out;
+  out.reserve(totals.size());
+  for (const auto& [bucket, total] : totals) {
+    TrendPoint p;
+    p.bucket = bucket;
+    p.total = total;
+    auto it = counts.find(bucket);
+    p.count = it == counts.end() ? 0 : it->second;
+    p.share = total > 0 ? static_cast<double>(p.count) /
+                              static_cast<double>(total)
+                        : 0.0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+double TrendSlope(const std::vector<TrendPoint>& points) {
+  if (points.size() < 2) return 0.0;
+  double n = static_cast<double>(points.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (const auto& p : points) {
+    double x = static_cast<double>(p.bucket);
+    sx += x;
+    sy += p.share;
+    sxx += x * x;
+    sxy += x * p.share;
+  }
+  double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+std::vector<TrendSummary> RisingConcepts(const ConceptIndex& index,
+                                         const std::string& prefix,
+                                         std::size_t limit,
+                                         std::size_t min_count) {
+  std::vector<TrendSummary> out;
+  for (const auto& key : index.Keys(prefix)) {
+    std::size_t total = index.Count(key);
+    if (total < min_count) continue;
+    TrendSummary s;
+    s.key = key;
+    s.total_count = total;
+    s.slope = TrendSlope(ConceptTrend(index, key));
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TrendSummary& a, const TrendSummary& b) {
+              if (a.slope != b.slope) return a.slope > b.slope;
+              return a.key < b.key;
+            });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+}  // namespace bivoc

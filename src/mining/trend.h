@@ -1,0 +1,45 @@
+#ifndef BIVOC_MINING_TREND_H_
+#define BIVOC_MINING_TREND_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mining/concept_index.h"
+
+namespace bivoc {
+
+// Topic-trend analysis (paper §IV-D: "even a simple function that
+// examines the increase and decrease of occurrences of each concept in
+// a certain period may allow us to analyze trends in the topics").
+struct TrendPoint {
+  int64_t bucket = 0;         // period id (e.g. day index)
+  std::size_t count = 0;      // docs with the concept in the period
+  std::size_t total = 0;      // all docs in the period
+  double share = 0.0;         // count / total
+};
+
+// Per-period share of a concept, ordered by bucket. Documents without
+// a time bucket are skipped.
+std::vector<TrendPoint> ConceptTrend(const ConceptIndex& index,
+                                     const std::string& key);
+
+// Least-squares slope of share over bucket (docs/period drift); 0 for
+// fewer than two periods. Positive = rising topic.
+double TrendSlope(const std::vector<TrendPoint>& points);
+
+// Concepts with the steepest rising share, optionally restricted by
+// key prefix; ties broken by key.
+struct TrendSummary {
+  std::string key;
+  double slope = 0.0;
+  std::size_t total_count = 0;
+};
+std::vector<TrendSummary> RisingConcepts(const ConceptIndex& index,
+                                         const std::string& prefix,
+                                         std::size_t limit,
+                                         std::size_t min_count = 5);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_MINING_TREND_H_

@@ -1,0 +1,439 @@
+#include "synth/car_rental.h"
+
+#include <algorithm>
+#include <set>
+
+#include "synth/corpora.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+
+namespace {
+
+const char* kTensWords[] = {"thirty", "forty",  "fifty",
+                            "sixty",  "seventy", "eighty", "ninety"};
+
+std::string RateWord(int rate) {
+  BIVOC_CHECK(rate >= 30 && rate <= 90 && rate % 10 == 0);
+  return kTensWords[rate / 10 - 3];
+}
+
+void Say(Utterance* u, const std::string& text,
+         WordClass cls = WordClass::kGeneral) {
+  for (const auto& w : TokenizeWords(text)) {
+    u->words.push_back(RefWord{w, cls});
+  }
+}
+
+void SayDigits(Utterance* u, const std::string& digits) {
+  static const char* kDigitWords[10] = {"zero", "one", "two",   "three",
+                                        "four", "five", "six",  "seven",
+                                        "eight", "nine"};
+  for (char c : digits) {
+    if (c >= '0' && c <= '9') {
+      u->words.push_back(
+          RefWord{kDigitWords[c - '0'], WordClass::kNumber});
+    }
+  }
+}
+
+}  // namespace
+
+CarRentalWorld CarRentalWorld::Generate(const CarRentalConfig& config) {
+  CarRentalWorld world;
+  world.config_ = config;
+  Rng rng(config.seed);
+
+  // Agents: single given names, latent skill, behaviour propensities.
+  const auto& firsts = FirstNames();
+  for (int i = 0; i < config.num_agents; ++i) {
+    RentalAgent a;
+    a.id = i;
+    a.name = firsts[static_cast<std::size_t>(i) % firsts.size()];
+    a.skill = std::clamp(rng.Normal(0.5, 0.2), 0.0, 1.0);
+    a.p_value_selling = std::clamp(
+        rng.Normal(config.mean_value_selling, 0.15), 0.05, 0.95);
+    a.p_discount =
+        std::clamp(rng.Normal(config.mean_discount, 0.12), 0.05, 0.9);
+    world.agents_.push_back(std::move(a));
+  }
+
+  // Customers with linkable identities.
+  const auto& lasts = LastNames();
+  const auto& cities = Cities();
+  std::set<std::string> used_phones;
+  for (int i = 0; i < config.num_customers; ++i) {
+    RentalCustomer c;
+    c.id = i;
+    c.first_name = firsts[static_cast<std::size_t>(
+        rng.Uniform(0, static_cast<int64_t>(firsts.size()) - 1))];
+    c.last_name = lasts[static_cast<std::size_t>(
+        rng.Uniform(0, static_cast<int64_t>(lasts.size()) - 1))];
+    std::string phone;
+    do {
+      phone = std::to_string(rng.Uniform(6, 9));
+      for (int d = 0; d < 9; ++d) phone += std::to_string(rng.Uniform(0, 9));
+    } while (!used_phones.insert(phone).second);
+    c.phone = phone;
+    c.dob.year = static_cast<int>(rng.Uniform(1950, 1990));
+    c.dob.month = static_cast<int>(rng.Uniform(1, 12));
+    c.dob.day = static_cast<int>(rng.Uniform(1, 28));
+    c.city = cities[static_cast<std::size_t>(
+        rng.Uniform(0, static_cast<int64_t>(cities.size()) - 1))];
+    world.customers_.push_back(std::move(c));
+  }
+
+  // The recorded-call corpus.
+  world.calls_.reserve(static_cast<std::size_t>(config.num_calls));
+  for (int i = 0; i < config.num_calls; ++i) {
+    int day = config.days > 0 ? i % config.days : 0;
+    world.calls_.push_back(world.MakeCall(i, day, &rng));
+  }
+  return world;
+}
+
+CallRecord CarRentalWorld::MakeCall(int call_id, int day, Rng* rng) const {
+  const CarRentalConfig& cfg = config_;
+  CallRecord call;
+  call.call_id = call_id;
+  call.day_index = day;
+  call.date = Date::FromDays(Date{2007, 5, 1}.ToDays() + day);
+  const RentalAgent& agent = agents_[static_cast<std::size_t>(
+      rng->Uniform(0, static_cast<int64_t>(agents_.size()) - 1))];
+  const RentalCustomer& customer = customers_[static_cast<std::size_t>(
+      rng->Uniform(0, static_cast<int64_t>(customers_.size()) - 1))];
+  call.agent_id = agent.id;
+  call.customer_id = customer.id;
+  call.city = customer.city;
+  call.car_class = CarClasses()[static_cast<std::size_t>(
+      rng->Uniform(0, static_cast<int64_t>(CarClasses().size()) - 1))];
+  call.daily_rate = static_cast<int>(rng->Uniform(3, 9)) * 10;
+
+  Utterance greeting;
+  greeting.speaker = Speaker::kAgent;
+  Say(&greeting, "thank you for calling ace car rentals this is");
+  Say(&greeting, agent.name, WordClass::kName);
+  Say(&greeting, "how can i help you");
+  call.utterances.push_back(std::move(greeting));
+
+  call.is_service_call = rng->Bernoulli(cfg.p_service_call);
+  if (call.is_service_call) {
+    Utterance open;
+    open.speaker = Speaker::kCustomer;
+    switch (rng->Uniform(0, 2)) {
+      case 0:
+        Say(&open, "i want to change my previous booking please");
+        break;
+      case 1:
+        Say(&open, "i am calling about my reservation i made last week");
+        break;
+      default:
+        Say(&open, "can you check the status of my booking");
+        break;
+    }
+    call.utterances.push_back(std::move(open));
+
+    Utterance ident;
+    ident.speaker = Speaker::kAgent;
+    Say(&ident, "sure may i have your name and phone number");
+    call.utterances.push_back(std::move(ident));
+
+    Utterance who;
+    who.speaker = Speaker::kCustomer;
+    Say(&who, "my name is");
+    Say(&who, customer.first_name, WordClass::kName);
+    Say(&who, customer.last_name, WordClass::kName);
+    Say(&who, "and my phone number is");
+    SayDigits(&who, customer.phone);
+    call.utterances.push_back(std::move(who));
+
+    Utterance done;
+    done.speaker = Speaker::kAgent;
+    Say(&done, "i have updated your booking can i do anything else for you");
+    call.utterances.push_back(std::move(done));
+    return call;
+  }
+
+  call.strong_start = rng->Bernoulli(cfg.p_strong_start);
+
+  Utterance open;
+  open.speaker = Speaker::kCustomer;
+  if (call.strong_start) {
+    switch (rng->Uniform(0, 3)) {
+      case 0:
+        Say(&open, "i would like to make a booking for a " + call.car_class +
+                       " in " + call.city);
+        break;
+      case 1:
+        Say(&open, "i need to pick up a car in " + call.city + " next week");
+        break;
+      case 2:
+        Say(&open, "i want to make a car reservation for a " +
+                       call.car_class);
+        break;
+      default: {
+        const auto& models = CarModels();
+        const CarModel& m = models[static_cast<std::size_t>(rng->Uniform(
+            0, static_cast<int64_t>(models.size()) - 1))];
+        Say(&open, "i would like to book a " + m.model + " in " + call.city);
+        break;
+      }
+    }
+  } else {
+    switch (rng->Uniform(0, 3)) {
+      case 0:
+        Say(&open, "can i know the rates for booking a " + call.car_class);
+        break;
+      case 1:
+        Say(&open, "i would like to know the rates for a " + call.car_class);
+        break;
+      case 2:
+        Say(&open, "what would it cost to rent a " + call.car_class + " in " +
+                       call.city);
+        break;
+      default:
+        Say(&open, "how much is a " + call.car_class + " for two days");
+        break;
+    }
+  }
+  call.utterances.push_back(std::move(open));
+
+  Utterance ask_name;
+  ask_name.speaker = Speaker::kAgent;
+  Say(&ask_name, "sure may i have your name please");
+  call.utterances.push_back(std::move(ask_name));
+
+  Utterance who;
+  who.speaker = Speaker::kCustomer;
+  Say(&who, "my name is");
+  Say(&who, customer.first_name, WordClass::kName);
+  Say(&who, customer.last_name, WordClass::kName);
+  call.utterances.push_back(std::move(who));
+
+  Utterance ask_phone;
+  ask_phone.speaker = Speaker::kAgent;
+  Say(&ask_phone, "and your phone number");
+  call.utterances.push_back(std::move(ask_phone));
+
+  Utterance phone;
+  phone.speaker = Speaker::kCustomer;
+  Say(&phone, "my phone number is");
+  SayDigits(&phone, customer.phone);
+  call.utterances.push_back(std::move(phone));
+
+  Utterance quote;
+  quote.speaker = Speaker::kAgent;
+  Say(&quote, "the rate for a " + call.car_class + " in " + call.city +
+                  " is " + RateWord(call.daily_rate) + " dollars per day");
+  call.utterances.push_back(std::move(quote));
+
+  if (rng->Bernoulli(0.5)) {
+    Utterance objection;
+    objection.speaker = Speaker::kCustomer;
+    Say(&objection, rng->Bernoulli(0.5)
+                        ? "that rate is too high for me"
+                        : "that is too expensive");
+    call.utterances.push_back(std::move(objection));
+  }
+
+  // Agent behaviours. Training sets a floor on the taught behaviours
+  // (an already value-selling agent is not made worse by the course).
+  double p_value = agent.p_value_selling;
+  if (agent.trained) p_value = std::max(p_value, cfg.trained_value_selling);
+  call.value_selling = rng->Bernoulli(p_value);
+  double p_disc = agent.p_discount;
+  if (!call.strong_start) {
+    if (agent.skill > 0.6) p_disc += cfg.skill_weak_discount_boost;
+    if (agent.trained) {
+      p_disc = std::max(p_disc, cfg.trained_weak_discount);
+    }
+  }
+  call.discount = rng->Bernoulli(std::clamp(p_disc, 0.0, 0.95));
+
+  if (call.value_selling) {
+    Utterance vs;
+    vs.speaker = Speaker::kAgent;
+    switch (rng->Uniform(0, 3)) {
+      case 0:
+        Say(&vs, "that is a wonderful rate for this car");
+        break;
+      case 1:
+        Say(&vs, "you save money with this deal it is just " +
+                     RateWord(call.daily_rate) + " dollars");
+        break;
+      case 2:
+        Say(&vs, "this is a fantastic car the latest model");
+        break;
+      default:
+        Say(&vs, "that is a good rate you will not find better");
+        break;
+    }
+    call.utterances.push_back(std::move(vs));
+  }
+
+  if (call.discount) {
+    Utterance disc;
+    disc.speaker = Speaker::kAgent;
+    switch (rng->Uniform(0, 2)) {
+      case 0:
+        Say(&disc, "i can offer you a corporate program discount");
+        break;
+      case 1:
+        Say(&disc, "we can apply a motor club discount for you");
+        break;
+      default:
+        Say(&disc, "let me give you a buying club discount on this booking");
+        break;
+    }
+    call.utterances.push_back(std::move(disc));
+  }
+
+  // Outcome.
+  double p_reserve = call.strong_start ? cfg.base_reserve_strong
+                                       : cfg.base_reserve_weak;
+  if (call.value_selling) p_reserve += cfg.value_selling_boost;
+  if (call.discount) p_reserve += cfg.discount_boost;
+  call.reserved = rng->Bernoulli(std::clamp(p_reserve, 0.0, 0.97));
+
+  if (call.reserved) {
+    Utterance accept;
+    accept.speaker = Speaker::kCustomer;
+    Say(&accept, "okay that works please book it for me");
+    call.utterances.push_back(std::move(accept));
+
+    Utterance confirm;
+    confirm.speaker = Speaker::kAgent;
+    Say(&confirm,
+        "i will book that for you your reservation is confirmed thank you");
+    call.utterances.push_back(std::move(confirm));
+  } else {
+    Utterance decline;
+    decline.speaker = Speaker::kCustomer;
+    Say(&decline, rng->Bernoulli(0.5)
+                      ? "i will think about it and call back later"
+                      : "let me check with my wife first");
+    call.utterances.push_back(std::move(decline));
+
+    Utterance bye;
+    bye.speaker = Speaker::kAgent;
+    Say(&bye, "no problem thank you for calling goodbye");
+    call.utterances.push_back(std::move(bye));
+  }
+  return call;
+}
+
+std::vector<CallRecord> CarRentalWorld::GenerateCalls(int num_calls,
+                                                      int start_day,
+                                                      uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<CallRecord> out;
+  out.reserve(static_cast<std::size_t>(num_calls));
+  for (int i = 0; i < num_calls; ++i) {
+    int day = start_day + (config_.days > 0 ? i % config_.days : 0);
+    out.push_back(MakeCall(i, day, &rng));
+  }
+  return out;
+}
+
+void CarRentalWorld::TrainAgents(int num_trained) {
+  for (auto& agent : agents_) {
+    agent.trained = agent.id < num_trained;
+  }
+}
+
+Status CarRentalWorld::BuildDatabase(Database* db) const {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+
+  Schema customer_schema({
+      {"id", DataType::kInt64, AttributeRole::kNone},
+      {"name", DataType::kString, AttributeRole::kPersonName},
+      {"phone", DataType::kString, AttributeRole::kPhone},
+      {"dob", DataType::kDate, AttributeRole::kDate},
+      {"city", DataType::kString, AttributeRole::kLocation},
+  });
+  BIVOC_ASSIGN_OR_RETURN(Table * customers,
+                         db->CreateTable("customers", customer_schema));
+  for (const auto& c : customers_) {
+    Row row;
+    row.emplace_back(static_cast<int64_t>(c.id));
+    row.emplace_back(c.first_name + " " + c.last_name);
+    row.emplace_back(c.phone);
+    row.emplace_back(c.dob);
+    row.emplace_back(c.city);
+    BIVOC_RETURN_NOT_OK(customers->Append(std::move(row)).status());
+  }
+
+  Schema call_schema({
+      {"id", DataType::kInt64, AttributeRole::kNone},
+      {"agent", DataType::kString, AttributeRole::kNone},
+      {"customer_id", DataType::kInt64, AttributeRole::kNone},
+      {"date", DataType::kDate, AttributeRole::kNone},
+      {"city", DataType::kString, AttributeRole::kNone},
+      {"car_type", DataType::kString, AttributeRole::kNone},
+      {"cost", DataType::kInt64, AttributeRole::kNone},
+      {"outcome", DataType::kString, AttributeRole::kNone},
+  });
+  BIVOC_ASSIGN_OR_RETURN(Table * calls, db->CreateTable("calls", call_schema));
+  for (const auto& c : calls_) {
+    Row row;
+    row.emplace_back(static_cast<int64_t>(c.call_id));
+    row.emplace_back(agents_[static_cast<std::size_t>(c.agent_id)].name);
+    row.emplace_back(static_cast<int64_t>(c.customer_id));
+    row.emplace_back(c.date);
+    row.emplace_back(c.city);
+    row.emplace_back(c.car_class);
+    row.emplace_back(static_cast<int64_t>(c.daily_rate));
+    std::string outcome = c.is_service_call
+                              ? "service"
+                              : (c.reserved ? "reservation" : "unbooked");
+    row.emplace_back(std::move(outcome));
+    BIVOC_RETURN_NOT_OK(calls->Append(std::move(row)).status());
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> CarRentalWorld::NameVocabulary() const {
+  std::set<std::string> names;
+  for (const auto& a : agents_) names.insert(a.name);
+  for (const auto& n : FirstNames()) names.insert(n);
+  for (const auto& n : LastNames()) names.insert(n);
+  return {names.begin(), names.end()};
+}
+
+std::vector<std::string> CarRentalWorld::GeneralVocabulary() const {
+  std::set<std::string> words;
+  for (const auto& sentence : DomainSentences(200)) {
+    for (const auto& w : sentence) words.insert(w);
+  }
+  for (const auto& s : GeneralEnglishSentences()) {
+    for (const auto& w : s) words.insert(w);
+  }
+  for (const auto& city : Cities()) {
+    for (const auto& w : SplitWhitespace(city)) words.insert(w);
+  }
+  for (const auto& m : CarModels()) {
+    for (const auto& w : SplitWhitespace(m.model)) words.insert(w);
+  }
+  // Remove words that are names (they live in the name vocabulary).
+  for (const auto& n : NameVocabulary()) words.erase(n);
+  return {words.begin(), words.end()};
+}
+
+std::vector<std::vector<std::string>> CarRentalWorld::DomainSentences(
+    std::size_t max_calls) const {
+  std::vector<std::vector<std::string>> out;
+  std::size_t limit = std::min(max_calls, calls_.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    for (const auto& u : calls_[i].utterances) {
+      std::vector<std::string> sentence;
+      sentence.reserve(u.words.size());
+      for (const auto& w : u.words) sentence.push_back(w.word);
+      out.push_back(std::move(sentence));
+    }
+  }
+  return out;
+}
+
+}  // namespace bivoc

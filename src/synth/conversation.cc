@@ -1,0 +1,29 @@
+#include "synth/conversation.h"
+
+#include "util/string_util.h"
+
+namespace bivoc {
+
+std::vector<std::string> CallRecord::ReferenceWords() const {
+  std::vector<std::string> out;
+  for (const auto& u : utterances) {
+    for (const auto& w : u.words) out.push_back(w.word);
+  }
+  return out;
+}
+
+std::vector<std::string> CallRecord::ReferenceClasses() const {
+  std::vector<std::string> out;
+  for (const auto& u : utterances) {
+    for (const auto& w : u.words) {
+      out.emplace_back(WordClassName(w.cls));
+    }
+  }
+  return out;
+}
+
+std::string CallRecord::ReferenceText() const {
+  return Join(ReferenceWords(), " ");
+}
+
+}  // namespace bivoc

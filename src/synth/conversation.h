@@ -1,0 +1,54 @@
+#ifndef BIVOC_SYNTH_CONVERSATION_H_
+#define BIVOC_SYNTH_CONVERSATION_H_
+
+#include <string>
+#include <vector>
+
+#include "asr/decoder.h"
+#include "clean/segmenter.h"
+#include "db/value.h"
+
+namespace bivoc {
+
+// One reference word with its token class (drives Table I's per-class
+// WER and the name-constrained second pass).
+struct RefWord {
+  std::string word;
+  WordClass cls = WordClass::kGeneral;
+};
+
+struct Utterance {
+  Speaker speaker = Speaker::kUnknown;
+  std::vector<RefWord> words;
+};
+
+// Ground truth for one synthetic call: what was said, by whom, with
+// which latent behaviours, and how it ended. The pipeline must recover
+// the behavioural facts from the *noisy transcript*, never from here.
+struct CallRecord {
+  int call_id = 0;
+  int agent_id = 0;
+  int customer_id = 0;
+  Date date;
+  int day_index = 0;  // days since simulation start
+  std::string city;
+  std::string car_class;
+  int daily_rate = 0;
+
+  // Latent behaviour flags (generation-time truth).
+  bool strong_start = false;
+  bool value_selling = false;
+  bool discount = false;
+  bool reserved = false;
+  bool is_service_call = false;  // neither reserved nor unbooked outcome
+
+  std::vector<Utterance> utterances;
+
+  std::vector<std::string> ReferenceWords() const;
+  std::vector<std::string> ReferenceClasses() const;  // per word
+  std::string ReferenceText() const;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_SYNTH_CONVERSATION_H_

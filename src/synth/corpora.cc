@@ -1,0 +1,259 @@
+#include "synth/corpora.h"
+
+#include <set>
+
+#include "text/tokenizer.h"
+#include "util/random.h"
+
+namespace bivoc {
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string>* v = new std::vector<std::string>{
+      "james",    "john",     "robert",   "michael",  "william",
+      "david",    "richard",  "joseph",   "thomas",   "charles",
+      "chris",    "daniel",   "matthew",  "anthony",  "donald",
+      "mark",     "paul",     "steven",   "andrew",   "kenneth",
+      "george",   "joshua",   "kevin",    "brian",    "edward",
+      "ronald",   "timothy",  "jason",    "jeffrey",  "ryan",
+      "jacob",    "gary",     "nicholas", "eric",     "stephen",
+      "jonathan", "larry",    "justin",   "scott",    "brandon",
+      "frank",    "benjamin", "gregory",  "samuel",   "raymond",
+      "patrick",  "alexander","jack",     "dennis",   "jerry",
+      "mary",     "patricia", "jennifer", "linda",    "elizabeth",
+      "barbara",  "susan",    "jessica",  "sarah",    "karen",
+      "nancy",    "lisa",     "margaret", "betty",    "sandra",
+      "ashley",   "dorothy",  "kimberly", "emily",    "donna",
+      "michelle", "carol",    "amanda",   "melissa",  "deborah",
+      "stephanie","rebecca",  "laura",    "sharon",   "cynthia",
+      "kathleen", "amy",      "shirley",  "angela",   "helen",
+      "anna",     "brenda",   "pamela",   "nicole",   "ruth",
+      "katherine","samantha", "christine","emma",     "catherine",
+      "virginia", "rachel",   "carolyn",  "janet",    "maria",
+      "vikram",   "rajesh",   "suresh",   "anil",     "sanjay",
+      "deepak",   "amit",     "rahul",    "manoj",    "arun",
+      "priya",    "kavita",   "sunita",   "anita",    "meena",
+  };
+  return *v;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string>* v = new std::vector<std::string>{
+      "smith",    "johnson",  "williams", "brown",    "jones",
+      "garcia",   "miller",   "davis",    "rodriguez","martinez",
+      "hernandez","lopez",    "gonzalez", "wilson",   "anderson",
+      "taylor",   "moore",    "jackson",  "martin",   "lee",
+      "perez",    "thompson", "white",    "harris",   "sanchez",
+      "clark",    "ramirez",  "lewis",    "robinson", "walker",
+      "young",    "allen",    "king",     "wright",   "scott",
+      "torres",   "nguyen",   "hill",     "flores",   "green",
+      "adams",    "nelson",   "baker",    "hall",     "rivera",
+      "campbell", "mitchell", "carter",   "roberts",  "gomez",
+      "phillips", "evans",    "turner",   "diaz",     "parker",
+      "cruz",     "edwards",  "collins",  "reyes",    "stewart",
+      "morris",   "morales",  "murphy",   "cook",     "rogers",
+      "peterson", "cooper",   "reed",     "bailey",   "bell",
+      "howard",   "ward",     "cox",      "richardson","watson",
+      "brooks",   "wood",     "james",    "bennett",  "gray",
+      "mendoza",  "hughes",   "price",    "myers",    "long",
+      "foster",   "sanders",  "ross",     "powell",   "sullivan",
+      "russell",  "ortiz",    "jenkins",  "gutierrez","perry",
+      "butler",   "barnes",   "fisher",   "henderson","coleman",
+      "sharma",   "gupta",    "patel",    "singh",    "kumar",
+      "verma",    "reddy",    "iyer",     "nair",     "menon",
+  };
+  return *v;
+}
+
+const std::vector<std::string>& Cities() {
+  static const std::vector<std::string>* v = new std::vector<std::string>{
+      "new york",     "los angeles", "seattle",      "boston",
+      "chicago",      "houston",     "phoenix",      "philadelphia",
+      "san antonio",  "san diego",   "dallas",       "austin",
+      "denver",       "detroit",     "memphis",      "portland",
+      "las vegas",    "baltimore",   "milwaukee",    "albuquerque",
+      "tucson",       "fresno",      "sacramento",   "atlanta",
+      "miami",        "oakland",     "minneapolis",  "cleveland",
+      "orlando",      "tampa",
+  };
+  return *v;
+}
+
+const std::vector<std::string>& CarClasses() {
+  static const std::vector<std::string>* v = new std::vector<std::string>{
+      "suv", "mid-size", "full-size", "luxury car",
+  };
+  return *v;
+}
+
+const std::vector<CarModel>& CarModels() {
+  static const std::vector<CarModel>* v = new std::vector<CarModel>{
+      {"chevy impala", "full-size"},   {"crown victoria", "full-size"},
+      {"chevy malibu", "mid-size"},    {"toyota camry", "mid-size"},
+      {"honda accord", "mid-size"},    {"ford explorer", "suv"},
+      {"chevy tahoe", "suv"},          {"seven seater", "suv"},
+      {"lincoln town car", "luxury car"},
+      {"cadillac deville", "luxury car"},
+      {"bmw sedan", "luxury car"},
+  };
+  return *v;
+}
+
+const std::vector<std::string>& TelecomProducts() {
+  static const std::vector<std::string>* v = new std::vector<std::string>{
+      "gprs",        "sms pack",    "caller tune",  "roaming",
+      "postpaid",    "prepaid",     "data pack",    "credit card",
+      "auto debit",  "value added services",        "broadband",
+      "recharge",    "top up",      "bill plan",    "international calling",
+  };
+  return *v;
+}
+
+const std::vector<ChurnDriver>& ChurnDrivers() {
+  static const std::vector<ChurnDriver>* v = new std::vector<ChurnDriver>{
+      {"competitor tariff",
+       {"other company gives cheaper plan",
+        "competitor offers better tariff",
+        "their rates are lower than yours",
+        "switching to a cheaper operator",
+        "found a better plan elsewhere"}},
+      {"billing issue",
+       {"my bill is too high",
+        "i was charged wrongly",
+        "i almost feel robbed when paying my bill",
+        "wrong charges on my bill",
+        "billing mistake again this month",
+        "the plan is not appropriate"}},
+      {"service issue",
+       {"not able to access gprs",
+        "network coverage is very poor",
+        "calls keep dropping",
+        "unable to connect to internet",
+        "service has been down for days"}},
+      {"problem resolution",
+       {"nothing has been initiated till date",
+        "my complaint is still not resolved",
+        "no one solves my problem",
+        "i have to leave as it is not solving my problem",
+        "call center promised but never called back"}},
+      {"low awareness",
+       {"i did not know about this pack",
+        "nobody told me about the charges",
+        "i did not give request for activation",
+        "was not informed about deactivation"}},
+  };
+  return *v;
+}
+
+const std::vector<std::string>& NeutralTelecomPhrases() {
+  static const std::vector<std::string>* v = new std::vector<std::string>{
+      "please confirm the receipt of payment",
+      "i want to change my billing address",
+      "how do i activate international roaming",
+      "please send me my bill copy",
+      "what is my current balance",
+      "i want to add a new connection",
+      "thank you for the quick resolution",
+      "the new plan works well for me",
+      "please update my email address",
+      "can you tell me about data packs",
+      "my payment was made yesterday",
+      "i would like a duplicate sim card",
+      "great service from your team",
+      "the issue was fixed quickly thanks",
+  };
+  return *v;
+}
+
+const std::vector<std::vector<std::string>>& GeneralEnglishSentences() {
+  static const std::vector<std::vector<std::string>>* v = [] {
+    const char* sentences[] = {
+        "the weather today is very pleasant and warm",
+        "i will meet you at the station tomorrow morning",
+        "she has been working at the office for ten years",
+        "the children are playing in the park near the school",
+        "we need to buy some food for the weekend",
+        "he reads the newspaper every morning with his coffee",
+        "the train was late because of heavy rain",
+        "they are planning a long trip to the mountains",
+        "please close the door when you leave the room",
+        "my brother lives in a small town near the coast",
+        "the meeting will start at nine in the morning",
+        "i forgot to bring my keys to the office",
+        "the store closes early on sunday evenings",
+        "she wants to learn how to play the piano",
+        "the movie was much better than i expected",
+        "we walked along the river until it got dark",
+        "he asked me to call him back in an hour",
+        "the new restaurant in town serves very good food",
+        "i have to finish this report before friday",
+        "the garden looks beautiful in the spring",
+        "can you help me carry these bags upstairs",
+        "the teacher explained the lesson very clearly",
+        "it takes about twenty minutes to reach the airport",
+        "they have lived in this city all their lives",
+        "the price of fuel has gone up again this month",
+        "i usually go for a run before breakfast",
+        "the library is open until eight in the evening",
+        "she sent me a letter from her holiday abroad",
+        "we should leave early to avoid the traffic",
+        "the doctor told him to rest for a few days",
+    };
+    auto* out = new std::vector<std::vector<std::string>>;
+    for (const char* s : sentences) out->push_back(TokenizeWords(s));
+    return out;
+  }();
+  return *v;
+}
+
+const std::vector<std::string>& NonEnglishSnippets() {
+  static const std::vector<std::string>* v = new std::vector<std::string>{
+      "custmer ko satisfied hi nahi karte hai",
+      "mera phone kaam nahi kar raha hai",
+      "aap ka network bahut kharab hai",
+      "bill bahut zyada aaya hai is mahine",
+      "kripya meri samasya ka samadhan karein",
+      "recharge nahi hua hai abhi tak",
+      "mujhe naya plan chahiye sasta wala",
+  };
+  return *v;
+}
+
+std::vector<std::string> DistractorNames(std::size_t n, uint64_t seed) {
+  static const char* kOnsets[] = {
+      "b",  "br", "c",  "ch", "d",  "dr", "f",  "g",  "gr", "h",
+      "j",  "k",  "kr", "l",  "m",  "n",  "p",  "pr", "r",  "s",
+      "sh", "st", "t",  "tr", "v",  "w",  "z",
+  };
+  static const char* kNuclei[] = {"a", "e", "i", "o", "u", "ay", "ee",
+                                  "oo", "ar", "er", "or", "an", "en",
+                                  "on", "in", "el", "il"};
+  static const char* kCodas[] = {"",    "n",   "m",   "s",   "l",  "r",
+                                 "t",   "d",   "k",   "son", "ton",
+                                 "man", "ley", "den", "ner", "ard"};
+  Rng rng(seed);
+  std::set<std::string> out;
+  while (out.size() < n) {
+    std::string name;
+    int syllables = static_cast<int>(rng.Uniform(2, 3));
+    for (int s = 0; s < syllables; ++s) {
+      name += kOnsets[rng.Uniform(0, 26)];
+      name += kNuclei[rng.Uniform(0, 16)];
+    }
+    name += kCodas[rng.Uniform(0, 15)];
+    if (name.size() >= 4 && name.size() <= 12) out.insert(name);
+  }
+  return {out.begin(), out.end()};
+}
+
+const std::vector<std::string>& SpamTemplates() {
+  static const std::vector<std::string>* v = new std::vector<std::string>{
+      "congratulations you have won a lottery of one million claim your prize now",
+      "you are our lucky winner click here to get your free gift",
+      "earn money fast work from home guaranteed income for everyone",
+      "limited time offer double your money risk free investment",
+      "claim your prize today you have won a brand new car",
+  };
+  return *v;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,61 @@
+#ifndef BIVOC_SYNTH_CORPORA_H_
+#define BIVOC_SYNTH_CORPORA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bivoc {
+
+// Embedded lexical resources for the synthetic worlds. These replace
+// the proprietary corpora of the paper's engagements: name gazetteers,
+// US city list, car fleet by rental class, telecom product/service
+// vocabulary, churn-driver phrase banks, and a small general-English
+// sentence corpus for the general-domain LM component.
+
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+const std::vector<std::string>& Cities();
+
+// Rental classes in Table II order.
+const std::vector<std::string>& CarClasses();  // suv, mid-size, ...
+// Models that indicate a class ("chevy impala" -> full-size).
+struct CarModel {
+  std::string model;
+  std::string car_class;
+};
+const std::vector<CarModel>& CarModels();
+
+const std::vector<std::string>& TelecomProducts();
+
+// Churn-driver phrase bank, keyed by driver name (paper §VI lists
+// competitor tariff, problem resolution, service issues, billing
+// issues, low awareness of services).
+struct ChurnDriver {
+  std::string name;
+  std::vector<std::string> phrases;
+};
+const std::vector<ChurnDriver>& ChurnDrivers();
+
+// Neutral customer-communication phrases (non-churn content).
+const std::vector<std::string>& NeutralTelecomPhrases();
+
+// Small general-English sentence corpus (word-tokenized) for the
+// general LM that interpolates with the in-domain LM.
+const std::vector<std::vector<std::string>>& GeneralEnglishSentences();
+
+// Non-English (romanized code-switch) snippets for the language filter.
+const std::vector<std::string>& NonEnglishSnippets();
+
+// Synthesizes `n` pseudo-names from English syllables. These pad the
+// decoder's name vocabulary to the realistic scale where "the number of
+// conflicting words in the vocabulary is very high (of the order of
+// tens of thousands) when it comes to recognizing names" (paper §IV-A).
+std::vector<std::string> DistractorNames(std::size_t n, uint64_t seed);
+
+// Spam templates for the spam filter path.
+const std::vector<std::string>& SpamTemplates();
+
+}  // namespace bivoc
+
+#endif  // BIVOC_SYNTH_CORPORA_H_

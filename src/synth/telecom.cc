@@ -1,0 +1,375 @@
+#include "synth/telecom.h"
+
+#include <algorithm>
+#include <set>
+
+#include "synth/corpora.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+
+namespace {
+
+// Reverse-lingo map: clean word -> texting corruption, applied at
+// generation time; the SmsNormalizer must invert it.
+struct LingoCorruption {
+  const char* clean;
+  const char* noisy;
+};
+constexpr LingoCorruption kCorruptions[] = {
+    {"you", "u"},         {"your", "ur"},        {"please", "pls"},
+    {"thanks", "thx"},    {"message", "msg"},    {"today", "2day"},
+    {"tomorrow", "2moro"},{"before", "b4"},      {"great", "gr8"},
+    {"about", "abt"},     {"because", "bcoz"},   {"customer", "custmer"},
+    {"account", "acct"},  {"amount", "amt"},     {"balance", "bal"},
+    {"received", "recd"}, {"that", "tht"},       {"what", "wat"},
+    {"have", "hv"},       {"good", "gud"},       {"number", "num"},
+    {"check", "chk"},     {"confirm", "cnfrm"},  {"service", "svc"},
+    {"not", "nt"},        {"recharge", "rchrg"}, {"activate", "actv"},
+};
+
+std::string MaybeMisspell(const std::string& word, Rng* rng) {
+  if (word.size() < 5 || !rng->Bernoulli(0.08)) return word;
+  // Numbers (amounts, receipts, phone digits) are typed from records,
+  // not spelled; typo noise only applies to words.
+  for (char c : word) {
+    if (c >= '0' && c <= '9') return word;
+  }
+  std::string out = word;
+  std::size_t pos = static_cast<std::size_t>(
+      rng->Uniform(1, static_cast<int64_t>(out.size()) - 2));
+  switch (rng->Uniform(0, 2)) {
+    case 0:
+      out.erase(pos, 1);  // deletion ("satisfied" -> "satisfed")
+      break;
+    case 1:
+      std::swap(out[pos], out[pos + 1]);  // transposition ("teh")
+      break;
+    default:
+      out.insert(pos, 1, out[pos]);  // doubling
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+TelecomWorld TelecomWorld::Generate(const TelecomConfig& config) {
+  TelecomWorld world;
+  world.config_ = config;
+  Rng rng(config.seed);
+
+  const auto& firsts = FirstNames();
+  const auto& lasts = LastNames();
+  std::set<std::string> used_phones;
+  for (int i = 0; i < config.num_customers; ++i) {
+    TelecomCustomer c;
+    c.id = i;
+    c.first_name = firsts[static_cast<std::size_t>(
+        rng.Uniform(0, static_cast<int64_t>(firsts.size()) - 1))];
+    c.last_name = lasts[static_cast<std::size_t>(
+        rng.Uniform(0, static_cast<int64_t>(lasts.size()) - 1))];
+    std::string phone;
+    do {
+      phone = std::to_string(rng.Uniform(6, 9));
+      for (int d = 0; d < 9; ++d) phone += std::to_string(rng.Uniform(0, 9));
+    } while (!used_phones.insert(phone).second);
+    c.phone = phone;
+    c.dob.year = static_cast<int>(rng.Uniform(1950, 1992));
+    c.dob.month = static_cast<int>(rng.Uniform(1, 12));
+    c.dob.day = static_cast<int>(rng.Uniform(1, 28));
+    c.region = static_cast<int>(rng.Uniform(0, config.num_regions - 1));
+    c.prepaid = rng.Bernoulli(config.prepaid_share);
+    c.churner = rng.Bernoulli(config.churner_share);
+    if (c.churner) {
+      c.churn_date = Date::FromDays(Date{2007, 6, 1}.ToDays() +
+                                    rng.Uniform(0, 30L * config.months));
+      world.churner_ids_.push_back(i);
+    } else {
+      world.non_churner_ids_.push_back(i);
+    }
+    world.customers_.push_back(std::move(c));
+  }
+  BIVOC_CHECK(!world.churner_ids_.empty() && !world.non_churner_ids_.empty())
+      << "degenerate churn split";
+
+  // Payment transactions (second entity type).
+  int num_payments =
+      config.num_customers * config.payments_per_100_customers / 100;
+  world.payments_.reserve(static_cast<std::size_t>(num_payments));
+  std::set<std::string> used_receipts;
+  for (int i = 0; i < num_payments; ++i) {
+    TelecomPayment p;
+    p.id = i;
+    p.customer_id = static_cast<int>(
+        rng.Uniform(0, config.num_customers - 1));
+    p.amount = static_cast<int>(rng.Uniform(1, 60)) * 50;
+    p.date = Date::FromDays(Date{2007, 5, 1}.ToDays() +
+                            rng.Uniform(0, 30L * config.months));
+    std::string receipt;
+    do {
+      receipt = std::to_string(rng.Uniform(1, 9));
+      for (int d = 0; d < 11; ++d) {
+        receipt += std::to_string(rng.Uniform(0, 9));
+      }
+    } while (!used_receipts.insert(receipt).second);
+    p.receipt = receipt;
+    world.payments_.push_back(std::move(p));
+  }
+
+  world.emails_.reserve(static_cast<std::size_t>(config.num_emails));
+  for (int i = 0; i < config.num_emails; ++i) {
+    world.emails_.push_back(world.MakeEmail(&rng));
+  }
+  world.sms_.reserve(static_cast<std::size_t>(config.num_sms));
+  for (int i = 0; i < config.num_sms; ++i) {
+    if (!world.payments_.empty() &&
+        rng.Bernoulli(config.sms_payment_share)) {
+      world.sms_.push_back(world.MakePaymentSms(&rng));
+    } else {
+      world.sms_.push_back(world.MakeSms(&rng));
+    }
+  }
+  return world;
+}
+
+const TelecomCustomer& TelecomWorld::PickSender(bool churner,
+                                                Rng* rng) const {
+  const auto& pool = churner ? churner_ids_ : non_churner_ids_;
+  int id = pool[static_cast<std::size_t>(
+      rng->Uniform(0, static_cast<int64_t>(pool.size()) - 1))];
+  return customers_[static_cast<std::size_t>(id)];
+}
+
+std::string TelecomWorld::DriverSentence(
+    bool churner, Rng* rng, std::vector<std::string>* drivers) const {
+  double rate = churner ? config_.churner_driver_rate
+                        : config_.non_churner_driver_rate;
+  if (!rng->Bernoulli(rate)) {
+    return rng->Choice(NeutralTelecomPhrases());
+  }
+  const auto& all = ChurnDrivers();
+  const ChurnDriver& driver = all[static_cast<std::size_t>(
+      rng->Uniform(0, static_cast<int64_t>(all.size()) - 1))];
+  drivers->push_back(driver.name);
+  std::string text = rng->Choice(driver.phrases);
+  if (churner && rng->Bernoulli(0.25)) {
+    // Churners escalate: add an explicit leaving signal some of the
+    // time (as in the paper's example "I've to leave as it is not
+    // solving my problem").
+    text += rng->Bernoulli(0.5)
+                ? " i will have to leave your service"
+                : " i am going to disconnect my connection";
+  }
+  return text;
+}
+
+VocDocument TelecomWorld::MakeEmail(Rng* rng) const {
+  VocDocument doc;
+  doc.channel = VocChannel::kEmail;
+  doc.day_index = static_cast<int>(rng->Uniform(0, 30L * config_.months - 1));
+
+  bool from_customer = !rng->Bernoulli(config_.email_non_customer_share);
+  bool churner = from_customer && rng->Bernoulli(config_.email_churner_share /
+                                                 (1.0 -
+                                                  config_.email_non_customer_share));
+  std::string body;
+  std::string identity_block;
+  if (from_customer) {
+    const TelecomCustomer& sender = PickSender(churner, rng);
+    doc.customer_id = sender.id;
+    doc.from_churner = churner;
+    identity_block = "my name is " + sender.first_name + " " +
+                     sender.last_name + " and my registered number is " +
+                     sender.phone;
+    body = DriverSentence(churner, rng, &doc.driver_names);
+    if (rng->Bernoulli(0.5)) {
+      body += ". " + DriverSentence(churner, rng, &doc.driver_names);
+    }
+    if (rng->Bernoulli(0.3)) {
+      body += ". i paid rs " +
+              std::to_string(rng->Uniform(100, 3000)) + " on " +
+              std::to_string(rng->Uniform(1, 28)) + "." +
+              std::to_string(rng->Uniform(1, 12)) + ".07";
+    }
+  } else {
+    // Non-customer mail: vendor pitches, misdirected queries.
+    doc.customer_id = -1;
+    switch (rng->Uniform(0, 2)) {
+      case 0:
+        body = "i am writing to offer your company our printing services "
+               "at very good rates";
+        break;
+      case 1:
+        body = "i think this email was sent to the wrong address please "
+               "ignore my previous message";
+        break;
+      default:
+        body = "we are a marketing agency and would like to discuss a "
+               "partnership opportunity";
+        break;
+    }
+  }
+
+  std::string raw;
+  raw += "From: sender" + std::to_string(rng->Uniform(100, 999)) +
+         "@mail.example.com\n";
+  raw += "To: care@telecomco.example\n";
+  raw += "Subject: customer communication\n";
+  raw += "Date: 2007-06-" + std::to_string(rng->Uniform(1, 28)) + "\n";
+  raw += "\n";
+  raw += body + "\n";
+  if (!identity_block.empty()) raw += identity_block + "\n";
+  if (rng->Bernoulli(0.6)) {
+    raw += "\nThis email and any attachments are confidential and "
+           "intended solely for the addressee.\n";
+  }
+  if (rng->Bernoulli(0.2)) {
+    raw += "Download our app for faster service. Special offer inside!\n";
+  }
+  doc.raw_text = std::move(raw);
+  return doc;
+}
+
+std::string TelecomWorld::ApplyLingo(const std::string& text,
+                                     Rng* rng) const {
+  std::string out;
+  for (const auto& word : SplitWhitespace(text)) {
+    std::string w = word;
+    if (rng->Bernoulli(config_.lingo_rate)) {
+      for (const auto& corr : kCorruptions) {
+        if (w == corr.clean) {
+          w = corr.noisy;
+          break;
+        }
+      }
+    }
+    w = MaybeMisspell(w, rng);
+    if (!out.empty()) out += ' ';
+    out += w;
+  }
+  return out;
+}
+
+VocDocument TelecomWorld::MakeSms(Rng* rng) const {
+  VocDocument doc;
+  doc.channel = VocChannel::kSms;
+  doc.day_index = static_cast<int>(rng->Uniform(0, 30L * config_.months - 1));
+
+  if (rng->Bernoulli(config_.sms_spam_share)) {
+    doc.is_spam = true;
+    doc.customer_id = -1;
+    doc.raw_text = rng->Choice(SpamTemplates());
+    return doc;
+  }
+  if (rng->Bernoulli(config_.sms_non_english_share)) {
+    doc.is_english = false;
+    doc.customer_id = -1;
+    doc.raw_text = rng->Choice(NonEnglishSnippets());
+    return doc;
+  }
+
+  bool churner = rng->Bernoulli(config_.sms_churner_share);
+  const TelecomCustomer& sender = PickSender(churner, rng);
+  doc.customer_id = sender.id;
+  doc.from_churner = churner;
+
+  std::string body = DriverSentence(churner, rng, &doc.driver_names);
+  if (rng->Bernoulli(0.4)) {
+    body += " from " + sender.phone;
+  } else {
+    body += " this is " + sender.first_name + " " + sender.last_name +
+            " number " + sender.phone;
+  }
+  doc.raw_text = ApplyLingo(body, rng);
+  return doc;
+}
+
+VocDocument TelecomWorld::MakePaymentSms(Rng* rng) const {
+  VocDocument doc;
+  doc.channel = VocChannel::kSms;
+  doc.day_index = static_cast<int>(rng->Uniform(0, 30L * config_.months - 1));
+  const TelecomPayment& p = payments_[static_cast<std::size_t>(
+      rng->Uniform(0, static_cast<int64_t>(payments_.size()) - 1))];
+  doc.payment_id = p.id;
+  doc.customer_id = p.customer_id;
+  doc.from_churner =
+      customers_[static_cast<std::size_t>(p.customer_id)].churner;
+  std::string body =
+      "please confirm the receipt of payment of rs " +
+      std::to_string(p.amount) + " paid on " + std::to_string(p.date.day) +
+      "." + std::to_string(p.date.month) + ".07 vide receipt " + p.receipt +
+      " thanks";
+  doc.raw_text = ApplyLingo(body, rng);
+  return doc;
+}
+
+Status TelecomWorld::BuildDatabase(Database* db) const {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+  Schema schema({
+      {"id", DataType::kInt64, AttributeRole::kNone},
+      {"name", DataType::kString, AttributeRole::kPersonName},
+      {"phone", DataType::kString, AttributeRole::kPhone},
+      {"dob", DataType::kDate, AttributeRole::kDate},
+      {"region", DataType::kInt64, AttributeRole::kNone},
+      {"plan", DataType::kString, AttributeRole::kNone},
+      {"churn_status", DataType::kString, AttributeRole::kNone},
+      {"churn_date", DataType::kDate, AttributeRole::kNone},
+  });
+  BIVOC_ASSIGN_OR_RETURN(Table * table,
+                         db->CreateTable("telecom_customers", schema));
+  for (const auto& c : customers_) {
+    Row row;
+    row.emplace_back(static_cast<int64_t>(c.id));
+    row.emplace_back(c.first_name + " " + c.last_name);
+    row.emplace_back(c.phone);
+    row.emplace_back(c.dob);
+    row.emplace_back(static_cast<int64_t>(c.region));
+    row.emplace_back(std::string(c.prepaid ? "prepaid" : "postpaid"));
+    row.emplace_back(std::string(c.churner ? "churned" : "active"));
+    if (c.churner) {
+      row.emplace_back(c.churn_date);
+    } else {
+      row.push_back(Value::Null());
+    }
+    BIVOC_RETURN_NOT_OK(table->Append(std::move(row)).status());
+  }
+
+  Schema payment_schema({
+      {"id", DataType::kInt64, AttributeRole::kNone},
+      {"customer_id", DataType::kInt64, AttributeRole::kNone},
+      {"amount", DataType::kInt64, AttributeRole::kMoney},
+      {"date", DataType::kDate, AttributeRole::kDate},
+      {"receipt", DataType::kString, AttributeRole::kCardNumber},
+  });
+  BIVOC_ASSIGN_OR_RETURN(Table * payment_table,
+                         db->CreateTable("payments", payment_schema));
+  for (const auto& p : payments_) {
+    Row row;
+    row.emplace_back(static_cast<int64_t>(p.id));
+    row.emplace_back(static_cast<int64_t>(p.customer_id));
+    row.emplace_back(static_cast<int64_t>(p.amount));
+    row.emplace_back(p.date);
+    row.emplace_back(p.receipt);
+    BIVOC_RETURN_NOT_OK(payment_table->Append(std::move(row)).status());
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> TelecomWorld::DomainVocabulary() const {
+  std::set<std::string> words;
+  auto add_text = [&words](const std::string& text) {
+    for (const auto& w : SplitWhitespace(ToLowerCopy(text))) {
+      words.insert(w);
+    }
+  };
+  for (const auto& d : ChurnDrivers()) {
+    for (const auto& p : d.phrases) add_text(p);
+  }
+  for (const auto& p : NeutralTelecomPhrases()) add_text(p);
+  for (const auto& p : TelecomProducts()) add_text(p);
+  return {words.begin(), words.end()};
+}
+
+}  // namespace bivoc

@@ -1,0 +1,127 @@
+#ifndef BIVOC_SYNTH_TELECOM_H_
+#define BIVOC_SYNTH_TELECOM_H_
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "util/random.h"
+
+namespace bivoc {
+
+// Generative model of the paper's churn engagement (§VI): a wireless
+// operator with mostly prepaid customers; emails and SMS arriving at
+// the contact center, a slice of them from churners, a slice from
+// non-customers (unlinkable), plus spam and non-English noise. The
+// defaults mirror the paper's corpus statistics scaled down 10x (the
+// benches run at full scale):
+//   47,460 emails with 3% from churners;
+//   289,314 SMS with 7.6% from churners;
+//   ~18% of emails not linkable to any customer.
+struct TelecomConfig {
+  int num_customers = 20000;
+  int num_emails = 4746;
+  int num_sms = 28931;
+  uint64_t seed = 7;
+
+  double prepaid_share = 0.78;
+  double churner_share = 0.10;        // of the customer base
+  double email_churner_share = 0.03;  // of emails
+  double sms_churner_share = 0.076;   // of SMS
+  double email_non_customer_share = 0.18;
+  double sms_spam_share = 0.04;
+  double sms_non_english_share = 0.05;
+  // Share of SMS that are payment confirmations (multi-type linking).
+  double sms_payment_share = 0.08;
+  int payments_per_100_customers = 60;
+
+  // How often a churner's message carries a churn-driver phrase vs a
+  // non-churner's (the signal the classifier must find).
+  double churner_driver_rate = 0.45;
+  double non_churner_driver_rate = 0.18;
+
+  // SMS lingo corruption intensity (share of corruptible words).
+  double lingo_rate = 0.45;
+  int num_regions = 4;
+  int months = 2;
+};
+
+struct TelecomCustomer {
+  int id = 0;
+  std::string first_name;
+  std::string last_name;
+  std::string phone;   // 10 digits
+  Date dob;
+  int region = 0;
+  bool prepaid = true;
+  bool churner = false;
+  Date churn_date;     // valid only if churner
+};
+
+// A payment transaction — the second entity type of the warehouse.
+// Payment-confirmation messages ("payment of rs 500 paid on 19.05.07
+// vide receipt ...") center on a payment, not a customer; multi-type
+// identification has to tell the two apart (paper §IV-B).
+struct TelecomPayment {
+  int id = 0;
+  int customer_id = 0;
+  int amount = 0;        // whole rupees
+  Date date;
+  std::string receipt;   // 12-digit receipt number
+};
+
+enum class VocChannel { kEmail, kSms, kCall };
+
+// One VoC document with its generation-time ground truth.
+struct VocDocument {
+  VocChannel channel = VocChannel::kEmail;
+  std::string raw_text;
+  int customer_id = -1;   // -1 for non-customers
+  int payment_id = -1;    // >= 0 if the message centers on a payment
+  bool from_churner = false;
+  bool is_spam = false;
+  bool is_english = true;
+  int day_index = 0;      // days since simulation start
+  std::vector<std::string> driver_names;  // churn drivers expressed
+};
+
+class TelecomWorld {
+ public:
+  static TelecomWorld Generate(const TelecomConfig& config);
+
+  const TelecomConfig& config() const { return config_; }
+  const std::vector<TelecomCustomer>& customers() const { return customers_; }
+  const std::vector<TelecomPayment>& payments() const { return payments_; }
+  const std::vector<VocDocument>& emails() const { return emails_; }
+  const std::vector<VocDocument>& sms() const { return sms_; }
+
+  // Structured warehouse:
+  //   customers(id, name [person_name], phone [phone], dob [date],
+  //             region, plan, churn_status, churn_date)
+  Status BuildDatabase(Database* db) const;
+
+  // Domain words for the language filter / SMS speller.
+  std::vector<std::string> DomainVocabulary() const;
+
+ private:
+  VocDocument MakeEmail(Rng* rng) const;
+  VocDocument MakeSms(Rng* rng) const;
+  std::string DriverSentence(bool churner, Rng* rng,
+                             std::vector<std::string>* drivers) const;
+  std::string ApplyLingo(const std::string& text, Rng* rng) const;
+  const TelecomCustomer& PickSender(bool churner, Rng* rng) const;
+
+  VocDocument MakePaymentSms(Rng* rng) const;
+
+  TelecomConfig config_;
+  std::vector<TelecomCustomer> customers_;
+  std::vector<TelecomPayment> payments_;
+  std::vector<int> churner_ids_;
+  std::vector<int> non_churner_ids_;
+  std::vector<VocDocument> emails_;
+  std::vector<VocDocument> sms_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_SYNTH_TELECOM_H_

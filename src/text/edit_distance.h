@@ -1,0 +1,106 @@
+#ifndef BIVOC_TEXT_EDIT_DISTANCE_H_
+#define BIVOC_TEXT_EDIT_DISTANCE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bivoc {
+
+// Classic Levenshtein distance (unit costs).
+std::size_t Levenshtein(std::string_view a, std::string_view b);
+
+// Damerau-Levenshtein with adjacent transpositions (restricted edit
+// distance) — the dominant typo class in noisy email/SMS.
+std::size_t DamerauLevenshtein(std::string_view a, std::string_view b);
+
+// 1 - dist / max(len); 1.0 for identical, 0.0 for maximally different.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+// Generic weighted edit distance over arbitrary symbol sequences with a
+// caller-supplied substitution cost. Used by the ASR acoustic scorer to
+// align pronunciation templates against noisy phoneme observations with
+// confusability-aware substitution costs.
+//
+// `band` limits |i - j| (Ukkonen banding); pass SIZE_MAX for unbanded.
+// Returns +inf when the band is infeasible (length difference > band).
+template <typename Sym, typename SubCost>
+double WeightedEditDistance(const std::vector<Sym>& a,
+                            const std::vector<Sym>& b, double insert_cost,
+                            double delete_cost, SubCost substitution_cost,
+                            std::size_t band = std::numeric_limits<
+                                std::size_t>::max()) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::size_t diff = n > m ? n - m : m - n;
+  if (diff > band) return kInf;
+  band = std::min(band, n + m + 1);  // avoid i + band overflow
+
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (j > band) break;
+    prev[j] = prev[j - 1] + insert_cost;
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    std::size_t lo = (i > band) ? i - band : 0;
+    std::size_t hi = std::min(m, i + band);
+    if (lo == 0) cur[0] = prev[0] + delete_cost;
+    for (std::size_t j = std::max<std::size_t>(lo, 1); j <= hi; ++j) {
+      double best = prev[j - 1] + substitution_cost(a[i - 1], b[j - 1]);
+      if (prev[j] != kInf) best = std::min(best, prev[j] + delete_cost);
+      if (cur[j - 1] != kInf) best = std::min(best, cur[j - 1] + insert_cost);
+      cur[j] = best;
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+// Variant of WeightedEditDistance that aligns the full sequence `a`
+// against *every prefix* of `b` in one DP pass: result[j] is the cost
+// of aligning `a` to b[0..j). Infeasible cells (outside the band) are
+// +inf. The ASR decoder uses this to score one pronunciation against
+// all candidate observation spans at once.
+template <typename Sym, typename SubCost>
+std::vector<double> WeightedEditDistanceAllPrefixes(
+    const std::vector<Sym>& a, const std::vector<Sym>& b, double insert_cost,
+    double delete_cost, SubCost substitution_cost,
+    std::size_t band = std::numeric_limits<std::size_t>::max()) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const double kInf = std::numeric_limits<double>::infinity();
+  band = std::min(band, n + m + 1);  // avoid i + band overflow
+
+  std::vector<double> prev(m + 1, kInf);
+  std::vector<double> cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (j > band) break;
+    prev[j] = prev[j - 1] + insert_cost;
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    std::size_t lo = (i > band) ? i - band : 0;
+    std::size_t hi = std::min(m, i + band);
+    if (lo == 0) cur[0] = prev[0] + delete_cost;
+    for (std::size_t j = std::max<std::size_t>(lo, 1); j <= hi; ++j) {
+      double best = prev[j - 1] + substitution_cost(a[i - 1], b[j - 1]);
+      if (prev[j] != kInf) best = std::min(best, prev[j] + delete_cost);
+      if (cur[j - 1] != kInf) best = std::min(best, cur[j - 1] + insert_cost);
+      cur[j] = best;
+    }
+    std::swap(prev, cur);
+  }
+  return prev;  // prev[j] = cost of aligning all of a to b[0..j)
+}
+
+}  // namespace bivoc
+
+#endif  // BIVOC_TEXT_EDIT_DISTANCE_H_

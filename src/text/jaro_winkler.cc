@@ -1,0 +1,55 @@
+#include "text/jaro_winkler.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace bivoc {
+
+double Jaro(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const std::size_t match_window =
+      std::max<std::size_t>(1, std::max(n, m) / 2) - 1;
+
+  std::vector<bool> a_matched(n, false);
+  std::vector<bool> b_matched(m, false);
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t lo = i > match_window ? i - match_window : 0;
+    std::size_t hi = std::min(m, i + match_window + 1);
+    for (std::size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = true;
+      b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions among matched characters.
+  std::size_t transpositions = 0;
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[k]) ++k;
+    if (a[i] != b[k]) ++transpositions;
+    ++k;
+  }
+  double mm = static_cast<double>(matches);
+  return (mm / n + mm / m + (mm - transpositions / 2.0) / mm) / 3.0;
+}
+
+double JaroWinkler(std::string_view a, std::string_view b, double p) {
+  double j = Jaro(a, b);
+  std::size_t prefix = 0;
+  std::size_t limit = std::min<std::size_t>({4, a.size(), b.size()});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return j + static_cast<double>(prefix) * p * (1.0 - j);
+}
+
+}  // namespace bivoc

@@ -1,0 +1,18 @@
+#ifndef BIVOC_TEXT_JARO_WINKLER_H_
+#define BIVOC_TEXT_JARO_WINKLER_H_
+
+#include <string_view>
+
+namespace bivoc {
+
+// Jaro similarity in [0, 1]; 1.0 means identical.
+double Jaro(std::string_view a, std::string_view b);
+
+// Jaro-Winkler: Jaro boosted for common prefixes (up to 4 chars) by the
+// scaling factor p (standard 0.1). The preferred measure for matching
+// partially recognized person names against database attributes.
+double JaroWinkler(std::string_view a, std::string_view b, double p = 0.1);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_TEXT_JARO_WINKLER_H_

@@ -1,0 +1,77 @@
+#include "text/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace bivoc {
+
+namespace {
+double Sigmoid(double z) {
+  if (z >= 0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+}  // namespace
+
+double LogisticClassifier::Score(
+    const std::vector<std::string>& tokens) const {
+  double z = bias_;
+  for (const auto& t : tokens) {
+    auto it = weights_.find(t);
+    if (it != weights_.end()) z += it->second;
+  }
+  return z;
+}
+
+double LogisticClassifier::Probability(
+    const std::vector<std::string>& tokens) const {
+  return Sigmoid(Score(tokens));
+}
+
+void LogisticClassifier::Train(
+    const std::vector<std::vector<std::string>>& docs,
+    const std::vector<bool>& labels) {
+  weights_.clear();
+  bias_ = 0.0;
+  if (docs.empty() || docs.size() != labels.size()) return;
+
+  std::vector<std::size_t> order(docs.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(options_.seed);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double lr = options_.learning_rate /
+                (1.0 + 0.5 * static_cast<double>(epoch));
+    for (std::size_t idx : order) {
+      const auto& tokens = docs[idx];
+      double y = labels[idx] ? 1.0 : 0.0;
+      double p = Sigmoid(Score(tokens));
+      double g = (y - p);
+      if (labels[idx]) g *= options_.positive_weight;
+      bias_ += lr * g;
+      for (const auto& t : tokens) {
+        double& w = weights_[t];
+        w += lr * (g - options_.l2 * w);
+      }
+    }
+  }
+}
+
+std::vector<std::pair<std::string, double>> LogisticClassifier::TopFeatures(
+    std::size_t limit) const {
+  std::vector<std::pair<std::string, double>> scored(weights_.begin(),
+                                                     weights_.end());
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (scored.size() > limit) scored.resize(limit);
+  return scored;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,59 @@
+#ifndef BIVOC_TEXT_LOGISTIC_H_
+#define BIVOC_TEXT_LOGISTIC_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace bivoc {
+
+// Binary logistic regression on sparse bag-of-words features, trained
+// with mini-batch-free SGD + L2. Serves as the second churn model (the
+// paper's classifier family is unspecified; we ship NB and LR and
+// compare them in the churn bench).
+class LogisticClassifier {
+ public:
+  struct Options {
+    double learning_rate = 0.1;
+    double l2 = 1e-4;
+    int epochs = 10;
+    // Multiplies the gradient of positive examples; >1 counters class
+    // imbalance (equivalent to oversampling positives).
+    double positive_weight = 1.0;
+    uint64_t seed = 17;
+  };
+
+  LogisticClassifier() = default;
+  explicit LogisticClassifier(Options options) : options_(options) {}
+
+  // Trains on (tokens, is_positive) pairs.
+  void Train(const std::vector<std::vector<std::string>>& docs,
+             const std::vector<bool>& labels);
+
+  // P(positive | tokens).
+  double Probability(const std::vector<std::string>& tokens) const;
+
+  bool Predict(const std::vector<std::string>& tokens,
+               double threshold = 0.5) const {
+    return Probability(tokens) >= threshold;
+  }
+
+  // Highest-weight features, the LR analogue of NB's TopFeatures.
+  std::vector<std::pair<std::string, double>> TopFeatures(
+      std::size_t limit) const;
+
+  std::size_t num_features() const { return weights_.size(); }
+
+ private:
+  double Score(const std::vector<std::string>& tokens) const;
+
+  Options options_;
+  std::unordered_map<std::string, double> weights_;
+  double bias_ = 0.0;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_TEXT_LOGISTIC_H_

@@ -1,0 +1,139 @@
+#include "text/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bivoc {
+
+void NaiveBayesClassifier::AddExample(const std::vector<std::string>& tokens,
+                                      const std::string& label) {
+  ClassStats& stats = classes_[label];
+  ++stats.doc_count;
+  ++total_docs_;
+  for (const auto& t : tokens) {
+    ++stats.feature_counts[t];
+    ++stats.token_count;
+    vocab_[t] = true;
+  }
+  finished_ = false;
+}
+
+void NaiveBayesClassifier::Finish() {
+  for (auto& [label, stats] : classes_) {
+    stats.log_prior = std::log(static_cast<double>(stats.doc_count) /
+                               static_cast<double>(total_docs_));
+  }
+  finished_ = true;
+}
+
+double NaiveBayesClassifier::ClassLogScore(
+    const ClassStats& stats, const std::vector<std::string>& tokens) const {
+  const double v = static_cast<double>(vocab_.size()) + 1.0;
+  double score = stats.log_prior + stats.log_bias;
+  const double denom = static_cast<double>(stats.token_count) + v;
+  for (const auto& t : tokens) {
+    auto it = stats.feature_counts.find(t);
+    double count = it == stats.feature_counts.end()
+                       ? 0.0
+                       : static_cast<double>(it->second);
+    score += std::log((count + 1.0) / denom);
+  }
+  return score;
+}
+
+Result<NaiveBayesClassifier::Prediction> NaiveBayesClassifier::Predict(
+    const std::vector<std::string>& tokens) const {
+  if (!finished_) {
+    return Status::FailedPrecondition("Predict before Finish()");
+  }
+  if (classes_.empty()) {
+    return Status::FailedPrecondition("classifier has no classes");
+  }
+  Prediction pred;
+  double best = -1e300;
+  std::vector<double> scores;
+  double log_norm = -1e300;
+  for (const auto& [label, stats] : classes_) {
+    double s = ClassLogScore(stats, tokens);
+    scores.push_back(s);
+    // log-sum-exp for the normalizer.
+    if (s > log_norm) {
+      log_norm = s + std::log1p(std::exp(log_norm - s));
+    } else {
+      log_norm = log_norm + std::log1p(std::exp(s - log_norm));
+    }
+    if (s > best) {
+      best = s;
+      pred.label = label;
+    }
+  }
+  pred.log_posterior = best - log_norm;
+  pred.class_scores = std::move(scores);
+  return pred;
+}
+
+double NaiveBayesClassifier::Posterior(const std::vector<std::string>& tokens,
+                                       const std::string& label) const {
+  auto target = classes_.find(label);
+  if (target == classes_.end() || !finished_) return 0.0;
+  double target_score = ClassLogScore(target->second, tokens);
+  double log_norm = -1e300;
+  for (const auto& [l, stats] : classes_) {
+    double s = ClassLogScore(stats, tokens);
+    if (s > log_norm) {
+      log_norm = s + std::log1p(std::exp(log_norm - s));
+    } else {
+      log_norm = log_norm + std::log1p(std::exp(s - log_norm));
+    }
+  }
+  return std::exp(target_score - log_norm);
+}
+
+void NaiveBayesClassifier::SetClassBias(const std::string& label,
+                                        double log_bias) {
+  classes_[label].log_bias = log_bias;
+}
+
+std::vector<std::string> NaiveBayesClassifier::Labels() const {
+  std::vector<std::string> labels;
+  labels.reserve(classes_.size());
+  for (const auto& [l, _] : classes_) labels.push_back(l);
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::vector<std::pair<std::string, double>>
+NaiveBayesClassifier::TopFeatures(const std::string& label,
+                                  std::size_t limit) const {
+  auto target = classes_.find(label);
+  if (target == classes_.end()) return {};
+  const double v = static_cast<double>(vocab_.size()) + 1.0;
+
+  // Aggregate counts of the complement classes.
+  uint64_t rest_tokens = 0;
+  std::unordered_map<std::string, uint64_t> rest_counts;
+  for (const auto& [l, stats] : classes_) {
+    if (l == label) continue;
+    rest_tokens += stats.token_count;
+    for (const auto& [f, c] : stats.feature_counts) rest_counts[f] += c;
+  }
+
+  const ClassStats& stats = target->second;
+  std::vector<std::pair<std::string, double>> scored;
+  for (const auto& [f, c] : stats.feature_counts) {
+    double p_target = (static_cast<double>(c) + 1.0) /
+                      (static_cast<double>(stats.token_count) + v);
+    auto it = rest_counts.find(f);
+    double rc = it == rest_counts.end() ? 0.0 : static_cast<double>(it->second);
+    double p_rest = (rc + 1.0) / (static_cast<double>(rest_tokens) + v);
+    scored.emplace_back(f, std::log(p_target / p_rest));
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (scored.size() > limit) scored.resize(limit);
+  return scored;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,77 @@
+#ifndef BIVOC_TEXT_NAIVE_BAYES_H_
+#define BIVOC_TEXT_NAIVE_BAYES_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace bivoc {
+
+// Multinomial naive Bayes text classifier with Laplace smoothing.
+// Used twice in BIVoC: spam filtering of email/SMS (clean/) and churn
+// prediction from VoC features (core/ChurnPredictor). Supports class
+// prior overrides and a per-class decision bias, which is how we handle
+// the paper's heavily imbalanced churn classes (3% / 7.6% positives).
+class NaiveBayesClassifier {
+ public:
+  NaiveBayesClassifier() = default;
+
+  // Adds one training example: a bag of feature tokens and its label.
+  void AddExample(const std::vector<std::string>& tokens,
+                  const std::string& label);
+
+  // Must be called after all examples are added and before Predict.
+  void Finish();
+
+  struct Prediction {
+    std::string label;
+    double log_posterior = 0.0;
+    // log P(tokens, label) for each class, same order as Labels().
+    std::vector<double> class_scores;
+  };
+
+  // Returns the MAP class. Errors if Finish() was not called or the
+  // model has no classes.
+  Result<Prediction> Predict(const std::vector<std::string>& tokens) const;
+
+  // P(label | tokens) for a specific label (0 if label unknown).
+  double Posterior(const std::vector<std::string>& tokens,
+                   const std::string& label) const;
+
+  // Additive log-space bias applied to a class at decision time. A
+  // positive bias on the rare class trades precision for recall.
+  void SetClassBias(const std::string& label, double log_bias);
+
+  std::vector<std::string> Labels() const;
+
+  // Top features ranked by log-likelihood ratio toward `label` vs the
+  // rest — the "key churn drivers" readout of the churn use case.
+  std::vector<std::pair<std::string, double>> TopFeatures(
+      const std::string& label, std::size_t limit) const;
+
+  std::size_t vocabulary_size() const { return vocab_.size(); }
+
+ private:
+  struct ClassStats {
+    uint64_t doc_count = 0;
+    uint64_t token_count = 0;
+    std::unordered_map<std::string, uint64_t> feature_counts;
+    double log_prior = 0.0;
+    double log_bias = 0.0;
+  };
+
+  double ClassLogScore(const ClassStats& stats,
+                       const std::vector<std::string>& tokens) const;
+
+  std::unordered_map<std::string, ClassStats> classes_;
+  std::unordered_map<std::string, bool> vocab_;
+  uint64_t total_docs_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_TEXT_NAIVE_BAYES_H_

@@ -1,0 +1,263 @@
+#include "text/ngram_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace bivoc {
+
+namespace {
+constexpr char kSep = '\x1f';
+constexpr const char* kBos = "<s>";
+constexpr const char* kEos = "</s>";
+// Effective vocabulary floor so the uniform term never divides by a
+// tiny vocab during early training.
+constexpr double kMinVocab = 1000.0;
+
+std::string JoinGram(const std::vector<std::string>& words, std::size_t begin,
+                     std::size_t end) {
+  std::string key;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (i > begin) key += kSep;
+    key += words[i];
+  }
+  return key;
+}
+}  // namespace
+
+NgramModel::NgramModel(int order) : order_(order) {
+  BIVOC_CHECK(order >= 1 && order <= 5) << "unsupported order " << order;
+  ngram_counts_.resize(static_cast<std::size_t>(order));
+  // Default Jelinek-Mercer weights, highest order first.
+  if (order == 1) {
+    lambdas_ = {0.9};
+  } else if (order == 2) {
+    lambdas_ = {0.55, 0.35};
+  } else {
+    lambdas_.assign(static_cast<std::size_t>(order), 0.0);
+    lambdas_[0] = 0.5;
+    double rest = 0.4 / static_cast<double>(order - 1);
+    for (int i = 1; i < order; ++i) {
+      lambdas_[static_cast<std::size_t>(i)] = rest;
+    }
+  }
+}
+
+void NgramModel::SetInterpolationWeights(const std::vector<double>& weights) {
+  BIVOC_CHECK(weights.size() == static_cast<std::size_t>(order_));
+  double sum = 0.0;
+  for (double w : weights) {
+    BIVOC_CHECK(w >= 0.0);
+    sum += w;
+  }
+  BIVOC_CHECK(sum <= 1.0 + 1e-9) << "weights must sum to <= 1";
+  lambdas_ = weights;
+}
+
+void NgramModel::AddSentence(const std::vector<std::string>& words) {
+  std::vector<std::string> padded;
+  padded.reserve(words.size() + 2);
+  padded.push_back(kBos);
+  for (const auto& w : words) padded.push_back(w);
+  padded.push_back(kEos);
+
+  for (std::size_t i = 0; i < padded.size(); ++i) {
+    // Unigrams count every token except <s> (which is a context symbol,
+    // not an event).
+    if (i > 0) {
+      ++unigram_counts_[padded[i]];
+      ++total_tokens_;
+    }
+    for (int n = 1; n <= order_; ++n) {
+      if (i + 1 < static_cast<std::size_t>(n)) continue;
+      std::size_t begin = i + 1 - static_cast<std::size_t>(n);
+      ++ngram_counts_[static_cast<std::size_t>(n - 1)]
+                     [JoinGram(padded, begin, i + 1)];
+    }
+  }
+}
+
+void NgramModel::Train(
+    const std::vector<std::vector<std::string>>& sentences) {
+  for (const auto& s : sentences) AddSentence(s);
+}
+
+uint64_t NgramModel::UnigramCount(const std::string& word) const {
+  auto it = unigram_counts_.find(word);
+  return it == unigram_counts_.end() ? 0 : it->second;
+}
+
+double NgramModel::ProbML(const std::string& word,
+                          const std::vector<std::string>& history) const {
+  // history may be empty (unigram ML estimate).
+  if (history.empty()) {
+    if (total_tokens_ == 0) return 0.0;
+    auto it = unigram_counts_.find(word);
+    if (it == unigram_counts_.end()) return 0.0;
+    return static_cast<double>(it->second) /
+           static_cast<double>(total_tokens_);
+  }
+  std::size_t n = history.size() + 1;
+  if (n > ngram_counts_.size()) return 0.0;
+  std::vector<std::string> gram = history;
+  gram.push_back(word);
+  const auto& counts = ngram_counts_[n - 1];
+  auto it = counts.find(JoinGram(gram, 0, gram.size()));
+  if (it == counts.end()) return 0.0;
+  // Denominator: count of the history as an (n-1)-gram.
+  uint64_t denom;
+  if (history.size() == 1) {
+    // Histories can be <s>, which unigram_counts_ does not track; the
+    // order-1 ngram map counts it (it counts all positions).
+    const auto& uni = ngram_counts_[0];
+    auto hit = uni.find(history[0]);
+    denom = hit == uni.end() ? 0 : hit->second;
+  } else {
+    const auto& lower = ngram_counts_[history.size() - 1];
+    auto hit = lower.find(JoinGram(history, 0, history.size()));
+    denom = hit == lower.end() ? 0 : hit->second;
+  }
+  if (denom == 0) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(denom);
+}
+
+double NgramModel::LogProb(const std::string& word,
+                           const std::vector<std::string>& context) const {
+  double vocab = std::max(kMinVocab, static_cast<double>(vocab_size()));
+  double floor_weight = 1.0;
+  double p = 0.0;
+  // lambdas_ are highest order first: lambdas_[0] pairs with full
+  // history of length order_-1.
+  for (int n = order_; n >= 1; --n) {
+    double lam = lambdas_[static_cast<std::size_t>(order_ - n)];
+    floor_weight -= lam;
+    if (lam <= 0.0) continue;
+    std::size_t hist_len = static_cast<std::size_t>(n - 1);
+    if (context.size() < hist_len) continue;  // not enough history
+    std::vector<std::string> history(context.end() - hist_len, context.end());
+    p += lam * ProbML(word, history);
+  }
+  if (floor_weight < 1e-12) floor_weight = 1e-12;
+  p += floor_weight / vocab;
+  return std::log(p);
+}
+
+double NgramModel::SentenceLogProb(
+    const std::vector<std::string>& words) const {
+  std::vector<std::string> context = {kBos};
+  double total = 0.0;
+  for (const auto& w : words) {
+    total += LogProb(w, context);
+    context.push_back(w);
+  }
+  total += LogProb(kEos, context);
+  return total;
+}
+
+double NgramModel::Perplexity(
+    const std::vector<std::vector<std::string>>& sentences) const {
+  double log_sum = 0.0;
+  std::size_t events = 0;
+  for (const auto& s : sentences) {
+    log_sum += SentenceLogProb(s);
+    events += s.size() + 1;  // + </s>
+  }
+  if (events == 0) return 1.0;
+  return std::exp(-log_sum / static_cast<double>(events));
+}
+
+double NgramModel::BigramLogProb(const std::string& prev,
+                                 const std::string& word) const {
+  if (order_ != 2) return LogProb(word, {prev});
+  // Allocation-light fast path for the decoder's inner loop.
+  const double vocab = std::max(kMinVocab, static_cast<double>(vocab_size()));
+  const double lam2 = lambdas_[0];
+  const double lam1 = lambdas_[1];
+  double p = 0.0;
+  if (lam2 > 0.0) {
+    const auto& bigrams = ngram_counts_[1];
+    std::string key;
+    key.reserve(prev.size() + word.size() + 1);
+    key += prev;
+    key += kSep;
+    key += word;
+    auto it = bigrams.find(key);
+    if (it != bigrams.end()) {
+      const auto& unigrams = ngram_counts_[0];
+      auto hit = unigrams.find(prev);
+      if (hit != unigrams.end() && hit->second > 0) {
+        p += lam2 * static_cast<double>(it->second) /
+             static_cast<double>(hit->second);
+      }
+    }
+  }
+  if (lam1 > 0.0 && total_tokens_ > 0) {
+    auto it = unigram_counts_.find(word);
+    if (it != unigram_counts_.end()) {
+      p += lam1 * static_cast<double>(it->second) /
+           static_cast<double>(total_tokens_);
+    }
+  }
+  double floor_weight = std::max(1e-12, 1.0 - lam2 - lam1);
+  p += floor_weight / vocab;
+  return std::log(p);
+}
+
+std::vector<std::string> NgramModel::TopWords(std::size_t limit,
+                                              uint64_t min_count) const {
+  std::vector<std::pair<std::string, uint64_t>> items;
+  items.reserve(unigram_counts_.size());
+  for (const auto& [w, c] : unigram_counts_) {
+    if (c >= min_count && w != kEos) items.emplace_back(w, c);
+  }
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (items.size() > limit) items.resize(limit);
+  std::vector<std::string> out;
+  out.reserve(items.size());
+  for (auto& [w, c] : items) out.push_back(std::move(w));
+  return out;
+}
+
+InterpolatedLm::InterpolatedLm(const NgramModel* general,
+                               const NgramModel* domain, double domain_weight)
+    : general_(general), domain_(domain), domain_weight_(domain_weight) {
+  BIVOC_CHECK(general_ != nullptr && domain_ != nullptr);
+  BIVOC_CHECK(domain_weight_ >= 0.0 && domain_weight_ <= 1.0);
+}
+
+double InterpolatedLm::BigramLogProb(const std::string& prev,
+                                     const std::string& word) const {
+  double pd = std::exp(domain_->BigramLogProb(prev, word));
+  double pg = std::exp(general_->BigramLogProb(prev, word));
+  return std::log(domain_weight_ * pd + (1.0 - domain_weight_) * pg);
+}
+
+double InterpolatedLm::SentenceLogProb(
+    const std::vector<std::string>& words) const {
+  std::string prev = "<s>";
+  double total = 0.0;
+  for (const auto& w : words) {
+    total += BigramLogProb(prev, w);
+    prev = w;
+  }
+  total += BigramLogProb(prev, "</s>");
+  return total;
+}
+
+double InterpolatedLm::Perplexity(
+    const std::vector<std::vector<std::string>>& sentences) const {
+  double log_sum = 0.0;
+  std::size_t events = 0;
+  for (const auto& s : sentences) {
+    log_sum += SentenceLogProb(s);
+    events += s.size() + 1;
+  }
+  if (events == 0) return 1.0;
+  return std::exp(-log_sum / static_cast<double>(events));
+}
+
+}  // namespace bivoc

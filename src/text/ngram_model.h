@@ -1,0 +1,97 @@
+#ifndef BIVOC_TEXT_NGRAM_MODEL_H_
+#define BIVOC_TEXT_NGRAM_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bivoc {
+
+// Count-based N-gram language model with Jelinek-Mercer interpolation
+// across orders:
+//
+//   P(w | h) = lam_n P_ml(w | h_{n-1}) + ... + lam_1 P_ml(w) + lam_0 / V
+//
+// The BIVoC decoder uses order 2 (bigram) for speed; order 3 is
+// supported for perplexity experiments. Sentences are padded with <s>
+// and </s> internally.
+class NgramModel {
+ public:
+  explicit NgramModel(int order = 2);
+
+  // Accumulates counts from one sentence of (already lowercased) words.
+  void AddSentence(const std::vector<std::string>& words);
+
+  // Convenience: train on many sentences.
+  void Train(const std::vector<std::vector<std::string>>& sentences);
+
+  // ln P(word | context) where context is the preceding words (only the
+  // last order-1 are used). Unknown words get the uniform floor mass.
+  double LogProb(const std::string& word,
+                 const std::vector<std::string>& context) const;
+
+  // Sum of per-word LogProb over the sentence including </s>.
+  double SentenceLogProb(const std::vector<std::string>& words) const;
+
+  // exp(-avg log prob) over a corpus; standard LM quality metric.
+  double Perplexity(
+      const std::vector<std::vector<std::string>>& sentences) const;
+
+  // Fast path for the ASR decoder: ln P(word | prev). "<s>" is a valid
+  // prev for sentence-initial words.
+  double BigramLogProb(const std::string& prev, const std::string& word) const;
+
+  int order() const { return order_; }
+  std::size_t vocab_size() const { return unigram_counts_.size(); }
+  uint64_t total_tokens() const { return total_tokens_; }
+
+  // Interpolation weights, highest order first; must sum to <= 1. The
+  // remainder is the uniform floor weight. Defaults: {0.55, 0.35} for
+  // order 2 (floor 0.10 split with unigram).
+  void SetInterpolationWeights(const std::vector<double>& weights);
+
+  // Words observed at least min_count times, most frequent first.
+  std::vector<std::string> TopWords(std::size_t limit,
+                                    uint64_t min_count = 1) const;
+
+  uint64_t UnigramCount(const std::string& word) const;
+
+ private:
+  double ProbML(const std::string& word,
+                const std::vector<std::string>& history) const;
+
+  int order_;
+  std::vector<double> lambdas_;  // size == order_, highest order first
+  // Counts keyed by the joined n-gram ("a\x1fb\x1fc"); per-order maps.
+  std::vector<std::unordered_map<std::string, uint64_t>> ngram_counts_;
+  std::unordered_map<std::string, uint64_t> unigram_counts_;
+  uint64_t total_tokens_ = 0;
+};
+
+// Linear mixture of a general-domain and an in-domain model, as the
+// paper builds it ("linearly combined with high weight given to
+// call-center specific model").
+class InterpolatedLm {
+ public:
+  InterpolatedLm(const NgramModel* general, const NgramModel* domain,
+                 double domain_weight = 0.8);
+
+  double BigramLogProb(const std::string& prev, const std::string& word) const;
+
+  double SentenceLogProb(const std::vector<std::string>& words) const;
+
+  double Perplexity(
+      const std::vector<std::vector<std::string>>& sentences) const;
+
+  double domain_weight() const { return domain_weight_; }
+
+ private:
+  const NgramModel* general_;  // not owned
+  const NgramModel* domain_;   // not owned
+  double domain_weight_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_TEXT_NGRAM_MODEL_H_

@@ -1,0 +1,202 @@
+#include "text/phonetic.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "text/edit_distance.h"
+
+namespace bivoc {
+
+namespace {
+
+char SoundexDigit(char c) {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'B':
+    case 'F':
+    case 'P':
+    case 'V':
+      return '1';
+    case 'C':
+    case 'G':
+    case 'J':
+    case 'K':
+    case 'Q':
+    case 'S':
+    case 'X':
+    case 'Z':
+      return '2';
+    case 'D':
+    case 'T':
+      return '3';
+    case 'L':
+      return '4';
+    case 'M':
+    case 'N':
+      return '5';
+    case 'R':
+      return '6';
+    default:
+      return '0';  // vowels, H, W, Y and non-letters
+  }
+}
+
+bool IsHW(char c) {
+  char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return u == 'H' || u == 'W';
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view word) {
+  // Skip leading non-letters.
+  std::size_t start = 0;
+  while (start < word.size() &&
+         !std::isalpha(static_cast<unsigned char>(word[start]))) {
+    ++start;
+  }
+  if (start == word.size()) return "";
+
+  std::string code;
+  code += static_cast<char>(
+      std::toupper(static_cast<unsigned char>(word[start])));
+  char last_digit = SoundexDigit(word[start]);
+
+  for (std::size_t i = start + 1; i < word.size() && code.size() < 4; ++i) {
+    char c = word[i];
+    if (!std::isalpha(static_cast<unsigned char>(c))) continue;
+    char d = SoundexDigit(c);
+    if (d == '0') {
+      // H and W are transparent (do not reset last_digit); vowels reset.
+      if (!IsHW(c)) last_digit = '0';
+      continue;
+    }
+    if (d != last_digit) code += d;
+    last_digit = d;
+  }
+  while (code.size() < 4) code += '0';
+  return code;
+}
+
+std::string PhoneticKey(std::string_view word) {
+  std::string upper;
+  upper.reserve(word.size());
+  for (char c : word) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      upper += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  if (upper.empty()) return "";
+
+  std::string key;
+  auto last_is = [&key](char c) { return !key.empty() && key.back() == c; };
+  std::size_t i = 0;
+  const std::size_t n = upper.size();
+  auto peek = [&](std::size_t k) -> char {
+    return (i + k < n) ? upper[i + k] : '\0';
+  };
+
+  while (i < n) {
+    char c = upper[i];
+    char next = peek(1);
+    char emitted = '\0';
+    std::size_t consumed = 1;
+    switch (c) {
+      case 'P':
+        if (next == 'H') {
+          emitted = 'F';
+          consumed = 2;
+        } else {
+          emitted = 'P';
+        }
+        break;
+      case 'G':
+        if (next == 'H') {
+          // GH: silent at word end ("though"), F-like otherwise handled
+          // crudely as silent; matches "gud"/"good" style SMS noise.
+          consumed = 2;
+        } else if (next == 'N') {
+          emitted = 'N';
+          consumed = 2;
+        } else {
+          emitted = 'K';
+        }
+        break;
+      case 'C':
+        if (next == 'K') {
+          emitted = 'K';
+          consumed = 2;
+        } else if (next == 'H') {
+          emitted = 'X';  // CH
+          consumed = 2;
+        } else if (next == 'E' || next == 'I' || next == 'Y') {
+          emitted = 'S';
+        } else {
+          emitted = 'K';
+        }
+        break;
+      case 'Q':
+        emitted = 'K';
+        break;
+      case 'X':
+        emitted = 'K';  // approximate KS
+        break;
+      case 'S':
+        if (next == 'H') {
+          emitted = 'X';
+          consumed = 2;
+        } else {
+          emitted = 'S';
+        }
+        break;
+      case 'T':
+        if (next == 'H') {
+          emitted = '0';  // theta
+          consumed = 2;
+        } else {
+          emitted = 'T';
+        }
+        break;
+      case 'D':
+        emitted = 'T';
+        break;
+      case 'Z':
+        emitted = 'S';
+        break;
+      case 'V':
+        emitted = 'F';
+        break;
+      case 'B':
+        emitted = 'P';
+        break;
+      case 'W':
+      case 'H':
+        // Keep word-initial, drop internal.
+        if (i == 0) emitted = c;
+        break;
+      case 'A':
+      case 'E':
+      case 'I':
+      case 'O':
+      case 'U':
+      case 'Y':
+        if (i == 0) emitted = 'A';  // all initial vowels collapse
+        break;
+      default:
+        emitted = c;
+        break;
+    }
+    if (emitted != '\0' && !last_is(emitted)) key += emitted;
+    i += consumed;
+  }
+  return key;
+}
+
+double PhoneticSimilarity(std::string_view a, std::string_view b) {
+  std::string ka = PhoneticKey(a);
+  std::string kb = PhoneticKey(b);
+  if (ka.empty() && kb.empty()) return 1.0;
+  if (ka == kb) return 1.0;
+  return LevenshteinSimilarity(ka, kb);
+}
+
+}  // namespace bivoc

@@ -1,0 +1,25 @@
+#ifndef BIVOC_TEXT_PHONETIC_H_
+#define BIVOC_TEXT_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace bivoc {
+
+// American Soundex code, e.g. "Robert" -> "R163". Empty input -> "".
+// Used to bucket similar-sounding names when matching ASR output (where
+// "Jon"/"John"/"Joan" collapse) against database name attributes.
+std::string Soundex(std::string_view word);
+
+// A compact metaphone-style phonetic key that folds common English
+// digraphs (PH->F, GH->silent/F, CK->K, ...). More discriminative than
+// Soundex for retrieval blocking; not a full Double Metaphone.
+std::string PhoneticKey(std::string_view word);
+
+// Similarity in [0,1]: 1.0 if phonetic keys equal, else scaled key
+// overlap. A cheap proxy for acoustic confusability of two words.
+double PhoneticSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_TEXT_PHONETIC_H_

@@ -1,0 +1,213 @@
+#include "text/pos_tagger.h"
+
+#include "util/string_util.h"
+
+namespace bivoc {
+
+std::string_view PosTagName(PosTag tag) {
+  switch (tag) {
+    case PosTag::kNoun:
+      return "NOUN";
+    case PosTag::kProperNoun:
+      return "PROPN";
+    case PosTag::kVerb:
+      return "VERB";
+    case PosTag::kAdjective:
+      return "ADJ";
+    case PosTag::kAdverb:
+      return "ADV";
+    case PosTag::kPronoun:
+      return "PRON";
+    case PosTag::kDeterminer:
+      return "DET";
+    case PosTag::kPreposition:
+      return "PREP";
+    case PosTag::kConjunction:
+      return "CONJ";
+    case PosTag::kNumber:
+      return "NUM";
+    case PosTag::kInterjection:
+      return "INTJ";
+    case PosTag::kParticle:
+      return "PART";
+    case PosTag::kOther:
+      return "OTHER";
+  }
+  return "OTHER";
+}
+
+namespace {
+
+struct LexEntry {
+  const char* word;
+  PosTag tag;
+};
+
+constexpr LexEntry kClosedClass[] = {
+    // Pronouns.
+    {"i", PosTag::kPronoun},       {"you", PosTag::kPronoun},
+    {"he", PosTag::kPronoun},      {"she", PosTag::kPronoun},
+    {"it", PosTag::kPronoun},      {"we", PosTag::kPronoun},
+    {"they", PosTag::kPronoun},    {"me", PosTag::kPronoun},
+    {"him", PosTag::kPronoun},     {"her", PosTag::kPronoun},
+    {"us", PosTag::kPronoun},      {"them", PosTag::kPronoun},
+    {"my", PosTag::kPronoun},      {"your", PosTag::kPronoun},
+    {"his", PosTag::kPronoun},     {"its", PosTag::kPronoun},
+    {"our", PosTag::kPronoun},     {"their", PosTag::kPronoun},
+    {"myself", PosTag::kPronoun},  {"yourself", PosTag::kPronoun},
+    {"who", PosTag::kPronoun},     {"what", PosTag::kPronoun},
+    {"which", PosTag::kPronoun},   {"that", PosTag::kPronoun},
+    {"this", PosTag::kDeterminer}, {"these", PosTag::kDeterminer},
+    {"those", PosTag::kDeterminer},
+    // Determiners.
+    {"a", PosTag::kDeterminer},    {"an", PosTag::kDeterminer},
+    {"the", PosTag::kDeterminer},  {"some", PosTag::kDeterminer},
+    {"any", PosTag::kDeterminer},  {"no", PosTag::kDeterminer},
+    {"every", PosTag::kDeterminer},{"each", PosTag::kDeterminer},
+    // Prepositions.
+    {"of", PosTag::kPreposition},  {"in", PosTag::kPreposition},
+    {"on", PosTag::kPreposition},  {"at", PosTag::kPreposition},
+    {"by", PosTag::kPreposition},  {"for", PosTag::kPreposition},
+    {"with", PosTag::kPreposition},{"from", PosTag::kPreposition},
+    {"to", PosTag::kParticle},     {"into", PosTag::kPreposition},
+    {"about", PosTag::kPreposition},{"after", PosTag::kPreposition},
+    {"before", PosTag::kPreposition},{"over", PosTag::kPreposition},
+    {"under", PosTag::kPreposition},{"between", PosTag::kPreposition},
+    // Conjunctions.
+    {"and", PosTag::kConjunction}, {"or", PosTag::kConjunction},
+    {"but", PosTag::kConjunction}, {"because", PosTag::kConjunction},
+    {"if", PosTag::kConjunction},  {"so", PosTag::kConjunction},
+    {"while", PosTag::kConjunction},{"although", PosTag::kConjunction},
+    // Auxiliaries / frequent verbs.
+    {"is", PosTag::kVerb},         {"am", PosTag::kVerb},
+    {"are", PosTag::kVerb},        {"was", PosTag::kVerb},
+    {"were", PosTag::kVerb},       {"be", PosTag::kVerb},
+    {"been", PosTag::kVerb},       {"being", PosTag::kVerb},
+    {"have", PosTag::kVerb},       {"has", PosTag::kVerb},
+    {"had", PosTag::kVerb},        {"do", PosTag::kVerb},
+    {"does", PosTag::kVerb},       {"did", PosTag::kVerb},
+    {"will", PosTag::kVerb},       {"would", PosTag::kVerb},
+    {"can", PosTag::kVerb},        {"could", PosTag::kVerb},
+    {"shall", PosTag::kVerb},      {"should", PosTag::kVerb},
+    {"may", PosTag::kVerb},        {"might", PosTag::kVerb},
+    {"must", PosTag::kVerb},       {"need", PosTag::kVerb},
+    {"want", PosTag::kVerb},       {"make", PosTag::kVerb},
+    {"made", PosTag::kVerb},       {"get", PosTag::kVerb},
+    {"got", PosTag::kVerb},        {"give", PosTag::kVerb},
+    {"gave", PosTag::kVerb},       {"take", PosTag::kVerb},
+    {"took", PosTag::kVerb},       {"go", PosTag::kVerb},
+    {"went", PosTag::kVerb},       {"come", PosTag::kVerb},
+    {"came", PosTag::kVerb},       {"know", PosTag::kVerb},
+    {"tell", PosTag::kVerb},       {"told", PosTag::kVerb},
+    {"call", PosTag::kVerb},       {"called", PosTag::kVerb},
+    {"help", PosTag::kVerb},       {"pay", PosTag::kVerb},
+    {"paid", PosTag::kVerb},       {"book", PosTag::kVerb},
+    {"reserve", PosTag::kVerb},    {"confirm", PosTag::kVerb},
+    {"cancel", PosTag::kVerb},     {"check", PosTag::kVerb},
+    {"send", PosTag::kVerb},       {"sent", PosTag::kVerb},
+    {"hold", PosTag::kVerb},       {"provide", PosTag::kVerb},
+    {"activate", PosTag::kVerb},   {"deactivate", PosTag::kVerb},
+    {"charge", PosTag::kVerb},     {"charged", PosTag::kVerb},
+    {"leave", PosTag::kVerb},      {"solve", PosTag::kVerb},
+    {"pick", PosTag::kVerb},       {"drop", PosTag::kVerb},
+    {"rent", PosTag::kVerb},       {"quote", PosTag::kVerb},
+    {"offer", PosTag::kVerb},      {"save", PosTag::kVerb},
+    {"apply", PosTag::kVerb},      {"let", PosTag::kVerb},
+    {"like", PosTag::kVerb},       {"thank", PosTag::kVerb},
+    // Adverbs / particles.
+    {"not", PosTag::kParticle},    {"very", PosTag::kAdverb},
+    {"just", PosTag::kAdverb},     {"only", PosTag::kAdverb},
+    {"too", PosTag::kAdverb},      {"also", PosTag::kAdverb},
+    {"now", PosTag::kAdverb},      {"here", PosTag::kAdverb},
+    {"there", PosTag::kAdverb},    {"today", PosTag::kAdverb},
+    {"again", PosTag::kAdverb},    {"never", PosTag::kAdverb},
+    {"always", PosTag::kAdverb},   {"really", PosTag::kAdverb},
+    // Interjections / politeness.
+    {"please", PosTag::kInterjection}, {"yes", PosTag::kInterjection},
+    {"okay", PosTag::kInterjection},   {"ok", PosTag::kInterjection},
+    {"hello", PosTag::kInterjection},  {"hi", PosTag::kInterjection},
+    {"sorry", PosTag::kInterjection},  {"thanks", PosTag::kInterjection},
+    // Adjectives common in the domain.
+    {"good", PosTag::kAdjective},  {"great", PosTag::kAdjective},
+    {"wonderful", PosTag::kAdjective}, {"fantastic", PosTag::kAdjective},
+    {"bad", PosTag::kAdjective},   {"rude", PosTag::kAdjective},
+    {"high", PosTag::kAdjective},  {"low", PosTag::kAdjective},
+    {"new", PosTag::kAdjective},   {"full", PosTag::kAdjective},
+    {"latest", PosTag::kAdjective},{"cheap", PosTag::kAdjective},
+    {"best", PosTag::kAdjective},  {"available", PosTag::kAdjective},
+};
+
+// Number words count as NUM so patterns like "just + NUMERIC + dollars"
+// fire on spoken amounts ("just fifty dollars").
+constexpr const char* kNumberWords[] = {
+    "zero", "one",  "two",  "three", "four",   "five",   "six",
+    "seven", "eight", "nine", "ten",  "eleven", "twelve", "twenty",
+    "thirty", "forty", "fifty", "sixty", "seventy", "eighty", "ninety",
+    "hundred", "thousand", "million",
+};
+
+}  // namespace
+
+PosTagger::PosTagger() {
+  for (const auto& e : kClosedClass) lexicon_.emplace(e.word, e.tag);
+  for (const char* w : kNumberWords) lexicon_.emplace(w, PosTag::kNumber);
+}
+
+PosTag PosTagger::TagWord(const std::string& lower_word) const {
+  auto it = lexicon_.find(lower_word);
+  if (it != lexicon_.end()) return it->second;
+  if (IsDigits(lower_word)) return PosTag::kNumber;
+  // Suffix heuristics for open classes.
+  if (EndsWith(lower_word, "ly") && lower_word.size() > 4) {
+    return PosTag::kAdverb;
+  }
+  if ((EndsWith(lower_word, "ing") || EndsWith(lower_word, "ed")) &&
+      lower_word.size() > 4) {
+    return PosTag::kVerb;
+  }
+  if (EndsWith(lower_word, "tion") || EndsWith(lower_word, "ment") ||
+      EndsWith(lower_word, "ness") || EndsWith(lower_word, "ity")) {
+    return PosTag::kNoun;
+  }
+  if (EndsWith(lower_word, "ful") || EndsWith(lower_word, "ous") ||
+      EndsWith(lower_word, "ive") || EndsWith(lower_word, "able")) {
+    return PosTag::kAdjective;
+  }
+  return PosTag::kNoun;
+}
+
+std::vector<TaggedToken> PosTagger::Tag(
+    const std::vector<Token>& tokens) const {
+  std::vector<TaggedToken> out;
+  out.reserve(tokens.size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    TaggedToken tt;
+    tt.token = t;
+    if (t.kind == TokenKind::kNumber || t.kind == TokenKind::kAlnum) {
+      tt.tag = PosTag::kNumber;
+    } else if (t.kind == TokenKind::kPunct) {
+      tt.tag = PosTag::kOther;
+    } else {
+      tt.tag = TagWord(t.norm);
+      // Mid-sentence capitalization marks proper nouns in clean text.
+      // ASR transcripts are all-caps, so require mixed-case evidence:
+      // first letter upper, at least one lowercase later in the token.
+      if (tt.tag == PosTag::kNoun && i > 0 && !t.text.empty() &&
+          std::isupper(static_cast<unsigned char>(t.text[0]))) {
+        bool has_lower = false;
+        for (char c : t.text) {
+          if (std::islower(static_cast<unsigned char>(c))) {
+            has_lower = true;
+            break;
+          }
+        }
+        if (has_lower) tt.tag = PosTag::kProperNoun;
+      }
+    }
+    out.push_back(std::move(tt));
+  }
+  return out;
+}
+
+}  // namespace bivoc

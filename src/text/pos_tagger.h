@@ -1,0 +1,58 @@
+#ifndef BIVOC_TEXT_POS_TAGGER_H_
+#define BIVOC_TEXT_POS_TAGGER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace bivoc {
+
+// Coarse part-of-speech classes; the pattern engine (annotate/) keys on
+// these, e.g. "please + VERB -> request".
+enum class PosTag {
+  kNoun,
+  kProperNoun,
+  kVerb,
+  kAdjective,
+  kAdverb,
+  kPronoun,
+  kDeterminer,
+  kPreposition,
+  kConjunction,
+  kNumber,
+  kInterjection,
+  kParticle,  // to, not, 'd, ...
+  kOther,
+};
+
+std::string_view PosTagName(PosTag tag);
+
+struct TaggedToken {
+  Token token;
+  PosTag tag = PosTag::kNoun;
+};
+
+// Rule-and-lexicon PoS tagger, robust to the casing chaos of ASR output
+// (all-caps) and SMS (all-lower). Closed classes come from an embedded
+// lexicon; open classes use suffix and context heuristics. This is the
+// level of tagging the paper's pattern extraction requires — it only
+// distinguishes VERB / NUMERIC / noun-ish content words.
+class PosTagger {
+ public:
+  PosTagger();
+
+  std::vector<TaggedToken> Tag(const std::vector<Token>& tokens) const;
+
+  // Tags one word out of context (no capitalization cues).
+  PosTag TagWord(const std::string& lower_word) const;
+
+ private:
+  std::unordered_map<std::string, PosTag> lexicon_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_TEXT_POS_TAGGER_H_

@@ -1,0 +1,78 @@
+#include "text/spell.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/edit_distance.h"
+
+namespace bivoc {
+
+void SpellingCorrector::AddWord(const std::string& word, uint64_t frequency) {
+  auto [it, inserted] = dictionary_.try_emplace(word, 0);
+  it->second += frequency;
+  total_count_ += frequency;
+  if (inserted) by_length_[word.size()].push_back(word);
+}
+
+void SpellingCorrector::AddCorpus(const std::vector<std::string>& words) {
+  for (const auto& w : words) AddWord(w);
+}
+
+std::vector<SpellingCorrector::Correction> SpellingCorrector::Candidates(
+    const std::string& word, std::size_t limit) const {
+  std::vector<Correction> out;
+  if (word.size() < options_.min_length) return out;
+
+  auto exact = dictionary_.find(word);
+  if (exact != dictionary_.end()) {
+    Correction c;
+    c.word = word;
+    c.distance = 0;
+    c.score = std::log(static_cast<double>(exact->second) /
+                       static_cast<double>(total_count_));
+    out.push_back(std::move(c));
+  }
+
+  std::size_t lo = word.size() > options_.max_edits
+                       ? word.size() - options_.max_edits
+                       : 1;
+  std::size_t hi = word.size() + options_.max_edits;
+  for (std::size_t len = lo; len <= hi; ++len) {
+    auto bucket = by_length_.find(len);
+    if (bucket == by_length_.end()) continue;
+    for (const auto& cand : bucket->second) {
+      if (cand == word) continue;
+      std::size_t d = DamerauLevenshtein(word, cand);
+      if (d > options_.max_edits) continue;
+      Correction c;
+      c.word = cand;
+      c.distance = d;
+      c.score = std::log(static_cast<double>(dictionary_.at(cand)) /
+                         static_cast<double>(total_count_)) -
+                options_.distance_penalty * static_cast<double>(d);
+      out.push_back(std::move(c));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Correction& a,
+                                       const Correction& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.word < b.word;
+  });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+SpellingCorrector::Correction SpellingCorrector::Correct(
+    const std::string& word) const {
+  auto candidates = Candidates(word, 1);
+  if (candidates.empty()) {
+    Correction c;
+    c.word = word;
+    c.distance = 0;
+    c.score = 0.0;
+    return c;
+  }
+  return candidates.front();
+}
+
+}  // namespace bivoc

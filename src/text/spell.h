@@ -1,0 +1,66 @@
+#ifndef BIVOC_TEXT_SPELL_H_
+#define BIVOC_TEXT_SPELL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bivoc {
+
+// Noisy-channel spelling corrector (Kukich 1992 family, which the paper
+// cites as the basis for noisy-text correction): candidates are
+// dictionary words within Damerau-Levenshtein distance <= max_edits;
+// they are scored by  log P(word) - penalty * distance  where P(word)
+// comes from observed frequencies.
+class SpellingCorrector {
+ public:
+  struct Options {
+    std::size_t max_edits = 2;
+    double distance_penalty = 4.0;  // in nats per edit
+    // Words at most this short are never corrected (too ambiguous).
+    std::size_t min_length = 3;
+  };
+
+  SpellingCorrector() = default;
+  explicit SpellingCorrector(Options options) : options_(options) {}
+
+  // Adds a dictionary word with a frequency (weights the prior).
+  void AddWord(const std::string& word, uint64_t frequency = 1);
+
+  // Bulk add.
+  void AddCorpus(const std::vector<std::string>& words);
+
+  bool Contains(const std::string& word) const {
+    return dictionary_.count(word) > 0;
+  }
+
+  struct Correction {
+    std::string word;
+    std::size_t distance = 0;
+    double score = 0.0;
+  };
+
+  // Best correction for `word` (lowercase expected). Returns the word
+  // itself (distance 0) when in-dictionary; returns the input unchanged
+  // when nothing is within max_edits.
+  Correction Correct(const std::string& word) const;
+
+  // Ranked candidate list (up to `limit`).
+  std::vector<Correction> Candidates(const std::string& word,
+                                     std::size_t limit) const;
+
+  std::size_t dictionary_size() const { return dictionary_.size(); }
+
+ private:
+  Options options_;
+  std::unordered_map<std::string, uint64_t> dictionary_;
+  // Length buckets for candidate pruning: only words with
+  // |len - query_len| <= max_edits can be within distance max_edits.
+  std::unordered_map<std::size_t, std::vector<std::string>> by_length_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_TEXT_SPELL_H_

@@ -1,0 +1,69 @@
+#include "text/stemmer.h"
+
+#include "util/string_util.h"
+
+namespace bivoc {
+
+namespace {
+
+bool IsVowel(char c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+bool HasVowel(std::string_view s) {
+  for (char c : s) {
+    if (IsVowel(c)) return true;
+  }
+  return false;
+}
+
+// Strips `suffix` if the remainder is >= 3 chars and contains a vowel.
+bool TryStrip(std::string* w, std::string_view suffix) {
+  if (w->size() < suffix.size() + 3) return false;
+  if (!EndsWith(*w, suffix)) return false;
+  std::string_view stem(*w);
+  stem.remove_suffix(suffix.size());
+  if (!HasVowel(stem)) return false;
+  w->resize(w->size() - suffix.size());
+  return true;
+}
+
+}  // namespace
+
+std::string Stem(std::string_view word) {
+  std::string w = ToLowerCopy(word);
+  if (w.size() < 4) return w;
+
+  // Plural / 3rd-person endings.
+  if (EndsWith(w, "sses")) {
+    w.resize(w.size() - 2);
+  } else if (EndsWith(w, "ies") && w.size() >= 5) {
+    w.resize(w.size() - 3);
+    w += 'y';
+  } else if (EndsWith(w, "s") && !EndsWith(w, "ss") && !EndsWith(w, "us") &&
+             w.size() >= 4) {
+    w.resize(w.size() - 1);
+  }
+
+  // Participles / gerunds.
+  if (TryStrip(&w, "ing") || TryStrip(&w, "ed")) {
+    // Undouble final consonant: "booking" -> "book", "stopped" -> "stop".
+    if (w.size() >= 4 && w[w.size() - 1] == w[w.size() - 2] &&
+        !IsVowel(w.back()) && w.back() != 'l' && w.back() != 's') {
+      w.resize(w.size() - 1);
+    } else if (w.size() >= 3 && !IsVowel(w.back()) &&
+               IsVowel(w[w.size() - 2]) && !HasVowel({w.data(), w.size() - 2})) {
+      // "making" -> "mak" -> restore 'e' for CVC-ish stems.
+      w += 'e';
+    }
+  }
+
+  // Common derivational endings.
+  TryStrip(&w, "ly");
+  TryStrip(&w, "ment");
+  TryStrip(&w, "ness");
+
+  return w;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,17 @@
+#ifndef BIVOC_TEXT_STEMMER_H_
+#define BIVOC_TEXT_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace bivoc {
+
+// Light English suffix stripper (Porter-style step-1 rules: plurals,
+// -ing, -ed, -ly, -ment, ...). Conservative: never reduces a word below
+// three characters. Used to fold inflection before dictionary lookup so
+// "booking"/"booked"/"books" share the concept "book".
+std::string Stem(std::string_view word);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_TEXT_STEMMER_H_

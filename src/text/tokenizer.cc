@@ -1,0 +1,115 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace bivoc {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0;
+}
+
+bool IsDigitChar(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+// A '.'/','/'-' between two digits stays inside a number token
+// ("2,013", "19.05.07", "555-0192" keep their shape for annotators).
+bool IsNumberJoiner(const std::string& text, std::size_t i) {
+  char c = text[i];
+  if (c != '.' && c != ',' && c != '-') return false;
+  if (i == 0 || i + 1 >= text.size()) return false;
+  return IsDigitChar(text[i - 1]) && IsDigitChar(text[i + 1]);
+}
+
+Token MakeToken(const std::string& text, std::size_t begin, std::size_t end,
+                TokenKind kind) {
+  Token t;
+  t.text = text.substr(begin, end - begin);
+  t.norm = ToLowerCopy(t.text);
+  t.kind = kind;
+  t.begin = begin;
+  t.end = end;
+  return t;
+}
+
+}  // namespace
+
+std::vector<Token> Tokenizer::Tokenize(const std::string& text) const {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsWordChar(c) || IsDigitChar(c)) {
+      std::size_t begin = i;
+      bool has_alpha = false;
+      bool has_digit = false;
+      while (i < n) {
+        char d = text[i];
+        if (IsWordChar(d)) {
+          has_alpha = true;
+          ++i;
+        } else if (IsDigitChar(d)) {
+          has_digit = true;
+          ++i;
+        } else if (d == '\'' && i > begin && i + 1 < n &&
+                   IsWordChar(text[i + 1])) {
+          ++i;  // internal apostrophe: "didn't", "I've"
+        } else if (IsNumberJoiner(text, i)) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      TokenKind kind = TokenKind::kWord;
+      if (has_alpha && has_digit) {
+        kind = TokenKind::kAlnum;
+      } else if (has_digit) {
+        kind = TokenKind::kNumber;
+      }
+      if (kind == TokenKind::kAlnum && options_.split_alnum) {
+        // Emit maximal same-class runs as separate tokens.
+        std::size_t j = begin;
+        while (j < i) {
+          std::size_t start = j;
+          bool digit_run = IsDigitChar(text[j]);
+          while (j < i && (digit_run ? IsDigitChar(text[j])
+                                     : !IsDigitChar(text[j]))) {
+            ++j;
+          }
+          out.push_back(MakeToken(text, start, j,
+                                  digit_run ? TokenKind::kNumber
+                                            : TokenKind::kWord));
+        }
+      } else {
+        out.push_back(MakeToken(text, begin, i, kind));
+      }
+      continue;
+    }
+    // Punctuation / symbol character.
+    if (options_.keep_punct) {
+      out.push_back(MakeToken(text, i, i + 1, TokenKind::kPunct));
+    }
+    ++i;
+  }
+  return out;
+}
+
+std::vector<std::string> TokenizeWords(const std::string& text) {
+  Tokenizer tokenizer;
+  std::vector<std::string> words;
+  for (const Token& t : tokenizer.Tokenize(text)) {
+    words.push_back(t.norm);
+  }
+  return words;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,55 @@
+#ifndef BIVOC_TEXT_TOKENIZER_H_
+#define BIVOC_TEXT_TOKENIZER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bivoc {
+
+enum class TokenKind {
+  kWord,        // alphabetic run, possibly with internal apostrophe
+  kNumber,      // digit run (possibly with . , inside: "2,013" "19.05.07")
+  kAlnum,       // mixed letters+digits ("10000sms", "rs500")
+  kPunct,       // single punctuation character
+};
+
+// One surface token with its character span in the original text.
+struct Token {
+  std::string text;        // surface form as it appeared
+  std::string norm;        // lowercased surface form
+  TokenKind kind = TokenKind::kWord;
+  std::size_t begin = 0;   // byte offset of first char
+  std::size_t end = 0;     // one past last char
+
+  bool IsWord() const { return kind == TokenKind::kWord; }
+  bool IsNumber() const { return kind == TokenKind::kNumber; }
+};
+
+// Rule-based tokenizer for noisy VoC text. Keeps numbers (with embedded
+// separators) together so amount/phone annotators see whole values, and
+// splits alphanumeric glue like "10000sms" into "10000" + "sms" only
+// when requested by downstream normalizers (see clean/).
+class Tokenizer {
+ public:
+  struct Options {
+    bool keep_punct = false;   // emit punctuation tokens
+    bool split_alnum = false;  // "10000sms" -> "10000", "sms"
+  };
+
+  Tokenizer() = default;
+  explicit Tokenizer(Options options) : options_(options) {}
+
+  std::vector<Token> Tokenize(const std::string& text) const;
+
+ private:
+  Options options_;
+};
+
+// Convenience: whitespace+punctuation tokenization to lowercase word
+// strings (no offsets), the common input shape for LMs and classifiers.
+std::vector<std::string> TokenizeWords(const std::string& text);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_TEXT_TOKENIZER_H_

@@ -1,0 +1,19 @@
+#include "text/vocabulary.h"
+
+namespace bivoc {
+
+int32_t Vocabulary::Add(const std::string& word) {
+  auto it = index_.find(word);
+  if (it != index_.end()) return it->second;
+  int32_t id = static_cast<int32_t>(words_.size());
+  words_.push_back(word);
+  index_.emplace(word, id);
+  return id;
+}
+
+int32_t Vocabulary::Lookup(const std::string& word) const {
+  auto it = index_.find(word);
+  return it == index_.end() ? kUnknownId : it->second;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,45 @@
+#ifndef BIVOC_TEXT_VOCABULARY_H_
+#define BIVOC_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bivoc {
+
+// Bidirectional word <-> id map. Id 0 is reserved for the unknown word.
+class Vocabulary {
+ public:
+  static constexpr int32_t kUnknownId = 0;
+
+  Vocabulary() { words_.push_back("<unk>"); }
+
+  // Returns the id, inserting the word if new.
+  int32_t Add(const std::string& word);
+
+  // Returns the id or kUnknownId.
+  int32_t Lookup(const std::string& word) const;
+
+  bool Contains(const std::string& word) const {
+    return index_.count(word) > 0;
+  }
+
+  const std::string& WordOf(int32_t id) const { return words_.at(id); }
+
+  // Number of entries including <unk>.
+  std::size_t size() const { return words_.size(); }
+
+  // All words except <unk>, in insertion order.
+  std::vector<std::string> Words() const {
+    return {words_.begin() + 1, words_.end()};
+  }
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_TEXT_VOCABULARY_H_

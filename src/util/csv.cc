@@ -1,0 +1,102 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace bivoc {
+
+namespace {
+bool NeedsQuoting(const std::string& field, char delim) {
+  return field.find(delim) != std::string::npos ||
+         field.find('"') != std::string::npos ||
+         field.find('\n') != std::string::npos ||
+         field.find('\r') != std::string::npos;
+}
+}  // namespace
+
+std::string CsvEncodeRow(const std::vector<std::string>& fields, char delim) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += delim;
+    const std::string& f = fields[i];
+    if (NeedsQuoting(f, delim)) {
+      out += '"';
+      for (char c : f) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += '"';
+    } else {
+      out += f;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> CsvDecodeRow(const std::string& line,
+                                              char delim) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else {
+      if (c == '"') {
+        if (!cur.empty()) {
+          return Status::Corruption("quote in unquoted CSV field");
+        }
+        in_quotes = true;
+      } else if (c == delim) {
+        fields.push_back(std::move(cur));
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    ++i;
+  }
+  if (in_quotes) return Status::Corruption("unterminated quoted CSV field");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Status CsvWriteFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char delim) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  for (const auto& row : rows) {
+    out << CsvEncodeRow(row, delim) << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> CsvReadFile(
+    const std::string& path, char delim) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    BIVOC_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                           CsvDecodeRow(line, delim));
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+}  // namespace bivoc

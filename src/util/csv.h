@@ -1,0 +1,35 @@
+#ifndef BIVOC_UTIL_CSV_H_
+#define BIVOC_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bivoc {
+
+// Minimal RFC-4180-ish CSV support used for exporting bench results and
+// for loading small embedded datasets. Handles quoting of fields that
+// contain the delimiter, quotes or newlines.
+
+// Escapes and joins one record.
+std::string CsvEncodeRow(const std::vector<std::string>& fields,
+                         char delim = ',');
+
+// Parses one line (no embedded newlines) into fields.
+Result<std::vector<std::string>> CsvDecodeRow(const std::string& line,
+                                              char delim = ',');
+
+// Writes rows (first row conventionally a header) to a file.
+Status CsvWriteFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char delim = ',');
+
+// Reads an entire CSV file into rows.
+Result<std::vector<std::vector<std::string>>> CsvReadFile(
+    const std::string& path, char delim = ',');
+
+}  // namespace bivoc
+
+#endif  // BIVOC_UTIL_CSV_H_

@@ -1,0 +1,64 @@
+#ifndef BIVOC_UTIL_LOGGING_H_
+#define BIVOC_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace bivoc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Accumulates one log line and flushes it (with level prefix) on
+// destruction. Fatal messages abort the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+  LogLevel level_;
+  bool enabled_;
+  bool fatal_;
+};
+
+}  // namespace internal
+
+#define BIVOC_LOG(level)                                            \
+  ::bivoc::internal::LogMessage(::bivoc::LogLevel::k##level,        \
+                                __FILE__, __LINE__)
+
+// Invariant check that is always on (used for programming errors, not
+// data errors; data errors travel via Status).
+#define BIVOC_CHECK(cond)                                               \
+  if (!(cond))                                                          \
+  ::bivoc::internal::LogMessage(::bivoc::LogLevel::kError, __FILE__,    \
+                                __LINE__, /*fatal=*/true)               \
+      << "Check failed: " #cond " "
+
+#define BIVOC_CHECK_OK(expr)                                \
+  do {                                                      \
+    ::bivoc::Status _st = (expr);                           \
+    BIVOC_CHECK(_st.ok()) << _st.ToString();                \
+  } while (false)
+
+}  // namespace bivoc
+
+#endif  // BIVOC_UTIL_LOGGING_H_

@@ -1,0 +1,133 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace bivoc {
+
+namespace {
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+  have_cached_normal_ = false;
+  zipf_n_ = -1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  BIVOC_CHECK(lo <= hi) << "Uniform(" << lo << "," << hi << ")";
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % range);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  BIVOC_CHECK(n > 0) << "Zipf over empty domain";
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(static_cast<std::size_t>(n));
+    double total = 0.0;
+    for (int64_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      zipf_cdf_[static_cast<std::size_t>(k)] = total;
+    }
+    for (auto& v : zipf_cdf_) v /= total;
+  }
+  double u = NextDouble();
+  // Binary search the CDF.
+  std::size_t lo = 0, hi = zipf_cdf_.size() - 1;
+  while (lo < hi) {
+    std::size_t mid = (lo + hi) / 2;
+    if (zipf_cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<int64_t>(lo);
+}
+
+std::size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  BIVOC_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) {
+    return static_cast<std::size_t>(
+        Uniform(0, static_cast<int64_t>(weights.size()) - 1));
+  }
+  double u = NextDouble() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0.0) {
+      acc += weights[i];
+      if (u < acc) return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork(uint64_t tag) {
+  uint64_t mix = state_[0] ^ Rotl(state_[2], 13) ^ (tag * 0x9e3779b97f4a7c15ULL);
+  return Rng(mix);
+}
+
+}  // namespace bivoc

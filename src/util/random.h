@@ -1,0 +1,76 @@
+#ifndef BIVOC_UTIL_RANDOM_H_
+#define BIVOC_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace bivoc {
+
+// Deterministic, seedable PRNG (xoshiro256** seeded via splitmix64).
+// Every stochastic component in BIVoC draws from an Rng so that corpora,
+// noise channels and experiments are exactly reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  // Zipf-distributed rank in [0, n) with exponent s (s > 0). Heavier
+  // head for larger s. Used for name/word popularity.
+  int64_t Zipf(int64_t n, double s);
+
+  // Samples an index in [0, weights.size()) proportional to weights.
+  // Non-positive total weight falls back to uniform.
+  std::size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Uniformly chooses an element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    return items[static_cast<std::size_t>(
+        Uniform(0, static_cast<int64_t>(items.size()) - 1))];
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (std::size_t i = items->size() - 1; i > 0; --i) {
+      std::size_t j =
+          static_cast<std::size_t>(Uniform(0, static_cast<int64_t>(i)));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  // Forks an independent stream (hash of current state + tag); handy for
+  // giving each synthetic entity its own deterministic sub-stream.
+  Rng Fork(uint64_t tag);
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+  // Memoized Zipf normalization for (n, s); regeneration is cheap but
+  // the generators call Zipf in tight loops with fixed parameters.
+  int64_t zipf_n_ = -1;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_UTIL_RANDOM_H_

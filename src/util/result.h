@@ -1,0 +1,81 @@
+#ifndef BIVOC_UTIL_RESULT_H_
+#define BIVOC_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace bivoc {
+
+// Result<T> holds either a value of type T or a non-OK Status, in the
+// style of arrow::Result. Accessing the value of an errored Result
+// aborts; callers must check ok() (or use ValueOr).
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from an error Status keeps
+  // call sites terse: `return 42;` / `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      // A Result constructed from a Status must carry an error.
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& MoveValue() {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Fatal: accessed value of errored Result: "
+                << status_.ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+// Propagates the error of a Result expression, otherwise assigns its
+// value to `lhs` (which must be a declaration or assignable lvalue).
+#define BIVOC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = tmp.MoveValue();
+
+#define BIVOC_ASSIGN_OR_RETURN(lhs, expr) \
+  BIVOC_ASSIGN_OR_RETURN_IMPL(            \
+      BIVOC_CONCAT_NAME(_result_, __LINE__), lhs, expr)
+
+#define BIVOC_CONCAT_NAME_INNER(x, y) x##y
+#define BIVOC_CONCAT_NAME(x, y) BIVOC_CONCAT_NAME_INNER(x, y)
+
+}  // namespace bivoc
+
+#endif  // BIVOC_UTIL_RESULT_H_

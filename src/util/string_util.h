@@ -1,0 +1,46 @@
+#ifndef BIVOC_UTIL_STRING_UTIL_H_
+#define BIVOC_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bivoc {
+
+// Splits on a single character; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+// Splits on any run of whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+std::string TrimCopy(std::string_view s);
+
+std::string ToLowerCopy(std::string_view s);
+std::string ToUpperCopy(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+// True if every character is an ASCII digit (and s non-empty).
+bool IsDigits(std::string_view s);
+
+// True if s is ASCII-alphabetic only (and non-empty).
+bool IsAlpha(std::string_view s);
+
+// Replaces all occurrences of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+// Formats with fixed decimals, e.g. FormatDouble(3.14159, 2) == "3.14".
+std::string FormatDouble(double v, int decimals);
+
+// Renders n with thousands separators: 1234567 -> "1,234,567".
+std::string WithThousands(int64_t n);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_UTIL_STRING_UTIL_H_

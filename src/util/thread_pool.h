@@ -1,0 +1,50 @@
+#ifndef BIVOC_UTIL_THREAD_POOL_H_
+#define BIVOC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bivoc {
+
+// Fixed-size worker pool used by the pipeline to process document
+// batches in parallel (the paper's scale challenge: 150 GB of audio a
+// day forces parallel transcription/annotation).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until all submitted tasks have finished.
+  void Wait();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_UTIL_THREAD_POOL_H_

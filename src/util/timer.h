@@ -1,0 +1,28 @@
+#ifndef BIVOC_UTIL_TIMER_H_
+#define BIVOC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace bivoc {
+
+// Simple monotonic stopwatch for coarse pipeline timing.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_UTIL_TIMER_H_

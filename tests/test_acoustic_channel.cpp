@@ -1,0 +1,134 @@
+#include "asr/acoustic_channel.h"
+
+#include <gtest/gtest.h>
+
+namespace bivoc {
+namespace {
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  Lexicon lexicon_;
+};
+
+TEST_F(ChannelTest, ZeroNoiseIsIdentity) {
+  ChannelConfig config;
+  config.noise_level = 0.0;
+  config.burst_prob = 0.0;
+  AcousticChannel channel(&lexicon_, config);
+  Rng rng(1);
+  std::vector<std::string> words = {"book", "a", "car", "in", "boston"};
+  auto obs = channel.Transmit(words, &rng);
+  EXPECT_EQ(obs.substitutions, 0u);
+  EXPECT_EQ(obs.deletions, 0u);
+  EXPECT_EQ(obs.insertions, 0u);
+  // Output equals the concatenated clean pronunciation.
+  std::vector<Phoneme> clean;
+  for (const auto& w : words) {
+    auto p = lexicon_.Pronounce(w);
+    clean.insert(clean.end(), p.begin(), p.end());
+  }
+  EXPECT_EQ(obs.phonemes, clean);
+  EXPECT_EQ(obs.clean_length, clean.size());
+}
+
+TEST_F(ChannelTest, NoiseProducesCorruptions) {
+  ChannelConfig config;
+  config.noise_level = 2.0;
+  AcousticChannel channel(&lexicon_, config);
+  Rng rng(2);
+  std::vector<std::string> words(30, "reservation");
+  auto obs = channel.Transmit(words, &rng);
+  EXPECT_GT(obs.substitutions + obs.deletions + obs.insertions, 0u);
+}
+
+// Property sweep: corruption volume grows with noise level.
+class ChannelNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChannelNoiseSweep, CorruptionScalesWithNoise) {
+  Lexicon lexicon;
+  std::vector<std::string> words(50, "telephone");
+
+  auto corruption_at = [&](double level) {
+    ChannelConfig config;
+    config.noise_level = level;
+    config.burst_prob = 0.0;
+    AcousticChannel channel(&lexicon, config);
+    std::size_t total = 0;
+    Rng rng(42);
+    for (int i = 0; i < 20; ++i) {
+      auto obs = channel.Transmit(words, &rng);
+      total += obs.substitutions + obs.deletions + obs.insertions;
+    }
+    return total;
+  };
+
+  double level = GetParam();
+  EXPECT_GT(corruption_at(level + 0.5), corruption_at(level));
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, ChannelNoiseSweep,
+                         ::testing::Values(0.0, 0.5, 1.0, 1.5));
+
+TEST_F(ChannelTest, DeterministicGivenSameRngSeed) {
+  ChannelConfig config;
+  AcousticChannel channel(&lexicon_, config);
+  std::vector<std::string> words = {"my", "name", "is", "john"};
+  Rng rng1(7), rng2(7);
+  auto a = channel.Transmit(words, &rng1);
+  auto b = channel.Transmit(words, &rng2);
+  EXPECT_EQ(a.phonemes, b.phonemes);
+}
+
+TEST_F(ChannelTest, SubstitutesPreferConfusablePhonemes) {
+  ChannelConfig config;
+  AcousticChannel channel(&lexicon_, config);
+  const PhonemeSet& set = PhonemeSet::Instance();
+  Phoneme t = set.Parse("T");
+  auto weights = channel.ConfusionWeights(t);
+  ASSERT_EQ(weights.size(), set.size());
+  // Self-substitution and SIL must have zero weight.
+  EXPECT_DOUBLE_EQ(weights[static_cast<std::size_t>(t)], 0.0);
+  EXPECT_DOUBLE_EQ(weights[static_cast<std::size_t>(set.Parse("SIL"))], 0.0);
+  // A close phoneme (D) outweighs a distant one (IY).
+  EXPECT_GT(weights[static_cast<std::size_t>(set.Parse("D"))],
+            weights[static_cast<std::size_t>(set.Parse("IY"))]);
+}
+
+TEST_F(ChannelTest, BurstGarblesContiguousRun) {
+  ChannelConfig config;
+  config.noise_level = 1.0;
+  config.substitution_rate = 0.0;
+  config.deletion_rate = 0.0;
+  config.insertion_rate = 0.0;
+  config.pause_prob = 0.0;
+  config.burst_prob = 1.0;  // always burst
+  AcousticChannel channel(&lexicon_, config);
+  Rng rng(3);
+  std::vector<std::string> words(10, "information");
+  auto obs = channel.Transmit(words, &rng);
+  EXPECT_GT(obs.substitutions, 0u);
+  EXPECT_LE(obs.substitutions,
+            static_cast<std::size_t>(config.burst_max_len));
+}
+
+TEST_F(ChannelTest, PausesInjectSilence) {
+  ChannelConfig config;
+  config.noise_level = 1.0;
+  config.substitution_rate = 0.0;
+  config.deletion_rate = 0.0;
+  config.insertion_rate = 0.0;
+  config.burst_prob = 0.0;
+  config.pause_prob = 1.0;  // pause between every word pair
+  AcousticChannel channel(&lexicon_, config);
+  Rng rng(4);
+  auto obs = channel.Transmit({"one", "two", "three"}, &rng);
+  const Phoneme sil = PhonemeSet::Instance().Parse("SIL");
+  std::size_t sil_count = 0;
+  for (Phoneme p : obs.phonemes) {
+    if (p == sil) ++sil_count;
+  }
+  EXPECT_EQ(sil_count, 2u);  // between the three words
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,126 @@
+#include "core/agent_kpis.h"
+
+#include <gtest/gtest.h>
+
+namespace bivoc {
+namespace {
+
+class KpiTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CarRentalConfig config;
+    config.num_agents = 10;
+    config.num_customers = 100;
+    config.num_calls = 5;
+    config.seed = 3;
+    world_ = new CarRentalWorld(CarRentalWorld::Generate(config));
+  }
+
+  static CallRecord Call(int agent, bool reserved, bool service = false) {
+    CallRecord c;
+    c.agent_id = agent;
+    c.reserved = reserved;
+    c.is_service_call = service;
+    return c;
+  }
+
+  static CallAnalysis Behaviour(bool vs, bool disc, bool weak = false) {
+    CallAnalysis a;
+    a.detected_value_selling = vs;
+    a.detected_discount = disc;
+    a.detected_weak = weak;
+    return a;
+  }
+
+  static CarRentalWorld* world_;
+};
+
+CarRentalWorld* KpiTest::world_ = nullptr;
+
+TEST_F(KpiTest, AccumulatesPerAgent) {
+  AgentKpiBoard board(world_);
+  board.Record(Call(0, true), Behaviour(true, false));
+  board.Record(Call(0, false), Behaviour(false, true));
+  board.Record(Call(0, true), Behaviour(true, true));
+  board.Record(Call(1, false), Behaviour(false, false));
+
+  auto ranking = board.Ranking();
+  ASSERT_EQ(ranking.size(), 2u);
+  const AgentKpi& top = ranking[0];
+  EXPECT_EQ(top.agent_id, 0);
+  EXPECT_EQ(top.calls, 3u);
+  EXPECT_EQ(top.reservations, 2u);
+  EXPECT_NEAR(top.BookingRate(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(top.ValueSellingRate(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(top.DiscountRate(), 2.0 / 3.0, 1e-9);
+}
+
+TEST_F(KpiTest, ServiceCallsDoNotCountAsOutcomes) {
+  AgentKpiBoard board(world_);
+  board.Record(Call(0, false, /*service=*/true), Behaviour(false, false));
+  board.Record(Call(0, true), Behaviour(false, false));
+  auto ranking = board.Ranking();
+  ASSERT_EQ(ranking.size(), 1u);
+  EXPECT_EQ(ranking[0].service_calls, 1u);
+  EXPECT_DOUBLE_EQ(ranking[0].BookingRate(), 1.0);
+}
+
+TEST_F(KpiTest, WeakStartDiscountTracking) {
+  AgentKpiBoard board(world_);
+  board.Record(Call(2, true), Behaviour(false, true, /*weak=*/true));
+  board.Record(Call(2, false), Behaviour(false, false, /*weak=*/true));
+  auto ranking = board.Ranking();
+  ASSERT_EQ(ranking.size(), 1u);
+  EXPECT_EQ(ranking[0].weak_start_calls, 2u);
+  EXPECT_DOUBLE_EQ(ranking[0].WeakStartDiscountRate(), 0.5);
+}
+
+TEST_F(KpiTest, MinCallsFilters) {
+  AgentKpiBoard board(world_);
+  board.Record(Call(0, true), Behaviour(false, false));
+  for (int i = 0; i < 5; ++i) {
+    board.Record(Call(1, true), Behaviour(false, false));
+  }
+  EXPECT_EQ(board.Ranking(1).size(), 2u);
+  EXPECT_EQ(board.Ranking(5).size(), 1u);
+}
+
+TEST_F(KpiTest, CompareTopBottomFindsBehaviourGap) {
+  AgentKpiBoard board(world_);
+  // Agents 0-2: high booking rate + heavy value selling.
+  for (int agent = 0; agent < 3; ++agent) {
+    for (int i = 0; i < 10; ++i) {
+      board.Record(Call(agent, i < 7), Behaviour(true, true));
+    }
+  }
+  // Agents 3-5: low booking rate + no behaviours.
+  for (int agent = 3; agent < 6; ++agent) {
+    for (int i = 0; i < 10; ++i) {
+      board.Record(Call(agent, i < 3), Behaviour(false, false));
+    }
+  }
+  auto gap = board.CompareTopBottom(3);
+  EXPECT_NEAR(gap.value_selling_top, 1.0, 1e-9);
+  EXPECT_NEAR(gap.value_selling_bottom, 0.0, 1e-9);
+  EXPECT_GT(gap.discount_top, gap.discount_bottom);
+}
+
+TEST_F(KpiTest, CompareTopBottomNeedsEnoughAgents) {
+  AgentKpiBoard board(world_);
+  board.Record(Call(0, true), Behaviour(true, true));
+  auto gap = board.CompareTopBottom(3, 1);
+  EXPECT_DOUBLE_EQ(gap.value_selling_top, 0.0);
+}
+
+TEST_F(KpiTest, ReportRenders) {
+  AgentKpiBoard board(world_);
+  for (int i = 0; i < 6; ++i) {
+    board.Record(Call(0, true), Behaviour(true, false));
+  }
+  std::string report = board.RenderReport(5, 1);
+  EXPECT_NE(report.find("booked%"), std::string::npos);
+  EXPECT_NE(report.find(world_->agents()[0].name), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bivoc

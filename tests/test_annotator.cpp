@@ -1,0 +1,168 @@
+#include "linking/annotator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <unordered_set>
+
+namespace bivoc {
+namespace {
+
+std::vector<Annotation> Annotate(const Annotator& annotator,
+                                 const std::string& text) {
+  Tokenizer tokenizer;
+  return annotator.Annotate(tokenizer.Tokenize(text));
+}
+
+TEST(NameAnnotatorTest, FindsGazetteerNames) {
+  NameAnnotator annotator({"john", "smith", "mary"});
+  auto anns = Annotate(annotator, "hello my name is John Smith thanks");
+  ASSERT_EQ(anns.size(), 1u);
+  EXPECT_EQ(anns[0].role, AttributeRole::kPersonName);
+  EXPECT_EQ(anns[0].text, "john smith");  // adjacent names merged
+}
+
+TEST(NameAnnotatorTest, SeparateMentionsSeparateAnnotations) {
+  NameAnnotator annotator({"john", "mary"});
+  auto anns = Annotate(annotator, "john called and later mary called");
+  ASSERT_EQ(anns.size(), 2u);
+  EXPECT_EQ(anns[0].text, "john");
+  EXPECT_EQ(anns[1].text, "mary");
+}
+
+TEST(NameAnnotatorTest, NoFalsePositives) {
+  NameAnnotator annotator({"john"});
+  EXPECT_TRUE(Annotate(annotator, "no names here at all").empty());
+}
+
+TEST(PhoneAnnotatorTest, DigitStringAnnotated) {
+  PhoneAnnotator annotator;
+  auto anns = Annotate(annotator, "call me at 9845012345 thanks");
+  ASSERT_EQ(anns.size(), 1u);
+  EXPECT_EQ(anns[0].role, AttributeRole::kPhone);
+  EXPECT_EQ(anns[0].text, "9845012345");
+}
+
+TEST(PhoneAnnotatorTest, SpelledDigitsNormalized) {
+  PhoneAnnotator annotator;
+  auto anns = Annotate(
+      annotator, "my number is nine eight four five zero one two three");
+  ASSERT_EQ(anns.size(), 1u);
+  EXPECT_EQ(anns[0].text, "98450123");
+}
+
+TEST(PhoneAnnotatorTest, MixedDigitsAndWords) {
+  PhoneAnnotator annotator;
+  auto anns = Annotate(annotator, "it is 98 four five 01");
+  ASSERT_EQ(anns.size(), 1u);
+  EXPECT_EQ(anns[0].text, "984501");
+}
+
+TEST(PhoneAnnotatorTest, ShortRunsIgnored) {
+  PhoneAnnotator annotator;
+  EXPECT_TRUE(Annotate(annotator, "i paid 500 for two days").empty());
+}
+
+TEST(PhoneAnnotatorTest, LongDigitRunsBecomeCardNumbers) {
+  PhoneAnnotator annotator;
+  auto anns = Annotate(annotator, "receipt 123456789012 is attached");
+  ASSERT_EQ(anns.size(), 1u);
+  EXPECT_EQ(anns[0].role, AttributeRole::kCardNumber);
+}
+
+class DateFormatTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(DateFormatTest, NormalizesToIso) {
+  auto [text, expected] = GetParam();
+  DateAnnotator annotator;
+  auto anns = Annotate(annotator, text);
+  ASSERT_EQ(anns.size(), 1u) << text;
+  EXPECT_EQ(anns[0].role, AttributeRole::kDate);
+  EXPECT_EQ(anns[0].text, expected) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, DateFormatTest,
+    ::testing::Values(
+        std::make_tuple("paid on 19.05.07 thanks", "2007-05-19"),
+        std::make_tuple("paid on 19.05.2007 thanks", "2007-05-19"),
+        std::make_tuple("born may 19 1982", "1982-05-19"),
+        std::make_tuple("on 19 may 1982 i joined", "1982-05-19"),
+        std::make_tuple("due on 3.12.07", "2007-12-03")));
+
+TEST(DateAnnotatorTest, RejectsImplausibleDayMonth) {
+  DateAnnotator annotator;
+  EXPECT_TRUE(Annotate(annotator, "version 99.99.99 released").empty());
+}
+
+TEST(MoneyAnnotatorTest, CurrencyBeforeAmount) {
+  MoneyAnnotator annotator;
+  auto anns = Annotate(annotator, "i paid rs 500 yesterday");
+  ASSERT_EQ(anns.size(), 1u);
+  EXPECT_EQ(anns[0].role, AttributeRole::kMoney);
+  EXPECT_EQ(anns[0].text, "500");
+}
+
+TEST(MoneyAnnotatorTest, AmountBeforeCurrency) {
+  MoneyAnnotator annotator;
+  auto anns = Annotate(annotator, "fees of 275 dollars were charged");
+  ASSERT_EQ(anns.size(), 1u);
+  EXPECT_EQ(anns[0].text, "275");
+}
+
+TEST(MoneyAnnotatorTest, CompactRsAmount) {
+  MoneyAnnotator annotator;
+  // "Rs.2013" tokenizes as "rs" + "2013".
+  auto anns = Annotate(annotator, "charged Rs.2013 for sms");
+  ASSERT_EQ(anns.size(), 1u);
+  EXPECT_EQ(anns[0].text, "2013");
+}
+
+TEST(LocationAnnotatorTest, MultiWordLongestMatch) {
+  LocationAnnotator annotator({"york", "new york", "boston"});
+  auto anns = Annotate(annotator, "flying from new york to boston");
+  ASSERT_EQ(anns.size(), 2u);
+  EXPECT_EQ(anns[0].text, "new york");
+  EXPECT_EQ(anns[1].text, "boston");
+}
+
+TEST(PipelineTest, RunsAllAnnotators) {
+  AnnotatorPipeline pipeline;
+  pipeline.Add(std::make_unique<NameAnnotator>(
+      std::vector<std::string>{"john", "smith"}));
+  pipeline.Add(std::make_unique<PhoneAnnotator>());
+  pipeline.Add(std::make_unique<MoneyAnnotator>());
+  auto anns = pipeline.AnnotateText(
+      "john smith paid rs 500 from 9845012345");
+  std::unordered_set<int> roles;
+  for (const auto& a : anns) roles.insert(static_cast<int>(a.role));
+  EXPECT_EQ(anns.size(), 3u);
+  EXPECT_EQ(roles.size(), 3u);
+}
+
+TEST(DigitWordsTest, Conversion) {
+  EXPECT_EQ(DigitWordsToDigits({"nine", "eight", "four"}), "984");
+  EXPECT_EQ(DigitWordsToDigits({"oh", "one"}), "01");
+  EXPECT_EQ(DigitWordsToDigits({"nine", "cat"}), "");
+  EXPECT_EQ(DigitWordsToDigits({}), "");
+}
+
+TEST(DropRosterNamesTest, DropsSingleTokenRosterHits) {
+  NameAnnotator annotator({"chris", "john", "smith"});
+  Tokenizer tokenizer;
+  auto anns = annotator.Annotate(
+      tokenizer.Tokenize("this is chris speaking my name is john smith"));
+  ASSERT_EQ(anns.size(), 2u);
+  auto filtered = DropRosterNames(anns, {"chris"});
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].text, "john smith");
+  // Multi-token annotations survive even if a part is on the roster.
+  auto keep_full = DropRosterNames(anns, {"john"});
+  EXPECT_EQ(keep_full.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bivoc

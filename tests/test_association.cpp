@@ -1,0 +1,169 @@
+#include "mining/association.h"
+
+#include <gtest/gtest.h>
+
+#include "mining/relative_frequency.h"
+#include "mining/report.h"
+#include "mining/trend.h"
+
+namespace bivoc {
+namespace {
+
+ConceptIndex CallIndex() {
+  ConceptIndex index;
+  // 30 strong-start calls: 20 reserved / 10 unbooked.
+  for (int i = 0; i < 20; ++i) {
+    index.AddDocument({"intent/strong", "outcome/yes"}, i % 5);
+  }
+  for (int i = 0; i < 10; ++i) {
+    index.AddDocument({"intent/strong", "outcome/no"}, i % 5);
+  }
+  // 30 weak-start calls: 9 reserved / 21 unbooked.
+  for (int i = 0; i < 9; ++i) {
+    index.AddDocument({"intent/weak", "outcome/yes"}, i % 5);
+  }
+  for (int i = 0; i < 21; ++i) {
+    index.AddDocument({"intent/weak", "outcome/no"}, i % 5);
+  }
+  return index;
+}
+
+TEST(AssociationTest, CellCountsAndShares) {
+  auto index = CallIndex();
+  auto table = TwoDimensionalAssociation(
+      index, {"intent/strong", "intent/weak"},
+      {"outcome/yes", "outcome/no"});
+  ASSERT_EQ(table.cells.size(), 4u);
+  const auto& strong_yes = table.cell(0, 0);
+  EXPECT_EQ(strong_yes.n_cell, 20u);
+  EXPECT_EQ(strong_yes.n_row, 30u);
+  EXPECT_EQ(strong_yes.n_col, 29u);
+  EXPECT_EQ(strong_yes.n, 60u);
+  EXPECT_NEAR(strong_yes.row_share, 20.0 / 30.0, 1e-12);
+  const auto& weak_no = table.cell(1, 1);
+  EXPECT_NEAR(weak_no.row_share, 0.7, 1e-12);
+}
+
+TEST(AssociationTest, LiftDirections) {
+  auto index = CallIndex();
+  auto table = TwoDimensionalAssociation(
+      index, {"intent/strong", "intent/weak"},
+      {"outcome/yes", "outcome/no"});
+  EXPECT_GT(table.cell(0, 0).point_lift, 1.0);  // strong & yes attract
+  EXPECT_LT(table.cell(1, 0).point_lift, 1.0);  // weak & yes repel
+  for (const auto& cell : table.cells) {
+    EXPECT_LE(cell.lower_lift, cell.point_lift + 1e-12);
+  }
+}
+
+TEST(AssociationTest, TopAssociationsRanked) {
+  auto index = CallIndex();
+  auto top = TopAssociations(index, "intent/", "outcome/", 10, 1);
+  ASSERT_FALSE(top.empty());
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].lower_lift, top[i].lower_lift);
+  }
+  // The strongest association in this corpus is weak&no or strong&yes.
+  EXPECT_TRUE((top[0].row_key == "intent/weak" &&
+               top[0].col_key == "outcome/no") ||
+              (top[0].row_key == "intent/strong" &&
+               top[0].col_key == "outcome/yes"));
+}
+
+TEST(AssociationTest, MinCellCountFilters) {
+  auto index = CallIndex();
+  auto top = TopAssociations(index, "intent/", "outcome/", 10, 1000);
+  EXPECT_TRUE(top.empty());
+}
+
+TEST(RelevancyTest, OverRepresentedConceptsFirst) {
+  auto index = CallIndex();
+  RelevancyOptions options;
+  options.min_subset_count = 1;
+  auto items = RelevancyAnalysis(index, "outcome/yes", options);
+  ASSERT_GE(items.size(), 2u);
+  EXPECT_EQ(items[0].key, "intent/strong");
+  EXPECT_GT(items[0].relative, 1.0);
+  // weak start is under-represented among reservations.
+  bool found_weak = false;
+  for (const auto& item : items) {
+    if (item.key == "intent/weak") {
+      EXPECT_LT(item.relative, 1.0);
+      found_weak = true;
+    }
+  }
+  EXPECT_TRUE(found_weak);
+}
+
+TEST(RelevancyTest, UnknownFeatureEmpty) {
+  auto index = CallIndex();
+  EXPECT_TRUE(RelevancyAnalysis(index, "no/such").empty());
+}
+
+TEST(TrendTest, SharesPerBucket) {
+  ConceptIndex index;
+  // Rising concept: share grows linearly over 4 periods.
+  for (int64_t day = 0; day < 4; ++day) {
+    for (int i = 0; i < 10; ++i) {
+      bool hot = i < 2 + 2 * day;  // 2,4,6,8 of 10
+      index.AddDocument(hot ? std::vector<std::string>{"topic/hot"}
+                            : std::vector<std::string>{"topic/cold"},
+                        day);
+    }
+  }
+  auto trend = ConceptTrend(index, "topic/hot");
+  ASSERT_EQ(trend.size(), 4u);
+  EXPECT_DOUBLE_EQ(trend[0].share, 0.2);
+  EXPECT_DOUBLE_EQ(trend[3].share, 0.8);
+  EXPECT_NEAR(TrendSlope(trend), 0.2, 1e-9);
+}
+
+TEST(TrendTest, RisingConceptsOrdered) {
+  ConceptIndex index;
+  for (int64_t day = 0; day < 4; ++day) {
+    for (int i = 0; i < 10; ++i) {
+      std::vector<std::string> keys = {"topic/flat"};
+      if (i < 2 + 2 * day) keys.push_back("topic/rising");
+      index.AddDocument(keys, day);
+    }
+  }
+  auto rising = RisingConcepts(index, "topic/", 5, 1);
+  ASSERT_GE(rising.size(), 2u);
+  EXPECT_EQ(rising[0].key, "topic/rising");
+  EXPECT_GT(rising[0].slope, 0.1);
+}
+
+TEST(TrendTest, DocsWithoutBucketsIgnored) {
+  ConceptIndex index;
+  index.AddDocument({"a"});
+  EXPECT_TRUE(ConceptTrend(index, "a").empty());
+  EXPECT_DOUBLE_EQ(TrendSlope({}), 0.0);
+}
+
+TEST(ReportTest, GridRendersAllCells) {
+  std::string grid = RenderGrid({{"h1", "h2"}, {"a", "b"}, {"c", "d"}});
+  EXPECT_NE(grid.find("h1"), std::string::npos);
+  EXPECT_NE(grid.find("d"), std::string::npos);
+  EXPECT_EQ(RenderGrid({}), "");
+}
+
+TEST(ReportTest, ConditionalTableShowsPercentages) {
+  auto index = CallIndex();
+  auto table = TwoDimensionalAssociation(
+      index, {"intent/strong"}, {"outcome/yes", "outcome/no"});
+  std::string out = RenderConditionalTable(table);
+  EXPECT_NE(out.find("67%"), std::string::npos);
+  EXPECT_NE(out.find("33%"), std::string::npos);
+  EXPECT_NE(out.find("30"), std::string::npos);  // n_row
+}
+
+TEST(ReportTest, DrillDownListsDocs) {
+  auto index = CallIndex();
+  auto docs = index.DocsWithBoth("intent/strong", "outcome/yes");
+  std::string out = RenderDrillDown(index, docs, 3);
+  EXPECT_NE(out.find("doc 0"), std::string::npos);
+  EXPECT_NE(out.find("more)"), std::string::npos);  // truncation marker
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,113 @@
+#include "linking/linker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace bivoc {
+namespace {
+
+Annotation Ann(AttributeRole role, const std::string& text) {
+  Annotation a;
+  a.role = role;
+  a.text = text;
+  return a;
+}
+
+class AttributeIndexTest : public ::testing::Test {
+ protected:
+  AttributeIndexTest()
+      : table_("t", Schema({
+                        {"name", DataType::kString,
+                         AttributeRole::kPersonName},
+                        {"phone", DataType::kString, AttributeRole::kPhone},
+                        {"dob", DataType::kDate, AttributeRole::kDate},
+                        {"amount", DataType::kInt64, AttributeRole::kMoney},
+                    })) {
+    Add("john smith", "9845012345", Date{1980, 5, 19}, 500);
+    Add("jane doe", "7012345678", Date{1985, 2, 11}, 1200);
+    Add("jon smythe", "9845099999", Date{1980, 5, 21}, 510);
+  }
+
+  void Add(const char* name, const char* phone, Date dob, int64_t amount) {
+    ASSERT_TRUE(table_
+                    .Append({Value(name), Value(phone), Value(dob),
+                             Value(amount)})
+                    .ok());
+  }
+
+  bool Contains(const std::vector<RowId>& rows, RowId id) {
+    return std::find(rows.begin(), rows.end(), id) != rows.end();
+  }
+
+  Table table_;
+};
+
+TEST_F(AttributeIndexTest, NameCandidatesViaTokensAndSoundex) {
+  auto index = AttributeIndex::Build(table_, 0);
+  ASSERT_TRUE(index.ok());
+  // Exact token.
+  auto exact = index->Candidates(Ann(AttributeRole::kPersonName, "smith"));
+  EXPECT_TRUE(Contains(exact, 0));
+  // Phonetic: "smyth" shares a Soundex with "smith" and "smythe".
+  auto phonetic =
+      index->Candidates(Ann(AttributeRole::kPersonName, "smyth"));
+  EXPECT_TRUE(Contains(phonetic, 0));
+  EXPECT_TRUE(Contains(phonetic, 2));
+  EXPECT_FALSE(Contains(phonetic, 1));
+}
+
+TEST_F(AttributeIndexTest, PhoneCandidatesViaDigitGrams) {
+  auto index = AttributeIndex::Build(table_, 1);
+  ASSERT_TRUE(index.ok());
+  // Partial number: shares 4-grams with row 0 only.
+  auto partial = index->Candidates(Ann(AttributeRole::kPhone, "845012"));
+  EXPECT_TRUE(Contains(partial, 0));
+  EXPECT_FALSE(Contains(partial, 1));
+  // A fully alien number retrieves nothing.
+  EXPECT_TRUE(
+      index->Candidates(Ann(AttributeRole::kPhone, "1111111111")).empty());
+}
+
+TEST_F(AttributeIndexTest, DateCandidatesProbeWindow) {
+  auto index = AttributeIndex::Build(table_, 2);
+  ASSERT_TRUE(index.ok());
+  // Exact day.
+  auto exact = index->Candidates(Ann(AttributeRole::kDate, "1980-05-19"));
+  EXPECT_TRUE(Contains(exact, 0));
+  // Within the +/-7 day probe window, row 2 (May 21) also retrieved.
+  EXPECT_TRUE(Contains(exact, 2));
+  // Same month/day, different year, via the (month, day) bucket.
+  auto md = index->Candidates(Ann(AttributeRole::kDate, "1999-05-19"));
+  EXPECT_TRUE(Contains(md, 0));
+  // Malformed date text retrieves nothing.
+  EXPECT_TRUE(index->Candidates(Ann(AttributeRole::kDate, "gibberish"))
+                  .empty());
+}
+
+TEST_F(AttributeIndexTest, MoneyCandidatesViaLogBuckets) {
+  auto index = AttributeIndex::Build(table_, 3);
+  ASSERT_TRUE(index.ok());
+  // 505 lands in the same or adjacent bucket as 500 and 510.
+  auto close_rows = index->Candidates(Ann(AttributeRole::kMoney, "505"));
+  EXPECT_TRUE(Contains(close_rows, 0));
+  EXPECT_TRUE(Contains(close_rows, 2));
+  EXPECT_FALSE(Contains(close_rows, 1));  // 1200 is far away
+}
+
+TEST_F(AttributeIndexTest, BuildErrors) {
+  EXPECT_FALSE(AttributeIndex::Build(table_, 99).ok());  // out of range
+  Table plain("p", Schema({{"x", DataType::kInt64, AttributeRole::kNone}}));
+  ASSERT_TRUE(plain.Append({Value(int64_t{1})}).ok());
+  EXPECT_FALSE(AttributeIndex::Build(plain, 0).ok());  // roleless column
+}
+
+TEST_F(AttributeIndexTest, RoleAndColumnRecorded) {
+  auto index = AttributeIndex::Build(table_, 1);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->column(), 1u);
+  EXPECT_EQ(index->role(), AttributeRole::kPhone);
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,115 @@
+#include "core/bivoc.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace bivoc {
+namespace {
+
+class BivocEngineTest : public ::testing::Test {
+ protected:
+  BivocEngineTest() {
+    Schema schema({
+        {"id", DataType::kInt64, AttributeRole::kNone},
+        {"name", DataType::kString, AttributeRole::kPersonName},
+        {"phone", DataType::kString, AttributeRole::kPhone},
+    });
+    Table* customers = *engine_.warehouse()->CreateTable("customers",
+                                                         schema);
+    BIVOC_CHECK_OK(customers
+                       ->Append({Value(int64_t{0}), Value("john smith"),
+                                 Value("9845012345")})
+                       .status());
+    BIVOC_CHECK_OK(engine_.FinishWarehouse());
+    engine_.ConfigureAnnotators({"john", "smith"}, {"boston"});
+    engine_.extractor()->mutable_dictionary()->Add("gprs", "gprs",
+                                                   "product");
+    engine_.extractor()->mutable_dictionary()->Add(
+        "bill", "billing", "issue");
+    // Domain words and names feed the language filter so short
+    // jargon-heavy messages are not mistaken for non-English.
+    engine_.pipeline()->mutable_language_filter()->AddVocabulary(
+        {"gprs", "john", "smith", "working", "down", "report",
+         "question"});
+  }
+
+  BivocEngine engine_;
+};
+
+TEST_F(BivocEngineTest, IngestAndAssociate) {
+  // 6 complaints about gprs that churned, 2 that did not; billing noise.
+  for (int i = 0; i < 6; ++i) {
+    engine_.AddSms("gprs not working john smith 9845012345", i,
+                   {"status/churned"});
+  }
+  for (int i = 0; i < 2; ++i) {
+    engine_.AddSms("gprs question john smith 9845012345", i,
+                   {"status/active"});
+  }
+  for (int i = 0; i < 8; ++i) {
+    engine_.AddSms("the bill is good thanks", i, {"status/active"});
+  }
+  auto table = engine_.Associate({"product/gprs"},
+                                 {"status/churned", "status/active"});
+  const auto& cell = table.cell(0, 0);
+  EXPECT_EQ(cell.n_row, 8u);
+  EXPECT_EQ(cell.n_cell, 6u);
+  EXPECT_NEAR(cell.row_share, 0.75, 1e-9);
+  EXPECT_GT(cell.point_lift, 1.5);
+}
+
+TEST_F(BivocEngineTest, LinkingThroughFacade) {
+  Document doc =
+      engine_.AddEmail("problem report from john smith 9845012345");
+  ASSERT_TRUE(doc.link.linked);
+  EXPECT_EQ(doc.link.table, "customers");
+  EXPECT_EQ(engine_.stats().linked, 1u);
+}
+
+TEST_F(BivocEngineTest, DroppedDocumentsNotIndexed) {
+  engine_.AddEmail("you have won a lottery claim your prize");
+  EXPECT_EQ(engine_.index().num_documents(), 0u);
+}
+
+TEST_F(BivocEngineTest, RelevancyAndRisingViews) {
+  for (int day = 0; day < 4; ++day) {
+    for (int i = 0; i < 5; ++i) {
+      if (i <= day) {
+        engine_.AddSms("gprs is down again", day, {"status/churned"});
+      } else {
+        engine_.AddSms("all is good thanks", day,
+                       {"status/active"});
+      }
+    }
+  }
+  RelevancyOptions options;
+  options.min_subset_count = 1;
+  auto rel = engine_.Relevancy("status/churned", options);
+  ASSERT_FALSE(rel.empty());
+  EXPECT_EQ(rel[0].key, "product/gprs");
+
+  auto rising = engine_.Rising("product/", 5);
+  ASSERT_FALSE(rising.empty());
+  EXPECT_EQ(rising[0].key, "product/gprs");
+  EXPECT_GT(rising[0].slope, 0.0);
+}
+
+TEST_F(BivocEngineTest, TopAssociationsAcrossPrefixes) {
+  for (int i = 0; i < 10; ++i) {
+    engine_.AddSms("gprs is not working today", 0, {"status/churned"});
+    engine_.AddSms("the bill is good", 0, {"status/active"});
+  }
+  auto top = engine_.TopAssociations("product/", "status/", 5);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].row_key, "product/gprs");
+  EXPECT_EQ(top[0].col_key, "status/churned");
+}
+
+TEST_F(BivocEngineTest, FinishWarehouseFailsWithoutLinkableTables) {
+  BivocEngine empty;
+  EXPECT_FALSE(empty.FinishWarehouse().ok());
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,79 @@
+#include "core/call_type.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/car_rental.h"
+
+namespace bivoc {
+namespace {
+
+TEST(CallTypeTest, UntrainedReturnsEmpty) {
+  CallTypeClassifier classifier;
+  EXPECT_EQ(classifier.Classify("anything"), "");
+}
+
+TEST(CallTypeTest, LearnsFormulaicDifferences) {
+  CallTypeClassifier classifier;
+  for (int i = 0; i < 3; ++i) {
+    classifier.AddExample(
+        "i will book that for you your reservation is confirmed",
+        "reservation");
+    classifier.AddExample(
+        "i will think about it and call back later", "unbooked");
+    classifier.AddExample(
+        "i want to change my previous booking please", "service");
+  }
+  classifier.FinishTraining();
+  EXPECT_EQ(classifier.Classify("your reservation is confirmed thank you"),
+            "reservation");
+  EXPECT_EQ(classifier.Classify("let me think about it i will call back"),
+            "unbooked");
+  EXPECT_EQ(classifier.Classify("please change my previous booking"),
+            "service");
+}
+
+TEST(CallTypeTest, EvaluationCountsConfusion) {
+  CallTypeClassifier classifier;
+  classifier.AddExample("confirmed booking reservation done",
+                        "reservation");
+  classifier.AddExample("call back later not booking", "unbooked");
+  classifier.FinishTraining();
+  auto eval = classifier.Evaluate({
+      {"reservation confirmed", "reservation"},
+      {"call back later", "unbooked"},
+      {"reservation confirmed", "unbooked"},  // will be "wrong"
+  });
+  EXPECT_EQ(eval.total, 3u);
+  EXPECT_EQ(eval.correct, 2u);
+  EXPECT_NEAR(eval.Accuracy(), 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(eval.confusion["unbooked"]["reservation"], 1u);
+}
+
+TEST(CallTypeTest, HighAccuracyOnCleanSyntheticCalls) {
+  CarRentalConfig config;
+  config.num_agents = 20;
+  config.num_customers = 300;
+  config.num_calls = 400;
+  config.seed = 12;
+  CarRentalWorld world = CarRentalWorld::Generate(config);
+
+  CallTypeClassifier classifier;
+  std::vector<std::pair<std::string, std::string>> test;
+  for (std::size_t i = 0; i < world.calls().size(); ++i) {
+    const auto& call = world.calls()[i];
+    std::string type = call.is_service_call
+                           ? "service"
+                           : (call.reserved ? "reservation" : "unbooked");
+    if (i % 2 == 0) {
+      classifier.AddExample(call.ReferenceText(), type);
+    } else {
+      test.emplace_back(call.ReferenceText(), type);
+    }
+  }
+  classifier.FinishTraining();
+  auto eval = classifier.Evaluate(test);
+  EXPECT_GT(eval.Accuracy(), 0.9);
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,182 @@
+#include "synth/car_rental.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/corpora.h"
+
+namespace bivoc {
+namespace {
+
+CarRentalConfig SmallConfig() {
+  CarRentalConfig config;
+  config.num_agents = 20;
+  config.num_customers = 300;
+  config.num_calls = 600;
+  config.seed = 99;
+  return config;
+}
+
+TEST(CarRentalWorldTest, SizesMatchConfig) {
+  auto world = CarRentalWorld::Generate(SmallConfig());
+  EXPECT_EQ(world.agents().size(), 20u);
+  EXPECT_EQ(world.customers().size(), 300u);
+  EXPECT_EQ(world.calls().size(), 600u);
+}
+
+TEST(CarRentalWorldTest, DeterministicForSeed) {
+  auto a = CarRentalWorld::Generate(SmallConfig());
+  auto b = CarRentalWorld::Generate(SmallConfig());
+  ASSERT_EQ(a.calls().size(), b.calls().size());
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.calls()[i].ReferenceText(), b.calls()[i].ReferenceText());
+    EXPECT_EQ(a.calls()[i].reserved, b.calls()[i].reserved);
+  }
+  EXPECT_EQ(a.customers()[0].phone, b.customers()[0].phone);
+}
+
+TEST(CarRentalWorldTest, PhonesUniqueAndWellFormed) {
+  auto world = CarRentalWorld::Generate(SmallConfig());
+  std::set<std::string> phones;
+  for (const auto& c : world.customers()) {
+    EXPECT_EQ(c.phone.size(), 10u);
+    EXPECT_TRUE(phones.insert(c.phone).second) << "duplicate " << c.phone;
+  }
+}
+
+TEST(CarRentalWorldTest, ConditionalOutcomeRatesNearTargets) {
+  CarRentalConfig config = SmallConfig();
+  config.num_calls = 6000;
+  auto world = CarRentalWorld::Generate(config);
+
+  std::size_t strong = 0, strong_res = 0, weak = 0, weak_res = 0;
+  std::size_t vs = 0, vs_res = 0, disc = 0, disc_res = 0;
+  for (const auto& call : world.calls()) {
+    if (call.is_service_call) continue;
+    if (call.strong_start) {
+      ++strong;
+      if (call.reserved) ++strong_res;
+    } else {
+      ++weak;
+      if (call.reserved) ++weak_res;
+    }
+    if (call.value_selling) {
+      ++vs;
+      if (call.reserved) ++vs_res;
+    }
+    if (call.discount) {
+      ++disc;
+      if (call.reserved) ++disc_res;
+    }
+  }
+  auto rate = [](std::size_t num, std::size_t den) {
+    return static_cast<double>(num) / static_cast<double>(den);
+  };
+  // The paper's Table III / IV conditionals, generous tolerance.
+  EXPECT_NEAR(rate(strong_res, strong), 0.64, 0.05);
+  EXPECT_NEAR(rate(weak_res, weak), 0.31, 0.05);
+  EXPECT_NEAR(rate(vs_res, vs), 0.63, 0.06);
+  EXPECT_NEAR(rate(disc_res, disc), 0.75, 0.06);
+}
+
+TEST(CarRentalWorldTest, TranscriptContainsIdentityEvidence) {
+  auto world = CarRentalWorld::Generate(SmallConfig());
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto& call = world.calls()[i];
+    const auto& customer =
+        world.customers()[static_cast<std::size_t>(call.customer_id)];
+    std::string text = call.ReferenceText();
+    EXPECT_NE(text.find(customer.first_name), std::string::npos);
+    EXPECT_NE(text.find(customer.last_name), std::string::npos);
+  }
+}
+
+TEST(CarRentalWorldTest, ClassesLabelNamesAndNumbers) {
+  auto world = CarRentalWorld::Generate(SmallConfig());
+  const auto& call = world.calls()[0];
+  auto words = call.ReferenceWords();
+  auto classes = call.ReferenceClasses();
+  ASSERT_EQ(words.size(), classes.size());
+  std::size_t names = 0, numbers = 0;
+  for (const auto& c : classes) {
+    if (c == "name") ++names;
+    if (c == "number") ++numbers;
+  }
+  EXPECT_GE(names, 1u);  // at least the agent name
+  if (!call.is_service_call) {
+    EXPECT_GE(numbers, 10u);  // the spoken phone number
+  }
+}
+
+TEST(CarRentalWorldTest, BuildDatabaseSchemas) {
+  auto world = CarRentalWorld::Generate(SmallConfig());
+  Database db;
+  ASSERT_TRUE(world.BuildDatabase(&db).ok());
+  const Table* customers = *db.GetTable("customers");
+  const Table* calls = *db.GetTable("calls");
+  EXPECT_EQ(customers->num_rows(), world.customers().size());
+  EXPECT_EQ(calls->num_rows(), world.calls().size());
+  // Roles drive the linker.
+  auto name_cols =
+      customers->schema().ColumnsWithRole(AttributeRole::kPersonName);
+  EXPECT_EQ(name_cols.size(), 1u);
+  // Outcome strings well-formed.
+  auto outcome = calls->GetString(0, "outcome");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(*outcome == "reservation" || *outcome == "unbooked" ||
+              *outcome == "service");
+}
+
+TEST(CarRentalWorldTest, TrainAgentsFlagsFirstN) {
+  auto world = CarRentalWorld::Generate(SmallConfig());
+  world.TrainAgents(5);
+  for (const auto& agent : world.agents()) {
+    EXPECT_EQ(agent.trained, agent.id < 5);
+  }
+  world.TrainAgents(0);
+  for (const auto& agent : world.agents()) {
+    EXPECT_FALSE(agent.trained);
+  }
+}
+
+TEST(CarRentalWorldTest, GenerateCallsIndependentOfCorpus) {
+  auto world = CarRentalWorld::Generate(SmallConfig());
+  auto extra = world.GenerateCalls(50, 100, 7);
+  EXPECT_EQ(extra.size(), 50u);
+  EXPECT_EQ(world.calls().size(), 600u);  // untouched
+  EXPECT_GE(extra[0].day_index, 100);
+}
+
+TEST(CarRentalWorldTest, VocabulariesDisjointAndNonEmpty) {
+  auto world = CarRentalWorld::Generate(SmallConfig());
+  auto names = world.NameVocabulary();
+  auto general = world.GeneralVocabulary();
+  EXPECT_GT(names.size(), 100u);
+  EXPECT_GT(general.size(), 100u);
+  std::set<std::string> name_set(names.begin(), names.end());
+  for (const auto& w : general) {
+    EXPECT_EQ(name_set.count(w), 0u) << w;
+  }
+}
+
+TEST(CarRentalWorldTest, DomainSentencesFromCalls) {
+  auto world = CarRentalWorld::Generate(SmallConfig());
+  auto sentences = world.DomainSentences(10);
+  EXPECT_FALSE(sentences.empty());
+  for (const auto& s : sentences) {
+    EXPECT_FALSE(s.empty());
+  }
+}
+
+TEST(DistractorNamesTest, CountAndDeterminism) {
+  auto a = DistractorNames(500, 3);
+  auto b = DistractorNames(500, 3);
+  EXPECT_EQ(a.size(), 500u);
+  EXPECT_EQ(a, b);
+  auto c = DistractorNames(500, 4);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace bivoc

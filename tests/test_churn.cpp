@@ -1,0 +1,103 @@
+#include "core/churn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace bivoc {
+namespace {
+
+class ChurnTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TelecomConfig config;
+    config.num_customers = 3000;
+    config.num_emails = 1200;
+    config.num_sms = 5000;
+    config.seed = 2024;
+    world_ = new TelecomWorld(TelecomWorld::Generate(config));
+    db_ = new Database();
+    BIVOC_CHECK_OK(world_->BuildDatabase(db_));
+  }
+
+  static TelecomWorld* world_;
+  static Database* db_;
+};
+
+TelecomWorld* ChurnTest::world_ = nullptr;
+Database* ChurnTest::db_ = nullptr;
+
+TEST_F(ChurnTest, EndToEndEvaluation) {
+  LinkerConfig lc;
+  lc.min_score = 0.6;
+  auto linker = MultiTypeLinker::Build(db_, lc);
+  ASSERT_TRUE(linker.ok());
+
+  ChurnPredictor predictor;
+  ChurnEvaluation eval = predictor.Run(*world_, *db_, &linker.value());
+
+  // Stream accounting.
+  EXPECT_EQ(eval.emails_total, world_->emails().size());
+  EXPECT_EQ(eval.sms_total, world_->sms().size());
+  EXPECT_GT(eval.sms_dropped, 0u);  // spam + non-English exist
+
+  // Unlinkable email share near the generator's non-customer share
+  // (~18%, the paper's figure), within noise.
+  EXPECT_NEAR(eval.EmailUnlinkedShare(), 0.18, 0.08);
+
+  // Detection: meaningfully better than chance, meaningfully below
+  // perfect — the paper's 53.6% band, generously.
+  EXPECT_GT(eval.churners_with_messages, 20u);
+  EXPECT_GT(eval.ChurnerRecall(), 0.25);
+  EXPECT_LT(eval.ChurnerRecall(), 0.95);
+  // False alarms bounded.
+  EXPECT_LT(eval.FalseAlarmRate(), 0.5);
+
+  // Driver readout nonempty and containing churn-flavored features.
+  ASSERT_FALSE(eval.top_churn_features.empty());
+  EXPECT_GT(eval.top_churn_features[0].second, 0.0);
+}
+
+TEST_F(ChurnTest, LogisticModelAlsoDetectsChurners) {
+  LinkerConfig lc;
+  lc.min_score = 0.6;
+  auto linker = MultiTypeLinker::Build(db_, lc);
+  ASSERT_TRUE(linker.ok());
+
+  ChurnPredictorConfig config;
+  config.model = ChurnModel::kLogistic;
+  ChurnPredictor predictor(config);
+  ChurnEvaluation eval = predictor.Run(*world_, *db_, &linker.value());
+  EXPECT_GT(eval.ChurnerRecall(), 0.2);
+  EXPECT_LT(eval.FalseAlarmRate(), 0.6);
+  EXPECT_FALSE(eval.top_churn_features.empty());
+}
+
+TEST_F(ChurnTest, ExtractorRecognizesDriverPhrases) {
+  ConceptExtractor extractor;
+  ConfigureChurnExtractor(&extractor);
+  auto keys = extractor.ExtractKeys(
+      "my bill is too high i will have to leave your service");
+  bool has_billing = false, has_leaving = false;
+  for (const auto& k : keys) {
+    if (k == "churn driver/billing issue") has_billing = true;
+    if (k == "churn signal/leaving intent") has_leaving = true;
+  }
+  EXPECT_TRUE(has_billing);
+  EXPECT_TRUE(has_leaving);
+}
+
+TEST_F(ChurnTest, ProductsAnnotatedAsConcepts) {
+  ConceptExtractor extractor;
+  ConfigureChurnExtractor(&extractor);
+  auto keys = extractor.ExtractKeys("issue with gprs and caller tune");
+  EXPECT_TRUE(std::find(keys.begin(), keys.end(), "product/gprs") !=
+              keys.end());
+  EXPECT_TRUE(std::find(keys.begin(), keys.end(),
+                        "product/caller tune") != keys.end());
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,95 @@
+#include "annotate/concept_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/car_rental_insights.h"
+
+namespace bivoc {
+namespace {
+
+TEST(ConceptExtractorTest, DictionaryAndPatternsCombined) {
+  ConceptExtractor extractor;
+  extractor.mutable_dictionary()->Add("suv", "suv", "vehicle type");
+  ASSERT_TRUE(
+      extractor.AddPattern("wonderful rate -> good rate @ value selling")
+          .ok());
+  auto concepts =
+      extractor.Extract("a wonderful rate on this suv today");
+  ASSERT_EQ(concepts.size(), 2u);
+  // Sorted by span start.
+  EXPECT_EQ(concepts[0].Key(), "value selling/good rate");
+  EXPECT_EQ(concepts[1].Key(), "vehicle type/suv");
+}
+
+TEST(ConceptExtractorTest, ExtractKeysDeduplicates) {
+  ConceptExtractor extractor;
+  extractor.mutable_dictionary()->Add("suv", "suv", "vehicle type");
+  auto keys = extractor.ExtractKeys("suv or suv or suv");
+  EXPECT_EQ(keys, (std::vector<std::string>{"vehicle type/suv"}));
+}
+
+TEST(ConceptExtractorTest, EmptyTextNoConcepts) {
+  ConceptExtractor extractor;
+  extractor.mutable_dictionary()->Add("suv", "suv", "vehicle type");
+  EXPECT_TRUE(extractor.Extract("").empty());
+  EXPECT_TRUE(extractor.Extract("nothing relevant here").empty());
+}
+
+TEST(ConceptExtractorTest, BadPatternRejected) {
+  ConceptExtractor extractor;
+  EXPECT_FALSE(extractor.AddPattern("garbage without arrow").ok());
+  EXPECT_EQ(extractor.num_patterns(), 0u);
+}
+
+TEST(CarRentalExtractorTest, PaperExamplesFire) {
+  ConceptExtractor extractor;
+  ConfigureCarRentalExtractor(&extractor);
+
+  auto has_key = [&extractor](const std::string& text,
+                              const std::string& key) {
+    auto keys = extractor.ExtractKeys(text);
+    return std::find(keys.begin(), keys.end(), key) != keys.end();
+  };
+
+  // §IV-C dictionary examples.
+  EXPECT_TRUE(has_key("i need a child seat",
+                      "vehicle feature/child seat"));
+  EXPECT_TRUE(has_key("paying by master card",
+                      "payment methods/credit card"));
+  // "SUV may be indicated by a seven seater, full-size by Chevy Impala".
+  EXPECT_TRUE(has_key("do you have a seven seater", "vehicle type/suv"));
+  EXPECT_TRUE(
+      has_key("i want a chevy impala", "vehicle type/full-size"));
+  // §V-A value selling patterns.
+  EXPECT_TRUE(has_key("that is a wonderful rate",
+                      "value selling/mention of good rate"));
+  EXPECT_TRUE(has_key("it is just fifty dollars",
+                      "value selling/mention of good rate"));
+  EXPECT_TRUE(has_key("this is a fantastic car",
+                      "value selling/mention of good vehicle"));
+  // §V-A discount phrases.
+  EXPECT_TRUE(has_key("we have a corporate program for you",
+                      "discount/corporate program"));
+  EXPECT_TRUE(has_key("join our motor club", "discount/motor club"));
+  // Intents.
+  EXPECT_TRUE(has_key("i would like to make a booking",
+                      "intent/strong start"));
+  EXPECT_TRUE(has_key("can i know the rates", "intent/weak start"));
+  // "please + VERB" request pattern.
+  EXPECT_TRUE(has_key("please confirm my booking", "requests/request"));
+}
+
+TEST(CarRentalExtractorTest, PlacesRecognized) {
+  ConceptExtractor extractor;
+  ConfigureCarRentalExtractor(&extractor);
+  auto keys = extractor.ExtractKeys("from new york to seattle");
+  EXPECT_TRUE(std::find(keys.begin(), keys.end(), "place/new york") !=
+              keys.end());
+  EXPECT_TRUE(std::find(keys.begin(), keys.end(), "place/seattle") !=
+              keys.end());
+}
+
+}  // namespace
+}  // namespace bivoc

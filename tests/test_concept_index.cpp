@@ -1,0 +1,95 @@
+#include "mining/concept_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.h"
+
+namespace bivoc {
+namespace {
+
+TEST(ConceptIndexTest, CountsAndPostings) {
+  ConceptIndex index;
+  index.AddDocument({"a", "b"});
+  index.AddDocument({"a"});
+  index.AddDocument({"b", "c"});
+  EXPECT_EQ(index.num_documents(), 3u);
+  EXPECT_EQ(index.num_concepts(), 3u);
+  EXPECT_EQ(index.Count("a"), 2u);
+  EXPECT_EQ(index.Count("c"), 1u);
+  EXPECT_EQ(index.Count("zzz"), 0u);
+  EXPECT_EQ(index.Postings("a"), (std::vector<DocId>{0, 1}));
+}
+
+TEST(ConceptIndexTest, DuplicateKeysInOneDocCollapse) {
+  ConceptIndex index;
+  index.AddDocument({"a", "a", "a"});
+  EXPECT_EQ(index.Count("a"), 1u);
+  EXPECT_EQ(index.ConceptsOf(0), (std::vector<std::string>{"a"}));
+}
+
+TEST(ConceptIndexTest, CountBothIsIntersection) {
+  ConceptIndex index;
+  index.AddDocument({"x", "y"});
+  index.AddDocument({"x"});
+  index.AddDocument({"y"});
+  index.AddDocument({"x", "y"});
+  EXPECT_EQ(index.CountBoth("x", "y"), 2u);
+  EXPECT_EQ(index.CountBoth("x", "zzz"), 0u);
+  EXPECT_EQ(index.DocsWithBoth("x", "y"), (std::vector<DocId>{0, 3}));
+}
+
+TEST(ConceptIndexTest, CountBothMatchesBruteForce) {
+  Rng rng(5);
+  ConceptIndex index;
+  std::vector<std::set<std::string>> docs;
+  const char* keys[] = {"a", "b", "c", "d", "e"};
+  for (int d = 0; d < 200; ++d) {
+    std::set<std::string> doc;
+    for (const char* k : keys) {
+      if (rng.Bernoulli(0.3)) doc.insert(k);
+    }
+    docs.push_back(doc);
+    index.AddDocument({doc.begin(), doc.end()});
+  }
+  for (const char* a : keys) {
+    for (const char* b : keys) {
+      std::size_t brute = 0;
+      for (const auto& doc : docs) {
+        if (doc.count(a) && doc.count(b)) ++brute;
+      }
+      EXPECT_EQ(index.CountBoth(a, b), brute) << a << "," << b;
+    }
+  }
+}
+
+TEST(ConceptIndexTest, TimeBuckets) {
+  ConceptIndex index;
+  index.AddDocument({"a"}, 5);
+  index.AddDocument({"a"});
+  EXPECT_EQ(index.TimeBucketOf(0), 5);
+  EXPECT_EQ(index.TimeBucketOf(1), kNoTimeBucket);
+  EXPECT_EQ(index.TimeBucketOf(99), kNoTimeBucket);
+}
+
+TEST(ConceptIndexTest, KeysSortedAndPrefixFiltered) {
+  ConceptIndex index;
+  index.AddDocument({"place/boston", "car/suv", "place/austin"});
+  EXPECT_EQ(index.Keys(),
+            (std::vector<std::string>{"car/suv", "place/austin",
+                                      "place/boston"}));
+  EXPECT_EQ(index.Keys("place/"),
+            (std::vector<std::string>{"place/austin", "place/boston"}));
+}
+
+TEST(ConceptIndexTest, EmptyIndex) {
+  ConceptIndex index;
+  EXPECT_EQ(index.num_documents(), 0u);
+  EXPECT_TRUE(index.Postings("a").empty());
+  EXPECT_TRUE(index.Keys().empty());
+  EXPECT_TRUE(index.ConceptsOf(7).empty());
+}
+
+}  // namespace
+}  // namespace bivoc

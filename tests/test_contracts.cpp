@@ -1,0 +1,78 @@
+// Programming-contract checks: BIVOC_CHECK guards abort on misuse (data
+// errors travel via Status; contract violations die loudly). Verified
+// with gtest death tests.
+#include <gtest/gtest.h>
+
+#include "asr/decoder.h"
+#include "asr/keyword_spotter.h"
+#include "asr/transcriber.h"
+#include "text/ngram_model.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace bivoc {
+namespace {
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, ResultValueAccessOnErrorAborts) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_DEATH((void)r.value(), "errored Result");
+}
+
+TEST(ContractDeathTest, RngUniformRequiresOrderedBounds) {
+  Rng rng(1);
+  EXPECT_DEATH((void)rng.Uniform(5, 3), "Uniform");
+}
+
+TEST(ContractDeathTest, CheckMacroAborts) {
+  EXPECT_DEATH(BIVOC_CHECK(false) << "boom", "Check failed");
+}
+
+TEST(ContractDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(BIVOC_CHECK_OK(Status::Internal("bad")), "Internal");
+}
+
+TEST(ContractDeathTest, NgramOrderBounds) {
+  EXPECT_DEATH(NgramModel model(0), "unsupported order");
+  EXPECT_DEATH(NgramModel model(9), "unsupported order");
+}
+
+TEST(ContractDeathTest, DecoderRequiresFrozenVocabulary) {
+  Lexicon lexicon;
+  DecoderVocabulary vocab(&lexicon);
+  vocab.Add("word", WordClass::kGeneral);
+  auto lm = [](const std::string&, const std::string&) { return 0.0; };
+  EXPECT_DEATH(Decoder(&vocab, lm, DecoderConfig{}), "frozen");
+}
+
+TEST(ContractDeathTest, VocabularyAddAfterFreezeAborts) {
+  Lexicon lexicon;
+  DecoderVocabulary vocab(&lexicon);
+  vocab.Add("word", WordClass::kGeneral);
+  vocab.Freeze();
+  EXPECT_DEATH(vocab.Add("late", WordClass::kGeneral), "Freeze");
+}
+
+TEST(ContractDeathTest, InterpolationWeightsValidated) {
+  NgramModel model(2);
+  EXPECT_DEATH(model.SetInterpolationWeights({0.9, 0.9}), "sum");
+  EXPECT_DEATH(model.SetInterpolationWeights({0.5}), "");
+}
+
+TEST(ContractDeathTest, TranscriberFreezeRequiresLm) {
+  Transcriber::Options opts;
+  Transcriber t(opts);
+  t.AddWords({"word"}, WordClass::kGeneral);
+  EXPECT_DEATH(t.Freeze(), "TrainLm");
+}
+
+TEST(ContractDeathTest, SpotterRejectsUnpronounceableKeyword) {
+  Lexicon lexicon;
+  KeywordSpotter spotter(&lexicon);
+  EXPECT_DEATH(spotter.AddKeyword("", "label"), "unpronounceable");
+}
+
+}  // namespace
+}  // namespace bivoc

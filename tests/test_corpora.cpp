@@ -1,0 +1,88 @@
+#include "synth/corpora.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace bivoc {
+namespace {
+
+TEST(CorporaTest, GazetteersNonTrivialAndLowercase) {
+  EXPECT_GT(FirstNames().size(), 100u);
+  EXPECT_GT(LastNames().size(), 100u);
+  for (const auto& n : FirstNames()) {
+    EXPECT_EQ(n, ToLowerCopy(n)) << n;
+    EXPECT_FALSE(n.empty());
+  }
+}
+
+TEST(CorporaTest, PaperCitiesPresent) {
+  // Table II names New York, Los Angeles, Seattle, Boston.
+  const auto& cities = Cities();
+  for (const char* c : {"new york", "los angeles", "seattle", "boston"}) {
+    EXPECT_TRUE(std::find(cities.begin(), cities.end(), c) != cities.end())
+        << c;
+  }
+}
+
+TEST(CorporaTest, CarModelsMapToKnownClasses) {
+  std::set<std::string> classes(CarClasses().begin(), CarClasses().end());
+  for (const auto& m : CarModels()) {
+    EXPECT_TRUE(classes.count(m.car_class) > 0) << m.model;
+  }
+  // The paper's §IV-D.2 examples.
+  bool impala_fullsize = false, seven_seater_suv = false;
+  for (const auto& m : CarModels()) {
+    if (m.model == "chevy impala" && m.car_class == "full-size") {
+      impala_fullsize = true;
+    }
+    if (m.model == "seven seater" && m.car_class == "suv") {
+      seven_seater_suv = true;
+    }
+  }
+  EXPECT_TRUE(impala_fullsize);
+  EXPECT_TRUE(seven_seater_suv);
+}
+
+TEST(CorporaTest, ChurnDriversMatchPaperList) {
+  // §VI: competitor tariff, problem resolution, service issues, billing
+  // issues, low awareness.
+  std::set<std::string> names;
+  for (const auto& d : ChurnDrivers()) {
+    names.insert(d.name);
+    EXPECT_FALSE(d.phrases.empty()) << d.name;
+  }
+  for (const char* expected :
+       {"competitor tariff", "billing issue", "service issue",
+        "problem resolution", "low awareness"}) {
+    EXPECT_TRUE(names.count(expected) > 0) << expected;
+  }
+}
+
+TEST(CorporaTest, GeneralSentencesTokenized) {
+  const auto& sentences = GeneralEnglishSentences();
+  EXPECT_GE(sentences.size(), 20u);
+  for (const auto& s : sentences) {
+    EXPECT_GE(s.size(), 4u);
+    for (const auto& w : s) {
+      EXPECT_EQ(w, ToLowerCopy(w));
+    }
+  }
+}
+
+TEST(CorporaTest, StaticInstancesStable) {
+  // Repeated calls return the same object (no rebuild per call).
+  EXPECT_EQ(&FirstNames(), &FirstNames());
+  EXPECT_EQ(&GeneralEnglishSentences(), &GeneralEnglishSentences());
+}
+
+TEST(CorporaTest, SpamAndNonEnglishBanksDistinct) {
+  EXPECT_FALSE(SpamTemplates().empty());
+  EXPECT_FALSE(NonEnglishSnippets().empty());
+}
+
+}  // namespace
+}  // namespace bivoc

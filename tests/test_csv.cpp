@@ -1,0 +1,88 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace bivoc {
+namespace {
+
+TEST(CsvEncodeTest, PlainFields) {
+  EXPECT_EQ(CsvEncodeRow({"a", "b", "c"}), "a,b,c");
+}
+
+TEST(CsvEncodeTest, QuotesWhenNeeded) {
+  EXPECT_EQ(CsvEncodeRow({"a,b", "c"}), "\"a,b\",c");
+  EXPECT_EQ(CsvEncodeRow({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEncodeRow({"line\nbreak"}), "\"line\nbreak\"");
+}
+
+TEST(CsvDecodeTest, PlainFields) {
+  auto r = CsvDecodeRow("a,b,c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvDecodeTest, QuotedFields) {
+  auto r = CsvDecodeRow("\"a,b\",c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(CsvDecodeTest, EscapedQuotes) {
+  auto r = CsvDecodeRow("\"say \"\"hi\"\"\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0], "say \"hi\"");
+}
+
+TEST(CsvDecodeTest, EmptyFields) {
+  auto r = CsvDecodeRow("a,,c,");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a", "", "c", ""}));
+}
+
+TEST(CsvDecodeTest, UnterminatedQuoteIsCorruption) {
+  auto r = CsvDecodeRow("\"unterminated");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CsvDecodeTest, QuoteInsideUnquotedFieldIsCorruption) {
+  auto r = CsvDecodeRow("ab\"cd");
+  ASSERT_FALSE(r.ok());
+}
+
+class CsvRoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CsvRoundTripTest, EncodeDecodeIsIdentity) {
+  std::vector<std::string> fields = {GetParam(), "plain", ""};
+  auto decoded = CsvDecodeRow(CsvEncodeRow(fields));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, fields);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TrickyFields, CsvRoundTripTest,
+    ::testing::Values("simple", "with,comma", "with\"quote",
+                      "\"fully quoted\"", "trailing,", ",,,", "a\"b\"c"));
+
+TEST(CsvFileTest, WriteThenReadBack) {
+  std::string path = ::testing::TempDir() + "/bivoc_csv_test.csv";
+  std::vector<std::vector<std::string>> rows = {
+      {"name", "value"}, {"alpha", "1"}, {"be,ta", "2"}};
+  ASSERT_TRUE(CsvWriteFile(path, rows).ok());
+  auto read = CsvReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIoError) {
+  auto read = CsvReadFile("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,149 @@
+#include "asr/decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "asr/wer.h"
+#include "text/ngram_model.h"
+#include "text/tokenizer.h"
+
+namespace bivoc {
+namespace {
+
+class DecoderTest : public ::testing::Test {
+ protected:
+  DecoderTest() : vocab_(&lexicon_) {
+    // Small closed-domain vocabulary + LM.
+    std::vector<std::vector<std::string>> corpus = {
+        TokenizeWords("i want to book a car"),
+        TokenizeWords("i want to rent a car in boston"),
+        TokenizeWords("my name is john smith"),
+        TokenizeWords("the rate is fifty dollars"),
+        TokenizeWords("book a car in dallas"),
+    };
+    lm_.Train(corpus);
+    // Names are registered with the name class first; the general pass
+    // then skips them (Add deduplicates on first registration).
+    vocab_.AddAll({"john", "jane", "joan", "smith", "smyth", "jones"},
+                  WordClass::kName);
+    for (const auto& s : corpus) {
+      for (const auto& w : s) vocab_.Add(w, WordClass::kGeneral);
+    }
+    vocab_.Freeze();
+  }
+
+  Decoder::LmScore Score() {
+    return [this](const std::string& prev, const std::string& word) {
+      return lm_.BigramLogProb(prev, word);
+    };
+  }
+
+  AcousticObservation CleanObservation(const std::string& text) {
+    AcousticObservation obs;
+    for (const auto& w : TokenizeWords(text)) {
+      auto pron = lexicon_.Pronounce(w);
+      obs.phonemes.insert(obs.phonemes.end(), pron.begin(), pron.end());
+    }
+    obs.clean_length = obs.phonemes.size();
+    return obs;
+  }
+
+  Lexicon lexicon_;
+  NgramModel lm_{2};
+  DecoderVocabulary vocab_;
+};
+
+TEST_F(DecoderTest, DecodesCleanSpeechExactly) {
+  Decoder decoder(&vocab_, Score(), DecoderConfig{});
+  for (const char* text : {"i want to book a car", "my name is john smith",
+                           "the rate is fifty dollars"}) {
+    auto result = decoder.Decode(CleanObservation(text));
+    EXPECT_EQ(result.Text(), text);
+  }
+}
+
+TEST_F(DecoderTest, EmptyObservationYieldsEmptyResult) {
+  Decoder decoder(&vocab_, Score(), DecoderConfig{});
+  AcousticObservation obs;
+  auto result = decoder.Decode(obs);
+  EXPECT_TRUE(result.words.empty());
+}
+
+TEST_F(DecoderTest, SurvivesSingleSubstitution) {
+  Decoder decoder(&vocab_, Score(), DecoderConfig{});
+  auto obs = CleanObservation("i want to book a car");
+  // Corrupt one phoneme in the middle with a close neighbor.
+  const PhonemeSet& set = PhonemeSet::Instance();
+  std::size_t mid = obs.phonemes.size() / 2;
+  obs.phonemes[mid] = set.Neighbors(obs.phonemes[mid])[0];
+  auto result = decoder.Decode(obs);
+  WerStats wer =
+      ComputeWer(TokenizeWords("i want to book a car"), result.Words());
+  EXPECT_LE(wer.Wer(), 0.35);  // at most 2 of 6 words wrong
+}
+
+TEST_F(DecoderTest, SkipsSilence) {
+  Decoder decoder(&vocab_, Score(), DecoderConfig{});
+  auto obs = CleanObservation("book a car");
+  const Phoneme sil = PhonemeSet::Instance().Parse("SIL");
+  obs.phonemes.insert(obs.phonemes.begin() + 4, sil);
+  obs.phonemes.insert(obs.phonemes.begin(), sil);
+  auto result = decoder.Decode(obs);
+  EXPECT_EQ(result.Text(), "book a car");
+}
+
+TEST_F(DecoderTest, WordClassPropagatedToResult) {
+  Decoder decoder(&vocab_, Score(), DecoderConfig{});
+  auto result = decoder.Decode(CleanObservation("my name is john smith"));
+  ASSERT_EQ(result.words.size(), 5u);
+  EXPECT_EQ(result.words[3].cls, WordClass::kName);
+  EXPECT_EQ(result.words[0].cls, WordClass::kGeneral);
+}
+
+TEST_F(DecoderTest, RestrictNamesLimitsNameVocabulary) {
+  DecoderVocabulary restricted = vocab_.RestrictNames({"jones"});
+  EXPECT_TRUE(restricted.Contains("jones"));
+  EXPECT_FALSE(restricted.Contains("john"));
+  EXPECT_TRUE(restricted.Contains("book"));  // general words kept
+  EXPECT_TRUE(restricted.frozen());
+}
+
+TEST_F(DecoderTest, VocabularyDeduplicates) {
+  DecoderVocabulary v(&lexicon_);
+  v.Add("car", WordClass::kGeneral);
+  v.Add("car", WordClass::kGeneral);
+  v.Add("CAR", WordClass::kGeneral);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST_F(DecoderTest, CandidateBucketsCoverFirstPhoneme) {
+  const PhonemeSet& set = PhonemeSet::Instance();
+  Phoneme b = set.Parse("B");
+  const auto& bucket = vocab_.CandidatesByFirstPhoneme(b);
+  // "book"/"boston" start with B; the bucket must contain them.
+  bool has_book = false;
+  for (std::size_t idx : bucket) {
+    if (vocab_.entries()[idx].word == "book") has_book = true;
+  }
+  EXPECT_TRUE(has_book);
+}
+
+TEST_F(DecoderTest, HigherLmWeightFavorsFluentOutput) {
+  // With a heavy LM, decoding garbage tends toward high-probability
+  // word sequences instead of acoustically-nearest junk.
+  DecoderConfig heavy;
+  heavy.lm_weight = 3.0;
+  Decoder decoder(&vocab_, Score(), heavy);
+  auto obs = CleanObservation("i want to book a car");
+  auto result = decoder.Decode(obs);
+  EXPECT_FALSE(result.words.empty());
+  double lp = 0.0;
+  std::string prev = "<s>";
+  for (const auto& w : result.words) {
+    lp += lm_.BigramLogProb(prev, w.word);
+    prev = w.word;
+  }
+  EXPECT_GT(lp / static_cast<double>(result.words.size()), -8.0);
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,105 @@
+#include "annotate/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace bivoc {
+namespace {
+
+DomainDictionary CarRentalDict() {
+  DomainDictionary dict;
+  dict.Add("child seat", "child seat", "vehicle feature");
+  dict.Add("ny", "new york", "place", PosTag::kProperNoun);
+  dict.Add("master card", "credit card", "payment methods");
+  dict.Add("visa", "credit card", "payment methods");
+  dict.Add("discount", "discount", "discount");
+  return dict;
+}
+
+std::vector<Concept> Match(const DomainDictionary& dict,
+                           const std::string& text) {
+  Tokenizer tokenizer;
+  return dict.Match(tokenizer.Tokenize(text));
+}
+
+TEST(DictionaryTest, PaperExampleEntries) {
+  auto dict = CarRentalDict();
+  auto concepts = Match(dict, "i need a child seat in ny");
+  ASSERT_EQ(concepts.size(), 2u);
+  EXPECT_EQ(concepts[0].name, "child seat");
+  EXPECT_EQ(concepts[0].category, "vehicle feature");
+  EXPECT_EQ(concepts[1].name, "new york");
+  EXPECT_EQ(concepts[1].category, "place");
+}
+
+TEST(DictionaryTest, SynonymsCanonicalize) {
+  auto dict = CarRentalDict();
+  auto a = Match(dict, "paying with master card");
+  auto b = Match(dict, "paying with visa");
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].name, b[0].name);  // both -> "credit card"
+  EXPECT_EQ(a[0].Key(), "payment methods/credit card");
+}
+
+TEST(DictionaryTest, LongestMatchWins) {
+  DomainDictionary dict;
+  dict.Add("card", "card", "generic");
+  dict.Add("master card", "credit card", "payment methods");
+  auto concepts = Match(dict, "my master card number");
+  ASSERT_EQ(concepts.size(), 1u);
+  EXPECT_EQ(concepts[0].name, "credit card");
+}
+
+TEST(DictionaryTest, StemTolerantSingleWords) {
+  auto dict = CarRentalDict();
+  auto concepts = Match(dict, "asking about discounts");
+  ASSERT_EQ(concepts.size(), 1u);
+  EXPECT_EQ(concepts[0].name, "discount");
+}
+
+TEST(DictionaryTest, CaseInsensitive) {
+  auto dict = CarRentalDict();
+  EXPECT_EQ(Match(dict, "CHILD SEAT please").size(), 1u);
+}
+
+TEST(DictionaryTest, SpansRecorded) {
+  auto dict = CarRentalDict();
+  auto concepts = Match(dict, "need child seat now");
+  ASSERT_EQ(concepts.size(), 1u);
+  EXPECT_EQ(concepts[0].begin_token, 1u);
+  EXPECT_EQ(concepts[0].end_token, 3u);
+}
+
+TEST(DictionaryTest, RedefinitionLastWins) {
+  DomainDictionary dict;
+  dict.Add("suv", "suv", "old category");
+  dict.Add("suv", "suv", "vehicle type");
+  auto concepts = Match(dict, "an suv please");
+  ASSERT_EQ(concepts.size(), 1u);
+  EXPECT_EQ(concepts[0].category, "vehicle type");
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, CategoryOf) {
+  auto dict = CarRentalDict();
+  EXPECT_EQ(dict.CategoryOf("visa"), "payment methods");
+  EXPECT_EQ(dict.CategoryOf("discounts"), "discount");  // stem fallback
+  EXPECT_EQ(dict.CategoryOf("unknown"), "");
+}
+
+TEST(DictionaryTest, Categories) {
+  auto dict = CarRentalDict();
+  auto cats = dict.Categories();
+  EXPECT_EQ(cats.size(), 4u);
+  EXPECT_TRUE(std::find(cats.begin(), cats.end(), "place") != cats.end());
+}
+
+TEST(DictionaryTest, EmptyDictionaryMatchesNothing) {
+  DomainDictionary dict;
+  EXPECT_TRUE(Match(dict, "anything at all").empty());
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,144 @@
+#include "text/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "util/random.h"
+
+namespace bivoc {
+namespace {
+
+TEST(LevenshteinTest, KnownValues) {
+  EXPECT_EQ(Levenshtein("", ""), 0u);
+  EXPECT_EQ(Levenshtein("abc", ""), 3u);
+  EXPECT_EQ(Levenshtein("", "abc"), 3u);
+  EXPECT_EQ(Levenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(Levenshtein("flaw", "lawn"), 2u);
+  EXPECT_EQ(Levenshtein("same", "same"), 0u);
+}
+
+TEST(DamerauTest, TranspositionCostsOne) {
+  EXPECT_EQ(DamerauLevenshtein("teh", "the"), 1u);
+  EXPECT_EQ(Levenshtein("teh", "the"), 2u);
+  EXPECT_EQ(DamerauLevenshtein("ca", "abc"), 3u);  // restricted variant
+}
+
+TEST(SimilarityTest, Bounds) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+}
+
+// Property sweep: metric axioms over random string pairs.
+class EditDistancePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomString(Rng* rng, std::size_t max_len) {
+  std::size_t len = static_cast<std::size_t>(
+      rng->Uniform(0, static_cast<int64_t>(max_len)));
+  std::string s;
+  for (std::size_t i = 0; i < len; ++i) {
+    s += static_cast<char>('a' + rng->Uniform(0, 4));  // small alphabet
+  }
+  return s;
+}
+
+TEST_P(EditDistancePropertyTest, MetricAxioms) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string a = RandomString(&rng, 12);
+    std::string b = RandomString(&rng, 12);
+    std::string c = RandomString(&rng, 12);
+    std::size_t dab = Levenshtein(a, b);
+    std::size_t dba = Levenshtein(b, a);
+    std::size_t dac = Levenshtein(a, c);
+    std::size_t dcb = Levenshtein(c, b);
+    // Symmetry.
+    EXPECT_EQ(dab, dba);
+    // Identity.
+    EXPECT_EQ(Levenshtein(a, a), 0u);
+    if (dab == 0) {
+      EXPECT_EQ(a, b);
+    }
+    // Triangle inequality.
+    EXPECT_LE(dab, dac + dcb);
+    // Length-difference lower bound; max-length upper bound.
+    std::size_t diff = a.size() > b.size() ? a.size() - b.size()
+                                           : b.size() - a.size();
+    EXPECT_GE(dab, diff);
+    EXPECT_LE(dab, std::max(a.size(), b.size()));
+    // Damerau never exceeds Levenshtein.
+    EXPECT_LE(DamerauLevenshtein(a, b), dab);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditDistancePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(WeightedEditDistanceTest, MatchesUnitCostLevenshtein) {
+  auto unit = [](char a, char b) { return a == b ? 0.0 : 1.0; };
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string a = RandomString(&rng, 10);
+    std::string b = RandomString(&rng, 10);
+    std::vector<char> va(a.begin(), a.end());
+    std::vector<char> vb(b.begin(), b.end());
+    double w = WeightedEditDistance(va, vb, 1.0, 1.0, unit);
+    EXPECT_DOUBLE_EQ(w, static_cast<double>(Levenshtein(a, b)));
+  }
+}
+
+TEST(WeightedEditDistanceTest, InfeasibleBandIsInfinite) {
+  std::vector<char> a = {'a', 'b', 'c', 'd', 'e'};
+  std::vector<char> b = {'a'};
+  auto unit = [](char x, char y) { return x == y ? 0.0 : 1.0; };
+  double d = WeightedEditDistance(a, b, 1.0, 1.0, unit, /*band=*/2);
+  EXPECT_TRUE(std::isinf(d));
+}
+
+TEST(WeightedEditDistanceTest, BandedEqualsUnbandedWhenWide) {
+  auto unit = [](char x, char y) { return x == y ? 0.0 : 1.0; };
+  std::vector<char> a = {'k', 'i', 't', 't', 'e', 'n'};
+  std::vector<char> b = {'s', 'i', 't', 't', 'i', 'n', 'g'};
+  double banded = WeightedEditDistance(a, b, 1.0, 1.0, unit, 10);
+  double unbanded = WeightedEditDistance(a, b, 1.0, 1.0, unit);
+  EXPECT_DOUBLE_EQ(banded, unbanded);
+  EXPECT_DOUBLE_EQ(banded, 3.0);
+}
+
+TEST(AllPrefixesTest, LastEntryMatchesFullDistance) {
+  auto unit = [](char x, char y) { return x == y ? 0.0 : 1.0; };
+  std::vector<char> a = {'c', 'a', 't'};
+  std::vector<char> b = {'c', 'a', 'r', 't'};
+  auto costs = WeightedEditDistanceAllPrefixes(a, b, 1.0, 1.0, unit, 10);
+  ASSERT_EQ(costs.size(), b.size() + 1);
+  EXPECT_DOUBLE_EQ(costs[b.size()],
+                   WeightedEditDistance(a, b, 1.0, 1.0, unit, 10));
+  // Prefix "cat" vs "ca" costs 1 deletion.
+  EXPECT_DOUBLE_EQ(costs[2], 1.0);
+  // Full "cat" vs "cart" costs 1 insertion.
+  EXPECT_DOUBLE_EQ(costs[4], 1.0);
+}
+
+TEST(AllPrefixesTest, AgreesWithPerPrefixComputation) {
+  auto unit = [](char x, char y) { return x == y ? 0.0 : 1.0; };
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string sa = RandomString(&rng, 8);
+    std::string sb = RandomString(&rng, 8);
+    std::vector<char> a(sa.begin(), sa.end());
+    std::vector<char> b(sb.begin(), sb.end());
+    auto costs = WeightedEditDistanceAllPrefixes(a, b, 1.0, 1.0, unit, 100);
+    for (std::size_t j = 0; j <= b.size(); ++j) {
+      std::vector<char> prefix(b.begin(), b.begin() + static_cast<long>(j));
+      EXPECT_DOUBLE_EQ(costs[j],
+                       WeightedEditDistance(a, prefix, 1.0, 1.0, unit, 100))
+          << "prefix length " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bivoc

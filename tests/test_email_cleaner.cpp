@@ -1,0 +1,82 @@
+#include "clean/email_cleaner.h"
+
+#include <gtest/gtest.h>
+
+namespace bivoc {
+namespace {
+
+TEST(EmailCleanerTest, StripsHeaders) {
+  EmailCleaner cleaner;
+  auto out = cleaner.Clean(
+      "From: a@b.com\n"
+      "To: care@telco.com\n"
+      "Subject: help\n"
+      "\n"
+      "my connection is not working\n");
+  EXPECT_EQ(out.customer_text, "my connection is not working");
+  EXPECT_GE(out.stripped_lines, 3u);
+}
+
+TEST(EmailCleanerTest, StripsDisclaimerToEnd) {
+  EmailCleaner cleaner;
+  auto out = cleaner.Clean(
+      "please fix my bill\n"
+      "This email and any attachments are confidential.\n"
+      "If you are not the intended recipient delete it.\n");
+  EXPECT_EQ(out.customer_text, "please fix my bill");
+}
+
+TEST(EmailCleanerTest, StripsPromotionalLines) {
+  EmailCleaner cleaner;
+  auto out = cleaner.Clean(
+      "my data pack is not active\n"
+      "Download our app for faster service!\n"
+      "still waiting for resolution\n");
+  EXPECT_EQ(out.customer_text,
+            "my data pack is not active\nstill waiting for resolution");
+}
+
+TEST(EmailCleanerTest, SeparatesQuotedAgentReply) {
+  EmailCleaner cleaner;
+  auto out = cleaner.Clean(
+      "the problem is still there\n"
+      "> Dear customer, we have resolved your issue\n"
+      "> please check again\n");
+  EXPECT_EQ(out.customer_text, "the problem is still there");
+  EXPECT_NE(out.agent_text.find("resolved your issue"), std::string::npos);
+}
+
+TEST(EmailCleanerTest, AgentSignoffTreatedAsAgent) {
+  EmailCleaner cleaner;
+  auto out = cleaner.Clean(
+      "i want a refund\n"
+      "Regards,\n"
+      "Support Team\n");
+  EXPECT_EQ(out.customer_text, "i want a refund");
+}
+
+TEST(EmailCleanerTest, BlankLineEndsQuotedBlock) {
+  EmailCleaner cleaner;
+  auto out = cleaner.Clean(
+      "> agent said something\n"
+      "\n"
+      "but my issue remains\n");
+  EXPECT_EQ(out.customer_text, "but my issue remains");
+}
+
+TEST(EmailCleanerTest, EmptyInput) {
+  EmailCleaner cleaner;
+  auto out = cleaner.Clean("");
+  EXPECT_TRUE(out.customer_text.empty());
+  EXPECT_TRUE(out.agent_text.empty());
+}
+
+TEST(EmailCleanerTest, PlainBodyPassesThrough) {
+  EmailCleaner cleaner;
+  auto out = cleaner.Clean("just a simple complaint about charges");
+  EXPECT_EQ(out.customer_text, "just a simple complaint about charges");
+  EXPECT_EQ(out.stripped_lines, 0u);
+}
+
+}  // namespace
+}  // namespace bivoc

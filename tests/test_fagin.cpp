@@ -1,0 +1,127 @@
+#include "linking/fagin.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace bivoc {
+namespace {
+
+std::vector<ScoredItem> SortedList(std::vector<ScoredItem> items) {
+  std::sort(items.begin(), items.end(),
+            [](const ScoredItem& a, const ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  return items;
+}
+
+TEST(FaginTest, EmptyInputs) {
+  EXPECT_TRUE(FaginThresholdMerge({}, 3).empty());
+  EXPECT_TRUE(FaginThresholdMerge({{}, {}}, 3).empty());
+  EXPECT_TRUE(FaginThresholdMerge({{{1, 1.0}}}, 0).empty());
+}
+
+TEST(FaginTest, SingleList) {
+  std::vector<std::vector<ScoredItem>> lists = {
+      SortedList({{1, 0.9}, {2, 0.5}, {3, 0.1}})};
+  auto top = FaginThresholdMerge(lists, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 1u);
+  EXPECT_DOUBLE_EQ(top[0].score, 0.9);
+  EXPECT_EQ(top[1].id, 2u);
+}
+
+TEST(FaginTest, AggregatesAcrossLists) {
+  std::vector<std::vector<ScoredItem>> lists = {
+      SortedList({{1, 0.9}, {2, 0.8}}),
+      SortedList({{2, 0.9}, {3, 0.7}}),
+  };
+  auto top = FaginThresholdMerge(lists, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 2u);  // 0.8 + 0.9 beats 0.9 alone
+  EXPECT_DOUBLE_EQ(top[0].score, 1.7);
+}
+
+TEST(FaginTest, FullMergeReference) {
+  std::vector<std::vector<ScoredItem>> lists = {
+      SortedList({{1, 0.5}, {2, 0.4}}),
+      SortedList({{1, 0.3}}),
+  };
+  auto top = FullMerge(lists, 10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 1u);
+  EXPECT_DOUBLE_EQ(top[0].score, 0.8);
+}
+
+// Property sweep: TA must agree with the exhaustive merge on random
+// inputs (scores compared; ids may differ only under exact ties).
+class FaginEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaginEquivalenceTest, MatchesFullMerge) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    std::size_t num_lists = 1 + rng.Uniform(0, 4);
+    std::vector<std::vector<ScoredItem>> lists(num_lists);
+    for (auto& list : lists) {
+      std::size_t len = rng.Uniform(0, 30);
+      for (std::size_t i = 0; i < len; ++i) {
+        list.push_back({static_cast<uint64_t>(rng.Uniform(0, 40)),
+                        rng.NextDouble()});
+      }
+      // TA requires unique ids per list; keep best per id.
+      std::sort(list.begin(), list.end(),
+                [](const ScoredItem& a, const ScoredItem& b) {
+                  if (a.id != b.id) return a.id < b.id;
+                  return a.score > b.score;
+                });
+      list.erase(std::unique(list.begin(), list.end(),
+                             [](const ScoredItem& a, const ScoredItem& b) {
+                               return a.id == b.id;
+                             }),
+                 list.end());
+      list = SortedList(list);
+    }
+    std::size_t k = 1 + rng.Uniform(0, 5);
+    auto ta = FaginThresholdMerge(lists, k);
+    auto full = FullMerge(lists, k);
+    ASSERT_EQ(ta.size(), full.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      EXPECT_NEAR(ta[i].score, full[i].score, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaginEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(FaginTest, EarlyTerminationOnSkewedLists) {
+  // One item dominates all lists: TA should stop far above the bottom.
+  std::vector<std::vector<ScoredItem>> lists(3);
+  for (auto& list : lists) {
+    list.push_back({0, 100.0});
+    for (uint64_t id = 1; id <= 500; ++id) {
+      list.push_back({id, 1.0 / static_cast<double>(id)});
+    }
+  }
+  FaginStats stats;
+  auto top = FaginThresholdMerge(lists, 1, &stats);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].id, 0u);
+  EXPECT_TRUE(stats.early_terminated);
+  EXPECT_LT(stats.sorted_accesses, 3 * 501);
+}
+
+TEST(FaginTest, StatsCounted) {
+  std::vector<std::vector<ScoredItem>> lists = {
+      SortedList({{1, 0.5}, {2, 0.4}})};
+  FaginStats stats;
+  FaginThresholdMerge(lists, 1, &stats);
+  EXPECT_GT(stats.sorted_accesses, 0u);
+  EXPECT_GT(stats.random_accesses, 0u);
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,132 @@
+// Randomized robustness sweeps: feed arbitrary noisy strings through
+// the text-facing components and assert structural invariants (no
+// crashes, outputs well-formed). These are the failure-injection tests
+// for the "VoC is very noisy" premise of the paper.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "asr/lexicon.h"
+#include "clean/email_cleaner.h"
+#include "clean/sms_normalizer.h"
+#include "linking/annotator.h"
+#include "text/phonetic.h"
+#include "text/tokenizer.h"
+#include "util/random.h"
+
+namespace bivoc {
+namespace {
+
+std::string RandomGarbage(Rng* rng, std::size_t max_len) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789 .,!?@#-_'\"\n\t";
+  std::size_t len = static_cast<std::size_t>(
+      rng->Uniform(0, static_cast<int64_t>(max_len)));
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng->Uniform(0, sizeof(kAlphabet) - 2)];
+  }
+  return out;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, TokenizerSpansAlwaysValid) {
+  Rng rng(GetParam());
+  Tokenizer::Options opts;
+  opts.keep_punct = true;
+  opts.split_alnum = true;
+  Tokenizer tokenizer(opts);
+  for (int i = 0; i < 50; ++i) {
+    std::string text = RandomGarbage(&rng, 200);
+    for (const Token& t : tokenizer.Tokenize(text)) {
+      EXPECT_LT(t.begin, t.end);
+      EXPECT_LE(t.end, text.size());
+      EXPECT_EQ(t.text, text.substr(t.begin, t.end - t.begin));
+      EXPECT_FALSE(t.norm.empty());
+    }
+  }
+}
+
+TEST_P(FuzzTest, LexiconAlwaysProducesValidPhonemes) {
+  Rng rng(GetParam());
+  Lexicon lexicon;
+  const std::size_t num_phonemes = PhonemeSet::Instance().size();
+  for (int i = 0; i < 100; ++i) {
+    std::string word;
+    for (int c = rng.Uniform(1, 14); c > 0; --c) {
+      word += static_cast<char>('a' + rng.Uniform(0, 25));
+    }
+    auto pron = lexicon.Pronounce(word);
+    EXPECT_FALSE(pron.empty()) << word;
+    for (Phoneme p : pron) {
+      EXPECT_GE(p, 0);
+      EXPECT_LT(static_cast<std::size_t>(p), num_phonemes);
+    }
+  }
+}
+
+TEST_P(FuzzTest, SoundexFormatInvariant) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::string word = RandomGarbage(&rng, 20);
+    std::string code = Soundex(word);
+    if (code.empty()) continue;  // no letters in input
+    ASSERT_EQ(code.size(), 4u) << word;
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(code[0])));
+    for (std::size_t k = 1; k < 4; ++k) {
+      EXPECT_TRUE(code[k] >= '0' && code[k] <= '6') << word;
+    }
+  }
+}
+
+TEST_P(FuzzTest, SmsNormalizerNeverCrashesAndLowercases) {
+  Rng rng(GetParam());
+  SmsNormalizer normalizer;
+  normalizer.SetSpellingDictionary({"customer", "balance", "service"});
+  for (int i = 0; i < 50; ++i) {
+    std::string out = normalizer.Normalize(RandomGarbage(&rng, 150));
+    for (char c : out) {
+      EXPECT_FALSE(std::isupper(static_cast<unsigned char>(c)));
+    }
+  }
+}
+
+TEST_P(FuzzTest, EmailCleanerPartitionsLines) {
+  Rng rng(GetParam());
+  EmailCleaner cleaner;
+  for (int i = 0; i < 50; ++i) {
+    std::string raw = RandomGarbage(&rng, 300);
+    auto cleaned = cleaner.Clean(raw);
+    // Output text never exceeds input size (cleaning only removes).
+    EXPECT_LE(cleaned.customer_text.size() + cleaned.agent_text.size(),
+              raw.size() + 16);
+  }
+}
+
+TEST_P(FuzzTest, AnnotatorsHandleGarbage) {
+  Rng rng(GetParam());
+  AnnotatorPipeline pipeline;
+  pipeline.Add(std::make_unique<NameAnnotator>(
+      std::vector<std::string>{"john", "smith"}));
+  pipeline.Add(std::make_unique<PhoneAnnotator>());
+  pipeline.Add(std::make_unique<DateAnnotator>());
+  pipeline.Add(std::make_unique<MoneyAnnotator>());
+  Tokenizer tokenizer;
+  for (int i = 0; i < 50; ++i) {
+    std::string text = RandomGarbage(&rng, 200);
+    auto tokens = tokenizer.Tokenize(text);
+    for (const Annotation& a : pipeline.Annotate(tokens)) {
+      EXPECT_LT(a.begin_token, a.end_token);
+      EXPECT_LE(a.end_token, tokens.size());
+      EXPECT_NE(a.role, AttributeRole::kNone);
+      EXPECT_FALSE(a.text.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,68 @@
+#include "db/index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace bivoc {
+namespace {
+
+Table MakeTable() {
+  Schema schema({
+      {"id", DataType::kInt64, AttributeRole::kNone},
+      {"name", DataType::kString, AttributeRole::kPersonName},
+      {"city", DataType::kString, AttributeRole::kLocation},
+  });
+  Table t("people", std::move(schema));
+  auto add = [&t](int64_t id, const char* name, const char* city) {
+    ASSERT_TRUE(t.Append({Value(id), Value(name), Value(city)}).ok());
+  };
+  add(0, "John Smith", "boston");
+  add(1, "Jane Smith", "seattle");
+  add(2, "John Doe", "boston");
+  add(3, "Mary Major", "dallas");
+  return t;
+}
+
+TEST(HashIndexTest, PointLookup) {
+  Table t = MakeTable();
+  auto index = HashIndex::Build(t, "city");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->Lookup("boston"), (std::vector<RowId>{0, 2}));
+  EXPECT_EQ(index->Lookup("dallas"), (std::vector<RowId>{3}));
+  EXPECT_TRUE(index->Lookup("nowhere").empty());
+  EXPECT_EQ(index->num_keys(), 3u);
+}
+
+TEST(HashIndexTest, MissingColumnFails) {
+  Table t = MakeTable();
+  EXPECT_FALSE(HashIndex::Build(t, "missing").ok());
+}
+
+TEST(TokenIndexTest, TokenPostings) {
+  Table t = MakeTable();
+  auto index = TokenIndex::Build(t, "name");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->Lookup("smith"), (std::vector<RowId>{0, 1}));
+  EXPECT_EQ(index->Lookup("john"), (std::vector<RowId>{0, 2}));
+  EXPECT_EQ(index->Lookup("SMITH"), (std::vector<RowId>{0, 1}));  // cased
+  EXPECT_TRUE(index->Lookup("zebra").empty());
+}
+
+TEST(TokenIndexTest, PhoneticNeighborsShareSoundex) {
+  Table t = MakeTable();
+  auto index = TokenIndex::Build(t, "name");
+  ASSERT_TRUE(index.ok());
+  // "jon" has the same Soundex as "john".
+  auto neighbors = index->PhoneticNeighbors("jon");
+  EXPECT_TRUE(std::find(neighbors.begin(), neighbors.end(), "john") !=
+              neighbors.end());
+}
+
+TEST(TokenIndexTest, NonStringColumnRejected) {
+  Table t = MakeTable();
+  EXPECT_FALSE(TokenIndex::Build(t, "id").ok());
+}
+
+}  // namespace
+}  // namespace bivoc

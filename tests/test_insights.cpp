@@ -1,0 +1,135 @@
+#include "core/car_rental_insights.h"
+
+#include <gtest/gtest.h>
+
+#include "core/intervention.h"
+
+namespace bivoc {
+namespace {
+
+CallRecord MakeCall(bool strong, bool value_selling, bool discount,
+                    bool reserved) {
+  CallRecord call;
+  call.strong_start = strong;
+  call.value_selling = value_selling;
+  call.discount = discount;
+  call.reserved = reserved;
+  return call;
+}
+
+TEST(AnalyzerTest, DetectsIntentFromCleanText) {
+  AgentProductivityAnalyzer analyzer;
+  CallRecord strong = MakeCall(true, false, false, true);
+  auto a = analyzer.Analyze(
+      strong, "hello i would like to make a booking for a suv");
+  EXPECT_TRUE(a.detected_strong);
+  EXPECT_FALSE(a.detected_weak);
+
+  CallRecord weak = MakeCall(false, false, false, false);
+  auto b = analyzer.Analyze(weak, "can i know the rates for a suv");
+  EXPECT_TRUE(b.detected_weak);
+  EXPECT_FALSE(b.detected_strong);
+}
+
+TEST(AnalyzerTest, IntentOutsideWindowIgnored) {
+  AgentProductivityAnalyzer analyzer;
+  analyzer.set_intent_window(5);
+  CallRecord call = MakeCall(true, false, false, true);
+  std::string filler(
+      "one two three four five six seven eight nine ten eleven twelve ");
+  auto a = analyzer.Analyze(call,
+                            filler + "i would like to make a booking");
+  EXPECT_FALSE(a.detected_strong);
+}
+
+TEST(AnalyzerTest, StrongWinsOverWeakWhenBothDetected) {
+  AgentProductivityAnalyzer analyzer;
+  CallRecord call = MakeCall(true, false, false, true);
+  auto a = analyzer.Analyze(
+      call, "i would like to make a booking can i know the rates");
+  EXPECT_TRUE(a.detected_strong);
+  EXPECT_FALSE(a.detected_weak);
+}
+
+TEST(AnalyzerTest, AgentBehavioursDetectedAnywhere) {
+  AgentProductivityAnalyzer analyzer;
+  CallRecord call = MakeCall(true, true, true, true);
+  std::string text =
+      "i would like to make a booking for a suv "
+      "that is a wonderful rate for this car "
+      "i can offer you a corporate program discount";
+  auto a = analyzer.Analyze(call, text);
+  EXPECT_TRUE(a.detected_value_selling);
+  EXPECT_TRUE(a.detected_discount);
+}
+
+TEST(AnalyzerTest, TablesReflectIndexedCalls) {
+  AgentProductivityAnalyzer analyzer;
+  // 10 detected-strong calls, 8 reserved; 10 detected-weak, 3 reserved.
+  for (int i = 0; i < 10; ++i) {
+    CallRecord c = MakeCall(true, false, false, i < 8);
+    auto a = analyzer.Analyze(c, "i would like to make a booking");
+    analyzer.Index(a);
+  }
+  for (int i = 0; i < 10; ++i) {
+    CallRecord c = MakeCall(false, false, false, i < 3);
+    auto a = analyzer.Analyze(c, "can i know the rates");
+    analyzer.Index(a);
+  }
+  AssociationTable table = analyzer.IntentVsOutcome();
+  EXPECT_NEAR(table.cell(0, 0).row_share, 0.8, 1e-9);
+  EXPECT_NEAR(table.cell(1, 0).row_share, 0.3, 1e-9);
+  EXPECT_NEAR(table.cell(1, 1).row_share, 0.7, 1e-9);
+}
+
+TEST(AnalyzerTest, ServiceCallsExcluded) {
+  AgentProductivityAnalyzer analyzer;
+  CallRecord service = MakeCall(false, false, false, false);
+  service.is_service_call = true;
+  auto a = analyzer.Analyze(service, "can i know the rates");
+  analyzer.Index(a);
+  EXPECT_EQ(analyzer.index().num_documents(), 0u);
+}
+
+TEST(InterventionTest, TrainedGroupImproves) {
+  CarRentalConfig config;
+  config.num_agents = 90;
+  config.num_customers = 500;
+  config.num_calls = 10;
+  config.seed = 5;
+  // Exaggerate the training effect so the mechanism check is not
+  // sensitive to sampling noise (calibration is the bench's job).
+  config.trained_value_selling = 0.85;
+  config.trained_weak_discount = 0.75;
+  CarRentalWorld world = CarRentalWorld::Generate(config);
+
+  InterventionConfig iconfig;
+  iconfig.num_trained = 20;
+  iconfig.calls_per_period = 6000;
+  iconfig.seed = 9;
+  InterventionResult r = RunIntervention(&world, iconfig);
+
+  // Difference-in-differences isolates the training effect even if the
+  // random agent split left a baseline gap between the groups.
+  EXPECT_GT(r.DiffInDiffPoints(), 3.0);
+  EXPECT_LT(r.DiffInDiffPoints(), 25.0);
+  // t-test inputs populated, statistic in the right direction.
+  EXPECT_EQ(r.trained_agent_rates.size(), 20u);
+  EXPECT_EQ(r.control_agent_rates.size(), 70u);
+  EXPECT_GT(r.ttest.t, 0.0);
+  EXPECT_LT(r.ttest.p_two_sided, 1.0);
+}
+
+TEST(InterventionTest, RatioMetricsConsistent) {
+  GroupStats g;
+  g.reservations = 60;
+  g.unbooked = 40;
+  EXPECT_DOUBLE_EQ(g.BookingRate(), 0.6);
+  EXPECT_DOUBLE_EQ(g.ReservationRatio(), 1.5);
+  GroupStats empty;
+  EXPECT_DOUBLE_EQ(empty.BookingRate(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.ReservationRatio(), 0.0);
+}
+
+}  // namespace
+}  // namespace bivoc

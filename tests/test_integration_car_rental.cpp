@@ -1,0 +1,127 @@
+// End-to-end integration: synthetic world -> noisy channel -> decoder
+// -> concept mining -> association with structured outcomes -> linking.
+// A miniature of the Table III/IV benches at low noise, asserting the
+// directional findings rather than calibrated magnitudes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "asr/transcriber.h"
+#include "asr/wer.h"
+#include "core/agent_kpis.h"
+#include "core/bivoc.h"
+#include "core/car_rental_insights.h"
+#include "synth/car_rental.h"
+#include "synth/corpora.h"
+#include "util/logging.h"
+
+namespace bivoc {
+namespace {
+
+class CarRentalIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CarRentalConfig config;
+    config.num_agents = 15;
+    config.num_customers = 250;
+    config.num_calls = 80;
+    config.seed = 1234;
+    world_ = new CarRentalWorld(CarRentalWorld::Generate(config));
+
+    Transcriber::Options opts;
+    opts.channel.noise_level = 0.8;  // moderate noise, fast + realistic
+    transcriber_ = new Transcriber(opts);
+    transcriber_->TrainLm(GeneralEnglishSentences(),
+                          world_->DomainSentences());
+    transcriber_->AddWords(world_->GeneralVocabulary(),
+                           WordClass::kGeneral);
+    transcriber_->AddWords(world_->NameVocabulary(), WordClass::kName);
+    transcriber_->Freeze();
+
+    decoded_ = new std::vector<std::string>();
+    Rng rng(9);
+    auto* wer = new WerStats();
+    for (const CallRecord& call : world_->calls()) {
+      auto t = transcriber_->Transcribe(call.ReferenceWords(), &rng);
+      wer->Merge(ComputeWer(call.ReferenceWords(), t.first_pass.Words()));
+      decoded_->push_back(t.first_pass.Text());
+    }
+    wer_ = wer;
+  }
+
+  static CarRentalWorld* world_;
+  static Transcriber* transcriber_;
+  static std::vector<std::string>* decoded_;
+  static WerStats* wer_;
+};
+
+CarRentalWorld* CarRentalIntegrationTest::world_ = nullptr;
+Transcriber* CarRentalIntegrationTest::transcriber_ = nullptr;
+std::vector<std::string>* CarRentalIntegrationTest::decoded_ = nullptr;
+WerStats* CarRentalIntegrationTest::wer_ = nullptr;
+
+TEST_F(CarRentalIntegrationTest, ChannelProducesModerateWer) {
+  EXPECT_GT(wer_->Wer(), 0.02);
+  EXPECT_LT(wer_->Wer(), 0.40);
+}
+
+TEST_F(CarRentalIntegrationTest, MinedConditionalsPointTheRightWay) {
+  AgentProductivityAnalyzer analyzer;
+  for (std::size_t i = 0; i < world_->calls().size(); ++i) {
+    analyzer.Index(
+        analyzer.Analyze(world_->calls()[i], (*decoded_)[i]));
+  }
+  auto intent = analyzer.IntentVsOutcome();
+  // Strong starts convert more than weak starts (Table III direction).
+  ASSERT_GT(intent.cell(0, 0).n_row, 5u);
+  ASSERT_GT(intent.cell(1, 0).n_row, 5u);
+  EXPECT_GT(intent.cell(0, 0).row_share, intent.cell(1, 0).row_share);
+
+  auto behaviour = analyzer.AgentUtteranceVsOutcome();
+  // Discount calls convert more often than not (Table IV direction).
+  ASSERT_GT(behaviour.cell(1, 0).n_row, 5u);
+  EXPECT_GT(behaviour.cell(1, 0).row_share, 0.5);
+}
+
+TEST_F(CarRentalIntegrationTest, KpiBoardSeesBehaviourDifferences) {
+  AgentProductivityAnalyzer analyzer;
+  AgentKpiBoard board(world_);
+  for (std::size_t i = 0; i < world_->calls().size(); ++i) {
+    CallAnalysis a =
+        analyzer.Analyze(world_->calls()[i], (*decoded_)[i]);
+    board.Record(world_->calls()[i], a);
+  }
+  auto ranking = board.Ranking(2);
+  EXPECT_GE(ranking.size(), 5u);
+  // Ranking is sorted by booking rate.
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].BookingRate(), ranking[i].BookingRate());
+  }
+}
+
+TEST_F(CarRentalIntegrationTest, EngineLinksMajorityOfTranscripts) {
+  BivocEngine engine;
+  BIVOC_CHECK_OK(world_->BuildDatabase(engine.warehouse()));
+  BIVOC_CHECK_OK(engine.FinishWarehouse());
+  engine.ConfigureAnnotators(world_->NameVocabulary(), Cities());
+  std::vector<std::string> roster;
+  for (const auto& a : world_->agents()) roster.push_back(a.name);
+  engine.pipeline()->SetNameRoster(roster);
+
+  const Table* customers = *engine.warehouse()->GetTable("customers");
+  std::size_t linked_right = 0;
+  for (std::size_t i = 0; i < world_->calls().size(); ++i) {
+    Document doc = engine.AddTranscript((*decoded_)[i]);
+    if (!doc.link.linked || doc.link.table != "customers") continue;
+    auto id = customers->GetInt(doc.link.row, "id");
+    if (id.ok() &&
+        static_cast<int>(*id) == world_->calls()[i].customer_id) {
+      ++linked_right;
+    }
+  }
+  // At this noise level, most calls link to the right customer.
+  EXPECT_GT(linked_right, world_->calls().size() / 2);
+}
+
+}  // namespace
+}  // namespace bivoc

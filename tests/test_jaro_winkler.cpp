@@ -1,0 +1,77 @@
+#include "text/jaro_winkler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/random.h"
+
+namespace bivoc {
+namespace {
+
+TEST(JaroTest, IdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(Jaro("martha", "martha"), 1.0);
+  EXPECT_DOUBLE_EQ(Jaro("", ""), 1.0);
+}
+
+TEST(JaroTest, EmptyVsNonEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Jaro("", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(Jaro("abc", ""), 0.0);
+}
+
+TEST(JaroTest, ClassicValues) {
+  EXPECT_NEAR(Jaro("martha", "marhta"), 0.9444, 1e-3);
+  EXPECT_NEAR(Jaro("dixon", "dicksonx"), 0.7667, 1e-3);
+  EXPECT_NEAR(Jaro("jellyfish", "smellyfish"), 0.8963, 1e-3);
+}
+
+TEST(JaroTest, NoCommonCharacters) {
+  EXPECT_DOUBLE_EQ(Jaro("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  double j = Jaro("dixon", "dicksonx");
+  double jw = JaroWinkler("dixon", "dicksonx");
+  EXPECT_GT(jw, j);  // shares "di" prefix
+  EXPECT_NEAR(jw, 0.8133, 1e-3);
+}
+
+TEST(JaroWinklerTest, NoPrefixNoBoost) {
+  EXPECT_DOUBLE_EQ(JaroWinkler("abc", "xbc"), Jaro("abc", "xbc"));
+}
+
+TEST(JaroWinklerTest, SimilarSoundingNamesScoreHigh) {
+  // The ASR-confusion pairs the linker must survive.
+  EXPECT_GT(JaroWinkler("jon", "john"), 0.85);
+  EXPECT_GT(JaroWinkler("smith", "smyth"), 0.85);
+  EXPECT_LT(JaroWinkler("smith", "garcia"), 0.55);
+}
+
+class JaroPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JaroPropertyTest, SymmetryAndBounds) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string a, b;
+    for (int i = rng.Uniform(0, 8); i > 0; --i) {
+      a += static_cast<char>('a' + rng.Uniform(0, 5));
+    }
+    for (int i = rng.Uniform(0, 8); i > 0; --i) {
+      b += static_cast<char>('a' + rng.Uniform(0, 5));
+    }
+    double j = Jaro(a, b);
+    EXPECT_GE(j, 0.0);
+    EXPECT_LE(j, 1.0);
+    EXPECT_DOUBLE_EQ(j, Jaro(b, a));
+    double jw = JaroWinkler(a, b);
+    EXPECT_GE(jw + 1e-12, j);  // Winkler never decreases
+    EXPECT_LE(jw, 1.0);
+    EXPECT_DOUBLE_EQ(jw, JaroWinkler(b, a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JaroPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace bivoc

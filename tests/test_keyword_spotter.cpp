@@ -1,0 +1,112 @@
+#include "asr/keyword_spotter.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+#include "util/random.h"
+
+namespace bivoc {
+namespace {
+
+class SpotterTest : public ::testing::Test {
+ protected:
+  std::vector<Phoneme> Phones(const std::string& text) {
+    std::vector<Phoneme> out;
+    for (const auto& w : TokenizeWords(text)) {
+      auto pron = lexicon_.Pronounce(w);
+      out.insert(out.end(), pron.begin(), pron.end());
+    }
+    return out;
+  }
+
+  Lexicon lexicon_;
+};
+
+TEST_F(SpotterTest, FindsKeywordInCleanStream) {
+  KeywordSpotter spotter(&lexicon_);
+  spotter.AddKeyword("wonderful rate", "value selling");
+  auto obs = Phones("that is a wonderful rate for this car");
+  auto hits = spotter.Spot(obs);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].label, "value selling");
+  EXPECT_LT(hits[0].cost_per_phoneme, 0.1);
+  EXPECT_LT(hits[0].begin, hits[0].end);
+}
+
+TEST_F(SpotterTest, NoHitWhenAbsent) {
+  KeywordSpotter spotter(&lexicon_);
+  spotter.AddKeyword("wonderful rate", "value selling");
+  auto obs = Phones("please send me the invoice tomorrow morning");
+  EXPECT_TRUE(spotter.Spot(obs).empty());
+  EXPECT_FALSE(spotter.Contains(obs, "value selling"));
+}
+
+TEST_F(SpotterTest, SurvivesPhonemeNoise) {
+  KeywordSpotter spotter(&lexicon_);
+  spotter.AddKeyword("corporate program", "discount");
+  auto obs = Phones("i can offer you a corporate program discount");
+  // Corrupt two phonemes inside the keyword region with neighbors.
+  const PhonemeSet& set = PhonemeSet::Instance();
+  std::size_t mid = obs.size() / 2;
+  obs[mid] = set.Neighbors(obs[mid])[0];
+  obs[mid + 2] = set.Neighbors(obs[mid + 2])[1];
+  EXPECT_TRUE(spotter.Contains(obs, "discount"));
+}
+
+TEST_F(SpotterTest, MultipleKeywordsMultipleHits) {
+  KeywordSpotter spotter(&lexicon_);
+  spotter.AddKeyword("good rate", "value selling");
+  spotter.AddKeyword("motor club", "discount");
+  auto obs = Phones("a good rate with a motor club discount for you");
+  auto hits = spotter.Spot(obs);
+  ASSERT_EQ(hits.size(), 2u);
+}
+
+TEST_F(SpotterTest, RepeatedMentionNonOverlappingHits) {
+  KeywordSpotter spotter(&lexicon_);
+  spotter.AddKeyword("good rate", "vs");
+  auto obs = Phones("good rate today and a good rate tomorrow");
+  auto hits = spotter.Spot(obs);
+  EXPECT_EQ(hits.size(), 2u);
+  // Hits must not overlap.
+  if (hits.size() == 2) {
+    auto& a = hits[0];
+    auto& b = hits[1];
+    EXPECT_TRUE(a.end <= b.begin || b.end <= a.begin);
+  }
+}
+
+TEST_F(SpotterTest, StrictThresholdSuppressesWeakMatches) {
+  KeywordSpotter::Options strict;
+  strict.max_cost_per_phoneme = 0.05;
+  KeywordSpotter spotter(&lexicon_, strict);
+  spotter.AddKeyword("wonderful rate", "vs");
+  auto obs = Phones("that is a wonderful rate");
+  // Exact match survives even a strict threshold.
+  EXPECT_EQ(spotter.Spot(obs).size(), 1u);
+  // Similar-but-different phrase does not.
+  auto near = Phones("that is a wonderful late");
+  KeywordSpotter::Options lax;
+  lax.max_cost_per_phoneme = 0.6;
+  KeywordSpotter lax_spotter(&lexicon_, lax);
+  lax_spotter.AddKeyword("wonderful rate", "vs");
+  EXPECT_FALSE(lax_spotter.Spot(near).empty());  // lax threshold hits
+}
+
+TEST_F(SpotterTest, ShortObservationHandled) {
+  KeywordSpotter spotter(&lexicon_);
+  spotter.AddKeyword("corporate program discount", "discount");
+  EXPECT_TRUE(spotter.Spot(std::vector<Phoneme>{}).empty());
+  EXPECT_TRUE(spotter.Spot(Phones("hi")).empty());
+}
+
+TEST_F(SpotterTest, KeywordCountTracked) {
+  KeywordSpotter spotter(&lexicon_);
+  EXPECT_EQ(spotter.num_keywords(), 0u);
+  spotter.AddKeyword("a", "x");
+  spotter.AddKeyword("b", "y");
+  EXPECT_EQ(spotter.num_keywords(), 2u);
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,62 @@
+#include "clean/language_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/corpora.h"
+
+namespace bivoc {
+namespace {
+
+TEST(LanguageFilterTest, EnglishPasses) {
+  LanguageFilter filter;
+  EXPECT_TRUE(filter.IsEnglish("please check my account balance"));
+  EXPECT_TRUE(filter.IsEnglish("the service is good today"));
+}
+
+TEST(LanguageFilterTest, CodeSwitchedTextFails) {
+  LanguageFilter filter;
+  // The paper's own example of Hindi-English code switching.
+  EXPECT_FALSE(
+      filter.IsEnglish("hai custmer ko satisfied hi nahi karte"));
+  EXPECT_FALSE(filter.IsEnglish("mera phone kaam nahi kar raha hai"));
+}
+
+TEST(LanguageFilterTest, SyntheticNonEnglishCorpusFails) {
+  LanguageFilter filter;
+  for (const auto& snippet : NonEnglishSnippets()) {
+    EXPECT_FALSE(filter.IsEnglish(snippet)) << snippet;
+  }
+}
+
+TEST(LanguageFilterTest, EmptyTextIsEnglish) {
+  LanguageFilter filter;
+  EXPECT_TRUE(filter.IsEnglish(""));
+  EXPECT_TRUE(filter.IsEnglish("12345 999"));  // no alphabetic tokens
+}
+
+TEST(LanguageFilterTest, RatioBounds) {
+  LanguageFilter filter;
+  double r = filter.EnglishRatio("the qwzx service");
+  EXPECT_GT(r, 0.0);
+  EXPECT_LT(r, 1.0);
+}
+
+TEST(LanguageFilterTest, DomainVocabularyRescuesJargon) {
+  LanguageFilter strict(0.8);
+  std::string jargon = "gprs roaming recharge prepaid postpaid";
+  EXPECT_FALSE(strict.IsEnglish(jargon));
+  strict.AddVocabulary({"gprs", "roaming", "recharge", "prepaid",
+                        "postpaid"});
+  EXPECT_TRUE(strict.IsEnglish(jargon));
+}
+
+TEST(LanguageFilterTest, ThresholdRespected) {
+  LanguageFilter lenient(0.1);
+  LanguageFilter strict(0.95);
+  std::string mixed = "the phone kaam nahi karta";
+  EXPECT_TRUE(lenient.IsEnglish(mixed));
+  EXPECT_FALSE(strict.IsEnglish(mixed));
+}
+
+}  // namespace
+}  // namespace bivoc

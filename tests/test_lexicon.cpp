@@ -1,0 +1,101 @@
+#include "asr/lexicon.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/corpora.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+namespace {
+
+std::string Pron(const Lexicon& lex, const std::string& word) {
+  return PhonemeSet::Instance().ToString(lex.Pronounce(word));
+}
+
+TEST(LexiconTest, ExceptionWordsUseDictionary) {
+  Lexicon lex;
+  EXPECT_TRUE(lex.IsException("the"));
+  EXPECT_EQ(Pron(lex, "the"), "DH AX");
+  EXPECT_EQ(Pron(lex, "you"), "Y UW");
+  EXPECT_EQ(Pron(lex, "THE"), "DH AX");  // case-insensitive
+}
+
+TEST(LexiconTest, RuleBasedWordsNonEmpty) {
+  Lexicon lex;
+  for (const char* w : {"cat", "booking", "chevrolet", "xylophone",
+                        "rental", "seattle", "johnson"}) {
+    EXPECT_FALSE(lex.Pronounce(w).empty()) << w;
+  }
+}
+
+TEST(LexiconTest, DigraphRules) {
+  Lexicon lex;
+  EXPECT_EQ(Pron(lex, "chat"), "CH AE T");
+  EXPECT_EQ(Pron(lex, "shop"), "SH AA P");
+  EXPECT_EQ(Pron(lex, "thin"), "TH IH N");
+  EXPECT_EQ(Pron(lex, "phil"), "F IH L");
+}
+
+TEST(LexiconTest, SilentFinalE) {
+  Lexicon lex;
+  auto rate = lex.Pronounce("rate");  // exception list has "rate"
+  EXPECT_EQ(PhonemeSet::Instance().ToString(rate), "R EY T");
+  // Rule-derived: "mile" should not end in a vowel.
+  auto mile = lex.Pronounce("mile");
+  EXPECT_EQ(PhonemeSet::Instance().name(mile.back()), "L");
+}
+
+TEST(LexiconTest, DigitsPronouncedDigitByDigit) {
+  Lexicon lex;
+  auto pron = lex.Pronounce("42");
+  // "four" (F AO R) + "two" (T UW)
+  EXPECT_EQ(PhonemeSet::Instance().ToString(pron), "F AO R T UW");
+}
+
+TEST(LexiconTest, MixedAlnumSegmented) {
+  Lexicon lex;
+  auto pron = lex.Pronounce("2b");
+  // "two" + "b"
+  ASSERT_GE(pron.size(), 3u);
+  EXPECT_EQ(PhonemeSet::Instance().name(pron[0]), "T");
+}
+
+TEST(LexiconTest, DeterministicAcrossCalls) {
+  Lexicon lex;
+  EXPECT_EQ(lex.Pronounce("seattle"), lex.Pronounce("seattle"));
+}
+
+TEST(LexiconTest, PronounceAllMatchesIndividual) {
+  Lexicon lex;
+  std::vector<std::string> words = {"book", "a", "car"};
+  auto all = lex.PronounceAll(words);
+  ASSERT_EQ(all.size(), 3u);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(all[i], lex.Pronounce(words[i]));
+  }
+}
+
+TEST(LexiconTest, EveryCorpusWordHasPronunciation) {
+  // The generators' open vocabulary must always be pronounceable.
+  Lexicon lex;
+  for (const auto& n : FirstNames()) {
+    EXPECT_FALSE(lex.Pronounce(n).empty()) << n;
+  }
+  for (const auto& n : LastNames()) {
+    EXPECT_FALSE(lex.Pronounce(n).empty()) << n;
+  }
+  for (const auto& c : Cities()) {
+    for (const auto& w : SplitWhitespace(c)) {
+      EXPECT_FALSE(lex.Pronounce(w).empty()) << w;
+    }
+  }
+}
+
+TEST(LexiconTest, DistinctWordsUsuallyDistinctProns) {
+  Lexicon lex;
+  EXPECT_NE(lex.Pronounce("boston"), lex.Pronounce("dallas"));
+  EXPECT_NE(lex.Pronounce("smith"), lex.Pronounce("johnson"));
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,165 @@
+#include "linking/linker.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "db/database.h"
+
+namespace bivoc {
+namespace {
+
+class LinkerTest : public ::testing::Test {
+ protected:
+  LinkerTest() {
+    Schema schema({
+        {"id", DataType::kInt64, AttributeRole::kNone},
+        {"name", DataType::kString, AttributeRole::kPersonName},
+        {"phone", DataType::kString, AttributeRole::kPhone},
+        {"dob", DataType::kDate, AttributeRole::kDate},
+    });
+    table_ = std::make_unique<Table>("customers", std::move(schema));
+    auto add = [this](int64_t id, const char* name, const char* phone,
+                      Date dob) {
+      ASSERT_TRUE(
+          table_->Append({Value(id), Value(name), Value(phone), Value(dob)})
+              .ok());
+    };
+    add(0, "john smith", "9845012345", Date{1980, 5, 19});
+    add(1, "jane smith", "9845099999", Date{1985, 2, 11});
+    add(2, "john doe", "7012345678", Date{1975, 8, 3});
+    add(3, "mary major", "6123456789", Date{1990, 1, 30});
+    add(4, "raj sharma", "8876543210", Date{1982, 12, 25});
+  }
+
+  Annotation Name(const std::string& text) {
+    Annotation a;
+    a.role = AttributeRole::kPersonName;
+    a.text = text;
+    return a;
+  }
+  Annotation PhoneAnn(const std::string& digits) {
+    Annotation a;
+    a.role = AttributeRole::kPhone;
+    a.text = digits;
+    return a;
+  }
+  Annotation DateAnn(const std::string& iso) {
+    Annotation a;
+    a.role = AttributeRole::kDate;
+    a.text = iso;
+    return a;
+  }
+
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(LinkerTest, ExactEvidenceLinksTopOne) {
+  auto linker = EntityLinker::Build(table_.get());
+  ASSERT_TRUE(linker.ok());
+  auto matches =
+      linker->Link({Name("john smith"), PhoneAnn("9845012345")});
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches.front().row, 0u);
+}
+
+TEST_F(LinkerTest, PartialPhoneStillLinks) {
+  auto linker = EntityLinker::Build(table_.get());
+  ASSERT_TRUE(linker.ok());
+  // Only 6 of 10 digits recognized (paper's example).
+  auto matches = linker->Link({PhoneAnn("984501")});
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches.front().row, 0u);
+}
+
+TEST_F(LinkerTest, CombinedEvidenceDisambiguates) {
+  auto linker = EntityLinker::Build(table_.get());
+  ASSERT_TRUE(linker.ok());
+  // "smith" alone is ambiguous between rows 0 and 1; the partial phone
+  // tips it to row 1.
+  auto matches = linker->Link({Name("smith"), PhoneAnn("98450999")});
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches.front().row, 1u);
+}
+
+TEST_F(LinkerTest, MisrecognizedNameSimilarEnough) {
+  auto linker = EntityLinker::Build(table_.get());
+  ASSERT_TRUE(linker.ok());
+  auto matches = linker->Link({Name("jon smyth"), PhoneAnn("9845012")});
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches.front().row, 0u);
+}
+
+TEST_F(LinkerTest, DateEvidenceContributes) {
+  auto linker = EntityLinker::Build(table_.get());
+  ASSERT_TRUE(linker.ok());
+  auto matches = linker->Link({Name("john"), DateAnn("1975-08-03")});
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches.front().row, 2u);  // john doe's dob
+}
+
+TEST_F(LinkerTest, NoEvidenceNoMatches) {
+  auto linker = EntityLinker::Build(table_.get());
+  ASSERT_TRUE(linker.ok());
+  EXPECT_TRUE(linker->Link({}).empty());
+  EXPECT_TRUE(linker->Link({Name("zzyzx")}).empty());
+}
+
+TEST_F(LinkerTest, MinScoreFiltersWeakMatches) {
+  LinkerConfig config;
+  config.min_score = 5.0;  // impossibly high
+  auto linker = EntityLinker::Build(table_.get(), config);
+  ASSERT_TRUE(linker.ok());
+  EXPECT_TRUE(linker->Link({Name("john smith")}).empty());
+}
+
+TEST_F(LinkerTest, TopKRespected) {
+  LinkerConfig config;
+  config.top_k = 2;
+  config.min_score = 0.0;
+  auto linker = EntityLinker::Build(table_.get(), config);
+  ASSERT_TRUE(linker.ok());
+  auto matches = linker->Link({Name("smith"), Name("john")});
+  EXPECT_LE(matches.size(), 2u);
+}
+
+TEST_F(LinkerTest, RoleWeightsChangeScores) {
+  auto linker = EntityLinker::Build(table_.get());
+  ASSERT_TRUE(linker.ok());
+  auto before = linker->Link({Name("john smith")});
+  ASSERT_FALSE(before.empty());
+  RoleWeights weights = UniformRoleWeights();
+  weights[static_cast<std::size_t>(AttributeRole::kPersonName)] = 2.0;
+  linker->SetRoleWeights(weights);
+  auto after = linker->Link({Name("john smith")});
+  ASSERT_FALSE(after.empty());
+  EXPECT_NEAR(after.front().score, before.front().score * 2.0, 1e-9);
+}
+
+TEST_F(LinkerTest, RankCandidatesSortedDescending) {
+  auto linker = EntityLinker::Build(table_.get());
+  ASSERT_TRUE(linker.ok());
+  auto ranked = linker->RankCandidates(Name("smith"));
+  ASSERT_GE(ranked.size(), 2u);
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+  }
+}
+
+TEST_F(LinkerTest, TableWithoutLinkableColumnsRejected) {
+  Schema schema({{"id", DataType::kInt64, AttributeRole::kNone}});
+  Table plain("plain", std::move(schema));
+  EXPECT_FALSE(EntityLinker::Build(&plain).ok());
+  EXPECT_FALSE(EntityLinker::Build(nullptr).ok());
+}
+
+TEST_F(LinkerTest, FaginStatsReported) {
+  auto linker = EntityLinker::Build(table_.get());
+  ASSERT_TRUE(linker.ok());
+  FaginStats stats;
+  linker->Link({Name("john smith"), PhoneAnn("9845012345")}, &stats);
+  EXPECT_GT(stats.sorted_accesses, 0u);
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,111 @@
+#include "text/logistic.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace bivoc {
+namespace {
+
+void MakeData(std::vector<std::vector<std::string>>* docs,
+              std::vector<bool>* labels) {
+  for (int i = 0; i < 20; ++i) {
+    docs->push_back(TokenizeWords("bill too high leaving soon"));
+    labels->push_back(true);
+    docs->push_back(TokenizeWords("thanks for the quick help"));
+    labels->push_back(false);
+  }
+}
+
+TEST(LogisticTest, LearnsSeparableData) {
+  std::vector<std::vector<std::string>> docs;
+  std::vector<bool> labels;
+  MakeData(&docs, &labels);
+  LogisticClassifier lr;
+  lr.Train(docs, labels);
+  EXPECT_GT(lr.Probability(TokenizeWords("bill too high")), 0.8);
+  EXPECT_LT(lr.Probability(TokenizeWords("thanks for the help")), 0.2);
+}
+
+TEST(LogisticTest, PredictThreshold) {
+  std::vector<std::vector<std::string>> docs;
+  std::vector<bool> labels;
+  MakeData(&docs, &labels);
+  LogisticClassifier lr;
+  lr.Train(docs, labels);
+  EXPECT_TRUE(lr.Predict(TokenizeWords("leaving soon")));
+  EXPECT_FALSE(lr.Predict(TokenizeWords("quick help thanks")));
+}
+
+TEST(LogisticTest, ProbabilityInUnitInterval) {
+  std::vector<std::vector<std::string>> docs;
+  std::vector<bool> labels;
+  MakeData(&docs, &labels);
+  LogisticClassifier lr;
+  lr.Train(docs, labels);
+  for (const auto& doc : docs) {
+    double p = lr.Probability(doc);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LogisticTest, UntrainedModelIsUninformative) {
+  LogisticClassifier lr;
+  EXPECT_DOUBLE_EQ(lr.Probability({"anything"}), 0.5);
+  EXPECT_EQ(lr.num_features(), 0u);
+}
+
+TEST(LogisticTest, EmptyOrMismatchedInputIsNoop) {
+  LogisticClassifier lr;
+  lr.Train({}, {});
+  EXPECT_EQ(lr.num_features(), 0u);
+  lr.Train({{"a"}}, {true, false});  // mismatched sizes
+  EXPECT_EQ(lr.num_features(), 0u);
+}
+
+TEST(LogisticTest, TopFeaturesPointAtPositiveClass) {
+  std::vector<std::vector<std::string>> docs;
+  std::vector<bool> labels;
+  MakeData(&docs, &labels);
+  LogisticClassifier lr;
+  lr.Train(docs, labels);
+  auto top = lr.TopFeatures(3);
+  ASSERT_FALSE(top.empty());
+  // Highest-weight features should be churn words, not thanks words.
+  EXPECT_TRUE(top[0].first == "bill" || top[0].first == "leaving" ||
+              top[0].first == "high" || top[0].first == "too" ||
+              top[0].first == "soon");
+}
+
+TEST(LogisticTest, PositiveWeightRaisesRecallSide) {
+  std::vector<std::vector<std::string>> docs;
+  std::vector<bool> labels;
+  // Ambiguous overlapping vocabulary.
+  for (int i = 0; i < 30; ++i) {
+    docs.push_back({"service", "issue"});
+    labels.push_back(i % 3 == 0);  // 1/3 positive
+  }
+  LogisticClassifier::Options plain;
+  LogisticClassifier lr_plain(plain);
+  lr_plain.Train(docs, labels);
+  LogisticClassifier::Options boosted;
+  boosted.positive_weight = 4.0;
+  LogisticClassifier lr_boosted(boosted);
+  lr_boosted.Train(docs, labels);
+  EXPECT_GT(lr_boosted.Probability({"service", "issue"}),
+            lr_plain.Probability({"service", "issue"}));
+}
+
+TEST(LogisticTest, DeterministicGivenSeed) {
+  std::vector<std::vector<std::string>> docs;
+  std::vector<bool> labels;
+  MakeData(&docs, &labels);
+  LogisticClassifier a, b;
+  a.Train(docs, labels);
+  b.Train(docs, labels);
+  EXPECT_DOUBLE_EQ(a.Probability({"bill"}), b.Probability({"bill"}));
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,163 @@
+#include "linking/multitype.h"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace bivoc {
+namespace {
+
+class MultiTypeTest : public ::testing::Test {
+ protected:
+  MultiTypeTest() {
+    // Customers table.
+    Schema cust_schema({
+        {"id", DataType::kInt64, AttributeRole::kNone},
+        {"name", DataType::kString, AttributeRole::kPersonName},
+        {"phone", DataType::kString, AttributeRole::kPhone},
+    });
+    Table* customers = *db_.CreateTable("customers", cust_schema);
+    BIVOC_CHECK_OK(customers
+                       ->Append({Value(int64_t{0}), Value("john smith"),
+                                 Value("9845012345")})
+                       .status());
+    BIVOC_CHECK_OK(customers
+                       ->Append({Value(int64_t{1}), Value("mary major"),
+                                 Value("7012345678")})
+                       .status());
+
+    // Payments table (different attribute profile).
+    Schema pay_schema({
+        {"id", DataType::kInt64, AttributeRole::kNone},
+        {"amount", DataType::kInt64, AttributeRole::kMoney},
+        {"date", DataType::kDate, AttributeRole::kDate},
+        {"receipt", DataType::kString, AttributeRole::kCardNumber},
+    });
+    Table* payments = *db_.CreateTable("payments", pay_schema);
+    BIVOC_CHECK_OK(payments
+                       ->Append({Value(int64_t{0}), Value(int64_t{500}),
+                                 Value(Date{2007, 5, 19}),
+                                 Value("123456789012")})
+                       .status());
+    BIVOC_CHECK_OK(payments
+                       ->Append({Value(int64_t{1}), Value(int64_t{1250}),
+                                 Value(Date{2007, 6, 2}),
+                                 Value("999988887777")})
+                       .status());
+
+    // A table with no linkable columns is skipped silently.
+    Schema plain({{"x", DataType::kInt64, AttributeRole::kNone}});
+    BIVOC_CHECK(db_.CreateTable("plain", plain).ok());
+  }
+
+  static Annotation Ann(AttributeRole role, const std::string& text) {
+    Annotation a;
+    a.role = role;
+    a.text = text;
+    return a;
+  }
+
+  Database db_;
+};
+
+TEST_F(MultiTypeTest, SkipsUnlinkableTables) {
+  auto linker = MultiTypeLinker::Build(&db_);
+  ASSERT_TRUE(linker.ok());
+  auto types = linker->Types();
+  EXPECT_EQ(types, (std::vector<std::string>{"customers", "payments"}));
+}
+
+TEST_F(MultiTypeTest, CustomerDocumentIdentifiedAsCustomer) {
+  auto linker = MultiTypeLinker::Build(&db_);
+  ASSERT_TRUE(linker.ok());
+  auto match = linker->Identify({
+      Ann(AttributeRole::kPersonName, "john smith"),
+      Ann(AttributeRole::kPhone, "9845012345"),
+  });
+  ASSERT_TRUE(match.linked);
+  EXPECT_EQ(match.table, "customers");
+  EXPECT_EQ(match.row, 0u);
+}
+
+TEST_F(MultiTypeTest, PaymentDocumentIdentifiedAsPayment) {
+  auto linker = MultiTypeLinker::Build(&db_);
+  ASSERT_TRUE(linker.ok());
+  auto match = linker->Identify({
+      Ann(AttributeRole::kMoney, "500"),
+      Ann(AttributeRole::kDate, "2007-05-19"),
+      Ann(AttributeRole::kCardNumber, "123456789012"),
+  });
+  ASSERT_TRUE(match.linked);
+  EXPECT_EQ(match.table, "payments");
+  EXPECT_EQ(match.row, 0u);
+}
+
+TEST_F(MultiTypeTest, NoEvidenceMeansUnlinked) {
+  auto linker = MultiTypeLinker::Build(&db_);
+  ASSERT_TRUE(linker.ok());
+  auto match = linker->Identify({});
+  EXPECT_FALSE(match.linked);
+}
+
+TEST_F(MultiTypeTest, RankByTypeReturnsAllTypes) {
+  auto linker = MultiTypeLinker::Build(&db_);
+  ASSERT_TRUE(linker.ok());
+  auto ranked = linker->RankByType(
+      {Ann(AttributeRole::kPersonName, "mary major")});
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].table, "customers");
+  EXPECT_TRUE(ranked[0].linked);
+}
+
+TEST_F(MultiTypeTest, EmLearnsTypeProfiles) {
+  auto linker = MultiTypeLinker::Build(&db_);
+  ASSERT_TRUE(linker.ok());
+  // Unlabeled collection: customer-ish and payment-ish documents.
+  std::vector<std::vector<Annotation>> docs;
+  for (int i = 0; i < 10; ++i) {
+    docs.push_back({Ann(AttributeRole::kPersonName, "john smith"),
+                    Ann(AttributeRole::kPhone, "9845012345")});
+    docs.push_back({Ann(AttributeRole::kMoney, "500"),
+                    Ann(AttributeRole::kDate, "2007-05-19"),
+                    Ann(AttributeRole::kCardNumber, "123456789012")});
+  }
+  auto result = linker->LearnWeights(docs, 6);
+  EXPECT_GE(result.iterations, 1);
+  EXPECT_EQ(result.assignments["customers"], 10u);
+  EXPECT_EQ(result.assignments["payments"], 10u);
+
+  const RoleWeights& cust = linker->WeightsFor("customers");
+  const RoleWeights& pay = linker->WeightsFor("payments");
+  auto w = [](const RoleWeights& weights, AttributeRole role) {
+    return weights[static_cast<std::size_t>(role)];
+  };
+  // Names/phones dominate the customer profile; money/date/card the
+  // payment profile.
+  EXPECT_GT(w(cust, AttributeRole::kPersonName),
+            w(cust, AttributeRole::kMoney));
+  EXPECT_GT(w(pay, AttributeRole::kMoney),
+            w(pay, AttributeRole::kPersonName));
+  EXPECT_GT(w(pay, AttributeRole::kCardNumber), 1.0);
+}
+
+TEST_F(MultiTypeTest, SetWeightsForOverrides) {
+  auto linker = MultiTypeLinker::Build(&db_);
+  ASSERT_TRUE(linker.ok());
+  RoleWeights zero{};
+  ASSERT_TRUE(linker->SetWeightsFor("customers", zero).ok());
+  auto match = linker->Identify({
+      Ann(AttributeRole::kPersonName, "john smith"),
+  });
+  // Zero weights: customer evidence scores 0 and falls below min_score.
+  EXPECT_FALSE(match.linked && match.table == "customers");
+  EXPECT_FALSE(linker->SetWeightsFor("no-such-type", zero).ok());
+}
+
+TEST_F(MultiTypeTest, BuildFailsOnEmptyDatabase) {
+  Database empty;
+  EXPECT_FALSE(MultiTypeLinker::Build(&empty).ok());
+  EXPECT_FALSE(MultiTypeLinker::Build(nullptr).ok());
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,110 @@
+#include "text/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace bivoc {
+namespace {
+
+NaiveBayesClassifier TrainedSpamModel() {
+  NaiveBayesClassifier nb;
+  nb.AddExample(TokenizeWords("win free money lottery prize"), "spam");
+  nb.AddExample(TokenizeWords("free prize click now winner"), "spam");
+  nb.AddExample(TokenizeWords("claim your free lottery money"), "spam");
+  nb.AddExample(TokenizeWords("meeting at nine about the report"), "ham");
+  nb.AddExample(TokenizeWords("please confirm the payment receipt"), "ham");
+  nb.AddExample(TokenizeWords("lunch tomorrow with the team"), "ham");
+  nb.Finish();
+  return nb;
+}
+
+TEST(NaiveBayesTest, PredictBeforeFinishFails) {
+  NaiveBayesClassifier nb;
+  nb.AddExample({"a"}, "x");
+  auto pred = nb.Predict({"a"});
+  ASSERT_FALSE(pred.ok());
+  EXPECT_EQ(pred.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NaiveBayesTest, EmptyModelFails) {
+  NaiveBayesClassifier nb;
+  nb.Finish();
+  EXPECT_FALSE(nb.Predict({"a"}).ok());
+}
+
+TEST(NaiveBayesTest, ClassifiesObviousCases) {
+  auto nb = TrainedSpamModel();
+  auto spam = nb.Predict(TokenizeWords("free lottery money"));
+  ASSERT_TRUE(spam.ok());
+  EXPECT_EQ(spam->label, "spam");
+  auto ham = nb.Predict(TokenizeWords("the meeting report"));
+  ASSERT_TRUE(ham.ok());
+  EXPECT_EQ(ham->label, "ham");
+}
+
+TEST(NaiveBayesTest, PosteriorsAreProbabilities) {
+  auto nb = TrainedSpamModel();
+  double p_spam = nb.Posterior(TokenizeWords("free money"), "spam");
+  double p_ham = nb.Posterior(TokenizeWords("free money"), "ham");
+  EXPECT_GE(p_spam, 0.0);
+  EXPECT_LE(p_spam, 1.0);
+  EXPECT_NEAR(p_spam + p_ham, 1.0, 1e-9);
+  EXPECT_GT(p_spam, p_ham);
+}
+
+TEST(NaiveBayesTest, UnknownLabelPosteriorIsZero) {
+  auto nb = TrainedSpamModel();
+  EXPECT_DOUBLE_EQ(nb.Posterior({"x"}, "no-such-class"), 0.0);
+}
+
+TEST(NaiveBayesTest, UnknownTokensFallBackToPrior) {
+  auto nb = TrainedSpamModel();
+  // Equal priors (3 docs each): unknown-only input is a coin flip.
+  double p = nb.Posterior(TokenizeWords("zzz qqq www"), "spam");
+  EXPECT_NEAR(p, 0.5, 0.05);
+}
+
+TEST(NaiveBayesTest, ClassBiasShiftsDecision) {
+  auto nb = TrainedSpamModel();
+  std::vector<std::string> borderline = TokenizeWords("the free report");
+  double before = nb.Posterior(borderline, "spam");
+  nb.SetClassBias("spam", 3.0);
+  double after = nb.Posterior(borderline, "spam");
+  EXPECT_GT(after, before);
+}
+
+TEST(NaiveBayesTest, LabelsSorted) {
+  auto nb = TrainedSpamModel();
+  EXPECT_EQ(nb.Labels(), (std::vector<std::string>{"ham", "spam"}));
+}
+
+TEST(NaiveBayesTest, TopFeaturesDiscriminative) {
+  auto nb = TrainedSpamModel();
+  auto top = nb.TopFeatures("spam", 3);
+  ASSERT_FALSE(top.empty());
+  // "free" appears in all spam examples and no ham example.
+  bool found_free = false;
+  for (const auto& [f, score] : top) {
+    if (f == "free") {
+      found_free = true;
+      EXPECT_GT(score, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_free);
+}
+
+TEST(NaiveBayesTest, ImbalancedPriorsRespected) {
+  NaiveBayesClassifier nb;
+  for (int i = 0; i < 97; ++i) nb.AddExample({"word"}, "common");
+  for (int i = 0; i < 3; ++i) nb.AddExample({"word"}, "rare");
+  nb.Finish();
+  // Identical likelihoods: the prior decides.
+  auto pred = nb.Predict({"word"});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(pred->label, "common");
+  EXPECT_NEAR(nb.Posterior({"word"}, "rare"), 0.03, 0.02);
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,136 @@
+#include "text/ngram_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "text/tokenizer.h"
+
+namespace bivoc {
+namespace {
+
+std::vector<std::vector<std::string>> Corpus() {
+  return {
+      TokenizeWords("the cat sat on the mat"),
+      TokenizeWords("the dog sat on the rug"),
+      TokenizeWords("the cat ate the fish"),
+      TokenizeWords("a dog chased the cat"),
+  };
+}
+
+TEST(NgramModelTest, CountsTokens) {
+  NgramModel lm(2);
+  lm.Train(Corpus());
+  EXPECT_EQ(lm.UnigramCount("the"), 7u);
+  EXPECT_EQ(lm.UnigramCount("cat"), 3u);
+  EXPECT_EQ(lm.UnigramCount("unseen"), 0u);
+  EXPECT_GT(lm.total_tokens(), 0u);
+}
+
+TEST(NgramModelTest, SeenBigramMoreLikelyThanUnseen) {
+  NgramModel lm(2);
+  lm.Train(Corpus());
+  EXPECT_GT(lm.BigramLogProb("the", "cat"), lm.BigramLogProb("the", "rug"));
+  EXPECT_GT(lm.BigramLogProb("sat", "on"), lm.BigramLogProb("sat", "cat"));
+}
+
+TEST(NgramModelTest, UnknownWordGetsFloorProbability) {
+  NgramModel lm(2);
+  lm.Train(Corpus());
+  double lp = lm.BigramLogProb("the", "zebra");
+  EXPECT_TRUE(std::isfinite(lp));
+  EXPECT_LT(lp, lm.BigramLogProb("the", "cat"));
+}
+
+TEST(NgramModelTest, BigramFastPathMatchesGenericPath) {
+  NgramModel lm(2);
+  lm.Train(Corpus());
+  for (const char* prev : {"the", "cat", "<s>", "zzz"}) {
+    for (const char* word : {"cat", "the", "sat", "zebra", "</s>"}) {
+      EXPECT_NEAR(lm.BigramLogProb(prev, word),
+                  lm.LogProb(word, {std::string(prev)}), 1e-9)
+          << prev << " -> " << word;
+    }
+  }
+}
+
+TEST(NgramModelTest, ProbabilitiesSumToAtMostOne) {
+  NgramModel lm(2);
+  lm.Train(Corpus());
+  // Sum P(w | "the") over every seen word + </s>; the remainder is
+  // floor mass spread over the nominal vocabulary.
+  double total = 0.0;
+  for (const auto& w : lm.TopWords(1000)) {
+    total += std::exp(lm.BigramLogProb("the", w));
+  }
+  total += std::exp(lm.BigramLogProb("the", "</s>"));
+  EXPECT_LE(total, 1.0 + 1e-6);
+  EXPECT_GT(total, 0.5);  // most mass on seen words
+}
+
+TEST(NgramModelTest, SentenceLogProbPrefersTrainingSentence) {
+  NgramModel lm(2);
+  lm.Train(Corpus());
+  double in_domain = lm.SentenceLogProb(TokenizeWords("the cat sat"));
+  double shuffled = lm.SentenceLogProb(TokenizeWords("sat the cat"));
+  EXPECT_GT(in_domain, shuffled);
+}
+
+TEST(NgramModelTest, PerplexityLowerOnTrainingData) {
+  NgramModel lm(2);
+  lm.Train(Corpus());
+  double train_ppl = lm.Perplexity(Corpus());
+  double other_ppl =
+      lm.Perplexity({TokenizeWords("zebras dance under purple skies")});
+  EXPECT_LT(train_ppl, other_ppl);
+}
+
+TEST(NgramModelTest, TrigramSupported) {
+  NgramModel lm(3);
+  lm.Train(Corpus());
+  double lp = lm.LogProb("on", {"cat", "sat"});
+  EXPECT_TRUE(std::isfinite(lp));
+  EXPECT_GT(lp, lm.LogProb("fish", {"cat", "sat"}));
+}
+
+TEST(NgramModelTest, TopWordsSortedByFrequency) {
+  NgramModel lm(2);
+  lm.Train(Corpus());
+  auto top = lm.TopWords(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], "the");
+}
+
+TEST(NgramModelTest, SetInterpolationWeights) {
+  NgramModel lm(2);
+  lm.Train(Corpus());
+  lm.SetInterpolationWeights({0.0, 0.9});
+  // Pure unigram: context no longer matters.
+  EXPECT_NEAR(lm.BigramLogProb("the", "cat"),
+              lm.BigramLogProb("dog", "cat"), 1e-9);
+}
+
+TEST(InterpolatedLmTest, MixesTowardDomain) {
+  NgramModel general(2), domain(2);
+  general.Train({TokenizeWords("the weather is nice today")});
+  domain.Train({TokenizeWords("book a car rental today")});
+  InterpolatedLm lm(&general, &domain, 0.8);
+  // Domain bigram scores higher under the mixture than under the
+  // general model alone.
+  EXPECT_GT(lm.BigramLogProb("car", "rental"),
+            general.BigramLogProb("car", "rental"));
+  EXPECT_DOUBLE_EQ(lm.domain_weight(), 0.8);
+}
+
+TEST(InterpolatedLmTest, PerplexityFiniteOnMixedText) {
+  NgramModel general(2), domain(2);
+  general.Train(Corpus());
+  domain.Train({TokenizeWords("reserve a full size car")});
+  InterpolatedLm lm(&general, &domain, 0.8);
+  double ppl = lm.Perplexity({TokenizeWords("the cat reserved a car")});
+  EXPECT_TRUE(std::isfinite(ppl));
+  EXPECT_GT(ppl, 1.0);
+}
+
+}  // namespace
+}  // namespace bivoc

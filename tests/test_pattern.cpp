@@ -1,0 +1,121 @@
+#include "annotate/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace bivoc {
+namespace {
+
+std::vector<Concept> MatchText(const PatternMatcher& matcher,
+                               const std::string& text) {
+  Tokenizer tokenizer;
+  PosTagger tagger;
+  return matcher.Match(tagger.Tag(tokenizer.Tokenize(text)));
+}
+
+TEST(ParsePatternTest, FullSpec) {
+  auto p = ParsePattern(
+      "just <NUM> dollars -> mention of good rate @ value selling");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->elements.size(), 3u);
+  EXPECT_EQ(p->elements[0].kind, PatternElement::Kind::kLiteral);
+  EXPECT_EQ(p->elements[1].kind, PatternElement::Kind::kNumeric);
+  EXPECT_EQ(p->concept_name, "mention of good rate");
+  EXPECT_EQ(p->category, "value selling");
+}
+
+TEST(ParsePatternTest, PosElement) {
+  auto p = ParsePattern("please <VERB> -> request @ requests");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->elements[1].kind, PatternElement::Kind::kPos);
+  EXPECT_EQ(p->elements[1].tag, PosTag::kVerb);
+}
+
+TEST(ParsePatternTest, CategoryAndWildcardElements) {
+  auto p = ParsePattern("[discount] * -> discount offer @ agent");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->elements[0].kind, PatternElement::Kind::kCategory);
+  EXPECT_EQ(p->elements[0].category, "discount");
+  EXPECT_EQ(p->elements[1].kind, PatternElement::Kind::kAny);
+}
+
+TEST(ParsePatternTest, Errors) {
+  EXPECT_FALSE(ParsePattern("no arrow here @ cat").ok());
+  EXPECT_FALSE(ParsePattern("words -> concept").ok());  // no category
+  EXPECT_FALSE(ParsePattern("-> concept @ cat").ok());  // no elements
+  EXPECT_FALSE(ParsePattern("x <BOGUS> -> c @ cat").ok());  // bad POS
+  EXPECT_FALSE(ParsePattern("x ->  @ cat").ok());  // empty concept
+}
+
+TEST(PatternMatcherTest, LiteralSequence) {
+  PatternMatcher matcher;
+  ASSERT_TRUE(
+      matcher.AddSpec("wonderful rate -> good rate @ value selling").ok());
+  auto concepts = MatchText(matcher, "we have a wonderful rate today");
+  ASSERT_EQ(concepts.size(), 1u);
+  EXPECT_EQ(concepts[0].name, "good rate");
+  EXPECT_EQ(concepts[0].begin_token, 3u);
+  EXPECT_EQ(concepts[0].end_token, 5u);
+}
+
+TEST(PatternMatcherTest, PosClassMatches) {
+  PatternMatcher matcher;
+  ASSERT_TRUE(matcher.AddSpec("please <VERB> -> request @ requests").ok());
+  EXPECT_EQ(MatchText(matcher, "please confirm my booking").size(), 1u);
+  EXPECT_EQ(MatchText(matcher, "please cancel it").size(), 1u);
+  EXPECT_TRUE(MatchText(matcher, "please the rate").empty());
+}
+
+TEST(PatternMatcherTest, NumericMatchesDigitsAndNumberWords) {
+  PatternMatcher matcher;
+  ASSERT_TRUE(
+      matcher.AddSpec("just <NUM> dollars -> good rate @ value selling")
+          .ok());
+  EXPECT_EQ(MatchText(matcher, "it is just 50 dollars").size(), 1u);
+  EXPECT_EQ(MatchText(matcher, "it is just fifty dollars").size(), 1u);
+  EXPECT_TRUE(MatchText(matcher, "just some dollars").empty());
+}
+
+TEST(PatternMatcherTest, CategoryElementUsesDictionary) {
+  DomainDictionary dict;
+  dict.Add("corporate program", "corporate program", "discount");
+  dict.Add("discount", "discount", "discount");
+  PatternMatcher matcher(&dict);
+  ASSERT_TRUE(
+      matcher.AddSpec("a [discount] -> discount mention @ agent").ok());
+  EXPECT_EQ(MatchText(matcher, "i can offer a discount now").size(), 1u);
+  EXPECT_TRUE(MatchText(matcher, "offer a rebate now").empty());
+}
+
+TEST(PatternMatcherTest, NegationViaLongerPattern) {
+  // The paper's "X was rude" vs "X was not rude" example: both
+  // patterns fire where they match; the not-variant is distinguishable.
+  PatternMatcher matcher;
+  ASSERT_TRUE(
+      matcher.AddSpec("was not rude -> not rude @ commendation").ok());
+  ASSERT_TRUE(matcher.AddSpec("was rude -> rude @ complaint").ok());
+  auto complaint = MatchText(matcher, "the agent was rude to me");
+  ASSERT_EQ(complaint.size(), 1u);
+  EXPECT_EQ(complaint[0].category, "complaint");
+  auto commendation = MatchText(matcher, "the agent was not rude at all");
+  ASSERT_EQ(commendation.size(), 1u);
+  EXPECT_EQ(commendation[0].category, "commendation");
+}
+
+TEST(PatternMatcherTest, MultipleMatchesAcrossPositions) {
+  PatternMatcher matcher;
+  ASSERT_TRUE(matcher.AddSpec("good rate -> good rate @ vs").ok());
+  auto concepts =
+      MatchText(matcher, "good rate here and good rate there");
+  EXPECT_EQ(concepts.size(), 2u);
+}
+
+TEST(PatternMatcherTest, WildcardElement) {
+  PatternMatcher matcher;
+  ASSERT_TRUE(matcher.AddSpec("rate * high -> objection @ customer").ok());
+  EXPECT_EQ(MatchText(matcher, "that rate is high").size(), 1u);
+  EXPECT_EQ(MatchText(matcher, "the rate too high for me").size(), 1u);
+  EXPECT_TRUE(MatchText(matcher, "rate high").empty());  // needs 3 tokens
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,98 @@
+#include "asr/phoneme.h"
+
+#include <gtest/gtest.h>
+
+namespace bivoc {
+namespace {
+
+TEST(PhonemeSetTest, HasExactlyFiftyFour) {
+  EXPECT_EQ(PhonemeSet::Instance().size(), 54u);
+}
+
+TEST(PhonemeSetTest, ParseRoundTrip) {
+  const PhonemeSet& set = PhonemeSet::Instance();
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    Phoneme p = static_cast<Phoneme>(i);
+    EXPECT_EQ(set.Parse(set.name(p)), p);
+  }
+  EXPECT_EQ(set.Parse("NOPE"), kInvalidPhoneme);
+  EXPECT_EQ(set.Parse(""), kInvalidPhoneme);
+}
+
+TEST(PhonemeSetTest, DistanceIsMetricLike) {
+  const PhonemeSet& set = PhonemeSet::Instance();
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = 0; j < set.size(); ++j) {
+      Phoneme a = static_cast<Phoneme>(i);
+      Phoneme b = static_cast<Phoneme>(j);
+      double d = set.Distance(a, b);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, 1.0);
+      EXPECT_DOUBLE_EQ(d, set.Distance(b, a));  // symmetry
+      if (i == j) EXPECT_DOUBLE_EQ(d, 0.0);     // identity
+    }
+  }
+}
+
+TEST(PhonemeSetTest, ArticulatorilyCloseAreCloserThanFar) {
+  const PhonemeSet& set = PhonemeSet::Instance();
+  Phoneme p = set.Parse("P");
+  Phoneme b = set.Parse("B");
+  Phoneme iy = set.Parse("IY");
+  // P/B differ only in voicing; P/IY are stop vs vowel.
+  EXPECT_LT(set.Distance(p, b), set.Distance(p, iy));
+  Phoneme s = set.Parse("S");
+  Phoneme z = set.Parse("Z");
+  Phoneme sh = set.Parse("SH");
+  EXPECT_LT(set.Distance(s, z), set.Distance(s, sh) + 0.2);
+  // Vowel pair closer than vowel-consonant.
+  Phoneme ih = set.Parse("IH");
+  EXPECT_LT(set.Distance(iy, ih), set.Distance(iy, s));
+}
+
+TEST(PhonemeSetTest, SilenceIsFarFromEverything) {
+  const PhonemeSet& set = PhonemeSet::Instance();
+  Phoneme sil = set.Parse("SIL");
+  ASSERT_NE(sil, kInvalidPhoneme);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    Phoneme p = static_cast<Phoneme>(i);
+    if (p == sil) continue;
+    EXPECT_DOUBLE_EQ(set.Distance(sil, p), 1.0);
+  }
+}
+
+TEST(PhonemeSetTest, GlidesNearTheirVowels) {
+  const PhonemeSet& set = PhonemeSet::Instance();
+  Phoneme w = set.Parse("W");
+  Phoneme uw = set.Parse("UW");
+  Phoneme aa = set.Parse("AA");
+  EXPECT_LT(set.Distance(w, uw), set.Distance(w, aa));
+}
+
+TEST(PhonemeSetTest, NeighborsSortedByDistance) {
+  const PhonemeSet& set = PhonemeSet::Instance();
+  Phoneme t = set.Parse("T");
+  auto neighbors = set.Neighbors(t);
+  EXPECT_EQ(neighbors.size(), set.size() - 1);
+  for (std::size_t i = 1; i < neighbors.size(); ++i) {
+    EXPECT_LE(set.Distance(t, neighbors[i - 1]),
+              set.Distance(t, neighbors[i]));
+  }
+  // The nearest neighbor of T should be another stop (P/K differ only
+  // in place; D/DX only in voicing).
+  std::string_view nearest = set.name(neighbors[0]);
+  EXPECT_TRUE(nearest == "D" || nearest == "DX" || nearest == "P" ||
+              nearest == "K")
+      << nearest;
+}
+
+TEST(PhonemeSetTest, ToStringRendersNames) {
+  const PhonemeSet& set = PhonemeSet::Instance();
+  std::vector<Phoneme> pron = {set.Parse("K"), set.Parse("AE"),
+                               set.Parse("T")};
+  EXPECT_EQ(set.ToString(pron), "K AE T");
+  EXPECT_EQ(set.ToString({}), "");
+}
+
+}  // namespace
+}  // namespace bivoc

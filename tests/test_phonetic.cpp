@@ -1,0 +1,80 @@
+#include "text/phonetic.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace bivoc {
+namespace {
+
+TEST(SoundexTest, ClassicCodes) {
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");  // H transparent
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+}
+
+TEST(SoundexTest, CaseInsensitive) {
+  EXPECT_EQ(Soundex("SMITH"), Soundex("smith"));
+}
+
+TEST(SoundexTest, ShortWordsPadded) {
+  EXPECT_EQ(Soundex("a"), "A000");
+  EXPECT_EQ(Soundex("ab"), "A100");
+}
+
+TEST(SoundexTest, EmptyAndNonAlpha) {
+  EXPECT_EQ(Soundex(""), "");
+  EXPECT_EQ(Soundex("123"), "");
+  EXPECT_EQ(Soundex("42nd"), "N300");  // leading digits skipped
+}
+
+TEST(SoundexTest, ConfusableNamesShareCodes) {
+  EXPECT_EQ(Soundex("smith"), Soundex("smyth"));
+  EXPECT_EQ(Soundex("john"), Soundex("jon"));
+  EXPECT_NE(Soundex("smith"), Soundex("garcia"));
+}
+
+class SoundexPairTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(SoundexPairTest, HomophonesCollide) {
+  auto [a, b] = GetParam();
+  EXPECT_EQ(Soundex(a), Soundex(b)) << a << " vs " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Homophones, SoundexPairTest,
+    ::testing::Values(std::make_tuple("jackson", "jaxon"),
+                      std::make_tuple("stewart", "stuart"),
+                      std::make_tuple("meyer", "myer"),
+                      std::make_tuple("allen", "alan")));
+
+TEST(PhoneticKeyTest, FoldsDigraphs) {
+  EXPECT_EQ(PhoneticKey("phone"), PhoneticKey("fone"));
+  EXPECT_EQ(PhoneticKey("back"), PhoneticKey("bak"));
+  EXPECT_EQ(PhoneticKey("good"), PhoneticKey("gud"));
+}
+
+TEST(PhoneticKeyTest, EmptyInput) {
+  EXPECT_EQ(PhoneticKey(""), "");
+  EXPECT_EQ(PhoneticKey("123"), "");
+}
+
+TEST(PhoneticSimilarityTest, Bounds) {
+  EXPECT_DOUBLE_EQ(PhoneticSimilarity("smith", "smith"), 1.0);
+  EXPECT_DOUBLE_EQ(PhoneticSimilarity("", ""), 1.0);
+  double s = PhoneticSimilarity("smith", "garcia");
+  EXPECT_GE(s, 0.0);
+  EXPECT_LT(s, 0.8);
+}
+
+TEST(PhoneticSimilarityTest, SimilarSoundsScoreHigher) {
+  EXPECT_GT(PhoneticSimilarity("jon", "john"),
+            PhoneticSimilarity("jon", "mary"));
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,127 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/logging.h"
+
+namespace bivoc {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() {
+    Schema schema({
+        {"id", DataType::kInt64, AttributeRole::kNone},
+        {"name", DataType::kString, AttributeRole::kPersonName},
+        {"phone", DataType::kString, AttributeRole::kPhone},
+    });
+    Table* customers = *db_.CreateTable("customers", schema);
+    BIVOC_CHECK_OK(customers
+                       ->Append({Value(int64_t{0}), Value("john smith"),
+                                 Value("9845012345")})
+                       .status());
+    auto linker = MultiTypeLinker::Build(&db_);
+    BIVOC_CHECK(linker.ok());
+    linker_ = std::make_unique<MultiTypeLinker>(linker.MoveValue());
+
+    annotators_.Add(std::make_unique<NameAnnotator>(
+        std::vector<std::string>{"john", "smith", "chris"}));
+    annotators_.Add(std::make_unique<PhoneAnnotator>());
+
+    pipeline_.SetAnnotators(&annotators_);
+    pipeline_.SetLinker(linker_.get());
+    pipeline_.mutable_extractor()->mutable_dictionary()->Add(
+        "gprs", "gprs", "product");
+    // Domain words and gazetteer names are registered with the language
+    // filter so jargon-heavy messages are not mistaken for non-English
+    // (mirrors the churn predictor's wiring).
+    pipeline_.mutable_language_filter()->AddVocabulary(
+        {"gprs", "working", "name", "john", "smith", "chris"});
+  }
+
+  Database db_;
+  std::unique_ptr<MultiTypeLinker> linker_;
+  AnnotatorPipeline annotators_;
+  VocPipeline pipeline_;
+};
+
+TEST_F(PipelineTest, EmailFlowCleansLinksAndExtracts) {
+  std::string raw =
+      "From: a@b.com\n"
+      "Subject: gprs issue\n"
+      "\n"
+      "my gprs is not working my name is john smith number 9845012345\n"
+      "This email and any attachments are confidential.\n";
+  Document doc = pipeline_.ProcessEmail(raw, 3);
+  EXPECT_FALSE(doc.dropped);
+  EXPECT_EQ(doc.channel, VocChannel::kEmail);
+  EXPECT_EQ(doc.clean_text.find("From:"), std::string::npos);
+  ASSERT_TRUE(doc.link.linked);
+  EXPECT_EQ(doc.link.table, "customers");
+  EXPECT_EQ(doc.link.row, 0u);
+  ASSERT_FALSE(doc.concepts.empty());
+  EXPECT_EQ(doc.concepts[0].Key(), "product/gprs");
+  EXPECT_EQ(doc.time_bucket, 3);
+}
+
+TEST_F(PipelineTest, SpamEmailDropped) {
+  Document doc =
+      pipeline_.ProcessEmail("congratulations you have won a lottery");
+  EXPECT_TRUE(doc.dropped);
+  EXPECT_EQ(doc.drop_reason, "spam");
+  EXPECT_EQ(pipeline_.stats().dropped_spam, 1u);
+}
+
+TEST_F(PipelineTest, NonEnglishSmsDropped) {
+  Document doc =
+      pipeline_.ProcessSms("custmer ko satisfied hi nahi karte hai bhai");
+  EXPECT_TRUE(doc.dropped);
+  EXPECT_EQ(doc.drop_reason, "non-english");
+}
+
+TEST_F(PipelineTest, SmsNormalizedBeforeExtraction) {
+  Document doc = pipeline_.ProcessSms(
+      "pls check my gprs not working thx john smith 9845012345");
+  EXPECT_FALSE(doc.dropped);
+  EXPECT_NE(doc.clean_text.find("please"), std::string::npos);
+  EXPECT_NE(doc.clean_text.find("thanks"), std::string::npos);
+  EXPECT_TRUE(doc.link.linked);
+}
+
+TEST_F(PipelineTest, TranscriptSkipsFilters) {
+  Document doc = pipeline_.ProcessTranscript(
+      "you have won a lottery said the customer");  // spammy words OK
+  EXPECT_FALSE(doc.dropped);
+  EXPECT_EQ(doc.channel, VocChannel::kCall);
+}
+
+TEST_F(PipelineTest, RosterNamesExcludedFromLinking) {
+  pipeline_.SetNameRoster({"chris"});
+  Document doc = pipeline_.ProcessTranscript("this is chris speaking");
+  EXPECT_TRUE(doc.annotations.empty());  // "chris" filtered
+  EXPECT_FALSE(doc.link.linked);
+}
+
+TEST_F(PipelineTest, IndexDocumentMergesStructuredKeys) {
+  Document doc = pipeline_.ProcessTranscript("problem with gprs today");
+  DocId id = pipeline_.IndexDocument(doc, {"outcome/unbooked"});
+  const ConceptIndex& index = pipeline_.index();
+  EXPECT_EQ(index.Count("product/gprs"), 1u);
+  EXPECT_EQ(index.Count("outcome/unbooked"), 1u);
+  EXPECT_EQ(index.CountBoth("product/gprs", "outcome/unbooked"), 1u);
+  EXPECT_EQ(index.ConceptsOf(id).size(), 2u);
+}
+
+TEST_F(PipelineTest, StatsAccumulate) {
+  pipeline_.ProcessEmail("my gprs is broken john smith 9845012345");
+  pipeline_.ProcessEmail("no customer details in this message at all");
+  const auto& stats = pipeline_.stats();
+  EXPECT_EQ(stats.processed, 2u);
+  EXPECT_EQ(stats.linked, 1u);
+  EXPECT_EQ(stats.unlinked, 1u);
+}
+
+}  // namespace
+}  // namespace bivoc

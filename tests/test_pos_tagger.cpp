@@ -1,0 +1,96 @@
+#include "text/pos_tagger.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace bivoc {
+namespace {
+
+class WordTagTest
+    : public ::testing::TestWithParam<std::tuple<const char*, PosTag>> {
+ protected:
+  PosTagger tagger_;
+};
+
+TEST_P(WordTagTest, TagsAsExpected) {
+  auto [word, tag] = GetParam();
+  EXPECT_EQ(tagger_.TagWord(word), tag) << word;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClosedClass, WordTagTest,
+    ::testing::Values(
+        std::make_tuple("i", PosTag::kPronoun),
+        std::make_tuple("you", PosTag::kPronoun),
+        std::make_tuple("the", PosTag::kDeterminer),
+        std::make_tuple("of", PosTag::kPreposition),
+        std::make_tuple("and", PosTag::kConjunction),
+        std::make_tuple("is", PosTag::kVerb),
+        std::make_tuple("would", PosTag::kVerb),
+        std::make_tuple("book", PosTag::kVerb),
+        std::make_tuple("please", PosTag::kInterjection),
+        std::make_tuple("not", PosTag::kParticle),
+        std::make_tuple("very", PosTag::kAdverb),
+        std::make_tuple("wonderful", PosTag::kAdjective),
+        std::make_tuple("rude", PosTag::kAdjective),
+        std::make_tuple("fifty", PosTag::kNumber),
+        std::make_tuple("hundred", PosTag::kNumber)));
+
+INSTANTIATE_TEST_SUITE_P(
+    SuffixHeuristics, WordTagTest,
+    ::testing::Values(
+        std::make_tuple("123", PosTag::kNumber),
+        std::make_tuple("slowly", PosTag::kAdverb),
+        std::make_tuple("walking", PosTag::kVerb),
+        std::make_tuple("charged", PosTag::kVerb),
+        std::make_tuple("reservation", PosTag::kNoun),
+        std::make_tuple("payment", PosTag::kNoun),
+        std::make_tuple("helpful", PosTag::kAdjective),
+        std::make_tuple("expensive", PosTag::kAdjective),
+        std::make_tuple("car", PosTag::kNoun)));  // default
+
+TEST(PosTaggerTest, TagsTokenStream) {
+  PosTagger tagger;
+  Tokenizer tokenizer;
+  auto tagged = tagger.Tag(tokenizer.Tokenize("please book a car"));
+  ASSERT_EQ(tagged.size(), 4u);
+  EXPECT_EQ(tagged[0].tag, PosTag::kInterjection);
+  EXPECT_EQ(tagged[1].tag, PosTag::kVerb);
+  EXPECT_EQ(tagged[2].tag, PosTag::kDeterminer);
+  EXPECT_EQ(tagged[3].tag, PosTag::kNoun);
+}
+
+TEST(PosTaggerTest, NumberTokensAreNum) {
+  PosTagger tagger;
+  Tokenizer tokenizer;
+  auto tagged = tagger.Tag(tokenizer.Tokenize("pay 275 dollars"));
+  ASSERT_EQ(tagged.size(), 3u);
+  EXPECT_EQ(tagged[1].tag, PosTag::kNumber);
+}
+
+TEST(PosTaggerTest, MixedCaseMidSentenceIsProperNoun) {
+  PosTagger tagger;
+  Tokenizer tokenizer;
+  auto tagged = tagger.Tag(tokenizer.Tokenize("call Boston today"));
+  ASSERT_EQ(tagged.size(), 3u);
+  EXPECT_EQ(tagged[1].tag, PosTag::kProperNoun);
+}
+
+TEST(PosTaggerTest, AllCapsAsrOutputNotProperNoun) {
+  // ASR transcripts are all-caps; capitalization carries no signal.
+  PosTagger tagger;
+  Tokenizer tokenizer;
+  auto tagged = tagger.Tag(tokenizer.Tokenize("CALL BOSTON TODAY"));
+  ASSERT_EQ(tagged.size(), 3u);
+  EXPECT_NE(tagged[1].tag, PosTag::kProperNoun);
+}
+
+TEST(PosTagNameTest, StableNames) {
+  EXPECT_EQ(PosTagName(PosTag::kVerb), "VERB");
+  EXPECT_EQ(PosTagName(PosTag::kNumber), "NUM");
+  EXPECT_EQ(PosTagName(PosTag::kProperNoun), "PROPN");
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,102 @@
+#include "db/query.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bivoc {
+namespace {
+
+Table SalesTable() {
+  Schema schema({
+      {"region", DataType::kString, AttributeRole::kNone},
+      {"amount", DataType::kInt64, AttributeRole::kNone},
+      {"outcome", DataType::kString, AttributeRole::kNone},
+  });
+  Table t("sales", std::move(schema));
+  auto add = [&t](const char* region, int64_t amount, const char* outcome) {
+    ASSERT_TRUE(
+        t.Append({Value(region), Value(amount), Value(outcome)}).ok());
+  };
+  add("east", 10, "won");
+  add("east", 20, "lost");
+  add("west", 30, "won");
+  add("west", 40, "won");
+  add("east", 50, "lost");
+  return t;
+}
+
+TEST(QueryTest, CountWhere) {
+  Table t = SalesTable();
+  EXPECT_EQ(CountWhere(t, [](const Row& r) {
+              return r[2].AsString() == "won";
+            }),
+            3u);
+  EXPECT_EQ(CountWhere(t, [](const Row&) { return false; }), 0u);
+}
+
+TEST(QueryTest, GroupCount) {
+  Table t = SalesTable();
+  auto groups = GroupCount(t, "region");
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ((*groups)["east"], 3u);
+  EXPECT_EQ((*groups)["west"], 2u);
+  EXPECT_FALSE(GroupCount(t, "missing").ok());
+}
+
+TEST(QueryTest, GroupCountWhere) {
+  Table t = SalesTable();
+  auto groups = GroupCountWhere(t, "region", [](const Row& r) {
+    return r[2].AsString() == "won";
+  });
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ((*groups)["east"], 1u);
+  EXPECT_EQ((*groups)["west"], 2u);
+}
+
+TEST(QueryTest, Aggregate) {
+  Table t = SalesTable();
+  auto agg = Aggregate(t, "amount");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->count, 5u);
+  EXPECT_DOUBLE_EQ(agg->sum, 150.0);
+  EXPECT_DOUBLE_EQ(agg->min, 10.0);
+  EXPECT_DOUBLE_EQ(agg->max, 50.0);
+  EXPECT_DOUBLE_EQ(agg->mean, 30.0);
+  EXPECT_NEAR(agg->variance, 250.0, 1e-9);  // sample variance
+}
+
+TEST(QueryTest, AggregateSkipsNonNumeric) {
+  Table t = SalesTable();
+  auto agg = Aggregate(t, "region");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->count, 0u);
+}
+
+TEST(QueryTest, AggregateWhere) {
+  Table t = SalesTable();
+  auto agg = AggregateWhere(t, "amount", [](const Row& r) {
+    return r[0].AsString() == "west";
+  });
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->count, 2u);
+  EXPECT_DOUBLE_EQ(agg->mean, 35.0);
+}
+
+TEST(QueryTest, CrossTab) {
+  Table t = SalesTable();
+  auto xt = CrossTab(t, "region", "outcome");
+  ASSERT_TRUE(xt.ok());
+  EXPECT_EQ((*xt)[std::make_pair(std::string("east"), std::string("won"))],
+            1u);
+  EXPECT_EQ((*xt)[std::make_pair(std::string("east"), std::string("lost"))],
+            2u);
+  EXPECT_EQ((*xt)[std::make_pair(std::string("west"), std::string("won"))],
+            2u);
+  EXPECT_EQ(xt->count(std::make_pair(std::string("west"),
+                                     std::string("lost"))),
+            0u);
+}
+
+}  // namespace
+}  // namespace bivoc

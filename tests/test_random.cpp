@@ -1,0 +1,153 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace bivoc {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.Uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformSingletonRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.Uniform(4, 4), 4);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyNearP) {
+  Rng rng(21);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+  Rng rng(31);
+  const int n = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(RngTest, ZipfHeadHeavierThanTail) {
+  Rng rng(41);
+  const int n = 20000;
+  int head = 0, tail = 0;
+  for (int i = 0; i < n; ++i) {
+    int64_t v = rng.Zipf(100, 1.2);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+    if (v == 0) ++head;
+    if (v == 99) ++tail;
+  }
+  EXPECT_GT(head, tail * 5);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(51);
+  std::vector<double> weights = {0.0, 3.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[0], 0);  // zero weight never chosen
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 3.0, 0.3);
+}
+
+TEST(RngTest, WeightedIndexAllZeroFallsBackToUniform) {
+  Rng rng(61);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.WeightedIndex(weights));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, ChoiceReturnsMember) {
+  Rng rng(71);
+  std::vector<std::string> items = {"a", "b", "c"};
+  for (int i = 0; i < 50; ++i) {
+    const std::string& c = rng.Choice(items);
+    EXPECT_TRUE(c == "a" || c == "b" || c == "c");
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(81);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(91);
+  Rng forked = a.Fork(1);
+  Rng forked2 = a.Fork(2);
+  EXPECT_NE(forked.Next(), forked2.Next());
+}
+
+}  // namespace
+}  // namespace bivoc

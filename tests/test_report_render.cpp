@@ -1,0 +1,78 @@
+#include "mining/report.h"
+
+#include <gtest/gtest.h>
+
+namespace bivoc {
+namespace {
+
+ConceptIndex SmallIndex() {
+  ConceptIndex index;
+  for (int i = 0; i < 30; ++i) index.AddDocument({"a", "x"});
+  for (int i = 0; i < 10; ++i) index.AddDocument({"a", "y"});
+  for (int i = 0; i < 10; ++i) index.AddDocument({"b", "x"});
+  for (int i = 0; i < 30; ++i) index.AddDocument({"b", "y"});
+  return index;
+}
+
+TEST(RenderAssociationTest, CountMetric) {
+  auto index = SmallIndex();
+  auto table = TwoDimensionalAssociation(index, {"a", "b"}, {"x", "y"});
+  std::string out = RenderAssociationTable(table, "count");
+  EXPECT_NE(out.find("30"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+}
+
+TEST(RenderAssociationTest, LiftMetrics) {
+  auto index = SmallIndex();
+  auto table = TwoDimensionalAssociation(index, {"a", "b"}, {"x", "y"});
+  std::string point = RenderAssociationTable(table, "point_lift");
+  // a&x lift = (30*80)/(40*40) = 1.50.
+  EXPECT_NE(point.find("1.50"), std::string::npos);
+  std::string lower = RenderAssociationTable(table, "lower_lift");
+  EXPECT_NE(lower.find("0."), std::string::npos);
+  std::string share = RenderAssociationTable(table, "row_share");
+  EXPECT_NE(share.find("75%"), std::string::npos);  // 30/40
+}
+
+TEST(RenderAssociationTest, HeaderContainsKeys) {
+  auto index = SmallIndex();
+  auto table = TwoDimensionalAssociation(index, {"a"}, {"x", "y"});
+  std::string out = RenderAssociationTable(table);
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_NE(out.find("y"), std::string::npos);
+  EXPECT_NE(out.find("a"), std::string::npos);
+}
+
+TEST(RenderGridTest, RaggedRowsPadded) {
+  std::string out = RenderGrid({{"h1", "h2", "h3"}, {"only-one"}});
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+  // Every line has the same length (fixed-width grid).
+  std::size_t expected = 0;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    std::size_t end = out.find('\n', start);
+    if (end == std::string::npos) break;
+    if (expected == 0) expected = end - start;
+    EXPECT_EQ(end - start, expected);
+    start = end + 1;
+  }
+}
+
+TEST(RenderRelevancyTest, ShowsRatios) {
+  auto index = SmallIndex();
+  RelevancyOptions options;
+  options.min_subset_count = 1;
+  auto items = RelevancyAnalysis(index, "a", options);
+  std::string out = RenderRelevancy(items);
+  EXPECT_NE(out.find("concept"), std::string::npos);
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_NE(out.find("1.50x"), std::string::npos);  // 0.75 / 0.5
+}
+
+TEST(RenderDrillDownTest, EmptyDocList) {
+  ConceptIndex index;
+  EXPECT_EQ(RenderDrillDown(index, {}, 5), "");
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,73 @@
+#include "clean/segmenter.h"
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+namespace bivoc {
+namespace {
+
+TEST(SegmenterTest, SplitsAgentAndCustomer) {
+  ConversationSegmenter seg;
+  std::string transcript =
+      "thank you for calling how can i help you "
+      "i want to make a booking for next week "
+      "let me check we have a wonderful rate "
+      "i would like to confirm that";
+  auto segments = seg.Segment(transcript);
+  ASSERT_GE(segments.size(), 3u);
+  EXPECT_EQ(segments[0].speaker, Speaker::kAgent);
+  bool has_customer = false;
+  for (const auto& s : segments) {
+    if (s.speaker == Speaker::kCustomer) has_customer = true;
+  }
+  EXPECT_TRUE(has_customer);
+}
+
+TEST(SegmenterTest, CustomerTextContainsIntent) {
+  ConversationSegmenter seg;
+  std::string transcript =
+      "how can i help you i want to cancel my booking";
+  std::string customer = seg.CustomerText(transcript);
+  EXPECT_NE(customer.find("cancel my booking"), std::string::npos);
+  EXPECT_EQ(customer.find("how can i help"), std::string::npos);
+}
+
+TEST(SegmenterTest, AgentTextContainsServiceFormulas) {
+  ConversationSegmenter seg;
+  std::string transcript =
+      "thank you for calling i was charged twice "
+      "let me check that for you";
+  std::string agent = seg.AgentText(transcript);
+  EXPECT_NE(agent.find("thank you for calling"), std::string::npos);
+  EXPECT_NE(agent.find("let me check"), std::string::npos);
+  EXPECT_EQ(agent.find("charged twice"), std::string::npos);
+}
+
+TEST(SegmenterTest, NoCuesDefaultsToCustomer) {
+  ConversationSegmenter seg;
+  auto segments = seg.Segment("random words with no formulas at all");
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].speaker, Speaker::kCustomer);
+}
+
+TEST(SegmenterTest, EmptyTranscript) {
+  ConversationSegmenter seg;
+  EXPECT_TRUE(seg.Segment("").empty());
+  EXPECT_EQ(seg.CustomerText(""), "");
+}
+
+TEST(SegmenterTest, SegmentsCoverAllWords) {
+  ConversationSegmenter seg;
+  std::string transcript =
+      "how can i help you i want to know my balance yes sir one moment";
+  auto segments = seg.Segment(transcript);
+  std::size_t total_words = 0;
+  for (const auto& s : segments) {
+    total_words += SplitWhitespace(s.text).size();
+  }
+  EXPECT_EQ(total_words, SplitWhitespace(transcript).size());
+}
+
+}  // namespace
+}  // namespace bivoc

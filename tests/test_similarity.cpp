@@ -1,0 +1,120 @@
+#include "linking/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace bivoc {
+namespace {
+
+TEST(DigitSimilarityTest, ExactAndEmpty) {
+  EXPECT_DOUBLE_EQ(DigitSequenceSimilarity("12345", "12345"), 1.0);
+  EXPECT_DOUBLE_EQ(DigitSequenceSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(DigitSequenceSimilarity("123", ""), 0.0);
+}
+
+TEST(DigitSimilarityTest, PartialRecognition) {
+  // The paper's scenario: only 6 of 10 digits recognized.
+  double sim = DigitSequenceSimilarity("984501", "9845012345");
+  EXPECT_DOUBLE_EQ(sim, 0.6);
+}
+
+TEST(DigitSimilarityTest, OrderMatters) {
+  EXPECT_LT(DigitSequenceSimilarity("54321", "12345"), 0.5);
+}
+
+TEST(DigitSimilarityTest, SymmetricAndBounded) {
+  const char* cases[] = {"12345", "54321", "11111", "9", ""};
+  for (const char* a : cases) {
+    for (const char* b : cases) {
+      double ab = DigitSequenceSimilarity(a, b);
+      EXPECT_DOUBLE_EQ(ab, DigitSequenceSimilarity(b, a));
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0);
+    }
+  }
+}
+
+TEST(PersonNameSimilarityTest, ExactMatch) {
+  EXPECT_DOUBLE_EQ(PersonNameSimilarity("john smith", "john smith"), 1.0);
+  EXPECT_DOUBLE_EQ(PersonNameSimilarity("John Smith", "john smith"), 1.0);
+}
+
+TEST(PersonNameSimilarityTest, PartialNameScoresHigh) {
+  // Only the surname recognized — still strong evidence.
+  EXPECT_GT(PersonNameSimilarity("smith", "john smith"), 0.9);
+}
+
+TEST(PersonNameSimilarityTest, SimilarSoundingSubstitution) {
+  double close = PersonNameSimilarity("jon smyth", "john smith");
+  double far = PersonNameSimilarity("mary garcia", "john smith");
+  EXPECT_GT(close, 0.75);
+  EXPECT_LT(far, 0.6);
+}
+
+TEST(PersonNameSimilarityTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(PersonNameSimilarity("", "john"), 0.0);
+}
+
+TEST(DateSimilarityTest, Graded) {
+  Date base{2007, 5, 19};
+  EXPECT_DOUBLE_EQ(DateSimilarity(base, base), 1.0);
+  EXPECT_DOUBLE_EQ(DateSimilarity(base, Date{2007, 5, 20}), 0.85);
+  EXPECT_DOUBLE_EQ(DateSimilarity(base, Date{2007, 5, 25}), 0.6);
+  // Same day/month, wrong year (ASR year loss).
+  EXPECT_DOUBLE_EQ(DateSimilarity(base, Date{2006, 5, 19}), 0.7);
+  EXPECT_DOUBLE_EQ(DateSimilarity(base, Date{2009, 11, 2}), 0.0);
+}
+
+TEST(RoleSimilarityTest, RoutesByRole) {
+  EXPECT_GT(RoleSimilarity(AttributeRole::kPersonName, "john",
+                           Value("john smith")),
+            0.9);
+  EXPECT_DOUBLE_EQ(RoleSimilarity(AttributeRole::kPhone, "9845012345",
+                                  Value("9845012345")),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      RoleSimilarity(AttributeRole::kDate, "2007-05-19",
+                     Value(Date{2007, 5, 19})),
+      1.0);
+  EXPECT_GT(RoleSimilarity(AttributeRole::kMoney, "500",
+                           Value(int64_t{500})),
+            0.99);
+  EXPECT_GT(RoleSimilarity(AttributeRole::kLocation, "new york",
+                           Value("new york")),
+            0.99);
+}
+
+TEST(RoleSimilarityTest, NullAttributeIsZero) {
+  EXPECT_DOUBLE_EQ(
+      RoleSimilarity(AttributeRole::kPersonName, "john", Value::Null()),
+      0.0);
+}
+
+TEST(RoleSimilarityTest, WeakDigitOverlapDiscardedAsNoise) {
+  // Fewer than half the digits in common = no evidence.
+  EXPECT_DOUBLE_EQ(RoleSimilarity(AttributeRole::kPhone, "1111",
+                                  Value("9845012345")),
+                   0.0);
+}
+
+TEST(RoleSimilarityTest, MoneyToleratesSmallMismatch) {
+  double close = RoleSimilarity(AttributeRole::kMoney, "510",
+                                Value(int64_t{500}));
+  double far = RoleSimilarity(AttributeRole::kMoney, "3000",
+                              Value(int64_t{500}));
+  EXPECT_GT(close, 0.9);
+  EXPECT_DOUBLE_EQ(far, 0.0);
+}
+
+TEST(RoleSimilarityTest, MalformedDateIsZero) {
+  EXPECT_DOUBLE_EQ(RoleSimilarity(AttributeRole::kDate, "not-a-date",
+                                  Value(Date{2007, 5, 19})),
+                   0.0);
+}
+
+TEST(RoleSimilarityTest, NoneRoleIsZero) {
+  EXPECT_DOUBLE_EQ(
+      RoleSimilarity(AttributeRole::kNone, "x", Value("x")), 0.0);
+}
+
+}  // namespace
+}  // namespace bivoc

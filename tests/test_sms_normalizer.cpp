@@ -1,0 +1,80 @@
+#include "clean/sms_normalizer.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace bivoc {
+namespace {
+
+class LingoTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+ protected:
+  SmsNormalizer normalizer_;
+};
+
+TEST_P(LingoTest, ExpandsShorthand) {
+  auto [raw, expected] = GetParam();
+  EXPECT_EQ(normalizer_.Normalize(raw), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CommonLingo, LingoTest,
+    ::testing::Values(
+        std::make_tuple("pls call me b4 5", "please call me before 5"),
+        std::make_tuple("u r gr8", "you are great"),
+        std::make_tuple("thx 4 ur msg", "thanks 4 your message"),
+        std::make_tuple("gud svc 2day", "good service today"),
+        std::make_tuple("cant chk bal", "cannot check balance"),
+        std::make_tuple("im not happy", "i am not happy")));
+
+TEST(SmsNormalizerTest, DomainMappingsApply) {
+  SmsNormalizer n;
+  n.AddDomainMapping("jprs", "gprs");
+  n.AddDomainMapping("net pack", "data pack");
+  SmsNormalizer::NormalizeStats stats;
+  EXPECT_EQ(n.Normalize("jprs not working", &stats), "gprs not working");
+  EXPECT_EQ(stats.domain_replacements, 1u);
+  EXPECT_EQ(n.Normalize("my net pack expired"), "my data pack expired");
+}
+
+TEST(SmsNormalizerTest, MultiWordDomainMappingBeatsSingle) {
+  SmsNormalizer n;
+  n.AddDomainMapping("net", "internet");
+  n.AddDomainMapping("net pack", "data pack");
+  EXPECT_EQ(n.Normalize("net pack"), "data pack");
+}
+
+TEST(SmsNormalizerTest, SpellingCorrectionForOov) {
+  SmsNormalizer n;
+  n.SetSpellingDictionary({"customer", "balance", "connection", "problem"});
+  SmsNormalizer::NormalizeStats stats;
+  std::string out = n.Normalize("custmor balence problom", &stats);
+  EXPECT_EQ(out, "customer balance problem");
+  EXPECT_EQ(stats.spelling_corrections, 3u);
+}
+
+TEST(SmsNormalizerTest, StatsCountLingo) {
+  SmsNormalizer n;
+  SmsNormalizer::NormalizeStats stats;
+  n.Normalize("pls thx u", &stats);
+  EXPECT_EQ(stats.lingo_replacements, 3u);
+}
+
+TEST(SmsNormalizerTest, NumbersPreserved) {
+  SmsNormalizer n;
+  EXPECT_EQ(n.Normalize("paid 500 on 19.05.07"), "paid 500 on 19.05.07");
+}
+
+TEST(SmsNormalizerTest, EmptyInput) {
+  SmsNormalizer n;
+  EXPECT_EQ(n.Normalize(""), "");
+}
+
+TEST(SmsNormalizerTest, LowercasesOutput) {
+  SmsNormalizer n;
+  EXPECT_EQ(n.Normalize("HELLO World"), "hello world");
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,56 @@
+#include "clean/spam_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace bivoc {
+namespace {
+
+TEST(SpamFilterTest, HeuristicsWorkUntrained) {
+  SpamFilter filter;
+  EXPECT_TRUE(filter.IsSpam("congratulations you have won a lottery"));
+  EXPECT_TRUE(filter.IsSpam("Claim Your Prize now, lucky winner!"));
+  EXPECT_FALSE(filter.IsSpam("my bill is wrong please fix it"));
+}
+
+TEST(SpamFilterTest, UntrainedScoreIsZeroWithoutHeuristicHit) {
+  SpamFilter filter;
+  EXPECT_DOUBLE_EQ(filter.SpamScore("ordinary complaint text"), 0.0);
+}
+
+TEST(SpamFilterTest, HeuristicScoreHigh) {
+  SpamFilter filter;
+  EXPECT_GE(filter.SpamScore("you have won a free gift"), 0.9);
+}
+
+TEST(SpamFilterTest, TrainedModelCatchesNewSpamVocab) {
+  SpamFilter filter;
+  for (int i = 0; i < 5; ++i) {
+    filter.AddLabeledExample("cheap pills discount pharmacy order now",
+                             true);
+    filter.AddLabeledExample("please check my account balance issue",
+                             false);
+    filter.AddLabeledExample("buy cheap pills online pharmacy", true);
+    filter.AddLabeledExample("my internet connection is down again",
+                             false);
+  }
+  filter.FinishTraining();
+  EXPECT_TRUE(filter.IsSpam("cheap pharmacy pills"));
+  EXPECT_FALSE(filter.IsSpam("my account connection issue"));
+}
+
+TEST(SpamFilterTest, FinishWithoutExamplesIsHarmless) {
+  SpamFilter filter;
+  filter.FinishTraining();
+  EXPECT_FALSE(filter.IsSpam("normal message"));
+}
+
+TEST(SpamFilterTest, SingleClassTrainingFallsBackToHeuristics) {
+  SpamFilter filter;
+  filter.AddLabeledExample("only ham examples here", false);
+  filter.FinishTraining();
+  EXPECT_FALSE(filter.IsSpam("another normal message"));
+  EXPECT_TRUE(filter.IsSpam("you have won a lottery"));
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,101 @@
+#include "text/spell.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace bivoc {
+namespace {
+
+SpellingCorrector DomainSpeller() {
+  SpellingCorrector sp;
+  sp.AddWord("customer", 100);
+  sp.AddWord("connection", 50);
+  sp.AddWord("disconnect", 30);
+  sp.AddWord("satisfied", 20);
+  sp.AddWord("balance", 40);
+  sp.AddWord("because", 80);
+  sp.AddWord("the", 500);
+  sp.AddWord("good", 90);
+  return sp;
+}
+
+class CorrectionTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(CorrectionTest, FixesTypo) {
+  auto [typo, expected] = GetParam();
+  auto sp = DomainSpeller();
+  EXPECT_EQ(sp.Correct(typo).word, expected) << typo;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CommonTypos, CorrectionTest,
+    ::testing::Values(std::make_tuple("custmer", "customer"),
+                      std::make_tuple("custommer", "customer"),
+                      std::make_tuple("conection", "connection"),
+                      std::make_tuple("satisfed", "satisfied"),
+                      std::make_tuple("teh", "the"),
+                      std::make_tuple("balence", "balance"),
+                      std::make_tuple("becuase", "because")));
+
+TEST(SpellTest, InDictionaryWordUnchanged) {
+  auto sp = DomainSpeller();
+  auto c = sp.Correct("customer");
+  EXPECT_EQ(c.word, "customer");
+  EXPECT_EQ(c.distance, 0u);
+}
+
+TEST(SpellTest, TooShortWordsUntouched) {
+  auto sp = DomainSpeller();
+  EXPECT_EQ(sp.Correct("te").word, "te");
+}
+
+TEST(SpellTest, NothingWithinEditBudgetReturnsInput) {
+  auto sp = DomainSpeller();
+  EXPECT_EQ(sp.Correct("xylophone").word, "xylophone");
+}
+
+TEST(SpellTest, FrequencyBreaksTies) {
+  SpellingCorrector sp;
+  sp.AddWord("cat", 1000);
+  sp.AddWord("bat", 1);
+  // "aat" is distance 1 from both; the frequent word wins.
+  EXPECT_EQ(sp.Correct("aat").word, "cat");
+}
+
+TEST(SpellTest, DistancePenaltyPrefersCloserWord) {
+  SpellingCorrector sp;
+  sp.AddWord("hello", 10);
+  sp.AddWord("help", 10);
+  // "helo" is distance 1 from "hello", 2 from "help".
+  EXPECT_EQ(sp.Correct("helo").word, "hello");
+}
+
+TEST(SpellTest, CandidatesRankedByScore) {
+  auto sp = DomainSpeller();
+  auto candidates = sp.Candidates("custmer", 5);
+  ASSERT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates[0].word, "customer");
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_GE(candidates[i - 1].score, candidates[i].score);
+  }
+}
+
+TEST(SpellTest, ContainsReflectsDictionary) {
+  auto sp = DomainSpeller();
+  EXPECT_TRUE(sp.Contains("customer"));
+  EXPECT_FALSE(sp.Contains("custmer"));
+  EXPECT_EQ(sp.dictionary_size(), 8u);
+}
+
+TEST(SpellTest, AddCorpusAccumulatesFrequencies) {
+  SpellingCorrector sp;
+  sp.AddCorpus({"go", "going", "go", "go"});
+  EXPECT_TRUE(sp.Contains("go"));
+  EXPECT_EQ(sp.dictionary_size(), 2u);
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,130 @@
+#include "mining/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bivoc {
+namespace {
+
+TEST(WilsonTest, DegenerateCases) {
+  Interval i0 = WilsonInterval(0, 0);
+  EXPECT_DOUBLE_EQ(i0.lower, 0.0);
+  EXPECT_DOUBLE_EQ(i0.upper, 1.0);
+  Interval all = WilsonInterval(10, 10);
+  EXPECT_GT(all.lower, 0.6);
+  EXPECT_DOUBLE_EQ(all.upper, 1.0);
+  Interval none = WilsonInterval(0, 10);
+  EXPECT_DOUBLE_EQ(none.lower, 0.0);
+  EXPECT_LT(none.upper, 0.35);
+}
+
+TEST(WilsonTest, ContainsPointEstimate) {
+  for (std::size_t n : {5u, 20u, 100u, 1000u}) {
+    for (std::size_t k = 0; k <= n; k += n / 5 + 1) {
+      Interval i = WilsonInterval(k, n);
+      double p = static_cast<double>(k) / static_cast<double>(n);
+      EXPECT_LE(i.lower, p + 1e-12);
+      EXPECT_GE(i.upper, p - 1e-12);
+      EXPECT_GE(i.lower, 0.0);
+      EXPECT_LE(i.upper, 1.0);
+    }
+  }
+}
+
+TEST(WilsonTest, NarrowsWithSampleSize) {
+  Interval small = WilsonInterval(5, 10);
+  Interval large = WilsonInterval(500, 1000);
+  EXPECT_LT(large.upper - large.lower, small.upper - small.lower);
+}
+
+TEST(LiftTest, IndependenceIsOne) {
+  // 100 docs, both concepts in half, cell = 25 = expected.
+  EXPECT_DOUBLE_EQ(PointLift(25, 50, 50, 100), 1.0);
+}
+
+TEST(LiftTest, PositiveAndNegativeAssociation) {
+  EXPECT_GT(PointLift(50, 50, 50, 100), 1.0);
+  EXPECT_LT(PointLift(5, 50, 50, 100), 1.0);
+  EXPECT_DOUBLE_EQ(PointLift(0, 50, 50, 100), 0.0);
+  EXPECT_DOUBLE_EQ(PointLift(1, 0, 50, 100), 0.0);  // guarded
+}
+
+TEST(LiftTest, LowerBoundBelowPointEstimate) {
+  for (std::size_t cell : {1u, 3u, 10u, 40u}) {
+    double point = PointLift(cell, 50, 50, 100);
+    double lower = LowerBoundLift(cell, 50, 50, 100);
+    EXPECT_LE(lower, point) << cell;
+    EXPECT_GE(lower, 0.0);
+  }
+}
+
+TEST(LiftTest, SparseCellSuppressedByLowerBound) {
+  // The paper's motivation: a single co-occurrence can fake a huge
+  // point lift, but its interval lower bound stays small.
+  double point = PointLift(1, 1, 1, 1000);
+  double lower = LowerBoundLift(1, 1, 1, 1000);
+  EXPECT_GT(point, 100.0);
+  EXPECT_LT(lower, point / 20.0);
+}
+
+TEST(LiftTest, LowerBoundApproachesPointWithData) {
+  double small_ratio =
+      LowerBoundLift(10, 20, 20, 100) / PointLift(10, 20, 20, 100);
+  double big_ratio = LowerBoundLift(1000, 2000, 2000, 10000) /
+                     PointLift(1000, 2000, 2000, 10000);
+  EXPECT_GT(big_ratio, small_ratio);
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-9);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(StudentTTest, ApproximationSane) {
+  // Symmetric and monotone; near normal for big df.
+  EXPECT_NEAR(StudentTCdf(0.0, 10), 0.5, 1e-6);
+  EXPECT_NEAR(StudentTCdf(2.0, 1000), NormalCdf(2.0), 1e-2);
+  EXPECT_GT(StudentTCdf(2.0, 10), 0.95);
+  EXPECT_LT(StudentTCdf(-2.0, 10), 0.05);
+}
+
+TEST(WelchTest, IdenticalSamplesNotSignificant) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0, 5.0};
+  TTestResult r = WelchTTest(a, a);
+  EXPECT_NEAR(r.t, 0.0, 1e-12);
+  EXPECT_GT(r.p_two_sided, 0.9);
+}
+
+TEST(WelchTest, ClearlySeparatedSamplesSignificant) {
+  std::vector<double> a = {10.0, 10.5, 9.8, 10.2, 10.1, 9.9};
+  std::vector<double> b = {5.0, 5.2, 4.9, 5.1, 5.0, 4.8};
+  TTestResult r = WelchTTest(a, b);
+  EXPECT_GT(r.t, 5.0);
+  EXPECT_LT(r.p_two_sided, 0.01);
+}
+
+TEST(WelchTest, TinySamplesGuarded) {
+  TTestResult r = WelchTTest({1.0}, {2.0, 3.0});
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);  // not enough data
+}
+
+TEST(WelchTest, ZeroVarianceHandled) {
+  TTestResult same = WelchTTest({2.0, 2.0, 2.0}, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(same.p_two_sided, 1.0);
+  TTestResult diff = WelchTTest({2.0, 2.0, 2.0}, {3.0, 3.0});
+  EXPECT_LT(diff.p_two_sided, 0.01);
+}
+
+TEST(ChiSquareTest, KnownBehavior) {
+  // Perfectly balanced table: no association.
+  EXPECT_NEAR(ChiSquare2x2(25, 25, 25, 25), 0.0, 1e-12);
+  // Strong diagonal: large statistic.
+  EXPECT_GT(ChiSquare2x2(40, 10, 10, 40), 30.0);
+  // Degenerate margins guarded.
+  EXPECT_DOUBLE_EQ(ChiSquare2x2(0, 0, 5, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace bivoc

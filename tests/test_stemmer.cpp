@@ -1,0 +1,65 @@
+#include "text/stemmer.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace bivoc {
+namespace {
+
+class StemPairTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(StemPairTest, StemsToExpected) {
+  auto [word, expected] = GetParam();
+  EXPECT_EQ(Stem(word), expected) << word;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inflections, StemPairTest,
+    ::testing::Values(
+        std::make_tuple("booking", "book"),
+        std::make_tuple("booked", "book"),
+        std::make_tuple("books", "book"),
+        std::make_tuple("bookings", "book"),
+        std::make_tuple("discounts", "discount"),
+        std::make_tuple("charges", "charge"),
+        std::make_tuple("stopped", "stop"),
+        std::make_tuple("cities", "city"),
+        std::make_tuple("classes", "class"),
+        std::make_tuple("quickly", "quick"),
+        std::make_tuple("payment", "pay"),
+        std::make_tuple("goodness", "good")));
+
+TEST(StemTest, ShortWordsUntouched) {
+  EXPECT_EQ(Stem("go"), "go");
+  EXPECT_EQ(Stem("at"), "at");
+  EXPECT_EQ(Stem("cat"), "cat");
+}
+
+TEST(StemTest, Lowercases) {
+  EXPECT_EQ(Stem("Booking"), "book");
+}
+
+TEST(StemTest, NeverEmpty) {
+  EXPECT_FALSE(Stem("s").empty());
+  EXPECT_FALSE(Stem("ing").empty());
+  EXPECT_FALSE(Stem("ss").empty());
+}
+
+TEST(StemTest, Idempotent) {
+  for (const char* w : {"booking", "discounts", "charges", "cities",
+                        "payment", "rental", "reservations"}) {
+    std::string once = Stem(w);
+    EXPECT_EQ(Stem(once), once) << w;
+  }
+}
+
+TEST(StemTest, SharedConceptAcrossInflections) {
+  EXPECT_EQ(Stem("booking"), Stem("booked"));
+  EXPECT_EQ(Stem("booking"), Stem("books"));
+}
+
+}  // namespace
+}  // namespace bivoc

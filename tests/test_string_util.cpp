@@ -1,0 +1,97 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace bivoc {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyRuns) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(SplitJoinTest, RoundTrip) {
+  std::string s = "x|yy|zzz";
+  EXPECT_EQ(Join(Split(s, '|'), "|"), s);
+}
+
+TEST(TrimTest, Basic) {
+  EXPECT_EQ(TrimCopy("  hello  "), "hello");
+  EXPECT_EQ(TrimCopy("hello"), "hello");
+  EXPECT_EQ(TrimCopy("\t\n "), "");
+  EXPECT_EQ(TrimCopy(""), "");
+}
+
+TEST(CaseTest, LowerUpper) {
+  EXPECT_EQ(ToLowerCopy("HeLLo 123"), "hello 123");
+  EXPECT_EQ(ToUpperCopy("HeLLo 123"), "HELLO 123");
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(EndsWith("foo", ""));
+}
+
+TEST(ContainsIgnoreCaseTest, Basic) {
+  EXPECT_TRUE(ContainsIgnoreCase("Hello World", "world"));
+  EXPECT_TRUE(ContainsIgnoreCase("Hello World", ""));
+  EXPECT_FALSE(ContainsIgnoreCase("Hello", "world"));
+  EXPECT_FALSE(ContainsIgnoreCase("ab", "abc"));
+}
+
+TEST(IsDigitsTest, Basic) {
+  EXPECT_TRUE(IsDigits("0123456789"));
+  EXPECT_FALSE(IsDigits(""));
+  EXPECT_FALSE(IsDigits("12a"));
+  EXPECT_FALSE(IsDigits("-12"));
+}
+
+TEST(IsAlphaTest, Basic) {
+  EXPECT_TRUE(IsAlpha("hello"));
+  EXPECT_FALSE(IsAlpha("hello1"));
+  EXPECT_FALSE(IsAlpha(""));
+}
+
+TEST(ReplaceAllTest, Basic) {
+  EXPECT_EQ(ReplaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(ReplaceAll("hello world", "o", "0"), "hell0 w0rld");
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");
+  EXPECT_EQ(ReplaceAll("abc", "d", "x"), "abc");
+}
+
+TEST(FormatDoubleTest, Decimals) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(WithThousandsTest, Basic) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(1234567), "1,234,567");
+  EXPECT_EQ(WithThousands(-1234), "-1,234");
+}
+
+}  // namespace
+}  // namespace bivoc

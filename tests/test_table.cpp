@@ -1,0 +1,139 @@
+#include "db/table.h"
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace bivoc {
+namespace {
+
+Schema CustomerSchema() {
+  return Schema({
+      {"id", DataType::kInt64, AttributeRole::kNone},
+      {"name", DataType::kString, AttributeRole::kPersonName},
+      {"balance", DataType::kDouble, AttributeRole::kNone},
+  });
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s = CustomerSchema();
+  EXPECT_EQ(*s.IndexOf("id"), 0u);
+  EXPECT_EQ(*s.IndexOf("balance"), 2u);
+  EXPECT_FALSE(s.IndexOf("missing").ok());
+  EXPECT_TRUE(s.Contains("name"));
+  EXPECT_FALSE(s.Contains("phone"));
+}
+
+TEST(SchemaTest, ColumnsWithRole) {
+  Schema s = CustomerSchema();
+  auto cols = s.ColumnsWithRole(AttributeRole::kPersonName);
+  ASSERT_EQ(cols.size(), 1u);
+  EXPECT_EQ(cols[0], 1u);
+  EXPECT_TRUE(s.ColumnsWithRole(AttributeRole::kPhone).empty());
+}
+
+TEST(TableTest, AppendAndGet) {
+  Table t("customers", CustomerSchema());
+  auto id = t.Append({Value(int64_t{1}), Value("alice"), Value(10.5)});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(*t.GetInt(0, "id"), 1);
+  EXPECT_EQ(*t.GetString(0, "name"), "alice");
+  EXPECT_DOUBLE_EQ(*t.GetDouble(0, "balance"), 10.5);
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table t("customers", CustomerSchema());
+  auto r = t.Append({Value(int64_t{1}), Value("alice")});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(TableTest, TypeMismatchRejected) {
+  Table t("customers", CustomerSchema());
+  auto r = t.Append({Value("not-an-int"), Value("alice"), Value(1.0)});
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(TableTest, NullsAllowedAnywhere) {
+  Table t("customers", CustomerSchema());
+  auto r = t.Append({Value::Null(), Value::Null(), Value::Null()});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE((*t.Get(0, "name")).is_null());
+}
+
+TEST(TableTest, SetUpdatesCell) {
+  Table t("customers", CustomerSchema());
+  ASSERT_TRUE(t.Append({Value(int64_t{1}), Value("a"), Value(0.0)}).ok());
+  ASSERT_TRUE(t.Set(0, "name", Value("bob")).ok());
+  EXPECT_EQ(*t.GetString(0, "name"), "bob");
+  EXPECT_FALSE(t.Set(0, "name", Value(int64_t{5})).ok());  // type check
+  EXPECT_FALSE(t.Set(9, "name", Value("x")).ok());         // range check
+}
+
+TEST(TableTest, GetOutOfRange) {
+  Table t("customers", CustomerSchema());
+  EXPECT_EQ(t.Get(0, "id").status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TableTest, ScanAndFind) {
+  Table t("customers", CustomerSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Append({Value(int64_t{i}),
+                          Value(i % 2 == 0 ? "even" : "odd"),
+                          Value(static_cast<double>(i))})
+                    .ok());
+  }
+  auto odd = t.Scan([](const Row& row) {
+    return row[1].AsString() == "odd";
+  });
+  EXPECT_EQ(odd.size(), 5u);
+  auto found = t.Find("name", Value("even"));
+  EXPECT_EQ(found.size(), 5u);
+  EXPECT_TRUE(t.Find("missing_col", Value("x")).empty());
+}
+
+TEST(TableTest, ForEachVisitsAllRows) {
+  Table t("customers", CustomerSchema());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        t.Append({Value(int64_t{i}), Value("n"), Value(0.0)}).ok());
+  }
+  std::size_t visits = 0;
+  t.ForEach([&](RowId id, const Row& row) {
+    EXPECT_EQ(static_cast<int64_t>(id), row[0].AsInt64());
+    ++visits;
+  });
+  EXPECT_EQ(visits, 5u);
+}
+
+TEST(DatabaseTest, CreateAndGet) {
+  Database db;
+  auto t = db.CreateTable("customers", CustomerSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(db.HasTable("customers"));
+  EXPECT_TRUE(db.GetTable("customers").ok());
+  EXPECT_FALSE(db.GetTable("missing").ok());
+  EXPECT_EQ(db.num_tables(), 1u);
+}
+
+TEST(DatabaseTest, DuplicateNameRejected) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", CustomerSchema()).ok());
+  auto dup = db.CreateTable("t", CustomerSchema());
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, TableNamesInCreationOrder) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("zebra", CustomerSchema()).ok());
+  ASSERT_TRUE(db.CreateTable("apple", CustomerSchema()).ok());
+  EXPECT_EQ(db.TableNames(),
+            (std::vector<std::string>{"zebra", "apple"}));
+}
+
+}  // namespace
+}  // namespace bivoc

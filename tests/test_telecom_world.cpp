@@ -1,0 +1,157 @@
+#include "synth/telecom.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bivoc {
+namespace {
+
+TelecomConfig SmallConfig() {
+  TelecomConfig config;
+  config.num_customers = 2000;
+  config.num_emails = 1500;
+  config.num_sms = 6000;
+  config.seed = 77;
+  return config;
+}
+
+TEST(TelecomWorldTest, SizesMatchConfig) {
+  auto world = TelecomWorld::Generate(SmallConfig());
+  EXPECT_EQ(world.customers().size(), 2000u);
+  EXPECT_EQ(world.emails().size(), 1500u);
+  EXPECT_EQ(world.sms().size(), 6000u);
+  EXPECT_GT(world.payments().size(), 0u);
+}
+
+TEST(TelecomWorldTest, Deterministic) {
+  auto a = TelecomWorld::Generate(SmallConfig());
+  auto b = TelecomWorld::Generate(SmallConfig());
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.emails()[i].raw_text, b.emails()[i].raw_text);
+    EXPECT_EQ(a.sms()[i].raw_text, b.sms()[i].raw_text);
+  }
+}
+
+TEST(TelecomWorldTest, PopulationSharesNearConfig) {
+  auto world = TelecomWorld::Generate(SmallConfig());
+  const auto& config = world.config();
+  std::size_t prepaid = 0, churners = 0;
+  for (const auto& c : world.customers()) {
+    if (c.prepaid) ++prepaid;
+    if (c.churner) ++churners;
+  }
+  double n = static_cast<double>(world.customers().size());
+  EXPECT_NEAR(prepaid / n, config.prepaid_share, 0.03);
+  EXPECT_NEAR(churners / n, config.churner_share, 0.03);
+}
+
+TEST(TelecomWorldTest, EmailStreamShares) {
+  auto world = TelecomWorld::Generate(SmallConfig());
+  const auto& config = world.config();
+  std::size_t non_customer = 0, churner_mail = 0;
+  for (const auto& e : world.emails()) {
+    if (e.customer_id < 0) ++non_customer;
+    if (e.from_churner) ++churner_mail;
+  }
+  double n = static_cast<double>(world.emails().size());
+  // ~18% non-customer and ~3% churner emails, as in the paper.
+  EXPECT_NEAR(non_customer / n, config.email_non_customer_share, 0.03);
+  EXPECT_NEAR(churner_mail / n, config.email_churner_share, 0.02);
+}
+
+TEST(TelecomWorldTest, SmsStreamContainsNoiseClasses) {
+  auto world = TelecomWorld::Generate(SmallConfig());
+  std::size_t spam = 0, non_english = 0, payment = 0, churner = 0;
+  for (const auto& s : world.sms()) {
+    if (s.is_spam) ++spam;
+    if (!s.is_english) ++non_english;
+    if (s.payment_id >= 0) ++payment;
+    if (s.from_churner) ++churner;
+  }
+  EXPECT_GT(spam, 0u);
+  EXPECT_GT(non_english, 0u);
+  EXPECT_GT(payment, 0u);
+  double n = static_cast<double>(world.sms().size());
+  EXPECT_NEAR(churner / n, world.config().sms_churner_share, 0.03);
+}
+
+TEST(TelecomWorldTest, ChurnersHaveChurnDates) {
+  auto world = TelecomWorld::Generate(SmallConfig());
+  for (const auto& c : world.customers()) {
+    if (c.churner) {
+      EXPECT_GE(c.churn_date.year, 2007);
+    }
+  }
+}
+
+TEST(TelecomWorldTest, ChurnerMessagesCarryMoreDrivers) {
+  auto world = TelecomWorld::Generate(SmallConfig());
+  std::size_t churner_msgs = 0, churner_with_driver = 0;
+  std::size_t other_msgs = 0, other_with_driver = 0;
+  for (const auto& s : world.sms()) {
+    if (s.is_spam || !s.is_english || s.customer_id < 0 ||
+        s.payment_id >= 0) {
+      continue;
+    }
+    if (s.from_churner) {
+      ++churner_msgs;
+      if (!s.driver_names.empty()) ++churner_with_driver;
+    } else {
+      ++other_msgs;
+      if (!s.driver_names.empty()) ++other_with_driver;
+    }
+  }
+  ASSERT_GT(churner_msgs, 0u);
+  ASSERT_GT(other_msgs, 0u);
+  double churner_rate = static_cast<double>(churner_with_driver) /
+                        static_cast<double>(churner_msgs);
+  double other_rate = static_cast<double>(other_with_driver) /
+                      static_cast<double>(other_msgs);
+  EXPECT_GT(churner_rate, other_rate + 0.1);
+}
+
+TEST(TelecomWorldTest, BuildDatabaseHasBothTypes) {
+  auto world = TelecomWorld::Generate(SmallConfig());
+  Database db;
+  ASSERT_TRUE(world.BuildDatabase(&db).ok());
+  EXPECT_TRUE(db.HasTable("telecom_customers"));
+  EXPECT_TRUE(db.HasTable("payments"));
+  const Table* customers = *db.GetTable("telecom_customers");
+  EXPECT_EQ(customers->num_rows(), world.customers().size());
+  // Non-churners have null churn_date.
+  for (RowId id = 0; id < 50; ++id) {
+    auto status = customers->GetString(id, "churn_status");
+    ASSERT_TRUE(status.ok());
+    auto date = customers->Get(id, "churn_date");
+    ASSERT_TRUE(date.ok());
+    if (*status == "active") {
+      EXPECT_TRUE(date->is_null());
+    } else {
+      EXPECT_FALSE(date->is_null());
+    }
+  }
+}
+
+TEST(TelecomWorldTest, PaymentSmsMentionsItsReceipt) {
+  auto world = TelecomWorld::Generate(SmallConfig());
+  for (const auto& s : world.sms()) {
+    if (s.payment_id < 0) continue;
+    const auto& payment =
+        world.payments()[static_cast<std::size_t>(s.payment_id)];
+    EXPECT_NE(s.raw_text.find(payment.receipt), std::string::npos);
+    break;
+  }
+}
+
+TEST(TelecomWorldTest, DomainVocabularyNonTrivial) {
+  auto world = TelecomWorld::Generate(SmallConfig());
+  auto vocab = world.DomainVocabulary();
+  EXPECT_GT(vocab.size(), 50u);
+  std::set<std::string> v(vocab.begin(), vocab.end());
+  EXPECT_TRUE(v.count("gprs") > 0);
+  EXPECT_TRUE(v.count("bill") > 0);
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,105 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace bivoc {
+namespace {
+
+std::vector<std::string> Norms(const std::vector<Token>& tokens) {
+  std::vector<std::string> out;
+  for (const auto& t : tokens) out.push_back(t.norm);
+  return out;
+}
+
+TEST(TokenizerTest, BasicWords) {
+  Tokenizer t;
+  auto tokens = t.Tokenize("Hello World");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "Hello");
+  EXPECT_EQ(tokens[0].norm, "hello");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kWord);
+}
+
+TEST(TokenizerTest, OffsetsPointIntoOriginal) {
+  Tokenizer t;
+  std::string text = "  foo bar";
+  auto tokens = t.Tokenize(text);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(text.substr(tokens[0].begin, tokens[0].end - tokens[0].begin),
+            "foo");
+  EXPECT_EQ(text.substr(tokens[1].begin, tokens[1].end - tokens[1].begin),
+            "bar");
+}
+
+TEST(TokenizerTest, NumbersKeepInternalSeparators) {
+  Tokenizer t;
+  auto tokens = t.Tokenize("paid 2,013 on 19.05.07 call 555-0192");
+  auto norms = Norms(tokens);
+  EXPECT_EQ(norms, (std::vector<std::string>{"paid", "2,013", "on",
+                                             "19.05.07", "call",
+                                             "555-0192"}));
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kNumber);
+}
+
+TEST(TokenizerTest, ApostrophesStayInsideWords) {
+  Tokenizer t;
+  auto tokens = t.Tokenize("didn't i've");
+  EXPECT_EQ(Norms(tokens), (std::vector<std::string>{"didn't", "i've"}));
+}
+
+TEST(TokenizerTest, AlnumTokenKind) {
+  Tokenizer t;
+  auto tokens = t.Tokenize("10000sms pack");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kAlnum);
+}
+
+TEST(TokenizerTest, SplitAlnumOption) {
+  Tokenizer::Options opts;
+  opts.split_alnum = true;
+  Tokenizer t(opts);
+  auto tokens = t.Tokenize("10000sms");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].norm, "10000");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[1].norm, "sms");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kWord);
+}
+
+TEST(TokenizerTest, PunctuationDroppedByDefault) {
+  Tokenizer t;
+  EXPECT_EQ(Norms(t.Tokenize("wait... what?!")),
+            (std::vector<std::string>{"wait", "what"}));
+}
+
+TEST(TokenizerTest, PunctuationKeptWhenRequested) {
+  Tokenizer::Options opts;
+  opts.keep_punct = true;
+  Tokenizer t(opts);
+  auto tokens = t.Tokenize("a.b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kPunct);
+  EXPECT_EQ(tokens[1].norm, ".");
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("   \t\n ").empty());
+}
+
+TEST(TokenizeWordsTest, LowercasedWords) {
+  EXPECT_EQ(TokenizeWords("The Cat, 42 mice."),
+            (std::vector<std::string>{"the", "cat", "42", "mice"}));
+}
+
+TEST(TokenizerTest, LeadingTrailingNumberJoinersNotAbsorbed) {
+  Tokenizer t;
+  // "." not between digits is punctuation, dropped.
+  EXPECT_EQ(Norms(t.Tokenize(".5. x")),
+            (std::vector<std::string>{"5", "x"}));
+}
+
+}  // namespace
+}  // namespace bivoc

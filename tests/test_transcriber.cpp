@@ -1,0 +1,102 @@
+#include "asr/transcriber.h"
+
+#include <gtest/gtest.h>
+
+#include "asr/wer.h"
+#include "synth/car_rental.h"
+#include "synth/corpora.h"
+
+namespace bivoc {
+namespace {
+
+class TranscriberTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CarRentalConfig config;
+    config.num_agents = 5;
+    config.num_customers = 80;
+    config.num_calls = 12;
+    config.seed = 17;
+    world_ = new CarRentalWorld(CarRentalWorld::Generate(config));
+  }
+
+  static Transcriber* MakeTranscriber(double noise) {
+    Transcriber::Options opts;
+    opts.channel.noise_level = noise;
+    auto* t = new Transcriber(opts);
+    t->TrainLm(GeneralEnglishSentences(), world_->DomainSentences());
+    t->AddWords(world_->GeneralVocabulary(), WordClass::kGeneral);
+    t->AddWords(world_->NameVocabulary(), WordClass::kName);
+    t->Freeze();
+    return t;
+  }
+
+  static CarRentalWorld* world_;
+};
+
+CarRentalWorld* TranscriberTest::world_ = nullptr;
+
+TEST_F(TranscriberTest, CleanChannelDecodesNearPerfectly) {
+  std::unique_ptr<Transcriber> t(MakeTranscriber(0.0));
+  Rng rng(1);
+  WerStats wer;
+  for (const auto& call : world_->calls()) {
+    auto tr = t->Transcribe(call.ReferenceWords(), &rng);
+    wer.Merge(ComputeWer(call.ReferenceWords(), tr.first_pass.Words()));
+  }
+  EXPECT_LT(wer.Wer(), 0.05);
+}
+
+TEST_F(TranscriberTest, WerIncreasesWithNoise) {
+  Rng rng_low(2), rng_high(2);
+  std::unique_ptr<Transcriber> low(MakeTranscriber(0.5));
+  std::unique_ptr<Transcriber> high(MakeTranscriber(2.5));
+  WerStats wer_low, wer_high;
+  for (const auto& call : world_->calls()) {
+    auto a = low->Transcribe(call.ReferenceWords(), &rng_low);
+    wer_low.Merge(ComputeWer(call.ReferenceWords(), a.first_pass.Words()));
+    auto b = high->Transcribe(call.ReferenceWords(), &rng_high);
+    wer_high.Merge(ComputeWer(call.ReferenceWords(), b.first_pass.Words()));
+  }
+  EXPECT_GT(wer_high.Wer(), wer_low.Wer());
+}
+
+TEST_F(TranscriberTest, SecondPassWithTrueNameImprovesOrHolds) {
+  std::unique_ptr<Transcriber> t(MakeTranscriber(2.0));
+  Rng rng(3);
+  WerStats first_names, second_names;
+  for (const auto& call : world_->calls()) {
+    auto tr = t->Transcribe(call.ReferenceWords(), &rng);
+    auto classes = call.ReferenceClasses();
+    auto ref = call.ReferenceWords();
+    auto first = ComputeClassWer(ref, tr.first_pass.Words(), classes);
+    first_names.Merge(first["name"]);
+
+    // Oracle candidate list: the true customer plus agent roster.
+    const auto& customer =
+        world_->customers()[static_cast<std::size_t>(call.customer_id)];
+    std::vector<std::string> allowed = {customer.first_name,
+                                        customer.last_name};
+    for (const auto& agent : world_->agents()) {
+      allowed.push_back(agent.name);
+    }
+    auto second = t->SecondPass(tr.observation, allowed);
+    auto sec = ComputeClassWer(ref, second.Words(), classes);
+    second_names.Merge(sec["name"]);
+  }
+  // With the oracle list the constrained pass must not be worse by any
+  // meaningful margin (and typically is much better).
+  EXPECT_LE(second_names.Wer(), first_names.Wer() + 0.05);
+}
+
+TEST_F(TranscriberTest, TranscriptDeterministicGivenSeed) {
+  std::unique_ptr<Transcriber> t(MakeTranscriber(1.0));
+  Rng a(9), b(9);
+  const auto& call = world_->calls()[0];
+  auto ta = t->Transcribe(call.ReferenceWords(), &a);
+  auto tb = t->Transcribe(call.ReferenceWords(), &b);
+  EXPECT_EQ(ta.first_pass.Text(), tb.first_pass.Text());
+}
+
+}  // namespace
+}  // namespace bivoc

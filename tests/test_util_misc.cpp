@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "synth/conversation.h"
+#include "util/logging.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace bivoc {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // Below-threshold logging must be a safe no-op.
+  BIVOC_LOG(Debug) << "invisible " << 42;
+  BIVOC_LOG(Info) << "also invisible";
+  SetLogLevel(original);
+  SUCCEED();
+}
+
+TEST(LoggingTest, CheckPassesSilentlyWhenTrue) {
+  BIVOC_CHECK(1 + 1 == 2) << "never printed";
+  BIVOC_CHECK_OK(Status::OK());
+  SUCCEED();
+}
+
+TEST(TimerTest, ElapsedIsMonotonic) {
+  Timer timer;
+  double t1 = timer.ElapsedSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  double t2 = timer.ElapsedSeconds();
+  EXPECT_GE(t2, t1);
+  EXPECT_GT(t2, 0.0);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3,
+              timer.ElapsedMillis() * 0.5);
+}
+
+TEST(TimerTest, ResetRestartsClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.005);
+}
+
+TEST(CallRecordTest, ReferenceViewsConsistent) {
+  CallRecord call;
+  Utterance agent;
+  agent.speaker = Speaker::kAgent;
+  agent.words = {{"hello", WordClass::kGeneral},
+                 {"james", WordClass::kName}};
+  Utterance customer;
+  customer.speaker = Speaker::kCustomer;
+  customer.words = {{"five", WordClass::kNumber}};
+  call.utterances = {agent, customer};
+
+  EXPECT_EQ(call.ReferenceWords(),
+            (std::vector<std::string>{"hello", "james", "five"}));
+  EXPECT_EQ(call.ReferenceClasses(),
+            (std::vector<std::string>{"general", "name", "number"}));
+  EXPECT_EQ(call.ReferenceText(), "hello james five");
+}
+
+TEST(CallRecordTest, EmptyCall) {
+  CallRecord call;
+  EXPECT_TRUE(call.ReferenceWords().empty());
+  EXPECT_EQ(call.ReferenceText(), "");
+}
+
+TEST(WordClassTest, Names) {
+  EXPECT_EQ(WordClassName(WordClass::kGeneral), "general");
+  EXPECT_EQ(WordClassName(WordClass::kName), "name");
+  EXPECT_EQ(WordClassName(WordClass::kNumber), "number");
+}
+
+}  // namespace
+}  // namespace bivoc

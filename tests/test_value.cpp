@@ -1,0 +1,89 @@
+#include "db/value.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace bivoc {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value(int64_t{42}).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hello").AsString(), "hello");
+  Date d{2007, 5, 19};
+  EXPECT_EQ(Value(d).AsDate(), d);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value("text").ToString(), "text");
+  EXPECT_EQ(Value(Date{2007, 5, 19}).ToString(), "2007-05-19");
+}
+
+TEST(ValueTest, NumericOrNan) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).NumericOrNan(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(1.5).NumericOrNan(), 1.5);
+  EXPECT_TRUE(std::isnan(Value("abc").NumericOrNan()));
+  EXPECT_TRUE(std::isnan(Value().NumericOrNan()));
+  EXPECT_DOUBLE_EQ(Value(Date{1970, 1, 2}).NumericOrNan(), 1.0);
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // different types
+  EXPECT_EQ(Value(), Value::Null());
+}
+
+TEST(DateTest, KnownEpochValues) {
+  EXPECT_EQ((Date{1970, 1, 1}).ToDays(), 0);
+  EXPECT_EQ((Date{1970, 1, 2}).ToDays(), 1);
+  EXPECT_EQ((Date{1969, 12, 31}).ToDays(), -1);
+  EXPECT_EQ((Date{2000, 3, 1}).ToDays(), 11017);
+}
+
+TEST(DateTest, LeapYearHandling) {
+  EXPECT_EQ((Date{2004, 2, 29}).ToDays() - (Date{2004, 2, 28}).ToDays(), 1);
+  EXPECT_EQ((Date{2004, 3, 1}).ToDays() - (Date{2004, 2, 29}).ToDays(), 1);
+  // 2100 is not a leap year.
+  EXPECT_EQ((Date{2100, 3, 1}).ToDays() - (Date{2100, 2, 28}).ToDays(), 1);
+}
+
+class DateRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DateRoundTripTest, ToDaysFromDaysIsIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    int64_t days = rng.Uniform(-100000, 100000);
+    Date d = Date::FromDays(days);
+    EXPECT_EQ(d.ToDays(), days);
+    // And the reverse direction through a valid calendar date.
+    Date d2 = Date::FromDays(d.ToDays());
+    EXPECT_EQ(d, d2);
+    EXPECT_GE(d.month, 1);
+    EXPECT_LE(d.month, 12);
+    EXPECT_GE(d.day, 1);
+    EXPECT_LE(d.day, 31);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DateRoundTripTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(DataTypeTest, Names) {
+  EXPECT_EQ(DataTypeName(DataType::kInt64), "INT64");
+  EXPECT_EQ(DataTypeName(DataType::kDate), "DATE");
+}
+
+}  // namespace
+}  // namespace bivoc

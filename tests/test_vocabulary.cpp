@@ -1,0 +1,40 @@
+#include "text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace bivoc {
+namespace {
+
+TEST(VocabularyTest, UnknownIdIsZero) {
+  Vocabulary v;
+  EXPECT_EQ(v.Lookup("missing"), Vocabulary::kUnknownId);
+  EXPECT_EQ(v.WordOf(Vocabulary::kUnknownId), "<unk>");
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(VocabularyTest, AddAssignsSequentialIds) {
+  Vocabulary v;
+  EXPECT_EQ(v.Add("a"), 1);
+  EXPECT_EQ(v.Add("b"), 2);
+  EXPECT_EQ(v.Add("a"), 1);  // dedup
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(VocabularyTest, RoundTrip) {
+  Vocabulary v;
+  int32_t id = v.Add("hello");
+  EXPECT_EQ(v.Lookup("hello"), id);
+  EXPECT_EQ(v.WordOf(id), "hello");
+  EXPECT_TRUE(v.Contains("hello"));
+  EXPECT_FALSE(v.Contains("world"));
+}
+
+TEST(VocabularyTest, WordsExcludesUnknown) {
+  Vocabulary v;
+  v.Add("x");
+  v.Add("y");
+  EXPECT_EQ(v.Words(), (std::vector<std::string>{"x", "y"}));
+}
+
+}  // namespace
+}  // namespace bivoc

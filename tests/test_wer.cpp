@@ -1,0 +1,136 @@
+#include "asr/wer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace bivoc {
+namespace {
+
+using Words = std::vector<std::string>;
+
+TEST(WerTest, PerfectHypothesis) {
+  Words ref = {"a", "b", "c"};
+  WerStats s = ComputeWer(ref, ref);
+  EXPECT_EQ(s.matches, 3u);
+  EXPECT_EQ(s.substitutions, 0u);
+  EXPECT_DOUBLE_EQ(s.Wer(), 0.0);
+}
+
+TEST(WerTest, AllSubstituted) {
+  WerStats s = ComputeWer({"a", "b"}, {"x", "y"});
+  EXPECT_EQ(s.substitutions, 2u);
+  EXPECT_DOUBLE_EQ(s.Wer(), 1.0);
+}
+
+TEST(WerTest, DeletionsAndInsertions) {
+  WerStats del = ComputeWer({"a", "b", "c"}, {"a", "c"});
+  EXPECT_EQ(del.deletions, 1u);
+  EXPECT_NEAR(del.Wer(), 1.0 / 3.0, 1e-9);
+
+  WerStats ins = ComputeWer({"a", "c"}, {"a", "b", "c"});
+  EXPECT_EQ(ins.insertions, 1u);
+  EXPECT_DOUBLE_EQ(ins.Wer(), 0.5);
+}
+
+TEST(WerTest, WerCanExceedOne) {
+  // Eqn 1 has no ceiling: many insertions push WER past 100%.
+  WerStats s = ComputeWer({"a"}, {"x", "y", "z"});
+  EXPECT_GT(s.Wer(), 1.0);
+}
+
+TEST(WerTest, EmptyReference) {
+  WerStats s = ComputeWer({}, {"a"});
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_DOUBLE_EQ(s.Wer(), 0.0);  // N == 0 guarded
+}
+
+TEST(WerTest, MergeAccumulates) {
+  WerStats a = ComputeWer({"x"}, {"x"});
+  WerStats b = ComputeWer({"y"}, {"z"});
+  a.Merge(b);
+  EXPECT_EQ(a.ref_words, 2u);
+  EXPECT_EQ(a.matches, 1u);
+  EXPECT_EQ(a.substitutions, 1u);
+  EXPECT_DOUBLE_EQ(a.Wer(), 0.5);
+}
+
+TEST(AlignTest, OpsReconstructHypothesis) {
+  Words ref = {"the", "cat", "sat"};
+  Words hyp = {"the", "bat", "sat", "down"};
+  auto ops = AlignWords(ref, hyp);
+  // Replay the ops and rebuild hyp from ref.
+  Words rebuilt;
+  for (const auto& op : ops) {
+    switch (op.op) {
+      case EditOp::kMatch:
+        rebuilt.push_back(ref[op.ref_index]);
+        break;
+      case EditOp::kSubstitute:
+      case EditOp::kInsert:
+        rebuilt.push_back(hyp[op.hyp_index]);
+        break;
+      case EditOp::kDelete:
+        break;
+    }
+  }
+  EXPECT_EQ(rebuilt, hyp);
+}
+
+TEST(AlignTest, OpCountMatchesEditDistance) {
+  Rng rng(5);
+  const char* vocab[] = {"a", "b", "c", "d"};
+  for (int trial = 0; trial < 30; ++trial) {
+    Words ref, hyp;
+    for (int i = rng.Uniform(0, 6); i > 0; --i) {
+      ref.push_back(vocab[rng.Uniform(0, 3)]);
+    }
+    for (int i = rng.Uniform(0, 6); i > 0; --i) {
+      hyp.push_back(vocab[rng.Uniform(0, 3)]);
+    }
+    WerStats s = ComputeWer(ref, hyp);
+    EXPECT_EQ(s.matches + s.substitutions + s.deletions, ref.size());
+    EXPECT_EQ(s.matches + s.substitutions + s.insertions, hyp.size());
+  }
+}
+
+TEST(ClassWerTest, ErrorsChargedToRefClass) {
+  Words ref = {"my", "name", "is", "john", "smith"};
+  Words hyp = {"my", "name", "is", "jane", "smith"};
+  std::vector<std::string> classes = {"general", "general", "general",
+                                      "name", "name"};
+  auto per_class = ComputeClassWer(ref, hyp, classes);
+  EXPECT_EQ(per_class["general"].substitutions, 0u);
+  EXPECT_EQ(per_class["general"].matches, 3u);
+  EXPECT_EQ(per_class["name"].substitutions, 1u);
+  EXPECT_EQ(per_class["name"].matches, 1u);
+  EXPECT_DOUBLE_EQ(per_class["name"].Wer(), 0.5);
+}
+
+TEST(ClassWerTest, InsertionChargedToPrecedingClass) {
+  Words ref = {"call", "john"};
+  Words hyp = {"call", "john", "junk"};
+  std::vector<std::string> classes = {"general", "name"};
+  auto per_class = ComputeClassWer(ref, hyp, classes);
+  EXPECT_EQ(per_class["name"].insertions, 1u);
+}
+
+TEST(ClassWerTest, ClassTotalsMatchOverall) {
+  Words ref = {"a", "1", "b", "2", "c"};
+  Words hyp = {"a", "9", "c"};
+  std::vector<std::string> classes = {"w", "n", "w", "n", "w"};
+  auto per_class = ComputeClassWer(ref, hyp, classes);
+  WerStats overall = ComputeWer(ref, hyp);
+  std::size_t subs = 0, dels = 0, inss = 0;
+  for (const auto& [cls, s] : per_class) {
+    subs += s.substitutions;
+    dels += s.deletions;
+    inss += s.insertions;
+  }
+  EXPECT_EQ(subs, overall.substitutions);
+  EXPECT_EQ(dels, overall.deletions);
+  EXPECT_EQ(inss, overall.insertions);
+}
+
+}  // namespace
+}  // namespace bivoc
