@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5c_intervention.dir/bench_sec5c_intervention.cpp.o"
+  "CMakeFiles/bench_sec5c_intervention.dir/bench_sec5c_intervention.cpp.o.d"
+  "bench_sec5c_intervention"
+  "bench_sec5c_intervention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5c_intervention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

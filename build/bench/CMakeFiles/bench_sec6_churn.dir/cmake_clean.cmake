@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_churn.dir/bench_sec6_churn.cpp.o"
+  "CMakeFiles/bench_sec6_churn.dir/bench_sec6_churn.cpp.o.d"
+  "bench_sec6_churn"
+  "bench_sec6_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

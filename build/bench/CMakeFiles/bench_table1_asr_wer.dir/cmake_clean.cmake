@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_asr_wer.dir/bench_table1_asr_wer.cpp.o"
+  "CMakeFiles/bench_table1_asr_wer.dir/bench_table1_asr_wer.cpp.o.d"
+  "bench_table1_asr_wer"
+  "bench_table1_asr_wer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_asr_wer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_association.dir/bench_table2_association.cpp.o"
+  "CMakeFiles/bench_table2_association.dir/bench_table2_association.cpp.o.d"
+  "bench_table2_association"
+  "bench_table2_association.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_association.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

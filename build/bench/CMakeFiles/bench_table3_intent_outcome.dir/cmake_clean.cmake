@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_intent_outcome.dir/bench_table3_intent_outcome.cpp.o"
+  "CMakeFiles/bench_table3_intent_outcome.dir/bench_table3_intent_outcome.cpp.o.d"
+  "bench_table3_intent_outcome"
+  "bench_table3_intent_outcome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_intent_outcome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

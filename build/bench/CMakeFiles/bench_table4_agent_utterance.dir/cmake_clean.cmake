@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_agent_utterance.dir/bench_table4_agent_utterance.cpp.o"
+  "CMakeFiles/bench_table4_agent_utterance.dir/bench_table4_agent_utterance.cpp.o.d"
+  "bench_table4_agent_utterance"
+  "bench_table4_agent_utterance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_agent_utterance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_agent_utterance.
+# This may be replaced when dependencies are built.

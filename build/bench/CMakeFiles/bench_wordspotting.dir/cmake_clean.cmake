@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wordspotting.dir/bench_wordspotting.cpp.o"
+  "CMakeFiles/bench_wordspotting.dir/bench_wordspotting.cpp.o.d"
+  "bench_wordspotting"
+  "bench_wordspotting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wordspotting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_productivity.dir/agent_productivity.cpp.o"
+  "CMakeFiles/agent_productivity.dir/agent_productivity.cpp.o.d"
+  "agent_productivity"
+  "agent_productivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_productivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

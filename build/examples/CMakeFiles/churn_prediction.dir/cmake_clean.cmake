@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_prediction.dir/churn_prediction.cpp.o"
+  "CMakeFiles/churn_prediction.dir/churn_prediction.cpp.o.d"
+  "churn_prediction"
+  "churn_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

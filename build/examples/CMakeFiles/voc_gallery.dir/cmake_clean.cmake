@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voc_gallery.dir/voc_gallery.cpp.o"
+  "CMakeFiles/voc_gallery.dir/voc_gallery.cpp.o.d"
+  "voc_gallery"
+  "voc_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voc_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

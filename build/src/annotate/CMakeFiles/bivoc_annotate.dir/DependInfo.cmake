@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/annotate/concept_extractor.cc" "src/annotate/CMakeFiles/bivoc_annotate.dir/concept_extractor.cc.o" "gcc" "src/annotate/CMakeFiles/bivoc_annotate.dir/concept_extractor.cc.o.d"
+  "/root/repo/src/annotate/dictionary.cc" "src/annotate/CMakeFiles/bivoc_annotate.dir/dictionary.cc.o" "gcc" "src/annotate/CMakeFiles/bivoc_annotate.dir/dictionary.cc.o.d"
+  "/root/repo/src/annotate/pattern.cc" "src/annotate/CMakeFiles/bivoc_annotate.dir/pattern.cc.o" "gcc" "src/annotate/CMakeFiles/bivoc_annotate.dir/pattern.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bivoc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/bivoc_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bivoc_annotate.dir/concept_extractor.cc.o"
+  "CMakeFiles/bivoc_annotate.dir/concept_extractor.cc.o.d"
+  "CMakeFiles/bivoc_annotate.dir/dictionary.cc.o"
+  "CMakeFiles/bivoc_annotate.dir/dictionary.cc.o.d"
+  "CMakeFiles/bivoc_annotate.dir/pattern.cc.o"
+  "CMakeFiles/bivoc_annotate.dir/pattern.cc.o.d"
+  "libbivoc_annotate.a"
+  "libbivoc_annotate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bivoc_annotate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asr/acoustic_channel.cc" "src/asr/CMakeFiles/bivoc_asr.dir/acoustic_channel.cc.o" "gcc" "src/asr/CMakeFiles/bivoc_asr.dir/acoustic_channel.cc.o.d"
+  "/root/repo/src/asr/decoder.cc" "src/asr/CMakeFiles/bivoc_asr.dir/decoder.cc.o" "gcc" "src/asr/CMakeFiles/bivoc_asr.dir/decoder.cc.o.d"
+  "/root/repo/src/asr/keyword_spotter.cc" "src/asr/CMakeFiles/bivoc_asr.dir/keyword_spotter.cc.o" "gcc" "src/asr/CMakeFiles/bivoc_asr.dir/keyword_spotter.cc.o.d"
+  "/root/repo/src/asr/lexicon.cc" "src/asr/CMakeFiles/bivoc_asr.dir/lexicon.cc.o" "gcc" "src/asr/CMakeFiles/bivoc_asr.dir/lexicon.cc.o.d"
+  "/root/repo/src/asr/phoneme.cc" "src/asr/CMakeFiles/bivoc_asr.dir/phoneme.cc.o" "gcc" "src/asr/CMakeFiles/bivoc_asr.dir/phoneme.cc.o.d"
+  "/root/repo/src/asr/transcriber.cc" "src/asr/CMakeFiles/bivoc_asr.dir/transcriber.cc.o" "gcc" "src/asr/CMakeFiles/bivoc_asr.dir/transcriber.cc.o.d"
+  "/root/repo/src/asr/wer.cc" "src/asr/CMakeFiles/bivoc_asr.dir/wer.cc.o" "gcc" "src/asr/CMakeFiles/bivoc_asr.dir/wer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bivoc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/bivoc_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

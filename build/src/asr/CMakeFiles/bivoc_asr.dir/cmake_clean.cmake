@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bivoc_asr.dir/acoustic_channel.cc.o"
+  "CMakeFiles/bivoc_asr.dir/acoustic_channel.cc.o.d"
+  "CMakeFiles/bivoc_asr.dir/decoder.cc.o"
+  "CMakeFiles/bivoc_asr.dir/decoder.cc.o.d"
+  "CMakeFiles/bivoc_asr.dir/keyword_spotter.cc.o"
+  "CMakeFiles/bivoc_asr.dir/keyword_spotter.cc.o.d"
+  "CMakeFiles/bivoc_asr.dir/lexicon.cc.o"
+  "CMakeFiles/bivoc_asr.dir/lexicon.cc.o.d"
+  "CMakeFiles/bivoc_asr.dir/phoneme.cc.o"
+  "CMakeFiles/bivoc_asr.dir/phoneme.cc.o.d"
+  "CMakeFiles/bivoc_asr.dir/transcriber.cc.o"
+  "CMakeFiles/bivoc_asr.dir/transcriber.cc.o.d"
+  "CMakeFiles/bivoc_asr.dir/wer.cc.o"
+  "CMakeFiles/bivoc_asr.dir/wer.cc.o.d"
+  "libbivoc_asr.a"
+  "libbivoc_asr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bivoc_asr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

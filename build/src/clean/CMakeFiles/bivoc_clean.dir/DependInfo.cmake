@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clean/email_cleaner.cc" "src/clean/CMakeFiles/bivoc_clean.dir/email_cleaner.cc.o" "gcc" "src/clean/CMakeFiles/bivoc_clean.dir/email_cleaner.cc.o.d"
+  "/root/repo/src/clean/language_filter.cc" "src/clean/CMakeFiles/bivoc_clean.dir/language_filter.cc.o" "gcc" "src/clean/CMakeFiles/bivoc_clean.dir/language_filter.cc.o.d"
+  "/root/repo/src/clean/segmenter.cc" "src/clean/CMakeFiles/bivoc_clean.dir/segmenter.cc.o" "gcc" "src/clean/CMakeFiles/bivoc_clean.dir/segmenter.cc.o.d"
+  "/root/repo/src/clean/sms_normalizer.cc" "src/clean/CMakeFiles/bivoc_clean.dir/sms_normalizer.cc.o" "gcc" "src/clean/CMakeFiles/bivoc_clean.dir/sms_normalizer.cc.o.d"
+  "/root/repo/src/clean/spam_filter.cc" "src/clean/CMakeFiles/bivoc_clean.dir/spam_filter.cc.o" "gcc" "src/clean/CMakeFiles/bivoc_clean.dir/spam_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bivoc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/bivoc_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

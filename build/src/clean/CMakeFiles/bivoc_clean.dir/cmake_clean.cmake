@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bivoc_clean.dir/email_cleaner.cc.o"
+  "CMakeFiles/bivoc_clean.dir/email_cleaner.cc.o.d"
+  "CMakeFiles/bivoc_clean.dir/language_filter.cc.o"
+  "CMakeFiles/bivoc_clean.dir/language_filter.cc.o.d"
+  "CMakeFiles/bivoc_clean.dir/segmenter.cc.o"
+  "CMakeFiles/bivoc_clean.dir/segmenter.cc.o.d"
+  "CMakeFiles/bivoc_clean.dir/sms_normalizer.cc.o"
+  "CMakeFiles/bivoc_clean.dir/sms_normalizer.cc.o.d"
+  "CMakeFiles/bivoc_clean.dir/spam_filter.cc.o"
+  "CMakeFiles/bivoc_clean.dir/spam_filter.cc.o.d"
+  "libbivoc_clean.a"
+  "libbivoc_clean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bivoc_clean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

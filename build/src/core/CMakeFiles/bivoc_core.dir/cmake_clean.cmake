@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bivoc_core.dir/agent_kpis.cc.o"
+  "CMakeFiles/bivoc_core.dir/agent_kpis.cc.o.d"
+  "CMakeFiles/bivoc_core.dir/bivoc.cc.o"
+  "CMakeFiles/bivoc_core.dir/bivoc.cc.o.d"
+  "CMakeFiles/bivoc_core.dir/call_type.cc.o"
+  "CMakeFiles/bivoc_core.dir/call_type.cc.o.d"
+  "CMakeFiles/bivoc_core.dir/car_rental_insights.cc.o"
+  "CMakeFiles/bivoc_core.dir/car_rental_insights.cc.o.d"
+  "CMakeFiles/bivoc_core.dir/churn.cc.o"
+  "CMakeFiles/bivoc_core.dir/churn.cc.o.d"
+  "CMakeFiles/bivoc_core.dir/intervention.cc.o"
+  "CMakeFiles/bivoc_core.dir/intervention.cc.o.d"
+  "CMakeFiles/bivoc_core.dir/pipeline.cc.o"
+  "CMakeFiles/bivoc_core.dir/pipeline.cc.o.d"
+  "libbivoc_core.a"
+  "libbivoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bivoc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

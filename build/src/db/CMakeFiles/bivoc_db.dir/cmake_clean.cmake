@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bivoc_db.dir/database.cc.o"
+  "CMakeFiles/bivoc_db.dir/database.cc.o.d"
+  "CMakeFiles/bivoc_db.dir/index.cc.o"
+  "CMakeFiles/bivoc_db.dir/index.cc.o.d"
+  "CMakeFiles/bivoc_db.dir/query.cc.o"
+  "CMakeFiles/bivoc_db.dir/query.cc.o.d"
+  "CMakeFiles/bivoc_db.dir/schema.cc.o"
+  "CMakeFiles/bivoc_db.dir/schema.cc.o.d"
+  "CMakeFiles/bivoc_db.dir/table.cc.o"
+  "CMakeFiles/bivoc_db.dir/table.cc.o.d"
+  "CMakeFiles/bivoc_db.dir/value.cc.o"
+  "CMakeFiles/bivoc_db.dir/value.cc.o.d"
+  "libbivoc_db.a"
+  "libbivoc_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bivoc_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

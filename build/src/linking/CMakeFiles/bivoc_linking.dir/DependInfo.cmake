@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linking/annotator.cc" "src/linking/CMakeFiles/bivoc_linking.dir/annotator.cc.o" "gcc" "src/linking/CMakeFiles/bivoc_linking.dir/annotator.cc.o.d"
+  "/root/repo/src/linking/fagin.cc" "src/linking/CMakeFiles/bivoc_linking.dir/fagin.cc.o" "gcc" "src/linking/CMakeFiles/bivoc_linking.dir/fagin.cc.o.d"
+  "/root/repo/src/linking/linker.cc" "src/linking/CMakeFiles/bivoc_linking.dir/linker.cc.o" "gcc" "src/linking/CMakeFiles/bivoc_linking.dir/linker.cc.o.d"
+  "/root/repo/src/linking/multitype.cc" "src/linking/CMakeFiles/bivoc_linking.dir/multitype.cc.o" "gcc" "src/linking/CMakeFiles/bivoc_linking.dir/multitype.cc.o.d"
+  "/root/repo/src/linking/similarity.cc" "src/linking/CMakeFiles/bivoc_linking.dir/similarity.cc.o" "gcc" "src/linking/CMakeFiles/bivoc_linking.dir/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bivoc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/bivoc_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/bivoc_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bivoc_linking.dir/annotator.cc.o"
+  "CMakeFiles/bivoc_linking.dir/annotator.cc.o.d"
+  "CMakeFiles/bivoc_linking.dir/fagin.cc.o"
+  "CMakeFiles/bivoc_linking.dir/fagin.cc.o.d"
+  "CMakeFiles/bivoc_linking.dir/linker.cc.o"
+  "CMakeFiles/bivoc_linking.dir/linker.cc.o.d"
+  "CMakeFiles/bivoc_linking.dir/multitype.cc.o"
+  "CMakeFiles/bivoc_linking.dir/multitype.cc.o.d"
+  "CMakeFiles/bivoc_linking.dir/similarity.cc.o"
+  "CMakeFiles/bivoc_linking.dir/similarity.cc.o.d"
+  "libbivoc_linking.a"
+  "libbivoc_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bivoc_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/association.cc" "src/mining/CMakeFiles/bivoc_mining.dir/association.cc.o" "gcc" "src/mining/CMakeFiles/bivoc_mining.dir/association.cc.o.d"
+  "/root/repo/src/mining/concept_index.cc" "src/mining/CMakeFiles/bivoc_mining.dir/concept_index.cc.o" "gcc" "src/mining/CMakeFiles/bivoc_mining.dir/concept_index.cc.o.d"
+  "/root/repo/src/mining/relative_frequency.cc" "src/mining/CMakeFiles/bivoc_mining.dir/relative_frequency.cc.o" "gcc" "src/mining/CMakeFiles/bivoc_mining.dir/relative_frequency.cc.o.d"
+  "/root/repo/src/mining/report.cc" "src/mining/CMakeFiles/bivoc_mining.dir/report.cc.o" "gcc" "src/mining/CMakeFiles/bivoc_mining.dir/report.cc.o.d"
+  "/root/repo/src/mining/stats.cc" "src/mining/CMakeFiles/bivoc_mining.dir/stats.cc.o" "gcc" "src/mining/CMakeFiles/bivoc_mining.dir/stats.cc.o.d"
+  "/root/repo/src/mining/trend.cc" "src/mining/CMakeFiles/bivoc_mining.dir/trend.cc.o" "gcc" "src/mining/CMakeFiles/bivoc_mining.dir/trend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bivoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

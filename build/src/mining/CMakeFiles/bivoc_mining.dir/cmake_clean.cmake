@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bivoc_mining.dir/association.cc.o"
+  "CMakeFiles/bivoc_mining.dir/association.cc.o.d"
+  "CMakeFiles/bivoc_mining.dir/concept_index.cc.o"
+  "CMakeFiles/bivoc_mining.dir/concept_index.cc.o.d"
+  "CMakeFiles/bivoc_mining.dir/relative_frequency.cc.o"
+  "CMakeFiles/bivoc_mining.dir/relative_frequency.cc.o.d"
+  "CMakeFiles/bivoc_mining.dir/report.cc.o"
+  "CMakeFiles/bivoc_mining.dir/report.cc.o.d"
+  "CMakeFiles/bivoc_mining.dir/stats.cc.o"
+  "CMakeFiles/bivoc_mining.dir/stats.cc.o.d"
+  "CMakeFiles/bivoc_mining.dir/trend.cc.o"
+  "CMakeFiles/bivoc_mining.dir/trend.cc.o.d"
+  "libbivoc_mining.a"
+  "libbivoc_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bivoc_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/car_rental.cc" "src/synth/CMakeFiles/bivoc_synth.dir/car_rental.cc.o" "gcc" "src/synth/CMakeFiles/bivoc_synth.dir/car_rental.cc.o.d"
+  "/root/repo/src/synth/conversation.cc" "src/synth/CMakeFiles/bivoc_synth.dir/conversation.cc.o" "gcc" "src/synth/CMakeFiles/bivoc_synth.dir/conversation.cc.o.d"
+  "/root/repo/src/synth/corpora.cc" "src/synth/CMakeFiles/bivoc_synth.dir/corpora.cc.o" "gcc" "src/synth/CMakeFiles/bivoc_synth.dir/corpora.cc.o.d"
+  "/root/repo/src/synth/telecom.cc" "src/synth/CMakeFiles/bivoc_synth.dir/telecom.cc.o" "gcc" "src/synth/CMakeFiles/bivoc_synth.dir/telecom.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bivoc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/bivoc_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/bivoc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/asr/CMakeFiles/bivoc_asr.dir/DependInfo.cmake"
+  "/root/repo/build/src/clean/CMakeFiles/bivoc_clean.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

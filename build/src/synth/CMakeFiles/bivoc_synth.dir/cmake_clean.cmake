@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bivoc_synth.dir/car_rental.cc.o"
+  "CMakeFiles/bivoc_synth.dir/car_rental.cc.o.d"
+  "CMakeFiles/bivoc_synth.dir/conversation.cc.o"
+  "CMakeFiles/bivoc_synth.dir/conversation.cc.o.d"
+  "CMakeFiles/bivoc_synth.dir/corpora.cc.o"
+  "CMakeFiles/bivoc_synth.dir/corpora.cc.o.d"
+  "CMakeFiles/bivoc_synth.dir/telecom.cc.o"
+  "CMakeFiles/bivoc_synth.dir/telecom.cc.o.d"
+  "libbivoc_synth.a"
+  "libbivoc_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bivoc_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/edit_distance.cc" "src/text/CMakeFiles/bivoc_text.dir/edit_distance.cc.o" "gcc" "src/text/CMakeFiles/bivoc_text.dir/edit_distance.cc.o.d"
+  "/root/repo/src/text/jaro_winkler.cc" "src/text/CMakeFiles/bivoc_text.dir/jaro_winkler.cc.o" "gcc" "src/text/CMakeFiles/bivoc_text.dir/jaro_winkler.cc.o.d"
+  "/root/repo/src/text/logistic.cc" "src/text/CMakeFiles/bivoc_text.dir/logistic.cc.o" "gcc" "src/text/CMakeFiles/bivoc_text.dir/logistic.cc.o.d"
+  "/root/repo/src/text/naive_bayes.cc" "src/text/CMakeFiles/bivoc_text.dir/naive_bayes.cc.o" "gcc" "src/text/CMakeFiles/bivoc_text.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/text/ngram_model.cc" "src/text/CMakeFiles/bivoc_text.dir/ngram_model.cc.o" "gcc" "src/text/CMakeFiles/bivoc_text.dir/ngram_model.cc.o.d"
+  "/root/repo/src/text/phonetic.cc" "src/text/CMakeFiles/bivoc_text.dir/phonetic.cc.o" "gcc" "src/text/CMakeFiles/bivoc_text.dir/phonetic.cc.o.d"
+  "/root/repo/src/text/pos_tagger.cc" "src/text/CMakeFiles/bivoc_text.dir/pos_tagger.cc.o" "gcc" "src/text/CMakeFiles/bivoc_text.dir/pos_tagger.cc.o.d"
+  "/root/repo/src/text/spell.cc" "src/text/CMakeFiles/bivoc_text.dir/spell.cc.o" "gcc" "src/text/CMakeFiles/bivoc_text.dir/spell.cc.o.d"
+  "/root/repo/src/text/stemmer.cc" "src/text/CMakeFiles/bivoc_text.dir/stemmer.cc.o" "gcc" "src/text/CMakeFiles/bivoc_text.dir/stemmer.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/bivoc_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/bivoc_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/text/CMakeFiles/bivoc_text.dir/vocabulary.cc.o" "gcc" "src/text/CMakeFiles/bivoc_text.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bivoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bivoc_text.dir/edit_distance.cc.o"
+  "CMakeFiles/bivoc_text.dir/edit_distance.cc.o.d"
+  "CMakeFiles/bivoc_text.dir/jaro_winkler.cc.o"
+  "CMakeFiles/bivoc_text.dir/jaro_winkler.cc.o.d"
+  "CMakeFiles/bivoc_text.dir/logistic.cc.o"
+  "CMakeFiles/bivoc_text.dir/logistic.cc.o.d"
+  "CMakeFiles/bivoc_text.dir/naive_bayes.cc.o"
+  "CMakeFiles/bivoc_text.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/bivoc_text.dir/ngram_model.cc.o"
+  "CMakeFiles/bivoc_text.dir/ngram_model.cc.o.d"
+  "CMakeFiles/bivoc_text.dir/phonetic.cc.o"
+  "CMakeFiles/bivoc_text.dir/phonetic.cc.o.d"
+  "CMakeFiles/bivoc_text.dir/pos_tagger.cc.o"
+  "CMakeFiles/bivoc_text.dir/pos_tagger.cc.o.d"
+  "CMakeFiles/bivoc_text.dir/spell.cc.o"
+  "CMakeFiles/bivoc_text.dir/spell.cc.o.d"
+  "CMakeFiles/bivoc_text.dir/stemmer.cc.o"
+  "CMakeFiles/bivoc_text.dir/stemmer.cc.o.d"
+  "CMakeFiles/bivoc_text.dir/tokenizer.cc.o"
+  "CMakeFiles/bivoc_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/bivoc_text.dir/vocabulary.cc.o"
+  "CMakeFiles/bivoc_text.dir/vocabulary.cc.o.d"
+  "libbivoc_text.a"
+  "libbivoc_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bivoc_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

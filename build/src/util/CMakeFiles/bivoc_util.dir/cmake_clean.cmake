@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bivoc_util.dir/csv.cc.o"
+  "CMakeFiles/bivoc_util.dir/csv.cc.o.d"
+  "CMakeFiles/bivoc_util.dir/logging.cc.o"
+  "CMakeFiles/bivoc_util.dir/logging.cc.o.d"
+  "CMakeFiles/bivoc_util.dir/random.cc.o"
+  "CMakeFiles/bivoc_util.dir/random.cc.o.d"
+  "CMakeFiles/bivoc_util.dir/status.cc.o"
+  "CMakeFiles/bivoc_util.dir/status.cc.o.d"
+  "CMakeFiles/bivoc_util.dir/string_util.cc.o"
+  "CMakeFiles/bivoc_util.dir/string_util.cc.o.d"
+  "CMakeFiles/bivoc_util.dir/thread_pool.cc.o"
+  "CMakeFiles/bivoc_util.dir/thread_pool.cc.o.d"
+  "libbivoc_util.a"
+  "libbivoc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bivoc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

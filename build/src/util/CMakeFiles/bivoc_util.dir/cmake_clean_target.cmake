@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbivoc_util.a"
+)

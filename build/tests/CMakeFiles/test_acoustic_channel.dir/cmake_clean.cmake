@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acoustic_channel.dir/test_acoustic_channel.cpp.o"
+  "CMakeFiles/test_acoustic_channel.dir/test_acoustic_channel.cpp.o.d"
+  "test_acoustic_channel"
+  "test_acoustic_channel.pdb"
+  "test_acoustic_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acoustic_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agent_kpis.dir/test_agent_kpis.cpp.o"
+  "CMakeFiles/test_agent_kpis.dir/test_agent_kpis.cpp.o.d"
+  "test_agent_kpis"
+  "test_agent_kpis.pdb"
+  "test_agent_kpis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agent_kpis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

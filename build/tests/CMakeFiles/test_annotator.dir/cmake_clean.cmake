@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_annotator.dir/test_annotator.cpp.o"
+  "CMakeFiles/test_annotator.dir/test_annotator.cpp.o.d"
+  "test_annotator"
+  "test_annotator.pdb"
+  "test_annotator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_annotator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_association.dir/test_association.cpp.o"
+  "CMakeFiles/test_association.dir/test_association.cpp.o.d"
+  "test_association"
+  "test_association.pdb"
+  "test_association[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_association.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attribute_index.dir/test_attribute_index.cpp.o"
+  "CMakeFiles/test_attribute_index.dir/test_attribute_index.cpp.o.d"
+  "test_attribute_index"
+  "test_attribute_index.pdb"
+  "test_attribute_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attribute_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

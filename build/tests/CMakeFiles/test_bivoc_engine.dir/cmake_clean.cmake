@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bivoc_engine.dir/test_bivoc_engine.cpp.o"
+  "CMakeFiles/test_bivoc_engine.dir/test_bivoc_engine.cpp.o.d"
+  "test_bivoc_engine"
+  "test_bivoc_engine.pdb"
+  "test_bivoc_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bivoc_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

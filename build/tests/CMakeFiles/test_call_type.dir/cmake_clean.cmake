@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_call_type.dir/test_call_type.cpp.o"
+  "CMakeFiles/test_call_type.dir/test_call_type.cpp.o.d"
+  "test_call_type"
+  "test_call_type.pdb"
+  "test_call_type[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_call_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_car_rental_world.dir/test_car_rental_world.cpp.o"
+  "CMakeFiles/test_car_rental_world.dir/test_car_rental_world.cpp.o.d"
+  "test_car_rental_world"
+  "test_car_rental_world.pdb"
+  "test_car_rental_world[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_car_rental_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concept_extractor.dir/test_concept_extractor.cpp.o"
+  "CMakeFiles/test_concept_extractor.dir/test_concept_extractor.cpp.o.d"
+  "test_concept_extractor"
+  "test_concept_extractor.pdb"
+  "test_concept_extractor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concept_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

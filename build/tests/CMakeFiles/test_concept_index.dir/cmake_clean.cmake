@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concept_index.dir/test_concept_index.cpp.o"
+  "CMakeFiles/test_concept_index.dir/test_concept_index.cpp.o.d"
+  "test_concept_index"
+  "test_concept_index.pdb"
+  "test_concept_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concept_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_email_cleaner.dir/test_email_cleaner.cpp.o"
+  "CMakeFiles/test_email_cleaner.dir/test_email_cleaner.cpp.o.d"
+  "test_email_cleaner"
+  "test_email_cleaner.pdb"
+  "test_email_cleaner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_email_cleaner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

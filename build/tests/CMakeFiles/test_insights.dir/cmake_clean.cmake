@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_insights.dir/test_insights.cpp.o"
+  "CMakeFiles/test_insights.dir/test_insights.cpp.o.d"
+  "test_insights"
+  "test_insights.pdb"
+  "test_insights[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_insights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_car_rental.dir/test_integration_car_rental.cpp.o"
+  "CMakeFiles/test_integration_car_rental.dir/test_integration_car_rental.cpp.o.d"
+  "test_integration_car_rental"
+  "test_integration_car_rental.pdb"
+  "test_integration_car_rental[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_car_rental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_keyword_spotter.dir/test_keyword_spotter.cpp.o"
+  "CMakeFiles/test_keyword_spotter.dir/test_keyword_spotter.cpp.o.d"
+  "test_keyword_spotter"
+  "test_keyword_spotter.pdb"
+  "test_keyword_spotter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_keyword_spotter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_language_filter.dir/test_language_filter.cpp.o"
+  "CMakeFiles/test_language_filter.dir/test_language_filter.cpp.o.d"
+  "test_language_filter"
+  "test_language_filter.pdb"
+  "test_language_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_language_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

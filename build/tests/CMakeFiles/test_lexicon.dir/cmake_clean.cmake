@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lexicon.dir/test_lexicon.cpp.o"
+  "CMakeFiles/test_lexicon.dir/test_lexicon.cpp.o.d"
+  "test_lexicon"
+  "test_lexicon.pdb"
+  "test_lexicon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lexicon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linker.dir/test_linker.cpp.o"
+  "CMakeFiles/test_linker.dir/test_linker.cpp.o.d"
+  "test_linker"
+  "test_linker.pdb"
+  "test_linker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

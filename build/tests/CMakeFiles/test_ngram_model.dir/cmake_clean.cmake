@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ngram_model.dir/test_ngram_model.cpp.o"
+  "CMakeFiles/test_ngram_model.dir/test_ngram_model.cpp.o.d"
+  "test_ngram_model"
+  "test_ngram_model.pdb"
+  "test_ngram_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ngram_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phoneme.dir/test_phoneme.cpp.o"
+  "CMakeFiles/test_phoneme.dir/test_phoneme.cpp.o.d"
+  "test_phoneme"
+  "test_phoneme.pdb"
+  "test_phoneme[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phoneme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phonetic.dir/test_phonetic.cpp.o"
+  "CMakeFiles/test_phonetic.dir/test_phonetic.cpp.o.d"
+  "test_phonetic"
+  "test_phonetic.pdb"
+  "test_phonetic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phonetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_render.dir/test_report_render.cpp.o"
+  "CMakeFiles/test_report_render.dir/test_report_render.cpp.o.d"
+  "test_report_render"
+  "test_report_render.pdb"
+  "test_report_render[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sms_normalizer.dir/test_sms_normalizer.cpp.o"
+  "CMakeFiles/test_sms_normalizer.dir/test_sms_normalizer.cpp.o.d"
+  "test_sms_normalizer"
+  "test_sms_normalizer.pdb"
+  "test_sms_normalizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sms_normalizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

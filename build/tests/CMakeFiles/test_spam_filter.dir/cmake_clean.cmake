@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spam_filter.dir/test_spam_filter.cpp.o"
+  "CMakeFiles/test_spam_filter.dir/test_spam_filter.cpp.o.d"
+  "test_spam_filter"
+  "test_spam_filter.pdb"
+  "test_spam_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spam_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

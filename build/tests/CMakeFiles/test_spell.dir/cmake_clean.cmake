@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spell.dir/test_spell.cpp.o"
+  "CMakeFiles/test_spell.dir/test_spell.cpp.o.d"
+  "test_spell"
+  "test_spell.pdb"
+  "test_spell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

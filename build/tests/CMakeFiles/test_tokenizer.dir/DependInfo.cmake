@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tokenizer.cpp" "tests/CMakeFiles/test_tokenizer.dir/test_tokenizer.cpp.o" "gcc" "tests/CMakeFiles/test_tokenizer.dir/test_tokenizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bivoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linking/CMakeFiles/bivoc_linking.dir/DependInfo.cmake"
+  "/root/repo/build/src/annotate/CMakeFiles/bivoc_annotate.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/bivoc_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/bivoc_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/bivoc_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/asr/CMakeFiles/bivoc_asr.dir/DependInfo.cmake"
+  "/root/repo/build/src/clean/CMakeFiles/bivoc_clean.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/bivoc_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bivoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

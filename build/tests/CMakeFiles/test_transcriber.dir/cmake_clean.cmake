@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transcriber.dir/test_transcriber.cpp.o"
+  "CMakeFiles/test_transcriber.dir/test_transcriber.cpp.o.d"
+  "test_transcriber"
+  "test_transcriber.pdb"
+  "test_transcriber[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transcriber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

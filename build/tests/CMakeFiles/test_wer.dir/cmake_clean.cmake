@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wer.dir/test_wer.cpp.o"
+  "CMakeFiles/test_wer.dir/test_wer.cpp.o.d"
+  "test_wer"
+  "test_wer.pdb"
+  "test_wer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
