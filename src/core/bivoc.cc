@@ -26,6 +26,26 @@ void BivocEngine::ConfigureAnnotators(
   pipeline_.SetAnnotators(&annotators_);
 }
 
+void BivocEngine::ConfigureIngest(IngestOptions options) {
+  ingest_ = std::make_unique<IngestService>(&pipeline_, std::move(options));
+}
+
+IngestService* BivocEngine::ingest() {
+  if (!ingest_) ConfigureIngest(IngestOptions{});
+  return ingest_.get();
+}
+
+HealthReport BivocEngine::IngestBatch(const std::vector<IngestItem>& items) {
+  return ingest()->IngestBatch(items);
+}
+
+HealthReport BivocEngine::Health() const {
+  if (ingest_) return ingest_->report();
+  HealthReport report;
+  report.pipeline = pipeline_.stats().Read();
+  return report;
+}
+
 Document BivocEngine::AddEmail(
     const std::string& raw, int64_t day,
     const std::vector<std::string>& structured_keys) {

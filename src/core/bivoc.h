@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/ingest.h"
 #include "core/pipeline.h"
 #include "db/database.h"
 #include "linking/multitype.h"
@@ -55,6 +56,17 @@ class BivocEngine {
   Document AddTranscript(const std::string& text, int64_t day = 0,
                          const std::vector<std::string>& structured_keys = {});
 
+  // Fault-tolerant batch ingestion (see core/ingest.h): per-document
+  // retries and dead-lettering, a circuit breaker around the linker,
+  // parallel cleaning. ConfigureIngest replaces the service (and its
+  // accumulated health state); ingest() lazily creates a default one.
+  void ConfigureIngest(IngestOptions options);
+  IngestService* ingest();
+  HealthReport IngestBatch(const std::vector<IngestItem>& items);
+  // Cumulative ingestion health; reports pipeline stats alone when
+  // batch ingestion was never used.
+  HealthReport Health() const;
+
   // Analysis views.
   AssociationTable Associate(const std::vector<std::string>& row_keys,
                              const std::vector<std::string>& col_keys) const;
@@ -74,6 +86,7 @@ class BivocEngine {
   std::unique_ptr<MultiTypeLinker> linker_;
   AnnotatorPipeline annotators_;
   VocPipeline pipeline_;
+  std::unique_ptr<IngestService> ingest_;
 };
 
 }  // namespace bivoc

@@ -1,9 +1,25 @@
 #include "core/pipeline.h"
 
 #include "text/tokenizer.h"
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace bivoc {
+namespace {
+
+const char* CleanFaultPoint(VocChannel channel) {
+  switch (channel) {
+    case VocChannel::kEmail:
+      return kFaultCleanEmail;
+    case VocChannel::kSms:
+      return kFaultCleanSms;
+    case VocChannel::kCall:
+      return kFaultCleanTranscript;
+  }
+  return kFaultCleanEmail;
+}
+
+}  // namespace
 
 VocPipeline::VocPipeline() = default;
 
@@ -14,89 +30,125 @@ void VocPipeline::SetNameRoster(std::vector<std::string> roster) {
   }
 }
 
-Document VocPipeline::Finish(Document doc) {
-  doc.id = next_id_++;
-  ++stats_.processed;
-  if (doc.dropped) return doc;
+Document VocPipeline::MakeDocument(VocChannel channel, const std::string& raw,
+                                   int64_t time_bucket) {
+  Document doc;
+  doc.channel = channel;
+  doc.raw_text = raw;
+  doc.time_bucket = time_bucket;
 
+  switch (channel) {
+    case VocChannel::kEmail: {
+      EmailCleaner::Cleaned cleaned = email_cleaner_.Clean(raw);
+      doc.clean_text = cleaned.customer_text;
+      if (spam_filter_.IsSpam(doc.clean_text)) {
+        doc.dropped = true;
+        doc.drop_reason = "spam";
+        ++stats_.dropped_spam;
+      } else if (!language_filter_.IsEnglish(doc.clean_text)) {
+        doc.dropped = true;
+        doc.drop_reason = "non-english";
+        ++stats_.dropped_non_english;
+      }
+      break;
+    }
+    case VocChannel::kSms: {
+      if (spam_filter_.IsSpam(raw)) {
+        doc.dropped = true;
+        doc.drop_reason = "spam";
+        ++stats_.dropped_spam;
+        doc.clean_text = raw;
+      } else if (!language_filter_.IsEnglish(raw)) {
+        doc.dropped = true;
+        doc.drop_reason = "non-english";
+        ++stats_.dropped_non_english;
+        doc.clean_text = raw;
+      } else {
+        doc.clean_text = sms_normalizer_.Normalize(raw);
+      }
+      break;
+    }
+    case VocChannel::kCall: {
+      // Transcripts arrive already decoded; no filtering applies.
+      doc.clean_text = raw;
+      break;
+    }
+  }
+  return doc;
+}
+
+void VocPipeline::AnnotateAndExtract(Document* doc) {
   if (annotators_ != nullptr) {
     Tokenizer tokenizer;
-    doc.annotations =
-        annotators_->Annotate(tokenizer.Tokenize(doc.clean_text));
+    doc->annotations =
+        annotators_->Annotate(tokenizer.Tokenize(doc->clean_text));
     if (!name_roster_.empty()) {
-      doc.annotations =
-          DropRosterNames(std::move(doc.annotations), name_roster_);
+      doc->annotations =
+          DropRosterNames(std::move(doc->annotations), name_roster_);
     }
   }
-  if (linker_ != nullptr) {
-    if (!doc.annotations.empty()) {
-      doc.link = linker_->Identify(doc.annotations);
-    }
-    if (doc.link.linked) {
-      ++stats_.linked;
-    } else {
-      ++stats_.unlinked;
-    }
+  doc->concepts = extractor_.Extract(doc->clean_text);
+}
+
+void VocPipeline::DoLink(Document* doc) {
+  if (linker_ == nullptr) return;
+  if (!doc->annotations.empty()) {
+    doc->link = linker_->Identify(doc->annotations);
   }
-  doc.concepts = extractor_.Extract(doc.clean_text);
+  if (doc->link.linked) {
+    ++stats_.linked;
+  } else {
+    ++stats_.unlinked;
+  }
+}
+
+Document VocPipeline::Finish(Document doc) {
+  doc.id = next_id_.fetch_add(1);
+  ++stats_.processed;
+  if (doc.dropped) return doc;
+  AnnotateAndExtract(&doc);
+  DoLink(&doc);
   return doc;
 }
 
 Document VocPipeline::ProcessEmail(const std::string& raw,
                                    int64_t time_bucket) {
-  Document doc;
-  doc.channel = VocChannel::kEmail;
-  doc.raw_text = raw;
-  doc.time_bucket = time_bucket;
-
-  EmailCleaner::Cleaned cleaned = email_cleaner_.Clean(raw);
-  doc.clean_text = cleaned.customer_text;
-
-  if (spam_filter_.IsSpam(doc.clean_text)) {
-    doc.dropped = true;
-    doc.drop_reason = "spam";
-    ++stats_.dropped_spam;
-  } else if (!language_filter_.IsEnglish(doc.clean_text)) {
-    doc.dropped = true;
-    doc.drop_reason = "non-english";
-    ++stats_.dropped_non_english;
-  }
-  return Finish(std::move(doc));
+  return Finish(MakeDocument(VocChannel::kEmail, raw, time_bucket));
 }
 
 Document VocPipeline::ProcessSms(const std::string& raw,
                                  int64_t time_bucket) {
-  Document doc;
-  doc.channel = VocChannel::kSms;
-  doc.raw_text = raw;
-  doc.time_bucket = time_bucket;
-
-  if (spam_filter_.IsSpam(raw)) {
-    doc.dropped = true;
-    doc.drop_reason = "spam";
-    ++stats_.dropped_spam;
-    doc.clean_text = raw;
-    return Finish(std::move(doc));
-  }
-  if (!language_filter_.IsEnglish(raw)) {
-    doc.dropped = true;
-    doc.drop_reason = "non-english";
-    ++stats_.dropped_non_english;
-    doc.clean_text = raw;
-    return Finish(std::move(doc));
-  }
-  doc.clean_text = sms_normalizer_.Normalize(raw);
-  return Finish(std::move(doc));
+  return Finish(MakeDocument(VocChannel::kSms, raw, time_bucket));
 }
 
 Document VocPipeline::ProcessTranscript(const std::string& text,
                                         int64_t time_bucket) {
-  Document doc;
-  doc.channel = VocChannel::kCall;
-  doc.raw_text = text;
-  doc.clean_text = text;
-  doc.time_bucket = time_bucket;
-  return Finish(std::move(doc));
+  return Finish(MakeDocument(VocChannel::kCall, text, time_bucket));
+}
+
+Result<Document> VocPipeline::TryProcess(VocChannel channel,
+                                         const std::string& raw,
+                                         int64_t time_bucket) {
+  BIVOC_RETURN_NOT_OK(
+      FaultInjector::Global().MaybeFail(CleanFaultPoint(channel)));
+  Document doc = MakeDocument(channel, raw, time_bucket);
+  doc.id = next_id_.fetch_add(1);
+  ++stats_.processed;
+  if (!doc.dropped) AnnotateAndExtract(&doc);
+  return doc;
+}
+
+Status VocPipeline::LinkDocument(Document* doc) {
+  if (linker_ == nullptr) return Status::OK();
+  BIVOC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail(kFaultLinkerLink));
+  DoLink(doc);
+  return Status::OK();
+}
+
+Result<DocId> VocPipeline::TryIndexDocument(
+    const Document& doc, const std::vector<std::string>& keys) {
+  BIVOC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail(kFaultIndexAdd));
+  return IndexDocument(doc, keys);
 }
 
 DocId VocPipeline::IndexDocument(

@@ -1,6 +1,7 @@
 #ifndef BIVOC_CORE_PIPELINE_H_
 #define BIVOC_CORE_PIPELINE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -16,6 +17,7 @@
 #include "linking/annotator.h"
 #include "linking/multitype.h"
 #include "mining/concept_index.h"
+#include "util/result.h"
 
 namespace bivoc {
 
@@ -25,12 +27,31 @@ namespace bivoc {
 // specialize them; the linker is optional (nullptr = skip linking).
 class VocPipeline {
  public:
+  // Counters are atomic so concurrent IngestService workers can bump
+  // them without a lock; use Read() for a consistent plain-value copy.
   struct Stats {
-    std::size_t processed = 0;
-    std::size_t dropped_spam = 0;
-    std::size_t dropped_non_english = 0;
-    std::size_t linked = 0;
-    std::size_t unlinked = 0;
+    std::atomic<std::size_t> processed{0};
+    std::atomic<std::size_t> dropped_spam{0};
+    std::atomic<std::size_t> dropped_non_english{0};
+    std::atomic<std::size_t> linked{0};
+    std::atomic<std::size_t> unlinked{0};
+
+    struct Snapshot {
+      std::size_t processed = 0;
+      std::size_t dropped_spam = 0;
+      std::size_t dropped_non_english = 0;
+      std::size_t linked = 0;
+      std::size_t unlinked = 0;
+    };
+    Snapshot Read() const {
+      Snapshot s;
+      s.processed = processed.load();
+      s.dropped_spam = dropped_spam.load();
+      s.dropped_non_english = dropped_non_english.load();
+      s.linked = linked.load();
+      s.unlinked = unlinked.load();
+      return s;
+    }
   };
 
   VocPipeline();
@@ -56,6 +77,31 @@ class VocPipeline {
   Document ProcessTranscript(const std::string& text,
                              int64_t time_bucket = 0);
 
+  // --- Status-returning stage API used by IngestService -------------
+  // These split the Process* chain into fault-isolatable stages and
+  // check the FaultInjector points "clean.<channel>", "linker.link"
+  // and "index.add". They are what batch ingestion retries and
+  // dead-letters around; the legacy Process* entry points above are
+  // unaffected by armed fault points.
+
+  // Cleaning + filtering + annotation + concept extraction, but no
+  // linking (that stage is driven separately so the ingest layer can
+  // put a circuit breaker around it). Safe to call concurrently.
+  Result<Document> TryProcess(VocChannel channel, const std::string& raw,
+                              int64_t time_bucket = 0);
+
+  // Links `doc` against the warehouse (no-op without a linker).
+  // Returns an error without touching the doc when the "linker.link"
+  // fault point fires; callers degrade the doc to unlinked-but-indexed.
+  Status LinkDocument(Document* doc);
+
+  // IndexDocument behind the "index.add" fault point. NOT thread-safe
+  // (the concept index is single-writer); IngestService serializes it.
+  Result<DocId> TryIndexDocument(const Document& doc,
+                                 const std::vector<std::string>& keys);
+
+  bool has_linker() const { return linker_ != nullptr; }
+
   // Indexes the document's concepts plus caller-supplied structured
   // dimension keys (e.g. "outcome/reservation").
   DocId IndexDocument(const Document& doc,
@@ -66,6 +112,13 @@ class VocPipeline {
   const Stats& stats() const { return stats_; }
 
  private:
+  // Channel-specific cleaning + spam/language filtering (counts drops,
+  // does not assign an id).
+  Document MakeDocument(VocChannel channel, const std::string& raw,
+                        int64_t time_bucket);
+  void AnnotateAndExtract(Document* doc);
+  // Linker invocation + linked/unlinked accounting (no fault check).
+  void DoLink(Document* doc);
   Document Finish(Document doc);
 
   EmailCleaner email_cleaner_;
@@ -78,7 +131,7 @@ class VocPipeline {
   std::unordered_set<std::string> name_roster_;
   ConceptIndex index_;
   Stats stats_;
-  std::size_t next_id_ = 0;
+  std::atomic<std::size_t> next_id_{0};
 };
 
 }  // namespace bivoc

@@ -1,5 +1,7 @@
 #include "db/database.h"
 
+#include "util/fault_injection.h"
+
 namespace bivoc {
 
 Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
@@ -14,6 +16,7 @@ Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
 }
 
 Result<Table*> Database::GetTable(const std::string& name) {
+  BIVOC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail(kFaultDbLookup));
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no table named '" + name + "'");
@@ -22,6 +25,7 @@ Result<Table*> Database::GetTable(const std::string& name) {
 }
 
 Result<const Table*> Database::GetTable(const std::string& name) const {
+  BIVOC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail(kFaultDbLookup));
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no table named '" + name + "'");

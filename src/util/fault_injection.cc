@@ -1,0 +1,102 @@
+#include "util/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+namespace bivoc {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[point];
+  if (!state.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  state.armed = true;
+  state.rng.Seed(spec.seed);
+  state.spec = std::move(spec);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, state] : points_) {
+    if (state.armed) {
+      state.armed = false;
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool FaultInjector::IsArmed(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it != points_.end() && it->second.armed;
+}
+
+Status FaultInjector::MaybeFail(const std::string& point) {
+  // Fast path: nothing armed anywhere — no lock, no map lookup. This
+  // keeps production ingestion at full speed when injection is off.
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return Status::OK();
+
+  int64_t latency_ms = 0;
+  Status failure = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end() || !it->second.armed) return Status::OK();
+    PointState& state = it->second;
+    ++state.hits;
+    if (!state.rng.Bernoulli(state.spec.probability)) return Status::OK();
+    ++state.trips;
+    latency_ms = state.spec.latency_ms;
+    failure = Status(state.spec.code,
+                     state.spec.message + " at " + point);
+  }
+  // Sleep outside the lock so a slow fault cannot serialize other
+  // points (or other threads hitting this one).
+  if (latency_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(latency_ms));
+  }
+  return failure;
+}
+
+std::size_t FaultInjector::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::size_t FaultInjector::TripCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.trips;
+}
+
+void FaultInjector::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, state] : points_) {
+    state.hits = 0;
+    state.trips = 0;
+  }
+}
+
+std::vector<std::string> FaultInjector::ArmedPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, state] : points_) {
+    if (state.armed) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace bivoc

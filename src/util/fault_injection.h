@@ -1,0 +1,104 @@
+#ifndef BIVOC_UTIL_FAULT_INJECTION_H_
+#define BIVOC_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace bivoc {
+
+// Well-known fault points instrumented across the libraries. Points
+// follow a "<subsystem>.<operation>" naming convention; arming a name
+// that no site checks is legal (it simply never fires).
+inline constexpr const char kFaultDbLookup[] = "db.lookup";
+inline constexpr const char kFaultLinkerLink[] = "linker.link";
+inline constexpr const char kFaultCleanEmail[] = "clean.email";
+inline constexpr const char kFaultCleanSms[] = "clean.sms";
+inline constexpr const char kFaultCleanTranscript[] = "clean.transcript";
+inline constexpr const char kFaultIndexAdd[] = "index.add";
+
+// How an armed fault point misbehaves. Each hit draws an independent
+// Bernoulli(probability) from a per-point seeded Rng, so a given seed
+// produces the same number of failures regardless of wall-clock.
+struct FaultSpec {
+  double probability = 1.0;  // chance that a hit fails
+  StatusCode code = StatusCode::kIoError;
+  std::string message = "injected fault";
+  // Latency added to *failing* hits (simulates a slow, then failing,
+  // dependency). Keep 0 in unit tests for speed.
+  int64_t latency_ms = 0;
+  uint64_t seed = 0x5eedULL;
+};
+
+// Process-wide registry of named fault points. Production code calls
+// MaybeFail(point) at instrumented sites; tests and benches arm points
+// with a seeded probability to deterministically inject Status errors
+// (and optional latency). All operations are thread-safe, and the
+// disarmed fast path is a single relaxed atomic load.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  void Arm(const std::string& point, FaultSpec spec);
+  void Disarm(const std::string& point);
+  void DisarmAll();
+  bool IsArmed(const std::string& point) const;
+
+  // The instrumented-site hook: returns OK when `point` is not armed or
+  // the Bernoulli draw passes; otherwise applies the spec's latency and
+  // returns Status(spec.code, spec.message + " at <point>").
+  Status MaybeFail(const std::string& point);
+
+  // Times the point was reached / times it actually failed. Counters
+  // survive Disarm (so a test can disarm and then audit) but are wiped
+  // by ResetCounters.
+  std::size_t HitCount(const std::string& point) const;
+  std::size_t TripCount(const std::string& point) const;
+  void ResetCounters();
+
+  std::vector<std::string> ArmedPoints() const;
+
+ private:
+  FaultInjector() = default;
+
+  struct PointState {
+    FaultSpec spec;
+    Rng rng{0};
+    bool armed = false;
+    std::size_t hits = 0;
+    std::size_t trips = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, PointState> points_;
+  std::atomic<int> armed_count_{0};
+};
+
+// RAII arming for tests: arms in the constructor, disarms in the
+// destructor, so a failing ASSERT cannot leak an armed point into the
+// next test.
+class ScopedFault {
+ public:
+  ScopedFault(std::string point, FaultSpec spec) : point_(std::move(point)) {
+    FaultInjector::Global().Arm(point_, std::move(spec));
+  }
+  ~ScopedFault() { FaultInjector::Global().Disarm(point_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_UTIL_FAULT_INJECTION_H_

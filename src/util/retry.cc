@@ -1,0 +1,69 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace bivoc {
+
+bool DefaultRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIoError:
+    case StatusCode::kInternal:
+    case StatusCode::kFailedPrecondition:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Retrier::Retrier(RetryPolicy policy, uint64_t seed)
+    : policy_(std::move(policy)), rng_(seed) {
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+  if (!policy_.retryable) policy_.retryable = DefaultRetryable;
+}
+
+int64_t Retrier::BackoffForAttempt(int attempt) {
+  if (attempt <= 1 || policy_.initial_backoff_ms <= 0) return 0;
+  double backoff = static_cast<double>(policy_.initial_backoff_ms);
+  for (int i = 2; i < attempt; ++i) backoff *= policy_.backoff_multiplier;
+  backoff = std::min(backoff, static_cast<double>(policy_.max_backoff_ms));
+  if (policy_.jitter > 0.0) {
+    double lo = std::max(0.0, 1.0 - policy_.jitter);
+    double hi = 1.0 + policy_.jitter;
+    backoff *= lo + (hi - lo) * rng_.NextDouble();
+  }
+  return static_cast<int64_t>(backoff);
+}
+
+Status Retrier::Run(const std::function<Status()>& op) {
+  const auto start = std::chrono::steady_clock::now();
+  Status last = Status::OK();
+  last_attempts_ = 0;
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      int64_t backoff_ms = BackoffForAttempt(attempt);
+      if (policy_.deadline_ms > 0) {
+        auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+        // Do not start an attempt whose backoff alone would blow the
+        // budget; report the last real failure instead.
+        if (elapsed + backoff_ms > policy_.deadline_ms) break;
+      }
+      if (backoff_ms > 0) {
+        if (policy_.sleeper) {
+          policy_.sleeper(backoff_ms);
+        } else {
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        }
+      }
+    }
+    ++last_attempts_;
+    last = op();
+    if (last.ok() || !policy_.retryable(last)) return last;
+  }
+  return last;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,80 @@
+#ifndef BIVOC_UTIL_RETRY_H_
+#define BIVOC_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bivoc {
+
+// Which error codes are worth another attempt by default: transient
+// infrastructure failures. Data errors (InvalidArgument, Corruption,
+// NotFound, ...) will fail the same way every time and are not retried.
+bool DefaultRetryable(const Status& status);
+
+// Declarative retry configuration: bounded attempts, exponential
+// backoff with jitter, an overall deadline budget and a predicate
+// selecting which Status codes are retryable. Used by the linking path
+// and the batch ingestion front-end.
+struct RetryPolicy {
+  int max_attempts = 3;             // total attempts, including the first
+  int64_t initial_backoff_ms = 0;   // 0 = no sleeping between attempts
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_ms = 1000;
+  double jitter = 0.5;              // backoff scaled by U[1-j, 1+j]
+  int64_t deadline_ms = 0;          // total budget; 0 = unbounded
+  std::function<bool(const Status&)> retryable;  // default: DefaultRetryable
+  // Injectable sleeper for tests (default: std::this_thread::sleep_for).
+  std::function<void(int64_t)> sleeper;
+};
+
+// Executes a fallible operation under a RetryPolicy. Jitter draws from
+// a bivoc::Rng so retry schedules are reproducible from a seed.
+//
+//   Retrier retrier(policy, /*seed=*/42);
+//   Status st = retrier.Run([&] { return linker.Link(doc); });
+//   // retrier.last_attempts() attempts were made.
+class Retrier {
+ public:
+  explicit Retrier(RetryPolicy policy, uint64_t seed = 0x5eedULL);
+
+  // Runs `op` until it returns OK, a non-retryable error, the attempt
+  // budget is exhausted, or the deadline would be exceeded by the next
+  // backoff. Returns the last Status observed.
+  Status Run(const std::function<Status()>& op);
+
+  // Result<T>-returning flavor with the same semantics.
+  template <typename T>
+  Result<T> Run(const std::function<Result<T>()>& op) {
+    std::optional<T> value;
+    Status st = Run([&]() -> Status {
+      Result<T> r = op();
+      if (!r.ok()) return r.status();
+      value.emplace(r.MoveValue());
+      return Status::OK();
+    });
+    if (!st.ok()) return st;
+    return std::move(*value);
+  }
+
+  // Attempts made by the most recent Run (>= 1 once Run was called).
+  int last_attempts() const { return last_attempts_; }
+
+  // Backoff (ms, jittered) that Run would sleep before attempt
+  // `attempt` (1-based; attempt 1 has no backoff). Exposed for tests.
+  int64_t BackoffForAttempt(int attempt);
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  int last_attempts_ = 0;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_UTIL_RETRY_H_

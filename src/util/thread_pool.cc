@@ -69,7 +69,18 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // A throwing task must not escape the worker thread (that would
+    // std::terminate the whole process) and must still decrement
+    // in_flight_, or Wait() deadlocks.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      exceptions_caught_.fetch_add(1, std::memory_order_relaxed);
+      BIVOC_LOG(Error) << "ThreadPool task threw: " << e.what();
+    } catch (...) {
+      exceptions_caught_.fetch_add(1, std::memory_order_relaxed);
+      BIVOC_LOG(Error) << "ThreadPool task threw a non-std exception";
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

@@ -1,6 +1,7 @@
 #ifndef BIVOC_UTIL_THREAD_POOL_H_
 #define BIVOC_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -22,13 +23,21 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues a task; tasks must not throw.
+  // Enqueues a task. Tasks should report failures via Status rather
+  // than throwing, but a throwing task is contained: the exception is
+  // caught in the worker, counted in exceptions_caught(), and the pool
+  // keeps running (it never std::terminates the process).
   void Submit(std::function<void()> task);
 
   // Blocks until all submitted tasks have finished.
   void Wait();
 
   std::size_t num_threads() const { return workers_.size(); }
+
+  // Number of tasks whose exceptions were swallowed by the pool.
+  std::size_t exceptions_caught() const {
+    return exceptions_caught_.load(std::memory_order_relaxed);
+  }
 
   // Convenience: runs fn(i) for i in [0, n) across the pool and waits.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
@@ -43,6 +52,7 @@ class ThreadPool {
   std::condition_variable cv_done_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  std::atomic<std::size_t> exceptions_caught_{0};
 };
 
 }  // namespace bivoc

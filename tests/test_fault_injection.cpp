@@ -1,0 +1,148 @@
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace bivoc {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FaultInjector::Global().DisarmAll();
+    FaultInjector::Global().ResetCounters();
+  }
+};
+
+TEST_F(FaultInjectionTest, UnarmedPointNeverFails) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(FaultInjector::Global().MaybeFail("nobody.armed.this").ok());
+  }
+  // The disarmed fast path must not even record hits.
+  EXPECT_EQ(FaultInjector::Global().HitCount("nobody.armed.this"), 0u);
+}
+
+TEST_F(FaultInjectionTest, CertainFaultAlwaysFires) {
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.code = StatusCode::kCorruption;
+  spec.message = "disk ate the email";
+  FaultInjector::Global().Arm(kFaultCleanEmail, spec);
+  Status st = FaultInjector::Global().MaybeFail(kFaultCleanEmail);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  // The failing site is appended so dead letters name their origin.
+  EXPECT_NE(st.message().find(kFaultCleanEmail), std::string::npos);
+  EXPECT_EQ(FaultInjector::Global().HitCount(kFaultCleanEmail), 1u);
+  EXPECT_EQ(FaultInjector::Global().TripCount(kFaultCleanEmail), 1u);
+}
+
+TEST_F(FaultInjectionTest, ZeroProbabilityNeverFires) {
+  FaultSpec spec;
+  spec.probability = 0.0;
+  FaultInjector::Global().Arm(kFaultLinkerLink, spec);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(FaultInjector::Global().MaybeFail(kFaultLinkerLink).ok());
+  }
+  EXPECT_EQ(FaultInjector::Global().HitCount(kFaultLinkerLink), 200u);
+  EXPECT_EQ(FaultInjector::Global().TripCount(kFaultLinkerLink), 0u);
+}
+
+TEST_F(FaultInjectionTest, SeededProbabilityIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    FaultSpec spec;
+    spec.probability = 0.3;
+    spec.seed = seed;
+    FaultInjector::Global().Arm("test.point", spec);
+    std::size_t failures = 0;
+    for (int i = 0; i < 1000; ++i) {
+      if (!FaultInjector::Global().MaybeFail("test.point").ok()) ++failures;
+    }
+    FaultInjector::Global().Disarm("test.point");
+    return failures;
+  };
+  std::size_t a = run(42);
+  std::size_t b = run(42);
+  std::size_t c = run(43);
+  EXPECT_EQ(a, b);
+  // ~30% of 1000 with generous slack.
+  EXPECT_GT(a, 200u);
+  EXPECT_LT(a, 400u);
+  // A different seed gives a different (but similar-rate) trajectory.
+  EXPECT_GT(c, 200u);
+  EXPECT_LT(c, 400u);
+}
+
+TEST_F(FaultInjectionTest, DisarmStopsFailuresButKeepsCounters) {
+  FaultSpec spec;
+  spec.probability = 1.0;
+  FaultInjector::Global().Arm(kFaultIndexAdd, spec);
+  EXPECT_FALSE(FaultInjector::Global().MaybeFail(kFaultIndexAdd).ok());
+  FaultInjector::Global().Disarm(kFaultIndexAdd);
+  EXPECT_FALSE(FaultInjector::Global().IsArmed(kFaultIndexAdd));
+  EXPECT_TRUE(FaultInjector::Global().MaybeFail(kFaultIndexAdd).ok());
+  EXPECT_EQ(FaultInjector::Global().TripCount(kFaultIndexAdd), 1u);
+  FaultInjector::Global().ResetCounters();
+  EXPECT_EQ(FaultInjector::Global().TripCount(kFaultIndexAdd), 0u);
+}
+
+TEST_F(FaultInjectionTest, ScopedFaultDisarmsOnExit) {
+  {
+    ScopedFault fault(kFaultDbLookup, FaultSpec{});
+    EXPECT_TRUE(FaultInjector::Global().IsArmed(kFaultDbLookup));
+  }
+  EXPECT_FALSE(FaultInjector::Global().IsArmed(kFaultDbLookup));
+}
+
+TEST_F(FaultInjectionTest, ArmedPointsListsOnlyArmed) {
+  ScopedFault a(kFaultDbLookup, FaultSpec{});
+  ScopedFault b(kFaultLinkerLink, FaultSpec{});
+  FaultInjector::Global().Arm("temp.point", FaultSpec{});
+  FaultInjector::Global().Disarm("temp.point");
+  auto armed = FaultInjector::Global().ArmedPoints();
+  EXPECT_EQ(armed.size(), 2u);
+}
+
+TEST_F(FaultInjectionTest, ConcurrentHitsAreCountedExactly) {
+  FaultSpec spec;
+  spec.probability = 0.5;
+  spec.seed = 7;
+  FaultInjector::Global().Arm("test.concurrent", spec);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&failures] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!FaultInjector::Global().MaybeFail("test.concurrent").ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(FaultInjector::Global().HitCount("test.concurrent"),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(FaultInjector::Global().TripCount("test.concurrent"),
+            failures.load());
+}
+
+TEST_F(FaultInjectionTest, LatencyIsAppliedToFailingHits) {
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.latency_ms = 20;
+  FaultInjector::Global().Arm("test.slow", spec);
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(FaultInjector::Global().MaybeFail("test.slow").ok());
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_GE(elapsed, 15);
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -9,9 +9,11 @@
 #include "asr/lexicon.h"
 #include "clean/email_cleaner.h"
 #include "clean/sms_normalizer.h"
+#include "core/ingest.h"
 #include "linking/annotator.h"
 #include "text/phonetic.h"
 #include "text/tokenizer.h"
+#include "util/fault_injection.h"
 #include "util/random.h"
 
 namespace bivoc {
@@ -127,6 +129,79 @@ TEST_P(FuzzTest, AnnotatorsHandleGarbage) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
                          ::testing::Values(101, 202, 303, 404, 505));
+
+// Hostile payloads the 150 GB/day firehose will eventually contain:
+// embedded NULs, megabyte single-line emails, invalid UTF-8 and raw
+// binary. Batch ingestion must neither crash nor lose track of them.
+std::vector<IngestItem> HostileItems() {
+  std::vector<IngestItem> items;
+  auto add = [&items](VocChannel channel, std::string payload) {
+    IngestItem item;
+    item.channel = channel;
+    item.payload = std::move(payload);
+    items.push_back(std::move(item));
+  };
+  add(VocChannel::kEmail, std::string("call me\0right now\0", 18));
+  add(VocChannel::kSms, std::string("\0\0\0", 3));
+  add(VocChannel::kEmail, std::string(1 << 20, 'a'));  // 1 MB, one line
+  add(VocChannel::kEmail,
+      "subject: gprs\n\xff\xfe\x80\x80 broken \xf0\x28\x8c\x28 utf8");
+  add(VocChannel::kSms, "caf\xc3 truncated multibyte tail \xc3");
+  add(VocChannel::kCall, std::string("\xde\xad\xbe\xef", 4));
+  Rng rng(0xbadf00d);
+  for (int i = 0; i < 20; ++i) {
+    std::string binary;
+    for (int b = 0; b < 400; ++b) {
+      binary += static_cast<char>(rng.Uniform(0, 255));
+    }
+    add(i % 2 == 0 ? VocChannel::kEmail : VocChannel::kSms,
+        std::move(binary));
+  }
+  return items;
+}
+
+TEST(HostileIngestTest, HostilePayloadsAreContainedAndAccounted) {
+  VocPipeline pipeline;
+  IngestOptions opts;
+  opts.num_threads = 4;
+  IngestService service(&pipeline, opts);
+  std::vector<IngestItem> items = HostileItems();
+  HealthReport report = service.IngestBatch(items);
+  EXPECT_EQ(report.submitted, items.size());
+  EXPECT_EQ(report.processed + report.dropped + report.dead_lettered,
+            report.submitted);
+  // No faults armed: hostile bytes are data, not infrastructure
+  // failures — nothing may land in the dead-letter queue.
+  EXPECT_EQ(report.dead_lettered, 0u);
+}
+
+TEST(HostileIngestTest, HostilePayloadsDeadLetterUnderInjectedFaults) {
+  VocPipeline pipeline;
+  IngestOptions opts;
+  opts.num_threads = 4;
+  opts.clean_retry.max_attempts = 1;
+  IngestService service(&pipeline, opts);
+  std::vector<IngestItem> items = HostileItems();
+  HealthReport report;
+  {
+    FaultSpec fault;  // certain failure at every cleaning site
+    ScopedFault f1(kFaultCleanEmail, fault);
+    ScopedFault f2(kFaultCleanSms, fault);
+    ScopedFault f3(kFaultCleanTranscript, fault);
+    report = service.IngestBatch(items);
+  }
+  EXPECT_EQ(report.dead_lettered, items.size());
+  EXPECT_EQ(report.processed, 0u);
+  EXPECT_EQ(service.dead_letters()->size(), items.size());
+
+  // Disarmed, every hostile payload replays without a crash and the
+  // ledger balances again.
+  HealthReport replay = service.ReplayDeadLetters();
+  EXPECT_EQ(replay.replayed, items.size());
+  HealthReport total = service.report();
+  EXPECT_EQ(total.processed + total.dropped, items.size());
+  EXPECT_EQ(total.dead_lettered, 0u);
+}
 
 }  // namespace
 }  // namespace bivoc

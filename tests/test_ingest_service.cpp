@@ -1,0 +1,339 @@
+#include "core/ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/bivoc.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
+
+namespace bivoc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker state machine (deterministic via an injected clock).
+
+class BreakerTest : public ::testing::Test {
+ protected:
+  CircuitBreaker MakeBreaker() {
+    CircuitBreaker::Options opts;
+    opts.failure_threshold = 3;
+    opts.cool_off_ms = 100;
+    opts.half_open_successes = 2;
+    opts.clock_ms = [this] { return now_ms_; };
+    return CircuitBreaker(opts);
+  }
+  int64_t now_ms_ = 0;
+};
+
+TEST_F(BreakerTest, TripsAfterConsecutiveFailures) {
+  CircuitBreaker breaker = MakeBreaker();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 1u);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(breaker.short_circuited(), 1u);
+}
+
+TEST_F(BreakerTest, SuccessResetsTheFailureStreak) {
+  CircuitBreaker breaker = MakeBreaker();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();  // streak broken
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST_F(BreakerTest, HalfOpenProbeClosesAfterSuccesses) {
+  CircuitBreaker breaker = MakeBreaker();
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  now_ms_ += 99;
+  EXPECT_FALSE(breaker.Allow());  // cool-off not yet elapsed
+  now_ms_ += 1;
+  EXPECT_TRUE(breaker.Allow());  // probe admitted
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST_F(BreakerTest, FailedProbeReopensAndRestartsCoolOff) {
+  CircuitBreaker breaker = MakeBreaker();
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  now_ms_ += 100;
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+  EXPECT_FALSE(breaker.Allow());
+  now_ms_ += 100;
+  EXPECT_TRUE(breaker.Allow());
+}
+
+// ---------------------------------------------------------------------------
+// DeadLetterQueue bounds.
+
+TEST(DeadLetterQueueTest, BoundedPushAndDrain) {
+  DeadLetterQueue queue(2);
+  DeadLetter letter;
+  letter.status = Status::IoError("x");
+  EXPECT_TRUE(queue.Push(letter));
+  EXPECT_TRUE(queue.Push(letter));
+  EXPECT_FALSE(queue.Push(letter));  // full
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.overflowed(), 1u);
+  auto drained = queue.Drain();
+  EXPECT_EQ(drained.size(), 2u);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_TRUE(queue.Push(letter));  // capacity freed by Drain
+}
+
+// ---------------------------------------------------------------------------
+// IngestService over a linker-backed engine.
+
+class IngestServiceTest : public ::testing::Test {
+ protected:
+  IngestServiceTest() {
+    Schema schema({
+        {"id", DataType::kInt64, AttributeRole::kNone},
+        {"name", DataType::kString, AttributeRole::kPersonName},
+        {"phone", DataType::kString, AttributeRole::kPhone},
+    });
+    Table* customers =
+        *engine_.warehouse()->CreateTable("customers", schema);
+    BIVOC_CHECK_OK(customers
+                       ->Append({Value(int64_t{0}), Value("john smith"),
+                                 Value("9845012345")})
+                       .status());
+    BIVOC_CHECK_OK(engine_.FinishWarehouse());
+    engine_.ConfigureAnnotators({"john", "smith"}, {});
+    engine_.extractor()->mutable_dictionary()->Add("gprs", "gprs",
+                                                   "product");
+    engine_.pipeline()->mutable_language_filter()->AddVocabulary(
+        {"gprs", "john", "smith", "working", "down", "report", "problem",
+         "question"});
+  }
+
+  void TearDown() override {
+    FaultInjector::Global().DisarmAll();
+    FaultInjector::Global().ResetCounters();
+  }
+
+  std::vector<IngestItem> MakeBatch(std::size_t n) {
+    std::vector<IngestItem> items;
+    items.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      IngestItem item;
+      if (i % 10 == 9) {
+        // Every tenth document is spam and should be filter-dropped.
+        item.channel = VocChannel::kEmail;
+        item.payload = "you have won a lottery claim your prize";
+      } else if (i % 2 == 0) {
+        item.channel = VocChannel::kEmail;
+        item.payload = "gprs problem report from john smith 9845012345";
+      } else {
+        item.channel = VocChannel::kSms;
+        item.payload = "gprs not working john smith 9845012345";
+      }
+      item.time_bucket = static_cast<int64_t>(i % 7);
+      item.structured_keys = {"status/active"};
+      items.push_back(std::move(item));
+    }
+    return items;
+  }
+
+  BivocEngine engine_;
+};
+
+TEST_F(IngestServiceTest, CleanBatchFullyAccounted) {
+  IngestOptions opts;
+  opts.num_threads = 4;
+  IngestService service(engine_.pipeline(), opts);
+  HealthReport report = service.IngestBatch(MakeBatch(200));
+  EXPECT_EQ(report.submitted, 200u);
+  EXPECT_EQ(report.dead_lettered, 0u);
+  EXPECT_EQ(report.dropped, 20u);  // the spam tenth
+  EXPECT_EQ(report.processed, 180u);
+  EXPECT_EQ(report.processed + report.dropped + report.dead_lettered,
+            report.submitted);
+  EXPECT_EQ(report.degraded, 0u);
+  EXPECT_EQ(report.breaker_state, CircuitBreaker::State::kClosed);
+  // Linked documents reached the index with their concepts.
+  EXPECT_GT(report.pipeline.linked, 0u);
+  EXPECT_EQ(engine_.index().num_documents(), 180u);
+}
+
+// The ISSUE's acceptance scenario: 1000 documents with 30% injected
+// faults on both the cleaning and linking paths must complete with
+// every document accounted for, the breaker observably opening, and
+// dead letters replayable once faults are disarmed.
+TEST_F(IngestServiceTest, ThirtyPercentFaultsFullyAccountedAndReplayable) {
+  IngestOptions opts;
+  opts.num_threads = 4;
+  opts.clean_retry.max_attempts = 2;
+  opts.link_retry.max_attempts = 1;
+  opts.breaker.failure_threshold = 3;
+  opts.breaker.cool_off_ms = 1;
+  opts.breaker.half_open_successes = 1;
+  IngestService service(engine_.pipeline(), opts);
+
+  FaultSpec clean_fault;
+  clean_fault.probability = 0.3;
+  clean_fault.seed = 1234;
+  FaultSpec link_fault;
+  link_fault.probability = 0.3;
+  link_fault.seed = 5678;
+  HealthReport report;
+  {
+    ScopedFault f1(kFaultCleanEmail, clean_fault);
+    ScopedFault f2(kFaultCleanSms, clean_fault);
+    ScopedFault f3(kFaultLinkerLink, link_fault);
+    report = service.IngestBatch(MakeBatch(1000));
+  }
+
+  // Zero crashes is implicit; every document accounted for exactly once.
+  EXPECT_EQ(report.submitted, 1000u);
+  EXPECT_EQ(report.processed + report.dropped + report.dead_lettered,
+            report.submitted);
+  // 30% per attempt, 2 attempts => ~9% of documents dead-letter.
+  EXPECT_GT(report.dead_lettered, 30u);
+  EXPECT_LT(report.dead_lettered, 200u);
+  EXPECT_EQ(service.dead_letters()->size(), report.dead_lettered);
+  EXPECT_GT(report.retried, 0u);
+  // Link failures degraded documents instead of killing them.
+  EXPECT_GT(report.degraded, 0u);
+  // At 30% link failure with threshold 3, the breaker opens at least
+  // once over ~900 documents (p ~ 1 - (1-0.027)^900).
+  EXPECT_GE(report.breaker_opened, 1u);
+
+  // Disarm (scoped faults ended) and replay: every dead letter
+  // recovers, and the breaker closes again on healthy traffic.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  HealthReport replay = service.ReplayDeadLetters();
+  EXPECT_EQ(replay.submitted, report.dead_lettered);
+  EXPECT_EQ(replay.replayed, replay.submitted);
+  EXPECT_EQ(replay.dead_lettered, 0u);
+  EXPECT_TRUE(service.dead_letters()->empty());
+
+  // Cumulative ledger: everything ever submitted is now processed or
+  // deliberately filtered; nothing is lost.
+  HealthReport total = service.report();
+  EXPECT_EQ(total.submitted, 1000u);
+  EXPECT_EQ(total.dead_lettered, 0u);
+  EXPECT_EQ(total.processed + total.dropped, 1000u);
+  EXPECT_EQ(total.replayed, replay.replayed);
+  EXPECT_EQ(total.breaker_state, CircuitBreaker::State::kClosed);
+}
+
+TEST_F(IngestServiceTest, LinkerOutageDegradesInsteadOfStalling) {
+  IngestOptions opts;
+  opts.num_threads = 2;
+  opts.link_retry.max_attempts = 1;
+  opts.breaker.failure_threshold = 2;
+  opts.breaker.cool_off_ms = 60'000;  // stays open for the whole test
+  IngestService service(engine_.pipeline(), opts);
+
+  FaultSpec outage;
+  outage.probability = 1.0;  // hard down
+  ScopedFault fault(kFaultLinkerLink, outage);
+  HealthReport report = service.IngestBatch(MakeBatch(100));
+
+  // No document is lost to a linker outage: all are indexed unlinked.
+  EXPECT_EQ(report.dead_lettered, 0u);
+  EXPECT_EQ(report.processed, 90u);
+  EXPECT_EQ(report.degraded, 90u);
+  EXPECT_EQ(report.breaker_state, CircuitBreaker::State::kOpen);
+  // After the trip, most link calls were short-circuited, never even
+  // reaching the dead linker.
+  EXPECT_GT(report.short_circuited, 0u);
+  EXPECT_EQ(engine_.index().num_documents(), 90u);
+}
+
+TEST_F(IngestServiceTest, IndexFaultsDeadLetterAndOverflowIsBounded) {
+  IngestOptions opts;
+  opts.num_threads = 2;
+  opts.dead_letter_capacity = 4;
+  opts.index_retry.max_attempts = 1;
+  IngestService service(engine_.pipeline(), opts);
+
+  FaultSpec fault;  // certain failure
+  ScopedFault scoped(kFaultIndexAdd, fault);
+  HealthReport report = service.IngestBatch(MakeBatch(10));
+  EXPECT_EQ(report.dead_lettered, 9u);  // 1 of 10 is spam (dropped)
+  EXPECT_EQ(report.processed, 0u);
+  EXPECT_EQ(report.dropped, 1u);
+  // The queue is bounded: extra letters are counted, not stored.
+  EXPECT_EQ(service.dead_letters()->size(), 4u);
+  EXPECT_EQ(report.dead_letter_overflow, 5u);
+}
+
+TEST_F(IngestServiceTest, ReplayAccumulatesAttemptCounts) {
+  IngestOptions opts;
+  opts.num_threads = 1;
+  opts.clean_retry.max_attempts = 2;
+  IngestService service(engine_.pipeline(), opts);
+
+  IngestItem item;
+  item.channel = VocChannel::kEmail;
+  item.payload = "gprs problem report from john smith 9845012345";
+
+  FaultSpec fault;  // probability 1.0
+  {
+    ScopedFault scoped(kFaultCleanEmail, fault);
+    service.IngestBatch({item});
+    ASSERT_EQ(service.dead_letters()->size(), 1u);
+    // Replay while still broken: attempts accumulate across replays.
+    service.ReplayDeadLetters();
+  }
+  auto letters = service.dead_letters()->Drain();
+  ASSERT_EQ(letters.size(), 1u);
+  EXPECT_EQ(letters[0].attempts, 4);  // 2 per run, 2 runs
+  EXPECT_EQ(letters[0].status.code(), StatusCode::kIoError);
+  EXPECT_EQ(letters[0].item.payload, item.payload);
+
+  // Healed: the drained letter can be resubmitted by hand.
+  HealthReport report = service.IngestBatch({letters[0].item});
+  EXPECT_EQ(report.processed, 1u);
+}
+
+TEST_F(IngestServiceTest, EngineFacadeSurfacesHealth) {
+  IngestOptions opts;
+  opts.num_threads = 2;
+  engine_.ConfigureIngest(opts);
+  HealthReport report = engine_.IngestBatch(MakeBatch(50));
+  EXPECT_EQ(report.submitted, 50u);
+  EXPECT_EQ(report.processed + report.dropped, 50u);
+  HealthReport health = engine_.Health();
+  EXPECT_EQ(health.submitted, 50u);
+  EXPECT_EQ(health.pipeline.processed, 50u);
+  EXPECT_GT(health.pipeline.linked, 0u);
+}
+
+TEST_F(IngestServiceTest, HealthWithoutIngestServiceReportsPipeline) {
+  engine_.AddEmail("gprs problem report from john smith 9845012345");
+  HealthReport health = engine_.Health();
+  EXPECT_EQ(health.submitted, 0u);
+  EXPECT_EQ(health.pipeline.processed, 1u);
+}
+
+TEST_F(IngestServiceTest, TranscriptsBypassFilters) {
+  IngestService service(engine_.pipeline(), IngestOptions{});
+  IngestItem item;
+  item.channel = VocChannel::kCall;
+  item.payload = "total garbage zzz qqq";  // would fail language filter
+  HealthReport report = service.IngestBatch({item});
+  EXPECT_EQ(report.processed, 1u);
+  EXPECT_EQ(report.dropped, 0u);
+}
+
+}  // namespace
+}  // namespace bivoc

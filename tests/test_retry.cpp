@@ -1,0 +1,173 @@
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bivoc {
+namespace {
+
+RetryPolicy NoSleepPolicy(int max_attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.initial_backoff_ms = 0;
+  return policy;
+}
+
+TEST(RetryTest, FirstAttemptSuccessMakesOneCall) {
+  Retrier retrier(NoSleepPolicy(5));
+  int calls = 0;
+  Status st = retrier.Run([&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retrier.last_attempts(), 1);
+}
+
+TEST(RetryTest, TransientFailureRecovers) {
+  Retrier retrier(NoSleepPolicy(5));
+  int calls = 0;
+  Status st = retrier.Run([&] {
+    return ++calls < 3 ? Status::IoError("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retrier.last_attempts(), 3);
+}
+
+TEST(RetryTest, ExhaustedAttemptsReturnLastError) {
+  Retrier retrier(NoSleepPolicy(3));
+  int calls = 0;
+  Status st = retrier.Run([&] {
+    ++calls;
+    return Status::IoError("attempt " + std::to_string(calls));
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(st.message(), "attempt 3");
+}
+
+TEST(RetryTest, NonRetryableCodeFailsFast) {
+  Retrier retrier(NoSleepPolicy(5));
+  int calls = 0;
+  Status st = retrier.Run([&] {
+    ++calls;
+    return Status::InvalidArgument("bad payload");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, CustomRetryablePredicate) {
+  RetryPolicy policy = NoSleepPolicy(4);
+  policy.retryable = [](const Status& s) {
+    return s.code() == StatusCode::kNotFound;
+  };
+  Retrier retrier(policy);
+  int calls = 0;
+  Status st = retrier.Run([&] {
+    ++calls;
+    return Status::NotFound("eventually consistent");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryTest, ResultFlavorReturnsValue) {
+  Retrier retrier(NoSleepPolicy(3));
+  int calls = 0;
+  Result<int> r = retrier.Run<int>([&]() -> Result<int> {
+    if (++calls < 2) return Status::IoError("warming up");
+    return 42;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(retrier.last_attempts(), 2);
+}
+
+TEST(RetryTest, ResultFlavorPropagatesError) {
+  Retrier retrier(NoSleepPolicy(2));
+  Result<int> r = retrier.Run<int>(
+      []() -> Result<int> { return Status::Internal("down"); });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(RetryTest, BackoffGrowsExponentiallyWithoutJitter) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.initial_backoff_ms = 10;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 50;
+  policy.jitter = 0.0;
+  Retrier retrier(policy);
+  EXPECT_EQ(retrier.BackoffForAttempt(1), 0);
+  EXPECT_EQ(retrier.BackoffForAttempt(2), 10);
+  EXPECT_EQ(retrier.BackoffForAttempt(3), 20);
+  EXPECT_EQ(retrier.BackoffForAttempt(4), 40);
+  EXPECT_EQ(retrier.BackoffForAttempt(5), 50);  // capped
+  EXPECT_EQ(retrier.BackoffForAttempt(6), 50);
+}
+
+TEST(RetryTest, JitteredBackoffStaysInBand) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 100;
+  policy.jitter = 0.5;
+  Retrier retrier(policy, /*seed=*/99);
+  for (int i = 0; i < 100; ++i) {
+    int64_t b = retrier.BackoffForAttempt(2);
+    EXPECT_GE(b, 50);
+    EXPECT_LE(b, 150);
+  }
+}
+
+TEST(RetryTest, SleeperReceivesBackoffs) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_ms = 10;
+  policy.backoff_multiplier = 2.0;
+  policy.jitter = 0.0;
+  std::vector<int64_t> sleeps;
+  policy.sleeper = [&sleeps](int64_t ms) { sleeps.push_back(ms); };
+  Retrier retrier(policy);
+  Status st = retrier.Run([] { return Status::IoError("always"); });
+  EXPECT_FALSE(st.ok());
+  ASSERT_EQ(sleeps.size(), 3u);  // no sleep before the first attempt
+  EXPECT_EQ(sleeps[0], 10);
+  EXPECT_EQ(sleeps[1], 20);
+  EXPECT_EQ(sleeps[2], 40);
+}
+
+TEST(RetryTest, DeadlineBudgetStopsRetrying) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_ms = 1000;
+  policy.jitter = 0.0;
+  policy.deadline_ms = 10;  // the first backoff alone would blow this
+  policy.sleeper = [](int64_t) { FAIL() << "should not sleep"; };
+  Retrier retrier(policy);
+  int calls = 0;
+  Status st = retrier.Run([&] {
+    ++calls;
+    return Status::IoError("slow dependency");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, ZeroAttemptsClampsToOne) {
+  Retrier retrier(NoSleepPolicy(0));
+  int calls = 0;
+  Status st = retrier.Run([&] {
+    ++calls;
+    return Status::IoError("x");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace bivoc {
@@ -61,6 +62,34 @@ TEST(ThreadPoolTest, MultipleWaitCycles) {
     pool.Wait();
   }
   EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskIsContained) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    if (i % 4 == 0) {
+      pool.Submit([] { throw std::runtime_error("task blew up"); });
+    } else {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  // Wait() must not deadlock on the throwing tasks, and the pool must
+  // survive them (no std::terminate).
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 15);
+  EXPECT_EQ(pool.exceptions_caught(), 5u);
+  // The pool is still usable afterwards.
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPoolTest, NonStdExceptionIsContained) {
+  ThreadPool pool(1);
+  pool.Submit([] { throw 42; });
+  pool.Wait();
+  EXPECT_EQ(pool.exceptions_caught(), 1u);
 }
 
 TEST(ThreadPoolTest, DestructorJoinsCleanly) {
