@@ -40,20 +40,21 @@ int main(int argc, char** argv) {
   for (const auto& text : run.decoded) {
     index.AddDocument(extractor.ExtractKeys(text));
   }
+  auto snap = index.Publish();
 
   // Restrict rows to the four busiest locations (the paper's table
   // shows a hand-picked city subset).
-  auto all_places = index.Keys("place/");
+  auto all_places = snap->Keys("place/");
   std::sort(all_places.begin(), all_places.end(),
             [&](const std::string& a, const std::string& b) {
-              return index.Count(a) > index.Count(b);
+              return snap->Count(a) > snap->Count(b);
             });
   if (all_places.size() > 4) all_places.resize(4);
   std::sort(all_places.begin(), all_places.end());
-  auto vehicle_types = index.Keys("vehicle type/");
+  auto vehicle_types = snap->Keys("vehicle type/");
 
   AssociationTable table =
-      TwoDimensionalAssociation(index, all_places, vehicle_types);
+      TwoDimensionalAssociation(*snap, all_places, vehicle_types);
   std::printf("co-occurrence counts (Table II cells):\n%s\n",
               RenderAssociationTable(table, "count").c_str());
   std::printf("point lift (Eqn 4):\n%s\n",
@@ -63,7 +64,7 @@ int main(int argc, char** argv) {
 
   // Strongest associations overall, Fig. 4's ranked view.
   std::printf("top place x vehicle-type associations:\n");
-  auto top = TopAssociations(index, "place/", "vehicle type/", 5, 2);
+  auto top = TopAssociations(*snap, "place/", "vehicle type/", 5, 2);
   for (const auto& cell : top) {
     std::printf("  %-24s x %-24s n=%zu  lift=%.2f  lower=%.2f\n",
                 cell.row_key.c_str(), cell.col_key.c_str(), cell.n_cell,
@@ -76,8 +77,8 @@ int main(int argc, char** argv) {
   if (!top.empty()) {
     std::printf("\ndrill-down into '%s x %s':\n%s",
                 top[0].row_key.c_str(), top[0].col_key.c_str(),
-                RenderDrillDown(index,
-                                index.DocsWithBoth(top[0].row_key,
+                RenderDrillDown(*snap,
+                                snap->DocsWithBoth(top[0].row_key,
                                                    top[0].col_key),
                                 5)
                     .c_str());

@@ -4,7 +4,11 @@
 // google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <map>
 #include <memory>
+#include <thread>
 
 #include "annotate/concept_extractor.h"
 #include "asr/transcriber.h"
@@ -19,6 +23,8 @@
 #include "synth/telecom.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace bivoc {
 namespace {
@@ -132,25 +138,26 @@ BENCHMARK(BM_LinkDocument)->Arg(1000)->Arg(10000)->Arg(50000);
 // concept index with `range` documents.
 void BM_AssociationQuery(benchmark::State& state) {
   const std::size_t docs = static_cast<std::size_t>(state.range(0));
-  static std::map<std::size_t, std::unique_ptr<ConceptIndex>> cache;
-  auto& index = cache[docs];
-  if (!index) {
-    index = std::make_unique<ConceptIndex>();
+  static std::map<std::size_t, std::shared_ptr<const IndexSnapshot>> cache;
+  auto& snap = cache[docs];
+  if (!snap) {
+    ConceptIndex index;
     Rng rng(7);
     const char* cities[] = {"place/a", "place/b", "place/c", "place/d"};
     const char* cars[] = {"car/suv", "car/mid", "car/full", "car/lux"};
     const char* outcomes[] = {"outcome/yes", "outcome/no"};
     for (std::size_t i = 0; i < docs; ++i) {
-      index->AddDocument({cities[rng.Uniform(0, 3)], cars[rng.Uniform(0, 3)],
-                          outcomes[rng.Uniform(0, 1)]});
+      index.AddDocument({cities[rng.Uniform(0, 3)], cars[rng.Uniform(0, 3)],
+                         outcomes[rng.Uniform(0, 1)]});
     }
+    snap = index.Publish();
   }
   std::vector<std::string> rows = {"place/a", "place/b", "place/c",
                                    "place/d"};
   std::vector<std::string> cols = {"car/suv", "car/mid", "car/full",
                                    "car/lux"};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(TwoDimensionalAssociation(*index, rows, cols));
+    benchmark::DoNotOptimize(TwoDimensionalAssociation(*snap, rows, cols));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
@@ -194,7 +201,150 @@ void BM_FullMerge(benchmark::State& state) {
 }
 BENCHMARK(BM_FullMerge)->Arg(1000)->Arg(10000);
 
+// --- Concurrent concept-index ingest + live-snapshot queries. Measures
+// the multi-writer win of the sharded delta design and the query rate
+// sustained against snapshots republished mid-ingest, and checks the
+// parallel result against the sequential baseline. Written to
+// BENCH_index.json so the perf trajectory is tracked across PRs.
+
+std::vector<std::vector<std::string>> MakeIndexCorpus(std::size_t docs) {
+  Rng rng(19);
+  const char* cities[] = {"place/a", "place/b", "place/c", "place/d",
+                          "place/e", "place/f", "place/g", "place/h"};
+  const char* cars[] = {"car/suv", "car/mid", "car/full", "car/lux"};
+  const char* outcomes[] = {"outcome/yes", "outcome/no"};
+  std::vector<std::vector<std::string>> corpus;
+  corpus.reserve(docs);
+  for (std::size_t i = 0; i < docs; ++i) {
+    std::vector<std::string> keys = {cities[rng.Uniform(0, 7)],
+                                     cars[rng.Uniform(0, 3)],
+                                     outcomes[rng.Uniform(0, 1)]};
+    // A few long-tail concepts so the vocabulary keeps growing.
+    keys.push_back("topic/t" + std::to_string(rng.Uniform(0, 499)));
+    corpus.push_back(std::move(keys));
+  }
+  return corpus;
+}
+
+// Aggregate query results are order-independent (doc ids permute under
+// parallel ingest), so equality of all Counts and sampled CountBoths
+// against the sequential baseline is the correctness check.
+bool SnapshotsAgree(const IndexSnapshot& a, const IndexSnapshot& b) {
+  if (a.num_documents() != b.num_documents()) return false;
+  auto keys = a.Keys();
+  if (keys != b.Keys()) return false;
+  for (const auto& k : keys) {
+    if (a.Count(k) != b.Count(k)) return false;
+  }
+  for (const auto& r : a.Keys("place/")) {
+    for (const auto& c : a.Keys("car/")) {
+      if (a.CountBoth(r, c) != b.CountBoth(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+void WriteIndexBenchReport() {
+  constexpr std::size_t kDocs = 200000;
+  constexpr std::size_t kThreads = 8;
+  auto corpus = MakeIndexCorpus(kDocs);
+
+  // Sequential single-writer baseline.
+  ConceptIndex seq_index;
+  Timer timer;
+  for (const auto& keys : corpus) seq_index.AddDocument(keys);
+  auto seq_snap = seq_index.Publish();
+  double seq_secs = timer.ElapsedSeconds();
+  double seq_dps = static_cast<double>(kDocs) / seq_secs;
+
+  // Parallel ingest across the thread pool.
+  ConceptIndex par_index;
+  ThreadPool pool(kThreads);
+  timer.Reset();
+  pool.ParallelFor(corpus.size(), [&](std::size_t i) {
+    par_index.AddDocument(corpus[i]);
+  });
+  auto par_snap = par_index.Publish();
+  double par_secs = timer.ElapsedSeconds();
+  double par_dps = static_cast<double>(kDocs) / par_secs;
+  bool agree = SnapshotsAgree(*seq_snap, *par_snap);
+
+  // Live mix: writers re-ingest the corpus (publishing every ~5000
+  // docs) while reader threads run association counts against whatever
+  // snapshot is current.
+  ConceptIndex live_index;
+  std::atomic<bool> ingest_done{false};
+  std::atomic<std::size_t> queries{0};
+  constexpr std::size_t kReaders = 4;
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      while (!ingest_done.load(std::memory_order_acquire)) {
+        auto snap = live_index.snapshot();
+        benchmark::DoNotOptimize(snap->Count("place/a"));
+        benchmark::DoNotOptimize(
+            snap->CountBoth("place/a", "outcome/yes"));
+        queries.fetch_add(2, std::memory_order_relaxed);
+      }
+    });
+  }
+  timer.Reset();
+  std::atomic<std::size_t> since_publish{0};
+  pool.ParallelFor(corpus.size(), [&](std::size_t i) {
+    live_index.AddDocument(corpus[i]);
+    if (since_publish.fetch_add(1, std::memory_order_relaxed) % 5000 ==
+        4999) {
+      live_index.Publish();
+    }
+  });
+  live_index.Publish();
+  double live_secs = timer.ElapsedSeconds();
+  ingest_done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  double live_dps = static_cast<double>(kDocs) / live_secs;
+  double qps = static_cast<double>(queries.load()) / live_secs;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("index ingest: sequential %.0f docs/s, %zu threads %.0f "
+              "docs/s (%.2fx on %u hardware threads), results %s\n",
+              seq_dps, kThreads, par_dps, par_dps / seq_dps, hw,
+              agree ? "agree" : "DISAGREE");
+  if (hw < 2) {
+    std::printf("  (single-core host: the speedup column measures lock "
+                "overhead, not scaling)\n");
+  }
+  std::printf("live mix: ingest %.0f docs/s with %zu readers at %.0f "
+              "queries/s\n",
+              live_dps, kReaders, qps);
+
+  std::FILE* f = std::fopen("BENCH_index.json", "w");
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "{\n"
+               "  \"docs\": %zu,\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"ingest_threads\": %zu,\n"
+               "  \"sequential_docs_per_sec\": %.0f,\n"
+               "  \"parallel_docs_per_sec\": %.0f,\n"
+               "  \"ingest_speedup\": %.2f,\n"
+               "  \"parallel_matches_sequential\": %s,\n"
+               "  \"concurrent_ingest_docs_per_sec\": %.0f,\n"
+               "  \"concurrent_query_qps\": %.0f,\n"
+               "  \"query_reader_threads\": %zu\n"
+               "}\n",
+               kDocs, hw, kThreads, seq_dps, par_dps, par_dps / seq_dps,
+               agree ? "true" : "false", live_dps, qps, kReaders);
+  std::fclose(f);
+}
+
 }  // namespace
 }  // namespace bivoc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bivoc::WriteIndexBenchReport();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

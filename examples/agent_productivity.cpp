@@ -67,6 +67,22 @@ int main(int argc, char** argv) {
   // agents and unsuccessful agents", §I).
   std::printf("agent leaderboard (mined behaviours vs structured "
               "outcomes):\n%s\n", kpis.RenderReport(8, 2).c_str());
+  // The same board recomputed lock-free from an immutable snapshot of
+  // the concept index — what a live dashboard would serve while calls
+  // keep streaming in.
+  auto snap = analyzer.Snapshot();
+  auto snap_kpis = kpis.SnapshotKpis(*snap, 2);
+  std::printf("snapshot KPI board (%zu agents, served from the concept "
+              "index):\n", snap_kpis.size());
+  for (std::size_t i = 0; i < snap_kpis.size() && i < 5; ++i) {
+    const auto& k = snap_kpis[i];
+    std::printf("  %-20s booking %3.0f%%  value-selling %3.0f%%  "
+                "discount %3.0f%%\n",
+                k.name.c_str(), k.BookingRate() * 100.0,
+                k.ValueSellingRate() * 100.0, k.DiscountRate() * 100.0);
+  }
+  std::printf("\n");
+
   auto gap = kpis.CompareTopBottom(5, 2);
   std::printf("top-5 vs bottom-5 agents by booking rate:\n");
   std::printf("  value-selling usage: %.0f%% vs %.0f%%\n",

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/churn.h"
+#include "mining/report.h"
 #include "synth/telecom.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -63,5 +64,9 @@ int main(int argc, char** argv) {
   for (const auto& [feature, llr] : eval.top_churn_features) {
     std::printf("  %-40s %+5.2f\n", feature.c_str(), llr);
   }
+
+  std::printf("\nchurn-driver relevancy (share among churners vs all "
+              "linked VoC):\n%s",
+              RenderRelevancy(eval.driver_relevancy).c_str());
   return 0;
 }

@@ -102,6 +102,14 @@ int main() {
   std::printf("Concepts over-represented in reserved calls:\n%s\n",
               RenderRelevancy(rel).c_str());
 
+  // 6. Reports run against an immutable snapshot, so drill-downs stay
+  //    consistent even while more calls are being indexed concurrently.
+  auto snap = engine.Snapshot();
+  auto docs = snap->DocsWithBoth("discount/discount",
+                                 "outcome/reservation");
+  std::printf("Drill-down into discounted reservations (%zu docs):\n%s\n",
+              docs.size(), RenderDrillDown(*snap, docs, 3).c_str());
+
   std::printf("done in %.2fs\n", timer.ElapsedSeconds());
   return 0;
 }

@@ -49,6 +49,53 @@ std::vector<AgentKpi> AgentKpiBoard::Ranking(std::size_t min_calls) const {
   return out;
 }
 
+std::vector<AgentKpi> AgentKpiBoard::SnapshotKpis(
+    const IndexSnapshot& snapshot, std::size_t min_calls) const {
+  std::vector<AgentKpi> out;
+  ConceptId reserved = snapshot.Resolve(kOutcomeReserved);
+  ConceptId unbooked = snapshot.Resolve(kOutcomeUnbooked);
+  ConceptId value_selling = snapshot.Resolve(kAnyValueSelling);
+  ConceptId discount = snapshot.Resolve(kAnyDiscount);
+  ConceptId weak = snapshot.Resolve(kIntentWeak);
+  const auto& discount_docs = snapshot.PostingsId(discount);
+
+  for (ConceptId agent_key : snapshot.IdsWithPrefix(kAgentIdPrefix)) {
+    std::string_view key = snapshot.KeyOf(agent_key);
+    int64_t agent_id = -1;
+    if (!ParseInt64(key.substr(std::string_view(kAgentIdPrefix).size()),
+                    &agent_id)) {
+      continue;
+    }
+    if (agent_id < 0 ||
+        static_cast<std::size_t>(agent_id) >= world_->agents().size()) {
+      continue;
+    }
+    AgentKpi kpi;
+    kpi.agent_id = static_cast<int>(agent_id);
+    kpi.name = world_->agents()[static_cast<std::size_t>(agent_id)].name;
+    kpi.calls = snapshot.CountId(agent_key);
+    if (kpi.calls < min_calls) continue;
+    kpi.reservations = snapshot.CountBothIds(agent_key, reserved);
+    kpi.unbooked = snapshot.CountBothIds(agent_key, unbooked);
+    kpi.value_selling_calls = snapshot.CountBothIds(agent_key, value_selling);
+    kpi.discount_calls = snapshot.CountBothIds(agent_key, discount);
+    kpi.weak_start_calls = snapshot.CountBothIds(agent_key, weak);
+    for (DocId d : snapshot.DocsWithBothIds(agent_key, weak)) {
+      if (std::binary_search(discount_docs.begin(), discount_docs.end(), d)) {
+        ++kpi.weak_start_discounts;
+      }
+    }
+    out.push_back(std::move(kpi));
+  }
+  std::sort(out.begin(), out.end(), [](const AgentKpi& a, const AgentKpi& b) {
+    if (a.BookingRate() != b.BookingRate()) {
+      return a.BookingRate() > b.BookingRate();
+    }
+    return a.agent_id < b.agent_id;
+  });
+  return out;
+}
+
 AgentKpiBoard::BehaviourGap AgentKpiBoard::CompareTopBottom(
     std::size_t group_size, std::size_t min_calls) const {
   BehaviourGap gap;

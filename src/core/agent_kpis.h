@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/car_rental_insights.h"
+#include "mining/index_snapshot.h"
 #include "synth/car_rental.h"
 
 namespace bivoc {
@@ -63,6 +64,14 @@ class AgentKpiBoard {
 
   // Agents with >= min_calls, best booking rate first.
   std::vector<AgentKpi> Ranking(std::size_t min_calls = 1) const;
+
+  // Same ranking recomputed purely from an index snapshot (the "agent
+  // id/<id>" dimension AgentProductivityAnalyzer::Index registers),
+  // so KPI boards can be served lock-free while calls stream in.
+  // Service calls are excluded from indexing, so `calls` counts sales
+  // calls only and service_calls stays 0 here.
+  std::vector<AgentKpi> SnapshotKpis(const IndexSnapshot& snapshot,
+                                     std::size_t min_calls = 1) const;
 
   // The §V-B comparison: behaviour-rate gap between the top and bottom
   // `group_size` agents by booking rate.

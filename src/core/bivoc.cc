@@ -73,24 +73,24 @@ Document BivocEngine::AddTranscript(
 AssociationTable BivocEngine::Associate(
     const std::vector<std::string>& row_keys,
     const std::vector<std::string>& col_keys) const {
-  return TwoDimensionalAssociation(pipeline_.index(), row_keys, col_keys);
+  return TwoDimensionalAssociation(*pipeline_.Snapshot(), row_keys, col_keys);
 }
 
 std::vector<AssociationCell> BivocEngine::TopAssociations(
     const std::string& row_prefix, const std::string& col_prefix,
     std::size_t limit) const {
-  return bivoc::TopAssociations(pipeline_.index(), row_prefix, col_prefix,
+  return bivoc::TopAssociations(*pipeline_.Snapshot(), row_prefix, col_prefix,
                                 limit);
 }
 
 std::vector<RelevancyItem> BivocEngine::Relevancy(
     const std::string& feature_key, RelevancyOptions options) const {
-  return RelevancyAnalysis(pipeline_.index(), feature_key, options);
+  return RelevancyAnalysis(*pipeline_.Snapshot(), feature_key, options);
 }
 
 std::vector<TrendSummary> BivocEngine::Rising(const std::string& prefix,
                                               std::size_t limit) const {
-  return RisingConcepts(pipeline_.index(), prefix, limit);
+  return RisingConcepts(*pipeline_.Snapshot(), prefix, limit);
 }
 
 }  // namespace bivoc

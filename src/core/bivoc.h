@@ -67,7 +67,15 @@ class BivocEngine {
   // batch ingestion was never used.
   HealthReport Health() const;
 
-  // Analysis views.
+  // Immutable snapshot of the concept index — the entry point for
+  // custom analysis. Safe to query from any thread while ingestion
+  // runs; the view is frozen at the moment of the call.
+  std::shared_ptr<const IndexSnapshot> Snapshot() const {
+    return pipeline_.Snapshot();
+  }
+
+  // Analysis views. Each runs against Snapshot(), so results are
+  // consistent even while documents stream in concurrently.
   AssociationTable Associate(const std::vector<std::string>& row_keys,
                              const std::vector<std::string>& col_keys) const;
   std::vector<AssociationCell> TopAssociations(const std::string& row_prefix,

@@ -99,6 +99,7 @@ CallAnalysis AgentProductivityAnalyzer::Analyze(
     const CallRecord& call, const std::string& decoded_text) {
   CallAnalysis out;
   out.call_id = call.call_id;
+  out.agent_id = call.agent_id;
   out.reserved = call.reserved;
   out.is_service_call = call.is_service_call;
 
@@ -129,16 +130,21 @@ void AgentProductivityAnalyzer::Index(const CallAnalysis& analysis) {
   if (analysis.detected_value_selling) keys.emplace_back(kAnyValueSelling);
   if (analysis.detected_discount) keys.emplace_back(kAnyDiscount);
   keys.emplace_back(analysis.reserved ? kOutcomeReserved : kOutcomeUnbooked);
+  if (analysis.agent_id >= 0) {
+    keys.push_back(kAgentIdPrefix + std::to_string(analysis.agent_id));
+  }
   index_.AddDocument(keys);
 }
 
 AssociationTable AgentProductivityAnalyzer::IntentVsOutcome() const {
-  return TwoDimensionalAssociation(index_, {kIntentStrong, kIntentWeak},
+  return TwoDimensionalAssociation(*index_.SnapshotNow(),
+                                   {kIntentStrong, kIntentWeak},
                                    {kOutcomeReserved, kOutcomeUnbooked});
 }
 
 AssociationTable AgentProductivityAnalyzer::AgentUtteranceVsOutcome() const {
-  return TwoDimensionalAssociation(index_, {kAnyValueSelling, kAnyDiscount},
+  return TwoDimensionalAssociation(*index_.SnapshotNow(),
+                                   {kAnyValueSelling, kAnyDiscount},
                                    {kOutcomeReserved, kOutcomeUnbooked});
 }
 

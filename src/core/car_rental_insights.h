@@ -21,6 +21,9 @@ inline constexpr const char* kValueSellingPrefix = "value selling/";
 inline constexpr const char* kDiscountPrefix = "discount/";
 inline constexpr const char* kAnyValueSelling = "agent/value selling";
 inline constexpr const char* kAnyDiscount = "agent/discount";
+// Structured dimension joining each analyzed call to its agent; the
+// agent id rides in the key suffix ("agent id/7").
+inline constexpr const char* kAgentIdPrefix = "agent id/";
 
 // Builds the car-rental domain extractor: the dictionary (discount
 // phrases, car models -> vehicle-type canonical forms, cities ->
@@ -31,6 +34,7 @@ void ConfigureCarRentalExtractor(ConceptExtractor* extractor);
 // Per-call analysis output of the §V use case.
 struct CallAnalysis {
   int call_id = 0;
+  int agent_id = -1;            // from the structured record
   bool detected_strong = false;
   bool detected_weak = false;
   bool detected_value_selling = false;
@@ -60,6 +64,13 @@ class AgentProductivityAnalyzer {
   AssociationTable IntentVsOutcome() const;
   // Table IV: agent utterance (after rate quote) vs result.
   AssociationTable AgentUtteranceVsOutcome() const;
+
+  // Immutable snapshot over all indexed calls — what the tables above
+  // and AgentKpiBoard::SnapshotKpis read; safe during concurrent
+  // Index() calls.
+  std::shared_ptr<const IndexSnapshot> Snapshot() const {
+    return index_.SnapshotNow();
+  }
 
   const ConceptIndex& index() const { return index_; }
   const ConceptExtractor& extractor() const { return extractor_; }

@@ -79,6 +79,9 @@ ChurnEvaluation ChurnPredictor::Run(const TelecomWorld& world,
   }
   pipeline.SetAnnotators(&annotators);
   pipeline.SetLinker(linker);
+  // Driver concepts on the pipeline extractor too, so indexed docs
+  // carry "churn driver/..." keys for the relevancy analysis below.
+  ConfigureChurnExtractor(pipeline.mutable_extractor());
   auto vocab = world.DomainVocabulary();
   pipeline.mutable_language_filter()->AddVocabulary(vocab);
   pipeline.mutable_sms_normalizer()->SetSpellingDictionary(vocab);
@@ -114,6 +117,13 @@ ChurnEvaluation ChurnPredictor::Run(const TelecomWorld& world,
     }
     if (voc.channel == VocChannel::kEmail && p.linked_customer < 0) {
       ++eval.emails_unlinked;
+    }
+    if (!p.doc.dropped && p.linked_customer >= 0) {
+      // Join the DB churn label into the concept index as a structured
+      // dimension, enabling the snapshot relevancy analysis below.
+      pipeline.IndexDocument(
+          p.doc, {p.linked_churner ? "churn status/churned"
+                                   : "churn status/active"});
     }
     docs.push_back(std::move(p));
   };
@@ -180,6 +190,14 @@ ChurnEvaluation ChurnPredictor::Run(const TelecomWorld& world,
   eval.top_churn_features = config_.model == ChurnModel::kLogistic
                                 ? lr_model_.TopFeatures(15)
                                 : model_.TopFeatures("churn", 15);
+
+  // Classifier-free driver view over the index snapshot: which driver
+  // concepts are over-represented in churners' messages.
+  RelevancyOptions relevancy_options;
+  relevancy_options.key_prefix = "churn driver/";
+  relevancy_options.min_subset_count = 2;
+  eval.driver_relevancy = RelevancyAnalysis(
+      *pipeline.Snapshot(), "churn status/churned", relevancy_options);
   return eval;
 }
 

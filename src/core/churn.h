@@ -8,6 +8,7 @@
 #include "core/pipeline.h"
 #include "db/database.h"
 #include "linking/multitype.h"
+#include "mining/relative_frequency.h"
 #include "synth/telecom.h"
 #include "text/logistic.h"
 #include "text/naive_bayes.h"
@@ -71,6 +72,12 @@ struct ChurnEvaluation {
 
   // Top churn-driver features the classifier surfaced.
   std::vector<std::pair<std::string, double>> top_churn_features;
+
+  // Relevancy analysis of driver concepts inside the churned subset
+  // (§IV-D.1 applied to §VI): linked messages are indexed with a
+  // "churn status/..." dimension and the drivers over-represented
+  // among churners surface here, independent of any classifier.
+  std::vector<RelevancyItem> driver_relevancy;
 };
 
 class ChurnPredictor {

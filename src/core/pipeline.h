@@ -95,8 +95,9 @@ class VocPipeline {
   // fault point fires; callers degrade the doc to unlinked-but-indexed.
   Status LinkDocument(Document* doc);
 
-  // IndexDocument behind the "index.add" fault point. NOT thread-safe
-  // (the concept index is single-writer); IngestService serializes it.
+  // IndexDocument behind the "index.add" fault point. Thread-safe:
+  // the concept index shards its delta buffers by ConceptId, so
+  // IngestService workers index in parallel.
   Result<DocId> TryIndexDocument(const Document& doc,
                                  const std::vector<std::string>& keys);
 
@@ -106,6 +107,18 @@ class VocPipeline {
   // dimension keys (e.g. "outcome/reservation").
   DocId IndexDocument(const Document& doc,
                       const std::vector<std::string>& structured_keys);
+
+  // Immutable index snapshot covering every document indexed so far
+  // (publishes pending deltas first when necessary). All mining
+  // readers go through this; reads on it are lock-free.
+  std::shared_ptr<const IndexSnapshot> Snapshot() const {
+    return index_.SnapshotNow();
+  }
+  // Merges pending index deltas into a fresh snapshot — IngestService
+  // calls this once per batch instead of once per query.
+  std::shared_ptr<const IndexSnapshot> PublishIndex() const {
+    return index_.Publish();
+  }
 
   const ConceptIndex& index() const { return index_; }
   ConceptIndex* mutable_index() { return &index_; }

@@ -28,10 +28,34 @@ int64_t MoneyBucket(double v) {
 
 constexpr std::size_t kDigitGram = 4;
 
-void AddPosting(std::unordered_map<std::string, std::vector<RowId>>* postings,
-                const std::string& key, RowId id) {
+template <typename Key>
+void AddPosting(std::unordered_map<Key, std::vector<RowId>>* postings,
+                const Key& key, RowId id) {
   auto& list = (*postings)[key];
   if (list.empty() || list.back() != id) list.push_back(id);
+}
+
+// Month packed with day for the (month, day) blocking bucket.
+int32_t MonthDayKey(int month, int day) { return month * 100 + day; }
+
+// Annotation dates arrive as "Y-M-D" text from noisy VoC messages;
+// reject malformed or wildly out-of-range parts instead of throwing.
+bool ParseAnnotationDate(const std::string& text, Date* out) {
+  auto parts = Split(text, '-');
+  if (parts.size() != 3) return false;
+  int64_t year = 0, month = 0, day = 0;
+  if (!ParseInt64(parts[0], &year) || !ParseInt64(parts[1], &month) ||
+      !ParseInt64(parts[2], &day)) {
+    return false;
+  }
+  if (year < 1900 || year > 2100 || month < 1 || month > 12 || day < 1 ||
+      day > 31) {
+    return false;
+  }
+  out->year = static_cast<int>(year);
+  out->month = static_cast<int>(month);
+  out->day = static_cast<int>(day);
+  return true;
 }
 
 }  // namespace
@@ -64,8 +88,8 @@ Result<AttributeIndex> AttributeIndex::Build(const Table& table,
       case AttributeRole::kProduct: {
         for (const auto& raw : SplitWhitespace(v.ToString())) {
           std::string token = ToLowerCopy(raw);
-          AddPosting(&index.postings_, "t:" + token, id);
-          AddPosting(&index.postings_, "s:" + Soundex(token), id);
+          AddPosting(&index.soundex_postings_, Soundex(token), id);
+          AddPosting(&index.token_postings_, std::move(token), id);
         }
         break;
       }
@@ -74,30 +98,26 @@ Result<AttributeIndex> AttributeIndex::Build(const Table& table,
         std::string digits = DigitsOf(v.ToString());
         if (digits.size() >= kDigitGram) {
           for (std::size_t i = 0; i + kDigitGram <= digits.size(); ++i) {
-            AddPosting(&index.postings_, "g:" + digits.substr(i, kDigitGram),
+            AddPosting(&index.gram_postings_, digits.substr(i, kDigitGram),
                        id);
           }
         } else if (!digits.empty()) {
-          AddPosting(&index.postings_, "g:" + digits, id);
+          AddPosting(&index.gram_postings_, digits, id);
         }
         break;
       }
       case AttributeRole::kDate: {
         if (v.type() != DataType::kDate) break;
         Date d = v.AsDate();
-        AddPosting(&index.postings_, "d:" + std::to_string(d.ToDays()), id);
-        AddPosting(&index.postings_,
-                   "md:" + std::to_string(d.month) + "-" +
-                       std::to_string(d.day),
+        AddPosting(&index.day_postings_, d.ToDays(), id);
+        AddPosting(&index.monthday_postings_, MonthDayKey(d.month, d.day),
                    id);
         break;
       }
       case AttributeRole::kMoney: {
         double amount = v.NumericOrNan();
         if (!std::isnan(amount)) {
-          AddPosting(&index.postings_, "m:" + std::to_string(
-                                                  MoneyBucket(amount)),
-                     id);
+          AddPosting(&index.money_postings_, MoneyBucket(amount), id);
         }
         break;
       }
@@ -111,9 +131,9 @@ Result<AttributeIndex> AttributeIndex::Build(const Table& table,
 std::vector<RowId> AttributeIndex::Candidates(
     const Annotation& annotation) const {
   std::vector<RowId> out;
-  auto add_key = [&](const std::string& key) {
-    auto it = postings_.find(key);
-    if (it == postings_.end()) return;
+  auto add_from = [&](const auto& postings, const auto& key) {
+    auto it = postings.find(key);
+    if (it == postings.end()) return;
     out.insert(out.end(), it->second.begin(), it->second.end());
   };
 
@@ -123,8 +143,8 @@ std::vector<RowId> AttributeIndex::Candidates(
     case AttributeRole::kProduct: {
       for (const auto& raw : SplitWhitespace(annotation.text)) {
         std::string token = ToLowerCopy(raw);
-        add_key("t:" + token);
-        add_key("s:" + Soundex(token));
+        add_from(token_postings_, token);
+        add_from(soundex_postings_, Soundex(token));
       }
       break;
     }
@@ -133,32 +153,32 @@ std::vector<RowId> AttributeIndex::Candidates(
       std::string digits = DigitsOf(annotation.text);
       if (digits.size() >= kDigitGram) {
         for (std::size_t i = 0; i + kDigitGram <= digits.size(); ++i) {
-          add_key("g:" + digits.substr(i, kDigitGram));
+          add_from(gram_postings_, digits.substr(i, kDigitGram));
         }
       } else if (!digits.empty()) {
-        add_key("g:" + digits);
+        add_from(gram_postings_, digits);
       }
       break;
     }
     case AttributeRole::kDate: {
-      auto parts = Split(annotation.text, '-');
-      if (parts.size() != 3) break;
+      // Noisy text like "12-x-04" simply yields no candidates.
       Date d;
-      d.year = std::stoi(parts[0]);
-      d.month = std::stoi(parts[1]);
-      d.day = std::stoi(parts[2]);
+      if (!ParseAnnotationDate(annotation.text, &d)) break;
       int64_t days = d.ToDays();
       for (int64_t delta = -7; delta <= 7; ++delta) {
-        add_key("d:" + std::to_string(days + delta));
+        add_from(day_postings_, days + delta);
       }
-      add_key("md:" + std::to_string(d.month) + "-" + std::to_string(d.day));
+      add_from(monthday_postings_, MonthDayKey(d.month, d.day));
       break;
     }
     case AttributeRole::kMoney: {
       if (!IsDigits(annotation.text)) break;
-      int64_t bucket = MoneyBucket(std::stod(annotation.text));
+      double amount = 0.0;
+      // Overflowing amounts ("9999...9") fail the parse — no throw.
+      if (!ParseDouble(annotation.text, &amount)) break;
+      int64_t bucket = MoneyBucket(amount);
       for (int64_t delta = -1; delta <= 1; ++delta) {
-        add_key("m:" + std::to_string(bucket + delta));
+        add_from(money_postings_, bucket + delta);
       }
       break;
     }

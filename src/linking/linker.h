@@ -56,7 +56,15 @@ class AttributeIndex {
  private:
   std::size_t column_ = 0;
   AttributeRole role_ = AttributeRole::kNone;
-  std::unordered_map<std::string, std::vector<RowId>> postings_;
+  // Postings split per blocking kind so the hot path hashes the bare
+  // key instead of building a "t:"/"g:"-prefixed string per lookup;
+  // the numeric kinds hash integers directly.
+  std::unordered_map<std::string, std::vector<RowId>> token_postings_;
+  std::unordered_map<std::string, std::vector<RowId>> soundex_postings_;
+  std::unordered_map<std::string, std::vector<RowId>> gram_postings_;
+  std::unordered_map<int64_t, std::vector<RowId>> day_postings_;
+  std::unordered_map<int32_t, std::vector<RowId>> monthday_postings_;
+  std::unordered_map<int64_t, std::vector<RowId>> money_postings_;
 };
 
 // Single-type entity identification (paper §IV-B, Eqn 2): scores a

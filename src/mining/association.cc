@@ -7,15 +7,16 @@
 namespace bivoc {
 
 namespace {
-AssociationCell MakeCell(const ConceptIndex& index, const std::string& row,
-                         const std::string& col) {
+AssociationCell MakeCellIds(const IndexSnapshot& snapshot, ConceptId row,
+                            ConceptId col, std::string row_key,
+                            std::string col_key) {
   AssociationCell cell;
-  cell.row_key = row;
-  cell.col_key = col;
-  cell.n = index.num_documents();
-  cell.n_row = index.Count(row);
-  cell.n_col = index.Count(col);
-  cell.n_cell = index.CountBoth(row, col);
+  cell.row_key = std::move(row_key);
+  cell.col_key = std::move(col_key);
+  cell.n = snapshot.num_documents();
+  cell.n_row = snapshot.CountId(row);
+  cell.n_col = snapshot.CountId(col);
+  cell.n_cell = snapshot.CountBothIds(row, col);
   cell.point_lift = PointLift(cell.n_cell, cell.n_row, cell.n_col, cell.n);
   cell.lower_lift =
       LowerBoundLift(cell.n_cell, cell.n_row, cell.n_col, cell.n);
@@ -27,34 +28,43 @@ AssociationCell MakeCell(const ConceptIndex& index, const std::string& row,
 }  // namespace
 
 AssociationTable TwoDimensionalAssociation(
-    const ConceptIndex& index, const std::vector<std::string>& row_keys,
+    const IndexSnapshot& snapshot, const std::vector<std::string>& row_keys,
     const std::vector<std::string>& col_keys) {
   AssociationTable table;
   table.row_keys = row_keys;
   table.col_keys = col_keys;
   table.cells.reserve(row_keys.size() * col_keys.size());
-  for (const auto& r : row_keys) {
-    for (const auto& c : col_keys) {
-      table.cells.push_back(MakeCell(index, r, c));
+  // Resolve each key once; the cell loop then runs purely on ids.
+  std::vector<ConceptId> row_ids, col_ids;
+  row_ids.reserve(row_keys.size());
+  col_ids.reserve(col_keys.size());
+  for (const auto& r : row_keys) row_ids.push_back(snapshot.Resolve(r));
+  for (const auto& c : col_keys) col_ids.push_back(snapshot.Resolve(c));
+  for (std::size_t r = 0; r < row_keys.size(); ++r) {
+    for (std::size_t c = 0; c < col_keys.size(); ++c) {
+      table.cells.push_back(MakeCellIds(snapshot, row_ids[r], col_ids[c],
+                                        row_keys[r], col_keys[c]));
     }
   }
   return table;
 }
 
-std::vector<AssociationCell> TopAssociations(const ConceptIndex& index,
+std::vector<AssociationCell> TopAssociations(const IndexSnapshot& snapshot,
                                              const std::string& row_prefix,
                                              const std::string& col_prefix,
                                              std::size_t limit,
                                              std::size_t min_cell_count) {
   std::vector<AssociationCell> out;
-  auto rows = index.Keys(row_prefix);
-  auto cols = index.Keys(col_prefix);
-  for (const auto& r : rows) {
-    for (const auto& c : cols) {
+  auto rows = snapshot.IdsWithPrefix(row_prefix);
+  auto cols = snapshot.IdsWithPrefix(col_prefix);
+  for (ConceptId r : rows) {
+    for (ConceptId c : cols) {
       if (r == c) continue;
-      AssociationCell cell = MakeCell(index, r, c);
-      if (cell.n_cell < min_cell_count) continue;
-      out.push_back(std::move(cell));
+      // Cheap id-based count first; only build the full cell (with its
+      // string keys) for pairs that clear the support floor.
+      if (snapshot.CountBothIds(r, c) < min_cell_count) continue;
+      out.push_back(MakeCellIds(snapshot, r, c, std::string(snapshot.KeyOf(r)),
+                                std::string(snapshot.KeyOf(c))));
     }
   }
   std::sort(out.begin(), out.end(),

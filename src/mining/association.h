@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "mining/concept_index.h"
+#include "mining/index_snapshot.h"
 
 namespace bivoc {
 
@@ -38,12 +38,12 @@ struct AssociationTable {
 
 // Fills the full cross table for the given concept keys.
 AssociationTable TwoDimensionalAssociation(
-    const ConceptIndex& index, const std::vector<std::string>& row_keys,
+    const IndexSnapshot& snapshot, const std::vector<std::string>& row_keys,
     const std::vector<std::string>& col_keys);
 
 // Strongest associations across a whole category pair, ranked by the
 // robust lower-bound lift (what the Fig. 4 view sorts by).
-std::vector<AssociationCell> TopAssociations(const ConceptIndex& index,
+std::vector<AssociationCell> TopAssociations(const IndexSnapshot& snapshot,
                                              const std::string& row_prefix,
                                              const std::string& col_prefix,
                                              std::size_t limit,

@@ -1,81 +1,132 @@
 #include "mining/concept_index.h"
 
 #include <algorithm>
-#include <set>
-
-#include "util/string_util.h"
+#include <utility>
 
 namespace bivoc {
 
+ConceptIndex::ConceptIndex(std::size_t num_shards)
+    : num_shards_(num_shards == 0 ? 1 : num_shards),
+      interner_(std::make_shared<ConceptInterner>()),
+      shards_(num_shards_) {
+  auto empty = std::make_shared<IndexSnapshot>();
+  empty->num_shards_ = num_shards_;
+  empty->shards_.resize(num_shards_);
+  empty->interner_ = interner_;
+  published_.store(std::move(empty), std::memory_order_release);
+}
+
 DocId ConceptIndex::AddDocument(const std::vector<std::string>& concept_keys,
                                 int64_t time_bucket) {
-  DocId id = doc_concepts_.size();
-  std::set<std::string> unique(concept_keys.begin(), concept_keys.end());
-  doc_concepts_.emplace_back(unique.begin(), unique.end());
-  doc_time_.push_back(time_bucket);
-  for (const auto& key : unique) {
-    postings_[key].push_back(id);  // ids arrive in increasing order
+  // Shared: many adders run concurrently; only Publish() excludes us.
+  std::shared_lock<std::shared_mutex> add_lock(add_mu_);
+
+  std::vector<ConceptId> ids;
+  ids.reserve(concept_keys.size());
+  for (const auto& key : concept_keys) ids.push_back(interner_->Intern(key));
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  DocId id;
+  {
+    std::lock_guard<std::mutex> doc_lock(doc_mu_);
+    id = num_docs_.load(std::memory_order_relaxed);
+    pending_concepts_.push_back(ids);
+    pending_times_.push_back(time_bucket);
+    num_docs_.store(id + 1, std::memory_order_release);
   }
+  for (ConceptId cid : ids) {
+    Shard& shard = shards_[cid % num_shards_];
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    shard.delta.emplace_back(cid, id);
+  }
+  pending_count_.fetch_add(1, std::memory_order_release);
   return id;
 }
 
-std::size_t ConceptIndex::Count(const std::string& key) const {
-  auto it = postings_.find(key);
-  return it == postings_.end() ? 0 : it->second.size();
-}
+std::shared_ptr<const IndexSnapshot> ConceptIndex::Publish() const {
+  // Exclusive: waits for in-flight adds, blocks new ones. Readers of
+  // already-published snapshots are unaffected.
+  std::unique_lock<std::shared_mutex> add_lock(add_mu_);
+  auto prev = published_.load(std::memory_order_acquire);
+  if (pending_count_.load(std::memory_order_acquire) == 0) return prev;
 
-const std::vector<DocId>& ConceptIndex::Postings(
-    const std::string& key) const {
-  auto it = postings_.find(key);
-  return it == postings_.end() ? empty_ : it->second;
-}
+  auto next = std::make_shared<IndexSnapshot>();
+  next->num_shards_ = num_shards_;
+  next->interner_ = interner_;
 
-std::size_t ConceptIndex::CountBoth(const std::string& a,
-                                    const std::string& b) const {
-  const auto& pa = Postings(a);
-  const auto& pb = Postings(b);
-  std::size_t i = 0, j = 0, count = 0;
-  while (i < pa.size() && j < pb.size()) {
-    if (pa[i] == pb[j]) {
-      ++count;
-      ++i;
-      ++j;
-    } else if (pa[i] < pb[j]) {
-      ++i;
-    } else {
-      ++j;
+  // Postings: start from the previous snapshot's slot pointers (no
+  // posting data copied) and rebuild only concepts that got deltas.
+  // Delta doc ids all exceed published ids, so sorting the delta by
+  // (concept, doc) and appending keeps every posting list sorted.
+  next->shards_ = prev->shards_;
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    if (shard.delta.empty()) continue;
+    std::sort(shard.delta.begin(), shard.delta.end());
+    auto& slots = next->shards_[s];
+    for (std::size_t i = 0; i < shard.delta.size();) {
+      ConceptId cid = shard.delta[i].first;
+      std::size_t slot = cid / num_shards_;
+      if (slot >= slots.size()) slots.resize(slot + 1);
+      auto merged = slots[slot]
+                        ? std::make_shared<std::vector<DocId>>(*slots[slot])
+                        : std::make_shared<std::vector<DocId>>();
+      for (; i < shard.delta.size() && shard.delta[i].first == cid; ++i) {
+        merged->push_back(shard.delta[i].second);
+      }
+      slots[slot] = std::move(merged);
+    }
+    shard.delta.clear();
+  }
+
+  // Doc store: reuse every full chunk, clone only the partial tail.
+  std::lock_guard<std::mutex> doc_lock(doc_mu_);
+  constexpr std::size_t kChunk = IndexSnapshot::kDocChunkSize;
+  next->chunks_ = prev->chunks_;
+  std::size_t docs = prev->num_docs_;
+  std::shared_ptr<IndexSnapshot::DocChunk> tail;
+  if (docs % kChunk != 0) {
+    tail = std::make_shared<IndexSnapshot::DocChunk>(*next->chunks_.back());
+    next->chunks_.back() = tail;
+  }
+  for (std::size_t i = 0; i < pending_concepts_.size(); ++i) {
+    if (docs % kChunk == 0) {
+      tail = std::make_shared<IndexSnapshot::DocChunk>();
+      tail->concepts.reserve(kChunk);
+      tail->times.reserve(kChunk);
+      next->chunks_.push_back(tail);
+    }
+    tail->concepts.push_back(std::move(pending_concepts_[i]));
+    tail->times.push_back(pending_times_[i]);
+    ++docs;
+  }
+  pending_concepts_.clear();
+  pending_times_.clear();
+  next->num_docs_ = docs;
+
+  // Vocabulary: every concept holding at least one posting, sorted by
+  // key so categories form contiguous ranges.
+  next->key_of_ = interner_->AllKeys();
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    const auto& slots = next->shards_[s];
+    for (std::size_t slot = 0; slot < slots.size(); ++slot) {
+      if (!slots[slot] || slots[slot]->empty()) continue;
+      ConceptId cid = static_cast<ConceptId>(slot * num_shards_ + s);
+      next->vocab_.emplace_back(next->key_of_[cid], cid);
     }
   }
-  return count;
+  std::sort(next->vocab_.begin(), next->vocab_.end());
+
+  published_.store(next, std::memory_order_release);
+  pending_count_.store(0, std::memory_order_release);
+  return next;
 }
 
-std::vector<DocId> ConceptIndex::DocsWithBoth(const std::string& a,
-                                              const std::string& b) const {
-  const auto& pa = Postings(a);
-  const auto& pb = Postings(b);
-  std::vector<DocId> out;
-  std::set_intersection(pa.begin(), pa.end(), pb.begin(), pb.end(),
-                        std::back_inserter(out));
-  return out;
-}
-
-const std::vector<std::string>& ConceptIndex::ConceptsOf(DocId doc) const {
-  if (doc >= doc_concepts_.size()) return empty_concepts_;
-  return doc_concepts_[doc];
-}
-
-int64_t ConceptIndex::TimeBucketOf(DocId doc) const {
-  if (doc >= doc_time_.size()) return kNoTimeBucket;
-  return doc_time_[doc];
-}
-
-std::vector<std::string> ConceptIndex::Keys(const std::string& prefix) const {
-  std::vector<std::string> out;
-  for (const auto& [key, _] : postings_) {
-    if (prefix.empty() || StartsWith(key, prefix)) out.push_back(key);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+std::shared_ptr<const IndexSnapshot> ConceptIndex::SnapshotNow() const {
+  if (pending_count_.load(std::memory_order_acquire) != 0) return Publish();
+  return published_.load(std::memory_order_acquire);
 }
 
 }  // namespace bivoc

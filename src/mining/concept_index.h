@@ -1,15 +1,18 @@
 #ifndef BIVOC_MINING_CONCEPT_INDEX_H_
 #define BIVOC_MINING_CONCEPT_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
-namespace bivoc {
+#include "mining/concept_interner.h"
+#include "mining/index_snapshot.h"
 
-using DocId = std::size_t;
-constexpr int64_t kNoTimeBucket = INT64_MIN;
+namespace bivoc {
 
 // Inverted index from concept keys to documents — the paper's §IV-D
 // "the dataset is indexed based on the annotations (semantic
@@ -20,44 +23,85 @@ constexpr int64_t kNoTimeBucket = INT64_MIN;
 // registers e.g. "outcome/reservation" or "agent/a042" alongside
 // unstructured concepts, which is precisely how BIVoC associates
 // concepts across the structured/unstructured boundary.
+//
+// This class is the *write* side only. Concurrent AddDocument calls
+// intern their keys to dense ConceptIds and append (concept, doc)
+// deltas into shards striped by id — writers touching different
+// shards never contend, so IngestService workers index in parallel.
+// Readers never see this mutable state: Publish() drains the deltas
+// into an immutable IndexSnapshot (copy-on-write against the previous
+// one) and queries go through that. Reads are lock-free and stay
+// valid for as long as the caller holds the snapshot pointer.
 class ConceptIndex {
  public:
-  ConceptIndex() = default;
+  explicit ConceptIndex(std::size_t num_shards = kDefaultShards);
+  ConceptIndex(const ConceptIndex&) = delete;
+  ConceptIndex& operator=(const ConceptIndex&) = delete;
 
-  // Adds a document with its (deduplicated) concept keys; `time_bucket`
-  // is an arbitrary period id (e.g. day number) for trend analysis.
+  // Adds a document with its concept keys (deduplicated here);
+  // `time_bucket` is an arbitrary period id (e.g. day number) for
+  // trend analysis. Thread-safe; doc ids are dense and assigned in
+  // admission order. The document becomes visible to readers at the
+  // next Publish().
   DocId AddDocument(const std::vector<std::string>& concept_keys,
                     int64_t time_bucket = kNoTimeBucket);
 
-  std::size_t num_documents() const { return doc_concepts_.size(); }
-  std::size_t num_concepts() const { return postings_.size(); }
+  // Merges all pending deltas into a new immutable snapshot, makes it
+  // the one snapshot()/SnapshotNow() hand out, and returns it.
+  // Serializes against in-flight AddDocument calls (they finish
+  // first); concurrent readers are never blocked. Const because
+  // publication doesn't change the logical index contents.
+  std::shared_ptr<const IndexSnapshot> Publish() const;
 
-  // Document count containing the key.
-  std::size_t Count(const std::string& key) const;
+  // Snapshot covering every AddDocument that returned so far:
+  // publishes first when deltas are pending, otherwise just hands out
+  // the current snapshot.
+  std::shared_ptr<const IndexSnapshot> SnapshotNow() const;
 
-  // Document count containing both keys (sorted-postings intersection).
-  std::size_t CountBoth(const std::string& a, const std::string& b) const;
+  // The most recently published snapshot — lock-free, wait-free; may
+  // lag AddDocument calls made since the last Publish().
+  std::shared_ptr<const IndexSnapshot> snapshot() const {
+    return published_.load(std::memory_order_acquire);
+  }
 
-  // Sorted posting list ({} if unknown).
-  const std::vector<DocId>& Postings(const std::string& key) const;
+  // Documents admitted (including ones not yet published).
+  std::size_t num_documents() const {
+    return num_docs_.load(std::memory_order_acquire);
+  }
+  // Distinct concept keys ever interned.
+  std::size_t num_concepts() const { return interner_->size(); }
 
-  // Documents containing both keys (the drill-down of Fig. 4).
-  std::vector<DocId> DocsWithBoth(const std::string& a,
-                                  const std::string& b) const;
-
-  const std::vector<std::string>& ConceptsOf(DocId doc) const;
-  int64_t TimeBucketOf(DocId doc) const;
-
-  // All keys, sorted; optionally only those with a given category
-  // prefix ("value selling/").
-  std::vector<std::string> Keys(const std::string& prefix = "") const;
+  static constexpr std::size_t kDefaultShards = 16;
 
  private:
-  std::unordered_map<std::string, std::vector<DocId>> postings_;
-  std::vector<std::vector<std::string>> doc_concepts_;
-  std::vector<int64_t> doc_time_;
-  std::vector<DocId> empty_;
-  std::vector<std::string> empty_concepts_;
+  struct Shard {
+    std::mutex mu;
+    std::vector<std::pair<ConceptId, DocId>> delta;  // admission order
+  };
+
+  const std::size_t num_shards_;
+  std::shared_ptr<ConceptInterner> interner_;
+
+  // Writer protocol: AddDocument holds add_mu_ shared for its whole
+  // run; Publish holds it exclusive while draining, so a drain never
+  // observes a half-added document and every drained doc id is below
+  // any id assigned afterwards (which keeps per-concept postings
+  // sorted by pure appending).
+  mutable std::shared_mutex add_mu_;
+
+  // Guards doc id assignment together with the pending push so
+  // pending_concepts_[id - published-doc-count] is always this doc.
+  mutable std::mutex doc_mu_;
+  mutable std::vector<std::vector<ConceptId>> pending_concepts_;
+  mutable std::vector<int64_t> pending_times_;
+
+  mutable std::vector<Shard> shards_;
+
+  mutable std::atomic<std::shared_ptr<const IndexSnapshot>> published_;
+  std::atomic<std::size_t> num_docs_{0};
+  // Docs admitted but not yet in published_ — the "dirty" marker that
+  // lets SnapshotNow() skip the exclusive lock when clean.
+  mutable std::atomic<std::size_t> pending_count_{0};
 };
 
 }  // namespace bivoc

@@ -1,0 +1,52 @@
+#include "mining/concept_interner.h"
+
+#include <mutex>
+
+namespace bivoc {
+
+ConceptId ConceptInterner::Intern(std::string_view key) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(key);  // re-check: another writer may have won
+  if (it != ids_.end()) return it->second;
+  ConceptId id = static_cast<ConceptId>(keys_.size());
+  keys_.emplace_back(key);
+  ids_.emplace(std::string_view(keys_.back()), id);
+  return id;
+}
+
+ConceptId ConceptInterner::Lookup(std::string_view key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(key);
+  return it == ids_.end() ? kInvalidConceptId : it->second;
+}
+
+std::string_view ConceptInterner::KeyOf(ConceptId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return std::string_view(keys_[id]);
+}
+
+std::string_view ConceptInterner::CategoryOf(ConceptId id) const {
+  std::string_view key = KeyOf(id);
+  std::size_t slash = key.find('/');
+  return slash == std::string_view::npos ? key : key.substr(0, slash + 1);
+}
+
+std::size_t ConceptInterner::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return keys_.size();
+}
+
+std::vector<std::string_view> ConceptInterner::AllKeys() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string_view> out;
+  out.reserve(keys_.size());
+  for (const auto& key : keys_) out.emplace_back(key);
+  return out;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,61 @@
+#ifndef BIVOC_MINING_CONCEPT_INTERNER_H_
+#define BIVOC_MINING_CONCEPT_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bivoc {
+
+// Dense integer id for an interned concept key. Postings, doc->concept
+// lists and association pairs carry these instead of full strings like
+// "value selling/just N dollars", so hot-path lookups are array reads
+// rather than string hashes.
+using ConceptId = uint32_t;
+inline constexpr ConceptId kInvalidConceptId = 0xFFFFFFFFu;
+
+// Append-only concept vocabulary mapping keys ("category/name") to
+// dense ConceptIds in first-seen order. Thread-safe: lookups of known
+// keys take a shared lock; first-time interning takes an exclusive
+// lock. Interned strings live in a deque and are never moved or freed,
+// so the string_views handed out stay valid for the interner's
+// lifetime — IndexSnapshots share ownership of the interner to pin it.
+class ConceptInterner {
+ public:
+  ConceptInterner() = default;
+  ConceptInterner(const ConceptInterner&) = delete;
+  ConceptInterner& operator=(const ConceptInterner&) = delete;
+
+  // Returns the id for `key`, interning it on first sight.
+  ConceptId Intern(std::string_view key);
+
+  // Id of an already-interned key, or kInvalidConceptId.
+  ConceptId Lookup(std::string_view key) const;
+
+  // The interned key; id must be < size(). The view stays valid for
+  // the interner's lifetime.
+  std::string_view KeyOf(ConceptId id) const;
+
+  // Category prefix of the key up to and including '/' ("discount/");
+  // the whole key when it carries no category separator.
+  std::string_view CategoryOf(ConceptId id) const;
+
+  std::size_t size() const;
+
+  // Stable copy of all interned keys, indexed by ConceptId — the
+  // vocabulary a snapshot publication freezes.
+  std::vector<std::string_view> AllKeys() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::deque<std::string> keys_;  // deque: element addresses are stable
+  std::unordered_map<std::string_view, ConceptId> ids_;  // views into keys_
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_MINING_CONCEPT_INTERNER_H_

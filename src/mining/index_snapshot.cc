@@ -1,0 +1,132 @@
+#include "mining/index_snapshot.h"
+
+#include <algorithm>
+
+namespace bivoc {
+
+namespace {
+const std::vector<DocId> kEmptyPostings;
+const std::vector<ConceptId> kEmptyConceptIds;
+
+bool ViewStartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+}  // namespace
+
+ConceptId IndexSnapshot::Resolve(std::string_view key) const {
+  auto it = std::lower_bound(
+      vocab_.begin(), vocab_.end(), key,
+      [](const auto& entry, std::string_view k) { return entry.first < k; });
+  if (it == vocab_.end() || it->first != key) return kInvalidConceptId;
+  return it->second;
+}
+
+std::size_t IndexSnapshot::Count(std::string_view key) const {
+  return CountId(Resolve(key));
+}
+
+std::size_t IndexSnapshot::CountBoth(std::string_view a,
+                                     std::string_view b) const {
+  return CountBothIds(Resolve(a), Resolve(b));
+}
+
+const std::vector<DocId>& IndexSnapshot::Postings(std::string_view key) const {
+  return PostingsId(Resolve(key));
+}
+
+std::vector<DocId> IndexSnapshot::DocsWithBoth(std::string_view a,
+                                               std::string_view b) const {
+  return DocsWithBothIds(Resolve(a), Resolve(b));
+}
+
+std::size_t IndexSnapshot::PrefixBegin(std::string_view prefix) const {
+  return static_cast<std::size_t>(
+      std::lower_bound(vocab_.begin(), vocab_.end(), prefix,
+                       [](const auto& entry, std::string_view p) {
+                         return entry.first < p;
+                       }) -
+      vocab_.begin());
+}
+
+std::vector<std::string> IndexSnapshot::Keys(std::string_view prefix) const {
+  std::vector<std::string> out;
+  for (std::size_t i = PrefixBegin(prefix); i < vocab_.size(); ++i) {
+    if (!ViewStartsWith(vocab_[i].first, prefix)) break;
+    out.emplace_back(vocab_[i].first);
+  }
+  return out;
+}
+
+std::vector<ConceptId> IndexSnapshot::IdsWithPrefix(
+    std::string_view prefix) const {
+  std::vector<ConceptId> out;
+  for (std::size_t i = PrefixBegin(prefix); i < vocab_.size(); ++i) {
+    if (!ViewStartsWith(vocab_[i].first, prefix)) break;
+    out.push_back(vocab_[i].second);
+  }
+  return out;
+}
+
+std::string_view IndexSnapshot::KeyOf(ConceptId id) const {
+  if (id >= key_of_.size()) return {};
+  return key_of_[id];
+}
+
+std::size_t IndexSnapshot::CountId(ConceptId id) const {
+  return PostingsId(id).size();
+}
+
+const std::vector<DocId>& IndexSnapshot::PostingsId(ConceptId id) const {
+  if (id == kInvalidConceptId || shards_.empty()) return kEmptyPostings;
+  const auto& shard = shards_[id % num_shards_];
+  std::size_t slot = id / num_shards_;
+  if (slot >= shard.size() || !shard[slot]) return kEmptyPostings;
+  return *shard[slot];
+}
+
+std::size_t IndexSnapshot::CountBothIds(ConceptId a, ConceptId b) const {
+  const auto& pa = PostingsId(a);
+  const auto& pb = PostingsId(b);
+  std::size_t i = 0, j = 0, count = 0;
+  while (i < pa.size() && j < pb.size()) {
+    if (pa[i] == pb[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (pa[i] < pb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::vector<DocId> IndexSnapshot::DocsWithBothIds(ConceptId a,
+                                                  ConceptId b) const {
+  const auto& pa = PostingsId(a);
+  const auto& pb = PostingsId(b);
+  std::vector<DocId> out;
+  std::set_intersection(pa.begin(), pa.end(), pb.begin(), pb.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+const std::vector<ConceptId>& IndexSnapshot::ConceptIdsOf(DocId doc) const {
+  if (doc >= num_docs_) return kEmptyConceptIds;
+  return chunks_[doc / kDocChunkSize]->concepts[doc % kDocChunkSize];
+}
+
+std::vector<std::string> IndexSnapshot::ConceptsOf(DocId doc) const {
+  std::vector<std::string> out;
+  for (ConceptId id : ConceptIdsOf(doc)) out.emplace_back(KeyOf(id));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int64_t IndexSnapshot::TimeBucketOf(DocId doc) const {
+  if (doc >= num_docs_) return kNoTimeBucket;
+  return chunks_[doc / kDocChunkSize]->times[doc % kDocChunkSize];
+}
+
+}  // namespace bivoc

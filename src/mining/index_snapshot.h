@@ -1,0 +1,121 @@
+#ifndef BIVOC_MINING_INDEX_SNAPSHOT_H_
+#define BIVOC_MINING_INDEX_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "mining/concept_interner.h"
+
+namespace bivoc {
+
+using DocId = std::size_t;
+constexpr int64_t kNoTimeBucket = INT64_MIN;
+
+// An immutable, point-in-time view of the concept index — what every
+// mining reader (association, relevancy, trend, report, KPI and churn
+// analyses) consumes. Snapshots are published copy-on-write by
+// ConceptIndex::Publish(): posting lists and document chunks are
+// shared with earlier snapshots where unchanged, so holding one is
+// cheap and reading one is entirely lock-free — reports run
+// concurrently with ingestion with no synchronization at all.
+//
+// String-keyed lookups binary-search a sorted vocabulary (one O(log C)
+// resolve per key); id-keyed lookups are direct array reads. Because
+// the vocabulary is sorted, a whole category ("value selling/") is a
+// contiguous range — prefix enumeration never scans unrelated keys.
+class IndexSnapshot {
+ public:
+  IndexSnapshot() = default;
+
+  std::size_t num_documents() const { return num_docs_; }
+  // Concepts with at least one posting in this snapshot.
+  std::size_t num_concepts() const { return vocab_.size(); }
+
+  // --- string-keyed API ---------------------------------------------
+
+  // Id of `key` in this snapshot, or kInvalidConceptId. Resolve once
+  // and switch to the id API inside loops.
+  ConceptId Resolve(std::string_view key) const;
+
+  // Document count containing the key.
+  std::size_t Count(std::string_view key) const;
+
+  // Document count containing both keys (sorted-postings intersection).
+  std::size_t CountBoth(std::string_view a, std::string_view b) const;
+
+  // Sorted posting list ({} if unknown).
+  const std::vector<DocId>& Postings(std::string_view key) const;
+
+  // Documents containing both keys (the drill-down of Fig. 4).
+  std::vector<DocId> DocsWithBoth(std::string_view a,
+                                  std::string_view b) const;
+
+  // All keys, sorted; optionally only those with a given category
+  // prefix ("value selling/").
+  std::vector<std::string> Keys(std::string_view prefix = {}) const;
+
+  // Ids of keys in the sorted prefix range, in key order.
+  std::vector<ConceptId> IdsWithPrefix(std::string_view prefix) const;
+
+  // --- id-keyed API (hot loops: no hashing, no string compares) -----
+
+  // Key for an id known to this snapshot's interner ({} if out of
+  // range).
+  std::string_view KeyOf(ConceptId id) const;
+
+  std::size_t CountId(ConceptId id) const;
+  const std::vector<DocId>& PostingsId(ConceptId id) const;
+  std::size_t CountBothIds(ConceptId a, ConceptId b) const;
+  std::vector<DocId> DocsWithBothIds(ConceptId a, ConceptId b) const;
+
+  // --- documents ----------------------------------------------------
+
+  // Concept ids of a document, ascending ({} when out of range).
+  const std::vector<ConceptId>& ConceptIdsOf(DocId doc) const;
+
+  // Concept keys of a document, sorted (materialized per call).
+  std::vector<std::string> ConceptsOf(DocId doc) const;
+
+  int64_t TimeBucketOf(DocId doc) const;
+
+  const ConceptInterner& interner() const { return *interner_; }
+
+ private:
+  friend class ConceptIndex;
+
+  // Documents are stored in fixed-size immutable chunks so a publish
+  // reuses every full chunk of the previous snapshot and only clones
+  // the partial tail.
+  static constexpr std::size_t kDocChunkSize = 512;
+  struct DocChunk {
+    std::vector<std::vector<ConceptId>> concepts;
+    std::vector<int64_t> times;
+  };
+
+  using PostingsPtr = std::shared_ptr<const std::vector<DocId>>;
+
+  // First vocab_ slot whose key is >= prefix.
+  std::size_t PrefixBegin(std::string_view prefix) const;
+
+  std::size_t num_docs_ = 0;
+  std::size_t num_shards_ = 1;
+  // Shard s holds concept id at slot id / num_shards_ where
+  // s == id % num_shards_ (the writer's striping, kept so a publish
+  // only touches shards with deltas).
+  std::vector<std::vector<PostingsPtr>> shards_;
+  // (key view, id), sorted by key — the category-prefix ranges.
+  std::vector<std::pair<std::string_view, ConceptId>> vocab_;
+  // Key by id for every id interned at publish time.
+  std::vector<std::string_view> key_of_;
+  std::vector<std::shared_ptr<const DocChunk>> chunks_;
+  // Keeps the interned strings behind the views alive.
+  std::shared_ptr<const ConceptInterner> interner_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_MINING_INDEX_SNAPSHOT_H_

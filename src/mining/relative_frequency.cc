@@ -4,21 +4,22 @@
 
 namespace bivoc {
 
-std::vector<RelevancyItem> RelevancyAnalysis(const ConceptIndex& index,
+std::vector<RelevancyItem> RelevancyAnalysis(const IndexSnapshot& snapshot,
                                              const std::string& feature_key,
                                              RelevancyOptions options) {
   std::vector<RelevancyItem> out;
-  std::size_t subset_size = index.Count(feature_key);
-  std::size_t corpus_size = index.num_documents();
+  ConceptId feature = snapshot.Resolve(feature_key);
+  std::size_t subset_size = snapshot.CountId(feature);
+  std::size_t corpus_size = snapshot.num_documents();
   if (subset_size == 0 || corpus_size == 0) return out;
 
-  for (const auto& key : index.Keys(options.key_prefix)) {
-    if (key == feature_key) continue;
+  for (ConceptId id : snapshot.IdsWithPrefix(options.key_prefix)) {
+    if (id == feature) continue;
     RelevancyItem item;
-    item.key = key;
-    item.subset_count = index.CountBoth(feature_key, key);
+    item.subset_count = snapshot.CountBothIds(feature, id);
     if (item.subset_count < options.min_subset_count) continue;
-    item.corpus_count = index.Count(key);
+    item.key = std::string(snapshot.KeyOf(id));
+    item.corpus_count = snapshot.CountId(id);
     item.subset_freq = static_cast<double>(item.subset_count) /
                        static_cast<double>(subset_size);
     item.corpus_freq = static_cast<double>(item.corpus_count) /

@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "mining/concept_index.h"
+#include "mining/index_snapshot.h"
 
 namespace bivoc {
 
@@ -31,7 +31,7 @@ struct RelevancyOptions {
 
 // Items sorted by descending relative frequency. The feature key itself
 // is excluded from the output.
-std::vector<RelevancyItem> RelevancyAnalysis(const ConceptIndex& index,
+std::vector<RelevancyItem> RelevancyAnalysis(const IndexSnapshot& snapshot,
                                              const std::string& feature_key,
                                              RelevancyOptions options = {});
 

@@ -96,7 +96,7 @@ std::string RenderRelevancy(const std::vector<RelevancyItem>& items) {
   return RenderGrid(rows);
 }
 
-std::string RenderDrillDown(const ConceptIndex& index,
+std::string RenderDrillDown(const IndexSnapshot& snapshot,
                             const std::vector<DocId>& docs,
                             std::size_t limit) {
   std::string out;
@@ -107,7 +107,7 @@ std::string RenderDrillDown(const ConceptIndex& index,
       break;
     }
     out += "doc " + std::to_string(d) + ": " +
-           Join(index.ConceptsOf(d), ", ") + "\n";
+           Join(snapshot.ConceptsOf(d), ", ") + "\n";
     ++shown;
   }
   return out;

@@ -29,7 +29,7 @@ std::string RenderConditionalTable(const AssociationTable& table);
 std::string RenderRelevancy(const std::vector<RelevancyItem>& items);
 
 // Drill-down: one line per document id with its concepts.
-std::string RenderDrillDown(const ConceptIndex& index,
+std::string RenderDrillDown(const IndexSnapshot& snapshot,
                             const std::vector<DocId>& docs,
                             std::size_t limit = 10);
 

@@ -4,17 +4,25 @@
 
 namespace bivoc {
 
-std::vector<TrendPoint> ConceptTrend(const ConceptIndex& index,
-                                     const std::string& key) {
+namespace {
+// Docs per period across the whole snapshot — shared by every concept
+// trend computed from the same snapshot.
+std::map<int64_t, std::size_t> BucketTotals(const IndexSnapshot& snapshot) {
   std::map<int64_t, std::size_t> totals;
-  for (DocId d = 0; d < index.num_documents(); ++d) {
-    int64_t bucket = index.TimeBucketOf(d);
+  for (DocId d = 0; d < snapshot.num_documents(); ++d) {
+    int64_t bucket = snapshot.TimeBucketOf(d);
     if (bucket == kNoTimeBucket) continue;
     ++totals[bucket];
   }
+  return totals;
+}
+
+std::vector<TrendPoint> TrendFromTotals(
+    const IndexSnapshot& snapshot, ConceptId id,
+    const std::map<int64_t, std::size_t>& totals) {
   std::map<int64_t, std::size_t> counts;
-  for (DocId d : index.Postings(key)) {
-    int64_t bucket = index.TimeBucketOf(d);
+  for (DocId d : snapshot.PostingsId(id)) {
+    int64_t bucket = snapshot.TimeBucketOf(d);
     if (bucket == kNoTimeBucket) continue;
     ++counts[bucket];
   }
@@ -33,6 +41,13 @@ std::vector<TrendPoint> ConceptTrend(const ConceptIndex& index,
   }
   return out;
 }
+}  // namespace
+
+std::vector<TrendPoint> ConceptTrend(const IndexSnapshot& snapshot,
+                                     const std::string& key) {
+  return TrendFromTotals(snapshot, snapshot.Resolve(key),
+                         BucketTotals(snapshot));
+}
 
 double TrendSlope(const std::vector<TrendPoint>& points) {
   if (points.size() < 2) return 0.0;
@@ -50,18 +65,21 @@ double TrendSlope(const std::vector<TrendPoint>& points) {
   return (n * sxy - sx * sy) / denom;
 }
 
-std::vector<TrendSummary> RisingConcepts(const ConceptIndex& index,
+std::vector<TrendSummary> RisingConcepts(const IndexSnapshot& snapshot,
                                          const std::string& prefix,
                                          std::size_t limit,
                                          std::size_t min_count) {
   std::vector<TrendSummary> out;
-  for (const auto& key : index.Keys(prefix)) {
-    std::size_t total = index.Count(key);
+  // One pass over the doc store for the period totals, instead of one
+  // pass per candidate concept.
+  auto totals = BucketTotals(snapshot);
+  for (ConceptId id : snapshot.IdsWithPrefix(prefix)) {
+    std::size_t total = snapshot.CountId(id);
     if (total < min_count) continue;
     TrendSummary s;
-    s.key = key;
+    s.key = std::string(snapshot.KeyOf(id));
     s.total_count = total;
-    s.slope = TrendSlope(ConceptTrend(index, key));
+    s.slope = TrendSlope(TrendFromTotals(snapshot, id, totals));
     out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end(),

@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "mining/concept_index.h"
+#include "mining/index_snapshot.h"
 
 namespace bivoc {
 
@@ -21,7 +21,7 @@ struct TrendPoint {
 
 // Per-period share of a concept, ordered by bucket. Documents without
 // a time bucket are skipped.
-std::vector<TrendPoint> ConceptTrend(const ConceptIndex& index,
+std::vector<TrendPoint> ConceptTrend(const IndexSnapshot& snapshot,
                                      const std::string& key);
 
 // Least-squares slope of share over bucket (docs/period drift); 0 for
@@ -35,7 +35,7 @@ struct TrendSummary {
   double slope = 0.0;
   std::size_t total_count = 0;
 };
-std::vector<TrendSummary> RisingConcepts(const ConceptIndex& index,
+std::vector<TrendSummary> RisingConcepts(const IndexSnapshot& snapshot,
                                          const std::string& prefix,
                                          std::size_t limit,
                                          std::size_t min_count = 5);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 
 namespace bivoc {
@@ -124,6 +125,36 @@ std::string ReplaceAll(std::string_view s, std::string_view from,
     start = pos + from.size();
   }
   return out;
+}
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  if (*begin == '+') {
+    ++begin;  // from_chars accepts '-' but not '+'
+    if (begin == end || *begin == '-') return false;
+  }
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  if (*begin == '+') {
+    ++begin;
+    if (begin == end || *begin == '-') return false;
+  }
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return false;
+  *out = value;
+  return true;
 }
 
 std::string FormatDouble(double v, int decimals) {

@@ -1,6 +1,7 @@
 #ifndef BIVOC_UTIL_STRING_UTIL_H_
 #define BIVOC_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,6 +35,13 @@ bool IsAlpha(std::string_view s);
 // Replaces all occurrences of `from` (non-empty) with `to`.
 std::string ReplaceAll(std::string_view s, std::string_view from,
                        std::string_view to);
+
+// Non-throwing numeric parses over the whole string (optional sign,
+// no leading/trailing junk). Return false — leaving *out untouched —
+// on malformed or out-of-range input; they never throw, unlike
+// std::stoi/std::stod, which matters for noisy VoC annotation text.
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseDouble(std::string_view s, double* out);
 
 // Formats with fixed decimals, e.g. FormatDouble(3.14159, 2) == "3.14".
 std::string FormatDouble(double v, int decimals);

@@ -1,5 +1,7 @@
 #include "mining/association.h"
 
+#include "mining/concept_index.h"
+
 #include <gtest/gtest.h>
 
 #include "mining/relative_frequency.h"
@@ -9,7 +11,7 @@
 namespace bivoc {
 namespace {
 
-ConceptIndex CallIndex() {
+std::shared_ptr<const IndexSnapshot> CallIndex() {
   ConceptIndex index;
   // 30 strong-start calls: 20 reserved / 10 unbooked.
   for (int i = 0; i < 20; ++i) {
@@ -25,13 +27,13 @@ ConceptIndex CallIndex() {
   for (int i = 0; i < 21; ++i) {
     index.AddDocument({"intent/weak", "outcome/no"}, i % 5);
   }
-  return index;
+  return index.Publish();  // the snapshot outlives the writer
 }
 
 TEST(AssociationTest, CellCountsAndShares) {
   auto index = CallIndex();
   auto table = TwoDimensionalAssociation(
-      index, {"intent/strong", "intent/weak"},
+      *index, {"intent/strong", "intent/weak"},
       {"outcome/yes", "outcome/no"});
   ASSERT_EQ(table.cells.size(), 4u);
   const auto& strong_yes = table.cell(0, 0);
@@ -47,7 +49,7 @@ TEST(AssociationTest, CellCountsAndShares) {
 TEST(AssociationTest, LiftDirections) {
   auto index = CallIndex();
   auto table = TwoDimensionalAssociation(
-      index, {"intent/strong", "intent/weak"},
+      *index, {"intent/strong", "intent/weak"},
       {"outcome/yes", "outcome/no"});
   EXPECT_GT(table.cell(0, 0).point_lift, 1.0);  // strong & yes attract
   EXPECT_LT(table.cell(1, 0).point_lift, 1.0);  // weak & yes repel
@@ -58,7 +60,7 @@ TEST(AssociationTest, LiftDirections) {
 
 TEST(AssociationTest, TopAssociationsRanked) {
   auto index = CallIndex();
-  auto top = TopAssociations(index, "intent/", "outcome/", 10, 1);
+  auto top = TopAssociations(*index, "intent/", "outcome/", 10, 1);
   ASSERT_FALSE(top.empty());
   for (std::size_t i = 1; i < top.size(); ++i) {
     EXPECT_GE(top[i - 1].lower_lift, top[i].lower_lift);
@@ -72,7 +74,7 @@ TEST(AssociationTest, TopAssociationsRanked) {
 
 TEST(AssociationTest, MinCellCountFilters) {
   auto index = CallIndex();
-  auto top = TopAssociations(index, "intent/", "outcome/", 10, 1000);
+  auto top = TopAssociations(*index, "intent/", "outcome/", 10, 1000);
   EXPECT_TRUE(top.empty());
 }
 
@@ -80,7 +82,7 @@ TEST(RelevancyTest, OverRepresentedConceptsFirst) {
   auto index = CallIndex();
   RelevancyOptions options;
   options.min_subset_count = 1;
-  auto items = RelevancyAnalysis(index, "outcome/yes", options);
+  auto items = RelevancyAnalysis(*index, "outcome/yes", options);
   ASSERT_GE(items.size(), 2u);
   EXPECT_EQ(items[0].key, "intent/strong");
   EXPECT_GT(items[0].relative, 1.0);
@@ -97,7 +99,7 @@ TEST(RelevancyTest, OverRepresentedConceptsFirst) {
 
 TEST(RelevancyTest, UnknownFeatureEmpty) {
   auto index = CallIndex();
-  EXPECT_TRUE(RelevancyAnalysis(index, "no/such").empty());
+  EXPECT_TRUE(RelevancyAnalysis(*index, "no/such").empty());
 }
 
 TEST(TrendTest, SharesPerBucket) {
@@ -111,7 +113,7 @@ TEST(TrendTest, SharesPerBucket) {
                         day);
     }
   }
-  auto trend = ConceptTrend(index, "topic/hot");
+  auto trend = ConceptTrend(*index.Publish(), "topic/hot");
   ASSERT_EQ(trend.size(), 4u);
   EXPECT_DOUBLE_EQ(trend[0].share, 0.2);
   EXPECT_DOUBLE_EQ(trend[3].share, 0.8);
@@ -127,7 +129,7 @@ TEST(TrendTest, RisingConceptsOrdered) {
       index.AddDocument(keys, day);
     }
   }
-  auto rising = RisingConcepts(index, "topic/", 5, 1);
+  auto rising = RisingConcepts(*index.Publish(), "topic/", 5, 1);
   ASSERT_GE(rising.size(), 2u);
   EXPECT_EQ(rising[0].key, "topic/rising");
   EXPECT_GT(rising[0].slope, 0.1);
@@ -136,7 +138,7 @@ TEST(TrendTest, RisingConceptsOrdered) {
 TEST(TrendTest, DocsWithoutBucketsIgnored) {
   ConceptIndex index;
   index.AddDocument({"a"});
-  EXPECT_TRUE(ConceptTrend(index, "a").empty());
+  EXPECT_TRUE(ConceptTrend(*index.Publish(), "a").empty());
   EXPECT_DOUBLE_EQ(TrendSlope({}), 0.0);
 }
 
@@ -150,7 +152,7 @@ TEST(ReportTest, GridRendersAllCells) {
 TEST(ReportTest, ConditionalTableShowsPercentages) {
   auto index = CallIndex();
   auto table = TwoDimensionalAssociation(
-      index, {"intent/strong"}, {"outcome/yes", "outcome/no"});
+      *index, {"intent/strong"}, {"outcome/yes", "outcome/no"});
   std::string out = RenderConditionalTable(table);
   EXPECT_NE(out.find("67%"), std::string::npos);
   EXPECT_NE(out.find("33%"), std::string::npos);
@@ -159,8 +161,8 @@ TEST(ReportTest, ConditionalTableShowsPercentages) {
 
 TEST(ReportTest, DrillDownListsDocs) {
   auto index = CallIndex();
-  auto docs = index.DocsWithBoth("intent/strong", "outcome/yes");
-  std::string out = RenderDrillDown(index, docs, 3);
+  auto docs = index->DocsWithBoth("intent/strong", "outcome/yes");
+  std::string out = RenderDrillDown(*index, docs, 3);
   EXPECT_NE(out.find("doc 0"), std::string::npos);
   EXPECT_NE(out.find("more)"), std::string::npos);  // truncation marker
 }

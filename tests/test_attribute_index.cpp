@@ -85,6 +85,19 @@ TEST_F(AttributeIndexTest, DateCandidatesProbeWindow) {
                   .empty());
 }
 
+TEST_F(AttributeIndexTest, MalformedDatesYieldNoCandidatesNotThrow) {
+  auto index = AttributeIndex::Build(table_, 2);
+  ASSERT_TRUE(index.ok());
+  // These used to reach std::stoi and throw; now they simply block
+  // nothing (no candidates).
+  for (const char* bad :
+       {"12-x-04", "1980-05", "1980-05-19-2", "--", "1980-13-19",
+        "1980-05-32", "0000-05-19", "99999999999999999999-05-19"}) {
+    EXPECT_TRUE(index->Candidates(Ann(AttributeRole::kDate, bad)).empty())
+        << bad;
+  }
+}
+
 TEST_F(AttributeIndexTest, MoneyCandidatesViaLogBuckets) {
   auto index = AttributeIndex::Build(table_, 3);
   ASSERT_TRUE(index.ok());
@@ -93,6 +106,19 @@ TEST_F(AttributeIndexTest, MoneyCandidatesViaLogBuckets) {
   EXPECT_TRUE(Contains(close_rows, 0));
   EXPECT_TRUE(Contains(close_rows, 2));
   EXPECT_FALSE(Contains(close_rows, 1));  // 1200 is far away
+}
+
+TEST_F(AttributeIndexTest, OverflowingMoneyYieldsNoCandidatesNotThrow) {
+  auto index = AttributeIndex::Build(table_, 3);
+  ASSERT_TRUE(index.ok());
+  // An all-digit amount far beyond double range used to reach
+  // std::stod and throw out_of_range.
+  std::string huge(400, '9');
+  EXPECT_TRUE(
+      index->Candidates(Ann(AttributeRole::kMoney, huge)).empty());
+  // Non-numeric text is still filtered by the digit guard.
+  EXPECT_TRUE(
+      index->Candidates(Ann(AttributeRole::kMoney, "cheap")).empty());
 }
 
 TEST_F(AttributeIndexTest, BuildErrors) {

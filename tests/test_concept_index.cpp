@@ -14,19 +14,23 @@ TEST(ConceptIndexTest, CountsAndPostings) {
   index.AddDocument({"a", "b"});
   index.AddDocument({"a"});
   index.AddDocument({"b", "c"});
+  auto snap = index.Publish();
   EXPECT_EQ(index.num_documents(), 3u);
   EXPECT_EQ(index.num_concepts(), 3u);
-  EXPECT_EQ(index.Count("a"), 2u);
-  EXPECT_EQ(index.Count("c"), 1u);
-  EXPECT_EQ(index.Count("zzz"), 0u);
-  EXPECT_EQ(index.Postings("a"), (std::vector<DocId>{0, 1}));
+  EXPECT_EQ(snap->num_documents(), 3u);
+  EXPECT_EQ(snap->num_concepts(), 3u);
+  EXPECT_EQ(snap->Count("a"), 2u);
+  EXPECT_EQ(snap->Count("c"), 1u);
+  EXPECT_EQ(snap->Count("zzz"), 0u);
+  EXPECT_EQ(snap->Postings("a"), (std::vector<DocId>{0, 1}));
 }
 
 TEST(ConceptIndexTest, DuplicateKeysInOneDocCollapse) {
   ConceptIndex index;
   index.AddDocument({"a", "a", "a"});
-  EXPECT_EQ(index.Count("a"), 1u);
-  EXPECT_EQ(index.ConceptsOf(0), (std::vector<std::string>{"a"}));
+  auto snap = index.Publish();
+  EXPECT_EQ(snap->Count("a"), 1u);
+  EXPECT_EQ(snap->ConceptsOf(0), (std::vector<std::string>{"a"}));
 }
 
 TEST(ConceptIndexTest, CountBothIsIntersection) {
@@ -35,9 +39,10 @@ TEST(ConceptIndexTest, CountBothIsIntersection) {
   index.AddDocument({"x"});
   index.AddDocument({"y"});
   index.AddDocument({"x", "y"});
-  EXPECT_EQ(index.CountBoth("x", "y"), 2u);
-  EXPECT_EQ(index.CountBoth("x", "zzz"), 0u);
-  EXPECT_EQ(index.DocsWithBoth("x", "y"), (std::vector<DocId>{0, 3}));
+  auto snap = index.Publish();
+  EXPECT_EQ(snap->CountBoth("x", "y"), 2u);
+  EXPECT_EQ(snap->CountBoth("x", "zzz"), 0u);
+  EXPECT_EQ(snap->DocsWithBoth("x", "y"), (std::vector<DocId>{0, 3}));
 }
 
 TEST(ConceptIndexTest, CountBothMatchesBruteForce) {
@@ -53,13 +58,14 @@ TEST(ConceptIndexTest, CountBothMatchesBruteForce) {
     docs.push_back(doc);
     index.AddDocument({doc.begin(), doc.end()});
   }
+  auto snap = index.Publish();
   for (const char* a : keys) {
     for (const char* b : keys) {
       std::size_t brute = 0;
       for (const auto& doc : docs) {
         if (doc.count(a) && doc.count(b)) ++brute;
       }
-      EXPECT_EQ(index.CountBoth(a, b), brute) << a << "," << b;
+      EXPECT_EQ(snap->CountBoth(a, b), brute) << a << "," << b;
     }
   }
 }
@@ -68,27 +74,98 @@ TEST(ConceptIndexTest, TimeBuckets) {
   ConceptIndex index;
   index.AddDocument({"a"}, 5);
   index.AddDocument({"a"});
-  EXPECT_EQ(index.TimeBucketOf(0), 5);
-  EXPECT_EQ(index.TimeBucketOf(1), kNoTimeBucket);
-  EXPECT_EQ(index.TimeBucketOf(99), kNoTimeBucket);
+  auto snap = index.Publish();
+  EXPECT_EQ(snap->TimeBucketOf(0), 5);
+  EXPECT_EQ(snap->TimeBucketOf(1), kNoTimeBucket);
+  EXPECT_EQ(snap->TimeBucketOf(99), kNoTimeBucket);
 }
 
 TEST(ConceptIndexTest, KeysSortedAndPrefixFiltered) {
   ConceptIndex index;
   index.AddDocument({"place/boston", "car/suv", "place/austin"});
-  EXPECT_EQ(index.Keys(),
+  auto snap = index.Publish();
+  EXPECT_EQ(snap->Keys(),
             (std::vector<std::string>{"car/suv", "place/austin",
                                       "place/boston"}));
-  EXPECT_EQ(index.Keys("place/"),
+  EXPECT_EQ(snap->Keys("place/"),
             (std::vector<std::string>{"place/austin", "place/boston"}));
+  auto ids = snap->IdsWithPrefix("place/");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(snap->KeyOf(ids[0]), "place/austin");
+  EXPECT_EQ(snap->KeyOf(ids[1]), "place/boston");
 }
 
 TEST(ConceptIndexTest, EmptyIndex) {
   ConceptIndex index;
+  auto snap = index.SnapshotNow();
   EXPECT_EQ(index.num_documents(), 0u);
-  EXPECT_TRUE(index.Postings("a").empty());
-  EXPECT_TRUE(index.Keys().empty());
-  EXPECT_TRUE(index.ConceptsOf(7).empty());
+  EXPECT_EQ(snap->num_documents(), 0u);
+  EXPECT_TRUE(snap->Postings("a").empty());
+  EXPECT_TRUE(snap->Keys().empty());
+  EXPECT_TRUE(snap->ConceptsOf(7).empty());
+  EXPECT_EQ(snap->Resolve("a"), kInvalidConceptId);
+}
+
+TEST(ConceptIndexTest, SnapshotsAreImmutableUnderFurtherAdds) {
+  ConceptIndex index;
+  index.AddDocument({"a"});
+  auto before = index.Publish();
+  index.AddDocument({"a", "b"});
+  auto after = index.Publish();
+  // The earlier snapshot still describes the earlier world.
+  EXPECT_EQ(before->num_documents(), 1u);
+  EXPECT_EQ(before->Count("a"), 1u);
+  EXPECT_EQ(before->Count("b"), 0u);
+  EXPECT_EQ(after->num_documents(), 2u);
+  EXPECT_EQ(after->Count("a"), 2u);
+  EXPECT_EQ(after->Count("b"), 1u);
+}
+
+TEST(ConceptIndexTest, SnapshotLagsUntilPublish) {
+  ConceptIndex index;
+  index.AddDocument({"a"});
+  index.Publish();
+  index.AddDocument({"a"});
+  // snapshot() is the cheap accessor: it may lag pending adds...
+  EXPECT_EQ(index.snapshot()->Count("a"), 1u);
+  // ...while SnapshotNow() publishes the pending delta first.
+  EXPECT_EQ(index.SnapshotNow()->Count("a"), 2u);
+  EXPECT_EQ(index.snapshot()->Count("a"), 2u);
+}
+
+TEST(ConceptIndexTest, PublishWithoutPendingReturnsSameSnapshot) {
+  ConceptIndex index;
+  index.AddDocument({"a"});
+  auto first = index.Publish();
+  auto second = index.Publish();
+  EXPECT_EQ(first.get(), second.get());
+}
+
+TEST(ConceptIndexTest, ManyDocsSpanningChunks) {
+  // More documents than one DocChunk holds, published in two waves so
+  // the partial-tail clone path runs.
+  ConceptIndex index;
+  for (int i = 0; i < 700; ++i) {
+    index.AddDocument({i % 2 == 0 ? "even" : "odd"}, i);
+  }
+  auto mid = index.Publish();
+  for (int i = 700; i < 1300; ++i) {
+    index.AddDocument({i % 2 == 0 ? "even" : "odd"}, i);
+  }
+  auto full = index.Publish();
+  EXPECT_EQ(mid->num_documents(), 700u);
+  EXPECT_EQ(full->num_documents(), 1300u);
+  EXPECT_EQ(full->Count("even"), 650u);
+  EXPECT_EQ(full->Count("odd"), 650u);
+  for (DocId d : {DocId{0}, DocId{511}, DocId{512}, DocId{699}, DocId{700},
+                  DocId{1299}}) {
+    EXPECT_EQ(full->TimeBucketOf(d), static_cast<int64_t>(d));
+    EXPECT_EQ(full->ConceptsOf(d),
+              (std::vector<std::string>{d % 2 == 0 ? "even" : "odd"}));
+  }
+  // The earlier snapshot's tail chunk was not disturbed by wave two.
+  EXPECT_EQ(mid->TimeBucketOf(699), 699);
+  EXPECT_EQ(mid->Count("even"), 350u);
 }
 
 }  // namespace

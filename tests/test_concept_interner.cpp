@@ -1,0 +1,76 @@
+#include "mining/concept_interner.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace bivoc {
+namespace {
+
+TEST(ConceptInternerTest, DenseIdsInFirstSeenOrder) {
+  ConceptInterner interner;
+  EXPECT_EQ(interner.Intern("discount/motor club"), 0u);
+  EXPECT_EQ(interner.Intern("outcome/reservation"), 1u);
+  EXPECT_EQ(interner.Intern("discount/motor club"), 0u);  // idempotent
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(ConceptInternerTest, LookupWithoutInterning) {
+  ConceptInterner interner;
+  interner.Intern("a");
+  EXPECT_EQ(interner.Lookup("a"), 0u);
+  EXPECT_EQ(interner.Lookup("missing"), kInvalidConceptId);
+  EXPECT_EQ(interner.size(), 1u);  // Lookup never interns
+}
+
+TEST(ConceptInternerTest, KeyViewsStayStableAcrossGrowth) {
+  ConceptInterner interner;
+  interner.Intern("first");
+  std::string_view first = interner.KeyOf(0);
+  const char* data = first.data();
+  for (int i = 0; i < 5000; ++i) {
+    interner.Intern("key-" + std::to_string(i));
+  }
+  // Deque storage: the original string was never reallocated.
+  EXPECT_EQ(interner.KeyOf(0).data(), data);
+  EXPECT_EQ(first, "first");
+}
+
+TEST(ConceptInternerTest, CategoryOf) {
+  ConceptInterner interner;
+  ConceptId with = interner.Intern("value selling/just N dollars");
+  ConceptId without = interner.Intern("plainkey");
+  EXPECT_EQ(interner.CategoryOf(with), "value selling/");
+  EXPECT_EQ(interner.CategoryOf(without), "plainkey");
+}
+
+TEST(ConceptInternerTest, ConcurrentInterningAgreesOnIds) {
+  ConceptInterner interner;
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 200;
+  // Every thread interns the same key set (shuffled start offsets) and
+  // records the ids it saw; all threads must agree.
+  std::vector<std::vector<ConceptId>> seen(kThreads,
+                                           std::vector<ConceptId>(kKeys));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kKeys; ++i) {
+        int k = (i + t * 31) % kKeys;
+        seen[t][k] = interner.Intern("concept/" + std::to_string(k));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(interner.size(), static_cast<std::size_t>(kKeys));
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]);
+  }
+  for (int k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(interner.KeyOf(seen[0][k]), "concept/" + std::to_string(k));
+  }
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,173 @@
+// Concurrency tests for the sharded ConceptIndex write path and the
+// snapshot-isolated read path. Run under BIVOC_SANITIZE (ASan+UBSan)
+// and BIVOC_TSAN; TSan in particular checks the writer/publisher/
+// reader protocol end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bivoc.h"
+#include "core/ingest.h"
+#include "mining/concept_index.h"
+#include "util/logging.h"
+
+namespace bivoc {
+namespace {
+
+TEST(ConcurrentIndexTest, ParallelWritersAllDocsAccounted) {
+  constexpr int kWriters = 8;
+  constexpr int kDocsPerWriter = 400;
+  ConceptIndex index;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kDocsPerWriter; ++i) {
+        index.AddDocument({"all", "writer/" + std::to_string(w),
+                           "mod/" + std::to_string(i % 10)},
+                          i % 7);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  auto snap = index.SnapshotNow();
+  const std::size_t total = kWriters * kDocsPerWriter;
+  EXPECT_EQ(snap->num_documents(), total);
+  EXPECT_EQ(snap->Count("all"), total);
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(snap->Count("writer/" + std::to_string(w)),
+              static_cast<std::size_t>(kDocsPerWriter));
+  }
+  for (int m = 0; m < 10; ++m) {
+    EXPECT_EQ(snap->Count("mod/" + std::to_string(m)), total / 10);
+    EXPECT_EQ(snap->CountBoth("all", "mod/" + std::to_string(m)),
+              total / 10);
+  }
+  // Every doc's concepts are intact and postings are sorted.
+  auto postings = snap->Postings("all");
+  ASSERT_EQ(postings.size(), total);
+  for (std::size_t i = 1; i < postings.size(); ++i) {
+    EXPECT_LT(postings[i - 1], postings[i]);
+  }
+}
+
+TEST(ConcurrentIndexTest, ReadersSeeConsistentSnapshotsDuringIngest) {
+  constexpr int kWriters = 4;
+  constexpr int kDocsPerWriter = 500;
+  ConceptIndex index;
+  std::atomic<bool> done{false};
+
+  // Readers check cross-concept invariants that only hold if every
+  // published snapshot is a complete, frozen view: each doc carries
+  // "all" and exactly one of "side/even" / "side/odd".
+  auto check = [](const IndexSnapshot& snap) {
+    EXPECT_EQ(snap.Count("all"), snap.num_documents());
+    EXPECT_EQ(snap.Count("side/even") + snap.Count("side/odd"),
+              snap.num_documents());
+    EXPECT_EQ(snap.CountBoth("all", "side/even"), snap.Count("side/even"));
+    EXPECT_EQ(snap.CountBoth("side/even", "side/odd"), 0u);
+  };
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        check(*index.snapshot());
+        check(*index.SnapshotNow());
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kDocsPerWriter; ++i) {
+        index.AddDocument(
+            {"all", i % 2 == 0 ? "side/even" : "side/odd",
+             "writer/" + std::to_string(w)});
+        if (i % 100 == 99) index.Publish();
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  auto last = index.SnapshotNow();
+  EXPECT_EQ(last->num_documents(),
+            static_cast<std::size_t>(kWriters * kDocsPerWriter));
+  check(*last);
+}
+
+// Engine-level: IngestBatch on a background thread while analysis
+// queries run against engine.Snapshot() — the README's "reports are
+// safe during ingestion" promise.
+TEST(ConcurrentIndexTest, EngineSnapshotQueriesDuringIngestBatch) {
+  BivocEngine engine;
+  Schema schema({
+      {"id", DataType::kInt64, AttributeRole::kNone},
+      {"name", DataType::kString, AttributeRole::kPersonName},
+      {"phone", DataType::kString, AttributeRole::kPhone},
+  });
+  Table* customers = *engine.warehouse()->CreateTable("customers", schema);
+  BIVOC_CHECK_OK(customers
+                     ->Append({Value(int64_t{0}), Value("john smith"),
+                               Value("9845012345")})
+                     .status());
+  BIVOC_CHECK_OK(engine.FinishWarehouse());
+  engine.ConfigureAnnotators({"john", "smith"}, {});
+  engine.extractor()->mutable_dictionary()->Add("gprs", "gprs", "product");
+  engine.pipeline()->mutable_language_filter()->AddVocabulary(
+      {"gprs", "john", "smith", "working", "not", "problem", "report",
+       "from"});
+  IngestOptions opts;
+  opts.num_threads = 4;
+  engine.ConfigureIngest(opts);
+
+  constexpr int kBatches = 6;
+  constexpr int kBatchSize = 50;
+  std::vector<IngestItem> batch(kBatchSize);
+  for (auto& item : batch) {
+    item.channel = VocChannel::kEmail;
+    item.payload = "gprs problem report from john smith 9845012345";
+    item.structured_keys = {"status/active"};
+  }
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int b = 0; b < kBatches; ++b) {
+      HealthReport report = engine.IngestBatch(batch);
+      EXPECT_EQ(report.processed + report.dropped + report.dead_lettered,
+                report.submitted);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // Concurrent analysis: every indexed doc has both "product/gprs" and
+  // "status/active", so counts agree within any one snapshot even
+  // while ingestion is mid-batch.
+  std::vector<std::thread> analysts;
+  for (int r = 0; r < 3; ++r) {
+    analysts.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        auto snap = engine.Snapshot();
+        EXPECT_EQ(snap->Count("status/active"), snap->num_documents());
+        EXPECT_EQ(snap->CountBoth("product/gprs", "status/active"),
+                  snap->Count("product/gprs"));
+        EXPECT_LE(snap->num_documents(),
+                  static_cast<std::size_t>(kBatches * kBatchSize));
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : analysts) t.join();
+
+  auto last = engine.Snapshot();
+  EXPECT_EQ(last->num_documents(),
+            static_cast<std::size_t>(kBatches * kBatchSize));
+  EXPECT_EQ(last->Count("product/gprs"), last->num_documents());
+}
+
+}  // namespace
+}  // namespace bivoc

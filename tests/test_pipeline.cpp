@@ -107,11 +107,11 @@ TEST_F(PipelineTest, RosterNamesExcludedFromLinking) {
 TEST_F(PipelineTest, IndexDocumentMergesStructuredKeys) {
   Document doc = pipeline_.ProcessTranscript("problem with gprs today");
   DocId id = pipeline_.IndexDocument(doc, {"outcome/unbooked"});
-  const ConceptIndex& index = pipeline_.index();
-  EXPECT_EQ(index.Count("product/gprs"), 1u);
-  EXPECT_EQ(index.Count("outcome/unbooked"), 1u);
-  EXPECT_EQ(index.CountBoth("product/gprs", "outcome/unbooked"), 1u);
-  EXPECT_EQ(index.ConceptsOf(id).size(), 2u);
+  auto snap = pipeline_.Snapshot();
+  EXPECT_EQ(snap->Count("product/gprs"), 1u);
+  EXPECT_EQ(snap->Count("outcome/unbooked"), 1u);
+  EXPECT_EQ(snap->CountBoth("product/gprs", "outcome/unbooked"), 1u);
+  EXPECT_EQ(snap->ConceptsOf(id).size(), 2u);
 }
 
 TEST_F(PipelineTest, StatsAccumulate) {

@@ -1,22 +1,24 @@
 #include "mining/report.h"
 
+#include "mining/concept_index.h"
+
 #include <gtest/gtest.h>
 
 namespace bivoc {
 namespace {
 
-ConceptIndex SmallIndex() {
+std::shared_ptr<const IndexSnapshot> SmallIndex() {
   ConceptIndex index;
   for (int i = 0; i < 30; ++i) index.AddDocument({"a", "x"});
   for (int i = 0; i < 10; ++i) index.AddDocument({"a", "y"});
   for (int i = 0; i < 10; ++i) index.AddDocument({"b", "x"});
   for (int i = 0; i < 30; ++i) index.AddDocument({"b", "y"});
-  return index;
+  return index.Publish();
 }
 
 TEST(RenderAssociationTest, CountMetric) {
   auto index = SmallIndex();
-  auto table = TwoDimensionalAssociation(index, {"a", "b"}, {"x", "y"});
+  auto table = TwoDimensionalAssociation(*index, {"a", "b"}, {"x", "y"});
   std::string out = RenderAssociationTable(table, "count");
   EXPECT_NE(out.find("30"), std::string::npos);
   EXPECT_NE(out.find("10"), std::string::npos);
@@ -24,7 +26,7 @@ TEST(RenderAssociationTest, CountMetric) {
 
 TEST(RenderAssociationTest, LiftMetrics) {
   auto index = SmallIndex();
-  auto table = TwoDimensionalAssociation(index, {"a", "b"}, {"x", "y"});
+  auto table = TwoDimensionalAssociation(*index, {"a", "b"}, {"x", "y"});
   std::string point = RenderAssociationTable(table, "point_lift");
   // a&x lift = (30*80)/(40*40) = 1.50.
   EXPECT_NE(point.find("1.50"), std::string::npos);
@@ -36,7 +38,7 @@ TEST(RenderAssociationTest, LiftMetrics) {
 
 TEST(RenderAssociationTest, HeaderContainsKeys) {
   auto index = SmallIndex();
-  auto table = TwoDimensionalAssociation(index, {"a"}, {"x", "y"});
+  auto table = TwoDimensionalAssociation(*index, {"a"}, {"x", "y"});
   std::string out = RenderAssociationTable(table);
   EXPECT_NE(out.find("x"), std::string::npos);
   EXPECT_NE(out.find("y"), std::string::npos);
@@ -62,7 +64,7 @@ TEST(RenderRelevancyTest, ShowsRatios) {
   auto index = SmallIndex();
   RelevancyOptions options;
   options.min_subset_count = 1;
-  auto items = RelevancyAnalysis(index, "a", options);
+  auto items = RelevancyAnalysis(*index, "a", options);
   std::string out = RenderRelevancy(items);
   EXPECT_NE(out.find("concept"), std::string::npos);
   EXPECT_NE(out.find("x"), std::string::npos);
@@ -71,7 +73,7 @@ TEST(RenderRelevancyTest, ShowsRatios) {
 
 TEST(RenderDrillDownTest, EmptyDocList) {
   ConceptIndex index;
-  EXPECT_EQ(RenderDrillDown(index, {}, 5), "");
+  EXPECT_EQ(RenderDrillDown(*index.SnapshotNow(), {}, 5), "");
 }
 
 }  // namespace

@@ -85,6 +85,46 @@ TEST(FormatDoubleTest, Decimals) {
   EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
 }
 
+TEST(ParseInt64Test, AcceptsIntegersRejectsNoise) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-17", &v));
+  EXPECT_EQ(v, -17);
+  EXPECT_TRUE(ParseInt64("+8", &v));
+  EXPECT_EQ(v, 8);
+  EXPECT_TRUE(ParseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("x", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));       // trailing garbage
+  EXPECT_FALSE(ParseInt64(" 12", &v));       // no whitespace skipping
+  EXPECT_FALSE(ParseInt64("+", &v));
+  EXPECT_FALSE(ParseInt64("+-5", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+  // Overflow is a clean failure, not UB or a throw.
+  EXPECT_FALSE(ParseInt64("99999999999999999999999", &v));
+}
+
+TEST(ParseDoubleTest, AcceptsNumbersRejectsNoise) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("-0.5", &v));
+  EXPECT_DOUBLE_EQ(v, -0.5);
+  EXPECT_TRUE(ParseDouble("+2", &v));
+  EXPECT_DOUBLE_EQ(v, 2.0);
+  EXPECT_TRUE(ParseDouble("1e3", &v));
+  EXPECT_DOUBLE_EQ(v, 1000.0);
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("+", &v));
+  EXPECT_FALSE(ParseDouble("+-1", &v));
+  // Out-of-range magnitude fails instead of throwing (std::stod threw).
+  EXPECT_FALSE(ParseDouble(std::string(400, '9'), &v));
+}
+
 TEST(WithThousandsTest, Basic) {
   EXPECT_EQ(WithThousands(0), "0");
   EXPECT_EQ(WithThousands(999), "999");
