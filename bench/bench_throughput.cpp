@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <thread>
@@ -13,6 +14,7 @@
 #include "annotate/concept_extractor.h"
 #include "asr/transcriber.h"
 #include "clean/sms_normalizer.h"
+#include "core/bivoc.h"
 #include "core/car_rental_insights.h"
 #include "linking/fagin.h"
 #include "linking/linker.h"
@@ -244,6 +246,99 @@ bool SnapshotsAgree(const IndexSnapshot& a, const IndexSnapshot& b) {
   return true;
 }
 
+// --- Durability cost & recovery speed: full-engine ingest with the
+// WAL off vs on (journal + fsync per batch), then recovery throughput
+// (checkpoint load + WAL tail replay) in a fresh engine.
+
+struct DurabilityBenchResult {
+  double wal_off_dps = 0;
+  double wal_on_dps = 0;
+  double recovery_dps = 0;
+  std::size_t docs = 0;
+};
+
+void ConfigureBenchEngine(BivocEngine* engine) {
+  Schema schema({
+      {"id", DataType::kInt64, AttributeRole::kNone},
+      {"name", DataType::kString, AttributeRole::kPersonName},
+      {"phone", DataType::kString, AttributeRole::kPhone},
+  });
+  Table* customers = *engine->warehouse()->CreateTable("customers", schema);
+  customers->Append({Value(int64_t{0}), Value("john smith"),
+                     Value("9845012345")});
+  engine->FinishWarehouse();
+  engine->ConfigureAnnotators({"john", "smith"}, {});
+  engine->extractor()->mutable_dictionary()->Add("gprs", "gprs", "product");
+  engine->pipeline()->mutable_language_filter()->AddVocabulary(
+      {"gprs", "problem", "report", "from", "john", "smith"});
+  IngestOptions options;
+  options.num_threads = 8;
+  engine->ConfigureIngest(options);
+}
+
+DurabilityBenchResult RunDurabilityBench() {
+  constexpr std::size_t kDocs = 20000;
+  constexpr std::size_t kBatch = 1000;
+  DurabilityBenchResult out;
+  out.docs = kDocs;
+
+  std::vector<IngestItem> corpus;
+  corpus.reserve(kDocs);
+  for (std::size_t i = 0; i < kDocs; ++i) {
+    IngestItem item;
+    item.channel = VocChannel::kEmail;
+    item.payload = "gprs problem report from john smith 9845012345";
+    item.time_bucket = static_cast<int>(i % 7);
+    item.structured_keys = {"doc/" + std::to_string(i)};
+    corpus.push_back(std::move(item));
+  }
+  auto ingest_all = [&](BivocEngine* engine) {
+    for (std::size_t start = 0; start < kDocs; start += kBatch) {
+      std::vector<IngestItem> batch(
+          corpus.begin() + start,
+          corpus.begin() + std::min(kDocs, start + kBatch));
+      engine->IngestBatch(batch);
+    }
+  };
+
+  {  // Baseline: durability disabled.
+    BivocEngine engine;
+    ConfigureBenchEngine(&engine);
+    Timer timer;
+    ingest_all(&engine);
+    out.wal_off_dps = static_cast<double>(kDocs) / timer.ElapsedSeconds();
+  }
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "bivoc_bench_durability")
+          .string();
+  std::filesystem::remove_all(dir);
+  {  // WAL on: every batch journaled + fsynced before processing.
+    BivocEngine engine;
+    ConfigureBenchEngine(&engine);
+    BIVOC_CHECK_OK(engine.EnableDurability(dir));
+    Timer timer;
+    ingest_all(&engine);
+    out.wal_on_dps = static_cast<double>(kDocs) / timer.ElapsedSeconds();
+    // Engine destroyed without a checkpoint: recovery replays the
+    // whole WAL, the worst (and most informative) case.
+  }
+  {  // Recovery: fresh engine, checkpoint load + WAL tail replay.
+    BivocEngine engine;
+    ConfigureBenchEngine(&engine);
+    BIVOC_CHECK_OK(engine.EnableDurability(dir));
+    Timer timer;
+    Result<RecoveryReport> report = engine.Recover();
+    double secs = timer.ElapsedSeconds();
+    if (report.ok() &&
+        engine.Snapshot()->num_documents() == kDocs) {
+      out.recovery_dps = static_cast<double>(kDocs) / secs;
+    }
+  }
+  std::filesystem::remove_all(dir);
+  return out;
+}
+
 void WriteIndexBenchReport() {
   constexpr std::size_t kDocs = 200000;
   constexpr std::size_t kThreads = 8;
@@ -317,6 +412,13 @@ void WriteIndexBenchReport() {
               "queries/s\n",
               live_dps, kReaders, qps);
 
+  DurabilityBenchResult durability = RunDurabilityBench();
+  std::printf("durability: WAL off %.0f docs/s, WAL on %.0f docs/s "
+              "(%.0f%% of baseline), recovery %.0f docs/s over %zu docs\n",
+              durability.wal_off_dps, durability.wal_on_dps,
+              100.0 * durability.wal_on_dps / durability.wal_off_dps,
+              durability.recovery_dps, durability.docs);
+
   std::FILE* f = std::fopen("BENCH_index.json", "w");
   if (f == nullptr) return;
   std::fprintf(f,
@@ -330,10 +432,19 @@ void WriteIndexBenchReport() {
                "  \"parallel_matches_sequential\": %s,\n"
                "  \"concurrent_ingest_docs_per_sec\": %.0f,\n"
                "  \"concurrent_query_qps\": %.0f,\n"
-               "  \"query_reader_threads\": %zu\n"
+               "  \"query_reader_threads\": %zu,\n"
+               "  \"durability_docs\": %zu,\n"
+               "  \"wal_off_docs_per_sec\": %.0f,\n"
+               "  \"wal_on_docs_per_sec\": %.0f,\n"
+               "  \"wal_overhead_ratio\": %.2f,\n"
+               "  \"recovery_docs_per_sec\": %.0f\n"
                "}\n",
                kDocs, hw, kThreads, seq_dps, par_dps, par_dps / seq_dps,
-               agree ? "true" : "false", live_dps, qps, kReaders);
+               agree ? "true" : "false", live_dps, qps, kReaders,
+               durability.docs, durability.wal_off_dps,
+               durability.wal_on_dps,
+               durability.wal_on_dps / durability.wal_off_dps,
+               durability.recovery_dps);
   std::fclose(f);
 }
 

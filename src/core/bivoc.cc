@@ -1,5 +1,12 @@
 #include "core/bivoc.h"
 
+#include <cstdio>
+#include <unordered_set>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/wal.h"
+
 namespace bivoc {
 
 BivocEngine::BivocEngine() = default;
@@ -28,6 +35,9 @@ void BivocEngine::ConfigureAnnotators(
 
 void BivocEngine::ConfigureIngest(IngestOptions options) {
   ingest_ = std::make_unique<IngestService>(&pipeline_, std::move(options));
+  // Durability survives an ingest reconfiguration: the fresh service
+  // keeps journaling to the same WAL.
+  if (journal_) ingest_->AttachJournal(journal_.get());
 }
 
 IngestService* BivocEngine::ingest() {
@@ -40,9 +50,192 @@ HealthReport BivocEngine::IngestBatch(const std::vector<IngestItem>& items) {
 }
 
 HealthReport BivocEngine::Health() const {
-  if (ingest_) return ingest_->report();
   HealthReport report;
-  report.pipeline = pipeline_.stats().Read();
+  if (ingest_) {
+    report = ingest_->report();
+  } else {
+    report.pipeline = pipeline_.stats().Read();
+  }
+  if (store_) {
+    report.durability.enabled = true;
+    report.durability.checkpoint_generation = store_->current_generation();
+    report.durability.checkpoint_fallbacks =
+        last_recovery_.checkpoint_fallbacks;
+    report.durability.docs_from_checkpoint =
+        last_recovery_.docs_from_checkpoint;
+    report.durability.wal_records_replayed =
+        last_recovery_.wal_records_replayed;
+    report.durability.wal_corrupt_records = last_recovery_.wal_corrupt_records;
+  }
+  if (journal_) {
+    report.durability.enabled = true;
+    report.durability.wal_records_appended = journal_->records_appended();
+    report.durability.wal_append_failures = journal_->append_failures();
+    report.durability.wal_batches_rolled_back =
+        journal_->batches_rolled_back();
+  }
+  return report;
+}
+
+Status BivocEngine::EnableDurability(const std::string& dir,
+                                     DurabilityOptions options) {
+  durability_opts_ = options;
+  auto store = std::make_unique<CheckpointStore>(dir, options.checkpoint_retain);
+  BIVOC_RETURN_NOT_OK(store->Init());
+
+  auto journal = std::make_unique<IngestJournal>();
+  Status opened = journal->Open(store->WalPath());
+  if (!opened.ok() && opened.code() == StatusCode::kCorruption) {
+    // Damaged header: the log is unusable as an append target. Move it
+    // aside (recovery tooling can inspect it) and start fresh rather
+    // than refusing to ingest.
+    const std::string aside = store->WalPath() + ".corrupt";
+    std::rename(store->WalPath().c_str(), aside.c_str());
+    BIVOC_LOG(Warning) << "WAL header corrupt (" << opened.ToString()
+                       << "); moved to " << aside << " and starting fresh";
+    opened = journal->Open(store->WalPath());
+  }
+  BIVOC_RETURN_NOT_OK(opened);
+
+  store_ = std::move(store);
+  journal_ = std::move(journal);
+  ingest()->AttachJournal(journal_.get());
+  return Status::OK();
+}
+
+Status BivocEngine::SaveCheckpoint() {
+  if (!store_ || !journal_) {
+    return Status::FailedPrecondition(
+        "SaveCheckpoint requires EnableDurability");
+  }
+  CheckpointData data;
+  // At a batch boundary every journaled item has been processed (or
+  // dead-lettered), so last_seq is exactly the snapshot's watermark.
+  data.wal_watermark = journal_->last_seq();
+
+  std::shared_ptr<const IndexSnapshot> snap = pipeline_.Snapshot();
+  const std::size_t num_docs = snap->num_documents();
+  for (std::string_view key : snap->interner().AllKeys()) {
+    data.vocabulary.emplace_back(key);
+  }
+  data.doc_concepts.reserve(num_docs);
+  data.doc_times.reserve(num_docs);
+  for (DocId d = 0; d < num_docs; ++d) {
+    data.doc_concepts.push_back(snap->ConceptIdsOf(d));
+    data.doc_times.push_back(snap->TimeBucketOf(d));
+  }
+
+  if (linker_) {
+    for (const std::string& table : linker_->Types()) {
+      data.linker_weights.emplace(table, linker_->WeightsFor(table));
+    }
+  }
+  if (ingest_) data.dead_letters = ingest_->dead_letters()->Peek();
+
+  Result<uint64_t> generation = store_->Write(data);
+  if (!generation.ok()) return generation.status();
+
+  if (durability_opts_.truncate_wal_after_checkpoint) {
+    Status st = journal_->TruncateThrough(data.wal_watermark);
+    if (!st.ok()) {
+      // Non-fatal: the checkpoint is committed; the untruncated log
+      // only re-replays records recovery will skip by watermark.
+      BIVOC_LOG(Warning) << "WAL truncation after checkpoint "
+                         << generation.value()
+                         << " failed: " << st.ToString();
+    }
+  }
+  return Status::OK();
+}
+
+Result<RecoveryReport> BivocEngine::Recover() {
+  if (!store_ || !journal_) {
+    return Status::FailedPrecondition("Recover requires EnableDurability");
+  }
+  RecoveryReport report;
+  uint64_t watermark = 0;
+
+  Result<CheckpointStore::Loaded> loaded_or = store_->LoadNewest();
+  if (loaded_or.ok()) {
+    CheckpointStore::Loaded loaded = loaded_or.MoveValue();
+    const CheckpointData& data = loaded.data;
+    report.checkpoint_loaded = true;
+    report.checkpoint_generation = loaded.generation;
+    report.checkpoint_fallbacks = loaded.fallbacks;
+    watermark = data.wal_watermark;
+
+    // Rebuild the index by re-admitting documents in DocId order: ids
+    // are dense and assigned in admission order, so the restored index
+    // assigns every document its original id.
+    ConceptIndex* index = pipeline_.mutable_index();
+    for (std::size_t d = 0; d < data.doc_concepts.size(); ++d) {
+      std::vector<std::string> keys;
+      keys.reserve(data.doc_concepts[d].size());
+      for (uint32_t id : data.doc_concepts[d]) {
+        keys.push_back(data.vocabulary[id]);
+      }
+      index->AddDocument(keys, data.doc_times[d]);
+    }
+    report.docs_from_checkpoint = data.doc_concepts.size();
+
+    if (linker_) {
+      for (const auto& [table, weights] : data.linker_weights) {
+        Status st = linker_->SetWeightsFor(table, weights);
+        if (!st.ok()) {
+          // Warehouse schema changed since the checkpoint; the table's
+          // linker keeps its freshly learned weights.
+          BIVOC_LOG(Warning) << "checkpointed weights for table '" << table
+                             << "' not restored: " << st.ToString();
+        }
+      }
+    }
+    if (!data.dead_letters.empty()) {
+      DeadLetterQueue* queue = ingest()->dead_letters();
+      for (const DeadLetter& letter : data.dead_letters) {
+        if (queue->Push(letter)) ++report.dead_letters_restored;
+      }
+    }
+  } else if (loaded_or.status().code() != StatusCode::kNotFound) {
+    return loaded_or.status();
+  }
+
+  // Replay the WAL tail above the watermark. Framing-level damage was
+  // already counted by ReadWal; payload-level decode failures and
+  // duplicate sequence ids are counted here.
+  Result<WalReadResult> wal_or = ReadWal(journal_->path());
+  if (wal_or.ok()) {
+    WalReadResult wal = wal_or.MoveValue();
+    report.wal_corrupt_records = wal.corrupt_records;
+    report.wal_truncated_bytes = wal.truncated_bytes;
+
+    std::vector<IngestItem> items;
+    std::unordered_set<uint64_t> seen;
+    for (const std::string& payload : wal.records) {
+      Result<JournalRecord> record_or = DecodeJournalItem(payload);
+      if (!record_or.ok()) {
+        ++report.wal_corrupt_records;
+        continue;
+      }
+      JournalRecord record = record_or.MoveValue();
+      if (record.seq <= watermark || !seen.insert(record.seq).second) {
+        ++report.wal_records_skipped;
+        continue;
+      }
+      items.push_back(std::move(record.item));
+    }
+    if (!items.empty()) {
+      ingest()->ReplayJournal(items);
+      report.wal_records_replayed = items.size();
+    }
+  } else if (wal_or.status().code() != StatusCode::kNotFound) {
+    BIVOC_LOG(Warning) << "WAL unreadable during recovery: "
+                       << wal_or.status().ToString();
+    ++report.wal_corrupt_records;
+  }
+
+  pipeline_.PublishIndex();
+  journal_->EnsureSeqAtLeast(watermark);
+  last_recovery_ = report;
   return report;
 }
 

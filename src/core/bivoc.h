@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/ingest.h"
+#include "core/persist.h"
 #include "core/pipeline.h"
 #include "db/database.h"
 #include "linking/multitype.h"
@@ -15,6 +16,15 @@
 #include "util/result.h"
 
 namespace bivoc {
+
+struct DurabilityOptions {
+  // Checkpoint generations kept on disk (newest N survive pruning;
+  // corruption of the newest falls back to the one before it).
+  std::size_t checkpoint_retain = 2;
+  // Drop WAL records already folded into a checkpoint right after the
+  // checkpoint commits. Disable to keep the full log (tests, audit).
+  bool truncate_wal_after_checkpoint = true;
+};
 
 // Top-level facade over the BIVoC system: one object that owns the
 // warehouse, the linking engine, the cleaning/annotation pipeline and
@@ -67,6 +77,36 @@ class BivocEngine {
   // batch ingestion was never used.
   HealthReport Health() const;
 
+  // --- crash-safe durability (DESIGN.md §9) --------------------------
+  // EnableDurability opens (or creates) <dir> as the durability root:
+  // the ingest WAL plus versioned checkpoints. From then on IngestBatch
+  // journals every item to a checksummed, fsynced log before
+  // processing it. A WAL whose header is damaged is moved aside to
+  // <wal>.corrupt and a fresh log is started (the event is logged).
+  Status EnableDurability(const std::string& dir,
+                          DurabilityOptions options = {});
+
+  // Serializes the published index snapshot, learned linker weights
+  // and dead-letter backlog as checkpoint generation current+1, then
+  // truncates the WAL behind it (unless configured off). Call at batch
+  // boundaries — not concurrently with IngestBatch.
+  Status SaveCheckpoint();
+
+  // Restores a freshly constructed engine from <dir>: loads the newest
+  // checksum-valid checkpoint (falling back generation by generation
+  // past corrupt ones), replays the WAL tail above the checkpoint's
+  // watermark through the full ingest pipeline, and re-publishes the
+  // snapshot. Corrupt WAL records are skipped and counted, never
+  // fatal; duplicate sequence ids are replayed once. Call after
+  // FinishWarehouse/ConfigureAnnotators and before any new ingestion.
+  Result<RecoveryReport> Recover();
+
+  bool durability_enabled() const { return store_ != nullptr; }
+  CheckpointStore* checkpoint_store() { return store_.get(); }
+  IngestJournal* journal() { return journal_.get(); }
+  // Accounting from the most recent Recover() (zeroes before then).
+  const RecoveryReport& last_recovery() const { return last_recovery_; }
+
   // Immutable snapshot of the concept index — the entry point for
   // custom analysis. Safe to query from any thread while ingestion
   // runs; the view is frozen at the moment of the call.
@@ -95,6 +135,10 @@ class BivocEngine {
   AnnotatorPipeline annotators_;
   VocPipeline pipeline_;
   std::unique_ptr<IngestService> ingest_;
+  DurabilityOptions durability_opts_;
+  std::unique_ptr<CheckpointStore> store_;
+  std::unique_ptr<IngestJournal> journal_;
+  RecoveryReport last_recovery_;
 };
 
 }  // namespace bivoc

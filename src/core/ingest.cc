@@ -1,0 +1,473 @@
+#include "core/ingest.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "core/persist.h"
+#include "util/logging.h"
+
+namespace bivoc {
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+
+CircuitBreaker::CircuitBreaker() : CircuitBreaker(Options()) {}
+
+CircuitBreaker::CircuitBreaker(Options options) : opts_(std::move(options)) {
+  if (opts_.failure_threshold < 1) opts_.failure_threshold = 1;
+  if (opts_.half_open_successes < 1) opts_.half_open_successes = 1;
+}
+
+int64_t CircuitBreaker::NowMs() const {
+  if (opts_.clock_ms) return opts_.clock_ms();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+    case State::kHalfOpen:
+      return true;
+    case State::kOpen:
+      if (NowMs() - opened_at_ms_ >= opts_.cool_off_ms) {
+        state_ = State::kHalfOpen;
+        probe_successes_ = 0;
+        return true;
+      }
+      ++short_circuited_;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kHalfOpen:
+      if (++probe_successes_ >= opts_.half_open_successes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+      }
+      break;
+    case State::kOpen:
+      // Late result from a call admitted before the trip; ignore.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= opts_.failure_threshold) {
+        state_ = State::kOpen;
+        opened_at_ms_ = NowMs();
+        ++times_opened_;
+      }
+      break;
+    case State::kHalfOpen:
+      // A failed probe re-opens immediately and restarts the cool-off.
+      state_ = State::kOpen;
+      opened_at_ms_ = NowMs();
+      ++times_opened_;
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+std::size_t CircuitBreaker::times_opened() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return times_opened_;
+}
+
+std::size_t CircuitBreaker::short_circuited() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return short_circuited_;
+}
+
+const char* CircuitBreakerStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// DeadLetterQueue
+
+DeadLetterQueue::DeadLetterQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool DeadLetterQueue::Push(DeadLetter letter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (letters_.size() >= capacity_) {
+    ++overflowed_;
+    ++overflow_since_warn_;
+    // Rate-limited so a sustained outage logs one line per interval,
+    // not one per dropped document.
+    constexpr int64_t kWarnIntervalMs = 1000;
+    const int64_t now_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    if (last_overflow_warn_ms_ == 0 ||
+        now_ms - last_overflow_warn_ms_ >= kWarnIntervalMs) {
+      BIVOC_LOG(Warning) << "dead-letter queue full (capacity " << capacity_
+                         << "); dropped " << overflow_since_warn_
+                         << " letter(s) since last warning, "
+                         << overflowed_ << " total";
+      last_overflow_warn_ms_ = now_ms;
+      overflow_since_warn_ = 0;
+    }
+    return false;
+  }
+  letters_.push_back(std::move(letter));
+  return true;
+}
+
+std::vector<DeadLetter> DeadLetterQueue::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DeadLetter> out(std::make_move_iterator(letters_.begin()),
+                              std::make_move_iterator(letters_.end()));
+  letters_.clear();
+  return out;
+}
+
+std::vector<DeadLetter> DeadLetterQueue::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) return {};  // one drain at a time
+  draining_ = true;
+  in_flight_.assign(std::make_move_iterator(letters_.begin()),
+                    std::make_move_iterator(letters_.end()));
+  letters_.clear();
+  acked_.assign(in_flight_.size(), 0);
+  return in_flight_;
+}
+
+void DeadLetterQueue::Ack(std::size_t drain_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_ && drain_index < acked_.size()) acked_[drain_index] = 1;
+}
+
+std::size_t DeadLetterQueue::EndDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!draining_) return 0;
+  std::size_t restored = 0;
+  for (std::size_t i = 0; i < in_flight_.size(); ++i) {
+    if (!acked_[i]) {
+      // Restore past capacity if need be: the letter was admitted once
+      // and must not be lost to a failed drain.
+      letters_.push_back(std::move(in_flight_[i]));
+      ++restored;
+    }
+  }
+  in_flight_.clear();
+  acked_.clear();
+  draining_ = false;
+  return restored;
+}
+
+std::vector<DeadLetter> DeadLetterQueue::Peek() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {letters_.begin(), letters_.end()};
+}
+
+std::size_t DeadLetterQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return letters_.size();
+}
+
+std::size_t DeadLetterQueue::overflowed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overflowed_;
+}
+
+// ---------------------------------------------------------------------------
+// HealthReport
+
+std::string HealthReport::ToString() const {
+  std::ostringstream os;
+  os << "submitted=" << submitted << " processed=" << processed
+     << " dropped=" << dropped << " degraded=" << degraded
+     << " retried=" << retried << " dead_lettered=" << dead_lettered
+     << " short_circuited=" << short_circuited << " replayed=" << replayed
+     << " breaker=" << CircuitBreakerStateName(breaker_state)
+     << " (opened " << breaker_opened << "x)"
+     << " | pipeline: processed=" << pipeline.processed
+     << " spam=" << pipeline.dropped_spam
+     << " non_english=" << pipeline.dropped_non_english
+     << " linked=" << pipeline.linked << " unlinked=" << pipeline.unlinked;
+  if (durability.enabled) {
+    os << " | wal: appended=" << durability.wal_records_appended
+       << " append_failures=" << durability.wal_append_failures
+       << " rolled_back=" << durability.wal_batches_rolled_back
+       << " replayed=" << durability.wal_records_replayed
+       << " corrupt_skipped=" << durability.wal_corrupt_records
+       << " | checkpoint: gen=" << durability.checkpoint_generation
+       << " fallbacks=" << durability.checkpoint_fallbacks
+       << " docs_restored=" << durability.docs_from_checkpoint;
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// IngestService
+
+IngestService::IngestService(VocPipeline* pipeline, IngestOptions options)
+    : pipeline_(pipeline),
+      opts_(std::move(options)),
+      pool_(opts_.num_threads),
+      breaker_(opts_.breaker),
+      dead_letters_(opts_.dead_letter_capacity) {}
+
+bool IngestService::ProcessOne(const IngestItem& item, int prior_attempts,
+                               Counters* counters) {
+  const uint64_t seed =
+      opts_.seed ^ (0x9e3779b97f4a7c15ULL *
+                    (seed_counter_.fetch_add(1, std::memory_order_relaxed) + 1));
+
+  // Stage 1: clean + filter + annotate + extract (fault point
+  // "clean.<channel>"). A document that cannot be cleaned after
+  // retries is dead-lettered; the rest of the batch is untouched.
+  Retrier clean_retrier(opts_.clean_retry, seed);
+  Result<Document> doc_or = clean_retrier.Run<Document>(
+      [&] { return pipeline_->TryProcess(item.channel, item.payload,
+                                         item.time_bucket); });
+  counters->retried.fetch_add(
+      static_cast<std::size_t>(clean_retrier.last_attempts() - 1));
+  int attempts = prior_attempts + clean_retrier.last_attempts();
+  if (!doc_or.ok()) {
+    counters->dead_lettered.fetch_add(1);
+    dead_letters_.Push(DeadLetter{item, doc_or.status(), attempts});
+    return false;
+  }
+  Document doc = doc_or.MoveValue();
+  if (doc.dropped) {
+    // Spam / non-English: a deliberate filter verdict, not a fault.
+    counters->dropped.fetch_add(1);
+    return true;
+  }
+
+  // Stage 2: link behind the circuit breaker (fault point
+  // "linker.link"). Failure here never kills the document — it
+  // degrades to unlinked-but-indexed so mining still sees its text.
+  if (pipeline_->has_linker()) {
+    if (breaker_.Allow()) {
+      Retrier link_retrier(opts_.link_retry, seed + 1);
+      Status st =
+          link_retrier.Run([&] { return pipeline_->LinkDocument(&doc); });
+      counters->retried.fetch_add(
+          static_cast<std::size_t>(link_retrier.last_attempts() - 1));
+      if (st.ok()) {
+        breaker_.RecordSuccess();
+      } else {
+        breaker_.RecordFailure();
+        counters->degraded.fetch_add(1);
+      }
+    } else {
+      counters->short_circuited.fetch_add(1);
+      counters->degraded.fetch_add(1);
+    }
+  }
+
+  // Stage 3: index (fault point "index.add"). The concept index
+  // stripes its delta buffers by ConceptId, so workers index
+  // concurrently — no batch-wide lock here.
+  Retrier index_retrier(opts_.index_retry, seed + 2);
+  Result<DocId> id_or = index_retrier.Run<DocId>(
+      [&] { return pipeline_->TryIndexDocument(doc, item.structured_keys); });
+  counters->retried.fetch_add(
+      static_cast<std::size_t>(index_retrier.last_attempts() - 1));
+  attempts += index_retrier.last_attempts();
+  if (!id_or.ok()) {
+    counters->dead_lettered.fetch_add(1);
+    dead_letters_.Push(DeadLetter{item, id_or.status(), attempts});
+    return false;
+  }
+  counters->processed.fetch_add(1);
+  return true;
+}
+
+void IngestService::FillShared(HealthReport* report) const {
+  report->dead_letter_overflow = dead_letters_.overflowed();
+  report->breaker_state = breaker_.state();
+  report->breaker_opened = breaker_.times_opened();
+  report->pipeline = pipeline_->stats().Read();
+  if (journal_ != nullptr) {
+    report->durability.enabled = true;
+    report->durability.wal_records_appended = journal_->records_appended();
+    report->durability.wal_append_failures = journal_->append_failures();
+    report->durability.wal_batches_rolled_back =
+        journal_->batches_rolled_back();
+  }
+}
+
+HealthReport IngestService::RunBatch(const std::vector<IngestItem>& items,
+                                     bool journal) {
+  submitted_total_.fetch_add(items.size());
+  Counters local;
+
+  // Journal-before-process: every accepted item hits the fsynced WAL
+  // before any pipeline stage sees it. A failed append rolls the log
+  // back to the pre-batch bookmark and dead-letters the whole batch —
+  // nothing half-journaled is ever processed, so the ack contract
+  // holds: when this returns, each item is durable or dead-lettered.
+  if (journal && journal_ != nullptr) {
+    const IngestJournal::Bookmark mark = journal_->bookmark();
+    Status journal_status;
+    for (const IngestItem& item : items) {
+      Result<uint64_t> seq_or = journal_->Append(item);
+      if (!seq_or.ok()) {
+        journal_status = seq_or.status();
+        break;
+      }
+    }
+    if (journal_status.ok()) journal_status = journal_->Sync();
+    if (!journal_status.ok()) {
+      journal_->CountAppendFailure();
+      Status rb = journal_->Rollback(mark);
+      if (rb.ok()) {
+        journal_->CountRollback();
+      } else {
+        BIVOC_LOG(Error) << "journal rollback failed: " << rb.ToString()
+                         << " (log may carry a partial batch; replay "
+                            "dedupes by sequence id)";
+      }
+      BIVOC_LOG(Warning) << "batch of " << items.size()
+                         << " dead-lettered: journal append failed: "
+                         << journal_status.ToString();
+      for (const IngestItem& item : items) {
+        local.dead_lettered.fetch_add(1);
+        dead_letters_.Push(DeadLetter{item, journal_status, 0});
+      }
+      HealthReport report;
+      report.submitted = items.size();
+      report.dead_lettered = local.dead_lettered.load();
+      total_.dead_lettered.fetch_add(report.dead_lettered);
+      FillShared(&report);
+      return report;
+    }
+  }
+
+  pool_.ParallelFor(items.size(), [this, &items, &local](std::size_t i) {
+    ProcessOne(items[i], /*prior_attempts=*/0, &local);
+  });
+  // One publish per batch: everything this batch indexed becomes
+  // visible to snapshot readers atomically.
+  pipeline_->PublishIndex();
+
+  HealthReport report;
+  report.submitted = items.size();
+  report.processed = local.processed.load();
+  report.dropped = local.dropped.load();
+  report.degraded = local.degraded.load();
+  report.retried = local.retried.load();
+  report.dead_lettered = local.dead_lettered.load();
+  report.short_circuited = local.short_circuited.load();
+
+  total_.processed.fetch_add(report.processed);
+  total_.dropped.fetch_add(report.dropped);
+  total_.degraded.fetch_add(report.degraded);
+  total_.retried.fetch_add(report.retried);
+  total_.dead_lettered.fetch_add(report.dead_lettered);
+  total_.short_circuited.fetch_add(report.short_circuited);
+
+  FillShared(&report);
+  return report;
+}
+
+HealthReport IngestService::IngestBatch(const std::vector<IngestItem>& items) {
+  return RunBatch(items, /*journal=*/true);
+}
+
+HealthReport IngestService::ReplayJournal(const std::vector<IngestItem>& items) {
+  // Recovery replay: the items come *from* the WAL, so journaling them
+  // again would double-log every document on each restart.
+  return RunBatch(items, /*journal=*/false);
+}
+
+HealthReport IngestService::Ingest(const IngestItem& item) {
+  return IngestBatch({item});
+}
+
+HealthReport IngestService::ReplayDeadLetters() {
+  // Two-phase drain: letters stay parked in the queue's in-flight area
+  // until their replay attempt finishes. ProcessOne re-queues a fresh
+  // letter itself when the replay fails, so each handled index is
+  // acknowledged either way; EndDrain restores only letters whose
+  // worker died before acknowledging. Replays are never re-journaled —
+  // a letter is either already in the WAL (journaled on first arrival)
+  // or predates durability; re-appending would double-count it against
+  // a checkpoint's dead-letter snapshot.
+  std::vector<DeadLetter> letters = dead_letters_.BeginDrain();
+  Counters local;
+  pool_.ParallelFor(letters.size(), [this, &letters, &local](std::size_t i) {
+    if (ProcessOne(letters[i].item, letters[i].attempts, &local)) {
+      local.replayed.fetch_add(1);
+    }
+    dead_letters_.Ack(i);
+  });
+  const std::size_t restored = dead_letters_.EndDrain();
+  if (restored != 0) {
+    BIVOC_LOG(Warning) << "dead-letter replay: " << restored
+                       << " letter(s) restored unprocessed";
+  }
+  pipeline_->PublishIndex();
+
+  HealthReport report;
+  report.submitted = letters.size();
+  report.processed = local.processed.load();
+  report.dropped = local.dropped.load();
+  report.degraded = local.degraded.load();
+  report.retried = local.retried.load();
+  report.dead_lettered = local.dead_lettered.load();
+  report.short_circuited = local.short_circuited.load();
+  report.replayed = local.replayed.load();
+
+  // Every letter was already counted dead_lettered when it first
+  // failed: recoveries move into processed/dropped (so the cumulative
+  // dead-letter count shrinks); re-failures stay counted exactly once.
+  total_.processed.fetch_add(report.processed);
+  total_.dropped.fetch_add(report.dropped);
+  total_.degraded.fetch_add(report.degraded);
+  total_.retried.fetch_add(report.retried);
+  total_.short_circuited.fetch_add(report.short_circuited);
+  total_.replayed.fetch_add(report.replayed);
+  total_.dead_lettered.fetch_sub(report.replayed);
+
+  FillShared(&report);
+  return report;
+}
+
+HealthReport IngestService::report() const {
+  HealthReport report;
+  report.submitted = submitted_total_.load();
+  report.processed = total_.processed.load();
+  report.dropped = total_.dropped.load();
+  report.degraded = total_.degraded.load();
+  report.retried = total_.retried.load();
+  report.dead_lettered = total_.dead_lettered.load();
+  report.short_circuited = total_.short_circuited.load();
+  report.replayed = total_.replayed.load();
+  FillShared(&report);
+  return report;
+}
+
+}  // namespace bivoc

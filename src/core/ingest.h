@@ -1,0 +1,256 @@
+#ifndef BIVOC_CORE_INGEST_H_
+#define BIVOC_CORE_INGEST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "util/retry.h"
+#include "util/thread_pool.h"
+
+namespace bivoc {
+
+class IngestJournal;  // core/persist.h
+
+// Circuit breaker guarding a flaky dependency (here: the linking
+// engine). Closed = normal operation; after `failure_threshold`
+// consecutive failures it opens and short-circuits callers; after
+// `cool_off_ms` the next Allow() moves it to half-open, where probe
+// calls are let through and `half_open_successes` consecutive
+// successes close it again (one failure re-opens it). Thread-safe.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    int failure_threshold = 5;
+    int64_t cool_off_ms = 100;
+    int half_open_successes = 2;
+    // Injectable monotonic clock (ms) so tests can step time
+    // deterministically; default is std::chrono::steady_clock.
+    std::function<int64_t()> clock_ms;
+  };
+
+  CircuitBreaker();
+  explicit CircuitBreaker(Options options);
+
+  // True when the protected call may proceed. An open breaker whose
+  // cool-off has elapsed transitions to half-open and admits a probe.
+  bool Allow();
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  std::size_t times_opened() const;
+  // Calls rejected while open (before cool-off).
+  std::size_t short_circuited() const;
+
+ private:
+  int64_t NowMs() const;
+
+  mutable std::mutex mu_;
+  Options opts_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int probe_successes_ = 0;
+  int64_t opened_at_ms_ = 0;
+  std::size_t times_opened_ = 0;
+  std::size_t short_circuited_ = 0;
+};
+
+const char* CircuitBreakerStateName(CircuitBreaker::State state);
+
+// One unit of work for batch ingestion: a raw channel payload plus the
+// structured dimension keys the caller wants indexed alongside it.
+struct IngestItem {
+  VocChannel channel = VocChannel::kEmail;
+  std::string payload;
+  int64_t time_bucket = 0;
+  std::vector<std::string> structured_keys;
+};
+
+// A document that exhausted its retries. Carries everything needed to
+// replay it once the underlying fault clears.
+struct DeadLetter {
+  IngestItem item;
+  Status status;      // last failure observed
+  int attempts = 0;   // cumulative attempts across ingest + replays
+};
+
+// Bounded, thread-safe holding pen for failed documents. When full,
+// Push rejects the letter (the overflow counter records the loss, and
+// a rate-limited warning is logged) so a misbehaving upstream cannot
+// eat unbounded memory.
+class DeadLetterQueue {
+ public:
+  explicit DeadLetterQueue(std::size_t capacity = 1024);
+
+  bool Push(DeadLetter letter);
+  // Removes and returns everything queued (replay takes ownership).
+  // Letters are gone the moment this returns — prefer the two-phase
+  // drain below when the caller might die mid-replay.
+  std::vector<DeadLetter> Drain();
+
+  // Two-phase drain: BeginDrain moves the queued letters to an
+  // in-flight holding area and returns them; the caller Ack()s each
+  // index it fully handled (whether the replay succeeded or re-queued
+  // a fresh letter); EndDrain restores every unacknowledged letter to
+  // the queue — even past capacity, since they were admitted once —
+  // and returns how many it restored. A letter is therefore never lost
+  // to a replay worker that died mid-flight. One drain at a time; a
+  // nested BeginDrain returns empty.
+  std::vector<DeadLetter> BeginDrain();
+  void Ack(std::size_t drain_index);
+  std::size_t EndDrain();
+
+  // Non-destructive copy of the queued letters (checkpointing).
+  std::vector<DeadLetter> Peek() const;
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t overflowed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::deque<DeadLetter> letters_;
+  std::size_t overflowed_ = 0;
+  // Two-phase drain state.
+  bool draining_ = false;
+  std::vector<DeadLetter> in_flight_;
+  std::vector<char> acked_;
+  // Rate-limiting for the overflow warning.
+  int64_t last_overflow_warn_ms_ = 0;
+  std::size_t overflow_since_warn_ = 0;
+};
+
+// Journal/checkpoint health, attached to HealthReport when durability
+// is enabled (see core/persist.h and BivocEngine::EnableDurability).
+struct DurabilityStats {
+  bool enabled = false;
+  std::size_t wal_records_appended = 0;
+  std::size_t wal_append_failures = 0;
+  std::size_t wal_batches_rolled_back = 0;
+  uint64_t checkpoint_generation = 0;
+  std::size_t checkpoint_fallbacks = 0;
+  std::size_t docs_from_checkpoint = 0;
+  std::size_t wal_records_replayed = 0;
+  std::size_t wal_corrupt_records = 0;
+};
+
+// Thread-safe health accounting for ingestion, extending the
+// pipeline's Stats with the failure-handling outcomes. Invariant per
+// batch (and cumulatively): submitted == processed + dropped +
+// dead_lettered — every document is accounted for exactly once.
+struct HealthReport {
+  std::size_t submitted = 0;
+  std::size_t processed = 0;       // cleaned and indexed (incl. degraded)
+  std::size_t dropped = 0;         // spam / non-English filter verdicts
+  std::size_t degraded = 0;        // indexed without a link (linker down)
+  std::size_t retried = 0;         // extra attempts beyond the first
+  std::size_t dead_lettered = 0;
+  std::size_t dead_letter_overflow = 0;
+  std::size_t short_circuited = 0;  // link calls rejected by open breaker
+  std::size_t replayed = 0;         // dead letters recovered by Replay
+  CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
+  std::size_t breaker_opened = 0;
+  VocPipeline::Stats::Snapshot pipeline;
+  DurabilityStats durability;
+
+  std::string ToString() const;
+};
+
+struct IngestOptions {
+  std::size_t num_threads = 4;
+  std::size_t dead_letter_capacity = 1024;
+  uint64_t seed = 0x5eedULL;  // seeds per-document retry jitter
+  RetryPolicy clean_retry;    // cleaning/annotation stage
+  RetryPolicy link_retry;     // linking stage (inside the breaker)
+  RetryPolicy index_retry;    // concept-index stage
+  CircuitBreaker::Options breaker;
+};
+
+// Fault-tolerant batch ingestion front-end over VocPipeline: documents
+// are cleaned/annotated in parallel on a ThreadPool, linked behind a
+// CircuitBreaker with retries, and indexed in parallel too — the
+// concept index stripes writers across ConceptId shards, so no ingest
+// stage serializes. Each batch ends with one index Publish() so the
+// new documents become visible to snapshot readers. A document that
+// keeps failing lands in the DeadLetterQueue instead of poisoning its
+// batch; a linker outage degrades documents to unlinked-but-indexed
+// instead of stalling ingestion.
+class IngestService {
+ public:
+  explicit IngestService(VocPipeline* pipeline,
+                         IngestOptions options = IngestOptions());
+
+  // Ingests a batch and returns that batch's HealthReport (breaker and
+  // pipeline fields reflect cumulative state).
+  HealthReport IngestBatch(const std::vector<IngestItem>& items);
+  HealthReport Ingest(const IngestItem& item);
+
+  // Drains the dead-letter queue and re-runs every letter through the
+  // full ingest path. Letters that fail again are re-queued with their
+  // attempt counts accumulated. Returns the replay's HealthReport.
+  HealthReport ReplayDeadLetters();
+
+  // Attaches the write-ahead journal (not owned; may be nullptr to
+  // detach). With a journal attached, IngestBatch appends every item
+  // to the WAL and fsyncs *before* processing; a batch whose journal
+  // write fails is rolled back and dead-lettered wholesale, so by the
+  // time IngestBatch returns each submitted document is either durably
+  // journaled or parked in the dead-letter queue.
+  void AttachJournal(IngestJournal* journal) { journal_ = journal; }
+  IngestJournal* journal() const { return journal_; }
+
+  // Recovery path: runs items through the full ingest pipeline WITHOUT
+  // re-journaling them (they are already in the WAL being replayed).
+  HealthReport ReplayJournal(const std::vector<IngestItem>& items);
+
+  // Cumulative report across all batches and replays.
+  HealthReport report() const;
+
+  DeadLetterQueue* dead_letters() { return &dead_letters_; }
+  const DeadLetterQueue& dead_letters() const { return dead_letters_; }
+  CircuitBreaker* breaker() { return &breaker_; }
+  const IngestOptions& options() const { return opts_; }
+
+ private:
+  struct Counters {
+    std::atomic<std::size_t> processed{0};
+    std::atomic<std::size_t> dropped{0};
+    std::atomic<std::size_t> degraded{0};
+    std::atomic<std::size_t> retried{0};
+    std::atomic<std::size_t> dead_lettered{0};
+    std::atomic<std::size_t> short_circuited{0};
+    std::atomic<std::size_t> replayed{0};
+  };
+
+  // Runs one document through clean -> link -> index with per-stage
+  // retries and fault isolation. Returns true when the document was
+  // handled (indexed or filtered), false when it was dead-lettered.
+  bool ProcessOne(const IngestItem& item, int prior_attempts,
+                  Counters* counters);
+  HealthReport RunBatch(const std::vector<IngestItem>& items, bool journal);
+  void FillShared(HealthReport* report) const;
+
+  VocPipeline* pipeline_;  // not owned
+  IngestJournal* journal_ = nullptr;  // not owned; optional
+  IngestOptions opts_;
+  ThreadPool pool_;
+  CircuitBreaker breaker_;
+  DeadLetterQueue dead_letters_;
+  Counters total_;
+  std::atomic<std::size_t> submitted_total_{0};
+  std::atomic<uint64_t> seed_counter_{0};
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_CORE_INGEST_H_

@@ -1,0 +1,449 @@
+#include "core/persist.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "util/checkpoint_io.h"
+#include "util/logging.h"
+
+namespace bivoc {
+namespace {
+
+constexpr uint32_t kCheckpointVersion = 1;
+constexpr uint32_t kManifestVersion = 1;
+constexpr uint8_t kJournalRecordItem = 1;
+constexpr const char kCheckpointPrefix[] = "checkpoint-";
+constexpr const char kCheckpointSuffix[] = ".ckpt";
+
+Status DecodeChannel(uint8_t raw, VocChannel* out) {
+  if (raw > static_cast<uint8_t>(VocChannel::kCall)) {
+    return Status::Corruption("invalid VocChannel value");
+  }
+  *out = static_cast<VocChannel>(raw);
+  return Status::OK();
+}
+
+void PutIngestItem(BinaryWriter* w, const IngestItem& item) {
+  w->PutU8(static_cast<uint8_t>(item.channel));
+  w->PutI64(item.time_bucket);
+  w->PutString(item.payload);
+  w->PutU32(static_cast<uint32_t>(item.structured_keys.size()));
+  for (const auto& key : item.structured_keys) w->PutString(key);
+}
+
+Status ReadIngestItem(BinaryReader* r, IngestItem* item) {
+  uint8_t channel;
+  BIVOC_RETURN_NOT_OK(r->ReadU8(&channel));
+  BIVOC_RETURN_NOT_OK(DecodeChannel(channel, &item->channel));
+  BIVOC_RETURN_NOT_OK(r->ReadI64(&item->time_bucket));
+  BIVOC_RETURN_NOT_OK(r->ReadString(&item->payload));
+  uint32_t num_keys;
+  BIVOC_RETURN_NOT_OK(r->ReadU32(&num_keys));
+  if (static_cast<std::size_t>(num_keys) > r->remaining()) {
+    return Status::Corruption("structured key count exceeds buffer");
+  }
+  item->structured_keys.clear();
+  item->structured_keys.reserve(num_keys);
+  for (uint32_t i = 0; i < num_keys; ++i) {
+    std::string key;
+    BIVOC_RETURN_NOT_OK(r->ReadString(&key));
+    item->structured_keys.push_back(std::move(key));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// --- checkpoint codec ------------------------------------------------
+
+std::string EncodeCheckpoint(const CheckpointData& data) {
+  BinaryWriter w;
+  w.PutU32(kCheckpointVersion);
+  w.PutU64(data.wal_watermark);
+
+  w.PutU32(static_cast<uint32_t>(data.vocabulary.size()));
+  for (const auto& key : data.vocabulary) w.PutString(key);
+
+  w.PutU64(data.doc_concepts.size());
+  for (std::size_t d = 0; d < data.doc_concepts.size(); ++d) {
+    w.PutI64(d < data.doc_times.size() ? data.doc_times[d] : 0);
+    w.PutU32(static_cast<uint32_t>(data.doc_concepts[d].size()));
+    for (uint32_t id : data.doc_concepts[d]) w.PutU32(id);
+  }
+
+  w.PutU32(static_cast<uint32_t>(data.linker_weights.size()));
+  for (const auto& [table, weights] : data.linker_weights) {
+    w.PutString(table);
+    for (double weight : weights) w.PutDouble(weight);
+  }
+
+  w.PutU32(static_cast<uint32_t>(data.dead_letters.size()));
+  for (const auto& letter : data.dead_letters) {
+    PutIngestItem(&w, letter.item);
+    w.PutU32(static_cast<uint32_t>(letter.status.code()));
+    w.PutString(letter.status.message());
+    w.PutI64(letter.attempts);
+  }
+  return w.Release();
+}
+
+Result<CheckpointData> DecodeCheckpoint(std::string_view payload) {
+  BinaryReader r(payload);
+  CheckpointData data;
+
+  uint32_t version;
+  BIVOC_RETURN_NOT_OK(r.ReadU32(&version));
+  if (version != kCheckpointVersion) {
+    return Status::Corruption("unsupported checkpoint version " +
+                              std::to_string(version));
+  }
+  BIVOC_RETURN_NOT_OK(r.ReadU64(&data.wal_watermark));
+
+  uint32_t vocab_size;
+  BIVOC_RETURN_NOT_OK(r.ReadU32(&vocab_size));
+  if (static_cast<std::size_t>(vocab_size) > r.remaining()) {
+    return Status::Corruption("vocabulary count exceeds buffer");
+  }
+  data.vocabulary.reserve(vocab_size);
+  for (uint32_t i = 0; i < vocab_size; ++i) {
+    std::string key;
+    BIVOC_RETURN_NOT_OK(r.ReadString(&key));
+    data.vocabulary.push_back(std::move(key));
+  }
+
+  uint64_t num_docs;
+  BIVOC_RETURN_NOT_OK(r.ReadU64(&num_docs));
+  if (num_docs > r.remaining()) {
+    return Status::Corruption("document count exceeds buffer");
+  }
+  data.doc_concepts.reserve(static_cast<std::size_t>(num_docs));
+  data.doc_times.reserve(static_cast<std::size_t>(num_docs));
+  for (uint64_t d = 0; d < num_docs; ++d) {
+    int64_t time_bucket;
+    BIVOC_RETURN_NOT_OK(r.ReadI64(&time_bucket));
+    uint32_t num_ids;
+    BIVOC_RETURN_NOT_OK(r.ReadU32(&num_ids));
+    if (static_cast<std::size_t>(num_ids) * 4 > r.remaining()) {
+      return Status::Corruption("concept count exceeds buffer");
+    }
+    std::vector<uint32_t> ids;
+    ids.reserve(num_ids);
+    for (uint32_t i = 0; i < num_ids; ++i) {
+      uint32_t id;
+      BIVOC_RETURN_NOT_OK(r.ReadU32(&id));
+      if (id >= vocab_size) {
+        return Status::Corruption("concept id out of vocabulary range");
+      }
+      ids.push_back(id);
+    }
+    data.doc_concepts.push_back(std::move(ids));
+    data.doc_times.push_back(time_bucket);
+  }
+
+  uint32_t num_types;
+  BIVOC_RETURN_NOT_OK(r.ReadU32(&num_types));
+  for (uint32_t t = 0; t < num_types; ++t) {
+    std::string table;
+    BIVOC_RETURN_NOT_OK(r.ReadString(&table));
+    RoleWeights weights{};
+    for (auto& weight : weights) {
+      BIVOC_RETURN_NOT_OK(r.ReadDouble(&weight));
+    }
+    data.linker_weights.emplace(std::move(table), weights);
+  }
+
+  uint32_t num_letters;
+  BIVOC_RETURN_NOT_OK(r.ReadU32(&num_letters));
+  for (uint32_t i = 0; i < num_letters; ++i) {
+    DeadLetter letter;
+    BIVOC_RETURN_NOT_OK(ReadIngestItem(&r, &letter.item));
+    uint32_t code;
+    BIVOC_RETURN_NOT_OK(r.ReadU32(&code));
+    if (code > static_cast<uint32_t>(StatusCode::kInternal)) {
+      return Status::Corruption("invalid status code in dead letter");
+    }
+    std::string message;
+    BIVOC_RETURN_NOT_OK(r.ReadString(&message));
+    letter.status = Status(static_cast<StatusCode>(code), std::move(message));
+    int64_t attempts;
+    BIVOC_RETURN_NOT_OK(r.ReadI64(&attempts));
+    letter.attempts = static_cast<int>(attempts);
+    data.dead_letters.push_back(std::move(letter));
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after checkpoint payload");
+  }
+  return data;
+}
+
+// --- journal record codec --------------------------------------------
+
+std::string EncodeJournalItem(uint64_t seq, const IngestItem& item) {
+  BinaryWriter w;
+  w.PutU8(kJournalRecordItem);
+  w.PutU64(seq);
+  PutIngestItem(&w, item);
+  return w.Release();
+}
+
+Result<JournalRecord> DecodeJournalItem(std::string_view payload) {
+  BinaryReader r(payload);
+  uint8_t type;
+  BIVOC_RETURN_NOT_OK(r.ReadU8(&type));
+  if (type != kJournalRecordItem) {
+    return Status::Corruption("unknown journal record type " +
+                              std::to_string(type));
+  }
+  JournalRecord record;
+  BIVOC_RETURN_NOT_OK(r.ReadU64(&record.seq));
+  BIVOC_RETURN_NOT_OK(ReadIngestItem(&r, &record.item));
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after journal record");
+  }
+  return record;
+}
+
+// --- RecoveryReport --------------------------------------------------
+
+std::string RecoveryReport::ToString() const {
+  std::ostringstream os;
+  os << "checkpoint: "
+     << (checkpoint_loaded
+             ? "generation " + std::to_string(checkpoint_generation)
+             : std::string("none"))
+     << " (fallbacks=" << checkpoint_fallbacks
+     << ", docs=" << docs_from_checkpoint
+     << ", dead_letters=" << dead_letters_restored << ")"
+     << " | wal: replayed=" << wal_records_replayed
+     << " skipped=" << wal_records_skipped
+     << " corrupt=" << wal_corrupt_records
+     << " truncated_bytes=" << wal_truncated_bytes;
+  return os.str();
+}
+
+// --- CheckpointStore -------------------------------------------------
+
+CheckpointStore::CheckpointStore(std::string dir, std::size_t retain)
+    : dir_(std::move(dir)), retain_(retain == 0 ? 1 : retain) {}
+
+std::string CheckpointStore::CheckpointPath(uint64_t generation) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%08llu%s", kCheckpointPrefix,
+                static_cast<unsigned long long>(generation),
+                kCheckpointSuffix);
+  return dir_ + "/" + name;
+}
+
+std::string CheckpointStore::ManifestPath() const {
+  return dir_ + "/MANIFEST";
+}
+
+std::string CheckpointStore::WalPath() const { return dir_ + "/wal.log"; }
+
+std::vector<uint64_t> CheckpointStore::ListGenerationsOnDisk() const {
+  std::vector<uint64_t> generations;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    const std::size_t prefix_len = sizeof(kCheckpointPrefix) - 1;
+    const std::size_t suffix_len = sizeof(kCheckpointSuffix) - 1;
+    if (name.size() <= prefix_len + suffix_len) continue;
+    if (name.compare(0, prefix_len, kCheckpointPrefix) != 0) continue;
+    if (name.compare(name.size() - suffix_len, suffix_len,
+                     kCheckpointSuffix) != 0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+    uint64_t generation = 0;
+    bool numeric = !digits.empty();
+    for (char c : digits) {
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      generation = generation * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (numeric) generations.push_back(generation);
+  }
+  std::sort(generations.rbegin(), generations.rend());
+  return generations;
+}
+
+Status CheckpointStore::Init() {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IoError("create_directories " + dir_ + ": " +
+                           ec.message());
+  }
+  // The current generation is the max of what the manifest claims and
+  // what is on disk, so a stale manifest never overwrites newer files.
+  uint64_t current = 0;
+  Result<std::string> manifest = ReadChecksummedFile(ManifestPath());
+  if (manifest.ok()) {
+    BinaryReader r(manifest.value());
+    uint32_t version;
+    uint64_t manifest_current;
+    if (r.ReadU32(&version).ok() && version == kManifestVersion &&
+        r.ReadU64(&manifest_current).ok()) {
+      current = manifest_current;
+    }
+  }
+  for (uint64_t generation : ListGenerationsOnDisk()) {
+    current = std::max(current, generation);
+  }
+  current_gen_ = current;
+  return Status::OK();
+}
+
+Result<uint64_t> CheckpointStore::Write(const CheckpointData& data) {
+  const uint64_t generation = current_gen_ + 1;
+  BIVOC_RETURN_NOT_OK(WriteChecksummedFileAtomic(CheckpointPath(generation),
+                                                 EncodeCheckpoint(data)));
+
+  BinaryWriter manifest;
+  manifest.PutU32(kManifestVersion);
+  manifest.PutU64(generation);
+  const uint64_t oldest_retained =
+      generation > retain_ - 1 ? generation - (retain_ - 1) : 1;
+  manifest.PutU32(static_cast<uint32_t>(generation - oldest_retained + 1));
+  for (uint64_t g = generation; g >= oldest_retained; --g) {
+    manifest.PutU64(g);
+  }
+  BIVOC_RETURN_NOT_OK(
+      WriteChecksummedFileAtomic(ManifestPath(), manifest.data()));
+  current_gen_ = generation;
+
+  // Prune generations that fell out of the retention window.
+  for (uint64_t g : ListGenerationsOnDisk()) {
+    if (g < oldest_retained) {
+      std::error_code ec;
+      std::filesystem::remove(CheckpointPath(g), ec);
+    }
+  }
+  return generation;
+}
+
+Result<CheckpointStore::Loaded> CheckpointStore::LoadNewest() const {
+  std::size_t fallbacks = 0;
+  std::vector<uint64_t> candidates;
+
+  Result<std::string> manifest = ReadChecksummedFile(ManifestPath());
+  if (manifest.ok()) {
+    BinaryReader r(manifest.value());
+    uint32_t version, count;
+    uint64_t current;
+    if (r.ReadU32(&version).ok() && version == kManifestVersion &&
+        r.ReadU64(&current).ok() && r.ReadU32(&count).ok()) {
+      for (uint32_t i = 0; i < count; ++i) {
+        uint64_t g;
+        if (!r.ReadU64(&g).ok()) break;
+        candidates.push_back(g);
+      }
+    } else {
+      ++fallbacks;  // manifest present but undecodable
+    }
+  } else if (manifest.status().code() == StatusCode::kCorruption) {
+    ++fallbacks;
+  }
+  // Merge with a directory scan so a damaged or stale manifest still
+  // finds every checkpoint on disk.
+  for (uint64_t g : ListGenerationsOnDisk()) candidates.push_back(g);
+  std::sort(candidates.rbegin(), candidates.rend());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  for (uint64_t generation : candidates) {
+    Result<std::string> blob = ReadChecksummedFile(CheckpointPath(generation));
+    if (!blob.ok()) {
+      if (blob.status().code() != StatusCode::kNotFound) ++fallbacks;
+      continue;
+    }
+    Result<CheckpointData> data = DecodeCheckpoint(blob.value());
+    if (!data.ok()) {
+      ++fallbacks;
+      continue;
+    }
+    Loaded loaded;
+    loaded.data = data.MoveValue();
+    loaded.generation = generation;
+    loaded.fallbacks = fallbacks;
+    return loaded;
+  }
+  Status not_found = Status::NotFound(
+      "no valid checkpoint in " + dir_ +
+      (fallbacks > 0 ? " (" + std::to_string(fallbacks) + " corrupt)" : ""));
+  return not_found;
+}
+
+// --- IngestJournal ---------------------------------------------------
+
+Status IngestJournal::Open(const std::string& path) {
+  path_ = path;
+  BIVOC_RETURN_NOT_OK(wal_.Open(path, /*token_if_new=*/0));
+  last_seq_ = wal_.user_token();
+  // Records already present (an uncheckpointed tail) keep numbering
+  // monotonic; undecodable ones are the recovery path's problem.
+  Result<WalReadResult> existing = ReadWal(path);
+  if (existing.ok()) {
+    for (const std::string& payload : existing.value().records) {
+      Result<JournalRecord> record = DecodeJournalItem(payload);
+      if (record.ok()) last_seq_ = std::max(last_seq_, record.value().seq);
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> IngestJournal::Append(const IngestItem& item) {
+  if (!wal_.is_open()) {
+    return Status::FailedPrecondition("ingest journal not open");
+  }
+  const uint64_t seq = last_seq_ + 1;
+  BIVOC_RETURN_NOT_OK(wal_.Append(EncodeJournalItem(seq, item)));
+  last_seq_ = seq;
+  ++records_appended_;
+  return seq;
+}
+
+Status IngestJournal::Sync() { return wal_.Sync(); }
+
+Status IngestJournal::Rollback(const Bookmark& mark) {
+  BIVOC_RETURN_NOT_OK(wal_.TruncateTo(mark.offset));
+  records_appended_ -= static_cast<std::size_t>(last_seq_ - mark.seq);
+  last_seq_ = mark.seq;
+  return Status::OK();
+}
+
+Status IngestJournal::TruncateThrough(uint64_t watermark) {
+  if (!wal_.is_open()) {
+    return Status::FailedPrecondition("ingest journal not open");
+  }
+  Result<WalReadResult> read = ReadWal(path_);
+  std::vector<std::string> kept;
+  if (read.ok()) {
+    for (std::string& payload : read.value().records) {
+      Result<JournalRecord> record = DecodeJournalItem(payload);
+      if (record.ok() && record.value().seq > watermark) {
+        kept.push_back(std::move(payload));
+      }
+    }
+  }
+  BIVOC_RETURN_NOT_OK(wal_.Close());
+  Status st = WalWriter::Rewrite(path_, /*token=*/watermark, kept);
+  // Reopen in either case: a failed rewrite leaves the old log intact,
+  // which is safe (it merely retains already-checkpointed records).
+  Status reopen = wal_.Open(path_);
+  if (!st.ok()) return st;
+  BIVOC_RETURN_NOT_OK(reopen);
+  last_seq_ = std::max(last_seq_, watermark);
+  return Status::OK();
+}
+
+void IngestJournal::EnsureSeqAtLeast(uint64_t seq) {
+  last_seq_ = std::max(last_seq_, seq);
+}
+
+}  // namespace bivoc

@@ -1,0 +1,192 @@
+#ifndef BIVOC_CORE_PERSIST_H_
+#define BIVOC_CORE_PERSIST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/ingest.h"
+#include "linking/linker.h"
+#include "util/result.h"
+#include "util/wal.h"
+
+namespace bivoc {
+
+// Crash-safe durability for the BIVoC engine (DESIGN.md §9). Two
+// cooperating pieces:
+//
+//  * IngestJournal — the write-ahead log of accepted raw documents.
+//    Every IngestItem is journaled (with a monotonically increasing
+//    sequence id) *before* clean→link→index runs, with one fsync per
+//    batch; a crash mid-batch therefore loses no accepted document.
+//    A batch whose journal append fails is rolled back to the
+//    pre-batch offset so the log never carries a half-journaled batch.
+//
+//  * CheckpointStore — versioned, checksummed snapshots of the mined
+//    state: the published index contents (vocabulary + per-document
+//    concept ids + time buckets), the EM-learned per-(attribute,
+//    entity-type) linker weights, and the dead-letter backlog. A
+//    manifest selects the newest generation; loading falls back to the
+//    previous generation when the newest fails its checksum, and to a
+//    directory scan when the manifest itself is damaged.
+//
+// Recovery (BivocEngine::Recover) = load newest valid checkpoint,
+// replay the WAL records past the checkpoint's watermark, re-publish
+// the snapshot. Corrupt WAL records are skipped and counted, never
+// fatal.
+
+// --- checkpoint payload ----------------------------------------------
+
+struct CheckpointData {
+  // Highest journal sequence id whose effects this checkpoint
+  // contains; recovery replays only WAL records above it.
+  uint64_t wal_watermark = 0;
+
+  // Index contents. `vocabulary[i]` is the key for local id i;
+  // `doc_concepts[d]` lists local ids per document in DocId order.
+  std::vector<std::string> vocabulary;
+  std::vector<std::vector<uint32_t>> doc_concepts;
+  std::vector<int64_t> doc_times;
+
+  // Learned linker weights per entity type (warehouse table).
+  std::map<std::string, RoleWeights> linker_weights;
+
+  std::vector<DeadLetter> dead_letters;
+};
+
+std::string EncodeCheckpoint(const CheckpointData& data);
+Result<CheckpointData> DecodeCheckpoint(std::string_view payload);
+
+// --- journal record payloads -----------------------------------------
+
+struct JournalRecord {
+  uint64_t seq = 0;
+  IngestItem item;
+};
+
+std::string EncodeJournalItem(uint64_t seq, const IngestItem& item);
+Result<JournalRecord> DecodeJournalItem(std::string_view payload);
+
+// --- recovery accounting ---------------------------------------------
+
+struct RecoveryReport {
+  bool checkpoint_loaded = false;
+  uint64_t checkpoint_generation = 0;
+  // Newer generations (or a damaged manifest) skipped as corrupt
+  // before a valid checkpoint was found.
+  std::size_t checkpoint_fallbacks = 0;
+  std::size_t docs_from_checkpoint = 0;
+  std::size_t dead_letters_restored = 0;
+
+  std::size_t wal_records_replayed = 0;
+  std::size_t wal_records_skipped = 0;  // seq <= watermark or duplicate
+  std::size_t wal_corrupt_records = 0;  // bad CRC / framing / decode
+  std::size_t wal_truncated_bytes = 0;  // torn tail dropped
+
+  std::string ToString() const;
+};
+
+// --- checkpoint store ------------------------------------------------
+
+// Directory layout:
+//   <dir>/MANIFEST               newest + retained generation numbers
+//   <dir>/checkpoint-%08llu.ckpt checksummed checkpoint blobs
+//   <dir>/wal.log                the ingest journal
+// All files are whole-file checksummed (checkpoint_io) except the WAL,
+// which checksums per record. Not thread-safe: Write/LoadNewest are
+// control-plane calls made at batch boundaries.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::string dir, std::size_t retain = 2);
+
+  // Creates the directory if needed and discovers the current
+  // generation from the manifest (or a directory scan).
+  Status Init();
+
+  // Writes generation current+1, commits the manifest, prunes
+  // generations beyond the retention window. On any failure the
+  // previous generation stays current.
+  Result<uint64_t> Write(const CheckpointData& data);
+
+  struct Loaded {
+    CheckpointData data;
+    uint64_t generation = 0;
+    std::size_t fallbacks = 0;
+  };
+  // Newest checksum-valid checkpoint; kNotFound when none exists (the
+  // fallback count still reports how many corrupt ones were skipped).
+  Result<Loaded> LoadNewest() const;
+
+  uint64_t current_generation() const { return current_gen_; }
+  std::string CheckpointPath(uint64_t generation) const;
+  std::string ManifestPath() const;
+  std::string WalPath() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::vector<uint64_t> ListGenerationsOnDisk() const;
+
+  std::string dir_;
+  std::size_t retain_;
+  uint64_t current_gen_ = 0;
+};
+
+// --- ingest journal --------------------------------------------------
+
+// The WAL of accepted documents. Owns sequence-id assignment; the
+// WAL's user token stores the base sequence so ids stay monotonic
+// across truncation and restarts (a fresh log after a checkpoint at
+// watermark W starts numbering at W+1).
+class IngestJournal {
+ public:
+  // Opens (or creates) the journal and derives the next sequence id
+  // from the header token and any records already present.
+  Status Open(const std::string& path);
+
+  // Appends one item, assigning and returning its sequence id.
+  Result<uint64_t> Append(const IngestItem& item);
+  Status Sync();
+
+  // Bookmark + rollback: a batch that fails to journal completely is
+  // erased — file offset and sequence counter both rewind, as if the
+  // batch was never submitted.
+  struct Bookmark {
+    uint64_t offset = 0;
+    uint64_t seq = 0;
+  };
+  Bookmark bookmark() const { return {wal_.size(), last_seq_}; }
+  Status Rollback(const Bookmark& mark);
+
+  // Drops every record with seq <= watermark (atomic rewrite); the
+  // base token advances so sequence ids never regress.
+  Status TruncateThrough(uint64_t watermark);
+
+  uint64_t last_seq() const { return last_seq_; }
+  // Recovery tells the journal the checkpoint watermark so ids resume
+  // above state already folded into a checkpoint.
+  void EnsureSeqAtLeast(uint64_t seq);
+
+  const std::string& path() const { return path_; }
+  bool is_open() const { return wal_.is_open(); }
+
+  // Cumulative journaling health (surfaced via HealthReport).
+  std::size_t records_appended() const { return records_appended_; }
+  std::size_t append_failures() const { return append_failures_; }
+  std::size_t batches_rolled_back() const { return batches_rolled_back_; }
+  void CountAppendFailure() { ++append_failures_; }
+  void CountRollback() { ++batches_rolled_back_; }
+
+ private:
+  WalWriter wal_;
+  std::string path_;
+  uint64_t last_seq_ = 0;
+  std::size_t records_appended_ = 0;
+  std::size_t append_failures_ = 0;
+  std::size_t batches_rolled_back_ = 0;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_CORE_PERSIST_H_

@@ -13,7 +13,7 @@ ConceptIndex::ConceptIndex(std::size_t num_shards)
   empty->num_shards_ = num_shards_;
   empty->shards_.resize(num_shards_);
   empty->interner_ = interner_;
-  published_.store(std::move(empty), std::memory_order_release);
+  published_.Store(std::move(empty));
 }
 
 DocId ConceptIndex::AddDocument(const std::vector<std::string>& concept_keys,
@@ -48,7 +48,7 @@ std::shared_ptr<const IndexSnapshot> ConceptIndex::Publish() const {
   // Exclusive: waits for in-flight adds, blocks new ones. Readers of
   // already-published snapshots are unaffected.
   std::unique_lock<std::shared_mutex> add_lock(add_mu_);
-  auto prev = published_.load(std::memory_order_acquire);
+  auto prev = published_.Load();
   if (pending_count_.load(std::memory_order_acquire) == 0) return prev;
 
   auto next = std::make_shared<IndexSnapshot>();
@@ -119,14 +119,14 @@ std::shared_ptr<const IndexSnapshot> ConceptIndex::Publish() const {
   }
   std::sort(next->vocab_.begin(), next->vocab_.end());
 
-  published_.store(next, std::memory_order_release);
+  published_.Store(next);
   pending_count_.store(0, std::memory_order_release);
   return next;
 }
 
 std::shared_ptr<const IndexSnapshot> ConceptIndex::SnapshotNow() const {
   if (pending_count_.load(std::memory_order_acquire) != 0) return Publish();
-  return published_.load(std::memory_order_acquire);
+  return published_.Load();
 }
 
 }  // namespace bivoc

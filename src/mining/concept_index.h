@@ -61,7 +61,7 @@ class ConceptIndex {
   // The most recently published snapshot — lock-free, wait-free; may
   // lag AddDocument calls made since the last Publish().
   std::shared_ptr<const IndexSnapshot> snapshot() const {
-    return published_.load(std::memory_order_acquire);
+    return published_.Load();
   }
 
   // Documents admitted (including ones not yet published).
@@ -97,7 +97,41 @@ class ConceptIndex {
 
   mutable std::vector<Shard> shards_;
 
-  mutable std::atomic<std::shared_ptr<const IndexSnapshot>> published_;
+  // Atomic holder for the published snapshot. libstdc++'s
+  // std::atomic<shared_ptr> synchronizes through a spin bit packed
+  // into the control-block pointer, which ThreadSanitizer cannot see
+  // through (the plain _M_ptr swap under that spin bit is reported as
+  // a race even though the protocol is standard-correct). Under TSan
+  // we route through the atomic_load/atomic_store free functions,
+  // whose mutex pool TSan models precisely; everywhere else the
+  // accessor stays lock-free.
+  class PublishedCell {
+   public:
+    std::shared_ptr<const IndexSnapshot> Load() const {
+#if defined(__SANITIZE_THREAD__)
+      return std::atomic_load_explicit(&ptr_, std::memory_order_acquire);
+#else
+      return ptr_.load(std::memory_order_acquire);
+#endif
+    }
+    void Store(std::shared_ptr<const IndexSnapshot> snap) {
+#if defined(__SANITIZE_THREAD__)
+      std::atomic_store_explicit(&ptr_, std::move(snap),
+                                 std::memory_order_release);
+#else
+      ptr_.store(std::move(snap), std::memory_order_release);
+#endif
+    }
+
+   private:
+#if defined(__SANITIZE_THREAD__)
+    std::shared_ptr<const IndexSnapshot> ptr_;
+#else
+    std::atomic<std::shared_ptr<const IndexSnapshot>> ptr_;
+#endif
+  };
+
+  mutable PublishedCell published_;
   std::atomic<std::size_t> num_docs_{0};
   // Docs admitted but not yet in published_ — the "dirty" marker that
   // lets SnapshotNow() skip the exclusive lock when clean.

@@ -1,0 +1,274 @@
+#include "util/checkpoint_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/fault_injection.h"
+
+namespace bivoc {
+
+namespace {
+
+constexpr char kBlobMagic[8] = {'B', 'V', 'C', 'K', 'P', 'T', '0', '1'};
+
+}  // namespace
+
+namespace internal {
+
+std::string ErrnoMessage(const char* op, const std::string& path) {
+  return std::string(op) + " " + path + ": " + std::strerror(errno);
+}
+
+Status WriteAllToFd(int fd, std::string_view data, const std::string& path) {
+  const char* p = data.data();
+  std::size_t len = data.size();
+  while (len > 0) {
+    ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("write", path));
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+void SyncParentDir(const std::string& path) {
+  std::string dir = ".";
+  std::size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) dir = path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::ErrnoMessage;
+using internal::SyncParentDir;
+
+Status WriteAll(int fd, const char* data, std::size_t len,
+                const std::string& path) {
+  return internal::WriteAllToFd(fd, std::string_view(data, len), path);
+}
+
+}  // namespace
+
+// --- BinaryWriter ----------------------------------------------------
+
+void BinaryWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void BinaryWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BinaryWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+// --- BinaryReader ----------------------------------------------------
+
+Status BinaryReader::Take(std::size_t n, const char** out) {
+  if (buf_.size() - pos_ < n) {
+    return Status::Corruption("binary decode past end of buffer");
+  }
+  *out = buf_.data() + pos_;
+  pos_ += n;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU8(uint8_t* v) {
+  const char* p;
+  BIVOC_RETURN_NOT_OK(Take(1, &p));
+  *v = static_cast<uint8_t>(*p);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU32(uint32_t* v) {
+  const char* p;
+  BIVOC_RETURN_NOT_OK(Take(4, &p));
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU64(uint64_t* v) {
+  const char* p;
+  BIVOC_RETURN_NOT_OK(Take(8, &p));
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  *v = out;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadI64(int64_t* v) {
+  uint64_t bits;
+  BIVOC_RETURN_NOT_OK(ReadU64(&bits));
+  *v = static_cast<int64_t>(bits);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadDouble(double* v) {
+  uint64_t bits;
+  BIVOC_RETURN_NOT_OK(ReadU64(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status BinaryReader::ReadString(std::string* s) {
+  uint32_t len;
+  BIVOC_RETURN_NOT_OK(ReadU32(&len));
+  if (buf_.size() - pos_ < len) {
+    return Status::Corruption("string length exceeds buffer");
+  }
+  s->assign(buf_.data() + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+// --- checksummed whole-file blobs ------------------------------------
+
+Status WriteChecksummedFileAtomic(const std::string& path,
+                                  std::string_view payload) {
+  BinaryWriter header;
+  header.PutU32(Crc32(payload));
+  header.PutU64(payload.size());
+
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open", tmp));
+
+  Status st = FaultInjector::Global().MaybeFail(kFaultIoWrite);
+  if (st.ok()) st = WriteAll(fd, kBlobMagic, sizeof(kBlobMagic), tmp);
+  if (st.ok()) {
+    st = WriteAll(fd, header.data().data(), header.data().size(), tmp);
+  }
+  if (st.ok()) st = WriteAll(fd, payload.data(), payload.size(), tmp);
+  if (st.ok()) st = FaultInjector::Global().MaybeFail(kFaultIoFsync);
+  if (st.ok() && ::fsync(fd) != 0) {
+    st = Status::IoError(ErrnoMessage("fsync", tmp));
+  }
+  ::close(fd);
+  if (st.ok()) st = FaultInjector::Global().MaybeFail(kFaultIoRename);
+  if (st.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Status::IoError(ErrnoMessage("rename", tmp));
+  }
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());  // never leave a half-written temp behind
+    return st;
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
+Result<std::string> ReadChecksummedFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::IoError(ErrnoMessage("open", path));
+  }
+  std::string bytes;
+  char chunk[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError(ErrnoMessage("read", path));
+    }
+    if (n == 0) break;
+    bytes.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  if (bytes.size() < sizeof(kBlobMagic) + 12 ||
+      std::memcmp(bytes.data(), kBlobMagic, sizeof(kBlobMagic)) != 0) {
+    return Status::Corruption("bad blob header: " + path);
+  }
+  BinaryReader reader(
+      std::string_view(bytes).substr(sizeof(kBlobMagic)));
+  uint32_t crc;
+  uint64_t len;
+  BIVOC_RETURN_NOT_OK(reader.ReadU32(&crc));
+  BIVOC_RETURN_NOT_OK(reader.ReadU64(&len));
+  if (len != reader.remaining()) {
+    return Status::Corruption("blob length mismatch: " + path);
+  }
+  std::string payload =
+      bytes.substr(sizeof(kBlobMagic) + 12, static_cast<std::size_t>(len));
+  if (Crc32(payload) != crc) {
+    return Status::Corruption("blob checksum mismatch: " + path);
+  }
+  return payload;
+}
+
+// --- plain file helpers ----------------------------------------------
+
+Result<uint64_t> FileSizeOf(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::IoError(ErrnoMessage("stat", path));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+// --- corruption injection --------------------------------------------
+
+Status TruncateFileTo(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::IoError(ErrnoMessage("truncate", path));
+  }
+  return Status::OK();
+}
+
+Status FlipBitInFile(const std::string& path, uint64_t offset, int bit) {
+  if (bit < 0 || bit > 7) {
+    return Status::InvalidArgument("bit must be in [0,7]");
+  }
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open", path));
+  unsigned char byte;
+  ssize_t n = ::pread(fd, &byte, 1, static_cast<off_t>(offset));
+  if (n != 1) {
+    ::close(fd);
+    return Status::OutOfRange("offset past end of file: " + path);
+  }
+  byte = static_cast<unsigned char>(byte ^ (1u << bit));
+  n = ::pwrite(fd, &byte, 1, static_cast<off_t>(offset));
+  ::close(fd);
+  if (n != 1) return Status::IoError(ErrnoMessage("pwrite", path));
+  return Status::OK();
+}
+
+}  // namespace bivoc

@@ -1,0 +1,111 @@
+#ifndef BIVOC_UTIL_CHECKPOINT_IO_H_
+#define BIVOC_UTIL_CHECKPOINT_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bivoc {
+
+// Durable-blob I/O used by checkpoints and the WAL machinery:
+//
+//  * BinaryWriter / BinaryReader — a tiny length-checked binary codec
+//    (fixed-width little-endian integers, length-prefixed strings).
+//    The reader never walks past its buffer: every decode error
+//    surfaces as StatusCode::kCorruption instead of UB, which is what
+//    lets recovery treat a flipped bit as "skip + count", not a crash.
+//
+//  * WriteChecksummedFileAtomic / ReadChecksummedFile — a whole-file
+//    blob wrapped in magic + length + CRC32, committed by write-to-
+//    temp, fsync, atomic rename. A reader either sees the complete
+//    previous file or the complete new one, never a torn mixture.
+//
+//  * TruncateFileTo / FlipBitInFile — corruption injection for tests:
+//    simulate torn writes and bit rot against real files.
+//
+// The write path checks the FaultInjector points "io.write",
+// "io.fsync" and "io.rename" so tests can kill the process's
+// durability at any of the three commit steps.
+
+// --- binary codec ----------------------------------------------------
+
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+  // u32 length prefix + raw bytes.
+  void PutString(std::string_view s);
+
+  const std::string& data() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view buf) : buf_(buf) {}
+
+  Status ReadU8(uint8_t* v);
+  Status ReadU32(uint32_t* v);
+  Status ReadU64(uint64_t* v);
+  Status ReadI64(int64_t* v);
+  Status ReadDouble(double* v);
+  Status ReadString(std::string* s);
+
+  bool AtEnd() const { return pos_ >= buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  Status Take(std::size_t n, const char** out);
+
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+};
+
+// --- checksummed whole-file blobs ------------------------------------
+
+// File layout: "BVCKPT01" (8 bytes) | u32 crc32(payload) | u64 length |
+// payload. Committed atomically (temp + fsync + rename); the
+// destination directory is fsynced too so the rename itself is
+// durable.
+Status WriteChecksummedFileAtomic(const std::string& path,
+                                  std::string_view payload);
+
+// Returns the payload, or kNotFound (no file) / kCorruption (bad
+// magic, length mismatch, CRC mismatch) / kIoError.
+Result<std::string> ReadChecksummedFile(const std::string& path);
+
+// --- plain file helpers ----------------------------------------------
+
+Result<uint64_t> FileSizeOf(const std::string& path);
+
+// --- corruption injection (tests / recovery drills) ------------------
+
+// Truncates the file to `size` bytes — a torn write at that offset.
+Status TruncateFileTo(const std::string& path, uint64_t size);
+
+// Flips bit `bit` (0-7) of the byte at `offset` — simulated bit rot.
+Status FlipBitInFile(const std::string& path, uint64_t offset, int bit);
+
+namespace internal {
+
+// Shared low-level write plumbing (also used by the WAL writer).
+Status WriteAllToFd(int fd, std::string_view data, const std::string& path);
+// fsync the directory containing `path` so a completed rename survives
+// a crash; best-effort (some filesystems reject directory fsync).
+void SyncParentDir(const std::string& path);
+std::string ErrnoMessage(const char* op, const std::string& path);
+
+}  // namespace internal
+
+}  // namespace bivoc
+
+#endif  // BIVOC_UTIL_CHECKPOINT_IO_H_

@@ -1,0 +1,33 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace bivoc {
+namespace {
+
+constexpr std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kCrcTable = MakeCrcTable();
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = kCrcTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace bivoc

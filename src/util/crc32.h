@@ -1,0 +1,28 @@
+#ifndef BIVOC_UTIL_CRC32_H_
+#define BIVOC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace bivoc {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// guarding every WAL record and checkpoint blob against torn writes
+// and bit rot. Table-driven, byte at a time; fast enough that the
+// ingest WAL is fsync-bound, not checksum-bound.
+
+// Incremental form: feed chunks through repeatedly, starting from 0.
+uint32_t Crc32Update(uint32_t crc, const void* data, std::size_t len);
+
+// One-shot convenience.
+inline uint32_t Crc32(const void* data, std::size_t len) {
+  return Crc32Update(0, data, len);
+}
+inline uint32_t Crc32(std::string_view bytes) {
+  return Crc32Update(0, bytes.data(), bytes.size());
+}
+
+}  // namespace bivoc
+
+#endif  // BIVOC_UTIL_CRC32_H_

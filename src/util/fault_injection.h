@@ -22,6 +22,11 @@ inline constexpr const char kFaultCleanEmail[] = "clean.email";
 inline constexpr const char kFaultCleanSms[] = "clean.sms";
 inline constexpr const char kFaultCleanTranscript[] = "clean.transcript";
 inline constexpr const char kFaultIndexAdd[] = "index.add";
+// Durability layer (wal.cc / checkpoint_io.cc): the three commit steps
+// of the write-ahead log and atomic checkpoint protocol.
+inline constexpr const char kFaultIoWrite[] = "io.write";
+inline constexpr const char kFaultIoFsync[] = "io.fsync";
+inline constexpr const char kFaultIoRename[] = "io.rename";
 
 // How an armed fault point misbehaves. Each hit draws an independent
 // Bernoulli(probability) from a per-point seeded Rng, so a given seed

@@ -1,6 +1,7 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cstdio>
 
 #include "util/status.h"
 
@@ -51,7 +52,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::cerr << stream_.str() << std::endl;
+    // Assemble the whole line first and emit it with ONE write, so
+    // concurrent ingest workers never interleave fragments of their
+    // log lines (operator<< chains on a shared stream would).
+    std::string line = stream_.str();
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
   }
   if (fatal_) std::abort();
 }

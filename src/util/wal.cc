@@ -1,0 +1,274 @@
+#include "util/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/checkpoint_io.h"
+#include "util/crc32.h"
+#include "util/fault_injection.h"
+
+namespace bivoc {
+namespace {
+
+using internal::ErrnoMessage;
+using internal::SyncParentDir;
+using internal::WriteAllToFd;
+
+constexpr char kWalMagic[8] = {'B', 'V', 'W', 'A', 'L', '0', '0', '1'};
+constexpr uint32_t kRecordMarker = 0x57A1C0DEu;
+constexpr std::size_t kHeaderSize = 16;     // magic + u64 user_token
+constexpr std::size_t kRecordHeader = 12;   // marker + length + crc
+constexpr uint32_t kMaxRecordLen = 1u << 30;
+
+uint32_t DecodeU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t DecodeU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::string EncodeHeader(uint64_t token) {
+  std::string header(kWalMagic, sizeof(kWalMagic));
+  BinaryWriter w;
+  w.PutU64(token);
+  header += w.data();
+  return header;
+}
+
+std::string EncodeRecord(std::string_view payload) {
+  BinaryWriter w;
+  w.PutU32(kRecordMarker);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU32(Crc32(payload));
+  std::string record = w.Release();
+  record.append(payload.data(), payload.size());
+  return record;
+}
+
+// First offset >= `from` holding the record marker, or npos.
+std::size_t FindMarker(std::string_view bytes, std::size_t from) {
+  for (std::size_t pos = from; pos + 4 <= bytes.size(); ++pos) {
+    if (DecodeU32(bytes.data() + pos) == kRecordMarker) return pos;
+  }
+  return std::string_view::npos;
+}
+
+// First offset >= `from` where a COMPLETE valid record starts (marker,
+// sane length, fully in bounds, CRC passes), or npos. This is how the
+// reader distinguishes "corruption in the middle" (a valid record
+// exists further on — resync to it) from "torn tail" (nothing
+// trustworthy follows — the bytes die here).
+std::size_t NextValidRecordStart(std::string_view bytes, std::size_t from) {
+  std::size_t pos = FindMarker(bytes, from);
+  while (pos != std::string_view::npos) {
+    if (bytes.size() - pos >= kRecordHeader) {
+      const uint32_t len = DecodeU32(bytes.data() + pos + 4);
+      if (len <= kMaxRecordLen && pos + kRecordHeader + len <= bytes.size() &&
+          Crc32(bytes.substr(pos + kRecordHeader, len)) ==
+              DecodeU32(bytes.data() + pos + 8)) {
+        return pos;
+      }
+    }
+    pos = FindMarker(bytes, pos + 1);
+  }
+  return std::string_view::npos;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::IoError(ErrnoMessage("open", path));
+  }
+  std::string bytes;
+  char chunk[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError(ErrnoMessage("read", path));
+    }
+    if (n == 0) break;
+    bytes.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return bytes;
+}
+
+}  // namespace
+
+Result<WalReadResult> ReadWal(const std::string& path) {
+  Result<std::string> bytes_or = ReadWholeFile(path);
+  if (!bytes_or.ok()) return bytes_or.status();
+  const std::string& bytes = bytes_or.value();
+
+  if (bytes.size() < kHeaderSize ||
+      std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::Corruption("bad WAL header: " + path);
+  }
+  WalReadResult result;
+  result.user_token = DecodeU64(bytes.data() + sizeof(kWalMagic));
+
+  std::string_view view(bytes);
+  std::size_t pos = kHeaderSize;
+  while (pos < view.size()) {
+    // Classify the bytes at pos. A fully valid record is consumed; any
+    // damage (lost marker, garbage length, payload past EOF, CRC
+    // mismatch) triggers the same policy: if a complete valid record
+    // exists further on, the damage was local corruption — count it
+    // once and resync there; if nothing trustworthy follows, this is
+    // the torn tail of a crashed append — count the bytes and stop.
+    bool valid = false;
+    if (view.size() - pos >= kRecordHeader &&
+        DecodeU32(view.data() + pos) == kRecordMarker) {
+      const uint32_t len = DecodeU32(view.data() + pos + 4);
+      if (len <= kMaxRecordLen && pos + kRecordHeader + len <= view.size()) {
+        std::string_view payload = view.substr(pos + kRecordHeader, len);
+        if (Crc32(payload) == DecodeU32(view.data() + pos + 8)) {
+          result.records.emplace_back(payload);
+          pos += kRecordHeader + len;
+          valid = true;
+        }
+      }
+    }
+    if (valid) continue;
+    std::size_t next = NextValidRecordStart(view, pos + 1);
+    if (next == std::string_view::npos) {
+      result.truncated_bytes += view.size() - pos;
+      break;
+    }
+    ++result.corrupt_records;
+    pos = next;
+  }
+  return result;
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+uint64_t WalWriter::HeaderSize() { return kHeaderSize; }
+
+Status WalWriter::Open(const std::string& path, uint64_t token_if_new) {
+  Close();
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError(ErrnoMessage("fstat", path));
+  }
+  uint64_t size = static_cast<uint64_t>(st.st_size);
+  uint64_t token = token_if_new;
+  if (size == 0) {
+    Status write_st = WriteAllToFd(fd, EncodeHeader(token), path);
+    if (!write_st.ok()) {
+      ::close(fd);
+      return write_st;
+    }
+    size = kHeaderSize;
+  } else {
+    // Existing log: the header must parse (reading the body is the
+    // recovery path's job; an appender only needs the token).
+    Result<std::string> head_or = ReadWholeFile(path);
+    if (!head_or.ok()) {
+      ::close(fd);
+      return head_or.status();
+    }
+    const std::string& head = head_or.value();
+    if (head.size() < kHeaderSize ||
+        std::memcmp(head.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+      ::close(fd);
+      return Status::Corruption("bad WAL header: " + path);
+    }
+    token = DecodeU64(head.data() + sizeof(kWalMagic));
+  }
+  fd_ = fd;
+  path_ = path;
+  size_ = size;
+  user_token_ = token;
+  return Status::OK();
+}
+
+Status WalWriter::Rewrite(const std::string& path, uint64_t token,
+                          const std::vector<std::string>& records) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open", tmp));
+
+  Status st = FaultInjector::Global().MaybeFail(kFaultIoWrite);
+  if (st.ok()) st = WriteAllToFd(fd, EncodeHeader(token), tmp);
+  for (std::size_t i = 0; st.ok() && i < records.size(); ++i) {
+    st = WriteAllToFd(fd, EncodeRecord(records[i]), tmp);
+  }
+  if (st.ok()) st = FaultInjector::Global().MaybeFail(kFaultIoFsync);
+  if (st.ok() && ::fsync(fd) != 0) {
+    st = Status::IoError(ErrnoMessage("fsync", tmp));
+  }
+  ::close(fd);
+  if (st.ok()) st = FaultInjector::Global().MaybeFail(kFaultIoRename);
+  if (st.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Status::IoError(ErrnoMessage("rename", tmp));
+  }
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL writer not open");
+  BIVOC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail(kFaultIoWrite));
+  const std::string record = EncodeRecord(payload);
+  BIVOC_RETURN_NOT_OK(WriteAllToFd(fd_, record, path_));
+  size_ += record.size();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL writer not open");
+  BIVOC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail(kFaultIoFsync));
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(ErrnoMessage("fsync", path_));
+  }
+  return Status::OK();
+}
+
+Status WalWriter::TruncateTo(uint64_t size) {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL writer not open");
+  if (size < kHeaderSize) {
+    return Status::InvalidArgument("cannot truncate into the WAL header");
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::IoError(ErrnoMessage("ftruncate", path_));
+  }
+  size_ = size;
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  if (fd_ < 0) return Status::OK();
+  int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) {
+    return Status::IoError(ErrnoMessage("close", path_));
+  }
+  return Status::OK();
+}
+
+}  // namespace bivoc

@@ -1,0 +1,96 @@
+#ifndef BIVOC_UTIL_WAL_H_
+#define BIVOC_UTIL_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bivoc {
+
+// Append-only, CRC32-checksummed, length-prefixed record log — the
+// substrate of the ingest write-ahead journal (core/persist.h).
+//
+// File layout:
+//
+//   header:  "BVWAL001" (8 bytes) | u64 user_token
+//   record:  u32 marker (0x57A1C0DE) | u32 length | u32 crc32(payload)
+//            | payload bytes
+//
+// The `user_token` is an opaque value the owner stamps when the log is
+// created or rewritten (the ingest journal stores the base sequence
+// number there so document sequence ids survive log truncation).
+//
+// The per-record marker makes corruption *local*: a reader hitting a
+// bad CRC or an impossible length counts the record as corrupt and
+// scans forward for the next marker instead of abandoning the rest of
+// the log. A record that runs past end-of-file is a torn tail — the
+// bytes are counted and dropped, which is exactly the crash-mid-append
+// case the WAL exists to make safe.
+//
+// Writers append whole records with a single write() call and expose
+// an explicit Sync() (fsync) so callers choose their durability
+// points; TruncateTo() rolls back a partially journaled batch. The
+// write path checks the "io.write" / "io.fsync" fault points.
+
+struct WalReadResult {
+  uint64_t user_token = 0;
+  std::vector<std::string> records;
+  std::size_t corrupt_records = 0;  // bad marker/length/CRC, skipped
+  std::size_t truncated_bytes = 0;  // torn tail dropped at EOF
+};
+
+// Reads every intact record. Missing file -> kNotFound; a missing or
+// mangled header -> kCorruption (nothing in the file can be trusted
+// without it); record-level damage is *not* an error — it is reported
+// in the result so recovery can count what it skipped.
+Result<WalReadResult> ReadWal(const std::string& path);
+
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Opens for appending, creating the file (with `token_if_new`) when
+  // absent. An existing file must carry a valid header.
+  Status Open(const std::string& path, uint64_t token_if_new = 0);
+
+  // Atomically replaces the log with a fresh one holding `records` and
+  // the given token, via temp-file + fsync + rename ("io.rename"
+  // checked). Used to truncate the journal behind a checkpoint. The
+  // writer must be re-Open()ed afterwards.
+  static Status Rewrite(const std::string& path, uint64_t token,
+                        const std::vector<std::string>& records);
+
+  Status Append(std::string_view payload);
+  Status Sync();
+
+  // Rolls the file back to `size` bytes (a pre-batch offset captured
+  // from size()); the in-memory position follows.
+  Status TruncateTo(uint64_t size);
+
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  // Current file size in bytes (header included).
+  uint64_t size() const { return size_; }
+  uint64_t user_token() const { return user_token_; }
+  const std::string& path() const { return path_; }
+
+  static uint64_t HeaderSize();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint64_t size_ = 0;
+  uint64_t user_token_ = 0;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_UTIL_WAL_H_

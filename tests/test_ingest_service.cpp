@@ -97,6 +97,70 @@ TEST(DeadLetterQueueTest, BoundedPushAndDrain) {
   EXPECT_TRUE(queue.Push(letter));  // capacity freed by Drain
 }
 
+TEST(DeadLetterQueueTest, PeekIsNonDestructive) {
+  DeadLetterQueue queue(4);
+  DeadLetter letter;
+  letter.item.payload = "p";
+  letter.status = Status::IoError("x");
+  queue.Push(letter);
+  queue.Push(letter);
+  auto peeked = queue.Peek();
+  EXPECT_EQ(peeked.size(), 2u);
+  EXPECT_EQ(peeked[0].item.payload, "p");
+  EXPECT_EQ(queue.size(), 2u);  // still queued
+}
+
+TEST(DeadLetterQueueTest, TwoPhaseDrainRestoresUnacknowledged) {
+  DeadLetterQueue queue(4);
+  for (int i = 0; i < 3; ++i) {
+    DeadLetter letter;
+    letter.item.payload = "letter-" + std::to_string(i);
+    letter.status = Status::IoError("x");
+    queue.Push(letter);
+  }
+  auto in_flight = queue.BeginDrain();
+  ASSERT_EQ(in_flight.size(), 3u);
+  EXPECT_TRUE(queue.empty());  // parked in the in-flight area
+
+  // A nested drain is refused while one is active.
+  EXPECT_TRUE(queue.BeginDrain().empty());
+
+  // Only the middle letter is acknowledged; the worker handling the
+  // others "died".
+  queue.Ack(1);
+  EXPECT_EQ(queue.EndDrain(), 2u);
+  auto restored = queue.Drain();
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored[0].item.payload, "letter-0");
+  EXPECT_EQ(restored[1].item.payload, "letter-2");
+
+  // The drain cycle is closed: a fresh one works and acking everything
+  // restores nothing.
+  queue.Push(restored[0]);
+  auto again = queue.BeginDrain();
+  ASSERT_EQ(again.size(), 1u);
+  queue.Ack(0);
+  EXPECT_EQ(queue.EndDrain(), 0u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(DeadLetterQueueTest, EndDrainRestoresPastCapacity) {
+  DeadLetterQueue queue(2);
+  DeadLetter letter;
+  letter.status = Status::IoError("x");
+  queue.Push(letter);
+  queue.Push(letter);
+  auto in_flight = queue.BeginDrain();
+  ASSERT_EQ(in_flight.size(), 2u);
+  // While draining, the freed capacity admits new letters...
+  EXPECT_TRUE(queue.Push(letter));
+  EXPECT_TRUE(queue.Push(letter));
+  // ...and EndDrain still restores the unacked ones beyond capacity:
+  // they were admitted once and must not be lost.
+  EXPECT_EQ(queue.EndDrain(), 2u);
+  EXPECT_EQ(queue.size(), 4u);
+}
+
 // ---------------------------------------------------------------------------
 // IngestService over a linker-backed engine.
 

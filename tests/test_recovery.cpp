@@ -1,0 +1,658 @@
+#include "core/persist.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/bivoc.h"
+#include "util/checkpoint_io.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/wal.h"
+
+namespace bivoc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Journal + checkpoint codec units.
+
+TEST(JournalCodecTest, RoundTrip) {
+  IngestItem item;
+  item.channel = VocChannel::kSms;
+  item.payload = "gprs not working";
+  item.time_bucket = 42;
+  item.structured_keys = {"status/active", "plan/gold"};
+
+  Result<JournalRecord> back = DecodeJournalItem(EncodeJournalItem(7, item));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().seq, 7u);
+  EXPECT_EQ(back.value().item.channel, VocChannel::kSms);
+  EXPECT_EQ(back.value().item.payload, item.payload);
+  EXPECT_EQ(back.value().item.time_bucket, 42);
+  EXPECT_EQ(back.value().item.structured_keys, item.structured_keys);
+}
+
+TEST(JournalCodecTest, DamagedPayloadIsCorruptionNotUb) {
+  IngestItem item;
+  item.payload = "x";
+  std::string encoded = EncodeJournalItem(1, item);
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    Result<JournalRecord> r = DecodeJournalItem(
+        std::string_view(encoded.data(), cut));
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(CheckpointCodecTest, RoundTrip) {
+  CheckpointData data;
+  data.wal_watermark = 99;
+  data.vocabulary = {"intent/cancel", "product/gprs", "status/active"};
+  data.doc_concepts = {{0, 1}, {2}, {}};
+  data.doc_times = {3, 5, 7};
+  RoleWeights weights{};
+  weights[0] = 0.25;
+  weights[1] = 0.75;
+  data.linker_weights["customers"] = weights;
+  DeadLetter letter;
+  letter.item.payload = "poison";
+  letter.status = Status::IoError("boom");
+  letter.attempts = 3;
+  data.dead_letters.push_back(letter);
+
+  Result<CheckpointData> back = DecodeCheckpoint(EncodeCheckpoint(data));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().wal_watermark, 99u);
+  EXPECT_EQ(back.value().vocabulary, data.vocabulary);
+  EXPECT_EQ(back.value().doc_concepts, data.doc_concepts);
+  EXPECT_EQ(back.value().doc_times, data.doc_times);
+  EXPECT_EQ(back.value().linker_weights.at("customers"), weights);
+  ASSERT_EQ(back.value().dead_letters.size(), 1u);
+  EXPECT_EQ(back.value().dead_letters[0].item.payload, "poison");
+  EXPECT_EQ(back.value().dead_letters[0].status.code(), StatusCode::kIoError);
+  EXPECT_EQ(back.value().dead_letters[0].attempts, 3);
+}
+
+TEST(CheckpointCodecTest, TruncationAtEveryByteIsRejected) {
+  CheckpointData data;
+  data.vocabulary = {"a/b", "c/d"};
+  data.doc_concepts = {{0}, {1}, {0, 1}};
+  data.doc_times = {1, 2, 3};
+  const std::string encoded = EncodeCheckpoint(data);
+  for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+    Result<CheckpointData> r =
+        DecodeCheckpoint(std::string_view(encoded.data(), cut));
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointStore generations.
+
+class CheckpointStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/bivoc_store_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::Global().DisarmAll();
+    FaultInjector::Global().ResetCounters();
+    std::filesystem::remove_all(dir_);
+  }
+  static CheckpointData MakeData(uint64_t watermark) {
+    CheckpointData data;
+    data.wal_watermark = watermark;
+    data.vocabulary = {"k/" + std::to_string(watermark)};
+    data.doc_concepts = {{0}};
+    data.doc_times = {static_cast<int64_t>(watermark)};
+    return data;
+  }
+  std::string dir_;
+};
+
+TEST_F(CheckpointStoreTest, WriteAdvancesGenerationAndPrunes) {
+  CheckpointStore store(dir_, /*retain=*/2);
+  ASSERT_TRUE(store.Init().ok());
+  EXPECT_EQ(store.current_generation(), 0u);
+  for (uint64_t g = 1; g <= 4; ++g) {
+    Result<uint64_t> written = store.Write(MakeData(g * 10));
+    ASSERT_TRUE(written.ok());
+    EXPECT_EQ(written.value(), g);
+  }
+  EXPECT_EQ(store.current_generation(), 4u);
+  // Retention window 2: generations 1 and 2 pruned, 3 and 4 kept.
+  EXPECT_FALSE(std::filesystem::exists(store.CheckpointPath(1)));
+  EXPECT_FALSE(std::filesystem::exists(store.CheckpointPath(2)));
+  EXPECT_TRUE(std::filesystem::exists(store.CheckpointPath(3)));
+  EXPECT_TRUE(std::filesystem::exists(store.CheckpointPath(4)));
+
+  Result<CheckpointStore::Loaded> loaded = store.LoadNewest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().generation, 4u);
+  EXPECT_EQ(loaded.value().data.wal_watermark, 40u);
+  EXPECT_EQ(loaded.value().fallbacks, 0u);
+}
+
+TEST_F(CheckpointStoreTest, InitRediscoversGenerationAcrossRestart) {
+  {
+    CheckpointStore store(dir_, 2);
+    ASSERT_TRUE(store.Init().ok());
+    ASSERT_TRUE(store.Write(MakeData(10)).ok());
+    ASSERT_TRUE(store.Write(MakeData(20)).ok());
+  }
+  CheckpointStore reopened(dir_, 2);
+  ASSERT_TRUE(reopened.Init().ok());
+  EXPECT_EQ(reopened.current_generation(), 2u);
+  Result<uint64_t> next = reopened.Write(MakeData(30));
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next.value(), 3u);
+}
+
+TEST_F(CheckpointStoreTest, CorruptNewestFallsBackToPrevious) {
+  CheckpointStore store(dir_, 2);
+  ASSERT_TRUE(store.Init().ok());
+  ASSERT_TRUE(store.Write(MakeData(10)).ok());
+  ASSERT_TRUE(store.Write(MakeData(20)).ok());
+  // Rot the newest generation; the store must fall back to gen 1.
+  ASSERT_TRUE(FlipBitInFile(store.CheckpointPath(2), 20, 3).ok());
+  Result<CheckpointStore::Loaded> loaded = store.LoadNewest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().generation, 1u);
+  EXPECT_EQ(loaded.value().data.wal_watermark, 10u);
+  EXPECT_EQ(loaded.value().fallbacks, 1u);
+}
+
+TEST_F(CheckpointStoreTest, CorruptManifestStillFindsCheckpointsOnDisk) {
+  CheckpointStore store(dir_, 2);
+  ASSERT_TRUE(store.Init().ok());
+  ASSERT_TRUE(store.Write(MakeData(10)).ok());
+  ASSERT_TRUE(FlipBitInFile(store.ManifestPath(), 12, 1).ok());
+  Result<CheckpointStore::Loaded> loaded = store.LoadNewest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().generation, 1u);
+  EXPECT_GE(loaded.value().fallbacks, 1u);  // the manifest counted
+}
+
+TEST_F(CheckpointStoreTest, AllGenerationsCorruptIsNotFound) {
+  CheckpointStore store(dir_, 2);
+  ASSERT_TRUE(store.Init().ok());
+  ASSERT_TRUE(store.Write(MakeData(10)).ok());
+  ASSERT_TRUE(FlipBitInFile(store.CheckpointPath(1), 16, 0).ok());
+  EXPECT_EQ(store.LoadNewest().status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointStoreTest, FailedWriteLeavesPreviousGenerationCurrent) {
+  CheckpointStore store(dir_, 2);
+  ASSERT_TRUE(store.Init().ok());
+  ASSERT_TRUE(store.Write(MakeData(10)).ok());
+  for (const char* point : {kFaultIoWrite, kFaultIoFsync, kFaultIoRename}) {
+    ScopedFault fault(point, FaultSpec{});
+    EXPECT_FALSE(store.Write(MakeData(99)).ok()) << point;
+    EXPECT_EQ(store.current_generation(), 1u) << point;
+  }
+  Result<CheckpointStore::Loaded> loaded = store.LoadNewest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().generation, 1u);
+  EXPECT_EQ(loaded.value().data.wal_watermark, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level durability: kill -> restart -> recover.
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/bivoc_recovery_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::Global().DisarmAll();
+    FaultInjector::Global().ResetCounters();
+    std::filesystem::remove_all(dir_);
+  }
+
+  // Builds an engine configured exactly like every other instance in
+  // the test — the recovery contract requires the same pipeline wiring
+  // on both sides of the restart.
+  std::unique_ptr<BivocEngine> MakeEngine() {
+    auto engine = std::make_unique<BivocEngine>();
+    Schema schema({
+        {"id", DataType::kInt64, AttributeRole::kNone},
+        {"name", DataType::kString, AttributeRole::kPersonName},
+        {"phone", DataType::kString, AttributeRole::kPhone},
+    });
+    Table* customers =
+        *engine->warehouse()->CreateTable("customers", schema);
+    BIVOC_CHECK_OK(customers
+                       ->Append({Value(int64_t{0}), Value("john smith"),
+                                 Value("9845012345")})
+                       .status());
+    BIVOC_CHECK_OK(engine->FinishWarehouse());
+    engine->ConfigureAnnotators({"john", "smith"}, {});
+    engine->extractor()->mutable_dictionary()->Add("gprs", "gprs", "product");
+    engine->pipeline()->mutable_language_filter()->AddVocabulary(
+        {"gprs", "john", "smith", "working", "down", "report", "problem",
+         "question"});
+    IngestOptions opts;
+    opts.num_threads = 2;
+    engine->ConfigureIngest(opts);
+    return engine;
+  }
+
+  static std::vector<IngestItem> MakeBatch(std::size_t n, std::size_t base) {
+    std::vector<IngestItem> items;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t k = base + i;
+      IngestItem item;
+      if (k % 2 == 0) {
+        item.channel = VocChannel::kEmail;
+        item.payload = "gprs problem report from john smith 9845012345";
+      } else {
+        item.channel = VocChannel::kSms;
+        item.payload = "gprs not working john smith 9845012345";
+      }
+      item.time_bucket = static_cast<int64_t>(k % 7);
+      item.structured_keys = {"doc/" + std::to_string(k), "status/active"};
+      items.push_back(std::move(item));
+    }
+    return items;
+  }
+
+  // The order-independent fingerprint of an index snapshot: one
+  // "time|concept,concept,..." line per document, sorted. Two runs are
+  // equivalent iff their fingerprints match, whatever DocId order the
+  // thread pool produced.
+  static std::vector<std::string> Fingerprint(const IndexSnapshot& snap) {
+    std::vector<std::string> lines;
+    lines.reserve(snap.num_documents());
+    for (DocId d = 0; d < snap.num_documents(); ++d) {
+      std::vector<std::string> keys = snap.ConceptsOf(d);
+      std::sort(keys.begin(), keys.end());
+      std::string line = std::to_string(snap.TimeBucketOf(d)) + "|";
+      for (const auto& key : keys) line += key + ",";
+      lines.push_back(std::move(line));
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  }
+
+  static std::vector<std::string> DeadLetterPayloads(BivocEngine* engine) {
+    std::vector<std::string> payloads;
+    for (const DeadLetter& letter : engine->ingest()->dead_letters()->Peek()) {
+      payloads.push_back(letter.item.payload);
+    }
+    std::sort(payloads.begin(), payloads.end());
+    return payloads;
+  }
+
+  std::string dir_;
+};
+
+// The acceptance scenario: checkpoint mid-stream, keep ingesting, kill
+// the process (engine destroyed with a WAL tail beyond the
+// checkpoint), restart, Recover(). The recovered snapshot must be
+// indistinguishable from an uninterrupted run over the same items.
+TEST_F(RecoveryTest, KillAndRestartEqualsUninterruptedRun) {
+  const auto batch1 = MakeBatch(40, 0);
+  const auto batch2 = MakeBatch(25, 40);
+
+  {
+    auto victim = MakeEngine();
+    ASSERT_TRUE(victim->EnableDurability(dir_).ok());
+    victim->IngestBatch(batch1);
+    ASSERT_TRUE(victim->SaveCheckpoint().ok());
+    victim->IngestBatch(batch2);  // journaled but never checkpointed
+    // "kill -9": the engine is destroyed with no further persistence.
+  }
+
+  auto recovered = MakeEngine();
+  ASSERT_TRUE(recovered->EnableDurability(dir_).ok());
+  Result<RecoveryReport> report = recovered->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().checkpoint_loaded);
+  EXPECT_EQ(report.value().checkpoint_generation, 1u);
+  EXPECT_EQ(report.value().checkpoint_fallbacks, 0u);
+  EXPECT_EQ(report.value().docs_from_checkpoint, 40u);
+  EXPECT_EQ(report.value().wal_records_replayed, 25u);
+  EXPECT_EQ(report.value().wal_corrupt_records, 0u);
+
+  auto uninterrupted = MakeEngine();
+  uninterrupted->IngestBatch(batch1);
+  uninterrupted->IngestBatch(batch2);
+
+  EXPECT_EQ(Fingerprint(*recovered->Snapshot()),
+            Fingerprint(*uninterrupted->Snapshot()));
+  // The analysis views agree too.
+  EXPECT_EQ(recovered->Snapshot()->Count("product/gprs"),
+            uninterrupted->Snapshot()->Count("product/gprs"));
+  EXPECT_EQ(recovered->Snapshot()->Count("status/active"),
+            uninterrupted->Snapshot()->Count("status/active"));
+
+  // Health surfaces the recovery.
+  HealthReport health = recovered->Health();
+  EXPECT_TRUE(health.durability.enabled);
+  EXPECT_EQ(health.durability.docs_from_checkpoint, 40u);
+  EXPECT_EQ(health.durability.wal_records_replayed, 25u);
+}
+
+// Crash *mid-batch*: items journaled, processing never ran. Recovery
+// must replay exactly that unindexed suffix.
+TEST_F(RecoveryTest, CrashAfterJournalBeforeIndexReplaysTheSuffix) {
+  const auto batch1 = MakeBatch(10, 0);
+  const auto batch2 = MakeBatch(6, 10);
+
+  {
+    auto victim = MakeEngine();
+    ASSERT_TRUE(victim->EnableDurability(dir_).ok());
+    victim->IngestBatch(batch1);
+    ASSERT_TRUE(victim->SaveCheckpoint().ok());
+    // Crash window: the batch reaches the fsynced journal but the
+    // process dies before any pipeline stage runs.
+    for (const IngestItem& item : batch2) {
+      ASSERT_TRUE(victim->journal()->Append(item).ok());
+    }
+    ASSERT_TRUE(victim->journal()->Sync().ok());
+  }
+
+  auto recovered = MakeEngine();
+  ASSERT_TRUE(recovered->EnableDurability(dir_).ok());
+  Result<RecoveryReport> report = recovered->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().docs_from_checkpoint, 10u);
+  EXPECT_EQ(report.value().wal_records_replayed, 6u);
+  EXPECT_EQ(recovered->Snapshot()->num_documents(), 16u);
+
+  auto uninterrupted = MakeEngine();
+  uninterrupted->IngestBatch(batch1);
+  uninterrupted->IngestBatch(batch2);
+  EXPECT_EQ(Fingerprint(*recovered->Snapshot()),
+            Fingerprint(*uninterrupted->Snapshot()));
+}
+
+// Sequence ids keep ascending across checkpoint/truncate/restart
+// cycles, so replay-dedupe never mistakes new documents for old ones.
+TEST_F(RecoveryTest, MultipleRestartCyclesAccumulateExactly) {
+  std::size_t base = 0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    auto engine = MakeEngine();
+    ASSERT_TRUE(engine->EnableDurability(dir_).ok());
+    if (cycle > 0) {
+      ASSERT_TRUE(engine->Recover().ok());
+    }
+    engine->IngestBatch(MakeBatch(8, base));
+    base += 8;
+    if (cycle % 2 == 0) {
+      ASSERT_TRUE(engine->SaveCheckpoint().ok());
+    }
+  }
+  auto final_engine = MakeEngine();
+  ASSERT_TRUE(final_engine->EnableDurability(dir_).ok());
+  Result<RecoveryReport> report = final_engine->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(final_engine->Snapshot()->num_documents(), 24u);
+  // Every doc/<k> key appears exactly once — nothing double-indexed.
+  for (std::size_t k = 0; k < 24; ++k) {
+    EXPECT_EQ(final_engine->Snapshot()->Count("doc/" + std::to_string(k)), 1u)
+        << k;
+  }
+}
+
+// Dead letters survive the crash via the checkpoint and stay replayable.
+TEST_F(RecoveryTest, DeadLettersSurviveRestart) {
+  const auto batch = MakeBatch(12, 0);
+  std::vector<std::string> expected_payloads;
+  {
+    auto victim = MakeEngine();
+    ASSERT_TRUE(victim->EnableDurability(dir_).ok());
+    {
+      FaultSpec fault;  // hard index outage: everything dead-letters
+      ScopedFault scoped(kFaultIndexAdd, fault);
+      victim->IngestBatch(batch);
+    }
+    ASSERT_EQ(victim->ingest()->dead_letters()->size(), 12u);
+    expected_payloads = DeadLetterPayloads(victim.get());
+    ASSERT_TRUE(victim->SaveCheckpoint().ok());
+  }
+
+  auto recovered = MakeEngine();
+  ASSERT_TRUE(recovered->EnableDurability(dir_).ok());
+  Result<RecoveryReport> report = recovered->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().dead_letters_restored, 12u);
+  EXPECT_EQ(DeadLetterPayloads(recovered.get()), expected_payloads);
+  // Letters are not double-counted: the WAL records behind them sit at
+  // or below the checkpoint watermark and were skipped.
+  EXPECT_EQ(report.value().wal_records_replayed, 0u);
+  EXPECT_EQ(recovered->Snapshot()->num_documents(), 0u);
+
+  // The fault is gone; the restored letters replay to completion.
+  HealthReport replay = recovered->ingest()->ReplayDeadLetters();
+  EXPECT_EQ(replay.replayed, 12u);
+  EXPECT_EQ(recovered->Snapshot()->num_documents(), 12u);
+}
+
+// Learned linker weights round-trip through the checkpoint.
+TEST_F(RecoveryTest, LinkerWeightsRestored) {
+  RoleWeights custom{};
+  custom[0] = 0.125;
+  custom[1] = 0.5;
+  custom[2] = 0.375;
+  {
+    auto victim = MakeEngine();
+    ASSERT_TRUE(victim->EnableDurability(dir_).ok());
+    ASSERT_TRUE(victim->linker()->SetWeightsFor("customers", custom).ok());
+    victim->IngestBatch(MakeBatch(4, 0));
+    ASSERT_TRUE(victim->SaveCheckpoint().ok());
+  }
+  auto recovered = MakeEngine();
+  ASSERT_TRUE(recovered->EnableDurability(dir_).ok());
+  ASSERT_TRUE(recovered->Recover().ok());
+  EXPECT_EQ(recovered->linker()->WeightsFor("customers"), custom);
+}
+
+// Corrupting the newest checkpoint generation must fall back to the
+// previous one and make up the difference from the WAL.
+TEST_F(RecoveryTest, CorruptNewestCheckpointFallsBackAndReplays) {
+  DurabilityOptions keep_wal;
+  keep_wal.truncate_wal_after_checkpoint = false;
+  {
+    auto victim = MakeEngine();
+    ASSERT_TRUE(victim->EnableDurability(dir_, keep_wal).ok());
+    victim->IngestBatch(MakeBatch(10, 0));
+    ASSERT_TRUE(victim->SaveCheckpoint().ok());  // generation 1
+    victim->IngestBatch(MakeBatch(10, 10));
+    ASSERT_TRUE(victim->SaveCheckpoint().ok());  // generation 2
+    victim->IngestBatch(MakeBatch(5, 20));
+  }
+  // Rot generation 2.
+  CheckpointStore probe(dir_);
+  ASSERT_TRUE(probe.Init().ok());
+  ASSERT_TRUE(FlipBitInFile(probe.CheckpointPath(2), 40, 5).ok());
+
+  auto recovered = MakeEngine();
+  ASSERT_TRUE(recovered->EnableDurability(dir_, keep_wal).ok());
+  Result<RecoveryReport> report = recovered->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().checkpoint_generation, 1u);
+  EXPECT_EQ(report.value().checkpoint_fallbacks, 1u);
+  EXPECT_EQ(report.value().docs_from_checkpoint, 10u);
+  // The full WAL (never truncated) makes up everything past gen 1.
+  EXPECT_EQ(report.value().wal_records_replayed, 15u);
+  EXPECT_EQ(recovered->Snapshot()->num_documents(), 25u);
+
+  // The fallback is operator-visible.
+  HealthReport health = recovered->Health();
+  EXPECT_EQ(health.durability.checkpoint_fallbacks, 1u);
+  EXPECT_EQ(health.durability.checkpoint_generation, 2u);
+}
+
+// A journal append failure rolls the WAL back and dead-letters the
+// whole batch — nothing is processed unjournaled.
+TEST_F(RecoveryTest, JournalFailureRollsBackAndDeadLettersTheBatch) {
+  auto engine = MakeEngine();
+  ASSERT_TRUE(engine->EnableDurability(dir_).ok());
+  engine->IngestBatch(MakeBatch(3, 0));
+
+  HealthReport report;
+  {
+    FaultSpec fault;  // io.write fails outright
+    ScopedFault scoped(kFaultIoWrite, fault);
+    report = engine->IngestBatch(MakeBatch(5, 3));
+  }
+  EXPECT_EQ(report.submitted, 5u);
+  EXPECT_EQ(report.processed, 0u);
+  EXPECT_EQ(report.dead_lettered, 5u);
+  EXPECT_EQ(report.durability.wal_append_failures, 1u);
+  EXPECT_EQ(report.durability.wal_batches_rolled_back, 1u);
+  EXPECT_EQ(engine->Snapshot()->num_documents(), 3u);
+
+  // The rolled-back records are truly gone from the log.
+  Result<WalReadResult> wal = ReadWal(engine->journal()->path());
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ(wal.value().records.size(), 3u);
+
+  // Healed: the dead letters replay, and new appends resume cleanly.
+  HealthReport replay = engine->ingest()->ReplayDeadLetters();
+  EXPECT_EQ(replay.replayed, 5u);
+  EXPECT_EQ(engine->Snapshot()->num_documents(), 8u);
+}
+
+// The WAL fuzz acceptance property: truncate the log at EVERY byte
+// offset; Recover() must never crash, never double-index a document,
+// and report what it skipped.
+TEST_F(RecoveryTest, WalTruncatedAtEveryOffsetRecoversAPrefix) {
+  const std::size_t kDocs = 6;
+  {
+    auto victim = MakeEngine();
+    ASSERT_TRUE(victim->EnableDurability(dir_).ok());
+    victim->IngestBatch(MakeBatch(kDocs, 0));
+  }
+  const std::string wal_path = dir_ + "/wal.log";
+  Result<uint64_t> size = FileSizeOf(wal_path);
+  ASSERT_TRUE(size.ok());
+  std::string full_log;
+  {
+    std::ifstream in(wal_path, std::ios::binary);
+    full_log.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_EQ(full_log.size(), size.value());
+
+  for (uint64_t keep = 0; keep <= full_log.size(); ++keep) {
+    const std::string torn_dir = dir_ + "_torn";
+    std::filesystem::remove_all(torn_dir);
+    std::filesystem::create_directories(torn_dir);
+    {
+      std::ofstream out(torn_dir + "/wal.log", std::ios::binary);
+      out.write(full_log.data(), static_cast<std::streamsize>(keep));
+    }
+
+    auto engine = MakeEngine();
+    ASSERT_TRUE(engine->EnableDurability(torn_dir).ok()) << "keep=" << keep;
+    Result<RecoveryReport> report = engine->Recover();
+    ASSERT_TRUE(report.ok()) << "keep=" << keep;
+    const std::size_t docs = engine->Snapshot()->num_documents();
+    EXPECT_LE(docs, kDocs) << "keep=" << keep;
+    EXPECT_EQ(report.value().wal_records_replayed, docs) << "keep=" << keep;
+    // No document indexed twice.
+    for (std::size_t k = 0; k < kDocs; ++k) {
+      EXPECT_LE(engine->Snapshot()->Count("doc/" + std::to_string(k)), 1u)
+          << "keep=" << keep << " doc=" << k;
+    }
+    std::filesystem::remove_all(torn_dir);
+  }
+}
+
+// Random bit rot across WAL and checkpoint files: Recover() never
+// crashes and never fabricates documents.
+TEST_F(RecoveryTest, RandomBitRotNeverCrashesRecovery) {
+  const std::size_t kDocs = 10;
+  {
+    auto victim = MakeEngine();
+    DurabilityOptions keep_wal;
+    keep_wal.truncate_wal_after_checkpoint = false;
+    ASSERT_TRUE(victim->EnableDurability(dir_, keep_wal).ok());
+    victim->IngestBatch(MakeBatch(kDocs / 2, 0));
+    ASSERT_TRUE(victim->SaveCheckpoint().ok());
+    victim->IngestBatch(MakeBatch(kDocs - kDocs / 2, kDocs / 2));
+  }
+  // Snapshot the pristine directory.
+  const std::string pristine = dir_ + "_pristine";
+  std::filesystem::remove_all(pristine);
+  std::filesystem::copy(dir_, pristine);
+
+  Rng rng(0xdecadeULL);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::copy(pristine, dir_);
+    // Flip 1-3 random bits in random durability files.
+    std::vector<std::string> files;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      files.push_back(entry.path().string());
+    }
+    ASSERT_FALSE(files.empty());
+    const int flips = 1 + static_cast<int>(rng.Next() % 3);
+    for (int f = 0; f < flips; ++f) {
+      const std::string& target = files[rng.Next() % files.size()];
+      Result<uint64_t> size = FileSizeOf(target);
+      if (!size.ok() || size.value() == 0) continue;
+      FlipBitInFile(target, rng.Next() % size.value(),
+                    static_cast<int>(rng.Next() % 8));
+    }
+
+    auto engine = MakeEngine();
+    Status enabled = engine->EnableDurability(dir_);
+    ASSERT_TRUE(enabled.ok()) << "trial=" << trial << ": "
+                              << enabled.ToString();
+    Result<RecoveryReport> report = engine->Recover();
+    ASSERT_TRUE(report.ok()) << "trial=" << trial;
+    // Whatever survived is genuine: every doc key at most once, and
+    // never more documents than were ever ingested.
+    EXPECT_LE(engine->Snapshot()->num_documents(), kDocs) << "trial=" << trial;
+    for (std::size_t k = 0; k < kDocs; ++k) {
+      EXPECT_LE(engine->Snapshot()->Count("doc/" + std::to_string(k)), 1u)
+          << "trial=" << trial << " doc=" << k;
+    }
+  }
+  std::filesystem::remove_all(pristine);
+}
+
+// SaveCheckpoint truncates the WAL behind the new generation, keeping
+// restart cost proportional to work since the last checkpoint.
+TEST_F(RecoveryTest, CheckpointTruncatesTheWal) {
+  auto engine = MakeEngine();
+  ASSERT_TRUE(engine->EnableDurability(dir_).ok());
+  engine->IngestBatch(MakeBatch(20, 0));
+  Result<WalReadResult> before = ReadWal(engine->journal()->path());
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().records.size(), 20u);
+
+  ASSERT_TRUE(engine->SaveCheckpoint().ok());
+  Result<WalReadResult> after = ReadWal(engine->journal()->path());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().records.size(), 0u);
+  // The base token carries the watermark so sequence ids never regress.
+  EXPECT_EQ(after.value().user_token, 20u);
+
+  // Post-truncation ingestion lands past the watermark and is
+  // recoverable.
+  engine->IngestBatch(MakeBatch(5, 20));
+  auto recovered = MakeEngine();
+  ASSERT_TRUE(recovered->EnableDurability(dir_).ok());
+  Result<RecoveryReport> report = recovered->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(recovered->Snapshot()->num_documents(), 25u);
+  EXPECT_EQ(report.value().wal_records_replayed, 5u);
+}
+
+}  // namespace
+}  // namespace bivoc

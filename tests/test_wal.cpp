@@ -1,0 +1,373 @@
+#include "util/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/checkpoint_io.h"
+#include "util/crc32.h"
+#include "util/fault_injection.h"
+#include "util/random.h"
+
+namespace bivoc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CRC32 reference vectors.
+
+TEST(Crc32Test, KnownVectors) {
+  // The IEEE 802.3 reflected-CRC check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_EQ(Crc32("a"), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t crc = 0;
+  for (char c : data) crc = Crc32Update(crc, &c, 1);
+  EXPECT_EQ(crc, Crc32(data));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  std::string data = "payload under test";
+  const uint32_t clean = Crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[i] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32(data), clean) << "flip at byte " << i << " bit " << bit;
+      data[i] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec.
+
+TEST(BinaryCodecTest, RoundTrip) {
+  BinaryWriter w;
+  w.PutU8(7);
+  w.PutU32(0xDEADBEEFu);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI64(-42);
+  w.PutDouble(3.25);
+  w.PutString("hello");
+  w.PutString("");
+
+  BinaryReader r(w.data());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double d;
+  std::string a, b;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadI64(&i64).ok());
+  ASSERT_TRUE(r.ReadDouble(&d).ok());
+  ASSERT_TRUE(r.ReadString(&a).ok());
+  ASSERT_TRUE(r.ReadString(&b).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(d, 3.25);
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryCodecTest, OverrunIsCorruptionNotUb) {
+  BinaryWriter w;
+  w.PutU32(12);  // length prefix promising 12 bytes that are not there
+  BinaryReader r(w.data());
+  std::string s;
+  EXPECT_EQ(r.ReadString(&s).code(), StatusCode::kCorruption);
+  uint64_t u64;
+  BinaryReader r2(std::string_view("abc"));
+  EXPECT_EQ(r2.ReadU64(&u64).code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Checksummed blob files.
+
+class CheckpointIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/bivoc_ckptio_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::Global().DisarmAll();
+    FaultInjector::Global().ResetCounters();
+    std::filesystem::remove_all(dir_);
+  }
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+  std::string dir_;
+};
+
+TEST_F(CheckpointIoTest, RoundTripAndNotFound) {
+  const std::string payload(1000, 'x');
+  ASSERT_TRUE(WriteChecksummedFileAtomic(Path("blob"), payload).ok());
+  Result<std::string> back = ReadChecksummedFile(Path("blob"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), payload);
+  EXPECT_EQ(ReadChecksummedFile(Path("missing")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointIoTest, EveryBitFlipIsDetected) {
+  const std::string payload = "small but precious checkpoint payload";
+  ASSERT_TRUE(WriteChecksummedFileAtomic(Path("blob"), payload).ok());
+  Result<uint64_t> size = FileSizeOf(Path("blob"));
+  ASSERT_TRUE(size.ok());
+  Rng rng(0xb17f11f5ULL);
+  for (uint64_t offset = 0; offset < size.value(); ++offset) {
+    const int bit = static_cast<int>(rng.Next() % 8);
+    ASSERT_TRUE(FlipBitInFile(Path("blob"), offset, bit).ok());
+    EXPECT_EQ(ReadChecksummedFile(Path("blob")).status().code(),
+              StatusCode::kCorruption)
+        << "undetected flip at offset " << offset << " bit " << bit;
+    // Flip back: the file must verify again (the flip is the only damage).
+    ASSERT_TRUE(FlipBitInFile(Path("blob"), offset, bit).ok());
+    ASSERT_TRUE(ReadChecksummedFile(Path("blob")).ok());
+  }
+}
+
+TEST_F(CheckpointIoTest, TruncationIsDetectedAtEveryLength) {
+  ASSERT_TRUE(WriteChecksummedFileAtomic(Path("blob"), "0123456789").ok());
+  Result<uint64_t> size = FileSizeOf(Path("blob"));
+  ASSERT_TRUE(size.ok());
+  for (uint64_t keep = 0; keep < size.value(); ++keep) {
+    ASSERT_TRUE(WriteChecksummedFileAtomic(Path("t"), "0123456789").ok());
+    ASSERT_TRUE(TruncateFileTo(Path("t"), keep).ok());
+    EXPECT_EQ(ReadChecksummedFile(Path("t")).status().code(),
+              StatusCode::kCorruption)
+        << "undetected truncation to " << keep << " bytes";
+  }
+}
+
+TEST_F(CheckpointIoTest, FaultPointsAbortTheCommit) {
+  for (const char* point : {kFaultIoWrite, kFaultIoFsync, kFaultIoRename}) {
+    ASSERT_TRUE(WriteChecksummedFileAtomic(Path("blob"), "old").ok());
+    {
+      ScopedFault fault(point, FaultSpec{});
+      Status st = WriteChecksummedFileAtomic(Path("blob"), "new");
+      EXPECT_FALSE(st.ok()) << point;
+    }
+    // The previous committed contents survive a failed commit intact.
+    Result<std::string> back = ReadChecksummedFile(Path("blob"));
+    ASSERT_TRUE(back.ok()) << point;
+    EXPECT_EQ(back.value(), "old") << point;
+    // No temp-file litter.
+    std::size_t files = 0;
+    for ([[maybe_unused]] const auto& e :
+         std::filesystem::directory_iterator(dir_)) {
+      ++files;
+    }
+    EXPECT_EQ(files, 1u) << point;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WAL framing.
+
+class WalTest : public CheckpointIoTest {
+ protected:
+  std::string WalPath() const { return Path("wal.log"); }
+
+  std::vector<std::string> MakeRecords(std::size_t n) {
+    std::vector<std::string> records;
+    for (std::size_t i = 0; i < n; ++i) {
+      records.push_back("record-" + std::to_string(i) + "-" +
+                        std::string(i * 7 % 41, 'p'));
+    }
+    return records;
+  }
+
+  void WriteLog(const std::vector<std::string>& records, uint64_t token = 9) {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(WalPath(), token).ok());
+    for (const auto& r : records) ASSERT_TRUE(writer.Append(r).ok());
+    ASSERT_TRUE(writer.Sync().ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+};
+
+TEST_F(WalTest, RoundTripPreservesRecordsAndToken) {
+  const auto records = MakeRecords(10);
+  WriteLog(records, /*token=*/1234);
+  Result<WalReadResult> read = ReadWal(WalPath());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().user_token, 1234u);
+  EXPECT_EQ(read.value().records, records);
+  EXPECT_EQ(read.value().corrupt_records, 0u);
+  EXPECT_EQ(read.value().truncated_bytes, 0u);
+}
+
+TEST_F(WalTest, ReopenAppendsAfterExistingRecords) {
+  WriteLog(MakeRecords(3), /*token=*/5);
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(WalPath()).ok());
+  EXPECT_EQ(writer.user_token(), 5u);  // header token survives reopen
+  ASSERT_TRUE(writer.Append("late arrival").ok());
+  ASSERT_TRUE(writer.Close().ok());
+  Result<WalReadResult> read = ReadWal(WalPath());
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read.value().records.size(), 4u);
+  EXPECT_EQ(read.value().records.back(), "late arrival");
+}
+
+TEST_F(WalTest, MissingFileIsNotFoundAndBadHeaderIsCorruption) {
+  EXPECT_EQ(ReadWal(WalPath()).status().code(), StatusCode::kNotFound);
+  WriteLog(MakeRecords(2));
+  ASSERT_TRUE(FlipBitInFile(WalPath(), 3, 2).ok());  // inside the magic
+  EXPECT_EQ(ReadWal(WalPath()).status().code(), StatusCode::kCorruption);
+}
+
+// The crash-mid-append property: truncate the log at EVERY byte offset
+// and the reader must (a) never fail past the header, (b) recover an
+// exact prefix of the appended records, and (c) account the rest as a
+// torn tail. This is the fuzz core of the durability story.
+TEST_F(WalTest, TruncationAtEveryByteYieldsAPrefix) {
+  const auto records = MakeRecords(6);
+  WriteLog(records);
+  Result<uint64_t> size = FileSizeOf(WalPath());
+  ASSERT_TRUE(size.ok());
+
+  for (uint64_t keep = 0; keep <= size.value(); ++keep) {
+    const std::string torn = Path("torn.log");
+    std::filesystem::copy_file(
+        WalPath(), torn, std::filesystem::copy_options::overwrite_existing);
+    ASSERT_TRUE(TruncateFileTo(torn, keep).ok());
+
+    Result<WalReadResult> read = ReadWal(torn);
+    if (keep < WalWriter::HeaderSize()) {
+      EXPECT_EQ(read.status().code(), StatusCode::kCorruption)
+          << "keep=" << keep;
+      continue;
+    }
+    ASSERT_TRUE(read.ok()) << "keep=" << keep;
+    const WalReadResult& result = read.value();
+    // An exact prefix: record i is intact iff all its bytes survived.
+    ASSERT_LE(result.records.size(), records.size()) << "keep=" << keep;
+    for (std::size_t i = 0; i < result.records.size(); ++i) {
+      EXPECT_EQ(result.records[i], records[i]) << "keep=" << keep;
+    }
+    EXPECT_EQ(result.corrupt_records, 0u) << "keep=" << keep;
+    // Every byte past the last intact record is accounted as torn:
+    // header + recovered record bytes + torn tail == file size. (At an
+    // exact record boundary the tail is legitimately zero bytes.)
+    uint64_t consumed = WalWriter::HeaderSize();
+    for (const std::string& record : result.records) {
+      consumed += 12 + record.size();  // marker + length + crc + payload
+    }
+    EXPECT_EQ(consumed + result.truncated_bytes, keep) << "keep=" << keep;
+    if (keep == size.value()) {
+      EXPECT_EQ(result.records.size(), records.size());
+      EXPECT_EQ(result.truncated_bytes, 0u);
+    }
+  }
+}
+
+// Bit rot anywhere in the body: the reader never crashes, never
+// invents a record, and resynchronizes to recover records after the
+// damaged one.
+TEST_F(WalTest, BitFlipsNeverInventRecords) {
+  const auto records = MakeRecords(6);
+  WriteLog(records);
+  Result<uint64_t> size = FileSizeOf(WalPath());
+  ASSERT_TRUE(size.ok());
+  const std::set<std::string> valid(records.begin(), records.end());
+
+  Rng rng(0xf1a9f11bULL);
+  for (uint64_t offset = WalWriter::HeaderSize(); offset < size.value();
+       ++offset) {
+    const std::string rotted = Path("rot.log");
+    std::filesystem::copy_file(
+        WalPath(), rotted, std::filesystem::copy_options::overwrite_existing);
+    const int bit = static_cast<int>(rng.Next() % 8);
+    ASSERT_TRUE(FlipBitInFile(rotted, offset, bit).ok());
+
+    Result<WalReadResult> read = ReadWal(rotted);
+    ASSERT_TRUE(read.ok()) << "offset=" << offset;
+    const WalReadResult& result = read.value();
+    // Whatever survived is genuine — CRC killed everything else.
+    for (const std::string& record : result.records) {
+      EXPECT_EQ(valid.count(record), 1u)
+          << "fabricated record after flip at offset " << offset;
+    }
+    // One flipped bit damages at most a couple of records (marker
+    // resync may consume the next header), never the whole log.
+    EXPECT_GE(result.records.size() + 2, records.size() - 1)
+        << "offset=" << offset;
+  }
+}
+
+TEST_F(WalTest, TruncateToRollsBackAppendedRecords) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(WalPath(), 0).ok());
+  ASSERT_TRUE(writer.Append("keep me").ok());
+  const uint64_t mark = writer.size();
+  ASSERT_TRUE(writer.Append("lose me").ok());
+  ASSERT_TRUE(writer.Append("lose me too").ok());
+  ASSERT_TRUE(writer.TruncateTo(mark).ok());
+  ASSERT_TRUE(writer.Append("second thoughts").ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  Result<WalReadResult> read = ReadWal(WalPath());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().records,
+            (std::vector<std::string>{"keep me", "second thoughts"}));
+}
+
+TEST_F(WalTest, RewriteReplacesAtomicallyAndKeepsOldLogOnFailure) {
+  WriteLog(MakeRecords(5), /*token=*/1);
+  // Successful rewrite: new token, new records.
+  ASSERT_TRUE(WalWriter::Rewrite(WalPath(), /*token=*/42, {"a", "b"}).ok());
+  Result<WalReadResult> read = ReadWal(WalPath());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().user_token, 42u);
+  EXPECT_EQ(read.value().records, (std::vector<std::string>{"a", "b"}));
+
+  // A rewrite killed at any commit step leaves the old log untouched.
+  for (const char* point : {kFaultIoWrite, kFaultIoFsync, kFaultIoRename}) {
+    ScopedFault fault(point, FaultSpec{});
+    EXPECT_FALSE(WalWriter::Rewrite(WalPath(), 7, {"junk"}).ok()) << point;
+    Result<WalReadResult> after = ReadWal(WalPath());
+    ASSERT_TRUE(after.ok()) << point;
+    EXPECT_EQ(after.value().user_token, 42u) << point;
+    EXPECT_EQ(after.value().records, (std::vector<std::string>{"a", "b"}))
+        << point;
+  }
+}
+
+TEST_F(WalTest, AppendAndSyncCheckTheirFaultPoints) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(WalPath(), 0).ok());
+  {
+    ScopedFault fault(kFaultIoWrite, FaultSpec{});
+    EXPECT_EQ(writer.Append("x").code(), StatusCode::kIoError);
+  }
+  {
+    ScopedFault fault(kFaultIoFsync, FaultSpec{});
+    EXPECT_EQ(writer.Sync().code(), StatusCode::kIoError);
+  }
+  // Disarmed: the writer still works.
+  EXPECT_TRUE(writer.Append("y").ok());
+  EXPECT_TRUE(writer.Sync().ok());
+  ASSERT_TRUE(writer.Close().ok());
+  Result<WalReadResult> read = ReadWal(WalPath());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().records, (std::vector<std::string>{"y"}));
+}
+
+}  // namespace
+}  // namespace bivoc
