@@ -90,17 +90,40 @@ int main() {
               wer.Wer() * 100.0, linked_total, linked_right,
               timer.ElapsedSeconds());
 
-  // 5. Combined structured/unstructured insight: concepts vs outcome.
-  auto table = engine.Associate(
+  // 5. Combined structured/unstructured insight, served through the
+  //    ReportServer: admission-controlled workers answer against the
+  //    published snapshot and cache results keyed on (query
+  //    fingerprint, snapshot generation).
+  engine.Snapshot();  // publish the indexed calls for the server
+  ReportServer* server = engine.serve();
+  QueryRequest assoc = QueryRequest::Association(
       {"value selling/mention of good rate", "discount/discount",
        "discount/corporate program", "discount/motor club"},
       {"outcome/reservation", "outcome/unbooked"});
+  auto assoc_response = server->Execute(assoc);
+  if (!assoc_response.ok()) {
+    std::printf("serve error: %s\n",
+                assoc_response.status().ToString().c_str());
+    return 1;
+  }
   std::printf("\nConcept vs outcome (row-conditional %%):\n%s\n",
-              RenderConditionalTable(table).c_str());
+              RenderConditionalTable(
+                  assoc_response.value().report->association).c_str());
 
-  auto rel = engine.Relevancy("outcome/reservation");
-  std::printf("Concepts over-represented in reserved calls:\n%s\n",
-              RenderRelevancy(rel).c_str());
+  auto rel_response =
+      server->Execute(QueryRequest::Relevancy("outcome/reservation"));
+  if (rel_response.ok()) {
+    std::printf("Concepts over-represented in reserved calls:\n%s\n",
+                RenderRelevancy(rel_response.value().report->relevancy)
+                    .c_str());
+  }
+
+  // A dashboard refresh re-issues the same query: same fingerprint,
+  // same snapshot generation, so the second Execute is a cache hit.
+  auto refresh = server->Execute(assoc);
+  std::printf("re-served association report from cache: %s | %s\n",
+              refresh.ok() && refresh.value().from_cache ? "yes" : "no",
+              server->stats().ToString().c_str());
 
   // 6. Reports run against an immutable snapshot, so drill-downs stay
   //    consistent even while more calls are being indexed concurrently.

@@ -49,6 +49,19 @@ HealthReport BivocEngine::IngestBatch(const std::vector<IngestItem>& items) {
   return ingest()->IngestBatch(items);
 }
 
+void BivocEngine::ConfigureServing(ServeOptions options) {
+  // The source reads the latest *published* snapshot lock-free; it
+  // deliberately never publishes, so query traffic cannot contend with
+  // the ingest path's once-per-batch Publish.
+  serve_ = std::make_unique<ReportServer>(
+      [this] { return pipeline_.index().snapshot(); }, options, &metrics_);
+}
+
+ReportServer* BivocEngine::serve() {
+  if (!serve_) ConfigureServing(ServeOptions{});
+  return serve_.get();
+}
+
 HealthReport BivocEngine::Health() const {
   HealthReport report;
   if (ingest_) {
@@ -56,6 +69,7 @@ HealthReport BivocEngine::Health() const {
   } else {
     report.pipeline = pipeline_.stats().Read();
   }
+  if (serve_) report.serving = serve_->stats();
   if (store_) {
     report.durability.enabled = true;
     report.durability.checkpoint_generation = store_->current_generation();

@@ -13,6 +13,8 @@
 #include "mining/association.h"
 #include "mining/relative_frequency.h"
 #include "mining/trend.h"
+#include "serve/report_server.h"
+#include "util/metrics.h"
 #include "util/result.h"
 
 namespace bivoc {
@@ -107,6 +109,21 @@ class BivocEngine {
   // Accounting from the most recent Recover() (zeroes before then).
   const RecoveryReport& last_recovery() const { return last_recovery_; }
 
+  // --- query serving (DESIGN.md §10) ---------------------------------
+  // ConfigureServing replaces the report server (dropping its cache;
+  // serving counters live in metrics() and keep accumulating); serve()
+  // lazily creates a default one. The server answers against the latest *published* snapshot
+  // (IngestBatch publishes per batch; Snapshot() publishes pending
+  // deltas explicitly), caches results keyed on (query fingerprint,
+  // snapshot generation), and sheds with kUnavailable under overload.
+  void ConfigureServing(ServeOptions options);
+  ReportServer* serve();
+
+  // The engine-wide metrics registry (serving instruments register
+  // here) and its scrape-endpoint-style text dump.
+  MetricsRegistry* metrics() { return &metrics_; }
+  std::string MetricsText() const { return metrics_.RenderText(); }
+
   // Immutable snapshot of the concept index — the entry point for
   // custom analysis. Safe to query from any thread while ingestion
   // runs; the view is frozen at the moment of the call.
@@ -139,6 +156,10 @@ class BivocEngine {
   std::unique_ptr<CheckpointStore> store_;
   std::unique_ptr<IngestJournal> journal_;
   RecoveryReport last_recovery_;
+  MetricsRegistry metrics_;
+  // Declared after everything its workers touch (pipeline_, metrics_)
+  // so destruction joins the serving threads first.
+  std::unique_ptr<ReportServer> serve_;
 };
 
 }  // namespace bivoc

@@ -224,6 +224,9 @@ std::string HealthReport::ToString() const {
        << " fallbacks=" << durability.checkpoint_fallbacks
        << " docs_restored=" << durability.docs_from_checkpoint;
   }
+  if (serving.submitted > 0) {
+    os << " | serving: " << serving.ToString();
+  }
   return os.str();
 }
 

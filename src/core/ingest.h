@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "serve/report_server.h"
 #include "util/retry.h"
 #include "util/thread_pool.h"
 
@@ -162,6 +163,9 @@ struct HealthReport {
   std::size_t breaker_opened = 0;
   VocPipeline::Stats::Snapshot pipeline;
   DurabilityStats durability;
+  // Query-serving health (zeroes until a ReportServer handled traffic;
+  // see serve/report_server.h and BivocEngine::serve()).
+  ServeStats serving;
 
   std::string ToString() const;
 };

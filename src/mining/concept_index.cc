@@ -54,6 +54,10 @@ std::shared_ptr<const IndexSnapshot> ConceptIndex::Publish() const {
   auto next = std::make_shared<IndexSnapshot>();
   next->num_shards_ = num_shards_;
   next->interner_ = interner_;
+  // Publishes serialize under add_mu_, so prev + 1 is monotonic; a
+  // Publish with nothing pending returned prev above and keeps the
+  // generation (identical contents, identical cache key).
+  next->generation_ = prev->generation_ + 1;
 
   // Postings: start from the previous snapshot's slot pointers (no
   // posting data copied) and rebuild only concepts that got deltas.

@@ -35,6 +35,15 @@ class IndexSnapshot {
   // Concepts with at least one posting in this snapshot.
   std::size_t num_concepts() const { return vocab_.size(); }
 
+  // Monotonically increasing publish generation: 0 for the empty
+  // snapshot a fresh index hands out, bumped by every
+  // ConceptIndex::Publish that merged pending deltas. Two snapshots
+  // from the same index with equal generations are the same object, so
+  // (query fingerprint, generation) is a staleness-free cache key —
+  // the serving layer's result cache invalidates implicitly when a new
+  // snapshot publishes.
+  uint64_t generation() const { return generation_; }
+
   // --- string-keyed API ---------------------------------------------
 
   // Id of `key` in this snapshot, or kInvalidConceptId. Resolve once
@@ -102,6 +111,7 @@ class IndexSnapshot {
   std::size_t PrefixBegin(std::string_view prefix) const;
 
   std::size_t num_docs_ = 0;
+  uint64_t generation_ = 0;
   std::size_t num_shards_ = 1;
   // Shard s holds concept id at slot id / num_shards_ where
   // s == id % num_shards_ (the writer's striping, kept so a publish

@@ -1,0 +1,180 @@
+#include "serve/query.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bivoc {
+
+const char* QueryClassName(QueryClass cls) {
+  switch (cls) {
+    case QueryClass::kConceptSearch:
+      return "concept_search";
+    case QueryClass::kRelevancy:
+      return "relevancy";
+    case QueryClass::kAssociation:
+      return "association";
+    case QueryClass::kTrend:
+      return "trend";
+    case QueryClass::kChurnDrivers:
+      return "churn_drivers";
+  }
+  return "unknown";
+}
+
+QueryRequest QueryRequest::ConceptSearch(std::string prefix,
+                                         std::size_t limit) {
+  QueryRequest req;
+  req.cls = QueryClass::kConceptSearch;
+  req.prefix = std::move(prefix);
+  req.limit = limit;
+  return req;
+}
+
+QueryRequest QueryRequest::Relevancy(std::string feature_key,
+                                     std::string prefix, std::size_t limit) {
+  QueryRequest req;
+  req.cls = QueryClass::kRelevancy;
+  req.key = std::move(feature_key);
+  req.prefix = std::move(prefix);
+  req.limit = limit;
+  return req;
+}
+
+QueryRequest QueryRequest::Association(std::vector<std::string> row_keys,
+                                       std::vector<std::string> col_keys) {
+  QueryRequest req;
+  req.cls = QueryClass::kAssociation;
+  req.row_keys = std::move(row_keys);
+  req.col_keys = std::move(col_keys);
+  return req;
+}
+
+QueryRequest QueryRequest::Trend(std::string prefix, std::size_t limit) {
+  QueryRequest req;
+  req.cls = QueryClass::kTrend;
+  req.prefix = std::move(prefix);
+  req.limit = limit;
+  // RisingConcepts' default floor; exposed so sparse test corpora can
+  // lower it.
+  req.min_count = 5;
+  return req;
+}
+
+QueryRequest QueryRequest::ChurnDrivers(std::size_t limit) {
+  // The §VI preset: driver concepts over-represented among documents
+  // of churned customers (how churn.cc indexes its linked messages).
+  QueryRequest req;
+  req.cls = QueryClass::kChurnDrivers;
+  req.key = "churn status/churned";
+  req.prefix = "churn driver/";
+  req.limit = limit;
+  return req;
+}
+
+Status ValidateQuery(const QueryRequest& req) {
+  if (req.limit == 0) {
+    return Status::InvalidArgument("query limit must be positive");
+  }
+  switch (req.cls) {
+    case QueryClass::kAssociation:
+      if (req.row_keys.empty() || req.col_keys.empty()) {
+        return Status::InvalidArgument(
+            "association query needs row_keys and col_keys");
+      }
+      break;
+    case QueryClass::kRelevancy:
+    case QueryClass::kChurnDrivers:
+      if (req.key.empty()) {
+        return Status::InvalidArgument(
+            "relevancy query needs a feature key");
+      }
+      break;
+    case QueryClass::kConceptSearch:
+    case QueryClass::kTrend:
+      break;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void HashBytes(uint64_t* h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= 1099511628211ULL;  // FNV-1a prime
+  }
+}
+
+void HashString(uint64_t* h, const std::string& s) {
+  const uint64_t len = s.size();
+  HashBytes(h, &len, sizeof(len));  // length-prefix: no concat ambiguity
+  HashBytes(h, s.data(), s.size());
+}
+
+}  // namespace
+
+uint64_t QueryFingerprint(const QueryRequest& req) {
+  uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  const uint64_t cls = static_cast<uint64_t>(req.cls);
+  HashBytes(&h, &cls, sizeof(cls));
+  HashString(&h, req.key);
+  HashString(&h, req.prefix);
+  uint64_t n = req.row_keys.size();
+  HashBytes(&h, &n, sizeof(n));
+  for (const auto& k : req.row_keys) HashString(&h, k);
+  n = req.col_keys.size();
+  HashBytes(&h, &n, sizeof(n));
+  for (const auto& k : req.col_keys) HashString(&h, k);
+  const uint64_t limit = req.limit;
+  const uint64_t min_count = req.min_count;
+  HashBytes(&h, &limit, sizeof(limit));
+  HashBytes(&h, &min_count, sizeof(min_count));
+  return h;
+}
+
+ReportResult EvaluateQuery(const QueryRequest& req,
+                           const IndexSnapshot& snapshot) {
+  ReportResult result;
+  result.cls = req.cls;
+  result.generation = snapshot.generation();
+  result.num_documents = snapshot.num_documents();
+  switch (req.cls) {
+    case QueryClass::kConceptSearch: {
+      // Resolve the prefix range once, then rank by document count.
+      for (ConceptId id : snapshot.IdsWithPrefix(req.prefix)) {
+        result.concepts.push_back(
+            {std::string(snapshot.KeyOf(id)), snapshot.CountId(id)});
+      }
+      std::stable_sort(result.concepts.begin(), result.concepts.end(),
+                       [](const ConceptHit& a, const ConceptHit& b) {
+                         if (a.count != b.count) return a.count > b.count;
+                         return a.key < b.key;
+                       });
+      if (result.concepts.size() > req.limit) {
+        result.concepts.resize(req.limit);
+      }
+      break;
+    }
+    case QueryClass::kRelevancy:
+    case QueryClass::kChurnDrivers: {
+      RelevancyOptions options;
+      options.key_prefix = req.prefix;
+      options.min_subset_count = req.min_count;
+      options.limit = req.limit;
+      result.relevancy = RelevancyAnalysis(snapshot, req.key, options);
+      break;
+    }
+    case QueryClass::kAssociation:
+      result.association =
+          TwoDimensionalAssociation(snapshot, req.row_keys, req.col_keys);
+      break;
+    case QueryClass::kTrend:
+      result.trends =
+          RisingConcepts(snapshot, req.prefix, req.limit, req.min_count);
+      break;
+  }
+  return result;
+}
+
+}  // namespace bivoc

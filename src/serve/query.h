@@ -1,0 +1,96 @@
+#ifndef BIVOC_SERVE_QUERY_H_
+#define BIVOC_SERVE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mining/association.h"
+#include "mining/index_snapshot.h"
+#include "mining/relative_frequency.h"
+#include "mining/trend.h"
+#include "util/status.h"
+
+namespace bivoc {
+
+// The typed query surface of the serving layer (DESIGN.md §10): every
+// report the paper's reporting engine produces, expressed as a value
+// object that can be fingerprinted, queued, admission-controlled and
+// cached. Evaluation itself is a pure function of (request, snapshot);
+// ReportServer adds the worker pool, cache and load shedding on top.
+
+enum class QueryClass {
+  kConceptSearch = 0,  // vocabulary lookup by category prefix
+  kRelevancy,          // relative-frequency report (§IV-D.1)
+  kAssociation,        // two-dimensional association (§IV-D.2)
+  kTrend,              // rising-topic analysis (§IV-D)
+  kChurnDrivers,       // §VI churn-driver relevancy preset
+};
+inline constexpr std::size_t kNumQueryClasses = 5;
+
+// Stable lowercase identifier ("concept_search", ...), used as a
+// metric-name suffix and in log lines.
+const char* QueryClassName(QueryClass cls);
+
+struct QueryRequest {
+  QueryClass cls = QueryClass::kConceptSearch;
+  // Feature key for relevancy-style queries ("outcome/reservation",
+  // "churn status/churned").
+  std::string key;
+  // Category prefix filter (search/trend/relevancy).
+  std::string prefix;
+  // Association axes.
+  std::vector<std::string> row_keys;
+  std::vector<std::string> col_keys;
+  std::size_t limit = 50;
+  std::size_t min_count = 3;
+
+  // Factories for the common shapes (fields stay public so callers can
+  // tweak limits afterwards).
+  static QueryRequest ConceptSearch(std::string prefix,
+                                    std::size_t limit = 50);
+  static QueryRequest Relevancy(std::string feature_key,
+                                std::string prefix = {},
+                                std::size_t limit = 50);
+  static QueryRequest Association(std::vector<std::string> row_keys,
+                                  std::vector<std::string> col_keys);
+  static QueryRequest Trend(std::string prefix, std::size_t limit = 10);
+  static QueryRequest ChurnDrivers(std::size_t limit = 20);
+};
+
+// Structural validity (does not consult any snapshot): association
+// needs both axes, relevancy-style queries need a feature key, limits
+// must be positive.
+Status ValidateQuery(const QueryRequest& req);
+
+// 64-bit FNV-1a over the canonical field serialization. Structurally
+// equal requests — and only those — share a fingerprint (modulo hash
+// collisions), so (fingerprint, snapshot generation) identifies a
+// result exactly.
+uint64_t QueryFingerprint(const QueryRequest& req);
+
+struct ConceptHit {
+  std::string key;
+  std::size_t count = 0;
+};
+
+// One evaluated report. Exactly the member matching `cls` is
+// populated; `generation` records the snapshot the numbers came from.
+struct ReportResult {
+  QueryClass cls = QueryClass::kConceptSearch;
+  uint64_t generation = 0;
+  std::size_t num_documents = 0;
+
+  std::vector<ConceptHit> concepts;       // kConceptSearch
+  std::vector<RelevancyItem> relevancy;   // kRelevancy, kChurnDrivers
+  AssociationTable association;           // kAssociation
+  std::vector<TrendSummary> trends;       // kTrend
+};
+
+// Evaluates a (validated) request against a snapshot.
+ReportResult EvaluateQuery(const QueryRequest& req,
+                           const IndexSnapshot& snapshot);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_SERVE_QUERY_H_

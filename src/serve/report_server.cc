@@ -1,0 +1,293 @@
+#include "serve/report_server.h"
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "util/fault_injection.h"
+#include "util/timer.h"
+
+namespace bivoc {
+
+std::string ServeStats::ToString() const {
+  std::ostringstream os;
+  os << "submitted=" << submitted << " completed=" << completed
+     << " failed=" << failed << " shed=" << shed
+     << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses;
+  char ratio[32];
+  std::snprintf(ratio, sizeof(ratio), "%.2f", CacheHitRatio());
+  os << " hit_ratio=" << ratio << " queue_depth=" << queue_depth
+     << " cache_entries=" << cache_entries;
+  char lat[96];
+  std::snprintf(lat, sizeof(lat), " p50=%.3fms p95=%.3fms p99=%.3fms",
+                latency_ms.p50, latency_ms.p95, latency_ms.p99);
+  os << lat;
+  return os.str();
+}
+
+ReportServer::ReportServer(SnapshotSource source, ServeOptions options,
+                           MetricsRegistry* metrics)
+    : source_(std::move(source)), opts_(options) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  for (std::size_t c = 0; c < kNumQueryClasses; ++c) {
+    const std::string name = QueryClassName(static_cast<QueryClass>(c));
+    class_requests_[c] =
+        metrics_->GetCounter("serve_requests_total_" + name);
+    class_latency_[c] = metrics_->GetHistogram("serve_latency_ms_" + name);
+  }
+  completed_ = metrics_->GetCounter("serve_completed_total");
+  failed_ = metrics_->GetCounter("serve_failed_total");
+  shed_ = metrics_->GetCounter("serve_shed_total");
+  cache_hits_ = metrics_->GetCounter("serve_cache_hits_total");
+  cache_misses_ = metrics_->GetCounter("serve_cache_misses_total");
+  queue_depth_ = metrics_->GetGauge("serve_queue_depth");
+  cache_entries_ = metrics_->GetGauge("serve_cache_entries");
+  latency_ = metrics_->GetHistogram("serve_latency_ms");
+
+  if (opts_.num_threads == 0) opts_.num_threads = 1;
+  workers_.reserve(opts_.num_threads);
+  for (std::size_t i = 0; i < opts_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ReportServer::~ReportServer() { Shutdown(); }
+
+std::size_t ReportServer::ClassLimit(QueryClass cls) const {
+  return opts_.class_concurrency[static_cast<std::size_t>(cls)];
+}
+
+Status ReportServer::ShedStatus(const std::string& reason) const {
+  return Status::Unavailable(reason + "; retry after " +
+                             std::to_string(opts_.retry_after_ms) + " ms");
+}
+
+std::future<Result<ReportServer::ReportResponse>> ReportServer::Submit(
+    QueryRequest req) {
+  Timer timer;
+  std::promise<Result<ReportResponse>> promise;
+  auto future = promise.get_future();
+
+  class_requests_[static_cast<std::size_t>(req.cls)]->Increment();
+
+  Status valid = ValidateQuery(req);
+  if (!valid.ok()) {
+    failed_->Increment();
+    promise.set_value(valid);
+    return future;
+  }
+
+  const uint64_t fingerprint = QueryFingerprint(req);
+
+  // Fast path: a hit under the current published generation answers
+  // without touching the queue at all — repeated identical dashboards
+  // cost one hash and one LRU splice.
+  if (opts_.cache_capacity > 0) {
+    if (auto snap = source_()) {
+      if (ReportPtr hit = CacheLookup(fingerprint, snap->generation())) {
+        cache_hits_->Increment();
+        completed_->Increment();
+        latency_->Observe(timer.ElapsedMillis());
+        promise.set_value(ReportResponse{std::move(hit), true});
+        return future;
+      }
+    }
+  }
+
+  // Admission control. The "serve.admit" fault point simulates
+  // overload so shed paths are testable without real pressure.
+  Status admit = FaultInjector::Global().MaybeFail(kFaultServeAdmit);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!admit.ok()) {
+      shed_->Increment();
+      promise.set_value(ShedStatus("shed by fault injection: " +
+                                   admit.message()));
+      return future;
+    }
+    if (stopping_) {
+      shed_->Increment();
+      promise.set_value(ShedStatus("server shutting down"));
+      return future;
+    }
+    if (queue_.size() >= opts_.queue_capacity) {
+      shed_->Increment();
+      promise.set_value(ShedStatus(
+          "report server overloaded (queue " +
+          std::to_string(queue_.size()) + "/" +
+          std::to_string(opts_.queue_capacity) + ")"));
+      return future;
+    }
+    Pending pending;
+    pending.req = std::move(req);
+    pending.fingerprint = fingerprint;
+    pending.promise = std::move(promise);
+    queue_.push_back(std::move(pending));
+    queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+  }
+  cv_work_.notify_one();
+  return future;
+}
+
+Result<ReportServer::ReportResponse> ReportServer::Execute(QueryRequest req) {
+  return Submit(std::move(req)).get();
+}
+
+void ReportServer::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    auto it = queue_.begin();
+    for (; it != queue_.end(); ++it) {
+      const std::size_t limit = ClassLimit(it->req.cls);
+      if (limit == 0 ||
+          in_flight_[static_cast<std::size_t>(it->req.cls)] < limit) {
+        break;
+      }
+    }
+    if (it == queue_.end()) {
+      if (stopping_) return;
+      cv_work_.wait(lock);
+      continue;
+    }
+    Pending pending = std::move(*it);
+    queue_.erase(it);
+    queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    const std::size_t cls = static_cast<std::size_t>(pending.req.cls);
+    ++in_flight_[cls];
+    lock.unlock();
+
+    ExecuteOne(&pending);
+
+    lock.lock();
+    --in_flight_[cls];
+    // A finished query may unblock a class that was at its ceiling,
+    // and Shutdown may be waiting for the queue to drain.
+    cv_work_.notify_all();
+  }
+}
+
+void ReportServer::ExecuteOne(Pending* pending) {
+  Timer timer;
+  const std::size_t cls = static_cast<std::size_t>(pending->req.cls);
+
+  Status fault = FaultInjector::Global().MaybeFail(kFaultServeQuery);
+  if (!fault.ok()) {
+    failed_->Increment();
+    class_latency_[cls]->Observe(timer.ElapsedMillis());
+    pending->promise.set_value(fault);
+    return;
+  }
+
+  auto snap = source_();
+  if (!snap) {
+    failed_->Increment();
+    pending->promise.set_value(
+        Status::Internal("snapshot source returned null"));
+    return;
+  }
+
+  // Re-check the cache at dispatch: an identical query admitted just
+  // ahead of us may have populated it while we sat in the queue.
+  const uint64_t generation = snap->generation();
+  if (opts_.cache_capacity > 0) {
+    if (ReportPtr hit = CacheLookup(pending->fingerprint, generation)) {
+      cache_hits_->Increment();
+      completed_->Increment();
+      const double ms = timer.ElapsedMillis();
+      class_latency_[cls]->Observe(ms);
+      latency_->Observe(ms);
+      pending->promise.set_value(ReportResponse{std::move(hit), true});
+      return;
+    }
+  }
+
+  auto report =
+      std::make_shared<const ReportResult>(EvaluateQuery(pending->req, *snap));
+  cache_misses_->Increment();
+  if (opts_.cache_capacity > 0) {
+    CacheInsert(pending->fingerprint, generation, report);
+  }
+  completed_->Increment();
+  const double ms = timer.ElapsedMillis();
+  class_latency_[cls]->Observe(ms);
+  latency_->Observe(ms);
+  pending->promise.set_value(ReportResponse{std::move(report), false});
+}
+
+ReportServer::ReportPtr ReportServer::CacheLookup(uint64_t fingerprint,
+                                                  uint64_t generation) {
+  const CacheKey key{fingerprint, generation};
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
+  return it->second->second;
+}
+
+void ReportServer::CacheInsert(uint64_t fingerprint, uint64_t generation,
+                               ReportPtr report) {
+  const CacheKey key{fingerprint, generation};
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    it->second->second = std::move(report);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.emplace_front(key, std::move(report));
+    cache_[key] = lru_.begin();
+    while (lru_.size() > opts_.cache_capacity) {
+      // Entries for superseded generations can never hit again (the
+      // lookup key always carries the current generation), so they age
+      // out here without any explicit invalidation pass.
+      cache_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+  cache_entries_->Set(static_cast<int64_t>(lru_.size()));
+}
+
+void ReportServer::Shutdown() {
+  std::list<Pending> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphaned.swap(queue_);
+    queue_depth_->Set(0);
+  }
+  for (Pending& pending : orphaned) {
+    shed_->Increment();
+    pending.promise.set_value(ShedStatus("server shutting down"));
+  }
+}
+
+ServeStats ReportServer::stats() const {
+  ServeStats s;
+  for (std::size_t c = 0; c < kNumQueryClasses; ++c) {
+    s.requests_per_class[c] = class_requests_[c]->Value();
+    s.submitted += s.requests_per_class[c];
+  }
+  s.completed = completed_->Value();
+  s.failed = failed_->Value();
+  s.shed = shed_->Value();
+  s.cache_hits = cache_hits_->Value();
+  s.cache_misses = cache_misses_->Value();
+  s.queue_depth = static_cast<std::size_t>(queue_depth_->Value());
+  s.cache_entries = static_cast<std::size_t>(cache_entries_->Value());
+  s.latency_ms = latency_->GetSummary();
+  return s;
+}
+
+}  // namespace bivoc

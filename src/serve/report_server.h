@@ -1,0 +1,183 @@
+#ifndef BIVOC_SERVE_REPORT_SERVER_H_
+#define BIVOC_SERVE_REPORT_SERVER_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serve/query.h"
+#include "util/metrics.h"
+#include "util/result.h"
+
+namespace bivoc {
+
+struct ServeOptions {
+  std::size_t num_threads = 4;
+  // Pending requests admitted across all classes; a full queue sheds
+  // (kUnavailable) instead of blocking the caller.
+  std::size_t queue_capacity = 128;
+  // Cached results (LRU). 0 disables caching entirely.
+  std::size_t cache_capacity = 256;
+  // Per-class concurrency ceiling at dispatch; 0 means no limit beyond
+  // the worker count. Index by static_cast<size_t>(QueryClass).
+  std::array<std::size_t, kNumQueryClasses> class_concurrency{};
+  // Hint attached to shed responses ("retry after N ms").
+  int64_t retry_after_ms = 50;
+};
+
+// Plain-value serving health, embedded in HealthReport and rendered by
+// its ToString. Counts are cumulative since server construction.
+struct ServeStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;   // includes cache hits
+  std::size_t failed = 0;      // evaluation/validation failures
+  std::size_t shed = 0;        // refused at admission (kUnavailable)
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;  // evaluated fresh
+  std::size_t queue_depth = 0;   // instantaneous
+  std::size_t cache_entries = 0; // instantaneous
+  std::array<std::size_t, kNumQueryClasses> requests_per_class{};
+  Histogram::Summary latency_ms;
+
+  double CacheHitRatio() const {
+    const std::size_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+  std::string ToString() const;
+};
+
+// The query-serving subsystem (DESIGN.md §10): a worker pool that
+// evaluates typed QueryRequests against the index's latest *published*
+// snapshot and answers through futures. Three production concerns live
+// here rather than in callers:
+//
+//  * Result cache keyed on (query fingerprint, snapshot generation).
+//    A published snapshot is immutable and its generation is unique,
+//    so a cached report can never be stale; publishing a new snapshot
+//    invalidates implicitly because lookups only ever ask for the
+//    current generation (old entries age out of the LRU).
+//  * Admission control: a bounded queue plus per-class concurrency
+//    ceilings. When the queue is full (or the "serve.admit" fault
+//    point fires) the request is shed with kUnavailable and a
+//    retry-after hint — never queued unboundedly, never blocking the
+//    ingest path that publishes snapshots.
+//  * Metrics: per-class request counters, cache hit/miss, shed count,
+//    queue-depth gauge and latency histograms, registered in the
+//    MetricsRegistry passed in (or an owned one) under "serve_*".
+//
+// Thread-safe; queries run concurrently with ingestion because
+// snapshots are immutable. Destruction completes in-flight queries and
+// fails still-queued ones with kUnavailable.
+class ReportServer {
+ public:
+  using SnapshotSource =
+      std::function<std::shared_ptr<const IndexSnapshot>()>;
+  using ReportPtr = std::shared_ptr<const ReportResult>;
+
+  // A served answer: the (possibly shared) report plus transport
+  // metadata. `from_cache` distinguishes a cache hit from a fresh
+  // evaluation of identical content.
+  struct ReportResponse {
+    ReportPtr report;
+    bool from_cache = false;
+  };
+
+  // `source` must return the snapshot to serve (typically
+  // ConceptIndex::snapshot(), the latest published one) and be safe to
+  // call from any thread. With `metrics` == nullptr the server owns a
+  // private registry, reachable via metrics().
+  ReportServer(SnapshotSource source, ServeOptions options = {},
+               MetricsRegistry* metrics = nullptr);
+  ~ReportServer();
+
+  ReportServer(const ReportServer&) = delete;
+  ReportServer& operator=(const ReportServer&) = delete;
+
+  // Non-blocking: validates, tries the cache (a hit resolves the
+  // future immediately), then admits into the bounded queue or sheds.
+  std::future<Result<ReportResponse>> Submit(QueryRequest req);
+
+  // Submit + wait.
+  Result<ReportResponse> Execute(QueryRequest req);
+
+  // Completes in-flight work, sheds everything still queued, joins the
+  // workers. Idempotent; later Submits are shed.
+  void Shutdown();
+
+  ServeStats stats() const;
+  MetricsRegistry* metrics() { return metrics_; }
+  const ServeOptions& options() const { return opts_; }
+
+ private:
+  struct Pending {
+    QueryRequest req;
+    uint64_t fingerprint = 0;
+    std::promise<Result<ReportResponse>> promise;
+  };
+
+  using CacheKey = std::pair<uint64_t, uint64_t>;  // (fingerprint, gen)
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      return static_cast<std::size_t>(
+          k.first ^ (k.second * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  void WorkerLoop();
+  void ExecuteOne(Pending* pending);
+  ReportPtr CacheLookup(uint64_t fingerprint, uint64_t generation);
+  void CacheInsert(uint64_t fingerprint, uint64_t generation,
+                   ReportPtr report);
+  std::size_t ClassLimit(QueryClass cls) const;
+  Status ShedStatus(const std::string& reason) const;
+
+  SnapshotSource source_;
+  ServeOptions opts_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+
+  // Resolved instrument pointers (stable for the registry's lifetime).
+  std::array<Counter*, kNumQueryClasses> class_requests_{};
+  std::array<Histogram*, kNumQueryClasses> class_latency_{};
+  Counter* completed_;
+  Counter* failed_;
+  Counter* shed_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Gauge* queue_depth_;
+  Gauge* cache_entries_;
+  Histogram* latency_;
+
+  // Request queue + per-class in-flight accounting.
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::list<Pending> queue_;
+  std::array<std::size_t, kNumQueryClasses> in_flight_{};
+  bool stopping_ = false;
+
+  // LRU result cache: list front = most recent; map points into it.
+  mutable std::mutex cache_mu_;
+  std::list<std::pair<CacheKey, ReportPtr>> lru_;
+  std::unordered_map<CacheKey, std::list<std::pair<CacheKey, ReportPtr>>::
+                                   iterator,
+                     CacheKeyHash>
+      cache_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_SERVE_REPORT_SERVER_H_

@@ -27,6 +27,11 @@ inline constexpr const char kFaultIndexAdd[] = "index.add";
 inline constexpr const char kFaultIoWrite[] = "io.write";
 inline constexpr const char kFaultIoFsync[] = "io.fsync";
 inline constexpr const char kFaultIoRename[] = "io.rename";
+// Query serving layer (serve/report_server.cc): admission (a firing
+// point sheds the request as kUnavailable, simulating overload) and
+// query evaluation on a worker.
+inline constexpr const char kFaultServeAdmit[] = "serve.admit";
+inline constexpr const char kFaultServeQuery[] = "serve.query";
 
 // How an armed fault point misbehaves. Each hit draws an independent
 // Bernoulli(probability) from a per-point seeded Rng, so a given seed

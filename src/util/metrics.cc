@@ -1,0 +1,140 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace bivoc {
+namespace {
+
+// fetch_add on atomic<double> is C++20; keep a CAS loop so the file
+// builds identically on toolchains where the lowering is unavailable.
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+// buckets_ is sized before deduplication: the atomics vector cannot
+// resize, and dead tail buckets are harmless (Observe never indexes
+// past bounds_.size()).
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+}
+
+std::vector<double> Histogram::LatencyBucketsMs() {
+  return {0.05, 0.1, 0.2, 0.5, 1.0,  2.0,   5.0,   10.0,
+          20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0};
+}
+
+void Histogram::Observe(double value) {
+  std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t total = TotalCount();
+  if (total == 0 || bounds_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const uint64_t in_bucket = BucketCount(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + std::clamp(fraction, 0.0, 1.0) * (bounds_[i] - lower);
+    }
+    cumulative += in_bucket;
+  }
+  // Rank lands in the +Inf overflow bucket: clamp to the largest
+  // finite bound (interpolating toward infinity is meaningless).
+  return bounds_.back();
+}
+
+Histogram::Summary Histogram::GetSummary() const {
+  Summary s;
+  s.count = TotalCount();
+  s.sum = Sum();
+  s.p50 = Quantile(0.50);
+  s.p95 = Quantile(0.95);
+  s.p99 = Quantile(0.99);
+  return s;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    if (upper_bounds.empty()) upper_bounds = Histogram::LatencyBucketsMs();
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return slot.get();
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, counter] : counters_) {
+    os << "# TYPE " << name << " counter\n"
+       << name << " " << counter->Value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    os << "# TYPE " << name << " gauge\n"
+       << name << " " << gauge->Value() << "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    os << "# TYPE " << name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist->bounds().size(); ++i) {
+      cumulative += hist->BucketCount(i);
+      os << name << "_bucket{le=\"" << FormatDouble(hist->bounds()[i])
+         << "\"} " << cumulative << "\n";
+    }
+    cumulative += hist->BucketCount(hist->bounds().size());
+    os << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+    os << name << "_sum " << FormatDouble(hist->Sum()) << "\n";
+    os << name << "_count " << hist->TotalCount() << "\n";
+    const Histogram::Summary s = hist->GetSummary();
+    os << name << "{quantile=\"0.5\"} " << FormatDouble(s.p50) << "\n";
+    os << name << "{quantile=\"0.95\"} " << FormatDouble(s.p95) << "\n";
+    os << name << "{quantile=\"0.99\"} " << FormatDouble(s.p99) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bivoc

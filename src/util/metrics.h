@@ -1,0 +1,124 @@
+#ifndef BIVOC_UTIL_METRICS_H_
+#define BIVOC_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bivoc {
+
+// Minimal observability substrate shared across subsystems: counters,
+// gauges and fixed-bucket histograms, collected in a named registry
+// that renders a Prometheus-flavored text dump (the "scrape endpoint"
+// of a system that has no HTTP server). Instruments are cheap enough
+// for hot paths — a counter bump is one relaxed fetch_add — and the
+// pointers handed out by the registry stay valid for its lifetime, so
+// callers resolve a name once and keep the pointer.
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Instantaneous level that moves both ways (queue depth, cache size).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram with quantile extraction. Buckets are set at
+// construction (ascending upper bounds; an implicit +Inf bucket catches
+// the overflow), so Observe is lock-free: one bucket fetch_add plus the
+// count/sum updates. Quantiles are estimated by linear interpolation
+// inside the bucket holding the target rank — exact enough for latency
+// monitoring, and the error is bounded by the bucket width.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  // Default bounds for millisecond latencies: 50us to 5s, roughly
+  // logarithmic.
+  static std::vector<double> LatencyBucketsMs();
+
+  void Observe(double value);
+
+  uint64_t TotalCount() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  // Estimated value at quantile q in [0, 1]; 0 when empty. Values in
+  // the overflow bucket clamp to the largest finite bound.
+  double Quantile(double q) const;
+
+  struct Summary {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  Summary GetSummary() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Count in bucket i (i == bounds().size() is the +Inf bucket).
+  uint64_t BucketCount(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Thread-safe name -> instrument registry. Get* creates on first use
+// and returns the same pointer afterwards; names are independent per
+// kind but should be globally unique for a readable dump. Instruments
+// are never removed, so returned pointers remain valid as long as the
+// registry lives.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  // `upper_bounds` applies only on first creation (empty ->
+  // LatencyBucketsMs()); later calls return the existing histogram.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds = {});
+
+  // Prometheus-style exposition: "# TYPE" lines, cumulative
+  // _bucket{le=...} series, _sum/_count, and quantile series for
+  // histograms, sorted by name.
+  std::string RenderText() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_UTIL_METRICS_H_

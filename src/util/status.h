@@ -22,6 +22,9 @@ enum class StatusCode {
   kIoError,
   kCorruption,
   kInternal,
+  // Transient overload: the operation was refused to protect the
+  // service (load shedding); retrying after a backoff is expected.
+  kUnavailable,
 };
 
 // Returns a stable human-readable name ("OK", "InvalidArgument", ...).
@@ -69,6 +72,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

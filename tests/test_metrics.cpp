@@ -1,0 +1,147 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bivoc {
+namespace {
+
+TEST(CounterTest, IncrementsMonotonically) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Set(0);
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(HistogramTest, CountsAndSum) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(50.0);
+  h.Observe(500.0);  // overflow bucket
+  EXPECT_EQ(h.TotalCount(), 4u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 555.5);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);  // +Inf
+}
+
+TEST(HistogramTest, QuantilesInterpolateWithinBuckets) {
+  Histogram h({10.0, 20.0, 30.0});
+  // 100 observations uniformly inside (0, 10].
+  for (int i = 0; i < 100; ++i) h.Observe(5.0);
+  // The whole mass is in the first bucket: p50 interpolates to its
+  // midpoint, p99 toward its top.
+  EXPECT_NEAR(h.Quantile(0.5), 5.0, 0.2);
+  EXPECT_NEAR(h.Quantile(0.99), 9.9, 0.2);
+  // Push 100 more into (20, 30]: p75 lands in the third bucket.
+  for (int i = 0; i < 100; ++i) h.Observe(25.0);
+  EXPECT_GE(h.Quantile(0.75), 20.0);
+  EXPECT_LE(h.Quantile(0.75), 30.0);
+}
+
+TEST(HistogramTest, OverflowClampsToLargestBound) {
+  Histogram h({1.0, 2.0});
+  h.Observe(100.0);
+  h.Observe(200.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 2.0);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  Histogram::Summary s = h.GetSummary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(HistogramTest, SummaryOrdersPercentiles) {
+  Histogram h(Histogram::LatencyBucketsMs());
+  for (int i = 1; i <= 1000; ++i) h.Observe(i * 0.5);  // 0.5 .. 500ms
+  Histogram::Summary s = h.GetSummary();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_GT(s.p50, 0.0);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests");
+  Counter* b = registry.GetCounter("requests");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(b->Value(), 1u);
+
+  Histogram* h1 = registry.GetHistogram("latency", {1.0, 2.0});
+  Histogram* h2 = registry.GetHistogram("latency", {99.0});  // ignored
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, RenderTextExposesAllKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("reqs_total")->Increment(3);
+  registry.GetGauge("queue_depth")->Set(7);
+  Histogram* h = registry.GetHistogram("lat_ms", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("# TYPE reqs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("reqs_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_count 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms{quantile=\"0.5\"}"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetAndObserve) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("shared")->Increment();
+        registry.GetHistogram("shared_lat")->Observe(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("shared")->Value(), 8000u);
+  EXPECT_EQ(registry.GetHistogram("shared_lat")->TotalCount(), 8000u);
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,464 @@
+#include "serve/report_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bivoc.h"
+#include "mining/concept_index.h"
+#include "util/fault_injection.h"
+
+namespace bivoc {
+namespace {
+
+// A fault left armed by a failing assertion would poison later tests.
+class ReportServerTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FaultInjector::Global().DisarmAll();
+    FaultInjector::Global().ResetCounters();
+  }
+};
+
+std::shared_ptr<ConceptIndex> MakeSmallIndex() {
+  auto index = std::make_shared<ConceptIndex>();
+  // 3 suv docs (2 booked), 1 mid doc, plus long-tail concepts.
+  index->AddDocument({"car/suv", "outcome/yes", "all/docs"}, 0);
+  index->AddDocument({"car/suv", "outcome/yes", "all/docs"}, 1);
+  index->AddDocument({"car/suv", "outcome/no", "all/docs"}, 2);
+  index->AddDocument({"car/mid", "outcome/no", "all/docs"}, 3);
+  index->Publish();
+  return index;
+}
+
+ReportServer::SnapshotSource SourceOf(std::shared_ptr<ConceptIndex> index) {
+  return [index] { return index->snapshot(); };
+}
+
+// --- query evaluation --------------------------------------------------
+
+TEST_F(ReportServerTest, GenerationBumpsPerPublishOnly) {
+  ConceptIndex index;
+  EXPECT_EQ(index.snapshot()->generation(), 0u);
+  index.AddDocument({"a/b"});
+  auto snap1 = index.Publish();
+  EXPECT_EQ(snap1->generation(), 1u);
+  // Publish with nothing pending keeps the snapshot and generation.
+  auto snap2 = index.Publish();
+  EXPECT_EQ(snap2.get(), snap1.get());
+  index.AddDocument({"a/c"});
+  EXPECT_EQ(index.Publish()->generation(), 2u);
+}
+
+TEST_F(ReportServerTest, ConceptSearchRanksByCount) {
+  auto index = MakeSmallIndex();
+  ReportServer server(SourceOf(index));
+  auto result = server.Execute(QueryRequest::ConceptSearch("car/"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto& hits = result->report->concepts;
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].key, "car/suv");
+  EXPECT_EQ(hits[0].count, 3u);
+  EXPECT_EQ(hits[1].key, "car/mid");
+  EXPECT_EQ(hits[1].count, 1u);
+
+  auto limited = server.Execute(QueryRequest::ConceptSearch("car/", 1));
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->report->concepts.size(), 1u);
+}
+
+TEST_F(ReportServerTest, AssociationMatchesDirectEvaluation) {
+  auto index = MakeSmallIndex();
+  ReportServer server(SourceOf(index));
+  auto result = server.Execute(QueryRequest::Association(
+      {"car/suv", "car/mid"}, {"outcome/yes", "outcome/no"}));
+  ASSERT_TRUE(result.ok()) << result.status();
+  const AssociationTable& table = result->report->association;
+  AssociationTable direct = TwoDimensionalAssociation(
+      *index->snapshot(), {"car/suv", "car/mid"},
+      {"outcome/yes", "outcome/no"});
+  ASSERT_EQ(table.cells.size(), direct.cells.size());
+  EXPECT_EQ(table.cell(0, 0).n_cell, 2u);  // suv & yes
+  EXPECT_EQ(table.cell(1, 0).n_cell, 0u);  // mid & yes
+  for (std::size_t i = 0; i < table.cells.size(); ++i) {
+    EXPECT_EQ(table.cells[i].n_cell, direct.cells[i].n_cell);
+  }
+}
+
+TEST_F(ReportServerTest, RelevancyAndChurnDriversEvaluate) {
+  auto index = std::make_shared<ConceptIndex>();
+  for (int i = 0; i < 6; ++i) {
+    index->AddDocument(
+        {"churn status/churned", "churn driver/billing dispute"});
+  }
+  for (int i = 0; i < 6; ++i) {
+    index->AddDocument({"churn status/active", "topic/weather"});
+  }
+  index->Publish();
+  ReportServer server(SourceOf(index));
+
+  auto churn = server.Execute(QueryRequest::ChurnDrivers());
+  ASSERT_TRUE(churn.ok()) << churn.status();
+  ASSERT_EQ(churn->report->relevancy.size(), 1u);
+  EXPECT_EQ(churn->report->relevancy[0].key, "churn driver/billing dispute");
+
+  auto rel = server.Execute(
+      QueryRequest::Relevancy("churn status/churned", "churn driver/"));
+  ASSERT_TRUE(rel.ok());
+  ASSERT_EQ(rel->report->relevancy.size(), 1u);
+}
+
+TEST_F(ReportServerTest, TrendSurfacesRisingConcept) {
+  auto index = std::make_shared<ConceptIndex>();
+  // "topic/hot" share rises across buckets 0..3; filler keeps totals up.
+  for (int64_t bucket = 0; bucket < 4; ++bucket) {
+    for (int64_t i = 0; i < 2 + 2 * bucket; ++i) {
+      index->AddDocument({"topic/hot"}, bucket);
+    }
+    for (int64_t i = 0; i < 6 - bucket; ++i) {
+      index->AddDocument({"topic/flat"}, bucket);
+    }
+  }
+  index->Publish();
+  ReportServer server(SourceOf(index));
+  auto result = server.Execute(QueryRequest::Trend("topic/"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_FALSE(result->report->trends.empty());
+  EXPECT_EQ(result->report->trends[0].key, "topic/hot");
+  EXPECT_GT(result->report->trends[0].slope, 0.0);
+}
+
+TEST_F(ReportServerTest, ValidationRejectsMalformedQueries) {
+  auto index = MakeSmallIndex();
+  ReportServer server(SourceOf(index));
+
+  auto no_axes = server.Execute(QueryRequest::Association({}, {}));
+  EXPECT_FALSE(no_axes.ok());
+  EXPECT_EQ(no_axes.status().code(), StatusCode::kInvalidArgument);
+
+  auto no_key = server.Execute(QueryRequest::Relevancy(""));
+  EXPECT_FALSE(no_key.ok());
+
+  auto zero_limit = server.Execute(QueryRequest::ConceptSearch("car/", 0));
+  EXPECT_FALSE(zero_limit.ok());
+  EXPECT_EQ(server.stats().failed, 3u);
+}
+
+// --- fingerprints ------------------------------------------------------
+
+TEST_F(ReportServerTest, FingerprintSeparatesRequests) {
+  auto a = QueryRequest::ConceptSearch("car/");
+  auto b = QueryRequest::ConceptSearch("car/");
+  EXPECT_EQ(QueryFingerprint(a), QueryFingerprint(b));
+
+  b.limit = 10;
+  EXPECT_NE(QueryFingerprint(a), QueryFingerprint(b));
+
+  auto assoc1 = QueryRequest::Association({"x"}, {"y"});
+  auto assoc2 = QueryRequest::Association({"x", "y"}, {});
+  // Length-prefixed hashing: moving a key across axes changes the
+  // fingerprint even though the concatenated bytes agree.
+  EXPECT_NE(QueryFingerprint(assoc1), QueryFingerprint(assoc2));
+
+  auto rel = QueryRequest::Relevancy("car/");
+  EXPECT_NE(QueryFingerprint(a), QueryFingerprint(rel));
+}
+
+// --- cache -------------------------------------------------------------
+
+TEST_F(ReportServerTest, RepeatedQueryServedFromCache) {
+  auto index = MakeSmallIndex();
+  ReportServer server(SourceOf(index));
+  auto req = QueryRequest::Association({"car/suv"}, {"outcome/yes"});
+
+  auto first = server.Execute(req);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->from_cache);
+
+  auto second = server.Execute(req);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->from_cache);
+  // The payload is shared, not recomputed.
+  EXPECT_EQ(second->report.get(), first->report.get());
+
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_DOUBLE_EQ(stats.CacheHitRatio(), 0.5);
+}
+
+TEST_F(ReportServerTest, PublishInvalidatesCachedResults) {
+  auto index = MakeSmallIndex();
+  ReportServer server(SourceOf(index));
+  auto req = QueryRequest::ConceptSearch("car/");
+
+  auto before = server.Execute(req);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->report->concepts[0].count, 3u);
+  EXPECT_TRUE(server.Execute(req)->from_cache);
+
+  index->AddDocument({"car/suv", "outcome/yes", "all/docs"}, 4);
+  index->Publish();
+
+  auto after = server.Execute(req);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->from_cache);  // new generation, implicit invalidation
+  EXPECT_GT(after->report->generation, before->report->generation);
+  EXPECT_EQ(after->report->concepts[0].count, 4u);
+}
+
+TEST_F(ReportServerTest, CacheCapacityZeroDisablesCaching) {
+  auto index = MakeSmallIndex();
+  ServeOptions options;
+  options.cache_capacity = 0;
+  ReportServer server(SourceOf(index), options);
+  auto req = QueryRequest::ConceptSearch("car/");
+  ASSERT_TRUE(server.Execute(req).ok());
+  auto second = server.Execute(req);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->from_cache);
+  EXPECT_EQ(server.stats().cache_hits, 0u);
+}
+
+TEST_F(ReportServerTest, LruEvictsOldestEntries) {
+  auto index = MakeSmallIndex();
+  ServeOptions options;
+  options.cache_capacity = 2;
+  ReportServer server(SourceOf(index), options);
+  ASSERT_TRUE(server.Execute(QueryRequest::ConceptSearch("car/", 1)).ok());
+  ASSERT_TRUE(server.Execute(QueryRequest::ConceptSearch("car/", 2)).ok());
+  ASSERT_TRUE(server.Execute(QueryRequest::ConceptSearch("car/", 3)).ok());
+  EXPECT_EQ(server.stats().cache_entries, 2u);
+  // The first query was evicted; re-running it misses.
+  auto again = server.Execute(QueryRequest::ConceptSearch("car/", 1));
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->from_cache);
+}
+
+// --- admission control & fault injection -------------------------------
+
+TEST_F(ReportServerTest, AdmitFaultShedsWithRetryAfterHint) {
+  auto index = MakeSmallIndex();
+  ReportServer server(SourceOf(index));
+  ScopedFault fault(kFaultServeAdmit, FaultSpec{});
+  auto result = server.Execute(QueryRequest::ConceptSearch("car/"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(result.status().message().find("retry after"),
+            std::string::npos);
+  EXPECT_EQ(server.stats().shed, 1u);
+}
+
+TEST_F(ReportServerTest, QueryFaultFailsEvaluation) {
+  auto index = MakeSmallIndex();
+  ReportServer server(SourceOf(index));
+  FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  ScopedFault fault(kFaultServeQuery, spec);
+  auto result = server.Execute(QueryRequest::ConceptSearch("car/"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(server.stats().failed, 1u);
+  // Failures are not cached: after the fault clears, evaluation runs.
+  FaultInjector::Global().Disarm(kFaultServeQuery);
+  EXPECT_TRUE(server.Execute(QueryRequest::ConceptSearch("car/")).ok());
+}
+
+TEST_F(ReportServerTest, FullQueueShedsInsteadOfBlocking) {
+  auto index = MakeSmallIndex();
+  ServeOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 2;
+  options.cache_capacity = 0;
+  ReportServer server(SourceOf(index), options);
+
+  // Each evaluation sleeps 40ms inside the armed fault point, so a
+  // burst of submissions backs the queue up deterministically.
+  FaultSpec slow;
+  slow.code = StatusCode::kInternal;
+  slow.latency_ms = 40;
+  ScopedFault fault(kFaultServeQuery, slow);
+
+  constexpr int kBurst = 10;
+  std::vector<std::future<Result<ReportServer::ReportResponse>>> futures;
+  for (int i = 0; i < kBurst; ++i) {
+    futures.push_back(server.Submit(QueryRequest::ConceptSearch("car/")));
+  }
+  int shed = 0;
+  for (auto& f : futures) {
+    auto result = f.get();
+    ASSERT_FALSE(result.ok());
+    if (result.status().code() == StatusCode::kUnavailable) {
+      EXPECT_NE(result.status().message().find("retry after"),
+                std::string::npos);
+      ++shed;
+    }
+  }
+  // At most 1 in flight + 2 queued can avoid shedding at burst time.
+  EXPECT_GE(shed, kBurst - 4);
+  EXPECT_EQ(server.stats().shed, static_cast<std::size_t>(shed));
+}
+
+TEST_F(ReportServerTest, PerClassConcurrencyLimitStillCompletesAll) {
+  auto index = MakeSmallIndex();
+  ServeOptions options;
+  options.num_threads = 4;
+  options.cache_capacity = 0;
+  options.class_concurrency[static_cast<std::size_t>(
+      QueryClass::kAssociation)] = 1;
+  ReportServer server(SourceOf(index), options);
+
+  std::vector<std::future<Result<ReportServer::ReportResponse>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(server.Submit(
+        QueryRequest::Association({"car/suv"}, {"outcome/yes"})));
+    futures.push_back(server.Submit(QueryRequest::ConceptSearch("car/")));
+  }
+  for (auto& f : futures) {
+    auto result = f.get();
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 16u);
+  EXPECT_EQ(stats.requests_per_class[static_cast<std::size_t>(
+                QueryClass::kAssociation)],
+            8u);
+}
+
+TEST_F(ReportServerTest, ShutdownResolvesQueuedRequests) {
+  auto index = MakeSmallIndex();
+  ServeOptions options;
+  options.num_threads = 1;
+  options.queue_capacity = 16;
+  options.cache_capacity = 0;
+  ReportServer server(SourceOf(index), options);
+
+  FaultSpec slow;
+  slow.latency_ms = 50;
+  ScopedFault fault(kFaultServeQuery, slow);
+  std::vector<std::future<Result<ReportServer::ReportResponse>>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(server.Submit(QueryRequest::ConceptSearch("car/")));
+  }
+  server.Shutdown();
+  for (auto& f : futures) {
+    // Every future resolves — no hang, no abandoned promise.
+    auto result = f.get();
+    EXPECT_FALSE(result.ok());
+  }
+  // Submitting after shutdown sheds immediately.
+  auto late = server.Execute(QueryRequest::ConceptSearch("car/"));
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+}
+
+// --- the satellite: queries during concurrent publishes ---------------
+
+// Every document carries "all/docs" and exactly one outcome key, so in
+// ANY consistent snapshot: n == n_row(all/docs) == n_cell(yes) +
+// n_cell(no). A torn read mixing two generations breaks the equality.
+TEST_F(ReportServerTest, QueriesDuringPublishSeeConsistentGenerations) {
+  auto index = std::make_shared<ConceptIndex>();
+  ServeOptions options;
+  options.num_threads = 2;
+  options.queue_capacity = 64;
+  ReportServer server(SourceOf(index), options);
+
+  constexpr std::size_t kDocs = 3000;
+  constexpr std::size_t kPublishEvery = 150;
+  std::atomic<bool> done{false};
+
+  std::thread ingest([&] {
+    for (std::size_t i = 0; i < kDocs; ++i) {
+      index->AddDocument(
+          {"all/docs", i % 2 == 0 ? "outcome/yes" : "outcome/no"},
+          static_cast<int64_t>(i % 7));
+      if (i % kPublishEvery == kPublishEvery - 1) index->Publish();
+    }
+    index->Publish();
+    done.store(true, std::memory_order_release);
+  });
+
+  constexpr int kReaders = 2;
+  std::vector<std::thread> readers;
+  std::atomic<std::size_t> queries{0};
+  std::atomic<bool> torn{false};
+  // Each reader keeps querying until ingest is done AND it has seen a
+  // floor of successful reports — so the phases always overlap, even
+  // when the ingest thread wins the race and finishes first.
+  constexpr std::size_t kMinQueriesPerReader = 50;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_generation = 0;
+      std::size_t successful = 0;
+      while (!done.load(std::memory_order_acquire) ||
+             successful < kMinQueriesPerReader) {
+        auto result = server.Execute(QueryRequest::Association(
+            {"all/docs"}, {"outcome/yes", "outcome/no"}));
+        if (!result.ok()) {
+          // Shedding under overload is legal; consistency is what we
+          // are testing.
+          continue;
+        }
+        ++successful;
+        const ReportResult& report = *result->report;
+        const AssociationCell& yes = report.association.cell(0, 0);
+        const AssociationCell& no = report.association.cell(0, 1);
+        if (yes.n_row != report.num_documents ||
+            yes.n_cell + no.n_cell != report.num_documents ||
+            report.generation < last_generation) {
+          torn.store(true, std::memory_order_relaxed);
+        }
+        last_generation = report.generation;
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  ingest.join();
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(torn.load());
+  EXPECT_GT(queries.load(), 0u);
+
+  // The final snapshot serves the complete corpus.
+  auto complete = server.Execute(QueryRequest::Association(
+      {"all/docs"}, {"outcome/yes", "outcome/no"}));
+  ASSERT_TRUE(complete.ok());
+  EXPECT_EQ(complete->report->num_documents, kDocs);
+  EXPECT_EQ(complete->report->association.cell(0, 0).n_cell, kDocs / 2);
+}
+
+// --- engine integration ------------------------------------------------
+
+TEST_F(ReportServerTest, EngineServesAndSurfacesHealthAndMetrics) {
+  BivocEngine engine;  // no warehouse: transcripts index unlinked
+  engine.AddTranscript("the suv had a flat tire", 0, {"outcome/unbooked"});
+  engine.AddTranscript("booked a full size car", 1,
+                       {"outcome/reservation"});
+  engine.Snapshot();  // publish pending docs for the serving path
+
+  auto result =
+      engine.serve()->Execute(QueryRequest::ConceptSearch("outcome/"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->report->concepts.size(), 2u);
+  // Identical query hits the cache; Health and the metrics dump see it.
+  EXPECT_TRUE(engine.serve()
+                  ->Execute(QueryRequest::ConceptSearch("outcome/"))
+                  ->from_cache);
+
+  HealthReport health = engine.Health();
+  EXPECT_EQ(health.serving.submitted, 2u);
+  EXPECT_EQ(health.serving.cache_hits, 1u);
+  EXPECT_NE(health.ToString().find("serving:"), std::string::npos);
+
+  const std::string text = engine.MetricsText();
+  EXPECT_NE(text.find("serve_requests_total_concept_search 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_cache_hits_total 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bivoc
