@@ -4,6 +4,7 @@
 // google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -11,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "annotate/concept_extractor.h"
 #include "asr/transcriber.h"
@@ -21,6 +23,9 @@
 #include "linking/linker.h"
 #include "mining/association.h"
 #include "mining/concept_index.h"
+#include "net/gateway.h"
+#include "net/http_client.h"
+#include "net/wire.h"
 #include "serve/report_server.h"
 #include "synth/car_rental.h"
 #include "synth/corpora.h"
@@ -444,6 +449,135 @@ ServeBenchResult RunServeBench(
   return out;
 }
 
+// --- HTTP transport tax: the same dashboard query mix answered
+// in-process (ReportServer::Execute) and over the loopback gateway
+// (DESIGN.md §11). Latencies are taken client-side in both runs so the
+// HTTP numbers include framing, syscalls and the server's worker
+// hand-off — exactly what a report UI would see.
+
+struct HttpBenchRun {
+  double qps = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+};
+
+struct HttpBenchResult {
+  std::size_t docs = 0;
+  std::size_t queries = 0;
+  HttpBenchRun in_process;
+  HttpBenchRun http;
+};
+
+double PercentileOf(std::vector<double>* samples, double p) {
+  if (samples->empty()) return 0;
+  std::sort(samples->begin(), samples->end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(samples->size() - 1));
+  return (*samples)[idx];
+}
+
+HttpBenchResult RunHttpBench() {
+  HttpBenchResult out;
+  out.docs = EnvSize("BIVOC_BENCH_HTTP_DOCS", 20000);
+  out.queries = EnvSize("BIVOC_BENCH_HTTP_QUERIES", 2000);
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kBatch = 5000;
+
+  // Transcript-channel items bypass the spam/language filters, so the
+  // synthetic concept keys land in the index unchanged.
+  BivocEngine engine;
+  auto corpus = MakeIndexCorpus(out.docs);
+  for (std::size_t start = 0; start < corpus.size(); start += kBatch) {
+    std::vector<IngestItem> batch;
+    batch.reserve(kBatch);
+    for (std::size_t i = start;
+         i < std::min(corpus.size(), start + kBatch); ++i) {
+      IngestItem item;
+      item.channel = VocChannel::kCall;
+      item.payload = "synthetic transcript";
+      item.structured_keys = corpus[i];
+      batch.push_back(std::move(item));
+    }
+    engine.IngestBatch(batch);
+  }
+
+  const std::vector<QueryRequest> repertoire = {
+      QueryRequest::Association(
+          {"place/a", "place/b", "place/c", "place/d"},
+          {"outcome/yes", "outcome/no"}),
+      QueryRequest::ConceptSearch("car/"),
+      QueryRequest::Relevancy("outcome/no", "car/"),
+  };
+
+  // One latency vector per client thread; merged after the join so the
+  // measurement loop stays contention-free.
+  auto run_clients = [&](auto&& issue) {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::vector<double>> latencies(kClients);
+    Timer wall;
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        latencies[c].reserve(out.queries / kClients + 1);
+        for (;;) {
+          const std::size_t i =
+              next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= out.queries) return;
+          Timer timer;
+          issue(c, i);
+          latencies[c].push_back(timer.ElapsedMillis());
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    const double secs = wall.ElapsedSeconds();
+    std::vector<double> merged;
+    for (auto& v : latencies) {
+      merged.insert(merged.end(), v.begin(), v.end());
+    }
+    HttpBenchRun run;
+    run.qps = static_cast<double>(out.queries) / secs;
+    run.p50_ms = PercentileOf(&merged, 0.50);
+    run.p95_ms = PercentileOf(&merged, 0.95);
+    run.p99_ms = PercentileOf(&merged, 0.99);
+    return run;
+  };
+
+  out.in_process = run_clients([&](std::size_t, std::size_t i) {
+    benchmark::DoNotOptimize(
+        engine.serve()->Execute(repertoire[i % repertoire.size()]).ok());
+  });
+
+  auto port = engine.StartGateway();
+  BIVOC_CHECK_OK(port.status());
+  std::vector<std::string> bodies;
+  for (const QueryRequest& req : repertoire) {
+    bodies.push_back(DumpJson(QueryRequestToJson(req)));
+  }
+  {
+    std::vector<std::unique_ptr<HttpClient>> connections;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      connections.push_back(std::make_unique<HttpClient>(
+          "127.0.0.1", port.value()));
+    }
+    std::atomic<std::size_t> failures{0};
+    out.http = run_clients([&](std::size_t c, std::size_t i) {
+      auto response = connections[c]->Post(
+          "/v1/query", bodies[i % bodies.size()]);
+      if (!response.ok() || response->status != 200) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    if (failures.load() != 0) {
+      std::printf("http bench: %zu of %zu requests failed\n",
+                  failures.load(), out.queries);
+    }
+  }
+  engine.StopGateway();
+  return out;
+}
+
 void WriteIndexBenchReport() {
   const std::size_t kDocs = EnvSize("BIVOC_BENCH_DOCS", 200000);
   constexpr std::size_t kThreads = 8;
@@ -532,6 +666,15 @@ void WriteIndexBenchReport() {
               serve.uncached.qps, serve.uncached.latency_ms.p50,
               serve.uncached.latency_ms.p95, serve.uncached.latency_ms.p99);
 
+  HttpBenchResult http = RunHttpBench();
+  std::printf("http gateway (%zu queries, %zu docs): in-process %.0f q/s "
+              "(p50 %.3fms p95 %.3fms p99 %.3fms), loopback HTTP %.0f q/s "
+              "(p50 %.3fms p95 %.3fms p99 %.3fms)\n",
+              http.queries, http.docs, http.in_process.qps,
+              http.in_process.p50_ms, http.in_process.p95_ms,
+              http.in_process.p99_ms, http.http.qps, http.http.p50_ms,
+              http.http.p95_ms, http.http.p99_ms);
+
   DurabilityBenchResult durability = RunDurabilityBench();
   std::printf("durability: WAL off %.0f docs/s, WAL on %.0f docs/s "
               "(%.0f%% of baseline), recovery %.0f docs/s over %zu docs\n",
@@ -565,6 +708,16 @@ void WriteIndexBenchReport() {
                "  \"serve_uncached_p50_ms\": %.3f,\n"
                "  \"serve_uncached_p95_ms\": %.3f,\n"
                "  \"serve_uncached_p99_ms\": %.3f,\n"
+               "  \"http_docs\": %zu,\n"
+               "  \"http_queries\": %zu,\n"
+               "  \"http_inproc_qps\": %.0f,\n"
+               "  \"http_inproc_p50_ms\": %.3f,\n"
+               "  \"http_inproc_p95_ms\": %.3f,\n"
+               "  \"http_inproc_p99_ms\": %.3f,\n"
+               "  \"http_qps\": %.0f,\n"
+               "  \"http_p50_ms\": %.3f,\n"
+               "  \"http_p95_ms\": %.3f,\n"
+               "  \"http_p99_ms\": %.3f,\n"
                "  \"durability_docs\": %zu,\n"
                "  \"wal_off_docs_per_sec\": %.0f,\n"
                "  \"wal_on_docs_per_sec\": %.0f,\n"
@@ -583,6 +736,10 @@ void WriteIndexBenchReport() {
                serve.cached.latency_ms.p95, serve.cached.latency_ms.p99,
                serve.uncached.qps, serve.uncached.latency_ms.p50,
                serve.uncached.latency_ms.p95, serve.uncached.latency_ms.p99,
+               http.docs, http.queries, http.in_process.qps,
+               http.in_process.p50_ms, http.in_process.p95_ms,
+               http.in_process.p99_ms, http.http.qps, http.http.p50_ms,
+               http.http.p95_ms, http.http.p99_ms,
                durability.docs, durability.wal_off_dps,
                durability.wal_on_dps,
                durability.wal_on_dps / durability.wal_off_dps,

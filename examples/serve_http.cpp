@@ -1,0 +1,134 @@
+// BIVoC over the wire (DESIGN.md §11): boots a small telecom engine,
+// starts the HTTP/JSON gateway, and exercises every route.
+//
+// Build & run:  ./build/examples/serve_http
+//               ./build/examples/serve_http --listen 8080 [seconds]
+//
+// The default mode is a self-contained demo: it binds an ephemeral
+// port, drives the gateway with the bundled HttpClient, and prints the
+// wire traffic. With --listen it stays up (default 3600 s) so you can
+// curl it yourself:
+//
+//   curl http://127.0.0.1:8080/healthz
+//   curl -d '{"class":"concept_search"}' http://127.0.0.1:8080/v1/query
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bivoc.h"
+#include "net/gateway.h"
+#include "net/http_client.h"
+#include "net/wire.h"
+#include "util/logging.h"
+
+using namespace bivoc;
+
+namespace {
+
+// A miniature telecom VoC deployment: one customer table to link
+// against, a concept dictionary, and enough vocabulary that terse SMS
+// complaints are not mistaken for non-English noise.
+void BootEngine(BivocEngine* engine) {
+  Schema schema({
+      {"id", DataType::kInt64, AttributeRole::kNone},
+      {"name", DataType::kString, AttributeRole::kPersonName},
+      {"phone", DataType::kString, AttributeRole::kPhone},
+  });
+  Table* customers = *engine->warehouse()->CreateTable("customers", schema);
+  BIVOC_CHECK_OK(customers
+                     ->Append({Value(int64_t{0}), Value("john smith"),
+                               Value("9845012345")})
+                     .status());
+  BIVOC_CHECK_OK(engine->FinishWarehouse());
+  engine->ConfigureAnnotators({"john", "smith"}, {});
+  engine->extractor()->mutable_dictionary()->Add("gprs", "gprs", "product");
+  engine->extractor()->mutable_dictionary()->Add("bill", "billing", "issue");
+  engine->pipeline()->mutable_language_filter()->AddVocabulary(
+      {"gprs", "john", "smith", "working", "down", "report", "problem",
+       "question", "bill", "wrong"});
+}
+
+std::string DemoBatch() {
+  std::vector<IngestItem> items;
+  for (int i = 0; i < 6; ++i) {
+    IngestItem item;
+    item.channel = i % 2 == 0 ? VocChannel::kSms : VocChannel::kEmail;
+    item.payload = i % 3 == 0 ? "the bill is wrong john smith 9845012345"
+                              : "gprs not working john smith 9845012345";
+    item.time_bucket = i % 3;
+    item.structured_keys = {i % 2 == 0 ? "status/churned" : "status/active"};
+    items.push_back(std::move(item));
+  }
+  return DumpJson(IngestItemsToJson(items));
+}
+
+void Show(const char* title, const Result<HttpResponse>& response) {
+  if (!response.ok()) {
+    std::printf("%s: transport error: %s\n", title,
+                response.status().ToString().c_str());
+    return;
+  }
+  std::printf("--- %s -> %d\n%s\n", title, response->status,
+              response->body.c_str());
+}
+
+int RunDemo(uint16_t port) {
+  HttpClient client("127.0.0.1", port);
+  Show("GET /healthz (empty engine)", client.Get("/healthz"));
+  Show("POST /v1/ingest", client.Post("/v1/ingest", DemoBatch()));
+  const std::string query =
+      R"({"class":"concept_search","prefix":"product/"})";
+  Show("POST /v1/query", client.Post("/v1/query", query));
+  Show("POST /v1/query (cache hit)", client.Post("/v1/query", query));
+  Show("POST /v1/query (strict decoder)",
+       client.Post("/v1/query", R"({"class":"warp_speed"})"));
+  auto metrics = client.Get("/metrics");
+  if (metrics.ok()) {
+    std::printf("--- GET /metrics -> %d (%zu bytes)\n", metrics->status,
+                metrics->body.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool listen = false;
+  uint16_t port = 0;
+  int seconds = 3600;
+  if (argc > 1 && std::string(argv[1]) == "--listen") {
+    listen = true;
+    if (argc > 2) port = static_cast<uint16_t>(std::atoi(argv[2]));
+    if (argc > 3) seconds = std::atoi(argv[3]);
+  }
+
+  BivocEngine engine;
+  BootEngine(&engine);
+
+  GatewayOptions options;
+  options.server.port = port;
+  auto bound = engine.StartGateway(options);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "gateway failed to start: %s\n",
+                 bound.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("gateway listening on http://127.0.0.1:%u\n", bound.value());
+
+  if (listen) {
+    std::printf("serving for %d s; try:\n"
+                "  curl http://127.0.0.1:%u/healthz\n"
+                "  curl -d '{\"class\":\"concept_search\"}' "
+                "http://127.0.0.1:%u/v1/query\n",
+                seconds, bound.value(), bound.value());
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  } else {
+    RunDemo(bound.value());
+  }
+
+  engine.StopGateway();
+  std::printf("gateway drained and stopped.\n");
+  return 0;
+}

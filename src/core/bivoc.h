@@ -19,6 +19,9 @@
 
 namespace bivoc {
 
+class Gateway;          // net/gateway.h
+struct GatewayOptions;  // net/gateway.h
+
 struct DurabilityOptions {
   // Checkpoint generations kept on disk (newest N survive pruning;
   // corruption of the newest falls back to the one before it).
@@ -71,7 +74,8 @@ class BivocEngine {
   // Fault-tolerant batch ingestion (see core/ingest.h): per-document
   // retries and dead-lettering, a circuit breaker around the linker,
   // parallel cleaning. ConfigureIngest replaces the service (and its
-  // accumulated health state); ingest() lazily creates a default one.
+  // accumulated health state); ingest() lazily creates a default one
+  // (first call is not thread-safe — construct before sharing).
   void ConfigureIngest(IngestOptions options);
   IngestService* ingest();
   HealthReport IngestBatch(const std::vector<IngestItem>& items);
@@ -112,12 +116,28 @@ class BivocEngine {
   // --- query serving (DESIGN.md §10) ---------------------------------
   // ConfigureServing replaces the report server (dropping its cache;
   // serving counters live in metrics() and keep accumulating); serve()
-  // lazily creates a default one. The server answers against the latest *published* snapshot
+  // lazily creates a default one (first call is not thread-safe —
+  // construct before sharing; the Gateway warms it before serving).
+  // The server answers against the latest *published* snapshot
   // (IngestBatch publishes per batch; Snapshot() publishes pending
   // deltas explicitly), caches results keyed on (query fingerprint,
   // snapshot generation), and sheds with kUnavailable under overload.
   void ConfigureServing(ServeOptions options);
   ReportServer* serve();
+
+  // --- HTTP gateway (DESIGN.md §11) ----------------------------------
+  // Puts this engine on the wire: POST /v1/query, POST /v1/ingest,
+  // GET /healthz, GET /metrics (see net/gateway.h). Returns the bound
+  // port. These members are *declared* here but *defined* in
+  // net/gateway.cc, so only binaries that link bivoc_net pay for the
+  // server — bivoc_core itself never depends on the net layer.
+  // Callers passing options must include net/gateway.h.
+  Result<uint16_t> StartGateway(GatewayOptions options);
+  Result<uint16_t> StartGateway();
+  // Graceful: drains in-flight requests. Idempotent; also runs at
+  // engine destruction.
+  void StopGateway();
+  Gateway* gateway();  // nullptr unless started
 
   // The engine-wide metrics registry (serving instruments register
   // here) and its scrape-endpoint-style text dump.
@@ -160,6 +180,12 @@ class BivocEngine {
   // Declared after everything its workers touch (pipeline_, metrics_)
   // so destruction joins the serving threads first.
   std::unique_ptr<ReportServer> serve_;
+  // The gateway serves traffic into everything above, so it is
+  // declared last (destroyed first). Type-erased so this header does
+  // not need the Gateway definition: the shared_ptr's deleter was
+  // captured in net/gateway.cc where the type is complete.
+  std::shared_ptr<void> gateway_;
+  Gateway* gateway_ptr_ = nullptr;
 };
 
 }  // namespace bivoc

@@ -202,32 +202,61 @@ std::size_t DeadLetterQueue::overflowed() const {
 // ---------------------------------------------------------------------------
 // HealthReport
 
+JsonValue HealthReportToJson(const HealthReport& report) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("submitted", JsonValue(report.submitted));
+  obj.Set("processed", JsonValue(report.processed));
+  obj.Set("dropped", JsonValue(report.dropped));
+  obj.Set("degraded", JsonValue(report.degraded));
+  obj.Set("retried", JsonValue(report.retried));
+  obj.Set("dead_lettered", JsonValue(report.dead_lettered));
+  obj.Set("dead_letter_overflow", JsonValue(report.dead_letter_overflow));
+  obj.Set("short_circuited", JsonValue(report.short_circuited));
+  obj.Set("replayed", JsonValue(report.replayed));
+
+  JsonValue breaker = JsonValue::MakeObject();
+  breaker.Set("state",
+              JsonValue(CircuitBreakerStateName(report.breaker_state)));
+  breaker.Set("opened", JsonValue(report.breaker_opened));
+  obj.Set("breaker", std::move(breaker));
+
+  JsonValue pipe = JsonValue::MakeObject();
+  pipe.Set("processed", JsonValue(report.pipeline.processed));
+  pipe.Set("dropped_spam", JsonValue(report.pipeline.dropped_spam));
+  pipe.Set("dropped_non_english",
+           JsonValue(report.pipeline.dropped_non_english));
+  pipe.Set("linked", JsonValue(report.pipeline.linked));
+  pipe.Set("unlinked", JsonValue(report.pipeline.unlinked));
+  obj.Set("pipeline", std::move(pipe));
+
+  JsonValue durability = JsonValue::MakeObject();
+  durability.Set("enabled", JsonValue(report.durability.enabled));
+  if (report.durability.enabled) {
+    durability.Set("wal_records_appended",
+                   JsonValue(report.durability.wal_records_appended));
+    durability.Set("wal_append_failures",
+                   JsonValue(report.durability.wal_append_failures));
+    durability.Set("wal_batches_rolled_back",
+                   JsonValue(report.durability.wal_batches_rolled_back));
+    durability.Set("wal_records_replayed",
+                   JsonValue(report.durability.wal_records_replayed));
+    durability.Set("wal_corrupt_records",
+                   JsonValue(report.durability.wal_corrupt_records));
+    durability.Set("checkpoint_generation",
+                   JsonValue(report.durability.checkpoint_generation));
+    durability.Set("checkpoint_fallbacks",
+                   JsonValue(report.durability.checkpoint_fallbacks));
+    durability.Set("docs_from_checkpoint",
+                   JsonValue(report.durability.docs_from_checkpoint));
+  }
+  obj.Set("durability", std::move(durability));
+
+  obj.Set("serving", report.serving.ToJson());
+  return obj;
+}
+
 std::string HealthReport::ToString() const {
-  std::ostringstream os;
-  os << "submitted=" << submitted << " processed=" << processed
-     << " dropped=" << dropped << " degraded=" << degraded
-     << " retried=" << retried << " dead_lettered=" << dead_lettered
-     << " short_circuited=" << short_circuited << " replayed=" << replayed
-     << " breaker=" << CircuitBreakerStateName(breaker_state)
-     << " (opened " << breaker_opened << "x)"
-     << " | pipeline: processed=" << pipeline.processed
-     << " spam=" << pipeline.dropped_spam
-     << " non_english=" << pipeline.dropped_non_english
-     << " linked=" << pipeline.linked << " unlinked=" << pipeline.unlinked;
-  if (durability.enabled) {
-    os << " | wal: appended=" << durability.wal_records_appended
-       << " append_failures=" << durability.wal_append_failures
-       << " rolled_back=" << durability.wal_batches_rolled_back
-       << " replayed=" << durability.wal_records_replayed
-       << " corrupt_skipped=" << durability.wal_corrupt_records
-       << " | checkpoint: gen=" << durability.checkpoint_generation
-       << " fallbacks=" << durability.checkpoint_fallbacks
-       << " docs_restored=" << durability.docs_from_checkpoint;
-  }
-  if (serving.submitted > 0) {
-    os << " | serving: " << serving.ToString();
-  }
-  return os.str();
+  return DumpJson(HealthReportToJson(*this));
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "net/json.h"
 #include "serve/report_server.h"
 #include "util/retry.h"
 #include "util/thread_pool.h"
@@ -167,8 +168,12 @@ struct HealthReport {
   // see serve/report_server.h and BivocEngine::serve()).
   ServeStats serving;
 
+  // Compact JSON rendering — the single source of truth shared by the
+  // gateway's /healthz body and ToString() (which is its dump).
   std::string ToString() const;
 };
+
+JsonValue HealthReportToJson(const HealthReport& report);
 
 struct IngestOptions {
   std::size_t num_threads = 4;

@@ -1,0 +1,203 @@
+#include "net/gateway.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "net/json.h"
+#include "net/wire.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace bivoc {
+
+const char* GatewayRouteName(std::size_t route) {
+  switch (route) {
+    case Gateway::kQuery:
+      return "query";
+    case Gateway::kIngest:
+      return "ingest";
+    case Gateway::kHealthz:
+      return "healthz";
+    case Gateway::kMetrics:
+      return "metrics";
+    default:
+      return "other";
+  }
+}
+
+Gateway::Gateway(BivocEngine* engine, GatewayOptions options)
+    : engine_(engine),
+      opts_(std::move(options)),
+      server_([this](const HttpRequest& request) { return Handle(request); },
+              opts_.server, engine->metrics()) {
+  // serve() and ingest() lazily construct their subsystems and are not
+  // thread-safe on first call; warm both here, before any worker
+  // thread exists, so handlers only ever read initialized pointers.
+  engine_->serve();
+  engine_->ingest();
+  MetricsRegistry* metrics = engine_->metrics();
+  for (std::size_t r = 0; r < kNumRoutes; ++r) {
+    const std::string name = GatewayRouteName(r);
+    route_requests_[r] =
+        metrics->GetCounter("gateway_requests_total_" + name);
+    route_latency_[r] = metrics->GetHistogram("gateway_latency_ms_" + name);
+  }
+}
+
+Gateway::~Gateway() { Stop(); }
+
+Status Gateway::Start() {
+  BIVOC_RETURN_NOT_OK(server_.Start());
+  BIVOC_LOG(Info) << "gateway listening on " << opts_.server.host << ":"
+                  << server_.port();
+  return Status::OK();
+}
+
+void Gateway::Stop() { server_.Stop(); }
+
+void Gateway::CountResponse(Route route, int status) {
+  engine_->metrics()->GetCounter(
+      std::string("gateway_responses_total_") + GatewayRouteName(route) +
+      "_" + std::to_string(status))->Increment();
+}
+
+HttpResponse Gateway::Handle(const HttpRequest& request) {
+  Timer timer;
+  Route route = kOther;
+  HttpResponse response = Dispatch(request, &route);
+  route_requests_[route]->Increment();
+  route_latency_[route]->Observe(timer.ElapsedMillis());
+  CountResponse(route, response.status);
+  return response;
+}
+
+HttpResponse Gateway::Dispatch(const HttpRequest& request, Route* route) {
+  const std::string path = request.Path();
+  if (path == "/v1/query") {
+    *route = kQuery;
+  } else if (path == "/v1/ingest") {
+    *route = kIngest;
+  } else if (path == "/healthz") {
+    *route = kHealthz;
+  } else if (path == "/metrics") {
+    *route = kMetrics;
+  } else {
+    *route = kOther;
+    return ErrorResponse(404, "not_found", "no route for " + path);
+  }
+
+  const bool wants_post = (*route == kQuery || *route == kIngest);
+  const std::string& allowed = wants_post ? "POST" : "GET";
+  // HEAD intentionally not special-cased: this is an API server, not a
+  // document server.
+  if (request.method != allowed) {
+    HttpResponse response = ErrorResponse(
+        405, "method_not_allowed",
+        request.method + " not allowed on " + path);
+    response.SetHeader("Allow", allowed);
+    return response;
+  }
+
+  switch (*route) {
+    case kQuery:
+      return HandleQuery(request);
+    case kIngest:
+      return HandleIngest(request);
+    case kHealthz:
+      return HandleHealthz();
+    case kMetrics:
+      return HandleMetrics();
+    default:
+      break;
+  }
+  return ErrorResponse(500, "internal", "unroutable route");  // unreachable
+}
+
+HttpResponse Gateway::StatusResponse(const Status& status) {
+  HttpResponse response =
+      ErrorResponse(HttpStatusForCode(status.code()),
+                    std::string(StatusCodeName(status.code())),
+                    status.message());
+  if (status.code() == StatusCode::kUnavailable) {
+    // The shed message carries "retry after N ms"; the header speaks
+    // seconds. Round up so clients never come back too early.
+    const int64_t hint_ms = engine_->serve()->options().retry_after_ms;
+    const int64_t seconds = hint_ms <= 0 ? 1 : (hint_ms + 999) / 1000;
+    response.SetHeader("Retry-After", std::to_string(seconds));
+  }
+  return response;
+}
+
+HttpResponse Gateway::HandleQuery(const HttpRequest& request) {
+  Result<JsonValue> body = ParseJson(request.body);
+  if (!body.ok()) {
+    return ErrorResponse(400, "bad_json", body.status().message());
+  }
+  Result<QueryRequest> query = QueryRequestFromJson(body.value());
+  if (!query.ok()) {
+    return ErrorResponse(400, "bad_query", query.status().message());
+  }
+  Result<ReportServer::ReportResponse> result =
+      engine_->serve()->Execute(query.MoveValue());
+  if (!result.ok()) {
+    return StatusResponse(result.status());
+  }
+  return JsonResponse(
+      200, DumpJson(ReportResultToJson(*result.value().report,
+                                       result.value().from_cache)));
+}
+
+HttpResponse Gateway::HandleIngest(const HttpRequest& request) {
+  Result<JsonValue> body = ParseJson(request.body);
+  if (!body.ok()) {
+    return ErrorResponse(400, "bad_json", body.status().message());
+  }
+  Result<std::vector<IngestItem>> items = IngestItemsFromJson(body.value());
+  if (!items.ok()) {
+    return ErrorResponse(400, "bad_batch", items.status().message());
+  }
+  const HealthReport report = engine_->IngestBatch(items.value());
+  return JsonResponse(200, DumpJson(HealthReportToJson(report)));
+}
+
+HttpResponse Gateway::HandleHealthz() {
+  return JsonResponse(200, DumpJson(HealthReportToJson(engine_->Health())));
+}
+
+HttpResponse Gateway::HandleMetrics() {
+  return TextResponse(200, engine_->MetricsText());
+}
+
+// ---------------------------------------------------------------------------
+// BivocEngine gateway hooks. Defined here — not in bivoc.cc — so
+// bivoc_core never depends on bivoc_net; any binary that calls
+// StartGateway already links the gateway. The engine stores the
+// gateway behind shared_ptr<void>, whose captured deleter makes
+// destruction work without the complete type.
+
+Result<uint16_t> BivocEngine::StartGateway(GatewayOptions options) {
+  if (gateway_ptr_ != nullptr) {
+    return Status::FailedPrecondition("gateway already running");
+  }
+  auto gateway = std::make_shared<Gateway>(this, std::move(options));
+  BIVOC_RETURN_NOT_OK(gateway->Start());
+  gateway_ptr_ = gateway.get();
+  gateway_ = std::move(gateway);
+  return gateway_ptr_->port();
+}
+
+Result<uint16_t> BivocEngine::StartGateway() {
+  return StartGateway(GatewayOptions{});
+}
+
+void BivocEngine::StopGateway() {
+  if (gateway_ptr_ == nullptr) return;
+  gateway_ptr_->Stop();
+  gateway_ptr_ = nullptr;
+  gateway_.reset();
+}
+
+Gateway* BivocEngine::gateway() { return gateway_ptr_; }
+
+}  // namespace bivoc

@@ -1,0 +1,96 @@
+#ifndef BIVOC_NET_GATEWAY_H_
+#define BIVOC_NET_GATEWAY_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/bivoc.h"
+#include "net/http.h"
+#include "net/http_server.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace bivoc {
+
+struct GatewayOptions {
+  HttpServerOptions server;
+};
+
+// The HTTP face of a BivocEngine (DESIGN.md §11). Four routes:
+//
+//   POST /v1/query   JSON QueryRequest -> ReportServer::Execute.
+//                    Overload shedding (kUnavailable) maps to 503 with
+//                    a Retry-After header derived from the serve
+//                    options' retry hint; other Status codes map
+//                    through HttpStatusForCode.
+//   POST /v1/ingest  JSON batch -> BivocEngine::IngestBatch; answers
+//                    with that batch's HealthReport.
+//   GET  /healthz    Cumulative HealthReport as JSON.
+//   GET  /metrics    The engine registry's Prometheus-style text dump
+//                    (which includes this gateway's own instruments).
+//
+// Routing and serialization live in Handle(), which is public so tests
+// can exercise the gateway without sockets; Start() binds the real
+// HttpServer on top. Per-route counters and latency histograms are
+// registered in the engine's MetricsRegistry as
+// gateway_requests_total_<route>, gateway_latency_ms_<route> and
+// gateway_responses_total_<route>_<status>.
+//
+// The gateway does not own the engine and must be stopped (or
+// destroyed) before it.
+class Gateway {
+ public:
+  explicit Gateway(BivocEngine* engine, GatewayOptions options = {});
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  Status Start();
+  // Graceful: completes in-flight requests, then joins. Idempotent.
+  void Stop();
+
+  // Bound port (options.server.port, or the kernel's pick for 0).
+  uint16_t port() const { return server_.port(); }
+
+  // The full request -> response mapping, sockets excluded.
+  HttpResponse Handle(const HttpRequest& request);
+
+  HttpServer* server() { return &server_; }
+
+  // Routes indexed for the metric arrays; kOther covers 404/405 noise
+  // so scans of unknown paths are visible but unlabeled.
+  enum Route : std::size_t {
+    kQuery = 0,
+    kIngest,
+    kHealthz,
+    kMetrics,
+    kOther,
+    kNumRoutes,
+  };
+
+ private:
+  HttpResponse Dispatch(const HttpRequest& request, Route* route);
+  HttpResponse HandleQuery(const HttpRequest& request);
+  HttpResponse HandleIngest(const HttpRequest& request);
+  HttpResponse HandleHealthz();
+  HttpResponse HandleMetrics();
+  // 503 + Retry-After for a shed query, plain mapped error otherwise.
+  HttpResponse StatusResponse(const Status& status);
+  void CountResponse(Route route, int status);
+
+  BivocEngine* engine_;  // not owned
+  GatewayOptions opts_;
+  std::array<Counter*, kNumRoutes> route_requests_{};
+  std::array<Histogram*, kNumRoutes> route_latency_{};
+  HttpServer server_;
+};
+
+// Stable route names ("query", "ingest", "healthz", "metrics",
+// "other") used as metric-name suffixes.
+const char* GatewayRouteName(std::size_t route);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_NET_GATEWAY_H_

@@ -1,0 +1,551 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace bivoc {
+
+namespace {
+
+char AsciiLower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool IsTokenChar(char c) {
+  // RFC 9110 tchar.
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+      (c >= '0' && c <= '9')) {
+    return true;
+  }
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'':
+    case '*': case '+': case '-': case '.': case '^': case '_':
+    case '`': case '|': case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Case-insensitive "does this comma-separated header list contain
+// `token`" (Connection / Transfer-Encoding handling).
+bool ListContains(std::string_view value, std::string_view token) {
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    std::size_t comma = value.find(',', start);
+    std::string_view item = value.substr(
+        start, comma == std::string_view::npos ? std::string_view::npos
+                                               : comma - start);
+    if (HeaderNameEquals(TrimOws(item), token)) return true;
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return false;
+}
+
+const std::string* FindIn(const std::vector<HttpHeader>& headers,
+                          std::string_view name) {
+  for (const HttpHeader& h : headers) {
+    if (HeaderNameEquals(h.name, name)) return &h.value;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool HeaderNameEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (AsciiLower(a[i]) != AsciiLower(b[i])) return false;
+  }
+  return true;
+}
+
+std::string_view HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 412: return "Precondition Failed";
+    case 413: return "Content Too Large";
+    case 416: return "Range Not Satisfiable";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  return FindIn(headers, name);
+}
+
+std::string HttpRequest::Path() const {
+  const std::size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string* connection = FindHeader("Connection");
+  if (version == "HTTP/1.0") {
+    return connection != nullptr && ListContains(*connection, "keep-alive");
+  }
+  return connection == nullptr || !ListContains(*connection, "close");
+}
+
+const std::string* HttpResponse::FindHeader(std::string_view name) const {
+  return FindIn(headers, name);
+}
+
+void HttpResponse::SetHeader(std::string_view name, std::string_view value) {
+  for (HttpHeader& h : headers) {
+    if (HeaderNameEquals(h.name, name)) {
+      h.value = std::string(value);
+      return;
+    }
+  }
+  headers.push_back({std::string(name), std::string(value)});
+}
+
+std::string HttpResponse::Serialize(bool keep_alive) const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    (reason.empty() ? std::string(HttpReasonPhrase(status))
+                                    : reason) +
+                    "\r\n";
+  bool have_length = false;
+  for (const HttpHeader& h : headers) {
+    if (HeaderNameEquals(h.name, "Content-Length")) have_length = true;
+    if (HeaderNameEquals(h.name, "Connection")) continue;  // we own it
+    out += h.name + ": " + h.value + "\r\n";
+  }
+  if (!have_length) {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  if (!keep_alive) out += "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+HttpResponse JsonResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.SetHeader("Content-Type", "application/json");
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse TextResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.SetHeader("Content-Type", "text/plain; charset=utf-8");
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse ErrorResponse(int status, std::string_view code,
+                           std::string_view message) {
+  // Assembled by hand here (not via JsonValue) so the error path has
+  // zero dependencies; both fields are escaped minimally.
+  auto escape = [](std::string_view s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out.push_back(' ');
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  };
+  return JsonResponse(status, "{\"error\":{\"code\":\"" + escape(code) +
+                                  "\",\"message\":\"" + escape(message) +
+                                  "\"}}");
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+HttpParser::HttpParser(Mode mode, HttpParserLimits limits)
+    : mode_(mode), limits_(limits) {}
+
+void HttpParser::Reset() {
+  phase_ = Phase::kStartLine;
+  state_ = State::kNeedMore;
+  started_ = false;
+  line_.clear();
+  header_bytes_ = 0;
+  body_remaining_ = 0;
+  request_ = HttpRequest();
+  response_ = HttpResponse();
+  error_ = Status::OK();
+  http_status_ = 400;
+}
+
+HttpParser::State HttpParser::Error(int http_status,
+                                    const std::string& message) {
+  state_ = State::kError;
+  error_ = Status::InvalidArgument(message);
+  http_status_ = http_status;
+  phase_ = Phase::kDone;
+  return state_;
+}
+
+Status HttpParser::ParseStartLine(std::string_view line) {
+  if (mode_ == Mode::kRequest) {
+    // method SP request-target SP HTTP-version
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string_view::npos || sp1 == 0) {
+      return Status::InvalidArgument("malformed request line");
+    }
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos || sp2 == sp1 + 1 ||
+        line.find(' ', sp2 + 1) != std::string_view::npos) {
+      return Status::InvalidArgument("malformed request line");
+    }
+    std::string_view method = line.substr(0, sp1);
+    std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    std::string_view version = line.substr(sp2 + 1);
+    if (method.size() > 16 ||
+        !std::all_of(method.begin(), method.end(), IsTokenChar)) {
+      return Status::InvalidArgument("invalid method token");
+    }
+    for (char c : target) {
+      const unsigned char u = static_cast<unsigned char>(c);
+      if (u <= 0x20 || u == 0x7F) {
+        return Status::InvalidArgument("control byte in request target");
+      }
+    }
+    if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+      // A real-but-unsupported version earns 505; random garbage in
+      // the version slot is just a malformed request (400).
+      if (version.substr(0, 5) == "HTTP/") {
+        return Status::InvalidArgument("unsupported HTTP version");
+      }
+      return Status::InvalidArgument("malformed protocol in request line");
+    }
+    request_.method = std::string(method);
+    request_.target = std::string(target);
+    request_.version = std::string(version);
+    return Status::OK();
+  }
+  // HTTP-version SP status-code SP reason-phrase
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return Status::InvalidArgument("malformed status line");
+  }
+  std::string_view version = line.substr(0, sp1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Status::InvalidArgument("unsupported HTTP version");
+  }
+  std::string_view rest = line.substr(sp1 + 1);
+  const std::size_t sp2 = rest.find(' ');
+  std::string_view code =
+      sp2 == std::string_view::npos ? rest : rest.substr(0, sp2);
+  if (code.size() != 3 || !std::all_of(code.begin(), code.end(), [](char c) {
+        return c >= '0' && c <= '9';
+      })) {
+    return Status::InvalidArgument("malformed status code");
+  }
+  response_.status =
+      (code[0] - '0') * 100 + (code[1] - '0') * 10 + (code[2] - '0');
+  if (sp2 != std::string_view::npos) {
+    response_.reason = std::string(rest.substr(sp2 + 1));
+  }
+  return Status::OK();
+}
+
+Status HttpParser::ParseHeaderLine(std::string_view line) {
+  if (line.front() == ' ' || line.front() == '\t') {
+    // Deprecated obs-fold continuation: a smuggling vector; reject.
+    return Status::InvalidArgument("folded header line");
+  }
+  const std::size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return Status::InvalidArgument("header line without name");
+  }
+  std::string_view name = line.substr(0, colon);
+  if (!std::all_of(name.begin(), name.end(), IsTokenChar)) {
+    // Space before the colon is another classic smuggling trick.
+    return Status::InvalidArgument("invalid header name");
+  }
+  std::string_view value = TrimOws(line.substr(colon + 1));
+  for (char c : value) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u == 0 || u == '\r' || u == '\n') {
+      return Status::InvalidArgument("control byte in header value");
+    }
+  }
+  auto& headers =
+      mode_ == Mode::kRequest ? request_.headers : response_.headers;
+  if (headers.size() >= limits_.max_headers) {
+    // kOutOfRange so the caller maps this to 431, not plain 400.
+    return Status::OutOfRange("too many headers");
+  }
+  headers.push_back({std::string(name), std::string(value)});
+  return Status::OK();
+}
+
+Status HttpParser::BeginBody() {
+  const auto& headers =
+      mode_ == Mode::kRequest ? request_.headers : response_.headers;
+  const std::string* te = FindIn(headers, "Transfer-Encoding");
+  const std::string* cl = FindIn(headers, "Content-Length");
+  // Repeated framing headers are the other classic smuggling vehicle:
+  // two Content-Length (or Transfer-Encoding) fields mean two proxies
+  // can disagree about where the message ends. Reject outright.
+  std::size_t cl_count = 0;
+  std::size_t te_count = 0;
+  for (const HttpHeader& h : headers) {
+    if (HeaderNameEquals(h.name, "Content-Length")) ++cl_count;
+    if (HeaderNameEquals(h.name, "Transfer-Encoding")) ++te_count;
+  }
+  if (cl_count > 1 || te_count > 1) {
+    return Status::InvalidArgument("repeated message-framing header");
+  }
+  if (te != nullptr) {
+    if (cl != nullptr) {
+      // RFC 9112 §6.1: a message with both is a request-smuggling
+      // vehicle; a strict server drops it.
+      return Status::InvalidArgument(
+          "both Content-Length and Transfer-Encoding present");
+    }
+    if (!HeaderNameEquals(TrimOws(*te), "chunked")) {
+      return Status::Unimplemented("unsupported transfer coding: " + *te);
+    }
+    phase_ = Phase::kChunkSize;
+    return Status::OK();
+  }
+  if (cl != nullptr) {
+    const std::string_view text = TrimOws(*cl);
+    if (text.empty() || text.size() > 15 ||
+        !std::all_of(text.begin(), text.end(),
+                     [](char c) { return c >= '0' && c <= '9'; })) {
+      return Status::InvalidArgument("malformed Content-Length");
+    }
+    std::size_t length = 0;
+    for (char c : text) length = length * 10 + static_cast<std::size_t>(c - '0');
+    if (length > limits_.max_body_bytes) {
+      return Status::OutOfRange("declared body of " + std::to_string(length) +
+                                " bytes exceeds limit");
+    }
+    if (length == 0) {
+      phase_ = Phase::kDone;
+      return Status::OK();
+    }
+    body_remaining_ = length;
+    phase_ = Phase::kFixedBody;
+    return Status::OK();
+  }
+  if (mode_ == Mode::kRequest) {
+    // No framing headers: no body (GET/DELETE and friends).
+    phase_ = Phase::kDone;
+  } else {
+    // A response without framing is delimited by connection close.
+    phase_ = Phase::kUntilClose;
+  }
+  return Status::OK();
+}
+
+HttpParser::State HttpParser::Feed(std::string_view data,
+                                   std::size_t* consumed) {
+  if (state_ != State::kNeedMore) return state_;
+  std::string& body = mode_ == Mode::kRequest ? request_.body : response_.body;
+
+  while (*consumed < data.size()) {
+    const std::string_view rest = data.substr(*consumed);
+    switch (phase_) {
+      case Phase::kStartLine:
+      case Phase::kHeaders:
+      case Phase::kTrailers:
+      case Phase::kChunkSize: {
+        // Line-oriented phases: accumulate until CRLF, byte by byte —
+        // header sections are small by limit, so this is never hot.
+        const char c = rest.front();
+        ++*consumed;
+        started_ = true;
+        line_.push_back(c);
+        const bool is_header_phase =
+            phase_ == Phase::kStartLine || phase_ == Phase::kHeaders ||
+            phase_ == Phase::kTrailers;
+        if (is_header_phase) {
+          ++header_bytes_;
+          if (header_bytes_ > limits_.max_header_bytes) {
+            return Error(431, "header section exceeds " +
+                                  std::to_string(limits_.max_header_bytes) +
+                                  " bytes");
+          }
+        } else if (line_.size() > limits_.max_chunk_line_bytes) {
+          return Error(400, "chunk-size line too long");
+        }
+        if (phase_ == Phase::kStartLine &&
+            line_.size() > limits_.max_start_line_bytes) {
+          return Error(431, "start line too long");
+        }
+        if (c != '\n') break;
+        if (line_.size() < 2 || line_[line_.size() - 2] != '\r') {
+          return Error(400, "bare LF in message framing");
+        }
+        std::string_view line(line_.data(), line_.size() - 2);
+        if (phase_ == Phase::kStartLine) {
+          if (line.empty()) {
+            // Tolerate one empty line before the start line (robust
+            // servers skip a stray CRLF between pipelined requests).
+            line_.clear();
+            break;
+          }
+          Status st = ParseStartLine(line);
+          if (!st.ok()) {
+            const int code =
+                st.message().find("version") != std::string::npos ? 505 : 400;
+            return Error(code, st.message());
+          }
+          phase_ = Phase::kHeaders;
+        } else if (phase_ == Phase::kHeaders) {
+          if (line.empty()) {
+            Status st = BeginBody();
+            if (!st.ok()) {
+              int code = 400;
+              if (st.code() == StatusCode::kOutOfRange) code = 413;
+              if (st.code() == StatusCode::kUnimplemented) code = 501;
+              return Error(code, st.message());
+            }
+          } else {
+            Status st = ParseHeaderLine(line);
+            if (!st.ok()) {
+              return Error(st.code() == StatusCode::kOutOfRange ? 431 : 400,
+                           st.message());
+            }
+          }
+        } else if (phase_ == Phase::kTrailers) {
+          // Trailer fields are framing we must walk past, not data we
+          // trust: validate shape, then discard.
+          if (line.empty()) {
+            phase_ = Phase::kDone;
+          } else if (line.front() == ' ' || line.front() == '\t' ||
+                     line.find(':') == std::string_view::npos) {
+            return Error(400, "malformed trailer line");
+          }
+        } else {  // kChunkSize
+          std::string_view size_text = line;
+          const std::size_t semi = size_text.find(';');
+          if (semi != std::string_view::npos) {
+            size_text = size_text.substr(0, semi);  // drop extensions
+          }
+          size_text = TrimOws(size_text);
+          if (size_text.empty() || size_text.size() > 8) {
+            return Error(400, "malformed chunk size");
+          }
+          std::size_t size = 0;
+          for (char h : size_text) {
+            size <<= 4;
+            if (h >= '0' && h <= '9') {
+              size |= static_cast<std::size_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              size |= static_cast<std::size_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              size |= static_cast<std::size_t>(h - 'A' + 10);
+            } else {
+              return Error(400, "invalid chunk-size hex digit");
+            }
+          }
+          if (size == 0) {
+            phase_ = Phase::kTrailers;
+          } else if (body.size() + size > limits_.max_body_bytes) {
+            return Error(413, "chunked body exceeds limit");
+          } else {
+            body_remaining_ = size;
+            phase_ = Phase::kChunkData;
+          }
+        }
+        line_.clear();
+        break;
+      }
+      case Phase::kFixedBody:
+      case Phase::kChunkData: {
+        const std::size_t take = std::min(body_remaining_, rest.size());
+        body.append(rest.substr(0, take));
+        *consumed += take;
+        body_remaining_ -= take;
+        if (body_remaining_ == 0) {
+          phase_ = phase_ == Phase::kFixedBody ? Phase::kDone
+                                               : Phase::kChunkDataEnd;
+        }
+        break;
+      }
+      case Phase::kChunkDataEnd: {
+        // Exactly CRLF after each chunk's data.
+        line_.push_back(rest.front());
+        ++*consumed;
+        if (line_.size() == 1) {
+          if (line_[0] != '\r') return Error(400, "chunk data not CRLF-terminated");
+        } else {
+          if (line_[1] != '\n') return Error(400, "chunk data not CRLF-terminated");
+          line_.clear();
+          phase_ = Phase::kChunkSize;
+        }
+        break;
+      }
+      case Phase::kUntilClose: {
+        if (body.size() + rest.size() > limits_.max_body_bytes) {
+          return Error(413, "body exceeds limit");
+        }
+        body.append(rest);
+        *consumed += rest.size();
+        break;
+      }
+      case Phase::kDone:
+        state_ = State::kComplete;
+        return state_;
+    }
+    if (phase_ == Phase::kDone && state_ == State::kNeedMore) {
+      state_ = State::kComplete;
+      return state_;
+    }
+  }
+  if (phase_ == Phase::kDone && state_ == State::kNeedMore) {
+    state_ = State::kComplete;
+  }
+  return state_;
+}
+
+HttpParser::State HttpParser::FinishEof() {
+  if (state_ != State::kNeedMore) return state_;
+  if (phase_ == Phase::kUntilClose) {
+    phase_ = Phase::kDone;
+    state_ = State::kComplete;
+    return state_;
+  }
+  if (!started_) {
+    // Clean close between messages.
+    return Error(400, "connection closed before any request bytes");
+  }
+  return Error(400, "connection closed mid-message");
+}
+
+}  // namespace bivoc

@@ -1,0 +1,163 @@
+#ifndef BIVOC_NET_HTTP_H_
+#define BIVOC_NET_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bivoc {
+
+// HTTP/1.1 message model and incremental parser (DESIGN.md §11). The
+// parser is the trust boundary of the gateway: it is fed raw bytes
+// from the socket and must stay correct and bounded under truncated,
+// oversized, pipelined and actively malicious input. It never throws,
+// never allocates proportionally to anything but the (limited) message
+// size, and consumes input byte-exactly so pipelined messages are
+// delimited correctly.
+
+struct HttpHeader {
+  std::string name;
+  std::string value;
+};
+
+// Case-insensitive ASCII compare for header names.
+bool HeaderNameEquals(std::string_view a, std::string_view b);
+
+// Standard reason phrase for a status code ("OK", "Not Found", ...);
+// "Unknown" for codes we never emit.
+std::string_view HttpReasonPhrase(int status);
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string target;   // origin-form, e.g. "/v1/query?limit=5"
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1"
+  std::vector<HttpHeader> headers;
+  std::string body;
+
+  // First matching header value (case-insensitive name) or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+  // Target path without the query string ("/v1/query").
+  std::string Path() const;
+  // Connection persistence per RFC 9112: HTTP/1.1 defaults to
+  // keep-alive unless "Connection: close"; HTTP/1.0 defaults to close
+  // unless "Connection: keep-alive".
+  bool KeepAlive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason;  // empty -> HttpReasonPhrase(status)
+  std::vector<HttpHeader> headers;
+  std::string body;
+
+  const std::string* FindHeader(std::string_view name) const;
+  // Replaces an existing header (case-insensitive) or appends.
+  void SetHeader(std::string_view name, std::string_view value);
+
+  // Full HTTP/1.1 wire form. Always emits Content-Length, and a
+  // "Connection: close" header when `keep_alive` is false.
+  std::string Serialize(bool keep_alive) const;
+};
+
+// Convenience constructors used by the gateway and tests.
+HttpResponse JsonResponse(int status, std::string body);
+HttpResponse TextResponse(int status, std::string body);
+// {"error":{"code":...,"message":...}} with Content-Type set.
+HttpResponse ErrorResponse(int status, std::string_view code,
+                           std::string_view message);
+
+struct HttpParserLimits {
+  std::size_t max_start_line_bytes = 8 * 1024;
+  // Start line + all header lines together.
+  std::size_t max_header_bytes = 16 * 1024;
+  std::size_t max_headers = 100;
+  std::size_t max_body_bytes = 8u << 20;
+  // A chunk-size line ("1a2f;ext=1\r\n") longer than this is hostile.
+  std::size_t max_chunk_line_bytes = 128;
+};
+
+// Incremental HTTP/1.x message parser. Feed() consumes as many bytes
+// as belong to the current message and stops exactly at its end, so
+// the caller's buffer position doubles as the start of the next
+// pipelined message. Parses requests (server side) and responses
+// (client side); handles Content-Length and chunked bodies, rejects
+// smuggling-prone combinations (Content-Length together with
+// Transfer-Encoding, unknown transfer codings, oversized anything).
+class HttpParser {
+ public:
+  enum class Mode { kRequest, kResponse };
+  enum class State { kNeedMore, kComplete, kError };
+
+  explicit HttpParser(Mode mode = Mode::kRequest,
+                      HttpParserLimits limits = {});
+
+  // Consumes from `data`, advancing `*consumed` (bytes used from the
+  // front). Returns kComplete with possibly unconsumed trailing bytes
+  // (the next pipelined message), kNeedMore when the message is still
+  // incomplete, or kError (error()/http_status() describe it).
+  State Feed(std::string_view data, std::size_t* consumed);
+
+  // Client side: signals end-of-stream. A response without
+  // Content-Length or chunked framing is delimited by connection
+  // close; this completes it. Anything else mid-message is an error.
+  State FinishEof();
+
+  // Valid after kComplete.
+  const HttpRequest& request() const { return request_; }
+  HttpResponse& response() { return response_; }
+  const HttpResponse& response() const { return response_; }
+
+  // Valid after kError: what went wrong, and the HTTP status a server
+  // should answer with (400/408/413/431/501/505).
+  const Status& error() const { return error_; }
+  int http_status() const { return http_status_; }
+
+  // True once any byte of the current message has been consumed —
+  // distinguishes an idle keep-alive connection from a slow-loris
+  // half-request when a read deadline expires.
+  bool started() const { return started_; }
+
+  State state() const { return state_; }
+
+  // Prepares for the next message on the same connection.
+  void Reset();
+
+ private:
+  enum class Phase {
+    kStartLine,
+    kHeaders,
+    kFixedBody,
+    kChunkSize,
+    kChunkData,
+    kChunkDataEnd,
+    kTrailers,
+    kUntilClose,
+    kDone,
+  };
+
+  State Error(int http_status, const std::string& message);
+  Status ParseStartLine(std::string_view line);
+  Status ParseHeaderLine(std::string_view line);
+  // Decides body framing from the collected headers.
+  Status BeginBody();
+
+  Mode mode_;
+  HttpParserLimits limits_;
+  Phase phase_ = Phase::kStartLine;
+  State state_ = State::kNeedMore;
+  bool started_ = false;
+  std::string line_;          // start line / header line accumulator
+  std::size_t header_bytes_ = 0;
+  std::size_t body_remaining_ = 0;
+  HttpRequest request_;
+  HttpResponse response_;
+  Status error_;
+  int http_status_ = 400;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_NET_HTTP_H_

@@ -1,0 +1,203 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace bivoc {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+HttpClient::HttpClient(std::string host, uint16_t port,
+                       HttpClientOptions options)
+    : host_(std::move(host)), port_(port), opts_(options) {}
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status HttpClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("unparseable host: " + host_);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::IoError("connect " + host_ + ":" +
+                                std::to_string(port_) + ": " +
+                                strerror(errno));
+    Close();
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+Status HttpClient::SendRaw(const std::string& bytes) {
+  BIVOC_RETURN_NOT_OK(EnsureConnected());
+  const int64_t deadline = NowMs() + opts_.timeout_ms;
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const int64_t remaining = deadline - NowMs();
+    if (remaining <= 0) return Status::IoError("send timeout");
+    pollfd pfd{fd_, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (ready < 0 && errno != EINTR) {
+      return Status::IoError(std::string("poll: ") + strerror(errno));
+    }
+    if (ready <= 0) continue;
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Status::IoError(std::string("send: ") + strerror(errno));
+      Close();
+      return st;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> HttpClient::ReadUntilClose() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string out;
+  const int64_t deadline = NowMs() + opts_.timeout_ms;
+  char buf[8192];
+  for (;;) {
+    const int64_t remaining = deadline - NowMs();
+    if (remaining <= 0) return out;  // whatever arrived before timeout
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (ready < 0 && errno != EINTR) {
+      return Status::IoError(std::string("poll: ") + strerror(errno));
+    }
+    if (ready <= 0) continue;
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      Close();
+      return out;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return out;
+    }
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+Result<HttpResponse> HttpClient::RoundTrip(const std::string& wire) {
+  BIVOC_RETURN_NOT_OK(SendRaw(wire));
+  HttpParser parser(HttpParser::Mode::kResponse, opts_.parser_limits);
+  const int64_t deadline = NowMs() + opts_.timeout_ms;
+  char buf[8192];
+  while (parser.state() == HttpParser::State::kNeedMore) {
+    const int64_t remaining = deadline - NowMs();
+    if (remaining <= 0) {
+      Close();
+      return Status::IoError("response timeout");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (ready < 0 && errno != EINTR) {
+      Close();
+      return Status::IoError(std::string("poll: ") + strerror(errno));
+    }
+    if (ready <= 0) continue;
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      parser.FinishEof();
+      Close();
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::IoError(std::string("recv: ") + strerror(errno));
+    }
+    std::size_t consumed = 0;
+    parser.Feed(std::string_view(buf, static_cast<std::size_t>(n)),
+                &consumed);
+    // Trailing unconsumed bytes would belong to a pipelined response
+    // we never asked for; drop them with the connection.
+  }
+  if (parser.state() != HttpParser::State::kComplete) {
+    Close();
+    return Status::Corruption("unparseable response: " +
+                              parser.error().message());
+  }
+  HttpResponse response = parser.response();
+  const std::string* connection = response.FindHeader("Connection");
+  if (connection != nullptr && HeaderNameEquals(*connection, "close")) {
+    Close();
+  }
+  return response;
+}
+
+Result<HttpResponse> HttpClient::Request(
+    const std::string& method, const std::string& target,
+    const std::vector<HttpHeader>& headers, std::string body) {
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  for (const HttpHeader& h : headers) {
+    wire += h.name + ": " + h.value + "\r\n";
+  }
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+
+  const bool was_connected = connected();
+  Result<HttpResponse> response = RoundTrip(wire);
+  if (!response.ok() && was_connected) {
+    // The kept-alive connection likely died under us (server idle
+    // timeout, restart); one reconnect covers the benign cases.
+    Close();
+    return RoundTrip(wire);
+  }
+  return response;
+}
+
+Result<HttpResponse> HttpClient::Get(const std::string& target) {
+  return Request("GET", target, {}, "");
+}
+
+Result<HttpResponse> HttpClient::Post(const std::string& target,
+                                      std::string body,
+                                      const std::string& content_type) {
+  return Request("POST", target, {{"Content-Type", content_type}},
+                 std::move(body));
+}
+
+}  // namespace bivoc

@@ -1,0 +1,66 @@
+#ifndef BIVOC_NET_HTTP_CLIENT_H_
+#define BIVOC_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+#include "util/result.h"
+
+namespace bivoc {
+
+struct HttpClientOptions {
+  // Applies to connect, and to each full request/response exchange.
+  int64_t timeout_ms = 5000;
+  HttpParserLimits parser_limits;
+};
+
+// Minimal blocking HTTP/1.1 client with keep-alive reuse. This exists
+// for the loopback consumers inside this repo — tests, bench_throughput
+// and examples/serve_http — not as a general-purpose client. One
+// client drives one connection; it is not thread-safe (each load
+// generator thread owns its own client, which is also how keep-alive
+// benchmarking should be shaped).
+class HttpClient {
+ public:
+  HttpClient(std::string host, uint16_t port, HttpClientOptions options = {});
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  // Sends and waits for the full response. Reconnects transparently
+  // when the server closed the kept-alive connection.
+  Result<HttpResponse> Request(const std::string& method,
+                               const std::string& target,
+                               const std::vector<HttpHeader>& headers,
+                               std::string body);
+  Result<HttpResponse> Get(const std::string& target);
+  Result<HttpResponse> Post(const std::string& target, std::string body,
+                            const std::string& content_type =
+                                "application/json");
+
+  // Raw escape hatch for hostile-input tests: sends exactly `bytes`
+  // on the (re)connected socket without any framing.
+  Status SendRaw(const std::string& bytes);
+  // Reads until the peer closes or the timeout expires; returns the
+  // bytes seen (possibly empty).
+  Result<std::string> ReadUntilClose();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Status EnsureConnected();
+  Result<HttpResponse> RoundTrip(const std::string& wire);
+
+  std::string host_;
+  uint16_t port_;
+  HttpClientOptions opts_;
+  int fd_ = -1;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_NET_HTTP_CLIENT_H_

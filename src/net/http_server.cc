@@ -1,0 +1,371 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/fault_injection.h"
+#include "util/logging.h"
+
+namespace bivoc {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Poll slice: deadlines are enforced by polling in short slices so a
+// stop request is noticed promptly even under an idle connection.
+constexpr int64_t kPollSliceMs = 50;
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+HttpServer::HttpServer(Handler handler, HttpServerOptions options,
+                       MetricsRegistry* metrics)
+    : handler_(std::move(handler)), opts_(std::move(options)) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  accepted_ = metrics_->GetCounter("net_connections_accepted_total");
+  rejected_ = metrics_->GetCounter("net_connections_rejected_total");
+  requests_ = metrics_->GetCounter("net_requests_total");
+  parse_errors_ = metrics_->GetCounter("net_parse_errors_total");
+  timeouts_ = metrics_->GetCounter("net_timeouts_total");
+  io_errors_ = metrics_->GetCounter("net_io_errors_total");
+  active_ = metrics_->GetGauge("net_active_connections");
+  if (opts_.num_workers == 0) opts_.num_workers = 1;
+  if (opts_.max_connections == 0) opts_.max_connections = 1;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  stopping_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("unparseable listen host: " + opts_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Status::IoError("bind " + opts_.host + ":" +
+                                std::to_string(opts_.port) + ": " +
+                                strerror(errno));
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status st = Status::IoError(std::string("listen: ") + strerror(errno));
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  running_.store(true, std::memory_order_release);
+  listener_ = std::thread([this] { ListenLoop(); });
+  workers_.reserve(opts_.num_workers);
+  for (std::size_t i = 0; i < opts_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  BIVOC_LOG(Info) << "http server listening on " << opts_.host << ":"
+                  << port_;
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  if (listener_.joinable()) listener_.join();
+  // Workers drain: each finishes its in-flight request (the connection
+  // loop checks stopping_ between requests), then pops remaining
+  // queued connections and rejects them.
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : pending_fds_) {
+      RejectConnection(fd, 503, "server shutting down");
+      CloseFd(fd);
+      --live_connections_;
+    }
+    pending_fds_.clear();
+    active_->Set(static_cast<int64_t>(live_connections_));
+  }
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::ListenLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(kPollSliceMs));
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0 || !(pfd.revents & POLLIN)) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) {
+        continue;
+      }
+      break;
+    }
+    Status fault = FaultInjector::Global().MaybeFail(kFaultNetAccept);
+    if (!fault.ok()) {
+      io_errors_->Increment();
+      CloseFd(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (live_connections_ < opts_.max_connections) {
+        ++live_connections_;
+        pending_fds_.push_back(fd);
+        admitted = true;
+        active_->Set(static_cast<int64_t>(live_connections_));
+      }
+    }
+    if (admitted) {
+      accepted_->Increment();
+      cv_.notify_one();
+    } else {
+      rejected_->Increment();
+      RejectConnection(fd, 503, "connection limit reached");
+      CloseFd(fd);
+    }
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] {
+        return !pending_fds_.empty() ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      if (pending_fds_.empty()) return;  // stopping and drained
+      fd = pending_fds_.front();
+      pending_fds_.pop_front();
+    }
+    ServeConnection(fd);
+    CloseFd(fd);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --live_connections_;
+      active_->Set(static_cast<int64_t>(live_connections_));
+    }
+  }
+}
+
+void HttpServer::RejectConnection(int fd, int status,
+                                  const std::string& message) {
+  HttpResponse response = ErrorResponse(status, "Unavailable", message);
+  if (status == 503) response.SetHeader("Retry-After", "1");
+  const std::string wire = response.Serialize(/*keep_alive=*/false);
+  // Single best-effort non-blocking write: a client that refuses to
+  // read its rejection must not be able to wedge the listener.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  (void)::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+}
+
+bool HttpServer::WriteAll(int fd, std::string_view data) {
+  const int64_t deadline = NowMs() + opts_.write_timeout_ms;
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const int64_t remaining = deadline - NowMs();
+    if (remaining <= 0) {
+      timeouts_->Increment();
+      return false;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(
+        &pfd, 1, static_cast<int>(std::min(remaining, kPollSliceMs)));
+    if (ready < 0 && errno != EINTR) {
+      io_errors_->Increment();
+      return false;
+    }
+    if (ready <= 0 || !(pfd.revents & POLLOUT)) continue;
+    Status fault = FaultInjector::Global().MaybeFail(kFaultNetWrite);
+    if (!fault.ok()) {
+      io_errors_->Increment();
+      return false;
+    }
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      io_errors_->Increment();
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void HttpServer::ServeConnection(int fd) {
+  HttpParser parser(HttpParser::Mode::kRequest, opts_.parser_limits);
+  std::string pending;  // unconsumed bytes (pipelined next request)
+  std::size_t served = 0;
+  char buf[8192];
+
+  for (;;) {
+    parser.Reset();
+    // The read deadline starts from the first byte of *this* request;
+    // until then the (longer) idle timeout governs.
+    int64_t idle_deadline = NowMs() + opts_.idle_timeout_ms;
+    int64_t read_deadline = 0;
+
+    if (!pending.empty()) {
+      std::size_t consumed = 0;
+      parser.Feed(pending, &consumed);
+      pending.erase(0, consumed);
+      if (parser.started()) read_deadline = NowMs() + opts_.read_timeout_ms;
+    }
+
+    while (parser.state() == HttpParser::State::kNeedMore) {
+      const bool stop = stopping_.load(std::memory_order_acquire);
+      if (stop && !parser.started()) {
+        // Drain: a connection whose request bytes already arrived is
+        // effectively in flight and still gets served; a truly idle
+        // one closes now.
+        pollfd probe{fd, POLLIN, 0};
+        if (::poll(&probe, 1, 0) <= 0 || !(probe.revents & POLLIN)) {
+          return;
+        }
+      }
+      const int64_t deadline =
+          parser.started() ? read_deadline : idle_deadline;
+      const int64_t remaining = deadline - NowMs();
+      if (remaining <= 0) {
+        timeouts_->Increment();
+        if (parser.started()) {
+          // Slow-loris: a half-sent request is answered (best effort)
+          // and the connection is reaped.
+          WriteAll(fd, ErrorResponse(408, "Timeout",
+                                     "request not completed in time")
+                           .Serialize(false));
+        }
+        return;
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      const int ready = ::poll(
+          &pfd, 1, static_cast<int>(std::min(remaining, kPollSliceMs)));
+      if (ready < 0 && errno != EINTR) {
+        io_errors_->Increment();
+        return;
+      }
+      if (ready <= 0) continue;
+      if (pfd.revents & (POLLERR | POLLNVAL)) return;
+      if (!(pfd.revents & (POLLIN | POLLHUP))) continue;
+      Status fault = FaultInjector::Global().MaybeFail(kFaultNetRead);
+      if (!fault.ok()) {
+        io_errors_->Increment();
+        return;
+      }
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n == 0) return;  // peer closed
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;
+        }
+        io_errors_->Increment();
+        return;
+      }
+      if (!parser.started()) {
+        read_deadline = NowMs() + opts_.read_timeout_ms;
+      }
+      std::size_t consumed = 0;
+      std::string_view data(buf, static_cast<std::size_t>(n));
+      parser.Feed(data, &consumed);
+      pending.append(data.substr(consumed));
+    }
+
+    if (parser.state() == HttpParser::State::kError) {
+      parse_errors_->Increment();
+      WriteAll(fd, ErrorResponse(parser.http_status(), "BadRequest",
+                                 parser.error().message())
+                       .Serialize(false));
+      return;
+    }
+
+    requests_->Increment();
+    ++served;
+    const HttpRequest& request = parser.request();
+    HttpResponse response;
+    try {
+      response = handler_(request);
+    } catch (const std::exception& e) {
+      response = ErrorResponse(500, "Internal", e.what());
+    } catch (...) {
+      response = ErrorResponse(500, "Internal", "handler threw");
+    }
+    const bool stop = stopping_.load(std::memory_order_acquire);
+    const bool keep_alive = request.KeepAlive() && !stop &&
+                            served < opts_.max_requests_per_connection;
+    if (!WriteAll(fd, response.Serialize(keep_alive))) return;
+    if (!keep_alive) return;
+  }
+}
+
+HttpServerStats HttpServer::stats() const {
+  HttpServerStats s;
+  s.accepted = accepted_->Value();
+  s.rejected_over_cap = rejected_->Value();
+  s.requests = requests_->Value();
+  s.parse_errors = parse_errors_->Value();
+  s.timeouts = timeouts_->Value();
+  s.io_errors = io_errors_->Value();
+  s.active_connections = static_cast<std::size_t>(active_->Value());
+  return s;
+}
+
+}  // namespace bivoc

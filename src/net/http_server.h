@@ -1,0 +1,134 @@
+#ifndef BIVOC_NET_HTTP_SERVER_H_
+#define BIVOC_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace bivoc {
+
+struct HttpServerOptions {
+  std::string host = "127.0.0.1";
+  // 0 binds an ephemeral port; port() reports the real one.
+  uint16_t port = 0;
+  std::size_t num_workers = 4;
+  // Accepted connections alive at once (in-flight + queued). The
+  // listener answers the overflow with a canned 503 and closes.
+  std::size_t max_connections = 64;
+  // A request, once its first byte arrives, must be complete within
+  // this window — the slow-loris deadline.
+  int64_t read_timeout_ms = 5000;
+  // Serialized response must be fully written within this window.
+  int64_t write_timeout_ms = 5000;
+  // Keep-alive connections idle longer than this are closed.
+  int64_t idle_timeout_ms = 15000;
+  // Requests served on one connection before it is cycled.
+  std::size_t max_requests_per_connection = 1000;
+  HttpParserLimits parser_limits;
+};
+
+// Cumulative wire-level accounting (also exported as net_* metrics).
+struct HttpServerStats {
+  std::size_t accepted = 0;
+  std::size_t rejected_over_cap = 0;
+  std::size_t requests = 0;
+  std::size_t parse_errors = 0;
+  std::size_t timeouts = 0;        // read or write deadline expired
+  std::size_t io_errors = 0;       // recv/send failures (incl. injected)
+  std::size_t active_connections = 0;  // instantaneous
+};
+
+// A hardened HTTP/1.1 front end (DESIGN.md §11): one listener thread
+// accepts connections into a bounded queue; a worker pool runs each
+// connection's keep-alive loop — incremental parse under a read
+// deadline, dispatch to the handler, deadline-bounded write. Hostile
+// input is the parser's problem (bounded and strict); hostile *pacing*
+// is handled here: slow-loris requests die at read_timeout_ms, unread
+// responses at write_timeout_ms, idle connections at idle_timeout_ms,
+// and the connection cap sheds the rest with a 503.
+//
+// Stop() drains gracefully: the listener closes first, idle keep-alive
+// connections close at their next poll slice, and a request already in
+// flight (bytes received or handler running) completes and gets its
+// response before the connection closes. Stop() joins every thread.
+//
+// The fault points "net.accept", "net.read" and "net.write" fire at
+// the corresponding syscall sites so wire-level failures are testable
+// without real network trouble.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  // With `metrics` == nullptr the server owns a private registry.
+  explicit HttpServer(Handler handler, HttpServerOptions options = {},
+                      MetricsRegistry* metrics = nullptr);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds, listens and starts the listener + workers. Fails with
+  // kIoError when the address cannot be bound.
+  Status Start();
+
+  // Graceful drain; idempotent. Safe to call from any thread (not
+  // from a handler).
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (after Start), host byte order.
+  uint16_t port() const { return port_; }
+
+  HttpServerStats stats() const;
+  MetricsRegistry* metrics() { return metrics_; }
+  const HttpServerOptions& options() const { return opts_; }
+
+ private:
+  void ListenLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  // Deadline-bounded full write; false on timeout/error.
+  bool WriteAll(int fd, std::string_view data);
+  // Best-effort canned response for connections we refuse to serve.
+  void RejectConnection(int fd, int status, const std::string& message);
+
+  Handler handler_;
+  HttpServerOptions opts_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+
+  Counter* accepted_;
+  Counter* rejected_;
+  Counter* requests_;
+  Counter* parse_errors_;
+  Counter* timeouts_;
+  Counter* io_errors_;
+  Gauge* active_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int> pending_fds_;
+  std::size_t live_connections_ = 0;  // queued + being served
+
+  std::thread listener_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_NET_HTTP_SERVER_H_

@@ -1,0 +1,503 @@
+#include "net/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace bivoc {
+
+JsonValue& JsonValue::Set(std::string_view key, JsonValue v) {
+  for (Member& m : object_) {
+    if (m.key == key) {
+      m.value = std::move(v);
+      return m.value;
+    }
+  }
+  object_.push_back(Member{std::string(key), std::move(v)});
+  return object_.back().value;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const Member& m : object_) {
+    if (m.key == key) return &m.value;
+  }
+  return nullptr;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      if (is_int_ && other.is_int_) return int_ == other.int_;
+      return GetDouble() == other.GetDouble();
+    case Type::kString:
+      return str_ == other.str_;
+    case Type::kArray:
+      return array_ == other.array_;
+    case Type::kObject:
+      return object_ == other.object_;
+  }
+  return false;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parser
+
+class Parser {
+ public:
+  Parser(std::string_view text, const JsonParseOptions& opts)
+      : text_(text), opts_(opts) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue value;
+    BIVOC_RETURN_NOT_OK(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  Status ParseValue(JsonValue* out, std::size_t depth) {
+    if (depth > opts_.max_depth) {
+      return Fail("nesting exceeds max_depth " +
+                  std::to_string(opts_.max_depth));
+    }
+    if (AtEnd()) return Fail("unexpected end of input");
+    switch (Peek()) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        BIVOC_RETURN_NOT_OK(ParseString(&s));
+        *out = JsonValue(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue(true), out);
+      case 'f':
+        return ParseLiteral("false", JsonValue(false), out);
+      case 'n':
+        return ParseLiteral("null", JsonValue(nullptr), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(std::string_view word, JsonValue value, JsonValue* out) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Fail("invalid literal");
+    }
+    pos_ += word.size();
+    *out = std::move(value);
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue* out, std::size_t depth) {
+    ++pos_;  // '{'
+    *out = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Fail("expected object key");
+      std::string key;
+      BIVOC_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (AtEnd() || Peek() != ':') return Fail("expected ':' after key");
+      ++pos_;
+      SkipWhitespace();
+      JsonValue value;
+      BIVOC_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      // Duplicate keys: last one wins (Set replaces), matching most
+      // real-world decoders; hostile duplicates cannot smuggle state.
+      out->Set(key, std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, std::size_t depth) {
+    ++pos_;  // '['
+    *out = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWhitespace();
+      JsonValue value;
+      BIVOC_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->Append(std::move(value));
+      SkipWhitespace();
+      if (AtEnd()) return Fail("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("invalid hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  // Validates one UTF-8 sequence starting at pos_ and appends it.
+  // Rejects overlong encodings, surrogates and values past U+10FFFF.
+  Status ConsumeUtf8(std::string* out) {
+    const unsigned char first = static_cast<unsigned char>(text_[pos_]);
+    std::size_t len;
+    uint32_t cp;
+    uint32_t min;
+    if (first < 0x80) {
+      out->push_back(static_cast<char>(first));
+      ++pos_;
+      return Status::OK();
+    } else if ((first & 0xE0) == 0xC0) {
+      len = 2;
+      cp = first & 0x1F;
+      min = 0x80;
+    } else if ((first & 0xF0) == 0xE0) {
+      len = 3;
+      cp = first & 0x0F;
+      min = 0x800;
+    } else if ((first & 0xF8) == 0xF0) {
+      len = 4;
+      cp = first & 0x07;
+      min = 0x10000;
+    } else {
+      return Fail("invalid UTF-8 lead byte");
+    }
+    if (pos_ + len > text_.size()) return Fail("truncated UTF-8 sequence");
+    for (std::size_t i = 1; i < len; ++i) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_ + i]);
+      if ((c & 0xC0) != 0x80) return Fail("invalid UTF-8 continuation byte");
+      cp = (cp << 6) | (c & 0x3F);
+    }
+    if (cp < min) return Fail("overlong UTF-8 encoding");
+    if (cp > 0x10FFFF) return Fail("UTF-8 code point out of range");
+    if (cp >= 0xD800 && cp <= 0xDFFF) {
+      return Fail("raw surrogate in UTF-8 string");
+    }
+    out->append(text_.substr(pos_, len));
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    for (;;) {
+      if (AtEnd()) return Fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (AtEnd()) return Fail("unterminated escape");
+        const char esc = text_[pos_];
+        ++pos_;
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            uint32_t cp;
+            BIVOC_RETURN_NOT_OK(ParseHex4(&cp));
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: a low surrogate escape must follow.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Fail("high surrogate without low surrogate");
+              }
+              pos_ += 2;
+              uint32_t low;
+              BIVOC_RETURN_NOT_OK(ParseHex4(&low));
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Fail("invalid low surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return Fail("unpaired low surrogate");
+            }
+            AppendUtf8(cp, out);
+            break;
+          }
+          default:
+            return Fail("invalid escape character");
+        }
+        continue;
+      }
+      if (c < 0x20) return Fail("unescaped control character in string");
+      BIVOC_RETURN_NOT_OK(ConsumeUtf8(out));
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    if (AtEnd()) return Fail("truncated number");
+    // Integer part: "0" alone or a non-zero digit run (leading zeros
+    // are a classic laxness that strict JSON forbids).
+    if (Peek() == '0') {
+      ++pos_;
+    } else if (Peek() >= '1' && Peek() <= '9') {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    } else {
+      return Fail("invalid number");
+    }
+    bool integral = true;
+    if (!AtEnd() && Peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Fail("digit required after decimal point");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Fail("digit required in exponent");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      int64_t value = 0;
+      auto [p, ec] = std::from_chars(token.data(), token.data() + token.size(),
+                                     value);
+      if (ec == std::errc() && p == token.data() + token.size()) {
+        *out = JsonValue(value);
+        return Status::OK();
+      }
+      // Out of int64 range: fall through to double.
+    }
+    double value = 0.0;
+    auto [p, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || p != token.data() + token.size()) {
+      return Fail("unparseable number");
+    }
+    if (!std::isfinite(value)) return Fail("number overflows double");
+    *out = JsonValue(value);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  const JsonParseOptions& opts_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Writer
+
+void EscapeTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(raw);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NumberTo(const JsonValue& v, std::string* out) {
+  if (v.is_integer()) {
+    char buf[32];
+    auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v.GetInt64());
+    out->append(buf, p);
+    return;
+  }
+  const double d = v.GetDouble();
+  if (!std::isfinite(d)) {
+    // JSON has no NaN/Inf; null is the least-wrong encoding.
+    out->append("null");
+    return;
+  }
+  char buf[40];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  out->append(buf, p);
+}
+
+void DumpTo(const JsonValue& v, int indent, int depth, std::string* out) {
+  const bool pretty = indent > 0;
+  auto newline = [&](int level) {
+    if (!pretty) return;
+    out->push_back('\n');
+    out->append(static_cast<std::size_t>(indent * level), ' ');
+  };
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      out->append("null");
+      break;
+    case JsonValue::Type::kBool:
+      out->append(v.GetBool() ? "true" : "false");
+      break;
+    case JsonValue::Type::kNumber:
+      NumberTo(v, out);
+      break;
+    case JsonValue::Type::kString:
+      EscapeTo(v.GetString(), out);
+      break;
+    case JsonValue::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : v.GetArray()) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        DumpTo(item, indent, depth + 1, out);
+      }
+      if (!first) newline(depth);
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.GetObject()) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        EscapeTo(key, out);
+        out->push_back(':');
+        if (pretty) out->push_back(' ');
+        DumpTo(value, indent, depth + 1, out);
+      }
+      if (!first) newline(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text, JsonParseOptions options) {
+  if (options.max_bytes > 0 && text.size() > options.max_bytes) {
+    return Status::InvalidArgument(
+        "JSON document of " + std::to_string(text.size()) +
+        " bytes exceeds limit " + std::to_string(options.max_bytes));
+  }
+  return Parser(text, options).Parse();
+}
+
+std::string DumpJson(const JsonValue& value) {
+  std::string out;
+  DumpTo(value, 0, 0, &out);
+  return out;
+}
+
+std::string DumpJson(const JsonValue& value, int indent) {
+  std::string out;
+  DumpTo(value, indent, 0, &out);
+  return out;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,150 @@
+#ifndef BIVOC_NET_JSON_H_
+#define BIVOC_NET_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bivoc {
+
+// Dependency-free JSON layer for the wire formats (DESIGN.md §11): a
+// DOM value type, a strict parser hardened against hostile input
+// (depth bombs, oversized documents, invalid UTF-8, malformed
+// escapes), and a writer. This is the single serialization substrate
+// for /v1/query, /v1/ingest, /healthz and HealthReport::ToString —
+// nothing in the system assembles JSON by string concatenation.
+
+struct JsonMember;  // key/value pair; defined below JsonValue
+
+// A JSON document value. Numbers remember whether they were written
+// as integers so counters round-trip exactly (int64 range) while
+// ratios keep full double precision.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Member = JsonMember;
+  // Insertion-ordered: dumps are deterministic and match the order
+  // the producer chose (counts first, nested detail later).
+  using Object = std::vector<JsonMember>;
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(std::nullptr_t) : type_(Type::kNull) {}  // NOLINT
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  JsonValue(int v) : JsonValue(static_cast<int64_t>(v)) {}  // NOLINT
+  JsonValue(int64_t v) : type_(Type::kNumber), int_(v), is_int_(true) {  // NOLINT
+    num_ = static_cast<double>(v);
+  }
+  JsonValue(uint64_t v)  // NOLINT
+      : type_(Type::kNumber), num_(static_cast<double>(v)) {
+    if (v <= static_cast<uint64_t>(INT64_MAX)) {
+      int_ = static_cast<int64_t>(v);
+      is_int_ = true;
+    }
+  }
+  JsonValue(double v) : type_(Type::kNumber), num_(v) {}  // NOLINT
+  JsonValue(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  JsonValue(std::string_view s) : type_(Type::kString), str_(s) {}  // NOLINT
+  JsonValue(const char* s) : type_(Type::kString), str_(s) {}  // NOLINT
+
+  static JsonValue MakeArray() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue MakeObject() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  // True for numbers written without fraction/exponent that fit int64.
+  bool is_integer() const { return type_ == Type::kNumber && is_int_; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool GetBool() const { return bool_; }
+  double GetDouble() const { return num_; }
+  int64_t GetInt64() const {
+    return is_int_ ? int_ : static_cast<int64_t>(num_);
+  }
+  const std::string& GetString() const { return str_; }
+  const Array& GetArray() const { return array_; }
+  Array& GetArray() { return array_; }
+  const Object& GetObject() const { return object_; }
+  Object& GetObject() { return object_; }
+
+  // Array append (value must be an array).
+  JsonValue& Append(JsonValue v) {
+    array_.push_back(std::move(v));
+    return array_.back();
+  }
+
+  // Object member write: replaces an existing key, appends otherwise.
+  JsonValue& Set(std::string_view key, JsonValue v);
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  // Structural equality. Numbers compare by numeric value (1 == 1.0).
+  bool operator==(const JsonValue& other) const;
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  int64_t int_ = 0;
+  bool is_int_ = false;
+  std::string str_;
+  Array array_;
+  Object object_;
+};
+
+struct JsonMember {
+  std::string key;
+  JsonValue value;
+};
+
+inline bool operator==(const JsonMember& a, const JsonMember& b) {
+  return a.key == b.key && a.value == b.value;
+}
+inline bool operator!=(const JsonMember& a, const JsonMember& b) {
+  return !(a == b);
+}
+
+struct JsonParseOptions {
+  // Maximum container nesting; a depth bomb fails fast instead of
+  // exhausting the stack.
+  std::size_t max_depth = 64;
+  // Maximum document size in bytes (0 = unlimited). The gateway sets
+  // this from its per-route body limits.
+  std::size_t max_bytes = 8u << 20;
+};
+
+// Strict RFC 8259 parsing: exactly one value, no trailing garbage, no
+// comments, no NaN/Infinity, no leading zeros, strings must be valid
+// UTF-8 (escapes included, surrogate pairs validated). Errors report
+// the byte offset.
+Result<JsonValue> ParseJson(std::string_view text,
+                            JsonParseOptions options = {});
+
+// Compact serialization (no insignificant whitespace). Integers print
+// as integers; other doubles print shortest-round-trip.
+std::string DumpJson(const JsonValue& value);
+// Pretty-printed with `indent` spaces per level (for logs and docs).
+std::string DumpJson(const JsonValue& value, int indent);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_NET_JSON_H_

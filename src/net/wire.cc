@@ -1,0 +1,280 @@
+#include "net/wire.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+
+namespace bivoc {
+
+namespace {
+
+// Decoder helpers. Each returns a field-qualified error so a client
+// can tell *which* part of its body was wrong.
+
+Status FieldError(const std::string& field, const std::string& what) {
+  return Status::InvalidArgument("field \"" + field + "\": " + what);
+}
+
+Result<std::string> GetStringField(const JsonValue& v,
+                                   const std::string& field) {
+  if (!v.is_string()) return FieldError(field, "expected a string");
+  return std::string(v.GetString());
+}
+
+Result<std::size_t> GetSizeField(const JsonValue& v,
+                                 const std::string& field) {
+  if (!v.is_integer()) return FieldError(field, "expected an integer");
+  const int64_t n = v.GetInt64();
+  if (n < 0) return FieldError(field, "must be non-negative");
+  return static_cast<std::size_t>(n);
+}
+
+Result<std::vector<std::string>> GetStringArrayField(
+    const JsonValue& v, const std::string& field) {
+  if (!v.is_array()) return FieldError(field, "expected an array");
+  std::vector<std::string> out;
+  out.reserve(v.GetArray().size());
+  for (const JsonValue& item : v.GetArray()) {
+    if (!item.is_string()) {
+      return FieldError(field, "expected an array of strings");
+    }
+    out.push_back(std::string(item.GetString()));
+  }
+  return out;
+}
+
+JsonValue StringArrayToJson(const std::vector<std::string>& keys) {
+  JsonValue arr = JsonValue::MakeArray();
+  for (const std::string& k : keys) arr.Append(JsonValue(k));
+  return arr;
+}
+
+}  // namespace
+
+const char* VocChannelName(VocChannel channel) {
+  switch (channel) {
+    case VocChannel::kEmail:
+      return "email";
+    case VocChannel::kSms:
+      return "sms";
+    case VocChannel::kCall:
+      return "call";
+  }
+  return "unknown";
+}
+
+bool VocChannelFromName(std::string_view name, VocChannel* out) {
+  for (VocChannel c :
+       {VocChannel::kEmail, VocChannel::kSms, VocChannel::kCall}) {
+    if (name == VocChannelName(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+JsonValue QueryRequestToJson(const QueryRequest& req) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("class", JsonValue(QueryClassName(req.cls)));
+  if (!req.key.empty()) obj.Set("key", JsonValue(req.key));
+  if (!req.prefix.empty()) obj.Set("prefix", JsonValue(req.prefix));
+  if (!req.row_keys.empty()) {
+    obj.Set("row_keys", StringArrayToJson(req.row_keys));
+  }
+  if (!req.col_keys.empty()) {
+    obj.Set("col_keys", StringArrayToJson(req.col_keys));
+  }
+  obj.Set("limit", JsonValue(req.limit));
+  obj.Set("min_count", JsonValue(req.min_count));
+  return obj;
+}
+
+Result<QueryRequest> QueryRequestFromJson(const JsonValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("query body must be a JSON object");
+  }
+  QueryRequest req;
+  bool saw_class = false;
+  for (const JsonValue::Member& m : v.GetObject()) {
+    if (m.key == "class") {
+      BIVOC_ASSIGN_OR_RETURN(std::string name,
+                             GetStringField(m.value, m.key));
+      if (!QueryClassFromName(name, &req.cls)) {
+        return FieldError(m.key, "unknown query class \"" + name + "\"");
+      }
+      saw_class = true;
+    } else if (m.key == "key") {
+      BIVOC_ASSIGN_OR_RETURN(req.key, GetStringField(m.value, m.key));
+    } else if (m.key == "prefix") {
+      BIVOC_ASSIGN_OR_RETURN(req.prefix, GetStringField(m.value, m.key));
+    } else if (m.key == "row_keys") {
+      BIVOC_ASSIGN_OR_RETURN(req.row_keys,
+                             GetStringArrayField(m.value, m.key));
+    } else if (m.key == "col_keys") {
+      BIVOC_ASSIGN_OR_RETURN(req.col_keys,
+                             GetStringArrayField(m.value, m.key));
+    } else if (m.key == "limit") {
+      BIVOC_ASSIGN_OR_RETURN(req.limit, GetSizeField(m.value, m.key));
+    } else if (m.key == "min_count") {
+      BIVOC_ASSIGN_OR_RETURN(req.min_count, GetSizeField(m.value, m.key));
+    } else {
+      return Status::InvalidArgument("unknown query field \"" + m.key +
+                                     "\"");
+    }
+  }
+  if (!saw_class) {
+    return Status::InvalidArgument("query body needs a \"class\" field");
+  }
+  return req;
+}
+
+JsonValue ReportResultToJson(const ReportResult& result, bool from_cache) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("class", JsonValue(QueryClassName(result.cls)));
+  obj.Set("generation", JsonValue(result.generation));
+  obj.Set("num_documents", JsonValue(result.num_documents));
+  obj.Set("from_cache", JsonValue(from_cache));
+  switch (result.cls) {
+    case QueryClass::kConceptSearch: {
+      JsonValue concepts = JsonValue::MakeArray();
+      for (const ConceptHit& hit : result.concepts) {
+        JsonValue c = JsonValue::MakeObject();
+        c.Set("key", JsonValue(hit.key));
+        c.Set("count", JsonValue(hit.count));
+        concepts.Append(std::move(c));
+      }
+      obj.Set("concepts", std::move(concepts));
+      break;
+    }
+    case QueryClass::kRelevancy:
+    case QueryClass::kChurnDrivers: {
+      JsonValue items = JsonValue::MakeArray();
+      for (const RelevancyItem& item : result.relevancy) {
+        JsonValue r = JsonValue::MakeObject();
+        r.Set("key", JsonValue(item.key));
+        r.Set("subset_count", JsonValue(item.subset_count));
+        r.Set("corpus_count", JsonValue(item.corpus_count));
+        r.Set("subset_freq", JsonValue(item.subset_freq));
+        r.Set("corpus_freq", JsonValue(item.corpus_freq));
+        r.Set("relative", JsonValue(item.relative));
+        items.Append(std::move(r));
+      }
+      obj.Set("relevancy", std::move(items));
+      break;
+    }
+    case QueryClass::kAssociation: {
+      JsonValue table = JsonValue::MakeObject();
+      table.Set("row_keys", StringArrayToJson(result.association.row_keys));
+      table.Set("col_keys", StringArrayToJson(result.association.col_keys));
+      JsonValue cells = JsonValue::MakeArray();
+      for (const AssociationCell& cell : result.association.cells) {
+        JsonValue c = JsonValue::MakeObject();
+        c.Set("row_key", JsonValue(cell.row_key));
+        c.Set("col_key", JsonValue(cell.col_key));
+        c.Set("n_cell", JsonValue(cell.n_cell));
+        c.Set("n_row", JsonValue(cell.n_row));
+        c.Set("n_col", JsonValue(cell.n_col));
+        c.Set("n", JsonValue(cell.n));
+        c.Set("point_lift", JsonValue(cell.point_lift));
+        c.Set("lower_lift", JsonValue(cell.lower_lift));
+        c.Set("row_share", JsonValue(cell.row_share));
+        cells.Append(std::move(c));
+      }
+      table.Set("cells", std::move(cells));
+      obj.Set("association", std::move(table));
+      break;
+    }
+    case QueryClass::kTrend: {
+      JsonValue trends = JsonValue::MakeArray();
+      for (const TrendSummary& trend : result.trends) {
+        JsonValue t = JsonValue::MakeObject();
+        t.Set("key", JsonValue(trend.key));
+        t.Set("slope", JsonValue(trend.slope));
+        t.Set("total_count", JsonValue(trend.total_count));
+        trends.Append(std::move(t));
+      }
+      obj.Set("trends", std::move(trends));
+      break;
+    }
+  }
+  return obj;
+}
+
+JsonValue IngestItemsToJson(const std::vector<IngestItem>& items) {
+  JsonValue arr = JsonValue::MakeArray();
+  for (const IngestItem& item : items) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("channel", JsonValue(VocChannelName(item.channel)));
+    o.Set("payload", JsonValue(item.payload));
+    if (item.time_bucket != 0) {
+      o.Set("time_bucket", JsonValue(item.time_bucket));
+    }
+    if (!item.structured_keys.empty()) {
+      o.Set("structured_keys", StringArrayToJson(item.structured_keys));
+    }
+    arr.Append(std::move(o));
+  }
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("items", std::move(arr));
+  return obj;
+}
+
+Result<std::vector<IngestItem>> IngestItemsFromJson(const JsonValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("ingest body must be a JSON object");
+  }
+  const JsonValue* items = v.Find("items");
+  if (items == nullptr || !items->is_array()) {
+    return Status::InvalidArgument(
+        "ingest body needs an \"items\" array");
+  }
+  if (v.GetObject().size() != 1) {
+    return Status::InvalidArgument(
+        "ingest body has fields other than \"items\"");
+  }
+  std::vector<IngestItem> out;
+  out.reserve(items->GetArray().size());
+  for (std::size_t i = 0; i < items->GetArray().size(); ++i) {
+    const JsonValue& entry = items->GetArray()[i];
+    const std::string where = "items[" + std::to_string(i) + "]";
+    if (!entry.is_object()) {
+      return FieldError(where, "expected an object");
+    }
+    IngestItem item;
+    bool saw_payload = false;
+    for (const JsonValue::Member& m : entry.GetObject()) {
+      if (m.key == "channel") {
+        BIVOC_ASSIGN_OR_RETURN(
+            std::string name, GetStringField(m.value, where + ".channel"));
+        if (!VocChannelFromName(name, &item.channel)) {
+          return FieldError(where + ".channel",
+                            "unknown channel \"" + name + "\"");
+        }
+      } else if (m.key == "payload") {
+        BIVOC_ASSIGN_OR_RETURN(item.payload,
+                               GetStringField(m.value, where + ".payload"));
+        saw_payload = true;
+      } else if (m.key == "time_bucket") {
+        if (!m.value.is_integer()) {
+          return FieldError(where + ".time_bucket", "expected an integer");
+        }
+        item.time_bucket = m.value.GetInt64();
+      } else if (m.key == "structured_keys") {
+        BIVOC_ASSIGN_OR_RETURN(
+            item.structured_keys,
+            GetStringArrayField(m.value, where + ".structured_keys"));
+      } else {
+        return FieldError(where, "unknown field \"" + m.key + "\"");
+      }
+    }
+    if (!saw_payload) {
+      return FieldError(where, "needs a \"payload\" field");
+    }
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+}  // namespace bivoc

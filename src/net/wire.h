@@ -1,0 +1,45 @@
+#ifndef BIVOC_NET_WIRE_H_
+#define BIVOC_NET_WIRE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/ingest.h"
+#include "net/json.h"
+#include "serve/query.h"
+#include "synth/telecom.h"
+#include "util/result.h"
+
+namespace bivoc {
+
+// JSON wire formats of the gateway's request/response bodies
+// (DESIGN.md §11). Decoders are strict: unknown fields, wrong types
+// and out-of-range values are kInvalidArgument with a field-qualified
+// message, never silently ignored — a mistyped "limitt" should fail
+// loudly, not fall back to a default.
+
+// Stable lowercase channel names ("email", "sms", "call").
+const char* VocChannelName(VocChannel channel);
+bool VocChannelFromName(std::string_view name, VocChannel* out);
+
+// Query request body of POST /v1/query:
+//   {"class":"relevancy","key":"outcome/reservation",
+//    "prefix":"intent/","limit":20,"min_count":3,
+//    "row_keys":[...],"col_keys":[...]}
+// Only "class" is required; the rest default like QueryRequest does.
+JsonValue QueryRequestToJson(const QueryRequest& req);
+Result<QueryRequest> QueryRequestFromJson(const JsonValue& v);
+
+// Query response body: class/generation/num_documents/from_cache plus
+// exactly the payload member matching the class.
+JsonValue ReportResultToJson(const ReportResult& result, bool from_cache);
+
+// Ingest batch body of POST /v1/ingest:
+//   {"items":[{"channel":"email","payload":"...","time_bucket":3,
+//              "structured_keys":["plan/..."]}]}
+JsonValue IngestItemsToJson(const std::vector<IngestItem>& items);
+Result<std::vector<IngestItem>> IngestItemsFromJson(const JsonValue& v);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_NET_WIRE_H_

@@ -21,6 +21,17 @@ const char* QueryClassName(QueryClass cls) {
   return "unknown";
 }
 
+bool QueryClassFromName(std::string_view name, QueryClass* out) {
+  for (std::size_t c = 0; c < kNumQueryClasses; ++c) {
+    const QueryClass cls = static_cast<QueryClass>(c);
+    if (name == QueryClassName(cls)) {
+      *out = cls;
+      return true;
+    }
+  }
+  return false;
+}
+
 QueryRequest QueryRequest::ConceptSearch(std::string prefix,
                                          std::size_t limit) {
   QueryRequest req;

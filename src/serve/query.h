@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mining/association.h"
@@ -29,8 +30,13 @@ enum class QueryClass {
 inline constexpr std::size_t kNumQueryClasses = 5;
 
 // Stable lowercase identifier ("concept_search", ...), used as a
-// metric-name suffix and in log lines.
+// metric-name suffix, in log lines and as the wire name in the
+// gateway's JSON query format.
 const char* QueryClassName(QueryClass cls);
+
+// Inverse of QueryClassName for wire decoding; false when `name` is
+// not a known class.
+bool QueryClassFromName(std::string_view name, QueryClass* out);
 
 struct QueryRequest {
   QueryClass cls = QueryClass::kConceptSearch;

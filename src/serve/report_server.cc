@@ -9,6 +9,32 @@
 
 namespace bivoc {
 
+JsonValue ServeStats::ToJson() const {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("submitted", JsonValue(submitted));
+  obj.Set("completed", JsonValue(completed));
+  obj.Set("failed", JsonValue(failed));
+  obj.Set("shed", JsonValue(shed));
+  obj.Set("cache_hits", JsonValue(cache_hits));
+  obj.Set("cache_misses", JsonValue(cache_misses));
+  obj.Set("cache_hit_ratio", JsonValue(CacheHitRatio()));
+  obj.Set("queue_depth", JsonValue(queue_depth));
+  obj.Set("cache_entries", JsonValue(cache_entries));
+  JsonValue per_class = JsonValue::MakeObject();
+  for (std::size_t c = 0; c < kNumQueryClasses; ++c) {
+    per_class.Set(QueryClassName(static_cast<QueryClass>(c)),
+                  JsonValue(requests_per_class[c]));
+  }
+  obj.Set("requests_per_class", std::move(per_class));
+  JsonValue latency = JsonValue::MakeObject();
+  latency.Set("count", JsonValue(latency_ms.count));
+  latency.Set("p50_ms", JsonValue(latency_ms.p50));
+  latency.Set("p95_ms", JsonValue(latency_ms.p95));
+  latency.Set("p99_ms", JsonValue(latency_ms.p99));
+  obj.Set("latency", std::move(latency));
+  return obj;
+}
+
 std::string ServeStats::ToString() const {
   std::ostringstream os;
   os << "submitted=" << submitted << " completed=" << completed

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/json.h"
 #include "serve/query.h"
 #include "util/metrics.h"
 #include "util/result.h"
@@ -55,6 +56,9 @@ struct ServeStats {
                       : static_cast<double>(cache_hits) /
                             static_cast<double>(total);
   }
+  // JSON form — embedded under "serving" in HealthReportToJson, which
+  // is what /healthz returns.
+  JsonValue ToJson() const;
   std::string ToString() const;
 };
 

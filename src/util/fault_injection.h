@@ -32,6 +32,12 @@ inline constexpr const char kFaultIoRename[] = "io.rename";
 // query evaluation on a worker.
 inline constexpr const char kFaultServeAdmit[] = "serve.admit";
 inline constexpr const char kFaultServeQuery[] = "serve.query";
+// Network gateway (net/http_server.cc): the accept path and the
+// per-connection read/write syscall sites, so wire-level failures are
+// reproducible without real network trouble.
+inline constexpr const char kFaultNetAccept[] = "net.accept";
+inline constexpr const char kFaultNetRead[] = "net.read";
+inline constexpr const char kFaultNetWrite[] = "net.write";
 
 // How an armed fault point misbehaves. Each hit draws an independent
 // Bernoulli(probability) from a per-point seeded Rng, so a given seed

@@ -30,6 +30,52 @@ std::string_view StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
+namespace {
+
+struct HttpMapping {
+  StatusCode code;
+  int http_status;
+};
+
+// One row per StatusCode; the exhaustive unit test in test_gateway.cpp
+// fails compilation-of-intent (a missing row) by iterating the enum.
+constexpr HttpMapping kHttpTable[] = {
+    {StatusCode::kOk, 200},
+    {StatusCode::kInvalidArgument, 400},
+    {StatusCode::kNotFound, 404},
+    {StatusCode::kAlreadyExists, 409},
+    {StatusCode::kOutOfRange, 400},
+    {StatusCode::kFailedPrecondition, 412},
+    {StatusCode::kUnimplemented, 501},
+    {StatusCode::kIoError, 500},
+    {StatusCode::kCorruption, 500},
+    {StatusCode::kInternal, 500},
+    {StatusCode::kUnavailable, 503},
+};
+
+}  // namespace
+
+int HttpStatusForCode(StatusCode code) {
+  for (const HttpMapping& row : kHttpTable) {
+    if (row.code == code) return row.http_status;
+  }
+  return 500;  // unknown codes are server-side bugs
+}
+
+StatusCode StatusCodeForHttp(int http_status) {
+  if (http_status >= 200 && http_status < 300) return StatusCode::kOk;
+  switch (http_status) {
+    case 404: return StatusCode::kNotFound;
+    case 409: return StatusCode::kAlreadyExists;
+    case 412: return StatusCode::kFailedPrecondition;
+    case 501: return StatusCode::kUnimplemented;
+    case 503: return StatusCode::kUnavailable;
+    default:
+      return http_status >= 500 ? StatusCode::kInternal
+                                : StatusCode::kInvalidArgument;
+  }
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out(StatusCodeName(code_));

@@ -30,6 +30,17 @@ enum class StatusCode {
 // Returns a stable human-readable name ("OK", "InvalidArgument", ...).
 std::string_view StatusCodeName(StatusCode code);
 
+// HTTP status for a StatusCode (table-driven; see status.cc). Every
+// enum value maps: kOk -> 200, client errors -> 4xx, server faults ->
+// 5xx, and kUnavailable -> 503 so load shedding reaches the wire as
+// "retry later" (the gateway adds the Retry-After header).
+int HttpStatusForCode(StatusCode code);
+
+// Inverse-ish helper for wire decoding: the StatusCode a client should
+// report for an HTTP status (404 -> kNotFound, 503 -> kUnavailable,
+// other 4xx -> kInvalidArgument, 5xx -> kInternal).
+StatusCode StatusCodeForHttp(int http_status);
+
 // A cheap value type carrying success or an (error code, message) pair.
 //
 //   Status s = table.Append(row);

@@ -1,0 +1,453 @@
+#include "net/gateway.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bivoc.h"
+#include "net/http_client.h"
+#include "net/json.h"
+#include "net/wire.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace bivoc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// StatusCode -> HTTP table (satellite b). Exhaustive on purpose: adding
+// a StatusCode without deciding its wire mapping should fail here, not
+// surface as a surprise 500 in production.
+
+TEST(StatusHttpTest, EveryStatusCodeHasADeliberateHttpMapping) {
+  struct Row {
+    StatusCode code;
+    int http;
+  };
+  const Row kRows[] = {
+      {StatusCode::kOk, 200},
+      {StatusCode::kInvalidArgument, 400},
+      {StatusCode::kNotFound, 404},
+      {StatusCode::kAlreadyExists, 409},
+      {StatusCode::kOutOfRange, 400},
+      {StatusCode::kFailedPrecondition, 412},
+      {StatusCode::kUnimplemented, 501},
+      {StatusCode::kIoError, 500},
+      {StatusCode::kCorruption, 500},
+      {StatusCode::kInternal, 500},
+      {StatusCode::kUnavailable, 503},
+  };
+  // Keep the table exhaustive: kUnavailable is the last enumerator.
+  ASSERT_EQ(static_cast<std::size_t>(StatusCode::kUnavailable) + 1,
+            sizeof(kRows) / sizeof(kRows[0]));
+  for (const Row& row : kRows) {
+    EXPECT_EQ(HttpStatusForCode(row.code), row.http)
+        << StatusCodeName(row.code);
+  }
+}
+
+TEST(StatusHttpTest, ReverseMappingCoversTheCommonCases) {
+  EXPECT_EQ(StatusCodeForHttp(200), StatusCode::kOk);
+  EXPECT_EQ(StatusCodeForHttp(204), StatusCode::kOk);
+  EXPECT_EQ(StatusCodeForHttp(400), StatusCode::kInvalidArgument);
+  EXPECT_EQ(StatusCodeForHttp(404), StatusCode::kNotFound);
+  EXPECT_EQ(StatusCodeForHttp(409), StatusCode::kAlreadyExists);
+  EXPECT_EQ(StatusCodeForHttp(412), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(StatusCodeForHttp(501), StatusCode::kUnimplemented);
+  EXPECT_EQ(StatusCodeForHttp(503), StatusCode::kUnavailable);
+  EXPECT_EQ(StatusCodeForHttp(500), StatusCode::kInternal);
+  EXPECT_EQ(StatusCodeForHttp(418), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codecs.
+
+TEST(WireTest, VocChannelNamesRoundTrip) {
+  const VocChannel kChannels[] = {VocChannel::kEmail, VocChannel::kSms,
+                                  VocChannel::kCall};
+  for (VocChannel channel : kChannels) {
+    VocChannel back = VocChannel::kEmail;
+    ASSERT_TRUE(VocChannelFromName(VocChannelName(channel), &back));
+    EXPECT_EQ(back, channel);
+  }
+  VocChannel out;
+  EXPECT_FALSE(VocChannelFromName("pigeon", &out));
+  EXPECT_FALSE(VocChannelFromName("", &out));
+  EXPECT_FALSE(VocChannelFromName("Email", &out));  // names are lowercase
+}
+
+TEST(WireTest, QueryRequestSurvivesJsonRoundTrip) {
+  QueryRequest req;
+  req.cls = QueryClass::kAssociation;
+  req.key = "outcome/reservation";
+  req.prefix = "intent/";
+  req.row_keys = {"car/suv", "car/mid"};
+  req.col_keys = {"outcome/yes", "outcome/no"};
+  req.limit = 7;
+  req.min_count = 2;
+
+  auto back = QueryRequestFromJson(QueryRequestToJson(req));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->cls, req.cls);
+  EXPECT_EQ(back->key, req.key);
+  EXPECT_EQ(back->prefix, req.prefix);
+  EXPECT_EQ(back->row_keys, req.row_keys);
+  EXPECT_EQ(back->col_keys, req.col_keys);
+  EXPECT_EQ(back->limit, req.limit);
+  EXPECT_EQ(back->min_count, req.min_count);
+}
+
+TEST(WireTest, QueryRequestOnlyClassIsRequired) {
+  auto parsed = ParseJson(R"({"class":"concept_search"})");
+  ASSERT_TRUE(parsed.ok());
+  auto req = QueryRequestFromJson(parsed.value());
+  ASSERT_TRUE(req.ok()) << req.status();
+  EXPECT_EQ(req->cls, QueryClass::kConceptSearch);
+  EXPECT_EQ(req->limit, 50u);     // QueryRequest defaults survive
+  EXPECT_EQ(req->min_count, 3u);
+  EXPECT_TRUE(req->key.empty());
+}
+
+TEST(WireTest, QueryRequestDecoderIsStrict) {
+  const char* kBad[] = {
+      R"([])",                                    // not an object
+      R"({})",                                    // class missing
+      R"({"class":"warp_speed"})",                // unknown class
+      R"({"class":42})",                          // wrong type
+      R"({"class":"trend","limitt":5})",          // mistyped field
+      R"({"class":"trend","limit":-1})",          // negative size
+      R"({"class":"trend","limit":"ten"})",       // wrong type
+      R"({"class":"trend","row_keys":"car"})",    // not an array
+      R"({"class":"trend","row_keys":[1,2]})",    // non-string element
+  };
+  for (const char* doc : kBad) {
+    auto parsed = ParseJson(doc);
+    ASSERT_TRUE(parsed.ok()) << doc;
+    auto req = QueryRequestFromJson(parsed.value());
+    EXPECT_FALSE(req.ok()) << doc;
+    EXPECT_EQ(req.status().code(), StatusCode::kInvalidArgument) << doc;
+  }
+}
+
+TEST(WireTest, IngestItemsSurviveJsonRoundTrip) {
+  std::vector<IngestItem> items(2);
+  items[0].channel = VocChannel::kSms;
+  items[0].payload = "gprs not working";
+  items[0].time_bucket = 5;
+  items[0].structured_keys = {"status/churned", "plan/basic"};
+  items[1].channel = VocChannel::kCall;
+  items[1].payload = "transcript text";
+
+  auto back = IngestItemsFromJson(IngestItemsToJson(items));
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ(back->at(0).channel, VocChannel::kSms);
+  EXPECT_EQ(back->at(0).payload, "gprs not working");
+  EXPECT_EQ(back->at(0).time_bucket, 5);
+  EXPECT_EQ(back->at(0).structured_keys,
+            (std::vector<std::string>{"status/churned", "plan/basic"}));
+  EXPECT_EQ(back->at(1).channel, VocChannel::kCall);
+}
+
+TEST(WireTest, IngestDecoderIsStrict) {
+  const char* kBad[] = {
+      R"({})",                                           // items missing
+      R"({"items":{}})",                                 // not an array
+      R"({"items":[],"extra":1})",                       // unknown key
+      R"({"items":[{}]})",                               // payload missing
+      R"({"items":[{"payload":"x","channel":"fax"}]})",  // bad channel
+      R"({"items":[{"payload":"x","time_bucket":"y"}]})",
+      R"({"items":[{"payload":"x","wat":1}]})",          // unknown field
+      R"({"items":["x"]})",                              // non-object item
+  };
+  for (const char* doc : kBad) {
+    auto parsed = ParseJson(doc);
+    ASSERT_TRUE(parsed.ok()) << doc;
+    auto items = IngestItemsFromJson(parsed.value());
+    EXPECT_FALSE(items.ok()) << doc;
+    EXPECT_EQ(items.status().code(), StatusCode::kInvalidArgument) << doc;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gateway fixture: the telecom mini-engine used by the ingest tests, so
+// email/sms payloads survive the spam/language filters and produce
+// "product/gprs" concepts to query.
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  GatewayTest() {
+    Schema schema({
+        {"id", DataType::kInt64, AttributeRole::kNone},
+        {"name", DataType::kString, AttributeRole::kPersonName},
+        {"phone", DataType::kString, AttributeRole::kPhone},
+    });
+    Table* customers =
+        *engine_.warehouse()->CreateTable("customers", schema);
+    BIVOC_CHECK_OK(customers
+                       ->Append({Value(int64_t{0}), Value("john smith"),
+                                 Value("9845012345")})
+                       .status());
+    BIVOC_CHECK_OK(engine_.FinishWarehouse());
+    engine_.ConfigureAnnotators({"john", "smith"}, {});
+    engine_.extractor()->mutable_dictionary()->Add("gprs", "gprs",
+                                                   "product");
+    engine_.pipeline()->mutable_language_filter()->AddVocabulary(
+        {"gprs", "john", "smith", "working", "down", "report", "problem",
+         "question"});
+  }
+
+  void TearDown() override {
+    engine_.StopGateway();
+    FaultInjector::Global().DisarmAll();
+    FaultInjector::Global().ResetCounters();
+  }
+
+  static std::string BatchJson(std::size_t n, int64_t bucket = 0) {
+    std::vector<IngestItem> items(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      items[i].channel = i % 2 == 0 ? VocChannel::kEmail : VocChannel::kSms;
+      items[i].payload = i % 2 == 0
+                             ? "gprs problem report from john smith"
+                             : "gprs not working john smith";
+      items[i].time_bucket = bucket;
+      items[i].structured_keys = {"status/active"};
+    }
+    return DumpJson(IngestItemsToJson(items));
+  }
+
+  static HttpRequest Post(const std::string& path, std::string body) {
+    HttpRequest request;
+    request.method = "POST";
+    request.target = path;
+    request.version = "HTTP/1.1";
+    request.body = std::move(body);
+    return request;
+  }
+
+  static HttpRequest Get(const std::string& path) {
+    HttpRequest request;
+    request.method = "GET";
+    request.target = path;
+    request.version = "HTTP/1.1";
+    return request;
+  }
+
+  static JsonValue MustParse(const std::string& body) {
+    auto parsed = ParseJson(body);
+    BIVOC_CHECK_OK(parsed.status());
+    return parsed.MoveValue();
+  }
+
+  BivocEngine engine_;
+};
+
+// --- Handle(): the full routing table, no sockets involved -------------
+
+TEST_F(GatewayTest, UnknownPathIs404WithJsonError) {
+  Gateway gateway(&engine_);
+  HttpResponse response = gateway.Handle(Get("/v2/query"));
+  EXPECT_EQ(response.status, 404);
+  JsonValue body = MustParse(response.body);
+  const JsonValue* error = body.Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->Find("code")->GetString(), "not_found");
+}
+
+TEST_F(GatewayTest, WrongMethodIs405WithAllowHeader) {
+  Gateway gateway(&engine_);
+  HttpResponse get_query = gateway.Handle(Get("/v1/query"));
+  EXPECT_EQ(get_query.status, 405);
+  ASSERT_NE(get_query.FindHeader("Allow"), nullptr);
+  EXPECT_EQ(*get_query.FindHeader("Allow"), "POST");
+
+  HttpResponse post_health = gateway.Handle(Post("/healthz", ""));
+  EXPECT_EQ(post_health.status, 405);
+  ASSERT_NE(post_health.FindHeader("Allow"), nullptr);
+  EXPECT_EQ(*post_health.FindHeader("Allow"), "GET");
+}
+
+TEST_F(GatewayTest, MalformedBodiesAre400NotCrashes) {
+  Gateway gateway(&engine_);
+  EXPECT_EQ(gateway.Handle(Post("/v1/query", "{not json")).status, 400);
+  EXPECT_EQ(gateway.Handle(Post("/v1/query", R"({"limit":1})")).status,
+            400);
+  EXPECT_EQ(gateway.Handle(Post("/v1/ingest", "[]")).status, 400);
+}
+
+TEST_F(GatewayTest, HealthzIsTheJsonHealthReport) {
+  Gateway gateway(&engine_);
+  engine_.AddEmail("gprs problem report from john smith");
+  HttpResponse response = gateway.Handle(Get("/healthz"));
+  EXPECT_EQ(response.status, 200);
+  ASSERT_NE(response.FindHeader("Content-Type"), nullptr);
+  EXPECT_EQ(*response.FindHeader("Content-Type"), "application/json");
+  JsonValue body = MustParse(response.body);
+  ASSERT_TRUE(body.is_object());
+  ASSERT_NE(body.Find("pipeline"), nullptr);
+  EXPECT_EQ(body.Find("pipeline")->Find("processed")->GetInt64(), 1);
+  EXPECT_NE(body.Find("serving"), nullptr);
+  EXPECT_NE(body.Find("breaker"), nullptr);
+  // Single source of truth: /healthz and HealthReport::ToString agree.
+  EXPECT_EQ(response.body, engine_.Health().ToString());
+}
+
+TEST_F(GatewayTest, ShedQueryMapsTo503WithRetryAfter) {
+  Gateway gateway(&engine_);
+  ScopedFault fault(kFaultServeAdmit, FaultSpec{});
+  HttpResponse response =
+      gateway.Handle(Post("/v1/query", R"({"class":"concept_search"})"));
+  EXPECT_EQ(response.status, 503);
+  ASSERT_NE(response.FindHeader("Retry-After"), nullptr);
+  // retry_after_ms defaults to 50; the header rounds up to whole seconds.
+  EXPECT_EQ(*response.FindHeader("Retry-After"), "1");
+  JsonValue body = MustParse(response.body);
+  EXPECT_EQ(body.Find("error")->Find("code")->GetString(), "Unavailable");
+}
+
+TEST_F(GatewayTest, PerRouteMetricsCountHandledRequests) {
+  Gateway gateway(&engine_);
+  gateway.Handle(Get("/healthz"));
+  gateway.Handle(Get("/nope"));
+  gateway.Handle(Post("/v1/query", R"({"class":"concept_search"})"));
+  const std::string text = engine_.MetricsText();
+  EXPECT_NE(text.find("gateway_requests_total_healthz 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("gateway_requests_total_other 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("gateway_requests_total_query 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("gateway_responses_total_other_404 1"),
+            std::string::npos);
+}
+
+// --- loopback: the engine's own Start/StopGateway lifecycle ------------
+
+TEST_F(GatewayTest, IngestThenQueryOverLoopback) {
+  auto port = engine_.StartGateway();
+  ASSERT_TRUE(port.ok()) << port.status();
+  // A second gateway on the same engine is a configuration error.
+  auto second = engine_.StartGateway();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+
+  HttpClient client("127.0.0.1", port.value());
+  auto ingest = client.Post("/v1/ingest", BatchJson(10));
+  ASSERT_TRUE(ingest.ok()) << ingest.status();
+  ASSERT_EQ(ingest->status, 200);
+  JsonValue receipt = MustParse(ingest->body);
+  EXPECT_EQ(receipt.Find("submitted")->GetInt64(), 10);
+  EXPECT_EQ(receipt.Find("processed")->GetInt64(), 10);
+
+  const std::string query = R"({"class":"concept_search",)"
+                            R"("prefix":"product/"})";
+  auto first = client.Post("/v1/query", query);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_EQ(first->status, 200);
+  JsonValue body = MustParse(first->body);
+  EXPECT_EQ(body.Find("class")->GetString(), "concept_search");
+  EXPECT_FALSE(body.Find("from_cache")->GetBool());
+  EXPECT_GE(body.Find("generation")->GetInt64(), 1);
+  const JsonValue* concepts = body.Find("concepts");
+  ASSERT_NE(concepts, nullptr);
+  ASSERT_EQ(concepts->GetArray().size(), 1u);
+  EXPECT_EQ(concepts->GetArray()[0].Find("key")->GetString(),
+            "product/gprs");
+  EXPECT_EQ(concepts->GetArray()[0].Find("count")->GetInt64(), 10);
+
+  // The identical query again is a cache hit, visible on the wire.
+  auto again = client.Post("/v1/query", query);
+  ASSERT_TRUE(again.ok()) << again.status();
+  ASSERT_EQ(again->status, 200);
+  EXPECT_TRUE(MustParse(again->body).Find("from_cache")->GetBool());
+
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find("gateway_requests_total_query 2"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("serve_cache_hits_total 1"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("net_requests_total"), std::string::npos);
+
+  ASSERT_NE(engine_.gateway(), nullptr);
+  engine_.StopGateway();
+  EXPECT_EQ(engine_.gateway(), nullptr);
+  engine_.StopGateway();  // idempotent
+  // The port is free again: a fresh gateway can start.
+  auto restarted = engine_.StartGateway();
+  ASSERT_TRUE(restarted.ok()) << restarted.status();
+}
+
+TEST_F(GatewayTest, GenerationStaysConsistentUnderConcurrentIngest) {
+  auto port = engine_.StartGateway();
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  constexpr int kBatches = 8;
+  constexpr int kBatchSize = 4;
+  constexpr int kQueryThreads = 3;
+  constexpr int kQueriesPerThread = 25;
+
+  std::atomic<bool> ingest_done{false};
+  std::thread ingester([&] {
+    HttpClient client("127.0.0.1", port.value());
+    for (int b = 0; b < kBatches; ++b) {
+      auto response = client.Post("/v1/ingest", BatchJson(kBatchSize, b));
+      ASSERT_TRUE(response.ok()) << response.status();
+      EXPECT_EQ(response->status, 200);
+    }
+    ingest_done.store(true);
+  });
+
+  std::atomic<int> served{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    readers.emplace_back([&, t] {
+      HttpClient client("127.0.0.1", port.value());
+      int64_t last_generation = 0;
+      int64_t last_documents = 0;
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        const std::string query =
+            R"({"class":"concept_search","prefix":"product/","limit":)" +
+            std::to_string(10 + (q + t) % 3) + "}";
+        auto response = client.Post("/v1/query", query);
+        ASSERT_TRUE(response.ok()) << response.status();
+        if (response->status == 503) continue;  // shed under load is fine
+        ASSERT_EQ(response->status, 200) << response->body;
+        JsonValue body = MustParse(response->body);
+        const int64_t generation = body.Find("generation")->GetInt64();
+        const int64_t documents = body.Find("num_documents")->GetInt64();
+        // Each response is a consistent snapshot: generation and the
+        // document count never move backwards, and every batch publish
+        // adds exactly kBatchSize documents, so the pair stays in step.
+        EXPECT_GE(generation, last_generation);
+        EXPECT_GE(documents, last_documents);
+        EXPECT_EQ(documents % kBatchSize, 0) << "torn snapshot";
+        last_generation = generation;
+        last_documents = documents;
+        served.fetch_add(1);
+      }
+    });
+  }
+  ingester.join();
+  for (auto& reader : readers) reader.join();
+  EXPECT_GT(served.load(), 0);
+
+  // After the dust settles the corpus holds every ingested document.
+  HttpClient client("127.0.0.1", port.value());
+  auto final_response = client.Post(
+      "/v1/query", R"({"class":"concept_search","prefix":"product/"})");
+  ASSERT_TRUE(final_response.ok()) << final_response.status();
+  ASSERT_EQ(final_response->status, 200);
+  EXPECT_EQ(MustParse(final_response->body).Find("num_documents")
+                ->GetInt64(),
+            kBatches * kBatchSize);
+}
+
+}  // namespace
+}  // namespace bivoc

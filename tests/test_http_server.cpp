@@ -1,0 +1,482 @@
+#include "net/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http.h"
+#include "net/http_client.h"
+#include "util/fault_injection.h"
+
+namespace bivoc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HttpParser: message model
+
+HttpParser::State ParseAll(HttpParser* parser, std::string_view wire,
+                           std::size_t* consumed_out = nullptr) {
+  std::size_t consumed = 0;
+  const HttpParser::State state = parser->Feed(wire, &consumed);
+  if (consumed_out != nullptr) *consumed_out = consumed;
+  return state;
+}
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpParser parser;
+  std::size_t consumed = 0;
+  const std::string wire =
+      "GET /healthz?verbose=1 HTTP/1.1\r\nHost: x\r\nX-Trace: 7\r\n\r\n";
+  ASSERT_EQ(ParseAll(&parser, wire, &consumed), HttpParser::State::kComplete);
+  EXPECT_EQ(consumed, wire.size());
+  const HttpRequest& req = parser.request();
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/healthz?verbose=1");
+  EXPECT_EQ(req.Path(), "/healthz");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  ASSERT_NE(req.FindHeader("x-trace"), nullptr);  // case-insensitive
+  EXPECT_EQ(*req.FindHeader("X-TRACE"), "7");
+  EXPECT_TRUE(req.KeepAlive());
+}
+
+TEST(HttpParserTest, ParsesContentLengthBody) {
+  HttpParser parser;
+  ASSERT_EQ(ParseAll(&parser,
+                     "POST /v1/query HTTP/1.1\r\nContent-Length: 5\r\n\r\n"
+                     "hello"),
+            HttpParser::State::kComplete);
+  EXPECT_EQ(parser.request().body, "hello");
+}
+
+TEST(HttpParserTest, ByteAtATimeFeedingMatchesOneShot) {
+  const std::string wire =
+      "POST /x HTTP/1.1\r\nContent-Length: 3\r\nA: b\r\n\r\nxyz";
+  HttpParser parser;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    std::size_t consumed = 0;
+    const auto state = parser.Feed(wire.substr(i, 1), &consumed);
+    ASSERT_EQ(consumed, 1u) << "byte " << i;
+    if (i + 1 < wire.size()) {
+      ASSERT_EQ(state, HttpParser::State::kNeedMore) << "byte " << i;
+    } else {
+      ASSERT_EQ(state, HttpParser::State::kComplete);
+    }
+  }
+  EXPECT_EQ(parser.request().body, "xyz");
+}
+
+TEST(HttpParserTest, ChunkedBodyWithExtensionsAndTrailers) {
+  HttpParser parser;
+  ASSERT_EQ(ParseAll(&parser,
+                     "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                     "4;ext=1\r\nWiki\r\n5\r\npedia\r\n0\r\n"
+                     "Trailer: v\r\n\r\n"),
+            HttpParser::State::kComplete)
+      << parser.error();
+  EXPECT_EQ(parser.request().body, "Wikipedia");
+}
+
+TEST(HttpParserTest, PipelinedRequestsConsumeExactly) {
+  const std::string first =
+      "POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nab";
+  const std::string second = "GET /b HTTP/1.1\r\n\r\n";
+  HttpParser parser;
+  std::size_t consumed = 0;
+  ASSERT_EQ(ParseAll(&parser, first + second, &consumed),
+            HttpParser::State::kComplete);
+  EXPECT_EQ(consumed, first.size());  // stops at the message boundary
+  parser.Reset();
+  EXPECT_FALSE(parser.started());
+  ASSERT_EQ(ParseAll(&parser, second, &consumed),
+            HttpParser::State::kComplete);
+  EXPECT_EQ(parser.request().target, "/b");
+}
+
+TEST(HttpParserTest, KeepAliveSemantics) {
+  HttpParser parser;
+  ASSERT_EQ(ParseAll(&parser,
+                     "GET / HTTP/1.1\r\nConnection: close\r\n\r\n"),
+            HttpParser::State::kComplete);
+  EXPECT_FALSE(parser.request().KeepAlive());
+  parser.Reset();
+  ASSERT_EQ(ParseAll(&parser, "GET / HTTP/1.0\r\n\r\n"),
+            HttpParser::State::kComplete);
+  EXPECT_FALSE(parser.request().KeepAlive());
+  parser.Reset();
+  ASSERT_EQ(ParseAll(&parser,
+                     "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"),
+            HttpParser::State::kComplete);
+  EXPECT_TRUE(parser.request().KeepAlive());
+}
+
+// ---------------------------------------------------------------------------
+// HttpParser: hostile input
+
+struct HostileCase {
+  const char* name;
+  std::string wire;
+  int http_status;  // expected rejection status
+};
+
+TEST(HttpParserHostileTest, RejectsMalformedStartLinesAndHeaders) {
+  const std::vector<HostileCase> cases = {
+      {"empty method", " / HTTP/1.1\r\n\r\n", 400},
+      {"no target", "GET HTTP/1.1\r\n\r\n", 400},
+      {"bad version", "GET / HTTP/2.0\r\n\r\n", 505},
+      {"garbage version", "GET / HTPP/1.1\r\n\r\n", 400},
+      {"ctl in target", std::string("GET /\x01 HTTP/1.1\r\n\r\n"), 400},
+      {"bare LF line ending", "GET / HTTP/1.1\nHost: x\n\n", 400},
+      {"space before colon", "GET / HTTP/1.1\r\nHost : x\r\n\r\n", 400},
+      {"obs-fold continuation",
+       "GET / HTTP/1.1\r\nA: 1\r\n  2\r\n\r\n", 400},
+      {"header name with ctl",
+       std::string("GET / HTTP/1.1\r\nB\x7fz: 1\r\n\r\n"), 400},
+      {"colonless header", "GET / HTTP/1.1\r\nWat\r\n\r\n", 400},
+      {"negative content-length",
+       "POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400},
+      {"alpha content-length",
+       "POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n", 400},
+      {"double content-length mismatch",
+       "POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+       400},
+      {"cl plus te smuggling",
+       "POST / HTTP/1.1\r\nContent-Length: 3\r\n"
+       "Transfer-Encoding: chunked\r\n\r\n", 400},
+      {"unknown transfer coding",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n", 501},
+      {"bad chunk size",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n", 400},
+      {"missing crlf after chunk",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+       "3\r\nabcX", 400},
+  };
+  for (const HostileCase& c : cases) {
+    HttpParser parser;
+    std::size_t consumed = 0;
+    const auto state = parser.Feed(c.wire, &consumed);
+    EXPECT_EQ(state, HttpParser::State::kError) << c.name;
+    EXPECT_EQ(parser.http_status(), c.http_status)
+        << c.name << ": " << parser.error();
+  }
+}
+
+TEST(HttpParserHostileTest, EnforcesSizeLimits) {
+  HttpParserLimits limits;
+  limits.max_start_line_bytes = 64;
+  limits.max_header_bytes = 128;
+  limits.max_headers = 3;
+  limits.max_body_bytes = 8;
+  limits.max_chunk_line_bytes = 8;
+
+  {  // oversized request target -> 431
+    HttpParser parser(HttpParser::Mode::kRequest, limits);
+    std::string wire = "GET /" + std::string(200, 'a') + " HTTP/1.1\r\n\r\n";
+    EXPECT_EQ(ParseAll(&parser, wire), HttpParser::State::kError);
+    EXPECT_EQ(parser.http_status(), 431);
+  }
+  {  // oversized header block -> 431
+    HttpParser parser(HttpParser::Mode::kRequest, limits);
+    std::string wire =
+        "GET / HTTP/1.1\r\nA: " + std::string(200, 'b') + "\r\n\r\n";
+    EXPECT_EQ(ParseAll(&parser, wire), HttpParser::State::kError);
+    EXPECT_EQ(parser.http_status(), 431);
+  }
+  {  // too many headers -> 431
+    HttpParser parser(HttpParser::Mode::kRequest, limits);
+    EXPECT_EQ(ParseAll(&parser,
+                       "GET / HTTP/1.1\r\nA:1\r\nB:2\r\nC:3\r\nD:4\r\n\r\n"),
+              HttpParser::State::kError);
+    EXPECT_EQ(parser.http_status(), 431);
+  }
+  {  // declared body too large -> 413
+    HttpParser parser(HttpParser::Mode::kRequest, limits);
+    EXPECT_EQ(ParseAll(&parser,
+                       "POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n"),
+              HttpParser::State::kError);
+    EXPECT_EQ(parser.http_status(), 413);
+  }
+  {  // chunked body crossing the limit -> 413
+    HttpParser parser(HttpParser::Mode::kRequest, limits);
+    EXPECT_EQ(ParseAll(&parser,
+                       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                       "\r\n6\r\nabcdef\r\n6\r\nghijkl\r\n"),
+              HttpParser::State::kError);
+    EXPECT_EQ(parser.http_status(), 413);
+  }
+}
+
+TEST(HttpParserHostileTest, EveryTruncationNeedsMoreNeverCompletes) {
+  const std::string wire =
+      "POST /v1/query HTTP/1.1\r\nHost: a\r\nContent-Length: 4\r\n\r\nbody";
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    HttpParser parser;
+    std::size_t consumed = 0;
+    const auto state = parser.Feed(wire.substr(0, cut), &consumed);
+    // A proper prefix is never a complete message, and it is not an
+    // error either (more bytes could still arrive).
+    EXPECT_EQ(state, HttpParser::State::kNeedMore) << "cut at " << cut;
+  }
+}
+
+TEST(HttpParserHostileTest, RandomBytesNeverCrash) {
+  // Deterministic pseudo-garbage: every parser outcome is acceptable
+  // except a crash or hang.
+  uint64_t x = 0x12345678;
+  for (int doc = 0; doc < 200; ++doc) {
+    std::string wire;
+    for (int i = 0; i < 64; ++i) {
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      wire.push_back(static_cast<char>(x >> 56));
+    }
+    HttpParser parser;
+    std::size_t consumed = 0;
+    parser.Feed(wire, &consumed);
+  }
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Response serialization
+
+TEST(HttpResponseTest, SerializeAlwaysFramesBody) {
+  HttpResponse response = JsonResponse(200, "{\"a\":1}");
+  const std::string wire = response.Serialize(/*keep_alive=*/true);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  const std::string closed = response.Serialize(/*keep_alive=*/false);
+  EXPECT_NE(closed.find("Connection: close\r\n"), std::string::npos);
+}
+
+TEST(HttpResponseTest, ErrorResponseIsValidJson) {
+  HttpResponse response = ErrorResponse(503, "Unavailable", "try \"later\"");
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("\\\"later\\\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// HttpServer integration (loopback sockets)
+
+HttpServerOptions FastOptions() {
+  HttpServerOptions options;
+  options.num_workers = 2;
+  options.read_timeout_ms = 400;
+  options.write_timeout_ms = 1000;
+  options.idle_timeout_ms = 2000;
+  return options;
+}
+
+HttpResponse EchoHandler(const HttpRequest& request) {
+  if (request.Path() == "/boom") throw std::runtime_error("kaboom");
+  HttpResponse response =
+      TextResponse(200, request.method + " " + request.Path() + " " +
+                            request.body);
+  return response;
+}
+
+TEST(HttpServerTest, ServesAndKeepsAlive) {
+  HttpServer server(EchoHandler, FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+
+  auto r1 = client.Get("/a");
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_EQ(r1->status, 200);
+  EXPECT_EQ(r1->body, "GET /a ");
+
+  // Same client, same connection: keep-alive.
+  auto r2 = client.Post("/b", "payload", "text/plain");
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(r2->body, "POST /b payload");
+  EXPECT_TRUE(client.connected());
+
+  EXPECT_EQ(server.stats().accepted, 1u);
+  EXPECT_EQ(server.stats().requests, 2u);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerTest, HandlerExceptionBecomes500) {
+  HttpServer server(EchoHandler, FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  auto r = client.Get("/boom");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->status, 500);
+  EXPECT_NE(r->body.find("kaboom"), std::string::npos);
+}
+
+TEST(HttpServerTest, MalformedRequestGets400AndClose) {
+  HttpServer server(EchoHandler, FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.SendRaw("NOT A REQUEST\r\n\r\n").ok());
+  auto raw = client.ReadUntilClose();
+  ASSERT_TRUE(raw.ok());
+  EXPECT_NE(raw->find("HTTP/1.1 400"), std::string::npos);
+  EXPECT_GE(server.stats().parse_errors, 1u);
+}
+
+TEST(HttpServerTest, PipelinedRequestsAllAnswered) {
+  HttpServer server(EchoHandler, FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  // Two requests in one write; the second closes the connection so
+  // ReadUntilClose terminates deterministically.
+  ASSERT_TRUE(client
+                  .SendRaw("GET /one HTTP/1.1\r\nHost: x\r\n\r\n"
+                           "GET /two HTTP/1.1\r\nHost: x\r\n"
+                           "Connection: close\r\n\r\n")
+                  .ok());
+  auto raw = client.ReadUntilClose();
+  ASSERT_TRUE(raw.ok());
+  EXPECT_NE(raw->find("GET /one "), std::string::npos);
+  EXPECT_NE(raw->find("GET /two "), std::string::npos);
+}
+
+TEST(HttpServerTest, SlowLorisIsReapedByReadDeadline) {
+  HttpServer server(EchoHandler, FastOptions());  // 400ms read timeout
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  // Half a request, then silence.
+  ASSERT_TRUE(client.SendRaw("GET /slow HTTP/1.1\r\nHost: a").ok());
+  auto raw = client.ReadUntilClose();
+  ASSERT_TRUE(raw.ok());
+  // The server answered 408 (best effort) and closed well before the
+  // client's own 5s timeout.
+  EXPECT_NE(raw->find("HTTP/1.1 408"), std::string::npos);
+  EXPECT_GE(server.stats().timeouts, 1u);
+}
+
+TEST(HttpServerTest, ConnectionCapShedsWith503RetryAfter) {
+  HttpServerOptions options = FastOptions();
+  options.max_connections = 1;
+  options.num_workers = 1;
+  std::atomic<bool> release{false};
+  HttpServer server(
+      [&](const HttpRequest&) {
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        return TextResponse(200, "done");
+      },
+      options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // First connection occupies the only slot.
+  HttpClient busy("127.0.0.1", server.port());
+  ASSERT_TRUE(busy.SendRaw("GET / HTTP/1.1\r\nHost: x\r\n\r\n").ok());
+  while (server.stats().accepted < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Second connection is over the cap: canned 503 + Retry-After.
+  HttpClient extra("127.0.0.1", server.port());
+  ASSERT_TRUE(extra.SendRaw("GET / HTTP/1.1\r\nHost: x\r\n\r\n").ok());
+  auto raw = extra.ReadUntilClose();
+  ASSERT_TRUE(raw.ok());
+  EXPECT_NE(raw->find("HTTP/1.1 503"), std::string::npos);
+  EXPECT_NE(raw->find("Retry-After:"), std::string::npos);
+  EXPECT_GE(server.stats().rejected_over_cap, 1u);
+
+  release.store(true);
+  auto first = busy.ReadUntilClose();
+  ASSERT_TRUE(first.ok());
+  EXPECT_NE(first->find("done"), std::string::npos);
+}
+
+TEST(HttpServerTest, GracefulDrainCompletesInFlightRequest) {
+  std::atomic<bool> handler_entered{false};
+  std::atomic<bool> release{false};
+  HttpServer server(
+      [&](const HttpRequest&) {
+        handler_entered.store(true);
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        return TextResponse(200, "finished cleanly");
+      },
+      FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  HttpClient client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.SendRaw("GET / HTTP/1.1\r\nHost: x\r\n\r\n").ok());
+  while (!handler_entered.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Stop while the request is mid-handler; the drain must wait for it.
+  std::thread stopper([&] { server.Stop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.store(true);
+  stopper.join();
+  EXPECT_FALSE(server.running());
+
+  auto raw = client.ReadUntilClose();
+  ASSERT_TRUE(raw.ok());
+  EXPECT_NE(raw->find("finished cleanly"), std::string::npos)
+      << "in-flight request was dropped by Stop()";
+}
+
+TEST(HttpServerTest, IdleKeepAliveConnectionClosedOnDrain) {
+  HttpServer server(EchoHandler, FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.Get("/warm").ok());  // connection now idle
+  server.Stop();  // must not hang on the idle keep-alive connection
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerTest, InjectedReadFaultDropsConnectionNotServer) {
+  HttpServer server(EchoHandler, FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+  {
+    ScopedFault fault(kFaultNetRead, FaultSpec{});
+    HttpClient client("127.0.0.1", server.port());
+    auto r = client.Get("/x");
+    EXPECT_FALSE(r.ok());  // connection died under injected fault
+  }
+  EXPECT_GE(server.stats().io_errors, 1u);
+  // Disarmed: the server still serves.
+  HttpClient client("127.0.0.1", server.port());
+  auto r = client.Get("/recovered");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->status, 200);
+}
+
+TEST(HttpServerTest, InjectedAcceptFaultRefusesConnection) {
+  HttpServer server(EchoHandler, FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+  {
+    ScopedFault fault(kFaultNetAccept, FaultSpec{});
+    HttpClient client("127.0.0.1", server.port());
+    auto r = client.Get("/x");
+    EXPECT_FALSE(r.ok());
+  }
+  HttpClient client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.Get("/ok").ok());
+}
+
+TEST(HttpServerTest, OversizedRequestLineRejected431) {
+  HttpServerOptions options = FastOptions();
+  options.parser_limits.max_start_line_bytes = 128;
+  options.parser_limits.max_header_bytes = 256;
+  HttpServer server(EchoHandler, options);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  ASSERT_TRUE(client
+                  .SendRaw("GET /" + std::string(4096, 'a') +
+                           " HTTP/1.1\r\n\r\n")
+                  .ok());
+  auto raw = client.ReadUntilClose();
+  ASSERT_TRUE(raw.ok());
+  EXPECT_NE(raw->find("HTTP/1.1 431"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,305 @@
+#include "net/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/random.h"
+
+namespace bivoc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value semantics
+
+TEST(JsonValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(JsonValue().is_null());
+  EXPECT_TRUE(JsonValue(nullptr).is_null());
+  EXPECT_TRUE(JsonValue(true).GetBool());
+  EXPECT_TRUE(JsonValue(42).is_integer());
+  EXPECT_EQ(JsonValue(42).GetInt64(), 42);
+  EXPECT_FALSE(JsonValue(1.5).is_integer());
+  EXPECT_DOUBLE_EQ(JsonValue(1.5).GetDouble(), 1.5);
+  EXPECT_EQ(JsonValue("hi").GetString(), "hi");
+  EXPECT_TRUE(JsonValue::MakeArray().is_array());
+  EXPECT_TRUE(JsonValue::MakeObject().is_object());
+}
+
+TEST(JsonValueTest, Uint64AboveInt64MaxDegradesToDouble) {
+  const uint64_t big = static_cast<uint64_t>(INT64_MAX) + 10;
+  JsonValue v(big);
+  EXPECT_TRUE(v.is_number());
+  EXPECT_FALSE(v.is_integer());
+}
+
+TEST(JsonValueTest, SetReplacesAndFindLooksUp) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("a", JsonValue(1));
+  obj.Set("b", JsonValue(2));
+  obj.Set("a", JsonValue(3));  // replace, not append
+  ASSERT_EQ(obj.GetObject().size(), 2u);
+  ASSERT_NE(obj.Find("a"), nullptr);
+  EXPECT_EQ(obj.Find("a")->GetInt64(), 3);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+  EXPECT_EQ(JsonValue(7).Find("a"), nullptr);  // non-object
+}
+
+TEST(JsonValueTest, EqualityComparesNumbersByValue) {
+  EXPECT_EQ(JsonValue(1), JsonValue(1.0));
+  EXPECT_NE(JsonValue(1), JsonValue(2));
+  EXPECT_NE(JsonValue(1), JsonValue("1"));
+}
+
+// ---------------------------------------------------------------------------
+// Parser: happy paths
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->GetBool());
+  EXPECT_FALSE(ParseJson("false")->GetBool());
+  EXPECT_EQ(ParseJson("-123")->GetInt64(), -123);
+  EXPECT_DOUBLE_EQ(ParseJson("2.5e3")->GetDouble(), 2500.0);
+  EXPECT_EQ(ParseJson("\"abc\"")->GetString(), "abc");
+  EXPECT_EQ(ParseJson("0")->GetInt64(), 0);
+  EXPECT_EQ(ParseJson("-0")->GetInt64(), 0);
+}
+
+TEST(JsonParseTest, ParsesNestedDocument) {
+  auto v = ParseJson(
+      " {\"a\": [1, 2.5, {\"b\": null}], \"c\": \"x\", \"d\": true} ");
+  ASSERT_TRUE(v.ok()) << v.status();
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->GetArray().size(), 3u);
+  EXPECT_EQ(a->GetArray()[0].GetInt64(), 1);
+  EXPECT_TRUE(a->GetArray()[2].Find("b")->is_null());
+  EXPECT_TRUE(v->Find("d")->GetBool());
+}
+
+TEST(JsonParseTest, ObjectPreservesInsertionOrderAndDupesLastWin) {
+  auto v = ParseJson("{\"z\":1,\"a\":2,\"z\":3}");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->GetObject().size(), 2u);
+  EXPECT_EQ(v->GetObject()[0].key, "z");
+  EXPECT_EQ(v->GetObject()[1].key, "a");
+  EXPECT_EQ(v->Find("z")->GetInt64(), 3);
+}
+
+TEST(JsonParseTest, EscapesAndSurrogatePairs) {
+  auto v = ParseJson("\"a\\\"b\\\\c\\/d\\n\\t\\u0041\\ud83d\\ude00\"");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->GetString(), "a\"b\\c/d\n\tA\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParseTest, Int64BoundariesStayIntegral) {
+  EXPECT_EQ(ParseJson("9223372036854775807")->GetInt64(), INT64_MAX);
+  EXPECT_EQ(ParseJson("-9223372036854775808")->GetInt64(), INT64_MIN);
+  // One past the edge degrades to double instead of failing.
+  auto v = ParseJson("9223372036854775808");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->is_integer());
+}
+
+// ---------------------------------------------------------------------------
+// Parser: strictness
+
+TEST(JsonParseTest, RejectsTrailingGarbageAndMultipleValues) {
+  EXPECT_FALSE(ParseJson("1 2").ok());
+  EXPECT_FALSE(ParseJson("{} {}").ok());
+  EXPECT_FALSE(ParseJson("null,").ok());
+}
+
+TEST(JsonParseTest, RejectsLaxSyntax) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("   ").ok());
+  EXPECT_FALSE(ParseJson("01").ok());       // leading zero
+  EXPECT_FALSE(ParseJson("+1").ok());       // explicit plus
+  EXPECT_FALSE(ParseJson(".5").ok());       // bare fraction
+  EXPECT_FALSE(ParseJson("1.").ok());       // dangling point
+  EXPECT_FALSE(ParseJson("1e").ok());       // empty exponent
+  EXPECT_FALSE(ParseJson("NaN").ok());
+  EXPECT_FALSE(ParseJson("Infinity").ok());
+  EXPECT_FALSE(ParseJson("'x'").ok());      // single quotes
+  EXPECT_FALSE(ParseJson("{a:1}").ok());    // unquoted key
+  EXPECT_FALSE(ParseJson("[1,]").ok());     // trailing comma
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());
+  EXPECT_FALSE(ParseJson("// c\n1").ok());  // comments
+  EXPECT_FALSE(ParseJson("1e999").ok());    // overflows double
+}
+
+TEST(JsonParseTest, RejectsBadStrings) {
+  EXPECT_FALSE(ParseJson("\"abc").ok());            // unterminated
+  EXPECT_FALSE(ParseJson("\"\\x\"").ok());          // bad escape
+  EXPECT_FALSE(ParseJson("\"\\u12\"").ok());        // short hex
+  EXPECT_FALSE(ParseJson("\"\\ud800\"").ok());      // lone high surrogate
+  EXPECT_FALSE(ParseJson("\"\\udc00\"").ok());      // lone low surrogate
+  EXPECT_FALSE(ParseJson("\"\\ud800\\u0041\"").ok());  // bad pair
+  EXPECT_FALSE(ParseJson("\"a\x01" "b\"").ok());  // raw control char
+}
+
+TEST(JsonParseTest, RejectsInvalidUtf8) {
+  // Lone continuation, truncated sequence, overlong, out of range,
+  // raw surrogate.
+  EXPECT_FALSE(ParseJson("\"\x80\"").ok());
+  EXPECT_FALSE(ParseJson("\"\xC3\"").ok());
+  EXPECT_FALSE(ParseJson("\"\xC0\xAF\"").ok());
+  EXPECT_FALSE(ParseJson("\"\xF4\x90\x80\x80\"").ok());
+  EXPECT_FALSE(ParseJson("\"\xED\xA0\x80\"").ok());
+  EXPECT_FALSE(ParseJson("\"\xFE\"").ok());
+  // Valid multi-byte passes untouched.
+  auto v = ParseJson("\"\xC3\xA9\xE2\x82\xAC\xF0\x9F\x98\x80\"");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->GetString(), "\xC3\xA9\xE2\x82\xAC\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParseTest, DepthBombFailsFastNotByStackOverflow) {
+  std::string bomb(100000, '[');
+  EXPECT_FALSE(ParseJson(bomb).ok());
+  std::string nested_objects;
+  for (int i = 0; i < 5000; ++i) nested_objects += "{\"a\":";
+  nested_objects += "1";
+  for (int i = 0; i < 5000; ++i) nested_objects += "}";
+  EXPECT_FALSE(ParseJson(nested_objects).ok());
+
+  // Right at the limit is fine.
+  JsonParseOptions opts;
+  opts.max_depth = 8;
+  EXPECT_TRUE(ParseJson("[[[[[[[[1]]]]]]]]", opts).ok());
+  EXPECT_FALSE(ParseJson("[[[[[[[[[1]]]]]]]]]", opts).ok());
+}
+
+TEST(JsonParseTest, MaxBytesLimit) {
+  JsonParseOptions opts;
+  opts.max_bytes = 8;
+  EXPECT_TRUE(ParseJson("[1,2,3]", opts).ok());
+  EXPECT_FALSE(ParseJson("[1,2,3,4]", opts).ok());
+  opts.max_bytes = 0;  // unlimited
+  EXPECT_TRUE(ParseJson("[1,2,3,4]", opts).ok());
+}
+
+TEST(JsonParseTest, EveryPrefixOfValidDocumentFailsCleanly) {
+  const std::string doc =
+      "{\"name\":\"caf\\u00e9 \xE2\x82\xAC\",\"n\":[1,-2.5e2,true,null],"
+      "\"o\":{\"k\":\"v\"}}";
+  ASSERT_TRUE(ParseJson(doc).ok());
+  // Truncation at every byte offset must fail (never crash, never
+  // accept): the document has no proper prefix that is valid JSON.
+  for (std::size_t cut = 0; cut < doc.size(); ++cut) {
+    auto v = ParseJson(doc.substr(0, cut));
+    EXPECT_FALSE(v.ok()) << "prefix of length " << cut << " parsed";
+  }
+}
+
+TEST(JsonParseTest, ErrorsReportByteOffset) {
+  auto v = ParseJson("{\"a\": nuLl}");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("byte 6"), std::string::npos)
+      << v.status();
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+TEST(JsonDumpTest, CompactForms) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("s", JsonValue("a\"b\n\x01"));
+  obj.Set("i", JsonValue(-5));
+  obj.Set("d", JsonValue(0.5));
+  obj.Set("b", JsonValue(false));
+  obj.Set("z", JsonValue(nullptr));
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(JsonValue(1));
+  obj.Set("a", std::move(arr));
+  EXPECT_EQ(DumpJson(obj),
+            "{\"s\":\"a\\\"b\\n\\u0001\",\"i\":-5,\"d\":0.5,"
+            "\"b\":false,\"z\":null,\"a\":[1]}");
+  EXPECT_EQ(DumpJson(JsonValue::MakeArray()), "[]");
+  EXPECT_EQ(DumpJson(JsonValue::MakeObject()), "{}");
+}
+
+TEST(JsonDumpTest, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(DumpJson(JsonValue(std::nan(""))), "null");
+  EXPECT_EQ(DumpJson(JsonValue(std::numeric_limits<double>::infinity())),
+            "null");
+}
+
+TEST(JsonDumpTest, PrettyPrintIndents) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("a", JsonValue(1));
+  EXPECT_EQ(DumpJson(obj, 2), "{\n  \"a\": 1\n}");
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property
+
+JsonValue RandomValue(Rng* rng, int depth) {
+  const int64_t kind = rng->Uniform(0, depth > 0 ? 6 : 4);
+  switch (kind) {
+    case 0:
+      return JsonValue(nullptr);
+    case 1:
+      return JsonValue(rng->Bernoulli(0.5));
+    case 2:
+      return JsonValue(rng->Uniform(INT64_MIN / 2, INT64_MAX / 2));
+    case 3: {
+      // Round-trippable double (to_chars shortest form re-parses
+      // exactly; avoid the integral-double ambiguity by adding .5).
+      return JsonValue(static_cast<double>(rng->Uniform(-1000, 1000)) + 0.5);
+    }
+    case 4: {
+      std::string s;
+      const int64_t len = rng->Uniform(0, 12);
+      for (int64_t i = 0; i < len; ++i) {
+        switch (rng->Uniform(0, 3)) {
+          case 0:
+            s.push_back(static_cast<char>(rng->Uniform(0x20, 0x7e)));
+            break;
+          case 1:  // escapes worth exercising
+            s.append(rng->Bernoulli(0.5) ? "\"" : "\\");
+            break;
+          case 2:
+            s.append("\n");
+            break;
+          default:  // multi-byte UTF-8
+            s.append(rng->Bernoulli(0.5) ? "\xC3\xA9" : "\xF0\x9F\x98\x80");
+        }
+      }
+      return JsonValue(std::move(s));
+    }
+    case 5: {
+      JsonValue arr = JsonValue::MakeArray();
+      const int64_t n = rng->Uniform(0, 4);
+      for (int64_t i = 0; i < n; ++i) {
+        arr.Append(RandomValue(rng, depth - 1));
+      }
+      return arr;
+    }
+    default: {
+      JsonValue obj = JsonValue::MakeObject();
+      const int64_t n = rng->Uniform(0, 4);
+      for (int64_t i = 0; i < n; ++i) {
+        obj.Set("k" + std::to_string(i), RandomValue(rng, depth - 1));
+      }
+      return obj;
+    }
+  }
+}
+
+TEST(JsonRoundTripTest, RandomDocumentsSurviveDumpParseDump) {
+  Rng rng(0xb1b0cULL);
+  for (int iter = 0; iter < 500; ++iter) {
+    const JsonValue original = RandomValue(&rng, 4);
+    const std::string wire = DumpJson(original);
+    auto reparsed = ParseJson(wire);
+    ASSERT_TRUE(reparsed.ok()) << wire << " -> " << reparsed.status();
+    EXPECT_EQ(reparsed.value(), original) << wire;
+    // Dump is deterministic: a second trip produces identical bytes.
+    EXPECT_EQ(DumpJson(reparsed.value()), wire);
+  }
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -452,7 +452,9 @@ TEST_F(ReportServerTest, EngineServesAndSurfacesHealthAndMetrics) {
   HealthReport health = engine.Health();
   EXPECT_EQ(health.serving.submitted, 2u);
   EXPECT_EQ(health.serving.cache_hits, 1u);
-  EXPECT_NE(health.ToString().find("serving:"), std::string::npos);
+  // ToString is now the JSON health document (single source of truth
+  // with the gateway's /healthz); it must parse and carry serving.
+  EXPECT_NE(health.ToString().find("\"serving\""), std::string::npos);
 
   const std::string text = engine.MetricsText();
   EXPECT_NE(text.find("serve_requests_total_concept_search 2"),
