@@ -17,6 +17,8 @@
 #include "annotate/concept_extractor.h"
 #include "asr/transcriber.h"
 #include "clean/sms_normalizer.h"
+#include "cluster/router.h"
+#include "cluster/shard_handle.h"
 #include "core/bivoc.h"
 #include "core/car_rental_insights.h"
 #include "linking/fagin.h"
@@ -30,6 +32,7 @@
 #include "synth/car_rental.h"
 #include "synth/corpora.h"
 #include "synth/telecom.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -578,6 +581,130 @@ HttpBenchResult RunHttpBench() {
   return out;
 }
 
+// --- Cluster scatter-gather tax (DESIGN.md §12): the same dashboard
+// repertoire against a 1-shard router and an N-shard router holding the
+// same corpus, all healthy and then with one shard down behind its
+// named fault point. Latencies are taken client-side, so the sharded
+// numbers include the scatter fan-out, the slowest shard, and the
+// merge; the degraded numbers include the write-off of the dead shard
+// (and, once its breaker opens, the short-circuit).
+
+struct ClusterBenchResult {
+  std::size_t docs = 0;
+  std::size_t queries = 0;
+  std::size_t shards = 0;
+  HttpBenchRun single_shard;
+  HttpBenchRun sharded;
+  HttpBenchRun degraded;
+};
+
+HttpBenchRun RunClusterClients(ShardRouter* router,
+                               const std::vector<QueryRequest>& repertoire,
+                               std::size_t num_queries) {
+  constexpr std::size_t kClients = 4;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::vector<double>> latencies(kClients);
+  Timer wall;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      latencies[c].reserve(num_queries / kClients + 1);
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= num_queries) return;
+        Timer timer;
+        Result<JsonValue> response =
+            router->ExecuteQuery(repertoire[i % repertoire.size()]);
+        if (!response.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+        latencies[c].push_back(timer.ElapsedMillis());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double secs = wall.ElapsedSeconds();
+  if (failures.load() != 0) {
+    std::printf("cluster bench: %zu of %zu queries failed\n", failures.load(),
+                num_queries);
+  }
+  std::vector<double> merged;
+  for (auto& v : latencies) merged.insert(merged.end(), v.begin(), v.end());
+  HttpBenchRun run;
+  run.qps = static_cast<double>(num_queries) / secs;
+  run.p50_ms = PercentileOf(&merged, 0.50);
+  run.p95_ms = PercentileOf(&merged, 0.95);
+  run.p99_ms = PercentileOf(&merged, 0.99);
+  return run;
+}
+
+ClusterBenchResult RunClusterBench() {
+  ClusterBenchResult out;
+  out.docs = EnvSize("BIVOC_BENCH_CLUSTER_DOCS", 20000);
+  out.queries = EnvSize("BIVOC_BENCH_CLUSTER_QUERIES", 2000);
+  out.shards = 3;
+  constexpr std::size_t kBatch = 5000;
+  auto corpus = MakeIndexCorpus(out.docs);
+
+  // Round-robin slice `begin, begin+stride, ...` of the corpus into one
+  // engine, on the transcript channel so the synthetic keys pass the
+  // filters unchanged (same trick as the HTTP bench).
+  auto load = [&](BivocEngine* engine, std::size_t begin,
+                  std::size_t stride) {
+    std::vector<IngestItem> batch;
+    batch.reserve(kBatch);
+    for (std::size_t i = begin; i < corpus.size(); i += stride) {
+      IngestItem item;
+      item.channel = VocChannel::kCall;
+      item.payload = "synthetic transcript";
+      item.structured_keys = corpus[i];
+      batch.push_back(std::move(item));
+      if (batch.size() == kBatch) {
+        engine->IngestBatch(batch);
+        batch.clear();
+      }
+    }
+    if (!batch.empty()) engine->IngestBatch(batch);
+  };
+
+  const std::vector<QueryRequest> repertoire = {
+      QueryRequest::Association(
+          {"place/a", "place/b", "place/c", "place/d"},
+          {"outcome/yes", "outcome/no"}),
+      QueryRequest::ConceptSearch("car/"),
+      QueryRequest::Relevancy("outcome/no", "car/"),
+  };
+
+  ShardRouterOptions options;
+  options.max_attempts = 1;  // bench the scatter, not the retry backoff
+
+  {  // Baseline: one shard holding the whole corpus behind the router.
+    auto engine = std::make_shared<BivocEngine>();
+    load(engine.get(), 0, 1);
+    std::vector<std::shared_ptr<ShardHandle>> handles = {
+        std::make_shared<LocalShardHandle>("s0", engine)};
+    ShardRouter router(std::move(handles), options);
+    out.single_shard = RunClusterClients(&router, repertoire, out.queries);
+  }
+  {  // The same corpus split across N shards.
+    std::vector<std::shared_ptr<ShardHandle>> handles;
+    for (std::size_t s = 0; s < out.shards; ++s) {
+      auto engine = std::make_shared<BivocEngine>();
+      load(engine.get(), s, out.shards);
+      handles.push_back(std::make_shared<LocalShardHandle>(
+          "s" + std::to_string(s), engine));
+    }
+    ShardRouter router(std::move(handles), options);
+    out.sharded = RunClusterClients(&router, repertoire, out.queries);
+
+    FaultSpec spec;
+    spec.code = StatusCode::kUnavailable;
+    ScopedFault fault("net.shard.send:s2", spec);
+    out.degraded = RunClusterClients(&router, repertoire, out.queries);
+  }
+  FaultInjector::Global().ResetCounters();
+  return out;
+}
+
 void WriteIndexBenchReport() {
   const std::size_t kDocs = EnvSize("BIVOC_BENCH_DOCS", 200000);
   constexpr std::size_t kThreads = 8;
@@ -682,6 +809,19 @@ void WriteIndexBenchReport() {
               100.0 * durability.wal_on_dps / durability.wal_off_dps,
               durability.recovery_dps, durability.docs);
 
+  ClusterBenchResult cluster = RunClusterBench();
+  std::printf("cluster scatter (%zu queries, %zu docs): 1 shard %.0f q/s "
+              "(p50 %.3fms p95 %.3fms p99 %.3fms), %zu shards %.0f q/s "
+              "(p50 %.3fms p95 %.3fms p99 %.3fms), one down %.0f q/s "
+              "(p50 %.3fms p95 %.3fms p99 %.3fms)\n",
+              cluster.queries, cluster.docs, cluster.single_shard.qps,
+              cluster.single_shard.p50_ms, cluster.single_shard.p95_ms,
+              cluster.single_shard.p99_ms, cluster.shards,
+              cluster.sharded.qps, cluster.sharded.p50_ms,
+              cluster.sharded.p95_ms, cluster.sharded.p99_ms,
+              cluster.degraded.qps, cluster.degraded.p50_ms,
+              cluster.degraded.p95_ms, cluster.degraded.p99_ms);
+
   std::FILE* f = std::fopen("BENCH_index.json", "w");
   if (f == nullptr) return;
   std::fprintf(f,
@@ -722,7 +862,22 @@ void WriteIndexBenchReport() {
                "  \"wal_off_docs_per_sec\": %.0f,\n"
                "  \"wal_on_docs_per_sec\": %.0f,\n"
                "  \"wal_overhead_ratio\": %.2f,\n"
-               "  \"recovery_docs_per_sec\": %.0f\n"
+               "  \"recovery_docs_per_sec\": %.0f,\n"
+               "  \"cluster_docs\": %zu,\n"
+               "  \"cluster_queries\": %zu,\n"
+               "  \"cluster_shards\": %zu,\n"
+               "  \"cluster_1shard_qps\": %.0f,\n"
+               "  \"cluster_1shard_p50_ms\": %.3f,\n"
+               "  \"cluster_1shard_p95_ms\": %.3f,\n"
+               "  \"cluster_1shard_p99_ms\": %.3f,\n"
+               "  \"cluster_sharded_qps\": %.0f,\n"
+               "  \"cluster_sharded_p50_ms\": %.3f,\n"
+               "  \"cluster_sharded_p95_ms\": %.3f,\n"
+               "  \"cluster_sharded_p99_ms\": %.3f,\n"
+               "  \"cluster_degraded_qps\": %.0f,\n"
+               "  \"cluster_degraded_p50_ms\": %.3f,\n"
+               "  \"cluster_degraded_p95_ms\": %.3f,\n"
+               "  \"cluster_degraded_p99_ms\": %.3f\n"
                "}\n",
                kDocs, hw, kThreads, seq_dps, par_dps, par_dps / seq_dps,
                speedup_meaningful ? "true" : "false",
@@ -743,7 +898,14 @@ void WriteIndexBenchReport() {
                durability.docs, durability.wal_off_dps,
                durability.wal_on_dps,
                durability.wal_on_dps / durability.wal_off_dps,
-               durability.recovery_dps);
+               durability.recovery_dps, cluster.docs, cluster.queries,
+               cluster.shards, cluster.single_shard.qps,
+               cluster.single_shard.p50_ms, cluster.single_shard.p95_ms,
+               cluster.single_shard.p99_ms, cluster.sharded.qps,
+               cluster.sharded.p50_ms, cluster.sharded.p95_ms,
+               cluster.sharded.p99_ms, cluster.degraded.qps,
+               cluster.degraded.p50_ms, cluster.degraded.p95_ms,
+               cluster.degraded.p99_ms);
   std::fclose(f);
 }
 

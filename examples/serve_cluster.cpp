@@ -1,0 +1,249 @@
+// A fault-tolerant BIVoC cluster on the wire (DESIGN.md §12): N shard
+// engines behind a scatter-gather ShardRouter, fronted by the same
+// HTTP gateway a single engine uses.
+//
+// Three modes:
+//
+//   ./serve_cluster
+//       Self-contained demo: three in-process shards, one router.
+//       Ingests a batch, queries, then injects a fault into one shard
+//       to show an honest partial response ("partial":true + the
+//       missing shard listed) and a degraded /healthz, and finally
+//       heals it again.
+//
+//   ./serve_cluster --shard NAME PORT [DATA_DIR] [SECONDS]
+//       One shard engine serving on PORT. With DATA_DIR the shard is
+//       durable (WAL + checkpoints) and recovers on restart — kill -9
+//       it mid-load and start it again to watch the cluster heal.
+//
+//   ./serve_cluster --router PORT HOST:PORT [HOST:PORT...] [SECONDS]
+//       The coordinator: scatter-gathers over the listed shard
+//       gateways and serves the merged cluster view on PORT.
+//
+// A three-shard cluster on one machine:
+//
+//   ./serve_cluster --shard s0 8081 /tmp/s0 &
+//   ./serve_cluster --shard s1 8082 /tmp/s1 &
+//   ./serve_cluster --shard s2 8083 /tmp/s2 &
+//   ./serve_cluster --router 8080 127.0.0.1:8081 127.0.0.1:8082 ... &
+//   curl http://127.0.0.1:8080/healthz
+//   curl -d '{"class":"concept_search"}' http://127.0.0.1:8080/v1/query
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.h"
+#include "cluster/shard_handle.h"
+#include "core/bivoc.h"
+#include "net/gateway.h"
+#include "net/http_client.h"
+#include "net/wire.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
+
+using namespace bivoc;
+
+namespace {
+
+// Same miniature telecom deployment as serve_http: every shard gets an
+// identical dictionary/vocabulary so concepts merge cleanly.
+void BootEngine(BivocEngine* engine) {
+  Schema schema({
+      {"id", DataType::kInt64, AttributeRole::kNone},
+      {"name", DataType::kString, AttributeRole::kPersonName},
+      {"phone", DataType::kString, AttributeRole::kPhone},
+  });
+  Table* customers = *engine->warehouse()->CreateTable("customers", schema);
+  BIVOC_CHECK_OK(customers
+                     ->Append({Value(int64_t{0}), Value("john smith"),
+                               Value("9845012345")})
+                     .status());
+  BIVOC_CHECK_OK(engine->FinishWarehouse());
+  engine->ConfigureAnnotators({"john", "smith"}, {});
+  engine->extractor()->mutable_dictionary()->Add("gprs", "gprs", "product");
+  engine->extractor()->mutable_dictionary()->Add("bill", "billing", "issue");
+  engine->pipeline()->mutable_language_filter()->AddVocabulary(
+      {"gprs", "john", "smith", "working", "down", "report", "problem",
+       "question", "bill", "wrong", "customer"});
+}
+
+std::vector<IngestItem> DemoBatch(int customers) {
+  std::vector<IngestItem> items;
+  for (int c = 0; c < customers; ++c) {
+    for (int i = 0; i < 3; ++i) {
+      IngestItem item;
+      item.channel = i % 2 == 0 ? VocChannel::kSms : VocChannel::kEmail;
+      item.payload = i % 3 == 0 ? "the bill is wrong john smith 9845012345"
+                                : "gprs not working john smith 9845012345";
+      item.time_bucket = i;
+      // The first structured key is the routing key, so each customer's
+      // documents land on one shard.
+      item.structured_keys = {"customer/" + std::to_string(c),
+                              c % 2 == 0 ? "status/churned" : "status/active"};
+      items.push_back(std::move(item));
+    }
+  }
+  return items;
+}
+
+void Show(const char* title, const Result<HttpResponse>& response) {
+  if (!response.ok()) {
+    std::printf("%s: transport error: %s\n", title,
+                response.status().ToString().c_str());
+    return;
+  }
+  std::printf("--- %s -> %d\n%s\n", title, response->status,
+              response->body.c_str());
+}
+
+int RunDemo() {
+  const int kShards = 3;
+  std::vector<std::shared_ptr<ShardHandle>> handles;
+  std::vector<std::shared_ptr<BivocEngine>> engines;
+  for (int i = 0; i < kShards; ++i) {
+    auto engine = std::make_shared<BivocEngine>();
+    BootEngine(engine.get());
+    engines.push_back(engine);
+    handles.push_back(std::make_shared<LocalShardHandle>(
+        "s" + std::to_string(i), engine));
+  }
+
+  ShardRouterOptions router_opts;
+  router_opts.max_attempts = 1;  // make the injected outage visible fast
+  ShardRouter router(std::move(handles), router_opts);
+
+  GatewayOptions gw_opts;
+  Gateway gateway(&router, gw_opts);
+  BIVOC_CHECK_OK(gateway.Start());
+  std::printf("cluster gateway (%d in-process shards) on http://127.0.0.1:%u\n",
+              kShards, gateway.port());
+
+  HttpClient client("127.0.0.1", gateway.port());
+  Show("POST /v1/ingest (12 customers, routed by entity)",
+       client.Post("/v1/ingest", DumpJson(IngestItemsToJson(DemoBatch(12)))));
+  const std::string query =
+      R"({"class":"concept_search","prefix":"product/"})";
+  Show("POST /v1/query (all shards healthy)", client.Post("/v1/query", query));
+  Show("GET /healthz (ok)", client.Get("/healthz"));
+
+  std::printf("\n*** injecting faults into shard s1 ***\n");
+  {
+    FaultSpec spec;
+    spec.code = StatusCode::kUnavailable;
+    spec.message = "injected outage";
+    ScopedFault outage("net.shard.send:s1", spec);
+    Show("POST /v1/query (s1 down -> honest partial)",
+         client.Post("/v1/query",
+                     R"({"class":"concept_search","prefix":"issue/"})"));
+    Show("GET /healthz (degraded)", client.Get("/healthz"));
+  }
+
+  std::printf("\n*** shard s1 healed ***\n");
+  Show("GET /healthz (recovered)", client.Get("/healthz"));
+  auto metrics = client.Get("/metrics");
+  if (metrics.ok()) {
+    std::printf("--- GET /metrics -> %d (%zu bytes)\n", metrics->status,
+                metrics->body.size());
+  }
+
+  gateway.Stop();
+  std::printf("cluster gateway drained and stopped.\n");
+  return 0;
+}
+
+int RunShard(const std::string& name, uint16_t port,
+             const std::string& data_dir, int seconds) {
+  BivocEngine engine;
+  BootEngine(&engine);
+  if (!data_dir.empty()) {
+    BIVOC_CHECK_OK(engine.EnableDurability(data_dir));
+    auto recovery = engine.Recover();
+    if (!recovery.ok()) {
+      std::fprintf(stderr, "shard %s: recovery failed: %s\n", name.c_str(),
+                   recovery.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("shard %s: recovered %zu wal records\n", name.c_str(),
+                recovery->wal_records_replayed);
+  }
+  GatewayOptions options;
+  options.server.port = port;
+  auto bound = engine.StartGateway(options);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "shard %s: gateway failed to start: %s\n",
+                 name.c_str(), bound.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("shard %s serving on http://127.0.0.1:%u\n", name.c_str(),
+              bound.value());
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  engine.StopGateway();
+  return 0;
+}
+
+int RunRouter(uint16_t port, const std::vector<std::string>& endpoints,
+              int seconds) {
+  std::vector<std::shared_ptr<ShardHandle>> handles;
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    const std::string& endpoint = endpoints[i];
+    const std::size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "bad shard endpoint (want HOST:PORT): %s\n",
+                   endpoint.c_str());
+      return 1;
+    }
+    handles.push_back(std::make_shared<HttpShardHandle>(
+        "s" + std::to_string(i), endpoint.substr(0, colon),
+        static_cast<uint16_t>(std::atoi(endpoint.c_str() + colon + 1))));
+  }
+  ShardRouter router(std::move(handles));
+  GatewayOptions options;
+  options.server.port = port;
+  Gateway gateway(&router, options);
+  Status started = gateway.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "router gateway failed to start: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("cluster router over %zu shards on http://127.0.0.1:%u\n",
+              endpoints.size(), gateway.port());
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  gateway.Stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return RunDemo();
+
+  if (args[0] == "--shard" && args.size() >= 3) {
+    const std::string data_dir = args.size() > 3 ? args[3] : "";
+    const int seconds = args.size() > 4 ? std::atoi(args[4].c_str()) : 3600;
+    return RunShard(args[1], static_cast<uint16_t>(std::atoi(args[2].c_str())),
+                    data_dir, seconds);
+  }
+  if (args[0] == "--router" && args.size() >= 3) {
+    std::vector<std::string> endpoints(args.begin() + 2, args.end());
+    int seconds = 3600;
+    if (!endpoints.empty() &&
+        endpoints.back().find(':') == std::string::npos) {
+      seconds = std::atoi(endpoints.back().c_str());
+      endpoints.pop_back();
+    }
+    return RunRouter(static_cast<uint16_t>(std::atoi(args[1].c_str())),
+                     endpoints, seconds);
+  }
+
+  std::fprintf(stderr,
+               "usage: %s                                    (demo)\n"
+               "       %s --shard NAME PORT [DATA_DIR] [SECONDS]\n"
+               "       %s --router PORT HOST:PORT... [SECONDS]\n",
+               argv[0], argv[0], argv[0]);
+  return 2;
+}

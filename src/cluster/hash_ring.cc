@@ -1,0 +1,62 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+
+namespace bivoc {
+
+namespace {
+
+uint64_t Fnv1a(std::string_view bytes, uint64_t h = 14695981039346656037ULL) {
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// FNV-1a alone clumps badly on the short, similar strings we feed it
+// (vnode labels, "customer/N" keys): measured arc ownership on a
+// 3×64-vnode ring was 70/23/7. A murmur3-style finalizer restores the
+// avalanche and brings that to within a few percent of even.
+uint64_t Mix(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+uint64_t HashKey(std::string_view bytes) { return Mix(Fnv1a(bytes)); }
+
+}  // namespace
+
+HashRing::HashRing(std::vector<std::string> shard_names,
+                   std::size_t replicas)
+    : names_(std::move(shard_names)) {
+  if (replicas == 0) replicas = 1;
+  points_.reserve(names_.size() * replicas);
+  for (std::size_t s = 0; s < names_.size(); ++s) {
+    for (std::size_t r = 0; r < replicas; ++r) {
+      // Virtual node identity = "<name>#<replica>"; hashing the name
+      // (not the index) keeps placement stable under reordering.
+      const std::string vnode = names_[s] + "#" + std::to_string(r);
+      points_.emplace_back(HashKey(vnode), s);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::size_t HashRing::ShardFor(std::string_view key) const {
+  const uint64_t h = HashKey(key);
+  // First point clockwise of the key's hash, wrapping at the top.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), h,
+      [](uint64_t value, const std::pair<uint64_t, std::size_t>& point) {
+        return value < point.first;
+      });
+  if (it == points_.end()) it = points_.begin();
+  return it->second;
+}
+
+}  // namespace bivoc

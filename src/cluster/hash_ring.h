@@ -1,0 +1,46 @@
+#ifndef BIVOC_CLUSTER_HASH_RING_H_
+#define BIVOC_CLUSTER_HASH_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bivoc {
+
+// Consistent-hash ring over named shards (DESIGN.md §12). Ingest
+// routing hashes a document's central entity key onto the ring so (a)
+// all documents of one entity land on one shard — CountBothIds joins
+// stay shard-local — and (b) adding or removing a shard only remaps
+// the ~1/N keys adjacent to its virtual nodes instead of reshuffling
+// everything, which is what keeps a rejoining shard's WAL replay
+// meaningful.
+//
+// Deterministic: the ring depends only on (shard names, replicas), so
+// every router instance — and a restarted router — routes identically.
+// Immutable after construction and therefore freely shared across
+// threads.
+class HashRing {
+ public:
+  // `replicas` virtual nodes per shard smooth the key distribution;
+  // 64 keeps the worst shard within a few percent of the mean.
+  explicit HashRing(std::vector<std::string> shard_names,
+                    std::size_t replicas = 64);
+
+  // Index (into the constructor's name order) of the shard owning
+  // `key`. Requires a non-empty ring.
+  std::size_t ShardFor(std::string_view key) const;
+
+  std::size_t num_shards() const { return names_.size(); }
+  const std::string& name(std::size_t shard) const { return names_[shard]; }
+
+ private:
+  std::vector<std::string> names_;
+  // (point hash, shard index), sorted by hash: the ring itself.
+  std::vector<std::pair<uint64_t, std::size_t>> points_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_CLUSTER_HASH_RING_H_

@@ -1,0 +1,431 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <optional>
+#include <utility>
+
+#include "serve/merge.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
+#include "util/retry.h"
+#include "util/timer.h"
+
+namespace bivoc {
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<std::string> NamesOf(
+    const std::vector<std::shared_ptr<ShardHandle>>& shards) {
+  std::vector<std::string> names;
+  names.reserve(shards.size());
+  for (const auto& shard : shards) names.push_back(shard->name());
+  return names;
+}
+
+std::size_t ScatterThreads(std::size_t configured, std::size_t num_shards) {
+  if (configured > 0) return configured;
+  return std::clamp<std::size_t>(num_shards, 1, 16);
+}
+
+// Waits for a fixed number of scatter tasks. The coordinator always
+// waits before its stack frame dies, so tasks may safely reference it.
+struct Latch {
+  explicit Latch(std::size_t n) : remaining(n) {}
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--remaining == 0) cv.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return remaining == 0; });
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining;
+};
+
+// Shard RPC failures worth another attempt: the transient set plus
+// kUnavailable — a shedding or rebooting shard is exactly the case a
+// backed-off retry (or a hedge to nowhere better) is for. Stateless:
+// the predicate is copied into detached attempt threads that can
+// outlive the router's call frame.
+bool ShardRetryable(const Status& status) {
+  return DefaultRetryable(status) ||
+         status.code() == StatusCode::kUnavailable;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::vector<std::shared_ptr<ShardHandle>> shards,
+                         ShardRouterOptions options, MetricsRegistry* metrics)
+    : opts_(options),
+      owned_metrics_(metrics == nullptr ? new MetricsRegistry() : nullptr),
+      metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
+      ring_(NamesOf(shards), options.ring_replicas),
+      pool_(ScatterThreads(options.scatter_threads, shards.size())),
+      hedge_tokens_(options.hedge_budget) {
+  shards_.reserve(shards.size());
+  for (auto& handle : shards) {
+    auto state = std::make_unique<ShardState>(std::move(handle),
+                                              opts_.breaker);
+    state->requests = metrics_->GetCounter(
+        "cluster_shard_requests_total_" + state->handle->name());
+    state->failures = metrics_->GetCounter(
+        "cluster_shard_failures_total_" + state->handle->name());
+    shards_.push_back(std::move(state));
+  }
+  hedges_ = metrics_->GetCounter("cluster_hedges_total");
+  hedge_denied_ = metrics_->GetCounter("cluster_hedges_denied_total");
+  partial_responses_ =
+      metrics_->GetCounter("cluster_partial_responses_total");
+  unavailable_responses_ =
+      metrics_->GetCounter("cluster_unavailable_responses_total");
+  scatter_latency_ = metrics_->GetHistogram("cluster_scatter_latency_ms");
+  merge_latency_ = metrics_->GetHistogram("cluster_merge_latency_ms");
+}
+
+ShardRouter::~ShardRouter() = default;
+
+std::string_view ShardRouter::RouteKey(const IngestItem& item) {
+  if (!item.structured_keys.empty()) return item.structured_keys.front();
+  return item.payload;
+}
+
+bool ShardRouter::AcquireHedge() {
+  int64_t tokens = hedge_tokens_.load(std::memory_order_relaxed);
+  while (tokens > 0) {
+    if (hedge_tokens_.compare_exchange_weak(tokens, tokens - 1,
+                                            std::memory_order_relaxed)) {
+      hedges_->Increment();
+      return true;
+    }
+  }
+  hedge_denied_->Increment();
+  return false;
+}
+
+void ShardRouter::ReleaseHedge() {
+  hedge_tokens_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardRouter::WarnUnreachable(ShardState* state, const Status& status) {
+  const int64_t now = SteadyNowMs();
+  std::size_t suppressed = 0;
+  {
+    std::lock_guard<std::mutex> lock(state->warn_mu);
+    if (state->ever_warned &&
+        now - state->last_warn_ms < opts_.warn_interval_ms) {
+      ++state->suppressed;
+      return;
+    }
+    suppressed = state->suppressed;
+    state->suppressed = 0;
+    state->last_warn_ms = now;
+    state->ever_warned = true;
+  }
+  auto line = BIVOC_LOG(Warning);
+  line << "shard " << state->handle->name()
+       << " unreachable: " << status.ToString();
+  if (suppressed > 0) {
+    line << " (" << suppressed << " similar warnings suppressed)";
+  }
+}
+
+Result<ReportResult> ShardRouter::QueryShard(std::size_t shard,
+                                             const QueryRequest& request) {
+  ShardState& state = *shards_[shard];
+  state.requests->Increment();
+  if (!state.breaker.Allow()) {
+    state.failures->Increment();
+    // No WarnUnreachable here: the breaker opening already warned, and
+    // short-circuits would re-trigger it every request.
+    return Status::Unavailable("shard " + state.handle->name() +
+                               ": circuit open");
+  }
+
+  // Everything a detached (written-off or hedged) attempt touches is
+  // co-owned by the attempt itself: the handle keeps its engine or
+  // connection pool alive, the slot keeps the result storage alive.
+  struct Slot {
+    std::mutex mu;
+    std::optional<WireReport> report;
+  };
+  auto slot = std::make_shared<Slot>();
+  std::shared_ptr<ShardHandle> handle = state.handle;
+  const std::string named_point =
+      std::string(kFaultShardSend) + ":" + handle->name();
+
+  RetryPolicy policy;
+  policy.max_attempts = opts_.max_attempts;
+  policy.initial_backoff_ms = opts_.initial_backoff_ms;
+  policy.deadline_ms = opts_.shard_deadline_ms;
+  policy.attempt_timeout_ms = opts_.attempt_timeout_ms;
+  policy.hedge_delay_ms = opts_.hedge_delay_ms;
+  if (opts_.hedge_delay_ms > 0) {
+    policy.hedge_acquire = [this] { return AcquireHedge(); };
+    policy.hedge_release = [this] { ReleaseHedge(); };
+  }
+  policy.retryable = ShardRetryable;
+  Retrier retrier(policy,
+                  opts_.seed ^ (0x9e3779b97f4a7c15ULL * (shard + 1)));
+  const QueryRequest shard_request = request;
+  Status status = retrier.Run([handle, slot, shard_request, named_point] {
+    BIVOC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail(kFaultShardSend));
+    BIVOC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail(named_point));
+    Result<WireReport> report = handle->Query(shard_request);
+    if (!report.ok()) return report.status();
+    std::lock_guard<std::mutex> lock(slot->mu);
+    // First winning attempt keeps its report; a slower duplicate
+    // (hedge + original both succeeding) is discarded.
+    if (!slot->report.has_value()) slot->report = report.MoveValue();
+    return Status::OK();
+  });
+
+  if (status.ok()) {
+    state.breaker.RecordSuccess();
+    std::lock_guard<std::mutex> lock(slot->mu);
+    return std::move(slot->report->report);
+  }
+  state.breaker.RecordFailure();
+  state.failures->Increment();
+  WarnUnreachable(&state, status);
+  return status;
+}
+
+Result<JsonValue> ShardRouter::ExecuteQuery(QueryRequest request) {
+  Timer scatter_timer;
+  request.shard_mode = true;
+  const std::size_t n = shards_.size();
+
+  std::vector<std::optional<Result<ReportResult>>> results(n);
+  Latch latch(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool_.Submit([this, i, &request, &results, &latch] {
+      results[i] = QueryShard(i, request);
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+  scatter_latency_->Observe(scatter_timer.ElapsedMillis());
+
+  std::vector<ReportResult> partials;
+  partials.reserve(n);
+  JsonValue missing = JsonValue::MakeArray();
+  std::size_t missing_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Result<ReportResult>& result = *results[i];
+    if (result.ok()) {
+      partials.push_back(result.MoveValue());
+    } else {
+      missing.Append(JsonValue(shards_[i]->handle->name()));
+      ++missing_count;
+    }
+  }
+  if (partials.empty()) {
+    unavailable_responses_->Increment();
+    return Status::Unavailable("no shard reachable (0/" +
+                               std::to_string(n) + " answered)");
+  }
+
+  BIVOC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail(kFaultClusterMerge));
+  Timer merge_timer;
+  Result<ReportResult> merged = MergeShardReports(request, partials);
+  if (!merged.ok()) return merged.status();
+  merge_latency_->Observe(merge_timer.ElapsedMillis());
+
+  const bool partial = missing_count > 0;
+  if (partial) partial_responses_->Increment();
+  // Honesty fields ride on every response, not only degraded ones, so
+  // clients can assert completeness instead of inferring it.
+  JsonValue body = ReportResultToJson(merged.value(), /*from_cache=*/false);
+  body.Set("partial", JsonValue(partial));
+  body.Set("missing_shards", std::move(missing));
+  body.Set("shards_total", JsonValue(static_cast<uint64_t>(n)));
+  body.Set("shards_ok",
+           JsonValue(static_cast<uint64_t>(partials.size())));
+  return body;
+}
+
+Status ShardRouter::IngestShard(std::size_t shard,
+                                const std::vector<IngestItem>& items,
+                                JsonValue* health_out) {
+  ShardState& state = *shards_[shard];
+  state.requests->Increment();
+  if (!state.breaker.Allow()) {
+    state.failures->Increment();
+    return Status::Unavailable("shard " + state.handle->name() +
+                               ": circuit open");
+  }
+  std::shared_ptr<ShardHandle> handle = state.handle;
+  const std::string named_point =
+      std::string(kFaultShardSend) + ":" + handle->name();
+
+  // Sequential engine on purpose (no attempt timeout, no hedging):
+  // overlapping two copies of a write is never acceptable.
+  RetryPolicy policy;
+  policy.max_attempts = opts_.ingest_max_attempts;
+  policy.initial_backoff_ms = opts_.ingest_backoff_ms;
+  policy.deadline_ms = opts_.shard_deadline_ms;
+  policy.retryable = ShardRetryable;
+  Retrier retrier(policy,
+                  opts_.seed ^ (0xc2b2ae3d27d4eb4fULL * (shard + 1)));
+  Status status = retrier.Run([&]() -> Status {
+    BIVOC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail(kFaultShardSend));
+    BIVOC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail(named_point));
+    Result<JsonValue> health = handle->Ingest(items);
+    if (!health.ok()) return health.status();
+    *health_out = health.MoveValue();
+    return Status::OK();
+  });
+
+  if (status.ok()) {
+    state.breaker.RecordSuccess();
+    return status;
+  }
+  state.breaker.RecordFailure();
+  state.failures->Increment();
+  WarnUnreachable(&state, status);
+  return status;
+}
+
+Result<JsonValue> ShardRouter::ExecuteIngest(std::vector<IngestItem> items) {
+  const std::size_t n = shards_.size();
+  const std::size_t total_items = items.size();
+  std::vector<std::vector<IngestItem>> batches(n);
+  for (IngestItem& item : items) {
+    batches[ring_.ShardFor(RouteKey(item))].push_back(std::move(item));
+  }
+
+  struct Outcome {
+    bool attempted = false;
+    Status status;
+    JsonValue health;
+  };
+  std::vector<Outcome> outcomes(n);
+  std::size_t attempted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!batches[i].empty()) {
+      outcomes[i].attempted = true;
+      ++attempted;
+    }
+  }
+  Latch latch(attempted);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!outcomes[i].attempted) continue;
+    pool_.Submit([this, i, &batches, &outcomes, &latch] {
+      outcomes[i].status =
+          IngestShard(i, batches[i], &outcomes[i].health);
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+
+  JsonValue shards = JsonValue::MakeArray();
+  JsonValue missing = JsonValue::MakeArray();
+  std::size_t failed_items = 0;
+  std::size_t failed_shards = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!outcomes[i].attempted) continue;
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("name", JsonValue(shards_[i]->handle->name()));
+    entry.Set("items",
+              JsonValue(static_cast<uint64_t>(batches[i].size())));
+    if (outcomes[i].status.ok()) {
+      entry.Set("health", std::move(outcomes[i].health));
+    } else {
+      entry.Set("error", JsonValue(outcomes[i].status.ToString()));
+      missing.Append(JsonValue(shards_[i]->handle->name()));
+      failed_items += batches[i].size();
+      ++failed_shards;
+    }
+    shards.Append(std::move(entry));
+  }
+  if (attempted > 0 && failed_shards == attempted) {
+    unavailable_responses_->Increment();
+    return Status::Unavailable("ingest failed on every target shard (" +
+                               std::to_string(failed_shards) + "/" +
+                               std::to_string(attempted) + ")");
+  }
+  const bool partial = failed_shards > 0;
+  if (partial) partial_responses_->Increment();
+  JsonValue body = JsonValue::MakeObject();
+  body.Set("partial", JsonValue(partial));
+  body.Set("missing_shards", std::move(missing));
+  body.Set("items_total", JsonValue(static_cast<uint64_t>(total_items)));
+  body.Set("items_failed", JsonValue(static_cast<uint64_t>(failed_items)));
+  body.Set("shards", std::move(shards));
+  return body;
+}
+
+GatewayBackend::HealthSnapshot ShardRouter::Healthz() {
+  const std::size_t n = shards_.size();
+  struct Probe {
+    Status status;
+    JsonValue health;
+  };
+  std::vector<Probe> probes(n);
+  Latch latch(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Deliberately bypasses the breaker: health is how operators (and
+    // the chaos tests) *watch* a shard recover, so the probe must hit
+    // the real shard even while queries are being short-circuited.
+    pool_.Submit([this, i, &probes, &latch] {
+      const std::string named_point =
+          std::string(kFaultShardSend) + ":" + shards_[i]->handle->name();
+      Status fault = FaultInjector::Global().MaybeFail(named_point);
+      Result<JsonValue> health =
+          fault.ok() ? shards_[i]->handle->Health() : Result<JsonValue>(fault);
+      if (health.ok()) {
+        probes[i].health = health.MoveValue();
+        shards_[i]->breaker.RecordSuccess();
+      } else {
+        probes[i].status = health.status();
+      }
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+
+  std::size_t ok_count = 0;
+  JsonValue shard_list = JsonValue::MakeArray();
+  for (std::size_t i = 0; i < n; ++i) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("name", JsonValue(shards_[i]->handle->name()));
+    entry.Set("ok", JsonValue(probes[i].status.ok()));
+    entry.Set("breaker",
+              JsonValue(CircuitBreakerStateName(
+                  shards_[i]->breaker.state())));
+    if (probes[i].status.ok()) {
+      ++ok_count;
+      entry.Set("health", std::move(probes[i].health));
+    } else {
+      entry.Set("error", JsonValue(probes[i].status.ToString()));
+    }
+    shard_list.Append(std::move(entry));
+  }
+
+  const char* verdict = ok_count == n          ? "ok"
+                        : ok_count > 0         ? "degraded"
+                                               : "unavailable";
+  HealthSnapshot snapshot;
+  snapshot.http_status = ok_count > 0 ? 200 : 503;
+  JsonValue body = JsonValue::MakeObject();
+  body.Set("verdict", JsonValue(verdict));
+  body.Set("shards_total", JsonValue(static_cast<uint64_t>(n)));
+  body.Set("shards_ok", JsonValue(static_cast<uint64_t>(ok_count)));
+  body.Set("shards", std::move(shard_list));
+  snapshot.body = std::move(body);
+  return snapshot;
+}
+
+std::string ShardRouter::MetricsText() { return metrics_->RenderText(); }
+
+}  // namespace bivoc

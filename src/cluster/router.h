@@ -1,0 +1,175 @@
+#ifndef BIVOC_CLUSTER_ROUTER_H_
+#define BIVOC_CLUSTER_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "cluster/shard_handle.h"
+#include "core/ingest.h"
+#include "net/gateway.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace bivoc {
+
+struct ShardRouterOptions {
+  // --- per-shard query RPC policy (fed into util/retry.h) -----------
+  int max_attempts = 2;
+  int64_t initial_backoff_ms = 10;
+  // Overall budget for one shard's answer, all attempts included. A
+  // shard that cannot answer inside this window is reported missing
+  // and the response becomes partial — the deadline is the honesty
+  // boundary, not a hang.
+  int64_t shard_deadline_ms = 2000;
+  // Write-off for a single attempt: a hung RPC stops blocking the
+  // retry schedule after this long (the attempt itself keeps running
+  // detached and may still win).
+  int64_t attempt_timeout_ms = 500;
+  // Launch a concurrent hedge attempt when the newest one has not
+  // answered after this long. 0 disables hedging.
+  int64_t hedge_delay_ms = 150;
+  // Cluster-wide cap on concurrently outstanding hedge attempts, so a
+  // brown-out cannot double the fleet's load.
+  int64_t hedge_budget = 4;
+
+  // --- ingest RPC policy --------------------------------------------
+  // Ingest retries sequentially and never hedges: replaying a batch
+  // that may have half-applied is acceptable (ingest is add-only and
+  // the WAL dedups on recovery), racing two copies of it is not.
+  int ingest_max_attempts = 3;
+  int64_t ingest_backoff_ms = 20;
+
+  // Per-shard circuit breaker (core/ingest.h semantics).
+  CircuitBreaker::Options breaker;
+
+  // Scatter worker threads; 0 = one per shard (capped at 16).
+  std::size_t scatter_threads = 0;
+
+  // Virtual nodes per shard on the ingest ring.
+  std::size_t ring_replicas = 64;
+
+  // "shard unreachable" warnings are rate-limited per shard to one
+  // per this interval; suppressed repeats are counted and reported in
+  // the next emitted line (same pattern as the DLQ overflow warning).
+  int64_t warn_interval_ms = 1000;
+
+  // Retry-After hint attached to kUnavailable responses.
+  int64_t retry_after_ms = 50;
+
+  // Seed for the retry jitter schedule (reproducible tests).
+  uint64_t seed = 0x5eedULL;
+};
+
+// Scatter-gather coordinator over N shards (DESIGN.md §12) and the
+// cluster-mode GatewayBackend: put a Gateway in front of a ShardRouter
+// and the wire surface of a cluster is byte-compatible with a single
+// engine's, plus the honesty fields below.
+//
+//  * /v1/query fans out in shard mode (serve/query.h) under per-shard
+//    deadlines, budgeted hedged retries and per-shard circuit
+//    breakers, then merges exactly (serve/merge.h). The response
+//    always carries "partial" and "missing_shards"; degraded answers
+//    are first-class 200s, and only zero reachable shards is a 503.
+//  * /v1/ingest consistent-hashes each item (first structured key,
+//    else the payload) onto the ring so an entity's documents land on
+//    one shard, then scatters the per-shard batches.
+//  * /healthz probes every shard — bypassing breakers, so recovery is
+//    observed rather than assumed — and reports a three-state verdict:
+//    "ok" (all shards), "degraded" (some), "unavailable" (none, 503).
+//  * /metrics renders the router registry: per-shard request/failure
+//    counters, hedge counter, scatter/merge latency histograms and
+//    partial-response counter, plus the gateway's route instruments.
+//
+// Fault points: every attempt of every shard RPC passes through
+// "net.shard.send" and "net.shard.send:<shard-name>"; the merge step
+// passes through "cluster.merge" (util/fault_injection.h).
+//
+// Thread-safe. The router owns its scatter pool and (optionally) its
+// registry; shard handles are co-owned with any outstanding attempts.
+class ShardRouter : public GatewayBackend {
+ public:
+  // `metrics` == nullptr gives the router a private registry.
+  explicit ShardRouter(std::vector<std::shared_ptr<ShardHandle>> shards,
+                       ShardRouterOptions options = {},
+                       MetricsRegistry* metrics = nullptr);
+  ~ShardRouter() override;
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  // GatewayBackend:
+  Result<JsonValue> ExecuteQuery(QueryRequest request) override;
+  Result<JsonValue> ExecuteIngest(std::vector<IngestItem> items) override;
+  HealthSnapshot Healthz() override;
+  std::string MetricsText() override;
+  MetricsRegistry* metrics() override { return metrics_; }
+  int64_t retry_after_hint_ms() override { return opts_.retry_after_ms; }
+
+  // --- introspection (tests, examples) ------------------------------
+  std::size_t num_shards() const { return shards_.size(); }
+  const std::string& shard_name(std::size_t shard) const {
+    return shards_[shard]->handle->name();
+  }
+  CircuitBreaker* breaker(std::size_t shard) {
+    return &shards_[shard]->breaker;
+  }
+  // Ring position an ingest item routes to.
+  std::size_t ShardForItem(const IngestItem& item) const {
+    return ring_.ShardFor(RouteKey(item));
+  }
+  // The routing key: the first structured key (the central entity —
+  // paper §III's customer/center dimensions), else the payload.
+  static std::string_view RouteKey(const IngestItem& item);
+
+ private:
+  struct ShardState {
+    ShardState(std::shared_ptr<ShardHandle> h,
+               const CircuitBreaker::Options& breaker_options)
+        : handle(std::move(h)), breaker(breaker_options) {}
+
+    std::shared_ptr<ShardHandle> handle;
+    CircuitBreaker breaker;
+    Counter* requests = nullptr;
+    Counter* failures = nullptr;
+    // Rate-limited "unreachable" warning state.
+    std::mutex warn_mu;
+    int64_t last_warn_ms = 0;
+    bool ever_warned = false;
+    std::size_t suppressed = 0;
+  };
+
+  // One shard's full query RPC: breaker gate, fault points, hedged
+  // retries. On success the breaker records recovery.
+  Result<ReportResult> QueryShard(std::size_t shard,
+                                  const QueryRequest& request);
+  Status IngestShard(std::size_t shard, const std::vector<IngestItem>& items,
+                     JsonValue* health_out);
+  void WarnUnreachable(ShardState* state, const Status& status);
+  bool AcquireHedge();
+  void ReleaseHedge();
+
+  ShardRouterOptions opts_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  HashRing ring_;
+  ThreadPool pool_;
+  std::atomic<int64_t> hedge_tokens_;
+
+  Counter* hedges_;
+  Counter* hedge_denied_;
+  Counter* partial_responses_;
+  Counter* unavailable_responses_;
+  Histogram* scatter_latency_;
+  Histogram* merge_latency_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_CLUSTER_ROUTER_H_

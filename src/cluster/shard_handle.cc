@@ -1,0 +1,128 @@
+#include "cluster/shard_handle.h"
+
+#include <utility>
+
+#include "core/ingest.h"
+
+namespace bivoc {
+
+// --- LocalShardHandle ------------------------------------------------
+
+LocalShardHandle::LocalShardHandle(std::string name,
+                                   std::shared_ptr<BivocEngine> engine)
+    : name_(std::move(name)), engine_(std::move(engine)) {
+  // Lazy subsystem construction is not thread-safe on first call; warm
+  // both before the router's scatter threads exist.
+  engine_->serve();
+  engine_->ingest();
+}
+
+Result<WireReport> LocalShardHandle::Query(const QueryRequest& request) {
+  Result<ReportServer::ReportResponse> response =
+      engine_->serve()->Execute(request);
+  if (!response.ok()) return response.status();
+  WireReport report;
+  report.report = *response.value().report;  // snapshot the shared report
+  report.from_cache = response.value().from_cache;
+  return report;
+}
+
+Result<JsonValue> LocalShardHandle::Ingest(
+    const std::vector<IngestItem>& items) {
+  return HealthReportToJson(engine_->IngestBatch(items));
+}
+
+Result<JsonValue> LocalShardHandle::Health() {
+  return HealthReportToJson(engine_->Health());
+}
+
+// --- HttpShardHandle -------------------------------------------------
+
+HttpShardHandle::HttpShardHandle(std::string name, std::string host,
+                                 uint16_t port, HttpShardOptions options)
+    : name_(std::move(name)),
+      host_(std::move(host)),
+      port_(port),
+      opts_(options) {}
+
+std::size_t HttpShardHandle::pooled_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_.size();
+}
+
+std::unique_ptr<HttpClient> HttpShardHandle::Checkout() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!pool_.empty()) {
+      std::unique_ptr<HttpClient> client = std::move(pool_.back());
+      pool_.pop_back();
+      return client;
+    }
+  }
+  HttpClientOptions client_opts;
+  client_opts.timeout_ms = opts_.send_timeout_ms;
+  client_opts.connect_timeout_ms = opts_.connect_timeout_ms;
+  client_opts.read_timeout_ms = opts_.read_timeout_ms;
+  return std::make_unique<HttpClient>(host_, port_, client_opts);
+}
+
+void HttpShardHandle::Return(std::unique_ptr<HttpClient> client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pool_.push_back(std::move(client));
+}
+
+Result<JsonValue> HttpShardHandle::RoundTrip(const std::string& method,
+                                             const std::string& target,
+                                             std::string body) {
+  std::unique_ptr<HttpClient> client = Checkout();
+  Result<HttpResponse> response =
+      method == "GET" ? client->Get(target)
+                      : client->Post(target, std::move(body));
+  if (!response.ok()) {
+    // Transport failure: the connection is in an unknown state, so it
+    // is dropped with `client` — never pooled.
+    return response.status();
+  }
+  Result<JsonValue> json = ParseJson(response.value().body);
+  if (!json.ok()) {
+    return Status::Corruption("shard " + name_ + " sent unparseable JSON: " +
+                              json.status().message());
+  }
+  const int http_status = response.value().status;
+  // The exchange framed correctly (whatever the status code), so the
+  // kept-alive connection is safe to reuse.
+  Return(std::move(client));
+  if (http_status < 200 || http_status >= 300) {
+    std::string message = "shard " + name_ + " answered HTTP " +
+                          std::to_string(http_status);
+    const JsonValue* detail = json.value().Find("message");
+    if (detail != nullptr && detail->is_string()) {
+      message += ": " + detail->GetString();
+    }
+    return Status(StatusCodeForHttp(http_status), std::move(message));
+  }
+  return json;
+}
+
+Result<WireReport> HttpShardHandle::Query(const QueryRequest& request) {
+  Result<JsonValue> json =
+      RoundTrip("POST", "/v1/query", DumpJson(QueryRequestToJson(request)));
+  if (!json.ok()) return json.status();
+  Result<WireReport> report = ReportResultFromJson(json.value());
+  if (!report.ok()) {
+    return Status::Corruption("shard " + name_ + " sent a malformed report: " +
+                              report.status().message());
+  }
+  return report;
+}
+
+Result<JsonValue> HttpShardHandle::Ingest(
+    const std::vector<IngestItem>& items) {
+  return RoundTrip("POST", "/v1/ingest", DumpJson(IngestItemsToJson(items)));
+}
+
+Result<JsonValue> HttpShardHandle::Health() {
+  return RoundTrip("GET", "/healthz", "");
+}
+
+}  // namespace bivoc

@@ -1,0 +1,108 @@
+#ifndef BIVOC_CLUSTER_SHARD_HANDLE_H_
+#define BIVOC_CLUSTER_SHARD_HANDLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/bivoc.h"
+#include "net/http_client.h"
+#include "net/json.h"
+#include "net/wire.h"
+#include "serve/query.h"
+#include "util/result.h"
+
+namespace bivoc {
+
+// One shard as the router sees it: three operations, all deadline-
+// bounded and all safe to call from any thread — including the
+// Retrier's detached hedge attempts, which may still be running after
+// the router has given up on them. Implementations therefore own (or
+// co-own) everything an abandoned call touches.
+class ShardHandle {
+ public:
+  virtual ~ShardHandle() = default;
+
+  virtual const std::string& name() const = 0;
+
+  // Evaluates a query on the shard. The router sends shard_mode
+  // requests; the shard's own serving stack (validation, admission
+  // control, cache) applies as usual.
+  virtual Result<WireReport> Query(const QueryRequest& request) = 0;
+
+  // Ingests a batch routed to this shard; returns the shard's
+  // HealthReport JSON for that batch.
+  virtual Result<JsonValue> Ingest(const std::vector<IngestItem>& items) = 0;
+
+  // Health probe; returns the shard's /healthz JSON.
+  virtual Result<JsonValue> Health() = 0;
+};
+
+// In-process shard: a BivocEngine co-owned with every outstanding
+// call, so an abandoned hedge attempt can never touch a dead engine.
+// Used by the merge property tests, the cluster bench and the
+// single-binary demo mode of examples/serve_cluster.
+class LocalShardHandle : public ShardHandle {
+ public:
+  LocalShardHandle(std::string name, std::shared_ptr<BivocEngine> engine);
+
+  const std::string& name() const override { return name_; }
+  Result<WireReport> Query(const QueryRequest& request) override;
+  Result<JsonValue> Ingest(const std::vector<IngestItem>& items) override;
+  Result<JsonValue> Health() override;
+
+  BivocEngine* engine() { return engine_.get(); }
+
+ private:
+  std::string name_;
+  std::shared_ptr<BivocEngine> engine_;
+};
+
+struct HttpShardOptions {
+  // Per-call transport budgets, kept tight: the Retrier above this
+  // handle owns the generous budgets.
+  int64_t connect_timeout_ms = 250;
+  int64_t read_timeout_ms = 1000;
+  int64_t send_timeout_ms = 1000;
+};
+
+// A shard reached over its gateway's HTTP surface. Connections are
+// pooled: a call checks one out (or dials), and returns it only after
+// a fully successful round trip — a connection that saw any error is
+// dropped, never reused, so one poisoned socket cannot fail a later
+// call. Thread-safe; concurrent calls simply use separate connections.
+class HttpShardHandle : public ShardHandle {
+ public:
+  HttpShardHandle(std::string name, std::string host, uint16_t port,
+                  HttpShardOptions options = {});
+
+  const std::string& name() const override { return name_; }
+  Result<WireReport> Query(const QueryRequest& request) override;
+  Result<JsonValue> Ingest(const std::vector<IngestItem>& items) override;
+  Result<JsonValue> Health() override;
+
+  // Pooled idle connections (tests).
+  std::size_t pooled_connections() const;
+
+ private:
+  std::unique_ptr<HttpClient> Checkout();
+  void Return(std::unique_ptr<HttpClient> client);
+  // Runs one HTTP exchange on a pooled connection and decodes the
+  // JSON body; non-2xx maps through StatusCodeForHttp.
+  Result<JsonValue> RoundTrip(const std::string& method,
+                              const std::string& target, std::string body);
+
+  std::string name_;
+  std::string host_;
+  uint16_t port_;
+  HttpShardOptions opts_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<HttpClient>> pool_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_CLUSTER_SHARD_HANDLE_H_

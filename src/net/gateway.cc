@@ -11,6 +11,49 @@
 
 namespace bivoc {
 
+namespace {
+
+// The single-engine backend: routes map 1:1 onto BivocEngine calls.
+class EngineGatewayBackend : public GatewayBackend {
+ public:
+  explicit EngineGatewayBackend(BivocEngine* engine) : engine_(engine) {
+    // serve() and ingest() lazily construct their subsystems and are
+    // not thread-safe on first call; warm both here, before any worker
+    // thread exists, so handlers only ever read initialized pointers.
+    engine_->serve();
+    engine_->ingest();
+  }
+
+  Result<JsonValue> ExecuteQuery(QueryRequest request) override {
+    Result<ReportServer::ReportResponse> result =
+        engine_->serve()->Execute(std::move(request));
+    if (!result.ok()) return result.status();
+    return ReportResultToJson(*result.value().report,
+                              result.value().from_cache);
+  }
+
+  Result<JsonValue> ExecuteIngest(std::vector<IngestItem> items) override {
+    return HealthReportToJson(engine_->IngestBatch(items));
+  }
+
+  HealthSnapshot Healthz() override {
+    return {200, HealthReportToJson(engine_->Health())};
+  }
+
+  std::string MetricsText() override { return engine_->MetricsText(); }
+
+  MetricsRegistry* metrics() override { return engine_->metrics(); }
+
+  int64_t retry_after_hint_ms() override {
+    return engine_->serve()->options().retry_after_ms;
+  }
+
+ private:
+  BivocEngine* engine_;  // not owned
+};
+
+}  // namespace
+
 const char* GatewayRouteName(std::size_t route) {
   switch (route) {
     case Gateway::kQuery:
@@ -26,17 +69,14 @@ const char* GatewayRouteName(std::size_t route) {
   }
 }
 
-Gateway::Gateway(BivocEngine* engine, GatewayOptions options)
-    : engine_(engine),
+Gateway::Gateway(std::unique_ptr<GatewayBackend> owned,
+                 GatewayBackend* backend, GatewayOptions options)
+    : owned_backend_(std::move(owned)),
+      backend_(owned_backend_ ? owned_backend_.get() : backend),
       opts_(std::move(options)),
       server_([this](const HttpRequest& request) { return Handle(request); },
-              opts_.server, engine->metrics()) {
-  // serve() and ingest() lazily construct their subsystems and are not
-  // thread-safe on first call; warm both here, before any worker
-  // thread exists, so handlers only ever read initialized pointers.
-  engine_->serve();
-  engine_->ingest();
-  MetricsRegistry* metrics = engine_->metrics();
+              opts_.server, backend_->metrics()) {
+  MetricsRegistry* metrics = backend_->metrics();
   for (std::size_t r = 0; r < kNumRoutes; ++r) {
     const std::string name = GatewayRouteName(r);
     route_requests_[r] =
@@ -44,6 +84,13 @@ Gateway::Gateway(BivocEngine* engine, GatewayOptions options)
     route_latency_[r] = metrics->GetHistogram("gateway_latency_ms_" + name);
   }
 }
+
+Gateway::Gateway(GatewayBackend* backend, GatewayOptions options)
+    : Gateway(nullptr, backend, std::move(options)) {}
+
+Gateway::Gateway(BivocEngine* engine, GatewayOptions options)
+    : Gateway(std::make_unique<EngineGatewayBackend>(engine), nullptr,
+              std::move(options)) {}
 
 Gateway::~Gateway() { Stop(); }
 
@@ -57,7 +104,7 @@ Status Gateway::Start() {
 void Gateway::Stop() { server_.Stop(); }
 
 void Gateway::CountResponse(Route route, int status) {
-  engine_->metrics()->GetCounter(
+  backend_->metrics()->GetCounter(
       std::string("gateway_responses_total_") + GatewayRouteName(route) +
       "_" + std::to_string(status))->Increment();
 }
@@ -122,7 +169,7 @@ HttpResponse Gateway::StatusResponse(const Status& status) {
   if (status.code() == StatusCode::kUnavailable) {
     // The shed message carries "retry after N ms"; the header speaks
     // seconds. Round up so clients never come back too early.
-    const int64_t hint_ms = engine_->serve()->options().retry_after_ms;
+    const int64_t hint_ms = backend_->retry_after_hint_ms();
     const int64_t seconds = hint_ms <= 0 ? 1 : (hint_ms + 999) / 1000;
     response.SetHeader("Retry-After", std::to_string(seconds));
   }
@@ -138,14 +185,11 @@ HttpResponse Gateway::HandleQuery(const HttpRequest& request) {
   if (!query.ok()) {
     return ErrorResponse(400, "bad_query", query.status().message());
   }
-  Result<ReportServer::ReportResponse> result =
-      engine_->serve()->Execute(query.MoveValue());
-  if (!result.ok()) {
-    return StatusResponse(result.status());
+  Result<JsonValue> report = backend_->ExecuteQuery(query.MoveValue());
+  if (!report.ok()) {
+    return StatusResponse(report.status());
   }
-  return JsonResponse(
-      200, DumpJson(ReportResultToJson(*result.value().report,
-                                       result.value().from_cache)));
+  return JsonResponse(200, DumpJson(report.value()));
 }
 
 HttpResponse Gateway::HandleIngest(const HttpRequest& request) {
@@ -157,16 +201,20 @@ HttpResponse Gateway::HandleIngest(const HttpRequest& request) {
   if (!items.ok()) {
     return ErrorResponse(400, "bad_batch", items.status().message());
   }
-  const HealthReport report = engine_->IngestBatch(items.value());
-  return JsonResponse(200, DumpJson(HealthReportToJson(report)));
+  Result<JsonValue> report = backend_->ExecuteIngest(items.MoveValue());
+  if (!report.ok()) {
+    return StatusResponse(report.status());
+  }
+  return JsonResponse(200, DumpJson(report.value()));
 }
 
 HttpResponse Gateway::HandleHealthz() {
-  return JsonResponse(200, DumpJson(HealthReportToJson(engine_->Health())));
+  GatewayBackend::HealthSnapshot health = backend_->Healthz();
+  return JsonResponse(health.http_status, DumpJson(health.body));
 }
 
 HttpResponse Gateway::HandleMetrics() {
-  return TextResponse(200, engine_->MetricsText());
+  return TextResponse(200, backend_->MetricsText());
 }
 
 // ---------------------------------------------------------------------------

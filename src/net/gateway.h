@@ -3,11 +3,15 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/bivoc.h"
 #include "net/http.h"
 #include "net/http_server.h"
+#include "net/json.h"
+#include "serve/query.h"
 #include "util/metrics.h"
 #include "util/status.h"
 
@@ -17,30 +21,67 @@ struct GatewayOptions {
   HttpServerOptions server;
 };
 
-// The HTTP face of a BivocEngine (DESIGN.md §11). Four routes:
+// The service behind the gateway's routes, with HTTP and JSON framing
+// already stripped. Two implementations exist: the single-engine
+// backend wrapping a BivocEngine (internal to gateway.cc, what the
+// BivocEngine* constructor below builds), and the cluster ShardRouter
+// (cluster/router.h) which scatter-gathers over N engines. Keeping the
+// interface here — not in cluster/ — is what lets bivoc_cluster depend
+// on bivoc_net and not the other way around.
+class GatewayBackend {
+ public:
+  virtual ~GatewayBackend() = default;
+
+  struct HealthSnapshot {
+    // 200 while the backend can serve (including degraded cluster
+    // states); 503 when it cannot.
+    int http_status = 200;
+    JsonValue body;
+  };
+
+  // Parsed /v1/query body -> response JSON body. An error Status maps
+  // through HttpStatusForCode (kUnavailable additionally carries a
+  // Retry-After derived from retry_after_hint_ms).
+  virtual Result<JsonValue> ExecuteQuery(QueryRequest request) = 0;
+  // Parsed /v1/ingest batch -> response JSON body.
+  virtual Result<JsonValue> ExecuteIngest(std::vector<IngestItem> items) = 0;
+  virtual HealthSnapshot Healthz() = 0;
+  virtual std::string MetricsText() = 0;
+  // Registry the gateway's per-route instruments are created in.
+  virtual MetricsRegistry* metrics() = 0;
+  // Hint (ms) for the Retry-After header on kUnavailable responses.
+  virtual int64_t retry_after_hint_ms() { return 0; }
+};
+
+// The HTTP face of a GatewayBackend (DESIGN.md §11). Four routes:
 //
-//   POST /v1/query   JSON QueryRequest -> ReportServer::Execute.
+//   POST /v1/query   JSON QueryRequest -> backend ExecuteQuery.
 //                    Overload shedding (kUnavailable) maps to 503 with
-//                    a Retry-After header derived from the serve
-//                    options' retry hint; other Status codes map
-//                    through HttpStatusForCode.
-//   POST /v1/ingest  JSON batch -> BivocEngine::IngestBatch; answers
-//                    with that batch's HealthReport.
-//   GET  /healthz    Cumulative HealthReport as JSON.
-//   GET  /metrics    The engine registry's Prometheus-style text dump
+//                    a Retry-After header from the backend's hint;
+//                    other Status codes map through HttpStatusForCode.
+//   POST /v1/ingest  JSON batch -> backend ExecuteIngest; answers with
+//                    that batch's HealthReport (or the router's
+//                    per-shard routing summary).
+//   GET  /healthz    Backend health as JSON; 503 when unavailable.
+//   GET  /metrics    The backend registry's Prometheus-style text dump
 //                    (which includes this gateway's own instruments).
 //
 // Routing and serialization live in Handle(), which is public so tests
 // can exercise the gateway without sockets; Start() binds the real
 // HttpServer on top. Per-route counters and latency histograms are
-// registered in the engine's MetricsRegistry as
+// registered in the backend's MetricsRegistry as
 // gateway_requests_total_<route>, gateway_latency_ms_<route> and
 // gateway_responses_total_<route>_<status>.
 //
-// The gateway does not own the engine and must be stopped (or
+// The gateway does not own an externally supplied backend (or the
+// engine behind the convenience constructor) and must be stopped (or
 // destroyed) before it.
 class Gateway {
  public:
+  // Serve an externally owned backend (e.g. a cluster ShardRouter).
+  Gateway(GatewayBackend* backend, GatewayOptions options);
+  // Single-engine deployment: builds and owns an engine-wrapping
+  // backend internally.
   explicit Gateway(BivocEngine* engine, GatewayOptions options = {});
   ~Gateway();
 
@@ -71,6 +112,9 @@ class Gateway {
   };
 
  private:
+  Gateway(std::unique_ptr<GatewayBackend> owned, GatewayBackend* backend,
+          GatewayOptions options);
+
   HttpResponse Dispatch(const HttpRequest& request, Route* route);
   HttpResponse HandleQuery(const HttpRequest& request);
   HttpResponse HandleIngest(const HttpRequest& request);
@@ -80,7 +124,8 @@ class Gateway {
   HttpResponse StatusResponse(const Status& status);
   void CountResponse(Route route, int status);
 
-  BivocEngine* engine_;  // not owned
+  std::unique_ptr<GatewayBackend> owned_backend_;  // engine ctor only
+  GatewayBackend* backend_;  // always valid; == owned_backend_ when owned
   GatewayOptions opts_;
   std::array<Counter*, kNumRoutes> route_requests_{};
   std::array<Histogram*, kNumRoutes> route_latency_{};

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -39,7 +40,7 @@ void HttpClient::Close() {
 
 Status HttpClient::EnsureConnected() {
   if (fd_ >= 0) return Status::OK();
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (fd_ < 0) {
     return Status::IoError(std::string("socket: ") + strerror(errno));
   }
@@ -50,13 +51,47 @@ Status HttpClient::EnsureConnected() {
     Close();
     return Status::InvalidArgument("unparseable host: " + host_);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  // Non-blocking connect so the connect deadline is ours, not the
+  // kernel's SYN-retransmit schedule (minutes against a black hole).
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+      errno != EINPROGRESS) {
     Status st = Status::IoError("connect " + host_ + ":" +
                                 std::to_string(port_) + ": " +
                                 strerror(errno));
     Close();
     return st;
   }
+  const int64_t deadline = NowMs() + ConnectTimeoutMs();
+  for (;;) {
+    const int64_t remaining = deadline - NowMs();
+    if (remaining <= 0) {
+      Close();
+      return Status::DeadlineExceeded("connect " + host_ + ":" +
+                                      std::to_string(port_) + ": timed out");
+    }
+    pollfd pfd{fd_, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (ready < 0 && errno != EINTR) {
+      Status st = Status::IoError(std::string("poll: ") + strerror(errno));
+      Close();
+      return st;
+    }
+    if (ready <= 0) continue;
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      Status st = Status::IoError("connect " + host_ + ":" +
+                                  std::to_string(port_) + ": " +
+                                  strerror(err != 0 ? err : errno));
+      Close();
+      return st;
+    }
+    break;
+  }
+  // Back to blocking mode: the request/response paths already pace
+  // every recv/send with poll, and blocking sockets keep them simple.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK);
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return Status::OK();
@@ -68,7 +103,7 @@ Status HttpClient::SendRaw(const std::string& bytes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
     const int64_t remaining = deadline - NowMs();
-    if (remaining <= 0) return Status::IoError("send timeout");
+    if (remaining <= 0) return Status::DeadlineExceeded("send timeout");
     pollfd pfd{fd_, POLLOUT, 0};
     const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
     if (ready < 0 && errno != EINTR) {
@@ -119,13 +154,15 @@ Result<std::string> HttpClient::ReadUntilClose() {
 Result<HttpResponse> HttpClient::RoundTrip(const std::string& wire) {
   BIVOC_RETURN_NOT_OK(SendRaw(wire));
   HttpParser parser(HttpParser::Mode::kResponse, opts_.parser_limits);
-  const int64_t deadline = NowMs() + opts_.timeout_ms;
+  const int64_t deadline = NowMs() + ReadTimeoutMs();
   char buf[8192];
   while (parser.state() == HttpParser::State::kNeedMore) {
     const int64_t remaining = deadline - NowMs();
     if (remaining <= 0) {
       Close();
-      return Status::IoError("response timeout");
+      return Status::DeadlineExceeded("response timeout after " +
+                                      std::to_string(ReadTimeoutMs()) +
+                                      " ms");
     }
     pollfd pfd{fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, static_cast<int>(remaining));

@@ -11,8 +11,16 @@
 namespace bivoc {
 
 struct HttpClientOptions {
-  // Applies to connect, and to each full request/response exchange.
+  // Default budget for every phase a dedicated knob below leaves at 0:
+  // connecting, sending a request, awaiting/reading its response.
   int64_t timeout_ms = 5000;
+  // TCP connect must complete within this window (0 = timeout_ms). The
+  // scatter path keeps this tight so a black-holed shard costs
+  // milliseconds, not a kernel SYN-retry eternity.
+  int64_t connect_timeout_ms = 0;
+  // The full response must arrive within this window after the request
+  // was sent (0 = timeout_ms) — the knob a slow or hung server hits.
+  int64_t read_timeout_ms = 0;
   HttpParserLimits parser_limits;
 };
 
@@ -54,6 +62,14 @@ class HttpClient {
  private:
   Status EnsureConnected();
   Result<HttpResponse> RoundTrip(const std::string& wire);
+  int64_t ConnectTimeoutMs() const {
+    return opts_.connect_timeout_ms > 0 ? opts_.connect_timeout_ms
+                                        : opts_.timeout_ms;
+  }
+  int64_t ReadTimeoutMs() const {
+    return opts_.read_timeout_ms > 0 ? opts_.read_timeout_ms
+                                     : opts_.timeout_ms;
+  }
 
   std::string host_;
   uint16_t port_;

@@ -50,6 +50,60 @@ JsonValue StringArrayToJson(const std::vector<std::string>& keys) {
   return arr;
 }
 
+Result<bool> GetBoolField(const JsonValue& v, const std::string& field) {
+  if (!v.is_bool()) return FieldError(field, "expected a boolean");
+  return v.GetBool();
+}
+
+Result<double> GetDoubleField(const JsonValue& v, const std::string& field) {
+  if (!v.is_number()) return FieldError(field, "expected a number");
+  return v.GetDouble();
+}
+
+Result<uint64_t> GetUint64Field(const JsonValue& v,
+                                const std::string& field) {
+  if (!v.is_integer()) return FieldError(field, "expected an integer");
+  const int64_t n = v.GetInt64();
+  if (n < 0) return FieldError(field, "must be non-negative");
+  return static_cast<uint64_t>(n);
+}
+
+// Sparse (bucket, count) series, encoded as an array of two-element
+// arrays: [[bucket, count], ...]. Buckets may be negative.
+JsonValue BucketPairsToJson(
+    const std::vector<std::pair<int64_t, std::size_t>>& pairs) {
+  JsonValue arr = JsonValue::MakeArray();
+  for (const auto& [bucket, count] : pairs) {
+    JsonValue pair = JsonValue::MakeArray();
+    pair.Append(JsonValue(bucket));
+    pair.Append(JsonValue(count));
+    arr.Append(std::move(pair));
+  }
+  return arr;
+}
+
+Result<std::vector<std::pair<int64_t, std::size_t>>> BucketPairsFromJson(
+    const JsonValue& v, const std::string& field) {
+  if (!v.is_array()) return FieldError(field, "expected an array");
+  std::vector<std::pair<int64_t, std::size_t>> out;
+  out.reserve(v.GetArray().size());
+  for (std::size_t i = 0; i < v.GetArray().size(); ++i) {
+    const JsonValue& pair = v.GetArray()[i];
+    const std::string where = field + "[" + std::to_string(i) + "]";
+    if (!pair.is_array() || pair.GetArray().size() != 2) {
+      return FieldError(where, "expected a [bucket, count] pair");
+    }
+    const JsonValue& bucket = pair.GetArray()[0];
+    if (!bucket.is_integer()) {
+      return FieldError(where, "bucket must be an integer");
+    }
+    BIVOC_ASSIGN_OR_RETURN(std::size_t count,
+                           GetSizeField(pair.GetArray()[1], where));
+    out.emplace_back(bucket.GetInt64(), count);
+  }
+  return out;
+}
+
 }  // namespace
 
 const char* VocChannelName(VocChannel channel) {
@@ -88,6 +142,7 @@ JsonValue QueryRequestToJson(const QueryRequest& req) {
   }
   obj.Set("limit", JsonValue(req.limit));
   obj.Set("min_count", JsonValue(req.min_count));
+  if (req.shard_mode) obj.Set("shard_mode", JsonValue(true));
   return obj;
 }
 
@@ -119,6 +174,8 @@ Result<QueryRequest> QueryRequestFromJson(const JsonValue& v) {
       BIVOC_ASSIGN_OR_RETURN(req.limit, GetSizeField(m.value, m.key));
     } else if (m.key == "min_count") {
       BIVOC_ASSIGN_OR_RETURN(req.min_count, GetSizeField(m.value, m.key));
+    } else if (m.key == "shard_mode") {
+      BIVOC_ASSIGN_OR_RETURN(req.shard_mode, GetBoolField(m.value, m.key));
     } else {
       return Status::InvalidArgument("unknown query field \"" + m.key +
                                      "\"");
@@ -199,7 +256,285 @@ JsonValue ReportResultToJson(const ReportResult& result, bool from_cache) {
       break;
     }
   }
+  if (result.shard_mode) {
+    obj.Set("shard_mode", JsonValue(true));
+    JsonValue merge = JsonValue::MakeObject();
+    switch (result.cls) {
+      case QueryClass::kRelevancy:
+      case QueryClass::kChurnDrivers:
+        merge.Set("subset_size", JsonValue(result.merge.subset_size));
+        break;
+      case QueryClass::kTrend: {
+        merge.Set("bucket_totals",
+                  BucketPairsToJson(result.merge.bucket_totals));
+        JsonValue series = JsonValue::MakeArray();
+        for (const TrendSeries& s : result.merge.trend_series) {
+          JsonValue entry = JsonValue::MakeObject();
+          entry.Set("key", JsonValue(s.key));
+          entry.Set("total_count", JsonValue(s.total_count));
+          entry.Set("bucket_counts", BucketPairsToJson(s.bucket_counts));
+          series.Append(std::move(entry));
+        }
+        merge.Set("trend_series", std::move(series));
+        break;
+      }
+      case QueryClass::kConceptSearch:
+      case QueryClass::kAssociation:
+        // Raw counts already live in the payload rows; nothing extra.
+        break;
+    }
+    obj.Set("merge", std::move(merge));
+  }
   return obj;
+}
+
+namespace {
+
+Result<std::vector<ConceptHit>> ConceptsFromJson(const JsonValue& v,
+                                                 const std::string& field) {
+  if (!v.is_array()) return FieldError(field, "expected an array");
+  std::vector<ConceptHit> out;
+  out.reserve(v.GetArray().size());
+  for (std::size_t i = 0; i < v.GetArray().size(); ++i) {
+    const JsonValue& entry = v.GetArray()[i];
+    const std::string where = field + "[" + std::to_string(i) + "]";
+    if (!entry.is_object()) return FieldError(where, "expected an object");
+    ConceptHit hit;
+    for (const JsonValue::Member& m : entry.GetObject()) {
+      if (m.key == "key") {
+        BIVOC_ASSIGN_OR_RETURN(hit.key,
+                               GetStringField(m.value, where + ".key"));
+      } else if (m.key == "count") {
+        BIVOC_ASSIGN_OR_RETURN(hit.count,
+                               GetSizeField(m.value, where + ".count"));
+      } else {
+        return FieldError(where, "unknown field \"" + m.key + "\"");
+      }
+    }
+    out.push_back(std::move(hit));
+  }
+  return out;
+}
+
+Result<std::vector<RelevancyItem>> RelevancyFromJson(
+    const JsonValue& v, const std::string& field) {
+  if (!v.is_array()) return FieldError(field, "expected an array");
+  std::vector<RelevancyItem> out;
+  out.reserve(v.GetArray().size());
+  for (std::size_t i = 0; i < v.GetArray().size(); ++i) {
+    const JsonValue& entry = v.GetArray()[i];
+    const std::string where = field + "[" + std::to_string(i) + "]";
+    if (!entry.is_object()) return FieldError(where, "expected an object");
+    RelevancyItem item;
+    for (const JsonValue::Member& m : entry.GetObject()) {
+      const std::string at = where + "." + m.key;
+      if (m.key == "key") {
+        BIVOC_ASSIGN_OR_RETURN(item.key, GetStringField(m.value, at));
+      } else if (m.key == "subset_count") {
+        BIVOC_ASSIGN_OR_RETURN(item.subset_count, GetSizeField(m.value, at));
+      } else if (m.key == "corpus_count") {
+        BIVOC_ASSIGN_OR_RETURN(item.corpus_count, GetSizeField(m.value, at));
+      } else if (m.key == "subset_freq") {
+        BIVOC_ASSIGN_OR_RETURN(item.subset_freq, GetDoubleField(m.value, at));
+      } else if (m.key == "corpus_freq") {
+        BIVOC_ASSIGN_OR_RETURN(item.corpus_freq, GetDoubleField(m.value, at));
+      } else if (m.key == "relative") {
+        BIVOC_ASSIGN_OR_RETURN(item.relative, GetDoubleField(m.value, at));
+      } else {
+        return FieldError(where, "unknown field \"" + m.key + "\"");
+      }
+    }
+    out.push_back(std::move(item));
+  }
+  return out;
+}
+
+Result<AssociationTable> AssociationFromJson(const JsonValue& v,
+                                             const std::string& field) {
+  if (!v.is_object()) return FieldError(field, "expected an object");
+  AssociationTable table;
+  for (const JsonValue::Member& m : v.GetObject()) {
+    const std::string at = field + "." + m.key;
+    if (m.key == "row_keys") {
+      BIVOC_ASSIGN_OR_RETURN(table.row_keys,
+                             GetStringArrayField(m.value, at));
+    } else if (m.key == "col_keys") {
+      BIVOC_ASSIGN_OR_RETURN(table.col_keys,
+                             GetStringArrayField(m.value, at));
+    } else if (m.key == "cells") {
+      if (!m.value.is_array()) return FieldError(at, "expected an array");
+      table.cells.reserve(m.value.GetArray().size());
+      for (std::size_t i = 0; i < m.value.GetArray().size(); ++i) {
+        const JsonValue& entry = m.value.GetArray()[i];
+        const std::string where = at + "[" + std::to_string(i) + "]";
+        if (!entry.is_object()) {
+          return FieldError(where, "expected an object");
+        }
+        AssociationCell cell;
+        for (const JsonValue::Member& cm : entry.GetObject()) {
+          const std::string cat = where + "." + cm.key;
+          if (cm.key == "row_key") {
+            BIVOC_ASSIGN_OR_RETURN(cell.row_key,
+                                   GetStringField(cm.value, cat));
+          } else if (cm.key == "col_key") {
+            BIVOC_ASSIGN_OR_RETURN(cell.col_key,
+                                   GetStringField(cm.value, cat));
+          } else if (cm.key == "n_cell") {
+            BIVOC_ASSIGN_OR_RETURN(cell.n_cell, GetSizeField(cm.value, cat));
+          } else if (cm.key == "n_row") {
+            BIVOC_ASSIGN_OR_RETURN(cell.n_row, GetSizeField(cm.value, cat));
+          } else if (cm.key == "n_col") {
+            BIVOC_ASSIGN_OR_RETURN(cell.n_col, GetSizeField(cm.value, cat));
+          } else if (cm.key == "n") {
+            BIVOC_ASSIGN_OR_RETURN(cell.n, GetSizeField(cm.value, cat));
+          } else if (cm.key == "point_lift") {
+            BIVOC_ASSIGN_OR_RETURN(cell.point_lift,
+                                   GetDoubleField(cm.value, cat));
+          } else if (cm.key == "lower_lift") {
+            BIVOC_ASSIGN_OR_RETURN(cell.lower_lift,
+                                   GetDoubleField(cm.value, cat));
+          } else if (cm.key == "row_share") {
+            BIVOC_ASSIGN_OR_RETURN(cell.row_share,
+                                   GetDoubleField(cm.value, cat));
+          } else {
+            return FieldError(where, "unknown field \"" + cm.key + "\"");
+          }
+        }
+        table.cells.push_back(std::move(cell));
+      }
+    } else {
+      return FieldError(field, "unknown field \"" + m.key + "\"");
+    }
+  }
+  if (table.cells.size() != table.row_keys.size() * table.col_keys.size()) {
+    return FieldError(field, "cell count does not match axis sizes");
+  }
+  return table;
+}
+
+Result<std::vector<TrendSummary>> TrendsFromJson(const JsonValue& v,
+                                                 const std::string& field) {
+  if (!v.is_array()) return FieldError(field, "expected an array");
+  std::vector<TrendSummary> out;
+  out.reserve(v.GetArray().size());
+  for (std::size_t i = 0; i < v.GetArray().size(); ++i) {
+    const JsonValue& entry = v.GetArray()[i];
+    const std::string where = field + "[" + std::to_string(i) + "]";
+    if (!entry.is_object()) return FieldError(where, "expected an object");
+    TrendSummary summary;
+    for (const JsonValue::Member& m : entry.GetObject()) {
+      const std::string at = where + "." + m.key;
+      if (m.key == "key") {
+        BIVOC_ASSIGN_OR_RETURN(summary.key, GetStringField(m.value, at));
+      } else if (m.key == "slope") {
+        BIVOC_ASSIGN_OR_RETURN(summary.slope, GetDoubleField(m.value, at));
+      } else if (m.key == "total_count") {
+        BIVOC_ASSIGN_OR_RETURN(summary.total_count,
+                               GetSizeField(m.value, at));
+      } else {
+        return FieldError(where, "unknown field \"" + m.key + "\"");
+      }
+    }
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+Result<ShardMergeInfo> MergeInfoFromJson(const JsonValue& v,
+                                         const std::string& field) {
+  if (!v.is_object()) return FieldError(field, "expected an object");
+  ShardMergeInfo info;
+  for (const JsonValue::Member& m : v.GetObject()) {
+    const std::string at = field + "." + m.key;
+    if (m.key == "subset_size") {
+      BIVOC_ASSIGN_OR_RETURN(info.subset_size, GetSizeField(m.value, at));
+    } else if (m.key == "bucket_totals") {
+      BIVOC_ASSIGN_OR_RETURN(info.bucket_totals,
+                             BucketPairsFromJson(m.value, at));
+    } else if (m.key == "trend_series") {
+      if (!m.value.is_array()) return FieldError(at, "expected an array");
+      info.trend_series.reserve(m.value.GetArray().size());
+      for (std::size_t i = 0; i < m.value.GetArray().size(); ++i) {
+        const JsonValue& entry = m.value.GetArray()[i];
+        const std::string where = at + "[" + std::to_string(i) + "]";
+        if (!entry.is_object()) {
+          return FieldError(where, "expected an object");
+        }
+        TrendSeries series;
+        for (const JsonValue::Member& sm : entry.GetObject()) {
+          const std::string sat = where + "." + sm.key;
+          if (sm.key == "key") {
+            BIVOC_ASSIGN_OR_RETURN(series.key,
+                                   GetStringField(sm.value, sat));
+          } else if (sm.key == "total_count") {
+            BIVOC_ASSIGN_OR_RETURN(series.total_count,
+                                   GetSizeField(sm.value, sat));
+          } else if (sm.key == "bucket_counts") {
+            BIVOC_ASSIGN_OR_RETURN(series.bucket_counts,
+                                   BucketPairsFromJson(sm.value, sat));
+          } else {
+            return FieldError(where, "unknown field \"" + sm.key + "\"");
+          }
+        }
+        info.trend_series.push_back(std::move(series));
+      }
+    } else {
+      return FieldError(field, "unknown field \"" + m.key + "\"");
+    }
+  }
+  return info;
+}
+
+}  // namespace
+
+Result<WireReport> ReportResultFromJson(const JsonValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("report body must be a JSON object");
+  }
+  WireReport out;
+  ReportResult& report = out.report;
+  bool saw_class = false;
+  for (const JsonValue::Member& m : v.GetObject()) {
+    if (m.key == "class") {
+      BIVOC_ASSIGN_OR_RETURN(std::string name,
+                             GetStringField(m.value, m.key));
+      if (!QueryClassFromName(name, &report.cls)) {
+        return FieldError(m.key, "unknown query class \"" + name + "\"");
+      }
+      saw_class = true;
+    } else if (m.key == "generation") {
+      BIVOC_ASSIGN_OR_RETURN(report.generation,
+                             GetUint64Field(m.value, m.key));
+    } else if (m.key == "num_documents") {
+      BIVOC_ASSIGN_OR_RETURN(report.num_documents,
+                             GetSizeField(m.value, m.key));
+    } else if (m.key == "from_cache") {
+      BIVOC_ASSIGN_OR_RETURN(out.from_cache, GetBoolField(m.value, m.key));
+    } else if (m.key == "shard_mode") {
+      BIVOC_ASSIGN_OR_RETURN(report.shard_mode,
+                             GetBoolField(m.value, m.key));
+    } else if (m.key == "concepts") {
+      BIVOC_ASSIGN_OR_RETURN(report.concepts,
+                             ConceptsFromJson(m.value, m.key));
+    } else if (m.key == "relevancy") {
+      BIVOC_ASSIGN_OR_RETURN(report.relevancy,
+                             RelevancyFromJson(m.value, m.key));
+    } else if (m.key == "association") {
+      BIVOC_ASSIGN_OR_RETURN(report.association,
+                             AssociationFromJson(m.value, m.key));
+    } else if (m.key == "trends") {
+      BIVOC_ASSIGN_OR_RETURN(report.trends, TrendsFromJson(m.value, m.key));
+    } else if (m.key == "merge") {
+      BIVOC_ASSIGN_OR_RETURN(report.merge, MergeInfoFromJson(m.value, m.key));
+    } else {
+      return Status::InvalidArgument("unknown report field \"" + m.key +
+                                     "\"");
+    }
+  }
+  if (!saw_class) {
+    return Status::InvalidArgument("report body needs a \"class\" field");
+  }
+  return out;
 }
 
 JsonValue IngestItemsToJson(const std::vector<IngestItem>& items) {

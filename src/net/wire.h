@@ -31,8 +31,19 @@ JsonValue QueryRequestToJson(const QueryRequest& req);
 Result<QueryRequest> QueryRequestFromJson(const JsonValue& v);
 
 // Query response body: class/generation/num_documents/from_cache plus
-// exactly the payload member matching the class.
+// exactly the payload member matching the class. Shard-mode results
+// additionally carry "shard_mode":true and a "merge" object with the
+// additive support data (ShardMergeInfo).
 JsonValue ReportResultToJson(const ReportResult& result, bool from_cache);
+
+// Decoded query response — what the cluster router reads back from a
+// shard's gateway before merging. `from_cache` reports the shard's
+// cache, not the router's.
+struct WireReport {
+  ReportResult report;
+  bool from_cache = false;
+};
+Result<WireReport> ReportResultFromJson(const JsonValue& v);
 
 // Ingest batch body of POST /v1/ingest:
 //   {"items":[{"channel":"email","payload":"...","time_bucket":3,

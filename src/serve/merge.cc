@@ -1,0 +1,233 @@
+#include "serve/merge.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "mining/stats.h"
+#include "mining/trend.h"
+
+namespace bivoc {
+
+namespace {
+
+// --- kConceptSearch --------------------------------------------------
+
+void MergeConceptSearch(const QueryRequest& req,
+                        const std::vector<ReportResult>& partials,
+                        ReportResult* out) {
+  std::map<std::string, std::size_t> counts;
+  for (const ReportResult& part : partials) {
+    for (const ConceptHit& hit : part.concepts) counts[hit.key] += hit.count;
+  }
+  out->concepts.reserve(counts.size());
+  for (auto& [key, count] : counts) out->concepts.push_back({key, count});
+  // Same comparator as the single-engine path in EvaluateQuery; keys
+  // are unique so the order is total.
+  std::stable_sort(out->concepts.begin(), out->concepts.end(),
+                   [](const ConceptHit& a, const ConceptHit& b) {
+                     if (a.count != b.count) return a.count > b.count;
+                     return a.key < b.key;
+                   });
+  if (out->concepts.size() > req.limit) out->concepts.resize(req.limit);
+}
+
+// --- kRelevancy / kChurnDrivers --------------------------------------
+
+void MergeRelevancy(const QueryRequest& req,
+                    const std::vector<ReportResult>& partials,
+                    ReportResult* out) {
+  std::size_t subset_size = 0;
+  std::size_t corpus_size = 0;
+  struct RawCounts {
+    std::size_t subset_count = 0;
+    std::size_t corpus_count = 0;
+  };
+  std::map<std::string, RawCounts> raw;
+  for (const ReportResult& part : partials) {
+    subset_size += part.merge.subset_size;
+    corpus_size += part.num_documents;
+    for (const RelevancyItem& item : part.relevancy) {
+      RawCounts& r = raw[item.key];
+      r.subset_count += item.subset_count;
+      r.corpus_count += item.corpus_count;
+    }
+  }
+  // Mirrors RelevancyAnalysis on the union corpus, expression for
+  // expression: early-out on an empty subset, min-count floor, the
+  // same two divisions, the same ratio, the same comparator.
+  if (subset_size == 0 || corpus_size == 0) return;
+  for (const auto& [key, counts] : raw) {
+    if (key == req.key) continue;  // shards already skip the feature key
+    if (counts.subset_count < req.min_count) continue;
+    RelevancyItem item;
+    item.key = key;
+    item.subset_count = counts.subset_count;
+    item.corpus_count = counts.corpus_count;
+    item.subset_freq = static_cast<double>(item.subset_count) /
+                       static_cast<double>(subset_size);
+    item.corpus_freq = static_cast<double>(item.corpus_count) /
+                       static_cast<double>(corpus_size);
+    item.relative =
+        item.corpus_freq > 0.0 ? item.subset_freq / item.corpus_freq : 0.0;
+    out->relevancy.push_back(std::move(item));
+  }
+  std::sort(out->relevancy.begin(), out->relevancy.end(),
+            [](const RelevancyItem& a, const RelevancyItem& b) {
+              if (a.relative != b.relative) return a.relative > b.relative;
+              return a.key < b.key;
+            });
+  if (out->relevancy.size() > req.limit) out->relevancy.resize(req.limit);
+}
+
+// --- kAssociation ----------------------------------------------------
+
+Status MergeAssociation(const QueryRequest& req,
+                        const std::vector<ReportResult>& partials,
+                        ReportResult* out) {
+  AssociationTable& table = out->association;
+  table.row_keys = req.row_keys;
+  table.col_keys = req.col_keys;
+  const std::size_t num_cells = req.row_keys.size() * req.col_keys.size();
+  table.cells.resize(num_cells);
+  for (std::size_t r = 0; r < req.row_keys.size(); ++r) {
+    for (std::size_t c = 0; c < req.col_keys.size(); ++c) {
+      AssociationCell& cell = table.cells[r * req.col_keys.size() + c];
+      cell.row_key = req.row_keys[r];
+      cell.col_key = req.col_keys[c];
+    }
+  }
+  for (const ReportResult& part : partials) {
+    if (part.association.cells.size() != num_cells) {
+      return Status::InvalidArgument(
+          "shard association table has " +
+          std::to_string(part.association.cells.size()) + " cells, want " +
+          std::to_string(num_cells));
+    }
+    for (std::size_t i = 0; i < num_cells; ++i) {
+      const AssociationCell& from = part.association.cells[i];
+      AssociationCell& to = table.cells[i];
+      to.n_cell += from.n_cell;
+      to.n_row += from.n_row;
+      to.n_col += from.n_col;
+      to.n += from.n;
+    }
+  }
+  // Derived statistics from the summed counts, exactly as MakeCellIds
+  // computes them shard-locally.
+  for (AssociationCell& cell : table.cells) {
+    cell.point_lift = PointLift(cell.n_cell, cell.n_row, cell.n_col, cell.n);
+    cell.lower_lift =
+        LowerBoundLift(cell.n_cell, cell.n_row, cell.n_col, cell.n);
+    cell.row_share = cell.n_row > 0 ? static_cast<double>(cell.n_cell) /
+                                          static_cast<double>(cell.n_row)
+                                    : 0.0;
+  }
+  return Status::OK();
+}
+
+// --- kTrend ----------------------------------------------------------
+
+void MergeTrend(const QueryRequest& req,
+                const std::vector<ReportResult>& partials,
+                ReportResult* out) {
+  std::map<int64_t, std::size_t> totals;
+  struct RawSeries {
+    std::size_t total_count = 0;
+    std::map<int64_t, std::size_t> bucket_counts;
+  };
+  std::map<std::string, RawSeries> series;
+  for (const ReportResult& part : partials) {
+    for (const auto& [bucket, count] : part.merge.bucket_totals) {
+      totals[bucket] += count;
+    }
+    for (const TrendSeries& s : part.merge.trend_series) {
+      RawSeries& r = series[s.key];
+      r.total_count += s.total_count;
+      for (const auto& [bucket, count] : s.bucket_counts) {
+        r.bucket_counts[bucket] += count;
+      }
+    }
+  }
+  // Mirrors RisingConcepts + TrendFromTotals on the union corpus: the
+  // min_count floor against the cluster-wide concept count, one point
+  // per populated period (ascending), zero-count periods included,
+  // then the shared least-squares slope.
+  for (const auto& [key, raw] : series) {
+    if (raw.total_count < req.min_count) continue;
+    std::vector<TrendPoint> points;
+    points.reserve(totals.size());
+    for (const auto& [bucket, total] : totals) {
+      TrendPoint p;
+      p.bucket = bucket;
+      p.total = total;
+      auto it = raw.bucket_counts.find(bucket);
+      p.count = it == raw.bucket_counts.end() ? 0 : it->second;
+      p.share = total > 0 ? static_cast<double>(p.count) /
+                                static_cast<double>(total)
+                          : 0.0;
+      points.push_back(p);
+    }
+    TrendSummary summary;
+    summary.key = key;
+    summary.total_count = raw.total_count;
+    summary.slope = TrendSlope(points);
+    out->trends.push_back(std::move(summary));
+  }
+  std::sort(out->trends.begin(), out->trends.end(),
+            [](const TrendSummary& a, const TrendSummary& b) {
+              if (a.slope != b.slope) return a.slope > b.slope;
+              return a.key < b.key;
+            });
+  if (out->trends.size() > req.limit) out->trends.resize(req.limit);
+}
+
+}  // namespace
+
+Result<ReportResult> MergeShardReports(
+    const QueryRequest& request, const std::vector<ReportResult>& partials) {
+  if (partials.empty()) {
+    return Status::InvalidArgument("no shard reports to merge");
+  }
+  for (const ReportResult& part : partials) {
+    if (!part.shard_mode) {
+      return Status::InvalidArgument(
+          "cannot merge a non-shard-mode report (class " +
+          std::string(QueryClassName(part.cls)) + ")");
+    }
+    if (part.cls != request.cls) {
+      return Status::InvalidArgument(
+          std::string("shard report class ") + QueryClassName(part.cls) +
+          " does not match query class " + QueryClassName(request.cls));
+    }
+  }
+
+  ReportResult out;
+  out.cls = request.cls;
+  for (const ReportResult& part : partials) {
+    out.generation = std::max(out.generation, part.generation);
+    out.num_documents += part.num_documents;
+  }
+
+  switch (request.cls) {
+    case QueryClass::kConceptSearch:
+      MergeConceptSearch(request, partials, &out);
+      break;
+    case QueryClass::kRelevancy:
+    case QueryClass::kChurnDrivers:
+      MergeRelevancy(request, partials, &out);
+      break;
+    case QueryClass::kAssociation: {
+      Status st = MergeAssociation(request, partials, &out);
+      if (!st.ok()) return st;
+      break;
+    }
+    case QueryClass::kTrend:
+      MergeTrend(request, partials, &out);
+      break;
+  }
+  return out;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,43 @@
+#ifndef BIVOC_SERVE_MERGE_H_
+#define BIVOC_SERVE_MERGE_H_
+
+#include <vector>
+
+#include "serve/query.h"
+#include "util/result.h"
+
+namespace bivoc {
+
+// Exact cross-shard report merging (DESIGN.md §12). The cluster router
+// fans a query out in shard mode — each shard answers with raw,
+// additive evidence (counts, sizes, sparse series; see ShardMergeInfo)
+// instead of a filtered/ranked report — and this function recombines
+// the partials into the report a *single* engine holding the union of
+// the shards' documents would have produced.
+//
+// Exactness argument, per class:
+//  * Every shard-contributed number is a count of documents, so the
+//    cluster-wide value is a plain integer sum (documents are routed
+//    to exactly one shard).
+//  * Every derived statistic (frequencies, lifts, shares, slopes) is
+//    recomputed here from those sums with the same floating-point
+//    expressions, in the same order, as the single-engine code paths
+//    in mining/ — so even the doubles match bit for bit.
+//  * min_count filters, sorts and limits are applied only here, to
+//    cluster-wide values, using the same comparators; ties are broken
+//    by unique keys, so the ordering is total and deterministic.
+//
+// `partials` must be non-empty, all shard-mode, and all evaluated from
+// `request` (same class/keys); violations are kInvalidArgument. The
+// merged result has shard_mode == false, generation == max over the
+// partials and num_documents == the sum.
+//
+// Merging a *subset* of shards is the degraded-mode contract: the
+// result is then exact for the documents of the reachable shards (the
+// router marks such responses partial; see cluster/router.h).
+Result<ReportResult> MergeShardReports(
+    const QueryRequest& request, const std::vector<ReportResult>& partials);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_SERVE_MERGE_H_

@@ -1,6 +1,7 @@
 #include "serve/query.h"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 
 namespace bivoc {
@@ -141,8 +142,83 @@ uint64_t QueryFingerprint(const QueryRequest& req) {
   const uint64_t min_count = req.min_count;
   HashBytes(&h, &limit, sizeof(limit));
   HashBytes(&h, &min_count, sizeof(min_count));
+  // Shard-mode results differ in shape, so they must not share cache
+  // slots with the client-facing form of the same query.
+  const uint64_t shard_mode = req.shard_mode ? 1 : 0;
+  HashBytes(&h, &shard_mode, sizeof(shard_mode));
   return h;
 }
+
+namespace {
+
+// Shard-mode evaluation: raw, additive evidence only. No min_count
+// filter, no limit, no division — those belong to the coordinator,
+// which applies them to cluster-wide sums (serve/merge.cc) with the
+// same arithmetic the branches below use in single-engine mode.
+void EvaluateShardQuery(const QueryRequest& req,
+                        const IndexSnapshot& snapshot,
+                        ReportResult* result) {
+  switch (req.cls) {
+    case QueryClass::kConceptSearch: {
+      for (ConceptId id : snapshot.IdsWithPrefix(req.prefix)) {
+        result->concepts.push_back(
+            {std::string(snapshot.KeyOf(id)), snapshot.CountId(id)});
+      }
+      break;
+    }
+    case QueryClass::kRelevancy:
+    case QueryClass::kChurnDrivers: {
+      const ConceptId feature = snapshot.Resolve(req.key);
+      result->merge.subset_size = snapshot.CountId(feature);
+      // Every prefix concept is reported even when this shard has no
+      // feature documents at all: its corpus counts still contribute
+      // to the union denominators.
+      for (ConceptId id : snapshot.IdsWithPrefix(req.prefix)) {
+        if (id == feature) continue;
+        RelevancyItem item;
+        item.key = std::string(snapshot.KeyOf(id));
+        item.subset_count = snapshot.CountBothIds(feature, id);
+        item.corpus_count = snapshot.CountId(id);
+        // Frequencies stay 0: shard-local ratios are meaningless to
+        // the merged report.
+        result->relevancy.push_back(std::move(item));
+      }
+      break;
+    }
+    case QueryClass::kAssociation:
+      // The single-engine table already carries its raw counts
+      // (n_cell/n_row/n_col/n) next to the derived lifts; the
+      // coordinator sums the former and discards the latter.
+      result->association =
+          TwoDimensionalAssociation(snapshot, req.row_keys, req.col_keys);
+      break;
+    case QueryClass::kTrend: {
+      std::map<int64_t, std::size_t> totals;
+      for (DocId d = 0; d < snapshot.num_documents(); ++d) {
+        const int64_t bucket = snapshot.TimeBucketOf(d);
+        if (bucket == kNoTimeBucket) continue;
+        ++totals[bucket];
+      }
+      result->merge.bucket_totals.assign(totals.begin(), totals.end());
+      for (ConceptId id : snapshot.IdsWithPrefix(req.prefix)) {
+        TrendSeries series;
+        series.key = std::string(snapshot.KeyOf(id));
+        series.total_count = snapshot.CountId(id);
+        std::map<int64_t, std::size_t> counts;
+        for (DocId d : snapshot.PostingsId(id)) {
+          const int64_t bucket = snapshot.TimeBucketOf(d);
+          if (bucket == kNoTimeBucket) continue;
+          ++counts[bucket];
+        }
+        series.bucket_counts.assign(counts.begin(), counts.end());
+        result->merge.trend_series.push_back(std::move(series));
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
 
 ReportResult EvaluateQuery(const QueryRequest& req,
                            const IndexSnapshot& snapshot) {
@@ -150,6 +226,11 @@ ReportResult EvaluateQuery(const QueryRequest& req,
   result.cls = req.cls;
   result.generation = snapshot.generation();
   result.num_documents = snapshot.num_documents();
+  if (req.shard_mode) {
+    result.shard_mode = true;
+    EvaluateShardQuery(req, snapshot, &result);
+    return result;
+  }
   switch (req.cls) {
     case QueryClass::kConceptSearch: {
       // Resolve the prefix range once, then rank by document count.

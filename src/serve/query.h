@@ -50,6 +50,13 @@ struct QueryRequest {
   std::vector<std::string> col_keys;
   std::size_t limit = 50;
   std::size_t min_count = 3;
+  // Cluster-internal: a shard-mode query returns the *unfiltered,
+  // unlimited* raw counts plus the ShardMergeInfo the coordinator
+  // needs, so MergeShardReports (serve/merge.h) can recompute every
+  // derived statistic from cluster-wide sums with arithmetic identical
+  // to a single engine over the union corpus. External clients never
+  // set this; the router does when fanning out.
+  bool shard_mode = false;
 
   // Factories for the common shapes (fields stay public so callers can
   // tweak limits afterwards).
@@ -80,17 +87,46 @@ struct ConceptHit {
   std::size_t count = 0;
 };
 
+// Raw per-concept trend evidence one shard contributes: the concept's
+// corpus count plus its sparse (bucket, docs-in-bucket) series. The
+// coordinator sums these across shards and only then computes shares
+// and slopes, so the merged slope is bit-identical to a single engine.
+struct TrendSeries {
+  std::string key;
+  std::size_t total_count = 0;
+  std::vector<std::pair<int64_t, std::size_t>> bucket_counts;  // ascending
+};
+
+// The additive support data a shard-mode report carries beyond its raw
+// result rows. Every field is a plain sum over documents, so merging
+// is exact integer addition; all division happens once, at the
+// coordinator, from cluster-wide totals.
+struct ShardMergeInfo {
+  // kRelevancy/kChurnDrivers: documents on this shard containing the
+  // feature key (|subset| in the paper's Eqn 2 denominators).
+  std::size_t subset_size = 0;
+  // kTrend: documents per period on this shard, ascending by bucket.
+  std::vector<std::pair<int64_t, std::size_t>> bucket_totals;
+  // kTrend: raw series for every prefix concept on this shard.
+  std::vector<TrendSeries> trend_series;
+};
+
 // One evaluated report. Exactly the member matching `cls` is
 // populated; `generation` records the snapshot the numbers came from.
+// A shard-mode result (shard_mode == true) is unfiltered and unlimited
+// and carries `merge`; it is an internal wire artifact, never shown to
+// clients directly.
 struct ReportResult {
   QueryClass cls = QueryClass::kConceptSearch;
   uint64_t generation = 0;
   std::size_t num_documents = 0;
+  bool shard_mode = false;
 
   std::vector<ConceptHit> concepts;       // kConceptSearch
   std::vector<RelevancyItem> relevancy;   // kRelevancy, kChurnDrivers
   AssociationTable association;           // kAssociation
   std::vector<TrendSummary> trends;       // kTrend
+  ShardMergeInfo merge;                   // shard_mode only
 };
 
 // Evaluates a (validated) request against a snapshot.

@@ -38,6 +38,12 @@ inline constexpr const char kFaultServeQuery[] = "serve.query";
 inline constexpr const char kFaultNetAccept[] = "net.accept";
 inline constexpr const char kFaultNetRead[] = "net.read";
 inline constexpr const char kFaultNetWrite[] = "net.write";
+// Cluster layer (cluster/router.cc): the per-shard RPC send inside the
+// scatter path and the cross-shard merge step. The router additionally
+// checks "net.shard.send:<shard-name>" so chaos tests can take down
+// one specific shard while the others stay healthy.
+inline constexpr const char kFaultShardSend[] = "net.shard.send";
+inline constexpr const char kFaultClusterMerge[] = "cluster.merge";
 
 // How an armed fault point misbehaves. Each hit draws an independent
 // Bernoulli(probability) from a per-point seeded Rng, so a given seed

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <thread>
 
 namespace bivoc {
@@ -11,6 +14,7 @@ bool DefaultRetryable(const Status& status) {
     case StatusCode::kIoError:
     case StatusCode::kInternal:
     case StatusCode::kFailedPrecondition:
+    case StatusCode::kDeadlineExceeded:
       return true;
     default:
       return false;
@@ -37,6 +41,13 @@ int64_t Retrier::BackoffForAttempt(int attempt) {
 }
 
 Status Retrier::Run(const std::function<Status()>& op) {
+  if (policy_.attempt_timeout_ms > 0 || policy_.hedge_delay_ms > 0) {
+    return RunOverlapped(op);
+  }
+  return RunSequential(op);
+}
+
+Status Retrier::RunSequential(const std::function<Status()>& op) {
   const auto start = std::chrono::steady_clock::now();
   Status last = Status::OK();
   last_attempts_ = 0;
@@ -64,6 +75,166 @@ Status Retrier::Run(const std::function<Status()>& op) {
     if (last.ok() || !policy_.retryable(last)) return last;
   }
   return last;
+}
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr int64_t kFarFuture = INT64_MAX / 2;
+
+// State shared between Run and its detached attempt threads. The
+// threads outlive Run when an attempt hangs past its write-off, so the
+// board is refcounted and owns everything a late attempt touches.
+struct AttemptBoard {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool settled = false;   // final result chosen (success or non-retryable)
+  Status final_result;
+  int finished = 0;       // attempts that returned (any outcome)
+  bool have_failure = false;
+  Status last_failure;
+  int64_t last_failure_at_ms = 0;
+  std::function<bool(const Status&)> retryable;
+};
+
+}  // namespace
+
+Status Retrier::RunOverlapped(const std::function<Status()>& op) {
+  auto board = std::make_shared<AttemptBoard>();
+  board->retryable = policy_.retryable;
+
+  const int64_t start_ms = SteadyNowMs();
+  const int64_t overall_deadline =
+      policy_.deadline_ms > 0 ? start_ms + policy_.deadline_ms : kFarFuture;
+  const int64_t attempt_timeout =
+      policy_.attempt_timeout_ms > 0 ? policy_.attempt_timeout_ms
+                                     : kFarFuture;
+  const int64_t hedge_delay =
+      policy_.hedge_delay_ms > 0 ? policy_.hedge_delay_ms : kFarFuture;
+
+  int started = 0;
+  int hedges_held = 0;
+  bool hedge_denied_for_current = false;
+  int64_t youngest_launch_ms = 0;
+  // Jittered backoff for attempt (started + 1), drawn at most once per
+  // attempt index so write-off checks do not re-roll the dice.
+  std::optional<int64_t> pending_backoff;
+
+  std::unique_lock<std::mutex> lock(board->mu);
+
+  auto launch = [&] {
+    ++started;
+    youngest_launch_ms = SteadyNowMs();
+    pending_backoff.reset();
+    hedge_denied_for_current = false;
+    std::thread([op, board] {
+      Status s = op();
+      std::lock_guard<std::mutex> lk(board->mu);
+      ++board->finished;
+      if (!board->settled && (s.ok() || !board->retryable(s))) {
+        board->settled = true;
+        board->final_result = s;
+      } else if (!s.ok()) {
+        board->have_failure = true;
+        board->last_failure = s;
+        board->last_failure_at_ms = SteadyNowMs();
+      }
+      board->cv.notify_all();
+    }).detach();
+  };
+
+  auto finish = [&](Status result) {
+    last_attempts_ = started;
+    lock.unlock();
+    if (policy_.hedge_release) {
+      for (int i = 0; i < hedges_held; ++i) policy_.hedge_release();
+    }
+    return result;
+  };
+
+  launch();
+  for (;;) {
+    if (board->settled) return finish(board->final_result);
+
+    const int64_t now = SteadyNowMs();
+    if (now >= overall_deadline) {
+      return finish(board->have_failure
+                        ? board->last_failure
+                        : Status::DeadlineExceeded(
+                              "retry deadline exceeded with attempt(s) "
+                              "still outstanding"));
+    }
+
+    const int outstanding = started - board->finished;
+    const int64_t write_off_at = youngest_launch_ms + attempt_timeout;
+
+    int64_t next_event = overall_deadline;
+    if (started < policy_.max_attempts) {
+      if (!pending_backoff.has_value() &&
+          (outstanding == 0 || now >= write_off_at)) {
+        // The newest attempt failed (or was just written off): fix the
+        // jittered backoff for the follow-up attempt now.
+        pending_backoff = BackoffForAttempt(started + 1);
+      }
+      int64_t launch_at = kFarFuture;
+      if (pending_backoff.has_value()) {
+        const int64_t failed_at = outstanding == 0
+                                      ? board->last_failure_at_ms
+                                      : std::min(write_off_at, now);
+        launch_at = failed_at + *pending_backoff;
+      }
+      if (outstanding > 0 && !hedge_denied_for_current) {
+        const int64_t hedge_at = youngest_launch_ms + hedge_delay;
+        if (hedge_at <= launch_at) {
+          if (now >= hedge_at) {
+            if (!policy_.hedge_acquire || policy_.hedge_acquire()) {
+              if (policy_.hedge_acquire) ++hedges_held;
+              launch();
+              continue;
+            }
+            // Budget exhausted: no hedge for this attempt; the regular
+            // failure/write-off path still applies.
+            hedge_denied_for_current = true;
+          } else {
+            launch_at = std::min(launch_at, hedge_at);
+          }
+        }
+      }
+      if (now >= launch_at) {
+        launch();
+        continue;
+      }
+      next_event = std::min(next_event, launch_at);
+    } else {
+      // Attempt budget exhausted. All failed -> report; all hung past
+      // their write-off -> stop waiting for them.
+      if (outstanding == 0) return finish(board->last_failure);
+      if (now >= write_off_at) {
+        return finish(board->have_failure
+                          ? board->last_failure
+                          : Status::DeadlineExceeded(
+                                "all attempts timed out (attempt timeout " +
+                                std::to_string(policy_.attempt_timeout_ms) +
+                                " ms)"));
+      }
+      next_event = std::min(next_event, write_off_at);
+    }
+    if (outstanding > 0) next_event = std::min(next_event, write_off_at);
+
+    // +1 ms absorbs the truncation in SteadyNowMs so a wake-up never
+    // lands a hair *before* the event it was scheduled for (which
+    // would re-wait on the same instant in a busy loop).
+    board->cv.wait_until(
+        lock, std::chrono::steady_clock::time_point(
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::milliseconds(next_event + 1))));
+  }
 }
 
 }  // namespace bivoc

@@ -19,8 +19,8 @@ bool DefaultRetryable(const Status& status);
 
 // Declarative retry configuration: bounded attempts, exponential
 // backoff with jitter, an overall deadline budget and a predicate
-// selecting which Status codes are retryable. Used by the linking path
-// and the batch ingestion front-end.
+// selecting which Status codes are retryable. Used by the linking path,
+// the batch ingestion front-end and the cluster router's per-shard RPC.
 struct RetryPolicy {
   int max_attempts = 3;             // total attempts, including the first
   int64_t initial_backoff_ms = 0;   // 0 = no sleeping between attempts
@@ -28,8 +28,33 @@ struct RetryPolicy {
   int64_t max_backoff_ms = 1000;
   double jitter = 0.5;              // backoff scaled by U[1-j, 1+j]
   int64_t deadline_ms = 0;          // total budget; 0 = unbounded
+
+  // --- overlapped execution (cluster scatter path) -------------------
+  // Either knob being non-zero switches Run to the overlapped engine:
+  // each attempt runs on its own (detached) thread, so `op` MUST be
+  // safe to invoke from several threads at once and must eventually
+  // return even when abandoned (put its own deadline on any I/O).
+  //
+  // A hung attempt older than attempt_timeout_ms is written off: the
+  // next attempt starts after the usual backoff, exactly as if the
+  // attempt had failed at the timeout instant — so one hung RPC can
+  // never consume the whole retry budget. A written-off attempt that
+  // later succeeds still wins if Run is still waiting.
+  int64_t attempt_timeout_ms = 0;   // 0 = attempts may run unbounded
+  // Hedging: when the newest attempt has neither finished nor timed
+  // out hedge_delay_ms after launch, the next attempt is launched
+  // early, concurrently, with no backoff. First success wins.
+  int64_t hedge_delay_ms = 0;       // 0 = no hedging
+  // Budget gate for hedged launches (regular retries are never gated).
+  // Each granted acquire is paired with one hedge_release call before
+  // Run returns. Null = hedging always allowed.
+  std::function<bool()> hedge_acquire;
+  std::function<void()> hedge_release;
+
   std::function<bool(const Status&)> retryable;  // default: DefaultRetryable
   // Injectable sleeper for tests (default: std::this_thread::sleep_for).
+  // Only honored by the sequential engine; the overlapped engine waits
+  // on a condition variable so a winning attempt wakes it instantly.
   std::function<void(int64_t)> sleeper;
 };
 
@@ -45,10 +70,14 @@ class Retrier {
 
   // Runs `op` until it returns OK, a non-retryable error, the attempt
   // budget is exhausted, or the deadline would be exceeded by the next
-  // backoff. Returns the last Status observed.
+  // backoff. Returns the last Status observed. With attempt_timeout_ms
+  // or hedge_delay_ms set, attempts overlap (see RetryPolicy) and a
+  // deadline/timeout expiry returns the last real failure, or
+  // kDeadlineExceeded when every outstanding attempt is simply hung.
   Status Run(const std::function<Status()>& op);
 
-  // Result<T>-returning flavor with the same semantics.
+  // Result<T>-returning flavor with the same semantics. Not usable with
+  // the overlapped engine (attempts would race on the value slot).
   template <typename T>
   Result<T> Run(const std::function<Result<T>()>& op) {
     std::optional<T> value;
@@ -70,6 +99,9 @@ class Retrier {
   int64_t BackoffForAttempt(int attempt);
 
  private:
+  Status RunSequential(const std::function<Status()>& op);
+  Status RunOverlapped(const std::function<Status()>& op);
+
   RetryPolicy policy_;
   Rng rng_;
   int last_attempts_ = 0;

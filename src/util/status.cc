@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -51,6 +53,7 @@ constexpr HttpMapping kHttpTable[] = {
     {StatusCode::kCorruption, 500},
     {StatusCode::kInternal, 500},
     {StatusCode::kUnavailable, 503},
+    {StatusCode::kDeadlineExceeded, 504},
 };
 
 }  // namespace
@@ -70,6 +73,7 @@ StatusCode StatusCodeForHttp(int http_status) {
     case 412: return StatusCode::kFailedPrecondition;
     case 501: return StatusCode::kUnimplemented;
     case 503: return StatusCode::kUnavailable;
+    case 504: return StatusCode::kDeadlineExceeded;
     default:
       return http_status >= 500 ? StatusCode::kInternal
                                 : StatusCode::kInvalidArgument;

@@ -25,6 +25,10 @@ enum class StatusCode {
   // Transient overload: the operation was refused to protect the
   // service (load shedding); retrying after a backoff is expected.
   kUnavailable,
+  // The operation's time budget ran out before it finished: a per-
+  // attempt timeout, an RPC deadline, or a retry budget. Retryable by
+  // default (the next attempt may land on a healthier replica).
+  kDeadlineExceeded,
 };
 
 // Returns a stable human-readable name ("OK", "InvalidArgument", ...).
@@ -86,6 +90,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,604 @@
+// Chaos battery for the scatter-gather router (DESIGN.md §12): kill,
+// hang or corrupt one shard mid-scatter and the cluster must answer
+// with an honest partial; take them all down and it must say
+// unavailable; let the shard heal and the breaker must close again.
+// Hangs are bounded (a FakeShard sleeps 150-300 ms, then fails like a
+// transport deadline would) so the battery stays fast and
+// sanitizer-clean.
+#include "cluster/router.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "cluster/shard_handle.h"
+#include "core/bivoc.h"
+#include "mining/concept_index.h"
+#include "net/gateway.h"
+#include "net/wire.h"
+#include "serve/query.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
+
+namespace bivoc {
+namespace {
+
+int64_t ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+// A scriptable in-process shard: a bare ConceptIndex behind the
+// ShardHandle interface, with a misbehavior dial. kHang sleeps a
+// bounded 250 ms and then fails the way a transport deadline would —
+// the call MUST eventually return because abandoned attempts keep
+// running detached.
+class FakeShard : public ShardHandle {
+ public:
+  enum class Mode { kHealthy, kDown, kHang, kCorrupt, kSlowOnce };
+
+  explicit FakeShard(std::string name) : name_(std::move(name)) {}
+
+  void AddDocs(const std::string& key, int copies, int64_t bucket = 0) {
+    for (int i = 0; i < copies; ++i) index_.AddDocument({key}, bucket);
+    index_.Publish();
+  }
+
+  void set_mode(Mode mode) { mode_.store(mode); }
+  int query_calls() const { return query_calls_.load(); }
+
+  const std::string& name() const override { return name_; }
+
+  Result<WireReport> Query(const QueryRequest& request) override {
+    ++query_calls_;
+    switch (Misbehave()) {
+      case Mode::kDown:
+        return Status::Unavailable("shard " + name_ + " is down");
+      case Mode::kHang:
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        return Status::DeadlineExceeded("shard " + name_ + " hung");
+      case Mode::kCorrupt:
+        return Status::Corruption("shard " + name_ + " sent a garbled frame");
+      default:
+        break;
+    }
+    WireReport report;
+    report.report = EvaluateQuery(request, *index_.snapshot());
+    return report;
+  }
+
+  Result<JsonValue> Ingest(const std::vector<IngestItem>& items) override {
+    if (Misbehave() != Mode::kHealthy) {
+      return Status::Unavailable("shard " + name_ + " is down");
+    }
+    for (const IngestItem& item : items) {
+      index_.AddDocument(item.structured_keys, item.time_bucket);
+    }
+    index_.Publish();
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("indexed", JsonValue(static_cast<uint64_t>(items.size())));
+    return body;
+  }
+
+  Result<JsonValue> Health() override {
+    if (Misbehave() != Mode::kHealthy) {
+      return Status::Unavailable("shard " + name_ + " is down");
+    }
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("ok", JsonValue(true));
+    return body;
+  }
+
+ private:
+  // Resolves the effective mode for this call; kSlowOnce degrades to
+  // healthy-but-slow exactly once (the shape a hedge should rescue).
+  Mode Misbehave() {
+    Mode mode = mode_.load();
+    if (mode == Mode::kSlowOnce) {
+      Mode expected = Mode::kSlowOnce;
+      if (mode_.compare_exchange_strong(expected, Mode::kHealthy)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+      return Mode::kHealthy;
+    }
+    return mode;
+  }
+
+  std::string name_;
+  ConceptIndex index_;
+  std::atomic<Mode> mode_{Mode::kHealthy};
+  std::atomic<int> query_calls_{0};
+};
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FaultInjector::Global().DisarmAll();
+    FaultInjector::Global().ResetCounters();
+  }
+
+  // 3 shards with known corpora: alpha 3+2+0, beta 0+2+1.
+  std::vector<std::shared_ptr<FakeShard>> MakeShards() {
+    auto s0 = std::make_shared<FakeShard>("s0");
+    auto s1 = std::make_shared<FakeShard>("s1");
+    auto s2 = std::make_shared<FakeShard>("s2");
+    s0->AddDocs("cat/alpha", 3);
+    s1->AddDocs("cat/alpha", 2);
+    s1->AddDocs("cat/beta", 2);
+    s2->AddDocs("cat/beta", 1);
+    return {s0, s1, s2};
+  }
+
+  // Fast, deterministic router defaults for chaos tests: one retry,
+  // millisecond backoff, hedging off unless a test turns it on.
+  static ShardRouterOptions FastOptions() {
+    ShardRouterOptions options;
+    options.max_attempts = 2;
+    options.initial_backoff_ms = 1;
+    options.shard_deadline_ms = 500;
+    options.attempt_timeout_ms = 100;
+    options.hedge_delay_ms = 0;
+    return options;
+  }
+
+  static std::unique_ptr<ShardRouter> MakeRouter(
+      const std::vector<std::shared_ptr<FakeShard>>& shards,
+      ShardRouterOptions options = FastOptions()) {
+    std::vector<std::shared_ptr<ShardHandle>> handles(shards.begin(),
+                                                      shards.end());
+    return std::make_unique<ShardRouter>(std::move(handles), options);
+  }
+
+  static bool PartialOf(const JsonValue& body) {
+    const JsonValue* partial = body.Find("partial");
+    BIVOC_CHECK(partial != nullptr && partial->is_bool());
+    return partial->GetBool();
+  }
+
+  static std::vector<std::string> MissingOf(const JsonValue& body) {
+    const JsonValue* missing = body.Find("missing_shards");
+    BIVOC_CHECK(missing != nullptr && missing->is_array());
+    std::vector<std::string> names;
+    for (const JsonValue& name : missing->GetArray()) {
+      names.push_back(name.GetString());
+    }
+    return names;
+  }
+
+  static int64_t IntField(const JsonValue& body, const std::string& field) {
+    const JsonValue* value = body.Find(field);
+    BIVOC_CHECK(value != nullptr && value->is_integer()) << field;
+    return value->GetInt64();
+  }
+};
+
+TEST_F(ClusterTest, ScatterGatherMergesAllShards) {
+  auto shards = MakeShards();
+  auto router = MakeRouter(shards);
+  Result<JsonValue> response =
+      router->ExecuteQuery(QueryRequest::ConceptSearch("cat/"));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(PartialOf(response.value()));
+  EXPECT_EQ(IntField(response.value(), "shards_ok"), 3);
+  EXPECT_EQ(IntField(response.value(), "num_documents"), 8);
+  const JsonValue* concepts = response->Find("concepts");
+  ASSERT_NE(concepts, nullptr);
+  ASSERT_EQ(concepts->GetArray().size(), 2u);
+  EXPECT_EQ(concepts->GetArray()[0].Find("key")->GetString(), "cat/alpha");
+  EXPECT_EQ(concepts->GetArray()[0].Find("count")->GetInt64(), 5);
+  EXPECT_EQ(concepts->GetArray()[1].Find("key")->GetString(), "cat/beta");
+  EXPECT_EQ(concepts->GetArray()[1].Find("count")->GetInt64(), 3);
+}
+
+TEST_F(ClusterTest, DownShardYieldsHonestPartial) {
+  auto shards = MakeShards();
+  auto router = MakeRouter(shards);
+  shards[1]->set_mode(FakeShard::Mode::kDown);
+  Result<JsonValue> response =
+      router->ExecuteQuery(QueryRequest::ConceptSearch("cat/"));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(PartialOf(response.value()));
+  EXPECT_EQ(MissingOf(response.value()), std::vector<std::string>{"s1"});
+  EXPECT_EQ(IntField(response.value(), "shards_ok"), 2);
+  // The surviving shards' counts, not zeros and not stale data.
+  EXPECT_EQ(IntField(response.value(), "num_documents"), 4);
+  // The down shard was retried (transient code), then given up on.
+  EXPECT_EQ(shards[1]->query_calls(), 2);
+}
+
+TEST_F(ClusterTest, HungShardIsWrittenOffWithinDeadline) {
+  auto shards = MakeShards();
+  ShardRouterOptions options = FastOptions();
+  options.max_attempts = 1;  // one hung attempt, no second chance
+  auto router = MakeRouter(shards, options);
+  shards[2]->set_mode(FakeShard::Mode::kHang);
+  const auto start = std::chrono::steady_clock::now();
+  Result<JsonValue> response =
+      router->ExecuteQuery(QueryRequest::ConceptSearch("cat/"));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  // The 100 ms write-off answered, not the 250 ms hang — and the
+  // router never blocked anywhere near shard_deadline_ms.
+  EXPECT_LT(ElapsedMs(start), 450);
+  EXPECT_TRUE(PartialOf(response.value()));
+  EXPECT_EQ(MissingOf(response.value()), std::vector<std::string>{"s2"});
+  // Drain the abandoned attempt before the shard is destroyed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+}
+
+TEST_F(ClusterTest, CorruptShardFailsFastWithoutPoisoningTheMerge) {
+  auto shards = MakeShards();
+  auto router = MakeRouter(shards);
+  shards[0]->set_mode(FakeShard::Mode::kCorrupt);
+  Result<JsonValue> response =
+      router->ExecuteQuery(QueryRequest::ConceptSearch("cat/"));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(PartialOf(response.value()));
+  EXPECT_EQ(MissingOf(response.value()), std::vector<std::string>{"s0"});
+  // Corruption is not retryable: garbage does not improve on replay.
+  EXPECT_EQ(shards[0]->query_calls(), 1);
+  // The merged numbers are exactly the two healthy shards'.
+  EXPECT_EQ(IntField(response.value(), "num_documents"), 5);
+}
+
+TEST_F(ClusterTest, AllShardsDownIsUnavailableNotAnEmptyReport) {
+  auto shards = MakeShards();
+  auto router = MakeRouter(shards);
+  for (auto& shard : shards) shard->set_mode(FakeShard::Mode::kDown);
+  Result<JsonValue> response =
+      router->ExecuteQuery(QueryRequest::ConceptSearch("cat/"));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(response.status().message().find("0/3"), std::string::npos);
+}
+
+TEST_F(ClusterTest, BreakerShortCircuitsAndClosesAfterCoolOff) {
+  auto shards = MakeShards();
+  std::atomic<int64_t> now_ms{0};
+  ShardRouterOptions options = FastOptions();
+  options.max_attempts = 1;
+  options.breaker.failure_threshold = 2;
+  options.breaker.cool_off_ms = 50;
+  options.breaker.half_open_successes = 1;
+  options.breaker.clock_ms = [&now_ms] { return now_ms.load(); };
+  auto router = MakeRouter(shards, options);
+
+  shards[1]->set_mode(FakeShard::Mode::kDown);
+  const QueryRequest query = QueryRequest::ConceptSearch("cat/");
+  (void)router->ExecuteQuery(query);
+  (void)router->ExecuteQuery(query);
+  EXPECT_EQ(router->breaker(1)->state(), CircuitBreaker::State::kOpen);
+
+  // While open, requests are short-circuited: the shard sees nothing.
+  const int calls_when_opened = shards[1]->query_calls();
+  Result<JsonValue> shorted = router->ExecuteQuery(query);
+  ASSERT_TRUE(shorted.ok());
+  EXPECT_TRUE(PartialOf(shorted.value()));
+  EXPECT_EQ(shards[1]->query_calls(), calls_when_opened);
+
+  // Shard heals; after the cool-off the half-open probe closes it.
+  shards[1]->set_mode(FakeShard::Mode::kHealthy);
+  now_ms.store(100);
+  Result<JsonValue> probe = router->ExecuteQuery(query);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_FALSE(PartialOf(probe.value()));
+  EXPECT_EQ(router->breaker(1)->state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(IntField(probe.value(), "num_documents"), 8);
+}
+
+TEST_F(ClusterTest, HedgeRescuesASlowShard) {
+  auto shards = MakeShards();
+  ShardRouterOptions options = FastOptions();
+  options.attempt_timeout_ms = 0;
+  options.hedge_delay_ms = 40;
+  auto router = MakeRouter(shards, options);
+  shards[1]->set_mode(FakeShard::Mode::kSlowOnce);
+  const auto start = std::chrono::steady_clock::now();
+  Result<JsonValue> response =
+      router->ExecuteQuery(QueryRequest::ConceptSearch("cat/"));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  // The hedge answered from the healed shard well before the 200 ms
+  // sleep of the first attempt ended — and the response is complete.
+  EXPECT_LT(ElapsedMs(start), 180);
+  EXPECT_FALSE(PartialOf(response.value()));
+  EXPECT_GE(shards[1]->query_calls(), 2);
+  EXPECT_NE(router->MetricsText().find("cluster_hedges_total"),
+            std::string::npos);
+  // Drain the abandoned slow attempt.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+}
+
+TEST_F(ClusterTest, ExhaustedHedgeBudgetIsCountedNotFatal) {
+  auto shards = MakeShards();
+  ShardRouterOptions options = FastOptions();
+  options.attempt_timeout_ms = 0;
+  options.hedge_delay_ms = 20;
+  options.hedge_budget = 0;  // nothing to spend
+  auto router = MakeRouter(shards, options);
+  shards[0]->set_mode(FakeShard::Mode::kSlowOnce);
+  Result<JsonValue> response =
+      router->ExecuteQuery(QueryRequest::ConceptSearch("cat/"));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(PartialOf(response.value()));
+  // Denied hedges show up in the metrics, not as failures.
+  EXPECT_NE(router->MetricsText().find("cluster_hedges_denied_total 1"),
+            std::string::npos);
+}
+
+TEST_F(ClusterTest, NamedFaultPointTakesDownExactlyOneShard) {
+  auto shards = MakeShards();
+  auto router = MakeRouter(shards);
+  FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  ScopedFault fault("net.shard.send:s2", spec);
+  Result<JsonValue> response =
+      router->ExecuteQuery(QueryRequest::ConceptSearch("cat/"));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(PartialOf(response.value()));
+  EXPECT_EQ(MissingOf(response.value()), std::vector<std::string>{"s2"});
+  // The fault fired in the router, before the shard handle.
+  EXPECT_EQ(shards[2]->query_calls(), 0);
+}
+
+TEST_F(ClusterTest, MergeFaultPointSurfacesAsTheInjectedError) {
+  auto shards = MakeShards();
+  auto router = MakeRouter(shards);
+  FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.message = "merge exploded";
+  ScopedFault fault(kFaultClusterMerge, spec);
+  Result<JsonValue> response =
+      router->ExecuteQuery(QueryRequest::ConceptSearch("cat/"));
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(ClusterTest, IngestRoutesEveryItemToExactlyOneShard) {
+  auto shards = MakeShards();
+  auto router = MakeRouter(shards);
+  std::vector<IngestItem> items(30);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i].payload = "gprs not working";
+    items[i].structured_keys = {"customer/" + std::to_string(i)};
+  }
+  Result<JsonValue> response = router->ExecuteIngest(items);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(PartialOf(response.value()));
+  EXPECT_EQ(IntField(response.value(), "items_total"), 30);
+  EXPECT_EQ(IntField(response.value(), "items_failed"), 0);
+  const JsonValue* per_shard = response->Find("shards");
+  ASSERT_NE(per_shard, nullptr);
+  int64_t routed = 0;
+  for (const JsonValue& entry : per_shard->GetArray()) {
+    routed += entry.Find("items")->GetInt64();
+  }
+  EXPECT_EQ(routed, 30);
+}
+
+TEST_F(ClusterTest, IngestReportsTheFailedShardAndItsItems) {
+  auto shards = MakeShards();
+  auto router = MakeRouter(shards);
+  std::vector<IngestItem> items(30);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i].payload = "gprs not working";
+    items[i].structured_keys = {"customer/" + std::to_string(i)};
+  }
+  // Break whichever shard item 0 routes to.
+  const std::size_t victim = router->ShardForItem(items[0]);
+  shards[victim]->set_mode(FakeShard::Mode::kDown);
+  Result<JsonValue> response = router->ExecuteIngest(items);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(PartialOf(response.value()));
+  EXPECT_EQ(MissingOf(response.value()),
+            std::vector<std::string>{router->shard_name(victim)});
+  EXPECT_GT(IntField(response.value(), "items_failed"), 0);
+  EXPECT_LT(IntField(response.value(), "items_failed"), 30);
+}
+
+TEST_F(ClusterTest, IngestWithEveryTargetDownIsUnavailable) {
+  auto shards = MakeShards();
+  auto router = MakeRouter(shards);
+  for (auto& shard : shards) shard->set_mode(FakeShard::Mode::kDown);
+  std::vector<IngestItem> items(5);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i].payload = "x";
+    items[i].structured_keys = {"customer/" + std::to_string(i)};
+  }
+  Result<JsonValue> response = router->ExecuteIngest(items);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ClusterTest, HealthzReportsThreeStates) {
+  auto shards = MakeShards();
+  auto router = MakeRouter(shards);
+
+  GatewayBackend::HealthSnapshot all_ok = router->Healthz();
+  EXPECT_EQ(all_ok.http_status, 200);
+  EXPECT_EQ(all_ok.body.Find("verdict")->GetString(), "ok");
+
+  shards[0]->set_mode(FakeShard::Mode::kDown);
+  GatewayBackend::HealthSnapshot degraded = router->Healthz();
+  EXPECT_EQ(degraded.http_status, 200);
+  EXPECT_EQ(degraded.body.Find("verdict")->GetString(), "degraded");
+  EXPECT_EQ(IntField(degraded.body, "shards_ok"), 2);
+
+  for (auto& shard : shards) shard->set_mode(FakeShard::Mode::kDown);
+  GatewayBackend::HealthSnapshot dead = router->Healthz();
+  EXPECT_EQ(dead.http_status, 503);
+  EXPECT_EQ(dead.body.Find("verdict")->GetString(), "unavailable");
+}
+
+TEST_F(ClusterTest, MetricsExposePerShardAndScatterInstruments) {
+  auto shards = MakeShards();
+  auto router = MakeRouter(shards);
+  (void)router->ExecuteQuery(QueryRequest::ConceptSearch("cat/"));
+  const std::string text = router->MetricsText();
+  for (const char* metric :
+       {"cluster_shard_requests_total_s0", "cluster_shard_requests_total_s1",
+        "cluster_shard_requests_total_s2", "cluster_scatter_latency_ms",
+        "cluster_merge_latency_ms", "cluster_partial_responses_total"}) {
+    EXPECT_NE(text.find(metric), std::string::npos) << metric;
+  }
+}
+
+TEST(HashRingTest, SpreadsKeysAndKeepsThemSticky) {
+  HashRing ring({"s0", "s1", "s2"}, 64);
+  std::vector<std::size_t> counts(3, 0);
+  for (int i = 0; i < 3000; ++i) {
+    const std::size_t shard = ring.ShardFor("entity/" + std::to_string(i));
+    EXPECT_EQ(ring.ShardFor("entity/" + std::to_string(i)), shard);  // sticky
+    ++counts[shard];
+  }
+  for (std::size_t shard = 0; shard < 3; ++shard) {
+    // Within ±50% of perfectly even — catches gross clumping (the bug
+    // this guards against measured 70/23/7).
+    EXPECT_GT(counts[shard], 500u) << "shard " << shard;
+    EXPECT_LT(counts[shard], 1500u) << "shard " << shard;
+  }
+}
+
+TEST(HashRingTest, PlacementIsStableUnderShardNameReordering) {
+  HashRing forward({"s0", "s1", "s2"}, 64);
+  HashRing reversed({"s2", "s1", "s0"}, 64);
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "entity/" + std::to_string(i);
+    EXPECT_EQ(forward.name(forward.ShardFor(key)),
+              reversed.name(reversed.ShardFor(key)))
+        << key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End to end through the Gateway: the cluster serves the same wire
+// surface as a single engine, honesty fields included.
+
+class ClusterGatewayTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FaultInjector::Global().DisarmAll();
+    FaultInjector::Global().ResetCounters();
+  }
+
+  static std::shared_ptr<BivocEngine> BootShardEngine() {
+    auto engine = std::make_shared<BivocEngine>();
+    Schema schema({
+        {"id", DataType::kInt64, AttributeRole::kNone},
+        {"name", DataType::kString, AttributeRole::kPersonName},
+    });
+    Table* customers = *engine->warehouse()->CreateTable("customers", schema);
+    BIVOC_CHECK_OK(
+        customers->Append({Value(int64_t{0}), Value("john smith")}).status());
+    BIVOC_CHECK_OK(engine->FinishWarehouse());
+    engine->ConfigureAnnotators({"john", "smith"}, {});
+    engine->extractor()->mutable_dictionary()->Add("gprs", "gprs", "product");
+    engine->pipeline()->mutable_language_filter()->AddVocabulary(
+        {"gprs", "john", "smith", "working", "down", "problem"});
+    return engine;
+  }
+
+  static HttpRequest Post(const std::string& path, std::string body) {
+    HttpRequest request;
+    request.method = "POST";
+    request.target = path;
+    request.version = "HTTP/1.1";
+    request.body = std::move(body);
+    return request;
+  }
+
+  static HttpRequest Get(const std::string& path) {
+    HttpRequest request;
+    request.method = "GET";
+    request.target = path;
+    request.version = "HTTP/1.1";
+    return request;
+  }
+};
+
+TEST_F(ClusterGatewayTest, ClusterBehindGatewaySpeaksTheSingleEngineWire) {
+  std::vector<std::shared_ptr<ShardHandle>> handles;
+  for (int i = 0; i < 3; ++i) {
+    handles.push_back(std::make_shared<LocalShardHandle>(
+        "s" + std::to_string(i), BootShardEngine()));
+  }
+  ShardRouterOptions options;
+  options.max_attempts = 1;
+  ShardRouter router(std::move(handles), options);
+  Gateway gateway(&router, GatewayOptions{});
+
+  // Ingest through the gateway: items spread across shards by entity.
+  std::vector<IngestItem> items;
+  for (int c = 0; c < 9; ++c) {
+    IngestItem item;
+    item.channel = VocChannel::kSms;
+    item.payload = "gprs not working john smith";
+    item.structured_keys = {"customer/" + std::to_string(c)};
+    items.push_back(std::move(item));
+  }
+  HttpResponse ingest = gateway.Handle(
+      Post("/v1/ingest", DumpJson(IngestItemsToJson(items))));
+  EXPECT_EQ(ingest.status, 200);
+  EXPECT_NE(ingest.body.find("\"partial\":false"), std::string::npos);
+
+  HttpResponse query = gateway.Handle(
+      Post("/v1/query", R"({"class":"concept_search","prefix":"product/"})"));
+  EXPECT_EQ(query.status, 200);
+  EXPECT_NE(query.body.find("\"partial\":false"), std::string::npos);
+  EXPECT_NE(query.body.find("\"count\":9"), std::string::npos);
+
+  // One shard dies: same route answers 200, honestly partial, and
+  // /healthz degrades — exactly what the CI chaos smoke curls for.
+  FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  ScopedFault fault("net.shard.send:s1", spec);
+  HttpResponse partial = gateway.Handle(
+      Post("/v1/query", R"({"class":"concept_search","prefix":"product/"})"));
+  EXPECT_EQ(partial.status, 200);
+  EXPECT_NE(partial.body.find("\"partial\":true"), std::string::npos);
+  EXPECT_NE(partial.body.find("\"missing_shards\":[\"s1\"]"),
+            std::string::npos);
+
+  HttpResponse health = gateway.Handle(Get("/healthz"));
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"verdict\":\"degraded\""), std::string::npos);
+
+  HttpResponse metrics = gateway.Handle(Get("/metrics"));
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("cluster_shard_requests_total_s1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("gateway_requests_total_query"),
+            std::string::npos);
+}
+
+TEST_F(ClusterGatewayTest, WholeClusterDownIs503OnBothRoutes) {
+  std::vector<std::shared_ptr<ShardHandle>> handles;
+  handles.push_back(
+      std::make_shared<LocalShardHandle>("s0", BootShardEngine()));
+  ShardRouterOptions options;
+  options.max_attempts = 1;
+  options.retry_after_ms = 70;
+  ShardRouter router(std::move(handles), options);
+  Gateway gateway(&router, GatewayOptions{});
+
+  FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  ScopedFault fault("net.shard.send:s0", spec);
+
+  HttpResponse query = gateway.Handle(
+      Post("/v1/query", R"({"class":"concept_search"})"));
+  EXPECT_EQ(query.status, 503);
+
+  HttpResponse health = gateway.Handle(Get("/healthz"));
+  EXPECT_EQ(health.status, 503);
+  EXPECT_NE(health.body.find("\"verdict\":\"unavailable\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -1,0 +1,275 @@
+// The cluster's exactness contract (serve/merge.h): for every query
+// class, merging the shards' shard-mode partials must reproduce the
+// single-engine result over the union corpus — same rows, same counts,
+// same derived doubles (computed from the same cluster-wide integer
+// sums with the same expressions), same sort order including top-k
+// tie-breaking, same limit cut. This file checks that property over
+// randomized corpora and partitions, plus the wire round-trip the HTTP
+// scatter path adds.
+#include "serve/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mining/concept_index.h"
+#include "net/wire.h"
+#include "serve/query.h"
+#include "util/random.h"
+
+namespace bivoc {
+namespace {
+
+struct Doc {
+  std::vector<std::string> keys;
+  int64_t bucket = 0;
+};
+
+// A corpus tuned to stress the merge: a small category vocabulary so
+// counts collide (tie-breaking), a feature dimension, and a handful of
+// time buckets.
+std::vector<Doc> RandomCorpus(uint64_t seed, std::size_t num_docs) {
+  Rng rng(seed);
+  std::vector<Doc> docs;
+  docs.reserve(num_docs);
+  const char* cats[] = {"cat/alpha", "cat/beta",  "cat/gamma", "cat/delta",
+                        "cat/eps",   "cat/zeta",  "cat/eta",   "cat/theta"};
+  for (std::size_t i = 0; i < num_docs; ++i) {
+    Doc doc;
+    doc.keys.push_back(cats[rng.Uniform(0, 7)]);
+    if (rng.Bernoulli(0.3)) doc.keys.push_back(cats[rng.Uniform(0, 7)]);
+    doc.keys.push_back(rng.Bernoulli(0.4) ? "status/churned"
+                                          : "status/active");
+    if (rng.Bernoulli(0.5)) doc.keys.push_back("outcome/yes");
+    doc.bucket = rng.Uniform(0, 4);
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+std::shared_ptr<ConceptIndex> BuildIndex(const std::vector<Doc>& docs) {
+  auto index = std::make_shared<ConceptIndex>();
+  for (const Doc& doc : docs) index->AddDocument(doc.keys, doc.bucket);
+  index->Publish();
+  return index;
+}
+
+// Splits `docs` across `num_shards`; mode 1 leaves the last shard
+// empty, mode 2 gives the first shard ~70% (skew).
+std::vector<std::vector<Doc>> Partition(const std::vector<Doc>& docs,
+                                        std::size_t num_shards, int mode,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Doc>> parts(num_shards);
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    std::size_t shard;
+    switch (mode) {
+      case 1:
+        shard = i % (num_shards - 1);
+        break;
+      case 2:
+        shard = rng.Bernoulli(0.7)
+                    ? 0
+                    : static_cast<std::size_t>(
+                          rng.Uniform(1, static_cast<int64_t>(num_shards) - 1));
+        break;
+      default:
+        shard = i % num_shards;
+    }
+    parts[shard].push_back(docs[i]);
+  }
+  return parts;
+}
+
+void ExpectReportsEqual(const ReportResult& merged, const ReportResult& single,
+                        const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(merged.cls, single.cls);
+  EXPECT_EQ(merged.num_documents, single.num_documents);
+  EXPECT_FALSE(merged.shard_mode);
+
+  ASSERT_EQ(merged.concepts.size(), single.concepts.size());
+  for (std::size_t i = 0; i < single.concepts.size(); ++i) {
+    EXPECT_EQ(merged.concepts[i].key, single.concepts[i].key) << "row " << i;
+    EXPECT_EQ(merged.concepts[i].count, single.concepts[i].count);
+  }
+
+  ASSERT_EQ(merged.relevancy.size(), single.relevancy.size());
+  for (std::size_t i = 0; i < single.relevancy.size(); ++i) {
+    const RelevancyItem& m = merged.relevancy[i];
+    const RelevancyItem& s = single.relevancy[i];
+    EXPECT_EQ(m.key, s.key) << "row " << i;
+    EXPECT_EQ(m.subset_count, s.subset_count);
+    EXPECT_EQ(m.corpus_count, s.corpus_count);
+    // Bit-exact, not approximately equal: the merge recomputes from the
+    // same integer sums with the same expressions.
+    EXPECT_EQ(m.subset_freq, s.subset_freq);
+    EXPECT_EQ(m.corpus_freq, s.corpus_freq);
+    EXPECT_EQ(m.relative, s.relative);
+  }
+
+  ASSERT_EQ(merged.association.cells.size(), single.association.cells.size());
+  EXPECT_EQ(merged.association.row_keys, single.association.row_keys);
+  EXPECT_EQ(merged.association.col_keys, single.association.col_keys);
+  for (std::size_t i = 0; i < single.association.cells.size(); ++i) {
+    const AssociationCell& m = merged.association.cells[i];
+    const AssociationCell& s = single.association.cells[i];
+    EXPECT_EQ(m.n_cell, s.n_cell) << "cell " << i;
+    EXPECT_EQ(m.n_row, s.n_row);
+    EXPECT_EQ(m.n_col, s.n_col);
+    EXPECT_EQ(m.n, s.n);
+    EXPECT_EQ(m.point_lift, s.point_lift);
+    EXPECT_EQ(m.lower_lift, s.lower_lift);
+    EXPECT_EQ(m.row_share, s.row_share);
+  }
+
+  ASSERT_EQ(merged.trends.size(), single.trends.size());
+  for (std::size_t i = 0; i < single.trends.size(); ++i) {
+    EXPECT_EQ(merged.trends[i].key, single.trends[i].key) << "row " << i;
+    EXPECT_EQ(merged.trends[i].total_count, single.trends[i].total_count);
+    EXPECT_EQ(merged.trends[i].slope, single.trends[i].slope);
+  }
+}
+
+// The query presets every trial exercises; limits are deliberately
+// smaller than the result set so the limit cut (and the tie-breaking
+// just above it) is load-bearing.
+std::vector<QueryRequest> Presets() {
+  std::vector<QueryRequest> presets;
+  presets.push_back(QueryRequest::ConceptSearch("cat/", 3));
+  presets.push_back(QueryRequest::ConceptSearch("", 5));
+  QueryRequest relevancy =
+      QueryRequest::Relevancy("status/churned", "cat/", 4);
+  presets.push_back(relevancy);
+  relevancy.min_count = 1;
+  presets.push_back(relevancy);
+  presets.push_back(QueryRequest::Relevancy("outcome/yes", "", 6));
+  presets.push_back(QueryRequest::Association(
+      {"cat/alpha", "cat/beta", "cat/gamma"},
+      {"status/churned", "status/active"}));
+  QueryRequest trend = QueryRequest::Trend("cat/", 4);
+  trend.min_count = 1;
+  presets.push_back(trend);
+  presets.push_back(QueryRequest::Trend("", 3));
+  presets.push_back(QueryRequest::ChurnDrivers(5));
+  return presets;
+}
+
+void RunTrial(uint64_t seed, std::size_t num_docs, std::size_t num_shards,
+              int partition_mode, bool through_wire) {
+  const std::vector<Doc> docs = RandomCorpus(seed, num_docs);
+  auto reference = BuildIndex(docs);
+  const auto parts = Partition(docs, num_shards, partition_mode, seed ^ 0xabc);
+  std::vector<std::shared_ptr<ConceptIndex>> shards;
+  for (const auto& part : parts) shards.push_back(BuildIndex(part));
+
+  for (const QueryRequest& preset : Presets()) {
+    ReportResult single = EvaluateQuery(preset, *reference->snapshot());
+
+    QueryRequest shard_request = preset;
+    shard_request.shard_mode = true;
+    std::vector<ReportResult> partials;
+    for (const auto& shard : shards) {
+      ReportResult partial = EvaluateQuery(shard_request, *shard->snapshot());
+      if (through_wire) {
+        // The real scatter path ships partials as JSON; the counts that
+        // feed the merge are integers, so the round-trip stays exact.
+        JsonValue encoded = ReportResultToJson(partial, false);
+        Result<WireReport> decoded = ReportResultFromJson(encoded);
+        ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+        partial = decoded.MoveValue().report;
+      }
+      partials.push_back(std::move(partial));
+    }
+
+    Result<ReportResult> merged = MergeShardReports(preset, partials);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    ExpectReportsEqual(merged.value(), single,
+                       "seed=" + std::to_string(seed) + " class=" +
+                           QueryClassName(preset.cls) + " prefix=\"" +
+                           preset.prefix + "\" key=\"" + preset.key +
+                           "\" min_count=" + std::to_string(preset.min_count) +
+                           (through_wire ? " wire" : " direct"));
+  }
+}
+
+TEST(ClusterMergeProperty, MergeEqualsSingleEngineAcrossSeeds) {
+  for (uint64_t seed : {1ULL, 7ULL, 42ULL, 1234ULL, 99999ULL}) {
+    RunTrial(seed, /*num_docs=*/300, /*num_shards=*/3, /*partition_mode=*/0,
+             /*through_wire=*/false);
+  }
+}
+
+TEST(ClusterMergeProperty, EmptyShardDoesNotPerturbTheMerge) {
+  RunTrial(/*seed=*/5, 200, /*num_shards=*/3, /*partition_mode=*/1, false);
+}
+
+TEST(ClusterMergeProperty, SkewedPartitionMergesExactly) {
+  RunTrial(/*seed=*/11, 400, /*num_shards=*/4, /*partition_mode=*/2, false);
+}
+
+TEST(ClusterMergeProperty, SingleShardClusterIsIdentity) {
+  RunTrial(/*seed=*/3, 150, /*num_shards=*/1, /*partition_mode=*/0, false);
+}
+
+TEST(ClusterMergeProperty, WireRoundTripPreservesExactness) {
+  for (uint64_t seed : {2ULL, 77ULL}) {
+    RunTrial(seed, 250, /*num_shards=*/3, /*partition_mode=*/0,
+             /*through_wire=*/true);
+  }
+}
+
+// Deterministic tie-breaking at the limit cut: four concepts with the
+// same count; the lexicographically smallest keys must survive on both
+// paths.
+TEST(ClusterMergeProperty, TopKTieBreaksByKeyOnBothPaths) {
+  std::vector<Doc> docs;
+  for (const char* key : {"cat/dd", "cat/aa", "cat/cc", "cat/bb"}) {
+    docs.push_back({{key, "status/churned"}, 0});
+    docs.push_back({{key, "status/active"}, 1});
+  }
+  auto reference = BuildIndex(docs);
+  auto parts = Partition(docs, 2, /*mode=*/0, /*seed=*/9);
+  std::vector<std::shared_ptr<ConceptIndex>> shards;
+  for (const auto& part : parts) shards.push_back(BuildIndex(part));
+
+  QueryRequest request = QueryRequest::ConceptSearch("cat/", 2);
+  ReportResult single = EvaluateQuery(request, *reference->snapshot());
+  ASSERT_EQ(single.concepts.size(), 2u);
+  EXPECT_EQ(single.concepts[0].key, "cat/aa");
+  EXPECT_EQ(single.concepts[1].key, "cat/bb");
+
+  QueryRequest shard_request = request;
+  shard_request.shard_mode = true;
+  std::vector<ReportResult> partials;
+  for (const auto& shard : shards) {
+    partials.push_back(EvaluateQuery(shard_request, *shard->snapshot()));
+  }
+  Result<ReportResult> merged = MergeShardReports(request, partials);
+  ASSERT_TRUE(merged.ok());
+  ExpectReportsEqual(merged.value(), single, "tie-break");
+}
+
+// Malformed partial sets must be rejected, not merged into nonsense.
+TEST(ClusterMergeValidation, RejectsEmptyAndMismatchedPartials) {
+  EXPECT_FALSE(
+      MergeShardReports(QueryRequest::ConceptSearch("cat/"), {}).ok());
+
+  ReportResult not_shard_mode;
+  not_shard_mode.cls = QueryClass::kConceptSearch;
+  EXPECT_FALSE(MergeShardReports(QueryRequest::ConceptSearch("cat/"),
+                                 {not_shard_mode})
+                   .ok());
+
+  ReportResult wrong_class;
+  wrong_class.cls = QueryClass::kTrend;
+  wrong_class.shard_mode = true;
+  EXPECT_FALSE(MergeShardReports(QueryRequest::ConceptSearch("cat/"),
+                                 {wrong_class})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace bivoc

@@ -41,9 +41,10 @@ TEST(StatusHttpTest, EveryStatusCodeHasADeliberateHttpMapping) {
       {StatusCode::kCorruption, 500},
       {StatusCode::kInternal, 500},
       {StatusCode::kUnavailable, 503},
+      {StatusCode::kDeadlineExceeded, 504},
   };
-  // Keep the table exhaustive: kUnavailable is the last enumerator.
-  ASSERT_EQ(static_cast<std::size_t>(StatusCode::kUnavailable) + 1,
+  // Keep the table exhaustive: kDeadlineExceeded is the last enumerator.
+  ASSERT_EQ(static_cast<std::size_t>(StatusCode::kDeadlineExceeded) + 1,
             sizeof(kRows) / sizeof(kRows[0]));
   for (const Row& row : kRows) {
     EXPECT_EQ(HttpStatusForCode(row.code), row.http)
@@ -60,6 +61,7 @@ TEST(StatusHttpTest, ReverseMappingCoversTheCommonCases) {
   EXPECT_EQ(StatusCodeForHttp(412), StatusCode::kFailedPrecondition);
   EXPECT_EQ(StatusCodeForHttp(501), StatusCode::kUnimplemented);
   EXPECT_EQ(StatusCodeForHttp(503), StatusCode::kUnavailable);
+  EXPECT_EQ(StatusCodeForHttp(504), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(StatusCodeForHttp(500), StatusCode::kInternal);
   EXPECT_EQ(StatusCodeForHttp(418), StatusCode::kInvalidArgument);
 }

@@ -1,0 +1,188 @@
+// HttpClient deadline behavior against deliberately misbehaving
+// servers: silent, stalling mid-response, or closing kept-alive
+// connections. The well-behaved path is covered by test_http_server
+// and test_gateway; this file is about the knobs the cluster's scatter
+// path depends on — a hung shard must cost read_timeout_ms, never a
+// blocked coordinator.
+#include "net/http_client.h"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace bivoc {
+namespace {
+
+int64_t ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+// A scriptable one-connection-at-a-time server. Each accepted
+// connection reads one request, then acts out `behavior`.
+class MisbehavingServer {
+ public:
+  enum class Behavior {
+    kSilent,        // read the request, answer nothing
+    kStallMidway,   // send half a status line, then go quiet
+    kAnswer,        // minimal valid response, keep the connection open
+    kAnswerClose,   // minimal valid response, then close the connection
+  };
+
+  explicit MisbehavingServer(Behavior behavior) : behavior_(behavior) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    EXPECT_EQ(::listen(listen_fd_, 8), 0);
+    thread_ = std::thread([this] { Serve(); });
+  }
+
+  ~MisbehavingServer() {
+    stopping_ = true;
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    thread_.join();
+  }
+
+  uint16_t port() const { return port_; }
+  int accepted() const { return accepted_.load(); }
+
+ private:
+  void Serve() {
+    for (;;) {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;  // listener closed by the destructor
+      ++accepted_;
+      HandleConnection(fd);
+      ::close(fd);
+    }
+  }
+
+  void HandleConnection(int fd) {
+    char buf[4096];
+    while (!stopping_) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n <= 0) return;  // client gave up or closed — done
+      switch (behavior_) {
+        case Behavior::kSilent:
+          break;  // keep reading so the client blocks on the response
+        case Behavior::kStallMidway: {
+          const char kHalf[] = "HTTP/1.1 200 OK\r\nContent-Le";
+          (void)!::write(fd, kHalf, sizeof(kHalf) - 1);
+          break;  // never finish the headers
+        }
+        case Behavior::kAnswer:
+        case Behavior::kAnswerClose: {
+          const char kResponse[] =
+              "HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok";
+          (void)!::write(fd, kResponse, sizeof(kResponse) - 1);
+          if (behavior_ == Behavior::kAnswerClose) return;
+          break;  // loop: serve the next kept-alive request
+        }
+      }
+    }
+  }
+
+  Behavior behavior_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<int> accepted_{0};
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+TEST(HttpClientDeadlineTest, SilentServerTripsReadTimeout) {
+  MisbehavingServer server(MisbehavingServer::Behavior::kSilent);
+  HttpClientOptions options;
+  options.read_timeout_ms = 100;
+  HttpClient client("127.0.0.1", server.port(), options);
+  const auto start = std::chrono::steady_clock::now();
+  Result<HttpResponse> response = client.Post("/v1/query", "{}");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  const int64_t elapsed = ElapsedMs(start);
+  EXPECT_GE(elapsed, 90);
+  EXPECT_LT(elapsed, 2000);
+}
+
+TEST(HttpClientDeadlineTest, StallMidResponseTripsReadTimeout) {
+  MisbehavingServer server(MisbehavingServer::Behavior::kStallMidway);
+  HttpClientOptions options;
+  options.read_timeout_ms = 100;
+  HttpClient client("127.0.0.1", server.port(), options);
+  Result<HttpResponse> response = client.Get("/healthz");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(HttpClientDeadlineTest, ReadTimeoutFallsBackToOverallTimeout) {
+  MisbehavingServer server(MisbehavingServer::Behavior::kSilent);
+  HttpClientOptions options;
+  options.timeout_ms = 100;  // read_timeout_ms left 0
+  HttpClient client("127.0.0.1", server.port(), options);
+  const auto start = std::chrono::steady_clock::now();
+  Result<HttpResponse> response = client.Get("/");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(ElapsedMs(start), 2000);
+}
+
+TEST(HttpClientDeadlineTest, KeepAliveReusesOneConnection) {
+  MisbehavingServer server(MisbehavingServer::Behavior::kAnswer);
+  HttpClient client("127.0.0.1", server.port());
+  for (int i = 0; i < 3; ++i) {
+    Result<HttpResponse> response = client.Get("/");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, 200);
+    EXPECT_EQ(response->body, "ok");
+  }
+  EXPECT_EQ(server.accepted(), 1);
+}
+
+TEST(HttpClientDeadlineTest, ReconnectsWhenServerClosesBetweenRequests) {
+  MisbehavingServer server(MisbehavingServer::Behavior::kAnswerClose);
+  HttpClient client("127.0.0.1", server.port());
+  for (int i = 0; i < 2; ++i) {
+    Result<HttpResponse> response = client.Get("/");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, 200);
+  }
+  EXPECT_EQ(server.accepted(), 2);
+}
+
+// A black-holed connect must cost at most connect_timeout_ms. In
+// sandboxed environments the connect may instead fail immediately
+// (unreachable); either way it must not block for the kernel's
+// SYN-retry eternity.
+TEST(HttpClientDeadlineTest, ConnectTimeoutBoundsBlackHole) {
+  HttpClientOptions options;
+  options.connect_timeout_ms = 200;
+  // RFC 5737 TEST-NET-1: guaranteed non-routable.
+  HttpClient client("192.0.2.1", 9, options);
+  const auto start = std::chrono::steady_clock::now();
+  Result<HttpResponse> response = client.Get("/");
+  EXPECT_FALSE(response.ok());
+  EXPECT_LT(ElapsedMs(start), 2000);
+}
+
+}  // namespace
+}  // namespace bivoc

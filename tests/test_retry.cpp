@@ -2,10 +2,39 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 namespace bivoc {
 namespace {
+
+int64_t ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+// The overlapped engine detaches attempt threads; a test must not end
+// while one still runs (sanitizers would flag the teardown race), so
+// every op counts itself in and out and the test drains at the end.
+struct OpTracker {
+  std::atomic<int> entered{0};
+  std::atomic<int> exited{0};
+
+  int Enter() { return ++entered; }
+  void Exit() { ++exited; }
+  void Drain() {
+    while (exited.load() < entered.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+};
+
+void SleepMs(int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
 
 RetryPolicy NoSleepPolicy(int max_attempts) {
   RetryPolicy policy;
@@ -167,6 +196,231 @@ TEST(RetryTest, ZeroAttemptsClampsToOne) {
   });
   EXPECT_FALSE(st.ok());
   EXPECT_EQ(calls, 1);
+}
+
+// --- overlapped engine: attempt timeouts and hedging -----------------
+
+TEST(OverlappedRetryTest, FastSuccessMakesOneAttempt) {
+  RetryPolicy policy = NoSleepPolicy(3);
+  policy.hedge_delay_ms = 100;
+  Retrier retrier(policy);
+  OpTracker tracker;
+  Status st = retrier.Run([&] {
+    tracker.Enter();
+    tracker.Exit();
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(retrier.last_attempts(), 1);
+  tracker.Drain();
+  EXPECT_EQ(tracker.entered.load(), 1);
+}
+
+TEST(OverlappedRetryTest, HedgeRacesSlowAttemptAndFirstSuccessWins) {
+  RetryPolicy policy = NoSleepPolicy(2);
+  policy.hedge_delay_ms = 30;
+  Retrier retrier(policy);
+  OpTracker tracker;
+  const auto start = std::chrono::steady_clock::now();
+  Status st = retrier.Run([&] {
+    const int attempt = tracker.Enter();
+    if (attempt == 1) SleepMs(300);  // slow but healthy
+    tracker.Exit();
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  // The hedge answered long before the slow original would have.
+  EXPECT_LT(ElapsedMs(start), 250);
+  EXPECT_EQ(retrier.last_attempts(), 2);
+  tracker.Drain();
+}
+
+TEST(OverlappedRetryTest, DeniedHedgeBudgetKeepsSingleAttempt) {
+  RetryPolicy policy = NoSleepPolicy(3);
+  policy.hedge_delay_ms = 20;
+  std::atomic<int> acquires{0};
+  std::atomic<int> releases{0};
+  policy.hedge_acquire = [&] {
+    ++acquires;
+    return false;  // budget exhausted
+  };
+  policy.hedge_release = [&] { ++releases; };
+  Retrier retrier(policy);
+  OpTracker tracker;
+  Status st = retrier.Run([&] {
+    tracker.Enter();
+    SleepMs(120);
+    tracker.Exit();
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  tracker.Drain();
+  EXPECT_EQ(tracker.entered.load(), 1);
+  EXPECT_GE(acquires.load(), 1);
+  EXPECT_EQ(releases.load(), 0);  // nothing granted, nothing returned
+}
+
+TEST(OverlappedRetryTest, GrantedHedgeTokensAreReleased) {
+  RetryPolicy policy = NoSleepPolicy(2);
+  policy.hedge_delay_ms = 25;
+  std::atomic<int> acquires{0};
+  std::atomic<int> releases{0};
+  policy.hedge_acquire = [&] {
+    ++acquires;
+    return true;
+  };
+  policy.hedge_release = [&] { ++releases; };
+  Retrier retrier(policy);
+  OpTracker tracker;
+  Status st = retrier.Run([&] {
+    const int attempt = tracker.Enter();
+    if (attempt == 1) SleepMs(250);
+    tracker.Exit();
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  tracker.Drain();
+  EXPECT_EQ(acquires.load(), releases.load());
+  EXPECT_GE(acquires.load(), 1);
+}
+
+TEST(OverlappedRetryTest, AttemptTimeoutWritesOffHungAttempt) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.attempt_timeout_ms = 40;
+  policy.initial_backoff_ms = 20;
+  policy.jitter = 0.0;
+  Retrier retrier(policy);
+  OpTracker tracker;
+  const auto start = std::chrono::steady_clock::now();
+  Status st = retrier.Run([&] {
+    const int attempt = tracker.Enter();
+    if (attempt == 1) {
+      SleepMs(400);  // hung well past the write-off
+      tracker.Exit();
+      return Status::IoError("too late");
+    }
+    tracker.Exit();
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  // Write-off at 40 ms + 20 ms backoff, not the 400 ms hang.
+  EXPECT_LT(ElapsedMs(start), 300);
+  EXPECT_EQ(retrier.last_attempts(), 2);
+  tracker.Drain();
+}
+
+// Attempt 1 is written off at 100 ms and attempt 2 launched in its
+// place — but attempt 1 then succeeds at ~150 ms, while Run is still
+// inside attempt 2's own write-off window, so the late success wins.
+TEST(OverlappedRetryTest, WrittenOffAttemptCanStillWin) {
+  RetryPolicy policy = NoSleepPolicy(2);
+  policy.attempt_timeout_ms = 100;
+  Retrier retrier(policy);
+  OpTracker tracker;
+  Status st = retrier.Run([&] {
+    const int attempt = tracker.Enter();
+    if (attempt == 1) {
+      SleepMs(150);  // written off at 100 ms, succeeds anyway
+      tracker.Exit();
+      return Status::OK();
+    }
+    SleepMs(500);  // the replacement is the one that hangs
+    tracker.Exit();
+    return Status::IoError("slower still");
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(retrier.last_attempts(), 2);
+  tracker.Drain();
+}
+
+TEST(OverlappedRetryTest, AllAttemptsHungReportsDeadlineExceeded) {
+  RetryPolicy policy = NoSleepPolicy(2);
+  policy.attempt_timeout_ms = 40;
+  Retrier retrier(policy);
+  OpTracker tracker;
+  const auto start = std::chrono::steady_clock::now();
+  Status st = retrier.Run([&] {
+    tracker.Enter();
+    SleepMs(300);
+    tracker.Exit();
+    return Status::IoError("eventually");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(st.message().find("all attempts timed out"), std::string::npos);
+  EXPECT_LT(ElapsedMs(start), 250);
+  tracker.Drain();
+}
+
+TEST(OverlappedRetryTest, OverallDeadlineCutsOffHungAttempt) {
+  RetryPolicy policy = NoSleepPolicy(5);
+  policy.attempt_timeout_ms = 1000;
+  policy.deadline_ms = 60;
+  Retrier retrier(policy);
+  OpTracker tracker;
+  const auto start = std::chrono::steady_clock::now();
+  Status st = retrier.Run([&] {
+    tracker.Enter();
+    SleepMs(300);
+    tracker.Exit();
+    return Status::IoError("eventually");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(ElapsedMs(start), 250);
+  tracker.Drain();
+}
+
+TEST(OverlappedRetryTest, NonRetryableErrorSettlesImmediately) {
+  RetryPolicy policy = NoSleepPolicy(5);
+  policy.hedge_delay_ms = 50;
+  Retrier retrier(policy);
+  OpTracker tracker;
+  Status st = retrier.Run([&] {
+    tracker.Enter();
+    tracker.Exit();
+    return Status::InvalidArgument("bad request");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  tracker.Drain();
+  EXPECT_EQ(tracker.entered.load(), 1);
+}
+
+// All three knobs at once: a hung original, a fast-failing hedge and a
+// backed-off third attempt that finally answers.
+TEST(OverlappedRetryTest, TimeoutBackoffAndHedgingCompose) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.attempt_timeout_ms = 60;
+  policy.hedge_delay_ms = 25;
+  policy.initial_backoff_ms = 10;
+  policy.jitter = 0.0;
+  std::atomic<int> acquires{0};
+  std::atomic<int> releases{0};
+  policy.hedge_acquire = [&] {
+    ++acquires;
+    return true;
+  };
+  policy.hedge_release = [&] { ++releases; };
+  Retrier retrier(policy);
+  OpTracker tracker;
+  const auto start = std::chrono::steady_clock::now();
+  Status st = retrier.Run([&] {
+    const int attempt = tracker.Enter();
+    Status result = Status::OK();
+    if (attempt == 1) {
+      SleepMs(500);
+      result = Status::IoError("hung original");
+    } else if (attempt == 2) {
+      result = Status::IoError("fast failure");
+    }
+    tracker.Exit();
+    return result;
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(retrier.last_attempts(), 3);
+  EXPECT_LT(ElapsedMs(start), 400);
+  tracker.Drain();
+  EXPECT_EQ(acquires.load(), releases.load());
 }
 
 }  // namespace
