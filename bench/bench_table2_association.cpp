@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
                 top[0].row_key.c_str(), top[0].col_key.c_str(),
                 RenderDrillDown(*snap,
                                 snap->DocsWithBoth(top[0].row_key,
-                                                   top[0].col_key),
+                                                   top[0].col_key, 50),
                                 5)
                     .c_str());
   }

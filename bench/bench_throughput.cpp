@@ -25,6 +25,7 @@
 #include "linking/linker.h"
 #include "mining/association.h"
 #include "mining/concept_index.h"
+#include "mining/posting_list.h"
 #include "net/gateway.h"
 #include "net/http_client.h"
 #include "net/wire.h"
@@ -263,6 +264,69 @@ bool SnapshotsAgree(const IndexSnapshot& a, const IndexSnapshot& b) {
     }
   }
   return true;
+}
+
+// --- Posting-list codec microbench (DESIGN.md §13): intersection cost
+// per candidate id for dense (bitmap-AND path) and sparse (galloping
+// delta path) lists, the compressed footprint per posting vs the raw
+// 8-byte vector representation, and what the publish-time aggregate
+// build adds to Publish().
+
+struct IndexMicrobenchResult {
+  double intersect_dense_ns_per_op = 0;   // ns per candidate id
+  double intersect_sparse_ns_per_op = 0;
+  double postings_bytes_per_doc = 0;      // compressed, incl. skip table
+  double postings_compression_ratio = 0;  // raw vector bytes / compressed
+  double publish_aggregate_build_ms = 0;  // full Publish of the corpus
+};
+
+IndexMicrobenchResult RunIndexMicrobench(
+    const std::vector<std::vector<std::string>>& corpus) {
+  IndexMicrobenchResult out;
+
+  auto build_every = [](DocId stride, std::size_t n) {
+    PostingListBuilder builder;
+    for (std::size_t i = 0; i < n; ++i) {
+      builder.Add(static_cast<DocId>(i) * stride);
+    }
+    return builder.Build();
+  };
+  auto time_intersect = [](const PostingList& a, const PostingList& b) {
+    // Warm once, then time enough rounds to dominate timer noise.
+    std::size_t count = IntersectCount(a, b);
+    benchmark::DoNotOptimize(count);
+    constexpr int kRounds = 20;
+    Timer timer;
+    for (int r = 0; r < kRounds; ++r) {
+      benchmark::DoNotOptimize(IntersectCount(a, b));
+    }
+    const double ns = timer.ElapsedSeconds() * 1e9 / kRounds;
+    return ns / static_cast<double>(a.size() + b.size());
+  };
+  const std::size_t kIds = 1 << 18;
+  // Dense: strides 2 and 3 — bitmap blocks, overlapping spans, the
+  // AND-popcount fast path. Sparse: strides 97 and 193 — delta blocks,
+  // galloping skips.
+  out.intersect_dense_ns_per_op =
+      time_intersect(build_every(2, kIds), build_every(3, kIds));
+  out.intersect_sparse_ns_per_op =
+      time_intersect(build_every(97, kIds / 64), build_every(193, kIds / 64));
+
+  // Publish cost and storage footprint on the real bench corpus.
+  ConceptIndex index;
+  for (const auto& keys : corpus) index.AddDocument(keys);
+  Timer publish_timer;
+  auto snap = index.Publish();
+  out.publish_aggregate_build_ms = publish_timer.ElapsedSeconds() * 1e3;
+  const IndexSnapshot::StorageStats stats = snap->Storage();
+  if (stats.postings > 0) {
+    out.postings_bytes_per_doc = static_cast<double>(stats.postings_bytes) /
+                                 static_cast<double>(stats.postings);
+    out.postings_compression_ratio =
+        static_cast<double>(stats.postings * sizeof(DocId)) /
+        static_cast<double>(stats.postings_bytes);
+  }
+  return out;
 }
 
 // --- Durability cost & recovery speed: full-engine ingest with the
@@ -705,6 +769,12 @@ ClusterBenchResult RunClusterBench() {
   return out;
 }
 
+// The uncached serve QPS this harness measured immediately before the
+// compressed-postings/aggregates refactor (PR 7), kept in the artifact
+// as serve_uncached_qps_before so the cliff fix stays provable from
+// BENCH_index.json alone.
+constexpr double kServeUncachedQpsBaseline = 96.0;
+
 void WriteIndexBenchReport() {
   const std::size_t kDocs = EnvSize("BIVOC_BENCH_DOCS", 200000);
   constexpr std::size_t kThreads = 8;
@@ -783,6 +853,15 @@ void WriteIndexBenchReport() {
               "queries/s\n",
               live_dps, kReaders, qps);
 
+  IndexMicrobenchResult micro = RunIndexMicrobench(corpus);
+  std::printf("posting lists: intersect dense %.2f ns/op, sparse %.2f "
+              "ns/op, %.2f bytes/posting (%.1fx vs raw vectors), publish "
+              "(postings + aggregates) %.1f ms for %zu docs\n",
+              micro.intersect_dense_ns_per_op,
+              micro.intersect_sparse_ns_per_op, micro.postings_bytes_per_doc,
+              micro.postings_compression_ratio,
+              micro.publish_aggregate_build_ms, kDocs);
+
   ServeBenchResult serve = RunServeBench(corpus);
   std::printf("serving (%zu queries vs concurrent ingest): cached %.0f "
               "q/s (hit ratio %.2f, p50 %.3fms p95 %.3fms p99 %.3fms), "
@@ -848,6 +927,13 @@ void WriteIndexBenchReport() {
                "  \"serve_uncached_p50_ms\": %.3f,\n"
                "  \"serve_uncached_p95_ms\": %.3f,\n"
                "  \"serve_uncached_p99_ms\": %.3f,\n"
+               "  \"serve_uncached_qps_before\": %.0f,\n"
+               "  \"serve_uncached_qps_after\": %.0f,\n"
+               "  \"intersect_dense_ns_per_op\": %.2f,\n"
+               "  \"intersect_sparse_ns_per_op\": %.2f,\n"
+               "  \"postings_bytes_per_doc\": %.2f,\n"
+               "  \"postings_compression_ratio\": %.2f,\n"
+               "  \"publish_aggregate_build_ms\": %.1f,\n"
                "  \"http_docs\": %zu,\n"
                "  \"http_queries\": %zu,\n"
                "  \"http_inproc_qps\": %.0f,\n"
@@ -891,6 +977,12 @@ void WriteIndexBenchReport() {
                serve.cached.latency_ms.p95, serve.cached.latency_ms.p99,
                serve.uncached.qps, serve.uncached.latency_ms.p50,
                serve.uncached.latency_ms.p95, serve.uncached.latency_ms.p99,
+               kServeUncachedQpsBaseline, serve.uncached.qps,
+               micro.intersect_dense_ns_per_op,
+               micro.intersect_sparse_ns_per_op,
+               micro.postings_bytes_per_doc,
+               micro.postings_compression_ratio,
+               micro.publish_aggregate_build_ms,
                http.docs, http.queries, http.in_process.qps,
                http.in_process.p50_ms, http.in_process.p95_ms,
                http.in_process.p99_ms, http.http.qps, http.http.p50_ms,

@@ -57,7 +57,6 @@ std::vector<AgentKpi> AgentKpiBoard::SnapshotKpis(
   ConceptId value_selling = snapshot.Resolve(kAnyValueSelling);
   ConceptId discount = snapshot.Resolve(kAnyDiscount);
   ConceptId weak = snapshot.Resolve(kIntentWeak);
-  const auto& discount_docs = snapshot.PostingsId(discount);
 
   for (ConceptId agent_key : snapshot.IdsWithPrefix(kAgentIdPrefix)) {
     std::string_view key = snapshot.KeyOf(agent_key);
@@ -80,11 +79,10 @@ std::vector<AgentKpi> AgentKpiBoard::SnapshotKpis(
     kpi.value_selling_calls = snapshot.CountBothIds(agent_key, value_selling);
     kpi.discount_calls = snapshot.CountBothIds(agent_key, discount);
     kpi.weak_start_calls = snapshot.CountBothIds(agent_key, weak);
-    for (DocId d : snapshot.DocsWithBothIds(agent_key, weak)) {
-      if (std::binary_search(discount_docs.begin(), discount_docs.end(), d)) {
-        ++kpi.weak_start_discounts;
-      }
-    }
+    // Three-way leapfrog join over the compressed lists — no doc set
+    // is ever materialized.
+    kpi.weak_start_discounts =
+        snapshot.CountAllIds({agent_key, weak, discount});
     out.push_back(std::move(kpi));
   }
   std::sort(out.begin(), out.end(), [](const AgentKpi& a, const AgentKpi& b) {

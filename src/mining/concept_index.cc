@@ -5,8 +5,40 @@
 
 namespace bivoc {
 
-ConceptIndex::ConceptIndex(std::size_t num_shards)
+namespace {
+
+// Sorted bucket-count vector plus an unordered delta → new sorted
+// vector. Plain sorted merge; buckets never disappear.
+IndexSnapshot::BucketCounts MergedBuckets(
+    const IndexSnapshot::BucketCounts& base,
+    const std::unordered_map<int64_t, std::size_t>& delta) {
+  if (delta.empty()) return base;
+  std::vector<std::pair<int64_t, std::size_t>> add(delta.begin(), delta.end());
+  std::sort(add.begin(), add.end());
+  IndexSnapshot::BucketCounts out;
+  out.reserve(base.size() + add.size());
+  std::size_t i = 0, j = 0;
+  while (i < base.size() && j < add.size()) {
+    if (base[i].first == add[j].first) {
+      out.emplace_back(base[i].first, base[i].second + add[j].second);
+      ++i;
+      ++j;
+    } else if (base[i].first < add[j].first) {
+      out.push_back(base[i++]);
+    } else {
+      out.push_back(add[j++]);
+    }
+  }
+  for (; i < base.size(); ++i) out.push_back(base[i]);
+  for (; j < add.size(); ++j) out.push_back(add[j]);
+  return out;
+}
+
+}  // namespace
+
+ConceptIndex::ConceptIndex(std::size_t num_shards, std::size_t co_topk)
     : num_shards_(num_shards == 0 ? 1 : num_shards),
+      co_topk_(co_topk),
       interner_(std::make_shared<ConceptInterner>()),
       shards_(num_shards_) {
   auto empty = std::make_shared<IndexSnapshot>();
@@ -59,11 +91,47 @@ std::shared_ptr<const IndexSnapshot> ConceptIndex::Publish() const {
   // generation (identical contents, identical cache key).
   next->generation_ = prev->generation_ + 1;
 
-  // Postings: start from the previous snapshot's slot pointers (no
-  // posting data copied) and rebuild only concepts that got deltas.
-  // Delta doc ids all exceed published ids, so sorting the delta by
-  // (concept, doc) and appending keeps every posting list sorted.
+  // Aggregate deltas from the pending docs: per-bucket totals,
+  // per-(concept, bucket) additions, and the exact co-occurrence
+  // accumulator. O(concepts²) per doc for the pairs — the publish-time
+  // cost that buys O(log k) CountBothIds on the read path.
+  std::lock_guard<std::mutex> doc_lock(doc_mu_);
+  std::unordered_map<int64_t, std::size_t> totals_delta;
+  std::unordered_map<ConceptId, std::unordered_map<int64_t, std::size_t>>
+      bucket_delta;
+  for (std::size_t i = 0; i < pending_concepts_.size(); ++i) {
+    const auto& ids = pending_concepts_[i];
+    int64_t bucket = pending_times_[i];
+    if (bucket != kNoTimeBucket) {
+      ++totals_delta[bucket];
+      for (ConceptId cid : ids) ++bucket_delta[cid][bucket];
+    }
+    for (std::size_t x = 0; x < ids.size(); ++x) {
+      // unordered_map element references survive the rehash the inner
+      // operator[] may trigger, so holding `row` across it is safe.
+      auto& row = co_counts_[ids[x]];
+      for (std::size_t y = x + 1; y < ids.size(); ++y) {
+        ++row[ids[y]];
+        ++co_counts_[ids[y]][ids[x]];
+      }
+    }
+  }
+  {
+    auto totals =
+        std::make_shared<IndexSnapshot::BucketCounts>(*prev->bucket_totals_);
+    *totals = MergedBuckets(*totals, totals_delta);
+    next->bucket_totals_ = std::move(totals);
+  }
+
+  // Slots: start from the previous snapshot's slot pointers (no slot
+  // data copied) and rebuild only concepts that got deltas. Delta doc
+  // ids all exceed published ids, so sorting the delta by (concept,
+  // doc) and appending keeps every posting list sorted; the builder
+  // reuses the previous list's full blocks byte-for-byte.
   next->shards_ = prev->shards_;
+  PostingListBuilder builder;
+  static const std::unordered_map<int64_t, std::size_t> kNoBucketDelta;
+  static const std::unordered_map<ConceptId, std::size_t> kNoCoRow;
   for (std::size_t s = 0; s < num_shards_; ++s) {
     Shard& shard = shards_[s];
     std::lock_guard<std::mutex> shard_lock(shard.mu);
@@ -74,19 +142,49 @@ std::shared_ptr<const IndexSnapshot> ConceptIndex::Publish() const {
       ConceptId cid = shard.delta[i].first;
       std::size_t slot = cid / num_shards_;
       if (slot >= slots.size()) slots.resize(slot + 1);
-      auto merged = slots[slot]
-                        ? std::make_shared<std::vector<DocId>>(*slots[slot])
-                        : std::make_shared<std::vector<DocId>>();
+      const IndexSnapshot::ConceptSlot* old = slots[slot].get();
+
+      auto rebuilt = std::make_shared<IndexSnapshot::ConceptSlot>();
+      if (old != nullptr) builder.AppendFrom(old->postings);
       for (; i < shard.delta.size() && shard.delta[i].first == cid; ++i) {
-        merged->push_back(shard.delta[i].second);
+        builder.Add(shard.delta[i].second);
       }
-      slots[slot] = std::move(merged);
+      rebuilt->postings = builder.Build();
+
+      auto bit = bucket_delta.find(cid);
+      const auto& bdelta = bit != bucket_delta.end() ? bit->second
+                                                     : kNoBucketDelta;
+      rebuilt->bucket_counts = MergedBuckets(
+          old != nullptr ? old->bucket_counts
+                         : IndexSnapshot::BucketCounts(),
+          bdelta);
+
+      // Recut the top-k co table from the full accumulator. Ties break
+      // by id so the published table is deterministic.
+      auto cit = co_counts_.find(cid);
+      const auto& row = cit != co_counts_.end() ? cit->second : kNoCoRow;
+      rebuilt->co.assign(row.begin(), row.end());
+      rebuilt->co_complete = rebuilt->co.size() <= co_topk_;
+      if (!rebuilt->co_complete) {
+        auto by_count = [](const std::pair<ConceptId, std::size_t>& a,
+                           const std::pair<ConceptId, std::size_t>& b) {
+          return a.second != b.second ? a.second > b.second
+                                      : a.first < b.first;
+        };
+        std::nth_element(rebuilt->co.begin(),
+                         rebuilt->co.begin() +
+                             static_cast<std::ptrdiff_t>(co_topk_),
+                         rebuilt->co.end(), by_count);
+        rebuilt->co.resize(co_topk_);
+      }
+      std::sort(rebuilt->co.begin(), rebuilt->co.end());
+
+      slots[slot] = std::move(rebuilt);
     }
     shard.delta.clear();
   }
 
   // Doc store: reuse every full chunk, clone only the partial tail.
-  std::lock_guard<std::mutex> doc_lock(doc_mu_);
   constexpr std::size_t kChunk = IndexSnapshot::kDocChunkSize;
   next->chunks_ = prev->chunks_;
   std::size_t docs = prev->num_docs_;
@@ -116,7 +214,7 @@ std::shared_ptr<const IndexSnapshot> ConceptIndex::Publish() const {
   for (std::size_t s = 0; s < num_shards_; ++s) {
     const auto& slots = next->shards_[s];
     for (std::size_t slot = 0; slot < slots.size(); ++slot) {
-      if (!slots[slot] || slots[slot]->empty()) continue;
+      if (!slots[slot] || slots[slot]->postings.empty()) continue;
       ConceptId cid = static_cast<ConceptId>(slot * num_shards_ + s);
       next->vocab_.emplace_back(next->key_of_[cid], cid);
     }

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "mining/concept_interner.h"
@@ -32,9 +33,20 @@ namespace bivoc {
 // into an immutable IndexSnapshot (copy-on-write against the previous
 // one) and queries go through that. Reads are lock-free and stay
 // valid for as long as the caller holds the snapshot pointer.
+//
+// Publish() also maintains the snapshot's read aggregates (DESIGN.md
+// §13): compressed posting lists extend block-by-block, per-bucket
+// counts merge incrementally, and each touched concept's top-k
+// co-occurrence table is recut from a write-side accumulator that
+// keeps *full* exact pair counts — truncation never loses a count, it
+// only decides which pairs answer from the table vs. an intersection.
 class ConceptIndex {
  public:
-  explicit ConceptIndex(std::size_t num_shards = kDefaultShards);
+  // `co_topk` caps each concept's published co-occurrence table. Small
+  // values trade snapshot memory for more intersection fallbacks on
+  // rare pairs; counts stay exact either way.
+  explicit ConceptIndex(std::size_t num_shards = kDefaultShards,
+                        std::size_t co_topk = kDefaultCoTopK);
   ConceptIndex(const ConceptIndex&) = delete;
   ConceptIndex& operator=(const ConceptIndex&) = delete;
 
@@ -72,6 +84,7 @@ class ConceptIndex {
   std::size_t num_concepts() const { return interner_->size(); }
 
   static constexpr std::size_t kDefaultShards = 16;
+  static constexpr std::size_t kDefaultCoTopK = 1024;
 
  private:
   struct Shard {
@@ -80,6 +93,7 @@ class ConceptIndex {
   };
 
   const std::size_t num_shards_;
+  const std::size_t co_topk_;
   std::shared_ptr<ConceptInterner> interner_;
 
   // Writer protocol: AddDocument holds add_mu_ shared for its whole
@@ -96,6 +110,16 @@ class ConceptIndex {
   mutable std::vector<int64_t> pending_times_;
 
   mutable std::vector<Shard> shards_;
+
+  // Full exact co-occurrence counts, grown at Publish() from pending
+  // docs (only under the exclusive lock — AddDocument never touches
+  // it). co_counts_[a][b] == number of published docs containing both.
+  // The source of truth the per-concept top-k snapshot tables are cut
+  // from; keeping it complete is what lets truncated tables stay
+  // exact across publishes (an evicted pair's count is never lost).
+  mutable std::unordered_map<ConceptId,
+                             std::unordered_map<ConceptId, std::size_t>>
+      co_counts_;
 
   // Atomic holder for the published snapshot. libstdc++'s
   // std::atomic<shared_ptr> synchronizes through a spin bit packed

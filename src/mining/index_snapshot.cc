@@ -5,8 +5,8 @@
 namespace bivoc {
 
 namespace {
-const std::vector<DocId> kEmptyPostings;
 const std::vector<ConceptId> kEmptyConceptIds;
+const IndexSnapshot::BucketCounts kEmptyBuckets;
 
 bool ViewStartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
@@ -30,13 +30,14 @@ std::size_t IndexSnapshot::CountBoth(std::string_view a,
   return CountBothIds(Resolve(a), Resolve(b));
 }
 
-const std::vector<DocId>& IndexSnapshot::Postings(std::string_view key) const {
+PostingsView IndexSnapshot::Postings(std::string_view key) const {
   return PostingsId(Resolve(key));
 }
 
 std::vector<DocId> IndexSnapshot::DocsWithBoth(std::string_view a,
-                                               std::string_view b) const {
-  return DocsWithBothIds(Resolve(a), Resolve(b));
+                                               std::string_view b,
+                                               std::size_t limit) const {
+  return DocsWithBothIds(Resolve(a), Resolve(b), limit);
 }
 
 std::size_t IndexSnapshot::PrefixBegin(std::string_view prefix) const {
@@ -72,44 +73,85 @@ std::string_view IndexSnapshot::KeyOf(ConceptId id) const {
   return key_of_[id];
 }
 
-std::size_t IndexSnapshot::CountId(ConceptId id) const {
-  return PostingsId(id).size();
-}
-
-const std::vector<DocId>& IndexSnapshot::PostingsId(ConceptId id) const {
-  if (id == kInvalidConceptId || shards_.empty()) return kEmptyPostings;
+const IndexSnapshot::ConceptSlot* IndexSnapshot::SlotOf(ConceptId id) const {
+  if (id == kInvalidConceptId || shards_.empty()) return nullptr;
   const auto& shard = shards_[id % num_shards_];
   std::size_t slot = id / num_shards_;
-  if (slot >= shard.size() || !shard[slot]) return kEmptyPostings;
-  return *shard[slot];
+  if (slot >= shard.size() || !shard[slot]) return nullptr;
+  return shard[slot].get();
+}
+
+std::size_t IndexSnapshot::CountId(ConceptId id) const {
+  const ConceptSlot* slot = SlotOf(id);
+  return slot != nullptr ? slot->postings.size() : 0;
+}
+
+PostingsView IndexSnapshot::PostingsId(ConceptId id) const {
+  const ConceptSlot* slot = SlotOf(id);
+  return slot != nullptr ? PostingsView(&slot->postings) : PostingsView();
+}
+
+bool IndexSnapshot::CoLookup(const ConceptSlot& slot, ConceptId other,
+                             std::size_t* count) {
+  auto it = std::lower_bound(
+      slot.co.begin(), slot.co.end(), other,
+      [](const auto& entry, ConceptId id) { return entry.first < id; });
+  if (it != slot.co.end() && it->first == other) {
+    *count = it->second;
+    return true;
+  }
+  if (slot.co_complete) {
+    *count = 0;  // the table is exhaustive, so absence means zero
+    return true;
+  }
+  return false;
 }
 
 std::size_t IndexSnapshot::CountBothIds(ConceptId a, ConceptId b) const {
-  const auto& pa = PostingsId(a);
-  const auto& pb = PostingsId(b);
-  std::size_t i = 0, j = 0, count = 0;
-  while (i < pa.size() && j < pb.size()) {
-    if (pa[i] == pb[j]) {
-      ++count;
-      ++i;
-      ++j;
-    } else if (pa[i] < pb[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return count;
+  const ConceptSlot* sa = SlotOf(a);
+  const ConceptSlot* sb = SlotOf(b);
+  if (sa == nullptr || sb == nullptr) return 0;
+  if (a == b) return sa->postings.size();
+  // Either endpoint's co table can decide the pair; prefer the one with
+  // fewer partners (more likely complete, cheaper binary search).
+  const ConceptSlot* first = sa->co.size() <= sb->co.size() ? sa : sb;
+  const ConceptSlot* second = first == sa ? sb : sa;
+  ConceptId first_other = first == sa ? b : a;
+  ConceptId second_other = first == sa ? a : b;
+  std::size_t count = 0;
+  if (CoLookup(*first, first_other, &count)) return count;
+  if (CoLookup(*second, second_other, &count)) return count;
+  // Both tables truncated and neither holds the pair: gallop the
+  // compressed lists. Same integers, just slower.
+  return IntersectCount(sa->postings, sb->postings);
 }
 
-std::vector<DocId> IndexSnapshot::DocsWithBothIds(ConceptId a,
-                                                  ConceptId b) const {
-  const auto& pa = PostingsId(a);
-  const auto& pb = PostingsId(b);
-  std::vector<DocId> out;
-  std::set_intersection(pa.begin(), pa.end(), pb.begin(), pb.end(),
-                        std::back_inserter(out));
-  return out;
+std::vector<DocId> IndexSnapshot::DocsWithBothIds(ConceptId a, ConceptId b,
+                                                  std::size_t limit) const {
+  const ConceptSlot* sa = SlotOf(a);
+  const ConceptSlot* sb = SlotOf(b);
+  if (sa == nullptr || sb == nullptr || limit == 0) return {};
+  return Intersect(sa->postings, sb->postings, limit);
+}
+
+std::size_t IndexSnapshot::CountAllIds(const std::vector<ConceptId>& ids) const {
+  if (ids.empty()) return 0;
+  if (ids.size() == 1) return CountId(ids[0]);
+  if (ids.size() == 2) return CountBothIds(ids[0], ids[1]);
+  std::vector<const PostingList*> lists;
+  lists.reserve(ids.size());
+  for (ConceptId id : ids) {
+    const ConceptSlot* slot = SlotOf(id);
+    if (slot == nullptr) return 0;
+    lists.push_back(&slot->postings);
+  }
+  return IntersectCountMany(lists);
+}
+
+const IndexSnapshot::BucketCounts& IndexSnapshot::BucketCountsOf(
+    ConceptId id) const {
+  const ConceptSlot* slot = SlotOf(id);
+  return slot != nullptr ? slot->bucket_counts : kEmptyBuckets;
 }
 
 const std::vector<ConceptId>& IndexSnapshot::ConceptIdsOf(DocId doc) const {
@@ -127,6 +169,25 @@ std::vector<std::string> IndexSnapshot::ConceptsOf(DocId doc) const {
 int64_t IndexSnapshot::TimeBucketOf(DocId doc) const {
   if (doc >= num_docs_) return kNoTimeBucket;
   return chunks_[doc / kDocChunkSize]->times[doc % kDocChunkSize];
+}
+
+IndexSnapshot::StorageStats IndexSnapshot::Storage() const {
+  StorageStats stats;
+  for (const auto& shard : shards_) {
+    for (const auto& slot : shard) {
+      if (!slot) continue;
+      stats.postings += slot->postings.size();
+      stats.postings_bytes += slot->postings.byte_size();
+      stats.bitmap_blocks += slot->postings.num_bitmap_blocks();
+      stats.total_blocks += slot->postings.num_blocks();
+      stats.aggregate_bytes +=
+          slot->bucket_counts.size() * sizeof(BucketCounts::value_type) +
+          slot->co.size() * sizeof(std::pair<ConceptId, std::size_t>);
+    }
+  }
+  stats.aggregate_bytes +=
+      bucket_totals_->size() * sizeof(BucketCounts::value_type);
+  return stats;
 }
 
 }  // namespace bivoc

@@ -9,19 +9,33 @@
 #include <vector>
 
 #include "mining/concept_interner.h"
+#include "mining/posting_list.h"
 
 namespace bivoc {
 
-using DocId = std::size_t;
 constexpr int64_t kNoTimeBucket = INT64_MIN;
 
 // An immutable, point-in-time view of the concept index — what every
 // mining reader (association, relevancy, trend, report, KPI and churn
 // analyses) consumes. Snapshots are published copy-on-write by
-// ConceptIndex::Publish(): posting lists and document chunks are
+// ConceptIndex::Publish(): per-concept slots and document chunks are
 // shared with earlier snapshots where unchanged, so holding one is
 // cheap and reading one is entirely lock-free — reports run
 // concurrently with ingestion with no synchronization at all.
+//
+// Since DESIGN.md §13 each concept's slot bundles three things built
+// at publish time:
+//
+//   * a block-compressed PostingList (delta-varint / bitmap hybrid
+//     with a skip table) instead of a raw std::vector<DocId> — read
+//     through the PostingsView / PostingCursor API, never by
+//     reference to a vector;
+//   * the concept's per-time-bucket document counts, so trend queries
+//     are table lookups instead of posting walks;
+//   * a top-k co-occurrence table with exact pair counts, so
+//     CountBothIds answers Eqn-4 association and relevancy numerators
+//     in O(log k) and only falls back to a galloping posting-list
+//     intersection for pairs a truncated table cannot decide.
 //
 // String-keyed lookups binary-search a sorted vocabulary (one O(log C)
 // resolve per key); id-keyed lookups are direct array reads. Because
@@ -29,6 +43,10 @@ constexpr int64_t kNoTimeBucket = INT64_MIN;
 // contiguous range — prefix enumeration never scans unrelated keys.
 class IndexSnapshot {
  public:
+  // (time bucket, document count) ascending by bucket; documents
+  // without a bucket are excluded.
+  using BucketCounts = std::vector<std::pair<int64_t, std::size_t>>;
+
   IndexSnapshot() = default;
 
   std::size_t num_documents() const { return num_docs_; }
@@ -50,18 +68,22 @@ class IndexSnapshot {
   // and switch to the id API inside loops.
   ConceptId Resolve(std::string_view key) const;
 
-  // Document count containing the key.
+  // Document count containing the key (O(1): stored list size).
   std::size_t Count(std::string_view key) const;
 
-  // Document count containing both keys (sorted-postings intersection).
+  // Document count containing both keys. Served from the publish-time
+  // co-occurrence table when it can decide the pair; exact either way.
   std::size_t CountBoth(std::string_view a, std::string_view b) const;
 
-  // Sorted posting list ({} if unknown).
-  const std::vector<DocId>& Postings(std::string_view key) const;
+  // Read handle on the key's postings (empty view if unknown).
+  PostingsView Postings(std::string_view key) const;
 
-  // Documents containing both keys (the drill-down of Fig. 4).
-  std::vector<DocId> DocsWithBoth(std::string_view a,
-                                  std::string_view b) const;
+  // Up to `limit` documents containing both keys, ascending (the
+  // drill-down of Fig. 4). Streams through the intersection cursor —
+  // nothing beyond the returned ids is ever materialized, so callers
+  // must pass an explicit bound.
+  std::vector<DocId> DocsWithBoth(std::string_view a, std::string_view b,
+                                  std::size_t limit) const;
 
   // All keys, sorted; optionally only those with a given category
   // prefix ("value selling/").
@@ -77,9 +99,23 @@ class IndexSnapshot {
   std::string_view KeyOf(ConceptId id) const;
 
   std::size_t CountId(ConceptId id) const;
-  const std::vector<DocId>& PostingsId(ConceptId id) const;
+  PostingsView PostingsId(ConceptId id) const;
   std::size_t CountBothIds(ConceptId a, ConceptId b) const;
-  std::vector<DocId> DocsWithBothIds(ConceptId a, ConceptId b) const;
+  std::vector<DocId> DocsWithBothIds(ConceptId a, ConceptId b,
+                                     std::size_t limit) const;
+
+  // Documents containing every id (leapfrog cursor join); 0 when the
+  // list is empty or any id is unknown.
+  std::size_t CountAllIds(const std::vector<ConceptId>& ids) const;
+
+  // --- publish-time aggregates --------------------------------------
+
+  // Documents per time bucket across the whole snapshot.
+  const BucketCounts& BucketTotals() const { return *bucket_totals_; }
+
+  // Documents per time bucket containing the concept ({} if unknown
+  // or untimed).
+  const BucketCounts& BucketCountsOf(ConceptId id) const;
 
   // --- documents ----------------------------------------------------
 
@@ -93,8 +129,35 @@ class IndexSnapshot {
 
   const ConceptInterner& interner() const { return *interner_; }
 
+  // Storage accounting for benchmarks and capacity planning.
+  struct StorageStats {
+    std::size_t postings = 0;             // total (concept, doc) entries
+    std::size_t postings_bytes = 0;       // compressed, incl. skip tables
+    std::size_t bitmap_blocks = 0;
+    std::size_t total_blocks = 0;
+    std::size_t aggregate_bytes = 0;      // bucket + co-occurrence tables
+  };
+  StorageStats Storage() const;
+
  private:
   friend class ConceptIndex;
+
+  // Everything the read path knows about one concept, frozen at
+  // publish time. Slots are shared between snapshots via shared_ptr
+  // and rebuilt only for concepts the publish touched.
+  struct ConceptSlot {
+    PostingList postings;
+    // Docs per time bucket, ascending; untimed docs excluded.
+    BucketCounts bucket_counts;
+    // Exact co-occurrence counts with the k most frequent partners,
+    // ascending by ConceptId for binary search. When co_complete the
+    // table holds *every* co-occurring concept, so an absent pair is
+    // a true zero; when truncated, absent pairs fall back to a
+    // posting-list intersection.
+    std::vector<std::pair<ConceptId, std::size_t>> co;
+    bool co_complete = true;
+  };
+  using SlotPtr = std::shared_ptr<const ConceptSlot>;
 
   // Documents are stored in fixed-size immutable chunks so a publish
   // reuses every full chunk of the previous snapshot and only clones
@@ -105,10 +168,13 @@ class IndexSnapshot {
     std::vector<int64_t> times;
   };
 
-  using PostingsPtr = std::shared_ptr<const std::vector<DocId>>;
-
   // First vocab_ slot whose key is >= prefix.
   std::size_t PrefixBegin(std::string_view prefix) const;
+  const ConceptSlot* SlotOf(ConceptId id) const;
+  // Pair count from a slot's co table; false when the table is
+  // truncated and the partner absent (count undecidable).
+  static bool CoLookup(const ConceptSlot& slot, ConceptId other,
+                       std::size_t* count);
 
   std::size_t num_docs_ = 0;
   uint64_t generation_ = 0;
@@ -116,12 +182,14 @@ class IndexSnapshot {
   // Shard s holds concept id at slot id / num_shards_ where
   // s == id % num_shards_ (the writer's striping, kept so a publish
   // only touches shards with deltas).
-  std::vector<std::vector<PostingsPtr>> shards_;
+  std::vector<std::vector<SlotPtr>> shards_;
   // (key view, id), sorted by key — the category-prefix ranges.
   std::vector<std::pair<std::string_view, ConceptId>> vocab_;
   // Key by id for every id interned at publish time.
   std::vector<std::string_view> key_of_;
   std::vector<std::shared_ptr<const DocChunk>> chunks_;
+  std::shared_ptr<const BucketCounts> bucket_totals_ =
+      std::make_shared<const BucketCounts>();
   // Keeps the interned strings behind the views alive.
   std::shared_ptr<const ConceptInterner> interner_;
 };

@@ -1,0 +1,396 @@
+#include "mining/posting_list.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace bivoc {
+
+namespace {
+
+void PutVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+const uint8_t* GetVarint(const uint8_t* p, uint64_t* v) {
+  uint64_t r = 0;
+  unsigned shift = 0;
+  while (*p & 0x80) {
+    r |= static_cast<uint64_t>(*p & 0x7F) << shift;
+    shift += 7;
+    ++p;
+  }
+  r |= static_cast<uint64_t>(*p) << shift;
+  *v = r;
+  return p + 1;
+}
+
+std::size_t BitmapBytes(DocId first, DocId last) {
+  return static_cast<std::size_t>((last - first) / 8) + 1;
+}
+
+// First set bit at or after `bit`. The caller guarantees one exists
+// (every bitmap block's last bit is set).
+uint64_t NextSetBit(const uint8_t* data, uint64_t bit) {
+  std::size_t byte = static_cast<std::size_t>(bit >> 3);
+  uint8_t cur =
+      static_cast<uint8_t>(data[byte] & (0xFFu << (bit & 7)));
+  while (cur == 0) cur = data[++byte];
+  return (static_cast<uint64_t>(byte) << 3) +
+         static_cast<uint64_t>(std::countr_zero(cur));
+}
+
+// 64 bits of `data` (nbytes long) starting at bit_off, zero-padded
+// past the end. Byte-wise gather, so unaligned and boundary reads are
+// safe.
+uint64_t ReadBits64(const uint8_t* data, std::size_t nbytes,
+                    uint64_t bit_off) {
+  const std::size_t byte = static_cast<std::size_t>(bit_off >> 3);
+  const unsigned shift = static_cast<unsigned>(bit_off & 7);
+  if (byte >= nbytes) return 0;
+  uint64_t lo = 0;
+  const std::size_t n = std::min<std::size_t>(8, nbytes - byte);
+  for (std::size_t i = 0; i < n; ++i) {
+    lo |= static_cast<uint64_t>(data[byte + i]) << (8 * i);
+  }
+  uint64_t out = lo >> shift;
+  if (shift != 0 && byte + 8 < nbytes) {
+    out |= static_cast<uint64_t>(data[byte + 8]) << (64 - shift);
+  }
+  return out;
+}
+
+// Popcount of (a AND b) over doc positions [lo, hi], where each
+// bitmap's bit 0 is its block's `first` id.
+std::size_t CountAndRange(const uint8_t* a, std::size_t a_bytes,
+                          DocId a_first, const uint8_t* b,
+                          std::size_t b_bytes, DocId b_first, DocId lo,
+                          DocId hi) {
+  std::size_t count = 0;
+  DocId pos = lo;
+  for (;;) {
+    uint64_t wa = ReadBits64(a, a_bytes, pos - a_first);
+    uint64_t wb = ReadBits64(b, b_bytes, pos - b_first);
+    uint64_t m = wa & wb;
+    const DocId span = hi - pos;  // span + 1 positions remain
+    if (span < 64) {
+      if (span < 63) m &= (uint64_t{1} << (span + 1)) - 1;
+      count += static_cast<std::size_t>(std::popcount(m));
+      return count;
+    }
+    count += static_cast<std::size_t>(std::popcount(m));
+    pos += 64;
+  }
+}
+
+}  // namespace
+
+// --- PostingList -----------------------------------------------------
+
+std::size_t PostingList::num_bitmap_blocks() const {
+  std::size_t n = 0;
+  for (const BlockMeta& m : blocks_) {
+    if (m.encoding == kBitmap) ++n;
+  }
+  return n;
+}
+
+PostingCursor PostingList::cursor() const { return PostingCursor(this); }
+
+std::vector<DocId> PostingList::Decode() const {
+  std::vector<DocId> out;
+  out.reserve(size_);
+  for (PostingCursor c = cursor(); c.Valid(); c.Next()) {
+    out.push_back(c.Value());
+  }
+  return out;
+}
+
+bool PostingList::Contains(DocId doc) const {
+  PostingCursor c = cursor();
+  return c.SeekTo(doc) && c.Value() == doc;
+}
+
+// --- PostingCursor ---------------------------------------------------
+
+PostingCursor::PostingCursor(const PostingList* list) : list_(list) {
+  if (list_->blocks_.empty()) {
+    list_ = nullptr;
+    return;
+  }
+  EnterBlock(0);
+}
+
+void PostingCursor::EnterBlock(std::size_t b) {
+  block_ = b;
+  const PostingList::BlockMeta& m = list_->blocks_[b];
+  value_ = m.first;
+  ptr_ = list_->data_.data() + m.offset;
+}
+
+void PostingCursor::Next() {
+  const PostingList::BlockMeta& m = list_->blocks_[block_];
+  if (value_ == m.last) {
+    // Block exhausted (the last id of every block is its `last`).
+    ++block_;
+    if (block_ < list_->blocks_.size()) EnterBlock(block_);
+    return;
+  }
+  if (m.encoding == PostingList::kDelta) {
+    uint64_t gap;
+    ptr_ = GetVarint(ptr_, &gap);
+    value_ += static_cast<DocId>(gap);
+  } else {
+    value_ = m.first + static_cast<DocId>(
+                           NextSetBit(ptr_, value_ - m.first + 1));
+  }
+}
+
+bool PostingCursor::SeekTo(DocId target) {
+  if (!Valid()) return false;
+  if (value_ >= target) return true;
+  const PostingList::BlockMeta* blocks = list_->blocks_.data();
+  const std::size_t n = list_->blocks_.size();
+  if (blocks[block_].last < target) {
+    // Gallop across the skip table: exponential probe, then binary
+    // search for the first block whose last id reaches the target.
+    std::size_t lo = block_ + 1;
+    std::size_t step = 1;
+    std::size_t hi = lo;
+    while (hi < n && blocks[hi].last < target) {
+      lo = hi + 1;
+      hi += step;
+      step *= 2;
+    }
+    hi = std::min(hi, n);
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (blocks[mid].last < target) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo >= n) {
+      block_ = n;  // exhausted
+      return false;
+    }
+    EnterBlock(lo);
+    if (value_ >= target) return true;
+  }
+  // In-block: target is within (first, last] of the current block.
+  const PostingList::BlockMeta& m = blocks[block_];
+  if (m.encoding == PostingList::kBitmap) {
+    value_ = m.first +
+             static_cast<DocId>(NextSetBit(ptr_, target - m.first));
+  } else {
+    while (value_ < target) {
+      uint64_t gap;
+      ptr_ = GetVarint(ptr_, &gap);
+      value_ += static_cast<DocId>(gap);
+    }
+  }
+  return true;
+}
+
+// --- PostingListBuilder ----------------------------------------------
+
+void PostingListBuilder::Add(DocId doc) {
+  BIVOC_CHECK(!has_last_ || doc > last_);
+  has_last_ = true;
+  last_ = doc;
+  block_.push_back(doc);
+  if (block_.size() == PostingList::kBlockDocs) Flush();
+}
+
+void PostingListBuilder::AppendFrom(const PostingList& prev) {
+  BIVOC_CHECK(!has_last_ && out_.blocks_.empty() && block_.empty());
+  if (prev.blocks_.empty()) return;
+  // Full blocks are immutable: share their bytes by copy. Only the
+  // final block is re-fed through Add() so new docs can extend it.
+  const std::size_t tail = prev.blocks_.size() - 1;
+  if (tail > 0) {
+    out_.blocks_.assign(prev.blocks_.begin(),
+                        prev.blocks_.begin() + static_cast<long>(tail));
+    out_.data_.assign(prev.data_.begin(),
+                      prev.data_.begin() + prev.blocks_[tail].offset);
+    for (std::size_t b = 0; b < tail; ++b) {
+      out_.size_ += prev.blocks_[b].count;
+    }
+    has_last_ = true;
+    last_ = prev.blocks_[tail - 1].last;
+  }
+  PostingCursor c = prev.cursor();
+  BIVOC_CHECK(c.SeekTo(prev.blocks_[tail].first));
+  for (; c.Valid(); c.Next()) Add(c.Value());
+}
+
+void PostingListBuilder::Flush() {
+  if (block_.empty()) return;
+  PostingList::BlockMeta meta;
+  meta.first = block_.front();
+  meta.last = block_.back();
+  meta.count = static_cast<uint16_t>(block_.size());
+  meta.offset = static_cast<uint32_t>(out_.data_.size());
+  // Candidate A: gaps as varints (the first id lives in the meta).
+  scratch_.clear();
+  for (std::size_t i = 1; i < block_.size(); ++i) {
+    PutVarint(&scratch_, block_[i] - block_[i - 1]);
+  }
+  // Candidate B: a bitmap over the block's span. Strictly smaller
+  // wins, so sparse single-doc blocks always stay delta-encoded.
+  const std::size_t bitmap_bytes = BitmapBytes(meta.first, meta.last);
+  if (bitmap_bytes < scratch_.size()) {
+    meta.encoding = PostingList::kBitmap;
+    out_.data_.resize(out_.data_.size() + bitmap_bytes, 0);
+    uint8_t* bits = out_.data_.data() + meta.offset;
+    for (DocId d : block_) {
+      const DocId bit = d - meta.first;
+      bits[bit >> 3] |= static_cast<uint8_t>(1u << (bit & 7));
+    }
+  } else {
+    meta.encoding = PostingList::kDelta;
+    out_.data_.insert(out_.data_.end(), scratch_.begin(), scratch_.end());
+  }
+  out_.blocks_.push_back(meta);
+  out_.size_ += block_.size();
+  block_.clear();
+}
+
+PostingList PostingListBuilder::Build() {
+  Flush();
+  PostingList out = std::move(out_);
+  out_ = PostingList();
+  has_last_ = false;
+  last_ = 0;
+  return out;
+}
+
+// --- kernels ---------------------------------------------------------
+
+std::size_t IntersectCount(const PostingList& a, const PostingList& b) {
+  if (a.empty() || b.empty()) return 0;
+  PostingCursor ca = a.cursor();
+  PostingCursor cb = b.cursor();
+  std::size_t count = 0;
+  while (ca.Valid() && cb.Valid()) {
+    const PostingList::BlockMeta& ma = a.blocks_[ca.block_];
+    const PostingList::BlockMeta& mb = b.blocks_[cb.block_];
+    if (ma.encoding == PostingList::kBitmap &&
+        mb.encoding == PostingList::kBitmap) {
+      // Dense ∩ dense: AND the overlapping span directly. Both
+      // cursors sit on unconsumed ids, so every bit in [lo, hi] is
+      // still pending on both sides.
+      const DocId lo = std::max(ca.Value(), cb.Value());
+      const DocId hi = std::min(ma.last, mb.last);
+      if (lo <= hi) {
+        count += CountAndRange(
+            ca.ptr_, BitmapBytes(ma.first, ma.last), ma.first, cb.ptr_,
+            BitmapBytes(mb.first, mb.last), mb.first, lo, hi);
+        if (hi == std::numeric_limits<DocId>::max()) break;
+        if (!ca.SeekTo(hi + 1) || !cb.SeekTo(hi + 1)) break;
+        continue;
+      }
+    }
+    const DocId va = ca.Value();
+    const DocId vb = cb.Value();
+    if (va == vb) {
+      ++count;
+      ca.Next();
+      cb.Next();
+    } else if (va < vb) {
+      if (!ca.SeekTo(vb)) break;
+    } else {
+      if (!cb.SeekTo(va)) break;
+    }
+  }
+  return count;
+}
+
+std::vector<DocId> Intersect(const PostingList& a, const PostingList& b,
+                             std::size_t limit) {
+  std::vector<DocId> out;
+  if (a.empty() || b.empty() || limit == 0) return out;
+  PostingCursor ca = a.cursor();
+  PostingCursor cb = b.cursor();
+  while (ca.Valid() && cb.Valid()) {
+    const DocId va = ca.Value();
+    const DocId vb = cb.Value();
+    if (va == vb) {
+      out.push_back(va);
+      if (out.size() >= limit) break;
+      ca.Next();
+      cb.Next();
+    } else if (va < vb) {
+      if (!ca.SeekTo(vb)) break;
+    } else {
+      if (!cb.SeekTo(va)) break;
+    }
+  }
+  return out;
+}
+
+std::size_t IntersectCountMany(
+    const std::vector<const PostingList*>& lists) {
+  if (lists.empty()) return 0;
+  std::vector<PostingCursor> cursors;
+  cursors.reserve(lists.size());
+  for (const PostingList* l : lists) {
+    if (l == nullptr || l->empty()) return 0;
+    cursors.push_back(l->cursor());
+  }
+  if (cursors.size() == 1) return lists[0]->size();
+  // Leapfrog join: every cursor chases the current maximum; when all
+  // agree, that id is in the intersection.
+  std::size_t count = 0;
+  DocId target = cursors[0].Value();
+  for (;;) {
+    bool aligned = true;
+    for (PostingCursor& c : cursors) {
+      if (!c.SeekTo(target)) return count;
+      if (c.Value() > target) {
+        target = c.Value();
+        aligned = false;
+        break;
+      }
+    }
+    if (!aligned) continue;
+    ++count;
+    cursors[0].Next();
+    if (!cursors[0].Valid()) return count;
+    target = cursors[0].Value();
+  }
+}
+
+PostingList UnionLists(const PostingList& a, const PostingList& b) {
+  PostingListBuilder builder;
+  PostingCursor ca = a.cursor();
+  PostingCursor cb = b.cursor();
+  while (ca.Valid() || cb.Valid()) {
+    if (!cb.Valid() || (ca.Valid() && ca.Value() < cb.Value())) {
+      builder.Add(ca.Value());
+      ca.Next();
+    } else if (!ca.Valid() || cb.Value() < ca.Value()) {
+      builder.Add(cb.Value());
+      cb.Next();
+    } else {
+      builder.Add(ca.Value());
+      ca.Next();
+      cb.Next();
+    }
+  }
+  return builder.Build();
+}
+
+std::size_t UnionCount(const PostingList& a, const PostingList& b) {
+  return a.size() + b.size() - IntersectCount(a, b);
+}
+
+}  // namespace bivoc

@@ -1,0 +1,184 @@
+#ifndef BIVOC_MINING_POSTING_LIST_H_
+#define BIVOC_MINING_POSTING_LIST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bivoc {
+
+// Dense document id. Doc ids are assigned contiguously from 0 by
+// ConceptIndex in admission order.
+using DocId = std::size_t;
+
+// The codec packs doc-id gaps into LEB128 varints (≤ 10 bytes each)
+// and bitmap positions into bit offsets relative to a block's first
+// id. Both assume DocId is an unsigned integer no wider than 64 bits;
+// a signed or wider DocId would corrupt the gap arithmetic silently.
+static_assert(static_cast<DocId>(0) < static_cast<DocId>(-1),
+              "posting-list codec requires an unsigned DocId");
+static_assert(sizeof(DocId) <= 8,
+              "posting-list codec requires DocId <= 64 bits");
+
+class PostingCursor;
+class PostingListBuilder;
+
+// An immutable block-compressed sorted set of DocIds — the posting
+// representation inside IndexSnapshot since DESIGN.md §13.
+//
+// Doc ids are split into blocks of up to kBlockDocs entries. Each
+// block independently picks the smaller of two encodings (the roaring
+// idea, applied per block instead of per 2^16 value range):
+//
+//   kDelta   sorted gaps as LEB128 varints — wins for sparse lists;
+//   kBitmap  one bit per id over [first, last] — wins for dense runs.
+//
+// A per-block skip table (first/last id, byte offset) lives outside
+// the byte stream, so SeekTo() binary-searches blocks without
+// touching compressed data and intersections gallop over whole blocks
+// they cannot match. Lists are built once by PostingListBuilder and
+// never mutated; publication reuses a previous list's full blocks
+// byte-for-byte and re-encodes only the partial tail block.
+class PostingList {
+ public:
+  static constexpr std::size_t kBlockDocs = 128;
+  enum Encoding : uint8_t { kDelta = 0, kBitmap = 1 };
+
+  PostingList() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  // Compressed footprint: byte stream plus the skip table.
+  std::size_t byte_size() const {
+    return data_.size() + blocks_.size() * sizeof(BlockMeta);
+  }
+  std::size_t num_blocks() const { return blocks_.size(); }
+  std::size_t num_bitmap_blocks() const;
+
+  // Cursor positioned on the first id; invalid for an empty list.
+  PostingCursor cursor() const;
+
+  // Materializes the full id vector (tests, drill-down tails). Avoid
+  // on hot paths — that is what the cursor exists for.
+  std::vector<DocId> Decode() const;
+
+  bool Contains(DocId doc) const;
+
+ private:
+  friend class PostingCursor;
+  friend class PostingListBuilder;
+  friend std::size_t IntersectCount(const PostingList&, const PostingList&);
+
+  struct BlockMeta {
+    DocId first = 0;
+    DocId last = 0;
+    uint32_t offset = 0;  // into data_ (caps one list's stream at 4 GiB)
+    uint16_t count = 0;
+    uint8_t encoding = kDelta;
+  };
+
+  std::vector<BlockMeta> blocks_;
+  std::vector<uint8_t> data_;
+  std::size_t size_ = 0;
+};
+
+// Forward iterator with skip support over one PostingList. Holds raw
+// pointers into the list: keep the list (in practice, the
+// IndexSnapshot that owns it) alive while cursors are outstanding.
+class PostingCursor {
+ public:
+  PostingCursor() = default;  // !Valid()
+
+  bool Valid() const {
+    return list_ != nullptr && block_ < list_->blocks_.size();
+  }
+  // Current doc id; only meaningful while Valid().
+  DocId Value() const { return value_; }
+  void Next();
+  // Positions the cursor on the first id >= target (never moves
+  // backwards); returns Valid(). Gallops across the skip table, so a
+  // long jump costs O(log blocks) plus one in-block scan.
+  bool SeekTo(DocId target);
+
+ private:
+  friend class PostingList;
+  friend std::size_t IntersectCount(const PostingList&, const PostingList&);
+
+  explicit PostingCursor(const PostingList* list);
+  void EnterBlock(std::size_t b);
+
+  const PostingList* list_ = nullptr;
+  std::size_t block_ = 0;
+  DocId value_ = 0;
+  const uint8_t* ptr_ = nullptr;  // kDelta: next gap; kBitmap: bitmap base
+};
+
+// Builds a PostingList from strictly ascending Add() calls.
+class PostingListBuilder {
+ public:
+  // Docs must be strictly ascending across the whole build (checked).
+  void Add(DocId doc);
+  // Seeds the builder with an existing list: full blocks are copied
+  // byte-for-byte, the partial tail block is re-fed so subsequent
+  // Add() calls extend it. Must precede any Add() on this builder.
+  void AppendFrom(const PostingList& prev);
+  // Finalizes and resets the builder for reuse.
+  PostingList Build();
+
+ private:
+  void Flush();
+
+  PostingList out_;
+  std::vector<DocId> block_;      // pending docs of the open block
+  std::vector<uint8_t> scratch_;  // varint candidate encoding
+  bool has_last_ = false;
+  DocId last_ = 0;
+};
+
+// A non-owning read handle on a concept's postings — what
+// IndexSnapshot hands out instead of a vector reference. Valid for as
+// long as the snapshot it came from is held.
+class PostingsView {
+ public:
+  PostingsView() = default;
+  explicit PostingsView(const PostingList* list) : list_(list) {}
+
+  std::size_t size() const { return list_ != nullptr ? list_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  PostingCursor cursor() const {
+    return list_ != nullptr ? list_->cursor() : PostingCursor();
+  }
+  std::vector<DocId> ToVector() const {
+    return list_ != nullptr ? list_->Decode() : std::vector<DocId>();
+  }
+  const PostingList* list() const { return list_; }
+
+ private:
+  const PostingList* list_ = nullptr;
+};
+
+// --- set kernels -----------------------------------------------------
+
+// |a ∩ b| by galloping merge. When both cursors sit in bitmap blocks
+// whose spans overlap, the kernel drops to a shifted AND + popcount
+// over the overlap — dense ∩ dense costs ~1 op per 64 candidate ids.
+std::size_t IntersectCount(const PostingList& a, const PostingList& b);
+
+// First `limit` ids of a ∩ b in ascending order — the bounded
+// drill-down. Streams through cursors; never materializes either side.
+std::vector<DocId> Intersect(const PostingList& a, const PostingList& b,
+                             std::size_t limit);
+
+// |∩ lists| by leapfrog join over all cursors. Empty input or any
+// null/empty list yields 0.
+std::size_t IntersectCountMany(const std::vector<const PostingList*>& lists);
+
+// a ∪ b as a freshly encoded list (sliding-window and merge tooling).
+PostingList UnionLists(const PostingList& a, const PostingList& b);
+
+// |a ∪ b| via inclusion–exclusion on the intersection kernel.
+std::size_t UnionCount(const PostingList& a, const PostingList& b);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_MINING_POSTING_LIST_H_

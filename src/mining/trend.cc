@@ -4,49 +4,32 @@
 
 namespace bivoc {
 
-namespace {
-// Docs per period across the whole snapshot — shared by every concept
-// trend computed from the same snapshot.
-std::map<int64_t, std::size_t> BucketTotals(const IndexSnapshot& snapshot) {
-  std::map<int64_t, std::size_t> totals;
-  for (DocId d = 0; d < snapshot.num_documents(); ++d) {
-    int64_t bucket = snapshot.TimeBucketOf(d);
-    if (bucket == kNoTimeBucket) continue;
-    ++totals[bucket];
-  }
-  return totals;
-}
-
-std::vector<TrendPoint> TrendFromTotals(
-    const IndexSnapshot& snapshot, ConceptId id,
-    const std::map<int64_t, std::size_t>& totals) {
-  std::map<int64_t, std::size_t> counts;
-  for (DocId d : snapshot.PostingsId(id)) {
-    int64_t bucket = snapshot.TimeBucketOf(d);
-    if (bucket == kNoTimeBucket) continue;
-    ++counts[bucket];
-  }
+std::vector<TrendPoint> TrendPointsFromCounts(
+    const IndexSnapshot::BucketCounts& totals,
+    const IndexSnapshot::BucketCounts& counts) {
   std::vector<TrendPoint> out;
   out.reserve(totals.size());
+  std::size_t j = 0;
   for (const auto& [bucket, total] : totals) {
+    while (j < counts.size() && counts[j].first < bucket) ++j;
     TrendPoint p;
     p.bucket = bucket;
     p.total = total;
-    auto it = counts.find(bucket);
-    p.count = it == counts.end() ? 0 : it->second;
-    p.share = total > 0 ? static_cast<double>(p.count) /
-                              static_cast<double>(total)
-                        : 0.0;
+    p.count = (j < counts.size() && counts[j].first == bucket)
+                  ? counts[j].second
+                  : 0;
+    p.share = total > 0
+                  ? static_cast<double>(p.count) / static_cast<double>(total)
+                  : 0.0;
     out.push_back(p);
   }
   return out;
 }
-}  // namespace
 
 std::vector<TrendPoint> ConceptTrend(const IndexSnapshot& snapshot,
                                      const std::string& key) {
-  return TrendFromTotals(snapshot, snapshot.Resolve(key),
-                         BucketTotals(snapshot));
+  return TrendPointsFromCounts(snapshot.BucketTotals(),
+                               snapshot.BucketCountsOf(snapshot.Resolve(key)));
 }
 
 double TrendSlope(const std::vector<TrendPoint>& points) {
@@ -70,16 +53,18 @@ std::vector<TrendSummary> RisingConcepts(const IndexSnapshot& snapshot,
                                          std::size_t limit,
                                          std::size_t min_count) {
   std::vector<TrendSummary> out;
-  // One pass over the doc store for the period totals, instead of one
-  // pass per candidate concept.
-  auto totals = BucketTotals(snapshot);
+  // Publish-time aggregates: period totals and per-concept bucket
+  // counts are table reads, so each candidate costs O(periods) instead
+  // of a posting walk (and no pass over the doc store at all).
+  const auto& totals = snapshot.BucketTotals();
   for (ConceptId id : snapshot.IdsWithPrefix(prefix)) {
     std::size_t total = snapshot.CountId(id);
     if (total < min_count) continue;
     TrendSummary s;
     s.key = std::string(snapshot.KeyOf(id));
     s.total_count = total;
-    s.slope = TrendSlope(TrendFromTotals(snapshot, id, totals));
+    s.slope = TrendSlope(
+        TrendPointsFromCounts(totals, snapshot.BucketCountsOf(id)));
     out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end(),

@@ -1,7 +1,6 @@
 #ifndef BIVOC_MINING_TREND_H_
 #define BIVOC_MINING_TREND_H_
 
-#include <map>
 #include <string>
 #include <vector>
 
@@ -20,9 +19,21 @@ struct TrendPoint {
 };
 
 // Per-period share of a concept, ordered by bucket. Documents without
-// a time bucket are skipped.
+// a time bucket are skipped. Reads the snapshot's publish-time bucket
+// aggregates — no document or posting scan.
 std::vector<TrendPoint> ConceptTrend(const IndexSnapshot& snapshot,
                                      const std::string& key);
+
+// One point per populated period (ascending), zero-count periods
+// included, share = count / total. Both inputs are sorted (bucket,
+// count) vectors; `counts` buckets not present in `totals` are
+// ignored. The single place this arithmetic lives: the snapshot path
+// feeds it aggregates, the cluster coordinator (serve/merge.cc) feeds
+// it summed shard counts, so merged trends stay bit-identical to a
+// single engine over the union corpus.
+std::vector<TrendPoint> TrendPointsFromCounts(
+    const IndexSnapshot::BucketCounts& totals,
+    const IndexSnapshot::BucketCounts& counts);
 
 // Least-squares slope of share over bucket (docs/period drift); 0 for
 // fewer than two periods. Positive = rising topic.

@@ -150,29 +150,19 @@ void MergeTrend(const QueryRequest& req,
       }
     }
   }
-  // Mirrors RisingConcepts + TrendFromTotals on the union corpus: the
-  // min_count floor against the cluster-wide concept count, one point
-  // per populated period (ascending), zero-count periods included,
-  // then the shared least-squares slope.
+  // Mirrors RisingConcepts on the union corpus: the min_count floor
+  // against the cluster-wide concept count, then the *same*
+  // TrendPointsFromCounts + TrendSlope the single-engine path runs, on
+  // the summed integers — one implementation, bit-identical doubles.
+  IndexSnapshot::BucketCounts totals_vec(totals.begin(), totals.end());
   for (const auto& [key, raw] : series) {
     if (raw.total_count < req.min_count) continue;
-    std::vector<TrendPoint> points;
-    points.reserve(totals.size());
-    for (const auto& [bucket, total] : totals) {
-      TrendPoint p;
-      p.bucket = bucket;
-      p.total = total;
-      auto it = raw.bucket_counts.find(bucket);
-      p.count = it == raw.bucket_counts.end() ? 0 : it->second;
-      p.share = total > 0 ? static_cast<double>(p.count) /
-                                static_cast<double>(total)
-                          : 0.0;
-      points.push_back(p);
-    }
+    IndexSnapshot::BucketCounts counts_vec(raw.bucket_counts.begin(),
+                                           raw.bucket_counts.end());
     TrendSummary summary;
     summary.key = key;
     summary.total_count = raw.total_count;
-    summary.slope = TrendSlope(points);
+    summary.slope = TrendSlope(TrendPointsFromCounts(totals_vec, counts_vec));
     out->trends.push_back(std::move(summary));
   }
   std::sort(out->trends.begin(), out->trends.end(),

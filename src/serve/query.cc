@@ -1,7 +1,6 @@
 #include "serve/query.h"
 
 #include <algorithm>
-#include <map>
 #include <utility>
 
 namespace bivoc {
@@ -193,24 +192,15 @@ void EvaluateShardQuery(const QueryRequest& req,
           TwoDimensionalAssociation(snapshot, req.row_keys, req.col_keys);
       break;
     case QueryClass::kTrend: {
-      std::map<int64_t, std::size_t> totals;
-      for (DocId d = 0; d < snapshot.num_documents(); ++d) {
-        const int64_t bucket = snapshot.TimeBucketOf(d);
-        if (bucket == kNoTimeBucket) continue;
-        ++totals[bucket];
-      }
-      result->merge.bucket_totals.assign(totals.begin(), totals.end());
+      // Publish-time aggregates: the shard ships its period totals and
+      // per-concept bucket counts as stored — the same raw integers
+      // the old per-document scan produced, now table reads.
+      result->merge.bucket_totals = snapshot.BucketTotals();
       for (ConceptId id : snapshot.IdsWithPrefix(req.prefix)) {
         TrendSeries series;
         series.key = std::string(snapshot.KeyOf(id));
         series.total_count = snapshot.CountId(id);
-        std::map<int64_t, std::size_t> counts;
-        for (DocId d : snapshot.PostingsId(id)) {
-          const int64_t bucket = snapshot.TimeBucketOf(d);
-          if (bucket == kNoTimeBucket) continue;
-          ++counts[bucket];
-        }
-        series.bucket_counts.assign(counts.begin(), counts.end());
+        series.bucket_counts = snapshot.BucketCountsOf(id);
         result->merge.trend_series.push_back(std::move(series));
       }
       break;

@@ -161,7 +161,7 @@ TEST(ReportTest, ConditionalTableShowsPercentages) {
 
 TEST(ReportTest, DrillDownListsDocs) {
   auto index = CallIndex();
-  auto docs = index->DocsWithBoth("intent/strong", "outcome/yes");
+  auto docs = index->DocsWithBoth("intent/strong", "outcome/yes", 100);
   std::string out = RenderDrillDown(*index, docs, 3);
   EXPECT_NE(out.find("doc 0"), std::string::npos);
   EXPECT_NE(out.find("more)"), std::string::npos);  // truncation marker

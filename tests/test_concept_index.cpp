@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "util/random.h"
@@ -22,7 +23,7 @@ TEST(ConceptIndexTest, CountsAndPostings) {
   EXPECT_EQ(snap->Count("a"), 2u);
   EXPECT_EQ(snap->Count("c"), 1u);
   EXPECT_EQ(snap->Count("zzz"), 0u);
-  EXPECT_EQ(snap->Postings("a"), (std::vector<DocId>{0, 1}));
+  EXPECT_EQ(snap->Postings("a").ToVector(), (std::vector<DocId>{0, 1}));
 }
 
 TEST(ConceptIndexTest, DuplicateKeysInOneDocCollapse) {
@@ -42,7 +43,10 @@ TEST(ConceptIndexTest, CountBothIsIntersection) {
   auto snap = index.Publish();
   EXPECT_EQ(snap->CountBoth("x", "y"), 2u);
   EXPECT_EQ(snap->CountBoth("x", "zzz"), 0u);
-  EXPECT_EQ(snap->DocsWithBoth("x", "y"), (std::vector<DocId>{0, 3}));
+  EXPECT_EQ(snap->DocsWithBoth("x", "y", 10), (std::vector<DocId>{0, 3}));
+  // The limit is a hard bound on what gets materialized.
+  EXPECT_EQ(snap->DocsWithBoth("x", "y", 1), (std::vector<DocId>{0}));
+  EXPECT_TRUE(snap->DocsWithBoth("x", "y", 0).empty());
 }
 
 TEST(ConceptIndexTest, CountBothMatchesBruteForce) {
@@ -139,6 +143,125 @@ TEST(ConceptIndexTest, PublishWithoutPendingReturnsSameSnapshot) {
   auto first = index.Publish();
   auto second = index.Publish();
   EXPECT_EQ(first.get(), second.get());
+}
+
+TEST(ConceptIndexTest, BucketAggregatesMatchDocScan) {
+  ConceptIndex index;
+  Rng rng(11);
+  std::vector<int64_t> buckets;
+  for (int i = 0; i < 400; ++i) {
+    // Some docs untimed: they must not appear in any bucket aggregate.
+    int64_t b = rng.Bernoulli(0.2) ? kNoTimeBucket : rng.Uniform(0, 6);
+    buckets.push_back(b);
+    index.AddDocument({i % 3 == 0 ? "fizz" : "plain"}, b);
+  }
+  auto snap = index.Publish();
+  std::map<int64_t, std::size_t> want_totals;
+  std::map<int64_t, std::size_t> want_fizz;
+  for (int i = 0; i < 400; ++i) {
+    if (buckets[static_cast<std::size_t>(i)] == kNoTimeBucket) continue;
+    ++want_totals[buckets[static_cast<std::size_t>(i)]];
+    if (i % 3 == 0) ++want_fizz[buckets[static_cast<std::size_t>(i)]];
+  }
+  EXPECT_EQ(snap->BucketTotals(),
+            IndexSnapshot::BucketCounts(want_totals.begin(),
+                                        want_totals.end()));
+  EXPECT_EQ(snap->BucketCountsOf(snap->Resolve("fizz")),
+            IndexSnapshot::BucketCounts(want_fizz.begin(), want_fizz.end()));
+  EXPECT_TRUE(snap->BucketCountsOf(kInvalidConceptId).empty());
+}
+
+TEST(ConceptIndexTest, BucketAggregatesMergeAcrossPublishes) {
+  ConceptIndex index;
+  index.AddDocument({"a"}, 1);
+  index.AddDocument({"a", "b"}, 2);
+  index.Publish();
+  index.AddDocument({"a"}, 1);
+  index.AddDocument({"b"}, 3);
+  auto snap = index.Publish();
+  EXPECT_EQ(snap->BucketTotals(),
+            (IndexSnapshot::BucketCounts{{1, 2}, {2, 1}, {3, 1}}));
+  EXPECT_EQ(snap->BucketCountsOf(snap->Resolve("a")),
+            (IndexSnapshot::BucketCounts{{1, 2}, {2, 1}}));
+  EXPECT_EQ(snap->BucketCountsOf(snap->Resolve("b")),
+            (IndexSnapshot::BucketCounts{{2, 1}, {3, 1}}));
+}
+
+TEST(ConceptIndexTest, TruncatedCoTableStaysExact) {
+  // co_topk = 2 forces every concept's published table to truncate;
+  // pair counts must still match brute force via the intersection
+  // fallback — and keep matching after a second publish (the full
+  // write-side accumulator must not lose evicted pairs).
+  ConceptIndex index(/*num_shards=*/4, /*co_topk=*/2);
+  Rng rng(17);
+  const char* keys[] = {"a", "b", "c", "d", "e", "f", "g"};
+  std::vector<std::set<std::string>> docs;
+  auto add_wave = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      std::set<std::string> doc;
+      for (const char* k : keys) {
+        if (rng.Bernoulli(0.4)) doc.insert(k);
+      }
+      docs.push_back(doc);
+      index.AddDocument({doc.begin(), doc.end()});
+    }
+  };
+  add_wave(150);
+  index.Publish();
+  add_wave(150);
+  auto snap = index.Publish();
+  for (const char* a : keys) {
+    for (const char* b : keys) {
+      std::size_t brute = 0;
+      for (const auto& doc : docs) {
+        if (doc.count(a) && doc.count(b)) ++brute;
+      }
+      EXPECT_EQ(snap->CountBoth(a, b), brute) << a << "," << b;
+    }
+  }
+}
+
+TEST(ConceptIndexTest, CountAllIdsMatchesBruteForce) {
+  ConceptIndex index;
+  Rng rng(23);
+  const char* keys[] = {"p", "q", "r", "s"};
+  std::vector<std::set<std::string>> docs;
+  for (int i = 0; i < 300; ++i) {
+    std::set<std::string> doc;
+    for (const char* k : keys) {
+      if (rng.Bernoulli(0.5)) doc.insert(k);
+    }
+    docs.push_back(doc);
+    index.AddDocument({doc.begin(), doc.end()});
+  }
+  auto snap = index.Publish();
+  std::vector<ConceptId> all;
+  for (const char* k : keys) all.push_back(snap->Resolve(k));
+  std::size_t brute = 0;
+  for (const auto& doc : docs) {
+    if (doc.size() == 4) ++brute;
+  }
+  EXPECT_EQ(snap->CountAllIds(all), brute);
+  EXPECT_EQ(snap->CountAllIds({all[0]}), snap->CountId(all[0]));
+  EXPECT_EQ(snap->CountAllIds({}), 0u);
+  EXPECT_EQ(snap->CountAllIds({all[0], kInvalidConceptId, all[1]}), 0u);
+}
+
+TEST(ConceptIndexTest, StorageStatsAccountForPostings) {
+  ConceptIndex index;
+  for (int i = 0; i < 1000; ++i) {
+    index.AddDocument({"dense", i % 97 == 0 ? "sparse" : "other"}, i % 5);
+  }
+  auto snap = index.Publish();
+  auto stats = snap->Storage();
+  // 1000 ("dense") + 11 ("sparse") + 989 ("other") postings.
+  EXPECT_EQ(stats.postings, 2000u);
+  EXPECT_GT(stats.total_blocks, 0u);
+  // "dense" is every doc — its blocks must have chosen the bitmap side.
+  EXPECT_GT(stats.bitmap_blocks, 0u);
+  // Compressed postings must beat the raw 8-bytes-per-doc encoding.
+  EXPECT_LT(stats.postings_bytes, stats.postings * sizeof(DocId));
+  EXPECT_GT(stats.aggregate_bytes, 0u);
 }
 
 TEST(ConceptIndexTest, ManyDocsSpanningChunks) {

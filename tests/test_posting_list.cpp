@@ -1,0 +1,351 @@
+#include "mining/posting_list.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace bivoc {
+namespace {
+
+PostingList BuildList(const std::vector<DocId>& docs) {
+  PostingListBuilder builder;
+  for (DocId d : docs) builder.Add(d);
+  return builder.Build();
+}
+
+std::vector<DocId> NaiveIntersect(const std::vector<DocId>& a,
+                                  const std::vector<DocId>& b) {
+  std::vector<DocId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<DocId> NaiveUnion(const std::vector<DocId>& a,
+                              const std::vector<DocId>& b) {
+  std::vector<DocId> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+// Sorted unique random set; density controls gap size so both the
+// delta and bitmap encodings get exercised.
+std::vector<DocId> RandomSet(Rng* rng, std::size_t n, int64_t max_gap) {
+  std::vector<DocId> out;
+  DocId cur = static_cast<DocId>(rng->Uniform(0, max_gap));
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(cur);
+    cur += static_cast<DocId>(rng->Uniform(1, max_gap));
+  }
+  return out;
+}
+
+// --- round trip ------------------------------------------------------
+
+TEST(PostingListTest, EmptyList) {
+  PostingList list = BuildList({});
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+  EXPECT_EQ(list.num_blocks(), 0u);
+  EXPECT_TRUE(list.Decode().empty());
+  EXPECT_FALSE(list.cursor().Valid());
+  EXPECT_FALSE(list.Contains(0));
+}
+
+TEST(PostingListTest, SingleDoc) {
+  for (DocId d : {DocId{0}, DocId{1}, DocId{1000000},
+                  std::numeric_limits<DocId>::max()}) {
+    PostingList list = BuildList({d});
+    EXPECT_EQ(list.Decode(), (std::vector<DocId>{d}));
+    EXPECT_TRUE(list.Contains(d));
+    EXPECT_FALSE(list.Contains(d - 1));
+  }
+}
+
+TEST(PostingListTest, RoundTripAtBlockBoundaries) {
+  // Sizes straddling every boundary of the 128-doc block cut.
+  for (std::size_t n : {1u, 2u, 127u, 128u, 129u, 255u, 256u, 257u, 1000u}) {
+    std::vector<DocId> docs;
+    for (std::size_t i = 0; i < n; ++i) docs.push_back(i * 3);
+    PostingList list = BuildList(docs);
+    EXPECT_EQ(list.size(), n);
+    EXPECT_EQ(list.Decode(), docs) << "n=" << n;
+    EXPECT_EQ(list.num_blocks(), (n + 127) / 128);
+  }
+}
+
+TEST(PostingListTest, DenseRunUsesBitmapAndStillRoundTrips) {
+  // Every id in [0, 1000): maximal density, bitmap must win.
+  std::vector<DocId> docs;
+  for (DocId d = 0; d < 1000; ++d) docs.push_back(d);
+  PostingList list = BuildList(docs);
+  EXPECT_EQ(list.Decode(), docs);
+  EXPECT_EQ(list.num_bitmap_blocks(), list.num_blocks());
+  // 128 contiguous ids cost 16 bitmap bytes vs 127 varint bytes.
+  EXPECT_LT(list.byte_size(),
+            docs.size() * sizeof(DocId));
+}
+
+TEST(PostingListTest, MaxDeltaGapsStayDeltaEncoded) {
+  // Adversarial gaps up to the DocId extremes: the bitmap candidate's
+  // *size computation* must not be taken literally (it would be
+  // exabytes) — the strictly-smaller rule keeps these blocks delta.
+  const DocId max = std::numeric_limits<DocId>::max();
+  std::vector<DocId> docs = {0, 1, max / 2, max - 1, max};
+  PostingList list = BuildList(docs);
+  EXPECT_EQ(list.Decode(), docs);
+  EXPECT_EQ(list.num_bitmap_blocks(), 0u);
+  for (DocId d : docs) EXPECT_TRUE(list.Contains(d));
+  EXPECT_FALSE(list.Contains(max / 2 + 1));
+}
+
+TEST(PostingListTest, RandomRoundTripMixedDensity) {
+  Rng rng(101);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t n = static_cast<std::size_t>(rng.Uniform(0, 600));
+    // Alternate dense (gap ≤ 2) and sparse (gap ≤ 5000) regimes.
+    const int64_t max_gap = iter % 2 == 0 ? 2 : 5000;
+    std::vector<DocId> docs = RandomSet(&rng, n, max_gap);
+    PostingList list = BuildList(docs);
+    ASSERT_EQ(list.Decode(), docs) << "iter=" << iter;
+    ASSERT_EQ(list.size(), docs.size());
+  }
+}
+
+// --- cursor ----------------------------------------------------------
+
+TEST(PostingListTest, SeekToFindsFirstAtOrAfterTarget) {
+  std::vector<DocId> docs = {5, 9, 130, 131, 260, 1000};
+  PostingList list = BuildList(docs);
+  for (DocId target = 0; target <= 1001; ++target) {
+    PostingCursor c = list.cursor();
+    auto it = std::lower_bound(docs.begin(), docs.end(), target);
+    if (it == docs.end()) {
+      EXPECT_FALSE(c.SeekTo(target)) << target;
+    } else {
+      ASSERT_TRUE(c.SeekTo(target)) << target;
+      EXPECT_EQ(c.Value(), *it) << target;
+    }
+  }
+}
+
+TEST(PostingListTest, SeekToNeverMovesBackwards) {
+  std::vector<DocId> docs;
+  for (DocId d = 0; d < 500; d += 2) docs.push_back(d);
+  PostingList list = BuildList(docs);
+  PostingCursor c = list.cursor();
+  ASSERT_TRUE(c.SeekTo(250));
+  EXPECT_EQ(c.Value(), 250u);
+  // A lower target leaves the cursor where it is.
+  ASSERT_TRUE(c.SeekTo(10));
+  EXPECT_EQ(c.Value(), 250u);
+}
+
+TEST(PostingListTest, SeekAcrossManyBlocksRandomized) {
+  Rng rng(202);
+  std::vector<DocId> docs = RandomSet(&rng, 2000, 40);
+  PostingList list = BuildList(docs);
+  for (int iter = 0; iter < 500; ++iter) {
+    const DocId target = static_cast<DocId>(
+        rng.Uniform(0, static_cast<int64_t>(docs.back()) + 10));
+    PostingCursor c = list.cursor();
+    auto it = std::lower_bound(docs.begin(), docs.end(), target);
+    if (it == docs.end()) {
+      EXPECT_FALSE(c.SeekTo(target));
+    } else {
+      ASSERT_TRUE(c.SeekTo(target));
+      EXPECT_EQ(c.Value(), *it) << "target=" << target;
+    }
+  }
+}
+
+// --- AppendFrom ------------------------------------------------------
+
+TEST(PostingListTest, AppendFromEqualsOneShotBuild) {
+  Rng rng(303);
+  // Splits around block boundaries, including full-block prefixes
+  // (the byte-for-byte copy path) and sub-block prefixes.
+  for (std::size_t split : {0u, 1u, 100u, 127u, 128u, 129u, 256u, 300u}) {
+    std::vector<DocId> docs = RandomSet(&rng, 400, 9);
+    PostingListBuilder builder;
+    std::vector<DocId> prefix(docs.begin(),
+                              docs.begin() + static_cast<long>(split));
+    PostingList first = BuildList(prefix);
+    builder.AppendFrom(first);
+    for (std::size_t i = split; i < docs.size(); ++i) builder.Add(docs[i]);
+    PostingList combined = builder.Build();
+    EXPECT_EQ(combined.Decode(), docs) << "split=" << split;
+    EXPECT_EQ(combined.size(), docs.size());
+  }
+}
+
+TEST(PostingListTest, RepeatedAppendFromAcrossGenerations) {
+  // The publish pattern: each generation extends the previous list.
+  Rng rng(404);
+  std::vector<DocId> all;
+  PostingList list;
+  DocId cur = 0;
+  for (int gen = 0; gen < 10; ++gen) {
+    PostingListBuilder builder;
+    builder.AppendFrom(list);
+    const std::size_t n = static_cast<std::size_t>(rng.Uniform(0, 200));
+    for (std::size_t i = 0; i < n; ++i) {
+      cur += static_cast<DocId>(rng.Uniform(1, 50));
+      all.push_back(cur);
+      builder.Add(cur);
+    }
+    list = builder.Build();
+    ASSERT_EQ(list.Decode(), all) << "gen=" << gen;
+  }
+}
+
+// --- set kernels vs naive reference ----------------------------------
+
+TEST(PostingListTest, IntersectionMatchesNaiveReference) {
+  Rng rng(505);
+  for (int iter = 0; iter < 40; ++iter) {
+    // Mix regimes: dense∩dense (bitmap fast path), sparse∩sparse,
+    // dense∩sparse (galloping), wildly different sizes.
+    const int64_t gap_a = iter % 3 == 0 ? 2 : 300;
+    const int64_t gap_b = iter % 2 == 0 ? 2 : 700;
+    std::vector<DocId> a =
+        RandomSet(&rng, static_cast<std::size_t>(rng.Uniform(0, 800)), gap_a);
+    std::vector<DocId> b =
+        RandomSet(&rng, static_cast<std::size_t>(rng.Uniform(0, 800)), gap_b);
+    PostingList la = BuildList(a);
+    PostingList lb = BuildList(b);
+    const auto want = NaiveIntersect(a, b);
+    EXPECT_EQ(IntersectCount(la, lb), want.size()) << "iter=" << iter;
+    EXPECT_EQ(IntersectCount(lb, la), want.size()) << "iter=" << iter;
+    EXPECT_EQ(Intersect(la, lb, std::numeric_limits<std::size_t>::max()),
+              want)
+        << "iter=" << iter;
+    // Bounded drill-down returns exactly the prefix.
+    const std::size_t limit = static_cast<std::size_t>(rng.Uniform(0, 20));
+    const auto got = Intersect(la, lb, limit);
+    ASSERT_LE(got.size(), limit);
+    EXPECT_EQ(got,
+              std::vector<DocId>(
+                  want.begin(),
+                  want.begin() + static_cast<long>(
+                                     std::min(limit, want.size()))));
+  }
+}
+
+TEST(PostingListTest, IntersectionIdenticalAndDisjointLists) {
+  std::vector<DocId> docs;
+  for (DocId d = 0; d < 400; d += 3) docs.push_back(d);
+  PostingList la = BuildList(docs);
+  EXPECT_EQ(IntersectCount(la, la), docs.size());
+  std::vector<DocId> shifted;
+  for (DocId d : docs) shifted.push_back(d + 1);
+  PostingList lb = BuildList(shifted);
+  EXPECT_EQ(IntersectCount(la, lb), 0u);
+  EXPECT_TRUE(Intersect(la, lb, 10).empty());
+}
+
+TEST(PostingListTest, BitmapFastPathAtBlockEdges) {
+  // Two fully dense lists offset so their bitmap blocks overlap
+  // partially — the AND window must respect both block boundaries and
+  // the 63/64-bit mask edge.
+  std::vector<DocId> a, b;
+  for (DocId d = 0; d < 512; ++d) a.push_back(d);
+  for (DocId d = 63; d < 600; ++d) b.push_back(d);
+  PostingList la = BuildList(a);
+  PostingList lb = BuildList(b);
+  ASSERT_GT(la.num_bitmap_blocks(), 0u);
+  ASSERT_GT(lb.num_bitmap_blocks(), 0u);
+  EXPECT_EQ(IntersectCount(la, lb), NaiveIntersect(a, b).size());
+}
+
+TEST(PostingListTest, UnionMatchesNaiveReference) {
+  Rng rng(606);
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<DocId> a =
+        RandomSet(&rng, static_cast<std::size_t>(rng.Uniform(0, 500)),
+                  iter % 2 == 0 ? 2 : 400);
+    std::vector<DocId> b =
+        RandomSet(&rng, static_cast<std::size_t>(rng.Uniform(0, 500)),
+                  iter % 3 == 0 ? 2 : 150);
+    PostingList la = BuildList(a);
+    PostingList lb = BuildList(b);
+    const auto want = NaiveUnion(a, b);
+    EXPECT_EQ(UnionLists(la, lb).Decode(), want) << "iter=" << iter;
+    EXPECT_EQ(UnionCount(la, lb), want.size()) << "iter=" << iter;
+  }
+}
+
+TEST(PostingListTest, IntersectCountManyMatchesNaive) {
+  Rng rng(707);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::size_t k = static_cast<std::size_t>(rng.Uniform(2, 5));
+    std::vector<std::vector<DocId>> sets;
+    std::vector<PostingList> lists;
+    for (std::size_t i = 0; i < k; ++i) {
+      sets.push_back(RandomSet(
+          &rng, static_cast<std::size_t>(rng.Uniform(1, 400)), 6));
+      lists.push_back(BuildList(sets.back()));
+    }
+    std::vector<DocId> want = sets[0];
+    for (std::size_t i = 1; i < k; ++i) want = NaiveIntersect(want, sets[i]);
+    std::vector<const PostingList*> ptrs;
+    for (const auto& l : lists) ptrs.push_back(&l);
+    EXPECT_EQ(IntersectCountMany(ptrs), want.size()) << "iter=" << iter;
+  }
+  PostingList empty;
+  PostingList one = BuildList({1, 2, 3});
+  EXPECT_EQ(IntersectCountMany({}), 0u);
+  EXPECT_EQ(IntersectCountMany({&one}), 3u);
+  EXPECT_EQ(IntersectCountMany({&one, &empty}), 0u);
+  EXPECT_EQ(IntersectCountMany({&one, nullptr}), 0u);
+}
+
+// --- seeded fuzz: everything at once ---------------------------------
+
+TEST(PostingListTest, FuzzEncodeSeekIntersect) {
+  Rng rng(808);
+  for (int iter = 0; iter < 60; ++iter) {
+    // Cluster-then-jump shape: runs of near-consecutive ids separated
+    // by large jumps, the worst case for per-block encoding choice.
+    std::vector<DocId> docs;
+    DocId cur = static_cast<DocId>(rng.Uniform(0, 100));
+    const int clusters = static_cast<int>(rng.Uniform(1, 8));
+    for (int c = 0; c < clusters; ++c) {
+      const int len = static_cast<int>(rng.Uniform(1, 300));
+      for (int i = 0; i < len; ++i) {
+        docs.push_back(cur);
+        cur += static_cast<DocId>(rng.Uniform(1, 3));
+      }
+      cur += static_cast<DocId>(rng.Uniform(1000, 100000));
+    }
+    PostingList list = BuildList(docs);
+    ASSERT_EQ(list.Decode(), docs) << "iter=" << iter;
+    // Contains agrees with the source set at and around members.
+    std::set<DocId> members(docs.begin(), docs.end());
+    for (int probe = 0; probe < 50; ++probe) {
+      const DocId d = docs[static_cast<std::size_t>(rng.Uniform(
+          0, static_cast<int64_t>(docs.size()) - 1))];
+      ASSERT_TRUE(list.Contains(d));
+      ASSERT_EQ(list.Contains(d + 1), members.count(d + 1) == 1);
+    }
+    // Self-intersection is identity; intersection with a sampled
+    // subset is the subset.
+    std::vector<DocId> sub;
+    for (DocId d : docs) {
+      if (rng.Bernoulli(0.3)) sub.push_back(d);
+    }
+    PostingList lsub = BuildList(sub);
+    ASSERT_EQ(IntersectCount(list, lsub), sub.size()) << "iter=" << iter;
+    ASSERT_EQ(Intersect(list, lsub, sub.size() + 1), sub)
+        << "iter=" << iter;
+  }
+}
+
+}  // namespace
+}  // namespace bivoc
