@@ -660,6 +660,13 @@ struct ClusterBenchResult {
   HttpBenchRun single_shard;
   HttpBenchRun sharded;
   HttpBenchRun degraded;
+  // R=2 replica groups with one member dead: every query fails over
+  // inside its group, so the honest-partial tax becomes a failover tax.
+  HttpBenchRun failover;
+  // Live ring change (DESIGN.md §14): docs streamed out of their old
+  // owner, staged, and flipped into the widened ring, per wall second.
+  std::size_t rebalance_moved_docs = 0;
+  double rebalance_docs_per_s = 0;
 };
 
 HttpBenchRun RunClusterClients(ShardRouter* router,
@@ -764,6 +771,39 @@ ClusterBenchResult RunClusterBench() {
     spec.code = StatusCode::kUnavailable;
     ScopedFault fault("net.shard.send:s2", spec);
     out.degraded = RunClusterClients(&router, repertoire, out.queries);
+  }
+  {  // R=2 replica groups, one member killed: reads fail over in-group.
+    std::vector<std::shared_ptr<ShardHandle>> handles;
+    for (std::size_t s = 0; s < 4; ++s) {
+      auto engine = std::make_shared<BivocEngine>();
+      load(engine.get(), s / 2, 2);  // both members of a group match
+      handles.push_back(std::make_shared<LocalShardHandle>(
+          "s" + std::to_string(s), engine));
+    }
+    ShardRouter router(MakeReplicaGroups(std::move(handles), 2), options);
+    FaultSpec spec;
+    spec.code = StatusCode::kUnavailable;
+    ScopedFault fault("net.shard.send:s0", spec);
+    out.failover = RunClusterClients(&router, repertoire, out.queries);
+  }
+  {  // Live rebalance: widen a 1-group ring to 2 and time the move.
+    auto loaded = std::make_shared<BivocEngine>();
+    load(loaded.get(), 0, 1);
+    auto handle = std::make_shared<LocalShardHandle>("r0", loaded);
+    auto fresh = std::make_shared<LocalShardHandle>(
+        "r1", std::make_shared<BivocEngine>());
+    ShardRouter router({ReplicaGroup{"r0", {handle}}}, options);
+    Timer timer;
+    Result<JsonValue> moved =
+        router.ChangeRing({ReplicaGroup{"r0", {handle}},
+                           ReplicaGroup{"r1", {fresh}}});
+    const double secs = timer.ElapsedSeconds();
+    BIVOC_CHECK_OK(moved.status());
+    const JsonValue* count = moved->Find("moved_docs");
+    BIVOC_CHECK(count != nullptr && count->is_integer());
+    out.rebalance_moved_docs = static_cast<std::size_t>(count->GetInt64());
+    out.rebalance_docs_per_s =
+        secs > 0 ? static_cast<double>(out.rebalance_moved_docs) / secs : 0;
   }
   FaultInjector::Global().ResetCounters();
   return out;
@@ -900,6 +940,12 @@ void WriteIndexBenchReport() {
               cluster.sharded.p95_ms, cluster.sharded.p99_ms,
               cluster.degraded.qps, cluster.degraded.p50_ms,
               cluster.degraded.p95_ms, cluster.degraded.p99_ms);
+  std::printf("cluster replication: R=2 one member dead %.0f q/s "
+              "(p50 %.3fms p95 %.3fms p99 %.3fms); rebalance moved "
+              "%zu docs at %.0f docs/s\n",
+              cluster.failover.qps, cluster.failover.p50_ms,
+              cluster.failover.p95_ms, cluster.failover.p99_ms,
+              cluster.rebalance_moved_docs, cluster.rebalance_docs_per_s);
 
   std::FILE* f = std::fopen("BENCH_index.json", "w");
   if (f == nullptr) return;
@@ -963,7 +1009,13 @@ void WriteIndexBenchReport() {
                "  \"cluster_degraded_qps\": %.0f,\n"
                "  \"cluster_degraded_p50_ms\": %.3f,\n"
                "  \"cluster_degraded_p95_ms\": %.3f,\n"
-               "  \"cluster_degraded_p99_ms\": %.3f\n"
+               "  \"cluster_degraded_p99_ms\": %.3f,\n"
+               "  \"failover_query_qps\": %.0f,\n"
+               "  \"failover_query_p50_ms\": %.3f,\n"
+               "  \"failover_query_p95_ms\": %.3f,\n"
+               "  \"failover_query_p99_ms\": %.3f,\n"
+               "  \"rebalance_moved_docs\": %zu,\n"
+               "  \"rebalance_docs_per_s\": %.0f\n"
                "}\n",
                kDocs, hw, kThreads, seq_dps, par_dps, par_dps / seq_dps,
                speedup_meaningful ? "true" : "false",
@@ -997,7 +1049,10 @@ void WriteIndexBenchReport() {
                cluster.sharded.p50_ms, cluster.sharded.p95_ms,
                cluster.sharded.p99_ms, cluster.degraded.qps,
                cluster.degraded.p50_ms, cluster.degraded.p95_ms,
-               cluster.degraded.p99_ms);
+               cluster.degraded.p99_ms, cluster.failover.qps,
+               cluster.failover.p50_ms, cluster.failover.p95_ms,
+               cluster.failover.p99_ms, cluster.rebalance_moved_docs,
+               cluster.rebalance_docs_per_s);
   std::fclose(f);
 }
 

@@ -16,18 +16,25 @@
 //       durable (WAL + checkpoints) and recovers on restart — kill -9
 //       it mid-load and start it again to watch the cluster heal.
 //
-//   ./serve_cluster --router PORT HOST:PORT [HOST:PORT...] [SECONDS]
+//   ./serve_cluster --router PORT [--replicas R] HOST:PORT... [SECONDS]
 //       The coordinator: scatter-gathers over the listed shard
-//       gateways and serves the merged cluster view on PORT.
+//       gateways and serves the merged cluster view on PORT. With
+//       --replicas R consecutive endpoints form replica groups of R
+//       (DESIGN.md §14): writes go to every member, reads fail over
+//       within a group, so killing one replica costs nothing.
 //
-// A three-shard cluster on one machine:
+// A replicated (R=2) four-shard cluster on one machine — two groups,
+// each surviving the death of either member:
 //
 //   ./serve_cluster --shard s0 8081 /tmp/s0 &
 //   ./serve_cluster --shard s1 8082 /tmp/s1 &
 //   ./serve_cluster --shard s2 8083 /tmp/s2 &
-//   ./serve_cluster --router 8080 127.0.0.1:8081 127.0.0.1:8082 ... &
+//   ./serve_cluster --shard s3 8084 /tmp/s3 &
+//   ./serve_cluster --router 8080 --replicas 2 \
+//       127.0.0.1:8081 127.0.0.1:8082 127.0.0.1:8083 127.0.0.1:8084 &
 //   curl http://127.0.0.1:8080/healthz
 //   curl -d '{"class":"concept_search"}' http://127.0.0.1:8080/v1/query
+//   kill -9 %1   # query again: still 200, "partial":false, same bytes
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -185,7 +192,7 @@ int RunShard(const std::string& name, uint16_t port,
 }
 
 int RunRouter(uint16_t port, const std::vector<std::string>& endpoints,
-              int seconds) {
+              std::size_t replication, int seconds) {
   std::vector<std::shared_ptr<ShardHandle>> handles;
   for (std::size_t i = 0; i < endpoints.size(); ++i) {
     const std::string& endpoint = endpoints[i];
@@ -199,7 +206,10 @@ int RunRouter(uint16_t port, const std::vector<std::string>& endpoints,
         "s" + std::to_string(i), endpoint.substr(0, colon),
         static_cast<uint16_t>(std::atoi(endpoint.c_str() + colon + 1))));
   }
-  ShardRouter router(std::move(handles));
+  const std::size_t num_shards = handles.size();
+  std::vector<ReplicaGroup> groups =
+      MakeReplicaGroups(std::move(handles), replication);
+  ShardRouter router(std::move(groups));
   GatewayOptions options;
   options.server.port = port;
   Gateway gateway(&router, options);
@@ -209,8 +219,10 @@ int RunRouter(uint16_t port, const std::vector<std::string>& endpoints,
                  started.ToString().c_str());
     return 1;
   }
-  std::printf("cluster router over %zu shards on http://127.0.0.1:%u\n",
-              endpoints.size(), gateway.port());
+  std::printf(
+      "cluster router over %zu shards (%zu groups, R=%zu) on "
+      "http://127.0.0.1:%u\n",
+      num_shards, router.num_shards(), replication, gateway.port());
   std::this_thread::sleep_for(std::chrono::seconds(seconds));
   gateway.Stop();
   return 0;
@@ -229,7 +241,16 @@ int main(int argc, char** argv) {
                     data_dir, seconds);
   }
   if (args[0] == "--router" && args.size() >= 3) {
-    std::vector<std::string> endpoints(args.begin() + 2, args.end());
+    std::size_t replication = 1;
+    std::vector<std::string> endpoints;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--replicas" && i + 1 < args.size()) {
+        replication = static_cast<std::size_t>(std::atoi(args[++i].c_str()));
+        if (replication == 0) replication = 1;
+      } else {
+        endpoints.push_back(args[i]);
+      }
+    }
     int seconds = 3600;
     if (!endpoints.empty() &&
         endpoints.back().find(':') == std::string::npos) {
@@ -237,13 +258,14 @@ int main(int argc, char** argv) {
       endpoints.pop_back();
     }
     return RunRouter(static_cast<uint16_t>(std::atoi(args[1].c_str())),
-                     endpoints, seconds);
+                     endpoints, replication, seconds);
   }
 
   std::fprintf(stderr,
                "usage: %s                                    (demo)\n"
                "       %s --shard NAME PORT [DATA_DIR] [SECONDS]\n"
-               "       %s --router PORT HOST:PORT... [SECONDS]\n",
+               "       %s --router PORT [--replicas R] HOST:PORT... "
+               "[SECONDS]\n",
                argv[0], argv[0], argv[0]);
   return 2;
 }

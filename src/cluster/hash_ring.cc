@@ -31,16 +31,35 @@ uint64_t HashKey(std::string_view bytes) { return Mix(Fnv1a(bytes)); }
 
 }  // namespace
 
-HashRing::HashRing(std::vector<std::string> shard_names,
-                   std::size_t replicas)
-    : names_(std::move(shard_names)) {
+namespace {
+
+std::vector<RingNode> SoloNodes(std::vector<std::string> shard_names) {
+  std::vector<RingNode> nodes;
+  nodes.reserve(shard_names.size());
+  for (std::string& name : shard_names) {
+    RingNode node;
+    node.members = {name};
+    node.name = std::move(name);
+    nodes.push_back(std::move(node));
+  }
+  return nodes;
+}
+
+}  // namespace
+
+HashRing::HashRing(std::vector<std::string> shard_names, std::size_t replicas)
+    : HashRing(SoloNodes(std::move(shard_names)), replicas) {}
+
+HashRing::HashRing(std::vector<RingNode> nodes, std::size_t replicas)
+    : nodes_(std::move(nodes)) {
   if (replicas == 0) replicas = 1;
-  points_.reserve(names_.size() * replicas);
-  for (std::size_t s = 0; s < names_.size(); ++s) {
+  points_.reserve(nodes_.size() * replicas);
+  for (std::size_t s = 0; s < nodes_.size(); ++s) {
     for (std::size_t r = 0; r < replicas; ++r) {
       // Virtual node identity = "<name>#<replica>"; hashing the name
-      // (not the index) keeps placement stable under reordering.
-      const std::string vnode = names_[s] + "#" + std::to_string(r);
+      // (not the index, not the member list) keeps placement stable
+      // under reordering and replica replacement.
+      const std::string vnode = nodes_[s].name + "#" + std::to_string(r);
       points_.emplace_back(HashKey(vnode), s);
     }
   }

@@ -9,35 +9,55 @@
 
 namespace bivoc {
 
-// Consistent-hash ring over named shards (DESIGN.md §12). Ingest
-// routing hashes a document's central entity key onto the ring so (a)
-// all documents of one entity land on one shard — CountBothIds joins
-// stay shard-local — and (b) adding or removing a shard only remaps
-// the ~1/N keys adjacent to its virtual nodes instead of reshuffling
-// everything, which is what keeps a rejoining shard's WAL replay
-// meaningful.
+// One position on the ring: a named *replica group* whose members all
+// hold identical content (DESIGN.md §14). The classic one-shard-per-
+// position ring is the degenerate case members == {name}.
+struct RingNode {
+  std::string name;
+  std::vector<std::string> members;
+};
+
+// Consistent-hash ring over named replica groups (DESIGN.md §12, §14).
+// Ingest routing hashes a document's central entity key onto the ring
+// so (a) all documents of one entity land on one group — CountBothIds
+// joins stay shard-local — and (b) adding or removing a group only
+// remaps the ~1/N keys adjacent to its virtual nodes instead of
+// reshuffling everything, which is what keeps rebalancing (and a
+// rejoining shard's WAL replay) proportional to the diff.
 //
-// Deterministic: the ring depends only on (shard names, replicas), so
+// Deterministic: the ring depends only on (node names, replicas), so
 // every router instance — and a restarted router — routes identically.
-// Immutable after construction and therefore freely shared across
-// threads.
+// Placement hashes the *node name* only; the member list never affects
+// key ownership, so replacing a replica moves zero keys. Immutable
+// after construction and therefore freely shared across threads.
 class HashRing {
  public:
-  // `replicas` virtual nodes per shard smooth the key distribution;
-  // 64 keeps the worst shard within a few percent of the mean.
+  // `replicas` virtual nodes per group smooth the key distribution;
+  // 64 keeps the worst group within a few percent of the mean.
   explicit HashRing(std::vector<std::string> shard_names,
                     std::size_t replicas = 64);
+  explicit HashRing(std::vector<RingNode> nodes, std::size_t replicas = 64);
 
-  // Index (into the constructor's name order) of the shard owning
+  // Index (into the constructor's node order) of the group owning
   // `key`. Requires a non-empty ring.
   std::size_t ShardFor(std::string_view key) const;
 
-  std::size_t num_shards() const { return names_.size(); }
-  const std::string& name(std::size_t shard) const { return names_[shard]; }
+  // The owning group's member shards — the R replicas every write of
+  // `key` must reach. Requires a non-empty ring.
+  const std::vector<std::string>& OwnersFor(std::string_view key) const {
+    return nodes_[ShardFor(key)].members;
+  }
+
+  std::size_t num_shards() const { return nodes_.size(); }
+  const std::string& name(std::size_t shard) const {
+    return nodes_[shard].name;
+  }
+  const RingNode& node(std::size_t shard) const { return nodes_[shard]; }
+  const std::vector<RingNode>& nodes() const { return nodes_; }
 
  private:
-  std::vector<std::string> names_;
-  // (point hash, shard index), sorted by hash: the ring itself.
+  std::vector<RingNode> nodes_;
+  // (point hash, node index), sorted by hash: the ring itself.
   std::vector<std::pair<uint64_t, std::size_t>> points_;
 };
 

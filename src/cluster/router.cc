@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
+#include <functional>
 #include <optional>
+#include <set>
 #include <utility>
 
+#include "net/wire.h"
 #include "serve/merge.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
@@ -22,17 +24,21 @@ int64_t SteadyNowMs() {
       .count();
 }
 
-std::vector<std::string> NamesOf(
-    const std::vector<std::shared_ptr<ShardHandle>>& shards) {
-  std::vector<std::string> names;
-  names.reserve(shards.size());
-  for (const auto& shard : shards) names.push_back(shard->name());
-  return names;
+std::size_t ScatterThreads(std::size_t configured, std::size_t num_groups) {
+  if (configured > 0) return configured;
+  return std::clamp<std::size_t>(num_groups, 1, 16);
 }
 
-std::size_t ScatterThreads(std::size_t configured, std::size_t num_shards) {
-  if (configured > 0) return configured;
-  return std::clamp<std::size_t>(num_shards, 1, 16);
+// Deterministic per-member salt for the retry jitter streams: member
+// identity is its name, which survives ring changes (an index would
+// not).
+uint64_t NameSalt(std::string_view name) {
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h | 1;
 }
 
 // Waits for a fixed number of scatter tasks. The coordinator always
@@ -62,37 +68,184 @@ bool ShardRetryable(const Status& status) {
          status.code() == StatusCode::kUnavailable;
 }
 
+// Decoded /v1/admin/checksum reply, for the anti-entropy comparison.
+struct ChecksumReply {
+  uint64_t docs = 0;
+  std::string checksum;
+};
+
+Result<ChecksumReply> ParseChecksum(const JsonValue& v) {
+  const JsonValue* docs = v.Find("docs");
+  const JsonValue* checksum = v.Find("checksum");
+  if (docs == nullptr || !docs->is_integer() || checksum == nullptr ||
+      !checksum->is_string()) {
+    return Status::Corruption("malformed checksum reply");
+  }
+  ChecksumReply reply;
+  reply.docs = static_cast<uint64_t>(docs->GetInt64());
+  reply.checksum = checksum->GetString();
+  return reply;
+}
+
 }  // namespace
 
+std::vector<ReplicaGroup> MakeReplicaGroups(
+    std::vector<std::shared_ptr<ShardHandle>> handles,
+    std::size_t replication) {
+  if (replication == 0) replication = 1;
+  std::vector<ReplicaGroup> groups;
+  groups.reserve((handles.size() + replication - 1) / replication);
+  for (std::size_t i = 0; i < handles.size(); i += replication) {
+    ReplicaGroup group;
+    for (std::size_t j = i; j < std::min(i + replication, handles.size());
+         ++j) {
+      group.members.push_back(std::move(handles[j]));
+    }
+    group.name = group.members.front()->name();
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
 ShardRouter::ShardRouter(std::vector<std::shared_ptr<ShardHandle>> shards,
+                         ShardRouterOptions options, MetricsRegistry* metrics)
+    : ShardRouter(MakeReplicaGroups(std::move(shards), 1), options, metrics) {}
+
+ShardRouter::ShardRouter(std::vector<ReplicaGroup> groups,
                          ShardRouterOptions options, MetricsRegistry* metrics)
     : opts_(options),
       owned_metrics_(metrics == nullptr ? new MetricsRegistry() : nullptr),
       metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
-      ring_(NamesOf(shards), options.ring_replicas),
-      pool_(ScatterThreads(options.scatter_threads, shards.size())),
+      pool_(ScatterThreads(options.scatter_threads, groups.size())),
       hedge_tokens_(options.hedge_budget) {
-  shards_.reserve(shards.size());
-  for (auto& handle : shards) {
-    auto state = std::make_unique<ShardState>(std::move(handle),
-                                              opts_.breaker);
-    state->requests = metrics_->GetCounter(
-        "cluster_shard_requests_total_" + state->handle->name());
-    state->failures = metrics_->GetCounter(
-        "cluster_shard_failures_total_" + state->handle->name());
-    shards_.push_back(std::move(state));
-  }
+  Result<std::vector<std::shared_ptr<GroupState>>> built =
+      BuildGroups(std::move(groups));
+  BIVOC_CHECK(built.ok()) << built.status().ToString();
+  auto table = std::make_shared<RoutingTable>();
+  table->groups = built.MoveValue();
+  table->ring = RingOf(table->groups, opts_.ring_replicas);
+  table_ = std::move(table);
+
   hedges_ = metrics_->GetCounter("cluster_hedges_total");
   hedge_denied_ = metrics_->GetCounter("cluster_hedges_denied_total");
+  failovers_ = metrics_->GetCounter("cluster_failovers_total");
   partial_responses_ =
       metrics_->GetCounter("cluster_partial_responses_total");
   unavailable_responses_ =
       metrics_->GetCounter("cluster_unavailable_responses_total");
+  rebalances_ = metrics_->GetCounter("cluster_rebalances_total");
+  rebalanced_docs_ = metrics_->GetCounter("cluster_rebalanced_docs_total");
+  audits_ = metrics_->GetCounter("cluster_audits_total");
+  replica_divergence_ = metrics_->GetGauge("cluster_replica_divergence");
   scatter_latency_ = metrics_->GetHistogram("cluster_scatter_latency_ms");
   merge_latency_ = metrics_->GetHistogram("cluster_merge_latency_ms");
+  rebalance_latency_ = metrics_->GetHistogram("cluster_rebalance_ms");
+
+  if (opts_.anti_entropy_interval_ms > 0) {
+    audit_thread_ = std::thread([this] { AuditLoop(); });
+  }
 }
 
-ShardRouter::~ShardRouter() = default;
+ShardRouter::~ShardRouter() {
+  {
+    std::lock_guard<std::mutex> lock(audit_stop_mu_);
+    audit_stop_ = true;
+  }
+  audit_stop_cv_.notify_all();
+  if (audit_thread_.joinable()) audit_thread_.join();
+}
+
+Result<std::vector<std::shared_ptr<ShardRouter::GroupState>>>
+ShardRouter::BuildGroups(std::vector<ReplicaGroup> groups) {
+  if (groups.empty()) {
+    return Status::InvalidArgument("ring needs at least one replica group");
+  }
+  std::set<std::string> group_names;
+  std::set<std::string> member_names;
+  std::vector<std::shared_ptr<GroupState>> out;
+  out.reserve(groups.size());
+  std::lock_guard<std::mutex> lock(members_mu_);
+  for (ReplicaGroup& group : groups) {
+    if (group.members.empty()) {
+      return Status::InvalidArgument("replica group \"" + group.name +
+                                     "\" has no members");
+    }
+    auto state = std::make_shared<GroupState>();
+    state->name =
+        group.name.empty() ? group.members.front()->name() : group.name;
+    if (!group_names.insert(state->name).second) {
+      return Status::InvalidArgument("duplicate replica group name \"" +
+                                     state->name + "\"");
+    }
+    for (std::shared_ptr<ShardHandle>& handle : group.members) {
+      const std::string member_name = handle->name();
+      if (!member_names.insert(member_name).second) {
+        return Status::InvalidArgument(
+            "shard \"" + member_name + "\" appears twice in the ring");
+      }
+      // A member name this router has routed to before keeps its
+      // breaker, counters and warn history across ring changes.
+      auto it = members_.find(member_name);
+      std::shared_ptr<MemberState> member;
+      if (it != members_.end()) {
+        member = it->second;
+      } else {
+        member = std::make_shared<MemberState>(std::move(handle),
+                                               opts_.breaker);
+        member->requests = metrics_->GetCounter(
+            "cluster_shard_requests_total_" + member_name);
+        member->failures = metrics_->GetCounter(
+            "cluster_shard_failures_total_" + member_name);
+        members_[member_name] = member;
+      }
+      state->members.push_back(std::move(member));
+    }
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
+std::shared_ptr<const HashRing> ShardRouter::RingOf(
+    const std::vector<std::shared_ptr<GroupState>>& groups,
+    std::size_t ring_replicas) {
+  std::vector<RingNode> nodes;
+  nodes.reserve(groups.size());
+  for (const auto& group : groups) {
+    RingNode node;
+    node.name = group->name;
+    node.members.reserve(group->members.size());
+    for (const auto& member : group->members) {
+      node.members.push_back(member->handle->name());
+    }
+    nodes.push_back(std::move(node));
+  }
+  return std::make_shared<HashRing>(std::move(nodes), ring_replicas);
+}
+
+std::shared_ptr<const ShardRouter::RoutingTable> ShardRouter::Table() const {
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
+  return table_;
+}
+
+uint64_t ShardRouter::ring_epoch() const { return Table()->epoch; }
+
+std::size_t ShardRouter::num_shards() const { return Table()->groups.size(); }
+
+std::string ShardRouter::shard_name(std::size_t shard) const {
+  return Table()->groups[shard]->name;
+}
+
+CircuitBreaker* ShardRouter::breaker(std::size_t shard) {
+  // Member states outlive every table they appear in (members_ keeps
+  // them), so the pointer stays valid across ring changes.
+  return &Table()->groups[shard]->members.front()->breaker;
+}
+
+std::size_t ShardRouter::ShardForItem(const IngestItem& item) const {
+  const std::shared_ptr<const RoutingTable> table = Table();
+  const RoutingTable& effective = table->next ? *table->next : *table;
+  return effective.ring->ShardFor(RouteKey(item));
+}
 
 std::string_view ShardRouter::RouteKey(const IngestItem& item) {
   if (!item.structured_keys.empty()) return item.structured_keys.front();
@@ -116,38 +269,50 @@ void ShardRouter::ReleaseHedge() {
   hedge_tokens_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void ShardRouter::WarnUnreachable(ShardState* state, const Status& status) {
+void ShardRouter::WarnUnreachable(MemberState* member, const Status& status) {
   const int64_t now = SteadyNowMs();
   std::size_t suppressed = 0;
   {
-    std::lock_guard<std::mutex> lock(state->warn_mu);
-    if (state->ever_warned &&
-        now - state->last_warn_ms < opts_.warn_interval_ms) {
-      ++state->suppressed;
+    std::lock_guard<std::mutex> lock(member->warn_mu);
+    if (member->ever_warned &&
+        now - member->last_warn_ms < opts_.warn_interval_ms) {
+      ++member->suppressed;
       return;
     }
-    suppressed = state->suppressed;
-    state->suppressed = 0;
-    state->last_warn_ms = now;
-    state->ever_warned = true;
+    suppressed = member->suppressed;
+    member->suppressed = 0;
+    member->last_warn_ms = now;
+    member->ever_warned = true;
   }
   auto line = BIVOC_LOG(Warning);
-  line << "shard " << state->handle->name()
+  line << "shard " << member->handle->name()
        << " unreachable: " << status.ToString();
   if (suppressed > 0) {
     line << " (" << suppressed << " similar warnings suppressed)";
   }
 }
 
-Result<ReportResult> ShardRouter::QueryShard(std::size_t shard,
-                                             const QueryRequest& request) {
-  ShardState& state = *shards_[shard];
-  state.requests->Increment();
-  if (!state.breaker.Allow()) {
-    state.failures->Increment();
+void ShardRouter::WarnDivergent(const std::string& group,
+                                const std::string& detail) {
+  const int64_t now = SteadyNowMs();
+  {
+    std::lock_guard<std::mutex> lock(divergence_warn_mu_);
+    int64_t& last = divergence_last_warn_ms_[group];
+    if (last != 0 && now - last < opts_.warn_interval_ms) return;
+    last = now;
+  }
+  BIVOC_LOG(Warning) << "replica divergence in group " << group << ": "
+                     << detail;
+}
+
+Result<ReportResult> ShardRouter::QueryMember(MemberState& member,
+                                              const QueryRequest& request) {
+  member.requests->Increment();
+  if (!member.breaker.Allow()) {
+    member.failures->Increment();
     // No WarnUnreachable here: the breaker opening already warned, and
     // short-circuits would re-trigger it every request.
-    return Status::Unavailable("shard " + state.handle->name() +
+    return Status::Unavailable("shard " + member.handle->name() +
                                ": circuit open");
   }
 
@@ -159,7 +324,7 @@ Result<ReportResult> ShardRouter::QueryShard(std::size_t shard,
     std::optional<WireReport> report;
   };
   auto slot = std::make_shared<Slot>();
-  std::shared_ptr<ShardHandle> handle = state.handle;
+  std::shared_ptr<ShardHandle> handle = member.handle;
   const std::string named_point =
       std::string(kFaultShardSend) + ":" + handle->name();
 
@@ -174,8 +339,8 @@ Result<ReportResult> ShardRouter::QueryShard(std::size_t shard,
     policy.hedge_release = [this] { ReleaseHedge(); };
   }
   policy.retryable = ShardRetryable;
-  Retrier retrier(policy,
-                  opts_.seed ^ (0x9e3779b97f4a7c15ULL * (shard + 1)));
+  Retrier retrier(policy, opts_.seed ^ (0x9e3779b97f4a7c15ULL *
+                                        NameSalt(handle->name())));
   const QueryRequest shard_request = request;
   Status status = retrier.Run([handle, slot, shard_request, named_point] {
     BIVOC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail(kFaultShardSend));
@@ -190,26 +355,68 @@ Result<ReportResult> ShardRouter::QueryShard(std::size_t shard,
   });
 
   if (status.ok()) {
-    state.breaker.RecordSuccess();
+    member.breaker.RecordSuccess();
     std::lock_guard<std::mutex> lock(slot->mu);
     return std::move(slot->report->report);
   }
-  state.breaker.RecordFailure();
-  state.failures->Increment();
-  WarnUnreachable(&state, status);
+  member.breaker.RecordFailure();
+  member.failures->Increment();
+  WarnUnreachable(&member, status);
   return status;
 }
 
+Result<ReportResult> ShardRouter::QueryGroup(const GroupState& group,
+                                             const QueryRequest& request) {
+  Status last = Status::Unavailable("group " + group.name + " has no members");
+  for (std::size_t i = 0; i < group.members.size(); ++i) {
+    Result<ReportResult> result = QueryMember(*group.members[i], request);
+    if (result.ok()) {
+      // Replicas hold identical content, so which member answered does
+      // not change a single byte of the merged report — only the group
+      // name goes into it.
+      result.value().merge.shard_name = group.name;
+      return result;
+    }
+    last = result.status();
+    if (i + 1 < group.members.size()) failovers_->Increment();
+  }
+  return last;
+}
+
 Result<JsonValue> ShardRouter::ExecuteQuery(QueryRequest request) {
+  // Shared for the whole call: barrier 2 of a ring change cannot run
+  // while any query is mid-flight (and vice versa).
+  std::shared_lock<std::shared_mutex> table_lock(table_mu_);
+  const std::shared_ptr<const RoutingTable> table = table_;
+
   Timer scatter_timer;
   request.shard_mode = true;
-  const std::size_t n = shards_.size();
+  // Scatter set: the current groups, plus — mid-rebalance — the
+  // incoming groups, which already hold every moved-key document
+  // written since barrier 1. Old copies of moved documents still count
+  // once (via their old group) and staged backfill is query-invisible,
+  // so the union is exact.
+  std::vector<const GroupState*> groups;
+  groups.reserve(table->groups.size());
+  for (const auto& group : table->groups) groups.push_back(group.get());
+  if (table->next != nullptr) {
+    std::set<std::string> current_names;
+    for (const auto& group : table->groups) {
+      current_names.insert(group->name);
+    }
+    for (const auto& group : table->next->groups) {
+      if (current_names.count(group->name) == 0) {
+        groups.push_back(group.get());
+      }
+    }
+  }
+  const std::size_t n = groups.size();
 
   std::vector<std::optional<Result<ReportResult>>> results(n);
   Latch latch(n);
   for (std::size_t i = 0; i < n; ++i) {
-    pool_.Submit([this, i, &request, &results, &latch] {
-      results[i] = QueryShard(i, request);
+    pool_.Submit([this, i, &groups, &request, &results, &latch] {
+      results[i] = QueryGroup(*groups[i], request);
       latch.CountDown();
     });
   }
@@ -225,7 +432,7 @@ Result<JsonValue> ShardRouter::ExecuteQuery(QueryRequest request) {
     if (result.ok()) {
       partials.push_back(result.MoveValue());
     } else {
-      missing.Append(JsonValue(shards_[i]->handle->name()));
+      missing.Append(JsonValue(groups[i]->name));
       ++missing_count;
     }
   }
@@ -254,17 +461,16 @@ Result<JsonValue> ShardRouter::ExecuteQuery(QueryRequest request) {
   return body;
 }
 
-Status ShardRouter::IngestShard(std::size_t shard,
-                                const std::vector<IngestItem>& items,
-                                JsonValue* health_out) {
-  ShardState& state = *shards_[shard];
-  state.requests->Increment();
-  if (!state.breaker.Allow()) {
-    state.failures->Increment();
-    return Status::Unavailable("shard " + state.handle->name() +
+Status ShardRouter::IngestMember(MemberState& member,
+                                 const std::vector<IngestItem>& items,
+                                 JsonValue* health_out) {
+  member.requests->Increment();
+  if (!member.breaker.Allow()) {
+    member.failures->Increment();
+    return Status::Unavailable("shard " + member.handle->name() +
                                ": circuit open");
   }
-  std::shared_ptr<ShardHandle> handle = state.handle;
+  std::shared_ptr<ShardHandle> handle = member.handle;
   const std::string named_point =
       std::string(kFaultShardSend) + ":" + handle->name();
 
@@ -275,8 +481,8 @@ Status ShardRouter::IngestShard(std::size_t shard,
   policy.initial_backoff_ms = opts_.ingest_backoff_ms;
   policy.deadline_ms = opts_.shard_deadline_ms;
   policy.retryable = ShardRetryable;
-  Retrier retrier(policy,
-                  opts_.seed ^ (0xc2b2ae3d27d4eb4fULL * (shard + 1)));
+  Retrier retrier(policy, opts_.seed ^ (0xc2b2ae3d27d4eb4fULL *
+                                        NameSalt(handle->name())));
   Status status = retrier.Run([&]() -> Status {
     BIVOC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail(kFaultShardSend));
     BIVOC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail(named_point));
@@ -287,42 +493,65 @@ Status ShardRouter::IngestShard(std::size_t shard,
   });
 
   if (status.ok()) {
-    state.breaker.RecordSuccess();
+    member.breaker.RecordSuccess();
     return status;
   }
-  state.breaker.RecordFailure();
-  state.failures->Increment();
-  WarnUnreachable(&state, status);
+  member.breaker.RecordFailure();
+  member.failures->Increment();
+  WarnUnreachable(&member, status);
   return status;
 }
 
 Result<JsonValue> ShardRouter::ExecuteIngest(std::vector<IngestItem> items) {
-  const std::size_t n = shards_.size();
+  // Shared for the whole call: a ring-change barrier never interleaves
+  // with a half-routed batch.
+  std::shared_lock<std::shared_mutex> table_lock(table_mu_);
+  const std::shared_ptr<const RoutingTable> table = table_;
+  // Mid-rebalance, writes route by the *next* ring only: moved keys go
+  // straight to their new owners (already in the query scatter), so
+  // nothing is lost and nothing double-counts.
+  const RoutingTable& routing = table->next ? *table->next : *table;
+
+  const std::size_t n = routing.groups.size();
   const std::size_t total_items = items.size();
   std::vector<std::vector<IngestItem>> batches(n);
   for (IngestItem& item : items) {
-    batches[ring_.ShardFor(RouteKey(item))].push_back(std::move(item));
+    batches[routing.ring->ShardFor(RouteKey(item))].push_back(
+        std::move(item));
   }
 
-  struct Outcome {
-    bool attempted = false;
+  struct MemberOutcome {
     Status status;
     JsonValue health;
+  };
+  struct Outcome {
+    bool attempted = false;
+    std::vector<MemberOutcome> members;
+    std::size_t ok_members = 0;
   };
   std::vector<Outcome> outcomes(n);
   std::size_t attempted = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (!batches[i].empty()) {
       outcomes[i].attempted = true;
+      outcomes[i].members.resize(routing.groups[i]->members.size());
       ++attempted;
     }
   }
   Latch latch(attempted);
   for (std::size_t i = 0; i < n; ++i) {
     if (!outcomes[i].attempted) continue;
-    pool_.Submit([this, i, &batches, &outcomes, &latch] {
-      outcomes[i].status =
-          IngestShard(i, batches[i], &outcomes[i].health);
+    pool_.Submit([this, i, &routing, &batches, &outcomes, &latch] {
+      const GroupState& group = *routing.groups[i];
+      // Every member gets the batch, sequentially: a replica that
+      // misses a write diverges, and the anti-entropy audit would
+      // report what a retry could have prevented.
+      for (std::size_t m = 0; m < group.members.size(); ++m) {
+        MemberOutcome& outcome = outcomes[i].members[m];
+        outcome.status =
+            IngestMember(*group.members[m], batches[i], &outcome.health);
+        if (outcome.status.ok()) ++outcomes[i].ok_members;
+      }
       latch.CountDown();
     });
   }
@@ -331,30 +560,54 @@ Result<JsonValue> ShardRouter::ExecuteIngest(std::vector<IngestItem> items) {
   JsonValue shards = JsonValue::MakeArray();
   JsonValue missing = JsonValue::MakeArray();
   std::size_t failed_items = 0;
-  std::size_t failed_shards = 0;
+  std::size_t failed_groups = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (!outcomes[i].attempted) continue;
+    const GroupState& group = *routing.groups[i];
     JsonValue entry = JsonValue::MakeObject();
-    entry.Set("name", JsonValue(shards_[i]->handle->name()));
+    entry.Set("name", JsonValue(group.name));
     entry.Set("items",
               JsonValue(static_cast<uint64_t>(batches[i].size())));
-    if (outcomes[i].status.ok()) {
-      entry.Set("health", std::move(outcomes[i].health));
+    entry.Set("replicas_total",
+              JsonValue(static_cast<uint64_t>(group.members.size())));
+    entry.Set("replicas_ok",
+              JsonValue(static_cast<uint64_t>(outcomes[i].ok_members)));
+    if (outcomes[i].ok_members > 0) {
+      // An item landed if *any* replica accepted it; member-level
+      // failures are reported but do not fail the batch.
+      for (std::size_t m = 0; m < outcomes[i].members.size(); ++m) {
+        if (outcomes[i].members[m].status.ok()) {
+          entry.Set("health", std::move(outcomes[i].members[m].health));
+          break;
+        }
+      }
+      if (outcomes[i].ok_members < group.members.size()) {
+        JsonValue member_errors = JsonValue::MakeArray();
+        for (std::size_t m = 0; m < outcomes[i].members.size(); ++m) {
+          if (!outcomes[i].members[m].status.ok()) {
+            member_errors.Append(JsonValue(
+                group.members[m]->handle->name() + ": " +
+                outcomes[i].members[m].status.ToString()));
+          }
+        }
+        entry.Set("member_errors", std::move(member_errors));
+      }
     } else {
-      entry.Set("error", JsonValue(outcomes[i].status.ToString()));
-      missing.Append(JsonValue(shards_[i]->handle->name()));
+      entry.Set("error",
+                JsonValue(outcomes[i].members.front().status.ToString()));
+      missing.Append(JsonValue(group.name));
       failed_items += batches[i].size();
-      ++failed_shards;
+      ++failed_groups;
     }
     shards.Append(std::move(entry));
   }
-  if (attempted > 0 && failed_shards == attempted) {
+  if (attempted > 0 && failed_groups == attempted) {
     unavailable_responses_->Increment();
     return Status::Unavailable("ingest failed on every target shard (" +
-                               std::to_string(failed_shards) + "/" +
+                               std::to_string(failed_groups) + "/" +
                                std::to_string(attempted) + ")");
   }
-  const bool partial = failed_shards > 0;
+  const bool partial = failed_groups > 0;
   if (partial) partial_responses_->Increment();
   JsonValue body = JsonValue::MakeObject();
   body.Set("partial", JsonValue(partial));
@@ -365,8 +618,373 @@ Result<JsonValue> ShardRouter::ExecuteIngest(std::vector<IngestItem> items) {
   return body;
 }
 
+// --- live rebalancing (DESIGN.md §14) --------------------------------
+
+Result<JsonValue> ShardRouter::ChangeRing(
+    std::vector<ReplicaGroup> new_groups) {
+  // One ring change at a time; queries/ingest keep flowing.
+  std::lock_guard<std::mutex> change_lock(change_mu_);
+  Timer timer;
+
+  BIVOC_ASSIGN_OR_RETURN(std::vector<std::shared_ptr<GroupState>> built,
+                         BuildGroups(std::move(new_groups)));
+  auto next = std::make_shared<RoutingTable>();
+  next->groups = std::move(built);
+  next->ring = RingOf(next->groups, opts_.ring_replicas);
+  std::map<std::string, const GroupState*> next_by_name;
+  for (const auto& group : next->groups) {
+    next_by_name[group->name] = group.get();
+  }
+
+  // ---- Barrier 1 (exclusive, brief): open the rebalance window.
+  // From here, ingest routes by the next ring — the moved-document set
+  // on the old owners is frozen — and queries scatter over the union.
+  std::shared_ptr<const RoutingTable> current;
+  {
+    std::unique_lock<std::shared_mutex> lock(table_mu_);
+    current = table_;
+    next->epoch = current->epoch + 1;
+    auto window = std::make_shared<RoutingTable>(*current);
+    window->next = next;
+    table_ = window;
+  }
+  const HashRing& next_ring = *next->ring;
+
+  auto rollback = [&](std::vector<std::shared_ptr<MemberState>>& staged,
+                      const Status& why) -> Status {
+    for (const auto& member : staged) {
+      Result<JsonValue> aborted =
+          member->handle->Admin("abort", JsonValue::MakeObject());
+      if (!aborted.ok()) {
+        BIVOC_LOG(Warning) << "rebalance rollback: abort on "
+                           << member->handle->name()
+                           << " failed: " << aborted.status().ToString();
+      }
+    }
+    std::unique_lock<std::shared_mutex> lock(table_mu_);
+    table_ = current;  // close the window; epoch unchanged
+    return why;
+  };
+  std::vector<std::shared_ptr<MemberState>> staged_members;
+
+  // ---- Export the moved key ranges: one healthy member per losing
+  // group, filtered down to the documents whose owner differs between
+  // the rings. A group none of whose replicas can export aborts the
+  // change — the alternative is silently stranding its moved keys.
+  std::map<std::string, std::vector<ExportedDoc>> inbound;   // new owner
+  std::map<std::string, std::vector<std::string>> outbound;  // old owner
+  std::size_t moved_total = 0;
+  for (const auto& group : current->groups) {
+    Result<JsonValue> exported =
+        Status::Unavailable("group " + group->name + " has no members");
+    for (const auto& member : group->members) {
+      exported = member->handle->Admin("export", JsonValue::MakeObject());
+      if (exported.ok()) break;
+    }
+    if (!exported.ok()) {
+      return rollback(staged_members,
+                      Status(exported.status().code(),
+                             "rebalance aborted: cannot export from group " +
+                                 group->name + ": " +
+                                 exported.status().message()));
+    }
+    Result<std::vector<ExportedDoc>> docs =
+        ExportedDocsFromJson(exported.value());
+    if (!docs.ok()) {
+      return rollback(staged_members,
+                      Status::Corruption("rebalance aborted: group " +
+                                         group->name + " sent a bad export: " +
+                                         docs.status().message()));
+    }
+    for (ExportedDoc& doc : docs.value()) {
+      const std::string& dest =
+          next_ring.name(next_ring.ShardFor(doc.route_key));
+      if (dest == group->name) continue;  // key range stays put
+      outbound[group->name].push_back(doc.route_key);
+      inbound[dest].push_back(std::move(doc));
+      ++moved_total;
+    }
+  }
+
+  // ---- Stage the moved documents into every member of each gaining
+  // group. Staged documents are query-invisible until barrier 2.
+  for (auto& [dest, docs] : inbound) {
+    const JsonValue body = ExportedDocsToJson(docs);
+    const GroupState* target = next_by_name.at(dest);
+    for (const auto& member : target->members) {
+      Result<JsonValue> staged = member->handle->Admin("stage", body);
+      if (!staged.ok()) {
+        return rollback(
+            staged_members,
+            Status(staged.status().code(),
+                   "rebalance aborted: cannot stage onto " +
+                       member->handle->name() + ": " +
+                       staged.status().message()));
+      }
+      staged_members.push_back(member);
+    }
+  }
+
+  // ---- Barrier 2 (exclusive over queries AND ingest): staged
+  // documents become visible on the gainers, the movers' old copies
+  // are dropped by explicit route-key list, and the epoch flips — all
+  // with no reader in flight, so no request ever sees a document twice
+  // or not at all. Member failures here diverge that replica only; the
+  // flip proceeds and the anti-entropy audit reports the damage.
+  std::vector<std::string> errors;
+  std::size_t dropped_total = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(table_mu_);
+    for (auto& [dest, docs] : inbound) {
+      (void)docs;
+      const GroupState* target = next_by_name.at(dest);
+      for (const auto& member : target->members) {
+        Result<JsonValue> applied =
+            member->handle->Admin("apply", JsonValue::MakeObject());
+        if (!applied.ok()) {
+          errors.push_back("apply on " + member->handle->name() + ": " +
+                           applied.status().ToString());
+        }
+      }
+    }
+    for (const auto& group : current->groups) {
+      auto moved = outbound.find(group->name);
+      if (moved == outbound.end()) continue;
+      JsonValue drop_body = JsonValue::MakeObject();
+      JsonValue routes = JsonValue::MakeArray();
+      for (const std::string& route : moved->second) {
+        routes.Append(JsonValue(route));
+      }
+      drop_body.Set("routes", std::move(routes));
+      for (const auto& member : group->members) {
+        Result<JsonValue> dropped = member->handle->Admin("drop", drop_body);
+        if (!dropped.ok()) {
+          errors.push_back("drop on " + member->handle->name() + ": " +
+                           dropped.status().ToString());
+          continue;
+        }
+        const JsonValue* count = dropped.value().Find("dropped");
+        if (count != nullptr && count->is_integer()) {
+          dropped_total += static_cast<std::size_t>(count->GetInt64());
+        }
+      }
+    }
+    table_ = next;
+  }
+
+  rebalances_->Increment();
+  rebalanced_docs_->Increment(moved_total);
+  rebalance_latency_->Observe(timer.ElapsedMillis());
+  for (const std::string& error : errors) {
+    BIVOC_LOG(Warning) << "ring change (epoch " << next->epoch
+                       << "): " << error;
+  }
+
+  JsonValue reply = JsonValue::MakeObject();
+  reply.Set("epoch", JsonValue(next->epoch));
+  reply.Set("moved_docs", JsonValue(static_cast<uint64_t>(moved_total)));
+  reply.Set("dropped_docs",
+            JsonValue(static_cast<uint64_t>(dropped_total)));
+  JsonValue group_names = JsonValue::MakeArray();
+  for (const auto& group : next->groups) {
+    group_names.Append(JsonValue(group->name));
+  }
+  reply.Set("groups", std::move(group_names));
+  JsonValue error_list = JsonValue::MakeArray();
+  for (const std::string& error : errors) {
+    error_list.Append(JsonValue(error));
+  }
+  reply.Set("errors", std::move(error_list));
+  return reply;
+}
+
+// --- anti-entropy ----------------------------------------------------
+
+Result<JsonValue> ShardRouter::AuditReplicas() {
+  std::shared_ptr<const RoutingTable> table = Table();
+  audits_->Increment();
+
+  std::size_t divergent = 0;
+  JsonValue groups_json = JsonValue::MakeArray();
+  for (const auto& group : table->groups) {
+    JsonValue members_json = JsonValue::MakeArray();
+    std::vector<std::pair<std::string, ChecksumReply>> answers;
+    for (const auto& member : group->members) {
+      JsonValue entry = JsonValue::MakeObject();
+      entry.Set("name", JsonValue(member->handle->name()));
+      Result<JsonValue> reply =
+          member->handle->Admin("checksum", JsonValue::MakeObject());
+      Result<ChecksumReply> parsed =
+          reply.ok() ? ParseChecksum(reply.value())
+                     : Result<ChecksumReply>(reply.status());
+      if (parsed.ok()) {
+        entry.Set("ok", JsonValue(true));
+        entry.Set("docs", JsonValue(parsed.value().docs));
+        entry.Set("checksum", JsonValue(parsed.value().checksum));
+        answers.emplace_back(member->handle->name(), parsed.MoveValue());
+      } else {
+        // Unreachable is not divergent: the audit compares content, not
+        // availability (the breaker and healthz own that).
+        entry.Set("ok", JsonValue(false));
+        entry.Set("error", JsonValue(parsed.status().ToString()));
+      }
+      members_json.Append(std::move(entry));
+    }
+    bool diverged = false;
+    for (std::size_t i = 1; i < answers.size(); ++i) {
+      if (answers[i].second.docs != answers[0].second.docs ||
+          answers[i].second.checksum != answers[0].second.checksum) {
+        diverged = true;
+        WarnDivergent(group->name,
+                      answers[0].first + " has " +
+                          std::to_string(answers[0].second.docs) + " docs/" +
+                          answers[0].second.checksum + " but " +
+                          answers[i].first + " has " +
+                          std::to_string(answers[i].second.docs) + " docs/" +
+                          answers[i].second.checksum);
+      }
+    }
+    if (diverged) ++divergent;
+    JsonValue group_json = JsonValue::MakeObject();
+    group_json.Set("name", JsonValue(group->name));
+    group_json.Set("divergent", JsonValue(diverged));
+    group_json.Set("members", std::move(members_json));
+    groups_json.Append(std::move(group_json));
+  }
+  replica_divergence_->Set(static_cast<int64_t>(divergent));
+
+  JsonValue body = JsonValue::MakeObject();
+  body.Set("divergent", JsonValue(static_cast<uint64_t>(divergent)));
+  body.Set("epoch", JsonValue(table->epoch));
+  body.Set("groups", std::move(groups_json));
+  return body;
+}
+
+void ShardRouter::AuditLoop() {
+  std::unique_lock<std::mutex> lock(audit_stop_mu_);
+  while (!audit_stop_) {
+    if (audit_stop_cv_.wait_for(
+            lock, std::chrono::milliseconds(opts_.anti_entropy_interval_ms),
+            [this] { return audit_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    Result<JsonValue> audit = AuditReplicas();
+    if (!audit.ok()) {
+      BIVOC_LOG(Warning) << "anti-entropy audit failed: "
+                         << audit.status().ToString();
+    }
+    lock.lock();
+  }
+}
+
+// --- admin surface ---------------------------------------------------
+
+namespace {
+
+// {"groups":[{"name":"g0","members":[{"name":"s0","host":"127.0.0.1",
+// "port":18081},...]},...]} — host/port optional for member names the
+// router already knows (resolver below substitutes the live handle).
+Result<std::vector<ReplicaGroup>> RingBodyToGroups(
+    const JsonValue& body,
+    const std::function<std::shared_ptr<ShardHandle>(const std::string&)>&
+        known) {
+  if (!body.is_object()) {
+    return Status::InvalidArgument("ring body must be a JSON object");
+  }
+  const JsonValue* groups = body.Find("groups");
+  if (groups == nullptr || !groups->is_array()) {
+    return Status::InvalidArgument("ring body needs a \"groups\" array");
+  }
+  std::vector<ReplicaGroup> out;
+  out.reserve(groups->GetArray().size());
+  for (std::size_t g = 0; g < groups->GetArray().size(); ++g) {
+    const JsonValue& group_json = groups->GetArray()[g];
+    const std::string where = "groups[" + std::to_string(g) + "]";
+    if (!group_json.is_object()) {
+      return Status::InvalidArgument(where + ": expected an object");
+    }
+    ReplicaGroup group;
+    const JsonValue* name = group_json.Find("name");
+    if (name != nullptr) {
+      if (!name->is_string()) {
+        return Status::InvalidArgument(where + ".name: expected a string");
+      }
+      group.name = name->GetString();
+    }
+    const JsonValue* members = group_json.Find("members");
+    if (members == nullptr || !members->is_array()) {
+      return Status::InvalidArgument(where + ": needs a \"members\" array");
+    }
+    for (std::size_t m = 0; m < members->GetArray().size(); ++m) {
+      const JsonValue& member_json = members->GetArray()[m];
+      const std::string mwhere = where + ".members[" + std::to_string(m) + "]";
+      if (!member_json.is_object()) {
+        return Status::InvalidArgument(mwhere + ": expected an object");
+      }
+      const JsonValue* member_name = member_json.Find("name");
+      if (member_name == nullptr || !member_name->is_string()) {
+        return Status::InvalidArgument(mwhere +
+                                       ": needs a \"name\" string");
+      }
+      std::shared_ptr<ShardHandle> handle = known(member_name->GetString());
+      if (handle == nullptr) {
+        const JsonValue* host = member_json.Find("host");
+        const JsonValue* port = member_json.Find("port");
+        if (host == nullptr || !host->is_string() || port == nullptr ||
+            !port->is_integer() || port->GetInt64() <= 0 ||
+            port->GetInt64() > 65535) {
+          return Status::InvalidArgument(
+              mwhere + ": unknown shard needs \"host\" and \"port\"");
+        }
+        handle = std::make_shared<HttpShardHandle>(
+            member_name->GetString(), host->GetString(),
+            static_cast<uint16_t>(port->GetInt64()));
+      }
+      group.members.push_back(std::move(handle));
+    }
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<JsonValue> ShardRouter::ExecuteAdmin(const std::string& action,
+                                            const JsonValue& body) {
+  if (action == "ring") {
+    auto known =
+        [this](const std::string& name) -> std::shared_ptr<ShardHandle> {
+      std::lock_guard<std::mutex> lock(members_mu_);
+      auto it = members_.find(name);
+      return it == members_.end() ? nullptr : it->second->handle;
+    };
+    BIVOC_ASSIGN_OR_RETURN(std::vector<ReplicaGroup> groups,
+                           RingBodyToGroups(body, known));
+    return ChangeRing(std::move(groups));
+  }
+  if (action == "audit") {
+    return AuditReplicas();
+  }
+  return GatewayBackend::ExecuteAdmin(action, body);
+}
+
+// --- health / metrics ------------------------------------------------
+
 GatewayBackend::HealthSnapshot ShardRouter::Healthz() {
-  const std::size_t n = shards_.size();
+  const std::shared_ptr<const RoutingTable> table = Table();
+
+  struct ProbeTarget {
+    const GroupState* group;
+    MemberState* member;
+  };
+  std::vector<ProbeTarget> targets;
+  for (const auto& group : table->groups) {
+    for (const auto& member : group->members) {
+      targets.push_back({group.get(), member.get()});
+    }
+  }
+  const std::size_t n = targets.size();
   struct Probe {
     Status status;
     JsonValue health;
@@ -377,15 +995,16 @@ GatewayBackend::HealthSnapshot ShardRouter::Healthz() {
     // Deliberately bypasses the breaker: health is how operators (and
     // the chaos tests) *watch* a shard recover, so the probe must hit
     // the real shard even while queries are being short-circuited.
-    pool_.Submit([this, i, &probes, &latch] {
+    pool_.Submit([i, &targets, &probes, &latch] {
+      MemberState* member = targets[i].member;
       const std::string named_point =
-          std::string(kFaultShardSend) + ":" + shards_[i]->handle->name();
+          std::string(kFaultShardSend) + ":" + member->handle->name();
       Status fault = FaultInjector::Global().MaybeFail(named_point);
       Result<JsonValue> health =
-          fault.ok() ? shards_[i]->handle->Health() : Result<JsonValue>(fault);
+          fault.ok() ? member->handle->Health() : Result<JsonValue>(fault);
       if (health.ok()) {
         probes[i].health = health.MoveValue();
-        shards_[i]->breaker.RecordSuccess();
+        member->breaker.RecordSuccess();
       } else {
         probes[i].status = health.status();
       }
@@ -395,16 +1014,19 @@ GatewayBackend::HealthSnapshot ShardRouter::Healthz() {
   latch.Wait();
 
   std::size_t ok_count = 0;
+  std::set<std::string> ok_groups;
   JsonValue shard_list = JsonValue::MakeArray();
   for (std::size_t i = 0; i < n; ++i) {
     JsonValue entry = JsonValue::MakeObject();
-    entry.Set("name", JsonValue(shards_[i]->handle->name()));
+    entry.Set("name", JsonValue(targets[i].member->handle->name()));
+    entry.Set("group", JsonValue(targets[i].group->name));
     entry.Set("ok", JsonValue(probes[i].status.ok()));
     entry.Set("breaker",
               JsonValue(CircuitBreakerStateName(
-                  shards_[i]->breaker.state())));
+                  targets[i].member->breaker.state())));
     if (probes[i].status.ok()) {
       ++ok_count;
+      ok_groups.insert(targets[i].group->name);
       entry.Set("health", std::move(probes[i].health));
     } else {
       entry.Set("error", JsonValue(probes[i].status.ToString()));
@@ -419,8 +1041,13 @@ GatewayBackend::HealthSnapshot ShardRouter::Healthz() {
   snapshot.http_status = ok_count > 0 ? 200 : 503;
   JsonValue body = JsonValue::MakeObject();
   body.Set("verdict", JsonValue(verdict));
+  body.Set("epoch", JsonValue(table->epoch));
+  body.Set("rebalancing", JsonValue(table->next != nullptr));
   body.Set("shards_total", JsonValue(static_cast<uint64_t>(n)));
   body.Set("shards_ok", JsonValue(static_cast<uint64_t>(ok_count)));
+  body.Set("groups_total",
+           JsonValue(static_cast<uint64_t>(table->groups.size())));
+  body.Set("groups_ok", JsonValue(static_cast<uint64_t>(ok_groups.size())));
   body.Set("shards", std::move(shard_list));
   snapshot.body = std::move(body);
   return snapshot;

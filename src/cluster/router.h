@@ -2,11 +2,15 @@
 #define BIVOC_CLUSTER_ROUTER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "cluster/hash_ring.h"
@@ -48,43 +52,79 @@ struct ShardRouterOptions {
   // Per-shard circuit breaker (core/ingest.h semantics).
   CircuitBreaker::Options breaker;
 
-  // Scatter worker threads; 0 = one per shard (capped at 16).
+  // Scatter worker threads; 0 = one per replica group (capped at 16).
   std::size_t scatter_threads = 0;
 
-  // Virtual nodes per shard on the ingest ring.
+  // Virtual nodes per group on the ingest ring.
   std::size_t ring_replicas = 64;
 
   // "shard unreachable" warnings are rate-limited per shard to one
   // per this interval; suppressed repeats are counted and reported in
   // the next emitted line (same pattern as the DLQ overflow warning).
+  // Replica-divergence warnings use the same interval.
   int64_t warn_interval_ms = 1000;
 
   // Retry-After hint attached to kUnavailable responses.
   int64_t retry_after_ms = 50;
 
+  // Background anti-entropy audit interval; 0 (default) disables the
+  // thread. AuditReplicas() can always be called synchronously.
+  int64_t anti_entropy_interval_ms = 0;
+
   // Seed for the retry jitter schedule (reproducible tests).
   uint64_t seed = 0x5eedULL;
 };
 
-// Scatter-gather coordinator over N shards (DESIGN.md §12) and the
-// cluster-mode GatewayBackend: put a Gateway in front of a ShardRouter
-// and the wire surface of a cluster is byte-compatible with a single
-// engine's, plus the honesty fields below.
+// One ring position's replica set: R shard handles holding identical
+// content. An empty `name` defaults to the first member's name.
+struct ReplicaGroup {
+  std::string name;
+  std::vector<std::shared_ptr<ShardHandle>> members;
+};
+
+// Chunks `handles` into consecutive groups of `replication` members
+// (the last group keeps the remainder): the R=2 quickstart topology of
+// examples/serve_cluster --replicas.
+std::vector<ReplicaGroup> MakeReplicaGroups(
+    std::vector<std::shared_ptr<ShardHandle>> handles,
+    std::size_t replication = 2);
+
+// Scatter-gather coordinator over N replica groups (DESIGN.md §12,
+// §14) and the cluster-mode GatewayBackend: put a Gateway in front of
+// a ShardRouter and the wire surface of a cluster is byte-compatible
+// with a single engine's, plus the honesty fields below.
 //
-//  * /v1/query fans out in shard mode (serve/query.h) under per-shard
-//    deadlines, budgeted hedged retries and per-shard circuit
-//    breakers, then merges exactly (serve/merge.h). The response
-//    always carries "partial" and "missing_shards"; degraded answers
-//    are first-class 200s, and only zero reachable shards is a 503.
+//  * /v1/query fans out one leg per group in shard mode
+//    (serve/query.h) under per-shard deadlines, budgeted hedged
+//    retries and per-shard circuit breakers, then merges exactly
+//    (serve/merge.h). A leg whose member is open-breakered or
+//    unreachable fails over to the next replica
+//    (cluster_failovers_total), so a single shard death still yields
+//    partial:false answers bit-for-bit identical to a healthy
+//    cluster's. The response always carries "partial" and
+//    "missing_shards" (group names with no answering member); degraded
+//    answers are first-class 200s, and only zero reachable groups is a
+//    503.
 //  * /v1/ingest consistent-hashes each item (first structured key,
-//    else the payload) onto the ring so an entity's documents land on
-//    one shard, then scatters the per-shard batches.
-//  * /healthz probes every shard — bypassing breakers, so recovery is
+//    else the payload) onto the ring, then writes each group's batch
+//    to every member sequentially — an item is failed only when *no*
+//    member of its group accepted it.
+//  * /v1/admin/ring swaps the ring live (ChangeRing below);
+//    /v1/admin/audit runs the anti-entropy comparison.
+//  * /healthz probes every member — bypassing breakers, so recovery is
 //    observed rather than assumed — and reports a three-state verdict:
-//    "ok" (all shards), "degraded" (some), "unavailable" (none, 503).
+//    "ok" (all members), "degraded" (some), "unavailable" (none, 503).
 //  * /metrics renders the router registry: per-shard request/failure
-//    counters, hedge counter, scatter/merge latency histograms and
-//    partial-response counter, plus the gateway's route instruments.
+//    counters, failover and hedge counters, the
+//    cluster_replica_divergence gauge, scatter/merge latency
+//    histograms and the partial-response counter, plus the gateway's
+//    route instruments.
+//
+// Live rebalancing (ChangeRing) is a two-barrier protocol — see
+// DESIGN.md §14. Between the barriers ingest routes moved keys to
+// their *new* owners only and queries scatter over the union of old
+// and new groups, so a rebalance concurrent with ingest loses nothing
+// and double-counts nothing.
 //
 // Fault points: every attempt of every shard RPC passes through
 // "net.shard.send" and "net.shard.send:<shard-name>"; the merge step
@@ -94,8 +134,13 @@ struct ShardRouterOptions {
 // registry; shard handles are co-owned with any outstanding attempts.
 class ShardRouter : public GatewayBackend {
  public:
-  // `metrics` == nullptr gives the router a private registry.
+  // `metrics` == nullptr gives the router a private registry. The
+  // handle-list constructor wraps each handle in its own group
+  // (replication 1) — the classic unreplicated topology.
   explicit ShardRouter(std::vector<std::shared_ptr<ShardHandle>> shards,
+                       ShardRouterOptions options = {},
+                       MetricsRegistry* metrics = nullptr);
+  explicit ShardRouter(std::vector<ReplicaGroup> groups,
                        ShardRouterOptions options = {},
                        MetricsRegistry* metrics = nullptr);
   ~ShardRouter() override;
@@ -106,31 +151,53 @@ class ShardRouter : public GatewayBackend {
   // GatewayBackend:
   Result<JsonValue> ExecuteQuery(QueryRequest request) override;
   Result<JsonValue> ExecuteIngest(std::vector<IngestItem> items) override;
+  // "ring": {"groups":[{"name":"g0","members":[{"name":"s0","host":
+  // "127.0.0.1","port":18081},...]},...]} -> ChangeRing over
+  // HttpShardHandles (members whose name the router already knows keep
+  // their existing handle, so in-process topologies stay in-process).
+  // "audit": {} -> AuditReplicas.
+  Result<JsonValue> ExecuteAdmin(const std::string& action,
+                                 const JsonValue& body) override;
   HealthSnapshot Healthz() override;
   std::string MetricsText() override;
   MetricsRegistry* metrics() override { return metrics_; }
   int64_t retry_after_hint_ms() override { return opts_.retry_after_ms; }
 
+  // --- live rebalancing (DESIGN.md §14) ------------------------------
+  // Atomically replaces the ring with `new_groups`, streaming only the
+  // key ranges whose owner changed out of one healthy member per
+  // losing group into every member of the gaining group. Serialized
+  // against concurrent ChangeRing calls; concurrent ingest and queries
+  // stay exact throughout. Returns a summary
+  // {"epoch":E,"moved_docs":N,"dropped_docs":N,"groups":[names]}.
+  Result<JsonValue> ChangeRing(std::vector<ReplicaGroup> new_groups);
+  uint64_t ring_epoch() const;
+
+  // --- anti-entropy --------------------------------------------------
+  // Compares doc count + content checksum across every replica pair,
+  // sets the cluster_replica_divergence gauge to the number of
+  // divergent groups, and rate-limits a warning per divergent group.
+  // Members that cannot be reached are skipped, not counted divergent.
+  Result<JsonValue> AuditReplicas();
+
   // --- introspection (tests, examples) ------------------------------
-  std::size_t num_shards() const { return shards_.size(); }
-  const std::string& shard_name(std::size_t shard) const {
-    return shards_[shard]->handle->name();
-  }
-  CircuitBreaker* breaker(std::size_t shard) {
-    return &shards_[shard]->breaker;
-  }
-  // Ring position an ingest item routes to.
-  std::size_t ShardForItem(const IngestItem& item) const {
-    return ring_.ShardFor(RouteKey(item));
-  }
+  // Group-granular: with replication 1 these are the classic per-shard
+  // accessors (group name == the sole member's name).
+  std::size_t num_shards() const;
+  std::string shard_name(std::size_t shard) const;
+  // Member 0's breaker of group `shard` (tests).
+  CircuitBreaker* breaker(std::size_t shard);
+  // Ring position an ingest item routes to (the post-rebalance ring
+  // while a change is in flight — where a write would go *now*).
+  std::size_t ShardForItem(const IngestItem& item) const;
   // The routing key: the first structured key (the central entity —
   // paper §III's customer/center dimensions), else the payload.
   static std::string_view RouteKey(const IngestItem& item);
 
  private:
-  struct ShardState {
-    ShardState(std::shared_ptr<ShardHandle> h,
-               const CircuitBreaker::Options& breaker_options)
+  struct MemberState {
+    MemberState(std::shared_ptr<ShardHandle> h,
+                const CircuitBreaker::Options& breaker_options)
         : handle(std::move(h)), breaker(breaker_options) {}
 
     std::shared_ptr<ShardHandle> handle;
@@ -144,30 +211,95 @@ class ShardRouter : public GatewayBackend {
     std::size_t suppressed = 0;
   };
 
-  // One shard's full query RPC: breaker gate, fault points, hedged
+  struct GroupState {
+    std::string name;
+    std::vector<std::shared_ptr<MemberState>> members;
+  };
+
+  // An immutable routing epoch. Readers snapshot the shared_ptr under
+  // a shared lock and work off the snapshot; ring changes install a
+  // fresh table under the exclusive lock (the barriers).
+  struct RoutingTable {
+    uint64_t epoch = 1;
+    std::vector<std::shared_ptr<GroupState>> groups;
+    std::shared_ptr<const HashRing> ring;
+    // Non-null only inside a rebalance window (between barrier 1 and
+    // barrier 2): the table ingest routes by, and whose groups join
+    // the query scatter.
+    std::shared_ptr<const RoutingTable> next;
+  };
+
+  // Builds group states from a topology, reusing the per-member state
+  // (breaker, counters, warn history) of any member name this router
+  // has seen before.
+  Result<std::vector<std::shared_ptr<GroupState>>> BuildGroups(
+      std::vector<ReplicaGroup> groups);
+  static std::shared_ptr<const HashRing> RingOf(
+      const std::vector<std::shared_ptr<GroupState>>& groups,
+      std::size_t ring_replicas);
+
+  std::shared_ptr<const RoutingTable> Table() const;
+
+  // One member's full query RPC: breaker gate, fault points, hedged
   // retries. On success the breaker records recovery.
-  Result<ReportResult> QueryShard(std::size_t shard,
+  Result<ReportResult> QueryMember(MemberState& member,
+                                   const QueryRequest& request);
+  // One scatter leg: members in order, failing over past open breakers
+  // and unreachable replicas; stamps merge.shard_name with the group
+  // name so kDrillDown merges into the stable global order.
+  Result<ReportResult> QueryGroup(const GroupState& group,
                                   const QueryRequest& request);
-  Status IngestShard(std::size_t shard, const std::vector<IngestItem>& items,
-                     JsonValue* health_out);
-  void WarnUnreachable(ShardState* state, const Status& status);
+  Status IngestMember(MemberState& member,
+                      const std::vector<IngestItem>& items,
+                      JsonValue* health_out);
+  void WarnUnreachable(MemberState* member, const Status& status);
+  void WarnDivergent(const std::string& group, const std::string& detail);
   bool AcquireHedge();
   void ReleaseHedge();
+  void AuditLoop();
 
   ShardRouterOptions opts_;
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_;
-  std::vector<std::unique_ptr<ShardState>> shards_;
-  HashRing ring_;
+
+  // Every member this router has ever routed to, by shard name; the
+  // identity that survives ring changes.
+  std::mutex members_mu_;
+  std::map<std::string, std::shared_ptr<MemberState>> members_;
+
+  // Guards table_. Query/ingest/audit hold it shared for their whole
+  // operation; the rebalance barriers take it exclusive — barrier 2 is
+  // exactly "no query or ingest in flight".
+  mutable std::shared_mutex table_mu_;
+  std::shared_ptr<const RoutingTable> table_;
+  // Serializes whole ChangeRing invocations against each other.
+  std::mutex change_mu_;
+
   ThreadPool pool_;
   std::atomic<int64_t> hedge_tokens_;
 
+  // Rate-limit state for divergence warnings, by group name.
+  std::mutex divergence_warn_mu_;
+  std::map<std::string, int64_t> divergence_last_warn_ms_;
+
   Counter* hedges_;
   Counter* hedge_denied_;
+  Counter* failovers_;
   Counter* partial_responses_;
   Counter* unavailable_responses_;
+  Counter* rebalances_;
+  Counter* rebalanced_docs_;
+  Counter* audits_;
+  Gauge* replica_divergence_;
   Histogram* scatter_latency_;
   Histogram* merge_latency_;
+  Histogram* rebalance_latency_;
+
+  // Background anti-entropy thread (anti_entropy_interval_ms > 0).
+  std::mutex audit_stop_mu_;
+  std::condition_variable audit_stop_cv_;
+  bool audit_stop_ = false;
+  std::thread audit_thread_;
 };
 
 }  // namespace bivoc

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/ingest.h"
+#include "net/gateway.h"
 
 namespace bivoc {
 
@@ -34,6 +35,12 @@ Result<JsonValue> LocalShardHandle::Ingest(
 
 Result<JsonValue> LocalShardHandle::Health() {
   return HealthReportToJson(engine_->Health());
+}
+
+Result<JsonValue> LocalShardHandle::Admin(const std::string& action,
+                                          const JsonValue& body) {
+  // Same dialect HttpShardHandle reaches over the wire, minus the wire.
+  return EngineAdmin(engine_.get(), action, body);
 }
 
 // --- HttpShardHandle -------------------------------------------------
@@ -123,6 +130,11 @@ Result<JsonValue> HttpShardHandle::Ingest(
 
 Result<JsonValue> HttpShardHandle::Health() {
   return RoundTrip("GET", "/healthz", "");
+}
+
+Result<JsonValue> HttpShardHandle::Admin(const std::string& action,
+                                         const JsonValue& body) {
+  return RoundTrip("POST", "/v1/admin/" + action, DumpJson(body));
 }
 
 }  // namespace bivoc

@@ -38,6 +38,17 @@ class ShardHandle {
 
   // Health probe; returns the shard's /healthz JSON.
   virtual Result<JsonValue> Health() = 0;
+
+  // Cluster control plane (POST /v1/admin/<action> — the engine-side
+  // verbs of EngineAdmin in net/gateway.h): rebalance data plane
+  // (export/stage/apply/abort/drop) and the anti-entropy "checksum".
+  // Handles that serve no admin verbs keep the default.
+  virtual Result<JsonValue> Admin(const std::string& action,
+                                  const JsonValue& body) {
+    (void)body;
+    return Status::Unimplemented("shard " + name() +
+                                 ": no admin action \"" + action + "\"");
+  }
 };
 
 // In-process shard: a BivocEngine co-owned with every outstanding
@@ -52,6 +63,8 @@ class LocalShardHandle : public ShardHandle {
   Result<WireReport> Query(const QueryRequest& request) override;
   Result<JsonValue> Ingest(const std::vector<IngestItem>& items) override;
   Result<JsonValue> Health() override;
+  Result<JsonValue> Admin(const std::string& action,
+                          const JsonValue& body) override;
 
   BivocEngine* engine() { return engine_.get(); }
 
@@ -82,6 +95,8 @@ class HttpShardHandle : public ShardHandle {
   Result<WireReport> Query(const QueryRequest& request) override;
   Result<JsonValue> Ingest(const std::vector<IngestItem>& items) override;
   Result<JsonValue> Health() override;
+  Result<JsonValue> Admin(const std::string& action,
+                          const JsonValue& body) override;
 
   // Pooled idle connections (tests).
   std::size_t pooled_connections() const;

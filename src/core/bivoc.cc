@@ -134,9 +134,11 @@ Status BivocEngine::SaveCheckpoint() {
   }
   data.doc_concepts.reserve(num_docs);
   data.doc_times.reserve(num_docs);
+  data.doc_route_keys.reserve(num_docs);
   for (DocId d = 0; d < num_docs; ++d) {
     data.doc_concepts.push_back(snap->ConceptIdsOf(d));
     data.doc_times.push_back(snap->TimeBucketOf(d));
+    data.doc_route_keys.push_back(snap->RouteKeyOf(d));
   }
 
   if (linker_) {
@@ -188,7 +190,10 @@ Result<RecoveryReport> BivocEngine::Recover() {
       for (uint32_t id : data.doc_concepts[d]) {
         keys.push_back(data.vocabulary[id]);
       }
-      index->AddDocument(keys, data.doc_times[d]);
+      index->AddDocument(keys, data.doc_times[d],
+                         d < data.doc_route_keys.size()
+                             ? data.doc_route_keys[d]
+                             : std::string());
     }
     report.docs_from_checkpoint = data.doc_concepts.size();
 
@@ -251,6 +256,148 @@ Result<RecoveryReport> BivocEngine::Recover() {
   journal_->EnsureSeqAtLeast(watermark);
   last_recovery_ = report;
   return report;
+}
+
+// --- cluster data plane ----------------------------------------------
+
+namespace {
+
+// Per-document fingerprint for the anti-entropy checksum: FNV-1a over
+// the routing key, the sorted concept keys and the time bucket, with
+// unit separators so field boundaries can't alias. Replica checksums
+// are the *wrapping sum* of these (not XOR), so a duplicated document
+// changes the total instead of cancelling out.
+uint64_t HashExportedDoc(const std::string& route_key,
+                         const std::vector<std::string>& concept_keys,
+                         int64_t time_bucket) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  mix(route_key.data(), route_key.size());
+  const unsigned char unit = 0x1f;
+  mix(&unit, 1);
+  for (const std::string& key : concept_keys) {
+    mix(key.data(), key.size());
+    mix(&unit, 1);
+  }
+  mix(&time_bucket, sizeof(time_bucket));
+  return h;
+}
+
+}  // namespace
+
+std::vector<ExportedDoc> BivocEngine::ExportDocuments() const {
+  std::shared_ptr<const IndexSnapshot> snap = pipeline_.Snapshot();
+  std::vector<ExportedDoc> out;
+  const std::size_t num_docs = snap->num_documents();
+  out.reserve(num_docs);
+  for (DocId d = 0; d < num_docs; ++d) {
+    ExportedDoc doc;
+    doc.route_key = snap->RouteKeyOf(d);
+    doc.concept_keys = snap->ConceptsOf(d);
+    doc.time_bucket = snap->TimeBucketOf(d);
+    out.push_back(std::move(doc));
+  }
+  return out;
+}
+
+Status BivocEngine::StageDocuments(std::vector<ExportedDoc> docs) {
+  std::lock_guard<std::mutex> lock(staged_mu_);
+  staged_.reserve(staged_.size() + docs.size());
+  for (ExportedDoc& doc : docs) staged_.push_back(std::move(doc));
+  return Status::OK();
+}
+
+Result<std::size_t> BivocEngine::ApplyStaged() {
+  std::vector<ExportedDoc> docs;
+  {
+    std::lock_guard<std::mutex> lock(staged_mu_);
+    docs.swap(staged_);
+  }
+  if (docs.empty()) return std::size_t{0};
+  ConceptIndex* index = pipeline_.mutable_index();
+  for (ExportedDoc& doc : docs) {
+    index->AddDocument(doc.concept_keys, doc.time_bucket,
+                       std::move(doc.route_key));
+  }
+  pipeline_.PublishIndex();
+  if (store_) {
+    // Staged documents were never in this shard's WAL; the checkpoint
+    // is their only durable record, so write it now.
+    Status st = SaveCheckpoint();
+    if (!st.ok()) {
+      BIVOC_LOG(Warning) << "checkpoint after ApplyStaged failed: "
+                         << st.ToString();
+    }
+  }
+  return docs.size();
+}
+
+std::size_t BivocEngine::AbortStaged() {
+  std::lock_guard<std::mutex> lock(staged_mu_);
+  const std::size_t dropped = staged_.size();
+  staged_.clear();
+  return dropped;
+}
+
+Result<std::size_t> BivocEngine::DropByRouteKeys(
+    const std::vector<std::string>& route_keys) {
+  std::unordered_set<std::string_view> drop(route_keys.begin(),
+                                            route_keys.end());
+  std::shared_ptr<const IndexSnapshot> snap = pipeline_.Snapshot();
+  const std::size_t num_docs = snap->num_documents();
+  std::vector<ExportedDoc> kept;
+  std::size_t dropped = 0;
+  for (DocId d = 0; d < num_docs; ++d) {
+    const std::string& route = snap->RouteKeyOf(d);
+    if (drop.count(route) != 0) {
+      ++dropped;
+      continue;
+    }
+    ExportedDoc doc;
+    doc.route_key = route;
+    doc.concept_keys = snap->ConceptsOf(d);
+    doc.time_bucket = snap->TimeBucketOf(d);
+    kept.push_back(std::move(doc));
+  }
+  if (dropped == 0) return dropped;
+  // Rebuild minus the moved documents. Reset() keeps generations
+  // monotonic, so serving caches keyed on (fingerprint, generation)
+  // never serve pre-drop results.
+  ConceptIndex* index = pipeline_.mutable_index();
+  index->Reset();
+  for (ExportedDoc& doc : kept) {
+    index->AddDocument(doc.concept_keys, doc.time_bucket,
+                       std::move(doc.route_key));
+  }
+  pipeline_.PublishIndex();
+  if (store_) {
+    // The checkpoint's watermark covers every WAL record, so a restart
+    // cannot resurrect the dropped documents from the log.
+    Status st = SaveCheckpoint();
+    if (!st.ok()) {
+      BIVOC_LOG(Warning) << "checkpoint after DropByRouteKeys failed: "
+                         << st.ToString();
+    }
+  }
+  return dropped;
+}
+
+BivocEngine::ContentSummary BivocEngine::ContentChecksum() const {
+  std::shared_ptr<const IndexSnapshot> snap = pipeline_.Snapshot();
+  ContentSummary summary;
+  summary.num_documents = snap->num_documents();
+  for (DocId d = 0; d < summary.num_documents; ++d) {
+    summary.checksum += HashExportedDoc(snap->RouteKeyOf(d),
+                                        snap->ConceptsOf(d),
+                                        snap->TimeBucketOf(d));
+  }
+  return summary;
 }
 
 Document BivocEngine::AddEmail(

@@ -2,6 +2,7 @@
 #define BIVOC_CORE_BIVOC_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -113,6 +114,49 @@ class BivocEngine {
   // Accounting from the most recent Recover() (zeroes before then).
   const RecoveryReport& last_recovery() const { return last_recovery_; }
 
+  // --- cluster data plane (DESIGN.md §14) ----------------------------
+  // Rebalancing and anti-entropy primitives the shard-side admin API
+  // exposes. All run against the published snapshot; Apply/Drop mutate
+  // the index and must not race IngestBatch (the router's rebalance
+  // barriers guarantee this for router-driven traffic).
+
+  // Every indexed document with its routing key, concept keys (sorted)
+  // and time bucket, in DocId order.
+  std::vector<ExportedDoc> ExportDocuments() const;
+
+  // Buffers documents shipped from another shard. Staged documents are
+  // invisible to queries until ApplyStaged() — the rebalance protocol
+  // backfills during the move window without double-counting.
+  Status StageDocuments(std::vector<ExportedDoc> docs);
+
+  // Indexes and publishes everything staged; checkpoints immediately
+  // when durability is on (staged docs are not in this shard's WAL, so
+  // the checkpoint is their only durable record). Returns the number
+  // applied.
+  Result<std::size_t> ApplyStaged();
+
+  // Discards the staging buffer (failed rebalance); returns the number
+  // dropped.
+  std::size_t AbortStaged();
+
+  // Rebuilds the index without documents whose routing key is in
+  // `route_keys` (ring ownership moved away), then re-publishes and —
+  // with durability on — checkpoints so the drop survives restart.
+  // Returns the number of documents dropped.
+  Result<std::size_t> DropByRouteKeys(
+      const std::vector<std::string>& route_keys);
+
+  // Order-independent content fingerprint for replica anti-entropy:
+  // the wrapping sum of a per-document hash over (route key, sorted
+  // concept keys, time bucket). Two replicas that admitted the same
+  // documents in different orders produce equal checksums; a missing
+  // or duplicated document changes the sum.
+  struct ContentSummary {
+    std::size_t num_documents = 0;
+    uint64_t checksum = 0;
+  };
+  ContentSummary ContentChecksum() const;
+
   // --- query serving (DESIGN.md §10) ---------------------------------
   // ConfigureServing replaces the report server (dropping its cache;
   // serving counters live in metrics() and keep accumulating); serve()
@@ -172,6 +216,8 @@ class BivocEngine {
   AnnotatorPipeline annotators_;
   VocPipeline pipeline_;
   std::unique_ptr<IngestService> ingest_;
+  std::mutex staged_mu_;
+  std::vector<ExportedDoc> staged_;
   DurabilityOptions durability_opts_;
   std::unique_ptr<CheckpointStore> store_;
   std::unique_ptr<IngestJournal> journal_;

@@ -10,7 +10,10 @@
 namespace bivoc {
 namespace {
 
-constexpr uint32_t kCheckpointVersion = 1;
+// v2 added a cluster routing key per document; v1 checkpoints still
+// load (their routes decode as empty strings).
+constexpr uint32_t kCheckpointVersion = 2;
+constexpr uint32_t kMinCheckpointVersion = 1;
 constexpr uint32_t kManifestVersion = 1;
 constexpr uint8_t kJournalRecordItem = 1;
 constexpr const char kCheckpointPrefix[] = "checkpoint-";
@@ -68,6 +71,8 @@ std::string EncodeCheckpoint(const CheckpointData& data) {
   w.PutU64(data.doc_concepts.size());
   for (std::size_t d = 0; d < data.doc_concepts.size(); ++d) {
     w.PutI64(d < data.doc_times.size() ? data.doc_times[d] : 0);
+    w.PutString(d < data.doc_route_keys.size() ? data.doc_route_keys[d]
+                                               : std::string());
     w.PutU32(static_cast<uint32_t>(data.doc_concepts[d].size()));
     for (uint32_t id : data.doc_concepts[d]) w.PutU32(id);
   }
@@ -94,7 +99,7 @@ Result<CheckpointData> DecodeCheckpoint(std::string_view payload) {
 
   uint32_t version;
   BIVOC_RETURN_NOT_OK(r.ReadU32(&version));
-  if (version != kCheckpointVersion) {
+  if (version < kMinCheckpointVersion || version > kCheckpointVersion) {
     return Status::Corruption("unsupported checkpoint version " +
                               std::to_string(version));
   }
@@ -119,9 +124,12 @@ Result<CheckpointData> DecodeCheckpoint(std::string_view payload) {
   }
   data.doc_concepts.reserve(static_cast<std::size_t>(num_docs));
   data.doc_times.reserve(static_cast<std::size_t>(num_docs));
+  data.doc_route_keys.reserve(static_cast<std::size_t>(num_docs));
   for (uint64_t d = 0; d < num_docs; ++d) {
     int64_t time_bucket;
     BIVOC_RETURN_NOT_OK(r.ReadI64(&time_bucket));
+    std::string route_key;
+    if (version >= 2) BIVOC_RETURN_NOT_OK(r.ReadString(&route_key));
     uint32_t num_ids;
     BIVOC_RETURN_NOT_OK(r.ReadU32(&num_ids));
     if (static_cast<std::size_t>(num_ids) * 4 > r.remaining()) {
@@ -139,6 +147,7 @@ Result<CheckpointData> DecodeCheckpoint(std::string_view payload) {
     }
     data.doc_concepts.push_back(std::move(ids));
     data.doc_times.push_back(time_bucket);
+    data.doc_route_keys.push_back(std::move(route_key));
   }
 
   uint32_t num_types;
@@ -377,6 +386,64 @@ Result<CheckpointStore::Loaded> CheckpointStore::LoadNewest() const {
       "no valid checkpoint in " + dir_ +
       (fallbacks > 0 ? " (" + std::to_string(fallbacks) + " corrupt)" : ""));
   return not_found;
+}
+
+// --- ExportIterator --------------------------------------------------
+
+Status ExportIterator::Init() {
+  Result<CheckpointStore::Loaded> loaded = store_->LoadNewest();
+  if (loaded.ok()) {
+    data_ = std::move(loaded.value().data);
+    has_checkpoint_ = true;
+  } else if (loaded.status().code() != StatusCode::kNotFound) {
+    return loaded.status();
+  }
+  const uint64_t watermark = has_checkpoint_ ? data_.wal_watermark : 0;
+  Result<WalReadResult> wal = ReadWal(store_->WalPath());
+  if (wal.ok()) {
+    for (const std::string& payload : wal.value().records) {
+      Result<JournalRecord> record = DecodeJournalItem(payload);
+      if (!record.ok()) {
+        ++wal_corrupt_;
+        continue;
+      }
+      if (record.value().seq <= watermark) continue;
+      tail_.push_back(record.MoveValue());
+    }
+  } else if (wal.status().code() != StatusCode::kNotFound) {
+    return wal.status();
+  }
+  return Status::OK();
+}
+
+bool ExportIterator::Next(Record* out) {
+  if (doc_pos_ < data_.doc_concepts.size()) {
+    const std::size_t d = doc_pos_++;
+    out->is_raw = false;
+    out->seq = 0;
+    out->item = IngestItem();
+    out->doc.route_key =
+        d < data_.doc_route_keys.size() ? data_.doc_route_keys[d] : "";
+    out->doc.time_bucket = d < data_.doc_times.size() ? data_.doc_times[d]
+                                                      : kNoTimeBucket;
+    out->doc.concept_keys.clear();
+    out->doc.concept_keys.reserve(data_.doc_concepts[d].size());
+    for (uint32_t id : data_.doc_concepts[d]) {
+      out->doc.concept_keys.push_back(data_.vocabulary[id]);
+    }
+    ++docs_exported_;
+    return true;
+  }
+  if (tail_pos_ < tail_.size()) {
+    JournalRecord& record = tail_[tail_pos_++];
+    out->is_raw = true;
+    out->seq = record.seq;
+    out->item = std::move(record.item);
+    out->doc = ExportedDoc();
+    ++raw_exported_;
+    return true;
+  }
+  return false;
 }
 
 // --- IngestJournal ---------------------------------------------------

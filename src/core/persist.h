@@ -49,6 +49,9 @@ struct CheckpointData {
   std::vector<std::string> vocabulary;
   std::vector<std::vector<uint32_t>> doc_concepts;
   std::vector<int64_t> doc_times;
+  // Cluster routing key per document (version >= 2 checkpoints; empty
+  // for every doc when a v1 checkpoint is loaded).
+  std::vector<std::string> doc_route_keys;
 
   // Learned linker weights per entity type (warehouse table).
   std::map<std::string, RoleWeights> linker_weights;
@@ -58,6 +61,15 @@ struct CheckpointData {
 
 std::string EncodeCheckpoint(const CheckpointData& data);
 Result<CheckpointData> DecodeCheckpoint(std::string_view payload);
+
+// One mined document streamed out of a shard for ring rebalancing:
+// everything needed to re-index it on a new owner without re-running
+// clean/link (the concept keys already include structured dimensions).
+struct ExportedDoc {
+  std::string route_key;
+  std::vector<std::string> concept_keys;
+  int64_t time_bucket = 0;
+};
 
 // --- journal record payloads -----------------------------------------
 
@@ -131,6 +143,50 @@ class CheckpointStore {
   std::string dir_;
   std::size_t retain_;
   uint64_t current_gen_ = 0;
+};
+
+// --- rebalance export ------------------------------------------------
+
+// Streams a shard's durable state out of its checkpoint + WAL — the
+// data-plane source for ring-diff rebalancing and offline inspection.
+// Checkpointed documents arrive fully mined (ExportedDoc); WAL records
+// past the checkpoint watermark arrive as raw IngestItems, because
+// clean→link→index has not necessarily been folded into a checkpoint
+// for them yet. Corrupt WAL records are skipped and counted, never
+// fatal (same contract as recovery).
+class ExportIterator {
+ public:
+  struct Record {
+    bool is_raw = false;
+    ExportedDoc doc;    // valid when !is_raw
+    IngestItem item;    // valid when is_raw
+    uint64_t seq = 0;   // journal sequence for raw records
+  };
+
+  explicit ExportIterator(const CheckpointStore& store) : store_(&store) {}
+
+  // Loads the newest valid checkpoint (kNotFound tolerated: a shard
+  // with only a WAL exports just its raw tail) and scans the WAL.
+  Status Init();
+
+  // Next record, checkpoint docs in DocId order first, then WAL
+  // records in log order. Returns false at end.
+  bool Next(Record* out);
+
+  std::size_t docs_exported() const { return docs_exported_; }
+  std::size_t raw_exported() const { return raw_exported_; }
+  std::size_t wal_corrupt_records() const { return wal_corrupt_; }
+
+ private:
+  const CheckpointStore* store_;
+  CheckpointData data_;
+  bool has_checkpoint_ = false;
+  std::vector<JournalRecord> tail_;
+  std::size_t doc_pos_ = 0;
+  std::size_t tail_pos_ = 0;
+  std::size_t docs_exported_ = 0;
+  std::size_t raw_exported_ = 0;
+  std::size_t wal_corrupt_ = 0;
 };
 
 // --- ingest journal --------------------------------------------------

@@ -156,7 +156,12 @@ DocId VocPipeline::IndexDocument(
   std::vector<std::string> keys;
   for (const auto& c : doc.concepts) keys.push_back(c.Key());
   keys.insert(keys.end(), structured_keys.begin(), structured_keys.end());
-  return index_.AddDocument(keys, doc.time_bucket);
+  // Same routing key the cluster router derives from the IngestItem
+  // (first structured key, else the raw payload) — stored per doc so a
+  // ring change can re-route documents without the original item.
+  std::string route =
+      !structured_keys.empty() ? structured_keys.front() : doc.raw_text;
+  return index_.AddDocument(keys, doc.time_bucket, std::move(route));
 }
 
 }  // namespace bivoc

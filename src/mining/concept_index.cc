@@ -49,7 +49,7 @@ ConceptIndex::ConceptIndex(std::size_t num_shards, std::size_t co_topk)
 }
 
 DocId ConceptIndex::AddDocument(const std::vector<std::string>& concept_keys,
-                                int64_t time_bucket) {
+                                int64_t time_bucket, std::string route_key) {
   // Shared: many adders run concurrently; only Publish() excludes us.
   std::shared_lock<std::shared_mutex> add_lock(add_mu_);
 
@@ -65,6 +65,7 @@ DocId ConceptIndex::AddDocument(const std::vector<std::string>& concept_keys,
     id = num_docs_.load(std::memory_order_relaxed);
     pending_concepts_.push_back(ids);
     pending_times_.push_back(time_bucket);
+    pending_routes_.push_back(std::move(route_key));
     num_docs_.store(id + 1, std::memory_order_release);
   }
   for (ConceptId cid : ids) {
@@ -198,14 +199,17 @@ std::shared_ptr<const IndexSnapshot> ConceptIndex::Publish() const {
       tail = std::make_shared<IndexSnapshot::DocChunk>();
       tail->concepts.reserve(kChunk);
       tail->times.reserve(kChunk);
+      tail->routes.reserve(kChunk);
       next->chunks_.push_back(tail);
     }
     tail->concepts.push_back(std::move(pending_concepts_[i]));
     tail->times.push_back(pending_times_[i]);
+    tail->routes.push_back(std::move(pending_routes_[i]));
     ++docs;
   }
   pending_concepts_.clear();
   pending_times_.clear();
+  pending_routes_.clear();
   next->num_docs_ = docs;
 
   // Vocabulary: every concept holding at least one posting, sorted by
@@ -224,6 +228,34 @@ std::shared_ptr<const IndexSnapshot> ConceptIndex::Publish() const {
   published_.Store(next);
   pending_count_.store(0, std::memory_order_release);
   return next;
+}
+
+void ConceptIndex::Reset() {
+  std::unique_lock<std::shared_mutex> add_lock(add_mu_);
+  std::lock_guard<std::mutex> doc_lock(doc_mu_);
+  auto prev = published_.Load();
+  // Fresh interner: snapshots already handed out co-own the old one,
+  // so their string views stay valid for as long as they are held.
+  interner_ = std::make_shared<ConceptInterner>();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    shard.delta.clear();
+  }
+  co_counts_.clear();
+  pending_concepts_.clear();
+  pending_times_.clear();
+  pending_routes_.clear();
+  auto empty = std::make_shared<IndexSnapshot>();
+  empty->num_shards_ = num_shards_;
+  empty->shards_.resize(num_shards_);
+  empty->interner_ = interner_;
+  // prev + 1, not 0: generations must stay monotonic across a reset or
+  // (fingerprint, generation) result-cache keys could collide with
+  // entries cached against the pre-reset contents.
+  empty->generation_ = prev->generation_ + 1;
+  published_.Store(std::move(empty));
+  num_docs_.store(0, std::memory_order_release);
+  pending_count_.store(0, std::memory_order_release);
 }
 
 std::shared_ptr<const IndexSnapshot> ConceptIndex::SnapshotNow() const {

@@ -52,11 +52,21 @@ class ConceptIndex {
 
   // Adds a document with its concept keys (deduplicated here);
   // `time_bucket` is an arbitrary period id (e.g. day number) for
-  // trend analysis. Thread-safe; doc ids are dense and assigned in
-  // admission order. The document becomes visible to readers at the
-  // next Publish().
+  // trend analysis, `route_key` the cluster routing key the document
+  // was ingested under ({} outside a cluster). Thread-safe; doc ids
+  // are dense and assigned in admission order. The document becomes
+  // visible to readers at the next Publish().
   DocId AddDocument(const std::vector<std::string>& concept_keys,
-                    int64_t time_bucket = kNoTimeBucket);
+                    int64_t time_bucket = kNoTimeBucket,
+                    std::string route_key = {});
+
+  // Drops every document and concept, installing a fresh empty
+  // snapshot whose generation still exceeds all previously published
+  // ones (so (fingerprint, generation) cache keys never alias across
+  // the reset). Serializes against in-flight AddDocument/Publish;
+  // snapshots already handed out stay valid. Used by rebalancing to
+  // rebuild a shard minus its moved documents.
+  void Reset();
 
   // Merges all pending deltas into a new immutable snapshot, makes it
   // the one snapshot()/SnapshotNow() hand out, and returns it.
@@ -108,6 +118,7 @@ class ConceptIndex {
   mutable std::mutex doc_mu_;
   mutable std::vector<std::vector<ConceptId>> pending_concepts_;
   mutable std::vector<int64_t> pending_times_;
+  mutable std::vector<std::string> pending_routes_;
 
   mutable std::vector<Shard> shards_;
 

@@ -148,6 +148,49 @@ std::size_t IndexSnapshot::CountAllIds(const std::vector<ConceptId>& ids) const 
   return IntersectCountMany(lists);
 }
 
+std::vector<DocId> IndexSnapshot::DocsWithAllIds(
+    const std::vector<ConceptId>& ids, std::size_t limit) const {
+  if (ids.empty() || limit == 0) return {};
+  if (ids.size() == 1) {
+    PostingsView view = PostingsId(ids[0]);
+    std::vector<DocId> out;
+    for (PostingCursor cur = view.cursor(); cur.Valid() && out.size() < limit;
+         cur.Next()) {
+      out.push_back(cur.Value());
+    }
+    return out;
+  }
+  if (ids.size() == 2) return DocsWithBothIds(ids[0], ids[1], limit);
+  std::vector<PostingCursor> cursors;
+  cursors.reserve(ids.size());
+  for (ConceptId id : ids) {
+    const ConceptSlot* slot = SlotOf(id);
+    if (slot == nullptr || slot->postings.size() == 0) return {};
+    cursors.push_back(slot->postings.cursor());
+  }
+  // Leapfrog: advance every cursor to the current max until they all
+  // agree, emit, step the first cursor, repeat.
+  std::vector<DocId> out;
+  DocId target = cursors[0].Value();
+  while (out.size() < limit) {
+    bool aligned = true;
+    for (PostingCursor& cur : cursors) {
+      if (!cur.SeekTo(target)) return out;
+      if (cur.Value() != target) {
+        target = cur.Value();
+        aligned = false;
+        break;
+      }
+    }
+    if (!aligned) continue;
+    out.push_back(target);
+    cursors[0].Next();
+    if (!cursors[0].Valid()) return out;
+    target = cursors[0].Value();
+  }
+  return out;
+}
+
 const IndexSnapshot::BucketCounts& IndexSnapshot::BucketCountsOf(
     ConceptId id) const {
   const ConceptSlot* slot = SlotOf(id);
@@ -169,6 +212,12 @@ std::vector<std::string> IndexSnapshot::ConceptsOf(DocId doc) const {
 int64_t IndexSnapshot::TimeBucketOf(DocId doc) const {
   if (doc >= num_docs_) return kNoTimeBucket;
   return chunks_[doc / kDocChunkSize]->times[doc % kDocChunkSize];
+}
+
+const std::string& IndexSnapshot::RouteKeyOf(DocId doc) const {
+  static const std::string kEmptyRoute;
+  if (doc >= num_docs_) return kEmptyRoute;
+  return chunks_[doc / kDocChunkSize]->routes[doc % kDocChunkSize];
 }
 
 IndexSnapshot::StorageStats IndexSnapshot::Storage() const {

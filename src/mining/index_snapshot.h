@@ -108,6 +108,12 @@ class IndexSnapshot {
   // list is empty or any id is unknown.
   std::size_t CountAllIds(const std::vector<ConceptId>& ids) const;
 
+  // Up to `limit` documents containing every id, ascending (the
+  // multi-key drill-down). Leapfrog cursor join; {} when the id list
+  // is empty, any id is unknown, or limit == 0.
+  std::vector<DocId> DocsWithAllIds(const std::vector<ConceptId>& ids,
+                                    std::size_t limit) const;
+
   // --- publish-time aggregates --------------------------------------
 
   // Documents per time bucket across the whole snapshot.
@@ -126,6 +132,12 @@ class IndexSnapshot {
   std::vector<std::string> ConceptsOf(DocId doc) const;
 
   int64_t TimeBucketOf(DocId doc) const;
+
+  // Cluster routing key the document was ingested under ({} when out
+  // of range or indexed without one). Stored so rebalancing can
+  // re-route documents after a ring change without re-deriving keys
+  // from raw payloads.
+  const std::string& RouteKeyOf(DocId doc) const;
 
   const ConceptInterner& interner() const { return *interner_; }
 
@@ -166,6 +178,7 @@ class IndexSnapshot {
   struct DocChunk {
     std::vector<std::vector<ConceptId>> concepts;
     std::vector<int64_t> times;
+    std::vector<std::string> routes;
   };
 
   // First vocab_ slot whose key is >= prefix.

@@ -36,6 +36,11 @@ class EngineGatewayBackend : public GatewayBackend {
     return HealthReportToJson(engine_->IngestBatch(items));
   }
 
+  Result<JsonValue> ExecuteAdmin(const std::string& action,
+                                 const JsonValue& body) override {
+    return EngineAdmin(engine_, action, body);
+  }
+
   HealthSnapshot Healthz() override {
     return {200, HealthReportToJson(engine_->Health())};
   }
@@ -60,6 +65,8 @@ const char* GatewayRouteName(std::size_t route) {
       return "query";
     case Gateway::kIngest:
       return "ingest";
+    case Gateway::kAdmin:
+      return "admin";
     case Gateway::kHealthz:
       return "healthz";
     case Gateway::kMetrics:
@@ -121,10 +128,16 @@ HttpResponse Gateway::Handle(const HttpRequest& request) {
 
 HttpResponse Gateway::Dispatch(const HttpRequest& request, Route* route) {
   const std::string path = request.Path();
+  static const std::string kAdminPrefix = "/v1/admin/";
+  std::string admin_action;
   if (path == "/v1/query") {
     *route = kQuery;
   } else if (path == "/v1/ingest") {
     *route = kIngest;
+  } else if (path.size() > kAdminPrefix.size() &&
+             path.compare(0, kAdminPrefix.size(), kAdminPrefix) == 0) {
+    *route = kAdmin;
+    admin_action = path.substr(kAdminPrefix.size());
   } else if (path == "/healthz") {
     *route = kHealthz;
   } else if (path == "/metrics") {
@@ -134,7 +147,8 @@ HttpResponse Gateway::Dispatch(const HttpRequest& request, Route* route) {
     return ErrorResponse(404, "not_found", "no route for " + path);
   }
 
-  const bool wants_post = (*route == kQuery || *route == kIngest);
+  const bool wants_post =
+      (*route == kQuery || *route == kIngest || *route == kAdmin);
   const std::string& allowed = wants_post ? "POST" : "GET";
   // HEAD intentionally not special-cased: this is an API server, not a
   // document server.
@@ -151,6 +165,8 @@ HttpResponse Gateway::Dispatch(const HttpRequest& request, Route* route) {
       return HandleQuery(request);
     case kIngest:
       return HandleIngest(request);
+    case kAdmin:
+      return HandleAdmin(request, admin_action);
     case kHealthz:
       return HandleHealthz();
     case kMetrics:
@@ -208,6 +224,23 @@ HttpResponse Gateway::HandleIngest(const HttpRequest& request) {
   return JsonResponse(200, DumpJson(report.value()));
 }
 
+HttpResponse Gateway::HandleAdmin(const HttpRequest& request,
+                                  const std::string& action) {
+  JsonValue body = JsonValue::MakeObject();
+  if (!request.body.empty()) {
+    Result<JsonValue> parsed = ParseJson(request.body);
+    if (!parsed.ok()) {
+      return ErrorResponse(400, "bad_json", parsed.status().message());
+    }
+    body = parsed.MoveValue();
+  }
+  Result<JsonValue> reply = backend_->ExecuteAdmin(action, body);
+  if (!reply.ok()) {
+    return StatusResponse(reply.status());
+  }
+  return JsonResponse(200, DumpJson(reply.value()));
+}
+
 HttpResponse Gateway::HandleHealthz() {
   GatewayBackend::HealthSnapshot health = backend_->Healthz();
   return JsonResponse(health.http_status, DumpJson(health.body));
@@ -215,6 +248,92 @@ HttpResponse Gateway::HandleHealthz() {
 
 HttpResponse Gateway::HandleMetrics() {
   return TextResponse(200, backend_->MetricsText());
+}
+
+namespace {
+
+std::string Uint64Hex(uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> RoutesFromDropBody(const JsonValue& body) {
+  if (!body.is_object()) {
+    return Status::InvalidArgument("drop body must be a JSON object");
+  }
+  const JsonValue* routes = body.Find("routes");
+  if (routes == nullptr || !routes->is_array()) {
+    return Status::InvalidArgument("drop body needs a \"routes\" array");
+  }
+  if (body.GetObject().size() != 1) {
+    return Status::InvalidArgument(
+        "drop body has fields other than \"routes\"");
+  }
+  std::vector<std::string> out;
+  out.reserve(routes->GetArray().size());
+  for (std::size_t i = 0; i < routes->GetArray().size(); ++i) {
+    const JsonValue& entry = routes->GetArray()[i];
+    if (!entry.is_string()) {
+      return Status::InvalidArgument("routes[" + std::to_string(i) +
+                                     "]: expected a string");
+    }
+    out.push_back(entry.GetString());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<JsonValue> EngineAdmin(BivocEngine* engine, const std::string& action,
+                              const JsonValue& body) {
+  if (action == "export") {
+    return ExportedDocsToJson(engine->ExportDocuments());
+  }
+  if (action == "stage") {
+    BIVOC_ASSIGN_OR_RETURN(std::vector<ExportedDoc> docs,
+                           ExportedDocsFromJson(body));
+    const std::size_t staged = docs.size();
+    BIVOC_RETURN_NOT_OK(engine->StageDocuments(std::move(docs)));
+    JsonValue reply = JsonValue::MakeObject();
+    reply.Set("staged", JsonValue(static_cast<uint64_t>(staged)));
+    return reply;
+  }
+  if (action == "apply") {
+    BIVOC_ASSIGN_OR_RETURN(std::size_t applied, engine->ApplyStaged());
+    JsonValue reply = JsonValue::MakeObject();
+    reply.Set("applied", JsonValue(static_cast<uint64_t>(applied)));
+    return reply;
+  }
+  if (action == "abort") {
+    JsonValue reply = JsonValue::MakeObject();
+    reply.Set("aborted",
+              JsonValue(static_cast<uint64_t>(engine->AbortStaged())));
+    return reply;
+  }
+  if (action == "drop") {
+    BIVOC_ASSIGN_OR_RETURN(std::vector<std::string> routes,
+                           RoutesFromDropBody(body));
+    BIVOC_ASSIGN_OR_RETURN(std::size_t dropped,
+                           engine->DropByRouteKeys(routes));
+    JsonValue reply = JsonValue::MakeObject();
+    reply.Set("dropped", JsonValue(static_cast<uint64_t>(dropped)));
+    return reply;
+  }
+  if (action == "checksum") {
+    const BivocEngine::ContentSummary summary = engine->ContentChecksum();
+    JsonValue reply = JsonValue::MakeObject();
+    reply.Set("docs", JsonValue(static_cast<uint64_t>(summary.num_documents)));
+    // Hex string: the wrapping uint64 sum routinely exceeds int64 and
+    // JSON numbers would lose it.
+    reply.Set("checksum", JsonValue(Uint64Hex(summary.checksum)));
+    return reply;
+  }
+  return Status::Unimplemented("no admin action \"" + action + "\"");
 }
 
 // ---------------------------------------------------------------------------

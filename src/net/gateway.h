@@ -45,6 +45,17 @@ class GatewayBackend {
   virtual Result<JsonValue> ExecuteQuery(QueryRequest request) = 0;
   // Parsed /v1/ingest batch -> response JSON body.
   virtual Result<JsonValue> ExecuteIngest(std::vector<IngestItem> items) = 0;
+  // Parsed POST /v1/admin/<action> body -> response JSON body. The
+  // cluster control plane (DESIGN.md §14): engines expose the
+  // rebalance data-plane verbs (export/stage/apply/abort/drop) plus
+  // the anti-entropy "checksum"; the router adds "ring" (live ring
+  // change) and "audit". Backends that serve no admin verbs keep the
+  // default.
+  virtual Result<JsonValue> ExecuteAdmin(const std::string& action,
+                                         const JsonValue& body) {
+    (void)body;
+    return Status::Unimplemented("no admin action \"" + action + "\"");
+  }
   virtual HealthSnapshot Healthz() = 0;
   virtual std::string MetricsText() = 0;
   // Registry the gateway's per-route instruments are created in.
@@ -53,7 +64,7 @@ class GatewayBackend {
   virtual int64_t retry_after_hint_ms() { return 0; }
 };
 
-// The HTTP face of a GatewayBackend (DESIGN.md §11). Four routes:
+// The HTTP face of a GatewayBackend (DESIGN.md §11). Five routes:
 //
 //   POST /v1/query   JSON QueryRequest -> backend ExecuteQuery.
 //                    Overload shedding (kUnavailable) maps to 503 with
@@ -62,6 +73,11 @@ class GatewayBackend {
 //   POST /v1/ingest  JSON batch -> backend ExecuteIngest; answers with
 //                    that batch's HealthReport (or the router's
 //                    per-shard routing summary).
+//   POST /v1/admin/<action>
+//                    Cluster control plane -> backend ExecuteAdmin
+//                    (rebalance data-plane verbs on engines, "ring"
+//                    and "audit" on the router). An empty body reads
+//                    as {}.
 //   GET  /healthz    Backend health as JSON; 503 when unavailable.
 //   GET  /metrics    The backend registry's Prometheus-style text dump
 //                    (which includes this gateway's own instruments).
@@ -105,6 +121,7 @@ class Gateway {
   enum Route : std::size_t {
     kQuery = 0,
     kIngest,
+    kAdmin,
     kHealthz,
     kMetrics,
     kOther,
@@ -118,6 +135,8 @@ class Gateway {
   HttpResponse Dispatch(const HttpRequest& request, Route* route);
   HttpResponse HandleQuery(const HttpRequest& request);
   HttpResponse HandleIngest(const HttpRequest& request);
+  HttpResponse HandleAdmin(const HttpRequest& request,
+                           const std::string& action);
   HttpResponse HandleHealthz();
   HttpResponse HandleMetrics();
   // 503 + Retry-After for a shed query, plain mapped error otherwise.
@@ -132,9 +151,22 @@ class Gateway {
   HttpServer server_;
 };
 
-// Stable route names ("query", "ingest", "healthz", "metrics",
-// "other") used as metric-name suffixes.
+// Stable route names ("query", "ingest", "admin", "healthz",
+// "metrics", "other") used as metric-name suffixes.
 const char* GatewayRouteName(std::size_t route);
+
+// The engine-side admin verbs, shared by the single-engine gateway
+// backend and the cluster's in-process shard handles so both speak the
+// exact dialect HttpShardHandle POSTs to /v1/admin/<action>:
+//   export    {}                      -> {"docs":[...]} (ExportedDocs)
+//   stage     {"docs":[...]}          -> {"staged":N}
+//   apply     {}                      -> {"applied":N}
+//   abort     {}                      -> {"aborted":N}
+//   drop      {"routes":["k",...]}    -> {"dropped":N}
+//   checksum  {}                      -> {"docs":N,"checksum":"<hex>"}
+// Unknown actions are kUnimplemented; malformed bodies kInvalidArgument.
+Result<JsonValue> EngineAdmin(BivocEngine* engine, const std::string& action,
+                              const JsonValue& body);
 
 }  // namespace bivoc
 

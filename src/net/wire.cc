@@ -255,6 +255,17 @@ JsonValue ReportResultToJson(const ReportResult& result, bool from_cache) {
       obj.Set("trends", std::move(trends));
       break;
     }
+    case QueryClass::kDrillDown: {
+      JsonValue hits = JsonValue::MakeArray();
+      for (const DrillDownHit& hit : result.drill) {
+        JsonValue h = JsonValue::MakeObject();
+        h.Set("shard", JsonValue(hit.shard));
+        h.Set("doc", JsonValue(static_cast<std::size_t>(hit.doc)));
+        hits.Append(std::move(h));
+      }
+      obj.Set("drill", std::move(hits));
+      break;
+    }
   }
   if (result.shard_mode) {
     obj.Set("shard_mode", JsonValue(true));
@@ -280,6 +291,7 @@ JsonValue ReportResultToJson(const ReportResult& result, bool from_cache) {
       }
       case QueryClass::kConceptSearch:
       case QueryClass::kAssociation:
+      case QueryClass::kDrillDown:
         // Raw counts already live in the payload rows; nothing extra.
         break;
     }
@@ -440,6 +452,33 @@ Result<std::vector<TrendSummary>> TrendsFromJson(const JsonValue& v,
   return out;
 }
 
+Result<std::vector<DrillDownHit>> DrillFromJson(const JsonValue& v,
+                                                const std::string& field) {
+  if (!v.is_array()) return FieldError(field, "expected an array");
+  std::vector<DrillDownHit> out;
+  out.reserve(v.GetArray().size());
+  for (std::size_t i = 0; i < v.GetArray().size(); ++i) {
+    const JsonValue& entry = v.GetArray()[i];
+    const std::string where = field + "[" + std::to_string(i) + "]";
+    if (!entry.is_object()) return FieldError(where, "expected an object");
+    DrillDownHit hit;
+    for (const JsonValue::Member& m : entry.GetObject()) {
+      if (m.key == "shard") {
+        BIVOC_ASSIGN_OR_RETURN(hit.shard,
+                               GetStringField(m.value, where + ".shard"));
+      } else if (m.key == "doc") {
+        BIVOC_ASSIGN_OR_RETURN(std::size_t doc,
+                               GetSizeField(m.value, where + ".doc"));
+        hit.doc = static_cast<DocId>(doc);
+      } else {
+        return FieldError(where, "unknown field \"" + m.key + "\"");
+      }
+    }
+    out.push_back(std::move(hit));
+  }
+  return out;
+}
+
 Result<ShardMergeInfo> MergeInfoFromJson(const JsonValue& v,
                                          const std::string& field) {
   if (!v.is_object()) return FieldError(field, "expected an object");
@@ -524,6 +563,8 @@ Result<WireReport> ReportResultFromJson(const JsonValue& v) {
                              AssociationFromJson(m.value, m.key));
     } else if (m.key == "trends") {
       BIVOC_ASSIGN_OR_RETURN(report.trends, TrendsFromJson(m.value, m.key));
+    } else if (m.key == "drill") {
+      BIVOC_ASSIGN_OR_RETURN(report.drill, DrillFromJson(m.value, m.key));
     } else if (m.key == "merge") {
       BIVOC_ASSIGN_OR_RETURN(report.merge, MergeInfoFromJson(m.value, m.key));
     } else {
@@ -608,6 +649,69 @@ Result<std::vector<IngestItem>> IngestItemsFromJson(const JsonValue& v) {
       return FieldError(where, "needs a \"payload\" field");
     }
     out.push_back(std::move(item));
+  }
+  return out;
+}
+
+JsonValue ExportedDocsToJson(const std::vector<ExportedDoc>& docs) {
+  JsonValue arr = JsonValue::MakeArray();
+  for (const ExportedDoc& doc : docs) {
+    JsonValue o = JsonValue::MakeObject();
+    o.Set("route", JsonValue(doc.route_key));
+    o.Set("keys", StringArrayToJson(doc.concept_keys));
+    if (doc.time_bucket != 0) {
+      o.Set("bucket", JsonValue(doc.time_bucket));
+    }
+    arr.Append(std::move(o));
+  }
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("docs", std::move(arr));
+  return obj;
+}
+
+Result<std::vector<ExportedDoc>> ExportedDocsFromJson(const JsonValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("export body must be a JSON object");
+  }
+  const JsonValue* docs = v.Find("docs");
+  if (docs == nullptr || !docs->is_array()) {
+    return Status::InvalidArgument("export body needs a \"docs\" array");
+  }
+  if (v.GetObject().size() != 1) {
+    return Status::InvalidArgument(
+        "export body has fields other than \"docs\"");
+  }
+  std::vector<ExportedDoc> out;
+  out.reserve(docs->GetArray().size());
+  for (std::size_t i = 0; i < docs->GetArray().size(); ++i) {
+    const JsonValue& entry = docs->GetArray()[i];
+    const std::string where = "docs[" + std::to_string(i) + "]";
+    if (!entry.is_object()) {
+      return FieldError(where, "expected an object");
+    }
+    ExportedDoc doc;
+    bool saw_route = false;
+    for (const JsonValue::Member& m : entry.GetObject()) {
+      if (m.key == "route") {
+        BIVOC_ASSIGN_OR_RETURN(doc.route_key,
+                               GetStringField(m.value, where + ".route"));
+        saw_route = true;
+      } else if (m.key == "keys") {
+        BIVOC_ASSIGN_OR_RETURN(
+            doc.concept_keys, GetStringArrayField(m.value, where + ".keys"));
+      } else if (m.key == "bucket") {
+        if (!m.value.is_integer()) {
+          return FieldError(where + ".bucket", "expected an integer");
+        }
+        doc.time_bucket = m.value.GetInt64();
+      } else {
+        return FieldError(where, "unknown field \"" + m.key + "\"");
+      }
+    }
+    if (!saw_route) {
+      return FieldError(where, "needs a \"route\" field");
+    }
+    out.push_back(std::move(doc));
   }
   return out;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/ingest.h"
+#include "core/persist.h"
 #include "net/json.h"
 #include "serve/query.h"
 #include "synth/telecom.h"
@@ -50,6 +51,13 @@ Result<WireReport> ReportResultFromJson(const JsonValue& v);
 //              "structured_keys":["plan/..."]}]}
 JsonValue IngestItemsToJson(const std::vector<IngestItem>& items);
 Result<std::vector<IngestItem>> IngestItemsFromJson(const JsonValue& v);
+
+// Rebalance data-plane body (POST /v1/admin/export response and
+// /v1/admin/stage request):
+//   {"docs":[{"route":"customer/7","keys":["product/gprs",...],
+//             "bucket":3}]}
+JsonValue ExportedDocsToJson(const std::vector<ExportedDoc>& docs);
+Result<std::vector<ExportedDoc>> ExportedDocsFromJson(const JsonValue& v);
 
 }  // namespace bivoc
 

@@ -173,6 +173,28 @@ void MergeTrend(const QueryRequest& req,
   if (out->trends.size() > req.limit) out->trends.resize(req.limit);
 }
 
+// --- kDrillDown ------------------------------------------------------
+
+void MergeDrillDown(const QueryRequest& req,
+                    const std::vector<ReportResult>& partials,
+                    ReportResult* out) {
+  // Stable global order: shard name ascending, DocId ascending within
+  // a shard. Never arrival order — scatter legs complete in a
+  // different sequence every run, and pagination must be deterministic
+  // across runs and topologies.
+  for (const ReportResult& part : partials) {
+    for (const DrillDownHit& hit : part.drill) {
+      out->drill.push_back({part.merge.shard_name, hit.doc});
+    }
+  }
+  std::stable_sort(out->drill.begin(), out->drill.end(),
+                   [](const DrillDownHit& a, const DrillDownHit& b) {
+                     if (a.shard != b.shard) return a.shard < b.shard;
+                     return a.doc < b.doc;
+                   });
+  if (out->drill.size() > req.limit) out->drill.resize(req.limit);
+}
+
 }  // namespace
 
 Result<ReportResult> MergeShardReports(
@@ -215,6 +237,9 @@ Result<ReportResult> MergeShardReports(
     }
     case QueryClass::kTrend:
       MergeTrend(request, partials, &out);
+      break;
+    case QueryClass::kDrillDown:
+      MergeDrillDown(request, partials, &out);
       break;
   }
   return out;

@@ -17,6 +17,8 @@ const char* QueryClassName(QueryClass cls) {
       return "trend";
     case QueryClass::kChurnDrivers:
       return "churn_drivers";
+    case QueryClass::kDrillDown:
+      return "drill_down";
   }
   return "unknown";
 }
@@ -82,6 +84,15 @@ QueryRequest QueryRequest::ChurnDrivers(std::size_t limit) {
   return req;
 }
 
+QueryRequest QueryRequest::DrillDown(std::vector<std::string> keys,
+                                     std::size_t limit) {
+  QueryRequest req;
+  req.cls = QueryClass::kDrillDown;
+  req.row_keys = std::move(keys);
+  req.limit = limit;
+  return req;
+}
+
 Status ValidateQuery(const QueryRequest& req) {
   if (req.limit == 0) {
     return Status::InvalidArgument("query limit must be positive");
@@ -98,6 +109,12 @@ Status ValidateQuery(const QueryRequest& req) {
       if (req.key.empty()) {
         return Status::InvalidArgument(
             "relevancy query needs a feature key");
+      }
+      break;
+    case QueryClass::kDrillDown:
+      if (req.row_keys.empty()) {
+        return Status::InvalidArgument(
+            "drill-down query needs at least one key in row_keys");
       }
       break;
     case QueryClass::kConceptSearch:
@@ -149,6 +166,26 @@ uint64_t QueryFingerprint(const QueryRequest& req) {
 }
 
 namespace {
+
+// Drill-down: documents containing *all* req.row_keys, ascending by
+// DocId. Identical on both paths — a shard-mode drill *does* apply
+// req.limit (unlike the aggregate classes, where the coordinator needs
+// unfiltered sums): the merged order is (shard name asc, DocId asc),
+// so the first `limit` hits of each shard's ascending list are a
+// superset of anything that can appear in the merged first `limit`.
+void EvaluateDrillDown(const QueryRequest& req, const IndexSnapshot& snapshot,
+                       ReportResult* result) {
+  std::vector<ConceptId> ids;
+  ids.reserve(req.row_keys.size());
+  for (const std::string& key : req.row_keys) {
+    const ConceptId id = snapshot.Resolve(key);
+    if (id == kInvalidConceptId) return;  // unknown key: empty intersection
+    ids.push_back(id);
+  }
+  for (DocId doc : snapshot.DocsWithAllIds(ids, req.limit)) {
+    result->drill.push_back({std::string(), doc});
+  }
+}
 
 // Shard-mode evaluation: raw, additive evidence only. No min_count
 // filter, no limit, no division — those belong to the coordinator,
@@ -205,6 +242,9 @@ void EvaluateShardQuery(const QueryRequest& req,
       }
       break;
     }
+    case QueryClass::kDrillDown:
+      EvaluateDrillDown(req, snapshot, result);
+      break;
   }
 }
 
@@ -254,6 +294,9 @@ ReportResult EvaluateQuery(const QueryRequest& req,
     case QueryClass::kTrend:
       result.trends =
           RisingConcepts(snapshot, req.prefix, req.limit, req.min_count);
+      break;
+    case QueryClass::kDrillDown:
+      EvaluateDrillDown(req, snapshot, &result);
       break;
   }
   return result;

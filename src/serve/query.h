@@ -26,8 +26,9 @@ enum class QueryClass {
   kAssociation,        // two-dimensional association (§IV-D.2)
   kTrend,              // rising-topic analysis (§IV-D)
   kChurnDrivers,       // §VI churn-driver relevancy preset
+  kDrillDown,          // documents behind a report cell (Fig. 4)
 };
-inline constexpr std::size_t kNumQueryClasses = 5;
+inline constexpr std::size_t kNumQueryClasses = 6;
 
 // Stable lowercase identifier ("concept_search", ...), used as a
 // metric-name suffix, in log lines and as the wire name in the
@@ -69,6 +70,10 @@ struct QueryRequest {
                                   std::vector<std::string> col_keys);
   static QueryRequest Trend(std::string prefix, std::size_t limit = 10);
   static QueryRequest ChurnDrivers(std::size_t limit = 20);
+  // Documents containing *all* of `keys` (row_keys on the wire) — the
+  // drill-down behind a report cell.
+  static QueryRequest DrillDown(std::vector<std::string> keys,
+                                std::size_t limit = 50);
 };
 
 // Structural validity (does not consult any snapshot): association
@@ -87,6 +92,15 @@ struct ConceptHit {
   std::size_t count = 0;
 };
 
+// One drill-down row: a document id plus the shard it lives on ("" on
+// a single engine). Merged drill-downs are sorted into the stable
+// global order (shard name asc, DocId asc), so pagination is
+// deterministic across runs and topologies.
+struct DrillDownHit {
+  std::string shard;
+  DocId doc = 0;
+};
+
 // Raw per-concept trend evidence one shard contributes: the concept's
 // corpus count plus its sparse (bucket, docs-in-bucket) series. The
 // coordinator sums these across shards and only then computes shares
@@ -102,6 +116,10 @@ struct TrendSeries {
 // is exact integer addition; all division happens once, at the
 // coordinator, from cluster-wide totals.
 struct ShardMergeInfo {
+  // Which shard produced this partial. Shards leave it empty (they do
+  // not know their registered cluster names); the router stamps it
+  // before merging, so kDrillDown can order hits globally.
+  std::string shard_name;
   // kRelevancy/kChurnDrivers: documents on this shard containing the
   // feature key (|subset| in the paper's Eqn 2 denominators).
   std::size_t subset_size = 0;
@@ -126,6 +144,7 @@ struct ReportResult {
   std::vector<RelevancyItem> relevancy;   // kRelevancy, kChurnDrivers
   AssociationTable association;           // kAssociation
   std::vector<TrendSummary> trends;       // kTrend
+  std::vector<DrillDownHit> drill;        // kDrillDown
   ShardMergeInfo merge;                   // shard_mode only
 };
 

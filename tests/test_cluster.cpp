@@ -475,6 +475,138 @@ TEST(HashRingTest, PlacementIsStableUnderShardNameReordering) {
   }
 }
 
+// The property live rebalancing stands on: growing an N-group ring by
+// one group remaps about 1/(N+1) of the keyspace — only the arcs
+// adjacent to the new group's virtual nodes — never a full reshuffle.
+TEST(HashRingTest, AddingAGroupRemapsOnlyItsArcShare) {
+  const std::size_t kKeys = 100000;
+  HashRing before({"s0", "s1", "s2", "s3"}, 64);           // N = 4
+  HashRing after({"s0", "s1", "s2", "s3", "s4"}, 64);      // N + 1 = 5
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    const std::string key = "entity/" + std::to_string(i);
+    if (before.name(before.ShardFor(key)) !=
+        after.name(after.ShardFor(key))) {
+      ++moved;
+    }
+  }
+  const double fraction = static_cast<double>(moved) / kKeys;
+  // Expected 1/(N+1) = 0.2; assert under 2/(N+1) and well above zero.
+  EXPECT_LT(fraction, 2.0 / 5.0);
+  EXPECT_GT(fraction, 0.05);
+  // Every key that did move, moved TO the new group — growth never
+  // shuffles keys between the surviving groups.
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    const std::string key = "entity/" + std::to_string(i);
+    const std::string& from = before.name(before.ShardFor(key));
+    const std::string& to = after.name(after.ShardFor(key));
+    if (from != to) EXPECT_EQ(to, "s4") << key;
+  }
+}
+
+// Restart determinism: two independently constructed rings over the
+// same group names agree on every key, even when the member lists
+// differ — placement hashes the group name only, so replacing a dead
+// replica moves zero keys.
+TEST(HashRingTest, IndependentConstructionsRouteIdentically) {
+  std::vector<RingNode> generation1 = {{"g0", {"s0", "s1"}},
+                                       {"g1", {"s2", "s3"}},
+                                       {"g2", {"s4", "s5"}}};
+  std::vector<RingNode> generation2 = {{"g0", {"s0", "s9"}},   // s1 replaced
+                                       {"g1", {"s2", "s3"}},
+                                       {"g2", {"s4", "s5"}}};
+  HashRing ring1(generation1, 64);
+  HashRing ring2(generation2, 64);
+  for (int i = 0; i < 10000; ++i) {
+    const std::string key = "entity/" + std::to_string(i);
+    EXPECT_EQ(ring1.name(ring1.ShardFor(key)),
+              ring2.name(ring2.ShardFor(key)))
+        << key;
+  }
+}
+
+TEST(HashRingTest, OwnersForReturnsEveryReplicaOfTheOwningGroup) {
+  HashRing ring({{"g0", {"s0", "s1"}}, {"g1", {"s2", "s3"}}}, 64);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "entity/" + std::to_string(i);
+    const std::size_t owner = ring.ShardFor(key);
+    const std::vector<std::string>& owners = ring.OwnersFor(key);
+    ASSERT_EQ(owners.size(), 2u);
+    EXPECT_EQ(owners, ring.node(owner).members);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replica groups: writes reach every member, reads fail over, and the
+// anti-entropy audit notices a replica that missed a write.
+
+TEST_F(ClusterTest, ReplicatedIngestWritesEveryMemberAndQueriesSurviveDeath) {
+  auto s0a = std::make_shared<FakeShard>("s0a");
+  auto s0b = std::make_shared<FakeShard>("s0b");
+  std::vector<ReplicaGroup> groups(1);
+  groups[0].name = "g0";
+  groups[0].members = {s0a, s0b};
+  auto router =
+      std::make_unique<ShardRouter>(std::move(groups), FastOptions());
+
+  std::vector<IngestItem> items(10);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i].payload = "x";
+    items[i].structured_keys = {"customer/" + std::to_string(i)};
+  }
+  Result<JsonValue> both = router->ExecuteIngest(items);
+  ASSERT_TRUE(both.ok()) << both.status().ToString();
+  EXPECT_FALSE(PartialOf(both.value()));
+  const JsonValue& entry = both->Find("shards")->GetArray()[0];
+  EXPECT_EQ(entry.Find("replicas_total")->GetInt64(), 2);
+  EXPECT_EQ(entry.Find("replicas_ok")->GetInt64(), 2);
+
+  // Kill the primary: ingest still lands (on the replica, reported as
+  // a member-level error, not a failed batch)...
+  s0a->set_mode(FakeShard::Mode::kDown);
+  Result<JsonValue> degraded = router->ExecuteIngest(items);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_FALSE(PartialOf(degraded.value()));
+  EXPECT_EQ(IntField(degraded.value(), "items_failed"), 0);
+  const JsonValue& dentry = degraded->Find("shards")->GetArray()[0];
+  EXPECT_EQ(dentry.Find("replicas_ok")->GetInt64(), 1);
+  ASSERT_NE(dentry.Find("member_errors"), nullptr);
+
+  // ...and queries fail over to the replica: full answer, not partial.
+  Result<JsonValue> response =
+      router->ExecuteQuery(QueryRequest::ConceptSearch("customer/"));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_FALSE(PartialOf(response.value()));
+  EXPECT_EQ(IntField(response.value(), "num_documents"), 20);
+  EXPECT_GE(router->metrics()
+                ->GetCounter("cluster_failovers_total")
+                ->Value(),
+            1u);
+}
+
+// The stable global drill-down order (group name asc, DocId asc)
+// survives scatter order and per-shard limits.
+TEST_F(ClusterTest, DrillDownMergesIntoStableGlobalOrder) {
+  auto shards = MakeShards();
+  auto router = MakeRouter(shards);
+  QueryRequest drill = QueryRequest::DrillDown({"cat/alpha"}, 4);
+  Result<JsonValue> response = router->ExecuteQuery(drill);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const JsonValue* hits = response->Find("drill");
+  ASSERT_NE(hits, nullptr);
+  // 5 alpha docs live on s0 (3) and s1 (2); the limit keeps the first
+  // 4 of the global (shard, doc) order: all of s0, then s1's first.
+  ASSERT_EQ(hits->GetArray().size(), 4u);
+  std::vector<std::pair<std::string, int64_t>> got;
+  for (const JsonValue& hit : hits->GetArray()) {
+    got.emplace_back(hit.Find("shard")->GetString(),
+                     hit.Find("doc")->GetInt64());
+  }
+  std::vector<std::pair<std::string, int64_t>> want = {
+      {"s0", 0}, {"s0", 1}, {"s0", 2}, {"s1", 0}};
+  EXPECT_EQ(got, want);
+}
+
 // ---------------------------------------------------------------------------
 // End to end through the Gateway: the cluster serves the same wire
 // surface as a single engine, honesty fields included.
@@ -574,6 +706,204 @@ TEST_F(ClusterGatewayTest, ClusterBehindGatewaySpeaksTheSingleEngineWire) {
             std::string::npos);
   EXPECT_NE(metrics.body.find("gateway_requests_total_query"),
             std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Live rebalancing (DESIGN.md §14): a ring change concurrent with
+// ingest loses nothing, double-counts nothing, and moves only the
+// diffed key ranges; the anti-entropy audit sees identical replicas
+// afterwards.
+
+class ClusterRebalanceTest : public ClusterGatewayTest {
+ protected:
+  static std::shared_ptr<LocalShardHandle> BootShard(const std::string& name) {
+    return std::make_shared<LocalShardHandle>(name, BootShardEngine());
+  }
+
+  static bool PartialOf(const JsonValue& body) {
+    const JsonValue* partial = body.Find("partial");
+    BIVOC_CHECK(partial != nullptr && partial->is_bool());
+    return partial->GetBool();
+  }
+
+  static int64_t IntField(const JsonValue& body, const std::string& field) {
+    const JsonValue* value = body.Find(field);
+    BIVOC_CHECK(value != nullptr && value->is_integer()) << field;
+    return value->GetInt64();
+  }
+
+  static std::vector<IngestItem> Customers(int first, int count) {
+    std::vector<IngestItem> items;
+    for (int c = first; c < first + count; ++c) {
+      IngestItem item;
+      item.channel = VocChannel::kSms;
+      item.payload = "gprs not working john smith";
+      item.structured_keys = {"customer/" + std::to_string(c)};
+      items.push_back(std::move(item));
+    }
+    return items;
+  }
+};
+
+TEST_F(ClusterRebalanceTest, RebalanceMidIngestEqualsASingleEngine) {
+  // Two R=2 groups; the change adds a third.
+  std::vector<ReplicaGroup> initial(2);
+  initial[0].name = "g0";
+  initial[0].members = {BootShard("s0"), BootShard("s1")};
+  initial[1].name = "g1";
+  initial[1].members = {BootShard("s2"), BootShard("s3")};
+  ShardRouterOptions options;
+  options.max_attempts = 1;
+  ShardRouter router(std::move(initial), options);
+
+  // The oracle: one engine over the union corpus.
+  std::shared_ptr<BivocEngine> reference = BootShardEngine();
+
+  const int kCustomers = 60;
+  std::vector<IngestItem> all = Customers(0, kCustomers);
+  (void)reference->IngestBatch(all);
+
+  // First half before the change...
+  ASSERT_TRUE(router.ExecuteIngest(Customers(0, kCustomers / 2)).ok());
+
+  // ...second half racing it, in small batches from another thread.
+  std::thread writer([&router, kCustomers] {
+    for (int c = kCustomers / 2; c < kCustomers; c += 5) {
+      Result<JsonValue> batch = router.ExecuteIngest(Customers(c, 5));
+      BIVOC_CHECK(batch.ok()) << batch.status().ToString();
+    }
+  });
+  std::vector<ReplicaGroup> wider(3);
+  wider[0].name = "g0";
+  wider[0].members = {BootShard("s0"), BootShard("s1")};
+  wider[1].name = "g1";
+  wider[1].members = {BootShard("s2"), BootShard("s3")};
+  wider[2].name = "g2";
+  wider[2].members = {BootShard("s4"), BootShard("s5")};
+  // Known member names keep their existing handles (and their data) —
+  // only g2 is actually new.
+  Result<JsonValue> change = router.ChangeRing(std::move(wider));
+  writer.join();
+  ASSERT_TRUE(change.ok()) << change.status().ToString();
+  EXPECT_EQ(IntField(change.value(), "epoch"), 2);
+  EXPECT_EQ(router.ring_epoch(), 2u);
+  EXPECT_EQ(router.num_shards(), 3u);
+  // Only the diffed key ranges moved: some, but nowhere near all.
+  const int64_t moved = IntField(change.value(), "moved_docs");
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, kCustomers);
+
+  // Exactness: the widened cluster answers exactly like the single
+  // engine over the union corpus — partial:false, same counts.
+  Result<JsonValue> merged =
+      router.ExecuteQuery(QueryRequest::ConceptSearch("product/"));
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_FALSE(PartialOf(merged.value()));
+  Result<ReportServer::ReportResponse> single =
+      reference->serve()->Execute(QueryRequest::ConceptSearch("product/"));
+  ASSERT_TRUE(single.ok());
+  const JsonValue expected =
+      ReportResultToJson(*single.value().report, false);
+  EXPECT_EQ(DumpJson(*merged->Find("concepts")),
+            DumpJson(*expected.Find("concepts")));
+  EXPECT_EQ(IntField(merged.value(), "num_documents"), kCustomers);
+
+  // All six replicas converged: zero divergent groups.
+  Result<JsonValue> audit = router.AuditReplicas();
+  ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+  EXPECT_EQ(IntField(audit.value(), "divergent"), 0);
+  EXPECT_EQ(
+      router.metrics()->GetGauge("cluster_replica_divergence")->Value(), 0);
+}
+
+TEST_F(ClusterRebalanceTest, AuditFlagsAReplicaThatMissedAWrite) {
+  auto healthy = BootShardEngine();
+  auto straggler = BootShardEngine();
+  std::vector<ReplicaGroup> groups(1);
+  groups[0].name = "g0";
+  groups[0].members = {
+      std::make_shared<LocalShardHandle>("s0", healthy),
+      std::make_shared<LocalShardHandle>("s1", straggler)};
+  ShardRouterOptions options;
+  options.max_attempts = 1;
+  ShardRouter router(std::move(groups), options);
+
+  ASSERT_TRUE(router.ExecuteIngest(Customers(0, 6)).ok());
+  Result<JsonValue> in_sync = router.AuditReplicas();
+  ASSERT_TRUE(in_sync.ok());
+  EXPECT_EQ(IntField(in_sync.value(), "divergent"), 0);
+
+  // A write lands on one member behind the router's back.
+  (void)healthy->IngestBatch(Customers(100, 1));
+  Result<JsonValue> diverged = router.AuditReplicas();
+  ASSERT_TRUE(diverged.ok());
+  EXPECT_EQ(IntField(diverged.value(), "divergent"), 1);
+  EXPECT_EQ(
+      router.metrics()->GetGauge("cluster_replica_divergence")->Value(), 1);
+  EXPECT_EQ(diverged->Find("groups")->GetArray()[0].Find("divergent")
+                ->GetBool(),
+            true);
+}
+
+TEST_F(ClusterRebalanceTest, RingChangeAbortsCleanlyWhenExportIsImpossible) {
+  // FakeShard serves no admin verbs, so export fails and the change
+  // must roll back: same epoch, same groups, traffic unaffected.
+  auto s0 = std::make_shared<FakeShard>("s0");
+  s0->AddDocs("cat/alpha", 2);
+  std::vector<std::shared_ptr<ShardHandle>> handles = {s0};
+  ShardRouterOptions options;
+  options.max_attempts = 1;
+  ShardRouter router(std::move(handles), options);
+
+  std::vector<ReplicaGroup> wider(2);
+  wider[0].name = "s0";
+  wider[0].members = {s0};
+  wider[1].name = "s1";
+  wider[1].members = {std::make_shared<FakeShard>("s1")};
+  Result<JsonValue> change = router.ChangeRing(std::move(wider));
+  ASSERT_FALSE(change.ok());
+  EXPECT_EQ(router.ring_epoch(), 1u);
+  EXPECT_EQ(router.num_shards(), 1u);
+  Result<JsonValue> after =
+      router.ExecuteQuery(QueryRequest::ConceptSearch("cat/"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(IntField(after.value(), "num_documents"), 2);
+}
+
+TEST_F(ClusterRebalanceTest, AdminRingVerbReusesKnownMembersByName) {
+  std::vector<ReplicaGroup> initial(2);
+  initial[0].name = "g0";
+  initial[0].members = {BootShard("s0"), BootShard("s1")};
+  initial[1].name = "g1";
+  initial[1].members = {BootShard("s2"), BootShard("s3")};
+  ShardRouterOptions options;
+  options.max_attempts = 1;
+  ShardRouter router(std::move(initial), options);
+  ASSERT_TRUE(router.ExecuteIngest(Customers(0, 8)).ok());
+
+  // The same topology through the admin JSON surface: every member
+  // name is known, so no host/port is needed and nothing moves — but
+  // the epoch still advances (the ring *was* swapped).
+  Result<JsonValue> body = ParseJson(R"({"groups":[
+      {"name":"g0","members":[{"name":"s0"},{"name":"s1"}]},
+      {"name":"g1","members":[{"name":"s2"},{"name":"s3"}]}]})");
+  ASSERT_TRUE(body.ok());
+  Result<JsonValue> change = router.ExecuteAdmin("ring", body.value());
+  ASSERT_TRUE(change.ok()) << change.status().ToString();
+  EXPECT_EQ(IntField(change.value(), "moved_docs"), 0);
+  EXPECT_EQ(router.ring_epoch(), 2u);
+
+  // "audit" goes through the same verb table.
+  Result<JsonValue> audit = router.ExecuteAdmin("audit", body.value());
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(IntField(audit.value(), "divergent"), 0);
+
+  // Unknown members without an address are rejected up front.
+  Result<JsonValue> bad = ParseJson(
+      R"({"groups":[{"name":"g0","members":[{"name":"mystery"}]}]})");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(router.ExecuteAdmin("ring", bad.value()).ok());
+  EXPECT_EQ(router.ring_epoch(), 2u);
 }
 
 TEST_F(ClusterGatewayTest, WholeClusterDownIs503OnBothRoutes) {

@@ -14,9 +14,12 @@
 #include <string>
 #include <vector>
 
+#include "cluster/router.h"
+#include "cluster/shard_handle.h"
 #include "mining/concept_index.h"
 #include "net/wire.h"
 #include "serve/query.h"
+#include "util/fault_injection.h"
 #include "util/random.h"
 
 namespace bivoc {
@@ -250,6 +253,207 @@ TEST(ClusterMergeProperty, TopKTieBreaksByKeyOnBothPaths) {
   Result<ReportResult> merged = MergeShardReports(request, partials);
   ASSERT_TRUE(merged.ok());
   ExpectReportsEqual(merged.value(), single, "tie-break");
+}
+
+// --- kDrillDown ------------------------------------------------------
+// Drill-down is the one class whose rows are per-document, so the
+// merged order is defined by (shard name asc, DocId asc) rather than
+// by counts. Each shard's first `limit` hits (DocId order) are a
+// superset of its contribution to the global first `limit`.
+
+TEST(DrillDownQuery, ReturnsDocsContainingAllKeysInDocIdOrder) {
+  ConceptIndex index;
+  index.AddDocument({"cat/alpha", "status/churned"}, 0);  // doc 0: both
+  index.AddDocument({"cat/alpha", "status/active"}, 0);   // doc 1: one
+  index.AddDocument({"cat/alpha", "status/churned"}, 1);  // doc 2: both
+  index.AddDocument({"cat/beta"}, 2);                     // doc 3: neither
+  index.Publish();
+
+  QueryRequest request =
+      QueryRequest::DrillDown({"cat/alpha", "status/churned"}, 10);
+  ReportResult result = EvaluateQuery(request, *index.snapshot());
+  ASSERT_EQ(result.drill.size(), 2u);
+  EXPECT_EQ(result.drill[0].doc, 0u);
+  EXPECT_EQ(result.drill[1].doc, 2u);
+  EXPECT_EQ(result.drill[0].shard, "");  // single engine: no shard name
+
+  // An unknown key means an empty intersection, not an error.
+  ReportResult empty = EvaluateQuery(
+      QueryRequest::DrillDown({"cat/alpha", "no/such"}, 10),
+      *index.snapshot());
+  EXPECT_TRUE(empty.drill.empty());
+
+  // Structural validation: a drill-down needs at least one key.
+  EXPECT_FALSE(ValidateQuery(QueryRequest::DrillDown({}, 10)).ok());
+}
+
+TEST(DrillDownQuery, MergeOrdersByShardThenDocAndCutsAtTheLimit) {
+  // Shard "a": docs {0,1} match; shard "b": docs {0,2} match.
+  auto build = [](std::vector<std::vector<std::string>> docs) {
+    auto index = std::make_shared<ConceptIndex>();
+    for (auto& keys : docs) index->AddDocument(keys, 0);
+    index->Publish();
+    return index;
+  };
+  auto shard_a = build({{"cat/x"}, {"cat/x"}, {"cat/y"}});
+  auto shard_b = build({{"cat/x"}, {"cat/y"}, {"cat/x"}});
+
+  QueryRequest request = QueryRequest::DrillDown({"cat/x"}, 3);
+  QueryRequest shard_request = request;
+  shard_request.shard_mode = true;
+
+  // Present partials in reverse shard order: the merge must still sort
+  // by shard name, so scatter completion order never shows through.
+  ReportResult part_b = EvaluateQuery(shard_request, *shard_b->snapshot());
+  part_b.merge.shard_name = "b";
+  ReportResult part_a = EvaluateQuery(shard_request, *shard_a->snapshot());
+  part_a.merge.shard_name = "a";
+  Result<ReportResult> merged =
+      MergeShardReports(request, {part_b, part_a});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_EQ(merged->drill.size(), 3u);
+  EXPECT_EQ(merged->drill[0].shard, "a");
+  EXPECT_EQ(merged->drill[0].doc, 0u);
+  EXPECT_EQ(merged->drill[1].shard, "a");
+  EXPECT_EQ(merged->drill[1].doc, 1u);
+  EXPECT_EQ(merged->drill[2].shard, "b");
+  EXPECT_EQ(merged->drill[2].doc, 0u);
+}
+
+TEST(DrillDownQuery, WireRoundTripPreservesHits) {
+  ReportResult report;
+  report.cls = QueryClass::kDrillDown;
+  report.num_documents = 5;
+  report.drill = {{"g0", 1}, {"g1", 0}, {"g1", 7}};
+  JsonValue encoded = ReportResultToJson(report, false);
+  Result<WireReport> decoded = ReportResultFromJson(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->report.drill.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded->report.drill[i].shard, report.drill[i].shard);
+    EXPECT_EQ(decoded->report.drill[i].doc, report.drill[i].doc);
+  }
+}
+
+// --- replica failover exactness (DESIGN.md §14) ----------------------
+// With replication 2, killing any single member must not change one
+// byte of any answer: the surviving replica holds identical content,
+// so the failed-over leg produces the same partial and the merge the
+// same report. Checked on the whole serialized response, honesty
+// fields included — partial stays false.
+
+// A shard handle over a bare ConceptIndex, just enough surface for the
+// router's query path.
+class IndexShard : public ShardHandle {
+ public:
+  IndexShard(std::string name, std::shared_ptr<ConceptIndex> index)
+      : name_(std::move(name)), index_(std::move(index)) {}
+
+  const std::string& name() const override { return name_; }
+
+  Result<WireReport> Query(const QueryRequest& request) override {
+    WireReport report;
+    report.report = EvaluateQuery(request, *index_->snapshot());
+    report.from_cache = false;
+    return report;
+  }
+
+  Result<JsonValue> Ingest(const std::vector<IngestItem>&) override {
+    return Status::Unimplemented("query-only fake");
+  }
+  Result<JsonValue> Health() override { return JsonValue::MakeObject(); }
+
+ private:
+  std::string name_;
+  std::shared_ptr<ConceptIndex> index_;
+};
+
+// Three groups of two replicas each, every pair built from the same
+// partition of the corpus.
+std::unique_ptr<ShardRouter> ReplicatedRouter(
+    const std::vector<std::vector<Doc>>& parts, ShardRouterOptions options) {
+  std::vector<ReplicaGroup> groups;
+  for (std::size_t g = 0; g < parts.size(); ++g) {
+    ReplicaGroup group;
+    group.name = "g" + std::to_string(g);
+    group.members.push_back(std::make_shared<IndexShard>(
+        "g" + std::to_string(g) + "a", BuildIndex(parts[g])));
+    group.members.push_back(std::make_shared<IndexShard>(
+        "g" + std::to_string(g) + "b", BuildIndex(parts[g])));
+    groups.push_back(std::move(group));
+  }
+  return std::make_unique<ShardRouter>(std::move(groups), options);
+}
+
+ShardRouterOptions QuickRouterOptions() {
+  ShardRouterOptions options;
+  options.max_attempts = 1;
+  options.hedge_delay_ms = 0;
+  options.shard_deadline_ms = 500;
+  options.attempt_timeout_ms = 200;
+  return options;
+}
+
+TEST(ReplicaFailover, DeadMemberChangesNoByteOfAnyAnswer) {
+  const std::vector<Doc> docs = RandomCorpus(/*seed=*/321, 300);
+  const auto parts = Partition(docs, 3, /*mode=*/0, /*seed=*/321 ^ 0xabc);
+  auto healthy = ReplicatedRouter(parts, QuickRouterOptions());
+  auto wounded = ReplicatedRouter(parts, QuickRouterOptions());
+
+  FaultSpec outage;
+  outage.code = StatusCode::kUnavailable;
+  outage.message = "killed";
+  for (const QueryRequest& preset : Presets()) {
+    Result<JsonValue> reference = healthy->ExecuteQuery(preset);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+    // Kill group 1's primary for this query only.
+    Result<JsonValue> failed_over = Status::Internal("unset");
+    {
+      ScopedFault dead("net.shard.send:g1a", outage);
+      failed_over = wounded->ExecuteQuery(preset);
+    }
+    ASSERT_TRUE(failed_over.ok()) << failed_over.status().ToString();
+
+    EXPECT_EQ(DumpJson(reference.value()), DumpJson(failed_over.value()))
+        << "class=" << QueryClassName(preset.cls);
+    const JsonValue* partial = failed_over.value().Find("partial");
+    ASSERT_NE(partial, nullptr);
+    EXPECT_FALSE(partial->GetBool());
+  }
+  // Every wounded query failed over exactly once.
+  EXPECT_EQ(wounded->metrics()->GetCounter("cluster_failovers_total")->Value(),
+            Presets().size());
+}
+
+TEST(ReplicaFailover, OpenBreakerFailsOverWithoutTouchingThePrimary) {
+  const std::vector<Doc> docs = RandomCorpus(/*seed=*/55, 200);
+  const auto parts = Partition(docs, 3, /*mode=*/0, /*seed=*/55 ^ 0xabc);
+  ShardRouterOptions options = QuickRouterOptions();
+  options.breaker.failure_threshold = 1;
+  options.breaker.cool_off_ms = 60000;  // stays open for the whole test
+  auto healthy = ReplicatedRouter(parts, options);
+  auto wounded = ReplicatedRouter(parts, options);
+
+  const QueryRequest preset = QueryRequest::ConceptSearch("cat/", 5);
+  Result<JsonValue> reference = healthy->ExecuteQuery(preset);
+  ASSERT_TRUE(reference.ok());
+
+  // One failing call opens g1a's breaker...
+  {
+    FaultSpec outage;
+    outage.code = StatusCode::kUnavailable;
+    outage.message = "killed";
+    ScopedFault dead("net.shard.send:g1a", outage);
+    ASSERT_TRUE(wounded->ExecuteQuery(preset).ok());
+  }
+  ASSERT_EQ(wounded->breaker(1)->state(), CircuitBreaker::State::kOpen);
+
+  // ...and the next query short-circuits straight to the replica: same
+  // bytes, no fault injection needed because the primary is never sent.
+  Result<JsonValue> short_circuited = wounded->ExecuteQuery(preset);
+  ASSERT_TRUE(short_circuited.ok());
+  EXPECT_EQ(DumpJson(reference.value()), DumpJson(short_circuited.value()));
 }
 
 // Malformed partial sets must be rejected, not merged into nonsense.

@@ -7,6 +7,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/ingest.h"
+
 namespace bivoc {
 namespace {
 
@@ -421,6 +423,144 @@ TEST(OverlappedRetryTest, TimeoutBackoffAndHedgingCompose) {
   EXPECT_LT(ElapsedMs(start), 400);
   tracker.Drain();
   EXPECT_EQ(acquires.load(), releases.load());
+}
+
+// --- circuit breaker arbitration under overlapped attempts -----------
+//
+// The cluster router wraps every shard RPC attempt in Allow() /
+// RecordSuccess() / RecordFailure() on a breaker shared by all callers,
+// and the overlapped engine runs those attempts on detached threads.
+// These tests hammer exactly that shape so the TSan CI job proves the
+// half-open handshake is race-free, and the invariants prove no probe
+// admission or verdict is ever lost in the scramble.
+
+TEST(BreakerArbitrationTest, HedgedCallersArbitrateTheHalfOpenProbe) {
+  std::atomic<int64_t> now{0};
+  CircuitBreaker::Options opts;
+  opts.failure_threshold = 1;
+  opts.cool_off_ms = 50;
+  opts.half_open_successes = 2;
+  opts.clock_ms = [&] { return now.load(); };
+  CircuitBreaker breaker(opts);
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  now += opts.cool_off_ms;  // the next Allow() arms the half-open probe
+
+  RetryPolicy policy = NoSleepPolicy(4);
+  policy.jitter = 0.0;
+  policy.hedge_delay_ms = 3;  // hedges overlap the slow originals below
+  policy.retryable = [](const Status&) { return true; };
+
+  OpTracker tracker;
+  std::atomic<int> admitted{0};
+  std::atomic<int> ok_runs{0};
+  constexpr int kCallers = 8;
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      Retrier retrier(policy, /*seed=*/0x5eed + c);
+      Status st = retrier.Run([&, c] {
+        tracker.Enter();
+        if (!breaker.Allow()) {
+          tracker.Exit();
+          return Status::Unavailable("breaker open");
+        }
+        ++admitted;
+        if (c % 2 == 0) SleepMs(8);  // slow enough for a hedge to launch
+        breaker.RecordSuccess();
+        tracker.Exit();
+        return Status::OK();
+      });
+      if (st.ok()) ++ok_runs;
+    });
+  }
+  for (auto& t : callers) t.join();
+  tracker.Drain();
+
+  // The breaker is half-open after the first Allow() and admits every
+  // concurrent probe, so no caller is starved and two successes close
+  // it for good — exactly once opened, never reopened.
+  EXPECT_EQ(ok_runs.load(), kCallers);
+  EXPECT_GE(admitted.load(), 2);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.times_opened(), 1u);
+}
+
+TEST(BreakerArbitrationTest, FlappingProbesNeverLoseAVerdict) {
+  // Each clock read advances time 1 ms, so re-opened cool-offs elapse
+  // from the callers' own Allow() traffic and no wall-clock sleeping is
+  // needed to resolve the flapping.
+  std::atomic<int64_t> now{0};
+  CircuitBreaker::Options opts;
+  opts.failure_threshold = 1;
+  opts.cool_off_ms = 3;
+  opts.half_open_successes = 1;
+  opts.clock_ms = [&] { return now.fetch_add(1); };
+  CircuitBreaker breaker(opts);
+
+  constexpr int kProbeFailures = 6;
+  std::atomic<int> failures_left{kProbeFailures};
+  std::atomic<int> admitted{0};
+  std::atomic<int> failed{0};
+  std::atomic<int> succeeded{0};
+
+  RetryPolicy policy = NoSleepPolicy(4);
+  policy.jitter = 0.0;
+  policy.hedge_delay_ms = 2;
+  policy.retryable = [](const Status&) { return true; };
+
+  OpTracker tracker;
+  std::atomic<int> ok_runs{0};
+  constexpr int kCallers = 6;
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      Retrier retrier(policy, /*seed=*/0xfade + c);
+      // Real callers come back after an Unavailable; loop until this
+      // caller's own op succeeds so the last event of every thread is
+      // a recorded success.
+      Status st = Status::Unavailable("not yet");
+      while (!st.ok()) {
+        st = retrier.Run([&] {
+          tracker.Enter();
+          if (!breaker.Allow()) {
+            tracker.Exit();
+            return Status::Unavailable("breaker open");
+          }
+          ++admitted;
+          const bool fail = failures_left.fetch_sub(1) > 0;
+          SleepMs(2);  // keep the attempt alive across a hedge launch
+          if (fail) {
+            breaker.RecordFailure();
+            ++failed;
+            tracker.Exit();
+            return Status::IoError("probe lost");
+          }
+          breaker.RecordSuccess();
+          ++succeeded;
+          tracker.Exit();
+          return Status::OK();
+        });
+      }
+      ++ok_runs;
+    });
+  }
+  for (auto& t : callers) t.join();
+  tracker.Drain();
+
+  // Conservation: every admitted probe recorded exactly one verdict.
+  EXPECT_EQ(admitted.load(), failed.load() + succeeded.load());
+  EXPECT_EQ(failed.load(), kProbeFailures);
+  EXPECT_EQ(ok_runs.load(), kCallers);
+  // Each failure (re-)opened from closed or half-open at most once.
+  EXPECT_GE(breaker.times_opened(), 1u);
+  EXPECT_LE(breaker.times_opened(),
+            static_cast<std::size_t>(kProbeFailures));
+  // The globally last verdict is a success outside any failure window,
+  // so the flapping always settles closed.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
 }
 
 }  // namespace
