@@ -30,7 +30,10 @@
 #include "net/http_client.h"
 #include "net/wire.h"
 #include "serve/report_server.h"
+#include "stream/burst.h"
+#include "stream/ingestor.h"
 #include "synth/car_rental.h"
+#include "synth/live_driver.h"
 #include "synth/corpora.h"
 #include "synth/telecom.h"
 #include "util/fault_injection.h"
@@ -809,6 +812,94 @@ ClusterBenchResult RunClusterBench() {
   return out;
 }
 
+// --- Streaming VoC (DESIGN.md §15): utterance-append throughput on
+// the live path (pipeline + conversation re-link + sliding window +
+// burst detection + window publish, per utterance), the window-publish
+// latency distribution, and the in-process latency from the append
+// that closes a bursting bucket to its alert arriving on a
+// subscription.
+
+struct StreamBenchResult {
+  std::size_t utterances = 0;
+  double utterances_per_s = 0;
+  double window_publish_p50_ms = 0;
+  double window_publish_p95_ms = 0;
+  double alert_detection_latency_ms = 0;  // mean across fired alerts
+  std::size_t alerts = 0;
+};
+
+StreamBenchResult RunStreamBench() {
+  StreamBenchResult out;
+  const std::size_t target = EnvSize("BIVOC_BENCH_STREAM_UTTERANCES", 20000);
+
+  BivocEngine engine;
+  Schema schema({
+      {"id", DataType::kInt64, AttributeRole::kNone},
+      {"name", DataType::kString, AttributeRole::kPersonName},
+  });
+  Table* customers = *engine.warehouse()->CreateTable("customers", schema);
+  customers->Append({Value(int64_t{0}), Value("john smith")});
+  engine.FinishWarehouse();
+  engine.ConfigureAnnotators({"john", "smith"}, {});
+  for (const auto& entry : LiveCallCenterDriver::Dictionary()) {
+    engine.extractor()->mutable_dictionary()->Add(entry.term, entry.name,
+                                                  entry.category);
+  }
+  StreamOptions options;
+  options.window.window_buckets = 64;
+  BIVOC_CHECK_OK(engine.EnableStreaming(options));
+  StreamIngestor* stream = engine.stream();
+  auto subscription = stream->alerts()->Subscribe();
+
+  LiveDriverConfig config;
+  config.utterances_per_bucket = 50;
+  config.buckets =
+      static_cast<int64_t>(std::max<std::size_t>(target / 50, 8));
+  config.burst_start_bucket = config.buckets / 2;
+  config.burst_factor = 25;
+  LiveCallCenterDriver driver(config);
+
+  std::vector<double> alert_latencies;
+  LiveUtterance utterance;
+  Timer wall;
+  while (driver.Next(&utterance)) {
+    UtteranceAppend append;
+    append.conversation_id = utterance.conversation_id;
+    append.text = utterance.text;
+    append.time_bucket = utterance.time_bucket;
+    append.close = utterance.close;
+    Timer append_timer;
+    Result<AppendResult> result = stream->Append(append);
+    BIVOC_CHECK(result.ok()) << result.status().ToString();
+    if (result.value().alerts_emitted > 0) {
+      // Detection-to-delivery: from the start of the append that closed
+      // the bursting bucket to the alert being drainable by a
+      // subscriber (detector + bus publish + queue hand-off).
+      BurstAlert alert;
+      while (subscription->Poll(&alert, 10)) {
+        alert_latencies.push_back(append_timer.ElapsedMillis());
+      }
+    }
+    ++out.utterances;
+  }
+  out.utterances_per_s =
+      static_cast<double>(out.utterances) / wall.ElapsedSeconds();
+
+  const Histogram::Summary publish =
+      engine.metrics()->GetHistogram("stream_window_publish_ms")
+          ->GetSummary();
+  out.window_publish_p50_ms = publish.p50;
+  out.window_publish_p95_ms = publish.p95;
+  out.alerts = alert_latencies.size();
+  if (!alert_latencies.empty()) {
+    double sum = 0;
+    for (double v : alert_latencies) sum += v;
+    out.alert_detection_latency_ms =
+        sum / static_cast<double>(alert_latencies.size());
+  }
+  return out;
+}
+
 // The uncached serve QPS this harness measured immediately before the
 // compressed-postings/aggregates refactor (PR 7), kept in the artifact
 // as serve_uncached_qps_before so the cliff fix stays provable from
@@ -947,6 +1038,15 @@ void WriteIndexBenchReport() {
               cluster.failover.p95_ms, cluster.failover.p99_ms,
               cluster.rebalance_moved_docs, cluster.rebalance_docs_per_s);
 
+  StreamBenchResult streaming = RunStreamBench();
+  std::printf("streaming (%zu utterances): %.0f utterances/s, window "
+              "publish p50 %.3fms p95 %.3fms, %zu alerts at %.3fms "
+              "detection-to-delivery\n",
+              streaming.utterances, streaming.utterances_per_s,
+              streaming.window_publish_p50_ms,
+              streaming.window_publish_p95_ms, streaming.alerts,
+              streaming.alert_detection_latency_ms);
+
   std::FILE* f = std::fopen("BENCH_index.json", "w");
   if (f == nullptr) return;
   std::fprintf(f,
@@ -1015,7 +1115,13 @@ void WriteIndexBenchReport() {
                "  \"failover_query_p95_ms\": %.3f,\n"
                "  \"failover_query_p99_ms\": %.3f,\n"
                "  \"rebalance_moved_docs\": %zu,\n"
-               "  \"rebalance_docs_per_s\": %.0f\n"
+               "  \"rebalance_docs_per_s\": %.0f,\n"
+               "  \"stream_utterances\": %zu,\n"
+               "  \"stream_utterances_per_s\": %.0f,\n"
+               "  \"window_publish_p50_ms\": %.3f,\n"
+               "  \"window_publish_p95_ms\": %.3f,\n"
+               "  \"stream_alerts\": %zu,\n"
+               "  \"alert_detection_latency_ms\": %.3f\n"
                "}\n",
                kDocs, hw, kThreads, seq_dps, par_dps, par_dps / seq_dps,
                speedup_meaningful ? "true" : "false",
@@ -1052,7 +1158,10 @@ void WriteIndexBenchReport() {
                cluster.degraded.p99_ms, cluster.failover.qps,
                cluster.failover.p50_ms, cluster.failover.p95_ms,
                cluster.failover.p99_ms, cluster.rebalance_moved_docs,
-               cluster.rebalance_docs_per_s);
+               cluster.rebalance_docs_per_s, streaming.utterances,
+               streaming.utterances_per_s, streaming.window_publish_p50_ms,
+               streaming.window_publish_p95_ms, streaming.alerts,
+               streaming.alert_detection_latency_ms);
   std::fclose(f);
 }
 

@@ -11,6 +11,17 @@
 //
 //   curl http://127.0.0.1:8080/healthz
 //   curl -d '{"class":"concept_search"}' http://127.0.0.1:8080/v1/query
+//
+// With --live it becomes a live call center (DESIGN.md §15): streaming
+// is enabled, the synthetic driver feeds interleaved in-progress calls
+// through POST /v1/stream/utterance — including a scripted complaint
+// burst — and the SSE alert feed plus window-scoped trends are yours
+// to watch:
+//
+//   curl -N http://127.0.0.1:8080/v1/stream/alerts
+//   curl -d '{"class":"trend","window":true,"min_count":1}' \
+//        http://127.0.0.1:8080/v1/query
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -21,6 +32,8 @@
 #include "net/gateway.h"
 #include "net/http_client.h"
 #include "net/wire.h"
+#include "stream/ingestor.h"
+#include "synth/live_driver.h"
 #include "util/logging.h"
 
 using namespace bivoc;
@@ -92,20 +105,67 @@ int RunDemo(uint16_t port) {
   return 0;
 }
 
+// Live mode: the synthetic call-center driver feeds the streaming
+// ingest route over real loopback HTTP for `seconds`, pacing one
+// driver bucket every ~300 ms with a complaint burst starting at
+// bucket 5. Returns the number of utterances that failed to ingest.
+int RunLiveDriver(uint16_t port, int seconds) {
+  LiveDriverConfig config;
+  config.buckets = std::max(seconds * 3, 8);  // ~3 buckets per second
+  config.burst_start_bucket = 5;
+  config.burst_factor = 12;
+  LiveCallCenterDriver driver(config);
+  HttpClient client("127.0.0.1", port);
+
+  int failures = 0;
+  int64_t current_bucket = 0;
+  std::size_t fed = 0;
+  LiveUtterance utterance;
+  while (driver.Next(&utterance)) {
+    if (utterance.time_bucket != current_bucket) {
+      current_bucket = utterance.time_bucket;
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    }
+    UtteranceAppend append;
+    append.conversation_id = utterance.conversation_id;
+    append.text = utterance.text;
+    append.time_bucket = utterance.time_bucket;
+    append.close = utterance.close;
+    auto response = client.Post("/v1/stream/utterance",
+                                DumpJson(UtteranceAppendToJson(append)));
+    if (!response.ok() || response->status != 200) ++failures;
+    ++fed;
+  }
+  std::printf("live driver: fed %zu utterances (%d failed)\n", fed,
+              failures);
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool listen = false;
+  bool live = false;
   uint16_t port = 0;
   int seconds = 3600;
-  if (argc > 1 && std::string(argv[1]) == "--listen") {
-    listen = true;
+  const std::string mode = argc > 1 ? argv[1] : "";
+  if (mode == "--listen" || mode == "--live") {
+    listen = mode == "--listen";
+    live = mode == "--live";
     if (argc > 2) port = static_cast<uint16_t>(std::atoi(argv[2]));
     if (argc > 3) seconds = std::atoi(argv[3]);
   }
 
   BivocEngine engine;
   BootEngine(&engine);
+  if (live) {
+    for (const auto& entry : LiveCallCenterDriver::Dictionary()) {
+      engine.extractor()->mutable_dictionary()->Add(entry.term, entry.name,
+                                                    entry.category);
+    }
+    BIVOC_CHECK_OK(engine.EnableStreaming());
+    if (seconds == 3600) seconds = 20;  // a live demo ends on its own
+  }
 
   GatewayOptions options;
   options.server.port = port;
@@ -117,7 +177,15 @@ int main(int argc, char** argv) {
   }
   std::printf("gateway listening on http://127.0.0.1:%u\n", bound.value());
 
-  if (listen) {
+  int exit_code = 0;
+  if (live) {
+    std::printf("live call center for ~%d s; watch it with:\n"
+                "  curl -N http://127.0.0.1:%u/v1/stream/alerts\n"
+                "  curl -d '{\"class\":\"trend\",\"window\":true,"
+                "\"min_count\":1}' http://127.0.0.1:%u/v1/query\n",
+                seconds, bound.value(), bound.value());
+    exit_code = RunLiveDriver(bound.value(), seconds) == 0 ? 0 : 1;
+  } else if (listen) {
     std::printf("serving for %d s; try:\n"
                 "  curl http://127.0.0.1:%u/healthz\n"
                 "  curl -d '{\"class\":\"concept_search\"}' "
@@ -130,5 +198,5 @@ int main(int argc, char** argv) {
 
   engine.StopGateway();
   std::printf("gateway drained and stopped.\n");
-  return 0;
+  return exit_code;
 }

@@ -136,6 +136,9 @@ ShardRouter::ShardRouter(std::vector<ReplicaGroup> groups,
   rebalances_ = metrics_->GetCounter("cluster_rebalances_total");
   rebalanced_docs_ = metrics_->GetCounter("cluster_rebalanced_docs_total");
   audits_ = metrics_->GetCounter("cluster_audits_total");
+  repairs_ = metrics_->GetCounter("cluster_repairs_total");
+  repaired_members_ =
+      metrics_->GetCounter("cluster_repaired_members_total");
   replica_divergence_ = metrics_->GetGauge("cluster_replica_divergence");
   scatter_latency_ = metrics_->GetHistogram("cluster_scatter_latency_ms");
   merge_latency_ = metrics_->GetHistogram("cluster_merge_latency_ms");
@@ -384,6 +387,15 @@ Result<ReportResult> ShardRouter::QueryGroup(const GroupState& group,
 }
 
 Result<JsonValue> ShardRouter::ExecuteQuery(QueryRequest request) {
+  // Window-scoped trends read a single engine's streaming index; a
+  // scatter-merge over per-shard windows is not defined (shards tick
+  // their windows independently). Reject upfront instead of letting
+  // every shard fail validation on the fanned-out request.
+  if (request.window) {
+    return Status::FailedPrecondition(
+        "window-scoped queries are not supported on a cluster router; "
+        "ask a streaming engine directly");
+  }
   // Shared for the whole call: barrier 2 of a ring change cannot run
   // while any query is mid-flight (and vice versa).
   std::shared_lock<std::shared_mutex> table_lock(table_mu_);
@@ -860,6 +872,221 @@ Result<JsonValue> ShardRouter::AuditReplicas() {
   return body;
 }
 
+// --- read repair -----------------------------------------------------
+
+Result<JsonValue> ShardRouter::RepairReplicas() {
+  // Serialized against ring changes, and exclusive over the table for
+  // the whole verb: with no query or ingest in flight, "copy of the
+  // reference" means exactly that — the reference cannot grow between
+  // its export and the verifying checksum.
+  std::lock_guard<std::mutex> change_lock(change_mu_);
+  std::unique_lock<std::shared_mutex> table_lock(table_mu_);
+  const std::shared_ptr<const RoutingTable> table = table_;
+  repairs_->Increment();
+
+  struct Answer {
+    MemberState* member = nullptr;
+    ChecksumReply reply;
+  };
+
+  std::size_t repaired_total = 0;
+  std::size_t failed_total = 0;
+  std::size_t divergent_groups = 0;
+  std::size_t still_divergent = 0;
+  JsonValue groups_json = JsonValue::MakeArray();
+  for (const auto& group : table->groups) {
+    JsonValue group_json = JsonValue::MakeObject();
+    group_json.Set("name", JsonValue(group->name));
+    JsonValue members_json = JsonValue::MakeArray();
+
+    // The same comparison the audit makes; unreachable members are
+    // recorded and left alone (repairing onto a dead replica is the
+    // failover path's job once it returns, via this verb re-run).
+    std::vector<Answer> answers;
+    for (const auto& member : group->members) {
+      Result<JsonValue> reply =
+          member->handle->Admin("checksum", JsonValue::MakeObject());
+      Result<ChecksumReply> parsed =
+          reply.ok() ? ParseChecksum(reply.value())
+                     : Result<ChecksumReply>(reply.status());
+      if (parsed.ok()) {
+        answers.push_back({member.get(), parsed.MoveValue()});
+      } else {
+        JsonValue entry = JsonValue::MakeObject();
+        entry.Set("name", JsonValue(member->handle->name()));
+        entry.Set("repaired", JsonValue(false));
+        entry.Set("error", JsonValue("checksum: " +
+                                     parsed.status().ToString()));
+        members_json.Append(std::move(entry));
+      }
+    }
+
+    // Reference: the most-agreed-with (docs, checksum) verdict, doc
+    // count breaking ties — an add-only replica that missed writes is
+    // the smaller one.
+    std::map<std::pair<uint64_t, std::string>, std::size_t> votes;
+    for (const Answer& answer : answers) {
+      ++votes[{answer.reply.docs, answer.reply.checksum}];
+    }
+    const Answer* reference = nullptr;
+    std::size_t reference_votes = 0;
+    for (const Answer& answer : answers) {
+      const std::size_t v = votes[{answer.reply.docs, answer.reply.checksum}];
+      if (reference == nullptr || v > reference_votes ||
+          (v == reference_votes &&
+           answer.reply.docs > reference->reply.docs)) {
+        reference = &answer;
+        reference_votes = v;
+      }
+    }
+
+    std::vector<const Answer*> divergent;
+    for (const Answer& answer : answers) {
+      if (answer.reply.docs != reference->reply.docs ||
+          answer.reply.checksum != reference->reply.checksum) {
+        divergent.push_back(&answer);
+      }
+    }
+    if (reference == nullptr || divergent.empty()) {
+      group_json.Set("divergent", JsonValue(false));
+      group_json.Set("members", std::move(members_json));
+      groups_json.Append(std::move(group_json));
+      continue;
+    }
+    ++divergent_groups;
+    group_json.Set("divergent", JsonValue(true));
+    group_json.Set("reference", JsonValue(reference->member->handle->name()));
+
+    // One export serves every divergent member of the group.
+    Result<JsonValue> exported = reference->member->handle->Admin(
+        "export", JsonValue::MakeObject());
+    Result<std::vector<ExportedDoc>> reference_docs =
+        exported.ok() ? ExportedDocsFromJson(exported.value())
+                      : Result<std::vector<ExportedDoc>>(exported.status());
+    if (!reference_docs.ok()) {
+      group_json.Set("error",
+                     JsonValue("export from reference failed: " +
+                               reference_docs.status().ToString()));
+      group_json.Set("members", std::move(members_json));
+      groups_json.Append(std::move(group_json));
+      failed_total += divergent.size();
+      ++still_divergent;
+      continue;
+    }
+    std::set<std::string> reference_routes;
+    for (const ExportedDoc& doc : reference_docs.value()) {
+      reference_routes.insert(doc.route_key);
+    }
+    const JsonValue stage_body = ExportedDocsToJson(reference_docs.value());
+
+    bool group_failed = false;
+    for (const Answer* target : divergent) {
+      MemberState& member = *target->member;
+      JsonValue entry = JsonValue::MakeObject();
+      entry.Set("name", JsonValue(member.handle->name()));
+      auto fail = [&](const std::string& detail) {
+        entry.Set("repaired", JsonValue(false));
+        entry.Set("error", JsonValue(detail));
+        members_json.Append(std::move(entry));
+        ++failed_total;
+        group_failed = true;
+        WarnDivergent(group->name, "repair of " + member.handle->name() +
+                                       " failed: " + detail);
+      };
+
+      // Drop set: every route either side holds, so documents the
+      // divergent member invented (or kept past a drop it missed) go
+      // away along with the stale copies being replaced.
+      Result<JsonValue> own = member.handle->Admin("export",
+                                                   JsonValue::MakeObject());
+      Result<std::vector<ExportedDoc>> own_docs =
+          own.ok() ? ExportedDocsFromJson(own.value())
+                   : Result<std::vector<ExportedDoc>>(own.status());
+      if (!own_docs.ok()) {
+        fail("export: " + own_docs.status().ToString());
+        continue;
+      }
+      std::set<std::string> routes = reference_routes;
+      for (const ExportedDoc& doc : own_docs.value()) {
+        routes.insert(doc.route_key);
+      }
+
+      Result<JsonValue> staged = member.handle->Admin("stage", stage_body);
+      if (!staged.ok()) {
+        fail("stage: " + staged.status().ToString());
+        continue;
+      }
+      JsonValue drop_body = JsonValue::MakeObject();
+      JsonValue route_list = JsonValue::MakeArray();
+      for (const std::string& route : routes) {
+        route_list.Append(JsonValue(route));
+      }
+      drop_body.Set("routes", std::move(route_list));
+      Result<JsonValue> dropped = member.handle->Admin("drop", drop_body);
+      if (!dropped.ok()) {
+        Result<JsonValue> aborted =
+            member.handle->Admin("abort", JsonValue::MakeObject());
+        if (!aborted.ok()) {
+          BIVOC_LOG(Warning)
+              << "repair rollback: abort on " << member.handle->name()
+              << " failed: " << aborted.status().ToString();
+        }
+        fail("drop: " + dropped.status().ToString());
+        continue;
+      }
+      Result<JsonValue> applied =
+          member.handle->Admin("apply", JsonValue::MakeObject());
+      if (!applied.ok()) {
+        // The member is now emptier than before (drop landed, apply
+        // did not); report loudly — the next repair run re-stages it.
+        fail("apply: " + applied.status().ToString());
+        continue;
+      }
+
+      // Closing verification against the (frozen) reference verdict.
+      Result<JsonValue> check =
+          member.handle->Admin("checksum", JsonValue::MakeObject());
+      Result<ChecksumReply> verify =
+          check.ok() ? ParseChecksum(check.value())
+                     : Result<ChecksumReply>(check.status());
+      if (!verify.ok()) {
+        fail("verify checksum: " + verify.status().ToString());
+        continue;
+      }
+      if (verify.value().docs != reference->reply.docs ||
+          verify.value().checksum != reference->reply.checksum) {
+        fail("verification mismatch: repaired member has " +
+             std::to_string(verify.value().docs) + " docs/" +
+             verify.value().checksum + ", reference has " +
+             std::to_string(reference->reply.docs) + " docs/" +
+             reference->reply.checksum);
+        continue;
+      }
+      entry.Set("repaired", JsonValue(true));
+      entry.Set("docs", JsonValue(verify.value().docs));
+      members_json.Append(std::move(entry));
+      ++repaired_total;
+      repaired_members_->Increment();
+    }
+    if (group_failed) ++still_divergent;
+    group_json.Set("members", std::move(members_json));
+    groups_json.Append(std::move(group_json));
+  }
+
+  // Groups whose every divergent member verified are clean again; the
+  // gauge reflects what is *still* divergent after the verb.
+  replica_divergence_->Set(static_cast<int64_t>(still_divergent));
+
+  JsonValue body = JsonValue::MakeObject();
+  body.Set("repaired", JsonValue(static_cast<uint64_t>(repaired_total)));
+  body.Set("failed", JsonValue(static_cast<uint64_t>(failed_total)));
+  body.Set("divergent_groups",
+           JsonValue(static_cast<uint64_t>(divergent_groups)));
+  body.Set("epoch", JsonValue(table->epoch));
+  body.Set("groups", std::move(groups_json));
+  return body;
+}
+
 void ShardRouter::AuditLoop() {
   std::unique_lock<std::mutex> lock(audit_stop_mu_);
   while (!audit_stop_) {
@@ -965,6 +1192,9 @@ Result<JsonValue> ShardRouter::ExecuteAdmin(const std::string& action,
   }
   if (action == "audit") {
     return AuditReplicas();
+  }
+  if (action == "repair") {
+    return RepairReplicas();
   }
   return GatewayBackend::ExecuteAdmin(action, body);
 }

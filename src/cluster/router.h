@@ -110,7 +110,9 @@ std::vector<ReplicaGroup> MakeReplicaGroups(
 //    to every member sequentially — an item is failed only when *no*
 //    member of its group accepted it.
 //  * /v1/admin/ring swaps the ring live (ChangeRing below);
-//    /v1/admin/audit runs the anti-entropy comparison.
+//    /v1/admin/audit runs the anti-entropy comparison;
+//    /v1/admin/repair re-stages divergent replicas from a healthy
+//    peer (RepairReplicas below).
 //  * /healthz probes every member — bypassing breakers, so recovery is
 //    observed rather than assumed — and reports a three-state verdict:
 //    "ok" (all members), "degraded" (some), "unavailable" (none, 503).
@@ -155,7 +157,7 @@ class ShardRouter : public GatewayBackend {
   // "127.0.0.1","port":18081},...]},...]} -> ChangeRing over
   // HttpShardHandles (members whose name the router already knows keep
   // their existing handle, so in-process topologies stay in-process).
-  // "audit": {} -> AuditReplicas.
+  // "audit": {} -> AuditReplicas. "repair": {} -> RepairReplicas.
   Result<JsonValue> ExecuteAdmin(const std::string& action,
                                  const JsonValue& body) override;
   HealthSnapshot Healthz() override;
@@ -179,6 +181,23 @@ class ShardRouter : public GatewayBackend {
   // divergent groups, and rate-limits a warning per divergent group.
   // Members that cannot be reached are skipped, not counted divergent.
   Result<JsonValue> AuditReplicas();
+
+  // --- read repair ---------------------------------------------------
+  // Acts on what AuditReplicas can only report: for every group whose
+  // members disagree, rebuilds each minority member from a healthy
+  // reference — the member holding the majority (docs, checksum)
+  // verdict, doc count breaking ties (a replica that missed writes has
+  // fewer). The reference exports its corpus; the divergent member
+  // stages that copy, drops every route either side holds, applies the
+  // staged documents, and a closing checksum must match the reference
+  // before the member counts as repaired. The whole verb runs under
+  // the exclusive table barrier (serialized against ChangeRing), so no
+  // query or ingest interleaves with the swap and the verifying
+  // checksums compare a genuinely frozen pair. Unreachable members are
+  // skipped, never "repaired". Exposed as POST /v1/admin/repair.
+  // Returns {"repaired":N,"failed":N,"divergent_groups":N,
+  // "groups":[...]} with per-member detail.
+  Result<JsonValue> RepairReplicas();
 
   // --- introspection (tests, examples) ------------------------------
   // Group-granular: with replication 1 these are the classic per-shard
@@ -290,6 +309,8 @@ class ShardRouter : public GatewayBackend {
   Counter* rebalances_;
   Counter* rebalanced_docs_;
   Counter* audits_;
+  Counter* repairs_;
+  Counter* repaired_members_;
   Gauge* replica_divergence_;
   Histogram* scatter_latency_;
   Histogram* merge_latency_;

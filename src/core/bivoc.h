@@ -22,6 +22,8 @@ namespace bivoc {
 
 class Gateway;          // net/gateway.h
 struct GatewayOptions;  // net/gateway.h
+class StreamIngestor;   // stream/ingestor.h
+struct StreamOptions;   // stream/ingestor.h
 
 struct DurabilityOptions {
   // Checkpoint generations kept on disk (newest N survive pruning;
@@ -169,6 +171,17 @@ class BivocEngine {
   void ConfigureServing(ServeOptions options);
   ReportServer* serve();
 
+  // --- streaming VoC (DESIGN.md §15) ---------------------------------
+  // Turns on the real-time path: a StreamIngestor accepting utterance-
+  // level appends to open conversations, indexing them into a sliding-
+  // window index with burst detection and alert fan-out. Declared here
+  // but *defined* in stream/ingestor.cc so bivoc_core never depends on
+  // bivoc_stream — callers passing options include stream/ingestor.h.
+  // Enable before sharing the engine across threads.
+  Status EnableStreaming(StreamOptions options);
+  Status EnableStreaming();
+  StreamIngestor* stream();  // nullptr unless enabled
+
   // --- HTTP gateway (DESIGN.md §11) ----------------------------------
   // Puts this engine on the wire: POST /v1/query, POST /v1/ingest,
   // GET /healthz, GET /metrics (see net/gateway.h). Returns the bound
@@ -226,6 +239,12 @@ class BivocEngine {
   // Declared after everything its workers touch (pipeline_, metrics_)
   // so destruction joins the serving threads first.
   std::unique_ptr<ReportServer> serve_;
+  // Streaming ingest references pipeline_ and linker_, and the gateway
+  // serves SSE out of its alert bus — so it sits between them:
+  // destroyed after the gateway drains, before the pipeline. Type-
+  // erased like gateway_ (deleter captured in stream/ingestor.cc).
+  std::shared_ptr<void> stream_;
+  StreamIngestor* stream_ptr_ = nullptr;
   // The gateway serves traffic into everything above, so it is
   // declared last (destroyed first). Type-erased so this header does
   // not need the Gateway definition: the shared_ptr's deleter was

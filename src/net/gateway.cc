@@ -6,12 +6,35 @@
 
 #include "net/json.h"
 #include "net/wire.h"
+#include "stream/burst.h"
+#include "stream/ingestor.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace bivoc {
 
 namespace {
+
+// Adapts an AlertBus subscription to the HTTP server's pull-based
+// streaming interface: each alert becomes one SSE "burst" event; the
+// subscription's bounded queue is the per-connection backpressure
+// boundary (a slow client sheds its own alerts, never ingest).
+class AlertSseStream : public ResponseStream {
+ public:
+  explicit AlertSseStream(std::shared_ptr<AlertBus::Subscription> sub)
+      : sub_(std::move(sub)) {}
+
+  Poll Next(std::string* out, int64_t wait_ms) override {
+    BurstAlert alert;
+    if (!sub_->Poll(&alert, wait_ms)) return Poll::kIdle;
+    *out = FormatSseEvent("burst", DumpJson(BurstAlertToJson(alert)),
+                          alert.sequence);
+    return Poll::kChunk;
+  }
+
+ private:
+  std::shared_ptr<AlertBus::Subscription> sub_;
+};
 
 // The single-engine backend: routes map 1:1 onto BivocEngine calls.
 class EngineGatewayBackend : public GatewayBackend {
@@ -25,11 +48,32 @@ class EngineGatewayBackend : public GatewayBackend {
   }
 
   Result<JsonValue> ExecuteQuery(QueryRequest request) override {
+    if (request.window) return ExecuteWindowQuery(request);
     Result<ReportServer::ReportResponse> result =
         engine_->serve()->Execute(std::move(request));
     if (!result.ok()) return result.status();
     return ReportResultToJson(*result.value().report,
                               result.value().from_cache);
+  }
+
+  // Window-scoped trends bypass the report server: the window snapshot
+  // regenerates on every append, so caching would never hit, and
+  // evaluation is an O(window concepts) aggregate read.
+  Result<JsonValue> ExecuteWindowQuery(const QueryRequest& request) {
+    StreamIngestor* stream = engine_->stream();
+    if (stream == nullptr) {
+      return Status::FailedPrecondition(
+          "window queries need streaming enabled on this engine");
+    }
+    BIVOC_RETURN_NOT_OK(ValidateQuery(request));
+    std::shared_ptr<const WindowSnapshot> snapshot = stream->Window();
+    ReportResult result;
+    result.cls = request.cls;
+    result.generation = snapshot->generation();
+    result.num_documents = snapshot->num_documents();
+    result.trends =
+        stream->WindowTrend(request.prefix, request.limit, request.min_count);
+    return ReportResultToJson(result, /*from_cache=*/false);
   }
 
   Result<JsonValue> ExecuteIngest(std::vector<IngestItem> items) override {
@@ -39,6 +83,23 @@ class EngineGatewayBackend : public GatewayBackend {
   Result<JsonValue> ExecuteAdmin(const std::string& action,
                                  const JsonValue& body) override {
     return EngineAdmin(engine_, action, body);
+  }
+
+  Result<JsonValue> ExecuteStreamUtterance(const JsonValue& body) override {
+    StreamIngestor* stream = engine_->stream();
+    if (stream == nullptr) {
+      return Status::FailedPrecondition(
+          "streaming is not enabled on this engine");
+    }
+    BIVOC_ASSIGN_OR_RETURN(UtteranceAppend utterance,
+                           UtteranceAppendFromJson(body));
+    BIVOC_ASSIGN_OR_RETURN(AppendResult result, stream->Append(utterance));
+    return AppendResultToJson(result);
+  }
+
+  AlertBus* alert_bus() override {
+    StreamIngestor* stream = engine_->stream();
+    return stream == nullptr ? nullptr : stream->alerts();
   }
 
   HealthSnapshot Healthz() override {
@@ -67,6 +128,10 @@ const char* GatewayRouteName(std::size_t route) {
       return "ingest";
     case Gateway::kAdmin:
       return "admin";
+    case Gateway::kStreamUtterance:
+      return "stream_utterance";
+    case Gateway::kStreamAlerts:
+      return "stream_alerts";
     case Gateway::kHealthz:
       return "healthz";
     case Gateway::kMetrics:
@@ -138,6 +203,10 @@ HttpResponse Gateway::Dispatch(const HttpRequest& request, Route* route) {
              path.compare(0, kAdminPrefix.size(), kAdminPrefix) == 0) {
     *route = kAdmin;
     admin_action = path.substr(kAdminPrefix.size());
+  } else if (path == "/v1/stream/utterance") {
+    *route = kStreamUtterance;
+  } else if (path == "/v1/stream/alerts") {
+    *route = kStreamAlerts;
   } else if (path == "/healthz") {
     *route = kHealthz;
   } else if (path == "/metrics") {
@@ -148,7 +217,8 @@ HttpResponse Gateway::Dispatch(const HttpRequest& request, Route* route) {
   }
 
   const bool wants_post =
-      (*route == kQuery || *route == kIngest || *route == kAdmin);
+      (*route == kQuery || *route == kIngest || *route == kAdmin ||
+       *route == kStreamUtterance);
   const std::string& allowed = wants_post ? "POST" : "GET";
   // HEAD intentionally not special-cased: this is an API server, not a
   // document server.
@@ -167,6 +237,10 @@ HttpResponse Gateway::Dispatch(const HttpRequest& request, Route* route) {
       return HandleIngest(request);
     case kAdmin:
       return HandleAdmin(request, admin_action);
+    case kStreamUtterance:
+      return HandleStreamUtterance(request);
+    case kStreamAlerts:
+      return HandleStreamAlerts();
     case kHealthz:
       return HandleHealthz();
     case kMetrics:
@@ -222,6 +296,27 @@ HttpResponse Gateway::HandleIngest(const HttpRequest& request) {
     return StatusResponse(report.status());
   }
   return JsonResponse(200, DumpJson(report.value()));
+}
+
+HttpResponse Gateway::HandleStreamUtterance(const HttpRequest& request) {
+  Result<JsonValue> body = ParseJson(request.body);
+  if (!body.ok()) {
+    return ErrorResponse(400, "bad_json", body.status().message());
+  }
+  Result<JsonValue> result = backend_->ExecuteStreamUtterance(body.value());
+  if (!result.ok()) {
+    return StatusResponse(result.status());
+  }
+  return JsonResponse(200, DumpJson(result.value()));
+}
+
+HttpResponse Gateway::HandleStreamAlerts() {
+  AlertBus* bus = backend_->alert_bus();
+  if (bus == nullptr) {
+    return ErrorResponse(412, "FailedPrecondition",
+                         "streaming is not enabled on this backend");
+  }
+  return SseResponse(std::make_shared<AlertSseStream>(bus->Subscribe()));
 }
 
 HttpResponse Gateway::HandleAdmin(const HttpRequest& request,

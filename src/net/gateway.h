@@ -17,6 +17,8 @@
 
 namespace bivoc {
 
+class AlertBus;  // stream/burst.h
+
 struct GatewayOptions {
   HttpServerOptions server;
 };
@@ -56,6 +58,18 @@ class GatewayBackend {
     (void)body;
     return Status::Unimplemented("no admin action \"" + action + "\"");
   }
+  // Streaming VoC (DESIGN.md §15). Parsed POST /v1/stream/utterance
+  // body -> AppendResult JSON. The single-engine backend forwards to
+  // the engine's StreamIngestor when EnableStreaming was called;
+  // backends without streaming keep the defaults (412 / no SSE).
+  virtual Result<JsonValue> ExecuteStreamUtterance(const JsonValue& body) {
+    (void)body;
+    return Status::FailedPrecondition(
+        "streaming is not enabled on this backend");
+  }
+  // Alert fan-out behind GET /v1/stream/alerts; nullptr disables the
+  // route.
+  virtual AlertBus* alert_bus() { return nullptr; }
   virtual HealthSnapshot Healthz() = 0;
   virtual std::string MetricsText() = 0;
   // Registry the gateway's per-route instruments are created in.
@@ -64,7 +78,7 @@ class GatewayBackend {
   virtual int64_t retry_after_hint_ms() { return 0; }
 };
 
-// The HTTP face of a GatewayBackend (DESIGN.md §11). Five routes:
+// The HTTP face of a GatewayBackend (DESIGN.md §11, §15). Routes:
 //
 //   POST /v1/query   JSON QueryRequest -> backend ExecuteQuery.
 //                    Overload shedding (kUnavailable) maps to 503 with
@@ -78,6 +92,15 @@ class GatewayBackend {
 //                    (rebalance data-plane verbs on engines, "ring"
 //                    and "audit" on the router). An empty body reads
 //                    as {}.
+//   POST /v1/stream/utterance
+//                    Streaming VoC append -> backend
+//                    ExecuteStreamUtterance (412 when streaming is not
+//                    enabled).
+//   GET  /v1/stream/alerts
+//                    Server-Sent-Events burst alert feed: a chunked
+//                    keep-alive response carrying one "burst" event
+//                    per alert, heartbeat comments while quiet, and a
+//                    clean terminating chunk on server drain.
 //   GET  /healthz    Backend health as JSON; 503 when unavailable.
 //   GET  /metrics    The backend registry's Prometheus-style text dump
 //                    (which includes this gateway's own instruments).
@@ -122,6 +145,8 @@ class Gateway {
     kQuery = 0,
     kIngest,
     kAdmin,
+    kStreamUtterance,
+    kStreamAlerts,
     kHealthz,
     kMetrics,
     kOther,
@@ -137,6 +162,8 @@ class Gateway {
   HttpResponse HandleIngest(const HttpRequest& request);
   HttpResponse HandleAdmin(const HttpRequest& request,
                            const std::string& action);
+  HttpResponse HandleStreamUtterance(const HttpRequest& request);
+  HttpResponse HandleStreamAlerts();
   HttpResponse HandleHealthz();
   HttpResponse HandleMetrics();
   // 503 + Retry-After for a shed query, plain mapped error otherwise.

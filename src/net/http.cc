@@ -150,6 +150,22 @@ std::string HttpResponse::Serialize(bool keep_alive) const {
   return out;
 }
 
+std::string HttpResponse::SerializeChunkedHead() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    (reason.empty() ? std::string(HttpReasonPhrase(status))
+                                    : reason) +
+                    "\r\n";
+  for (const HttpHeader& h : headers) {
+    // Framing headers are owned by the streaming writer.
+    if (HeaderNameEquals(h.name, "Content-Length")) continue;
+    if (HeaderNameEquals(h.name, "Transfer-Encoding")) continue;
+    if (HeaderNameEquals(h.name, "Connection")) continue;
+    out += h.name + ": " + h.value + "\r\n";
+  }
+  out += "Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n";
+  return out;
+}
+
 HttpResponse JsonResponse(int status, std::string body) {
   HttpResponse response;
   response.status = status;
@@ -187,6 +203,45 @@ HttpResponse ErrorResponse(int status, std::string_view code,
   return JsonResponse(status, "{\"error\":{\"code\":\"" + escape(code) +
                                   "\",\"message\":\"" + escape(message) +
                                   "\"}}");
+}
+
+HttpResponse SseResponse(std::shared_ptr<ResponseStream> stream) {
+  HttpResponse response;
+  response.status = 200;
+  response.SetHeader("Content-Type", "text/event-stream");
+  response.SetHeader("Cache-Control", "no-store");
+  // An opening comment flushes intermediaries and lets clients detect
+  // liveness before the first real event.
+  response.body = ": stream opened\n\n";
+  response.stream = std::move(stream);
+  return response;
+}
+
+std::string FormatSseEvent(std::string_view event, std::string_view data,
+                           uint64_t id) {
+  std::string out;
+  if (id != 0) {
+    out += "id: ";
+    out += std::to_string(id);
+    out += "\n";
+  }
+  if (!event.empty()) {
+    out += "event: ";
+    out += event;
+    out += "\n";
+  }
+  // One data: line per payload line keeps multi-line data well-formed.
+  std::size_t start = 0;
+  while (start <= data.size()) {
+    std::size_t end = data.find('\n', start);
+    if (end == std::string_view::npos) end = data.size();
+    out += "data: ";
+    out += data.substr(start, end - start);
+    out += "\n";
+    start = end + 1;
+  }
+  out += "\n";
+  return out;
 }
 
 // ---------------------------------------------------------------------------

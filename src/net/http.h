@@ -2,6 +2,7 @@
 #define BIVOC_NET_HTTP_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -47,11 +48,40 @@ struct HttpRequest {
   bool KeepAlive() const;
 };
 
+// Pull-based body source for long-lived streaming responses (SSE).
+// The server writes the response head with "Transfer-Encoding:
+// chunked", then repeatedly calls Next(): each returned chunk goes on
+// the wire immediately; kIdle lets the server interleave heartbeats
+// and notice shutdown; kDone closes the stream (terminating chunk,
+// then the connection). Implementations block inside Next for at most
+// `wait_ms` — the server's drain depends on it.
+class ResponseStream {
+ public:
+  enum class Poll { kChunk, kIdle, kDone };
+
+  virtual ~ResponseStream() = default;
+
+  // Waits up to `wait_ms` for the next chunk. On kChunk, `*out` is the
+  // payload to write (must be non-empty — an empty chunk would
+  // terminate the chunked body).
+  virtual Poll Next(std::string* out, int64_t wait_ms) = 0;
+
+  // Bytes the server writes as a chunk when the stream has been idle
+  // for a heartbeat interval — keeps proxies and clients convinced the
+  // connection is alive. Default is an SSE comment line.
+  virtual std::string Heartbeat() const { return ": heartbeat\n\n"; }
+};
+
 struct HttpResponse {
   int status = 200;
   std::string reason;  // empty -> HttpReasonPhrase(status)
   std::vector<HttpHeader> headers;
   std::string body;
+  // Non-null switches the server to streaming delivery: `body` (if
+  // any) becomes the first chunk, then the stream is drained until
+  // kDone or shutdown. Streaming responses always close the
+  // connection. Ignored by Serialize().
+  std::shared_ptr<ResponseStream> stream;
 
   const std::string* FindHeader(std::string_view name) const;
   // Replaces an existing header (case-insensitive) or appends.
@@ -60,6 +90,10 @@ struct HttpResponse {
   // Full HTTP/1.1 wire form. Always emits Content-Length, and a
   // "Connection: close" header when `keep_alive` is false.
   std::string Serialize(bool keep_alive) const;
+
+  // Head-only wire form for streaming delivery: no Content-Length,
+  // "Transfer-Encoding: chunked" and "Connection: close" instead.
+  std::string SerializeChunkedHead() const;
 };
 
 // Convenience constructors used by the gateway and tests.
@@ -68,6 +102,12 @@ HttpResponse TextResponse(int status, std::string body);
 // {"error":{"code":...,"message":...}} with Content-Type set.
 HttpResponse ErrorResponse(int status, std::string_view code,
                            std::string_view message);
+// 200 "text/event-stream" response delivered through `stream`.
+HttpResponse SseResponse(std::shared_ptr<ResponseStream> stream);
+// One SSE frame: optional "id:"/"event:" lines plus a "data:" line per
+// line of `data`, blank-line terminated.
+std::string FormatSseEvent(std::string_view event, std::string_view data,
+                           uint64_t id = 0);
 
 struct HttpParserLimits {
   std::size_t max_start_line_bytes = 8 * 1024;

@@ -151,6 +151,38 @@ Result<std::string> HttpClient::ReadUntilClose() {
   }
 }
 
+Result<std::string> HttpClient::ReadSome(int64_t wait_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string out;
+  char buf[8192];
+  const int64_t deadline = NowMs() + wait_ms;
+  for (;;) {
+    const int64_t remaining = deadline - NowMs();
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(remaining > 0 ? remaining : 0));
+    if (ready < 0 && errno != EINTR) {
+      return Status::IoError(std::string("poll: ") + strerror(errno));
+    }
+    if (ready <= 0) {
+      if (remaining <= 0) return out;  // nothing arrived in the window
+      continue;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      Close();  // peer finished; out may hold its final bytes
+      return out;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Close();
+      return Status::IoError(std::string("recv: ") + strerror(errno));
+    }
+    out.append(buf, static_cast<std::size_t>(n));
+    return out;  // one successful read per call keeps latency visible
+  }
+}
+
 Result<HttpResponse> HttpClient::RoundTrip(const std::string& wire) {
   BIVOC_RETURN_NOT_OK(SendRaw(wire));
   HttpParser parser(HttpParser::Mode::kResponse, opts_.parser_limits);

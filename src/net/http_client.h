@@ -55,6 +55,11 @@ class HttpClient {
   // Reads until the peer closes or the timeout expires; returns the
   // bytes seen (possibly empty).
   Result<std::string> ReadUntilClose();
+  // One read of whatever is available within `wait_ms` (possibly empty
+  // on timeout; empty + !connected() means the peer closed). The SSE
+  // consumption primitive: frames arrive incrementally on a connection
+  // that stays open.
+  Result<std::string> ReadSome(int64_t wait_ms);
 
   void Close();
   bool connected() const { return fd_ >= 0; }

@@ -50,6 +50,8 @@ HttpServer::HttpServer(Handler handler, HttpServerOptions options,
   parse_errors_ = metrics_->GetCounter("net_parse_errors_total");
   timeouts_ = metrics_->GetCounter("net_timeouts_total");
   io_errors_ = metrics_->GetCounter("net_io_errors_total");
+  streams_ = metrics_->GetCounter("net_stream_responses_total");
+  stream_chunks_ = metrics_->GetCounter("net_stream_chunks_total");
   active_ = metrics_->GetGauge("net_active_connections");
   if (opts_.num_workers == 0) opts_.num_workers = 1;
   if (opts_.max_connections == 0) opts_.max_connections = 1;
@@ -348,12 +350,74 @@ void HttpServer::ServeConnection(int fd) {
     } catch (...) {
       response = ErrorResponse(500, "Internal", "handler threw");
     }
+    if (response.stream != nullptr) {
+      // Long-lived streaming response: the connection is dedicated to
+      // it and closes when it ends.
+      ServeStream(fd, response);
+      return;
+    }
     const bool stop = stopping_.load(std::memory_order_acquire);
     const bool keep_alive = request.KeepAlive() && !stop &&
                             served < opts_.max_requests_per_connection;
     if (!WriteAll(fd, response.Serialize(keep_alive))) return;
     if (!keep_alive) return;
   }
+}
+
+void HttpServer::ServeStream(int fd, const HttpResponse& response) {
+  streams_->Increment();
+  auto chunk_wire = [](std::string_view payload) {
+    char size_line[32];
+    const int n = snprintf(size_line, sizeof(size_line), "%zx\r\n",
+                           payload.size());
+    std::string out(size_line, static_cast<std::size_t>(n));
+    out += payload;
+    out += "\r\n";
+    return out;
+  };
+
+  std::string head = response.SerializeChunkedHead();
+  if (!response.body.empty()) head += chunk_wire(response.body);
+  if (!WriteAll(fd, head)) return;
+
+  int64_t last_write = NowMs();
+  bool peer_alive = true;
+  while (peer_alive) {
+    if (stopping_.load(std::memory_order_acquire)) break;
+    // The producer blocks for at most a poll slice so shutdown and
+    // peer-close are noticed promptly.
+    std::string payload;
+    ResponseStream::Poll verdict =
+        response.stream->Next(&payload, kPollSliceMs);
+    if (verdict == ResponseStream::Poll::kDone) break;
+    if (verdict == ResponseStream::Poll::kChunk && !payload.empty()) {
+      if (!WriteAll(fd, chunk_wire(payload))) return;
+      stream_chunks_->Increment();
+      last_write = NowMs();
+      continue;
+    }
+    // Idle: detect a closed peer (SSE clients never send mid-stream;
+    // readable + 0-byte recv means they hung up) and keep the
+    // connection warm with heartbeats.
+    pollfd probe{fd, POLLIN, 0};
+    if (::poll(&probe, 1, 0) > 0 &&
+        (probe.revents & (POLLIN | POLLHUP | POLLERR))) {
+      char drain[256];
+      const ssize_t n = ::recv(fd, drain, sizeof(drain), MSG_DONTWAIT);
+      if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN &&
+                     errno != EWOULDBLOCK)) {
+        peer_alive = false;
+        break;
+      }
+    }
+    if (NowMs() - last_write >= opts_.stream_heartbeat_ms) {
+      if (!WriteAll(fd, chunk_wire(response.stream->Heartbeat()))) return;
+      last_write = NowMs();
+    }
+  }
+  // Graceful drain: the terminating chunk tells the client the stream
+  // ended on purpose (shutdown or producer kDone), not mid-event.
+  if (peer_alive) WriteAll(fd, "0\r\n\r\n");
 }
 
 HttpServerStats HttpServer::stats() const {

@@ -34,6 +34,11 @@ struct HttpServerOptions {
   int64_t idle_timeout_ms = 15000;
   // Requests served on one connection before it is cycled.
   std::size_t max_requests_per_connection = 1000;
+  // Streaming (SSE) responses: a heartbeat chunk is written whenever
+  // the stream has produced nothing for this long. Read/idle deadlines
+  // do not apply to an established stream — heartbeats plus the write
+  // deadline per chunk bound a dead peer instead.
+  int64_t stream_heartbeat_ms = 1000;
   HttpParserLimits parser_limits;
 };
 
@@ -97,6 +102,9 @@ class HttpServer {
   void ListenLoop();
   void WorkerLoop();
   void ServeConnection(int fd);
+  // Drains a streaming response onto the wire (chunked framing,
+  // heartbeats, terminating chunk on stream end or server stop).
+  void ServeStream(int fd, const HttpResponse& response);
   // Deadline-bounded full write; false on timeout/error.
   bool WriteAll(int fd, std::string_view data);
   // Best-effort canned response for connections we refuse to serve.
@@ -113,6 +121,8 @@ class HttpServer {
   Counter* parse_errors_;
   Counter* timeouts_;
   Counter* io_errors_;
+  Counter* streams_;
+  Counter* stream_chunks_;
   Gauge* active_;
 
   int listen_fd_ = -1;

@@ -143,6 +143,7 @@ JsonValue QueryRequestToJson(const QueryRequest& req) {
   obj.Set("limit", JsonValue(req.limit));
   obj.Set("min_count", JsonValue(req.min_count));
   if (req.shard_mode) obj.Set("shard_mode", JsonValue(true));
+  if (req.window) obj.Set("window", JsonValue(true));
   return obj;
 }
 
@@ -176,6 +177,8 @@ Result<QueryRequest> QueryRequestFromJson(const JsonValue& v) {
       BIVOC_ASSIGN_OR_RETURN(req.min_count, GetSizeField(m.value, m.key));
     } else if (m.key == "shard_mode") {
       BIVOC_ASSIGN_OR_RETURN(req.shard_mode, GetBoolField(m.value, m.key));
+    } else if (m.key == "window") {
+      BIVOC_ASSIGN_OR_RETURN(req.window, GetBoolField(m.value, m.key));
     } else {
       return Status::InvalidArgument("unknown query field \"" + m.key +
                                      "\"");
@@ -714,6 +717,82 @@ Result<std::vector<ExportedDoc>> ExportedDocsFromJson(const JsonValue& v) {
     out.push_back(std::move(doc));
   }
   return out;
+}
+
+JsonValue UtteranceAppendToJson(const UtteranceAppend& utterance) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("conversation_id", JsonValue(utterance.conversation_id));
+  if (!utterance.text.empty()) o.Set("text", JsonValue(utterance.text));
+  o.Set("time_bucket", JsonValue(utterance.time_bucket));
+  if (utterance.close) o.Set("close", JsonValue(true));
+  return o;
+}
+
+Result<UtteranceAppend> UtteranceAppendFromJson(const JsonValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("utterance body must be a JSON object");
+  }
+  UtteranceAppend out;
+  bool saw_id = false;
+  for (const JsonValue::Member& m : v.GetObject()) {
+    if (m.key == "conversation_id") {
+      BIVOC_ASSIGN_OR_RETURN(out.conversation_id,
+                             GetStringField(m.value, m.key));
+      saw_id = true;
+    } else if (m.key == "text") {
+      BIVOC_ASSIGN_OR_RETURN(out.text, GetStringField(m.value, m.key));
+    } else if (m.key == "time_bucket") {
+      if (!m.value.is_integer()) {
+        return FieldError(m.key, "expected an integer");
+      }
+      out.time_bucket = m.value.GetInt64();
+    } else if (m.key == "close") {
+      BIVOC_ASSIGN_OR_RETURN(out.close, GetBoolField(m.value, m.key));
+    } else {
+      return FieldError("utterance", "unknown field \"" + m.key + "\"");
+    }
+  }
+  if (!saw_id) {
+    return FieldError("utterance", "needs a \"conversation_id\" field");
+  }
+  return out;
+}
+
+JsonValue AppendResultToJson(const AppendResult& result) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("utterance_index",
+        JsonValue(static_cast<uint64_t>(result.utterance_index)));
+  o.Set("concepts", JsonValue(static_cast<uint64_t>(result.concepts)));
+  o.Set("linked", JsonValue(result.linked));
+  o.Set("relinked", JsonValue(result.relinked));
+  if (result.linked) {
+    o.Set("link_table", JsonValue(result.link_table));
+    o.Set("link_row", JsonValue(result.link_row));
+    o.Set("link_posterior", JsonValue(result.link_posterior));
+  }
+  o.Set("alerts_emitted",
+        JsonValue(static_cast<uint64_t>(result.alerts_emitted)));
+  o.Set("window_dropped", JsonValue(result.window_dropped));
+  o.Set("window_generation",
+        JsonValue(static_cast<uint64_t>(result.window_generation)));
+  o.Set("closed", JsonValue(result.closed));
+  if (result.closed) {
+    o.Set("main_doc", JsonValue(static_cast<uint64_t>(result.main_doc)));
+  }
+  return o;
+}
+
+JsonValue BurstAlertToJson(const BurstAlert& alert) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("sequence", JsonValue(static_cast<uint64_t>(alert.sequence)));
+  o.Set("concept", JsonValue(alert.concept_key));
+  o.Set("bucket", JsonValue(alert.bucket));
+  o.Set("count", JsonValue(static_cast<uint64_t>(alert.count)));
+  o.Set("bucket_total",
+        JsonValue(static_cast<uint64_t>(alert.bucket_total)));
+  o.Set("baseline_mean", JsonValue(alert.baseline_mean));
+  o.Set("z_score", JsonValue(alert.z_score));
+  return o;
 }
 
 }  // namespace bivoc

@@ -8,6 +8,8 @@
 #include "core/persist.h"
 #include "net/json.h"
 #include "serve/query.h"
+#include "stream/burst.h"
+#include "stream/ingestor.h"
 #include "synth/telecom.h"
 #include "util/result.h"
 
@@ -58,6 +60,21 @@ Result<std::vector<IngestItem>> IngestItemsFromJson(const JsonValue& v);
 //             "bucket":3}]}
 JsonValue ExportedDocsToJson(const std::vector<ExportedDoc>& docs);
 Result<std::vector<ExportedDoc>> ExportedDocsFromJson(const JsonValue& v);
+
+// Streaming utterance body of POST /v1/stream/utterance:
+//   {"conversation_id":"call-17","text":"i want a refund",
+//    "time_bucket":42,"close":false}
+// Only "conversation_id" is required ("text" may be omitted when
+// closing a conversation).
+JsonValue UtteranceAppendToJson(const UtteranceAppend& utterance);
+Result<UtteranceAppend> UtteranceAppendFromJson(const JsonValue& v);
+
+// Its response body: utterance accounting plus current link state and
+// any alerts this append fired.
+JsonValue AppendResultToJson(const AppendResult& result);
+
+// Payload of one SSE "burst" event on GET /v1/stream/alerts.
+JsonValue BurstAlertToJson(const BurstAlert& alert);
 
 }  // namespace bivoc
 

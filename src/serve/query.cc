@@ -97,6 +97,14 @@ Status ValidateQuery(const QueryRequest& req) {
   if (req.limit == 0) {
     return Status::InvalidArgument("query limit must be positive");
   }
+  if (req.window && req.cls != QueryClass::kTrend) {
+    return Status::InvalidArgument(
+        "window-scoped evaluation only supports the trend class");
+  }
+  if (req.window && req.shard_mode) {
+    return Status::InvalidArgument(
+        "window queries cannot run in shard mode");
+  }
   switch (req.cls) {
     case QueryClass::kAssociation:
       if (req.row_keys.empty() || req.col_keys.empty()) {
@@ -162,6 +170,10 @@ uint64_t QueryFingerprint(const QueryRequest& req) {
   // slots with the client-facing form of the same query.
   const uint64_t shard_mode = req.shard_mode ? 1 : 0;
   HashBytes(&h, &shard_mode, sizeof(shard_mode));
+  // Window-scoped trends answer from a different index (and a
+  // different generation counter) than batch trends.
+  const uint64_t window = req.window ? 1 : 0;
+  HashBytes(&h, &window, sizeof(window));
   return h;
 }
 

@@ -58,6 +58,11 @@ struct QueryRequest {
   // to a single engine over the union corpus. External clients never
   // set this; the router does when fanning out.
   bool shard_mode = false;
+  // Window-scoped evaluation (DESIGN.md §15): answer kTrend from the
+  // streaming sliding-window index instead of the main snapshot —
+  // "what is rising right now", not "since the beginning". Requires a
+  // streaming-enabled engine; only kTrend supports it.
+  bool window = false;
 
   // Factories for the common shapes (fields stay public so callers can
   // tweak limits afterwards).

@@ -1,0 +1,158 @@
+#include "stream/burst.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace bivoc {
+
+BurstDetector::BurstDetector(BurstOptions options) : options_(options) {
+  options_.decay = std::min(std::max(options_.decay, 1e-6), 1.0);
+}
+
+void BurstDetector::Observe(Baseline* b, double n) {
+  if (b->history == 0) {
+    // Seed from the first sample: a concept that always runs at level
+    // n has z = 0 from day one — stationary traffic cannot alert.
+    b->mean = n;
+    b->var = 0.0;
+  } else {
+    const double a = options_.decay;
+    const double diff = n - b->mean;
+    // Standard exponentially-weighted mean/variance pair.
+    b->mean += a * diff;
+    b->var = (1.0 - a) * (b->var + a * diff * diff);
+  }
+  ++b->history;
+}
+
+std::vector<BurstAlert> BurstDetector::OnBucketClosed(
+    const ClosedBucket& closed) {
+  std::vector<BurstAlert> alerts;
+  ++buckets_seen_;
+
+  for (const auto& [key, count] : closed.counts) {
+    Baseline& b = baselines_[key];
+    const double n = static_cast<double>(count);
+    // Score against the baseline as it stood BEFORE this bucket — a
+    // burst must not inflate its own reference level.
+    const double z = (n - b.mean) / std::sqrt(b.var + 1.0);
+    const bool fires = b.history >= options_.min_history_buckets &&
+                       count >= options_.min_support &&
+                       z >= options_.z_threshold;
+    if (fires && !b.active) {
+      // Rising edge: one alert per sustained burst, not one per tick.
+      b.active = true;
+      BurstAlert alert;
+      alert.sequence = next_sequence_++;
+      alert.concept_key = key;
+      alert.bucket = closed.bucket;
+      alert.count = count;
+      alert.bucket_total = closed.total_docs;
+      alert.baseline_mean = b.mean;
+      alert.baseline_var = b.var;
+      alert.z_score = z;
+      alerts.push_back(std::move(alert));
+    } else if (b.active && (z < options_.z_threshold / 2.0 ||
+                            count < options_.min_support)) {
+      // Hysteresis floor: the burst subsided; the next one re-alerts.
+      b.active = false;
+    }
+    Observe(&b, n);
+  }
+
+  // Concepts silent this bucket decay toward zero and deactivate —
+  // without this a once-bursting concept would stay suppressed (and a
+  // stale mean would stay inflated) across quiet periods.
+  for (auto& [key, b] : baselines_) {
+    auto it = std::lower_bound(
+        closed.counts.begin(), closed.counts.end(), key,
+        [](const std::pair<std::string, std::size_t>& entry,
+           const std::string& k) { return entry.first < k; });
+    bool seen = it != closed.counts.end() && it->first == key;
+    if (!seen) {
+      Observe(&b, 0.0);
+      b.active = false;
+    }
+  }
+  return alerts;
+}
+
+BurstDetector::Baseline BurstDetector::BaselineOf(
+    const std::string& key) const {
+  auto it = baselines_.find(key);
+  return it == baselines_.end() ? Baseline{} : it->second;
+}
+
+std::size_t BurstDetector::active_bursts() const {
+  std::size_t n = 0;
+  for (const auto& [key, b] : baselines_) {
+    if (b.active) ++n;
+  }
+  return n;
+}
+
+bool AlertBus::Subscription::Poll(BurstAlert* out, int64_t wait_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue_.empty() && wait_ms > 0) {
+    cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),
+                 [this] { return !queue_.empty(); });
+  }
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+std::size_t AlertBus::Subscription::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+AlertBus::AlertBus(std::size_t subscriber_capacity)
+    : subscriber_capacity_(subscriber_capacity == 0 ? 1
+                                                    : subscriber_capacity) {}
+
+std::shared_ptr<AlertBus::Subscription> AlertBus::Subscribe() {
+  auto sub = std::shared_ptr<Subscription>(
+      new Subscription(subscriber_capacity_));
+  std::lock_guard<std::mutex> lock(mu_);
+  subscribers_.push_back(sub);
+  return sub;
+}
+
+void AlertBus::PublishAlert(const BurstAlert& alert) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++alerts_published_;
+  std::size_t live = 0;
+  for (auto& weak : subscribers_) {
+    auto sub = weak.lock();
+    if (sub == nullptr) continue;
+    subscribers_[live++] = weak;
+    std::lock_guard<std::mutex> sub_lock(sub->mu_);
+    if (sub->queue_.size() >= sub->capacity_) {
+      // Slow subscriber: shed ITS oldest alert; ingest never blocks.
+      sub->queue_.pop_front();
+      ++sub->dropped_;
+    }
+    sub->queue_.push_back(alert);
+    sub->cv_.notify_one();
+  }
+  subscribers_.resize(live);
+}
+
+std::size_t AlertBus::num_subscribers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& weak : subscribers_) {
+    if (!weak.expired()) ++n;
+  }
+  return n;
+}
+
+std::size_t AlertBus::alerts_published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alerts_published_;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,135 @@
+#ifndef BIVOC_STREAM_BURST_H_
+#define BIVOC_STREAM_BURST_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/window.h"
+
+namespace bivoc {
+
+// --- burst detection -----------------------------------------------
+//
+// Emerging-concept detection over the sliding window: each concept's
+// per-bucket document count is compared against an exponentially-
+// decayed historical baseline (EWMA mean + EW variance). The detector
+// ticks once per *closed* bucket — the window hands it each bucket
+// exactly once, when the stream advances past it — so a bucket is
+// never evaluated twice and late arrivals never re-trigger.
+//
+// Alerting is rising-edge: a sustained burst produces ONE alert when
+// the concept first crosses the threshold, then the concept stays
+// "active" (suppressed) until it falls back below the hysteresis
+// floor, after which a fresh burst can alert again.
+//
+// Property guarantees (tested):
+//   * stationary traffic never alerts: the first observation seeds the
+//     baseline (mean = n, var = 0), so a constant series has z = 0
+//     forever;
+//   * a k-fold step from a settled level m alerts on the very bucket
+//     it lands in, provided (k-1)*m >= z_threshold * sqrt(var+1) and
+//     k*m >= min_support.
+
+struct BurstOptions {
+  // Alert when (count - mean) / sqrt(var + 1) >= z_threshold. The +1
+  // variance regularizer keeps cold concepts from alerting on noise
+  // and avoids a zero divisor on a settled baseline.
+  double z_threshold = 3.0;
+  // Minimum documents mentioning the concept in the bucket.
+  std::size_t min_support = 5;
+  // EWMA weight of the newest closed bucket.
+  double decay = 0.3;
+  // Closed buckets a concept must have been tracked for before it may
+  // alert (its very first appearance seeds the baseline instead).
+  std::size_t min_history_buckets = 2;
+};
+
+struct BurstAlert {
+  uint64_t sequence = 0;  // monotonic per detector
+  std::string concept_key;
+  int64_t bucket = 0;            // the closed bucket that burst
+  std::size_t count = 0;         // docs mentioning the concept in it
+  std::size_t bucket_total = 0;  // all docs in the bucket
+  double baseline_mean = 0.0;
+  double baseline_var = 0.0;
+  double z_score = 0.0;
+};
+
+class BurstDetector {
+ public:
+  explicit BurstDetector(BurstOptions options = {});
+
+  // Evaluates one closed bucket; returns rising-edge alerts (sorted by
+  // concept key). Also decays baselines of every tracked concept that
+  // went silent this bucket. Not thread-safe: the StreamIngestor calls
+  // it under its own lock, in bucket order.
+  std::vector<BurstAlert> OnBucketClosed(const ClosedBucket& closed);
+
+  struct Baseline {
+    double mean = 0.0;
+    double var = 0.0;
+    std::size_t history = 0;
+    bool active = false;  // currently in a burst (suppressed)
+  };
+  // Baseline of `key`, or a default-constructed one if untracked.
+  Baseline BaselineOf(const std::string& key) const;
+  std::size_t buckets_seen() const { return buckets_seen_; }
+  std::size_t active_bursts() const;
+
+ private:
+  void Observe(Baseline* b, double n);
+
+  BurstOptions options_;
+  std::unordered_map<std::string, Baseline> baselines_;
+  std::size_t buckets_seen_ = 0;
+  uint64_t next_sequence_ = 1;
+};
+
+// --- alert fan-out --------------------------------------------------
+//
+// Bounded pub/sub between the ingest thread and SSE connections. Each
+// subscriber owns an independent bounded queue: a slow SSE client
+// drops its own oldest alerts (counted) without back-pressuring
+// ingest or other subscribers.
+class AlertBus {
+ public:
+  class Subscription {
+   public:
+    // Blocks up to wait_ms for the next alert. False on timeout.
+    bool Poll(BurstAlert* out, int64_t wait_ms);
+    // Alerts this subscriber lost to queue overflow.
+    std::size_t dropped() const;
+
+   private:
+    friend class AlertBus;
+    explicit Subscription(std::size_t capacity) : capacity_(capacity) {}
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<BurstAlert> queue_;
+    std::size_t capacity_;
+    std::size_t dropped_ = 0;
+  };
+
+  explicit AlertBus(std::size_t subscriber_capacity = 256);
+
+  std::shared_ptr<Subscription> Subscribe();
+  void PublishAlert(const BurstAlert& alert);
+  std::size_t num_subscribers() const;
+  std::size_t alerts_published() const;
+
+ private:
+  std::size_t subscriber_capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::weak_ptr<Subscription>> subscribers_;
+  std::size_t alerts_published_ = 0;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_STREAM_BURST_H_

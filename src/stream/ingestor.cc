@@ -1,0 +1,294 @@
+#include "stream/ingestor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "core/bivoc.h"
+
+namespace bivoc {
+
+namespace {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+StreamIngestor::StreamIngestor(VocPipeline* pipeline, MultiTypeLinker* linker,
+                               StreamOptions options, MetricsRegistry* metrics)
+    : pipeline_(pipeline),
+      linker_(linker),
+      options_(options),
+      window_(options.window),
+      detector_(options.burst),
+      bus_(options.alert_queue_capacity) {
+  if (metrics != nullptr) {
+    utterances_total_ = metrics->GetCounter("stream_utterances_total");
+    conversations_closed_total_ =
+        metrics->GetCounter("stream_conversations_closed_total");
+    relinks_total_ = metrics->GetCounter("stream_relinks_total");
+    alerts_total_ = metrics->GetCounter("stream_alerts_total");
+    late_dropped_total_ = metrics->GetCounter("stream_late_dropped_total");
+    open_gauge_ = metrics->GetGauge("stream_open_conversations");
+    append_ms_ = metrics->GetHistogram("stream_append_ms");
+    window_publish_ms_ = metrics->GetHistogram("stream_window_publish_ms");
+  }
+}
+
+void StreamIngestor::Relink(Conversation* conv, AppendResult* out) {
+  if (linker_ == nullptr || conv->annotations.empty()) return;
+  std::vector<MultiTypeLinker::TypedMatch> ranked =
+      linker_->RankByType(conv->annotations);
+  const MultiTypeLinker::TypedMatch* best = nullptr;
+  double mass = 0.0;
+  for (const auto& match : ranked) {
+    if (match.score > 0.0) mass += match.score;
+    if (match.linked && (best == nullptr || match.score > best->score)) {
+      best = &match;
+    }
+  }
+  if (best == nullptr || mass <= 0.0) return;
+  // Posterior of the winning candidate: its share of the score mass
+  // across the per-type bests (the streaming stand-in for Eqn 3's
+  // normalized central-entity confidence).
+  const double posterior = best->score / mass;
+
+  const bool same_entity = conv->link.linked &&
+                           conv->link.table == best->table &&
+                           conv->link.row == best->row;
+  if (same_entity) {
+    conv->link = *best;
+    conv->posterior = posterior;
+    return;
+  }
+  if (!conv->link.linked) {
+    // First linkable evidence: adopt unconditionally.
+    conv->link = *best;
+    conv->posterior = posterior;
+    return;
+  }
+  // The incumbent is compared at its CURRENT share of the score mass,
+  // not the posterior stored when it was adopted: a stale high-water
+  // mark (e.g. 1.0 from a bucket where only one type matched) would
+  // make flips unreachable even as the challenger's evidence grows.
+  double incumbent_share = 0.0;
+  for (const auto& match : ranked) {
+    if (match.table == conv->link.table && match.row == conv->link.row) {
+      incumbent_share = match.score / mass;
+      break;
+    }
+  }
+  if (posterior >= incumbent_share + options_.relink_margin) {
+    // The challenger's posterior shifted past the incumbent's by the
+    // re-link margin: the conversation's central entity flips.
+    conv->link = *best;
+    conv->posterior = posterior;
+    out->relinked = true;
+    if (relinks_total_ != nullptr) relinks_total_->Increment();
+  }
+}
+
+Result<AppendResult> StreamIngestor::Append(const UtteranceAppend& utterance) {
+  const double t0 = NowMs();
+  if (utterance.conversation_id.empty()) {
+    return Status::InvalidArgument("conversation_id must not be empty");
+  }
+  if (utterance.text.empty() && !utterance.close) {
+    return Status::InvalidArgument(
+        "utterance text must not be empty unless closing");
+  }
+
+  // Pipeline stages run outside the ingestor lock — cleaning and
+  // annotation are the per-utterance hot path and VocPipeline is
+  // already safe to call concurrently.
+  Document doc;
+  if (!utterance.text.empty()) {
+    auto processed = pipeline_->TryProcess(VocChannel::kCall, utterance.text,
+                                           utterance.time_bucket);
+    BIVOC_RETURN_NOT_OK(processed.status());
+    doc = std::move(processed).value();
+  }
+
+  std::vector<std::string> keys;
+  keys.reserve(doc.concepts.size());
+  for (const Concept& c : doc.concepts) keys.push_back(c.Key());
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  AppendResult out;
+  std::vector<BurstAlert> alerts;
+  Conversation finalize_conv;
+  bool do_finalize = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conversations_.find(utterance.conversation_id);
+    if (it == conversations_.end()) {
+      if (conversations_.size() >= options_.max_open_conversations) {
+        return Status::Unavailable("too many open conversations");
+      }
+      it = conversations_.emplace(utterance.conversation_id, Conversation{})
+               .first;
+    }
+    Conversation& conv = it->second;
+    out.utterance_index = conv.utterances;
+
+    if (!utterance.text.empty()) {
+      ++conv.utterances;
+      conv.texts.push_back(utterance.text);
+      conv.annotations.insert(conv.annotations.end(), doc.annotations.begin(),
+                              doc.annotations.end());
+      conv.last_bucket = utterance.time_bucket;
+      out.concepts = keys.size();
+      Relink(&conv, &out);
+      out.linked = conv.link.linked;
+      out.link_table = conv.link.table;
+      out.link_row = conv.link.row;
+      out.link_posterior = conv.posterior;
+
+      // Window indexing + burst detection tick under the same lock so
+      // closed buckets reach the detector exactly once, in order.
+      std::vector<ClosedBucket> closed;
+      out.window_dropped =
+          !window_.AddUtterance(keys, utterance.time_bucket, &closed);
+      if (out.window_dropped && late_dropped_total_ != nullptr) {
+        late_dropped_total_->Increment();
+      }
+      for (const ClosedBucket& bucket : closed) {
+        std::vector<BurstAlert> fired = detector_.OnBucketClosed(bucket);
+        alerts.insert(alerts.end(), fired.begin(), fired.end());
+      }
+    } else {
+      out.linked = conv.link.linked;
+      out.link_table = conv.link.table;
+      out.link_row = conv.link.row;
+      out.link_posterior = conv.posterior;
+    }
+
+    if (utterance.close) {
+      finalize_conv = std::move(conv);
+      conversations_.erase(it);
+      do_finalize = true;
+    }
+    if (open_gauge_ != nullptr) {
+      open_gauge_->Set(static_cast<int64_t>(conversations_.size()));
+    }
+  }
+
+  // Fan-out and window publish happen outside the lock: subscribers
+  // and snapshot readers never contend with the next append.
+  for (const BurstAlert& alert : alerts) bus_.PublishAlert(alert);
+  out.alerts_emitted = alerts.size();
+  if (alerts_total_ != nullptr && !alerts.empty()) {
+    alerts_total_->Increment(alerts.size());
+  }
+
+  const double p0 = NowMs();
+  out.window_generation = window_.Publish()->generation();
+  if (window_publish_ms_ != nullptr) window_publish_ms_->Observe(NowMs() - p0);
+
+  if (utterances_total_ != nullptr && !utterance.text.empty()) {
+    utterances_total_->Increment();
+  }
+
+  if (do_finalize) {
+    return Finalize(utterance.conversation_id, std::move(finalize_conv),
+                    std::move(out));
+  }
+  if (append_ms_ != nullptr) append_ms_->Observe(NowMs() - t0);
+  return out;
+}
+
+Result<AppendResult> StreamIngestor::Close(const std::string& conversation_id) {
+  UtteranceAppend closing;
+  closing.conversation_id = conversation_id;
+  closing.close = true;
+  return Append(closing);
+}
+
+Result<AppendResult> StreamIngestor::Finalize(const std::string& /*id*/,
+                                              Conversation conv,
+                                              AppendResult out) {
+  out.closed = true;
+  if (conversations_closed_total_ != nullptr) {
+    conversations_closed_total_->Increment();
+  }
+  if (!options_.finalize_to_main_index || conv.texts.empty()) return out;
+
+  // One call document for the whole conversation, re-processed from the
+  // joined transcript so concept extraction sees cross-utterance
+  // phrases, carrying the incrementally-established link (Identify is
+  // NOT re-run — streaming already converged on the central entity).
+  std::string joined;
+  for (const std::string& text : conv.texts) {
+    if (!joined.empty()) joined += "\n";
+    joined += text;
+  }
+  auto processed =
+      pipeline_->TryProcess(VocChannel::kCall, joined, conv.last_bucket);
+  BIVOC_RETURN_NOT_OK(processed.status());
+  Document doc = std::move(processed).value();
+  doc.link = conv.link;
+  auto indexed = pipeline_->TryIndexDocument(doc, {});
+  BIVOC_RETURN_NOT_OK(indexed.status());
+  out.main_doc = indexed.value();
+  pipeline_->PublishIndex();
+  return out;
+}
+
+std::vector<TrendSummary> StreamIngestor::WindowTrend(
+    const std::string& prefix, std::size_t limit,
+    std::size_t min_count) const {
+  std::shared_ptr<const WindowSnapshot> snapshot = window_.snapshot();
+  std::vector<TrendSummary> out;
+  const IndexSnapshot::BucketCounts& totals = snapshot->bucket_totals();
+  auto [first, last] = snapshot->PrefixRange(prefix);
+  for (std::size_t i = first; i < last; ++i) {
+    const WindowSnapshot::Series& s = snapshot->series()[i];
+    if (s.total < min_count) continue;
+    TrendSummary summary;
+    summary.key = s.key;
+    summary.total_count = s.total;
+    summary.slope = TrendSlope(TrendPointsFromCounts(totals, s.buckets));
+    out.push_back(std::move(summary));
+  }
+  // Same ordering contract as RisingConcepts: slope desc, key asc.
+  std::sort(out.begin(), out.end(),
+            [](const TrendSummary& a, const TrendSummary& b) {
+              if (a.slope != b.slope) return a.slope > b.slope;
+              return a.key < b.key;
+            });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::size_t StreamIngestor::open_conversations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conversations_.size();
+}
+
+// ---------------------------------------------------------------------------
+// BivocEngine streaming hooks. Defined here — not in bivoc.cc — so
+// bivoc_core never depends on bivoc_stream; any binary that calls
+// EnableStreaming already links the stream library. Mirrors the
+// StartGateway type-erasure pattern in net/gateway.cc.
+
+Status BivocEngine::EnableStreaming(StreamOptions options) {
+  if (stream_ptr_ != nullptr) {
+    return Status::FailedPrecondition("streaming already enabled");
+  }
+  auto stream = std::make_shared<StreamIngestor>(&pipeline_, linker_.get(),
+                                                 options, &metrics_);
+  stream_ptr_ = stream.get();
+  stream_ = std::move(stream);
+  return Status::OK();
+}
+
+Status BivocEngine::EnableStreaming() { return EnableStreaming(StreamOptions{}); }
+
+StreamIngestor* BivocEngine::stream() { return stream_ptr_; }
+
+}  // namespace bivoc

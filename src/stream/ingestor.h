@@ -1,0 +1,151 @@
+#ifndef BIVOC_STREAM_INGESTOR_H_
+#define BIVOC_STREAM_INGESTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "linking/multitype.h"
+#include "mining/trend.h"
+#include "stream/burst.h"
+#include "stream/window.h"
+#include "util/metrics.h"
+#include "util/result.h"
+
+namespace bivoc {
+
+// --- streaming VoC ingest (DESIGN.md §15) ---------------------------
+//
+// The real-time counterpart of IngestBatch: utterances of still-open
+// conversations are appended one at a time, cleaned/annotated/
+// concept-extracted through the same VocPipeline stages as batch
+// documents, counted into the SlidingWindowIndex (publishing a fresh
+// window snapshot per append), and fed through the BurstDetector whose
+// alerts fan out on the AlertBus to SSE subscribers. The conversation's
+// central entity is re-identified incrementally: every utterance adds
+// annotation evidence, and the link flips when a challenger's
+// posterior beats the incumbent's by `relink_margin`. When the caller
+// closes a conversation it is finalized into the *main* index as one
+// call document carrying the incrementally-established link.
+
+struct StreamOptions {
+  SlidingWindowOptions window;
+  BurstOptions burst;
+  // Re-link when the best candidate differs from the incumbent entity
+  // and its posterior (score mass among per-type bests) exceeds the
+  // incumbent's current posterior by at least this much.
+  double relink_margin = 0.10;
+  std::size_t max_open_conversations = 4096;
+  // Index closed conversations into the main ConceptIndex (and publish
+  // it) so completed calls flow into batch analytics.
+  bool finalize_to_main_index = true;
+  // Queue capacity per SSE subscriber (see AlertBus).
+  std::size_t alert_queue_capacity = 256;
+};
+
+struct UtteranceAppend {
+  std::string conversation_id;
+  std::string text;
+  int64_t time_bucket = 0;
+  // Marks this the conversation's final utterance; `text` may be empty
+  // to close without new content.
+  bool close = false;
+};
+
+struct AppendResult {
+  std::size_t utterance_index = 0;  // 0-based within the conversation
+  std::size_t concepts = 0;         // concept keys this utterance added
+  bool linked = false;
+  bool relinked = false;  // the central entity changed on this append
+  std::string link_table;
+  int64_t link_row = 0;
+  double link_posterior = 0.0;
+  std::size_t alerts_emitted = 0;
+  // The utterance's bucket fell behind the window floor (still counts
+  // toward the conversation, just not toward window analytics).
+  bool window_dropped = false;
+  uint64_t window_generation = 0;
+  bool closed = false;
+  // Main-index DocId of the finalized conversation document (valid
+  // when closed && finalize_to_main_index).
+  DocId main_doc = 0;
+};
+
+class StreamIngestor {
+ public:
+  // `pipeline` is required; `linker` may be null (no incremental
+  // linking). Metrics registration is optional.
+  StreamIngestor(VocPipeline* pipeline, MultiTypeLinker* linker,
+                 StreamOptions options = {},
+                 MetricsRegistry* metrics = nullptr);
+
+  // Appends one utterance (creating the conversation on first sight),
+  // runs window indexing + burst detection, publishes the window
+  // snapshot, and finalizes the conversation when `close` is set.
+  Result<AppendResult> Append(const UtteranceAppend& utterance);
+
+  // Closes a conversation without new content.
+  Result<AppendResult> Close(const std::string& conversation_id);
+
+  // Latest published window snapshot (lock-free to read; never null).
+  std::shared_ptr<const WindowSnapshot> Window() const {
+    return window_.snapshot();
+  }
+
+  // Window-scoped trend: identical semantics and arithmetic to
+  // RisingConcepts over a batch snapshot of the same utterances — the
+  // shared TrendPointsFromCounts/TrendSlope path guarantees bit-for-bit
+  // equal slopes.
+  std::vector<TrendSummary> WindowTrend(const std::string& prefix,
+                                        std::size_t limit,
+                                        std::size_t min_count) const;
+
+  AlertBus* alerts() { return &bus_; }
+  const SlidingWindowIndex& window_index() const { return window_; }
+
+  std::size_t open_conversations() const;
+  const StreamOptions& options() const { return options_; }
+
+ private:
+  struct Conversation {
+    std::size_t utterances = 0;
+    std::vector<Annotation> annotations;  // accumulated evidence
+    std::vector<std::string> texts;
+    MultiTypeLinker::TypedMatch link;
+    double posterior = 0.0;
+    int64_t last_bucket = 0;
+  };
+
+  // Re-evaluates the conversation's central entity against the
+  // accumulated evidence; fills the link fields of `out`.
+  void Relink(Conversation* conv, AppendResult* out);
+  Result<AppendResult> Finalize(const std::string& id, Conversation conv,
+                                AppendResult out);
+
+  VocPipeline* pipeline_;      // not owned
+  MultiTypeLinker* linker_;    // not owned
+  StreamOptions options_;
+
+  mutable std::mutex mu_;  // conversations + detector (bucket order)
+  std::unordered_map<std::string, Conversation> conversations_;
+  SlidingWindowIndex window_;  // internally synchronized
+  BurstDetector detector_;
+  AlertBus bus_;
+
+  Counter* utterances_total_ = nullptr;
+  Counter* conversations_closed_total_ = nullptr;
+  Counter* relinks_total_ = nullptr;
+  Counter* alerts_total_ = nullptr;
+  Counter* late_dropped_total_ = nullptr;
+  Gauge* open_gauge_ = nullptr;
+  Histogram* append_ms_ = nullptr;
+  Histogram* window_publish_ms_ = nullptr;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_STREAM_INGESTOR_H_

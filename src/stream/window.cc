@@ -1,0 +1,154 @@
+#include "stream/window.h"
+
+#include <algorithm>
+
+namespace bivoc {
+
+const WindowSnapshot::Series* WindowSnapshot::Find(
+    std::string_view key) const {
+  auto it = std::lower_bound(
+      series_.begin(), series_.end(), key,
+      [](const Series& s, std::string_view k) { return s.key < k; });
+  if (it == series_.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+std::pair<std::size_t, std::size_t> WindowSnapshot::PrefixRange(
+    std::string_view prefix) const {
+  auto first = std::lower_bound(
+      series_.begin(), series_.end(), prefix,
+      [](const Series& s, std::string_view p) { return s.key < p; });
+  auto last = first;
+  while (last != series_.end() &&
+         std::string_view(last->key).substr(0, prefix.size()) == prefix) {
+    ++last;
+  }
+  return {static_cast<std::size_t>(first - series_.begin()),
+          static_cast<std::size_t>(last - series_.begin())};
+}
+
+SlidingWindowIndex::SlidingWindowIndex(SlidingWindowOptions options)
+    : options_(options) {
+  if (options_.window_buckets == 0) options_.window_buckets = 1;
+  auto empty = std::make_shared<WindowSnapshot>();
+  empty->oldest_ = 0;
+  empty->newest_ = -1;
+  published_ = std::move(empty);
+}
+
+ClosedBucket SlidingWindowIndex::SummarizeLocked(const Slot& slot) const {
+  ClosedBucket out;
+  out.bucket = slot.bucket;
+  out.total_docs = slot.total_docs;
+  out.counts.assign(slot.counts.begin(), slot.counts.end());
+  return out;
+}
+
+bool SlidingWindowIndex::AddUtterance(const std::vector<std::string>& keys,
+                                      int64_t bucket,
+                                      std::vector<ClosedBucket>* closed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t span = static_cast<int64_t>(options_.window_buckets);
+  if (ring_.empty()) {
+    ring_.push_back(Slot{bucket, 0, {}});
+  } else if (bucket > ring_.back().bucket) {
+    // The stream advanced: the open bucket closes, and so does every
+    // gap bucket it skipped over (their zero counts drive the burst
+    // baseline through silence). Older slots already closed when the
+    // stream first passed them. Gap emission is capped at the window
+    // span — beyond that everything is evicted and the baselines have
+    // decayed through a full window of zeros anyway.
+    const int64_t prev_newest = ring_.back().bucket;
+    if (closed != nullptr) {
+      closed->push_back(SummarizeLocked(ring_.back()));
+      int64_t first_gap = std::max(prev_newest + 1, bucket - span);
+      for (int64_t b = first_gap; b < bucket; ++b) {
+        closed->push_back(ClosedBucket{b, 0, {}});
+      }
+    }
+    ring_.push_back(Slot{bucket, 0, {}});
+    const int64_t floor = bucket - span + 1;
+    while (!ring_.empty() && ring_.front().bucket < floor) ring_.pop_front();
+    dirty_ = true;
+  } else if (bucket <= ring_.back().bucket - span) {
+    // Behind the floor even if the ring is sparse: drop, never rewind.
+    ++late_dropped_;
+    return false;
+  }
+
+  // Find or create the slot (late arrival within the window lands in
+  // its own bucket; slots stay sorted).
+  auto it = std::find_if(ring_.begin(), ring_.end(),
+                         [&](const Slot& s) { return s.bucket == bucket; });
+  if (it == ring_.end()) {
+    it = std::upper_bound(
+        ring_.begin(), ring_.end(), bucket,
+        [](int64_t b, const Slot& s) { return b < s.bucket; });
+    it = ring_.insert(it, Slot{bucket, 0, {}});
+  }
+  ++it->total_docs;
+  for (const std::string& key : keys) ++it->counts[key];
+  ++docs_added_;
+  dirty_ = true;
+  return true;
+}
+
+std::shared_ptr<const WindowSnapshot> SlidingWindowIndex::Publish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!dirty_) return published_;
+
+  auto next = std::make_shared<WindowSnapshot>();
+  next->generation_ = next_generation_++;
+  if (ring_.empty()) {
+    next->oldest_ = 0;
+    next->newest_ = -1;
+  } else {
+    next->newest_ = ring_.back().bucket;
+    next->oldest_ =
+        next->newest_ - static_cast<int64_t>(options_.window_buckets) + 1;
+    // Every covered bucket appears in the totals, empty ones at zero:
+    // the trend denominator has one point per bucket exactly like a
+    // batch index that ingested the same utterances.
+    std::map<std::string, WindowSnapshot::Series> merged;
+    auto slot_it = ring_.begin();
+    for (int64_t b = next->oldest_; b <= next->newest_; ++b) {
+      std::size_t total = 0;
+      if (slot_it != ring_.end() && slot_it->bucket == b) {
+        total = slot_it->total_docs;
+        for (const auto& [key, count] : slot_it->counts) {
+          WindowSnapshot::Series& s = merged[key];
+          s.total += count;
+          s.buckets.emplace_back(b, count);
+        }
+        ++slot_it;
+      }
+      next->totals_.emplace_back(b, total);
+      next->num_docs_ += total;
+    }
+    next->series_.reserve(merged.size());
+    for (auto& [key, s] : merged) {
+      s.key = key;
+      next->series_.push_back(std::move(s));
+    }
+  }
+  dirty_ = false;
+  published_ = next;
+  return published_;
+}
+
+std::shared_ptr<const WindowSnapshot> SlidingWindowIndex::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+std::size_t SlidingWindowIndex::late_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return late_dropped_;
+}
+
+std::size_t SlidingWindowIndex::num_documents_added() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return docs_added_;
+}
+
+}  // namespace bivoc

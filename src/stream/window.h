@@ -1,0 +1,141 @@
+#ifndef BIVOC_STREAM_WINDOW_H_
+#define BIVOC_STREAM_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mining/index_snapshot.h"
+
+namespace bivoc {
+
+// --- sliding-window index ------------------------------------------
+//
+// The streaming counterpart of ConceptIndex: a ring of per-time-bucket
+// concept-count deltas covering the most recent `window_buckets`
+// buckets. Utterance-documents are counted into their bucket as they
+// arrive; when the stream advances to a newer bucket the ring slides,
+// evicting buckets that fall behind the floor. Unlike the main index
+// it stores no postings — only (concept, bucket) -> doc counts — which
+// is exactly what window-scoped trend queries and the burst detector
+// consume, and what keeps per-utterance publishing cheap enough to run
+// at call-center rates.
+//
+// Bucket-life vocabulary (see DESIGN.md §15):
+//   * open    — the newest bucket; utterances land here (or in any
+//               still-windowed older bucket, for late arrivals).
+//   * closed  — the stream has advanced past it. Closing is the burst
+//               detector's clock tick: a bucket is evaluated exactly
+//               once, when it closes. Late arrivals still count it for
+//               queries but never re-trigger detection.
+//   * evicted — it fell behind `newest - window_buckets + 1` and left
+//               the ring; late arrivals for it are dropped (counted in
+//               late_dropped()).
+
+// Summary of a bucket at the moment it closed, handed to the burst
+// detector. Counts are sorted by concept key.
+struct ClosedBucket {
+  int64_t bucket = 0;
+  std::size_t total_docs = 0;
+  std::vector<std::pair<std::string, std::size_t>> counts;
+};
+
+// Immutable point-in-time view of the window, published copy-on-write
+// like IndexSnapshot and read lock-free by query evaluation. Per-
+// concept bucket series use IndexSnapshot::BucketCounts so window
+// trends flow through the very same TrendPointsFromCounts arithmetic
+// as batch trends — bit-for-bit, not just approximately.
+class WindowSnapshot {
+ public:
+  struct Series {
+    std::string key;
+    std::size_t total = 0;                  // docs in window containing key
+    IndexSnapshot::BucketCounts buckets;    // ascending by bucket
+  };
+
+  uint64_t generation() const { return generation_; }
+  std::size_t num_documents() const { return num_docs_; }
+  // Inclusive covered range; oldest > newest means the window is empty.
+  int64_t oldest_bucket() const { return oldest_; }
+  int64_t newest_bucket() const { return newest_; }
+
+  // Per-bucket document totals, ascending (empty buckets included with
+  // count 0 so trend denominators match a batch index that saw the
+  // same documents).
+  const IndexSnapshot::BucketCounts& bucket_totals() const { return totals_; }
+
+  // All series, ascending by key (sorted vocabulary, so a category
+  // prefix is a contiguous range — same contract as IndexSnapshot).
+  const std::vector<Series>& series() const { return series_; }
+  const Series* Find(std::string_view key) const;
+  // [first, last) range of series_ whose key starts with `prefix`.
+  std::pair<std::size_t, std::size_t> PrefixRange(
+      std::string_view prefix) const;
+
+ private:
+  friend class SlidingWindowIndex;
+  uint64_t generation_ = 0;
+  std::size_t num_docs_ = 0;
+  int64_t oldest_ = 0;
+  int64_t newest_ = -1;
+  IndexSnapshot::BucketCounts totals_;
+  std::vector<Series> series_;
+};
+
+struct SlidingWindowOptions {
+  // Ring capacity: how many consecutive time buckets stay queryable.
+  std::size_t window_buckets = 8;
+};
+
+class SlidingWindowIndex {
+ public:
+  explicit SlidingWindowIndex(SlidingWindowOptions options = {});
+
+  // Counts one utterance-document with (already deduplicated) concept
+  // keys into `bucket`. A bucket beyond the newest advances the ring:
+  // every bucket the stream moved past — including empty gap buckets,
+  // which the burst baseline must see decay through — is appended to
+  // `closed` in ascending order, and buckets behind the new floor are
+  // evicted. Returns false iff the utterance's bucket already fell
+  // behind the floor (late arrival; dropped and counted).
+  bool AddUtterance(const std::vector<std::string>& keys, int64_t bucket,
+                    std::vector<ClosedBucket>* closed);
+
+  // Builds and publishes a fresh immutable snapshot if the window
+  // changed since the last publish, else returns the current one.
+  std::shared_ptr<const WindowSnapshot> Publish();
+  // Last published snapshot (never null; empty snapshot before any
+  // publish).
+  std::shared_ptr<const WindowSnapshot> snapshot() const;
+
+  std::size_t window_buckets() const { return options_.window_buckets; }
+  std::size_t late_dropped() const;
+  std::size_t num_documents_added() const;
+
+ private:
+  struct Slot {
+    int64_t bucket = 0;
+    std::size_t total_docs = 0;
+    std::map<std::string, std::size_t> counts;  // ordered: cheap merge
+  };
+
+  ClosedBucket SummarizeLocked(const Slot& slot) const;
+
+  SlidingWindowOptions options_;
+  mutable std::mutex mu_;
+  std::deque<Slot> ring_;  // ascending by bucket; back() is the open one
+  bool dirty_ = false;
+  uint64_t next_generation_ = 1;
+  std::size_t docs_added_ = 0;
+  std::size_t late_dropped_ = 0;
+  std::shared_ptr<const WindowSnapshot> published_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_STREAM_WINDOW_H_

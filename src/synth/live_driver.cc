@@ -1,0 +1,178 @@
+#include "synth/live_driver.h"
+
+#include <algorithm>
+
+namespace bivoc {
+
+namespace {
+
+// Customer/agent lines about car-rental topics. Each template mentions
+// exactly one dictionary term so concept counts are predictable; the
+// {} placeholder is substituted with the term.
+struct Line {
+  const char* pattern;
+  const char* term;
+};
+
+constexpr Line kLines[] = {
+    {"i would like to book a {} for next week", "compact car"},
+    {"do you have a {} available at the airport", "child seat"},
+    {"the {} on my last invoice looks wrong", "extra charge"},
+    {"can you confirm the {} for my reservation", "good rate"},
+    {"my flight is delayed so i need a {}", "late pickup"},
+    {"the agent offered me a free {}", "upgrade"},
+    {"i was told the {} is included", "insurance"},
+    {"please add a {} to the booking", "navigation system"},
+};
+
+constexpr const char* kBurstPattern = "i want a {} for this rental";
+
+std::string Fill(const char* pattern, const std::string& term) {
+  std::string out(pattern);
+  const std::size_t pos = out.find("{}");
+  if (pos != std::string::npos) out.replace(pos, 2, term);
+  return out;
+}
+
+}  // namespace
+
+LiveCallCenterDriver::LiveCallCenterDriver(LiveDriverConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.concurrent_calls < 1) config_.concurrent_calls = 1;
+  if (config_.utterances_per_call < 1) config_.utterances_per_call = 1;
+  if (config_.utterances_per_bucket < 1) config_.utterances_per_bucket = 1;
+  open_.reserve(static_cast<std::size_t>(config_.concurrent_calls));
+  for (int i = 0; i < config_.concurrent_calls; ++i) {
+    open_.push_back(NewCall());
+  }
+}
+
+LiveCallCenterDriver::OpenCall LiveCallCenterDriver::NewCall() {
+  OpenCall call;
+  call.id = "call-" + std::to_string(next_call_++);
+  // +/- 25% length jitter keeps closings desynchronized.
+  const int jitter = config_.utterances_per_call / 4;
+  call.length = config_.utterances_per_call +
+                static_cast<int>(rng_.Uniform(-jitter, jitter));
+  if (call.length < 1) call.length = 1;
+  return call;
+}
+
+std::string LiveCallCenterDriver::MakeText(bool burst) {
+  if (burst) return Fill(kBurstPattern, config_.burst_phrase);
+  const std::size_t i = static_cast<std::size_t>(
+      rng_.Uniform(0, static_cast<int64_t>(std::size(kLines)) - 1));
+  return Fill(kLines[i].pattern, kLines[i].term);
+}
+
+bool LiveCallCenterDriver::Next(LiveUtterance* out) {
+  while (pending_.empty()) {
+    if (done_) return false;
+    if (bucket_ >= config_.buckets) {
+      // End of the run: close every conversation still open so the
+      // downstream ingestor finalizes them into the main index.
+      for (OpenCall& call : open_) {
+        LiveUtterance closing;
+        closing.conversation_id = call.id;
+        closing.text = MakeText(false);
+        closing.time_bucket = bucket_;
+        closing.close = true;
+        pending_.push_back(std::move(closing));
+      }
+      open_.clear();
+      done_ = true;
+      if (pending_.empty()) return false;
+      break;
+    }
+    // Schedule this bucket: base chatter round-robined over the open
+    // calls, plus the scripted burst when active.
+    int emitted = 0;
+    std::size_t turn = static_cast<std::size_t>(
+        rng_.Uniform(0, static_cast<int64_t>(open_.size()) - 1));
+    while (emitted < config_.utterances_per_bucket) {
+      OpenCall& call = open_[turn % open_.size()];
+      ++turn;
+      LiveUtterance utterance;
+      utterance.conversation_id = call.id;
+      utterance.text = MakeText(false);
+      utterance.time_bucket = bucket_;
+      ++call.spoken;
+      if (call.spoken >= call.length) {
+        utterance.close = true;
+        call = NewCall();
+      }
+      pending_.push_back(std::move(utterance));
+      ++emitted;
+    }
+    if (config_.burst_start_bucket >= 0) {
+      // Pre-burst buckets carry a background trickle of the burst
+      // phrase (one mention per bucket) so the detector has a settled
+      // baseline to be anomalous against; a phrase first seen AT burst
+      // volume only seeds the baseline and never alerts.
+      const int mentions =
+          bucket_ >= config_.burst_start_bucket ? config_.burst_factor : 1;
+      for (int i = 0; i < mentions; ++i) {
+        OpenCall& call = open_[turn % open_.size()];
+        ++turn;
+        LiveUtterance utterance;
+        utterance.conversation_id = call.id;
+        utterance.text = MakeText(true);
+        utterance.time_bucket = bucket_;
+        ++call.spoken;
+        if (call.spoken >= call.length) {
+          utterance.close = true;
+          call = NewCall();
+        }
+        pending_.push_back(std::move(utterance));
+      }
+    }
+    ++bucket_;
+  }
+  *out = std::move(pending_.front());
+  pending_.pop_front();
+  return true;
+}
+
+std::vector<LiveUtterance> LiveCallCenterDriver::Drain() {
+  std::vector<LiveUtterance> out;
+  LiveUtterance u;
+  while (Next(&u)) out.push_back(std::move(u));
+  return out;
+}
+
+std::vector<LiveCallCenterDriver::DictionaryEntry>
+LiveCallCenterDriver::Dictionary() {
+  std::vector<DictionaryEntry> entries;
+  for (const Line& line : kLines) {
+    entries.push_back({line.term, line.term, "rental topic"});
+  }
+  entries.push_back({"refund", "refund", "issue"});
+  return entries;
+}
+
+std::vector<std::string> LiveCallCenterDriver::Vocabulary() {
+  std::vector<std::string> words;
+  auto add_words = [&words](const std::string& text) {
+    std::string word;
+    for (char c : text) {
+      if (c == ' ') {
+        if (!word.empty()) words.push_back(word);
+        word.clear();
+      } else if (c != '{' && c != '}') {
+        word.push_back(c);
+      }
+    }
+    if (!word.empty()) words.push_back(word);
+  };
+  for (const Line& line : kLines) {
+    add_words(line.pattern);
+    add_words(line.term);
+  }
+  add_words(kBurstPattern);
+  add_words("refund");
+  std::sort(words.begin(), words.end());
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+  return words;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,93 @@
+#ifndef BIVOC_SYNTH_LIVE_DRIVER_H_
+#define BIVOC_SYNTH_LIVE_DRIVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace bivoc {
+
+// --- synthetic live call center -------------------------------------
+//
+// Generates the interleaved utterance stream of many in-progress calls
+// at a configurable rate: each time bucket emits `utterances_per_bucket`
+// utterances round-robined across `concurrent_calls` open
+// conversations; a call that speaks its last utterance closes and a
+// fresh one takes its slot. Deterministic for a given seed, so tests
+// and the CI smoke can assert exact downstream behavior.
+//
+// A scripted burst is the driver's reason to exist: from
+// `burst_start_bucket` on, every bucket additionally emits
+// `burst_factor` utterances mentioning `burst_phrase`, the k-fold step
+// the burst detector must catch. Set burst_start_bucket = -1 for
+// stationary traffic (the detector must then stay silent).
+
+struct LiveDriverConfig {
+  int concurrent_calls = 6;
+  int utterances_per_call = 8;      // per conversation before it closes
+  int utterances_per_bucket = 12;   // base emission rate
+  int buckets = 16;                 // simulated duration
+  uint64_t seed = 42;
+  int burst_start_bucket = -1;      // -1 = no scripted burst
+  int burst_factor = 10;            // extra burst utterances per bucket
+  std::string burst_phrase = "refund";
+};
+
+struct LiveUtterance {
+  std::string conversation_id;
+  std::string text;
+  int64_t time_bucket = 0;
+  bool close = false;  // final utterance of its conversation
+};
+
+class LiveCallCenterDriver {
+ public:
+  explicit LiveCallCenterDriver(LiveDriverConfig config = {});
+
+  // Next utterance of the interleaved schedule; false once `buckets`
+  // time buckets have been emitted (every then-open conversation gets
+  // a closing utterance first).
+  bool Next(LiveUtterance* out);
+
+  // Remainder of the schedule in one vector (tests, batch replay).
+  std::vector<LiveUtterance> Drain();
+
+  // Dictionary the caller should register with its ConceptExtractor so
+  // the driver's phrases extract as concepts: {term, canonical name,
+  // category} triples covering every topic the driver speaks about
+  // (including the burst phrase).
+  struct DictionaryEntry {
+    std::string term;
+    std::string name;
+    std::string category;
+  };
+  static std::vector<DictionaryEntry> Dictionary();
+
+  // Words the driver uses, for engines running a language filter.
+  static std::vector<std::string> Vocabulary();
+
+ private:
+  struct OpenCall {
+    std::string id;
+    int spoken = 0;   // utterances emitted so far
+    int length = 0;   // utterances until close
+  };
+
+  std::string MakeText(bool burst);
+  OpenCall NewCall();
+
+  LiveDriverConfig config_;
+  Rng rng_;
+  std::vector<OpenCall> open_;
+  std::deque<LiveUtterance> pending_;  // current bucket, pre-shuffled
+  int64_t bucket_ = 0;
+  int next_call_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_SYNTH_LIVE_DRIVER_H_

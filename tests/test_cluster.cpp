@@ -845,6 +845,78 @@ TEST_F(ClusterRebalanceTest, AuditFlagsAReplicaThatMissedAWrite) {
             true);
 }
 
+TEST_F(ClusterRebalanceTest, RepairReStagesADivergentReplicaFromItsPeer) {
+  auto healthy = BootShardEngine();
+  auto straggler = BootShardEngine();
+  std::vector<ReplicaGroup> groups(1);
+  groups[0].name = "g0";
+  groups[0].members = {
+      std::make_shared<LocalShardHandle>("s0", healthy),
+      std::make_shared<LocalShardHandle>("s1", straggler)};
+  ShardRouterOptions options;
+  options.max_attempts = 1;
+  ShardRouter router(std::move(groups), options);
+
+  ASSERT_TRUE(router.ExecuteIngest(Customers(0, 6)).ok());
+
+  // An in-sync group is a no-op repair: nothing staged, nothing
+  // dropped, zero repaired.
+  Result<JsonValue> noop =
+      router.ExecuteAdmin("repair", JsonValue::MakeObject());
+  ASSERT_TRUE(noop.ok()) << noop.status().ToString();
+  EXPECT_EQ(IntField(noop.value(), "repaired"), 0);
+  EXPECT_EQ(IntField(noop.value(), "divergent_groups"), 0);
+
+  // A write lands on one member behind the router's back: s1 missed
+  // it. With two members there is no majority, so the doc-count
+  // tiebreak must elect s0 (add-only corpora: more docs = missed
+  // fewer writes).
+  (void)healthy->IngestBatch(Customers(100, 1));
+  Result<JsonValue> diverged = router.AuditReplicas();
+  ASSERT_TRUE(diverged.ok());
+  ASSERT_EQ(IntField(diverged.value(), "divergent"), 1);
+
+  Result<JsonValue> repair =
+      router.ExecuteAdmin("repair", JsonValue::MakeObject());
+  ASSERT_TRUE(repair.ok()) << repair.status().ToString();
+  EXPECT_EQ(IntField(repair.value(), "repaired"), 1);
+  EXPECT_EQ(IntField(repair.value(), "failed"), 0);
+  EXPECT_EQ(IntField(repair.value(), "divergent_groups"), 1);
+  const JsonValue& group_json = repair->Find("groups")->GetArray()[0];
+  EXPECT_EQ(group_json.Find("reference")->GetString(), "s0");
+  // The repair verified itself (closing checksum == reference), and
+  // the audit independently agrees the group converged.
+  Result<JsonValue> after = router.AuditReplicas();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(IntField(after.value(), "divergent"), 0);
+  EXPECT_EQ(
+      router.metrics()->GetGauge("cluster_replica_divergence")->Value(), 0);
+  EXPECT_EQ(
+      router.metrics()->GetCounter("cluster_repairs_total")->Value(), 2);
+  EXPECT_EQ(
+      router.metrics()->GetCounter("cluster_repaired_members_total")->Value(),
+      1);
+
+  // The repaired replica itself now serves the reference corpus — the
+  // missed write is queryable from s1 directly, not just checksummed.
+  Result<ReportServer::ReportResponse> from_straggler =
+      straggler->serve()->Execute(QueryRequest::ConceptSearch("product/"));
+  ASSERT_TRUE(from_straggler.ok()) << from_straggler.status().ToString();
+  EXPECT_EQ(from_straggler.value().report->num_documents, 7u);
+}
+
+TEST_F(ClusterRebalanceTest, WindowQueriesAreRejectedUpfrontByTheRouter) {
+  std::vector<ReplicaGroup> groups(1);
+  groups[0].name = "g0";
+  groups[0].members = {BootShard("s0")};
+  ShardRouter router(std::move(groups), ShardRouterOptions{});
+  QueryRequest request = QueryRequest::Trend("product/");
+  request.window = true;
+  Result<JsonValue> response = router.ExecuteQuery(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kFailedPrecondition);
+}
+
 TEST_F(ClusterRebalanceTest, RingChangeAbortsCleanlyWhenExportIsImpossible) {
   // FakeShard serves no admin verbs, so export fails and the change
   // must roll back: same epoch, same groups, traffic unaffected.

@@ -462,6 +462,107 @@ TEST(HttpServerTest, InjectedAcceptFaultRefusesConnection) {
   ASSERT_TRUE(client.Get("/ok").ok());
 }
 
+// ---------------------------------------------------------------------------
+// Streaming (SSE) delivery: chunked framing, heartbeats, drain.
+
+// A deterministic ResponseStream: emits the scripted chunks, then
+// either finishes (kDone) or idles forever (heartbeat/drain testing).
+class ScriptedStream : public ResponseStream {
+ public:
+  ScriptedStream(std::vector<std::string> chunks, bool finish)
+      : chunks_(std::move(chunks)), finish_(finish) {}
+
+  Poll Next(std::string* out, int64_t wait_ms) override {
+    if (next_ < chunks_.size()) {
+      *out = chunks_[next_++];
+      return Poll::kChunk;
+    }
+    if (finish_) return Poll::kDone;
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+    return Poll::kIdle;
+  }
+
+  std::string Heartbeat() const override { return ": tick\n\n"; }
+
+ private:
+  std::vector<std::string> chunks_;
+  bool finish_;
+  std::size_t next_ = 0;
+};
+
+TEST(HttpServerTest, FinishedStreamEndsWithTheTerminatingChunk) {
+  HttpServer server(
+      [](const HttpRequest&) {
+        return SseResponse(std::make_shared<ScriptedStream>(
+            std::vector<std::string>{"data: one\n\n", "data: two\n\n"},
+            /*finish=*/true));
+      },
+      FastOptions());
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.SendRaw("GET /v1/stream/alerts HTTP/1.1\r\n"
+                             "Host: x\r\n\r\n")
+                  .ok());
+  auto raw = client.ReadUntilClose();
+  ASSERT_TRUE(raw.ok());
+  // Head: chunked SSE that will close when the stream ends.
+  EXPECT_NE(raw->find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(raw->find("Content-Type: text/event-stream"),
+            std::string::npos);
+  EXPECT_NE(raw->find("Transfer-Encoding: chunked"), std::string::npos);
+  EXPECT_EQ(raw->find("Content-Length"), std::string::npos);
+  // Both events on the wire, in order, then the terminating chunk.
+  const std::size_t one = raw->find("data: one");
+  const std::size_t two = raw->find("data: two");
+  ASSERT_NE(one, std::string::npos);
+  ASSERT_NE(two, std::string::npos);
+  EXPECT_LT(one, two);
+  const std::string tail = "0\r\n\r\n";
+  EXPECT_EQ(raw->rfind(tail), raw->size() - tail.size());
+  EXPECT_GE(server.stats().requests, 1u);
+}
+
+TEST(HttpServerTest, IdleStreamHeartbeatsAndDrainsCleanlyOnStop) {
+  HttpServerOptions options = FastOptions();
+  options.stream_heartbeat_ms = 30;  // heartbeats arrive fast
+  HttpServer server(
+      [](const HttpRequest&) {
+        return SseResponse(std::make_shared<ScriptedStream>(
+            std::vector<std::string>{"data: hello\n\n"}, /*finish=*/false));
+      },
+      options);
+  ASSERT_TRUE(server.Start().ok());
+  HttpClient client("127.0.0.1", server.port());
+  ASSERT_TRUE(client.SendRaw("GET /v1/stream/alerts HTTP/1.1\r\n"
+                             "Host: x\r\n\r\n")
+                  .ok());
+  // The event and at least one heartbeat arrive while the connection
+  // stays open — the stream's idle never trips the read deadline.
+  std::string seen;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while ((seen.find("data: hello") == std::string::npos ||
+          seen.find(": tick") == std::string::npos) &&
+         std::chrono::steady_clock::now() < deadline) {
+    auto some = client.ReadSome(100);
+    ASSERT_TRUE(some.ok()) << some.status();
+    seen += *some;
+    ASSERT_TRUE(client.connected()) << "server closed a live stream";
+  }
+  EXPECT_NE(seen.find("data: hello"), std::string::npos);
+  EXPECT_NE(seen.find(": tick"), std::string::npos);
+
+  // Stop() drains the stream: terminating chunk, then close.
+  std::thread stopper([&] { server.Stop(); });
+  auto rest = client.ReadUntilClose();
+  stopper.join();
+  ASSERT_TRUE(rest.ok());
+  seen += *rest;
+  const std::string tail = "0\r\n\r\n";
+  ASSERT_GE(seen.size(), tail.size());
+  EXPECT_EQ(seen.rfind(tail), seen.size() - tail.size());
+}
+
 TEST(HttpServerTest, OversizedRequestLineRejected431) {
   HttpServerOptions options = FastOptions();
   options.parser_limits.max_start_line_bytes = 128;

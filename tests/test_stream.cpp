@@ -1,0 +1,589 @@
+// The streaming VoC battery (DESIGN.md §15): sliding-window ring
+// mechanics at bucket edges, burst-detector property guarantees
+// (stationary silence, k-fold step detection, rising-edge dedup),
+// alert-bus backpressure, incremental re-linking, and the bit-for-bit
+// equivalence between window-scoped trends and a batch index over the
+// same utterances. The concurrency tests are written to run under
+// TSan: raw threads, no sleeps as synchronization.
+#include "stream/ingestor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bivoc.h"
+#include "mining/concept_index.h"
+#include "mining/trend.h"
+#include "stream/burst.h"
+#include "stream/window.h"
+#include "synth/live_driver.h"
+#include "util/logging.h"
+
+namespace bivoc {
+namespace {
+
+// --- sliding window --------------------------------------------------
+
+std::vector<std::string> Keys(std::initializer_list<const char*> keys) {
+  return std::vector<std::string>(keys.begin(), keys.end());
+}
+
+TEST(SlidingWindowTest, EmptyWindowPublishesAnEmptySnapshot) {
+  SlidingWindowIndex window;
+  auto snapshot = window.snapshot();
+  EXPECT_EQ(snapshot->generation(), 0u);
+  EXPECT_EQ(snapshot->num_documents(), 0u);
+  EXPECT_GT(snapshot->oldest_bucket(), snapshot->newest_bucket());
+  EXPECT_TRUE(snapshot->series().empty());
+}
+
+TEST(SlidingWindowTest, CountsSeriesAndZeroFillsBucketTotals) {
+  SlidingWindowIndex window({/*window_buckets=*/4});
+  std::vector<ClosedBucket> closed;
+  ASSERT_TRUE(window.AddUtterance(Keys({"cat/a"}), 2, &closed));
+  ASSERT_TRUE(window.AddUtterance(Keys({"cat/a", "cat/b"}), 3, &closed));
+  auto snapshot = window.Publish();
+  EXPECT_EQ(snapshot->num_documents(), 2u);
+  EXPECT_EQ(snapshot->newest_bucket(), 3);
+  EXPECT_EQ(snapshot->oldest_bucket(), 0);  // newest - span + 1
+  // Every covered bucket appears in the totals, empty ones at zero.
+  ASSERT_EQ(snapshot->bucket_totals().size(), 4u);
+  EXPECT_EQ(snapshot->bucket_totals()[0], std::make_pair(int64_t{0},
+                                                         std::size_t{0}));
+  EXPECT_EQ(snapshot->bucket_totals()[2], std::make_pair(int64_t{2},
+                                                         std::size_t{1}));
+  EXPECT_EQ(snapshot->bucket_totals()[3], std::make_pair(int64_t{3},
+                                                         std::size_t{1}));
+  const WindowSnapshot::Series* a = snapshot->Find("cat/a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->total, 2u);
+  ASSERT_EQ(a->buckets.size(), 2u);
+  EXPECT_EQ(a->buckets[0], std::make_pair(int64_t{2}, std::size_t{1}));
+  EXPECT_EQ(a->buckets[1], std::make_pair(int64_t{3}, std::size_t{1}));
+  EXPECT_EQ(snapshot->Find("cat/zzz"), nullptr);
+}
+
+TEST(SlidingWindowTest, AdvanceClosesTheOpenBucketAndEvictsBehindFloor) {
+  SlidingWindowIndex window({/*window_buckets=*/3});
+  std::vector<ClosedBucket> closed;
+  ASSERT_TRUE(window.AddUtterance(Keys({"cat/a"}), 0, &closed));
+  ASSERT_TRUE(window.AddUtterance(Keys({"cat/a"}), 1, &closed));
+  ASSERT_TRUE(window.AddUtterance(Keys({"cat/b"}), 2, &closed));
+  // Buckets 0 and 1 closed as the stream advanced past them.
+  ASSERT_EQ(closed.size(), 2u);
+  EXPECT_EQ(closed[0].bucket, 0);
+  EXPECT_EQ(closed[0].total_docs, 1u);
+  EXPECT_EQ(closed[1].bucket, 1);
+
+  // Advancing to 3 closes bucket 2 and evicts bucket 0 (floor = 1).
+  closed.clear();
+  ASSERT_TRUE(window.AddUtterance(Keys({"cat/b"}), 3, &closed));
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].bucket, 2);
+  auto snapshot = window.Publish();
+  EXPECT_EQ(snapshot->oldest_bucket(), 1);
+  EXPECT_EQ(snapshot->newest_bucket(), 3);
+  // cat/a's bucket-0 count left the window with its bucket.
+  const WindowSnapshot::Series* a = snapshot->Find("cat/a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->total, 1u);
+}
+
+TEST(SlidingWindowTest, LateArrivalsLandInWindowOrDropAtTheFloorEdge) {
+  SlidingWindowIndex window({/*window_buckets=*/3});
+  std::vector<ClosedBucket> closed;
+  ASSERT_TRUE(window.AddUtterance(Keys({"cat/a"}), 5, &closed));
+  // Floor is newest - span + 1 = 3: bucket 3 is the oldest admissible.
+  ASSERT_TRUE(window.AddUtterance(Keys({"cat/a"}), 3, &closed));
+  EXPECT_EQ(window.late_dropped(), 0u);
+  // Bucket 2 is one past the edge: dropped, counted, window unchanged.
+  EXPECT_FALSE(window.AddUtterance(Keys({"cat/a"}), 2, &closed));
+  EXPECT_EQ(window.late_dropped(), 1u);
+  auto snapshot = window.Publish();
+  EXPECT_EQ(snapshot->num_documents(), 2u);
+  EXPECT_EQ(snapshot->oldest_bucket(), 3);
+  // A late arrival within the window never re-closes a bucket.
+  EXPECT_TRUE(closed.empty());
+}
+
+TEST(SlidingWindowTest, GapBucketsCloseAsZerosCappedAtTheSpan) {
+  SlidingWindowIndex window({/*window_buckets=*/4});
+  std::vector<ClosedBucket> closed;
+  ASSERT_TRUE(window.AddUtterance(Keys({"cat/a"}), 0, &closed));
+  // Jump to 3: bucket 0 closes with its count, gaps 1 and 2 close as
+  // zeros (the burst baseline must decay through silence).
+  ASSERT_TRUE(window.AddUtterance(Keys({"cat/a"}), 3, &closed));
+  ASSERT_EQ(closed.size(), 3u);
+  EXPECT_EQ(closed[0].bucket, 0);
+  EXPECT_EQ(closed[0].total_docs, 1u);
+  EXPECT_EQ(closed[1].bucket, 1);
+  EXPECT_EQ(closed[1].total_docs, 0u);
+  EXPECT_EQ(closed[2].bucket, 2);
+
+  // A jump far beyond the span caps gap emission at the span: buckets
+  // the window has already slid past entirely are not replayed.
+  closed.clear();
+  ASSERT_TRUE(window.AddUtterance(Keys({"cat/a"}), 20, &closed));
+  std::vector<int64_t> buckets;
+  for (const ClosedBucket& b : closed) buckets.push_back(b.bucket);
+  EXPECT_EQ(buckets, (std::vector<int64_t>{3, 16, 17, 18, 19}));
+}
+
+// --- burst detector --------------------------------------------------
+
+ClosedBucket Bucket(int64_t bucket,
+                    std::vector<std::pair<std::string, std::size_t>> counts) {
+  ClosedBucket out;
+  out.bucket = bucket;
+  std::size_t total = 0;
+  for (const auto& [key, count] : counts) total += count;
+  out.total_docs = total;
+  out.counts = std::move(counts);
+  return out;
+}
+
+TEST(BurstDetectorTest, StationaryTrafficNeverAlerts) {
+  BurstDetector detector;
+  for (int64_t b = 0; b < 50; ++b) {
+    auto alerts = detector.OnBucketClosed(Bucket(b, {{"issue/refund", 20}}));
+    EXPECT_TRUE(alerts.empty()) << "bucket " << b;
+  }
+  EXPECT_EQ(detector.active_bursts(), 0u);
+  // The first observation seeded the baseline, so the settled level IS
+  // the baseline — not an anomaly relative to an empty prior.
+  EXPECT_DOUBLE_EQ(detector.BaselineOf("issue/refund").mean, 20.0);
+}
+
+TEST(BurstDetectorTest, FirstAppearanceSeedsInsteadOfAlerting) {
+  BurstDetector detector;
+  // A brand-new concept arriving hot is calibration, not a burst.
+  auto alerts =
+      detector.OnBucketClosed(Bucket(0, {{"issue/outage", 100}}));
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST(BurstDetectorTest, KFoldStepAlertsOnTheBucketItLandsIn) {
+  BurstDetector detector;  // z=3, min_support=5
+  for (int64_t b = 0; b < 10; ++b) {
+    ASSERT_TRUE(
+        detector.OnBucketClosed(Bucket(b, {{"issue/refund", 10}})).empty());
+  }
+  // 5x step: z = (50-10)/sqrt(0+1) = 40 — detected immediately.
+  auto alerts = detector.OnBucketClosed(Bucket(10, {{"issue/refund", 50}}));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].concept_key, "issue/refund");
+  EXPECT_EQ(alerts[0].bucket, 10);
+  EXPECT_EQ(alerts[0].count, 50u);
+  EXPECT_DOUBLE_EQ(alerts[0].baseline_mean, 10.0);
+  EXPECT_GE(alerts[0].z_score, 3.0);
+  EXPECT_EQ(detector.active_bursts(), 1u);
+}
+
+TEST(BurstDetectorTest, SustainedBurstAlertsOnceAndCanReAlertAfterQuiet) {
+  BurstDetector detector;
+  std::size_t total_alerts = 0;
+  auto run = [&](int64_t first, int64_t count, std::size_t level) {
+    std::size_t fired = 0;
+    for (int64_t b = first; b < first + count; ++b) {
+      fired +=
+          detector.OnBucketClosed(Bucket(b, {{"issue/refund", level}})).size();
+    }
+    total_alerts += fired;
+    return fired;
+  };
+  run(0, 10, 10);                  // settle at 10
+  EXPECT_EQ(run(10, 8, 50), 1u);   // sustained burst: exactly ONE alert
+  EXPECT_EQ(run(18, 15, 10), 0u);  // back to normal, baseline re-settles
+  EXPECT_EQ(run(33, 8, 50), 1u);   // a fresh burst re-alerts
+  EXPECT_EQ(total_alerts, 2u);
+}
+
+TEST(BurstDetectorTest, MinSupportSuppressesTinyBursts) {
+  BurstDetector detector;  // min_support = 5
+  for (int64_t b = 0; b < 10; ++b) {
+    ASSERT_TRUE(
+        detector.OnBucketClosed(Bucket(b, {{"issue/niche", 1}})).empty());
+  }
+  // 4x the baseline and z >= 3, but 4 docs is below min_support.
+  auto alerts = detector.OnBucketClosed(Bucket(10, {{"issue/niche", 4}}));
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST(BurstDetectorTest, SilentConceptsDecayTowardZeroAndDeactivate) {
+  BurstDetector detector;
+  for (int64_t b = 0; b < 5; ++b) {
+    (void)detector.OnBucketClosed(Bucket(b, {{"issue/refund", 10}}));
+  }
+  (void)detector.OnBucketClosed(Bucket(5, {{"issue/refund", 50}}));  // burst
+  ASSERT_EQ(detector.active_bursts(), 1u);
+  // The concept vanishes entirely: baseline decays through the silent
+  // buckets and the active flag clears.
+  for (int64_t b = 6; b < 12; ++b) {
+    (void)detector.OnBucketClosed(Bucket(b, {{"other/key", 1}}));
+  }
+  EXPECT_EQ(detector.active_bursts(), 0u);
+  EXPECT_LT(detector.BaselineOf("issue/refund").mean, 10.0);
+}
+
+// --- alert bus -------------------------------------------------------
+
+TEST(AlertBusTest, SlowSubscriberShedsItsOwnOldestAlertsOnly) {
+  AlertBus bus(/*subscriber_capacity=*/4);
+  auto slow = bus.Subscribe();
+  for (uint64_t i = 1; i <= 10; ++i) {
+    BurstAlert alert;
+    alert.sequence = i;
+    bus.PublishAlert(alert);
+  }
+  EXPECT_EQ(bus.alerts_published(), 10u);
+  EXPECT_EQ(slow->dropped(), 6u);
+  // What remains is the newest 4, in order.
+  BurstAlert out;
+  for (uint64_t expected = 7; expected <= 10; ++expected) {
+    ASSERT_TRUE(slow->Poll(&out, 0));
+    EXPECT_EQ(out.sequence, expected);
+  }
+  EXPECT_FALSE(slow->Poll(&out, 1));
+}
+
+TEST(AlertBusTest, DroppedSubscriptionsArePrunedNotPublished) {
+  AlertBus bus;
+  auto sub = bus.Subscribe();
+  EXPECT_EQ(bus.num_subscribers(), 1u);
+  sub.reset();
+  BurstAlert alert;
+  bus.PublishAlert(alert);  // must not crash on the expired weak_ptr
+  EXPECT_EQ(bus.num_subscribers(), 0u);
+}
+
+// --- stream ingestor over a real engine ------------------------------
+
+class StreamIngestTest : public ::testing::Test {
+ protected:
+  // Engine with two linkable tables (customers/agents) so the central
+  // entity can flip between types, plus the live driver's concept
+  // dictionary and a couple of hand terms.
+  static std::shared_ptr<BivocEngine> BootEngine() {
+    auto engine = std::make_shared<BivocEngine>();
+    Schema schema({
+        {"id", DataType::kInt64, AttributeRole::kNone},
+        {"name", DataType::kString, AttributeRole::kPersonName},
+    });
+    Table* customers = *engine->warehouse()->CreateTable("customers", schema);
+    BIVOC_CHECK_OK(
+        customers->Append({Value(int64_t{0}), Value("john smith")}).status());
+    Table* agents = *engine->warehouse()->CreateTable("agents", schema);
+    BIVOC_CHECK_OK(
+        agents->Append({Value(int64_t{0}), Value("mary jones")}).status());
+    BIVOC_CHECK_OK(engine->FinishWarehouse());
+    engine->ConfigureAnnotators({"john", "smith", "mary", "jones"}, {});
+    auto* dictionary = engine->extractor()->mutable_dictionary();
+    dictionary->Add("gprs", "gprs", "product");
+    for (const auto& entry : LiveCallCenterDriver::Dictionary()) {
+      dictionary->Add(entry.term, entry.name, entry.category);
+    }
+    return engine;
+  }
+};
+
+TEST_F(StreamIngestTest, AppendExtractsConceptsLinksAndPublishesTheWindow) {
+  auto engine = BootEngine();
+  ASSERT_TRUE(engine->EnableStreaming().ok());
+  StreamIngestor* stream = engine->stream();
+  ASSERT_NE(stream, nullptr);
+  // Enabling twice is a caller bug, reported not ignored.
+  EXPECT_EQ(engine->EnableStreaming().code(),
+            StatusCode::kFailedPrecondition);
+
+  UtteranceAppend utterance;
+  utterance.conversation_id = "call-1";
+  utterance.text = "hello this is john smith my gprs is not working";
+  utterance.time_bucket = 7;
+  Result<AppendResult> result = stream->Append(utterance);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().utterance_index, 0u);
+  EXPECT_GE(result.value().concepts, 1u);
+  EXPECT_TRUE(result.value().linked);
+  EXPECT_EQ(result.value().link_table, "customers");
+  EXPECT_GE(result.value().window_generation, 1u);
+  EXPECT_EQ(stream->open_conversations(), 1u);
+
+  auto window = stream->Window();
+  const WindowSnapshot::Series* gprs = window->Find("product/gprs");
+  ASSERT_NE(gprs, nullptr);
+  EXPECT_EQ(gprs->total, 1u);
+  EXPECT_EQ(window->newest_bucket(), 7);
+
+  // Malformed appends are rejected, not half-applied.
+  UtteranceAppend bad;
+  bad.text = "no conversation id";
+  EXPECT_EQ(stream->Append(bad).status().code(),
+            StatusCode::kInvalidArgument);
+  bad.conversation_id = "call-2";
+  bad.text.clear();
+  bad.close = false;
+  EXPECT_EQ(stream->Append(bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(StreamIngestTest, RelinkFlipsTheCentralEntityOnPosteriorShift) {
+  auto engine = BootEngine();
+  ASSERT_TRUE(engine->EnableStreaming().ok());
+  StreamIngestor* stream = engine->stream();
+
+  UtteranceAppend first;
+  first.conversation_id = "call-1";
+  first.text = "john smith has a billing question";
+  Result<AppendResult> linked = stream->Append(first);
+  ASSERT_TRUE(linked.ok());
+  ASSERT_TRUE(linked.value().linked);
+  ASSERT_EQ(linked.value().link_table, "customers");
+
+  // Evidence for the agents-table entity accumulates utterance by
+  // utterance until its posterior clears the incumbent's by the
+  // re-link margin — then the conversation's central entity flips.
+  bool relinked = false;
+  AppendResult last;
+  for (int i = 0; i < 12 && !relinked; ++i) {
+    UtteranceAppend next;
+    next.conversation_id = "call-1";
+    next.text = "mary jones will handle this case";
+    Result<AppendResult> result = stream->Append(next);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    relinked = result.value().relinked;
+    last = result.value();
+  }
+  ASSERT_TRUE(relinked) << "link never flipped to the dominant entity";
+  EXPECT_EQ(last.link_table, "agents");
+  EXPECT_EQ(engine->metrics()->GetCounter("stream_relinks_total")->Value(),
+            1);
+}
+
+TEST_F(StreamIngestTest, CloseFinalizesTheConversationIntoTheMainIndex) {
+  auto engine = BootEngine();
+  ASSERT_TRUE(engine->EnableStreaming().ok());
+  StreamIngestor* stream = engine->stream();
+  const std::size_t docs_before = engine->Snapshot()->num_documents();
+
+  UtteranceAppend u1;
+  u1.conversation_id = "call-9";
+  u1.text = "john smith here my gprs is down";
+  u1.time_bucket = 3;
+  ASSERT_TRUE(stream->Append(u1).ok());
+  UtteranceAppend u2;
+  u2.conversation_id = "call-9";
+  u2.text = "i would like a refund please";
+  u2.time_bucket = 4;
+  u2.close = true;
+  Result<AppendResult> closed = stream->Append(u2);
+  ASSERT_TRUE(closed.ok()) << closed.status().ToString();
+  EXPECT_TRUE(closed.value().closed);
+  EXPECT_EQ(stream->open_conversations(), 0u);
+
+  // One call document for the whole conversation, in the *main* index,
+  // carrying the incrementally-established link and both utterances'
+  // concepts.
+  auto snapshot = engine->Snapshot();
+  EXPECT_EQ(snapshot->num_documents(), docs_before + 1);
+  EXPECT_EQ(snapshot->Count("product/gprs"), 1u);
+  EXPECT_EQ(snapshot->Count("issue/refund"), 1u);
+  EXPECT_EQ(
+      engine->metrics()->GetCounter("stream_conversations_closed_total")
+          ->Value(),
+      1);
+}
+
+TEST_F(StreamIngestTest, WindowTrendMatchesABatchIndexBitForBit) {
+  auto engine = BootEngine();
+  StreamOptions options;
+  // Window spans the driver's whole run (including the final closing
+  // bucket), so window analytics and the batch oracle see the same
+  // utterance-documents.
+  LiveDriverConfig config;
+  config.buckets = 8;
+  config.burst_start_bucket = 5;  // non-trivial slopes
+  config.burst_factor = 6;
+  options.window.window_buckets = static_cast<std::size_t>(config.buckets) + 1;
+  ASSERT_TRUE(engine->EnableStreaming(options).ok());
+  StreamIngestor* stream = engine->stream();
+
+  // Batch oracle: the same utterance texts, processed by the same
+  // pipeline, counted into a plain ConceptIndex.
+  ConceptIndex batch;
+  LiveCallCenterDriver driver(config);
+  LiveUtterance utterance;
+  std::size_t fed = 0;
+  while (driver.Next(&utterance)) {
+    UtteranceAppend append;
+    append.conversation_id = utterance.conversation_id;
+    append.text = utterance.text;
+    append.time_bucket = utterance.time_bucket;
+    append.close = utterance.close;
+    Result<AppendResult> result = stream->Append(append);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result.value().window_dropped);
+
+    Result<Document> doc = engine->pipeline()->TryProcess(
+        VocChannel::kCall, utterance.text, utterance.time_bucket);
+    ASSERT_TRUE(doc.ok());
+    std::vector<std::string> keys;
+    for (const Concept& c : doc.value().concepts) keys.push_back(c.Key());
+    batch.AddDocument(keys, utterance.time_bucket);
+    ++fed;
+  }
+  ASSERT_GT(fed, 0u);
+  batch.Publish();
+  ASSERT_EQ(stream->Window()->num_documents(), fed);
+
+  const std::vector<TrendSummary> window_trend =
+      stream->WindowTrend(/*prefix=*/"", /*limit=*/100, /*min_count=*/1);
+  const std::vector<TrendSummary> batch_trend =
+      RisingConcepts(*batch.snapshot(), /*prefix=*/"", /*limit=*/100,
+                     /*min_count=*/1);
+  ASSERT_EQ(window_trend.size(), batch_trend.size());
+  ASSERT_FALSE(window_trend.empty());
+  for (std::size_t i = 0; i < window_trend.size(); ++i) {
+    EXPECT_EQ(window_trend[i].key, batch_trend[i].key) << i;
+    EXPECT_EQ(window_trend[i].total_count, batch_trend[i].total_count) << i;
+    // Bit-for-bit: both paths run the same TrendPointsFromCounts /
+    // TrendSlope arithmetic over identical inputs, so the doubles are
+    // EQUAL, not approximately equal.
+    EXPECT_EQ(window_trend[i].slope, batch_trend[i].slope)
+        << window_trend[i].key;
+  }
+  // The scripted burst is a rising topic in both views.
+  EXPECT_EQ(window_trend[0].key, "issue/refund");
+}
+
+TEST_F(StreamIngestTest, ScriptedBurstRaisesExactlyOneRisingEdgeAlert) {
+  auto engine = BootEngine();
+  StreamOptions options;
+  options.window.window_buckets = 16;
+  options.burst.min_support = 5;
+  ASSERT_TRUE(engine->EnableStreaming(options).ok());
+  StreamIngestor* stream = engine->stream();
+  auto subscription = stream->alerts()->Subscribe();
+
+  LiveDriverConfig config;
+  config.buckets = 12;
+  config.burst_start_bucket = 6;
+  config.burst_factor = 10;
+  LiveCallCenterDriver driver(config);
+  LiveUtterance utterance;
+  while (driver.Next(&utterance)) {
+    UtteranceAppend append;
+    append.conversation_id = utterance.conversation_id;
+    append.text = utterance.text;
+    append.time_bucket = utterance.time_bucket;
+    append.close = utterance.close;
+    ASSERT_TRUE(stream->Append(append).ok());
+  }
+
+  // The sustained scripted burst produced exactly one rising-edge
+  // alert for the burst phrase, delivered through the bus.
+  std::size_t refund_alerts = 0;
+  BurstAlert alert;
+  while (subscription->Poll(&alert, 0)) {
+    if (alert.concept_key == "issue/refund") {
+      ++refund_alerts;
+      EXPECT_GE(alert.count, 10u);
+      EXPECT_GE(alert.z_score, 3.0);
+      EXPECT_EQ(alert.bucket, 6);
+    }
+  }
+  EXPECT_EQ(refund_alerts, 1u);
+  EXPECT_GE(
+      engine->metrics()->GetCounter("stream_alerts_total")->Value(), 1);
+}
+
+TEST_F(StreamIngestTest, LateUtteranceCountsForConversationNotWindow) {
+  auto engine = BootEngine();
+  StreamOptions options;
+  options.window.window_buckets = 2;
+  ASSERT_TRUE(engine->EnableStreaming(options).ok());
+  StreamIngestor* stream = engine->stream();
+
+  UtteranceAppend fresh;
+  fresh.conversation_id = "call-1";
+  fresh.text = "gprs is down";
+  fresh.time_bucket = 10;
+  ASSERT_TRUE(stream->Append(fresh).ok());
+
+  UtteranceAppend late;
+  late.conversation_id = "call-1";
+  late.text = "i want a refund";
+  late.time_bucket = 0;
+  Result<AppendResult> result = stream->Append(late);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().window_dropped);
+  EXPECT_EQ(result.value().utterance_index, 1u);  // conversation kept it
+  EXPECT_EQ(stream->Window()->Find("issue/refund"), nullptr);
+  EXPECT_EQ(
+      engine->metrics()->GetCounter("stream_late_dropped_total")->Value(), 1);
+}
+
+TEST_F(StreamIngestTest, ConcurrentAppendsReadsAndAlertsAreRaceFree) {
+  auto engine = BootEngine();
+  StreamOptions options;
+  options.window.window_buckets = 4;
+  options.burst.min_support = 3;
+  ASSERT_TRUE(engine->EnableStreaming(options).ok());
+  StreamIngestor* stream = engine->stream();
+
+  constexpr int kWriters = 3;
+  constexpr int kPerWriter = 120;
+  std::atomic<bool> stop{false};
+  std::atomic<int> appended{0};
+
+  // Reader: window snapshots and trends race the appends.
+  std::thread reader([&] {
+    while (!stop.load()) {
+      auto snapshot = stream->Window();
+      (void)snapshot->num_documents();
+      (void)stream->WindowTrend("", 10, 1);
+    }
+  });
+  // Subscriber: drains alerts concurrently with publication.
+  auto subscription = stream->alerts()->Subscribe();
+  std::thread poller([&] {
+    BurstAlert alert;
+    while (!stop.load()) (void)subscription->Poll(&alert, 1);
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        // Five-utterance conversations, the last append closing each.
+        UtteranceAppend utterance;
+        utterance.conversation_id =
+            "call-" + std::to_string(w) + "-" + std::to_string(i / 5);
+        utterance.text = "gprs trouble again and i want a refund";
+        utterance.time_bucket = i / 10;  // all writers advance together
+        utterance.close = (i % 5 == 4);
+        Result<AppendResult> result = stream->Append(utterance);
+        BIVOC_CHECK(result.ok()) << result.status().ToString();
+        ++appended;
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  poller.join();
+
+  EXPECT_EQ(appended.load(), kWriters * kPerWriter);
+  // Every utterance landed exactly once: in the window or counted as a
+  // late drop, never lost.
+  EXPECT_EQ(stream->window_index().num_documents_added() +
+                stream->window_index().late_dropped(),
+            static_cast<std::size_t>(kWriters * kPerWriter));
+  EXPECT_EQ(stream->open_conversations(), 0u);
+}
+
+}  // namespace
+}  // namespace bivoc

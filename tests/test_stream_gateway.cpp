@@ -1,0 +1,258 @@
+// The streaming routes of the HTTP gateway (DESIGN.md §15): the
+// utterance-append verb, window-scoped trend queries, and the SSE
+// alert feed — first at the Handle() level (no sockets), then the full
+// live path over loopback HTTP: synthetic call-center driver -> POST
+// /v1/stream/utterance -> sliding window -> burst detector -> SSE
+// "burst" event on a raw chunked connection -> clean drain on stop.
+#include "net/gateway.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bivoc.h"
+#include "net/http_client.h"
+#include "net/json.h"
+#include "net/wire.h"
+#include "stream/ingestor.h"
+#include "synth/live_driver.h"
+#include "util/logging.h"
+
+namespace bivoc {
+namespace {
+
+class StreamGatewayTest : public ::testing::Test {
+ protected:
+  StreamGatewayTest() {
+    Schema schema({
+        {"id", DataType::kInt64, AttributeRole::kNone},
+        {"name", DataType::kString, AttributeRole::kPersonName},
+    });
+    Table* customers = *engine_.warehouse()->CreateTable("customers", schema);
+    BIVOC_CHECK_OK(
+        customers->Append({Value(int64_t{0}), Value("john smith")}).status());
+    BIVOC_CHECK_OK(engine_.FinishWarehouse());
+    engine_.ConfigureAnnotators({"john", "smith"}, {});
+    auto* dictionary = engine_.extractor()->mutable_dictionary();
+    dictionary->Add("gprs", "gprs", "product");
+    for (const auto& entry : LiveCallCenterDriver::Dictionary()) {
+      dictionary->Add(entry.term, entry.name, entry.category);
+    }
+  }
+
+  void TearDown() override { engine_.StopGateway(); }
+
+  static HttpRequest Post(const std::string& path, std::string body) {
+    HttpRequest request;
+    request.method = "POST";
+    request.target = path;
+    request.version = "HTTP/1.1";
+    request.body = std::move(body);
+    return request;
+  }
+
+  static HttpRequest Get(const std::string& path) {
+    HttpRequest request;
+    request.method = "GET";
+    request.target = path;
+    request.version = "HTTP/1.1";
+    return request;
+  }
+
+  static JsonValue MustParse(const std::string& body) {
+    auto parsed = ParseJson(body);
+    BIVOC_CHECK_OK(parsed.status());
+    return parsed.MoveValue();
+  }
+
+  BivocEngine engine_;
+};
+
+// --- Handle(): routing without sockets ---------------------------------
+
+TEST_F(StreamGatewayTest, StreamRoutesAre412UntilStreamingIsEnabled) {
+  Gateway gateway(&engine_);
+  HttpResponse append = gateway.Handle(
+      Post("/v1/stream/utterance",
+           R"({"conversation_id":"c1","text":"gprs is down"})"));
+  EXPECT_EQ(append.status, 412);
+  HttpResponse alerts = gateway.Handle(Get("/v1/stream/alerts"));
+  EXPECT_EQ(alerts.status, 412);
+  EXPECT_EQ(alerts.stream, nullptr);
+  HttpResponse window = gateway.Handle(
+      Post("/v1/query", R"({"class":"trend","window":true})"));
+  EXPECT_EQ(window.status, 412);
+}
+
+TEST_F(StreamGatewayTest, UtteranceRouteAppendsAndReportsLinkState) {
+  ASSERT_TRUE(engine_.EnableStreaming().ok());
+  Gateway gateway(&engine_);
+  HttpResponse response = gateway.Handle(
+      Post("/v1/stream/utterance",
+           R"({"conversation_id":"c1",)"
+           R"("text":"john smith says gprs is down","time_bucket":3})"));
+  ASSERT_EQ(response.status, 200) << response.body;
+  JsonValue body = MustParse(response.body);
+  EXPECT_EQ(body.Find("utterance_index")->GetInt64(), 0);
+  EXPECT_GE(body.Find("concepts")->GetInt64(), 1);
+  EXPECT_TRUE(body.Find("linked")->GetBool());
+  EXPECT_EQ(body.Find("link_table")->GetString(), "customers");
+  EXPECT_GE(body.Find("window_generation")->GetInt64(), 1);
+
+  // Framing errors are the client's fault, reported as 400s.
+  EXPECT_EQ(gateway.Handle(Post("/v1/stream/utterance", "{nope")).status,
+            400);
+  EXPECT_EQ(gateway.Handle(Post("/v1/stream/utterance",
+                                R"({"text":"no id"})"))
+                .status,
+            400);
+  EXPECT_EQ(gateway.Handle(Post("/v1/stream/utterance",
+                                R"({"conversation_id":"c2","volume":11})"))
+                .status,
+            400);
+  // Semantically invalid append (empty text, not closing): the
+  // ingestor's InvalidArgument maps to 400 on the wire.
+  EXPECT_EQ(gateway.Handle(Post("/v1/stream/utterance",
+                                R"({"conversation_id":"c2"})"))
+                .status,
+            400);
+}
+
+TEST_F(StreamGatewayTest, WindowQueriesServeWindowTrendsNotTheCache) {
+  ASSERT_TRUE(engine_.EnableStreaming().ok());
+  Gateway gateway(&engine_);
+  for (int bucket = 0; bucket < 4; ++bucket) {
+    for (int i = 0; i <= bucket; ++i) {  // rising mentions
+      HttpResponse r = gateway.Handle(Post(
+          "/v1/stream/utterance",
+          std::string(R"({"conversation_id":"c1","text":"gprs down",)") +
+              R"("time_bucket":)" + std::to_string(bucket) + "}"));
+      ASSERT_EQ(r.status, 200) << r.body;
+    }
+  }
+  HttpResponse response = gateway.Handle(Post(
+      "/v1/query",
+      R"({"class":"trend","window":true,"prefix":"product/",)"
+      R"("limit":10,"min_count":1})"));
+  ASSERT_EQ(response.status, 200) << response.body;
+  JsonValue body = MustParse(response.body);
+  EXPECT_FALSE(body.Find("from_cache")->GetBool());
+  EXPECT_EQ(body.Find("num_documents")->GetInt64(), 10);
+  const JsonValue* trends = body.Find("trends");
+  ASSERT_NE(trends, nullptr);
+  ASSERT_EQ(trends->GetArray().size(), 1u);
+  const JsonValue& gprs = trends->GetArray()[0];
+  EXPECT_EQ(gprs.Find("key")->GetString(), "product/gprs");
+  EXPECT_GT(gprs.Find("slope")->GetDouble(), 0.0);
+  // Window-scoped classes other than trend are rejected, not guessed.
+  EXPECT_EQ(gateway
+                .Handle(Post("/v1/query",
+                             R"({"class":"concept_search","window":true})"))
+                .status,
+            400);
+}
+
+// --- The live path over real loopback HTTP -----------------------------
+
+TEST_F(StreamGatewayTest, LiveDriverToSseBurstAlertOverLoopback) {
+  StreamOptions options;
+  options.window.window_buckets = 16;
+  ASSERT_TRUE(engine_.EnableStreaming(options).ok());
+  auto port = engine_.StartGateway();
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  // Subscribe to the SSE feed BEFORE feeding, so the burst alert has a
+  // listener the moment it fires.
+  HttpClient sse("127.0.0.1", port.value());
+  ASSERT_TRUE(sse.SendRaw("GET /v1/stream/alerts HTTP/1.1\r\n"
+                          "Host: bivoc\r\nAccept: text/event-stream\r\n\r\n")
+                  .ok());
+  std::string wire;
+  const auto head_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (wire.find("\r\n\r\n") == std::string::npos &&
+         std::chrono::steady_clock::now() < head_deadline) {
+    auto some = sse.ReadSome(100);
+    ASSERT_TRUE(some.ok()) << some.status();
+    wire += *some;
+  }
+  ASSERT_NE(wire.find("HTTP/1.1 200"), std::string::npos) << wire;
+  ASSERT_NE(wire.find("Content-Type: text/event-stream"),
+            std::string::npos);
+  ASSERT_NE(wire.find("Transfer-Encoding: chunked"), std::string::npos);
+
+  // Drive a scripted burst through the public ingest route.
+  LiveDriverConfig config;
+  config.buckets = 10;
+  config.burst_start_bucket = 5;
+  config.burst_factor = 10;
+  LiveCallCenterDriver driver(config);
+  HttpClient feeder("127.0.0.1", port.value());
+  LiveUtterance utterance;
+  std::size_t fed = 0;
+  while (driver.Next(&utterance)) {
+    UtteranceAppend append;
+    append.conversation_id = utterance.conversation_id;
+    append.text = utterance.text;
+    append.time_bucket = utterance.time_bucket;
+    append.close = utterance.close;
+    auto response = feeder.Post("/v1/stream/utterance",
+                                DumpJson(UtteranceAppendToJson(append)));
+    ASSERT_TRUE(response.ok()) << response.status();
+    ASSERT_EQ(response->status, 200) << response->body;
+    ++fed;
+  }
+  ASSERT_GT(fed, 0u);
+
+  // The burst arrives as a well-formed SSE frame: id + event lines,
+  // then a data line whose JSON names the bursting concept.
+  const auto event_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (wire.find("event: burst") == std::string::npos &&
+         std::chrono::steady_clock::now() < event_deadline) {
+    auto some = sse.ReadSome(200);
+    ASSERT_TRUE(some.ok()) << some.status();
+    wire += *some;
+    ASSERT_TRUE(sse.connected()) << "stream closed before the alert";
+  }
+  ASSERT_NE(wire.find("event: burst"), std::string::npos) << wire;
+  ASSERT_NE(wire.find("id: "), std::string::npos);
+  const std::size_t data_pos = wire.find("data: ", wire.find("event: burst"));
+  ASSERT_NE(data_pos, std::string::npos);
+  const std::size_t data_end = wire.find('\n', data_pos);
+  ASSERT_NE(data_end, std::string::npos);
+  JsonValue alert = MustParse(
+      wire.substr(data_pos + 6, data_end - data_pos - 6));
+  EXPECT_EQ(alert.Find("concept")->GetString(), "issue/refund");
+  EXPECT_EQ(alert.Find("bucket")->GetInt64(), 5);
+  EXPECT_GE(alert.Find("count")->GetInt64(), 10);
+  EXPECT_GE(alert.Find("z_score")->GetDouble(), 3.0);
+
+  // Window analytics over the same live traffic, same HTTP surface.
+  auto trend = feeder.Post(
+      "/v1/query",
+      R"({"class":"trend","window":true,"prefix":"issue/","min_count":1})");
+  ASSERT_TRUE(trend.ok()) << trend.status();
+  ASSERT_EQ(trend->status, 200);
+  JsonValue report = MustParse(trend->body);
+  ASSERT_GE(report.Find("trends")->GetArray().size(), 1u);
+  EXPECT_EQ(report.Find("trends")->GetArray()[0].Find("key")->GetString(),
+            "issue/refund");
+
+  // Shutdown drains the live SSE connection: terminating chunk, close.
+  std::thread stopper([&] { engine_.StopGateway(); });
+  auto rest = sse.ReadUntilClose();
+  stopper.join();
+  ASSERT_TRUE(rest.ok());
+  wire += *rest;
+  const std::string tail = "0\r\n\r\n";
+  ASSERT_GE(wire.size(), tail.size());
+  EXPECT_EQ(wire.rfind(tail), wire.size() - tail.size());
+}
+
+}  // namespace
+}  // namespace bivoc
