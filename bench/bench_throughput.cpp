@@ -36,6 +36,9 @@
 #include "synth/live_driver.h"
 #include "synth/corpora.h"
 #include "synth/telecom.h"
+#include "synth/tenants.h"
+#include "tenant/demo.h"
+#include "tenant/service.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/random.h"
@@ -900,6 +903,122 @@ StreamBenchResult RunStreamBench() {
   return out;
 }
 
+// --- Multi-tenant isolation (DESIGN.md §16): the quiet tenant's query
+// latency through the shared TenantService front door, measured alone
+// and then again while a noisy neighbor floods the service far past its
+// own quota. The delta is the isolation tax: with per-tenant token
+// buckets and concurrency budgets the flood should turn into cheap 429s
+// at admission, not contention inside the quiet tenant's engine.
+
+struct TenantBenchResult {
+  std::size_t queries = 0;
+  double quiet_alone_p95_ms = 0;
+  double quiet_contended_p95_ms = 0;  // = tenant_isolation_p95_ms
+  double degradation_pct = 0;         // contended vs alone, in percent
+  std::size_t noisy_requests = 0;
+  std::size_t noisy_throttled = 0;    // 429s shed at admission
+};
+
+TenantBenchResult RunTenantBench() {
+  TenantBenchResult out;
+  out.queries = EnvSize("BIVOC_BENCH_TENANT_QUERIES", 2000);
+  constexpr std::size_t kNoisyThreads = 4;
+
+  TenantService service;  // no data_root: durability off for the bench
+  TenantSeed quiet_seed = TelecomTenantSeed();
+  TenantSeed noisy_seed = CarRentalTenantSeed();
+  TenantConfig quiet = TenantConfigFromSeed(quiet_seed);
+  TenantConfig noisy = TenantConfigFromSeed(noisy_seed);
+  // The quiet tenant's quota never binds; the noisy tenant's is tight,
+  // so its flood is shed at the front door.
+  quiet.quota.query_per_s = 1e9;
+  quiet.quota.query_burst = 1e9;
+  quiet.quota.max_concurrency = 0;
+  noisy.quota.query_per_s = 50.0;
+  noisy.quota.query_burst = 50.0;
+  noisy.quota.max_concurrency = 4;
+  BIVOC_CHECK_OK(service.AddTenant(quiet));
+  BIVOC_CHECK_OK(service.AddTenant(noisy));
+
+  auto authed_post = [](const std::string& target, const std::string& key,
+                        std::string body) {
+    HttpRequest request;
+    request.method = "POST";
+    request.target = target;
+    request.version = "HTTP/1.1";
+    request.headers.push_back({"Authorization", "Bearer " + key});
+    request.body = std::move(body);
+    return request;
+  };
+
+  // Seed both corpora so queries do real work.
+  auto ingest_samples = [&](const TenantSeed& seed, std::size_t copies) {
+    std::vector<IngestItem> items;
+    for (std::size_t c = 0; c < copies; ++c) {
+      for (const std::string& text : seed.sample_texts) {
+        IngestItem item;
+        item.channel = VocChannel::kCall;
+        item.payload = text;
+        items.push_back(std::move(item));
+      }
+    }
+    HttpResponse response = service.Handle(authed_post(
+        "/v1/ingest", seed.api_key, DumpJson(IngestItemsToJson(items))));
+    BIVOC_CHECK(response.status == 200);
+  };
+  ingest_samples(quiet_seed, 50);
+  ingest_samples(noisy_seed, 50);
+
+  const std::string quiet_query =
+      R"({"class":"concept_search","prefix":"product/"})";
+  const std::string noisy_query =
+      R"({"class":"concept_search","prefix":"car/"})";
+
+  auto measure_quiet = [&] {
+    std::vector<double> latencies;
+    latencies.reserve(out.queries);
+    for (std::size_t i = 0; i < out.queries; ++i) {
+      HttpRequest request =
+          authed_post("/v1/query", quiet_seed.api_key, quiet_query);
+      Timer timer;
+      HttpResponse response = service.Handle(request);
+      latencies.push_back(timer.ElapsedMillis());
+      BIVOC_CHECK(response.status == 200);
+    }
+    return PercentileOf(&latencies, 0.95);
+  };
+
+  out.quiet_alone_p95_ms = measure_quiet();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> noisy_requests{0};
+  std::atomic<std::size_t> noisy_throttled{0};
+  std::vector<std::thread> flood;
+  for (std::size_t t = 0; t < kNoisyThreads; ++t) {
+    flood.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        HttpResponse response = service.Handle(
+            authed_post("/v1/query", noisy_seed.api_key, noisy_query));
+        noisy_requests.fetch_add(1, std::memory_order_relaxed);
+        if (response.status == 429) {
+          noisy_throttled.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  out.quiet_contended_p95_ms = measure_quiet();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : flood) t.join();
+  out.noisy_requests = noisy_requests.load();
+  out.noisy_throttled = noisy_throttled.load();
+  out.degradation_pct = out.quiet_alone_p95_ms > 0
+                            ? 100.0 * (out.quiet_contended_p95_ms -
+                                       out.quiet_alone_p95_ms) /
+                                  out.quiet_alone_p95_ms
+                            : 0;
+  return out;
+}
+
 // The uncached serve QPS this harness measured immediately before the
 // compressed-postings/aggregates refactor (PR 7), kept in the artifact
 // as serve_uncached_qps_before so the cliff fix stays provable from
@@ -1047,6 +1166,14 @@ void WriteIndexBenchReport() {
               streaming.window_publish_p95_ms, streaming.alerts,
               streaming.alert_detection_latency_ms);
 
+  TenantBenchResult tenant = RunTenantBench();
+  std::printf("tenancy (%zu quiet queries): alone p95 %.3fms, vs %zu "
+              "noisy requests (%zu shed as 429) p95 %.3fms — %.1f%% "
+              "degradation\n",
+              tenant.queries, tenant.quiet_alone_p95_ms,
+              tenant.noisy_requests, tenant.noisy_throttled,
+              tenant.quiet_contended_p95_ms, tenant.degradation_pct);
+
   std::FILE* f = std::fopen("BENCH_index.json", "w");
   if (f == nullptr) return;
   std::fprintf(f,
@@ -1121,7 +1248,13 @@ void WriteIndexBenchReport() {
                "  \"window_publish_p50_ms\": %.3f,\n"
                "  \"window_publish_p95_ms\": %.3f,\n"
                "  \"stream_alerts\": %zu,\n"
-               "  \"alert_detection_latency_ms\": %.3f\n"
+               "  \"alert_detection_latency_ms\": %.3f,\n"
+               "  \"tenant_queries\": %zu,\n"
+               "  \"tenant_quiet_alone_p95_ms\": %.3f,\n"
+               "  \"tenant_isolation_p95_ms\": %.3f,\n"
+               "  \"noisy_neighbor_degradation_pct\": %.1f,\n"
+               "  \"noisy_neighbor_requests\": %zu,\n"
+               "  \"noisy_neighbor_throttled\": %zu\n"
                "}\n",
                kDocs, hw, kThreads, seq_dps, par_dps, par_dps / seq_dps,
                speedup_meaningful ? "true" : "false",
@@ -1161,7 +1294,10 @@ void WriteIndexBenchReport() {
                cluster.rebalance_docs_per_s, streaming.utterances,
                streaming.utterances_per_s, streaming.window_publish_p50_ms,
                streaming.window_publish_p95_ms, streaming.alerts,
-               streaming.alert_detection_latency_ms);
+               streaming.alert_detection_latency_ms, tenant.queries,
+               tenant.quiet_alone_p95_ms, tenant.quiet_contended_p95_ms,
+               tenant.degradation_pct, tenant.noisy_requests,
+               tenant.noisy_throttled);
   std::fclose(f);
 }
 

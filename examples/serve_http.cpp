@@ -3,6 +3,7 @@
 //
 // Build & run:  ./build/examples/serve_http
 //               ./build/examples/serve_http --listen 8080 [seconds]
+//               ./build/examples/serve_http --tenants 8080 [seconds]
 //
 // The default mode is a self-contained demo: it binds an ephemeral
 // port, drives the gateway with the bundled HttpClient, and prints the
@@ -34,6 +35,9 @@
 #include "net/wire.h"
 #include "stream/ingestor.h"
 #include "synth/live_driver.h"
+#include "synth/tenants.h"
+#include "tenant/demo.h"
+#include "tenant/service.h"
 #include "util/logging.h"
 
 using namespace bivoc;
@@ -141,6 +145,94 @@ int RunLiveDriver(uint16_t port, int seconds) {
   return failures;
 }
 
+// Multi-tenant mode (DESIGN.md §16): one TenantService hosting the
+// car-rental and telecom demo tenants, each with its own vocabulary,
+// index and quota. With seconds == 0 the demo drives itself over
+// loopback and exits; otherwise it stays up for curl:
+//
+//   curl -H 'Authorization: Bearer acme-key-0001' \
+//        -d '{"class":"concept_search"}' http://127.0.0.1:8080/v1/query
+Result<HttpResponse> PostAs(HttpClient* client, const std::string& key,
+                            const std::string& target, std::string body) {
+  return client->Request("POST", target,
+                         {{"Authorization", "Bearer " + key},
+                          {"Content-Type", "application/json"}},
+                         std::move(body));
+}
+
+std::string SeedBatch(const TenantSeed& seed) {
+  std::vector<IngestItem> items;
+  for (std::size_t i = 0; i < seed.sample_texts.size(); ++i) {
+    IngestItem item;
+    item.channel = VocChannel::kEmail;
+    item.payload = seed.sample_texts[i];
+    item.time_bucket = static_cast<int64_t>(i);
+    items.push_back(std::move(item));
+  }
+  return DumpJson(IngestItemsToJson(items));
+}
+
+int RunTenantsDemo(uint16_t port) {
+  const TenantSeed acme = CarRentalTenantSeed();
+  const TenantSeed telco = TelecomTenantSeed();
+  HttpClient client("127.0.0.1", port);
+  Show("GET /healthz", client.Get("/healthz"));
+  Show("POST /v1/ingest (acme-rentals)",
+       PostAs(&client, acme.api_key, "/v1/ingest", SeedBatch(acme)));
+  Show("POST /v1/ingest (telco-voice)",
+       PostAs(&client, telco.api_key, "/v1/ingest", SeedBatch(telco)));
+  const std::string query = R"({"class":"concept_search"})";
+  Show("POST /v1/query (acme-rentals)",
+       PostAs(&client, acme.api_key, "/v1/query", query));
+  Show("POST /v1/query (telco-voice)",
+       PostAs(&client, telco.api_key, "/v1/query", query));
+  auto wrong = PostAs(&client, "who-goes-there", "/v1/query", query);
+  if (wrong.ok()) {
+    std::printf("--- POST /v1/query (wrong key) -> %d\n", wrong->status);
+  }
+  auto metrics = client.Get("/metrics");
+  if (metrics.ok()) {
+    std::printf("--- GET /metrics -> %d (%zu bytes)\n", metrics->status,
+                metrics->body.size());
+  }
+  return 0;
+}
+
+int RunTenants(uint16_t port, int seconds) {
+  TenantServiceOptions options;
+  options.server.port = port;
+  options.admin_api_key = "root-admin-0001";
+  TenantService service(std::move(options));
+  for (const TenantConfig& config : DemoTenantConfigs()) {
+    BIVOC_CHECK_OK(service.AddTenant(config));
+  }
+  Status started = service.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "tenant service failed to start: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  const TenantSeed acme = CarRentalTenantSeed();
+  const TenantSeed telco = TelecomTenantSeed();
+  std::printf("multi-tenant service on http://127.0.0.1:%u\n"
+              "  tenant %s: key %s (admin %s)\n"
+              "  tenant %s: key %s (admin %s)\n"
+              "  control plane: root-admin-0001\n",
+              service.port(), acme.id.c_str(), acme.api_key.c_str(),
+              acme.admin_api_key.c_str(), telco.id.c_str(),
+              telco.api_key.c_str(), telco.admin_api_key.c_str());
+  int exit_code = 0;
+  if (seconds > 0) {
+    std::printf("serving for %d s\n", seconds);
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  } else {
+    exit_code = RunTenantsDemo(service.port());
+  }
+  service.Stop();
+  std::printf("tenant service drained and stopped.\n");
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -149,6 +241,10 @@ int main(int argc, char** argv) {
   uint16_t port = 0;
   int seconds = 3600;
   const std::string mode = argc > 1 ? argv[1] : "";
+  if (mode == "--tenants") {
+    port = argc > 2 ? static_cast<uint16_t>(std::atoi(argv[2])) : 0;
+    return RunTenants(port, argc > 3 ? std::atoi(argv[3]) : 0);
+  }
   if (mode == "--listen" || mode == "--live") {
     listen = mode == "--listen";
     live = mode == "--live";

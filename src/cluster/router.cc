@@ -135,6 +135,8 @@ ShardRouter::ShardRouter(std::vector<ReplicaGroup> groups,
       metrics_->GetCounter("cluster_unavailable_responses_total");
   rebalances_ = metrics_->GetCounter("cluster_rebalances_total");
   rebalanced_docs_ = metrics_->GetCounter("cluster_rebalanced_docs_total");
+  export_page_retries_ =
+      metrics_->GetCounter("cluster_export_page_retries_total");
   audits_ = metrics_->GetCounter("cluster_audits_total");
   repairs_ = metrics_->GetCounter("cluster_repairs_total");
   repaired_members_ =
@@ -250,9 +252,10 @@ std::size_t ShardRouter::ShardForItem(const IngestItem& item) const {
   return effective.ring->ShardFor(RouteKey(item));
 }
 
-std::string_view ShardRouter::RouteKey(const IngestItem& item) {
-  if (!item.structured_keys.empty()) return item.structured_keys.front();
-  return item.payload;
+std::string ShardRouter::RouteKey(const IngestItem& item) {
+  return ComposeRouteKey(item.tenant, !item.structured_keys.empty()
+                                          ? item.structured_keys.front()
+                                          : item.payload);
 }
 
 bool ShardRouter::AcquireHedge() {
@@ -681,32 +684,71 @@ Result<JsonValue> ShardRouter::ChangeRing(
 
   // ---- Export the moved key ranges: one healthy member per losing
   // group, filtered down to the documents whose owner differs between
-  // the rings. A group none of whose replicas can export aborts the
-  // change — the alternative is silently stranding its moved keys.
+  // the rings. Exports stream in bounded pages (export_chunk_docs per
+  // RPC) with per-page retry from the same cursor, so a connection
+  // dropped mid-transfer resumes where it left off instead of
+  // re-pulling the shard; switching to another replica restarts from
+  // zero (DocId order is per-member). A group none of whose replicas
+  // can export aborts the change — the alternative is silently
+  // stranding its moved keys.
+  auto export_from_member = [&](MemberState& member)
+      -> Result<std::vector<ExportedDoc>> {
+    if (opts_.export_chunk_docs == 0) {
+      BIVOC_ASSIGN_OR_RETURN(
+          JsonValue exported,
+          member.handle->Admin("export", JsonValue::MakeObject()));
+      return ExportedDocsFromJson(exported);
+    }
+    std::vector<ExportedDoc> docs;
+    uint64_t cursor = 0;
+    while (true) {
+      JsonValue page = JsonValue::MakeObject();
+      page.Set("cursor", JsonValue(cursor));
+      page.Set("limit",
+               JsonValue(static_cast<uint64_t>(opts_.export_chunk_docs)));
+      Result<JsonValue> exported =
+          Status::Internal("export page never attempted");
+      const int attempts = std::max(1, opts_.export_chunk_attempts);
+      for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) export_page_retries_->Increment();
+        Status fault =
+            FaultInjector::Global().MaybeFail(kFaultClusterExportPage);
+        if (!fault.ok()) {
+          exported = fault;
+          continue;
+        }
+        exported = member.handle->Admin("export", page);
+        if (exported.ok()) break;
+      }
+      if (!exported.ok()) return exported.status();
+      BIVOC_ASSIGN_OR_RETURN(ExportChunkWire chunk,
+                             ExportChunkFromJson(exported.value()));
+      for (ExportedDoc& doc : chunk.docs) docs.push_back(std::move(doc));
+      if (chunk.done) break;
+      if (chunk.next <= cursor) {
+        return Status::Corruption("export cursor did not advance");
+      }
+      cursor = chunk.next;
+    }
+    return docs;
+  };
+
   std::map<std::string, std::vector<ExportedDoc>> inbound;   // new owner
   std::map<std::string, std::vector<std::string>> outbound;  // old owner
   std::size_t moved_total = 0;
   for (const auto& group : current->groups) {
-    Result<JsonValue> exported =
+    Result<std::vector<ExportedDoc>> docs =
         Status::Unavailable("group " + group->name + " has no members");
     for (const auto& member : group->members) {
-      exported = member->handle->Admin("export", JsonValue::MakeObject());
-      if (exported.ok()) break;
+      docs = export_from_member(*member);
+      if (docs.ok()) break;
     }
-    if (!exported.ok()) {
-      return rollback(staged_members,
-                      Status(exported.status().code(),
-                             "rebalance aborted: cannot export from group " +
-                                 group->name + ": " +
-                                 exported.status().message()));
-    }
-    Result<std::vector<ExportedDoc>> docs =
-        ExportedDocsFromJson(exported.value());
     if (!docs.ok()) {
       return rollback(staged_members,
-                      Status::Corruption("rebalance aborted: group " +
-                                         group->name + " sent a bad export: " +
-                                         docs.status().message()));
+                      Status(docs.status().code(),
+                             "rebalance aborted: cannot export from group " +
+                                 group->name + ": " +
+                                 docs.status().message()));
     }
     for (ExportedDoc& doc : docs.value()) {
       const std::string& dest =

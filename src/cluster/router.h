@@ -71,6 +71,14 @@ struct ShardRouterOptions {
   // thread. AuditReplicas() can always be called synchronously.
   int64_t anti_entropy_interval_ms = 0;
 
+  // Rebalance export page size (documents per "export" RPC). A ring
+  // change streams each losing group's documents in pages this big,
+  // retrying a dropped page from its cursor instead of re-pulling the
+  // whole shard. 0 = legacy single-shot export.
+  std::size_t export_chunk_docs = 512;
+  // Attempts per export page before the ring change aborts.
+  int export_chunk_attempts = 3;
+
   // Seed for the retry jitter schedule (reproducible tests).
   uint64_t seed = 0x5eedULL;
 };
@@ -210,8 +218,10 @@ class ShardRouter : public GatewayBackend {
   // while a change is in flight — where a write would go *now*).
   std::size_t ShardForItem(const IngestItem& item) const;
   // The routing key: the first structured key (the central entity —
-  // paper §III's customer/center dimensions), else the payload.
-  static std::string_view RouteKey(const IngestItem& item);
+  // paper §III's customer/center dimensions), else the payload —
+  // prefixed with the owning tenant (ComposeRouteKey), so tenants
+  // shard independently and a ring change moves them as units.
+  static std::string RouteKey(const IngestItem& item);
 
  private:
   struct MemberState {
@@ -308,6 +318,7 @@ class ShardRouter : public GatewayBackend {
   Counter* unavailable_responses_;
   Counter* rebalances_;
   Counter* rebalanced_docs_;
+  Counter* export_page_retries_;
   Counter* audits_;
   Counter* repairs_;
   Counter* repaired_members_;

@@ -1,5 +1,6 @@
 #include "core/bivoc.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <unordered_set>
 #include <utility>
@@ -304,6 +305,27 @@ std::vector<ExportedDoc> BivocEngine::ExportDocuments() const {
     out.push_back(std::move(doc));
   }
   return out;
+}
+
+BivocEngine::ExportChunk BivocEngine::ExportDocumentsChunk(
+    std::size_t cursor, std::size_t limit) const {
+  std::shared_ptr<const IndexSnapshot> snap = pipeline_.Snapshot();
+  ExportChunk chunk;
+  chunk.total = snap->num_documents();
+  if (limit == 0) limit = 1;
+  const std::size_t begin = std::min(cursor, chunk.total);
+  const std::size_t end = std::min(begin + limit, chunk.total);
+  chunk.docs.reserve(end - begin);
+  for (std::size_t d = begin; d < end; ++d) {
+    ExportedDoc doc;
+    doc.route_key = snap->RouteKeyOf(static_cast<DocId>(d));
+    doc.concept_keys = snap->ConceptsOf(static_cast<DocId>(d));
+    doc.time_bucket = snap->TimeBucketOf(static_cast<DocId>(d));
+    chunk.docs.push_back(std::move(doc));
+  }
+  chunk.next = end;
+  chunk.done = end >= chunk.total;
+  return chunk;
 }
 
 Status BivocEngine::StageDocuments(std::vector<ExportedDoc> docs) {

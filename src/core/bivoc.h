@@ -126,6 +126,22 @@ class BivocEngine {
   // and time bucket, in DocId order.
   std::vector<ExportedDoc> ExportDocuments() const;
 
+  // One bounded page of the same export, for streaming a large shard
+  // in chunks: docs [cursor, cursor+limit) in DocId order. `next` is
+  // the resume cursor for the following page and `done` is true when
+  // the page reached the end. DocIds are append-only, so a cursor
+  // stays valid across publishes — re-requesting the same cursor
+  // returns the same documents (at-least-once resume after a dropped
+  // page; `total` is the snapshot size when the page was cut).
+  struct ExportChunk {
+    std::vector<ExportedDoc> docs;
+    std::size_t next = 0;
+    std::size_t total = 0;
+    bool done = false;
+  };
+  ExportChunk ExportDocumentsChunk(std::size_t cursor,
+                                   std::size_t limit) const;
+
   // Buffers documents shipped from another shard. Staged documents are
   // invisible to queries until ApplyStaged() — the rebalance protocol
   // backfills during the move window without double-counting.

@@ -8,6 +8,16 @@
 
 namespace bivoc {
 
+std::string ComposeRouteKey(std::string_view tenant, std::string_view base) {
+  if (tenant.empty()) return std::string(base);
+  std::string key;
+  key.reserve(tenant.size() + 1 + base.size());
+  key.append(tenant);
+  key.push_back('\x1f');
+  key.append(base);
+  return key;
+}
+
 // ---------------------------------------------------------------------------
 // CircuitBreaker
 
@@ -324,7 +334,10 @@ bool IngestService::ProcessOne(const IngestItem& item, int prior_attempts,
   // concurrently — no batch-wide lock here.
   Retrier index_retrier(opts_.index_retry, seed + 2);
   Result<DocId> id_or = index_retrier.Run<DocId>(
-      [&] { return pipeline_->TryIndexDocument(doc, item.structured_keys); });
+      [&] {
+        return pipeline_->TryIndexDocument(doc, item.structured_keys,
+                                           item.tenant);
+      });
   counters->retried.fetch_add(
       static_cast<std::size_t>(index_retrier.last_attempts() - 1));
   attempts += index_retrier.last_attempts();

@@ -74,7 +74,19 @@ struct IngestItem {
   std::string payload;
   int64_t time_bucket = 0;
   std::vector<std::string> structured_keys;
+  // Owning tenant ("" = untenanted). Carried through the WAL and into
+  // the document's routing key (ComposeRouteKey) so a multi-tenant
+  // cluster shards and rebalances tenants independently — two tenants
+  // sending the same structured key never land in each other's way.
+  std::string tenant;
 };
+
+// The cluster routing key of a tenant-scoped document:
+// "<tenant>\x1f<base>" when tenant is non-empty, else `base` alone —
+// byte-identical to the untenanted world. The 0x1f unit separator
+// cannot appear in a tenant id (manifest validation rejects control
+// characters), so the composition never collides with a raw key.
+std::string ComposeRouteKey(std::string_view tenant, std::string_view base);
 
 // A document that exhausted its retries. Carries everything needed to
 // replay it once the underlying fault clears.

@@ -10,12 +10,14 @@
 namespace bivoc {
 namespace {
 
-// v2 added a cluster routing key per document; v1 checkpoints still
-// load (their routes decode as empty strings).
-constexpr uint32_t kCheckpointVersion = 2;
+// v2 added a cluster routing key per document; v3 added the owning
+// tenant to dead-letter items. Older checkpoints still load (their
+// routes/tenants decode as empty strings).
+constexpr uint32_t kCheckpointVersion = 3;
 constexpr uint32_t kMinCheckpointVersion = 1;
 constexpr uint32_t kManifestVersion = 1;
-constexpr uint8_t kJournalRecordItem = 1;
+constexpr uint8_t kJournalRecordItem = 1;    // pre-tenant (no tenant field)
+constexpr uint8_t kJournalRecordItemV2 = 2;  // tenant appended after item
 constexpr const char kCheckpointPrefix[] = "checkpoint-";
 constexpr const char kCheckpointSuffix[] = ".ckpt";
 
@@ -27,6 +29,9 @@ Status DecodeChannel(uint8_t raw, VocChannel* out) {
   return Status::OK();
 }
 
+// The tenant travels outside this base codec (appended by the caller
+// when its container format is new enough) so old journal/checkpoint
+// bytes keep decoding unchanged.
 void PutIngestItem(BinaryWriter* w, const IngestItem& item) {
   w->PutU8(static_cast<uint8_t>(item.channel));
   w->PutI64(item.time_bucket);
@@ -86,6 +91,7 @@ std::string EncodeCheckpoint(const CheckpointData& data) {
   w.PutU32(static_cast<uint32_t>(data.dead_letters.size()));
   for (const auto& letter : data.dead_letters) {
     PutIngestItem(&w, letter.item);
+    w.PutString(letter.item.tenant);  // v3
     w.PutU32(static_cast<uint32_t>(letter.status.code()));
     w.PutString(letter.status.message());
     w.PutI64(letter.attempts);
@@ -167,6 +173,7 @@ Result<CheckpointData> DecodeCheckpoint(std::string_view payload) {
   for (uint32_t i = 0; i < num_letters; ++i) {
     DeadLetter letter;
     BIVOC_RETURN_NOT_OK(ReadIngestItem(&r, &letter.item));
+    if (version >= 3) BIVOC_RETURN_NOT_OK(r.ReadString(&letter.item.tenant));
     uint32_t code;
     BIVOC_RETURN_NOT_OK(r.ReadU32(&code));
     if (code > static_cast<uint32_t>(StatusCode::kInternal)) {
@@ -190,9 +197,13 @@ Result<CheckpointData> DecodeCheckpoint(std::string_view payload) {
 
 std::string EncodeJournalItem(uint64_t seq, const IngestItem& item) {
   BinaryWriter w;
-  w.PutU8(kJournalRecordItem);
+  // Untenanted items keep writing the original record type so a log
+  // produced by a single-tenant deployment is byte-identical to the
+  // pre-tenant format (and readable by older builds).
+  w.PutU8(item.tenant.empty() ? kJournalRecordItem : kJournalRecordItemV2);
   w.PutU64(seq);
   PutIngestItem(&w, item);
+  if (!item.tenant.empty()) w.PutString(item.tenant);
   return w.Release();
 }
 
@@ -200,13 +211,16 @@ Result<JournalRecord> DecodeJournalItem(std::string_view payload) {
   BinaryReader r(payload);
   uint8_t type;
   BIVOC_RETURN_NOT_OK(r.ReadU8(&type));
-  if (type != kJournalRecordItem) {
+  if (type != kJournalRecordItem && type != kJournalRecordItemV2) {
     return Status::Corruption("unknown journal record type " +
                               std::to_string(type));
   }
   JournalRecord record;
   BIVOC_RETURN_NOT_OK(r.ReadU64(&record.seq));
   BIVOC_RETURN_NOT_OK(ReadIngestItem(&r, &record.item));
+  if (type == kJournalRecordItemV2) {
+    BIVOC_RETURN_NOT_OK(r.ReadString(&record.item.tenant));
+  }
   if (!r.AtEnd()) {
     return Status::Corruption("trailing bytes after journal record");
   }

@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include "core/ingest.h"
 #include "text/tokenizer.h"
 #include "util/fault_injection.h"
 #include "util/string_util.h"
@@ -146,21 +147,25 @@ Status VocPipeline::LinkDocument(Document* doc) {
 }
 
 Result<DocId> VocPipeline::TryIndexDocument(
-    const Document& doc, const std::vector<std::string>& keys) {
+    const Document& doc, const std::vector<std::string>& keys,
+    std::string_view route_scope) {
   BIVOC_RETURN_NOT_OK(FaultInjector::Global().MaybeFail(kFaultIndexAdd));
-  return IndexDocument(doc, keys);
+  return IndexDocument(doc, keys, route_scope);
 }
 
 DocId VocPipeline::IndexDocument(
-    const Document& doc, const std::vector<std::string>& structured_keys) {
+    const Document& doc, const std::vector<std::string>& structured_keys,
+    std::string_view route_scope) {
   std::vector<std::string> keys;
   for (const auto& c : doc.concepts) keys.push_back(c.Key());
   keys.insert(keys.end(), structured_keys.begin(), structured_keys.end());
   // Same routing key the cluster router derives from the IngestItem
-  // (first structured key, else the raw payload) — stored per doc so a
-  // ring change can re-route documents without the original item.
-  std::string route =
-      !structured_keys.empty() ? structured_keys.front() : doc.raw_text;
+  // (tenant-prefixed first structured key, else the payload) — stored
+  // per doc so a ring change can re-route documents without the
+  // original item.
+  std::string route = ComposeRouteKey(
+      route_scope,
+      !structured_keys.empty() ? structured_keys.front() : doc.raw_text);
   return index_.AddDocument(keys, doc.time_bucket, std::move(route));
 }
 

@@ -99,14 +99,18 @@ class VocPipeline {
   // the concept index shards its delta buffers by ConceptId, so
   // IngestService workers index in parallel.
   Result<DocId> TryIndexDocument(const Document& doc,
-                                 const std::vector<std::string>& keys);
+                                 const std::vector<std::string>& keys,
+                                 std::string_view route_scope = {});
 
   bool has_linker() const { return linker_ != nullptr; }
 
   // Indexes the document's concepts plus caller-supplied structured
-  // dimension keys (e.g. "outcome/reservation").
+  // dimension keys (e.g. "outcome/reservation"). `route_scope` is the
+  // owning tenant ("" = untenanted); it prefixes the stored routing
+  // key via ComposeRouteKey so rebalancing moves tenants as units.
   DocId IndexDocument(const Document& doc,
-                      const std::vector<std::string>& structured_keys);
+                      const std::vector<std::string>& structured_keys,
+                      std::string_view route_scope = {});
 
   // Immutable index snapshot covering every document indexed so far
   // (publishes pending deltas first when necessary). All mining

@@ -9,6 +9,7 @@
 #include "stream/burst.h"
 #include "stream/ingestor.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace bivoc {
@@ -155,6 +156,7 @@ Gateway::Gateway(std::unique_ptr<GatewayBackend> owned,
         metrics->GetCounter("gateway_requests_total_" + name);
     route_latency_[r] = metrics->GetHistogram("gateway_latency_ms_" + name);
   }
+  auth_failures_ = metrics->GetCounter("gateway_auth_failures_total");
 }
 
 Gateway::Gateway(GatewayBackend* backend, GatewayOptions options)
@@ -236,6 +238,13 @@ HttpResponse Gateway::Dispatch(const HttpRequest& request, Route* route) {
     case kIngest:
       return HandleIngest(request);
     case kAdmin:
+      if (!AdminAuthorized(request)) {
+        auth_failures_->Increment();
+        HttpResponse response = ErrorResponse(
+            401, "unauthorized", "admin routes require a valid API key");
+        response.SetHeader("WWW-Authenticate", "Bearer");
+        return response;
+      }
       return HandleAdmin(request, admin_action);
     case kStreamUtterance:
       return HandleStreamUtterance(request);
@@ -249,6 +258,25 @@ HttpResponse Gateway::Dispatch(const HttpRequest& request, Route* route) {
       break;
   }
   return ErrorResponse(500, "internal", "unroutable route");  // unreachable
+}
+
+std::string_view ExtractApiKey(const HttpRequest& request) {
+  if (const std::string* auth = request.FindHeader("Authorization")) {
+    std::string_view value = *auth;
+    static constexpr std::string_view kBearer = "Bearer ";
+    if (value.size() > kBearer.size() &&
+        value.substr(0, kBearer.size()) == kBearer) {
+      return value.substr(kBearer.size());
+    }
+    return {};
+  }
+  if (const std::string* key = request.FindHeader("X-Api-Key")) return *key;
+  return {};
+}
+
+bool Gateway::AdminAuthorized(const HttpRequest& request) const {
+  if (opts_.admin_api_key.empty()) return true;
+  return ConstantTimeEquals(ExtractApiKey(request), opts_.admin_api_key);
 }
 
 HttpResponse Gateway::StatusResponse(const Status& status) {
@@ -357,6 +385,39 @@ std::string Uint64Hex(uint64_t v) {
   return out;
 }
 
+struct ExportPage {
+  std::size_t cursor = 0;
+  std::size_t limit = 0;
+};
+
+Result<ExportPage> ExportPageFromBody(const JsonValue& body) {
+  ExportPage page;
+  bool saw_limit = false;
+  for (const JsonValue::Member& m : body.GetObject()) {
+    if (m.key == "cursor") {
+      if (!m.value.is_integer() || m.value.GetInt64() < 0) {
+        return Status::InvalidArgument(
+            "export \"cursor\" must be a non-negative integer");
+      }
+      page.cursor = static_cast<std::size_t>(m.value.GetInt64());
+    } else if (m.key == "limit") {
+      if (!m.value.is_integer() || m.value.GetInt64() <= 0) {
+        return Status::InvalidArgument(
+            "export \"limit\" must be a positive integer");
+      }
+      page.limit = static_cast<std::size_t>(m.value.GetInt64());
+      saw_limit = true;
+    } else {
+      return Status::InvalidArgument("unknown export field \"" + m.key +
+                                     "\"");
+    }
+  }
+  if (!saw_limit) {
+    return Status::InvalidArgument("chunked export needs a \"limit\" field");
+  }
+  return page;
+}
+
 Result<std::vector<std::string>> RoutesFromDropBody(const JsonValue& body) {
   if (!body.is_object()) {
     return Status::InvalidArgument("drop body must be a JSON object");
@@ -387,7 +448,21 @@ Result<std::vector<std::string>> RoutesFromDropBody(const JsonValue& body) {
 Result<JsonValue> EngineAdmin(BivocEngine* engine, const std::string& action,
                               const JsonValue& body) {
   if (action == "export") {
-    return ExportedDocsToJson(engine->ExportDocuments());
+    if (!body.is_object()) {
+      return Status::InvalidArgument("export body must be a JSON object");
+    }
+    if (body.GetObject().empty()) {
+      // Legacy single-shot export: the whole shard in one reply.
+      return ExportedDocsToJson(engine->ExportDocuments());
+    }
+    BIVOC_ASSIGN_OR_RETURN(ExportPage page, ExportPageFromBody(body));
+    const BivocEngine::ExportChunk chunk =
+        engine->ExportDocumentsChunk(page.cursor, page.limit);
+    JsonValue reply = ExportedDocsToJson(chunk.docs);
+    reply.Set("next", JsonValue(static_cast<uint64_t>(chunk.next)));
+    reply.Set("total", JsonValue(static_cast<uint64_t>(chunk.total)));
+    reply.Set("done", JsonValue(chunk.done));
+    return reply;
   }
   if (action == "stage") {
     BIVOC_ASSIGN_OR_RETURN(std::vector<ExportedDoc> docs,

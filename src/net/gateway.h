@@ -21,6 +21,12 @@ class AlertBus;  // stream/burst.h
 
 struct GatewayOptions {
   HttpServerOptions server;
+  // When non-empty, every /v1/admin/* request must present this key
+  // (Authorization: Bearer <key> or X-Api-Key) or is refused with 401;
+  // comparison is constant-time and failures count in the backend
+  // registry's gateway_auth_failures_total. Empty = open admin plane
+  // (trusted-network deployments, in-process cluster handles, tests).
+  std::string admin_api_key;
 };
 
 // The service behind the gateway's routes, with HTTP and JSON framing
@@ -158,6 +164,9 @@ class Gateway {
           GatewayOptions options);
 
   HttpResponse Dispatch(const HttpRequest& request, Route* route);
+  // True when `request` presents options.admin_api_key (trivially true
+  // with no key configured).
+  bool AdminAuthorized(const HttpRequest& request) const;
   HttpResponse HandleQuery(const HttpRequest& request);
   HttpResponse HandleIngest(const HttpRequest& request);
   HttpResponse HandleAdmin(const HttpRequest& request,
@@ -175,6 +184,7 @@ class Gateway {
   GatewayOptions opts_;
   std::array<Counter*, kNumRoutes> route_requests_{};
   std::array<Histogram*, kNumRoutes> route_latency_{};
+  Counter* auth_failures_ = nullptr;
   HttpServer server_;
 };
 
@@ -182,10 +192,20 @@ class Gateway {
 // "metrics", "other") used as metric-name suffixes.
 const char* GatewayRouteName(std::size_t route);
 
+// The API key a request presents: the "Authorization: Bearer <key>"
+// value when that header exists (empty on any other Authorization
+// scheme), else the "X-Api-Key" value, else empty. Shared by the
+// gateway's admin check and the multi-tenant service's key resolution.
+std::string_view ExtractApiKey(const HttpRequest& request);
+
 // The engine-side admin verbs, shared by the single-engine gateway
 // backend and the cluster's in-process shard handles so both speak the
 // exact dialect HttpShardHandle POSTs to /v1/admin/<action>:
 //   export    {}                      -> {"docs":[...]} (ExportedDocs)
+//   export    {"cursor":C,"limit":N}  -> {"docs":[...],"next":C',
+//                                         "total":T,"done":bool}
+//                                        (one bounded page; resume by
+//                                        re-sending the same cursor)
 //   stage     {"docs":[...]}          -> {"staged":N}
 //   apply     {}                      -> {"applied":N}
 //   abort     {}                      -> {"aborted":N}

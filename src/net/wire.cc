@@ -593,6 +593,9 @@ JsonValue IngestItemsToJson(const std::vector<IngestItem>& items) {
     if (!item.structured_keys.empty()) {
       o.Set("structured_keys", StringArrayToJson(item.structured_keys));
     }
+    if (!item.tenant.empty()) {
+      o.Set("tenant", JsonValue(item.tenant));
+    }
     arr.Append(std::move(o));
   }
   JsonValue obj = JsonValue::MakeObject();
@@ -644,6 +647,9 @@ Result<std::vector<IngestItem>> IngestItemsFromJson(const JsonValue& v) {
         BIVOC_ASSIGN_OR_RETURN(
             item.structured_keys,
             GetStringArrayField(m.value, where + ".structured_keys"));
+      } else if (m.key == "tenant") {
+        BIVOC_ASSIGN_OR_RETURN(item.tenant,
+                               GetStringField(m.value, where + ".tenant"));
       } else {
         return FieldError(where, "unknown field \"" + m.key + "\"");
       }
@@ -672,6 +678,12 @@ JsonValue ExportedDocsToJson(const std::vector<ExportedDoc>& docs) {
   return obj;
 }
 
+namespace {
+
+Result<std::vector<ExportedDoc>> ParseExportedDocsArray(const JsonValue& docs);
+
+}  // namespace
+
 Result<std::vector<ExportedDoc>> ExportedDocsFromJson(const JsonValue& v) {
   if (!v.is_object()) {
     return Status::InvalidArgument("export body must be a JSON object");
@@ -684,6 +696,48 @@ Result<std::vector<ExportedDoc>> ExportedDocsFromJson(const JsonValue& v) {
     return Status::InvalidArgument(
         "export body has fields other than \"docs\"");
   }
+  return ParseExportedDocsArray(*docs);
+}
+
+Result<ExportChunkWire> ExportChunkFromJson(const JsonValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("export chunk must be a JSON object");
+  }
+  ExportChunkWire out;
+  bool saw_docs = false, saw_next = false, saw_done = false;
+  for (const JsonValue::Member& m : v.GetObject()) {
+    if (m.key == "docs") {
+      if (!m.value.is_array()) {
+        return FieldError("docs", "expected an array");
+      }
+      BIVOC_ASSIGN_OR_RETURN(out.docs, ParseExportedDocsArray(m.value));
+      saw_docs = true;
+    } else if (m.key == "next" || m.key == "total") {
+      if (!m.value.is_integer() || m.value.GetInt64() < 0) {
+        return FieldError(m.key, "expected a non-negative integer");
+      }
+      (m.key == "next" ? out.next : out.total) =
+          static_cast<uint64_t>(m.value.GetInt64());
+      if (m.key == "next") saw_next = true;
+    } else if (m.key == "done") {
+      BIVOC_ASSIGN_OR_RETURN(out.done, GetBoolField(m.value, m.key));
+      saw_done = true;
+    } else {
+      return FieldError("export chunk", "unknown field \"" + m.key + "\"");
+    }
+  }
+  if (!saw_docs || !saw_next || !saw_done) {
+    return Status::InvalidArgument(
+        "export chunk needs \"docs\", \"next\" and \"done\"");
+  }
+  return out;
+}
+
+namespace {
+
+Result<std::vector<ExportedDoc>> ParseExportedDocsArray(
+    const JsonValue& docs_value) {
+  const JsonValue* docs = &docs_value;
   std::vector<ExportedDoc> out;
   out.reserve(docs->GetArray().size());
   for (std::size_t i = 0; i < docs->GetArray().size(); ++i) {
@@ -718,6 +772,8 @@ Result<std::vector<ExportedDoc>> ExportedDocsFromJson(const JsonValue& v) {
   }
   return out;
 }
+
+}  // namespace
 
 JsonValue UtteranceAppendToJson(const UtteranceAppend& utterance) {
   JsonValue o = JsonValue::MakeObject();
@@ -785,6 +841,7 @@ JsonValue AppendResultToJson(const AppendResult& result) {
 JsonValue BurstAlertToJson(const BurstAlert& alert) {
   JsonValue o = JsonValue::MakeObject();
   o.Set("sequence", JsonValue(static_cast<uint64_t>(alert.sequence)));
+  if (!alert.tenant.empty()) o.Set("tenant", JsonValue(alert.tenant));
   o.Set("concept", JsonValue(alert.concept_key));
   o.Set("bucket", JsonValue(alert.bucket));
   o.Set("count", JsonValue(static_cast<uint64_t>(alert.count)));

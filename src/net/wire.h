@@ -61,6 +61,17 @@ Result<std::vector<IngestItem>> IngestItemsFromJson(const JsonValue& v);
 JsonValue ExportedDocsToJson(const std::vector<ExportedDoc>& docs);
 Result<std::vector<ExportedDoc>> ExportedDocsFromJson(const JsonValue& v);
 
+// One page of a chunked export (POST /v1/admin/export with
+// {"cursor":C,"limit":N}): the docs array plus resume bookkeeping.
+//   {"docs":[...],"next":C',"total":T,"done":false}
+struct ExportChunkWire {
+  std::vector<ExportedDoc> docs;
+  uint64_t next = 0;
+  uint64_t total = 0;
+  bool done = false;
+};
+Result<ExportChunkWire> ExportChunkFromJson(const JsonValue& v);
+
 // Streaming utterance body of POST /v1/stream/utterance:
 //   {"conversation_id":"call-17","text":"i want a refund",
 //    "time_bucket":42,"close":false}

@@ -52,6 +52,10 @@ struct BurstOptions {
 
 struct BurstAlert {
   uint64_t sequence = 0;  // monotonic per detector
+  // Owning tenant ("" = untenanted) — stamped by the StreamIngestor so
+  // a shared alert consumer can attribute bursts without a per-tenant
+  // subscription.
+  std::string tenant;
   std::string concept_key;
   int64_t bucket = 0;            // the closed bucket that burst
   std::size_t count = 0;         // docs mentioning the concept in it

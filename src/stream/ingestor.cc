@@ -159,6 +159,7 @@ Result<AppendResult> StreamIngestor::Append(const UtteranceAppend& utterance) {
       }
       for (const ClosedBucket& bucket : closed) {
         std::vector<BurstAlert> fired = detector_.OnBucketClosed(bucket);
+        for (BurstAlert& alert : fired) alert.tenant = options_.tenant_id;
         alerts.insert(alerts.end(), fired.begin(), fired.end());
       }
     } else {

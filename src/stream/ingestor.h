@@ -45,6 +45,8 @@ struct StreamOptions {
   bool finalize_to_main_index = true;
   // Queue capacity per SSE subscriber (see AlertBus).
   std::size_t alert_queue_capacity = 256;
+  // Stamped onto every BurstAlert this ingestor emits ("" = none).
+  std::string tenant_id;
 };
 
 struct UtteranceAppend {

@@ -1,0 +1,85 @@
+#include "synth/tenants.h"
+
+namespace bivoc {
+
+TenantSeed CarRentalTenantSeed() {
+  TenantSeed seed;
+  seed.id = "acme-rentals";
+  seed.api_key = "acme-key-0001";
+  seed.admin_api_key = "acme-admin-0001";
+  seed.dictionary = {
+      {"suv", "suv", "vehicle"},
+      {"compact", "compact", "vehicle"},
+      {"sedan", "sedan", "vehicle"},
+      {"rate", "rate", "pricing"},
+      {"discount", "discount", "value selling"},
+      {"reservation", "reservation", "outcome"},
+      {"insurance", "insurance", "upsell"},
+  };
+  seed.patterns = {
+      "wonderful rate -> mention of good rate @ value selling",
+      "just <NUM> dollars -> mention of good rate @ value selling",
+      "please <VERB> -> request @ agent behaviour",
+  };
+  seed.vocabulary = {"suv",        "compact",  "sedan",    "rate",
+                     "discount",   "weekend",  "airport",  "reservation",
+                     "insurance",  "wonderful", "dollars", "booked",
+                     "mary",       "jones",    "need",     "this"};
+  seed.name_gazetteer = {"mary", "jones"};
+  seed.location_gazetteer = {"denver", "austin"};
+  seed.table_name = "customers";
+  seed.columns = {
+      {"id", DataType::kInt64, AttributeRole::kNone},
+      {"name", DataType::kString, AttributeRole::kPersonName},
+      {"phone", DataType::kString, AttributeRole::kPhone},
+  };
+  seed.rows = {
+      {"0", "mary jones", "3035550100"},
+      {"1", "alan brook", "3035550101"},
+  };
+  seed.sample_texts = {
+      "mary jones 3035550100 need a suv for the weekend wonderful rate",
+      "please book a compact this weekend mary jones 3035550100",
+      "reservation booked just 30 dollars with the discount",
+  };
+  return seed;
+}
+
+TenantSeed TelecomTenantSeed() {
+  TenantSeed seed;
+  seed.id = "telco-voice";
+  seed.api_key = "telco-key-0001";
+  seed.admin_api_key = "telco-admin-0001";
+  seed.dictionary = {
+      {"gprs", "gprs", "product"},
+      {"sim", "sim", "product"},
+      {"bill", "billing", "issue"},
+      {"recharge", "recharge", "issue"},
+  };
+  seed.patterns = {
+      "not working -> service outage @ issue",
+  };
+  seed.vocabulary = {"gprs",    "sim",     "bill",  "recharge", "working",
+                     "down",    "report",  "wrong", "problem",  "question",
+                     "john",    "smith",   "not",   "the",      "is"};
+  seed.name_gazetteer = {"john", "smith"};
+  seed.location_gazetteer = {};
+  seed.table_name = "customers";
+  seed.columns = {
+      {"id", DataType::kInt64, AttributeRole::kNone},
+      {"name", DataType::kString, AttributeRole::kPersonName},
+      {"phone", DataType::kString, AttributeRole::kPhone},
+  };
+  seed.rows = {
+      {"0", "john smith", "9845012345"},
+  };
+  seed.sample_texts = {
+      "gprs not working john smith 9845012345",
+      "the bill is wrong john smith 9845012345",
+      "sim recharge problem report",
+  };
+  seed.streaming = true;
+  return seed;
+}
+
+}  // namespace bivoc

@@ -1,0 +1,59 @@
+#ifndef BIVOC_SYNTH_TENANTS_H_
+#define BIVOC_SYNTH_TENANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "db/schema.h"
+
+namespace bivoc {
+
+// Demo seed data for the multi-tenant service: two deliberately
+// different VoC deployments — the paper's car-rental engagement and a
+// telecom helpdesk — expressed as plain structs so the synth layer
+// stays below core/tenant in the dependency order. The tenant layer
+// converts a seed into a TenantConfig (tenant/demo.h); tests and the
+// serve_http --tenants example both boot from here, which is what
+// makes "two tenants, two vocabularies, one server" reproducible.
+
+struct TenantSeedDictionaryEntry {
+  std::string surface;
+  std::string canonical;
+  std::string category;
+};
+
+struct TenantSeed {
+  std::string id;
+  std::string api_key;        // plain scope: query/ingest/stream
+  std::string admin_api_key;  // + the tenant's /v1/admin/* data plane
+
+  std::vector<TenantSeedDictionaryEntry> dictionary;
+  std::vector<std::string> patterns;  // ConceptExtractor DSL specs
+  std::vector<std::string> vocabulary;
+  std::vector<std::string> name_gazetteer;
+  std::vector<std::string> location_gazetteer;
+
+  // One warehouse table; cells are text and are coerced by column
+  // type when the seed becomes a TenantConfig.
+  std::string table_name;
+  std::vector<Column> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  // Ingest payloads that exercise this tenant's dictionary (and only
+  // this tenant's — the cross-tenant leak probes grep for them).
+  std::vector<std::string> sample_texts;
+
+  bool streaming = false;
+};
+
+// "acme-rentals": the car-rental engagement (§V). Vehicle/pricing
+// dictionary, value-selling patterns, booking-minded sample calls.
+TenantSeed CarRentalTenantSeed();
+
+// "telco-voice": the telecom helpdesk of the serve_http demo. GPRS and
+// billing dictionary, SMS-terse vocabulary, streaming enabled.
+TenantSeed TelecomTenantSeed();
+
+}  // namespace bivoc
+
+#endif  // BIVOC_SYNTH_TENANTS_H_

@@ -1,0 +1,66 @@
+#include "tenant/demo.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace bivoc {
+namespace {
+
+// Seed cells are text; TenantTableSpec wants typed JSON. Numeric
+// columns parse strictly enough for demo data (the real validation
+// happens again in the manager's CellToValue).
+JsonValue CellFromText(const std::string& text, const Column& column) {
+  switch (column.type) {
+    case DataType::kInt64: {
+      int64_t v = 0;
+      ParseInt64(text, &v);
+      return JsonValue(v);
+    }
+    case DataType::kDouble:
+      return JsonValue(std::strtod(text.c_str(), nullptr));
+    default:
+      return JsonValue(text);  // kString and kDate ("YYYY-MM-DD")
+  }
+}
+
+}  // namespace
+
+TenantConfig TenantConfigFromSeed(const TenantSeed& seed) {
+  TenantConfig config;
+  config.id = seed.id;
+  config.api_keys = {{seed.api_key, /*admin=*/false},
+                     {seed.admin_api_key, /*admin=*/true}};
+  for (const TenantSeedDictionaryEntry& entry : seed.dictionary) {
+    config.dictionary.push_back(
+        {entry.surface, entry.canonical, entry.category});
+  }
+  config.patterns = seed.patterns;
+  config.vocabulary = seed.vocabulary;
+  config.name_gazetteer = seed.name_gazetteer;
+  config.location_gazetteer = seed.location_gazetteer;
+  if (!seed.table_name.empty()) {
+    TenantTableSpec table;
+    table.name = seed.table_name;
+    table.columns = seed.columns;
+    for (const std::vector<std::string>& row : seed.rows) {
+      std::vector<JsonValue> cells;
+      cells.reserve(row.size());
+      for (std::size_t c = 0; c < row.size() && c < seed.columns.size();
+           ++c) {
+        cells.push_back(CellFromText(row[c], seed.columns[c]));
+      }
+      table.rows.push_back(std::move(cells));
+    }
+    config.tables.push_back(std::move(table));
+  }
+  config.streaming = seed.streaming;
+  return config;
+}
+
+std::vector<TenantConfig> DemoTenantConfigs() {
+  return {TenantConfigFromSeed(CarRentalTenantSeed()),
+          TenantConfigFromSeed(TelecomTenantSeed())};
+}
+
+}  // namespace bivoc

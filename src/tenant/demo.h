@@ -1,0 +1,22 @@
+#ifndef BIVOC_TENANT_DEMO_H_
+#define BIVOC_TENANT_DEMO_H_
+
+#include <vector>
+
+#include "synth/tenants.h"
+#include "tenant/tenant.h"
+
+namespace bivoc {
+
+// Bridges the synth layer's plain-struct tenant seeds into real
+// TenantConfigs (synth sits below tenant in the dependency order, so
+// the conversion lives here). Each seed yields one plain key and one
+// admin-scoped key; table cells are coerced by column type.
+TenantConfig TenantConfigFromSeed(const TenantSeed& seed);
+
+// The two demo tenants — car rental and telecom — ready to AddTenant.
+std::vector<TenantConfig> DemoTenantConfigs();
+
+}  // namespace bivoc
+
+#endif  // BIVOC_TENANT_DEMO_H_

@@ -1,0 +1,182 @@
+#include "tenant/manager.h"
+
+#include <utility>
+
+#include "stream/ingestor.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+namespace {
+
+TokenBucket::Options BucketOptions(double rate, double burst) {
+  TokenBucket::Options options;
+  options.rate_per_s = rate;
+  options.burst = burst;
+  return options;
+}
+
+Result<Date> ParseDate(const std::string& text) {
+  // "YYYY-MM-DD", strictly.
+  const std::vector<std::string> parts = Split(text, '-');
+  int64_t y, m, d;
+  if (parts.size() != 3 || !ParseInt64(parts[0], &y) ||
+      !ParseInt64(parts[1], &m) || !ParseInt64(parts[2], &d) || m < 1 ||
+      m > 12 || d < 1 || d > 31) {
+    return Status::InvalidArgument("bad date \"" + text +
+                                   "\" (want YYYY-MM-DD)");
+  }
+  Date date;
+  date.year = static_cast<int>(y);
+  date.month = static_cast<int>(m);
+  date.day = static_cast<int>(d);
+  return date;
+}
+
+Result<Value> CellToValue(const JsonValue& cell, const Column& column) {
+  switch (column.type) {
+    case DataType::kInt64:
+      if (!cell.is_integer()) {
+        return Status::InvalidArgument("column \"" + column.name +
+                                       "\" wants an integer");
+      }
+      return Value(cell.GetInt64());
+    case DataType::kDouble:
+      if (!cell.is_number()) {
+        return Status::InvalidArgument("column \"" + column.name +
+                                       "\" wants a number");
+      }
+      return Value(cell.GetDouble());
+    case DataType::kString:
+      if (!cell.is_string()) {
+        return Status::InvalidArgument("column \"" + column.name +
+                                       "\" wants a string");
+      }
+      return Value(cell.GetString());
+    case DataType::kDate: {
+      if (!cell.is_string()) {
+        return Status::InvalidArgument("column \"" + column.name +
+                                       "\" wants a YYYY-MM-DD string");
+      }
+      BIVOC_ASSIGN_OR_RETURN(Date date, ParseDate(cell.GetString()));
+      return Value(date);
+    }
+    default:
+      return Status::InvalidArgument("column \"" + column.name +
+                                     "\" has an unsupported type");
+  }
+}
+
+}  // namespace
+
+TenantContext::TenantContext(const TenantConfig& config,
+                             GatewayOptions gateway_options)
+    : id(config.id),
+      gateway(&engine, std::move(gateway_options)),
+      query_bucket(BucketOptions(config.quota.query_per_s,
+                                 config.quota.query_burst)),
+      ingest_bucket(BucketOptions(config.quota.ingest_per_s,
+                                  config.quota.ingest_burst)),
+      budget(config.quota.max_concurrency) {}
+
+TenantManager::TenantManager(TenantManagerOptions options)
+    : opts_(std::move(options)) {}
+
+Status TenantManager::BootEngine(const TenantConfig& config,
+                                 TenantContext* context) {
+  BivocEngine& engine = context->engine;
+  for (const TenantTableSpec& spec : config.tables) {
+    BIVOC_ASSIGN_OR_RETURN(
+        Table * table,
+        engine.warehouse()->CreateTable(spec.name, Schema(spec.columns)));
+    for (const auto& row : spec.rows) {
+      Row cells;
+      cells.reserve(row.size());
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        BIVOC_ASSIGN_OR_RETURN(Value value,
+                               CellToValue(row[c], spec.columns[c]));
+        cells.push_back(std::move(value));
+      }
+      BIVOC_RETURN_NOT_OK(table->Append(std::move(cells)).status());
+    }
+  }
+  if (!config.tables.empty()) {
+    BIVOC_RETURN_NOT_OK(engine.FinishWarehouse());
+  }
+  engine.ConfigureAnnotators(config.name_gazetteer,
+                             config.location_gazetteer);
+  for (const TenantDictionaryEntry& entry : config.dictionary) {
+    engine.extractor()->mutable_dictionary()->Add(entry.surface,
+                                                  entry.canonical,
+                                                  entry.category);
+  }
+  for (const std::string& pattern : config.patterns) {
+    BIVOC_RETURN_NOT_OK(engine.extractor()->AddPattern(pattern));
+  }
+  if (!config.vocabulary.empty()) {
+    engine.pipeline()->mutable_language_filter()->AddVocabulary(
+        config.vocabulary);
+  }
+  if (!opts_.data_root.empty()) {
+    BIVOC_RETURN_NOT_OK(engine.EnableDurability(
+        opts_.data_root + "/" + config.id, opts_.durability));
+    if (opts_.recover) {
+      Result<RecoveryReport> recovered = engine.Recover();
+      if (!recovered.ok()) return recovered.status();
+      if (recovered.value().docs_from_checkpoint > 0 ||
+          recovered.value().wal_records_replayed > 0) {
+        BIVOC_LOG(Info) << "tenant " << config.id << " recovered: "
+                        << recovered.value().ToString();
+      }
+    }
+  }
+  if (config.streaming) {
+    StreamOptions stream;
+    stream.tenant_id = config.id;
+    BIVOC_RETURN_NOT_OK(engine.EnableStreaming(std::move(stream)));
+  }
+  return Status::OK();
+}
+
+Result<TenantContext*> TenantManager::Provision(const TenantConfig& config) {
+  BIVOC_RETURN_NOT_OK(ValidateTenantConfig(config));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (contexts_.count(config.id) > 0) {
+      return Status::AlreadyExists("tenant \"" + config.id +
+                                   "\" is already provisioned");
+    }
+  }
+  // Boot outside the lock — recovery of a big tenant can take a while
+  // and must not stall request routing for everyone else.
+  auto context = std::make_unique<TenantContext>(config, GatewayOptions{});
+  BIVOC_RETURN_NOT_OK(BootEngine(config, context.get()));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = contexts_.emplace(config.id, std::move(context));
+  if (!inserted) {
+    return Status::AlreadyExists("tenant \"" + config.id +
+                                 "\" is already provisioned");
+  }
+  return it->second.get();
+}
+
+TenantContext* TenantManager::Find(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = contexts_.find(id);
+  return it == contexts_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> TenantManager::TenantIds() const {
+  std::vector<std::string> ids;
+  std::lock_guard<std::mutex> lock(mu_);
+  ids.reserve(contexts_.size());
+  for (const auto& [id, context] : contexts_) ids.push_back(id);
+  return ids;  // std::map iterates sorted
+}
+
+std::size_t TenantManager::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return contexts_.size();
+}
+
+}  // namespace bivoc

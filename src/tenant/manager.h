@@ -1,0 +1,78 @@
+#ifndef BIVOC_TENANT_MANAGER_H_
+#define BIVOC_TENANT_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/bivoc.h"
+#include "net/gateway.h"
+#include "tenant/quota.h"
+#include "tenant/tenant.h"
+#include "util/result.h"
+
+namespace bivoc {
+
+// One tenant's fully isolated engine context: its own BivocEngine
+// (index, warehouse, report cache, metrics registry, WAL/checkpoint
+// namespace), an *unstarted* Gateway wrapping it (Gateway::Handle is
+// socket-free — the shared TenantService front forwards authenticated
+// requests into it, and per-route instruments land in the tenant's
+// own registry for free), and the tenant's admission primitives.
+// Not movable: the gateway holds pointers into the engine.
+struct TenantContext {
+  TenantContext(const TenantConfig& config, GatewayOptions gateway_options);
+
+  std::string id;
+  BivocEngine engine;
+  Gateway gateway;  // never Start()ed; dispatch goes through Handle()
+  TokenBucket query_bucket;
+  TokenBucket ingest_bucket;
+  ConcurrencyBudget budget;
+};
+
+struct TenantManagerOptions {
+  // Durability root; tenant <id> journals under <data_root>/<id>/.
+  // Empty disables durability.
+  std::string data_root;
+  // Run Recover() right after enabling durability (boot path); leave
+  // off when provisioning a tenant known to be fresh.
+  bool recover = true;
+  DurabilityOptions durability;
+};
+
+// Instantiates and owns one TenantContext per tenant: builds the
+// engine from the config's vocabulary package (tables -> warehouse,
+// dictionary/patterns/vocabulary -> pipeline, gazetteers ->
+// annotators), wires durability into the tenant's namespace and
+// recovers from it, and enables streaming when asked. Contexts are
+// created by Provision and live until the manager dies — suspension
+// is a registry verdict, not a teardown, so a suspended tenant's data
+// stays hot. Thread-safe.
+class TenantManager {
+ public:
+  explicit TenantManager(TenantManagerOptions options = {});
+
+  // Builds the context (idempotent per id: provisioning an existing
+  // tenant is kAlreadyExists). The config must already be validated.
+  Result<TenantContext*> Provision(const TenantConfig& config);
+
+  TenantContext* Find(const std::string& id);
+  std::vector<std::string> TenantIds() const;  // sorted
+  std::size_t size() const;
+
+  const TenantManagerOptions& options() const { return opts_; }
+
+ private:
+  Status BootEngine(const TenantConfig& config, TenantContext* context);
+
+  TenantManagerOptions opts_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<TenantContext>> contexts_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_TENANT_MANAGER_H_

@@ -1,0 +1,79 @@
+#include "tenant/quota.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace bivoc {
+
+TokenBucket::TokenBucket(Options options)
+    : opts_(std::move(options)), tokens_(opts_.burst) {
+  last_refill_ms_ = NowMs();
+}
+
+int64_t TokenBucket::NowMs() const {
+  if (opts_.clock_ms) return opts_.clock_ms();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void TokenBucket::RefillLocked(int64_t now_ms) const {
+  if (now_ms <= last_refill_ms_) return;
+  const double elapsed_s =
+      static_cast<double>(now_ms - last_refill_ms_) / 1000.0;
+  tokens_ = std::min(opts_.burst, tokens_ + elapsed_s * opts_.rate_per_s);
+  last_refill_ms_ = now_ms;
+}
+
+bool TokenBucket::TryAcquire(double cost) {
+  if (opts_.rate_per_s <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  RefillLocked(NowMs());
+  if (tokens_ < cost) return false;
+  tokens_ -= cost;
+  return true;
+}
+
+int64_t TokenBucket::RetryAfterMs(double cost) const {
+  if (opts_.rate_per_s <= 0.0) return 1000;  // quota off: try much later
+  std::lock_guard<std::mutex> lock(mu_);
+  RefillLocked(NowMs());
+  const double missing = cost - tokens_;
+  if (missing <= 0.0) return 1;
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(missing / opts_.rate_per_s * 1000.0)));
+}
+
+void TokenBucket::Configure(double rate_per_s, double burst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RefillLocked(NowMs());
+  opts_.rate_per_s = rate_per_s;
+  opts_.burst = burst;
+  tokens_ = std::min(tokens_, burst);
+}
+
+double TokenBucket::tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RefillLocked(NowMs());
+  return tokens_;
+}
+
+bool ConcurrencyBudget::TryEnter() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (max_ > 0 && in_flight_ >= max_) return false;
+  ++in_flight_;
+  return true;
+}
+
+void ConcurrencyBudget::Exit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --in_flight_;
+}
+
+int ConcurrencyBudget::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+}  // namespace bivoc

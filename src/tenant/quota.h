@@ -1,0 +1,104 @@
+#ifndef BIVOC_TENANT_QUOTA_H_
+#define BIVOC_TENANT_QUOTA_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace bivoc {
+
+// Admission primitives of the multi-tenant gateway (DESIGN.md §16):
+// a token bucket bounds each tenant's sustained request *rate* and a
+// concurrency budget bounds how many of its requests occupy workers
+// at once. Both reject instead of queueing — a flooding tenant gets
+// 429s while everyone else's latency stays flat, which is the fairness
+// property test_tenant.cpp pins down.
+
+// Classic token bucket: `rate_per_s` tokens accrue continuously up to
+// `burst`; a request costs one token. Thread-safe; the clock is
+// injectable so tests step time deterministically.
+class TokenBucket {
+ public:
+  struct Options {
+    double rate_per_s = 50.0;
+    double burst = 100.0;
+    // Monotonic milliseconds; defaults to std::chrono::steady_clock.
+    std::function<int64_t()> clock_ms;
+  };
+
+  TokenBucket() : TokenBucket(Options{}) {}
+  explicit TokenBucket(Options options);
+
+  // Takes `cost` tokens if available. A zero/negative rate never
+  // admits (a suspended-quota tenant); an infinite burst never rejects.
+  bool TryAcquire(double cost = 1.0);
+
+  // Milliseconds until `cost` tokens will have accrued — the
+  // Retry-After hint sent with a 429 (>= 1 whenever rejecting).
+  int64_t RetryAfterMs(double cost = 1.0) const;
+
+  // Live quota update (POST /v1/admin/tenant update): swaps rate and
+  // burst in place; accrued tokens are clamped to the new burst.
+  void Configure(double rate_per_s, double burst);
+
+  double tokens() const;
+
+ private:
+  void RefillLocked(int64_t now_ms) const;
+  int64_t NowMs() const;
+
+  Options opts_;
+  mutable std::mutex mu_;
+  mutable double tokens_;
+  mutable int64_t last_refill_ms_ = 0;
+};
+
+// Counting semaphore that rejects instead of blocking: at most `max`
+// requests of one tenant run concurrently; the overflow is shed with
+// 429 before it can occupy a shared server worker. max <= 0 means
+// unlimited.
+class ConcurrencyBudget {
+ public:
+  explicit ConcurrencyBudget(int max = 0) : max_(max) {}
+
+  bool TryEnter();
+  void Exit();
+
+  int in_flight() const;
+  int max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_;
+  }
+  // Live update; in-flight requests above a lowered cap drain
+  // naturally (TryEnter just rejects until they Exit).
+  void set_max(int max) {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_ = max;
+  }
+
+  // RAII wrapper: evaluates to false when the budget was exhausted.
+  class Guard {
+   public:
+    explicit Guard(ConcurrencyBudget* budget)
+        : budget_(budget), admitted_(budget->TryEnter()) {}
+    ~Guard() {
+      if (admitted_) budget_->Exit();
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    explicit operator bool() const { return admitted_; }
+
+   private:
+    ConcurrencyBudget* budget_;
+    bool admitted_;
+  };
+
+ private:
+  int max_;
+  mutable std::mutex mu_;
+  int in_flight_ = 0;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_TENANT_QUOTA_H_

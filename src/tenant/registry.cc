@@ -1,0 +1,100 @@
+#include "tenant/registry.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace bivoc {
+
+Status TenantRegistry::Create(TenantConfig config) {
+  BIVOC_RETURN_NOT_OK(ValidateTenantConfig(config));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TenantConfig& existing : tenants_) {
+    if (existing.id == config.id) {
+      return Status::AlreadyExists("tenant \"" + config.id +
+                                   "\" already exists");
+    }
+  }
+  tenants_.push_back(std::move(config));
+  return Status::OK();
+}
+
+Status TenantRegistry::Update(const std::string& id, TenantConfig config) {
+  BIVOC_RETURN_NOT_OK(ValidateTenantConfig(config));
+  if (config.id != id) {
+    return Status::InvalidArgument("tenant id is immutable (\"" + id +
+                                   "\" vs \"" + config.id + "\")");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (TenantConfig& existing : tenants_) {
+    if (existing.id == id) {
+      existing = std::move(config);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no tenant \"" + id + "\"");
+}
+
+Status TenantRegistry::SetSuspended(const std::string& id, bool suspended) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (TenantConfig& existing : tenants_) {
+    if (existing.id == id) {
+      existing.suspended = suspended;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no tenant \"" + id + "\"");
+}
+
+std::optional<TenantRegistry::Resolution> TenantRegistry::Resolve(
+    std::string_view api_key) const {
+  if (api_key.empty()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  // No early exit: every key of every tenant is compared so the scan
+  // cost (and therefore the response time) is independent of whether —
+  // and where — the presented key matched.
+  std::optional<Resolution> found;
+  for (const TenantConfig& tenant : tenants_) {
+    for (const TenantApiKey& key : tenant.api_keys) {
+      const bool match = ConstantTimeEquals(api_key, key.key);
+      if (match && !found) {
+        found = Resolution{tenant.id, key.admin, tenant.suspended};
+      }
+    }
+  }
+  return found;
+}
+
+Result<TenantConfig> TenantRegistry::Get(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TenantConfig& tenant : tenants_) {
+    if (tenant.id == id) return tenant;
+  }
+  return Status::NotFound("no tenant \"" + id + "\"");
+}
+
+bool TenantRegistry::Contains(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TenantConfig& tenant : tenants_) {
+    if (tenant.id == id) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> TenantRegistry::TenantIds() const {
+  std::vector<std::string> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ids.reserve(tenants_.size());
+    for (const TenantConfig& tenant : tenants_) ids.push_back(tenant.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::size_t TenantRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
+}
+
+}  // namespace bivoc

@@ -1,0 +1,53 @@
+#ifndef BIVOC_TENANT_REGISTRY_H_
+#define BIVOC_TENANT_REGISTRY_H_
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tenant/tenant.h"
+#include "util/result.h"
+
+namespace bivoc {
+
+// The control-plane source of truth for tenants: configs keyed by id,
+// mutable at runtime (POST /v1/admin/tenant) and loadable from a JSON
+// manifest at boot. Resolve() is the hot-path entry — API key to
+// (tenant, scope) — and deliberately walks *every* key of every
+// tenant with a constant-time comparison, so neither the timing of a
+// rejection nor of a match leaks which tenant a guessed key almost
+// hit. Thread-safe.
+class TenantRegistry {
+ public:
+  struct Resolution {
+    std::string tenant_id;
+    bool admin = false;
+    bool suspended = false;
+  };
+
+  // Validates and inserts; kAlreadyExists on a duplicate id.
+  Status Create(TenantConfig config);
+  // Replaces the stored config; kNotFound for unknown ids. The id in
+  // `config` must match `id`.
+  Status Update(const std::string& id, TenantConfig config);
+  Status SetSuspended(const std::string& id, bool suspended);
+
+  // API-key lookup (scans all keys of all tenants, constant-time per
+  // comparison); nullopt on no match.
+  std::optional<Resolution> Resolve(std::string_view api_key) const;
+
+  Result<TenantConfig> Get(const std::string& id) const;
+  bool Contains(const std::string& id) const;
+  std::vector<std::string> TenantIds() const;  // sorted
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TenantConfig> tenants_;  // insertion order; ids unique
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_TENANT_REGISTRY_H_

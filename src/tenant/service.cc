@@ -1,0 +1,241 @@
+#include "tenant/service.h"
+
+#include <algorithm>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/ingest.h"
+#include "net/json.h"
+#include "net/wire.h"
+#include "util/string_util.h"
+
+namespace bivoc {
+namespace {
+
+HttpResponse StatusResponse(const Status& status) {
+  return ErrorResponse(HttpStatusForCode(status.code()),
+                       StatusCodeName(status.code()), status.message());
+}
+
+// Rewrites an ingest batch so every item carries the resolved tenant
+// id — whatever the client put there is overwritten. A body that does
+// not parse is forwarded untouched; the tenant's gateway answers the
+// 400 with its usual diagnostics.
+HttpRequest RestampIngest(const HttpRequest& request,
+                          const std::string& tenant_id) {
+  Result<JsonValue> body = ParseJson(request.body);
+  if (!body.ok()) return request;
+  Result<std::vector<IngestItem>> items = IngestItemsFromJson(body.value());
+  if (!items.ok()) return request;
+  for (IngestItem& item : items.value()) item.tenant = tenant_id;
+  HttpRequest stamped = request;
+  stamped.body = DumpJson(IngestItemsToJson(items.value()));
+  return stamped;
+}
+
+}  // namespace
+
+TenantService::TenantService(TenantServiceOptions options)
+    : opts_(std::move(options)),
+      manager_(opts_.manager),
+      auth_failures_(metrics_.GetCounter("gateway_auth_failures_total")),
+      server_([this](const HttpRequest& r) { return Handle(r); },
+              opts_.server, &metrics_) {}
+
+Status TenantService::AddTenant(const TenantConfig& config) {
+  BIVOC_RETURN_NOT_OK(manager_.Provision(config).status());
+  return registry_.Create(config);
+}
+
+HttpResponse TenantService::Handle(const HttpRequest& request) {
+  const std::string path = request.Path();
+  if (path == "/healthz") return HandleHealthz();
+  if (path == "/metrics") return HandleMetrics();
+  if (path == "/v1/admin/tenant") return HandleTenantAdmin(request);
+  return HandleTenantRoute(request, path);
+}
+
+HttpResponse TenantService::HandleHealthz() {
+  JsonValue body = JsonValue::MakeObject();
+  body.Set("status", JsonValue("ok"));
+  body.Set("tenants", JsonValue(static_cast<int64_t>(registry_.size())));
+  return JsonResponse(200, DumpJson(body));
+}
+
+HttpResponse TenantService::HandleMetrics() {
+  std::string text = metrics_.RenderText();
+  for (const std::string& id : manager_.TenantIds()) {
+    TenantContext* context = manager_.Find(id);
+    if (context == nullptr) continue;
+    text += context->engine.metrics()->RenderText("tenant=\"" + id + "\"");
+  }
+  return TextResponse(200, std::move(text));
+}
+
+HttpResponse TenantService::Unauthorized(std::string_view message) {
+  auth_failures_->Increment();
+  HttpResponse response = ErrorResponse(401, "unauthorized", message);
+  response.SetHeader("WWW-Authenticate", "Bearer");
+  return response;
+}
+
+HttpResponse TenantService::Throttled(const std::string& tenant_id,
+                                      int64_t retry_ms) {
+  metrics_.GetCounter("tenant_throttled_total{tenant=\"" + tenant_id + "\"}")
+      ->Increment();
+  HttpResponse response =
+      ErrorResponse(429, "quota_exhausted",
+                    "tenant \"" + tenant_id + "\" is over its budget");
+  const int64_t seconds = std::max<int64_t>(1, (retry_ms + 999) / 1000);
+  response.SetHeader("Retry-After", std::to_string(seconds));
+  return response;
+}
+
+bool TenantService::AdminAuthorized(const HttpRequest& request) const {
+  if (opts_.admin_api_key.empty()) return true;
+  return ConstantTimeEquals(ExtractApiKey(request), opts_.admin_api_key);
+}
+
+HttpResponse TenantService::HandleTenantAdmin(const HttpRequest& request) {
+  if (!AdminAuthorized(request)) {
+    return Unauthorized("control plane requires the service admin key");
+  }
+  if (request.method != "POST") {
+    return ErrorResponse(405, "method_not_allowed",
+                         "/v1/admin/tenant wants POST");
+  }
+  Result<JsonValue> body = ParseJson(request.body);
+  if (!body.ok() || !body.value().is_object()) {
+    return ErrorResponse(400, "bad_json", "control-plane body must be an "
+                                          "object with an \"action\"");
+  }
+  const JsonValue* action_field = body.value().Find("action");
+  if (action_field == nullptr || !action_field->is_string()) {
+    return ErrorResponse(400, "bad_action", "missing string \"action\"");
+  }
+  const std::string& action = action_field->GetString();
+
+  if (action == "create" || action == "update") {
+    const JsonValue* tenant_field = body.value().Find("tenant");
+    if (tenant_field == nullptr) {
+      return ErrorResponse(400, "bad_tenant",
+                           "\"" + action + "\" wants a \"tenant\" config");
+    }
+    Result<TenantConfig> config = TenantConfigFromJson(*tenant_field);
+    if (!config.ok()) {
+      return ErrorResponse(400, "bad_tenant", config.status().message());
+    }
+    if (action == "create") {
+      if (registry_.Contains(config.value().id)) {
+        return ErrorResponse(409, "already_exists",
+                             "tenant \"" + config.value().id +
+                                 "\" already exists");
+      }
+      Status added = AddTenant(config.value());
+      if (!added.ok()) return StatusResponse(added);
+      JsonValue reply = JsonValue::MakeObject();
+      reply.Set("created", JsonValue(config.value().id));
+      return JsonResponse(200, DumpJson(reply));
+    }
+    // update: registry swaps the config (keys, suspension, quota);
+    // quota changes apply to the live context immediately. The
+    // vocabulary package is provision-time state and is NOT rebuilt —
+    // the new values take effect if the tenant is ever re-provisioned.
+    Status updated = registry_.Update(config.value().id, config.value());
+    if (!updated.ok()) return StatusResponse(updated);
+    if (TenantContext* context = manager_.Find(config.value().id)) {
+      const TenantQuota& quota = config.value().quota;
+      context->query_bucket.Configure(quota.query_per_s, quota.query_burst);
+      context->ingest_bucket.Configure(quota.ingest_per_s,
+                                       quota.ingest_burst);
+      context->budget.set_max(quota.max_concurrency);
+    }
+    JsonValue reply = JsonValue::MakeObject();
+    reply.Set("updated", JsonValue(config.value().id));
+    return JsonResponse(200, DumpJson(reply));
+  }
+
+  if (action == "suspend" || action == "resume" || action == "get") {
+    const JsonValue* id_field = body.value().Find("id");
+    if (id_field == nullptr || !id_field->is_string()) {
+      return ErrorResponse(400, "bad_id",
+                           "\"" + action + "\" wants a string \"id\"");
+    }
+    const std::string& id = id_field->GetString();
+    if (action == "get") {
+      Result<TenantConfig> config = registry_.Get(id);
+      if (!config.ok()) return StatusResponse(config.status());
+      return JsonResponse(
+          200, DumpJson(TenantConfigToJson(config.value(),
+                                           /*include_keys=*/false)));
+    }
+    const bool suspend = action == "suspend";
+    Status status = registry_.SetSuspended(id, suspend);
+    if (!status.ok()) return StatusResponse(status);
+    JsonValue reply = JsonValue::MakeObject();
+    reply.Set("id", JsonValue(id));
+    reply.Set("suspended", JsonValue(suspend));
+    return JsonResponse(200, DumpJson(reply));
+  }
+
+  if (action == "list") {
+    JsonValue ids = JsonValue::MakeArray();
+    for (const std::string& id : registry_.TenantIds()) {
+      ids.Append(JsonValue(id));
+    }
+    JsonValue reply = JsonValue::MakeObject();
+    reply.Set("tenants", std::move(ids));
+    return JsonResponse(200, DumpJson(reply));
+  }
+
+  return ErrorResponse(400, "bad_action",
+                       "unknown control-plane action \"" + action + "\"");
+}
+
+HttpResponse TenantService::HandleTenantRoute(const HttpRequest& request,
+                                              const std::string& path) {
+  const std::string_view api_key = ExtractApiKey(request);
+  const auto who = registry_.Resolve(api_key);
+  if (!who) return Unauthorized("unknown API key");
+  if (who->suspended) {
+    return ErrorResponse(403, "tenant_suspended",
+                         "tenant \"" + who->tenant_id + "\" is suspended");
+  }
+  TenantContext* context = manager_.Find(who->tenant_id);
+  if (context == nullptr) {
+    return ErrorResponse(500, "internal", "tenant \"" + who->tenant_id +
+                                              "\" has no engine context");
+  }
+  metrics_
+      .GetCounter("tenant_requests_total{tenant=\"" + who->tenant_id + "\"}")
+      ->Increment();
+
+  const bool admin_route = StartsWith(path, "/v1/admin/");
+  if (admin_route && !who->admin) {
+    return ErrorResponse(403, "admin_scope_required",
+                         "this key may not call the admin data plane");
+  }
+
+  // One token per request; admin verbs ride on the concurrency budget
+  // alone.
+  TokenBucket* bucket = nullptr;
+  if (path == "/v1/ingest" || path == "/v1/stream/utterance") {
+    bucket = &context->ingest_bucket;
+  } else if (!admin_route) {
+    bucket = &context->query_bucket;
+  }
+  if (bucket != nullptr && !bucket->TryAcquire()) {
+    return Throttled(who->tenant_id, bucket->RetryAfterMs());
+  }
+
+  ConcurrencyBudget::Guard guard(&context->budget);
+  if (!guard) return Throttled(who->tenant_id, 1000);
+
+  if (path == "/v1/ingest") {
+    return context->gateway.Handle(RestampIngest(request, who->tenant_id));
+  }
+  return context->gateway.Handle(request);
+}
+
+}  // namespace bivoc

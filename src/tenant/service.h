@@ -1,0 +1,113 @@
+#ifndef BIVOC_TENANT_SERVICE_H_
+#define BIVOC_TENANT_SERVICE_H_
+
+#include <string>
+
+#include "net/gateway.h"
+#include "net/http.h"
+#include "net/http_server.h"
+#include "tenant/manager.h"
+#include "tenant/registry.h"
+#include "tenant/tenant.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace bivoc {
+
+struct TenantServiceOptions {
+  HttpServerOptions server;
+  // Key for the service control plane (POST /v1/admin/tenant). Empty =
+  // open control plane — in-process tests and trusted-network boots.
+  std::string admin_api_key;
+  TenantManagerOptions manager;
+};
+
+// The multi-tenant front door (DESIGN.md §16): one HttpServer, many
+// isolated engines. Every data-plane request is resolved to a tenant
+// by its API key (Authorization: Bearer / X-Api-Key), checked against
+// the tenant's admission budgets, and only then forwarded into that
+// tenant's *unstarted* Gateway via Gateway::Handle — so the per-route
+// instruments, report cache, index and durability namespace the
+// request touches are all the tenant's own.
+//
+// Routing:
+//   GET  /healthz           service health, unauthenticated:
+//                           {"status":"ok","tenants":N}
+//   GET  /metrics           the service registry's dump followed by
+//                           every tenant registry rendered with a
+//                           tenant="<id>" label on each sample
+//   POST /v1/admin/tenant   control plane, requires admin_api_key:
+//                           {"action":"create"|"update"|"suspend"|
+//                            "resume"|"get"|"list", ...} (see .cc)
+//   anything else           tenant data plane: resolve key (401 when
+//                           unknown, 403 when the tenant is
+//                           suspended), enforce admin scope on
+//                           /v1/admin/* verbs (403), charge the
+//                           route's token bucket and the concurrency
+//                           budget (429 + Retry-After), forward.
+//
+// Traffic classes: /v1/ingest and /v1/stream/utterance charge the
+// ingest bucket; /v1/query, /v1/stream/alerts, /healthz-like GETs
+// charge the query bucket; tenant /v1/admin/* verbs (rebalance
+// export/stage/...) charge no bucket — they are operator traffic —
+// but still occupy the concurrency budget. One request costs one
+// token regardless of batch size; the batch itself is bounded by the
+// parser's max_body_bytes.
+//
+// /v1/ingest bodies are re-stamped: each item's "tenant" field is
+// overwritten with the resolved tenant id, so a client cannot write
+// into another tenant's routing space no matter what it sends.
+//
+// Quota updates through the control plane apply live (token buckets
+// and the concurrency cap are reconfigured in place); vocabulary
+// packages (dictionary/patterns/tables) bind at provision time only.
+//
+// Service-level metrics: tenant_requests_total{tenant="<id>"},
+// tenant_throttled_total{tenant="<id>"}, gateway_auth_failures_total.
+class TenantService {
+ public:
+  explicit TenantService(TenantServiceOptions options = {});
+
+  TenantService(const TenantService&) = delete;
+  TenantService& operator=(const TenantService&) = delete;
+
+  // Provisions an engine context and registers the tenant — the boot
+  // path for manifest-loaded tenants (the control plane "create"
+  // action does the same at runtime).
+  Status AddTenant(const TenantConfig& config);
+
+  Status Start() { return server_.Start(); }
+  void Stop() { server_.Stop(); }
+  uint16_t port() const { return server_.port(); }
+
+  // The full request -> response mapping, sockets excluded — tests
+  // drive the service exactly as the wire would.
+  HttpResponse Handle(const HttpRequest& request);
+
+  MetricsRegistry* metrics() { return &metrics_; }
+  TenantManager* manager() { return &manager_; }
+  TenantRegistry* registry() { return &registry_; }
+
+ private:
+  HttpResponse HandleHealthz();
+  HttpResponse HandleMetrics();
+  // The POST /v1/admin/tenant control plane.
+  HttpResponse HandleTenantAdmin(const HttpRequest& request);
+  // Everything else: authenticate, admit, forward.
+  HttpResponse HandleTenantRoute(const HttpRequest& request,
+                                 const std::string& path);
+  HttpResponse Unauthorized(std::string_view message);
+  HttpResponse Throttled(const std::string& tenant_id, int64_t retry_ms);
+  bool AdminAuthorized(const HttpRequest& request) const;
+
+  TenantServiceOptions opts_;
+  TenantRegistry registry_;
+  TenantManager manager_;
+  MetricsRegistry metrics_;
+  Counter* auth_failures_;
+  HttpServer server_;
+};
+
+}  // namespace bivoc
+
+#endif  // BIVOC_TENANT_SERVICE_H_

@@ -1,0 +1,486 @@
+#include "tenant/tenant.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace bivoc {
+namespace {
+
+Status FieldError(const std::string& where, const std::string& what) {
+  return Status::InvalidArgument(where + ": " + what);
+}
+
+Result<std::string> GetString(const JsonValue& v, const std::string& where) {
+  if (!v.is_string()) return FieldError(where, "expected a string");
+  return v.GetString();
+}
+
+Result<double> GetNumber(const JsonValue& v, const std::string& where) {
+  if (!v.is_number()) return FieldError(where, "expected a number");
+  return v.GetDouble();
+}
+
+Result<std::vector<std::string>> GetStringArray(const JsonValue& v,
+                                                const std::string& where) {
+  if (!v.is_array()) return FieldError(where, "expected an array");
+  std::vector<std::string> out;
+  out.reserve(v.GetArray().size());
+  for (std::size_t i = 0; i < v.GetArray().size(); ++i) {
+    BIVOC_ASSIGN_OR_RETURN(
+        std::string s,
+        GetString(v.GetArray()[i], where + "[" + std::to_string(i) + "]"));
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+JsonValue StringArrayToJson(const std::vector<std::string>& strings) {
+  JsonValue arr = JsonValue::MakeArray();
+  for (const std::string& s : strings) arr.Append(JsonValue(s));
+  return arr;
+}
+
+bool DataTypeFromName(std::string_view name, DataType* out) {
+  if (name == "int64") *out = DataType::kInt64;
+  else if (name == "double") *out = DataType::kDouble;
+  else if (name == "string") *out = DataType::kString;
+  else if (name == "date") *out = DataType::kDate;
+  else return false;
+  return true;
+}
+
+const char* DataTypeToName(DataType type) {
+  switch (type) {
+    case DataType::kInt64: return "int64";
+    case DataType::kDouble: return "double";
+    case DataType::kString: return "string";
+    case DataType::kDate: return "date";
+    default: return "null";
+  }
+}
+
+bool AttributeRoleFromName(std::string_view name, AttributeRole* out) {
+  if (name == "none") *out = AttributeRole::kNone;
+  else if (name == "person_name") *out = AttributeRole::kPersonName;
+  else if (name == "phone") *out = AttributeRole::kPhone;
+  else if (name == "date") *out = AttributeRole::kDate;
+  else if (name == "money") *out = AttributeRole::kMoney;
+  else if (name == "location") *out = AttributeRole::kLocation;
+  else if (name == "card_number") *out = AttributeRole::kCardNumber;
+  else if (name == "product") *out = AttributeRole::kProduct;
+  else return false;
+  return true;
+}
+
+const char* AttributeRoleToName(AttributeRole role) {
+  switch (role) {
+    case AttributeRole::kPersonName: return "person_name";
+    case AttributeRole::kPhone: return "phone";
+    case AttributeRole::kDate: return "date";
+    case AttributeRole::kMoney: return "money";
+    case AttributeRole::kLocation: return "location";
+    case AttributeRole::kCardNumber: return "card_number";
+    case AttributeRole::kProduct: return "product";
+    default: return "none";
+  }
+}
+
+Result<TenantApiKey> ApiKeyFromJson(const JsonValue& v,
+                                    const std::string& where) {
+  if (!v.is_object()) return FieldError(where, "expected an object");
+  TenantApiKey out;
+  bool saw_key = false;
+  for (const JsonValue::Member& m : v.GetObject()) {
+    if (m.key == "key") {
+      BIVOC_ASSIGN_OR_RETURN(out.key, GetString(m.value, where + ".key"));
+      saw_key = true;
+    } else if (m.key == "admin") {
+      if (!m.value.is_bool()) {
+        return FieldError(where + ".admin", "expected a bool");
+      }
+      out.admin = m.value.GetBool();
+    } else {
+      return FieldError(where, "unknown field \"" + m.key + "\"");
+    }
+  }
+  if (!saw_key) return FieldError(where, "needs a \"key\" field");
+  return out;
+}
+
+Result<TenantQuota> QuotaFromJson(const JsonValue& v,
+                                  const std::string& where) {
+  if (!v.is_object()) return FieldError(where, "expected an object");
+  TenantQuota out;
+  for (const JsonValue::Member& m : v.GetObject()) {
+    const std::string at = where + "." + m.key;
+    if (m.key == "query_per_s") {
+      BIVOC_ASSIGN_OR_RETURN(out.query_per_s, GetNumber(m.value, at));
+    } else if (m.key == "query_burst") {
+      BIVOC_ASSIGN_OR_RETURN(out.query_burst, GetNumber(m.value, at));
+    } else if (m.key == "ingest_per_s") {
+      BIVOC_ASSIGN_OR_RETURN(out.ingest_per_s, GetNumber(m.value, at));
+    } else if (m.key == "ingest_burst") {
+      BIVOC_ASSIGN_OR_RETURN(out.ingest_burst, GetNumber(m.value, at));
+    } else if (m.key == "max_concurrency") {
+      if (!m.value.is_integer() || m.value.GetInt64() < 0) {
+        return FieldError(at, "expected a non-negative integer");
+      }
+      out.max_concurrency = static_cast<int>(m.value.GetInt64());
+    } else {
+      return FieldError(where, "unknown field \"" + m.key + "\"");
+    }
+  }
+  return out;
+}
+
+JsonValue QuotaToJson(const TenantQuota& quota) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("query_per_s", JsonValue(quota.query_per_s));
+  o.Set("query_burst", JsonValue(quota.query_burst));
+  o.Set("ingest_per_s", JsonValue(quota.ingest_per_s));
+  o.Set("ingest_burst", JsonValue(quota.ingest_burst));
+  o.Set("max_concurrency", JsonValue(int64_t{quota.max_concurrency}));
+  return o;
+}
+
+Result<TenantDictionaryEntry> DictEntryFromJson(const JsonValue& v,
+                                                const std::string& where) {
+  if (!v.is_object()) return FieldError(where, "expected an object");
+  TenantDictionaryEntry out;
+  bool saw_surface = false, saw_canonical = false, saw_category = false;
+  for (const JsonValue::Member& m : v.GetObject()) {
+    if (m.key == "surface") {
+      BIVOC_ASSIGN_OR_RETURN(out.surface,
+                             GetString(m.value, where + ".surface"));
+      saw_surface = true;
+    } else if (m.key == "canonical") {
+      BIVOC_ASSIGN_OR_RETURN(out.canonical,
+                             GetString(m.value, where + ".canonical"));
+      saw_canonical = true;
+    } else if (m.key == "category") {
+      BIVOC_ASSIGN_OR_RETURN(out.category,
+                             GetString(m.value, where + ".category"));
+      saw_category = true;
+    } else {
+      return FieldError(where, "unknown field \"" + m.key + "\"");
+    }
+  }
+  if (!saw_surface || !saw_canonical || !saw_category) {
+    return FieldError(where,
+                      "needs \"surface\", \"canonical\" and \"category\"");
+  }
+  return out;
+}
+
+Result<TenantTableSpec> TableFromJson(const JsonValue& v,
+                                      const std::string& where) {
+  if (!v.is_object()) return FieldError(where, "expected an object");
+  TenantTableSpec out;
+  bool saw_name = false, saw_columns = false;
+  for (const JsonValue::Member& m : v.GetObject()) {
+    if (m.key == "name") {
+      BIVOC_ASSIGN_OR_RETURN(out.name, GetString(m.value, where + ".name"));
+      saw_name = true;
+    } else if (m.key == "columns") {
+      if (!m.value.is_array()) {
+        return FieldError(where + ".columns", "expected an array");
+      }
+      for (std::size_t i = 0; i < m.value.GetArray().size(); ++i) {
+        const JsonValue& col = m.value.GetArray()[i];
+        const std::string at =
+            where + ".columns[" + std::to_string(i) + "]";
+        if (!col.is_object()) return FieldError(at, "expected an object");
+        Column column;
+        bool saw_col_name = false;
+        for (const JsonValue::Member& cm : col.GetObject()) {
+          if (cm.key == "name") {
+            BIVOC_ASSIGN_OR_RETURN(column.name,
+                                   GetString(cm.value, at + ".name"));
+            saw_col_name = true;
+          } else if (cm.key == "type") {
+            BIVOC_ASSIGN_OR_RETURN(std::string type_name,
+                                   GetString(cm.value, at + ".type"));
+            if (!DataTypeFromName(type_name, &column.type)) {
+              return FieldError(at + ".type",
+                                "unknown type \"" + type_name + "\"");
+            }
+          } else if (cm.key == "role") {
+            BIVOC_ASSIGN_OR_RETURN(std::string role_name,
+                                   GetString(cm.value, at + ".role"));
+            if (!AttributeRoleFromName(role_name, &column.role)) {
+              return FieldError(at + ".role",
+                                "unknown role \"" + role_name + "\"");
+            }
+          } else {
+            return FieldError(at, "unknown field \"" + cm.key + "\"");
+          }
+        }
+        if (!saw_col_name) return FieldError(at, "needs a \"name\" field");
+        out.columns.push_back(std::move(column));
+      }
+      saw_columns = true;
+    } else if (m.key == "rows") {
+      if (!m.value.is_array()) {
+        return FieldError(where + ".rows", "expected an array");
+      }
+      for (std::size_t i = 0; i < m.value.GetArray().size(); ++i) {
+        const JsonValue& row = m.value.GetArray()[i];
+        if (!row.is_array()) {
+          return FieldError(where + ".rows[" + std::to_string(i) + "]",
+                            "expected an array");
+        }
+        out.rows.push_back(row.GetArray());
+      }
+    } else {
+      return FieldError(where, "unknown field \"" + m.key + "\"");
+    }
+  }
+  if (!saw_name || !saw_columns) {
+    return FieldError(where, "needs \"name\" and \"columns\"");
+  }
+  for (std::size_t i = 0; i < out.rows.size(); ++i) {
+    if (out.rows[i].size() != out.columns.size()) {
+      return FieldError(where + ".rows[" + std::to_string(i) + "]",
+                        "arity does not match the columns");
+    }
+  }
+  return out;
+}
+
+JsonValue TableToJson(const TenantTableSpec& table) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("name", JsonValue(table.name));
+  JsonValue cols = JsonValue::MakeArray();
+  for (const Column& c : table.columns) {
+    JsonValue col = JsonValue::MakeObject();
+    col.Set("name", JsonValue(c.name));
+    col.Set("type", JsonValue(DataTypeToName(c.type)));
+    if (c.role != AttributeRole::kNone) {
+      col.Set("role", JsonValue(AttributeRoleToName(c.role)));
+    }
+    cols.Append(std::move(col));
+  }
+  o.Set("columns", std::move(cols));
+  if (!table.rows.empty()) {
+    JsonValue rows = JsonValue::MakeArray();
+    for (const auto& row : table.rows) {
+      JsonValue cells = JsonValue::MakeArray();
+      for (const JsonValue& cell : row) cells.Append(cell);
+      rows.Append(std::move(cells));
+    }
+    o.Set("rows", std::move(rows));
+  }
+  return o;
+}
+
+}  // namespace
+
+Status ValidateTenantId(std::string_view id) {
+  if (id.empty() || id.size() > 64) {
+    return Status::InvalidArgument(
+        "tenant id must be 1..64 characters, got " +
+        std::to_string(id.size()));
+  }
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '-';
+    if (!ok) {
+      return Status::InvalidArgument(
+          "tenant id may only contain [a-z0-9-]: \"" + std::string(id) +
+          "\"");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateTenantConfig(const TenantConfig& config) {
+  BIVOC_RETURN_NOT_OK(ValidateTenantId(config.id));
+  if (config.api_keys.empty()) {
+    return Status::InvalidArgument("tenant \"" + config.id +
+                                   "\" has no API keys");
+  }
+  for (const TenantApiKey& key : config.api_keys) {
+    if (key.key.size() < 8) {
+      return Status::InvalidArgument("tenant \"" + config.id +
+                                     "\" has an API key under 8 characters");
+    }
+  }
+  if (config.quota.query_burst < 1.0 || config.quota.ingest_burst < 1.0) {
+    return Status::InvalidArgument("tenant \"" + config.id +
+                                   "\" has a burst below 1");
+  }
+  return Status::OK();
+}
+
+JsonValue TenantConfigToJson(const TenantConfig& config, bool include_keys) {
+  JsonValue o = JsonValue::MakeObject();
+  o.Set("id", JsonValue(config.id));
+  if (config.suspended) o.Set("suspended", JsonValue(true));
+  if (include_keys) {
+    JsonValue keys = JsonValue::MakeArray();
+    for (const TenantApiKey& key : config.api_keys) {
+      JsonValue k = JsonValue::MakeObject();
+      k.Set("key", JsonValue(key.key));
+      if (key.admin) k.Set("admin", JsonValue(true));
+      keys.Append(std::move(k));
+    }
+    o.Set("api_keys", std::move(keys));
+  } else {
+    o.Set("num_api_keys",
+          JsonValue(static_cast<uint64_t>(config.api_keys.size())));
+  }
+  o.Set("quota", QuotaToJson(config.quota));
+  if (!config.dictionary.empty()) {
+    JsonValue dict = JsonValue::MakeArray();
+    for (const TenantDictionaryEntry& e : config.dictionary) {
+      JsonValue entry = JsonValue::MakeObject();
+      entry.Set("surface", JsonValue(e.surface));
+      entry.Set("canonical", JsonValue(e.canonical));
+      entry.Set("category", JsonValue(e.category));
+      dict.Append(std::move(entry));
+    }
+    o.Set("dictionary", std::move(dict));
+  }
+  if (!config.patterns.empty()) {
+    o.Set("patterns", StringArrayToJson(config.patterns));
+  }
+  if (!config.vocabulary.empty()) {
+    o.Set("vocabulary", StringArrayToJson(config.vocabulary));
+  }
+  if (!config.name_gazetteer.empty()) {
+    o.Set("name_gazetteer", StringArrayToJson(config.name_gazetteer));
+  }
+  if (!config.location_gazetteer.empty()) {
+    o.Set("location_gazetteer",
+          StringArrayToJson(config.location_gazetteer));
+  }
+  if (!config.tables.empty()) {
+    JsonValue tables = JsonValue::MakeArray();
+    for (const TenantTableSpec& t : config.tables) {
+      tables.Append(TableToJson(t));
+    }
+    o.Set("tables", std::move(tables));
+  }
+  if (config.streaming) o.Set("streaming", JsonValue(true));
+  return o;
+}
+
+Result<TenantConfig> TenantConfigFromJson(const JsonValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("tenant config must be a JSON object");
+  }
+  TenantConfig out;
+  for (const JsonValue::Member& m : v.GetObject()) {
+    if (m.key == "id") {
+      BIVOC_ASSIGN_OR_RETURN(out.id, GetString(m.value, "id"));
+    } else if (m.key == "suspended") {
+      if (!m.value.is_bool()) {
+        return FieldError("suspended", "expected a bool");
+      }
+      out.suspended = m.value.GetBool();
+    } else if (m.key == "api_keys") {
+      if (!m.value.is_array()) {
+        return FieldError("api_keys", "expected an array");
+      }
+      for (std::size_t i = 0; i < m.value.GetArray().size(); ++i) {
+        BIVOC_ASSIGN_OR_RETURN(
+            TenantApiKey key,
+            ApiKeyFromJson(m.value.GetArray()[i],
+                           "api_keys[" + std::to_string(i) + "]"));
+        out.api_keys.push_back(std::move(key));
+      }
+    } else if (m.key == "quota") {
+      BIVOC_ASSIGN_OR_RETURN(out.quota, QuotaFromJson(m.value, "quota"));
+    } else if (m.key == "dictionary") {
+      if (!m.value.is_array()) {
+        return FieldError("dictionary", "expected an array");
+      }
+      for (std::size_t i = 0; i < m.value.GetArray().size(); ++i) {
+        BIVOC_ASSIGN_OR_RETURN(
+            TenantDictionaryEntry entry,
+            DictEntryFromJson(m.value.GetArray()[i],
+                              "dictionary[" + std::to_string(i) + "]"));
+        out.dictionary.push_back(std::move(entry));
+      }
+    } else if (m.key == "patterns") {
+      BIVOC_ASSIGN_OR_RETURN(out.patterns,
+                             GetStringArray(m.value, "patterns"));
+    } else if (m.key == "vocabulary") {
+      BIVOC_ASSIGN_OR_RETURN(out.vocabulary,
+                             GetStringArray(m.value, "vocabulary"));
+    } else if (m.key == "name_gazetteer") {
+      BIVOC_ASSIGN_OR_RETURN(out.name_gazetteer,
+                             GetStringArray(m.value, "name_gazetteer"));
+    } else if (m.key == "location_gazetteer") {
+      BIVOC_ASSIGN_OR_RETURN(
+          out.location_gazetteer,
+          GetStringArray(m.value, "location_gazetteer"));
+    } else if (m.key == "tables") {
+      if (!m.value.is_array()) {
+        return FieldError("tables", "expected an array");
+      }
+      for (std::size_t i = 0; i < m.value.GetArray().size(); ++i) {
+        BIVOC_ASSIGN_OR_RETURN(
+            TenantTableSpec table,
+            TableFromJson(m.value.GetArray()[i],
+                          "tables[" + std::to_string(i) + "]"));
+        out.tables.push_back(std::move(table));
+      }
+    } else if (m.key == "streaming") {
+      if (!m.value.is_bool()) {
+        return FieldError("streaming", "expected a bool");
+      }
+      out.streaming = m.value.GetBool();
+    } else {
+      return FieldError("tenant config", "unknown field \"" + m.key + "\"");
+    }
+  }
+  BIVOC_RETURN_NOT_OK(ValidateTenantConfig(out));
+  return out;
+}
+
+Result<std::vector<TenantConfig>> TenantManifestFromJson(const JsonValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("manifest must be a JSON object");
+  }
+  const JsonValue* tenants = v.Find("tenants");
+  if (tenants == nullptr || !tenants->is_array()) {
+    return Status::InvalidArgument("manifest needs a \"tenants\" array");
+  }
+  if (v.GetObject().size() != 1) {
+    return Status::InvalidArgument(
+        "manifest has fields other than \"tenants\"");
+  }
+  std::vector<TenantConfig> out;
+  std::set<std::string> ids;
+  for (std::size_t i = 0; i < tenants->GetArray().size(); ++i) {
+    Result<TenantConfig> config =
+        TenantConfigFromJson(tenants->GetArray()[i]);
+    if (!config.ok()) {
+      return Status(config.status().code(),
+                    "tenants[" + std::to_string(i) + "]: " +
+                        config.status().message());
+    }
+    if (!ids.insert(config.value().id).second) {
+      return Status::InvalidArgument("duplicate tenant id \"" +
+                                     config.value().id + "\"");
+    }
+    out.push_back(config.MoveValue());
+  }
+  return out;
+}
+
+Result<std::vector<TenantConfig>> LoadTenantManifest(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open tenant manifest " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  BIVOC_ASSIGN_OR_RETURN(JsonValue parsed, ParseJson(buffer.str()));
+  return TenantManifestFromJson(parsed);
+}
+
+}  // namespace bivoc

@@ -1,0 +1,93 @@
+#ifndef BIVOC_TENANT_TENANT_H_
+#define BIVOC_TENANT_TENANT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/schema.h"
+#include "net/json.h"
+#include "util/result.h"
+
+namespace bivoc {
+
+// Per-tenant configuration of the multi-tenant VoC service (DESIGN.md
+// §16): identity and API keys, quota budgets, and the complete
+// vocabulary package a tenant's engine boots from — domain dictionary,
+// extraction patterns, language-filter vocabulary, gazetteers and
+// warehouse tables. Everything here round-trips through the JSON
+// manifest ({"tenants":[...]}) and the POST /v1/admin/tenant control
+// plane.
+
+struct TenantApiKey {
+  std::string key;
+  // Admin-scoped keys may additionally call the tenant's /v1/admin/*
+  // data plane (export/stage/...); plain keys get query/ingest/stream.
+  bool admin = false;
+};
+
+struct TenantQuota {
+  // Token-bucket rates (requests/second) and burst ceilings, one
+  // bucket per traffic class. <= 0 rate refuses that class outright.
+  double query_per_s = 50.0;
+  double query_burst = 100.0;
+  double ingest_per_s = 20.0;
+  double ingest_burst = 40.0;
+  // Concurrent in-flight requests across both classes; 0 = unlimited.
+  int max_concurrency = 8;
+};
+
+struct TenantDictionaryEntry {
+  std::string surface;
+  std::string canonical;
+  std::string category;
+};
+
+struct TenantTableSpec {
+  std::string name;
+  std::vector<Column> columns;
+  // Row-major cell values; each row must match `columns` in arity and
+  // type (kDate cells are "YYYY-MM-DD" strings).
+  std::vector<std::vector<JsonValue>> rows;
+};
+
+struct TenantConfig {
+  std::string id;  // lowercase [a-z0-9-], 1..64 chars
+  bool suspended = false;
+  std::vector<TenantApiKey> api_keys;
+  TenantQuota quota;
+
+  // Vocabulary package.
+  std::vector<TenantDictionaryEntry> dictionary;
+  std::vector<std::string> patterns;  // ConceptExtractor DSL specs
+  std::vector<std::string> vocabulary;
+  std::vector<std::string> name_gazetteer;
+  std::vector<std::string> location_gazetteer;
+  std::vector<TenantTableSpec> tables;
+
+  bool streaming = false;
+};
+
+// Tenant ids become durability directory names, metric label values
+// and routing-key prefixes, so the alphabet is tight: lowercase
+// letters, digits and '-', 1..64 chars. (No control characters in
+// particular — ComposeRouteKey's 0x1f separator depends on it.)
+Status ValidateTenantId(std::string_view id);
+
+// Structural validation beyond what the decoder enforces: valid id,
+// at least one API key, non-empty key strings, sane quota numbers.
+Status ValidateTenantConfig(const TenantConfig& config);
+
+// JSON codec. `include_keys` redacts API keys when false (the shape
+// returned to admin reads); the decoder is strict — unknown fields are
+// errors, same convention as net/wire.h.
+JsonValue TenantConfigToJson(const TenantConfig& config, bool include_keys);
+Result<TenantConfig> TenantConfigFromJson(const JsonValue& v);
+
+// Manifest {"tenants":[<config>...]}; ids must be unique.
+Result<std::vector<TenantConfig>> TenantManifestFromJson(const JsonValue& v);
+Result<std::vector<TenantConfig>> LoadTenantManifest(const std::string& path);
+
+}  // namespace bivoc
+
+#endif  // BIVOC_TENANT_TENANT_H_

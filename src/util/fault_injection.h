@@ -44,6 +44,10 @@ inline constexpr const char kFaultNetWrite[] = "net.write";
 // one specific shard while the others stay healthy.
 inline constexpr const char kFaultShardSend[] = "net.shard.send";
 inline constexpr const char kFaultClusterMerge[] = "cluster.merge";
+// One page of a chunked rebalance export (cluster/router.cc). A firing
+// point drops the transfer mid-chunk; the router retries the same
+// cursor, which is what the resume tests exercise.
+inline constexpr const char kFaultClusterExportPage[] = "cluster.export.page";
 
 // How an armed fault point misbehaves. Each hit draws an independent
 // Bernoulli(probability) from a per-point seeded Rng, so a given seed

@@ -106,33 +106,85 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
-std::string MetricsRegistry::RenderText() const {
+namespace {
+
+// Splits "name{a="1",b="2"}" into base "name" and inner labels
+// `a="1",b="2"`; a flat name comes back unchanged with empty labels.
+void SplitMetricName(const std::string& name, std::string* base,
+                     std::string* labels) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+// `{inner,extra,trailing}` from the non-empty parts; "" when all are.
+std::string LabelSet(const std::string& inner, const std::string& extra,
+                     const std::string& trailing = "") {
+  std::string joined;
+  for (const std::string* part : {&inner, &extra, &trailing}) {
+    if (part->empty()) continue;
+    if (!joined.empty()) joined += ',';
+    joined += *part;
+  }
+  if (joined.empty()) return "";
+  return "{" + joined + "}";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderText() const { return RenderText(""); }
+
+std::string MetricsRegistry::RenderText(const std::string& extra_label) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
+  std::string base, labels, last_typed;
   for (const auto& [name, counter] : counters_) {
-    os << "# TYPE " << name << " counter\n"
-       << name << " " << counter->Value() << "\n";
+    SplitMetricName(name, &base, &labels);
+    if (base != last_typed) os << "# TYPE " << base << " counter\n";
+    last_typed = base;
+    os << base << LabelSet(labels, extra_label) << " " << counter->Value()
+       << "\n";
   }
+  last_typed.clear();
   for (const auto& [name, gauge] : gauges_) {
-    os << "# TYPE " << name << " gauge\n"
-       << name << " " << gauge->Value() << "\n";
+    SplitMetricName(name, &base, &labels);
+    if (base != last_typed) os << "# TYPE " << base << " gauge\n";
+    last_typed = base;
+    os << base << LabelSet(labels, extra_label) << " " << gauge->Value()
+       << "\n";
   }
+  last_typed.clear();
   for (const auto& [name, hist] : histograms_) {
-    os << "# TYPE " << name << " histogram\n";
+    SplitMetricName(name, &base, &labels);
+    if (base != last_typed) os << "# TYPE " << base << " histogram\n";
+    last_typed = base;
     uint64_t cumulative = 0;
     for (std::size_t i = 0; i < hist->bounds().size(); ++i) {
       cumulative += hist->BucketCount(i);
-      os << name << "_bucket{le=\"" << FormatDouble(hist->bounds()[i])
-         << "\"} " << cumulative << "\n";
+      os << base << "_bucket"
+         << LabelSet(labels, extra_label,
+                     "le=\"" + FormatDouble(hist->bounds()[i]) + "\"")
+         << " " << cumulative << "\n";
     }
     cumulative += hist->BucketCount(hist->bounds().size());
-    os << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
-    os << name << "_sum " << FormatDouble(hist->Sum()) << "\n";
-    os << name << "_count " << hist->TotalCount() << "\n";
+    os << base << "_bucket" << LabelSet(labels, extra_label, "le=\"+Inf\"")
+       << " " << cumulative << "\n";
+    os << base << "_sum" << LabelSet(labels, extra_label) << " "
+       << FormatDouble(hist->Sum()) << "\n";
+    os << base << "_count" << LabelSet(labels, extra_label) << " "
+       << hist->TotalCount() << "\n";
     const Histogram::Summary s = hist->GetSummary();
-    os << name << "{quantile=\"0.5\"} " << FormatDouble(s.p50) << "\n";
-    os << name << "{quantile=\"0.95\"} " << FormatDouble(s.p95) << "\n";
-    os << name << "{quantile=\"0.99\"} " << FormatDouble(s.p99) << "\n";
+    os << base << LabelSet(labels, extra_label, "quantile=\"0.5\"") << " "
+       << FormatDouble(s.p50) << "\n";
+    os << base << LabelSet(labels, extra_label, "quantile=\"0.95\"") << " "
+       << FormatDouble(s.p95) << "\n";
+    os << base << LabelSet(labels, extra_label, "quantile=\"0.99\"") << " "
+       << FormatDouble(s.p99) << "\n";
   }
   return os.str();
 }

@@ -94,6 +94,13 @@ class Histogram {
 // kind but should be globally unique for a readable dump. Instruments
 // are never removed, so returned pointers remain valid as long as the
 // registry lives.
+//
+// Labeled series: a name may carry an inline Prometheus label set,
+// e.g. GetCounter("tenant_requests_total{tenant=\"acme\"}"). Rendering
+// splits the base name from the labels, so series of one metric share
+// a single "# TYPE" line and histogram suffixes compose correctly
+// (base_bucket{tenant="acme",le="..."}). Unlabeled names render
+// byte-identically to the historical flat format.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -111,6 +118,12 @@ class MetricsRegistry {
   // _bucket{le=...} series, _sum/_count, and quantile series for
   // histograms, sorted by name.
   std::string RenderText() const;
+
+  // Same exposition with `extra_label` (e.g. `tenant="acme"`, no
+  // braces) injected into every sample — how a multi-tenant host
+  // renders one tenant's private registry into a shared scrape without
+  // the tenant's instruments knowing their own namespace.
+  std::string RenderText(const std::string& extra_label) const;
 
  private:
   mutable std::mutex mu_;

@@ -178,4 +178,19 @@ std::string WithThousands(int64_t n) {
   return out;
 }
 
+bool ConstantTimeEquals(std::string_view a, std::string_view b) {
+  // Fold the length difference into the accumulator instead of
+  // returning early, and always walk all of `a` (the attacker-supplied
+  // side), indexing `b` modulo its size so no byte position ever
+  // shortens the loop.
+  unsigned char acc = a.size() == b.size() ? 0 : 1;
+  if (b.empty()) return a.empty();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<unsigned char>(
+        acc | (static_cast<unsigned char>(a[i]) ^
+               static_cast<unsigned char>(b[i % b.size()])));
+  }
+  return acc == 0;
+}
+
 }  // namespace bivoc

@@ -49,6 +49,12 @@ std::string FormatDouble(double v, int decimals);
 // Renders n with thousands separators: 1234567 -> "1,234,567".
 std::string WithThousands(int64_t n);
 
+// Equality whose running time depends only on the lengths, never on
+// where the strings first differ — for API-key comparison, where a
+// timing side channel would let a caller binary-search a secret one
+// byte at a time. Unequal lengths still compare every byte of `a`.
+bool ConstantTimeEquals(std::string_view a, std::string_view b);
+
 }  // namespace bivoc
 
 #endif  // BIVOC_UTIL_STRING_UTIL_H_

@@ -127,6 +127,71 @@ TEST(MetricsRegistryTest, RenderTextExposesAllKinds) {
   EXPECT_NE(text.find("lat_ms{quantile=\"0.5\"}"), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, LabeledSeriesShareOneTypeLine) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total{tenant=\"acme\"}")->Increment(2);
+  registry.GetCounter("requests_total{tenant=\"telco\"}")->Increment(5);
+
+  const std::string text = registry.RenderText();
+  // One # TYPE header for the base name, then one sample per series.
+  std::size_t first = text.find("# TYPE requests_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE requests_total counter", first + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("requests_total{tenant=\"acme\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("requests_total{tenant=\"telco\"} 5"),
+            std::string::npos);
+  // Labeled and unlabeled series are distinct instruments.
+  EXPECT_EQ(registry.GetCounter("requests_total")->Value(), 0u);
+}
+
+TEST(MetricsRegistryTest, ExtraLabelIsInjectedIntoEverySample) {
+  MetricsRegistry registry;
+  registry.GetCounter("reqs_total")->Increment(3);
+  registry.GetGauge("queue_depth")->Set(7);
+  Histogram* h = registry.GetHistogram("lat_ms", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+
+  const std::string text = registry.RenderText("tenant=\"acme\"");
+  // Flat names pick up exactly the injected label set.
+  EXPECT_NE(text.find("reqs_total{tenant=\"acme\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth{tenant=\"acme\"} 7"),
+            std::string::npos);
+  // Histogram suffixes compose the extra label with le=/quantile=.
+  EXPECT_NE(text.find("lat_ms_bucket{tenant=\"acme\",le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{tenant=\"acme\",le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_ms_count{tenant=\"acme\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_ms{tenant=\"acme\",quantile=\"0.5\"}"),
+            std::string::npos);
+  // TYPE headers stay label-free — labels belong to samples.
+  EXPECT_NE(text.find("# TYPE reqs_total counter\n"), std::string::npos);
+  // No sample escaped without the tenant label.
+  EXPECT_EQ(text.find("reqs_total 3"), std::string::npos);
+
+  // Inline labels and the injected one compose, inline first.
+  registry.GetCounter("by_route_total{route=\"query\"}")->Increment();
+  const std::string labeled = registry.RenderText("tenant=\"acme\"");
+  EXPECT_NE(
+      labeled.find("by_route_total{route=\"query\",tenant=\"acme\"} 1"),
+      std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EmptyExtraLabelRendersTheHistoricalFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("reqs_total")->Increment(3);
+  Histogram* h = registry.GetHistogram("lat_ms", {1.0});
+  h->Observe(0.5);
+  EXPECT_EQ(registry.RenderText(), registry.RenderText(""));
+  EXPECT_NE(registry.RenderText().find("reqs_total 3"), std::string::npos);
+  EXPECT_NE(registry.RenderText().find("lat_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+}
+
 TEST(MetricsRegistryTest, ConcurrentGetAndObserve) {
   MetricsRegistry registry;
   std::vector<std::thread> threads;

@@ -1,0 +1,588 @@
+// Multi-tenant service tests (DESIGN.md §16): config/manifest codec,
+// admission primitives, key resolution, the TenantService front door
+// (401/403/429 + Retry-After), cross-tenant isolation — including the
+// bit-for-bit parity of a tenant behind the shared service with the
+// same engine standalone — noisy-neighbor fairness, and per-namespace
+// kill/restart recovery.
+#include "tenant/service.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/json.h"
+#include "synth/tenants.h"
+#include "tenant/demo.h"
+#include "tenant/quota.h"
+#include "tenant/registry.h"
+#include "tenant/tenant.h"
+
+namespace bivoc {
+namespace {
+
+HttpRequest Req(const std::string& method, const std::string& target,
+                const std::string& api_key, std::string body = "") {
+  HttpRequest r;
+  r.method = method;
+  r.target = target;
+  r.version = "HTTP/1.1";
+  if (!api_key.empty()) {
+    r.headers.push_back({"Authorization", "Bearer " + api_key});
+  }
+  r.body = std::move(body);
+  return r;
+}
+
+std::string IngestBody(const std::vector<std::string>& texts,
+                       const std::string& forged_tenant = "") {
+  JsonValue items = JsonValue::MakeArray();
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    JsonValue item = JsonValue::MakeObject();
+    item.Set("channel", JsonValue("email"));
+    item.Set("payload", JsonValue(texts[i]));
+    item.Set("time_bucket", JsonValue(static_cast<int64_t>(i)));
+    if (!forged_tenant.empty()) {
+      item.Set("tenant", JsonValue(forged_tenant));
+    }
+    items.Append(std::move(item));
+  }
+  JsonValue body = JsonValue::MakeObject();
+  body.Set("items", std::move(items));
+  return DumpJson(body);
+}
+
+int64_t NumDocuments(const std::string& query_response_body) {
+  auto parsed = ParseJson(query_response_body);
+  if (!parsed.ok() || !parsed->is_object()) return -1;
+  const JsonValue* n = parsed->Find("num_documents");
+  return n != nullptr && n->is_integer() ? n->GetInt64() : -1;
+}
+
+const char kQuery[] = R"({"class":"concept_search"})";
+
+// ---------------------------------------------------------------------------
+// Config + manifest codec.
+
+TEST(TenantConfigTest, IdAlphabetIsTight) {
+  EXPECT_TRUE(ValidateTenantId("acme-rentals").ok());
+  EXPECT_TRUE(ValidateTenantId("a1").ok());
+  EXPECT_FALSE(ValidateTenantId("").ok());
+  EXPECT_FALSE(ValidateTenantId("Upper").ok());
+  EXPECT_FALSE(ValidateTenantId("with space").ok());
+  EXPECT_FALSE(ValidateTenantId("dot.dot").ok());
+  EXPECT_FALSE(ValidateTenantId("ctl\x1f").ok());  // route-key separator
+  EXPECT_FALSE(ValidateTenantId(std::string(65, 'a')).ok());
+}
+
+TEST(TenantConfigTest, JsonRoundTripPreservesTheVocabularyPackage) {
+  const TenantConfig config = TenantConfigFromSeed(CarRentalTenantSeed());
+  auto back = TenantConfigFromJson(
+      TenantConfigToJson(config, /*include_keys=*/true));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->id, config.id);
+  ASSERT_EQ(back->api_keys.size(), config.api_keys.size());
+  EXPECT_EQ(back->api_keys[0].key, config.api_keys[0].key);
+  EXPECT_EQ(back->api_keys[1].admin, true);
+  EXPECT_EQ(back->dictionary.size(), config.dictionary.size());
+  EXPECT_EQ(back->patterns, config.patterns);
+  EXPECT_EQ(back->vocabulary, config.vocabulary);
+  ASSERT_EQ(back->tables.size(), 1u);
+  EXPECT_EQ(back->tables[0].columns.size(),
+            config.tables[0].columns.size());
+  EXPECT_EQ(back->tables[0].rows.size(), config.tables[0].rows.size());
+  EXPECT_EQ(back->quota.query_per_s, config.quota.query_per_s);
+}
+
+TEST(TenantConfigTest, RedactedShapeCarriesNoKeys) {
+  const TenantConfig config = TenantConfigFromSeed(TelecomTenantSeed());
+  const std::string dumped =
+      DumpJson(TenantConfigToJson(config, /*include_keys=*/false));
+  EXPECT_EQ(dumped.find(config.api_keys[0].key), std::string::npos);
+  EXPECT_NE(dumped.find("num_api_keys"), std::string::npos);
+}
+
+TEST(TenantConfigTest, DecoderIsStrict) {
+  const char* kBad[] = {
+      R"({"id":"t1"})",                                  // no keys
+      R"({"id":"t1","api_keys":[{"key":"short"}]})",     // key < 8 chars
+      R"({"id":"T1","api_keys":[{"key":"long-enough"}]})",  // bad id
+      R"({"id":"t1","api_keys":[{"key":"long-enough"}],"wat":1})",
+      R"({"id":"t1","api_keys":[{"key":"long-enough"}],)"
+      R"("quota":{"query_burst":0}})",                   // burst below 1
+  };
+  for (const char* text : kBad) {
+    auto parsed = ParseJson(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_FALSE(TenantConfigFromJson(parsed.value()).ok()) << text;
+  }
+}
+
+TEST(TenantManifestTest, LoadsFromDiskAndRejectsDuplicateIds) {
+  JsonValue manifest = JsonValue::MakeObject();
+  JsonValue tenants = JsonValue::MakeArray();
+  for (const TenantConfig& config : DemoTenantConfigs()) {
+    tenants.Append(TenantConfigToJson(config, /*include_keys=*/true));
+  }
+  manifest.Set("tenants", tenants);
+
+  const std::string path = ::testing::TempDir() + "/bivoc_manifest_" +
+                           std::to_string(::getpid()) + ".json";
+  { std::ofstream(path) << DumpJson(manifest); }
+  auto loaded = LoadTenantManifest(path);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].id, "acme-rentals");
+  EXPECT_EQ((*loaded)[1].id, "telco-voice");
+
+  tenants.Append(TenantConfigToJson((*loaded)[0], true));  // dup id
+  manifest.Set("tenants", tenants);
+  EXPECT_FALSE(TenantManifestFromJson(manifest).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Admission primitives.
+
+TEST(TokenBucketTest, RateAndBurstWithAFakeClock) {
+  int64_t now_ms = 0;
+  TokenBucket::Options options;
+  options.rate_per_s = 10.0;
+  options.burst = 5.0;
+  options.clock_ms = [&now_ms] { return now_ms; };
+  TokenBucket bucket(options);
+
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(bucket.TryAcquire()) << i;
+  EXPECT_FALSE(bucket.TryAcquire());          // burst exhausted
+  EXPECT_EQ(bucket.RetryAfterMs(), 100);      // 1 token at 10/s
+  now_ms += 100;
+  EXPECT_TRUE(bucket.TryAcquire());           // exactly one accrued
+  EXPECT_FALSE(bucket.TryAcquire());
+  now_ms += 10'000;
+  EXPECT_DOUBLE_EQ(bucket.tokens(), 5.0);     // clamped to burst
+}
+
+TEST(TokenBucketTest, ZeroRateNeverAdmits) {
+  TokenBucket::Options options;
+  options.rate_per_s = 0.0;
+  TokenBucket bucket(options);
+  EXPECT_FALSE(bucket.TryAcquire());
+  EXPECT_GE(bucket.RetryAfterMs(), 1);
+}
+
+TEST(TokenBucketTest, ConfigureAppliesLiveAndClampsAccruedTokens) {
+  int64_t now_ms = 0;
+  TokenBucket::Options options;
+  options.rate_per_s = 10.0;
+  options.burst = 100.0;
+  options.clock_ms = [&now_ms] { return now_ms; };
+  TokenBucket bucket(options);
+  bucket.Configure(10.0, 2.0);  // quota cut under the accrued balance
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_FALSE(bucket.TryAcquire());
+}
+
+TEST(ConcurrencyBudgetTest, RejectsAboveTheCapAndUpdatesLive) {
+  ConcurrencyBudget budget(2);
+  ConcurrencyBudget::Guard a(&budget), b(&budget);
+  EXPECT_TRUE(a);
+  EXPECT_TRUE(b);
+  {
+    ConcurrencyBudget::Guard c(&budget);
+    EXPECT_FALSE(c);  // over cap, and Exit must not be called for it
+  }
+  EXPECT_EQ(budget.in_flight(), 2);
+  budget.set_max(3);
+  ConcurrencyBudget::Guard d(&budget);
+  EXPECT_TRUE(d);
+}
+
+// ---------------------------------------------------------------------------
+// Registry resolution.
+
+TEST(TenantRegistryTest, ResolvesKeysToTenantAndScope) {
+  TenantRegistry registry;
+  ASSERT_TRUE(
+      registry.Create(TenantConfigFromSeed(CarRentalTenantSeed())).ok());
+  ASSERT_TRUE(
+      registry.Create(TenantConfigFromSeed(TelecomTenantSeed())).ok());
+
+  auto plain = registry.Resolve("acme-key-0001");
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->tenant_id, "acme-rentals");
+  EXPECT_FALSE(plain->admin);
+  EXPECT_FALSE(plain->suspended);
+
+  auto admin = registry.Resolve("telco-admin-0001");
+  ASSERT_TRUE(admin.has_value());
+  EXPECT_EQ(admin->tenant_id, "telco-voice");
+  EXPECT_TRUE(admin->admin);
+
+  EXPECT_FALSE(registry.Resolve("no-such-key-at-all").has_value());
+  EXPECT_FALSE(registry.Resolve("").has_value());
+
+  ASSERT_TRUE(registry.SetSuspended("acme-rentals", true).ok());
+  auto suspended = registry.Resolve("acme-key-0001");
+  ASSERT_TRUE(suspended.has_value());
+  EXPECT_TRUE(suspended->suspended);
+}
+
+TEST(TenantRegistryTest, TenantIdIsImmutableAcrossUpdate) {
+  TenantRegistry registry;
+  TenantConfig config = TenantConfigFromSeed(CarRentalTenantSeed());
+  ASSERT_TRUE(registry.Create(config).ok());
+  TenantConfig renamed = config;
+  renamed.id = "acme-two";
+  EXPECT_FALSE(registry.Update("acme-rentals", renamed).ok());
+  EXPECT_FALSE(registry.Create(config).ok());  // duplicate
+}
+
+// ---------------------------------------------------------------------------
+// The service front door.
+
+class TenantServiceTest : public ::testing::Test {
+ protected:
+  // Handle()-driven throughout: no sockets, same code path the wire
+  // takes minus the parser.
+  void Boot(TenantServiceOptions options = {}) {
+    service_ = std::make_unique<TenantService>(std::move(options));
+    for (const TenantConfig& config : DemoTenantConfigs()) {
+      ASSERT_TRUE(service_->AddTenant(config).ok());
+    }
+  }
+
+  uint64_t Counter(const std::string& name) {
+    return service_->metrics()->GetCounter(name)->Value();
+  }
+
+  std::unique_ptr<TenantService> service_;
+};
+
+TEST_F(TenantServiceTest, UnknownKeyIs401AndCounted) {
+  Boot();
+  const uint64_t before = Counter("gateway_auth_failures_total");
+  HttpResponse response =
+      service_->Handle(Req("POST", "/v1/query", "who-goes-there", kQuery));
+  EXPECT_EQ(response.status, 401);
+  ASSERT_NE(response.FindHeader("WWW-Authenticate"), nullptr);
+  EXPECT_EQ(Counter("gateway_auth_failures_total"), before + 1);
+
+  // No key at all is the same 401.
+  EXPECT_EQ(service_->Handle(Req("POST", "/v1/query", "", kQuery)).status,
+            401);
+}
+
+TEST_F(TenantServiceTest, SuspendIs403UntilResumed) {
+  Boot();
+  auto admin = [&](const std::string& body) {
+    return service_->Handle(Req("POST", "/v1/admin/tenant", "", body));
+  };
+  EXPECT_EQ(admin(R"({"action":"suspend","id":"acme-rentals"})").status,
+            200);
+  EXPECT_EQ(
+      service_->Handle(Req("POST", "/v1/query", "acme-key-0001", kQuery))
+          .status,
+      403);
+  // The other tenant is untouched.
+  EXPECT_EQ(
+      service_->Handle(Req("POST", "/v1/query", "telco-key-0001", kQuery))
+          .status,
+      200);
+  EXPECT_EQ(admin(R"({"action":"resume","id":"acme-rentals"})").status, 200);
+  EXPECT_EQ(
+      service_->Handle(Req("POST", "/v1/query", "acme-key-0001", kQuery))
+          .status,
+      200);
+}
+
+TEST_F(TenantServiceTest, TenantAdminDataPlaneNeedsAdminScope) {
+  Boot();
+  EXPECT_EQ(
+      service_->Handle(Req("POST", "/v1/admin/export", "acme-key-0001", "{}"))
+          .status,
+      403);
+  EXPECT_EQ(service_->Handle(
+                    Req("POST", "/v1/admin/export", "acme-admin-0001", "{}"))
+                .status,
+            200);
+}
+
+TEST_F(TenantServiceTest, ControlPlaneRequiresTheServiceAdminKey) {
+  TenantServiceOptions options;
+  options.admin_api_key = "root-admin-key-0001";
+  Boot(std::move(options));
+
+  const uint64_t before = Counter("gateway_auth_failures_total");
+  EXPECT_EQ(service_
+                ->Handle(Req("POST", "/v1/admin/tenant", "",
+                             R"({"action":"list"})"))
+                .status,
+            401);
+  // A *tenant* admin key is not the service key.
+  EXPECT_EQ(service_
+                ->Handle(Req("POST", "/v1/admin/tenant", "acme-admin-0001",
+                             R"({"action":"list"})"))
+                .status,
+            401);
+  EXPECT_EQ(Counter("gateway_auth_failures_total"), before + 2);
+
+  HttpResponse list = service_->Handle(Req(
+      "POST", "/v1/admin/tenant", "root-admin-key-0001",
+      R"({"action":"list"})"));
+  EXPECT_EQ(list.status, 200);
+  EXPECT_NE(list.body.find("acme-rentals"), std::string::npos);
+  EXPECT_NE(list.body.find("telco-voice"), std::string::npos);
+}
+
+TEST_F(TenantServiceTest, ControlPlaneCreateGetUpdateLifecycle) {
+  Boot();
+  auto admin = [&](const std::string& body) {
+    return service_->Handle(Req("POST", "/v1/admin/tenant", "", body));
+  };
+
+  // Create a third tenant at runtime and immediately serve it.
+  const char kNewTenant[] =
+      R"({"action":"create","tenant":{"id":"fresh-co",)"
+      R"("api_keys":[{"key":"fresh-key-0001"}],)"
+      R"("vocabulary":["hello","world"]}})";
+  EXPECT_EQ(admin(kNewTenant).status, 200);
+  EXPECT_EQ(
+      service_->Handle(Req("POST", "/v1/query", "fresh-key-0001", kQuery))
+          .status,
+      200);
+  EXPECT_EQ(admin(kNewTenant).status, 409);  // duplicate create
+
+  // Reads are redacted.
+  HttpResponse get = admin(R"({"action":"get","id":"fresh-co"})");
+  EXPECT_EQ(get.status, 200);
+  EXPECT_EQ(get.body.find("fresh-key-0001"), std::string::npos);
+  EXPECT_NE(get.body.find("num_api_keys"), std::string::npos);
+
+  // A quota update applies to the live context: zero rate + a fresh
+  // burst of 1 admits nothing further once that token is spent.
+  const char kThrottleUpdate[] =
+      R"({"action":"update","tenant":{"id":"fresh-co",)"
+      R"("api_keys":[{"key":"fresh-key-0001"}],)"
+      R"("quota":{"query_per_s":0,"query_burst":1}}})";
+  EXPECT_EQ(admin(kThrottleUpdate).status, 200);
+  HttpResponse throttled =
+      service_->Handle(Req("POST", "/v1/query", "fresh-key-0001", kQuery));
+  EXPECT_EQ(throttled.status, 429);
+  ASSERT_NE(throttled.FindHeader("Retry-After"), nullptr);
+
+  EXPECT_EQ(admin(R"({"action":"warp","id":"x"})").status, 400);
+  EXPECT_EQ(admin(R"({"action":"get","id":"nope-co"})").status, 404);
+}
+
+TEST_F(TenantServiceTest, OverBudgetQueriesGet429WithRetryAfter) {
+  Boot();
+  TenantConfig config = TenantConfigFromSeed(CarRentalTenantSeed());
+  config.id = "tiny-co";
+  config.api_keys = {{"tiny-key-0001", false}};
+  config.quota.query_per_s = 0.5;
+  config.quota.query_burst = 2.0;
+  config.tables.clear();
+  ASSERT_TRUE(service_->AddTenant(config).ok());
+
+  EXPECT_EQ(
+      service_->Handle(Req("POST", "/v1/query", "tiny-key-0001", kQuery))
+          .status,
+      200);
+  EXPECT_EQ(
+      service_->Handle(Req("POST", "/v1/query", "tiny-key-0001", kQuery))
+          .status,
+      200);
+  HttpResponse shed =
+      service_->Handle(Req("POST", "/v1/query", "tiny-key-0001", kQuery));
+  EXPECT_EQ(shed.status, 429);
+  const std::string* retry_after = shed.FindHeader("Retry-After");
+  ASSERT_NE(retry_after, nullptr);
+  EXPECT_GE(std::stoi(*retry_after), 1);  // 1 token at 0.5/s = 2 s
+  EXPECT_GE(Counter("tenant_throttled_total{tenant=\"tiny-co\"}"), 1u);
+}
+
+TEST_F(TenantServiceTest, TenantsAreIsolatedAndForgedTenantFieldsRestamped) {
+  Boot();
+  const TenantSeed acme = CarRentalTenantSeed();
+  const TenantSeed telco = TelecomTenantSeed();
+
+  // Acme's client "helpfully" stamps its items for the other tenant;
+  // the service overwrites that with the authenticated identity.
+  EXPECT_EQ(service_
+                ->Handle(Req("POST", "/v1/ingest", acme.api_key,
+                             IngestBody(acme.sample_texts, telco.id)))
+                .status,
+            200);
+  EXPECT_EQ(service_
+                ->Handle(Req("POST", "/v1/ingest", telco.api_key,
+                             IngestBody(telco.sample_texts)))
+                .status,
+            200);
+
+  HttpResponse acme_view =
+      service_->Handle(Req("POST", "/v1/query", acme.api_key, kQuery));
+  HttpResponse telco_view =
+      service_->Handle(Req("POST", "/v1/query", telco.api_key, kQuery));
+  ASSERT_EQ(acme_view.status, 200);
+  ASSERT_EQ(telco_view.status, 200);
+
+  // Each tenant sees exactly its own corpus size...
+  EXPECT_EQ(NumDocuments(acme_view.body),
+            static_cast<int64_t>(acme.sample_texts.size()));
+  EXPECT_EQ(NumDocuments(telco_view.body),
+            static_cast<int64_t>(telco.sample_texts.size()));
+  // ...and none of the other tenant's vocabulary.
+  EXPECT_EQ(acme_view.body.find("gprs"), std::string::npos);
+  EXPECT_EQ(telco_view.body.find("suv"), std::string::npos);
+  EXPECT_NE(acme_view.body.find("vehicle/suv"), std::string::npos);
+  EXPECT_NE(telco_view.body.find("product/gprs"), std::string::npos);
+}
+
+TEST_F(TenantServiceTest, AnswersMatchAStandaloneEngineBitForBit) {
+  Boot();
+  const TenantSeed acme = CarRentalTenantSeed();
+  const std::string ingest = IngestBody(acme.sample_texts);
+  ASSERT_EQ(service_
+                ->Handle(Req("POST", "/v1/ingest", acme.api_key, ingest))
+                .status,
+            200);
+
+  // The same config provisioned alone, driven through its gateway with
+  // no service in front.
+  TenantManager standalone;
+  auto context =
+      standalone.Provision(TenantConfigFromSeed(CarRentalTenantSeed()));
+  ASSERT_TRUE(context.ok()) << context.status();
+  ASSERT_EQ(
+      (*context)->gateway.Handle(Req("POST", "/v1/ingest", "", ingest))
+          .status,
+      200);
+
+  const char* kQueries[] = {
+      R"({"class":"concept_search"})",
+      R"({"class":"concept_search","prefix":"vehicle/"})",
+      R"({"class":"relevancy","key":"value selling/mention of good rate"})",
+  };
+  for (const char* q : kQueries) {
+    HttpResponse through_service =
+        service_->Handle(Req("POST", "/v1/query", acme.api_key, q));
+    HttpResponse direct =
+        (*context)->gateway.Handle(Req("POST", "/v1/query", "", q));
+    EXPECT_EQ(through_service.status, direct.status) << q;
+    EXPECT_EQ(through_service.body, direct.body) << q;
+  }
+}
+
+TEST_F(TenantServiceTest, NoisyNeighborCannotStarveTheQuietTenant) {
+  Boot();
+  // The noisy tenant gets a tiny budget; the quiet tenant the default.
+  TenantConfig noisy = TenantConfigFromSeed(CarRentalTenantSeed());
+  noisy.id = "noisy-co";
+  noisy.api_keys = {{"noisy-key-0001", false}};
+  noisy.quota.query_per_s = 1.0;
+  noisy.quota.query_burst = 5.0;
+  noisy.quota.max_concurrency = 2;
+  noisy.tables.clear();
+  ASSERT_TRUE(service_->AddTenant(noisy).ok());
+
+  int noisy_shed = 0;
+  int quiet_failures = 0;
+  double quiet_worst_ms = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    // Two flood requests per quiet request — interleaved, one thread,
+    // so the fairness observed is pure admission control.
+    for (int burst = 0; burst < 2; ++burst) {
+      HttpResponse response = service_->Handle(
+          Req("POST", "/v1/query", "noisy-key-0001", kQuery));
+      if (response.status == 429) ++noisy_shed;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    HttpResponse quiet = service_->Handle(
+        Req("POST", "/v1/query", "telco-key-0001", kQuery));
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    quiet_worst_ms = std::max(quiet_worst_ms, ms);
+    if (quiet.status != 200) ++quiet_failures;
+  }
+  EXPECT_GE(noisy_shed, 40);      // 80 requests against burst 5 + 1/s
+  EXPECT_EQ(quiet_failures, 0);   // fairness: B never throttled or 5xx
+  EXPECT_LT(quiet_worst_ms, 250.0);  // generous: cached query, no queue
+  EXPECT_EQ(Counter("tenant_throttled_total{tenant=\"telco-voice\"}"), 0u);
+}
+
+TEST_F(TenantServiceTest, MetricsAreNamespacedPerTenant) {
+  Boot();
+  ASSERT_EQ(
+      service_->Handle(Req("POST", "/v1/query", "acme-key-0001", kQuery))
+          .status,
+      200);
+  HttpResponse metrics = service_->Handle(Req("GET", "/metrics", ""));
+  ASSERT_EQ(metrics.status, 200);
+  // Service-level per-tenant counters...
+  EXPECT_NE(
+      metrics.body.find("tenant_requests_total{tenant=\"acme-rentals\"}"),
+      std::string::npos);
+  // ...and each tenant's private registry rendered under its label,
+  // including the per-route gateway instruments.
+  EXPECT_NE(metrics.body.find(
+                "gateway_requests_total_query{tenant=\"acme-rentals\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("{tenant=\"telco-voice\"}"),
+            std::string::npos);
+}
+
+TEST(TenantRecoveryTest, EachTenantRecoversFromItsOwnNamespace) {
+  const std::string root = ::testing::TempDir() + "/bivoc_tenants_" +
+                           std::to_string(::getpid()) + "_" +
+                           std::to_string(std::random_device{}());
+  std::filesystem::remove_all(root);
+  const TenantSeed acme = CarRentalTenantSeed();
+  const TenantSeed telco = TelecomTenantSeed();
+
+  {
+    TenantServiceOptions options;
+    options.manager.data_root = root;
+    TenantService service(std::move(options));
+    for (const TenantConfig& config : DemoTenantConfigs()) {
+      ASSERT_TRUE(service.AddTenant(config).ok());
+    }
+    ASSERT_EQ(service
+                  .Handle(Req("POST", "/v1/ingest", acme.api_key,
+                              IngestBody(acme.sample_texts)))
+                  .status,
+              200);
+    ASSERT_EQ(service
+                  .Handle(Req("POST", "/v1/ingest", telco.api_key,
+                              IngestBody({telco.sample_texts[0]})))
+                  .status,
+              200);
+    // No graceful shutdown beyond destruction: the WAL is the truth.
+  }
+
+  EXPECT_TRUE(std::filesystem::exists(root + "/" + acme.id));
+  EXPECT_TRUE(std::filesystem::exists(root + "/" + telco.id));
+
+  TenantServiceOptions options;
+  options.manager.data_root = root;
+  TenantService revived(std::move(options));
+  for (const TenantConfig& config : DemoTenantConfigs()) {
+    ASSERT_TRUE(revived.AddTenant(config).ok());
+  }
+  HttpResponse acme_view =
+      revived.Handle(Req("POST", "/v1/query", acme.api_key, kQuery));
+  HttpResponse telco_view =
+      revived.Handle(Req("POST", "/v1/query", telco.api_key, kQuery));
+  EXPECT_EQ(NumDocuments(acme_view.body),
+            static_cast<int64_t>(acme.sample_texts.size()));
+  EXPECT_EQ(NumDocuments(telco_view.body), 1);
+  std::filesystem::remove_all(root);
+}
+
+}  // namespace
+}  // namespace bivoc
